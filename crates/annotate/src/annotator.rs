@@ -1,0 +1,190 @@
+//! The annotator abstraction and the built-in annotators.
+//!
+//! Figure 2: "the row is annotated by annotators that have expressed an
+//! interest in this type of data … The annotators create new annotation
+//! documents that refer to the initial row document." An [`Annotator`]
+//! declares interest, inspects a document, and returns [`Annotation`]s;
+//! the pipeline turns them into annotation documents and relationships.
+
+use impliance_docmodel::{Document, Node, Value};
+
+use crate::scan::{scan_entities, EntityMention};
+use crate::sentiment::{sentiment_score, SentimentLabel};
+
+/// The output of one annotator on one document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Annotation {
+    /// Annotation type tag, e.g. `"entities"`, `"sentiment"`; becomes the
+    /// annotation document's collection suffix.
+    pub kind: String,
+    /// The annotation body (stored as an annotation document).
+    pub body: Node,
+    /// Entity mentions the annotation found (fed to cross-document
+    /// resolution on grid nodes).
+    pub mentions: Vec<EntityMention>,
+}
+
+/// A pluggable annotator.
+pub trait Annotator: Send + Sync {
+    /// Unique annotator name.
+    fn name(&self) -> &'static str;
+
+    /// Whether this annotator wants the document (the "expressed an
+    /// interest in this type of data" hook).
+    fn interested(&self, doc: &Document) -> bool;
+
+    /// Produce annotations for a document.
+    fn annotate(&self, doc: &Document) -> Vec<Annotation>;
+}
+
+/// Extracts entity mentions from every string leaf.
+#[derive(Debug, Default)]
+pub struct EntityAnnotator;
+
+impl Annotator for EntityAnnotator {
+    fn name(&self) -> &'static str {
+        "entity"
+    }
+
+    fn interested(&self, doc: &Document) -> bool {
+        // any string content at all
+        doc.leaves().iter().any(|(_, v)| matches!(v, Value::Str(_)))
+    }
+
+    fn annotate(&self, doc: &Document) -> Vec<Annotation> {
+        let mut mentions = Vec::new();
+        for (path, value) in doc.leaves() {
+            if let Value::Str(text) = value {
+                for mut m in scan_entities(text) {
+                    // qualify offsets with the source path for provenance
+                    m.offset += 0; // offsets stay text-local; path recorded below
+                    mentions.push((path.structural_form(), m));
+                }
+            }
+        }
+        if mentions.is_empty() {
+            return Vec::new();
+        }
+        let items: Vec<Node> = mentions
+            .iter()
+            .map(|(path, m)| {
+                Node::map([
+                    ("kind".to_string(), Node::scalar(m.kind.name())),
+                    ("text".to_string(), Node::scalar(m.text.as_str())),
+                    ("normalized".to_string(), Node::scalar(m.normalized.as_str())),
+                    ("path".to_string(), Node::scalar(path.as_str())),
+                    ("offset".to_string(), Node::scalar(m.offset as i64)),
+                ])
+            })
+            .collect();
+        let body = Node::map([
+            ("annotator".to_string(), Node::scalar("entity")),
+            ("mentions".to_string(), Node::seq(items)),
+        ]);
+        vec![Annotation {
+            kind: "entities".to_string(),
+            body,
+            mentions: mentions.into_iter().map(|(_, m)| m).collect(),
+        }]
+    }
+}
+
+/// Scores sentiment over the document's full text.
+#[derive(Debug, Default)]
+pub struct SentimentAnnotator;
+
+impl Annotator for SentimentAnnotator {
+    fn name(&self) -> &'static str {
+        "sentiment"
+    }
+
+    fn interested(&self, doc: &Document) -> bool {
+        // needs a reasonable amount of prose
+        doc.full_text().len() >= 20
+    }
+
+    fn annotate(&self, doc: &Document) -> Vec<Annotation> {
+        let text = doc.full_text();
+        let (score, hits) = sentiment_score(&text);
+        if hits == 0 {
+            return Vec::new();
+        }
+        let label = SentimentLabel::from_score(score);
+        let body = Node::map([
+            ("annotator".to_string(), Node::scalar("sentiment")),
+            ("score".to_string(), Node::scalar(i64::from(score))),
+            ("label".to_string(), Node::scalar(label.name())),
+            ("polarity_words".to_string(), Node::scalar(i64::from(hits))),
+        ]);
+        vec![Annotation { kind: "sentiment".to_string(), body, mentions: Vec::new() }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impliance_docmodel::{DocId, DocumentBuilder, SourceFormat};
+
+    fn text_doc(t: &str) -> Document {
+        DocumentBuilder::new(DocId(1), SourceFormat::Text, "t").field("body", t).build()
+    }
+
+    #[test]
+    fn entity_annotator_extracts_mentions_with_paths() {
+        let d = DocumentBuilder::new(DocId(1), SourceFormat::Json, "claims")
+            .field("notes", "Grace Hopper paid $500 in Boston")
+            .field("amount", 500i64)
+            .build();
+        let anns = EntityAnnotator.annotate(&d);
+        assert_eq!(anns.len(), 1);
+        let mentions = anns[0].body.get_str_path("mentions").unwrap().as_seq().unwrap();
+        assert!(mentions.len() >= 3);
+        // every mention records its source path
+        for m in mentions {
+            assert_eq!(
+                m.get_str_path("path").unwrap().as_value().unwrap().as_str(),
+                Some("notes")
+            );
+        }
+        assert!(!anns[0].mentions.is_empty());
+    }
+
+    #[test]
+    fn entity_annotator_uninterested_in_pure_numbers() {
+        let d = DocumentBuilder::new(DocId(1), SourceFormat::Json, "c")
+            .field("x", 5i64)
+            .build();
+        assert!(!EntityAnnotator.interested(&d));
+    }
+
+    #[test]
+    fn entity_annotator_empty_on_no_entities() {
+        let d = text_doc("nothing interesting lowercase words");
+        assert!(EntityAnnotator.annotate(&d).is_empty());
+    }
+
+    #[test]
+    fn sentiment_annotator_labels() {
+        let d = text_doc("I am very happy with this great product, thanks!");
+        let anns = SentimentAnnotator.annotate(&d);
+        assert_eq!(anns.len(), 1);
+        assert_eq!(
+            anns[0].body.get_str_path("label").unwrap().as_value().unwrap().as_str(),
+            Some("positive")
+        );
+    }
+
+    #[test]
+    fn sentiment_annotator_skips_neutral_short_text() {
+        let d = text_doc("ok");
+        assert!(!SentimentAnnotator.interested(&d));
+        let d2 = text_doc("this text has no polarity words whatsoever today");
+        assert!(SentimentAnnotator.annotate(&d2).is_empty());
+    }
+
+    #[test]
+    fn annotator_names() {
+        assert_eq!(EntityAnnotator.name(), "entity");
+        assert_eq!(SentimentAnnotator.name(), "sentiment");
+    }
+}

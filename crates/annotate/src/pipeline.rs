@@ -1,0 +1,299 @@
+//! The asynchronous discovery pipeline.
+//!
+//! §3.2: "this indexing need not take place as part of the same
+//! transaction that infused that document initially … All data entering
+//! into Impliance will also go through a number of asynchronous analysis
+//! phases." §3.3 splits annotation extraction across node types:
+//! intra-document analyses (entity extraction, sentiment) on data nodes,
+//! inter-document analyses (entity resolution) on grid nodes, and
+//! consistent persistence on cluster nodes.
+//!
+//! The pipeline mirrors that staging: documents are enqueued at ingestion;
+//! `drain()` (called from a background worker or a bench harness) runs the
+//! annotators, feeds mentions to the cross-document resolver, and hands
+//! annotation documents plus discovered relationships to a
+//! [`DiscoverySink`].
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use impliance_docmodel::{DocId, Document};
+use parking_lot::Mutex;
+
+use crate::annotator::Annotator;
+use crate::resolve::EntityResolver;
+
+/// Where the pipeline reads documents from (implemented by the appliance
+/// over its storage engine).
+pub trait DocSource: Send + Sync {
+    /// Fetch the latest version of a document.
+    fn fetch(&self, id: DocId) -> Option<Document>;
+}
+
+/// Where the pipeline writes its discoveries (implemented by the appliance:
+/// annotation documents are stored + indexed; relationships become join
+/// indexes via a consistency-group commit).
+pub trait DiscoverySink: Send + Sync {
+    /// Persist a new annotation document.
+    fn store_annotation(&self, annotation: Document);
+    /// Record a discovered relationship.
+    fn add_relationship(&self, from: DocId, to: DocId, label: &str);
+}
+
+/// Counters describing pipeline progress.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiscoveryStats {
+    /// Documents processed.
+    pub docs_processed: u64,
+    /// Annotation documents produced.
+    pub annotations: u64,
+    /// Entity mentions extracted.
+    pub mentions: u64,
+    /// Cross-document relationships discovered.
+    pub relationships: u64,
+}
+
+/// The discovery pipeline.
+pub struct DiscoveryPipeline {
+    annotators: Vec<Box<dyn Annotator>>,
+    queue: Mutex<VecDeque<DocId>>,
+    resolver: Mutex<EntityResolver>,
+    next_annotation_id: Arc<AtomicU64>,
+    stats: Mutex<DiscoveryStats>,
+}
+
+impl DiscoveryPipeline {
+    /// Create a pipeline with the given annotators. `id_allocator` hands
+    /// out document ids for new annotation documents (shared with the
+    /// appliance's ingestion id space). `resolution_threshold` is the
+    /// Jaro-Winkler link threshold for cross-document entity resolution.
+    pub fn new(
+        annotators: Vec<Box<dyn Annotator>>,
+        id_allocator: Arc<AtomicU64>,
+        resolution_threshold: f64,
+    ) -> DiscoveryPipeline {
+        DiscoveryPipeline {
+            annotators,
+            queue: Mutex::new(VecDeque::new()),
+            resolver: Mutex::new(EntityResolver::new(resolution_threshold)),
+            next_annotation_id: id_allocator,
+            stats: Mutex::new(DiscoveryStats::default()),
+        }
+    }
+
+    /// Enqueue a document for background analysis. O(1); called from the
+    /// ingestion path.
+    pub fn enqueue(&self, id: DocId) {
+        self.queue.lock().push_back(id);
+    }
+
+    /// Pending queue length.
+    pub fn pending(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// Progress counters.
+    pub fn stats(&self) -> DiscoveryStats {
+        *self.stats.lock()
+    }
+
+    /// Process up to `budget` queued documents (all if `None`). Returns
+    /// how many were processed. This is the unit of work a background
+    /// worker schedules between interactive queries (§3.4 execution
+    /// management); benches call it directly for determinism.
+    pub fn drain(
+        &self,
+        source: &dyn DocSource,
+        sink: &dyn DiscoverySink,
+        budget: Option<usize>,
+    ) -> usize {
+        let mut processed = 0usize;
+        loop {
+            if let Some(b) = budget {
+                if processed >= b {
+                    break;
+                }
+            }
+            let next = self.queue.lock().pop_front();
+            let Some(id) = next else { break };
+            if let Some(doc) = source.fetch(id) {
+                self.process_document(&doc, sink);
+            }
+            processed += 1;
+        }
+        processed
+    }
+
+    /// Run annotators and resolution for one document (public so node
+    /// tasks can run stages directly on data/grid nodes).
+    pub fn process_document(&self, doc: &Document, sink: &dyn DiscoverySink) {
+        let mut all_mentions = Vec::new();
+        let mut produced = 0u64;
+        for annotator in &self.annotators {
+            if !annotator.interested(doc) {
+                continue;
+            }
+            for annotation in annotator.annotate(doc) {
+                let ann_id = DocId(self.next_annotation_id.fetch_add(1, Ordering::Relaxed));
+                let collection = format!("annotations.{}", annotation.kind);
+                let ann_doc = Document::annotation(
+                    ann_id,
+                    doc.id(),
+                    collection,
+                    doc.ingested_at(),
+                    annotation.body,
+                );
+                sink.store_annotation(ann_doc);
+                sink.add_relationship(ann_id, doc.id(), "annotates");
+                produced += 1;
+                all_mentions.extend(annotation.mentions);
+            }
+        }
+        // Inter-document stage: resolve entities against everything seen.
+        let links = self.resolver.lock().observe(doc.id(), &all_mentions);
+        for link in &links {
+            sink.add_relationship(
+                link.a,
+                link.b,
+                &format!("same-{}", link.kind.name()),
+            );
+        }
+        let mut stats = self.stats.lock();
+        stats.docs_processed += 1;
+        stats.annotations += produced;
+        stats.mentions += all_mentions.len() as u64;
+        stats.relationships += links.len() as u64 + produced; // annotates edges too
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotator::{EntityAnnotator, SentimentAnnotator};
+    use impliance_docmodel::{DocumentBuilder, SourceFormat};
+    use parking_lot::RwLock;
+    use std::collections::HashMap;
+
+    #[derive(Default)]
+    struct MemStore {
+        docs: RwLock<HashMap<DocId, Document>>,
+        annotations: RwLock<Vec<Document>>,
+        edges: RwLock<Vec<(DocId, DocId, String)>>,
+    }
+
+    impl DocSource for MemStore {
+        fn fetch(&self, id: DocId) -> Option<Document> {
+            self.docs.read().get(&id).cloned()
+        }
+    }
+
+    impl DiscoverySink for MemStore {
+        fn store_annotation(&self, annotation: Document) {
+            self.annotations.write().push(annotation);
+        }
+        fn add_relationship(&self, from: DocId, to: DocId, label: &str) {
+            self.edges.write().push((from, to, label.to_string()));
+        }
+    }
+
+    fn pipeline() -> DiscoveryPipeline {
+        DiscoveryPipeline::new(
+            vec![Box::new(EntityAnnotator), Box::new(SentimentAnnotator)],
+            Arc::new(AtomicU64::new(1_000_000)),
+            0.92,
+        )
+    }
+
+    fn doc(id: u64, text: &str) -> Document {
+        DocumentBuilder::new(DocId(id), SourceFormat::Text, "transcripts")
+            .field("body", text)
+            .build()
+    }
+
+    #[test]
+    fn drain_processes_queue_and_stores_annotations() {
+        let store = MemStore::default();
+        let d = doc(1, "Grace Hopper is very happy with product BX-1042, thanks!");
+        store.docs.write().insert(DocId(1), d);
+        let p = pipeline();
+        p.enqueue(DocId(1));
+        assert_eq!(p.pending(), 1);
+        let n = p.drain(&store, &store, None);
+        assert_eq!(n, 1);
+        assert_eq!(p.pending(), 0);
+        let anns = store.annotations.read();
+        // entity + sentiment annotations
+        assert_eq!(anns.len(), 2);
+        assert!(anns.iter().all(|a| a.subject() == Some(DocId(1))));
+        assert!(anns.iter().any(|a| a.collection() == "annotations.entities"));
+        assert!(anns.iter().any(|a| a.collection() == "annotations.sentiment"));
+        // every annotation has an "annotates" edge
+        let edges = store.edges.read();
+        assert_eq!(edges.iter().filter(|(_, _, l)| l == "annotates").count(), 2);
+    }
+
+    #[test]
+    fn cross_document_resolution_links_shared_entities() {
+        let store = MemStore::default();
+        store.docs.write().insert(DocId(1), doc(1, "Call from Grace Hopper about a refund"));
+        store.docs.write().insert(DocId(2), doc(2, "Grace Hopper bought product AX-99 again"));
+        let p = pipeline();
+        p.enqueue(DocId(1));
+        p.enqueue(DocId(2));
+        p.drain(&store, &store, None);
+        let edges = store.edges.read();
+        assert!(
+            edges.iter().any(|(a, b, l)| *a == DocId(1) && *b == DocId(2) && l == "same-person"),
+            "expected same-person edge, got {edges:?}"
+        );
+    }
+
+    #[test]
+    fn budget_limits_work_per_drain() {
+        let store = MemStore::default();
+        for i in 0..10 {
+            store.docs.write().insert(DocId(i), doc(i, "Ada is happy in Boston today"));
+        }
+        let p = pipeline();
+        for i in 0..10 {
+            p.enqueue(DocId(i));
+        }
+        assert_eq!(p.drain(&store, &store, Some(3)), 3);
+        assert_eq!(p.pending(), 7);
+        assert_eq!(p.stats().docs_processed, 3);
+    }
+
+    #[test]
+    fn missing_documents_are_skipped_gracefully() {
+        let store = MemStore::default();
+        let p = pipeline();
+        p.enqueue(DocId(404));
+        assert_eq!(p.drain(&store, &store, None), 1);
+        assert!(store.annotations.read().is_empty());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let store = MemStore::default();
+        store.docs.write().insert(DocId(1), doc(1, "Mr. Jones was extremely disappointed"));
+        let p = pipeline();
+        p.enqueue(DocId(1));
+        p.drain(&store, &store, None);
+        let s = p.stats();
+        assert_eq!(s.docs_processed, 1);
+        assert!(s.annotations >= 2, "{s:?}");
+        assert!(s.mentions >= 1);
+    }
+
+    #[test]
+    fn annotation_ids_come_from_allocator() {
+        let store = MemStore::default();
+        store.docs.write().insert(DocId(1), doc(1, "Ada is happy with service, thanks a lot"));
+        let alloc = Arc::new(AtomicU64::new(500));
+        let p = DiscoveryPipeline::new(vec![Box::new(EntityAnnotator)], alloc, 0.9);
+        p.enqueue(DocId(1));
+        p.drain(&store, &store, None);
+        assert_eq!(store.annotations.read()[0].id(), DocId(500));
+    }
+}

@@ -1,0 +1,578 @@
+//! Entity-mention scanners.
+//!
+//! Each scanner is a deterministic single-pass recognizer over raw text.
+//! Mentions carry the matched surface text, a normalized form (used for
+//! cross-document entity resolution), and the byte offset of the match.
+
+use std::fmt;
+
+/// The kinds of entities the built-in annotators recognize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EntityKind {
+    /// A person's name.
+    Person,
+    /// A company or organization.
+    Organization,
+    /// A geographic location.
+    Location,
+    /// A calendar date.
+    Date,
+    /// A monetary amount.
+    Money,
+    /// A phone number.
+    Phone,
+    /// An e-mail address.
+    Email,
+    /// A product/SKU code such as `BX-1042`.
+    ProductCode,
+}
+
+impl EntityKind {
+    /// Stable lowercase name used in annotation documents and facets.
+    pub fn name(self) -> &'static str {
+        match self {
+            EntityKind::Person => "person",
+            EntityKind::Organization => "organization",
+            EntityKind::Location => "location",
+            EntityKind::Date => "date",
+            EntityKind::Money => "money",
+            EntityKind::Phone => "phone",
+            EntityKind::Email => "email",
+            EntityKind::ProductCode => "product_code",
+        }
+    }
+}
+
+impl fmt::Display for EntityKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One recognized mention.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntityMention {
+    /// Entity kind.
+    pub kind: EntityKind,
+    /// Matched surface text.
+    pub text: String,
+    /// Normalized form (casefolded/canonicalized) for resolution.
+    pub normalized: String,
+    /// Byte offset of the match in the scanned text.
+    pub offset: usize,
+}
+
+/// First names recognized as person-name triggers. A production system
+/// would ship dictionaries; this seed list covers the synthetic corpora.
+pub const FIRST_NAMES: &[&str] = &[
+    "Ada", "Alan", "Alice", "Barbara", "Bob", "Carlos", "Carol", "Charles", "Claude", "David",
+    "Diana", "Edgar", "Elena", "Emma", "Frank", "Grace", "Hector", "Irene", "James", "Jane",
+    "John", "Karen", "Laura", "Linda", "Maria", "Mark", "Mary", "Michael", "Nancy", "Olivia",
+    "Patricia", "Paul", "Peter", "Rachel", "Robert", "Sarah", "Susan", "Thomas", "Victor",
+    "Wendy",
+];
+
+/// Honorific prefixes that force person recognition of the following
+/// capitalized words.
+pub const HONORIFICS: &[&str] = &["Mr.", "Mrs.", "Ms.", "Dr.", "Prof."];
+
+/// Location gazetteer (cities/states used by the synthetic corpora).
+pub const LOCATIONS: &[&str] = &[
+    "Atlanta", "Austin", "Boston", "California", "Chicago", "Dallas", "Denver", "Houston",
+    "Miami", "Nevada", "Oregon", "Phoenix", "Portland", "Seattle", "Texas", "Tucson",
+];
+
+/// Organization suffixes: a capitalized word followed by one of these is
+/// an organization mention.
+pub const ORG_SUFFIXES: &[&str] = &["Inc", "Inc.", "Corp", "Corp.", "LLC", "Ltd", "Ltd.", "Co."];
+
+const MONTHS: &[&str] = &[
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+    "January", "February", "March", "April", "June", "July", "August", "September", "October",
+    "November", "December",
+];
+
+/// Run all scanners over `text`, returning mentions sorted by offset.
+pub fn scan_entities(text: &str) -> Vec<EntityMention> {
+    let mut out = Vec::new();
+    scan_emails(text, &mut out);
+    scan_money(text, &mut out);
+    scan_dates(text, &mut out);
+    scan_phones(text, &mut out);
+    scan_product_codes(text, &mut out);
+    scan_capitalized_entities(text, &mut out);
+    out.sort_by_key(|m| (m.offset, m.kind));
+    out
+}
+
+/// Word with byte offset.
+struct Word<'a> {
+    text: &'a str,
+    offset: usize,
+}
+
+fn words(text: &str) -> Vec<Word<'_>> {
+    let mut out = Vec::new();
+    let mut start = None;
+    for (i, c) in text.char_indices() {
+        if c.is_whitespace() {
+            if let Some(s) = start.take() {
+                out.push(Word { text: &text[s..i], offset: s });
+            }
+        } else if start.is_none() {
+            start = Some(i);
+        }
+    }
+    if let Some(s) = start {
+        out.push(Word { text: &text[s..], offset: s });
+    }
+    out
+}
+
+fn trim_punct(s: &str) -> &str {
+    s.trim_matches(|c: char| matches!(c, ',' | ';' | ':' | '!' | '?' | ')' | '(' | '"' | '\''))
+}
+
+fn is_capitalized(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_uppercase() => chars.all(|c| c.is_alphabetic() || c == '-' || c == '\''),
+        _ => false,
+    }
+}
+
+fn scan_emails(text: &str, out: &mut Vec<EntityMention>) {
+    for w in words(text) {
+        let t = trim_punct(w.text).trim_end_matches('.');
+        if let Some(at) = t.find('@') {
+            let (local, domain) = t.split_at(at);
+            let domain = &domain[1..];
+            let local_ok = !local.is_empty()
+                && local.chars().all(|c| c.is_alphanumeric() || matches!(c, '.' | '_' | '-' | '+'));
+            let domain_ok = domain.contains('.')
+                && domain
+                    .chars()
+                    .all(|c| c.is_alphanumeric() || matches!(c, '.' | '-'))
+                && !domain.starts_with('.')
+                && !domain.ends_with('.');
+            if local_ok && domain_ok {
+                out.push(EntityMention {
+                    kind: EntityKind::Email,
+                    text: t.to_string(),
+                    normalized: t.to_ascii_lowercase(),
+                    offset: w.offset + (w.text.len() - w.text.trim_start_matches(['(', '"']).len()),
+                });
+            }
+        }
+    }
+}
+
+fn scan_money(text: &str, out: &mut Vec<EntityMention>) {
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'$' {
+            let start = i;
+            let mut j = i + 1;
+            let mut digits = String::new();
+            while j < bytes.len()
+                && (bytes[j].is_ascii_digit() || bytes[j] == b',' || bytes[j] == b'.')
+            {
+                if bytes[j] != b',' {
+                    digits.push(bytes[j] as char);
+                }
+                j += 1;
+            }
+            let digits = digits.trim_end_matches('.');
+            if !digits.is_empty() && digits.chars().next().unwrap().is_ascii_digit() {
+                let amount: f64 = digits.parse().unwrap_or(0.0);
+                out.push(EntityMention {
+                    kind: EntityKind::Money,
+                    text: text[start..start + (j - start)].trim_end_matches('.').to_string(),
+                    normalized: format!("{amount:.2}"),
+                    offset: start,
+                });
+                i = j;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    // "<number> dollars" form
+    let ws = words(text);
+    for pair in ws.windows(2) {
+        let num = trim_punct(pair[0].text).replace(',', "");
+        let unit = trim_punct(pair[1].text).trim_end_matches('.');
+        if (unit.eq_ignore_ascii_case("dollars") || unit.eq_ignore_ascii_case("usd"))
+            && num.chars().all(|c| c.is_ascii_digit() || c == '.')
+            && num.chars().any(|c| c.is_ascii_digit())
+        {
+            let amount: f64 = num.parse().unwrap_or(0.0);
+            out.push(EntityMention {
+                kind: EntityKind::Money,
+                text: format!("{} {}", pair[0].text, unit),
+                normalized: format!("{amount:.2}"),
+                offset: pair[0].offset,
+            });
+        }
+    }
+}
+
+fn scan_dates(text: &str, out: &mut Vec<EntityMention>) {
+    let ws = words(text);
+    // ISO yyyy-mm-dd and mm/dd/yyyy single-word forms
+    for w in &ws {
+        let t = trim_punct(w.text).trim_end_matches('.');
+        if let Some((y, m, d)) = parse_iso_date(t) {
+            out.push(date_mention(t, w.offset, y, m, d));
+        } else if let Some((y, m, d)) = parse_slash_date(t) {
+            out.push(date_mention(t, w.offset, y, m, d));
+        }
+    }
+    // "Mon D, YYYY" three-word form
+    for triple in ws.windows(3) {
+        let mon = trim_punct(triple[0].text).trim_end_matches('.');
+        if let Some(m) = month_number(mon) {
+            let day_txt = trim_punct(triple[1].text);
+            let day_txt = day_txt.trim_end_matches(',');
+            let year_txt = trim_punct(triple[2].text).trim_end_matches('.');
+            if let (Ok(d), Ok(y)) = (day_txt.parse::<u32>(), year_txt.parse::<i32>()) {
+                if (1..=31).contains(&d) && (1000..=3000).contains(&y) {
+                    let text_span =
+                        format!("{} {} {}", triple[0].text, triple[1].text, year_txt);
+                    out.push(date_mention(&text_span, triple[0].offset, y, m, d));
+                }
+            }
+        }
+    }
+}
+
+fn date_mention(text: &str, offset: usize, y: i32, m: u32, d: u32) -> EntityMention {
+    EntityMention {
+        kind: EntityKind::Date,
+        text: text.to_string(),
+        normalized: format!("{y:04}-{m:02}-{d:02}"),
+        offset,
+    }
+}
+
+fn parse_iso_date(t: &str) -> Option<(i32, u32, u32)> {
+    let parts: Vec<&str> = t.split('-').collect();
+    if parts.len() != 3 || parts[0].len() != 4 {
+        return None;
+    }
+    let y = parts[0].parse::<i32>().ok()?;
+    let m = parts[1].parse::<u32>().ok()?;
+    let d = parts[2].parse::<u32>().ok()?;
+    ((1..=12).contains(&m) && (1..=31).contains(&d)).then_some((y, m, d))
+}
+
+fn parse_slash_date(t: &str) -> Option<(i32, u32, u32)> {
+    let parts: Vec<&str> = t.split('/').collect();
+    if parts.len() != 3 {
+        return None;
+    }
+    let m = parts[0].parse::<u32>().ok()?;
+    let d = parts[1].parse::<u32>().ok()?;
+    let y = parts[2].parse::<i32>().ok()?;
+    ((1..=12).contains(&m) && (1..=31).contains(&d) && (1000..=3000).contains(&y))
+        .then_some((y, m, d))
+}
+
+fn month_number(name: &str) -> Option<u32> {
+    MONTHS.iter().position(|m| m.eq_ignore_ascii_case(name)).map(|i| {
+        if i < 12 {
+            (i + 1) as u32
+        } else {
+            // full names start at index 12: Jan..Dec then January..December
+            // (May appears once in the short list and is reused.)
+            match i {
+                12 => 1,
+                13 => 2,
+                14 => 3,
+                15 => 4,
+                16 => 6,
+                17 => 7,
+                18 => 8,
+                19 => 9,
+                20 => 10,
+                21 => 11,
+                22 => 12,
+                _ => 1,
+            }
+        }
+    })
+}
+
+fn scan_phones(text: &str, out: &mut Vec<EntityMention>) {
+    // forms: 555-123-4567, (555) 123-4567
+    let bytes = text.as_bytes();
+    let digit_at = |i: usize| i < bytes.len() && bytes[i].is_ascii_digit();
+    let mut i = 0;
+    while i < bytes.len() {
+        // (xxx) xxx-xxxx
+        if bytes[i] == b'(' && digit_at(i + 1) && digit_at(i + 2) && digit_at(i + 3)
+            && i + 13 < bytes.len()
+                && bytes[i + 4] == b')'
+                && bytes[i + 5] == b' '
+                && (i + 6..i + 9).all(digit_at)
+                && bytes[i + 9] == b'-'
+                && (i + 10..i + 14).all(digit_at)
+            {
+                let span = &text[i..i + 14];
+                out.push(EntityMention {
+                    kind: EntityKind::Phone,
+                    text: span.to_string(),
+                    normalized: span.chars().filter(|c| c.is_ascii_digit()).collect(),
+                    offset: i,
+                });
+                i += 14;
+                continue;
+            }
+        // xxx-xxx-xxxx
+        if digit_at(i)
+            && (i..i + 3).all(digit_at)
+            && i + 11 < bytes.len()
+            && bytes[i + 3] == b'-'
+            && (i + 4..i + 7).all(digit_at)
+            && bytes[i + 7] == b'-'
+            && (i + 8..i + 12).all(digit_at)
+            && (i == 0 || !bytes[i - 1].is_ascii_digit())
+            && !digit_at(i + 12)
+        {
+            let span = &text[i..i + 12];
+            out.push(EntityMention {
+                kind: EntityKind::Phone,
+                text: span.to_string(),
+                normalized: span.chars().filter(|c| c.is_ascii_digit()).collect(),
+                offset: i,
+            });
+            i += 12;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+fn scan_product_codes(text: &str, out: &mut Vec<EntityMention>) {
+    for w in words(text) {
+        let t = trim_punct(w.text).trim_end_matches('.');
+        if let Some(dash) = t.find('-') {
+            let (alpha, num) = t.split_at(dash);
+            let num = &num[1..];
+            if alpha.len() >= 2
+                && alpha.chars().all(|c| c.is_ascii_uppercase())
+                && !num.is_empty()
+                && num.chars().all(|c| c.is_ascii_digit())
+            {
+                out.push(EntityMention {
+                    kind: EntityKind::ProductCode,
+                    text: t.to_string(),
+                    normalized: t.to_string(),
+                    offset: w.offset,
+                });
+            }
+        }
+    }
+}
+
+/// Persons, organizations, and locations share one capitalized-word pass.
+fn scan_capitalized_entities(text: &str, out: &mut Vec<EntityMention>) {
+    let ws = words(text);
+    let mut i = 0;
+    while i < ws.len() {
+        let raw = ws[i].text;
+        let t = trim_punct(raw);
+        let t_clean = t.trim_end_matches('.');
+
+        // Honorific → following 1-2 capitalized words are a person.
+        if HONORIFICS.contains(&t) || HONORIFICS.contains(&t_clean) {
+            let mut name_parts = Vec::new();
+            let mut j = i + 1;
+            while j < ws.len() && name_parts.len() < 2 {
+                let w = trim_punct(ws[j].text).trim_end_matches('.');
+                if is_capitalized(w) {
+                    name_parts.push(w.to_string());
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            if !name_parts.is_empty() {
+                let full = name_parts.join(" ");
+                out.push(EntityMention {
+                    kind: EntityKind::Person,
+                    text: full.clone(),
+                    normalized: full.to_ascii_lowercase(),
+                    offset: ws[i + 1].offset,
+                });
+                i = j;
+                continue;
+            }
+        }
+
+        // Organization: Capitalized (Capitalized)* + suffix
+        if is_capitalized(t_clean) {
+            let mut j = i;
+            let mut parts = vec![t_clean.to_string()];
+            while j + 1 < ws.len() {
+                let next = trim_punct(ws[j + 1].text);
+                let next_clean = next.trim_end_matches(',');
+                if ORG_SUFFIXES.contains(&next_clean) {
+                    let full = format!("{} {}", parts.join(" "), next_clean);
+                    out.push(EntityMention {
+                        kind: EntityKind::Organization,
+                        text: full.clone(),
+                        normalized: parts.join(" ").to_ascii_lowercase(),
+                        offset: ws[i].offset,
+                    });
+                    i = j + 2;
+                    break;
+                } else if is_capitalized(next_clean) && parts.len() < 3 {
+                    parts.push(next_clean.to_string());
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            if i == j + 2 {
+                continue; // organization consumed
+            }
+        }
+
+        // Location gazetteer.
+        if LOCATIONS.contains(&t_clean) {
+            out.push(EntityMention {
+                kind: EntityKind::Location,
+                text: t_clean.to_string(),
+                normalized: t_clean.to_ascii_lowercase(),
+                offset: ws[i].offset,
+            });
+            i += 1;
+            continue;
+        }
+
+        // First-name lexicon → person (optionally with following surname).
+        if FIRST_NAMES.contains(&t_clean) {
+            let start_offset = ws[i].offset;
+            let mut full = t_clean.to_string();
+            if i + 1 < ws.len() {
+                let next = trim_punct(ws[i + 1].text).trim_end_matches('.');
+                if is_capitalized(next)
+                    && !LOCATIONS.contains(&next)
+                    && !ORG_SUFFIXES.contains(&next)
+                    && !MONTHS.contains(&next)
+                {
+                    full.push(' ');
+                    full.push_str(next);
+                    i += 1;
+                }
+            }
+            out.push(EntityMention {
+                kind: EntityKind::Person,
+                text: full.clone(),
+                normalized: full.to_ascii_lowercase(),
+                offset: start_offset,
+            });
+            i += 1;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds_of(text: &str) -> Vec<(EntityKind, String)> {
+        scan_entities(text).into_iter().map(|m| (m.kind, m.normalized)).collect()
+    }
+
+    #[test]
+    fn emails() {
+        let ms = kinds_of("Contact Ada.Lovelace+claims@Example.COM today");
+        assert!(ms.contains(&(EntityKind::Email, "ada.lovelace+claims@example.com".into())));
+        assert!(kinds_of("no at-sign here").iter().all(|(k, _)| *k != EntityKind::Email));
+        assert!(kinds_of("bad@nodot").iter().all(|(k, _)| *k != EntityKind::Email));
+    }
+
+    #[test]
+    fn money_dollar_sign() {
+        let ms = kinds_of("The estimate was $1,234.56 total.");
+        assert!(ms.contains(&(EntityKind::Money, "1234.56".into())));
+        let ms2 = kinds_of("paid $500 upfront");
+        assert!(ms2.contains(&(EntityKind::Money, "500.00".into())));
+    }
+
+    #[test]
+    fn money_words() {
+        let ms = kinds_of("about 1500 dollars was paid");
+        assert!(ms.contains(&(EntityKind::Money, "1500.00".into())));
+    }
+
+    #[test]
+    fn dates_iso_slash_and_textual() {
+        assert!(kinds_of("filed on 2006-11-03.").contains(&(EntityKind::Date, "2006-11-03".into())));
+        assert!(kinds_of("on 11/03/2006 it rained").contains(&(EntityKind::Date, "2006-11-03".into())));
+        assert!(kinds_of("signed Jan 5, 2007 by both").contains(&(EntityKind::Date, "2007-01-05".into())));
+        assert!(kinds_of("signed January 5, 2007").contains(&(EntityKind::Date, "2007-01-05".into())));
+    }
+
+    #[test]
+    fn invalid_dates_rejected() {
+        assert!(kinds_of("13/45/2006").iter().all(|(k, _)| *k != EntityKind::Date));
+        assert!(kinds_of("2006-13-01").iter().all(|(k, _)| *k != EntityKind::Date));
+    }
+
+    #[test]
+    fn phones() {
+        assert!(kinds_of("call 555-123-4567 now").contains(&(EntityKind::Phone, "5551234567".into())));
+        assert!(kinds_of("call (555) 123-4567 now").contains(&(EntityKind::Phone, "5551234567".into())));
+        // date-like or long digit runs must not match
+        assert!(kinds_of("id 5551234567890").iter().all(|(k, _)| *k != EntityKind::Phone));
+    }
+
+    #[test]
+    fn product_codes() {
+        assert!(kinds_of("replaced part BX-1042 and AX-7.").contains(&(EntityKind::ProductCode, "BX-1042".into())));
+        assert!(kinds_of("code X-1 too short").iter().all(|(k, _)| *k != EntityKind::ProductCode));
+        assert!(kinds_of("lower bx-1042").iter().all(|(k, _)| *k != EntityKind::ProductCode));
+    }
+
+    #[test]
+    fn persons_by_lexicon_and_honorific() {
+        let ms = kinds_of("Grace Hopper met Dr. Curie yesterday");
+        assert!(ms.contains(&(EntityKind::Person, "grace hopper".into())));
+        assert!(ms.contains(&(EntityKind::Person, "curie".into())));
+    }
+
+    #[test]
+    fn organizations_by_suffix() {
+        let ms = kinds_of("Acme Widgets Inc. filed a claim against Globex Corp yesterday");
+        assert!(ms.contains(&(EntityKind::Organization, "acme widgets".into())));
+        assert!(ms.contains(&(EntityKind::Organization, "globex".into())));
+    }
+
+    #[test]
+    fn locations_by_gazetteer() {
+        let ms = kinds_of("shipped from Seattle to Austin");
+        assert!(ms.contains(&(EntityKind::Location, "seattle".into())));
+        assert!(ms.contains(&(EntityKind::Location, "austin".into())));
+    }
+
+    #[test]
+    fn mentions_are_sorted_by_offset() {
+        let ms = scan_entities("Ada paid $50 in Boston on 2006-01-02");
+        let offsets: Vec<usize> = ms.iter().map(|m| m.offset).collect();
+        let mut sorted = offsets.clone();
+        sorted.sort_unstable();
+        assert_eq!(offsets, sorted);
+    }
+
+    #[test]
+    fn empty_text_yields_nothing() {
+        assert!(scan_entities("").is_empty());
+        assert!(scan_entities("just lowercase words here").is_empty());
+    }
+}

@@ -1,0 +1,258 @@
+//! Schema mapping and consolidation.
+//!
+//! §3.2: "using schema mapping technologies, structures from different
+//! sources can be consolidated. Thus, customer purchase orders can all be
+//! searched together, whether they are ingested into Impliance via e-mail,
+//! a spreadsheet, a Microsoft Word document, a relational row, or other
+//! formats."
+//!
+//! The mapper normalizes field names (case, separators, common prefixes),
+//! applies a synonym table, and groups structural paths from different
+//! collections under canonical attribute names. Queries against a
+//! canonical attribute fan out to every mapped source path.
+
+use std::collections::BTreeMap;
+
+/// One consolidated attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnifiedAttribute {
+    /// Canonical attribute name (normalized).
+    pub canonical: String,
+    /// Source `(collection, structural_path)` pairs mapped onto it.
+    pub sources: Vec<(String, String)>,
+}
+
+/// A consolidated schema across collections.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UnifiedSchema {
+    /// Attributes keyed by canonical name.
+    pub attributes: BTreeMap<String, UnifiedAttribute>,
+}
+
+impl UnifiedSchema {
+    /// The source paths feeding a canonical attribute, or empty.
+    pub fn sources_of(&self, canonical: &str) -> &[(String, String)] {
+        self.attributes.get(canonical).map(|a| a.sources.as_slice()).unwrap_or(&[])
+    }
+
+    /// Resolve a canonical attribute to source paths for one collection.
+    pub fn paths_in_collection(&self, canonical: &str, collection: &str) -> Vec<String> {
+        self.sources_of(canonical)
+            .iter()
+            .filter(|(c, _)| c == collection)
+            .map(|(_, p)| p.clone())
+            .collect()
+    }
+}
+
+/// The schema mapper: synonym groups plus name normalization.
+#[derive(Debug, Clone)]
+pub struct SchemaMapper {
+    /// Groups of mutually synonymous normalized names; the first entry of
+    /// each group is its canonical name.
+    synonym_groups: Vec<Vec<String>>,
+}
+
+impl Default for SchemaMapper {
+    fn default() -> Self {
+        SchemaMapper::with_default_synonyms()
+    }
+}
+
+impl SchemaMapper {
+    /// A mapper with no synonyms (normalization only).
+    pub fn new() -> SchemaMapper {
+        SchemaMapper { synonym_groups: Vec::new() }
+    }
+
+    /// A mapper seeded with synonym groups common in business data.
+    pub fn with_default_synonyms() -> SchemaMapper {
+        let groups: &[&[&str]] = &[
+            &["customer", "cust", "client", "buyer"],
+            &["name", "fullname", "contact"],
+            &["amount", "total", "price", "cost", "value"],
+            &["date", "day", "when", "timestamp"],
+            &["phone", "telephone", "tel"],
+            &["email", "mail", "emailaddress"],
+            &["address", "addr", "street"],
+            &["quantity", "qty", "count"],
+            &["product", "item", "sku", "part"],
+            &["order", "purchaseorder", "po"],
+        ];
+        SchemaMapper {
+            synonym_groups: groups
+                .iter()
+                .map(|g| g.iter().map(|s| s.to_string()).collect())
+                .collect(),
+        }
+    }
+
+    /// Add a synonym group; the first entry becomes its canonical name.
+    pub fn add_synonyms(&mut self, group: &[&str]) {
+        self.synonym_groups.push(group.iter().map(|s| normalize_name(s)).collect());
+    }
+
+    /// Normalize then canonicalize one field name.
+    pub fn canonical_name(&self, field: &str) -> String {
+        let norm = normalize_name(field);
+        // exact synonym membership
+        for group in &self.synonym_groups {
+            if group.contains(&norm) {
+                return group[0].clone();
+            }
+        }
+        // compound names: "customer_name" → canonical head + tail, e.g.
+        // "custname" handled by the split heuristic below.
+        for group in &self.synonym_groups {
+            for syn in group {
+                if let Some(rest) = norm.strip_prefix(syn.as_str()) {
+                    if !rest.is_empty() {
+                        let tail = self.canonical_name(rest);
+                        return format!("{}_{}", group[0], tail);
+                    }
+                }
+            }
+        }
+        norm
+    }
+
+    /// Consolidate the schemas of several collections. Input: for each
+    /// collection, its structural paths. Output: canonical attributes with
+    /// their source mappings. Only the leaf field name takes part in
+    /// canonicalization; the full path is preserved as the source.
+    pub fn consolidate(&self, schemas: &[(String, Vec<String>)]) -> UnifiedSchema {
+        let mut out = UnifiedSchema::default();
+        for (collection, paths) in schemas {
+            for path in paths {
+                let leaf = path.rsplit('.').next().unwrap_or(path).trim_end_matches("[]");
+                let canonical = self.canonical_name(leaf);
+                let attr = out
+                    .attributes
+                    .entry(canonical.clone())
+                    .or_insert_with(|| UnifiedAttribute { canonical, sources: Vec::new() });
+                attr.sources.push((collection.clone(), path.clone()));
+            }
+        }
+        out
+    }
+
+    /// Similarity of two path sets (Jaccard over canonical leaf names) —
+    /// used to decide whether two collections describe the same kind of
+    /// thing before merging them into one virtual table.
+    pub fn schema_similarity(&self, a: &[String], b: &[String]) -> f64 {
+        use std::collections::HashSet;
+        let canon = |paths: &[String]| -> HashSet<String> {
+            paths
+                .iter()
+                .map(|p| {
+                    self.canonical_name(
+                        p.rsplit('.').next().unwrap_or(p).trim_end_matches("[]"),
+                    )
+                })
+                .collect()
+        };
+        let sa = canon(a);
+        let sb = canon(b);
+        if sa.is_empty() && sb.is_empty() {
+            return 1.0;
+        }
+        let inter = sa.intersection(&sb).count() as f64;
+        let union = sa.union(&sb).count() as f64;
+        inter / union
+    }
+}
+
+/// Lowercase, strip separators, drop trailing digits ("address2" →
+/// "address").
+pub fn normalize_name(field: &str) -> String {
+    let mut s: String = field
+        .chars()
+        .filter(|c| c.is_alphanumeric())
+        .flat_map(|c| c.to_lowercase())
+        .collect();
+    while s.ends_with(|c: char| c.is_ascii_digit()) && s.len() > 1 {
+        s.pop();
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(normalize_name("Customer_Name"), "customername");
+        assert_eq!(normalize_name("address2"), "address");
+        assert_eq!(normalize_name("QTY"), "qty");
+        assert_eq!(normalize_name("e-mail"), "email");
+    }
+
+    #[test]
+    fn synonyms_canonicalize() {
+        let m = SchemaMapper::with_default_synonyms();
+        assert_eq!(m.canonical_name("cust"), "customer");
+        assert_eq!(m.canonical_name("qty"), "quantity");
+        assert_eq!(m.canonical_name("total"), "amount");
+        assert_eq!(m.canonical_name("unknown_field"), "unknownfield");
+    }
+
+    #[test]
+    fn compound_names_split() {
+        let m = SchemaMapper::with_default_synonyms();
+        assert_eq!(m.canonical_name("cust_name"), "customer_name");
+        assert_eq!(m.canonical_name("customer_email"), "customer_email");
+        assert_eq!(m.canonical_name("item_qty"), "product_quantity");
+    }
+
+    #[test]
+    fn consolidation_groups_sources() {
+        let m = SchemaMapper::with_default_synonyms();
+        let schemas = vec![
+            ("orders_db".to_string(), vec!["cust".to_string(), "total".to_string()]),
+            ("orders_csv".to_string(), vec!["customer".to_string(), "price".to_string()]),
+            (
+                "orders_email".to_string(),
+                vec!["headers.from".to_string(), "body".to_string(), "buyer".to_string()],
+            ),
+        ];
+        let unified = m.consolidate(&schemas);
+        let customer = unified.sources_of("customer");
+        assert_eq!(customer.len(), 3);
+        let amount = unified.sources_of("amount");
+        assert_eq!(amount.len(), 2);
+        assert_eq!(
+            unified.paths_in_collection("amount", "orders_csv"),
+            vec!["price".to_string()]
+        );
+    }
+
+    #[test]
+    fn consolidation_uses_leaf_names() {
+        let m = SchemaMapper::with_default_synonyms();
+        let schemas =
+            vec![("c".to_string(), vec!["order.items[].qty".to_string()])];
+        let unified = m.consolidate(&schemas);
+        assert_eq!(unified.sources_of("quantity").len(), 1);
+    }
+
+    #[test]
+    fn schema_similarity_jaccard() {
+        let m = SchemaMapper::with_default_synonyms();
+        let a = vec!["cust".to_string(), "total".to_string(), "date".to_string()];
+        let b = vec!["customer".to_string(), "price".to_string(), "when".to_string()];
+        // all three canonicalize identically → similarity 1.0
+        assert_eq!(m.schema_similarity(&a, &b), 1.0);
+        let c = vec!["entirely".to_string(), "different".to_string()];
+        assert_eq!(m.schema_similarity(&a, &c), 0.0);
+        assert_eq!(m.schema_similarity(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn custom_synonym_groups() {
+        let mut m = SchemaMapper::new();
+        m.add_synonyms(&["vehicle", "car", "auto"]);
+        assert_eq!(m.canonical_name("auto"), "vehicle");
+        assert_eq!(m.canonical_name("car"), "vehicle");
+    }
+}

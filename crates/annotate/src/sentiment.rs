@@ -1,0 +1,155 @@
+//! Lexicon-based sentiment detection.
+//!
+//! §3.3 lists "sentiment detection within a single document" as an
+//! intra-document analysis run on data nodes. The detector scores text by
+//! counting polarity words, flipping polarity under a preceding negator
+//! ("not happy"), and weighting intensifiers ("very disappointed").
+
+/// Positive polarity words.
+pub const POSITIVE: &[&str] = &[
+    "amazing", "excellent", "fantastic", "glad", "good", "great", "happy", "helpful", "love",
+    "loved", "perfect", "pleased", "recommend", "reliable", "satisfied", "thanks", "wonderful",
+];
+
+/// Negative polarity words.
+pub const NEGATIVE: &[&str] = &[
+    "angry", "awful", "bad", "broken", "complaint", "defective", "disappointed", "frustrated",
+    "hate", "horrible", "late", "poor", "problem", "refund", "terrible", "unhappy", "upset",
+    "worst",
+];
+
+/// Negators that flip the following polarity word.
+pub const NEGATORS: &[&str] = &["never", "no", "not", "wasn't", "isn't", "don't", "didn't"];
+
+/// Intensifiers that double the following polarity word's weight.
+pub const INTENSIFIERS: &[&str] = &["very", "extremely", "really", "so", "totally"];
+
+/// Discrete sentiment label derived from a score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SentimentLabel {
+    /// Score > 0.
+    Positive,
+    /// Score < 0.
+    Negative,
+    /// Score == 0 (or no polarity words at all).
+    Neutral,
+}
+
+impl SentimentLabel {
+    /// Stable lowercase name, used in annotation documents and facets.
+    pub fn name(self) -> &'static str {
+        match self {
+            SentimentLabel::Positive => "positive",
+            SentimentLabel::Negative => "negative",
+            SentimentLabel::Neutral => "neutral",
+        }
+    }
+
+    /// Classify a numeric score.
+    pub fn from_score(score: i32) -> SentimentLabel {
+        match score.cmp(&0) {
+            std::cmp::Ordering::Greater => SentimentLabel::Positive,
+            std::cmp::Ordering::Less => SentimentLabel::Negative,
+            std::cmp::Ordering::Equal => SentimentLabel::Neutral,
+        }
+    }
+}
+
+/// Score a text: positive words +1, negative −1, negation flips, and
+/// intensifiers double. Returns `(score, polarity_word_count)`.
+pub fn sentiment_score(text: &str) -> (i32, u32) {
+    let lowered = text.to_lowercase();
+    let tokens: Vec<&str> = lowered
+        .split(|c: char| !(c.is_alphanumeric() || c == '\''))
+        .filter(|t| !t.is_empty())
+        .collect();
+    let mut score = 0i32;
+    let mut hits = 0u32;
+    for (i, tok) in tokens.iter().enumerate() {
+        let base = if POSITIVE.binary_search(tok).is_ok() {
+            1
+        } else if NEGATIVE.binary_search(tok).is_ok() {
+            -1
+        } else {
+            continue;
+        };
+        hits += 1;
+        let mut weight = 1;
+        let mut polarity = base;
+        // look back up to two tokens for negators/intensifiers
+        for back in 1..=2 {
+            if i >= back {
+                let prev = tokens[i - back];
+                if NEGATORS.contains(&prev) {
+                    polarity = -polarity;
+                } else if INTENSIFIERS.contains(&prev) {
+                    weight = 2;
+                }
+            }
+        }
+        score += polarity * weight;
+    }
+    (score, hits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexicons_sorted_for_binary_search() {
+        let mut p = POSITIVE.to_vec();
+        p.sort_unstable();
+        assert_eq!(p, POSITIVE);
+        let mut n = NEGATIVE.to_vec();
+        n.sort_unstable();
+        assert_eq!(n, NEGATIVE);
+    }
+
+    #[test]
+    fn positive_and_negative_scores() {
+        assert!(sentiment_score("the product is great and I am happy").0 > 0);
+        assert!(sentiment_score("terrible service, totally broken").0 < 0);
+        assert_eq!(sentiment_score("the sky is blue").0, 0);
+    }
+
+    #[test]
+    fn negation_flips() {
+        let (pos, _) = sentiment_score("I am happy");
+        let (neg, _) = sentiment_score("I am not happy");
+        assert!(pos > 0);
+        assert!(neg < 0);
+    }
+
+    #[test]
+    fn negation_two_tokens_back() {
+        let (s, _) = sentiment_score("not very happy");
+        assert!(s < 0, "got {s}");
+    }
+
+    #[test]
+    fn intensifier_doubles() {
+        let (plain, _) = sentiment_score("disappointed");
+        let (strong, _) = sentiment_score("very disappointed");
+        assert_eq!(strong, plain * 2);
+    }
+
+    #[test]
+    fn hits_counted() {
+        let (_, hits) = sentiment_score("great product, poor packaging");
+        assert_eq!(hits, 2);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(SentimentLabel::from_score(3), SentimentLabel::Positive);
+        assert_eq!(SentimentLabel::from_score(-1), SentimentLabel::Negative);
+        assert_eq!(SentimentLabel::from_score(0), SentimentLabel::Neutral);
+        assert_eq!(SentimentLabel::Positive.name(), "positive");
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert!(sentiment_score("GREAT! LOVED it").0 > 0);
+    }
+}

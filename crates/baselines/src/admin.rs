@@ -1,0 +1,57 @@
+//! The admin-operation ledger: the TCO proxy.
+//!
+//! §1: "Total cost of ownership (TCO) is increasingly dominated by labor
+//! costs." Labor is hard to measure in a library, but the *demand* for it
+//! is not: every operation a system cannot perform without a human
+//! decision — designing a schema, choosing an index, setting a knob,
+//! registering a metadata template — is recorded here. Experiment F4
+//! reports each system's ledger for the same workload.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// Counts (and remembers) human administrative operations.
+#[derive(Debug, Default)]
+pub struct AdminLedger {
+    count: AtomicU64,
+    entries: Mutex<Vec<String>>,
+}
+
+impl AdminLedger {
+    /// An empty ledger.
+    pub fn new() -> AdminLedger {
+        AdminLedger::default()
+    }
+
+    /// Record one human operation with a description.
+    pub fn record(&self, what: impl Into<String>) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.entries.lock().push(what.into());
+    }
+
+    /// Total operations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The operations, in order.
+    pub fn entries(&self) -> Vec<String> {
+        self.entries.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_counts() {
+        let l = AdminLedger::new();
+        assert_eq!(l.count(), 0);
+        l.record("CREATE TABLE claims");
+        l.record("CREATE INDEX idx_amount");
+        assert_eq!(l.count(), 2);
+        assert_eq!(l.entries()[1], "CREATE INDEX idx_amount");
+    }
+}

@@ -1,0 +1,131 @@
+//! The query-power axis of Figure 4, made concrete.
+//!
+//! Twelve task classes spanning the paper's four functionality areas
+//! (semantics, search/query, composition, aggregation; §2.2). A system's
+//! "modeling and querying power" score in experiment F4 is the fraction
+//! of these it can perform.
+
+/// A task class a system may or may not support.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Capability {
+    /// Ingest data without declaring a schema first.
+    SchemaFreeIngest,
+    /// Exact-match lookup on a field.
+    ExactLookup,
+    /// Range predicate on a field.
+    RangeQuery,
+    /// Keyword search over *content* (not just metadata).
+    KeywordSearch,
+    /// Structured equi-join between two data sets.
+    StructuredJoin,
+    /// Grouped aggregation (SUM/COUNT/AVG).
+    Aggregation,
+    /// Faceted navigation with counts.
+    FacetedNavigation,
+    /// Join content-derived facts with structured records (§2.1.2).
+    ContentDataJoin,
+    /// "How are these two items connected?" (§3.2.1).
+    GraphConnection,
+    /// Read an item as of an earlier version (§4).
+    TimeTravel,
+    /// Automatically derived annotations (entities, sentiment; §3.2).
+    AutomaticAnnotation,
+    /// Add differently-shaped data to an existing collection without
+    /// migration (schema evolution/chaos).
+    SchemaEvolution,
+}
+
+/// All capabilities, in reporting order.
+pub const ALL_CAPABILITIES: &[Capability] = &[
+    Capability::SchemaFreeIngest,
+    Capability::ExactLookup,
+    Capability::RangeQuery,
+    Capability::KeywordSearch,
+    Capability::StructuredJoin,
+    Capability::Aggregation,
+    Capability::FacetedNavigation,
+    Capability::ContentDataJoin,
+    Capability::GraphConnection,
+    Capability::TimeTravel,
+    Capability::AutomaticAnnotation,
+    Capability::SchemaEvolution,
+];
+
+impl Capability {
+    /// Stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Capability::SchemaFreeIngest => "schema-free ingest",
+            Capability::ExactLookup => "exact lookup",
+            Capability::RangeQuery => "range query",
+            Capability::KeywordSearch => "keyword search",
+            Capability::StructuredJoin => "structured join",
+            Capability::Aggregation => "aggregation",
+            Capability::FacetedNavigation => "faceted navigation",
+            Capability::ContentDataJoin => "content+data join",
+            Capability::GraphConnection => "graph connection",
+            Capability::TimeTravel => "time travel",
+            Capability::AutomaticAnnotation => "automatic annotation",
+            Capability::SchemaEvolution => "schema evolution",
+        }
+    }
+}
+
+/// The comparison interface every system in experiment F4 implements.
+pub trait InfoSystem {
+    /// Display name.
+    fn system_name(&self) -> &'static str;
+    /// Human admin operations demanded so far (TCO proxy).
+    fn admin_ops(&self) -> u64;
+    /// Whether the system class can perform a task at all.
+    fn supports(&self, capability: Capability) -> bool;
+    /// Whether the system class scales out across nodes.
+    fn scales_out(&self) -> bool {
+        false
+    }
+    /// Query-power score: supported fraction of all capabilities.
+    fn power_score(&self) -> f64 {
+        let supported = ALL_CAPABILITIES.iter().filter(|c| self.supports(**c)).count();
+        supported as f64 / ALL_CAPABILITIES.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Half;
+    impl InfoSystem for Half {
+        fn system_name(&self) -> &'static str {
+            "half"
+        }
+        fn admin_ops(&self) -> u64 {
+            0
+        }
+        fn supports(&self, c: Capability) -> bool {
+            matches!(
+                c,
+                Capability::ExactLookup
+                    | Capability::RangeQuery
+                    | Capability::StructuredJoin
+                    | Capability::Aggregation
+                    | Capability::TimeTravel
+                    | Capability::SchemaEvolution
+            )
+        }
+    }
+
+    #[test]
+    fn power_score_is_fraction() {
+        assert!((Half.power_score() - 0.5).abs() < 1e-9);
+        assert_eq!(ALL_CAPABILITIES.len(), 12);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let mut names: Vec<&str> = ALL_CAPABILITIES.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+    }
+}

@@ -1,0 +1,184 @@
+//! `ContentStore`: the content-manager baseline.
+//!
+//! §3.2: content managers "typically use BLOBs or a file system to store
+//! the content, and database systems to manage the metadata (catalog) of
+//! that content. Hence searching and querying are limited to the metadata
+//! about that content … all metadata must match a predefined JSR schema;
+//! hence schema chaos (diversity) is not supported."
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::admin::AdminLedger;
+use crate::capability::{Capability, InfoSystem};
+
+/// Errors from the content store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContentError {
+    /// A metadata field is not part of the registered template.
+    UnknownMetadataField(String),
+    /// No such stored item.
+    NotFound(u64),
+}
+
+impl std::fmt::Display for ContentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ContentError::UnknownMetadataField(m) => write!(f, "unknown metadata field: {m}"),
+            ContentError::NotFound(id) => write!(f, "item {id} not found"),
+        }
+    }
+}
+
+impl std::error::Error for ContentError {}
+
+#[derive(Debug)]
+struct Item {
+    content: Vec<u8>,
+    metadata: BTreeMap<String, String>,
+}
+
+/// The content-manager baseline: opaque BLOBs + a fixed metadata catalog.
+#[derive(Debug, Default)]
+pub struct ContentStore {
+    /// Registered metadata template (field names).
+    template: Vec<String>,
+    items: HashMap<u64, Item>,
+    ledger: AdminLedger,
+    next_id: u64,
+}
+
+impl ContentStore {
+    /// An empty store with no metadata template.
+    pub fn new() -> ContentStore {
+        ContentStore::default()
+    }
+
+    /// Register the metadata template — a human catalog-design decision
+    /// (JSR-170-style), recorded in the ledger.
+    pub fn register_template(&mut self, fields: &[&str]) {
+        self.ledger.record(format!("REGISTER METADATA TEMPLATE {fields:?}"));
+        self.template = fields.iter().map(|s| s.to_string()).collect();
+    }
+
+    /// The admin ledger.
+    pub fn ledger(&self) -> &AdminLedger {
+        &self.ledger
+    }
+
+    /// Store content with metadata. Every metadata field must be in the
+    /// template — schema diversity is rejected, as the paper observes.
+    pub fn store(
+        &mut self,
+        content: &[u8],
+        metadata: &[(&str, &str)],
+    ) -> Result<u64, ContentError> {
+        let mut md = BTreeMap::new();
+        for (k, v) in metadata {
+            if !self.template.iter().any(|f| f == k) {
+                return Err(ContentError::UnknownMetadataField(k.to_string()));
+            }
+            md.insert(k.to_string(), v.to_string());
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.items.insert(id, Item { content: content.to_vec(), metadata: md });
+        Ok(id)
+    }
+
+    /// Fetch raw content.
+    pub fn fetch(&self, id: u64) -> Result<&[u8], ContentError> {
+        self.items.get(&id).map(|i| i.content.as_slice()).ok_or(ContentError::NotFound(id))
+    }
+
+    /// Metadata-only search: exact match on one field. **The content
+    /// itself is never searched** — the defining limitation.
+    pub fn search_metadata(&self, field: &str, value: &str) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .items
+            .iter()
+            .filter(|(_, item)| item.metadata.get(field).map(|v| v == value).unwrap_or(false))
+            .map(|(id, _)| *id)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of stored items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl InfoSystem for ContentStore {
+    fn system_name(&self) -> &'static str {
+        "content-store"
+    }
+
+    fn admin_ops(&self) -> u64 {
+        self.ledger.count()
+    }
+
+    fn supports(&self, capability: Capability) -> bool {
+        // exact lookup only over (pre-declared) metadata
+        matches!(capability, Capability::ExactLookup)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> ContentStore {
+        let mut s = ContentStore::new();
+        s.register_template(&["author", "date"]);
+        s
+    }
+
+    #[test]
+    fn store_and_fetch() {
+        let mut s = store();
+        let id = s
+            .store(b"the claim text mentions a Volvo bumper", &[("author", "ada"), ("date", "2006-11-03")])
+            .unwrap();
+        assert_eq!(s.fetch(id).unwrap(), b"the claim text mentions a Volvo bumper");
+        assert!(matches!(s.fetch(999), Err(ContentError::NotFound(999))));
+    }
+
+    #[test]
+    fn metadata_schema_enforced() {
+        let mut s = store();
+        let err = s.store(b"x", &[("unexpected", "field")]);
+        assert!(matches!(err, Err(ContentError::UnknownMetadataField(_))));
+    }
+
+    #[test]
+    fn search_is_metadata_only() {
+        let mut s = store();
+        s.store(b"contains keyword volvo inside content", &[("author", "ada")]).unwrap();
+        s.store(b"other text", &[("author", "grace")]).unwrap();
+        assert_eq!(s.search_metadata("author", "ada").len(), 1);
+        // content words are invisible to search — the defining limitation
+        assert!(s.search_metadata("author", "volvo").is_empty());
+        assert!(s.search_metadata("content", "volvo").is_empty());
+    }
+
+    #[test]
+    fn template_registration_is_admin_work() {
+        let s = store();
+        assert_eq!(s.admin_ops(), 1);
+    }
+
+    #[test]
+    fn capability_envelope() {
+        let s = store();
+        assert!(s.supports(Capability::ExactLookup));
+        assert!(!s.supports(Capability::KeywordSearch));
+        assert!(!s.supports(Capability::StructuredJoin));
+        assert!((s.power_score() - 1.0 / 12.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,121 @@
+//! `FsStore`: the file-system baseline.
+//!
+//! §3.2: "the ultra-simple 'bag of bytes' model of file systems provides a
+//! 'repository of last resort' that can manage unstructured as well as
+//! structured data, but without the powerful querying capability (e.g.,
+//! joins and aggregations) we take for granted in databases."
+//!
+//! Zero admin operations, zero schema — and the only retrieval beyond
+//! fetch-by-name is a full-scan substring grep.
+
+use std::collections::BTreeMap;
+
+use crate::capability::{Capability, InfoSystem};
+
+/// The bag-of-bytes baseline.
+#[derive(Debug, Default)]
+pub struct FsStore {
+    files: BTreeMap<String, Vec<u8>>,
+    /// bytes scanned by greps (the cost observable).
+    bytes_scanned: u64,
+}
+
+impl FsStore {
+    /// An empty store.
+    pub fn new() -> FsStore {
+        FsStore::default()
+    }
+
+    /// Write a file (overwrites silently, like a file system).
+    pub fn put(&mut self, name: &str, bytes: &[u8]) {
+        self.files.insert(name.to_string(), bytes.to_vec());
+    }
+
+    /// Read a file.
+    pub fn get(&self, name: &str) -> Option<&[u8]> {
+        self.files.get(name).map(Vec::as_slice)
+    }
+
+    /// Full-scan substring search over every byte of every file — the
+    /// only content query a file system offers. Returns matching names.
+    pub fn grep(&mut self, needle: &str) -> Vec<String> {
+        let needle_bytes = needle.as_bytes();
+        let mut out = Vec::new();
+        for (name, content) in &self.files {
+            self.bytes_scanned += content.len() as u64;
+            if !needle_bytes.is_empty()
+                && content.windows(needle_bytes.len()).any(|w| w == needle_bytes)
+            {
+                out.push(name.clone());
+            }
+        }
+        out
+    }
+
+    /// Total bytes greps have scanned.
+    pub fn bytes_scanned(&self) -> u64 {
+        self.bytes_scanned
+    }
+
+    /// File count.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+}
+
+impl InfoSystem for FsStore {
+    fn system_name(&self) -> &'static str {
+        "fs-store"
+    }
+
+    fn admin_ops(&self) -> u64 {
+        0 // nothing to administer — and nothing it can do
+    }
+
+    fn supports(&self, capability: Capability) -> bool {
+        // schema-free ingest is the one thing a file system does offer
+        matches!(capability, Capability::SchemaFreeIngest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_overwrite() {
+        let mut s = FsStore::new();
+        s.put("a.txt", b"hello");
+        s.put("a.txt", b"world");
+        assert_eq!(s.get("a.txt"), Some(b"world".as_slice()));
+        assert_eq!(s.len(), 1);
+        assert!(s.get("missing").is_none());
+    }
+
+    #[test]
+    fn grep_scans_everything() {
+        let mut s = FsStore::new();
+        s.put("claim1.txt", b"volvo bumper damage");
+        s.put("claim2.txt", b"saab hood scratch");
+        s.put("note.bin", &[0u8, 1, 2]);
+        let hits = s.grep("bumper");
+        assert_eq!(hits, vec!["claim1.txt"]);
+        // every byte of every file was scanned
+        assert_eq!(s.bytes_scanned(), 19 + 17 + 3);
+        assert!(s.grep("").is_empty());
+    }
+
+    #[test]
+    fn capability_envelope() {
+        let s = FsStore::new();
+        assert!(s.supports(Capability::SchemaFreeIngest));
+        assert!(!s.supports(Capability::ExactLookup));
+        assert!(!s.supports(Capability::Aggregation));
+        assert_eq!(s.admin_ops(), 0);
+    }
+}

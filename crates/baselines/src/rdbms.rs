@@ -1,0 +1,382 @@
+//! `MiniRdbms`: the schema-first relational baseline.
+//!
+//! Implements the capability envelope Figure 4 attributes to classic
+//! DBMSs: excellent structured querying over declared schemas, with the
+//! costs the paper calls out — every table and index is an administrator
+//! decision (ledger entries), rows that do not match the schema are
+//! rejected (no schema chaos), content is an opaque string (no keyword
+//! search over it), and indexing is synchronous with the insert
+//! transaction (experiment C3's comparison point).
+
+use std::collections::{BTreeMap, HashMap};
+
+use impliance_docmodel::Value;
+
+use crate::admin::AdminLedger;
+use crate::capability::{Capability, InfoSystem};
+
+/// Column types supported by the mini RDBMS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// Variable-length string.
+    Text,
+    /// Boolean.
+    Bool,
+}
+
+impl ColumnType {
+    fn admits(self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (ColumnType::Int, Value::Int(_))
+                | (ColumnType::Float, Value::Float(_))
+                | (ColumnType::Float, Value::Int(_))
+                | (ColumnType::Text, Value::Str(_))
+                | (ColumnType::Bool, Value::Bool(_))
+        ) || v.is_null()
+    }
+}
+
+/// A declared table schema.
+#[derive(Debug, Clone)]
+pub struct TableSchema {
+    /// Table name.
+    pub name: String,
+    /// Columns in order: (name, type).
+    pub columns: Vec<(String, ColumnType)>,
+}
+
+/// RDBMS errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RdbmsError {
+    /// Table does not exist.
+    NoSuchTable(String),
+    /// Row arity or types do not match the declared schema.
+    SchemaViolation(String),
+    /// Referenced column not declared.
+    NoSuchColumn(String),
+}
+
+impl std::fmt::Display for RdbmsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RdbmsError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            RdbmsError::SchemaViolation(m) => write!(f, "schema violation: {m}"),
+            RdbmsError::NoSuchColumn(c) => write!(f, "no such column: {c}"),
+        }
+    }
+}
+
+impl std::error::Error for RdbmsError {}
+
+/// Join output rows: pairs of (left row, right row).
+pub type JoinedRows = Vec<(Vec<Value>, Vec<Value>)>;
+
+#[derive(Debug, Default)]
+struct Table {
+    schema: Vec<(String, ColumnType)>,
+    rows: Vec<Vec<Value>>,
+    /// column → value rendering → row ids; only for declared indexes.
+    indexes: HashMap<String, BTreeMap<String, Vec<usize>>>,
+}
+
+/// The schema-first relational baseline.
+#[derive(Debug, Default)]
+pub struct MiniRdbms {
+    tables: HashMap<String, Table>,
+    ledger: AdminLedger,
+}
+
+impl MiniRdbms {
+    /// An empty database.
+    pub fn new() -> MiniRdbms {
+        MiniRdbms::default()
+    }
+
+    /// The admin ledger.
+    pub fn ledger(&self) -> &AdminLedger {
+        &self.ledger
+    }
+
+    /// DDL: declare a table. A human decision — recorded.
+    pub fn create_table(&mut self, schema: TableSchema) {
+        self.ledger.record(format!("CREATE TABLE {}", schema.name));
+        self.tables.insert(
+            schema.name.clone(),
+            Table { schema: schema.columns, rows: Vec::new(), indexes: HashMap::new() },
+        );
+    }
+
+    /// DDL: declare an index on a column. Also a human decision.
+    pub fn create_index(&mut self, table: &str, column: &str) -> Result<(), RdbmsError> {
+        self.ledger.record(format!("CREATE INDEX ON {table}({column})"));
+        let t = self.tables.get_mut(table).ok_or_else(|| RdbmsError::NoSuchTable(table.into()))?;
+        let col = t
+            .schema
+            .iter()
+            .position(|(c, _)| c == column)
+            .ok_or_else(|| RdbmsError::NoSuchColumn(column.into()))?;
+        let mut index: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (rid, row) in t.rows.iter().enumerate() {
+            index.entry(row[col].render()).or_default().push(rid);
+        }
+        t.indexes.insert(column.to_string(), index);
+        Ok(())
+    }
+
+    /// Insert a row. Schema is enforced and **indexes are maintained in
+    /// the same operation** — the synchronous coupling Impliance rejects.
+    pub fn insert(&mut self, table: &str, row: Vec<Value>) -> Result<(), RdbmsError> {
+        let t = self.tables.get_mut(table).ok_or_else(|| RdbmsError::NoSuchTable(table.into()))?;
+        if row.len() != t.schema.len() {
+            return Err(RdbmsError::SchemaViolation(format!(
+                "arity {} != {}",
+                row.len(),
+                t.schema.len()
+            )));
+        }
+        for ((col, ty), v) in t.schema.iter().zip(&row) {
+            if !ty.admits(v) {
+                return Err(RdbmsError::SchemaViolation(format!(
+                    "column {col} expects {ty:?}, got {}",
+                    v.type_name()
+                )));
+            }
+        }
+        let rid = t.rows.len();
+        // synchronous index maintenance
+        for (col_idx, (col, _)) in t.schema.iter().enumerate() {
+            if let Some(index) = t.indexes.get_mut(col) {
+                index.entry(row[col_idx].render()).or_default().push(rid);
+            }
+        }
+        t.rows.push(row);
+        Ok(())
+    }
+
+    /// Exact-match select; uses the index when one exists.
+    pub fn select_eq(
+        &self,
+        table: &str,
+        column: &str,
+        value: &Value,
+    ) -> Result<Vec<&[Value]>, RdbmsError> {
+        let t = self.tables.get(table).ok_or_else(|| RdbmsError::NoSuchTable(table.into()))?;
+        let col = t
+            .schema
+            .iter()
+            .position(|(c, _)| c == column)
+            .ok_or_else(|| RdbmsError::NoSuchColumn(column.into()))?;
+        if let Some(index) = t.indexes.get(column) {
+            let rids = index.get(&value.render()).cloned().unwrap_or_default();
+            return Ok(rids.into_iter().map(|rid| t.rows[rid].as_slice()).collect());
+        }
+        Ok(t.rows.iter().filter(|r| r[col].query_eq(value)).map(|r| r.as_slice()).collect())
+    }
+
+    /// Range select (inclusive bounds), always a scan in this mini system.
+    pub fn select_range(
+        &self,
+        table: &str,
+        column: &str,
+        lo: &Value,
+        hi: &Value,
+    ) -> Result<Vec<&[Value]>, RdbmsError> {
+        let t = self.tables.get(table).ok_or_else(|| RdbmsError::NoSuchTable(table.into()))?;
+        let col = t
+            .schema
+            .iter()
+            .position(|(c, _)| c == column)
+            .ok_or_else(|| RdbmsError::NoSuchColumn(column.into()))?;
+        Ok(t.rows
+            .iter()
+            .filter(|r| r[col].total_cmp(lo).is_ge() && r[col].total_cmp(hi).is_le())
+            .map(|r| r.as_slice())
+            .collect())
+    }
+
+    /// Equi-join two tables on columns (hash join).
+    pub fn join(
+        &self,
+        left: &str,
+        left_col: &str,
+        right: &str,
+        right_col: &str,
+    ) -> Result<JoinedRows, RdbmsError> {
+        let lt = self.tables.get(left).ok_or_else(|| RdbmsError::NoSuchTable(left.into()))?;
+        let rt = self.tables.get(right).ok_or_else(|| RdbmsError::NoSuchTable(right.into()))?;
+        let lcol = lt
+            .schema
+            .iter()
+            .position(|(c, _)| c == left_col)
+            .ok_or_else(|| RdbmsError::NoSuchColumn(left_col.into()))?;
+        let rcol = rt
+            .schema
+            .iter()
+            .position(|(c, _)| c == right_col)
+            .ok_or_else(|| RdbmsError::NoSuchColumn(right_col.into()))?;
+        let mut table: HashMap<String, Vec<&Vec<Value>>> = HashMap::new();
+        for row in &rt.rows {
+            table.entry(row[rcol].render()).or_default().push(row);
+        }
+        let mut out = Vec::new();
+        for lrow in &lt.rows {
+            if let Some(matches) = table.get(&lrow[lcol].render()) {
+                for rrow in matches {
+                    out.push((lrow.clone(), (*rrow).clone()));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Grouped SUM aggregation.
+    pub fn sum_group_by(
+        &self,
+        table: &str,
+        group_col: &str,
+        sum_col: &str,
+    ) -> Result<BTreeMap<String, f64>, RdbmsError> {
+        let t = self.tables.get(table).ok_or_else(|| RdbmsError::NoSuchTable(table.into()))?;
+        let g = t
+            .schema
+            .iter()
+            .position(|(c, _)| c == group_col)
+            .ok_or_else(|| RdbmsError::NoSuchColumn(group_col.into()))?;
+        let s = t
+            .schema
+            .iter()
+            .position(|(c, _)| c == sum_col)
+            .ok_or_else(|| RdbmsError::NoSuchColumn(sum_col.into()))?;
+        let mut out = BTreeMap::new();
+        for row in &t.rows {
+            if let Some(v) = row[s].as_f64() {
+                *out.entry(row[g].render()).or_insert(0.0) += v;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Row count of a table.
+    pub fn row_count(&self, table: &str) -> usize {
+        self.tables.get(table).map(|t| t.rows.len()).unwrap_or(0)
+    }
+}
+
+impl InfoSystem for MiniRdbms {
+    fn system_name(&self) -> &'static str {
+        "mini-rdbms"
+    }
+
+    fn admin_ops(&self) -> u64 {
+        self.ledger.count()
+    }
+
+    fn supports(&self, capability: Capability) -> bool {
+        matches!(
+            capability,
+            Capability::ExactLookup
+                | Capability::RangeQuery
+                | Capability::StructuredJoin
+                | Capability::Aggregation
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> MiniRdbms {
+        let mut db = MiniRdbms::new();
+        db.create_table(TableSchema {
+            name: "claims".into(),
+            columns: vec![
+                ("id".into(), ColumnType::Int),
+                ("make".into(), ColumnType::Text),
+                ("amount".into(), ColumnType::Float),
+            ],
+        });
+        for (id, make, amount) in
+            [(1i64, "Volvo", 100.0), (2, "Saab", 250.0), (3, "Volvo", 50.0)]
+        {
+            db.insert(
+                "claims",
+                vec![Value::Int(id), Value::Str(make.into()), Value::Float(amount)],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn schema_enforced() {
+        let mut d = db();
+        let bad_arity = d.insert("claims", vec![Value::Int(9)]);
+        assert!(matches!(bad_arity, Err(RdbmsError::SchemaViolation(_))));
+        let bad_type = d.insert(
+            "claims",
+            vec![Value::Str("x".into()), Value::Str("y".into()), Value::Float(1.0)],
+        );
+        assert!(matches!(bad_type, Err(RdbmsError::SchemaViolation(_))));
+        assert!(matches!(
+            d.insert("nope", vec![]),
+            Err(RdbmsError::NoSuchTable(_))
+        ));
+    }
+
+    #[test]
+    fn ddl_is_counted_as_admin_work() {
+        let mut d = db();
+        assert_eq!(d.admin_ops(), 1); // CREATE TABLE
+        d.create_index("claims", "make").unwrap();
+        assert_eq!(d.admin_ops(), 2);
+    }
+
+    #[test]
+    fn select_eq_with_and_without_index() {
+        let mut d = db();
+        let scan = d.select_eq("claims", "make", &Value::Str("Volvo".into())).unwrap();
+        assert_eq!(scan.len(), 2);
+        d.create_index("claims", "make").unwrap();
+        let indexed = d.select_eq("claims", "make", &Value::Str("Volvo".into())).unwrap();
+        assert_eq!(indexed.len(), 2);
+        // index stays fresh after inserts (synchronous maintenance)
+        d.insert(
+            "claims",
+            vec![Value::Int(4), Value::Str("Volvo".into()), Value::Float(75.0)],
+        )
+        .unwrap();
+        assert_eq!(d.select_eq("claims", "make", &Value::Str("Volvo".into())).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn range_join_aggregate() {
+        let mut d = db();
+        let r = d.select_range("claims", "amount", &Value::Float(60.0), &Value::Float(300.0)).unwrap();
+        assert_eq!(r.len(), 2);
+        d.create_table(TableSchema {
+            name: "makes".into(),
+            columns: vec![("make".into(), ColumnType::Text), ("country".into(), ColumnType::Text)],
+        });
+        d.insert("makes", vec![Value::Str("Volvo".into()), Value::Str("SE".into())]).unwrap();
+        let j = d.join("claims", "make", "makes", "make").unwrap();
+        assert_eq!(j.len(), 2);
+        let sums = d.sum_group_by("claims", "make", "amount").unwrap();
+        assert_eq!(sums["Volvo"], 150.0);
+    }
+
+    #[test]
+    fn capability_envelope() {
+        let d = db();
+        assert!(d.supports(Capability::StructuredJoin));
+        assert!(!d.supports(Capability::KeywordSearch));
+        assert!(!d.supports(Capability::SchemaFreeIngest));
+        assert!(!d.supports(Capability::TimeTravel));
+        assert!((d.power_score() - 4.0 / 12.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,62 @@
+//! C1 (§3.3): planning cost — the simple planner's single pass vs the
+//! cost-based optimizer's statistics-driven enumeration, plus end-to-end
+//! execution under each plan.
+
+use std::collections::HashMap;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use impliance_bench::Corpus;
+use impliance_core::{ApplianceConfig, Impliance};
+use impliance_query::{costopt::CostOptimizer, exec, parse_sql, ExecContext, SimplePlanner};
+
+fn bench(c: &mut Criterion) {
+    let imp = Impliance::boot(ApplianceConfig::default());
+    let schema = Corpus::po_schema();
+    let mut corpus = Corpus::new(31);
+    for _ in 0..5000 {
+        imp.ingest_row(&schema, corpus.purchase_order_row(50)).unwrap();
+    }
+    let stats = imp.storage().stats();
+    let counts = HashMap::from([("orders".to_string(), imp.storage().live_docs() as u64)]);
+    let opt = CostOptimizer::new(stats, counts);
+    let simple = SimplePlanner::new();
+    let sql = "SELECT cust, SUM(total) AS t FROM orders WHERE qty > 5 GROUP BY cust";
+
+    let mut group = c.benchmark_group("c1_planning");
+    group.bench_function("simple_planner", |b| {
+        b.iter(|| simple.plan(parse_sql(sql).unwrap()).node_count())
+    });
+    group.bench_function("cost_optimizer", |b| {
+        b.iter(|| opt.optimize(parse_sql(sql).unwrap()).plan.node_count())
+    });
+    group.finish();
+
+    let simple_plan = simple.plan(parse_sql(sql).unwrap());
+    let cost_plan = opt.optimize(parse_sql(sql).unwrap()).plan;
+    let ctx = ExecContext {
+        storage: imp.storage(),
+        text_index: imp.text_index(),
+        value_index: imp.value_index(),
+        join_index: imp.join_index(),
+        pushdown: true,
+    };
+    let mut group = c.benchmark_group("c1_execution");
+    group.sample_size(15);
+    group.bench_function("simple_plan_exec", |b| {
+        b.iter(|| exec::execute(&ctx, &simple_plan).unwrap().0.len())
+    });
+    group.bench_function("cost_plan_exec", |b| {
+        b.iter(|| exec::execute(&ctx, &cost_plan).unwrap().0.len())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! C2 (§3.1): early data reduction — filtered scans with the predicate
+//! evaluated at the storage node vs shipping whole documents.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use impliance_bench::Corpus;
+use impliance_core::{ApplianceConfig, ClusterImpliance};
+use impliance_docmodel::Value;
+use impliance_storage::{Predicate, ScanRequest};
+
+fn bench(c: &mut Criterion) {
+    let app = ClusterImpliance::boot(ApplianceConfig {
+        data_nodes: 4,
+        grid_nodes: 1,
+        replication: 1,
+        ..ApplianceConfig::default()
+    });
+    let mut corpus = Corpus::new(41);
+    for _ in 0..3000 {
+        app.ingest_json("orders", &corpus.order_json(50)).unwrap();
+    }
+    let selective = Predicate::Gt("amount".into(), Value::Int(950));
+
+    let mut group = c.benchmark_group("c2_pushdown");
+    group.sample_size(10);
+    group.bench_function("pushdown_filter", |b| {
+        b.iter(|| app.scan(&ScanRequest::filtered(selective.clone())).unwrap().documents.len())
+    });
+    group.bench_function("ship_all_filter_at_coordinator", |b| {
+        b.iter(|| {
+            let res = app.scan(&ScanRequest::full()).unwrap();
+            res.documents.iter().filter(|d| selective.matches(d)).count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! C3 (§3.2): ingest latency with asynchronous background indexing vs
+//! index-in-the-ingest-transaction.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use impliance_bench::Corpus;
+use impliance_core::{ApplianceConfig, Impliance};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c3_ingest_latency");
+    group.sample_size(30);
+
+    group.bench_function("async_indexing", |b| {
+        let imp = Impliance::boot(ApplianceConfig::default());
+        let mut corpus = Corpus::new(51);
+        b.iter_batched(
+            || corpus.transcript(),
+            |t| imp.ingest_text("transcripts", &t).unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("synchronous_indexing", |b| {
+        let imp = Impliance::boot(ApplianceConfig {
+            synchronous_indexing: true,
+            ..ApplianceConfig::default()
+        });
+        let mut corpus = Corpus::new(51);
+        b.iter_batched(
+            || corpus.transcript(),
+            |t| imp.ingest_text("transcripts", &t).unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+
+    // the deferred cost: draining the backlog in batch
+    let mut group = c.benchmark_group("c3_backlog_drain");
+    group.sample_size(10);
+    group.bench_function("drain_1000_docs", |b| {
+        b.iter_batched(
+            || {
+                let imp = Impliance::boot(ApplianceConfig::default());
+                let mut corpus = Corpus::new(52);
+                for _ in 0..1000 {
+                    imp.ingest_text("transcripts", &corpus.transcript()).unwrap();
+                }
+                imp
+            },
+            |imp| imp.run_indexing(None),
+            BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

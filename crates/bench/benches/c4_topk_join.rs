@@ -1,0 +1,83 @@
+//! C4 (§3.3): "given a keyword-search interface that requires only the
+//! top-k results, indexed nested-loop joins may always be the preferred
+//! join method" — the crossover between indexed NL and hash join as k
+//! grows.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use impliance_bench::Corpus;
+use impliance_core::{ApplianceConfig, Impliance};
+use impliance_docmodel::DocId;
+use impliance_query::{joins, Tuple};
+use impliance_storage::{Predicate, ScanRequest};
+
+fn bench(c: &mut Criterion) {
+    let imp = Impliance::boot(ApplianceConfig::default());
+    let mut corpus = Corpus::new(61);
+    let po = Corpus::po_schema();
+    let cu = Corpus::customer_schema();
+    for _ in 0..8000 {
+        imp.ingest_row(&po, corpus.purchase_order_row(800)).unwrap();
+    }
+    for code in 0..800 {
+        imp.ingest_row(&cu, corpus.customer_row(code)).unwrap();
+    }
+    let orders: Vec<Tuple> = imp
+        .storage()
+        .scan(&ScanRequest::filtered(Predicate::CollectionIs("orders".into())))
+        .unwrap()
+        .documents
+        .into_iter()
+        .map(|d| Tuple::single("o", Arc::new(d)))
+        .collect();
+    let customers: Vec<Tuple> = imp
+        .storage()
+        .scan(&ScanRequest::filtered(Predicate::CollectionIs("customers".into())))
+        .unwrap()
+        .documents
+        .into_iter()
+        .map(|d| Tuple::single("c", Arc::new(d)))
+        .collect();
+    let lk = ("o".to_string(), "cust".to_string());
+    let rk = ("c".to_string(), "code".to_string());
+    let storage = imp.storage();
+    let fetch = |id: DocId| storage.get_latest(id).ok().flatten().map(Arc::new);
+
+    let mut group = c.benchmark_group("c4_topk_join");
+    group.sample_size(10);
+    for k in [1usize, 10, 100, 8000] {
+        group.bench_with_input(BenchmarkId::new("indexed_nl", k), &k, |b, &k| {
+            b.iter(|| {
+                joins::indexed_nl_join(
+                    orders.clone(),
+                    imp.value_index(),
+                    "c",
+                    "code",
+                    &lk,
+                    &fetch,
+                    Some(k),
+                )
+                .len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hash", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut out = joins::hash_join(orders.clone(), customers.clone(), &lk, &rk);
+                out.truncate(k);
+                out.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! C5 (§3.4): autonomous recovery time after a data-node failure, per
+//! replication factor.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use impliance_bench::Corpus;
+use impliance_cluster::NodeKind;
+use impliance_core::{ApplianceConfig, ClusterImpliance};
+
+fn loaded_cluster(replication: usize) -> ClusterImpliance {
+    let app = ClusterImpliance::boot(ApplianceConfig {
+        data_nodes: 6,
+        grid_nodes: 1,
+        replication,
+        ..ApplianceConfig::default()
+    });
+    let mut corpus = Corpus::new(71);
+    for _ in 0..1000 {
+        app.ingest_json("orders", &corpus.order_json(50)).unwrap();
+    }
+    app
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c5_recovery");
+    group.sample_size(10);
+    for replication in [2usize, 3] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(replication),
+            &replication,
+            |b, &r| {
+                b.iter_batched(
+                    || loaded_cluster(r),
+                    |app| {
+                        let victim = app.runtime().nodes_of_kind(NodeKind::Data)[2];
+                        let report = app.kill_data_node(victim).unwrap();
+                        assert_eq!(report.docs_lost, 0);
+                        report.docs_repaired
+                    },
+                    BatchSize::PerIteration,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! C6 (§4): cost of update-as-new-version (append + latest-map advance)
+//! and of reading history.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use impliance_bench::Corpus;
+use impliance_core::{ApplianceConfig, Impliance};
+use impliance_docmodel::{Node, Path, Version};
+
+fn bench(c: &mut Criterion) {
+    let imp = Impliance::boot(ApplianceConfig::default());
+    let mut corpus = Corpus::new(81);
+    let ids: Vec<_> =
+        (0..1000).map(|_| imp.ingest_json("claims", &corpus.claim_json()).unwrap()).collect();
+    // create some history
+    for &id in &ids {
+        let doc = imp.get(id).unwrap().unwrap();
+        let mut root = doc.root().clone();
+        root.set(&Path::parse("revision"), Node::scalar(1i64));
+        imp.update(id, root).unwrap();
+    }
+
+    let mut group = c.benchmark_group("c6_versioning");
+    group.sample_size(20);
+
+    let mut cursor = 0usize;
+    group.bench_function("update_new_version", |b| {
+        b.iter_batched(
+            || {
+                let id = ids[cursor % ids.len()];
+                cursor += 1;
+                let doc = imp.get(id).unwrap().unwrap();
+                let mut root = doc.root().clone();
+                root.set(&Path::parse("touched"), Node::scalar(cursor as i64));
+                (id, root)
+            },
+            |(id, root)| imp.update(id, root).unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("read_latest", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            imp.get(ids[i % ids.len()]).unwrap().unwrap().version()
+        })
+    });
+
+    group.bench_function("read_point_in_time_v1", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            imp.get_version(ids[i % ids.len()], Version(1)).unwrap().unwrap().version()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

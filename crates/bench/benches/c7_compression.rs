@@ -1,0 +1,60 @@
+//! C7 (§3.1): compression at the storage node — raw codec throughput and
+//! scan cost with compression on/off.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use impliance_bench::Corpus;
+use impliance_docmodel::{text_to_document, DocId};
+use impliance_storage::{compress, ScanRequest, StorageEngine, StorageOptions};
+
+fn bench(c: &mut Criterion) {
+    // raw compressor throughput
+    let mut corpus = Corpus::new(91);
+    let blob: Vec<u8> = (0..200).map(|_| corpus.transcript()).collect::<Vec<_>>().join(" ").into_bytes();
+    let compressed = compress::lz_compress(&blob);
+
+    let mut group = c.benchmark_group("c7_codec");
+    group.throughput(Throughput::Bytes(blob.len() as u64));
+    group.bench_function("lz_compress", |b| b.iter(|| compress::lz_compress(&blob).len()));
+    group.bench_function("lz_decompress", |b| {
+        b.iter(|| compress::lz_decompress(&compressed).unwrap().len())
+    });
+    group.finish();
+
+    // scan cost with and without segment compression
+    let build = |compression: bool| {
+        let engine = StorageEngine::new(StorageOptions {
+            partitions: 2,
+            seal_threshold: 128,
+            compression, encryption_key: None });
+        let mut corpus = Corpus::new(92);
+        for i in 0..2000u64 {
+            engine
+                .put(&text_to_document(DocId(i), "transcripts", &corpus.transcript(), 0))
+                .unwrap();
+        }
+        engine.seal_all();
+        engine
+    };
+    let compressed_engine = build(true);
+    let raw_engine = build(false);
+
+    let mut group = c.benchmark_group("c7_scan");
+    group.sample_size(10);
+    group.bench_function("scan_compressed", |b| {
+        b.iter(|| compressed_engine.scan(&ScanRequest::full()).unwrap().documents.len())
+    });
+    group.bench_function("scan_uncompressed", |b| {
+        b.iter(|| raw_engine.scan(&ScanRequest::full()).unwrap().documents.len())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

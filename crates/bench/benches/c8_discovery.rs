@@ -1,0 +1,57 @@
+//! C8 (§3.3): annotation-extraction throughput — per-document annotator
+//! cost and pipeline drain rate.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use impliance_annotate::{scan_entities, sentiment_score};
+use impliance_bench::Corpus;
+use impliance_core::{ApplianceConfig, Impliance};
+
+fn bench(c: &mut Criterion) {
+    let mut corpus = Corpus::new(101);
+    let transcripts: Vec<String> = (0..200).map(|_| corpus.transcript()).collect();
+
+    let mut group = c.benchmark_group("c8_annotators");
+    group.bench_function("entity_scan_per_doc", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            scan_entities(&transcripts[i % transcripts.len()]).len()
+        })
+    });
+    group.bench_function("sentiment_per_doc", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            sentiment_score(&transcripts[i % transcripts.len()])
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("c8_pipeline");
+    group.sample_size(10);
+    group.bench_function("drain_500_transcripts", |b| {
+        b.iter_batched(
+            || {
+                let imp = Impliance::boot(ApplianceConfig::default());
+                let mut corpus = Corpus::new(102);
+                for _ in 0..500 {
+                    imp.ingest_text("transcripts", &corpus.transcript()).unwrap();
+                }
+                imp
+            },
+            |imp| imp.run_discovery(None),
+            BatchSize::PerIteration,
+        );
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! F1 (Figure 1): ingestion throughput per format through the full
+//! pipeline entry (storage + synchronous value index + queues).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use impliance_bench::Corpus;
+use impliance_core::{ApplianceConfig, Impliance};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f1_ingest");
+    group.sample_size(20);
+
+    group.bench_function("transcript_text", |b| {
+        let imp = Impliance::boot(ApplianceConfig::default());
+        let mut corpus = Corpus::new(1);
+        b.iter_batched(
+            || corpus.transcript(),
+            |t| imp.ingest_text("transcripts", &t).unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("claim_json", |b| {
+        let imp = Impliance::boot(ApplianceConfig::default());
+        let mut corpus = Corpus::new(2);
+        b.iter_batched(
+            || corpus.claim_json(),
+            |j| imp.ingest_json("claims", &j).unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("relational_row", |b| {
+        let imp = Impliance::boot(ApplianceConfig::default());
+        let schema = Corpus::po_schema();
+        let mut corpus = Corpus::new(3);
+        b.iter_batched(
+            || corpus.purchase_order_row(100),
+            |row| imp.ingest_row(&schema, row).unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("email", |b| {
+        let imp = Impliance::boot(ApplianceConfig::default());
+        let mut corpus = Corpus::new(4);
+        b.iter_batched(
+            || corpus.email(),
+            |e| imp.ingest_email("mail", &e).unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

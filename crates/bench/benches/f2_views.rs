@@ -1,0 +1,56 @@
+//! F2 (Figure 2): cost of building the system-supplied relational views
+//! over annotations, and of SQL over annotation collections.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use impliance_bench::Corpus;
+use impliance_core::{views, ApplianceConfig, Impliance};
+
+fn appliance(n: usize) -> Impliance {
+    let imp = Impliance::boot(ApplianceConfig::default());
+    let mut corpus = Corpus::new(7);
+    for _ in 0..n {
+        imp.ingest_text("transcripts", &corpus.transcript()).unwrap();
+    }
+    imp.quiesce();
+    imp
+}
+
+fn bench(c: &mut Criterion) {
+    let imp = appliance(500);
+    let mut group = c.benchmark_group("f2_views");
+    group.sample_size(20);
+
+    group.bench_function("entity_view_500docs", |b| {
+        b.iter(|| {
+            let rows = views::entity_view(&imp).unwrap();
+            assert!(!rows.is_empty());
+            rows.len()
+        })
+    });
+
+    group.bench_function("sentiment_view_500docs", |b| {
+        b.iter(|| views::sentiment_view(&imp).unwrap().len())
+    });
+
+    group.bench_function("entities_joined_to_base", |b| {
+        b.iter(|| views::entities_with_base(&imp, "body").unwrap().len())
+    });
+
+    group.bench_function("sql_over_annotations", |b| {
+        b.iter(|| {
+            imp.sql("SELECT COUNT(*) AS n FROM annotations.entities").unwrap().rows().len()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! F3 (Figure 3): distributed scan latency as data nodes are added.
+//! The *shape* — latency dropping as data nodes increase, because each
+//! node scans its partition in parallel — is the reproduction target.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use impliance_bench::Corpus;
+use impliance_core::{ApplianceConfig, ClusterImpliance};
+use impliance_storage::{Predicate, ScanRequest};
+
+fn cluster(data_nodes: usize, docs: usize) -> ClusterImpliance {
+    let app = ClusterImpliance::boot(ApplianceConfig {
+        data_nodes,
+        grid_nodes: 1,
+        replication: 1,
+        ..ApplianceConfig::default()
+    });
+    let mut corpus = Corpus::new(11);
+    for _ in 0..docs {
+        app.ingest_json("orders", &corpus.order_json(50)).unwrap();
+    }
+    app
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f3_scan_scaleout");
+    group.sample_size(10);
+    for nodes in [1usize, 2, 4, 8] {
+        let app = cluster(nodes, 2000);
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            b.iter(|| {
+                let r = app
+                    .scan(&ScanRequest::filtered(Predicate::Contains(
+                        "sku".into(),
+                        "bx".into(),
+                    )))
+                    .unwrap();
+                assert!(r.metrics.docs_scanned >= 2000);
+                r.documents.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

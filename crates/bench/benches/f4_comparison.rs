@@ -1,0 +1,80 @@
+//! F4 (Figure 4): the same retrieval task timed on every system class
+//! that can perform it — exact lookup everywhere it is supported, content
+//! search where it exists (Impliance's index vs the file store's grep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use impliance_baselines::{ColumnType, FsStore, MiniRdbms, TableSchema};
+use impliance_bench::Corpus;
+use impliance_core::{ApplianceConfig, Impliance};
+use impliance_docmodel::Value;
+
+const N: usize = 2000;
+
+fn bench(c: &mut Criterion) {
+    // shared corpora
+    let mut corpus = Corpus::new(21);
+    let transcripts: Vec<String> = (0..N).map(|_| corpus.transcript()).collect();
+    let rows: Vec<Vec<Value>> = (0..N).map(|_| corpus.purchase_order_row(100)).collect();
+
+    // impliance
+    let imp = Impliance::boot(ApplianceConfig::default());
+    let schema = Corpus::po_schema();
+    for r in &rows {
+        imp.ingest_row(&schema, r.clone()).unwrap();
+    }
+    for t in &transcripts {
+        imp.ingest_text("transcripts", t).unwrap();
+    }
+    imp.run_indexing(None);
+
+    // rdbms
+    let mut db = MiniRdbms::new();
+    db.create_table(TableSchema {
+        name: "orders".into(),
+        columns: vec![
+            ("order_id".into(), ColumnType::Int),
+            ("cust".into(), ColumnType::Text),
+            ("sku".into(), ColumnType::Text),
+            ("qty".into(), ColumnType::Int),
+            ("total".into(), ColumnType::Float),
+        ],
+    });
+    db.create_index("orders", "cust").unwrap();
+    for r in &rows {
+        db.insert("orders", r.clone()).unwrap();
+    }
+
+    // file store
+    let mut fs = FsStore::new();
+    for (i, t) in transcripts.iter().enumerate() {
+        fs.put(&format!("t{i}.txt"), t.as_bytes());
+    }
+
+    let mut group = c.benchmark_group("f4_exact_lookup");
+    group.sample_size(20);
+    group.bench_function("impliance_indexed", |b| {
+        b.iter(|| imp.value_index().lookup_eq("cust", &Value::Str("C-7".into())).len())
+    });
+    group.bench_function("rdbms_indexed", |b| {
+        b.iter(|| db.select_eq("orders", "cust", &Value::Str("C-7".into())).unwrap().len())
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("f4_content_search");
+    group.sample_size(20);
+    group.bench_function("impliance_fulltext", |b| {
+        b.iter(|| imp.search("bumper refund", 10).len())
+    });
+    group.bench_function("fsstore_grep", |b| b.iter(|| fs.grep("refund").len()));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

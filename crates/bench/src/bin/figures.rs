@@ -1,0 +1,1135 @@
+//! The experiment harness: regenerates every figure and claim experiment
+//! from EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p impliance-bench --bin figures [f1|f2|f3|f4|c1..c8|all]
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use impliance_annotate::{SchemaMapper};
+use impliance_baselines::{
+    BiAppliance, ColumnType, ContentStore, FsStore, InfoSystem, MiniRdbms, TableSchema,
+    ALL_CAPABILITIES,
+};
+use impliance_bench::report::{fmt_bytes, fmt_duration};
+use impliance_bench::{Corpus, Table};
+use impliance_cluster::NodeKind;
+use impliance_core::{views, ApplianceConfig, ClusterImpliance, Impliance};
+use impliance_docmodel::{DocId, Value};
+use impliance_query::{costopt::CostOptimizer, joins, parse_sql, SimplePlanner, Tuple};
+use impliance_storage::{
+    AggFunc, AggSpec, Predicate, Projection, ScanRequest, StorageEngine, StorageOptions,
+};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let all = which == "all";
+    println!("Impliance experiment harness — reproducing CIDR 2007 figures & claims\n");
+    if all || which == "f1" {
+        f1_pipeline();
+    }
+    if all || which == "f2" {
+        f2_views();
+    }
+    if all || which == "f3" {
+        f3_scaleout();
+    }
+    if all || which == "f4" {
+        f4_comparison();
+    }
+    if all || which == "c1" {
+        c1_planner();
+    }
+    if all || which == "c2" {
+        c2_pushdown();
+    }
+    if all || which == "c3" {
+        c3_async_indexing();
+    }
+    if all || which == "c4" {
+        c4_topk_join();
+    }
+    if all || which == "c5" {
+        c5_failover();
+    }
+    if all || which == "c6" {
+        c6_versioning();
+    }
+    if all || which == "c7" {
+        c7_compression();
+    }
+    if all || which == "c8" {
+        c8_discovery();
+    }
+    if all || which == "c9" {
+        c9_interleaving();
+    }
+}
+
+// ---------------------------------------------------------------------
+// C9 — execution management: interleaving discovery with queries (§3.4)
+// ---------------------------------------------------------------------
+
+fn c9_interleaving() {
+    // A 2000-document discovery backlog exists at t=0; 50 interactive
+    // queries arrive every 5ms. Two schedulers dispatch one task at a
+    // time with *measured* service times:
+    //   fifo        — arrival order (queries wait behind the backlog)
+    //   interleaved — the execution manager: interactive preempts,
+    //                 background keeps a guaranteed share
+    use impliance_virt::{ExecutionManager, TaskClass};
+
+    const QUERIES: usize = 50;
+    const BATCHES: usize = 100; // × 20 docs = the whole backlog
+    const ARRIVAL_GAP_US: u64 = 5_000;
+
+    let mut table = Table::new(
+        "C9 — interleaving background discovery with interactive queries",
+        &["policy", "interactive mean", "interactive p95", "backlog done at"],
+    );
+
+    for policy in ["fifo", "interleaved"] {
+        let imp = Impliance::boot(ApplianceConfig::default());
+        let mut corpus = Corpus::new(15);
+        let schema = Corpus::po_schema();
+        for _ in 0..2000 {
+            imp.ingest_text("transcripts", &corpus.transcript()).unwrap();
+        }
+        for _ in 0..500 {
+            imp.ingest_row(&schema, corpus.purchase_order_row(20)).unwrap();
+        }
+
+        let mgr = ExecutionManager::new(8, 1);
+        // background batches all queued at t=0
+        for b in 0..BATCHES {
+            mgr.submit(10_000 + b as u64, TaskClass::Background, 0);
+        }
+        let mut clock_us: u64 = 0;
+        let mut next_arrival = 0usize;
+        let mut latencies: Vec<u64> = Vec::new();
+        let mut backlog_done_at: Option<u64> = None;
+        let mut fifo_phase_bg = 0usize; // fifo dispatch cursor
+        let mut batches_run = 0usize;
+
+        while latencies.len() < QUERIES || batches_run < BATCHES {
+            // admit arrivals up to the current clock
+            while next_arrival < QUERIES
+                && (next_arrival as u64 * ARRIVAL_GAP_US) <= clock_us
+            {
+                mgr.submit(next_arrival as u64, TaskClass::Interactive, clock_us);
+                next_arrival += 1;
+            }
+            // choose the next task per policy
+            let run_background = match policy {
+                // fifo: everything queued at t=0 runs first
+                "fifo" => fifo_phase_bg < BATCHES,
+                _ => {
+                    // the execution manager decides
+                    match mgr.next(clock_us) {
+                        Some(t) => t.class == TaskClass::Background,
+                        None => {
+                            // idle: jump to the next arrival
+                            clock_us = next_arrival as u64 * ARRIVAL_GAP_US;
+                            continue;
+                        }
+                    }
+                }
+            };
+            if run_background && batches_run >= BATCHES {
+                continue;
+            }
+            if run_background {
+                let t0 = Instant::now();
+                imp.run_discovery(Some(20));
+                clock_us += t0.elapsed().as_micros() as u64;
+                batches_run += 1;
+                if policy == "fifo" {
+                    fifo_phase_bg += 1;
+                }
+                if batches_run == BATCHES {
+                    backlog_done_at = Some(clock_us);
+                }
+            } else {
+                // an interactive query; in fifo mode pull arrival order
+                let arrived = latencies.len();
+                if arrived >= QUERIES {
+                    continue;
+                }
+                let arrival_us = arrived as u64 * ARRIVAL_GAP_US;
+                if clock_us < arrival_us {
+                    clock_us = arrival_us; // idle until it arrives
+                }
+                let t0 = Instant::now();
+                let _ = imp.sql("SELECT cust, SUM(total) AS t FROM orders GROUP BY cust");
+                clock_us += t0.elapsed().as_micros() as u64;
+                latencies.push(clock_us - arrival_us);
+            }
+        }
+        latencies.sort_unstable();
+        let mean = latencies.iter().sum::<u64>() / latencies.len() as u64;
+        let p95 = latencies[latencies.len() * 95 / 100];
+        table.row(&[
+            policy.into(),
+            fmt_duration(Duration::from_micros(mean)),
+            fmt_duration(Duration::from_micros(p95)),
+            fmt_duration(Duration::from_micros(backlog_done_at.unwrap_or(0))),
+        ]);
+    }
+    table.print();
+}
+
+// ---------------------------------------------------------------------
+// F1 — Figure 1: the overview pipeline and time-to-value
+// ---------------------------------------------------------------------
+
+fn f1_pipeline() {
+    const N: usize = 1500;
+    let mut corpus = Corpus::new(1);
+    let mut mixed: Vec<(u8, String)> = Vec::new();
+    for i in 0..N {
+        mixed.push(match i % 3 {
+            0 => (0, corpus.transcript()),
+            1 => (1, corpus.claim_json()),
+            _ => (2, corpus.email()),
+        });
+    }
+
+    // Impliance: no preparation, ingest everything, query immediately.
+    let imp = Impliance::boot(ApplianceConfig::default());
+    let t0 = Instant::now();
+    for (kind, body) in &mixed {
+        match kind {
+            0 => imp.ingest_text("transcripts", body).map(|_| ()).unwrap(),
+            1 => imp.ingest_json("claims", body).map(|_| ()).unwrap(),
+            _ => imp.ingest_email("mail", body).map(|_| ()).unwrap(),
+        }
+    }
+    let ingest_time = t0.elapsed();
+    // SQL answer available immediately (value index is synchronous):
+    let t_sql = Instant::now();
+    let sql_rows = imp.sql("SELECT COUNT(*) AS n FROM claims WHERE amount > 1000").unwrap();
+    let sql_latency = t_sql.elapsed();
+    // keyword answers appear after the asynchronous text-index pass:
+    let t_idx = Instant::now();
+    imp.run_indexing(None);
+    let index_time = t_idx.elapsed();
+    let hits = imp.search("bumper", 10).len();
+    // discovery deepens answers further:
+    let t_disc = Instant::now();
+    imp.run_discovery(None);
+    imp.run_indexing(None);
+    let discovery_time = t_disc.elapsed();
+    let entities = views::entity_view(&imp).unwrap().len();
+
+    // RDBMS baseline: schema design gates everything; text is rejected.
+    let mut db = MiniRdbms::new();
+    let t1 = Instant::now();
+    db.create_table(TableSchema {
+        name: "claims".into(),
+        columns: vec![
+            ("claimant".into(), ColumnType::Text),
+            ("amount".into(), ColumnType::Float),
+        ],
+    });
+    db.create_index("claims", "amount").unwrap();
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    for (kind, body) in &mixed {
+        if *kind == 1 {
+            // a human-written loader extracts two fields from the JSON
+            let parsed = impliance_docmodel::json::parse(body).unwrap();
+            let claimant = parsed.get_str_path("claimant").unwrap().as_value().unwrap().clone();
+            let amount = parsed
+                .get_str_path("amount")
+                .unwrap()
+                .as_value()
+                .unwrap()
+                .as_f64()
+                .unwrap();
+            db.insert("claims", vec![claimant, Value::Float(amount)]).unwrap();
+            accepted += 1;
+        } else {
+            rejected += 1; // transcripts and e-mail have no table
+        }
+    }
+    let rdbms_time = t1.elapsed();
+
+    let mut t = Table::new(
+        "F1 — Figure 1 pipeline: ingest→query→discover (1500 mixed documents)",
+        &["stage", "impliance", "mini-rdbms"],
+    );
+    t.row(&[
+        "setup (admin ops)".into(),
+        imp.admin_ops().to_string(),
+        format!("{} (schema+index design)", db.admin_ops()),
+    ]);
+    t.row(&[
+        "documents accepted".into(),
+        format!("{N}/{N} (all formats)"),
+        format!("{accepted}/{N} ({rejected} rejected)"),
+    ]);
+    t.row(&["ingest time".into(), fmt_duration(ingest_time), fmt_duration(rdbms_time)]);
+    t.row(&[
+        "SQL usable".into(),
+        format!("immediately ({} in {})", sql_rows.rows()[0].get("n").render(), fmt_duration(sql_latency)),
+        "after schema design".into(),
+    ]);
+    t.row(&[
+        "keyword search usable".into(),
+        format!("after async index ({}) — {} hits for 'bumper'", fmt_duration(index_time), hits),
+        "never (content unsearchable)".into(),
+    ]);
+    t.row(&[
+        "discovered entity rows".into(),
+        format!("{entities} (after {} discovery)", fmt_duration(discovery_time)),
+        "0".into(),
+    ]);
+    t.print();
+}
+
+// ---------------------------------------------------------------------
+// F2 — Figure 2: data modeling, annotation lag, and views
+// ---------------------------------------------------------------------
+
+fn f2_views() {
+    let imp = Impliance::boot(ApplianceConfig::default());
+    let mut corpus = Corpus::new(2);
+    let schema = Corpus::po_schema();
+    for _ in 0..500 {
+        imp.ingest_row(&schema, corpus.purchase_order_row(20)).unwrap();
+    }
+    for _ in 0..300 {
+        imp.ingest_text("transcripts", &corpus.transcript()).unwrap();
+    }
+
+    let mut t = Table::new(
+        "F2 — Figure 2 data modeling: rows → documents → annotations → views",
+        &["observable", "value"],
+    );
+    // immediate SQL over freshly ingested rows
+    let q = Instant::now();
+    let rows = imp.sql("SELECT COUNT(*) AS n FROM orders").unwrap();
+    t.row(&[
+        "SQL over rows pre-discovery".into(),
+        format!("COUNT(*) = {} in {}", rows.rows()[0].get("n").render(), fmt_duration(q.elapsed())),
+    ]);
+    t.row(&[
+        "entity view rows pre-discovery".into(),
+        views::entity_view(&imp).unwrap().len().to_string(),
+    ]);
+    // annotation lag: drain discovery in budgeted steps
+    let mut steps = 0;
+    let t0 = Instant::now();
+    while imp.discovery_backlog() > 0 {
+        imp.run_discovery(Some(100));
+        imp.run_indexing(None);
+        steps += 1;
+    }
+    let lag = t0.elapsed();
+    let entity_rows = views::entity_view(&imp).unwrap();
+    let sentiment_rows = views::sentiment_view(&imp).unwrap();
+    t.row(&["background drain".into(), format!("{steps} steps, {}", fmt_duration(lag))]);
+    t.row(&["entity view rows post-discovery".into(), entity_rows.len().to_string()]);
+    t.row(&["sentiment view rows".into(), sentiment_rows.len().to_string()]);
+    // view joined back to base data
+    let joined = views::entities_with_base(&imp, "total").unwrap();
+    let with_base = joined.iter().filter(|r| !r.get("base_total").is_null()).count();
+    t.row(&[
+        "entity rows joined to base total".into(),
+        format!("{with_base}/{} carry a base value", joined.len()),
+    ]);
+    // annotations queryable by plain SQL
+    let ann = imp.sql("SELECT COUNT(*) AS n FROM annotations.entities").unwrap();
+    t.row(&[
+        "SQL over annotation collection".into(),
+        format!("COUNT(*) = {}", ann.rows()[0].get("n").render()),
+    ]);
+    t.print();
+}
+
+// ---------------------------------------------------------------------
+// F3 — Figure 3: cluster scale-out (data vs grid, independently)
+// ---------------------------------------------------------------------
+
+fn f3_scaleout() {
+    // The harness host may have a single CPU core, so wall-clock time
+    // cannot exhibit rack parallelism. Instead each simulated node
+    // measures its own busy time and the harness reports the *simulated
+    // makespan*: max over nodes of per-node busy time (every node of the
+    // paper's rack owns its own CPU). Total work is also shown so the
+    // reader can verify work conservation.
+    const DOCS: usize = 12_000;
+    let mut t = Table::new(
+        "F3 — Figure 3 scale-out: simulated scan makespan vs data nodes (12k docs)",
+        &["data nodes", "total work", "makespan", "speedup", "balance (max/min)", "net bytes"],
+    );
+    let mut base: Option<Duration> = None;
+    for d in [1usize, 2, 4, 8, 16] {
+        let app = ClusterImpliance::boot(ApplianceConfig {
+            data_nodes: d,
+            grid_nodes: 1,
+            replication: 1,
+            ..ApplianceConfig::default()
+        });
+        let mut corpus = Corpus::new(3);
+        for _ in 0..DOCS {
+            app.ingest_json("orders", &corpus.order_json(50)).unwrap();
+        }
+        app.runtime().network().reset_metrics();
+        let req = ScanRequest::filtered(Predicate::Contains("sku".into(), "bx".into()));
+        // per-node busy time for the same scan
+        let mut node_times = Vec::new();
+        let mut total_docs = 0usize;
+        for node in app.runtime().nodes_of_kind(NodeKind::Data) {
+            let req = req.clone();
+            let handle = app
+                .runtime()
+                .submit_to(node, 64, move |ctx| {
+                    let state = ctx
+                        .state
+                        .downcast_ref::<impliance_query::dist::DataNodeState>()
+                        .unwrap();
+                    // min of 3 runs de-noises the per-node busy time
+                    let mut best = Duration::MAX;
+                    let mut docs = 0usize;
+                    for _ in 0..3 {
+                        let t = Instant::now();
+                        let r = state.storage.scan(&req).unwrap();
+                        best = best.min(t.elapsed());
+                        docs = r.metrics.docs_scanned as usize;
+                        ctx.network.transmit(
+                            ctx.id,
+                            impliance_cluster::NodeId(u32::MAX),
+                            r.metrics.bytes_returned,
+                        );
+                    }
+                    (best, docs)
+                })
+                .unwrap();
+            let (busy, docs) = handle.join().unwrap();
+            node_times.push(busy);
+            total_docs += docs;
+        }
+        assert_eq!(total_docs, DOCS);
+        let total: Duration = node_times.iter().sum();
+        let makespan = *node_times.iter().max().unwrap();
+        let min = *node_times.iter().min().unwrap();
+        let speedup = base.get_or_insert(makespan).as_secs_f64() / makespan.as_secs_f64();
+        t.row(&[
+            d.to_string(),
+            fmt_duration(total),
+            fmt_duration(makespan),
+            format!("{speedup:.2}x"),
+            format!("{:.2}", makespan.as_secs_f64() / min.as_secs_f64().max(1e-9)),
+            fmt_bytes(app.runtime().network().metrics().bytes),
+        ]);
+    }
+    t.print();
+
+    // grid compute: same busy-time model; 24 equal tasks round-robined
+    let mut t2 = Table::new(
+        "F3 — grid compute scaling: 24 analytic tasks, simulated makespan vs grid nodes",
+        &["grid nodes", "total work", "makespan", "speedup"],
+    );
+    let mut base2: Option<Duration> = None;
+    for g in [1usize, 2, 4, 8] {
+        let app = ClusterImpliance::boot(ApplianceConfig {
+            data_nodes: 1,
+            grid_nodes: g,
+            replication: 1,
+            ..ApplianceConfig::default()
+        });
+        // submit one task at a time so each busy-time sample runs
+        // uncontended on the single benchmarking core; the makespan model
+        // then assigns the samples to their nodes
+        let mut per_node: std::collections::HashMap<impliance_cluster::NodeId, Duration> =
+            Default::default();
+        for i in 0..24 {
+            let handle = app
+                .runtime()
+                .submit_to_kind(NodeKind::Grid, 64, move |ctx| {
+                    let t = Instant::now();
+                    let mut v: Vec<u64> = (0..300_000u64)
+                        .map(|x| x.wrapping_mul(0x9E3779B9).rotate_left((i % 13) as u32))
+                        .collect();
+                    v.sort_unstable();
+                    (ctx.id, t.elapsed(), v[0])
+                })
+                .unwrap();
+            let (node, busy, _) = handle.join().unwrap();
+            *per_node.entry(node).or_default() += busy;
+        }
+        let total: Duration = per_node.values().sum();
+        let makespan = *per_node.values().max().unwrap();
+        let speedup = base2.get_or_insert(makespan).as_secs_f64() / makespan.as_secs_f64();
+        t2.row(&[
+            g.to_string(),
+            fmt_duration(total),
+            fmt_duration(makespan),
+            format!("{speedup:.2}x"),
+        ]);
+    }
+    t2.print();
+
+    // the mixed pipeline: data → grid → cluster
+    let app = ClusterImpliance::boot(ApplianceConfig {
+        data_nodes: 4,
+        grid_nodes: 2,
+        cluster_nodes: 3,
+        replication: 1,
+        ..ApplianceConfig::default()
+    });
+    let mut corpus = Corpus::new(4);
+    for _ in 0..1000 {
+        app.ingest_json("orders", &corpus.order_json(20)).unwrap();
+    }
+    let req = ScanRequest {
+        predicate: None,
+        projection: Projection::All,
+        aggregate: Some(AggSpec {
+            group_by: Some("cust".into()),
+            func: AggFunc::Sum,
+            operand: Some("amount".into()),
+        }),
+        limit: None,
+    };
+    let t0 = Instant::now();
+    let groups = app.pipeline_query(&req).unwrap();
+    let mut t3 = Table::new(
+        "F3 — mixed query pipeline (scan on data → aggregate on grid → commit on cluster)",
+        &["observable", "value"],
+    );
+    t3.row(&["groups committed".into(), groups.to_string()]);
+    t3.row(&["pipeline latency".into(), fmt_duration(t0.elapsed())]);
+    t3.row(&["cluster 2PC log entries".into(), app.group().log().len().to_string()]);
+    t3.print();
+}
+
+// ---------------------------------------------------------------------
+// F4 — Figure 4: the comparison matrix, measured
+// ---------------------------------------------------------------------
+
+fn f4_comparison() {
+    // set every system up for the same small workload
+    let imp = Impliance::boot(ApplianceConfig::default());
+    let mut corpus = Corpus::new(5);
+    let schema = Corpus::po_schema();
+    for _ in 0..200 {
+        imp.ingest_row(&schema, corpus.purchase_order_row(10)).unwrap();
+        imp.ingest_text("transcripts", &corpus.transcript()).unwrap();
+    }
+    imp.quiesce();
+
+    let mut db = MiniRdbms::new();
+    db.create_table(TableSchema {
+        name: "orders".into(),
+        columns: vec![
+            ("order_id".into(), ColumnType::Int),
+            ("cust".into(), ColumnType::Text),
+            ("sku".into(), ColumnType::Text),
+            ("qty".into(), ColumnType::Int),
+            ("total".into(), ColumnType::Float),
+        ],
+    });
+    db.create_index("orders", "cust").unwrap();
+    let mut corpus2 = Corpus::new(5);
+    for _ in 0..200 {
+        db.insert("orders", corpus2.purchase_order_row(10)).unwrap();
+    }
+
+    let mut cs = ContentStore::new();
+    cs.register_template(&["author", "date"]);
+    let mut corpus3 = Corpus::new(5);
+    for i in 0..200 {
+        cs.store(corpus3.transcript().as_bytes(), &[("author", "agent"), ("date", "2006-11-03")])
+            .unwrap_or_else(|_| panic!("store {i}"));
+    }
+
+    let mut fs = FsStore::new();
+    let mut corpus4 = Corpus::new(5);
+    for i in 0..200 {
+        fs.put(&format!("t{i}.txt"), corpus4.transcript().as_bytes());
+    }
+
+    let mut bi = BiAppliance::boot(8);
+    bi.create_table(TableSchema {
+        name: "orders".into(),
+        columns: vec![
+            ("order_id".into(), ColumnType::Int),
+            ("cust".into(), ColumnType::Text),
+            ("sku".into(), ColumnType::Text),
+            ("qty".into(), ColumnType::Int),
+            ("total".into(), ColumnType::Float),
+        ],
+    });
+    let mut corpus5 = Corpus::new(5);
+    for _ in 0..200 {
+        bi.insert("orders", corpus5.purchase_order_row(10)).unwrap();
+    }
+
+    let systems: Vec<&dyn InfoSystem> = vec![&imp, &bi, &db, &cs, &fs];
+    let mut t = Table::new(
+        "F4 — Figure 4 comparison: capability matrix (✓ = supported)",
+        &["capability", "impliance", "bi-appliance", "mini-rdbms", "content-store", "fs-store"],
+    );
+    for cap in ALL_CAPABILITIES {
+        let mut cells = vec![cap.name().to_string()];
+        for s in &systems {
+            cells.push(if s.supports(*cap) { "✓".into() } else { "-".into() });
+        }
+        t.row(&cells);
+    }
+    t.print();
+
+    let mut t2 = Table::new(
+        "F4 — Figure 4 axes, measured (same 400-item workload)",
+        &["system", "query power", "TCO (admin ops)", "scalability"],
+    );
+    for s in &systems {
+        let scal = match (s.scales_out(), s.system_name()) {
+            (true, "impliance") => "scale-out, all data (see F3)",
+            (true, _) => "scale-out, relational only",
+            (false, _) => "single node",
+        };
+        t2.row(&[
+            s.system_name().to_string(),
+            format!("{:.0}%", s.power_score() * 100.0),
+            s.admin_ops().to_string(),
+            scal.to_string(),
+        ]);
+    }
+    t2.print();
+}
+
+// ---------------------------------------------------------------------
+// C1 — simple planner vs cost-based optimizer
+// ---------------------------------------------------------------------
+
+fn c1_planner() {
+    // Fresh statistics, then a distribution shift the optimizer does not
+    // see: the cost-based planner keeps an indexed nested-loop join that
+    // was optimal when `cust = 'C-7'` matched ~100 rows but is
+    // catastrophic when it matches 6100; the simple planner's fixed rule
+    // (no limit → hash join) is never optimal and never catastrophic —
+    // §3.3's "predictable performance (as opposed to optimal
+    // performance)". Compression is off so random index probes are not
+    // charged block decompression — the comparison isolates plan shape.
+    let imp = Impliance::boot(ApplianceConfig { compression: false, ..ApplianceConfig::default() });
+    let po = Corpus::po_schema();
+    let cu = Corpus::customer_schema();
+    let mut corpus = Corpus::new(6);
+    for _ in 0..4000 {
+        imp.ingest_row(&po, corpus.purchase_order_row(2000)).unwrap();
+    }
+    for c in 0..8000 {
+        imp.ingest_row(&cu, corpus.customer_row(c % 2000)).unwrap();
+    }
+    let fresh_stats = imp.storage().stats();
+    let counts = std::collections::HashMap::from([
+        ("orders".to_string(), 4000u64),
+        ("customers".to_string(), 8000u64),
+    ]);
+    let optimizer = CostOptimizer::new(fresh_stats, counts);
+    let simple = SimplePlanner::new();
+    let sql = "SELECT o.order_id, c.name FROM orders o JOIN customers c ON o.cust = c.code \
+               WHERE o.qty <= 2";
+    let t0 = Instant::now();
+    let simple_plan = simple.plan(parse_sql(sql).unwrap());
+    let simple_plan_time = t0.elapsed();
+    let t1 = Instant::now();
+    let cost_plan = optimizer.optimize(parse_sql(sql).unwrap()).plan;
+    let cost_plan_time = t1.elapsed();
+
+    let run = |plan: &impliance_query::LogicalPlan| -> (Duration, usize) {
+        let ctx = impliance_query::ExecContext {
+            storage: imp.storage(),
+            text_index: imp.text_index(),
+            value_index: imp.value_index(),
+            join_index: imp.join_index(),
+            pushdown: true,
+        };
+        let t = Instant::now();
+        let (out, _) = impliance_query::exec::execute(&ctx, plan).unwrap();
+        (t.elapsed(), out.len())
+    };
+
+    let (simple_fresh, n1) = run(&simple_plan);
+    let (cost_fresh, n2) = run(&cost_plan);
+    assert_eq!(n1, n2);
+
+    // distribution shift the snapshot does not see: a flood of qty=1
+    // orders makes the once-selective predicate match most of the table
+    for _ in 0..6000 {
+        let mut row = corpus.purchase_order_row(2000);
+        row[3] = Value::Int(1);
+        imp.ingest_row(&po, row).unwrap();
+    }
+    // the cost-based system re-plans against its (now stale) statistics
+    // and reaches the same plan; the simple planner had no statistics to
+    // go stale
+    let (simple_stale, n3) = run(&simple_plan);
+    let (cost_stale, n4) = run(&cost_plan);
+    assert_eq!(n3, n4);
+
+    let mut table = Table::new(
+        "C1 — simple planner vs cost-based optimizer across a distribution shift",
+        &["planner", "plan time", "plan", "exec (fresh stats)", "exec (stale stats)", "degradation"],
+    );
+    table.row(&[
+        "simple".into(),
+        fmt_duration(simple_plan_time),
+        simple_plan.describe(),
+        fmt_duration(simple_fresh),
+        fmt_duration(simple_stale),
+        format!("{:.1}x", simple_stale.as_secs_f64() / simple_fresh.as_secs_f64()),
+    ]);
+    table.row(&[
+        "cost-based".into(),
+        fmt_duration(cost_plan_time),
+        cost_plan.describe(),
+        fmt_duration(cost_fresh),
+        fmt_duration(cost_stale),
+        format!("{:.1}x", cost_stale.as_secs_f64() / cost_fresh.as_secs_f64()),
+    ]);
+    table.print();
+    println!(
+        "rows matched: {n1} before the shift, {n3} after. The cost-based plan was chosen\n\
+         for the fresh distribution; after the shift its probe count explodes with\n\
+         the data while the simple planner's fixed hash join degrades only linearly\n\
+         — the predictable-over-optimal argument of \u{00a7}3.3, measured.\n"
+    );
+}
+
+// ---------------------------------------------------------------------
+// C2 — push-down vs no push-down (bytes over the simulated network)
+// ---------------------------------------------------------------------
+
+fn c2_pushdown() {
+    const DOCS: usize = 4000;
+    let app = ClusterImpliance::boot(ApplianceConfig {
+        data_nodes: 4,
+        grid_nodes: 1,
+        replication: 1,
+        ..ApplianceConfig::default()
+    });
+    let mut corpus = Corpus::new(7);
+    for _ in 0..DOCS {
+        app.ingest_json("orders", &corpus.order_json(50)).unwrap();
+    }
+    let mut t = Table::new(
+        "C2 — predicate/aggregation push-down vs shipping whole documents (4000 docs)",
+        &["query", "mode", "net bytes", "reduction", "latency"],
+    );
+    let selective = Predicate::Gt("amount".into(), Value::Int(950)); // ~5%
+    // filter push-down
+    for (mode, req) in [
+        ("pushdown", ScanRequest::filtered(selective.clone())),
+        ("ship-all", ScanRequest::full()),
+    ] {
+        app.runtime().network().reset_metrics();
+        let t0 = Instant::now();
+        let res = app.scan(&req).unwrap();
+        let elapsed = t0.elapsed();
+        let bytes = app.runtime().network().metrics().bytes;
+        // in ship-all mode the coordinator filters afterwards
+        let matching = if mode == "ship-all" {
+            res.documents.iter().filter(|d| selective.matches(d)).count()
+        } else {
+            res.documents.len()
+        };
+        t.row(&[
+            "filter amount>950".into(),
+            mode.into(),
+            fmt_bytes(bytes),
+            format!("matches={matching}"),
+            fmt_duration(elapsed),
+        ]);
+    }
+    // aggregation push-down
+    let agg_req = ScanRequest {
+        predicate: None,
+        projection: Projection::All,
+        aggregate: Some(AggSpec {
+            group_by: Some("cust".into()),
+            func: AggFunc::Sum,
+            operand: Some("amount".into()),
+        }),
+        limit: None,
+    };
+    app.runtime().network().reset_metrics();
+    let t0 = Instant::now();
+    let groups = app.aggregate(&agg_req).unwrap();
+    let push_bytes = app.runtime().network().metrics().bytes;
+    let push_time = t0.elapsed();
+    app.runtime().network().reset_metrics();
+    let t1 = Instant::now();
+    let res = app.scan(&ScanRequest::full()).unwrap();
+    let mut coord_groups: std::collections::BTreeMap<String, f64> = Default::default();
+    for d in &res.documents {
+        let cust = d.get_str_path("cust").and_then(|n| n.as_value()).map(|v| v.render());
+        let amount =
+            d.get_str_path("amount").and_then(|n| n.as_value()).and_then(|v| v.as_f64());
+        if let (Some(c), Some(a)) = (cust, amount) {
+            *coord_groups.entry(c).or_insert(0.0) += a;
+        }
+    }
+    let ship_bytes = app.runtime().network().metrics().bytes;
+    let ship_time = t1.elapsed();
+    assert_eq!(groups.len(), coord_groups.len());
+    t.row(&[
+        "sum(amount) by cust".into(),
+        "pushdown".into(),
+        fmt_bytes(push_bytes),
+        format!("{} groups", groups.len()),
+        fmt_duration(push_time),
+    ]);
+    t.row(&[
+        "sum(amount) by cust".into(),
+        "ship-all".into(),
+        fmt_bytes(ship_bytes),
+        format!("{} groups", coord_groups.len()),
+        fmt_duration(ship_time),
+    ]);
+    t.print();
+}
+
+// ---------------------------------------------------------------------
+// C3 — asynchronous vs synchronous (transactional) indexing
+// ---------------------------------------------------------------------
+
+fn c3_async_indexing() {
+    const N: usize = 3000;
+    let mut t = Table::new(
+        "C3 — ingest throughput: async background indexing vs index-in-transaction",
+        &["mode", "ingest time", "docs/s", "backlog after ingest", "drain time"],
+    );
+    for sync in [false, true] {
+        let imp = Impliance::boot(ApplianceConfig {
+            synchronous_indexing: sync,
+            ..ApplianceConfig::default()
+        });
+        let mut corpus = Corpus::new(8);
+        let docs: Vec<String> = (0..N).map(|_| corpus.transcript()).collect();
+        let t0 = Instant::now();
+        for d in &docs {
+            imp.ingest_text("transcripts", d).unwrap();
+        }
+        let ingest = t0.elapsed();
+        let backlog = imp.indexing_backlog();
+        let t1 = Instant::now();
+        imp.run_indexing(None);
+        let drain = t1.elapsed();
+        // answers identical either way
+        assert!(!imp.search("transcript", 10).is_empty());
+        t.row(&[
+            if sync { "synchronous" } else { "asynchronous" }.into(),
+            fmt_duration(ingest),
+            format!("{:.0}", N as f64 / ingest.as_secs_f64()),
+            backlog.to_string(),
+            fmt_duration(drain),
+        ]);
+    }
+    t.print();
+}
+
+// ---------------------------------------------------------------------
+// C4 — top-k: indexed nested-loop vs hash join crossover
+// ---------------------------------------------------------------------
+
+fn c4_topk_join() {
+    const ORDERS: usize = 20_000;
+    const CUSTOMERS: u32 = 2000;
+    let imp = Impliance::boot(ApplianceConfig::default());
+    let mut corpus = Corpus::new(9);
+    let po = Corpus::po_schema();
+    let cu = Corpus::customer_schema();
+    for _ in 0..ORDERS {
+        imp.ingest_row(&po, corpus.purchase_order_row(CUSTOMERS)).unwrap();
+    }
+    for c in 0..CUSTOMERS {
+        imp.ingest_row(&cu, corpus.customer_row(c)).unwrap();
+    }
+    // materialize both sides once (tuples)
+    let orders: Vec<Tuple> = imp
+        .storage()
+        .scan(&ScanRequest::filtered(Predicate::CollectionIs("orders".into())))
+        .unwrap()
+        .documents
+        .into_iter()
+        .map(|d| Tuple::single("o", Arc::new(d)))
+        .collect();
+    let customers: Vec<Tuple> = imp
+        .storage()
+        .scan(&ScanRequest::filtered(Predicate::CollectionIs("customers".into())))
+        .unwrap()
+        .documents
+        .into_iter()
+        .map(|d| Tuple::single("c", Arc::new(d)))
+        .collect();
+    let lk = ("o".to_string(), "cust".to_string());
+    let rk = ("c".to_string(), "code".to_string());
+    let storage = imp.storage();
+    let fetch = |id: DocId| storage.get_latest(id).ok().flatten().map(Arc::new);
+
+    let mut t = Table::new(
+        "C4 — top-k join: indexed nested-loop vs hash (20k orders ⋈ 2k customers)",
+        &["k", "indexed NL", "hash join", "winner"],
+    );
+    for k in [1usize, 10, 100, 1000, 10_000, usize::MAX] {
+        let t0 = Instant::now();
+        let inl = joins::indexed_nl_join(
+            orders.clone(),
+            imp.value_index(),
+            "c",
+            "code",
+            &lk,
+            &fetch,
+            if k == usize::MAX { None } else { Some(k) },
+        );
+        let inl_time = t0.elapsed();
+        let t1 = Instant::now();
+        let mut hashed = joins::hash_join(orders.clone(), customers.clone(), &lk, &rk);
+        hashed.truncate(k);
+        let hash_time = t1.elapsed();
+        assert_eq!(inl.len().min(k), hashed.len().min(k));
+        let label = if k == usize::MAX { "all".to_string() } else { k.to_string() };
+        t.row(&[
+            label,
+            fmt_duration(inl_time),
+            fmt_duration(hash_time),
+            if inl_time < hash_time { "indexed NL" } else { "hash" }.into(),
+        ]);
+    }
+    t.print();
+}
+
+// ---------------------------------------------------------------------
+// C5 — autonomous failure recovery
+// ---------------------------------------------------------------------
+
+fn c5_failover() {
+    const DOCS: usize = 4000;
+    let mut t = Table::new(
+        "C5 — data-node failure: autonomous re-replication (4000 docs, 6 data nodes)",
+        &["replication", "recovery time", "docs repaired", "bytes copied", "docs lost", "scan after"],
+    );
+    for replication in [1usize, 2, 3] {
+        let app = ClusterImpliance::boot(ApplianceConfig {
+            data_nodes: 6,
+            grid_nodes: 1,
+            replication,
+            ..ApplianceConfig::default()
+        });
+        let mut corpus = Corpus::new(10);
+        for _ in 0..DOCS {
+            app.ingest_json("orders", &corpus.order_json(50)).unwrap();
+        }
+        let victim = app.runtime().nodes_of_kind(NodeKind::Data)[2];
+        let t0 = Instant::now();
+        let report = app.kill_data_node(victim).unwrap();
+        let recovery = t0.elapsed();
+        let visible = app.scan(&ScanRequest::full()).unwrap().documents.len();
+        t.row(&[
+            replication.to_string(),
+            fmt_duration(recovery),
+            report.docs_repaired.to_string(),
+            fmt_bytes(report.bytes_copied),
+            report.docs_lost.to_string(),
+            format!("{visible}/{DOCS}"),
+        ]);
+    }
+    t.print();
+}
+
+// ---------------------------------------------------------------------
+// C6 — versioning overhead vs in-place updates
+// ---------------------------------------------------------------------
+
+fn c6_versioning() {
+    const DOCS: u64 = 2000;
+    const UPDATES: u64 = 4; // versions per doc beyond v1
+    let imp = Impliance::boot(ApplianceConfig::default());
+    let mut corpus = Corpus::new(11);
+    let mut ids = Vec::new();
+    for _ in 0..DOCS {
+        ids.push(imp.ingest_json("claims", &corpus.claim_json()).unwrap());
+    }
+    let base_bytes = {
+        imp.storage().seal_all();
+        imp.storage().stored_bytes()
+    };
+    let t0 = Instant::now();
+    for round in 0..UPDATES {
+        for &id in &ids {
+            let doc = imp.get(id).unwrap().unwrap();
+            let mut root = doc.root().clone();
+            root.set(
+                &impliance_docmodel::Path::parse("amount"),
+                impliance_docmodel::Node::scalar(corpus.int_in(50, 5000)),
+            );
+            root.set(
+                &impliance_docmodel::Path::parse("revision"),
+                impliance_docmodel::Node::scalar(round as i64 + 1),
+            );
+            imp.update(id, root).unwrap();
+        }
+    }
+    let update_time = t0.elapsed();
+    imp.storage().seal_all();
+    let full_bytes = imp.storage().stored_bytes();
+
+    // point-in-time and latest read costs
+    let t1 = Instant::now();
+    for &id in ids.iter().take(500) {
+        imp.get(id).unwrap().unwrap();
+    }
+    let latest_read = t1.elapsed() / 500;
+    let t2 = Instant::now();
+    for &id in ids.iter().take(500) {
+        imp.get_version(id, impliance_docmodel::Version(1)).unwrap().unwrap();
+    }
+    let old_read = t2.elapsed() / 500;
+
+    let mut t = Table::new(
+        "C6 — immutable versioning (2000 docs × 5 versions) vs in-place baseline",
+        &["observable", "value"],
+    );
+    t.row(&["stored versions".into(), imp.storage().total_versions().to_string()]);
+    t.row(&["live documents".into(), imp.storage().live_docs().to_string()]);
+    t.row(&["bytes after v1 only".into(), fmt_bytes(base_bytes as u64)]);
+    t.row(&[
+        "bytes with full history".into(),
+        format!(
+            "{} ({:.2}x write amplification vs in-place)",
+            fmt_bytes(full_bytes as u64),
+            full_bytes as f64 / base_bytes as f64
+        ),
+    ]);
+    t.row(&["update throughput".into(), format!(
+        "{:.0} versions/s",
+        (DOCS * UPDATES) as f64 / update_time.as_secs_f64()
+    )]);
+    t.row(&["latest-version read".into(), fmt_duration(latest_read)]);
+    t.row(&["point-in-time read (v1)".into(), fmt_duration(old_read)]);
+    t.row(&[
+        "history available".into(),
+        format!("{} versions per doc (in-place baseline: 1)", 1 + UPDATES),
+    ]);
+    t.print();
+}
+
+// ---------------------------------------------------------------------
+// C7 — storage-node compression
+// ---------------------------------------------------------------------
+
+fn c7_compression() {
+    const DOCS: u64 = 4000;
+    let mut t = Table::new(
+        "C7 — compression inside the storage node (4000 text-heavy docs)",
+        &["compression", "stored bytes", "ratio", "ingest time", "full-scan time"],
+    );
+    let mut raw_bytes = 0usize;
+    for compression in [false, true] {
+        let engine = StorageEngine::new(StorageOptions {
+            partitions: 4,
+            seal_threshold: 256,
+            compression, encryption_key: None });
+        let mut corpus = Corpus::new(12);
+        let t0 = Instant::now();
+        for i in 0..DOCS {
+            let d = impliance_docmodel::text_to_document(
+                DocId(i),
+                "transcripts",
+                &corpus.transcript(),
+                0,
+            );
+            engine.put(&d).unwrap();
+        }
+        engine.seal_all();
+        let ingest = t0.elapsed();
+        let stored = engine.stored_bytes();
+        if !compression {
+            raw_bytes = stored;
+        }
+        let t1 = Instant::now();
+        let res = engine.scan(&ScanRequest::full()).unwrap();
+        assert_eq!(res.documents.len(), DOCS as usize);
+        let scan = t1.elapsed();
+        t.row(&[
+            if compression { "on" } else { "off" }.into(),
+            fmt_bytes(stored as u64),
+            format!("{:.2}x", raw_bytes as f64 / stored as f64),
+            fmt_duration(ingest),
+            fmt_duration(scan),
+        ]);
+    }
+    t.print();
+}
+
+// ---------------------------------------------------------------------
+// C8 — discovery pipeline scaling across workers (grid crew)
+// ---------------------------------------------------------------------
+
+fn c8_discovery() {
+    // Same simulated-makespan model as F3 (single-core host): the backlog
+    // is partitioned into equal worker shares; each share's busy time is
+    // measured uncontended; makespan = max share time.
+    const N: usize = 2000;
+    let mut t = Table::new(
+        "C8 — discovery makespan vs worker crew size (2000 transcripts)",
+        &["workers", "total work", "makespan", "docs/s (simulated)", "speedup"],
+    );
+    let mut base: Option<Duration> = None;
+    for workers in [1usize, 2, 4, 8] {
+        let imp = Impliance::boot(ApplianceConfig::default());
+        let mut corpus = Corpus::new(13);
+        for _ in 0..N {
+            imp.ingest_text("transcripts", &corpus.transcript()).unwrap();
+        }
+        let share = N / workers;
+        let mut share_times = Vec::new();
+        for w in 0..workers {
+            let budget = if w + 1 == workers { N - share * w } else { share };
+            let t0 = Instant::now();
+            let done = imp.run_discovery(Some(budget));
+            share_times.push(t0.elapsed());
+            assert_eq!(done, budget);
+        }
+        assert_eq!(imp.discovery_stats().docs_processed, N as u64);
+        let total: Duration = share_times.iter().sum();
+        let makespan = *share_times.iter().max().unwrap();
+        let speedup = base.get_or_insert(makespan).as_secs_f64() / makespan.as_secs_f64();
+        t.row(&[
+            workers.to_string(),
+            fmt_duration(total),
+            fmt_duration(makespan),
+            format!("{:.0}", N as f64 / makespan.as_secs_f64()),
+            format!("{speedup:.2}x"),
+        ]);
+    }
+    t.print();
+
+    // stage breakdown on one worker
+    let imp = Impliance::boot(ApplianceConfig::default());
+    let mut corpus = Corpus::new(14);
+    for _ in 0..500 {
+        imp.ingest_text("transcripts", &corpus.transcript()).unwrap();
+    }
+    let t0 = Instant::now();
+    imp.run_discovery(None);
+    let disc = t0.elapsed();
+    let t1 = Instant::now();
+    imp.run_indexing(None);
+    let idx = t1.elapsed();
+    let stats = imp.discovery_stats();
+    let mut t2 = Table::new("C8 — stage breakdown (500 transcripts)", &["stage", "value"]);
+    t2.row(&["intra+inter-document analysis".into(), fmt_duration(disc)]);
+    t2.row(&["annotation indexing (cluster persist)".into(), fmt_duration(idx)]);
+    t2.row(&["mentions extracted".into(), stats.mentions.to_string()]);
+    t2.row(&["relationships discovered".into(), stats.relationships.to_string()]);
+    t2.print();
+
+    let _ = SchemaMapper::default(); // referenced to keep the mapper in the harness's scope
+}

@@ -1,0 +1,232 @@
+//! Deterministic synthetic corpora for the §2.1 use cases.
+//!
+//! Everything is seeded: the same seed produces byte-identical corpora,
+//! so experiments are reproducible run to run.
+
+use impliance_docmodel::{RelationalSchema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use impliance_annotate::scan::{FIRST_NAMES, LOCATIONS};
+
+const SURNAMES: &[&str] = &[
+    "Anderson", "Baker", "Chen", "Davis", "Engel", "Fischer", "Garcia", "Hopper", "Ishikawa",
+    "Johnson", "Kim", "Lovelace", "Miller", "Nguyen", "Olsen", "Patel", "Quinn", "Rivera",
+    "Smith", "Turing",
+];
+
+const PRODUCTS: &[&str] = &["BX", "AX", "CW", "DZ", "MK"];
+
+const COMPLAINT_PHRASES: &[&str] = &[
+    "the unit arrived broken and I am very disappointed",
+    "this is my third complaint about the same problem",
+    "the part was late and the packaging was terrible",
+    "I want a refund because the device is defective",
+    "support was unhelpful and I am quite upset",
+];
+
+const PRAISE_PHRASES: &[&str] = &[
+    "the replacement works great and I am very happy",
+    "excellent service, thanks for the quick turnaround",
+    "I would recommend this product, it is reliable",
+    "the technician was helpful and I am pleased",
+    "wonderful experience overall, thanks again",
+];
+
+const NEUTRAL_PHRASES: &[&str] = &[
+    "please confirm the shipping address on file",
+    "the serial number is printed under the base plate",
+    "I am calling to check the status of my case",
+    "the manual mentions a firmware update procedure",
+];
+
+const DAMAGE_PARTS: &[&str] =
+    &["bumper", "hood", "windshield", "door panel", "mirror", "tail light"];
+
+/// Deterministic corpus generator.
+pub struct Corpus {
+    rng: StdRng,
+    next_customer: u32,
+}
+
+impl Corpus {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Corpus {
+        Corpus { rng: StdRng::seed_from_u64(seed), next_customer: 0 }
+    }
+
+    fn pick<'a>(&mut self, items: &[&'a str]) -> &'a str {
+        items[self.rng.gen_range(0..items.len())]
+    }
+
+    /// A person name drawn from the annotator-recognizable lexicons.
+    pub fn person(&mut self) -> String {
+        format!("{} {}", self.pick(FIRST_NAMES), self.pick(SURNAMES))
+    }
+
+    /// A product code like `BX-1042`.
+    pub fn product_code(&mut self) -> String {
+        format!("{}-{}", self.pick(PRODUCTS), self.rng.gen_range(100..9999))
+    }
+
+    /// A location from the gazetteer.
+    pub fn location(&mut self) -> String {
+        self.pick(LOCATIONS).to_string()
+    }
+
+    /// A customer code like `C-17`, cycling through `n_customers`.
+    pub fn customer_code(&mut self, n_customers: u32) -> String {
+        let c = self.next_customer % n_customers.max(1);
+        self.next_customer += 1;
+        format!("C-{c}")
+    }
+
+    /// §2.1.1: a call-center transcript mentioning a person, a product,
+    /// a location, and sentiment-bearing language.
+    pub fn transcript(&mut self) -> String {
+        let person = self.person();
+        let product = self.product_code();
+        let location = self.location();
+        let mood = self.rng.gen_range(0..3);
+        let phrase = match mood {
+            0 => self.pick(COMPLAINT_PHRASES),
+            1 => self.pick(PRAISE_PHRASES),
+            _ => self.pick(NEUTRAL_PHRASES),
+        };
+        format!(
+            "Call transcript: {person} calling from {location} about product {product}. \
+             Customer said: {phrase}. Follow up on {}-{:02}-{:02}.",
+            self.rng.gen_range(2005..2008),
+            self.rng.gen_range(1..13),
+            self.rng.gen_range(1..29),
+        )
+    }
+
+    /// §2.1.2: an insurance claim as JSON, with nested structure.
+    pub fn claim_json(&mut self) -> String {
+        let claimant = self.person();
+        let part = self.pick(DAMAGE_PARTS);
+        let amount = self.rng.gen_range(50..5000);
+        let make = self.pick(&["Volvo", "Saab", "Tesla", "Ford"]);
+        let city = self.location();
+        format!(
+            r#"{{"claimant": "{claimant}", "city": "{city}", "amount": {amount}, "vehicle": {{"make": "{make}", "year": {}}}, "notes": "Damage to the {part}; estimate covers parts and labor. {claimant} filed in {city}."}}"#,
+            self.rng.gen_range(1995..2007)
+        )
+    }
+
+    /// §2.1.3: an e-mail between employees, sometimes referencing a
+    /// contract partner.
+    pub fn email(&mut self) -> String {
+        let from = self.person().to_lowercase().replace(' ', ".");
+        let to = self.person().to_lowercase().replace(' ', ".");
+        let partner = self.pick(&["Acme Widgets Inc.", "Globex Corp", "Initech LLC"]);
+        let product = self.product_code();
+        format!(
+            "From: {from}@example.com\nTo: {to}@example.com\nSubject: {partner} contract\n\n\
+             Regarding our agreement with {partner}: the delivery of {product} is confirmed \
+             for next quarter. Keep this thread for the compliance archive.\n"
+        )
+    }
+
+    /// A purchase-order relational row matching [`Corpus::po_schema`].
+    pub fn purchase_order_row(&mut self, n_customers: u32) -> Vec<Value> {
+        vec![
+            Value::Int(self.rng.gen_range(1..1_000_000)),
+            Value::Str(self.customer_code(n_customers)),
+            Value::Str(self.product_code()),
+            Value::Int(self.rng.gen_range(1..20)),
+            Value::Float(f64::from(self.rng.gen_range(500..50_000)) / 100.0),
+        ]
+    }
+
+    /// The purchase-order table schema.
+    pub fn po_schema() -> RelationalSchema {
+        RelationalSchema::new("orders", &["order_id", "cust", "sku", "qty", "total"])
+    }
+
+    /// A customer master-data row matching [`Corpus::customer_schema`].
+    pub fn customer_row(&mut self, code: u32) -> Vec<Value> {
+        vec![
+            Value::Str(format!("C-{code}")),
+            Value::Str(self.person()),
+            Value::Str(self.location()),
+        ]
+    }
+
+    /// The customer table schema.
+    pub fn customer_schema() -> RelationalSchema {
+        RelationalSchema::new("customers", &["code", "name", "city"])
+    }
+
+    /// A flat order document as JSON (for cluster ingestion where the
+    /// relational path is not under test).
+    pub fn order_json(&mut self, n_customers: u32) -> String {
+        format!(
+            r#"{{"cust": "{}", "sku": "{}", "amount": {}}}"#,
+            self.customer_code(n_customers),
+            self.product_code(),
+            self.rng.gen_range(1..1000)
+        )
+    }
+
+    /// An integer in a range (exposed for sweeps).
+    pub fn int_in(&mut self, lo: i64, hi: i64) -> i64 {
+        self.rng.gen_range(lo..hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impliance_annotate::scan_entities;
+
+    #[test]
+    fn corpora_are_deterministic() {
+        let mut a = Corpus::new(7);
+        let mut b = Corpus::new(7);
+        assert_eq!(a.transcript(), b.transcript());
+        assert_eq!(a.claim_json(), b.claim_json());
+        assert_eq!(a.email(), b.email());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Corpus::new(1);
+        let mut b = Corpus::new(2);
+        assert_ne!(a.transcript(), b.transcript());
+    }
+
+    #[test]
+    fn transcripts_carry_recognizable_entities() {
+        let mut c = Corpus::new(42);
+        let t = c.transcript();
+        let kinds: Vec<_> = scan_entities(&t).into_iter().map(|m| m.kind).collect();
+        assert!(kinds.contains(&impliance_annotate::EntityKind::Person), "{t}");
+        assert!(kinds.contains(&impliance_annotate::EntityKind::ProductCode), "{t}");
+        assert!(kinds.contains(&impliance_annotate::EntityKind::Location), "{t}");
+    }
+
+    #[test]
+    fn claims_parse_as_json() {
+        let mut c = Corpus::new(9);
+        for _ in 0..50 {
+            let j = c.claim_json();
+            assert!(impliance_docmodel::json::parse(&j).is_ok(), "{j}");
+        }
+    }
+
+    #[test]
+    fn rows_match_schemas() {
+        let mut c = Corpus::new(3);
+        assert_eq!(c.purchase_order_row(10).len(), Corpus::po_schema().columns.len());
+        assert_eq!(c.customer_row(1).len(), Corpus::customer_schema().columns.len());
+    }
+
+    #[test]
+    fn customer_codes_cycle() {
+        let mut c = Corpus::new(3);
+        let codes: Vec<String> = (0..6).map(|_| c.customer_code(3)).collect();
+        assert_eq!(codes, vec!["C-0", "C-1", "C-2", "C-0", "C-1", "C-2"]);
+    }
+}

@@ -1,0 +1,318 @@
+//! Consistency groups: membership, heartbeats, primary election, and
+//! two-phase commit.
+//!
+//! §3.3: cluster nodes make "consistent locking and caching decisions on
+//! data within data consistency groups … being a part of a consistency
+//! group requires overhead for heartbeats and for reacting to nodes
+//! joining or leaving the group." The group here is tick-driven for
+//! deterministic tests: callers advance a logical clock, members record
+//! heartbeats, silence beyond the timeout suspects a member, and the
+//! primary is always the lowest-id alive member (bully-style).
+//!
+//! Consistent persistence of discovered structures (§3.3's "cluster nodes
+//! are responsible for persisting newly extracted structures … reliably
+//! and consistently") uses a two-phase commit across the alive members.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use parking_lot::Mutex;
+
+use crate::node::NodeId;
+
+/// Result of a two-phase commit attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommitOutcome {
+    /// All alive members prepared and committed.
+    Committed {
+        /// Members that acknowledged.
+        acks: Vec<NodeId>,
+    },
+    /// At least one member voted no; everyone rolled back.
+    Aborted {
+        /// Members that refused.
+        refused: Vec<NodeId>,
+    },
+    /// No members are alive.
+    NoMembers,
+}
+
+/// Membership changes surfaced by ticks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupEvent {
+    /// A member missed its heartbeat deadline and was suspected out.
+    MemberFailed(NodeId),
+    /// A member (re)joined.
+    MemberJoined(NodeId),
+    /// Primary changed to this node.
+    PrimaryChanged(NodeId),
+}
+
+#[derive(Debug)]
+struct Member {
+    last_heartbeat: u64,
+    alive: bool,
+    /// Failure injection: member votes "no" in 2PC prepare.
+    refuse_prepare: bool,
+}
+
+#[derive(Debug)]
+struct Inner {
+    members: BTreeMap<NodeId, Member>,
+    primary: Option<NodeId>,
+    timeout: u64,
+    now: u64,
+    /// Committed log entries (payload descriptions), for verification.
+    log: Vec<String>,
+    /// 2PC round counter (overhead accounting).
+    commit_rounds: u64,
+    heartbeats_seen: u64,
+}
+
+/// A data consistency group over cluster nodes.
+#[derive(Debug)]
+pub struct ConsistencyGroup {
+    inner: Mutex<Inner>,
+}
+
+impl ConsistencyGroup {
+    /// Create a group with a heartbeat timeout in logical ticks.
+    pub fn new(timeout: u64) -> ConsistencyGroup {
+        ConsistencyGroup {
+            inner: Mutex::new(Inner {
+                members: BTreeMap::new(),
+                primary: None,
+                timeout: timeout.max(1),
+                now: 0,
+                log: Vec::new(),
+                commit_rounds: 0,
+                heartbeats_seen: 0,
+            }),
+        }
+    }
+
+    /// Add a member; it is immediately alive with a fresh heartbeat.
+    pub fn join(&self, id: NodeId) -> Vec<GroupEvent> {
+        let mut inner = self.inner.lock();
+        let now = inner.now;
+        inner
+            .members
+            .insert(id, Member { last_heartbeat: now, alive: true, refuse_prepare: false });
+        let mut events = vec![GroupEvent::MemberJoined(id)];
+        events.extend(Self::reelect(&mut inner));
+        events
+    }
+
+    /// Record a heartbeat from a member at the current tick. A heartbeat
+    /// from a suspected member revives it.
+    pub fn heartbeat(&self, id: NodeId) -> Vec<GroupEvent> {
+        let mut inner = self.inner.lock();
+        inner.heartbeats_seen += 1;
+        let now = inner.now;
+        let mut events = Vec::new();
+        if let Some(m) = inner.members.get_mut(&id) {
+            m.last_heartbeat = now;
+            if !m.alive {
+                m.alive = true;
+                events.push(GroupEvent::MemberJoined(id));
+            }
+        }
+        events.extend(Self::reelect(&mut inner));
+        events
+    }
+
+    /// Advance the logical clock and run failure detection.
+    pub fn tick(&self, delta: u64) -> Vec<GroupEvent> {
+        let mut inner = self.inner.lock();
+        inner.now += delta;
+        let now = inner.now;
+        let timeout = inner.timeout;
+        let mut events = Vec::new();
+        for (id, m) in inner.members.iter_mut() {
+            if m.alive && now.saturating_sub(m.last_heartbeat) > timeout {
+                m.alive = false;
+                events.push(GroupEvent::MemberFailed(*id));
+            }
+        }
+        events.extend(Self::reelect(&mut inner));
+        events
+    }
+
+    fn reelect(inner: &mut Inner) -> Vec<GroupEvent> {
+        let new_primary = inner.members.iter().find(|(_, m)| m.alive).map(|(id, _)| *id);
+        if new_primary != inner.primary {
+            inner.primary = new_primary;
+            if let Some(p) = new_primary {
+                return vec![GroupEvent::PrimaryChanged(p)];
+            }
+        }
+        Vec::new()
+    }
+
+    /// The current primary, if any member is alive.
+    pub fn primary(&self) -> Option<NodeId> {
+        self.inner.lock().primary
+    }
+
+    /// Alive members, ascending.
+    pub fn alive_members(&self) -> Vec<NodeId> {
+        self.inner.lock().members.iter().filter(|(_, m)| m.alive).map(|(id, _)| *id).collect()
+    }
+
+    /// Inject a prepare-refusal fault into a member.
+    pub fn set_refuse_prepare(&self, id: NodeId, refuse: bool) {
+        if let Some(m) = self.inner.lock().members.get_mut(&id) {
+            m.refuse_prepare = refuse;
+        }
+    }
+
+    /// Two-phase commit of a payload across alive members. Phase 1 asks
+    /// every alive member to prepare; if all vote yes, phase 2 commits and
+    /// the entry enters the group log. Any refusal aborts everywhere.
+    pub fn commit(&self, payload: &str) -> CommitOutcome {
+        let mut inner = self.inner.lock();
+        inner.commit_rounds += 1;
+        let alive: Vec<NodeId> =
+            inner.members.iter().filter(|(_, m)| m.alive).map(|(id, _)| *id).collect();
+        if alive.is_empty() {
+            return CommitOutcome::NoMembers;
+        }
+        let refused: Vec<NodeId> = alive
+            .iter()
+            .copied()
+            .filter(|id| inner.members[id].refuse_prepare)
+            .collect();
+        if !refused.is_empty() {
+            return CommitOutcome::Aborted { refused };
+        }
+        inner.log.push(payload.to_string());
+        CommitOutcome::Committed { acks: alive }
+    }
+
+    /// Committed entries, in order.
+    pub fn log(&self) -> Vec<String> {
+        self.inner.lock().log.clone()
+    }
+
+    /// Overhead counters: `(heartbeats_processed, commit_rounds)` — the
+    /// "overhead for heartbeats" the paper attributes to cluster nodes.
+    pub fn overhead(&self) -> (u64, u64) {
+        let inner = self.inner.lock();
+        (inner.heartbeats_seen, inner.commit_rounds)
+    }
+
+    /// Members in a BTree order with liveness, for diagnostics.
+    pub fn membership(&self) -> BTreeSet<(NodeId, bool)> {
+        self.inner.lock().members.iter().map(|(id, m)| (*id, m.alive)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group_with(ids: &[u32]) -> ConsistencyGroup {
+        let g = ConsistencyGroup::new(3);
+        for &i in ids {
+            g.join(NodeId(i));
+        }
+        g
+    }
+
+    #[test]
+    fn lowest_alive_member_is_primary() {
+        let g = group_with(&[5, 2, 9]);
+        assert_eq!(g.primary(), Some(NodeId(2)));
+    }
+
+    #[test]
+    fn missed_heartbeats_fail_member_and_reelect() {
+        let g = group_with(&[1, 2]);
+        assert_eq!(g.primary(), Some(NodeId(1)));
+        // node 2 heartbeats, node 1 goes silent
+        g.tick(2);
+        g.heartbeat(NodeId(2));
+        let events = g.tick(2); // node 1 now 4 ticks silent > timeout 3
+        assert!(events.contains(&GroupEvent::MemberFailed(NodeId(1))));
+        assert!(events.contains(&GroupEvent::PrimaryChanged(NodeId(2))));
+        assert_eq!(g.alive_members(), vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn heartbeat_revives_suspected_member() {
+        let g = group_with(&[1, 2]);
+        g.tick(10); // both fail
+        assert!(g.alive_members().is_empty());
+        assert_eq!(g.primary(), None);
+        let events = g.heartbeat(NodeId(2));
+        assert!(events.contains(&GroupEvent::MemberJoined(NodeId(2))));
+        assert_eq!(g.primary(), Some(NodeId(2)));
+        // node 1 rejoins and reclaims primaryship (lowest id)
+        let events = g.heartbeat(NodeId(1));
+        assert!(events.contains(&GroupEvent::PrimaryChanged(NodeId(1))));
+    }
+
+    #[test]
+    fn commit_all_yes() {
+        let g = group_with(&[1, 2, 3]);
+        match g.commit("annotations batch 1") {
+            CommitOutcome::Committed { acks } => {
+                assert_eq!(acks, vec![NodeId(1), NodeId(2), NodeId(3)])
+            }
+            other => panic!("expected commit, got {other:?}"),
+        }
+        assert_eq!(g.log(), vec!["annotations batch 1"]);
+    }
+
+    #[test]
+    fn commit_aborts_on_refusal() {
+        let g = group_with(&[1, 2]);
+        g.set_refuse_prepare(NodeId(2), true);
+        match g.commit("x") {
+            CommitOutcome::Aborted { refused } => assert_eq!(refused, vec![NodeId(2)]),
+            other => panic!("expected abort, got {other:?}"),
+        }
+        assert!(g.log().is_empty(), "aborted payload must not be logged");
+        g.set_refuse_prepare(NodeId(2), false);
+        assert!(matches!(g.commit("x"), CommitOutcome::Committed { .. }));
+    }
+
+    #[test]
+    fn commit_with_no_members() {
+        let g = ConsistencyGroup::new(3);
+        assert_eq!(g.commit("x"), CommitOutcome::NoMembers);
+    }
+
+    #[test]
+    fn failed_members_excluded_from_commit() {
+        let g = group_with(&[1, 2]);
+        g.tick(2);
+        g.heartbeat(NodeId(1));
+        g.tick(2); // 2 fails
+        match g.commit("y") {
+            CommitOutcome::Committed { acks } => assert_eq!(acks, vec![NodeId(1)]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn overhead_counters() {
+        let g = group_with(&[1]);
+        g.heartbeat(NodeId(1));
+        g.heartbeat(NodeId(1));
+        g.commit("z");
+        let (hb, rounds) = g.overhead();
+        assert_eq!(hb, 2);
+        assert_eq!(rounds, 1);
+    }
+
+    #[test]
+    fn membership_snapshot() {
+        let g = group_with(&[1, 2]);
+        g.tick(2);
+        g.heartbeat(NodeId(1));
+        g.tick(2);
+        let m = g.membership();
+        assert!(m.contains(&(NodeId(1), true)));
+        assert!(m.contains(&(NodeId(2), false)));
+    }
+}

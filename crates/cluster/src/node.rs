@@ -1,0 +1,83 @@
+//! Node identities and kinds.
+
+use std::fmt;
+
+/// Identifier of a node within one Impliance instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node:{}", self.0)
+    }
+}
+
+/// The three node flavors of §3.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// Owns a subset of persistent storage; efficient at scans and
+    /// storage-side push-down.
+    Data,
+    /// Stateless analytic compute; joined into work crews.
+    Grid,
+    /// Member of a consistency group; performs consistent updates.
+    Cluster,
+}
+
+impl NodeKind {
+    /// Stable lowercase name for display and scheduling tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            NodeKind::Data => "data",
+            NodeKind::Grid => "grid",
+            NodeKind::Cluster => "cluster",
+        }
+    }
+}
+
+/// Static description of a node in the hardware manifest. The appliance
+/// "automatically detects which hardware components are available"
+/// (§3.1); a manifest of `NodeSpec`s is the simulation's detected
+/// hardware.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSpec {
+    /// Node identity.
+    pub id: NodeId,
+    /// Topological flavor.
+    pub kind: NodeKind,
+    /// Relative compute capacity (1.0 = baseline blade). Schedulers prefer
+    /// higher-capacity nodes for heavy operators.
+    pub capacity: f64,
+}
+
+impl NodeSpec {
+    /// A baseline-capacity node.
+    pub fn new(id: u32, kind: NodeKind) -> NodeSpec {
+        NodeSpec { id: NodeId(id), kind, capacity: 1.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(NodeKind::Data.name(), "data");
+        assert_eq!(NodeKind::Grid.name(), "grid");
+        assert_eq!(NodeKind::Cluster.name(), "cluster");
+    }
+
+    #[test]
+    fn display_and_ordering() {
+        assert_eq!(NodeId(3).to_string(), "node:3");
+        assert!(NodeId(1) < NodeId(2));
+    }
+
+    #[test]
+    fn spec_defaults() {
+        let s = NodeSpec::new(1, NodeKind::Grid);
+        assert_eq!(s.capacity, 1.0);
+        assert_eq!(s.kind, NodeKind::Grid);
+    }
+}

@@ -1,0 +1,837 @@
+//! The single-box appliance.
+//!
+//! Figure 1 end to end: data of any format is mapped into the uniform
+//! model and persisted immediately (queryable at once, Figure 2);
+//! indexing and discovery run asynchronously and enrich later answers;
+//! retrieval goes through keyword search, SQL, facets, or graph
+//! connection. There are no schemas to declare, no indexes to choose, no
+//! knobs to set — the appliance's admin ledger stays empty.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use impliance_annotate::{
+    Annotator, DiscoveryPipeline, DiscoveryStats, DiscoverySink, DocSource, EntityAnnotator,
+    SentimentAnnotator,
+};
+use impliance_baselines::{AdminLedger, Capability, InfoSystem};
+use impliance_docmodel::{
+    email_to_document, json, kv_to_document, relational_row_to_document, text_to_document,
+    CsvReader, DocError, DocId, Document, Node, RelationalSchema, SourceFormat, Value, Version,
+};
+use impliance_facet::{FacetDimension, FacetEngine, GuidedSession, RollupLevel, RollupRow};
+use impliance_index::{search, InvertedIndex, JoinIndex, PathValueIndex, SearchHit, SearchQuery};
+use impliance_query::{
+    exec, parse_sql, ExecContext, ExecError, ExecMetrics, QueryOutput, SimplePlanner,
+};
+use impliance_storage::{StorageEngine, StorageError, StorageOptions};
+use parking_lot::Mutex;
+
+use crate::config::ApplianceConfig;
+
+/// Appliance-level errors.
+#[derive(Debug)]
+pub enum ApplianceError {
+    /// Ingestion/conversion failed.
+    Doc(DocError),
+    /// Storage failed.
+    Storage(StorageError),
+    /// Query parsing failed.
+    Sql(String),
+    /// Query execution failed.
+    Exec(ExecError),
+    /// The referenced document does not exist.
+    NotFound(DocId),
+}
+
+impl std::fmt::Display for ApplianceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApplianceError::Doc(e) => write!(f, "{e}"),
+            ApplianceError::Storage(e) => write!(f, "{e}"),
+            ApplianceError::Sql(m) => write!(f, "{m}"),
+            ApplianceError::Exec(e) => write!(f, "{e}"),
+            ApplianceError::NotFound(id) => write!(f, "{id} not found"),
+        }
+    }
+}
+
+impl std::error::Error for ApplianceError {}
+
+impl From<DocError> for ApplianceError {
+    fn from(e: DocError) -> Self {
+        ApplianceError::Doc(e)
+    }
+}
+impl From<StorageError> for ApplianceError {
+    fn from(e: StorageError) -> Self {
+        ApplianceError::Storage(e)
+    }
+}
+impl From<ExecError> for ApplianceError {
+    fn from(e: ExecError) -> Self {
+        ApplianceError::Exec(e)
+    }
+}
+
+/// The single-box Impliance appliance.
+pub struct Impliance {
+    config: ApplianceConfig,
+    storage: Arc<StorageEngine>,
+    text_index: Arc<InvertedIndex>,
+    value_index: Arc<PathValueIndex>,
+    join_index: Arc<JoinIndex>,
+    pipeline: DiscoveryPipeline,
+    /// Documents awaiting asynchronous indexing.
+    index_queue: Mutex<Vec<DocId>>,
+    /// Structural paths observed per collection (for schema
+    /// consolidation, §3.2).
+    collection_paths: Mutex<std::collections::HashMap<String, std::collections::BTreeSet<String>>>,
+    next_id: Arc<AtomicU64>,
+    clock_ms: AtomicI64,
+    ledger: AdminLedger,
+    planner: SimplePlanner,
+}
+
+struct SourceAdapter<'a>(&'a Impliance);
+
+impl DocSource for SourceAdapter<'_> {
+    fn fetch(&self, id: DocId) -> Option<Document> {
+        self.0.storage.get_latest(id).ok().flatten()
+    }
+}
+
+struct SinkAdapter<'a>(&'a Impliance);
+
+impl DiscoverySink for SinkAdapter<'_> {
+    fn store_annotation(&self, annotation: Document) {
+        let id = annotation.id();
+        if self.0.storage.put(&annotation).is_ok() {
+            // annotations are indexed like any other document, but are
+            // not re-fed to discovery (no annotation-of-annotation loop)
+            self.0.value_index.index_document(&annotation);
+            self.0.index_queue.lock().push(id);
+        }
+    }
+
+    fn add_relationship(&self, from: DocId, to: DocId, label: &str) {
+        self.0.join_index.add_edge(from, to, label);
+    }
+}
+
+impl Impliance {
+    /// Boot an appliance — operational "out of the box" (§3.1). Booting
+    /// is not an administrative act: the ledger stays empty.
+    pub fn boot(config: ApplianceConfig) -> Impliance {
+        let storage = Arc::new(StorageEngine::new(StorageOptions {
+            partitions: config.partitions_per_node.max(1) * config.data_nodes.max(1),
+            seal_threshold: config.seal_threshold,
+            compression: config.compression, encryption_key: config.encryption_key }));
+        let next_id = Arc::new(AtomicU64::new(1));
+        let annotators: Vec<Box<dyn Annotator>> =
+            vec![Box::new(EntityAnnotator), Box::new(SentimentAnnotator)];
+        let pipeline =
+            DiscoveryPipeline::new(annotators, Arc::clone(&next_id), config.resolution_threshold);
+        Impliance {
+            config,
+            storage,
+            text_index: Arc::new(InvertedIndex::new(8)),
+            value_index: Arc::new(PathValueIndex::new()),
+            join_index: Arc::new(JoinIndex::new()),
+            pipeline,
+            index_queue: Mutex::new(Vec::new()),
+            collection_paths: Mutex::new(std::collections::HashMap::new()),
+            next_id,
+            clock_ms: AtomicI64::new(1_168_000_000_000), // Jan 2007, the paper's era
+            ledger: AdminLedger::new(),
+            planner: SimplePlanner::new(),
+        }
+    }
+
+    /// The logical appliance clock (epoch millis, advances per operation).
+    pub fn now(&self) -> i64 {
+        self.clock_ms.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Allocate the next document id.
+    fn alloc_id(&self) -> DocId {
+        DocId(self.next_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// The underlying storage engine (read-only access for experiments).
+    pub fn storage(&self) -> &StorageEngine {
+        &self.storage
+    }
+
+    /// The full-text index.
+    pub fn text_index(&self) -> &InvertedIndex {
+        &self.text_index
+    }
+
+    /// The path/value index.
+    pub fn value_index(&self) -> &PathValueIndex {
+        &self.value_index
+    }
+
+    /// The join index of discovered relationships.
+    pub fn join_index(&self) -> &JoinIndex {
+        &self.join_index
+    }
+
+    /// The configuration the appliance booted with.
+    pub fn config(&self) -> &ApplianceConfig {
+        &self.config
+    }
+
+    // ------------------------------------------------------------------
+    // Ingestion: any format, no preparation (§3.2's "stewing pot")
+    // ------------------------------------------------------------------
+
+    /// Ingest a pre-built document (internal plumbing shared by the
+    /// format-specific entry points).
+    ///
+    /// The value/path index is maintained synchronously — it is the
+    /// appliance's equivalent of a primary-key index, and index-backed
+    /// SQL must see a row "immediately" (Figure 2). Full-text indexing
+    /// and discovery are the asynchronous phases (§3.2).
+    fn ingest_document(&self, doc: Document) -> Result<DocId, ApplianceError> {
+        let id = doc.id();
+        self.storage.put(&doc)?;
+        self.value_index.index_document(&doc);
+        {
+            let mut cp = self.collection_paths.lock();
+            let entry = cp.entry(doc.collection().to_string()).or_default();
+            for path in doc.root().structure_paths() {
+                entry.insert(path);
+            }
+        }
+        if self.config.synchronous_indexing {
+            self.text_index.index_document(&doc);
+        } else {
+            self.index_queue.lock().push(id);
+        }
+        self.pipeline.enqueue(id);
+        Ok(id)
+    }
+
+    /// Ingest a JSON document.
+    pub fn ingest_json(&self, collection: &str, text: &str) -> Result<DocId, ApplianceError> {
+        let root = json::parse(text)?;
+        let doc = Document::new(self.alloc_id(), SourceFormat::Json, collection, self.now(), root);
+        self.ingest_document(doc)
+    }
+
+    /// Ingest plain text.
+    pub fn ingest_text(&self, collection: &str, text: &str) -> Result<DocId, ApplianceError> {
+        let doc = text_to_document(self.alloc_id(), collection, text, self.now());
+        self.ingest_document(doc)
+    }
+
+    /// Ingest an e-mail message.
+    pub fn ingest_email(&self, collection: &str, raw: &str) -> Result<DocId, ApplianceError> {
+        let doc = email_to_document(self.alloc_id(), collection, raw, self.now());
+        self.ingest_document(doc)
+    }
+
+    /// Ingest an XML document.
+    pub fn ingest_xml(&self, collection: &str, text: &str) -> Result<DocId, ApplianceError> {
+        let root = impliance_docmodel::xml::parse(text)?;
+        let doc = Document::new(self.alloc_id(), SourceFormat::Xml, collection, self.now(), root);
+        self.ingest_document(doc)
+    }
+
+    /// Ingest opaque binary content (audio, video, PDFs): the bytes are
+    /// stored unchanged alongside caller-supplied descriptive fields —
+    /// the "repository of last resort" never rejects anything.
+    pub fn ingest_binary(
+        &self,
+        collection: &str,
+        bytes: &[u8],
+        metadata: &[(&str, &str)],
+    ) -> Result<DocId, ApplianceError> {
+        let mut root = Node::empty_map();
+        root.set(
+            &impliance_docmodel::Path::parse("content"),
+            Node::Value(Value::Bytes(bytes.to_vec())),
+        );
+        for (k, v) in metadata {
+            root.set(
+                &impliance_docmodel::Path::parse(k),
+                Node::Value(impliance_docmodel::convert::sniff_scalar(v)),
+            );
+        }
+        let doc =
+            Document::new(self.alloc_id(), SourceFormat::Binary, collection, self.now(), root);
+        self.ingest_document(doc)
+    }
+
+    /// Ingest key-value pairs.
+    pub fn ingest_kv(
+        &self,
+        collection: &str,
+        pairs: &[(&str, &str)],
+    ) -> Result<DocId, ApplianceError> {
+        let doc = kv_to_document(self.alloc_id(), collection, pairs, self.now());
+        self.ingest_document(doc)
+    }
+
+    /// Ingest one relational row (Figure 2's walk-through).
+    pub fn ingest_row(
+        &self,
+        schema: &RelationalSchema,
+        values: Vec<Value>,
+    ) -> Result<DocId, ApplianceError> {
+        let doc = relational_row_to_document(self.alloc_id(), schema, values, self.now())?;
+        self.ingest_document(doc)
+    }
+
+    /// Ingest a whole CSV text; returns the ids, one per record.
+    pub fn ingest_csv(&self, collection: &str, csv: &str) -> Result<Vec<DocId>, ApplianceError> {
+        let mut reader = CsvReader::new(csv)?;
+        let mut ids = Vec::new();
+        while let Some(doc) = reader.next_document(self.alloc_id(), collection, self.now()) {
+            ids.push(self.ingest_document(doc)?);
+        }
+        Ok(ids)
+    }
+
+    // ------------------------------------------------------------------
+    // Versioned updates (§4: never in place)
+    // ------------------------------------------------------------------
+
+    /// Append a new version of a document with a new body. The old
+    /// version remains readable (auditing/time travel).
+    pub fn update(&self, id: DocId, new_root: Node) -> Result<Version, ApplianceError> {
+        let current = self.storage.get_latest(id)?.ok_or(ApplianceError::NotFound(id))?;
+        let next = current.new_version(new_root, self.now());
+        let v = next.version();
+        self.ingest_document(next)?;
+        Ok(v)
+    }
+
+    /// Latest version of a document.
+    pub fn get(&self, id: DocId) -> Result<Option<Document>, ApplianceError> {
+        Ok(self.storage.get_latest(id)?)
+    }
+
+    /// A specific stored version (time travel).
+    pub fn get_version(&self, id: DocId, v: Version) -> Result<Option<Document>, ApplianceError> {
+        Ok(self.storage.get_version(id, v)?)
+    }
+
+    /// All stored versions of a document.
+    pub fn versions(&self, id: DocId) -> Vec<Version> {
+        self.storage.versions(id)
+    }
+
+    /// The version of a document current at appliance time `ts` (§4
+    /// auditing: "trace the lineage of a piece of data").
+    pub fn get_as_of(&self, id: DocId, ts: i64) -> Result<Option<Document>, ApplianceError> {
+        Ok(self.storage.get_as_of(id, ts)?)
+    }
+
+    // ------------------------------------------------------------------
+    // Background work (asynchronous phases, §3.2)
+    // ------------------------------------------------------------------
+
+    /// Index up to `budget` pending documents (all when `None`). Returns
+    /// how many were indexed. A background worker calls this between
+    /// interactive queries; benches call it directly.
+    pub fn run_indexing(&self, budget: Option<usize>) -> usize {
+        let batch: Vec<DocId> = {
+            let mut q = self.index_queue.lock();
+            let take = budget.unwrap_or(q.len()).min(q.len());
+            q.drain(..take).collect()
+        };
+        let mut done = 0;
+        for id in batch {
+            if let Ok(Some(doc)) = self.storage.get_latest(id) {
+                self.text_index.index_document(&doc);
+                done += 1;
+            }
+        }
+        self.text_index.commit();
+        done
+    }
+
+    /// Documents still waiting for indexing.
+    pub fn indexing_backlog(&self) -> usize {
+        self.index_queue.lock().len()
+    }
+
+    /// Run up to `budget` queued discovery steps (annotators + entity
+    /// resolution). Returns documents processed.
+    pub fn run_discovery(&self, budget: Option<usize>) -> usize {
+        let source = SourceAdapter(self);
+        let sink = SinkAdapter(self);
+        self.pipeline.drain(&source, &sink, budget)
+    }
+
+    /// Documents still waiting for discovery.
+    pub fn discovery_backlog(&self) -> usize {
+        self.pipeline.pending()
+    }
+
+    /// Discovery progress counters.
+    pub fn discovery_stats(&self) -> DiscoveryStats {
+        self.pipeline.stats()
+    }
+
+    /// Convenience: drain all background work (indexing + discovery +
+    /// the indexing the discovery produced).
+    pub fn quiesce(&self) {
+        loop {
+            let indexed = self.run_indexing(None);
+            let discovered = self.run_discovery(None);
+            if indexed == 0 && discovered == 0 {
+                break;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The two query interfaces (§3.2.1)
+    // ------------------------------------------------------------------
+
+    /// Keyword search, "usable out of the box".
+    pub fn search(&self, query: &str, k: usize) -> Vec<SearchHit> {
+        search::search(&self.text_index, &SearchQuery::new(query, k))
+    }
+
+    /// Keyword search restricted to one structural path.
+    pub fn search_within(&self, query: &str, path: &str, k: usize) -> Vec<SearchHit> {
+        search::search(&self.text_index, &SearchQuery::new(query, k).within(path))
+    }
+
+    /// Exact-phrase search (positional adjacency), optionally within one
+    /// structural path.
+    pub fn search_phrase(&self, phrase: &str, path: Option<&str>, k: usize) -> Vec<SearchHit> {
+        impliance_index::search_phrase(&self.text_index, phrase, path, k)
+    }
+
+    /// SQL over anything ingested (including annotation collections).
+    pub fn sql(&self, statement: &str) -> Result<QueryOutput, ApplianceError> {
+        Ok(self.sql_with_metrics(statement)?.0)
+    }
+
+    /// SQL returning execution metrics too.
+    pub fn sql_with_metrics(
+        &self,
+        statement: &str,
+    ) -> Result<(QueryOutput, ExecMetrics), ApplianceError> {
+        let plan = parse_sql(statement).map_err(|e| ApplianceError::Sql(e.to_string()))?;
+        let plan = self.planner.plan(plan);
+        let ctx = ExecContext {
+            storage: &self.storage,
+            text_index: &self.text_index,
+            value_index: &self.value_index,
+            join_index: &self.join_index,
+            pushdown: self.config.pushdown,
+        };
+        Ok(exec::execute(&ctx, &plan)?)
+    }
+
+    /// The graph interface: how are two items connected (§3.2.1)?
+    pub fn connect(&self, a: DocId, b: DocId, max_hops: usize) -> Option<Vec<DocId>> {
+        self.join_index.connect(a, b, max_hops)
+    }
+
+    /// Transitive closure of relationships from a seed (§2.1.3 legal
+    /// discovery).
+    pub fn closure(&self, seed: DocId, labels: &[&str], max_hops: usize) -> Vec<DocId> {
+        self.join_index.closure(seed, labels, max_hops)
+    }
+
+    /// Start a guided (faceted) search session.
+    pub fn session(&self) -> GuidedSession<'_> {
+        GuidedSession::new(&self.text_index, &self.value_index)
+    }
+
+    /// Facet counts for one dimension over the whole corpus.
+    pub fn facet(&self, path: &str) -> FacetDimension {
+        FacetEngine::new(&self.value_index).counts(path, None)
+    }
+
+    /// Discover facet-worthy dimensions.
+    pub fn facet_dimensions(&self, min_coverage: usize, max_cardinality: usize) -> Vec<String> {
+        FacetEngine::new(&self.value_index).discover_dimensions(min_coverage, max_cardinality)
+    }
+
+    /// OLAP rollup of a collection along the calendar hierarchy.
+    pub fn rollup(
+        &self,
+        collection: &str,
+        time_path: &str,
+        measure_path: Option<&str>,
+        level: RollupLevel,
+    ) -> Result<Vec<RollupRow>, ApplianceError> {
+        let result = self.storage.scan(&impliance_storage::ScanRequest::filtered(
+            impliance_storage::Predicate::CollectionIs(collection.to_string()),
+        ))?;
+        let refs: Vec<&Document> = result.documents.iter().collect();
+        Ok(impliance_facet::time_rollup(&refs, time_path, measure_path, level))
+    }
+
+    /// The admin ledger — the appliance's TCO observable. Stays empty
+    /// under normal operation.
+    pub fn ledger(&self) -> &AdminLedger {
+        &self.ledger
+    }
+
+    // ------------------------------------------------------------------
+    // Schema consolidation (§3.2: "customer purchase orders can all be
+    // searched together, whether they are ingested … via e-mail, a
+    // spreadsheet, … a relational row, or other formats")
+    // ------------------------------------------------------------------
+
+    /// Consolidate the observed structure of every collection into a
+    /// unified schema: canonical attribute names mapped onto the actual
+    /// source paths. Derived entirely from ingested data; no human
+    /// mapping step.
+    pub fn consolidated_schema(&self) -> impliance_annotate::UnifiedSchema {
+        let per_collection = self.collection_structures();
+        impliance_annotate::SchemaMapper::default().consolidate(&per_collection)
+    }
+
+    /// The structural paths observed per collection (ingestion-time
+    /// bookkeeping made queryable).
+    pub fn collection_structures(&self) -> Vec<(String, Vec<String>)> {
+        let map = self.collection_paths.lock();
+        map.iter().map(|(c, paths)| (c.clone(), paths.iter().cloned().collect())).collect()
+    }
+
+    /// Query a *canonical* attribute across every collection: the value
+    /// is looked up on every source path the unified schema maps the
+    /// attribute to, and the union of matching documents returned
+    /// (sorted, deduplicated).
+    pub fn search_attribute(&self, canonical: &str, value: &Value) -> Vec<DocId> {
+        let schema = self.consolidated_schema();
+        let mut out: Vec<DocId> = schema
+            .sources_of(canonical)
+            .iter()
+            .flat_map(|(_, path)| self.value_index.lookup_eq(path, value))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+impl InfoSystem for Impliance {
+    fn system_name(&self) -> &'static str {
+        "impliance"
+    }
+
+    fn admin_ops(&self) -> u64 {
+        self.ledger.count()
+    }
+
+    fn supports(&self, _capability: Capability) -> bool {
+        true // every capability in the F4 matrix is implemented above
+    }
+
+    fn scales_out(&self) -> bool {
+        true // the ClusterImpliance deployment; measured in F3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boot() -> Impliance {
+        Impliance::boot(ApplianceConfig::default())
+    }
+
+    #[test]
+    fn ingest_all_formats_without_schema() {
+        let imp = boot();
+        let j = imp.ingest_json("claims", r#"{"amount": 1500, "make": "Volvo"}"#).unwrap();
+        let t = imp.ingest_text("notes", "Grace Hopper reported a broken bumper").unwrap();
+        let e = imp
+            .ingest_email("mail", "From: ada@example.com\nSubject: claim\n\nSee attached.")
+            .unwrap();
+        let k = imp.ingest_kv("sensors", &[("temp", "21.5")]).unwrap();
+        let rows = imp.ingest_csv("people", "name,age\nAda,36\nGrace,45\n").unwrap();
+        let schema = RelationalSchema::new("orders", &["id", "total"]);
+        let r = imp.ingest_row(&schema, vec![Value::Int(1), Value::Float(99.5)]).unwrap();
+        for id in [j, t, e, k, rows[0], rows[1], r] {
+            assert!(imp.get(id).unwrap().is_some());
+        }
+        assert_eq!(imp.admin_ops(), 0, "no human decisions were needed");
+    }
+
+    #[test]
+    fn row_immediately_queryable_by_sql() {
+        // Figure 2: "The row can immediately be queried by SQL and
+        // retrieved without change" — before any background work runs.
+        let imp = boot();
+        let schema = RelationalSchema::new("customers", &["code", "name"]);
+        imp.ingest_row(&schema, vec![Value::Str("C-1".into()), Value::Str("Ada".into())])
+            .unwrap();
+        let out = imp.sql("SELECT name FROM customers WHERE code = 'C-1'").unwrap();
+        assert_eq!(out.rows().len(), 1);
+        assert_eq!(out.rows()[0].get("name"), &Value::Str("Ada".into()));
+    }
+
+    #[test]
+    fn search_sees_documents_after_async_indexing() {
+        let imp = boot();
+        imp.ingest_text("notes", "unique marker zanzibar").unwrap();
+        assert!(imp.search("zanzibar", 10).is_empty(), "not yet indexed");
+        assert_eq!(imp.indexing_backlog(), 1);
+        imp.run_indexing(None);
+        assert_eq!(imp.search("zanzibar", 10).len(), 1);
+    }
+
+    #[test]
+    fn synchronous_indexing_option() {
+        let imp = Impliance::boot(ApplianceConfig {
+            synchronous_indexing: true,
+            ..ApplianceConfig::default()
+        });
+        imp.ingest_text("notes", "immediate findability").unwrap();
+        assert_eq!(imp.search("findability", 10).len(), 1);
+        assert_eq!(imp.indexing_backlog(), 0);
+    }
+
+    #[test]
+    fn discovery_produces_annotations_views_and_edges() {
+        let imp = boot();
+        let a = imp
+            .ingest_text("transcripts", "Grace Hopper is very happy with product BX-1042, thanks!")
+            .unwrap();
+        let b = imp.ingest_text("transcripts", "Grace Hopper called again about BX-1042").unwrap();
+        imp.quiesce();
+        let stats = imp.discovery_stats();
+        assert_eq!(stats.docs_processed, 2);
+        assert!(stats.annotations >= 2);
+        // annotations are SQL-visible as collections
+        let out = imp.sql("SELECT * FROM annotations.entities").unwrap();
+        assert!(!out.is_empty());
+        // cross-document resolution linked the two transcripts
+        let path = imp.connect(a, b, 2);
+        assert!(path.is_some(), "same-person edge should connect the transcripts");
+    }
+
+    #[test]
+    fn update_creates_versions_and_search_follows() {
+        let imp = boot();
+        let id = imp.ingest_text("notes", "draft wording").unwrap();
+        imp.run_indexing(None);
+        let v2 = imp
+            .update(id, Node::map([("body".into(), Node::scalar("final wording"))]))
+            .unwrap();
+        assert_eq!(v2, Version(2));
+        imp.run_indexing(None);
+        assert!(imp.search("draft", 10).is_empty());
+        assert_eq!(imp.search("final", 10).len(), 1);
+        // time travel still sees v1
+        let old = imp.get_version(id, Version(1)).unwrap().unwrap();
+        assert_eq!(old.full_text(), "draft wording");
+        assert_eq!(imp.versions(id).len(), 2);
+    }
+
+    #[test]
+    fn update_missing_doc_errors() {
+        let imp = boot();
+        assert!(matches!(
+            imp.update(DocId(777), Node::empty_map()),
+            Err(ApplianceError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn faceted_session_over_mixed_corpus() {
+        let imp = boot();
+        for (make, city) in
+            [("Volvo", "Seattle"), ("Volvo", "Austin"), ("Saab", "Seattle"), ("Tesla", "Austin")]
+        {
+            imp.ingest_json(
+                "claims",
+                &format!(r#"{{"make": "{make}", "city": "{city}", "notes": "bumper work"}}"#),
+            )
+            .unwrap();
+        }
+        imp.quiesce();
+        let dims = imp.facet_dimensions(2, 10);
+        assert!(dims.contains(&"make".to_string()));
+        let mut session = imp.session();
+        session.keywords("bumper").drill_down("make", Value::Str("Volvo".into()));
+        assert_eq!(session.results().len(), 2);
+        let facet = imp.facet("city");
+        assert_eq!(facet.values.iter().map(|v| v.count).sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn sql_over_join_of_content_and_data() {
+        // §2.1.2: relate extracted content facts to structured records.
+        let imp = boot();
+        let schema = RelationalSchema::new("products", &["sku", "price"]);
+        imp.ingest_row(&schema, vec![Value::Str("BX-1042".into()), Value::Float(29.5)])
+            .unwrap();
+        imp.ingest_text("transcripts", "customer asked about BX-1042 being late").unwrap();
+        imp.quiesce();
+        // entity view exposes product codes as rows; join via SQL over
+        // the annotations collection is exercised in views.rs tests.
+        let hits = imp.search("BX-1042", 10);
+        assert!(!hits.is_empty());
+    }
+
+    #[test]
+    fn bad_inputs_error_cleanly() {
+        let imp = boot();
+        assert!(imp.ingest_json("c", "{not json").is_err());
+        assert!(imp.sql("SELEC nonsense").is_err());
+        assert!(imp.sql("SELECT * FROM t WHERE x ~ 1").is_err());
+    }
+
+    #[test]
+    fn appliance_supports_every_capability() {
+        let imp = boot();
+        assert_eq!(imp.power_score(), 1.0);
+        assert_eq!(imp.system_name(), "impliance");
+    }
+}
+
+#[cfg(test)]
+mod schema_tests {
+    use super::*;
+
+    #[test]
+    fn consolidated_schema_unifies_silos() {
+        // §3.2's purchase-order scenario: the "same" attribute arrives as
+        // cust (rows), customer (JSON), and buyer (KV).
+        let imp = Impliance::boot(ApplianceConfig::default());
+        let schema = RelationalSchema::new("orders_db", &["cust", "total"]);
+        imp.ingest_row(&schema, vec![Value::Str("C-1".into()), Value::Float(10.0)]).unwrap();
+        imp.ingest_json("orders_web", r#"{"customer": "C-1", "price": 20.0}"#).unwrap();
+        imp.ingest_kv("orders_fax", &[("buyer", "C-1"), ("value", "30.0")]).unwrap();
+
+        let unified = imp.consolidated_schema();
+        let sources = unified.sources_of("customer");
+        assert_eq!(sources.len(), 3, "{sources:?}");
+        let amounts = unified.sources_of("amount");
+        assert_eq!(amounts.len(), 3, "total/price/value all map to amount: {amounts:?}");
+    }
+
+    #[test]
+    fn search_attribute_fans_out_across_collections() {
+        let imp = Impliance::boot(ApplianceConfig::default());
+        let schema = RelationalSchema::new("orders_db", &["cust", "total"]);
+        let a = imp.ingest_row(&schema, vec![Value::Str("C-9".into()), Value::Float(1.0)]).unwrap();
+        let b = imp.ingest_json("orders_web", r#"{"customer": "C-9"}"#).unwrap();
+        let c = imp.ingest_kv("orders_fax", &[("buyer", "C-9")]).unwrap();
+        imp.ingest_json("orders_web", r#"{"customer": "C-8"}"#).unwrap();
+
+        let hits = imp.search_attribute("customer", &Value::Str("C-9".into()));
+        assert_eq!(hits, vec![a, b, c]);
+        assert!(imp.search_attribute("customer", &Value::Str("C-404".into())).is_empty());
+        assert!(imp.search_attribute("no_such_attribute", &Value::Int(1)).is_empty());
+    }
+
+    #[test]
+    fn collection_structures_track_paths() {
+        let imp = Impliance::boot(ApplianceConfig::default());
+        imp.ingest_json("claims", r#"{"vehicle": {"make": "Saab"}, "items": [1, 2]}"#).unwrap();
+        let structures = imp.collection_structures();
+        let claims = structures.iter().find(|(c, _)| c == "claims").unwrap();
+        assert!(claims.1.contains(&"vehicle.make".to_string()));
+        assert!(claims.1.contains(&"items[]".to_string()));
+    }
+}
+
+#[cfg(test)]
+mod format_tests {
+    use super::*;
+
+    #[test]
+    fn xml_ingestion_is_first_class() {
+        let imp = Impliance::boot(ApplianceConfig::default());
+        imp.ingest_xml(
+            "claims",
+            r#"<claim id="7"><vehicle make="Volvo"/><amount>1500</amount>
+               <notes>Grace Hopper reported bumper damage</notes></claim>"#,
+        )
+        .unwrap();
+        // SQL over XML-derived structure, immediately
+        let out = imp
+            .sql("SELECT claim.amount FROM claims WHERE claim.vehicle.@make = 'Volvo'")
+            .unwrap();
+        assert_eq!(out.rows().len(), 1);
+        assert_eq!(out.rows()[0].get("claim.amount"), &Value::Int(1500));
+        // keyword search over XML text after indexing
+        imp.run_indexing(None);
+        assert_eq!(imp.search("bumper", 10).len(), 1);
+        // discovery sees XML content too
+        imp.quiesce();
+        assert!(imp.discovery_stats().mentions > 0);
+    }
+
+    #[test]
+    fn binary_ingestion_stores_bytes_with_searchable_metadata() {
+        let imp = Impliance::boot(ApplianceConfig::default());
+        let payload = vec![0u8, 159, 146, 150]; // arbitrary non-UTF8 bytes
+        let id = imp
+            .ingest_binary(
+                "media",
+                &payload,
+                &[("title", "crash site photo"), ("camera", "D70"), ("width", "3008")],
+            )
+            .unwrap();
+        let doc = imp.get(id).unwrap().unwrap();
+        assert_eq!(
+            doc.get_str_path("content").unwrap().as_value().unwrap(),
+            &Value::Bytes(payload)
+        );
+        assert_eq!(doc.get_str_path("width").unwrap().as_value().unwrap(), &Value::Int(3008));
+        imp.run_indexing(None);
+        assert_eq!(imp.search("crash photo", 10).len(), 1, "metadata is searchable");
+    }
+
+    #[test]
+    fn malformed_xml_is_rejected_cleanly() {
+        let imp = Impliance::boot(ApplianceConfig::default());
+        assert!(imp.ingest_xml("c", "<open><wrong></open></wrong>").is_err());
+    }
+}
+
+#[cfg(test)]
+mod phrase_surface_tests {
+    use super::*;
+
+    #[test]
+    fn phrase_search_from_the_appliance() {
+        let imp = Impliance::boot(ApplianceConfig::default());
+        imp.ingest_text("notes", "total cost of ownership is the deciding factor").unwrap();
+        imp.ingest_text("notes", "the ownership model drives total confusion and cost").unwrap();
+        imp.run_indexing(None);
+        let hits = imp.search_phrase("total cost of ownership", None, 10);
+        assert_eq!(hits.len(), 1);
+        // plain AND search matches both
+        assert_eq!(imp.search("total cost ownership", 10).len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod encryption_surface_tests {
+    use super::*;
+
+    #[test]
+    fn encrypted_appliance_behaves_identically() {
+        let imp = Impliance::boot(ApplianceConfig {
+            encryption_key: Some(*b"0123456789abcdef"),
+            seal_threshold: 8,
+            ..ApplianceConfig::default()
+        });
+        for i in 0..30 {
+            imp.ingest_json("claims", &format!(r#"{{"amount": {i}, "notes": "secret note {i}"}}"#))
+                .unwrap();
+        }
+        imp.storage().seal_all();
+        imp.quiesce();
+        let out = imp.sql("SELECT COUNT(*) AS n FROM claims WHERE amount >= 10").unwrap();
+        assert_eq!(out.rows()[0].get("n"), &Value::Int(20));
+        assert!(!imp.search("secret", 10).is_empty());
+    }
+}

@@ -1,0 +1,573 @@
+//! The scaled-out appliance: Impliance over a simulated cluster.
+//!
+//! Figure 3's deployment: data nodes own hash-partitioned primary data
+//! (plus replica stores for other nodes' data), grid nodes run analytic
+//! stages, and cluster nodes form a consistency group that commits
+//! derived structures. Adding data nodes adds capacity; adding grid nodes
+//! adds compute — independently (§3.3). When a data node dies, the
+//! storage manager autonomously re-replicates and promotes replicas so
+//! queries keep answering — experiment C5's observable.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use impliance_cluster::{
+    ClusterError, ClusterRuntime, ConsistencyGroup, Network, NodeId, NodeKind, NodeSpec,
+};
+use impliance_docmodel::{json, DocId, Document, SourceFormat};
+use impliance_query::dist::{self, DataNodeState};
+use impliance_query::Tuple;
+use impliance_storage::{codec, AggValue, ScanRequest, ScanResult, StorageEngine, StorageOptions};
+use impliance_virt::{DataClass, ReplicationReport, StorageManager, StoragePolicy};
+use parking_lot::Mutex;
+
+use crate::config::ApplianceConfig;
+
+/// Summary of a failure-recovery round (experiment C5).
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Documents that had to be re-replicated or promoted.
+    pub docs_repaired: usize,
+    /// Bytes copied across the network.
+    pub bytes_copied: u64,
+    /// Documents that could not be recovered (all replicas lost).
+    pub docs_lost: usize,
+}
+
+/// The scaled-out Impliance instance.
+pub struct ClusterImpliance {
+    runtime: Arc<ClusterRuntime>,
+    /// App-side handles to every data node's engines (survivor reads
+    /// during recovery).
+    engines: Mutex<HashMap<NodeId, Arc<DataNodeState>>>,
+    storage_mgr: Mutex<StorageManager>,
+    group: ConsistencyGroup,
+    /// Software version per node ("1.0" at boot; rolling_upgrade bumps).
+    versions: Mutex<HashMap<NodeId, String>>,
+    next_id: AtomicU64,
+    clock_ms: AtomicI64,
+    config: ApplianceConfig,
+}
+
+impl ClusterImpliance {
+    /// Boot a cluster instance from the hardware manifest in `config`.
+    pub fn boot(config: ApplianceConfig) -> ClusterImpliance {
+        let mut specs = Vec::new();
+        for i in 0..config.data_nodes.max(1) as u32 {
+            specs.push(NodeSpec::new(i, NodeKind::Data));
+        }
+        for i in 0..config.grid_nodes.max(1) as u32 {
+            specs.push(NodeSpec::new(1000 + i, NodeKind::Grid));
+        }
+        for i in 0..config.cluster_nodes.max(1) as u32 {
+            specs.push(NodeSpec::new(2000 + i, NodeKind::Cluster));
+        }
+        let network = Arc::new(Network::new());
+        let engines: Mutex<HashMap<NodeId, Arc<DataNodeState>>> = Mutex::new(HashMap::new());
+        let partitions = config.partitions_per_node.max(1);
+        let seal = config.seal_threshold;
+        let compression = config.compression;
+        let encryption_key = config.encryption_key;
+        let runtime = Arc::new(ClusterRuntime::boot(&specs, network, |spec| match spec.kind {
+            NodeKind::Data => {
+                let state = Arc::new(DataNodeState::new(Arc::new(StorageEngine::new(
+                    StorageOptions { partitions, seal_threshold: seal, compression, encryption_key },
+                ))));
+                engines.lock().insert(spec.id, Arc::clone(&state));
+                state
+            }
+            _ => Arc::new(()),
+        }));
+        let data_ids: Vec<NodeId> = runtime.nodes_of_kind(NodeKind::Data);
+        let storage_mgr = StorageManager::new(
+            StoragePolicy {
+                user_base: config.replication.max(1),
+                derived: 1,
+                regulatory: config.replication.max(1),
+            },
+            &data_ids,
+        );
+        let group = ConsistencyGroup::new(3);
+        for id in runtime.nodes_of_kind(NodeKind::Cluster) {
+            group.join(id);
+        }
+        ClusterImpliance {
+            runtime,
+            engines,
+            storage_mgr: Mutex::new(storage_mgr),
+            group,
+            versions: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            clock_ms: AtomicI64::new(1_168_000_000_000),
+            config,
+        }
+    }
+
+    /// The cluster runtime (for experiments that need raw access).
+    pub fn runtime(&self) -> &Arc<ClusterRuntime> {
+        &self.runtime
+    }
+
+    /// The consistency group over cluster nodes.
+    pub fn group(&self) -> &ConsistencyGroup {
+        &self.group
+    }
+
+    /// The configuration the instance booted with.
+    pub fn config(&self) -> &ApplianceConfig {
+        &self.config
+    }
+
+    fn now(&self) -> i64 {
+        self.clock_ms.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Ingest a JSON document: the primary copy goes to the ring-assigned
+    /// owner, replicas to the next nodes on the ring.
+    pub fn ingest_json(&self, collection: &str, text: &str) -> Result<DocId, ClusterError> {
+        let root = json::parse(text).map_err(|_| ClusterError::TaskLost)?;
+        let id = DocId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let doc = Document::new(id, SourceFormat::Json, collection, self.now(), root);
+        self.ingest_document(doc)
+    }
+
+    /// Ingest plain text with replication.
+    pub fn ingest_text(&self, collection: &str, text: &str) -> Result<DocId, ClusterError> {
+        let id = DocId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let doc = impliance_docmodel::text_to_document(id, collection, text, self.now());
+        self.ingest_document(doc)
+    }
+
+    /// Ingest an e-mail message with replication.
+    pub fn ingest_email(&self, collection: &str, raw: &str) -> Result<DocId, ClusterError> {
+        let id = DocId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let doc = impliance_docmodel::email_to_document(id, collection, raw, self.now());
+        self.ingest_document(doc)
+    }
+
+    /// Ingest a pre-built document with replication.
+    pub fn ingest_document(&self, doc: Document) -> Result<DocId, ClusterError> {
+        let encoded_len = codec::encode_document_vec(&doc).len() as u64;
+        let placement =
+            self.storage_mgr.lock().place(doc.id(), DataClass::UserBase, encoded_len);
+        if placement.is_empty() {
+            return Err(ClusterError::NoNodeOfKind("data"));
+        }
+        for (i, node) in placement.iter().enumerate() {
+            let doc = doc.clone();
+            let primary = i == 0;
+            let handle = self.runtime.submit_to(*node, encoded_len, move |ctx| {
+                let state = ctx.state.downcast_ref::<DataNodeState>().expect("data state");
+                let engine = if primary { &state.storage } else { &state.replica };
+                let stored = engine.put(&doc).is_ok();
+                if stored && primary {
+                    // the primary owner also maintains its text shard
+                    state.text_index.index_document(&doc);
+                }
+                stored
+            })?;
+            if !handle.join()? {
+                return Err(ClusterError::TaskLost);
+            }
+        }
+        Ok(doc.id())
+    }
+
+    /// Live primary documents across the cluster.
+    pub fn doc_count(&self) -> usize {
+        self.engines
+            .lock()
+            .iter()
+            .filter(|(id, _)| self.runtime.all_nodes().contains(id))
+            .map(|(_, s)| s.storage.live_docs())
+            .sum()
+    }
+
+    /// Push-down scan over all primary stores.
+    pub fn scan(&self, request: &ScanRequest) -> Result<ScanResult, ClusterError> {
+        dist::dist_scan(&self.runtime, request)
+    }
+
+    /// Scatter-gather keyword search over every data node's index shard.
+    pub fn search(&self, query: &str, k: usize) -> Result<Vec<impliance_index::SearchHit>, ClusterError> {
+        dist::dist_search(&self.runtime, query, k)
+    }
+
+    /// Distributed grouped aggregation (data-node partials merged on a
+    /// grid node).
+    pub fn aggregate(
+        &self,
+        request: &ScanRequest,
+    ) -> Result<std::collections::BTreeMap<String, AggValue>, ClusterError> {
+        dist::dist_aggregate(&self.runtime, request)
+    }
+
+    /// Distributed equi-join (reduced sides shipped to a grid node).
+    #[allow(clippy::too_many_arguments)]
+    pub fn join(
+        &self,
+        left: &ScanRequest,
+        right: &ScanRequest,
+        left_alias: &str,
+        right_alias: &str,
+        left_key: (String, String),
+        right_key: (String, String),
+    ) -> Result<Vec<Tuple>, ClusterError> {
+        dist::dist_join(&self.runtime, left, right, left_alias, right_alias, left_key, right_key)
+    }
+
+    /// Figure 3's full pipeline: data-node scan+partial aggregation →
+    /// grid-node global merge → cluster-node consistent commit of the
+    /// derived result. Returns the committed group count.
+    pub fn pipeline_query(&self, request: &ScanRequest) -> Result<usize, ClusterError> {
+        let groups = self.aggregate(request)?;
+        let payload = format!("derived-aggregate:{} groups", groups.len());
+        match self.group.commit(&payload) {
+            impliance_cluster::CommitOutcome::Committed { .. } => Ok(groups.len()),
+            _ => Err(ClusterError::TaskLost),
+        }
+    }
+
+    /// Kill a data node and autonomously recover: re-replicate
+    /// under-replicated documents and promote replicas of documents whose
+    /// primary died, so subsequent scans still see everything.
+    pub fn kill_data_node(&self, node: NodeId) -> Result<RecoveryReport, ClusterError> {
+        let dead_state =
+            self.engines.lock().get(&node).cloned().ok_or(ClusterError::NodeDown(node))?;
+        // capture the dead node's primary doc ids before the kill
+        let dead_primary: Vec<DocId> = {
+            let res = dead_state.storage.scan(&ScanRequest {
+                projection: impliance_storage::Projection::IdsOnly,
+                ..ScanRequest::full()
+            });
+            res.map(|r| r.ids).unwrap_or_default()
+        };
+        self.runtime.kill(node);
+        self.engines.lock().remove(&node);
+
+        let report: ReplicationReport = self.storage_mgr.lock().node_failed(node);
+        let mut out = RecoveryReport::default();
+        let engines = self.engines.lock().clone();
+
+        // Re-replicate per the manager's plan.
+        for action in &report.actions {
+            let Some(doc) = self.fetch_anywhere(&engines, action.doc) else {
+                out.docs_lost += 1;
+                continue;
+            };
+            let bytes = codec::encode_document_vec(&doc).len() as u64;
+            self.runtime.network().transmit(action.from, action.to, bytes);
+            if let Some(target) = engines.get(&action.to) {
+                let _ = target.replica.put(&doc);
+                out.docs_repaired += 1;
+                out.bytes_copied += bytes;
+            }
+        }
+        // Promote documents whose primary died into their new primary's
+        // primary store.
+        for id in dead_primary {
+            let placement = self.storage_mgr.lock().replicas(id);
+            let Some(new_primary) = placement.first().copied() else {
+                out.docs_lost += 1;
+                continue;
+            };
+            let Some(doc) = self.fetch_anywhere(&engines, id) else {
+                out.docs_lost += 1;
+                continue;
+            };
+            if let Some(target) = engines.get(&new_primary) {
+                if target.storage.get_latest(id).ok().flatten().is_none() {
+                    let bytes = codec::encode_document_vec(&doc).len() as u64;
+                    self.runtime.network().transmit(new_primary, new_primary, 0);
+                    let _ = target.storage.put(&doc);
+                    out.docs_repaired += 1;
+                    out.bytes_copied += bytes;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Roll a software upgrade across the cluster (§3.1): nodes restart
+    /// in availability-respecting batches, data nodes keep their storage
+    /// across the restart, and the instance stays queryable throughout.
+    /// Returns the per-batch node counts.
+    pub fn rolling_upgrade(
+        &self,
+        to_version: &str,
+        policy: &impliance_virt::UpgradePolicy,
+    ) -> Result<Vec<usize>, ClusterError> {
+        let inventory: Vec<(NodeId, NodeKind)> = {
+            let mut out = Vec::new();
+            for kind in [NodeKind::Data, NodeKind::Grid, NodeKind::Cluster] {
+                for id in self.runtime.nodes_of_kind(kind) {
+                    out.push((id, kind));
+                }
+            }
+            out
+        };
+        let plan = impliance_virt::plan_rolling_upgrade(&inventory, policy, to_version)
+            .map_err(|_| ClusterError::TaskLost)?;
+        let mut batch_sizes = Vec::with_capacity(plan.batches.len());
+        for batch in &plan.batches {
+            for &node in &batch.nodes {
+                let kind = inventory.iter().find(|(n, _)| *n == node).map(|(_, k)| *k);
+                let Some(kind) = kind else { continue };
+                // "restart": kill, then respawn with the same identity —
+                // data nodes keep their engines (state survives restart)
+                let state: Arc<dyn std::any::Any + Send + Sync> = match kind {
+                    NodeKind::Data => match self.engines.lock().get(&node) {
+                        Some(s) => Arc::clone(s) as Arc<dyn std::any::Any + Send + Sync>,
+                        None => Arc::new(()),
+                    },
+                    _ => Arc::new(()),
+                };
+                self.runtime.kill(node);
+                self.runtime.spawn_node(
+                    impliance_cluster::NodeSpec { id: node, kind, capacity: 1.0 },
+                    state,
+                );
+                self.versions.lock().insert(node, to_version.to_string());
+            }
+            // the instance must stay queryable between batches
+            let _ = self.scan(&ScanRequest {
+                projection: impliance_storage::Projection::IdsOnly,
+                limit: Some(1),
+                ..ScanRequest::full()
+            })?;
+            batch_sizes.push(batch.nodes.len());
+        }
+        Ok(batch_sizes)
+    }
+
+    /// The software version each node currently runs (nodes never
+    /// upgraded report the boot version "1.0").
+    pub fn node_version(&self, node: NodeId) -> String {
+        self.versions.lock().get(&node).cloned().unwrap_or_else(|| "1.0".to_string())
+    }
+
+    fn fetch_anywhere(
+        &self,
+        engines: &HashMap<NodeId, Arc<DataNodeState>>,
+        id: DocId,
+    ) -> Option<Document> {
+        for state in engines.values() {
+            if let Ok(Some(d)) = state.storage.get_latest(id) {
+                return Some(d);
+            }
+            if let Ok(Some(d)) = state.replica.get_latest(id) {
+                return Some(d);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impliance_docmodel::Value;
+    use impliance_storage::{AggFunc, AggSpec, Predicate, Projection};
+
+    fn config(data: usize, grid: usize) -> ApplianceConfig {
+        ApplianceConfig {
+            data_nodes: data,
+            grid_nodes: grid,
+            cluster_nodes: 3,
+            replication: 2,
+            seal_threshold: 64,
+            ..ApplianceConfig::default()
+        }
+    }
+
+    fn load(app: &ClusterImpliance, n: u64) {
+        for i in 0..n {
+            app.ingest_json(
+                "orders",
+                &format!(r#"{{"amount": {}, "cust": "C-{}"}}"#, i % 100, i % 10),
+            )
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn ingest_scan_sees_each_doc_once_despite_replication() {
+        let app = ClusterImpliance::boot(config(4, 2));
+        load(&app, 100);
+        let res = app.scan(&ScanRequest::full()).unwrap();
+        assert_eq!(res.documents.len(), 100, "replicas must not duplicate scan results");
+        assert_eq!(app.doc_count(), 100);
+    }
+
+    #[test]
+    fn aggregate_and_pipeline() {
+        let app = ClusterImpliance::boot(config(3, 2));
+        load(&app, 100);
+        let req = ScanRequest {
+            predicate: None,
+            projection: Projection::All,
+            aggregate: Some(AggSpec {
+                group_by: Some("cust".into()),
+                func: AggFunc::Count,
+                operand: None,
+            }),
+            limit: None,
+        };
+        let groups = app.aggregate(&req).unwrap();
+        assert_eq!(groups.len(), 10);
+        let committed = app.pipeline_query(&req).unwrap();
+        assert_eq!(committed, 10);
+        assert_eq!(app.group().log().len(), 1, "cluster nodes committed the derived result");
+    }
+
+    #[test]
+    fn join_across_cluster() {
+        let app = ClusterImpliance::boot(config(2, 2));
+        load(&app, 20);
+        for i in 0..10u64 {
+            app.ingest_json("customers", &format!(r#"{{"code": "C-{i}", "name": "N{i}"}}"#))
+                .unwrap();
+        }
+        let tuples = app
+            .join(
+                &ScanRequest::filtered(Predicate::CollectionIs("orders".into())),
+                &ScanRequest::filtered(Predicate::CollectionIs("customers".into())),
+                "o",
+                "c",
+                ("o".to_string(), "cust".to_string()),
+                ("c".to_string(), "code".to_string()),
+            )
+            .unwrap();
+        assert_eq!(tuples.len(), 20);
+    }
+
+    #[test]
+    fn data_node_failure_recovers_all_documents() {
+        let app = ClusterImpliance::boot(config(4, 1));
+        load(&app, 200);
+        let victim = app.runtime().nodes_of_kind(NodeKind::Data)[1];
+        let report = app.kill_data_node(victim).unwrap();
+        assert!(report.docs_repaired > 0, "repairs must happen: {report:?}");
+        assert_eq!(report.docs_lost, 0, "replication 2 must survive one failure");
+        // every document still visible to scans
+        let res = app.scan(&ScanRequest::full()).unwrap();
+        assert_eq!(res.documents.len(), 200, "no documents lost after recovery");
+    }
+
+    #[test]
+    fn killing_unknown_node_errors() {
+        let app = ClusterImpliance::boot(config(2, 1));
+        assert!(app.kill_data_node(NodeId(999)).is_err());
+    }
+
+    #[test]
+    fn independent_scaling_shapes() {
+        // More data nodes spread the same corpus wider (fewer docs per
+        // node); grid count does not affect storage spread.
+        let small = ClusterImpliance::boot(config(2, 1));
+        let large = ClusterImpliance::boot(config(8, 1));
+        load(&small, 100);
+        load(&large, 100);
+        let max_per_node = |app: &ClusterImpliance| {
+            app.engines.lock().values().map(|s| s.storage.live_docs()).max().unwrap_or(0)
+        };
+        assert!(
+            max_per_node(&large) < max_per_node(&small),
+            "8 nodes should each hold less than 2 nodes would"
+        );
+    }
+
+    #[test]
+    fn sum_aggregate_correct_under_replication() {
+        let app = ClusterImpliance::boot(config(3, 1));
+        load(&app, 100);
+        let req = ScanRequest {
+            predicate: None,
+            projection: Projection::All,
+            aggregate: Some(AggSpec {
+                group_by: None,
+                func: AggFunc::Sum,
+                operand: Some("amount".into()),
+            }),
+            limit: None,
+        };
+        let groups = app.aggregate(&req).unwrap();
+        assert_eq!(groups[""].finish(AggFunc::Sum), Value::Float(4950.0));
+    }
+}
+
+#[cfg(test)]
+mod upgrade_tests {
+    use super::*;
+    use impliance_storage::ScanRequest;
+
+    #[test]
+    fn rolling_upgrade_preserves_data_and_availability() {
+        let app = ClusterImpliance::boot(ApplianceConfig {
+            data_nodes: 4,
+            grid_nodes: 2,
+            cluster_nodes: 3,
+            replication: 1,
+            ..ApplianceConfig::default()
+        });
+        for i in 0..100 {
+            app.ingest_json("orders", &format!(r#"{{"amount": {i}}}"#)).unwrap();
+        }
+        let batches = app
+            .rolling_upgrade("2.0", &impliance_virt::UpgradePolicy::default())
+            .unwrap();
+        assert!(!batches.is_empty());
+        // every node now reports 2.0
+        for kind in [NodeKind::Data, NodeKind::Grid, NodeKind::Cluster] {
+            for node in app.runtime().nodes_of_kind(kind) {
+                assert_eq!(app.node_version(node), "2.0");
+            }
+        }
+        // all data survived the restarts
+        let res = app.scan(&ScanRequest::full()).unwrap();
+        assert_eq!(res.documents.len(), 100);
+        // node counts unchanged
+        assert_eq!(app.runtime().nodes_of_kind(NodeKind::Data).len(), 4);
+        assert_eq!(app.runtime().nodes_of_kind(NodeKind::Cluster).len(), 3);
+    }
+
+    #[test]
+    fn upgrade_fails_when_floor_unsatisfiable() {
+        let app = ClusterImpliance::boot(ApplianceConfig {
+            data_nodes: 1,
+            grid_nodes: 1,
+            cluster_nodes: 1,
+            replication: 1,
+            ..ApplianceConfig::default()
+        });
+        // default policy wants 2 cluster nodes up — impossible with 1
+        assert!(app
+            .rolling_upgrade("2.0", &impliance_virt::UpgradePolicy::default())
+            .is_err());
+    }
+}
+
+#[cfg(test)]
+mod cluster_search_tests {
+    use super::*;
+
+    #[test]
+    fn cluster_keyword_search_spans_shards() {
+        let app = ClusterImpliance::boot(ApplianceConfig {
+            data_nodes: 4,
+            grid_nodes: 1,
+            replication: 2,
+            ..ApplianceConfig::default()
+        });
+        for i in 0..40 {
+            let notes = if i % 4 == 0 { "fraud indicator present" } else { "routine claim" };
+            app.ingest_json("claims", &format!(r#"{{"amount": {i}, "notes": "{notes}"}}"#))
+                .unwrap();
+        }
+        let hits = app.search("fraud", 100).unwrap();
+        assert_eq!(hits.len(), 10, "replicas must not duplicate search hits");
+        let top = app.search("fraud", 3).unwrap();
+        assert_eq!(top.len(), 3);
+    }
+}

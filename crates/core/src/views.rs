@@ -1,0 +1,171 @@
+//! System-supplied views over annotations (Figure 2).
+//!
+//! "These derived annotations and associations may themselves be exposed
+//! to SQL applications through system-supplied views that map the native
+//! data types back into relational rows. Exploiting views in this way
+//! facilitates adding new functionality to existing applications without
+//! having to rewrite the entire application to use new APIs."
+//!
+//! Annotation documents hold nested mention sequences; the views unnest
+//! them into flat rows keyed by the *subject* document id, so a plain
+//! relational consumer can join extracted facts against base data.
+
+use impliance_docmodel::{DocId, Value};
+use impliance_query::Row;
+use impliance_storage::{Predicate, ScanRequest};
+
+use crate::appliance::{ApplianceError, Impliance};
+
+/// One row of the entity view: an extracted mention tied to its subject
+/// document.
+pub fn entity_view(imp: &Impliance) -> Result<Vec<Row>, ApplianceError> {
+    let result = imp.storage().scan(&ScanRequest::filtered(Predicate::CollectionIs(
+        "annotations.entities".to_string(),
+    )))?;
+    let mut rows = Vec::new();
+    for ann in &result.documents {
+        let subject = ann.subject().map(|s| s.0 as i64).unwrap_or(-1);
+        let Some(mentions) = ann.get_str_path("mentions").and_then(|n| n.as_seq()) else {
+            continue;
+        };
+        for m in mentions {
+            let get = |field: &str| -> Value {
+                m.get_str_path(field).and_then(|n| n.as_value()).cloned().unwrap_or(Value::Null)
+            };
+            rows.push(Row::from_pairs([
+                ("subject".to_string(), Value::Int(subject)),
+                ("kind".to_string(), get("kind")),
+                ("text".to_string(), get("text")),
+                ("normalized".to_string(), get("normalized")),
+                ("path".to_string(), get("path")),
+            ]));
+        }
+    }
+    rows.sort_by(|a, b| {
+        (a.get("subject").as_i64(), a.get("normalized").render())
+            .cmp(&(b.get("subject").as_i64(), b.get("normalized").render()))
+    });
+    Ok(rows)
+}
+
+/// One row of the sentiment view: subject id, label, score.
+pub fn sentiment_view(imp: &Impliance) -> Result<Vec<Row>, ApplianceError> {
+    let result = imp.storage().scan(&ScanRequest::filtered(Predicate::CollectionIs(
+        "annotations.sentiment".to_string(),
+    )))?;
+    let mut rows = Vec::new();
+    for ann in &result.documents {
+        let subject = ann.subject().map(|s| s.0 as i64).unwrap_or(-1);
+        let get = |field: &str| -> Value {
+            ann.get_str_path(field).and_then(|n| n.as_value()).cloned().unwrap_or(Value::Null)
+        };
+        rows.push(Row::from_pairs([
+            ("subject".to_string(), Value::Int(subject)),
+            ("label".to_string(), get("label")),
+            ("score".to_string(), get("score")),
+        ]));
+    }
+    rows.sort_by_key(|r| r.get("subject").as_i64());
+    Ok(rows)
+}
+
+/// Join the entity view against a base collection: rows of
+/// `(subject, kind, normalized, <join_path value>)` where the subject
+/// document's `join_path` leaf is attached. This is §2.1.2's
+/// content-plus-data composition as a reusable view.
+pub fn entities_with_base(
+    imp: &Impliance,
+    base_join_path: &str,
+) -> Result<Vec<Row>, ApplianceError> {
+    let entities = entity_view(imp)?;
+    let mut rows = Vec::new();
+    for e in entities {
+        let Some(subject) = e.get("subject").as_i64() else { continue };
+        if subject < 0 {
+            continue;
+        }
+        let Some(doc) = imp.get(DocId(subject as u64))? else { continue };
+        let base_value = doc
+            .leaves()
+            .into_iter()
+            .find(|(p, _)| p.structural_form() == base_join_path)
+            .map(|(_, v)| v.clone())
+            .unwrap_or(Value::Null);
+        let mut columns = e.columns.clone();
+        columns.insert(format!("base_{}", base_join_path.replace('.', "_")), base_value);
+        rows.push(Row { columns });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ApplianceConfig;
+
+    fn appliance_with_discovery() -> Impliance {
+        let imp = Impliance::boot(ApplianceConfig::default());
+        imp.ingest_json(
+            "claims",
+            r#"{"claimant": "Grace Hopper", "notes": "Grace Hopper was very unhappy, car broken in Seattle", "amount": 1500}"#,
+        )
+        .unwrap();
+        imp.ingest_json(
+            "claims",
+            r#"{"claimant": "Ada Lovelace", "notes": "Ada Lovelace is happy, great service, thanks", "amount": 200}"#,
+        )
+        .unwrap();
+        imp.quiesce();
+        imp
+    }
+
+    #[test]
+    fn entity_view_flattens_mentions() {
+        let imp = appliance_with_discovery();
+        let rows = entity_view(&imp).unwrap();
+        assert!(!rows.is_empty());
+        // every row has the expected columns
+        for r in &rows {
+            assert!(r.get("subject").as_i64().is_some());
+            assert!(!r.get("kind").is_null());
+        }
+        // persons were found
+        assert!(rows.iter().any(|r| r.get("kind") == &Value::Str("person".into())
+            && r.get("normalized") == &Value::Str("grace hopper".into())));
+        assert!(rows
+            .iter()
+            .any(|r| r.get("kind") == &Value::Str("location".into())));
+    }
+
+    #[test]
+    fn sentiment_view_labels_subjects() {
+        let imp = appliance_with_discovery();
+        let rows = sentiment_view(&imp).unwrap();
+        assert_eq!(rows.len(), 2);
+        let labels: Vec<String> = rows.iter().map(|r| r.get("label").render()).collect();
+        assert!(labels.contains(&"negative".to_string()));
+        assert!(labels.contains(&"positive".to_string()));
+    }
+
+    #[test]
+    fn entities_join_back_to_base_data() {
+        let imp = appliance_with_discovery();
+        let rows = entities_with_base(&imp, "amount").unwrap();
+        assert!(!rows.is_empty());
+        // the unhappy Grace Hopper claim carries amount 1500
+        let grace = rows
+            .iter()
+            .find(|r| r.get("normalized") == &Value::Str("grace hopper".into()))
+            .expect("grace row");
+        assert_eq!(grace.get("base_amount"), &Value::Int(1500));
+    }
+
+    #[test]
+    fn views_empty_before_discovery() {
+        let imp = Impliance::boot(ApplianceConfig::default());
+        imp.ingest_text("t", "Grace Hopper in Seattle").unwrap();
+        // no quiesce: annotations don't exist yet
+        assert!(entity_view(&imp).unwrap().is_empty());
+        assert!(sentiment_view(&imp).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,343 @@
+//! Immutable, versioned documents with provenance.
+//!
+//! §3.2: "Impliance treats each such new version of a data item as
+//! immutable" and §4: "Impliance does not update data in-place. Instead,
+//! changes are implemented as the addition of a new version." A
+//! [`Document`] is therefore a frozen snapshot: deriving a changed document
+//! goes through [`Document::new_version`], which bumps the version number
+//! and records the lineage link.
+
+use crate::node::Node;
+use crate::path::Path;
+use crate::value::Value;
+
+/// Globally unique identifier of a logical document (stable across
+/// versions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DocId(pub u64);
+
+impl std::fmt::Display for DocId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "doc:{}", self.0)
+    }
+}
+
+/// Monotonically increasing version of a logical document. Version 1 is the
+/// initially ingested state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Version(pub u32);
+
+impl Version {
+    /// The version assigned at first ingestion.
+    pub const INITIAL: Version = Version(1);
+
+    /// The next version after this one.
+    pub fn next(self) -> Version {
+        Version(self.0 + 1)
+    }
+}
+
+/// The external format a document was ingested from. Recorded as
+/// provenance; the paper's Figure 2 shows format-specific mapping into the
+/// uniform model at ingestion time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SourceFormat {
+    /// A row of a relational table.
+    RelationalRow,
+    /// A JSON document.
+    Json,
+    /// A CSV record.
+    Csv,
+    /// Plain unstructured text.
+    Text,
+    /// An e-mail message (headers + body).
+    Email,
+    /// Flat key-value pairs (e.g. properties files, sensor readings).
+    KeyValue,
+    /// An XML document.
+    Xml,
+    /// A document derived by an annotator rather than ingested.
+    Annotation,
+    /// Opaque binary content.
+    Binary,
+}
+
+impl SourceFormat {
+    /// Stable lowercase name, stored as metadata and usable in queries
+    /// (`_meta.format`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SourceFormat::RelationalRow => "relational",
+            SourceFormat::Json => "json",
+            SourceFormat::Csv => "csv",
+            SourceFormat::Text => "text",
+            SourceFormat::Email => "email",
+            SourceFormat::KeyValue => "kv",
+            SourceFormat::Xml => "xml",
+            SourceFormat::Annotation => "annotation",
+            SourceFormat::Binary => "binary",
+        }
+    }
+}
+
+/// An immutable versioned document: the unit of storage, indexing,
+/// annotation, and retrieval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Document {
+    id: DocId,
+    version: Version,
+    format: SourceFormat,
+    /// Logical collection name ("silo") the document was ingested into,
+    /// e.g. `"claims"` or `"crm.transcripts"`. Purely advisory — queries
+    /// may span all collections.
+    collection: String,
+    /// Ingestion timestamp (epoch millis) supplied by the appliance clock.
+    ingested_at: i64,
+    /// For annotation documents: the document this one annotates.
+    subject: Option<DocId>,
+    /// For versions > 1: the version this one supersedes.
+    supersedes: Option<Version>,
+    root: Node,
+}
+
+impl Document {
+    /// Create a brand-new version-1 document.
+    pub fn new(
+        id: DocId,
+        format: SourceFormat,
+        collection: impl Into<String>,
+        ingested_at: i64,
+        root: Node,
+    ) -> Document {
+        Document {
+            id,
+            version: Version::INITIAL,
+            format,
+            collection: collection.into(),
+            ingested_at,
+            subject: None,
+            supersedes: None,
+            root,
+        }
+    }
+
+    /// Derive the next version of this document with a new body. The
+    /// original is untouched (immutability is structural: this consumes
+    /// nothing and copies metadata).
+    pub fn new_version(&self, new_root: Node, at: i64) -> Document {
+        Document {
+            id: self.id,
+            version: self.version.next(),
+            format: self.format,
+            collection: self.collection.clone(),
+            ingested_at: at,
+            subject: self.subject,
+            supersedes: Some(self.version),
+            root: new_root,
+        }
+    }
+
+    /// Create an annotation document derived from `subject` (Figure 2's
+    /// "annotation documents that refer to the initial row document").
+    pub fn annotation(
+        id: DocId,
+        subject: DocId,
+        collection: impl Into<String>,
+        at: i64,
+        root: Node,
+    ) -> Document {
+        Document {
+            id,
+            version: Version::INITIAL,
+            format: SourceFormat::Annotation,
+            collection: collection.into(),
+            ingested_at: at,
+            subject: Some(subject),
+            supersedes: None,
+            root,
+        }
+    }
+
+    /// Stable identifier, shared by all versions.
+    pub fn id(&self) -> DocId {
+        self.id
+    }
+
+    /// This snapshot's version.
+    pub fn version(&self) -> Version {
+        self.version
+    }
+
+    /// Ingestion format.
+    pub fn format(&self) -> SourceFormat {
+        self.format
+    }
+
+    /// Collection name.
+    pub fn collection(&self) -> &str {
+        &self.collection
+    }
+
+    /// Ingestion timestamp in epoch milliseconds.
+    pub fn ingested_at(&self) -> i64 {
+        self.ingested_at
+    }
+
+    /// The annotated document, for annotation documents.
+    pub fn subject(&self) -> Option<DocId> {
+        self.subject
+    }
+
+    /// The superseded version, for versions after the first.
+    pub fn supersedes(&self) -> Option<Version> {
+        self.supersedes
+    }
+
+    /// The document body.
+    pub fn root(&self) -> &Node {
+        &self.root
+    }
+
+    /// Resolve a path in the body.
+    pub fn get(&self, path: &Path) -> Option<&Node> {
+        self.root.get(path)
+    }
+
+    /// Resolve a dotted path string in the body.
+    pub fn get_str_path(&self, dotted: &str) -> Option<&Node> {
+        self.root.get_str_path(dotted)
+    }
+
+    /// All `(path, value)` leaves of the body.
+    pub fn leaves(&self) -> Vec<(Path, &Value)> {
+        self.root.leaves()
+    }
+
+    /// Full text of the body (string leaves concatenated).
+    pub fn full_text(&self) -> String {
+        self.root.full_text()
+    }
+}
+
+/// Fluent builder for map-rooted documents, used heavily by converters,
+/// annotators, and tests.
+#[derive(Debug)]
+pub struct DocumentBuilder {
+    id: DocId,
+    format: SourceFormat,
+    collection: String,
+    ingested_at: i64,
+    subject: Option<DocId>,
+    root: Node,
+}
+
+impl DocumentBuilder {
+    /// Start building a document with the given identity and format.
+    pub fn new(id: DocId, format: SourceFormat, collection: impl Into<String>) -> Self {
+        DocumentBuilder {
+            id,
+            format,
+            collection: collection.into(),
+            ingested_at: 0,
+            subject: None,
+            root: Node::empty_map(),
+        }
+    }
+
+    /// Set the ingestion timestamp.
+    pub fn at(mut self, ts: i64) -> Self {
+        self.ingested_at = ts;
+        self
+    }
+
+    /// Mark as an annotation of `subject`.
+    pub fn subject(mut self, subject: DocId) -> Self {
+        self.subject = Some(subject);
+        self
+    }
+
+    /// Set a field (dotted path) to a scalar value.
+    pub fn field(mut self, path: &str, value: impl Into<Value>) -> Self {
+        self.root.set(&Path::parse(path), Node::Value(value.into()));
+        self
+    }
+
+    /// Set a field (dotted path) to an arbitrary node.
+    pub fn node(mut self, path: &str, node: Node) -> Self {
+        self.root.set(&Path::parse(path), node);
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Document {
+        Document {
+            id: self.id,
+            version: Version::INITIAL,
+            format: self.format,
+            collection: self.collection,
+            ingested_at: self.ingested_at,
+            subject: self.subject,
+            supersedes: None,
+            root: self.root,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_builds_nested_docs() {
+        let d = DocumentBuilder::new(DocId(1), SourceFormat::Json, "claims")
+            .at(42)
+            .field("claim.amount", 1500i64)
+            .field("claim.vehicle.make", "Volvo")
+            .build();
+        assert_eq!(d.id(), DocId(1));
+        assert_eq!(d.version(), Version::INITIAL);
+        assert_eq!(d.ingested_at(), 42);
+        assert_eq!(
+            d.get_str_path("claim.vehicle.make").unwrap().as_value().unwrap().as_str(),
+            Some("Volvo")
+        );
+    }
+
+    #[test]
+    fn new_version_links_lineage() {
+        let d1 = DocumentBuilder::new(DocId(9), SourceFormat::Text, "notes")
+            .field("body", "v1")
+            .build();
+        let d2 = d1.new_version(Node::map([("body".into(), Node::scalar("v2"))]), 100);
+        assert_eq!(d2.id(), d1.id());
+        assert_eq!(d2.version(), Version(2));
+        assert_eq!(d2.supersedes(), Some(Version(1)));
+        // d1 untouched
+        assert_eq!(d1.get_str_path("body").unwrap().as_value().unwrap().as_str(), Some("v1"));
+    }
+
+    #[test]
+    fn annotation_records_subject() {
+        let a = Document::annotation(
+            DocId(2),
+            DocId(1),
+            "annotations.entities",
+            5,
+            Node::empty_map(),
+        );
+        assert_eq!(a.subject(), Some(DocId(1)));
+        assert_eq!(a.format(), SourceFormat::Annotation);
+    }
+
+    #[test]
+    fn format_names_are_stable() {
+        assert_eq!(SourceFormat::RelationalRow.name(), "relational");
+        assert_eq!(SourceFormat::Annotation.name(), "annotation");
+    }
+
+    #[test]
+    fn version_ordering() {
+        assert!(Version::INITIAL < Version::INITIAL.next());
+        assert_eq!(Version(3).next(), Version(4));
+    }
+}

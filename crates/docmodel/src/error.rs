@@ -1,0 +1,49 @@
+//! Error type shared by the document model.
+
+use std::fmt;
+
+/// Errors produced while constructing, converting, or parsing documents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DocError {
+    /// JSON (or other format) input could not be parsed. Carries a byte
+    /// offset and a human-readable message.
+    Parse { offset: usize, message: String },
+    /// A path addressed a location that does not exist in the document.
+    PathNotFound(String),
+    /// A conversion was given inconsistent inputs (e.g. a relational row
+    /// whose arity does not match its schema).
+    Conversion(String),
+    /// A scalar value was used where a different type was required.
+    TypeMismatch { expected: &'static str, actual: &'static str },
+}
+
+impl fmt::Display for DocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DocError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            DocError::PathNotFound(p) => write!(f, "path not found: {p}"),
+            DocError::Conversion(m) => write!(f, "conversion error: {m}"),
+            DocError::TypeMismatch { expected, actual } => {
+                write!(f, "type mismatch: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        let e = DocError::Parse { offset: 7, message: "bad token".into() };
+        assert_eq!(e.to_string(), "parse error at byte 7: bad token");
+        assert_eq!(DocError::PathNotFound("a.b".into()).to_string(), "path not found: a.b");
+        let t = DocError::TypeMismatch { expected: "int", actual: "string" };
+        assert_eq!(t.to_string(), "type mismatch: expected int, got string");
+    }
+}

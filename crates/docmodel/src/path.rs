@@ -1,0 +1,230 @@
+//! Paths into document trees.
+//!
+//! A path is a sequence of steps, each either a map field name or a
+//! sequence index: `orders[1].sku`. Paths have two renderings:
+//!
+//! * the *exact* form (`orders[1].sku`) identifying one leaf, and
+//! * the *structural* form (`orders[].sku`) identifying a shape, used by
+//!   the path index and the schema mapper where all array elements share a
+//!   role.
+
+use std::fmt;
+
+/// One step of a [`Path`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PathStep {
+    /// Descend into a map field.
+    Field(String),
+    /// Descend into a sequence element.
+    Index(usize),
+}
+
+/// A path from a document root to a node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Path {
+    steps: Vec<PathStep>,
+}
+
+impl Path {
+    /// The empty path addressing the document root.
+    pub fn root() -> Path {
+        Path { steps: Vec::new() }
+    }
+
+    /// Build from explicit steps.
+    pub fn from_steps(steps: Vec<PathStep>) -> Path {
+        Path { steps }
+    }
+
+    /// Parse a dotted path such as `a.b[3].c`. Field names may contain any
+    /// character except `.` and `[`. An empty string parses to the root
+    /// path. Malformed index brackets are treated as literal field text
+    /// (parsing is total — ingestion must never fail on odd field names).
+    pub fn parse(s: &str) -> Path {
+        let mut steps = Vec::new();
+        for part in s.split('.') {
+            if part.is_empty() {
+                continue;
+            }
+            let mut rest = part;
+            // leading field text, then zero or more [idx] suffixes
+            if let Some(br) = rest.find('[') {
+                let (name, mut idxs) = rest.split_at(br);
+                if !name.is_empty() {
+                    steps.push(PathStep::Field(name.to_string()));
+                }
+                loop {
+                    if !idxs.starts_with('[') {
+                        if !idxs.is_empty() {
+                            steps.push(PathStep::Field(idxs.to_string()));
+                        }
+                        break;
+                    }
+                    match idxs.find(']') {
+                        Some(close) => {
+                            let inner = &idxs[1..close];
+                            match inner.parse::<usize>() {
+                                Ok(i) => steps.push(PathStep::Index(i)),
+                                Err(_) => steps.push(PathStep::Field(idxs[..=close].to_string())),
+                            }
+                            idxs = &idxs[close + 1..];
+                        }
+                        None => {
+                            steps.push(PathStep::Field(idxs.to_string()));
+                            break;
+                        }
+                    }
+                }
+                rest = "";
+            }
+            if !rest.is_empty() {
+                steps.push(PathStep::Field(rest.to_string()));
+            }
+        }
+        Path { steps }
+    }
+
+    /// The steps of the path.
+    pub fn steps(&self) -> &[PathStep] {
+        &self.steps
+    }
+
+    /// True for the root path.
+    pub fn is_root(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when the path has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Extend with a field step (returns a new path).
+    pub fn child_field(&self, name: &str) -> Path {
+        let mut steps = self.steps.clone();
+        steps.push(PathStep::Field(name.to_string()));
+        Path { steps }
+    }
+
+    /// Extend with an index step (returns a new path).
+    pub fn child_index(&self, i: usize) -> Path {
+        let mut steps = self.steps.clone();
+        steps.push(PathStep::Index(i));
+        Path { steps }
+    }
+
+    /// The path without its last step, or `None` at the root.
+    pub fn parent(&self) -> Option<Path> {
+        if self.steps.is_empty() {
+            None
+        } else {
+            Some(Path { steps: self.steps[..self.steps.len() - 1].to_vec() })
+        }
+    }
+
+    /// The final field name, skipping trailing indexes: the "column name"
+    /// of a leaf, used for facet labels and schema mapping.
+    pub fn last_field(&self) -> Option<&str> {
+        self.steps.iter().rev().find_map(|s| match s {
+            PathStep::Field(f) => Some(f.as_str()),
+            PathStep::Index(_) => None,
+        })
+    }
+
+    /// Structural form with indexes collapsed: `orders[1].sku` →
+    /// `orders[].sku`.
+    pub fn structural_form(&self) -> String {
+        let mut out = String::new();
+        for step in &self.steps {
+            match step {
+                PathStep::Field(f) => {
+                    if !out.is_empty() {
+                        out.push('.');
+                    }
+                    out.push_str(f);
+                }
+                PathStep::Index(_) => out.push_str("[]"),
+            }
+        }
+        out
+    }
+
+    /// True if `self` matches a structural pattern (exact-form fields,
+    /// `[]` matching any index).
+    pub fn matches_structural(&self, pattern: &str) -> bool {
+        self.structural_form() == pattern
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for step in &self.steps {
+            match step {
+                PathStep::Field(name) => {
+                    if !first {
+                        f.write_str(".")?;
+                    }
+                    f.write_str(name)?;
+                }
+                PathStep::Index(i) => write!(f, "[{i}]")?,
+            }
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrips_display() {
+        for s in ["a", "a.b", "a[0].b", "a[0][1]", "orders[12].sku", ""] {
+            let p = Path::parse(s);
+            assert_eq!(p.to_string(), s, "roundtrip of {s:?}");
+        }
+    }
+
+    #[test]
+    fn parse_handles_malformed_brackets_totally() {
+        // No panic, content preserved as field text.
+        let p = Path::parse("a[x].b");
+        assert_eq!(p.steps().len(), 3);
+        let p2 = Path::parse("a[3");
+        assert_eq!(p2.steps().len(), 2);
+    }
+
+    #[test]
+    fn structural_form_collapses_indexes() {
+        assert_eq!(Path::parse("orders[3].sku").structural_form(), "orders[].sku");
+        assert_eq!(Path::parse("a[0][1].b").structural_form(), "a[][].b");
+        assert_eq!(Path::parse("a.b").structural_form(), "a.b");
+    }
+
+    #[test]
+    fn last_field_skips_indexes() {
+        assert_eq!(Path::parse("orders[3]").last_field(), Some("orders"));
+        assert_eq!(Path::parse("a.b[1][2]").last_field(), Some("b"));
+        assert_eq!(Path::root().last_field(), None);
+    }
+
+    #[test]
+    fn parent_walks_up() {
+        let p = Path::parse("a.b[1]");
+        assert_eq!(p.parent().unwrap().to_string(), "a.b");
+        assert_eq!(Path::root().parent(), None);
+    }
+
+    #[test]
+    fn matches_structural_patterns() {
+        assert!(Path::parse("orders[7].sku").matches_structural("orders[].sku"));
+        assert!(!Path::parse("orders[7].sku").matches_structural("orders[].qty"));
+    }
+}

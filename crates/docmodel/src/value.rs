@@ -1,0 +1,235 @@
+//! Scalar leaf values of the uniform data model.
+//!
+//! Every leaf in an Impliance document is one of a small set of typed
+//! scalars. The set deliberately covers what relational columns, JSON
+//! scalars, and extracted annotations need, so the one model really can hold
+//! "all data" (§3.2).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A scalar value at a document leaf.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Explicit null (SQL NULL, JSON null, absent CSV field).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit IEEE float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Opaque bytes (BLOB content the converters could not interpret).
+    Bytes(Vec<u8>),
+    /// Milliseconds since the Unix epoch. Kept distinct from `Int` so the
+    /// facet engine can build year→month→day hierarchies over it.
+    Timestamp(i64),
+}
+
+impl Value {
+    /// Short static name of the value's type, used in error messages and in
+    /// the structural index's type statistics.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Bytes(_) => "bytes",
+            Value::Timestamp(_) => "timestamp",
+        }
+    }
+
+    /// True if the value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view of the value, if it has one. Timestamps are numeric
+    /// (their epoch-millis), which lets range predicates treat them
+    /// uniformly.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Timestamp(t) => Some(*t as f64),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// String view of the value, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer view, if the value is an integer or timestamp.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Timestamp(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// A total order over values for sorting, grouping, and B-tree value
+    /// indexing. The order is: Null < Bool < numeric (Int/Float/Timestamp
+    /// compared numerically) < Str < Bytes. NaN floats sort after all other
+    /// numerics so the order stays total.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) | Value::Float(_) | Value::Timestamp(_) => 2,
+                Value::Str(_) => 3,
+                Value::Bytes(_) => 4,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (a, b) if rank(a) == 2 && rank(b) == 2 => {
+                let fa = a.as_f64().unwrap_or(f64::NAN);
+                let fb = b.as_f64().unwrap_or(f64::NAN);
+                fa.total_cmp(&fb)
+            }
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Bytes(a), Value::Bytes(b)) => a.cmp(b),
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+
+    /// Equality used by query predicates: numerics compare numerically
+    /// across Int/Float/Timestamp, everything else via `total_cmp`.
+    pub fn query_eq(&self, other: &Value) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+
+    /// A canonical string rendering used for keyword indexing of scalar
+    /// leaves and for facet labels.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Null => "null".to_string(),
+            Value::Bool(b) => b.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => {
+                if f.fract() == 0.0 && f.is_finite() && f.abs() < 1e15 {
+                    format!("{:.1}", f)
+                } else {
+                    format!("{f}")
+                }
+            }
+            Value::Str(s) => s.clone(),
+            Value::Bytes(b) => format!("<{} bytes>", b.len()),
+            Value::Timestamp(t) => format!("@{t}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::Null.type_name(), "null");
+        assert_eq!(Value::Int(1).type_name(), "int");
+        assert_eq!(Value::Timestamp(0).type_name(), "timestamp");
+    }
+
+    #[test]
+    fn numeric_views_cross_types() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Timestamp(99).as_f64(), Some(99.0));
+        assert_eq!(Value::Bool(true).as_f64(), Some(1.0));
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+    }
+
+    #[test]
+    fn total_order_ranks_types() {
+        let vals = [
+            Value::Null,
+            Value::Bool(false),
+            Value::Int(1),
+            Value::Str("a".into()),
+            Value::Bytes(vec![0]),
+        ];
+        for w in vals.windows(2) {
+            assert_eq!(w[0].total_cmp(&w[1]), Ordering::Less, "{:?} < {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn numeric_comparison_crosses_int_float() {
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.0)), Ordering::Equal);
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
+        assert!(Value::Int(2).query_eq(&Value::Float(2.0)));
+    }
+
+    #[test]
+    fn nan_sorts_after_numbers_keeping_order_total() {
+        assert_eq!(Value::Float(f64::NAN).total_cmp(&Value::Int(i64::MAX)), Ordering::Greater);
+        assert_eq!(Value::Float(f64::NAN).total_cmp(&Value::Float(f64::NAN)), Ordering::Equal);
+    }
+
+    #[test]
+    fn render_is_stable() {
+        assert_eq!(Value::Float(2.0).render(), "2.0");
+        assert_eq!(Value::Float(2.5).render(), "2.5");
+        assert_eq!(Value::Bytes(vec![1, 2, 3]).render(), "<3 bytes>");
+        assert_eq!(Value::Timestamp(5).render(), "@5");
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(7i64), Value::Int(7));
+        assert_eq!(Value::from(7i32), Value::Int(7));
+        assert_eq!(Value::from("hi"), Value::Str("hi".into()));
+    }
+}

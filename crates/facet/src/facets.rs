@@ -1,0 +1,210 @@
+//! Facet discovery and counting.
+//!
+//! A structural path makes a good facet when many documents have it
+//! (coverage) and it takes few distinct values (cardinality) — exactly
+//! what the value index's censuses expose. Nothing is configured by an
+//! administrator: dimensions are *discovered*, the §3.2 self-organization
+//! story applied to the retrieval interface.
+
+use std::collections::HashSet;
+
+use impliance_docmodel::{DocId, Value};
+use impliance_index::PathValueIndex;
+
+/// One facet bucket: a value (or range) and its document count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FacetValue {
+    /// Display label (value rendering or range text).
+    pub label: String,
+    /// The underlying value for drill-down (`None` for synthetic ranges).
+    pub value: Option<Value>,
+    /// Documents in the current result set carrying it.
+    pub count: usize,
+}
+
+/// A facet dimension with its buckets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FacetDimension {
+    /// The structural path.
+    pub path: String,
+    /// Buckets ordered by descending count.
+    pub values: Vec<FacetValue>,
+}
+
+/// Facet computation over a value index.
+pub struct FacetEngine<'a> {
+    index: &'a PathValueIndex,
+}
+
+impl<'a> FacetEngine<'a> {
+    /// Create an engine over an index.
+    pub fn new(index: &'a PathValueIndex) -> FacetEngine<'a> {
+        FacetEngine { index }
+    }
+
+    /// Discover facet-worthy paths: coverage ≥ `min_coverage` documents
+    /// and between 2 and `max_cardinality` distinct values. Returned in
+    /// descending coverage order.
+    pub fn discover_dimensions(
+        &self,
+        min_coverage: usize,
+        max_cardinality: usize,
+    ) -> Vec<String> {
+        let mut out: Vec<(String, usize)> = self
+            .index
+            .path_census()
+            .into_iter()
+            .filter(|(path, coverage)| {
+                if *coverage < min_coverage {
+                    return false;
+                }
+                let card = self.index.value_census(path).len();
+                (2..=max_cardinality).contains(&card)
+            })
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out.into_iter().map(|(p, _)| p).collect()
+    }
+
+    /// Facet counts for one dimension restricted to a result set
+    /// (`None` = the whole corpus). Buckets sorted by descending count,
+    /// ties by label.
+    pub fn counts(&self, path: &str, result_set: Option<&HashSet<DocId>>) -> FacetDimension {
+        let mut values: Vec<FacetValue> = self
+            .index
+            .value_census(path)
+            .into_iter()
+            .filter_map(|(value, _)| {
+                let docs = self.index.lookup_eq(path, &value);
+                let count = match result_set {
+                    None => docs.len(),
+                    Some(set) => docs.iter().filter(|d| set.contains(d)).count(),
+                };
+                (count > 0).then(|| FacetValue {
+                    label: value.render(),
+                    value: Some(value),
+                    count,
+                })
+            })
+            .collect();
+        values.sort_by(|a, b| b.count.cmp(&a.count).then(a.label.cmp(&b.label)));
+        FacetDimension { path: path.to_string(), values }
+    }
+
+    /// Bucket a numeric dimension into `buckets` equal-width ranges over
+    /// the observed min/max, counting result-set membership.
+    pub fn numeric_buckets(
+        &self,
+        path: &str,
+        buckets: usize,
+        result_set: Option<&HashSet<DocId>>,
+    ) -> FacetDimension {
+        let census = self.index.value_census(path);
+        let numeric: Vec<(f64, Vec<DocId>)> = census
+            .iter()
+            .filter_map(|(v, _)| v.as_f64().map(|f| (f, self.index.lookup_eq(path, v))))
+            .collect();
+        if numeric.is_empty() {
+            return FacetDimension { path: path.to_string(), values: Vec::new() };
+        }
+        let lo = numeric.iter().map(|(f, _)| *f).fold(f64::INFINITY, f64::min);
+        let hi = numeric.iter().map(|(f, _)| *f).fold(f64::NEG_INFINITY, f64::max);
+        let n = buckets.max(1);
+        let width = ((hi - lo) / n as f64).max(f64::MIN_POSITIVE);
+        let mut counts = vec![0usize; n];
+        for (f, docs) in &numeric {
+            let idx = (((f - lo) / width) as usize).min(n - 1);
+            let c = match result_set {
+                None => docs.len(),
+                Some(set) => docs.iter().filter(|d| set.contains(d)).count(),
+            };
+            counts[idx] += c;
+        }
+        let values = counts
+            .into_iter()
+            .enumerate()
+            .filter(|(_, c)| *c > 0)
+            .map(|(i, count)| {
+                let b_lo = lo + width * i as f64;
+                let b_hi = lo + width * (i + 1) as f64;
+                FacetValue {
+                    label: format!("[{b_lo:.0}, {b_hi:.0})"),
+                    value: None,
+                    count,
+                }
+            })
+            .collect();
+        FacetDimension { path: path.to_string(), values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impliance_docmodel::{DocumentBuilder, SourceFormat};
+
+    fn index() -> PathValueIndex {
+        let idx = PathValueIndex::new();
+        for i in 0..60u64 {
+            let d = DocumentBuilder::new(DocId(i), SourceFormat::Json, "claims")
+                .field("make", ["Volvo", "Saab", "Tesla"][(i % 3) as usize])
+                .field("amount", (i * 100) as i64)
+                .field("id", i as i64) // high cardinality — not facet-worthy
+                .build();
+            idx.index_document(&d);
+        }
+        idx
+    }
+
+    #[test]
+    fn discovery_picks_low_cardinality_covered_paths() {
+        let idx = index();
+        let dims = FacetEngine::new(&idx).discover_dimensions(10, 10);
+        assert!(dims.contains(&"make".to_string()));
+        assert!(!dims.contains(&"id".to_string()), "60 distinct values is not a facet");
+        assert!(!dims.contains(&"amount".to_string()));
+    }
+
+    #[test]
+    fn counts_over_whole_corpus() {
+        let idx = index();
+        let dim = FacetEngine::new(&idx).counts("make", None);
+        assert_eq!(dim.values.len(), 3);
+        assert!(dim.values.iter().all(|v| v.count == 20));
+    }
+
+    #[test]
+    fn counts_respect_result_set() {
+        let idx = index();
+        let set: HashSet<DocId> = (0..6u64).map(DocId).collect();
+        let dim = FacetEngine::new(&idx).counts("make", Some(&set));
+        assert_eq!(dim.values.iter().map(|v| v.count).sum::<usize>(), 6);
+        assert!(dim.values.iter().all(|v| v.count == 2));
+    }
+
+    #[test]
+    fn zero_count_buckets_hidden() {
+        let idx = index();
+        let set: HashSet<DocId> = [DocId(0), DocId(3)].into_iter().collect(); // both Volvo
+        let dim = FacetEngine::new(&idx).counts("make", Some(&set));
+        assert_eq!(dim.values.len(), 1);
+        assert_eq!(dim.values[0].label, "Volvo");
+    }
+
+    #[test]
+    fn numeric_buckets_partition_range() {
+        let idx = index();
+        let dim = FacetEngine::new(&idx).numeric_buckets("amount", 4, None);
+        let total: usize = dim.values.iter().map(|v| v.count).sum();
+        assert_eq!(total, 60);
+        assert!(dim.values.len() <= 4);
+        assert!(dim.values[0].label.starts_with('['));
+    }
+
+    #[test]
+    fn numeric_buckets_of_non_numeric_path_empty() {
+        let idx = index();
+        let dim = FacetEngine::new(&idx).numeric_buckets("make", 4, None);
+        assert!(dim.values.is_empty());
+    }
+}

@@ -1,0 +1,304 @@
+//! Guided-search sessions.
+//!
+//! A session holds a keyword query plus a stack of facet constraints. Each
+//! interaction narrows (drill-down), pivots (drill-across), or widens
+//! (undo) the result set; the engine recomputes counts so the interface
+//! can render "interactive navigational links" (§3.2.1) after every step.
+
+use std::collections::HashSet;
+
+use impliance_docmodel::{DocId, Value};
+use impliance_index::{search, InvertedIndex, PathValueIndex, SearchQuery};
+
+use crate::facets::{FacetDimension, FacetEngine};
+
+/// One applied facet constraint.
+#[derive(Debug, Clone, PartialEq)]
+struct Constraint {
+    path: String,
+    value: Value,
+}
+
+/// An interactive guided-search session.
+pub struct GuidedSession<'a> {
+    text_index: &'a InvertedIndex,
+    value_index: &'a PathValueIndex,
+    keyword: Option<String>,
+    constraints: Vec<Constraint>,
+    /// Upper bound on keyword candidates considered.
+    search_limit: usize,
+}
+
+impl<'a> GuidedSession<'a> {
+    /// Start a session over the given indexes.
+    pub fn new(text_index: &'a InvertedIndex, value_index: &'a PathValueIndex) -> Self {
+        GuidedSession {
+            text_index,
+            value_index,
+            keyword: None,
+            constraints: Vec::new(),
+            search_limit: 10_000,
+        }
+    }
+
+    /// Set (or replace) the keyword query. Clears nothing else.
+    pub fn keywords(&mut self, query: &str) -> &mut Self {
+        self.keyword = if query.trim().is_empty() { None } else { Some(query.to_string()) };
+        self
+    }
+
+    /// Drill down: constrain a facet dimension to a value.
+    pub fn drill_down(&mut self, path: &str, value: Value) -> &mut Self {
+        self.constraints.push(Constraint { path: path.to_string(), value });
+        self
+    }
+
+    /// Drill across: replace the most recent constraint on `path` (or the
+    /// last constraint if none on that path) with a new dimension/value —
+    /// pivoting the exploration without restarting it.
+    pub fn drill_across(&mut self, path: &str, value: Value) -> &mut Self {
+        if let Some(idx) = self.constraints.iter().rposition(|c| c.path == path) {
+            self.constraints.remove(idx);
+        } else {
+            self.constraints.pop();
+        }
+        self.drill_down(path, value)
+    }
+
+    /// Undo the most recent constraint. Returns whether anything changed.
+    pub fn undo(&mut self) -> bool {
+        self.constraints.pop().is_some()
+    }
+
+    /// Active constraints as (path, value) pairs.
+    pub fn active_constraints(&self) -> Vec<(String, Value)> {
+        self.constraints.iter().map(|c| (c.path.clone(), c.value.clone())).collect()
+    }
+
+    /// Current result set: keyword hits (if any) intersected with every
+    /// facet constraint. Sorted ascending for determinism.
+    pub fn results(&self) -> Vec<DocId> {
+        let mut current: Option<HashSet<DocId>> = None;
+        if let Some(q) = &self.keyword {
+            let hits = search::search(self.text_index, &SearchQuery::new(q.clone(), self.search_limit));
+            current = Some(hits.into_iter().map(|h| h.id).collect());
+        }
+        for c in &self.constraints {
+            let docs: HashSet<DocId> =
+                self.value_index.lookup_eq(&c.path, &c.value).into_iter().collect();
+            current = Some(match current {
+                None => docs,
+                Some(cur) => cur.intersection(&docs).copied().collect(),
+            });
+        }
+        let mut out: Vec<DocId> = current.unwrap_or_default().into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Facet counts for a dimension under the current result set — the
+    /// navigational links the UI would render next.
+    pub fn facet(&self, path: &str) -> FacetDimension {
+        let set: HashSet<DocId> = self.results().into_iter().collect();
+        FacetEngine::new(self.value_index).counts(path, Some(&set))
+    }
+
+    /// Suggest the next dimensions to offer: discovered facets that still
+    /// have more than one bucket under the current result set.
+    pub fn suggest_dimensions(&self, max: usize) -> Vec<String> {
+        let set: HashSet<DocId> = self.results().into_iter().collect();
+        let engine = FacetEngine::new(self.value_index);
+        engine
+            .discover_dimensions(2, 50)
+            .into_iter()
+            .filter(|p| {
+                let already = self.constraints.iter().any(|c| &c.path == p);
+                !already && engine.counts(p, Some(&set)).values.len() > 1
+            })
+            .take(max)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impliance_docmodel::{DocumentBuilder, SourceFormat};
+
+    fn corpus() -> (InvertedIndex, PathValueIndex) {
+        let text = InvertedIndex::new(4);
+        let values = PathValueIndex::new();
+        let rows = [
+            (1u64, "Volvo", "Seattle", "bumper damage front"),
+            (2, "Volvo", "Austin", "hood scratch minor"),
+            (3, "Saab", "Seattle", "bumper dent rear"),
+            (4, "Saab", "Austin", "windshield crack"),
+            (5, "Tesla", "Seattle", "bumper sensor fault"),
+        ];
+        for (id, make, city, notes) in rows {
+            let d = DocumentBuilder::new(DocId(id), SourceFormat::Json, "claims")
+                .field("make", make)
+                .field("city", city)
+                .field("notes", notes)
+                .build();
+            text.index_document(&d);
+            values.index_document(&d);
+        }
+        (text, values)
+    }
+
+    #[test]
+    fn keyword_then_drill_down() {
+        let (text, values) = corpus();
+        let mut s = GuidedSession::new(&text, &values);
+        s.keywords("bumper");
+        assert_eq!(s.results(), vec![DocId(1), DocId(3), DocId(5)]);
+        s.drill_down("city", Value::Str("Seattle".into()));
+        assert_eq!(s.results(), vec![DocId(1), DocId(3), DocId(5)]);
+        s.drill_down("make", Value::Str("Saab".into()));
+        assert_eq!(s.results(), vec![DocId(3)]);
+    }
+
+    #[test]
+    fn facet_counts_follow_the_result_set() {
+        let (text, values) = corpus();
+        let mut s = GuidedSession::new(&text, &values);
+        s.keywords("bumper");
+        let dim = s.facet("make");
+        let labels: Vec<(String, usize)> =
+            dim.values.iter().map(|v| (v.label.clone(), v.count)).collect();
+        assert_eq!(labels.len(), 3);
+        assert!(labels.contains(&("Volvo".to_string(), 1)));
+    }
+
+    #[test]
+    fn drill_across_pivots() {
+        let (text, values) = corpus();
+        let mut s = GuidedSession::new(&text, &values);
+        s.drill_down("make", Value::Str("Volvo".into()));
+        assert_eq!(s.results().len(), 2);
+        s.drill_across("make", Value::Str("Saab".into()));
+        assert_eq!(s.results(), vec![DocId(3), DocId(4)]);
+        assert_eq!(s.active_constraints().len(), 1);
+    }
+
+    #[test]
+    fn undo_widens() {
+        let (text, values) = corpus();
+        let mut s = GuidedSession::new(&text, &values);
+        s.drill_down("city", Value::Str("Austin".into()));
+        s.drill_down("make", Value::Str("Saab".into()));
+        assert_eq!(s.results(), vec![DocId(4)]);
+        assert!(s.undo());
+        assert_eq!(s.results(), vec![DocId(2), DocId(4)]);
+        assert!(s.undo());
+        assert!(!s.undo());
+    }
+
+    #[test]
+    fn constraints_without_keywords() {
+        let (text, values) = corpus();
+        let mut s = GuidedSession::new(&text, &values);
+        s.drill_down("make", Value::Str("Tesla".into()));
+        assert_eq!(s.results(), vec![DocId(5)]);
+    }
+
+    #[test]
+    fn empty_session_returns_nothing() {
+        let (text, values) = corpus();
+        let s = GuidedSession::new(&text, &values);
+        assert!(s.results().is_empty(), "no query, no constraints → empty, not everything");
+    }
+
+    #[test]
+    fn suggestions_exclude_used_dimensions() {
+        let (text, values) = corpus();
+        let mut s = GuidedSession::new(&text, &values);
+        s.keywords("bumper");
+        let before = s.suggest_dimensions(5);
+        assert!(before.contains(&"make".to_string()));
+        s.drill_down("make", Value::Str("Volvo".into()));
+        let after = s.suggest_dimensions(5);
+        assert!(!after.contains(&"make".to_string()));
+    }
+}
+
+/// Parse a guided query string into session state: bare words become the
+/// keyword query, `path:value` terms become facet constraints (values are
+/// type-sniffed, so `amount:1500` constrains on the integer). This is the
+/// "smart query construction by the retrieval interface" of §2.2 — the
+/// engine below stays oblivious to the syntax.
+pub fn apply_guided_query(session: &mut GuidedSession<'_>, query: &str) {
+    let mut keywords = Vec::new();
+    for token in query.split_whitespace() {
+        match token.split_once(':') {
+            Some((path, raw)) if !path.is_empty() && !raw.is_empty() => {
+                let value = impliance_docmodel::convert::sniff_scalar(raw);
+                session.drill_down(path, value);
+            }
+            // malformed facet tokens (":x", "x:") are dropped rather than
+            // poisoning the conjunctive keyword query
+            Some(_) => {}
+            None => keywords.push(token),
+        }
+    }
+    session.keywords(&keywords.join(" "));
+}
+
+#[cfg(test)]
+mod guided_query_tests {
+    use super::*;
+    use impliance_docmodel::{DocId, DocumentBuilder, SourceFormat};
+
+    fn indexes() -> (impliance_index::InvertedIndex, impliance_index::PathValueIndex) {
+        let text = impliance_index::InvertedIndex::new(4);
+        let values = impliance_index::PathValueIndex::new();
+        for (id, make, amount, notes) in [
+            (1u64, "Volvo", 1500i64, "bumper cracked"),
+            (2, "Volvo", 200, "bumper scratched"),
+            (3, "Saab", 1500, "bumper bent"),
+        ] {
+            let d = DocumentBuilder::new(DocId(id), SourceFormat::Json, "claims")
+                .field("make", make)
+                .field("amount", amount)
+                .field("notes", notes)
+                .build();
+            text.index_document(&d);
+            values.index_document(&d);
+        }
+        (text, values)
+    }
+
+    #[test]
+    fn guided_syntax_mixes_keywords_and_facets() {
+        let (text, values) = indexes();
+        let mut s = GuidedSession::new(&text, &values);
+        apply_guided_query(&mut s, "bumper make:Volvo amount:1500");
+        assert_eq!(s.results(), vec![DocId(1)]);
+        assert_eq!(s.active_constraints().len(), 2);
+    }
+
+    #[test]
+    fn pure_keyword_query() {
+        let (text, values) = indexes();
+        let mut s = GuidedSession::new(&text, &values);
+        apply_guided_query(&mut s, "bumper");
+        assert_eq!(s.results().len(), 3);
+    }
+
+    #[test]
+    fn pure_facet_query() {
+        let (text, values) = indexes();
+        let mut s = GuidedSession::new(&text, &values);
+        apply_guided_query(&mut s, "make:Saab");
+        assert_eq!(s.results(), vec![DocId(3)]);
+    }
+
+    #[test]
+    fn malformed_facet_terms_fall_back_to_keywords() {
+        let (text, values) = indexes();
+        let mut s = GuidedSession::new(&text, &values);
+        apply_guided_query(&mut s, ":broken bumper trailing:");
+        assert_eq!(s.results().len(), 3, "malformed facet tokens are dropped");
+    }
+}

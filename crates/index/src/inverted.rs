@@ -1,0 +1,404 @@
+//! The incremental, hierarchy-aware full-text index.
+//!
+//! Structure (LSM-flavored, per the paper's incremental-maintenance
+//! requirement):
+//!
+//! * a mutable **delta** absorbing newly indexed documents in O(tokens);
+//! * immutable **runs** of compressed postings produced by `commit()`;
+//! * periodic **compaction** merging runs so lookup cost stays bounded.
+//!
+//! Documents are registered with an internal ordinal; re-indexing a new
+//! version of the same `DocId` kills the old ordinal (Lucene-style
+//! live/dead masking) so search never returns superseded versions —
+//! mirroring the storage engine's latest-version semantics.
+//!
+//! Hierarchy-awareness: tokens are indexed both globally (term) and per
+//! structural path (`path\u{1}term`), so searches can be restricted to a
+//! subtree ("find 'fracture' within `claim.notes`") — the extension §3.3
+//! says off-the-shelf indexers would need.
+
+use std::collections::HashMap;
+
+use impliance_docmodel::{DocId, Document, Version};
+use parking_lot::RwLock;
+
+use crate::postings::{Posting, PostingsList};
+use crate::tokenize::tokenize;
+
+/// Internal document ordinal in index space.
+pub type DocOrdinal = u32;
+
+/// Separator between path and term in per-path keys. `\u{1}` never appears
+/// in tokenized terms.
+const PATH_SEP: char = '\u{1}';
+
+#[derive(Debug, Default)]
+struct Delta {
+    /// term (or path-qualified term) → postings under construction,
+    /// keyed by ordinal (sorted on commit).
+    terms: HashMap<String, Vec<Posting>>,
+    tokens: u64,
+}
+
+#[derive(Debug, Default)]
+struct Run {
+    terms: HashMap<String, PostingsList>,
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    /// ordinal → (id, version, live)
+    docs: Vec<(DocId, Version, bool)>,
+    /// id → current live ordinal
+    current: HashMap<DocId, DocOrdinal>,
+    /// ordinal → token count (for BM25 length normalization)
+    lengths: Vec<u32>,
+    total_live_tokens: u64,
+}
+
+/// The full-text index.
+#[derive(Debug, Default)]
+pub struct InvertedIndex {
+    delta: RwLock<Delta>,
+    runs: RwLock<Vec<Run>>,
+    registry: RwLock<Registry>,
+    /// Runs allowed before an automatic compaction.
+    max_runs: usize,
+}
+
+impl InvertedIndex {
+    /// Create an index that compacts once it accumulates `max_runs` runs.
+    pub fn new(max_runs: usize) -> InvertedIndex {
+        InvertedIndex { max_runs: max_runs.max(2), ..InvertedIndex::default() }
+    }
+
+    /// Index (or re-index) a document's latest version. Returns the
+    /// ordinal assigned. Indexing is O(tokens) into the delta; no run is
+    /// touched until `commit`.
+    pub fn index_document(&self, doc: &Document) -> DocOrdinal {
+        let mut reg = self.registry.write();
+        // retire the previous version's ordinal, if any
+        if let Some(&old) = reg.current.get(&doc.id()) {
+            let old_len = reg.lengths[old as usize] as u64;
+            if let Some(entry) = reg.docs.get_mut(old as usize) {
+                if entry.2 {
+                    entry.2 = false;
+                    reg.total_live_tokens = reg.total_live_tokens.saturating_sub(old_len);
+                }
+            }
+        }
+        let ordinal = reg.docs.len() as DocOrdinal;
+        reg.docs.push((doc.id(), doc.version(), true));
+        reg.current.insert(doc.id(), ordinal);
+
+        let mut delta = self.delta.write();
+        let mut doc_tokens = 0u32;
+        // positions are document-global: each leaf's tokens continue after
+        // the previous leaf's, so per-term position lists stay strictly
+        // increasing (the postings delta encoding requires monotonicity)
+        let mut position_base = 0u32;
+        for (path, value) in doc.leaves() {
+            let text = value.render();
+            let structural = path.structural_form();
+            let tokens = tokenize(&text);
+            let leaf_span = tokens.last().map(|t| t.position + 1).unwrap_or(0);
+            for token in tokens {
+                let position = position_base + token.position;
+                doc_tokens += 1;
+                delta.tokens += 1;
+                push_token(&mut delta.terms, token.text.clone(), ordinal, position);
+                let qualified = format!("{structural}{PATH_SEP}{}", token.text);
+                push_token(&mut delta.terms, qualified, ordinal, position);
+            }
+            // +1 leaves a hole between leaves so phrases cannot match
+            // across field boundaries
+            position_base += leaf_span + 1;
+        }
+        reg.lengths.push(doc_tokens);
+        reg.total_live_tokens += u64::from(doc_tokens);
+        ordinal
+    }
+
+    /// Freeze the delta into a new immutable run; compacts automatically
+    /// when too many runs accumulate. This is the background step the
+    /// appliance schedules asynchronously (experiment C3 measures what
+    /// doing it synchronously would cost).
+    pub fn commit(&self) {
+        let mut delta = self.delta.write();
+        if delta.terms.is_empty() {
+            return;
+        }
+        let terms = std::mem::take(&mut delta.terms);
+        delta.tokens = 0;
+        drop(delta);
+        let mut run = Run::default();
+        for (term, mut postings) in terms {
+            postings.sort_by_key(|p| p.ordinal);
+            run.terms.insert(term, PostingsList::from_postings(&postings));
+        }
+        let mut runs = self.runs.write();
+        runs.push(run);
+        if runs.len() > self.max_runs {
+            let merged = Self::merge_runs(std::mem::take(&mut *runs));
+            runs.push(merged);
+        }
+    }
+
+    fn merge_runs(old: Vec<Run>) -> Run {
+        let mut merged: HashMap<String, PostingsList> = HashMap::new();
+        for run in old {
+            for (term, list) in run.terms {
+                match merged.get(&term) {
+                    None => {
+                        merged.insert(term, list);
+                    }
+                    Some(existing) => {
+                        let combined = existing.merge(&list);
+                        merged.insert(term, combined);
+                    }
+                }
+            }
+        }
+        Run { terms: merged }
+    }
+
+    /// Number of runs currently on disk (observable for tests/benches).
+    pub fn run_count(&self) -> usize {
+        self.runs.read().len()
+    }
+
+    /// Uncommitted tokens buffered in the delta.
+    pub fn delta_tokens(&self) -> u64 {
+        self.delta.read().tokens
+    }
+
+    /// Live documents (latest versions) in the index.
+    pub fn live_docs(&self) -> u32 {
+        self.registry.read().current.len() as u32
+    }
+
+    /// Average live-document length in tokens (BM25's `avgdl`).
+    pub fn avg_doc_len(&self) -> f64 {
+        let reg = self.registry.read();
+        let n = reg.current.len();
+        if n == 0 {
+            return 0.0;
+        }
+        reg.total_live_tokens as f64 / n as f64
+    }
+
+    /// Token length of a live ordinal.
+    pub fn doc_len(&self, ord: DocOrdinal) -> u32 {
+        self.registry.read().lengths.get(ord as usize).copied().unwrap_or(0)
+    }
+
+    /// Resolve an ordinal to its document id, if still live.
+    pub fn resolve(&self, ord: DocOrdinal) -> Option<(DocId, Version)> {
+        let reg = self.registry.read();
+        reg.docs.get(ord as usize).and_then(
+            |&(id, v, live)| {
+                if live {
+                    Some((id, v))
+                } else {
+                    None
+                }
+            },
+        )
+    }
+
+    /// Collect the live postings for a term across delta and runs,
+    /// optionally restricted to a structural path.
+    pub fn postings(&self, term: &str, path: Option<&str>) -> Vec<Posting> {
+        let key = match path {
+            Some(p) => format!("{p}{PATH_SEP}{term}"),
+            None => term.to_string(),
+        };
+        let mut by_ord: HashMap<DocOrdinal, Posting> = HashMap::new();
+        {
+            let runs = self.runs.read();
+            for run in runs.iter() {
+                if let Some(list) = run.terms.get(&key) {
+                    for p in list.iter() {
+                        by_ord.insert(p.ordinal, p);
+                    }
+                }
+            }
+        }
+        {
+            let delta = self.delta.read();
+            if let Some(postings) = delta.terms.get(&key) {
+                for p in postings {
+                    by_ord.insert(p.ordinal, p.clone());
+                }
+            }
+        }
+        let reg = self.registry.read();
+        let mut out: Vec<Posting> = by_ord
+            .into_values()
+            .filter(|p| reg.docs.get(p.ordinal as usize).map(|d| d.2).unwrap_or(false))
+            .collect();
+        out.sort_by_key(|p| p.ordinal);
+        out
+    }
+
+    /// Document frequency of a term (live docs only).
+    pub fn doc_freq(&self, term: &str, path: Option<&str>) -> u32 {
+        self.postings(term, path).len() as u32
+    }
+}
+
+fn push_token(
+    terms: &mut HashMap<String, Vec<Posting>>,
+    key: String,
+    ordinal: DocOrdinal,
+    position: u32,
+) {
+    let postings = terms.entry(key).or_default();
+    match postings.last_mut() {
+        Some(last) if last.ordinal == ordinal => last.positions.push(position),
+        _ => postings.push(Posting { ordinal, positions: vec![position] }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impliance_docmodel::{DocumentBuilder, Node, SourceFormat};
+
+    fn doc(i: u64, text: &str) -> Document {
+        DocumentBuilder::new(DocId(i), SourceFormat::Text, "t").field("body", text).build()
+    }
+
+    #[test]
+    fn index_and_lookup() {
+        let idx = InvertedIndex::new(4);
+        idx.index_document(&doc(1, "volvo bumper repair"));
+        idx.index_document(&doc(2, "saab hood repair"));
+        let p = idx.postings("repair", None);
+        assert_eq!(p.len(), 2);
+        let p = idx.postings("volvo", None);
+        assert_eq!(p.len(), 1);
+        assert_eq!(idx.resolve(p[0].ordinal).unwrap().0, DocId(1));
+    }
+
+    #[test]
+    fn lookup_spans_delta_and_runs() {
+        let idx = InvertedIndex::new(8);
+        idx.index_document(&doc(1, "alpha"));
+        idx.commit();
+        idx.index_document(&doc(2, "alpha"));
+        // one in run, one in delta
+        assert_eq!(idx.postings("alpha", None).len(), 2);
+        assert_eq!(idx.run_count(), 1);
+        assert!(idx.delta_tokens() > 0);
+    }
+
+    #[test]
+    fn path_restricted_lookup() {
+        let idx = InvertedIndex::new(4);
+        let d = DocumentBuilder::new(DocId(1), SourceFormat::Json, "claims")
+            .field("notes", "fracture observed")
+            .field("title", "routine checkup")
+            .build();
+        idx.index_document(&d);
+        assert_eq!(idx.postings("fracture", Some("notes")).len(), 1);
+        assert_eq!(idx.postings("fracture", Some("title")).len(), 0);
+        assert_eq!(idx.postings("checkup", Some("title")).len(), 1);
+    }
+
+    #[test]
+    fn reindex_masks_old_version() {
+        let idx = InvertedIndex::new(4);
+        let d1 = doc(1, "original text here");
+        idx.index_document(&d1);
+        idx.commit();
+        let d2 = d1.new_version(Node::map([("body".into(), Node::scalar("replacement words"))]), 1);
+        idx.index_document(&d2);
+        assert_eq!(idx.postings("original", None).len(), 0, "old version must be dead");
+        assert_eq!(idx.postings("replacement", None).len(), 1);
+        assert_eq!(idx.live_docs(), 1);
+    }
+
+    #[test]
+    fn compaction_bounds_runs() {
+        let idx = InvertedIndex::new(3);
+        for i in 0..10 {
+            idx.index_document(&doc(i, "word common unique"));
+            idx.commit();
+        }
+        assert!(idx.run_count() <= 3 + 1, "runs: {}", idx.run_count());
+        // all ten docs still findable after compactions
+        assert_eq!(idx.postings("common", None).len(), 10);
+    }
+
+    #[test]
+    fn avg_doc_len_tracks_live_docs() {
+        let idx = InvertedIndex::new(4);
+        idx.index_document(&doc(1, "one two three four"));
+        idx.index_document(&doc(2, "one two"));
+        let avg = idx.avg_doc_len();
+        assert!((avg - 3.0).abs() < 1e-9, "avg {avg}");
+    }
+
+    #[test]
+    fn doc_freq_counts_live_only() {
+        let idx = InvertedIndex::new(4);
+        let d1 = doc(1, "shared");
+        idx.index_document(&d1);
+        idx.index_document(&doc(2, "shared"));
+        assert_eq!(idx.doc_freq("shared", None), 2);
+        let d1b = d1.new_version(Node::map([("body".into(), Node::scalar("different"))]), 1);
+        idx.index_document(&d1b);
+        assert_eq!(idx.doc_freq("shared", None), 1);
+    }
+
+    #[test]
+    fn numeric_leaves_are_searchable_as_rendered_text() {
+        let idx = InvertedIndex::new(4);
+        let d = DocumentBuilder::new(DocId(5), SourceFormat::Json, "c")
+            .field("amount", 1500i64)
+            .build();
+        idx.index_document(&d);
+        assert_eq!(idx.postings("1500", None).len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod multi_leaf_tests {
+    use super::*;
+    use impliance_docmodel::{DocId, DocumentBuilder, SourceFormat};
+
+    #[test]
+    fn repeated_terms_across_leaves_commit_cleanly() {
+        // regression: a term in several leaves used to produce
+        // non-monotonic position lists, overflowing the delta encoder
+        let idx = InvertedIndex::new(4);
+        let d = DocumentBuilder::new(DocId(1), SourceFormat::Email, "mail")
+            .field("headers.subject", "contract agreement pending")
+            .field("body", "the agreement covers the agreement annexes")
+            .build();
+        idx.index_document(&d);
+        idx.commit(); // encoder ran without panicking
+        let postings = idx.postings("agreement", None);
+        assert_eq!(postings.len(), 1);
+        assert_eq!(postings[0].tf(), 3);
+        let positions = &postings[0].positions;
+        for w in positions.windows(2) {
+            assert!(w[0] < w[1], "positions must be strictly increasing: {positions:?}");
+        }
+    }
+
+    #[test]
+    fn path_restriction_still_works_with_global_positions() {
+        let idx = InvertedIndex::new(4);
+        let d = DocumentBuilder::new(DocId(1), SourceFormat::Email, "mail")
+            .field("a", "shared")
+            .field("b", "shared")
+            .build();
+        idx.index_document(&d);
+        idx.commit();
+        assert_eq!(idx.postings("shared", Some("a")).len(), 1);
+        assert_eq!(idx.postings("shared", Some("b")).len(), 1);
+        assert_eq!(idx.postings("shared", None)[0].tf(), 2);
+    }
+}

@@ -1,0 +1,256 @@
+//! Join indexes over discovered relationships.
+//!
+//! §3.2: "Discovered relationships can be stored as join indexes and
+//! utilized at query time." A [`JoinIndex`] stores labeled directed edges
+//! between documents (e.g. `references-customer`, `same-entity`,
+//! `annotates`) with forward and reverse adjacency, so the graph query
+//! interface's "how are these two connected?" (§3.2.1) runs a plain BFS.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use impliance_docmodel::DocId;
+use parking_lot::RwLock;
+
+/// A labeled edge between two documents.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// Source document.
+    pub from: DocId,
+    /// Target document.
+    pub to: DocId,
+    /// Relationship label.
+    pub label: String,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// label → from → targets
+    forward: HashMap<String, HashMap<DocId, Vec<DocId>>>,
+    /// label → to → sources
+    reverse: HashMap<String, HashMap<DocId, Vec<DocId>>>,
+    edge_count: usize,
+    /// dedup set
+    edges: HashSet<(DocId, DocId, String)>,
+}
+
+/// Labeled document-relationship index.
+#[derive(Debug, Default)]
+pub struct JoinIndex {
+    inner: RwLock<Inner>,
+}
+
+impl JoinIndex {
+    /// Create an empty join index.
+    pub fn new() -> JoinIndex {
+        JoinIndex::default()
+    }
+
+    /// Add an edge; duplicate edges are ignored. Returns whether the edge
+    /// was new.
+    pub fn add_edge(&self, from: DocId, to: DocId, label: &str) -> bool {
+        let mut inner = self.inner.write();
+        if !inner.edges.insert((from, to, label.to_string())) {
+            return false;
+        }
+        inner.forward.entry(label.to_string()).or_default().entry(from).or_default().push(to);
+        inner.reverse.entry(label.to_string()).or_default().entry(to).or_default().push(from);
+        inner.edge_count += 1;
+        true
+    }
+
+    /// Targets of `from` under `label`.
+    pub fn targets(&self, from: DocId, label: &str) -> Vec<DocId> {
+        let inner = self.inner.read();
+        inner.forward.get(label).and_then(|m| m.get(&from)).cloned().unwrap_or_default()
+    }
+
+    /// Sources pointing at `to` under `label`.
+    pub fn sources(&self, to: DocId, label: &str) -> Vec<DocId> {
+        let inner = self.inner.read();
+        inner.reverse.get(label).and_then(|m| m.get(&to)).cloned().unwrap_or_default()
+    }
+
+    /// All neighbors (either direction, any label) with the connecting
+    /// label.
+    pub fn neighbors(&self, id: DocId) -> Vec<(DocId, String)> {
+        let inner = self.inner.read();
+        let mut out = Vec::new();
+        for (label, m) in &inner.forward {
+            if let Some(ts) = m.get(&id) {
+                out.extend(ts.iter().map(|t| (*t, label.clone())));
+            }
+        }
+        for (label, m) in &inner.reverse {
+            if let Some(ss) = m.get(&id) {
+                out.extend(ss.iter().map(|s| (*s, label.clone())));
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Total distinct edges.
+    pub fn edge_count(&self) -> usize {
+        self.inner.read().edge_count
+    }
+
+    /// Labels in use.
+    pub fn labels(&self) -> Vec<String> {
+        let mut out: Vec<String> = self.inner.read().forward.keys().cloned().collect();
+        out.sort();
+        out
+    }
+
+    /// Shortest undirected path between two documents (the §3.2.1 "given
+    /// two pieces of data … ask how they are connected"). Returns the node
+    /// sequence including both endpoints, or `None` if disconnected within
+    /// `max_hops`.
+    pub fn connect(&self, a: DocId, b: DocId, max_hops: usize) -> Option<Vec<DocId>> {
+        if a == b {
+            return Some(vec![a]);
+        }
+        let mut prev: HashMap<DocId, DocId> = HashMap::new();
+        let mut queue = VecDeque::from([(a, 0usize)]);
+        let mut seen = HashSet::from([a]);
+        while let Some((cur, depth)) = queue.pop_front() {
+            if depth >= max_hops {
+                continue;
+            }
+            for (next, _) in self.neighbors(cur) {
+                if seen.insert(next) {
+                    prev.insert(next, cur);
+                    if next == b {
+                        // rebuild path
+                        let mut path = vec![b];
+                        let mut at = b;
+                        while at != a {
+                            at = prev[&at];
+                            path.push(at);
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back((next, depth + 1));
+                }
+            }
+        }
+        None
+    }
+
+    /// Transitive closure of `seed` under the given labels (legal-discovery
+    /// use case §2.1.3: "determining the transitive closure of
+    /// relationships"). Bounded by `max_hops`.
+    pub fn closure(&self, seed: DocId, labels: &[&str], max_hops: usize) -> Vec<DocId> {
+        let mut seen = HashSet::from([seed]);
+        let mut frontier = vec![seed];
+        for _ in 0..max_hops {
+            let mut next = Vec::new();
+            for id in frontier {
+                for label in labels {
+                    for t in self.targets(id, label) {
+                        if seen.insert(t) {
+                            next.push(t);
+                        }
+                    }
+                    for s in self.sources(id, label) {
+                        if seen.insert(s) {
+                            next.push(s);
+                        }
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        let mut out: Vec<DocId> = seen.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup_edges() {
+        let j = JoinIndex::new();
+        assert!(j.add_edge(DocId(1), DocId(2), "refs"));
+        assert!(!j.add_edge(DocId(1), DocId(2), "refs"), "duplicate ignored");
+        assert!(j.add_edge(DocId(1), DocId(2), "same-entity"), "different label is new");
+        assert_eq!(j.targets(DocId(1), "refs"), vec![DocId(2)]);
+        assert_eq!(j.sources(DocId(2), "refs"), vec![DocId(1)]);
+        assert_eq!(j.edge_count(), 2);
+        assert_eq!(j.labels(), vec!["refs", "same-entity"]);
+    }
+
+    #[test]
+    fn neighbors_cover_both_directions() {
+        let j = JoinIndex::new();
+        j.add_edge(DocId(1), DocId(2), "a");
+        j.add_edge(DocId(3), DocId(1), "b");
+        let n = j.neighbors(DocId(1));
+        assert_eq!(n, vec![(DocId(2), "a".to_string()), (DocId(3), "b".to_string())]);
+    }
+
+    #[test]
+    fn connect_finds_shortest_path() {
+        let j = JoinIndex::new();
+        // chain 1-2-3-4 plus shortcut 1-4
+        j.add_edge(DocId(1), DocId(2), "r");
+        j.add_edge(DocId(2), DocId(3), "r");
+        j.add_edge(DocId(3), DocId(4), "r");
+        j.add_edge(DocId(1), DocId(4), "s");
+        let path = j.connect(DocId(1), DocId(4), 10).unwrap();
+        assert_eq!(path, vec![DocId(1), DocId(4)]);
+        let path23 = j.connect(DocId(2), DocId(4), 10).unwrap();
+        assert_eq!(path23.len(), 3);
+    }
+
+    #[test]
+    fn connect_respects_max_hops() {
+        let j = JoinIndex::new();
+        j.add_edge(DocId(1), DocId(2), "r");
+        j.add_edge(DocId(2), DocId(3), "r");
+        assert!(j.connect(DocId(1), DocId(3), 1).is_none());
+        assert!(j.connect(DocId(1), DocId(3), 2).is_some());
+    }
+
+    #[test]
+    fn connect_disconnected_is_none() {
+        let j = JoinIndex::new();
+        j.add_edge(DocId(1), DocId(2), "r");
+        assert!(j.connect(DocId(1), DocId(99), 5).is_none());
+    }
+
+    #[test]
+    fn connect_self_is_trivial() {
+        let j = JoinIndex::new();
+        assert_eq!(j.connect(DocId(7), DocId(7), 0), Some(vec![DocId(7)]));
+    }
+
+    #[test]
+    fn closure_is_label_filtered_and_undirected() {
+        let j = JoinIndex::new();
+        j.add_edge(DocId(1), DocId(2), "partner");
+        j.add_edge(DocId(3), DocId(2), "partner");
+        j.add_edge(DocId(3), DocId(4), "unrelated");
+        let c = j.closure(DocId(1), &["partner"], 10);
+        assert_eq!(c, vec![DocId(1), DocId(2), DocId(3)]);
+        let c2 = j.closure(DocId(1), &["partner", "unrelated"], 10);
+        assert_eq!(c2, vec![DocId(1), DocId(2), DocId(3), DocId(4)]);
+    }
+
+    #[test]
+    fn closure_bounded_by_hops() {
+        let j = JoinIndex::new();
+        for i in 0..10u64 {
+            j.add_edge(DocId(i), DocId(i + 1), "r");
+        }
+        let c = j.closure(DocId(0), &["r"], 3);
+        assert_eq!(c.len(), 4);
+    }
+}

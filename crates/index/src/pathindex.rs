@@ -1,0 +1,293 @@
+//! Structural and value indexes.
+//!
+//! For every document, every structural path and every `(path, value)`
+//! leaf pair is indexed (§3.2). The value index is ordered (B-tree), so
+//! equality *and* range predicates can be answered from the index — the
+//! access path the simple planner prefers for top-k queries.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use impliance_docmodel::{DocId, Document, Value};
+use parking_lot::RwLock;
+
+/// Total-ordered wrapper for [`Value`] usable as a B-tree key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrdValue(pub Value);
+
+impl Eq for OrdValue {}
+
+impl PartialOrd for OrdValue {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdValue {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// structural path → ordered (value → doc set)
+    values: HashMap<String, BTreeMap<OrdValue, HashSet<DocId>>>,
+    /// structural path → docs having any leaf there
+    paths: HashMap<String, HashSet<DocId>>,
+    /// doc → structural paths it contributed (for retirement on update)
+    doc_paths: HashMap<DocId, Vec<(String, Value)>>,
+}
+
+/// The path/value index for a corpus of documents.
+#[derive(Debug, Default)]
+pub struct PathValueIndex {
+    inner: RwLock<Inner>,
+}
+
+impl PathValueIndex {
+    /// Create an empty index.
+    pub fn new() -> PathValueIndex {
+        PathValueIndex::default()
+    }
+
+    /// Index (or re-index) the latest version of a document.
+    pub fn index_document(&self, doc: &Document) {
+        let mut inner = self.inner.write();
+        Self::retire_locked(&mut inner, doc.id());
+        let mut contributed = Vec::new();
+        for (path, value) in doc.leaves() {
+            let structural = path.structural_form();
+            inner
+                .values
+                .entry(structural.clone())
+                .or_default()
+                .entry(OrdValue(value.clone()))
+                .or_default()
+                .insert(doc.id());
+            inner.paths.entry(structural.clone()).or_default().insert(doc.id());
+            contributed.push((structural, value.clone()));
+        }
+        inner.doc_paths.insert(doc.id(), contributed);
+    }
+
+    /// Remove a document's contributions (used on re-index and by tests).
+    pub fn retire(&self, id: DocId) {
+        let mut inner = self.inner.write();
+        Self::retire_locked(&mut inner, id);
+    }
+
+    fn retire_locked(inner: &mut Inner, id: DocId) {
+        if let Some(entries) = inner.doc_paths.remove(&id) {
+            for (path, value) in entries {
+                if let Some(tree) = inner.values.get_mut(&path) {
+                    if let Some(set) = tree.get_mut(&OrdValue(value)) {
+                        set.remove(&id);
+                    }
+                }
+                if let Some(set) = inner.paths.get_mut(&path) {
+                    set.remove(&id);
+                }
+            }
+            // sweep empty value sets
+            for tree in inner.values.values_mut() {
+                tree.retain(|_, set| !set.is_empty());
+            }
+        }
+    }
+
+    /// Documents with a leaf equal to `v` at `path`.
+    pub fn lookup_eq(&self, path: &str, v: &Value) -> Vec<DocId> {
+        let inner = self.inner.read();
+        let mut out: Vec<DocId> = inner
+            .values
+            .get(path)
+            .and_then(|tree| tree.get(&OrdValue(v.clone())))
+            .map(|set| set.iter().copied().collect())
+            .unwrap_or_default();
+        out.sort_unstable();
+        out
+    }
+
+    /// Documents with a leaf in `[lo, hi]` (inclusive bounds; `None` =
+    /// unbounded) at `path`.
+    pub fn lookup_range(&self, path: &str, lo: Option<&Value>, hi: Option<&Value>) -> Vec<DocId> {
+        let inner = self.inner.read();
+        let mut out = HashSet::new();
+        if let Some(tree) = inner.values.get(path) {
+            use std::ops::Bound;
+            let lo_bound = match lo {
+                Some(v) => Bound::Included(OrdValue(v.clone())),
+                None => Bound::Unbounded,
+            };
+            let hi_bound = match hi {
+                Some(v) => Bound::Included(OrdValue(v.clone())),
+                None => Bound::Unbounded,
+            };
+            for (_, set) in tree.range((lo_bound, hi_bound)) {
+                out.extend(set.iter().copied());
+            }
+        }
+        let mut v: Vec<DocId> = out.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Documents having any leaf at `path`.
+    pub fn lookup_exists(&self, path: &str) -> Vec<DocId> {
+        let inner = self.inner.read();
+        let mut out: Vec<DocId> = inner
+            .paths
+            .get(path)
+            .map(|set| set.iter().copied().collect())
+            .unwrap_or_default();
+        out.sort_unstable();
+        out
+    }
+
+    /// All structural paths observed, with live document counts — the raw
+    /// material for facet discovery.
+    pub fn path_census(&self) -> Vec<(String, usize)> {
+        let inner = self.inner.read();
+        let mut out: Vec<(String, usize)> =
+            inner.paths.iter().map(|(p, set)| (p.clone(), set.len())).collect();
+        out.sort();
+        out
+    }
+
+    /// Distinct values at a path with their document counts, ordered by
+    /// value — one facet dimension's buckets.
+    pub fn value_census(&self, path: &str) -> Vec<(Value, usize)> {
+        let inner = self.inner.read();
+        inner
+            .values
+            .get(path)
+            .map(|tree| {
+                tree.iter()
+                    .filter(|(_, set)| !set.is_empty())
+                    .map(|(v, set)| (v.0.clone(), set.len()))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impliance_docmodel::{DocumentBuilder, Node, SourceFormat};
+
+    fn doc(i: u64, amount: i64, make: &str) -> Document {
+        DocumentBuilder::new(DocId(i), SourceFormat::Json, "claims")
+            .field("amount", amount)
+            .field("make", make)
+            .build()
+    }
+
+    #[test]
+    fn eq_lookup() {
+        let idx = PathValueIndex::new();
+        idx.index_document(&doc(1, 100, "Volvo"));
+        idx.index_document(&doc(2, 200, "Volvo"));
+        idx.index_document(&doc(3, 100, "Saab"));
+        assert_eq!(idx.lookup_eq("make", &Value::Str("Volvo".into())), vec![DocId(1), DocId(2)]);
+        assert_eq!(idx.lookup_eq("amount", &Value::Int(100)), vec![DocId(1), DocId(3)]);
+        assert!(idx.lookup_eq("make", &Value::Str("Tesla".into())).is_empty());
+    }
+
+    #[test]
+    fn range_lookup() {
+        let idx = PathValueIndex::new();
+        for i in 0..20 {
+            idx.index_document(&doc(i, i as i64 * 10, "x"));
+        }
+        let r = idx.lookup_range("amount", Some(&Value::Int(50)), Some(&Value::Int(90)));
+        assert_eq!(r, vec![DocId(5), DocId(6), DocId(7), DocId(8), DocId(9)]);
+        let open = idx.lookup_range("amount", Some(&Value::Int(150)), None);
+        assert_eq!(open.len(), 5);
+        let all = idx.lookup_range("amount", None, None);
+        assert_eq!(all.len(), 20);
+    }
+
+    #[test]
+    fn range_lookup_crosses_int_float() {
+        let idx = PathValueIndex::new();
+        idx.index_document(&doc(1, 100, "x"));
+        let d = DocumentBuilder::new(DocId(2), SourceFormat::Json, "claims")
+            .field("amount", 150.5)
+            .build();
+        idx.index_document(&d);
+        let r = idx.lookup_range("amount", Some(&Value::Int(100)), Some(&Value::Int(200)));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn exists_lookup() {
+        let idx = PathValueIndex::new();
+        idx.index_document(&doc(1, 1, "Volvo"));
+        let other = DocumentBuilder::new(DocId(2), SourceFormat::Json, "c")
+            .field("different", 1i64)
+            .build();
+        idx.index_document(&other);
+        assert_eq!(idx.lookup_exists("make"), vec![DocId(1)]);
+        assert_eq!(idx.lookup_exists("different"), vec![DocId(2)]);
+    }
+
+    #[test]
+    fn reindex_replaces_old_values() {
+        let idx = PathValueIndex::new();
+        let d = doc(1, 100, "Volvo");
+        idx.index_document(&d);
+        let d2 = d.new_version(
+            Node::map([
+                ("amount".into(), Node::scalar(999i64)),
+                ("make".into(), Node::scalar("Saab")),
+            ]),
+            1,
+        );
+        idx.index_document(&d2);
+        assert!(idx.lookup_eq("make", &Value::Str("Volvo".into())).is_empty());
+        assert_eq!(idx.lookup_eq("make", &Value::Str("Saab".into())), vec![DocId(1)]);
+        assert!(idx.lookup_eq("amount", &Value::Int(100)).is_empty());
+    }
+
+    #[test]
+    fn retire_removes_contributions() {
+        let idx = PathValueIndex::new();
+        idx.index_document(&doc(1, 1, "Volvo"));
+        idx.retire(DocId(1));
+        assert!(idx.lookup_exists("make").is_empty());
+        assert!(idx.value_census("make").is_empty());
+    }
+
+    #[test]
+    fn censuses_for_facets() {
+        let idx = PathValueIndex::new();
+        idx.index_document(&doc(1, 10, "Volvo"));
+        idx.index_document(&doc(2, 20, "Volvo"));
+        idx.index_document(&doc(3, 30, "Saab"));
+        let census = idx.path_census();
+        assert!(census.contains(&("make".to_string(), 3)));
+        let values = idx.value_census("make");
+        assert_eq!(
+            values,
+            vec![(Value::Str("Saab".into()), 1), (Value::Str("Volvo".into()), 2)]
+        );
+    }
+
+    #[test]
+    fn sequence_paths_are_structural() {
+        let d = DocumentBuilder::new(DocId(1), SourceFormat::Json, "orders")
+            .node(
+                "items",
+                Node::seq([
+                    Node::map([("sku".to_string(), Node::scalar("A-1"))]),
+                    Node::map([("sku".to_string(), Node::scalar("B-2"))]),
+                ]),
+            )
+            .build();
+        let idx = PathValueIndex::new();
+        idx.index_document(&d);
+        assert_eq!(idx.lookup_eq("items[].sku", &Value::Str("B-2".into())), vec![DocId(1)]);
+    }
+}

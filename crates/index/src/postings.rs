@@ -1,0 +1,222 @@
+//! Compressed positional postings lists.
+//!
+//! A postings list maps a term to the ordered set of document ordinals
+//! containing it, with per-document term frequency and positions.
+//! Ordinals and positions are delta-encoded LEB128 varints — the classic
+//! inverted-file layout, built from scratch per the appliance's
+//! self-contained design.
+
+/// One document's entry in a postings list (decoded form).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Posting {
+    /// Internal document ordinal (see `inverted::DocOrdinal`).
+    pub ordinal: u32,
+    /// Token positions of the term in the document.
+    pub positions: Vec<u32>,
+}
+
+impl Posting {
+    /// Term frequency in the document.
+    pub fn tf(&self) -> u32 {
+        self.positions.len() as u32
+    }
+}
+
+/// An immutable, delta-compressed postings list.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PostingsList {
+    data: Vec<u8>,
+    doc_count: u32,
+}
+
+fn write_varint(buf: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+fn read_varint(buf: &[u8], pos: &mut usize) -> Option<u32> {
+    let mut v: u32 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos)?;
+        *pos += 1;
+        v |= u32::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift > 28 {
+            return None;
+        }
+    }
+}
+
+impl PostingsList {
+    /// Encode from postings sorted by ordinal. Panics in debug builds if
+    /// the input is unsorted (encoder contract).
+    pub fn from_postings(postings: &[Posting]) -> PostingsList {
+        let mut data = Vec::with_capacity(postings.len() * 3);
+        let mut prev_ord = 0u32;
+        for (i, p) in postings.iter().enumerate() {
+            debug_assert!(i == 0 || p.ordinal > prev_ord, "postings must be strictly sorted");
+            let delta = if i == 0 { p.ordinal } else { p.ordinal - prev_ord };
+            write_varint(&mut data, delta);
+            write_varint(&mut data, p.positions.len() as u32);
+            let mut prev_pos = 0u32;
+            for (j, &pos) in p.positions.iter().enumerate() {
+                let pd = if j == 0 { pos } else { pos - prev_pos };
+                write_varint(&mut data, pd);
+                prev_pos = pos;
+            }
+            prev_ord = p.ordinal;
+        }
+        PostingsList { data, doc_count: postings.len() as u32 }
+    }
+
+    /// Number of documents in the list.
+    pub fn doc_count(&self) -> u32 {
+        self.doc_count
+    }
+
+    /// Encoded size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Iterate decoded postings.
+    pub fn iter(&self) -> PostingsIter<'_> {
+        PostingsIter { data: &self.data, pos: 0, remaining: self.doc_count, prev_ord: 0 }
+    }
+
+    /// Merge two sorted lists into one. When both contain the same
+    /// ordinal, `other`'s entry wins (used when re-indexing merges newer
+    /// runs over older ones).
+    pub fn merge(&self, other: &PostingsList) -> PostingsList {
+        let mut a = self.iter().peekable();
+        let mut b = other.iter().peekable();
+        let mut out = Vec::new();
+        loop {
+            match (a.peek(), b.peek()) {
+                (None, None) => break,
+                (Some(_), None) => out.push(a.next().unwrap()),
+                (None, Some(_)) => out.push(b.next().unwrap()),
+                (Some(x), Some(y)) => {
+                    if x.ordinal < y.ordinal {
+                        out.push(a.next().unwrap());
+                    } else if x.ordinal > y.ordinal {
+                        out.push(b.next().unwrap());
+                    } else {
+                        a.next();
+                        out.push(b.next().unwrap());
+                    }
+                }
+            }
+        }
+        PostingsList::from_postings(&out)
+    }
+}
+
+/// Decoding iterator over a [`PostingsList`].
+#[derive(Debug, Clone)]
+pub struct PostingsIter<'a> {
+    data: &'a [u8],
+    pos: usize,
+    remaining: u32,
+    prev_ord: u32,
+}
+
+impl Iterator for PostingsIter<'_> {
+    type Item = Posting;
+
+    fn next(&mut self) -> Option<Posting> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let delta = read_varint(self.data, &mut self.pos)?;
+        // First posting: prev_ord is 0 and delta is the absolute ordinal,
+        // so the same addition covers both cases.
+        let ordinal = self.prev_ord + delta;
+        let n = read_varint(self.data, &mut self.pos)?;
+        let mut positions = Vec::with_capacity(n as usize);
+        let mut prev = 0u32;
+        for j in 0..n {
+            let pd = read_varint(self.data, &mut self.pos)?;
+            let p = if j == 0 { pd } else { prev + pd };
+            positions.push(p);
+            prev = p;
+        }
+        self.prev_ord = ordinal;
+        self.remaining -= 1;
+        Some(Posting { ordinal, positions })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(ord: u32, positions: &[u32]) -> Posting {
+        Posting { ordinal: ord, positions: positions.to_vec() }
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        let postings = vec![p(0, &[1, 5, 9]), p(3, &[0]), p(1000, &[7, 8])];
+        let list = PostingsList::from_postings(&postings);
+        assert_eq!(list.doc_count(), 3);
+        let back: Vec<Posting> = list.iter().collect();
+        assert_eq!(back, postings);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let list = PostingsList::from_postings(&[]);
+        assert_eq!(list.doc_count(), 0);
+        assert_eq!(list.iter().count(), 0);
+    }
+
+    #[test]
+    fn tf_is_position_count() {
+        assert_eq!(p(1, &[2, 4, 6]).tf(), 3);
+    }
+
+    #[test]
+    fn deltas_compress_dense_lists() {
+        let dense: Vec<Posting> = (0..1000).map(|i| p(i, &[0])).collect();
+        let list = PostingsList::from_postings(&dense);
+        // 1000 postings, each ~3 bytes (delta=1, n=1, pos=0)
+        assert!(list.byte_len() <= 3200, "got {}", list.byte_len());
+    }
+
+    #[test]
+    fn merge_disjoint() {
+        let a = PostingsList::from_postings(&[p(0, &[1]), p(2, &[1])]);
+        let b = PostingsList::from_postings(&[p(1, &[1]), p(3, &[1])]);
+        let m = a.merge(&b);
+        let ords: Vec<u32> = m.iter().map(|x| x.ordinal).collect();
+        assert_eq!(ords, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn merge_overlap_prefers_newer() {
+        let a = PostingsList::from_postings(&[p(5, &[1, 2])]);
+        let b = PostingsList::from_postings(&[p(5, &[9])]);
+        let m = a.merge(&b);
+        let got: Vec<Posting> = m.iter().collect();
+        assert_eq!(got, vec![p(5, &[9])]);
+    }
+
+    #[test]
+    fn large_ordinals_and_positions() {
+        let postings = vec![p(u32::MAX / 2, &[1_000_000, 2_000_000])];
+        let list = PostingsList::from_postings(&postings);
+        assert_eq!(list.iter().collect::<Vec<_>>(), postings);
+    }
+}

@@ -1,0 +1,396 @@
+//! BM25 top-k keyword search over the inverted index.
+//!
+//! §3.2.1: "The first [query interface] is keyword-driven search, and can
+//! immediately be used out of the box." Search supports AND/OR semantics,
+//! optional restriction to a structural path, and returns the top-k hits
+//! by BM25 — the "top-k results" retrieval characteristic the simple
+//! planner exploits (§3.3).
+
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+use impliance_docmodel::DocId;
+
+use crate::inverted::{DocOrdinal, InvertedIndex};
+use crate::tokenize::tokenize_query;
+
+/// How multiple query terms combine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchMode {
+    /// Every term must occur (conjunctive).
+    #[default]
+    And,
+    /// Any term may occur (disjunctive).
+    Or,
+}
+
+/// A keyword query.
+#[derive(Debug, Clone)]
+pub struct SearchQuery {
+    /// Raw query text; analyzed with the document pipeline.
+    pub text: String,
+    /// Term combination semantics.
+    pub mode: SearchMode,
+    /// Restrict matching to one structural path, if set.
+    pub path: Option<String>,
+    /// Maximum hits returned.
+    pub limit: usize,
+}
+
+impl SearchQuery {
+    /// Conjunctive top-`limit` query over all paths.
+    pub fn new(text: impl Into<String>, limit: usize) -> SearchQuery {
+        SearchQuery { text: text.into(), mode: SearchMode::And, path: None, limit }
+    }
+
+    /// Switch to disjunctive semantics.
+    pub fn any_term(mut self) -> SearchQuery {
+        self.mode = SearchMode::Or;
+        self
+    }
+
+    /// Restrict to a structural path.
+    pub fn within(mut self, path: impl Into<String>) -> SearchQuery {
+        self.path = Some(path.into());
+        self
+    }
+}
+
+/// One search hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchHit {
+    /// Matching document.
+    pub id: DocId,
+    /// BM25 relevance score (higher is better).
+    pub score: f64,
+}
+
+const BM25_K1: f64 = 1.2;
+const BM25_B: f64 = 0.75;
+
+/// Execute a query against an index, returning hits ordered by descending
+/// score (ties broken by ascending id for determinism).
+pub fn search(index: &InvertedIndex, query: &SearchQuery) -> Vec<SearchHit> {
+    let terms = tokenize_query(&query.text);
+    if terms.is_empty() || query.limit == 0 {
+        return Vec::new();
+    }
+    let n = f64::from(index.live_docs()).max(1.0);
+    let avgdl = index.avg_doc_len().max(1.0);
+
+    // Gather per-ordinal scores and per-ordinal matched-term counts.
+    let mut scores: HashMap<DocOrdinal, (f64, usize)> = HashMap::new();
+    for term in &terms {
+        let postings = index.postings(term, query.path.as_deref());
+        let df = postings.len() as f64;
+        if df == 0.0 {
+            if query.mode == SearchMode::And {
+                return Vec::new(); // a conjunctive term with no postings
+            }
+            continue;
+        }
+        let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
+        for p in postings {
+            let tf = f64::from(p.tf());
+            let dl = f64::from(index.doc_len(p.ordinal));
+            let norm = tf * (BM25_K1 + 1.0) / (tf + BM25_K1 * (1.0 - BM25_B + BM25_B * dl / avgdl));
+            let entry = scores.entry(p.ordinal).or_insert((0.0, 0));
+            entry.0 += idf * norm;
+            entry.1 += 1;
+        }
+    }
+
+    // Top-k selection with a bounded min-heap.
+    #[derive(PartialEq)]
+    struct HeapEntry(f64, DocOrdinal);
+    impl Eq for HeapEntry {}
+    impl PartialOrd for HeapEntry {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for HeapEntry {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // min-heap by score, then *max* by ordinal so that the heap
+            // evicts higher ordinals first on ties (keeps lowest ids).
+            other.0.total_cmp(&self.0).then(self.1.cmp(&other.1))
+        }
+    }
+
+    let needed = terms.len();
+    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(query.limit + 1);
+    for (ord, (score, matched)) in scores {
+        if query.mode == SearchMode::And && matched < needed {
+            continue;
+        }
+        heap.push(HeapEntry(score, ord));
+        if heap.len() > query.limit {
+            heap.pop();
+        }
+    }
+
+    let mut hits: Vec<SearchHit> = heap
+        .into_iter()
+        .filter_map(|HeapEntry(score, ord)| {
+            index.resolve(ord).map(|(id, _)| SearchHit { id, score })
+        })
+        .collect();
+    hits.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.id.cmp(&b.id)));
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impliance_docmodel::{DocumentBuilder, SourceFormat};
+
+    fn index_with(texts: &[&str]) -> InvertedIndex {
+        let idx = InvertedIndex::new(4);
+        for (i, t) in texts.iter().enumerate() {
+            let d = DocumentBuilder::new(DocId(i as u64), SourceFormat::Text, "t")
+                .field("body", *t)
+                .build();
+            idx.index_document(&d);
+        }
+        idx
+    }
+
+    #[test]
+    fn and_requires_all_terms() {
+        let idx = index_with(&["volvo bumper", "volvo hood", "saab bumper"]);
+        let hits = search(&idx, &SearchQuery::new("volvo bumper", 10));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, DocId(0));
+    }
+
+    #[test]
+    fn or_accepts_any_term() {
+        let idx = index_with(&["volvo bumper", "volvo hood", "saab bumper"]);
+        let hits = search(&idx, &SearchQuery::new("volvo bumper", 10).any_term());
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn missing_term_conjunctive_returns_empty() {
+        let idx = index_with(&["volvo bumper"]);
+        assert!(search(&idx, &SearchQuery::new("volvo tesla", 10)).is_empty());
+    }
+
+    #[test]
+    fn rare_terms_score_higher() {
+        // "common" in all docs; "rare" only in doc 2.
+        let idx = index_with(&["common words", "common words", "common rare words"]);
+        let hits = search(&idx, &SearchQuery::new("common rare", 10).any_term());
+        assert_eq!(hits[0].id, DocId(2), "doc with rare term must rank first");
+    }
+
+    #[test]
+    fn limit_caps_results_keeping_best() {
+        let idx = index_with(&[
+            "apple apple apple",
+            "apple apple filler filler filler filler",
+            "apple filler filler filler filler filler filler",
+        ]);
+        let hits = search(&idx, &SearchQuery::new("apple", 2));
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].id, DocId(0), "highest tf, shortest doc first");
+    }
+
+    #[test]
+    fn path_restriction() {
+        let idx = InvertedIndex::new(4);
+        let d = DocumentBuilder::new(DocId(1), SourceFormat::Json, "c")
+            .field("title", "annual report")
+            .field("body", "fraud detected in claims")
+            .build();
+        idx.index_document(&d);
+        assert_eq!(search(&idx, &SearchQuery::new("fraud", 10).within("body")).len(), 1);
+        assert!(search(&idx, &SearchQuery::new("fraud", 10).within("title")).is_empty());
+    }
+
+    #[test]
+    fn empty_query_or_zero_limit() {
+        let idx = index_with(&["something"]);
+        assert!(search(&idx, &SearchQuery::new("", 10)).is_empty());
+        assert!(search(&idx, &SearchQuery::new("something", 0)).is_empty());
+    }
+
+    #[test]
+    fn results_are_deterministic_on_ties() {
+        let idx = index_with(&["same text", "same text", "same text"]);
+        let hits = search(&idx, &SearchQuery::new("same", 3));
+        let ids: Vec<u64> = hits.iter().map(|h| h.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn updated_documents_searched_at_latest_version() {
+        let idx = InvertedIndex::new(4);
+        let d = DocumentBuilder::new(DocId(1), SourceFormat::Text, "t")
+            .field("body", "draft wording")
+            .build();
+        idx.index_document(&d);
+        let d2 = d.new_version(
+            impliance_docmodel::Node::map([(
+                "body".into(),
+                impliance_docmodel::Node::scalar("final wording"),
+            )]),
+            1,
+        );
+        idx.index_document(&d2);
+        assert!(search(&idx, &SearchQuery::new("draft", 10)).is_empty());
+        assert_eq!(search(&idx, &SearchQuery::new("final", 10)).len(), 1);
+    }
+}
+
+/// Exact-phrase search using token positions. A document matches when the
+/// query's tokens occur at consecutive analyzed positions (stopword slots
+/// included, so "jack *of* all trades" matches with `of` unindexed).
+/// Hits are scored by phrase occurrence count, ties by ascending id.
+///
+/// Positions are document-global but contiguous per leaf, so phrases
+/// match within a single field value — the intuitive behaviour.
+pub fn search_phrase(
+    index: &InvertedIndex,
+    phrase: &str,
+    path: Option<&str>,
+    limit: usize,
+) -> Vec<SearchHit> {
+    let tokens = crate::tokenize::tokenize(phrase);
+    if tokens.is_empty() || limit == 0 {
+        return Vec::new();
+    }
+    if tokens.len() == 1 {
+        let mut q = SearchQuery::new(tokens[0].text.clone(), limit);
+        if let Some(p) = path {
+            q = q.within(p.to_string());
+        }
+        return search(index, &q);
+    }
+    // per-term postings keyed by ordinal
+    let mut term_positions: Vec<HashMap<DocOrdinal, Vec<u32>>> = Vec::new();
+    for t in &tokens {
+        let postings = index.postings(&t.text, path);
+        if postings.is_empty() {
+            return Vec::new();
+        }
+        term_positions.push(postings.into_iter().map(|p| (p.ordinal, p.positions)).collect());
+    }
+    // candidate ordinals: those present in every term's postings
+    let mut hits: Vec<(DocOrdinal, usize)> = Vec::new();
+    'docs: for (&ordinal, first_positions) in &term_positions[0] {
+        let mut occurrences = 0usize;
+        for &base in first_positions {
+            let mut ok = true;
+            for (t, positions) in tokens.iter().zip(&term_positions).skip(1) {
+                let want = base + t.position - tokens[0].position;
+                match positions.get(&ordinal) {
+                    Some(ps) if ps.binary_search(&want).is_ok() => {}
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                occurrences += 1;
+            }
+        }
+        if occurrences > 0 {
+            hits.push((ordinal, occurrences));
+            if hits.len() >= limit * 4 {
+                break 'docs;
+            }
+        }
+    }
+    let mut out: Vec<SearchHit> = hits
+        .into_iter()
+        .filter_map(|(ord, n)| index.resolve(ord).map(|(id, _)| SearchHit { id, score: n as f64 }))
+        .collect();
+    out.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.id.cmp(&b.id)));
+    out.truncate(limit);
+    out
+}
+
+#[cfg(test)]
+mod phrase_tests {
+    use super::*;
+    use impliance_docmodel::{DocumentBuilder, SourceFormat};
+
+    fn index_with(texts: &[&str]) -> InvertedIndex {
+        let idx = InvertedIndex::new(4);
+        for (i, t) in texts.iter().enumerate() {
+            let d = DocumentBuilder::new(DocId(i as u64), SourceFormat::Text, "t")
+                .field("body", *t)
+                .build();
+            idx.index_document(&d);
+        }
+        idx
+    }
+
+    #[test]
+    fn phrase_requires_adjacency() {
+        let idx = index_with(&[
+            "total cost ownership matters",
+            "the cost was total nonsense ownership",
+            "low total cost today",
+        ]);
+        let hits = search_phrase(&idx, "total cost", None, 10);
+        let ids: Vec<u64> = hits.iter().map(|h| h.id.0).collect();
+        assert_eq!(ids, vec![0, 2], "doc 1 has both words but not adjacent");
+    }
+
+    #[test]
+    fn phrase_spans_dropped_stopwords() {
+        // "of" is a stopword: unindexed, but its position slot remains, so
+        // any single word may fill it (standard stopword-slot semantics) —
+        // while a different word count cannot.
+        let idx = index_with(&[
+            "jack of all trades",
+            "jack likes all trades",
+            "jack of nearly all trades",
+        ]);
+        let hits = search_phrase(&idx, "jack of all trades", None, 10);
+        let ids: Vec<u64> = hits.iter().map(|h| h.id.0).collect();
+        assert_eq!(ids, vec![0, 1], "one-word slot matches; two-word gap does not");
+    }
+
+    #[test]
+    fn phrase_counts_occurrences_for_ranking() {
+        let idx = index_with(&["red car and red car again", "one red car only"]);
+        let hits = search_phrase(&idx, "red car", None, 10);
+        assert_eq!(hits[0].id, DocId(0));
+        assert_eq!(hits[0].score, 2.0);
+        assert_eq!(hits[1].score, 1.0);
+    }
+
+    #[test]
+    fn phrase_respects_path_restriction() {
+        let idx = InvertedIndex::new(4);
+        let d = DocumentBuilder::new(DocId(1), SourceFormat::Json, "c")
+            .field("title", "quarterly earnings call")
+            .field("body", "the earnings were discussed on the call")
+            .build();
+        idx.index_document(&d);
+        assert_eq!(search_phrase(&idx, "earnings call", Some("title"), 10).len(), 1);
+        assert!(search_phrase(&idx, "earnings call", Some("body"), 10).is_empty());
+    }
+
+    #[test]
+    fn phrase_does_not_cross_field_boundaries() {
+        let idx = InvertedIndex::new(4);
+        let d = DocumentBuilder::new(DocId(1), SourceFormat::Json, "c")
+            .field("a", "ends with alpha")
+            .field("b", "beta starts here")
+            .build();
+        idx.index_document(&d);
+        assert!(search_phrase(&idx, "alpha beta", None, 10).is_empty());
+    }
+
+    #[test]
+    fn single_word_phrase_degenerates_to_term_search() {
+        let idx = index_with(&["solo word"]);
+        assert_eq!(search_phrase(&idx, "solo", None, 10).len(), 1);
+        assert!(search_phrase(&idx, "", None, 10).is_empty());
+    }
+}

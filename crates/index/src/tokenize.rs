@@ -1,0 +1,131 @@
+//! Text analysis: turning string leaves into indexed tokens.
+//!
+//! The analyzer is deliberately simple and deterministic: Unicode
+//! alphanumeric runs, lower-cased, with token positions preserved for
+//! phrase-adjacent features. A small stopword list keeps index size and
+//! scoring noise down; it can be disabled for exact-match fields.
+
+/// One token produced by the analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Normalized (lower-cased) token text.
+    pub text: String,
+    /// 0-based token position within the analyzed text.
+    pub position: u32,
+}
+
+/// English stopwords excluded from indexing (but still counted for
+/// positions, so phrases stay aligned).
+pub const STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "has", "he", "in", "is",
+    "it", "its", "of", "on", "or", "that", "the", "to", "was", "were", "will", "with",
+];
+
+fn is_stopword(s: &str) -> bool {
+    STOPWORDS.binary_search(&s).is_ok()
+}
+
+/// Tokenize with stopword removal (the default for full-text fields).
+pub fn tokenize(text: &str) -> Vec<Token> {
+    analyze(text, true)
+}
+
+/// Tokenize keeping stopwords (for exact fields and phrase-heavy search).
+pub fn tokenize_keep_stopwords(text: &str) -> Vec<Token> {
+    analyze(text, false)
+}
+
+fn analyze(text: &str, drop_stopwords: bool) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    let mut position: u32 = 0;
+    let flush = |current: &mut String, position: &mut u32, tokens: &mut Vec<Token>| {
+        if current.is_empty() {
+            return;
+        }
+        let text = std::mem::take(current);
+        let keep = !drop_stopwords || !is_stopword(&text);
+        if keep {
+            tokens.push(Token { text, position: *position });
+        }
+        *position += 1;
+    };
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            for lc in c.to_lowercase() {
+                current.push(lc);
+            }
+        } else if c == '\'' && !current.is_empty() {
+            // keep apostrophes inside words ("don't") but normalize later
+        } else {
+            flush(&mut current, &mut position, &mut tokens);
+        }
+    }
+    flush(&mut current, &mut position, &mut tokens);
+    tokens
+}
+
+/// Tokenize a query string: same pipeline as documents so terms line up.
+pub fn tokenize_query(q: &str) -> Vec<String> {
+    tokenize(q).into_iter().map(|t| t.text).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopword_list_is_sorted_for_binary_search() {
+        let mut sorted = STOPWORDS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, STOPWORDS);
+    }
+
+    #[test]
+    fn basic_tokenization() {
+        let toks = tokenize("The Quick, Brown FOX!");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["quick", "brown", "fox"]);
+    }
+
+    #[test]
+    fn positions_account_for_stopwords() {
+        let toks = tokenize("the cat and the hat");
+        // "the"(0) cat(1) "and"(2) "the"(3) hat(4)
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0], Token { text: "cat".into(), position: 1 });
+        assert_eq!(toks[1], Token { text: "hat".into(), position: 4 });
+    }
+
+    #[test]
+    fn keep_stopwords_variant() {
+        let toks = tokenize_keep_stopwords("the cat");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].text, "the");
+    }
+
+    #[test]
+    fn unicode_and_digits() {
+        let toks = tokenize("Café 42 naïve");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["café", "42", "naïve"]);
+    }
+
+    #[test]
+    fn apostrophes_do_not_split() {
+        let toks = tokenize("don't panic");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["dont", "panic"]);
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("... --- !!!").is_empty());
+    }
+
+    #[test]
+    fn query_tokenization_matches_document_pipeline() {
+        assert_eq!(tokenize_query("Quick FOX"), vec!["quick", "fox"]);
+    }
+}

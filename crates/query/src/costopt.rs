@@ -1,0 +1,331 @@
+//! The cost-based baseline optimizer.
+//!
+//! This is the "full-fledged cost-based optimizer" the paper *argues
+//! against* (§3.3), built so experiment C1 can compare the two designs
+//! honestly: the cost-based planner needs statistics (from
+//! [`impliance_storage::PartitionStats`]), spends more time planning, and
+//! produces better plans *when its statistics are fresh* — and worse ones
+//! when they are stale, which is where the simple planner's
+//! predictability wins.
+
+use std::collections::HashMap;
+
+#[cfg(test)]
+use impliance_docmodel::Value;
+use impliance_storage::{PartitionStats, Predicate};
+
+use crate::plan::{JoinAlgo, LogicalPlan};
+
+/// Per-operator cost constants (arbitrary units: one sequential document
+/// visit = 1).
+const COST_SEQ_DOC: f64 = 1.0;
+const COST_INDEX_PROBE: f64 = 3.0;
+const COST_HASH_BUILD: f64 = 1.5;
+const COST_HASH_PROBE: f64 = 1.0;
+const COST_SORT_FACTOR: f64 = 1.2;
+
+/// The statistics-driven optimizer.
+#[derive(Debug)]
+pub struct CostOptimizer {
+    stats: PartitionStats,
+    /// Documents per collection (cardinalities).
+    collection_counts: HashMap<String, u64>,
+}
+
+/// A plan annotated with its estimated cost.
+#[derive(Debug)]
+pub struct CostedPlan {
+    /// The chosen plan.
+    pub plan: LogicalPlan,
+    /// Estimated total cost in abstract units.
+    pub estimated_cost: f64,
+    /// Estimated output cardinality.
+    pub estimated_rows: f64,
+}
+
+impl CostOptimizer {
+    /// Build an optimizer from a statistics snapshot and per-collection
+    /// document counts.
+    pub fn new(stats: PartitionStats, collection_counts: HashMap<String, u64>) -> CostOptimizer {
+        CostOptimizer { stats, collection_counts }
+    }
+
+    fn collection_card(&self, collection: Option<&str>) -> f64 {
+        match collection {
+            Some(c) => self.collection_counts.get(c).copied().unwrap_or(0) as f64,
+            None => self.collection_counts.values().sum::<u64>() as f64,
+        }
+        .max(1.0)
+    }
+
+    /// Estimated selectivity of a predicate using path statistics.
+    pub fn selectivity(&self, predicate: &Predicate) -> f64 {
+        match predicate {
+            Predicate::True => 1.0,
+            Predicate::Eq(path, _) => {
+                self.stats.paths.get(path).map(|s| s.eq_selectivity()).unwrap_or(0.1)
+            }
+            Predicate::Ne(path, _) => {
+                1.0 - self.stats.paths.get(path).map(|s| s.eq_selectivity()).unwrap_or(0.1)
+            }
+            Predicate::Lt(path, v) | Predicate::Le(path, v) => {
+                self.stats.paths.get(path).map(|s| s.lt_selectivity(v)).unwrap_or(0.33)
+            }
+            Predicate::Gt(path, v) | Predicate::Ge(path, v) => {
+                1.0 - self.stats.paths.get(path).map(|s| s.lt_selectivity(v)).unwrap_or(0.67)
+            }
+            Predicate::Contains(_, _) => 0.1,
+            Predicate::Exists(path) => {
+                let total: f64 = self.stats.doc_versions.max(1) as f64;
+                self.stats.paths.get(path).map(|s| s.count as f64 / total).unwrap_or(0.5)
+            }
+            Predicate::CollectionIs(_) | Predicate::FormatIs(_) => 0.5,
+            Predicate::And(ps) => ps.iter().map(|p| self.selectivity(p)).product(),
+            Predicate::Or(ps) => {
+                let none: f64 = ps.iter().map(|p| 1.0 - self.selectivity(p)).product();
+                1.0 - none
+            }
+            Predicate::Not(p) => 1.0 - self.selectivity(p),
+        }
+        .clamp(0.0, 1.0)
+    }
+
+    /// Optimize a plan: choose access paths and join algorithms/orders by
+    /// estimated cost.
+    pub fn optimize(&self, plan: LogicalPlan) -> CostedPlan {
+        self.opt(plan)
+    }
+
+    fn opt(&self, plan: LogicalPlan) -> CostedPlan {
+        match plan {
+            LogicalPlan::Scan { collection, predicate, alias, .. } => {
+                let base = self.collection_card(collection.as_deref());
+                let sel = predicate.as_ref().map(|p| self.selectivity(p)).unwrap_or(1.0);
+                let out_rows = (base * sel).max(0.0);
+                // choose index scan for selective equality predicates
+                let eq_index_possible = matches!(&predicate, Some(Predicate::Eq(_, _)));
+                let seq_cost = base * COST_SEQ_DOC;
+                let idx_cost = out_rows * COST_INDEX_PROBE + 1.0;
+                let use_value_index = eq_index_possible && idx_cost < seq_cost;
+                let cost = if use_value_index { idx_cost } else { seq_cost };
+                CostedPlan {
+                    plan: LogicalPlan::Scan { collection, predicate, alias, use_value_index },
+                    estimated_cost: cost,
+                    estimated_rows: out_rows,
+                }
+            }
+            LogicalPlan::Join { left, right, left_key, right_key, .. } => {
+                let l = self.opt(*left);
+                let r = self.opt(*right);
+                // join selectivity from distinct counts of the key paths
+                let distinct = self
+                    .stats
+                    .paths
+                    .get(&right_key.1)
+                    .map(|s| s.distinct.estimate())
+                    .unwrap_or(10.0)
+                    .max(1.0);
+                let out_rows = (l.estimated_rows * r.estimated_rows / distinct).max(0.0);
+
+                // candidate algorithms
+                let right_is_plain_scan =
+                    matches!(&r.plan, LogicalPlan::Scan { predicate: None, .. });
+                let hash_cost = l.estimated_cost
+                    + r.estimated_cost
+                    + l.estimated_rows.min(r.estimated_rows) * COST_HASH_BUILD
+                    + l.estimated_rows.max(r.estimated_rows) * COST_HASH_PROBE;
+                let inlj_cost = l.estimated_cost + l.estimated_rows * COST_INDEX_PROBE;
+                let merge_cost = l.estimated_cost
+                    + r.estimated_cost
+                    + COST_SORT_FACTOR
+                        * (l.estimated_rows * (l.estimated_rows.max(2.0)).log2()
+                            + r.estimated_rows * (r.estimated_rows.max(2.0)).log2());
+
+                let mut best_algo = JoinAlgo::Hash;
+                let mut best_cost = hash_cost;
+                if right_is_plain_scan && inlj_cost < best_cost {
+                    best_algo = JoinAlgo::IndexedNestedLoop;
+                    best_cost = inlj_cost;
+                }
+                if merge_cost < best_cost {
+                    best_algo = JoinAlgo::SortMerge;
+                    best_cost = merge_cost;
+                }
+                CostedPlan {
+                    plan: LogicalPlan::Join {
+                        left: Box::new(l.plan),
+                        right: Box::new(r.plan),
+                        left_key,
+                        right_key,
+                        algo: best_algo,
+                    },
+                    estimated_cost: best_cost,
+                    estimated_rows: out_rows,
+                }
+            }
+            LogicalPlan::Filter { input, alias, predicate } => {
+                let i = self.opt(*input);
+                let sel = self.selectivity(&predicate);
+                CostedPlan {
+                    estimated_cost: i.estimated_cost + i.estimated_rows * 0.1,
+                    estimated_rows: i.estimated_rows * sel,
+                    plan: LogicalPlan::Filter { input: Box::new(i.plan), alias, predicate },
+                }
+            }
+            LogicalPlan::GroupAgg { input, group_by, aggs } => {
+                let i = self.opt(*input);
+                let groups = group_by
+                    .as_ref()
+                    .and_then(|(_, p)| self.stats.paths.get(p))
+                    .map(|s| s.distinct.estimate())
+                    .unwrap_or(1.0);
+                CostedPlan {
+                    estimated_cost: i.estimated_cost + i.estimated_rows,
+                    estimated_rows: groups,
+                    plan: LogicalPlan::GroupAgg { input: Box::new(i.plan), group_by, aggs },
+                }
+            }
+            LogicalPlan::Project { input, columns } => {
+                let i = self.opt(*input);
+                CostedPlan {
+                    estimated_cost: i.estimated_cost,
+                    estimated_rows: i.estimated_rows,
+                    plan: LogicalPlan::Project { input: Box::new(i.plan), columns },
+                }
+            }
+            LogicalPlan::Sort { input, keys } => {
+                let i = self.opt(*input);
+                let n = i.estimated_rows.max(2.0);
+                CostedPlan {
+                    estimated_cost: i.estimated_cost + COST_SORT_FACTOR * n * n.log2(),
+                    estimated_rows: i.estimated_rows,
+                    plan: LogicalPlan::Sort { input: Box::new(i.plan), keys },
+                }
+            }
+            LogicalPlan::Limit { input, n } => {
+                let i = self.opt(*input);
+                CostedPlan {
+                    estimated_cost: i.estimated_cost,
+                    estimated_rows: i.estimated_rows.min(n as f64),
+                    plan: LogicalPlan::Limit { input: Box::new(i.plan), n },
+                }
+            }
+            other @ (LogicalPlan::KeywordSearch { .. } | LogicalPlan::GraphConnect { .. }) => {
+                CostedPlan { plan: other, estimated_cost: 10.0, estimated_rows: 10.0 }
+            }
+        }
+    }
+}
+
+/// Convenience: estimate equality selectivity for a `(path, value)` pair
+/// (used by the adaptive executor for initial ordering).
+pub fn eq_selectivity(stats: &PartitionStats, path: &str) -> f64 {
+    stats.paths.get(path).map(|s| s.eq_selectivity()).unwrap_or(0.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impliance_docmodel::{DocId, DocumentBuilder, SourceFormat};
+
+    fn stats_from_docs(n: u64) -> (PartitionStats, HashMap<String, u64>) {
+        let mut stats = PartitionStats::default();
+        for i in 0..n {
+            let d = DocumentBuilder::new(DocId(i), SourceFormat::Json, "orders")
+                .field("amount", (i % 100) as i64)
+                .field("cust", format!("C-{}", i % 10))
+                .build();
+            stats.observe_document(&d, 64);
+        }
+        let counts = HashMap::from([("orders".to_string(), n)]);
+        (stats, counts)
+    }
+
+    fn scan(pred: Option<Predicate>) -> LogicalPlan {
+        LogicalPlan::Scan {
+            collection: Some("orders".into()),
+            predicate: pred,
+            alias: "o".into(),
+            use_value_index: false,
+        }
+    }
+
+    #[test]
+    fn selectivity_estimates_are_sane() {
+        let (stats, counts) = stats_from_docs(1000);
+        let opt = CostOptimizer::new(stats, counts);
+        let eq = opt.selectivity(&Predicate::Eq("cust".into(), Value::Str("C-1".into())));
+        assert!(eq > 0.05 && eq < 0.2, "~1/10 expected, got {eq}");
+        let lt = opt.selectivity(&Predicate::Lt("amount".into(), Value::Int(50)));
+        assert!((lt - 0.5).abs() < 0.15, "~0.5 expected, got {lt}");
+        let and = opt.selectivity(&Predicate::And(vec![
+            Predicate::Eq("cust".into(), Value::Str("C-1".into())),
+            Predicate::Lt("amount".into(), Value::Int(50)),
+        ]));
+        assert!(and < eq, "conjunction is more selective");
+    }
+
+    #[test]
+    fn selective_eq_uses_index_unselective_scans() {
+        let (stats, counts) = stats_from_docs(10_000);
+        let opt = CostOptimizer::new(stats, counts);
+        // cust has ~10 distinct values over 10k docs: sel 0.1 → 1000 rows;
+        // index probes (3.0 each) = 3000 < 10k seq cost → index
+        let p = opt.optimize(scan(Some(Predicate::Eq("cust".into(), Value::Str("C-1".into())))));
+        assert!(p.plan.describe().starts_with("index("), "{}", p.plan.describe());
+    }
+
+    #[test]
+    fn join_algorithm_chosen_by_cost() {
+        let (stats, counts) = stats_from_docs(1000);
+        let opt = CostOptimizer::new(stats, counts);
+        let join = LogicalPlan::Join {
+            left: Box::new(scan(Some(Predicate::Eq("cust".into(), Value::Str("C-1".into()))))),
+            right: Box::new(LogicalPlan::Scan {
+                collection: Some("orders".into()),
+                predicate: None,
+                alias: "r".into(),
+                use_value_index: false,
+            }),
+            left_key: ("o".into(), "cust".into()),
+            right_key: ("r".into(), "cust".into()),
+            algo: JoinAlgo::Unspecified,
+        };
+        let p = opt.optimize(join);
+        // selective left (≈100 rows) probing an index beats hashing 1000
+        assert!(p.plan.describe().contains("inlj"), "{}", p.plan.describe());
+        assert!(p.estimated_cost > 0.0);
+        assert!(p.estimated_rows > 0.0);
+    }
+
+    #[test]
+    fn unselective_join_prefers_hash() {
+        let (stats, counts) = stats_from_docs(1000);
+        let opt = CostOptimizer::new(stats, counts);
+        let join = LogicalPlan::Join {
+            left: Box::new(scan(None)),
+            right: Box::new(LogicalPlan::Scan {
+                collection: Some("orders".into()),
+                predicate: Some(Predicate::Gt("amount".into(), Value::Int(-1))),
+                alias: "r".into(),
+                use_value_index: false,
+            }),
+            left_key: ("o".into(), "cust".into()),
+            right_key: ("r".into(), "cust".into()),
+            algo: JoinAlgo::Unspecified,
+        };
+        let p = opt.optimize(join);
+        assert!(p.plan.describe().contains("hashjoin"), "{}", p.plan.describe());
+    }
+
+    #[test]
+    fn costs_compose_through_operators() {
+        let (stats, counts) = stats_from_docs(100);
+        let opt = CostOptimizer::new(stats, counts);
+        let bare = opt.optimize(scan(None)).estimated_cost;
+        let sorted = opt
+            .optimize(LogicalPlan::Sort { input: Box::new(scan(None)), keys: vec![] })
+            .estimated_cost;
+        assert!(sorted > bare);
+    }
+}

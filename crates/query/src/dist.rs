@@ -1,0 +1,426 @@
+//! Distributed execution over the simulated cluster.
+//!
+//! Figure 3's example: "a query can be parallelized by performing
+//! full-text index search on a set of data nodes, which then send the
+//! reduced data to a set of grid nodes for joining, sorting, and
+//! group-wise aggregation, the results of which are sent to a set of
+//! cluster nodes to drive a set of updates."
+//!
+//! Data is hash-partitioned across data nodes (each owns a
+//! [`StorageEngine`]); scans fan out to all data nodes with push-down, the
+//! reduced partials ship (charged to the network) to grid nodes for
+//! joining and global aggregation, and consistent persistence goes through
+//! a cluster-node consistency group.
+
+use std::sync::Arc;
+
+use impliance_cluster::{ClusterError, ClusterRuntime, NodeKind};
+use impliance_docmodel::{DocId, Document};
+use impliance_index::{InvertedIndex, SearchHit, SearchQuery};
+use impliance_storage::{codec, AggValue, ScanRequest, ScanResult, StorageEngine};
+
+use crate::joins;
+use crate::tuple::Tuple;
+
+/// The state attached to each data node at boot: its slice of storage
+/// plus its local shard of the full-text index.
+pub struct DataNodeState {
+    /// The node-local primary storage engine (scanned by queries).
+    pub storage: Arc<StorageEngine>,
+    /// Replica storage for other nodes' data (read only during recovery;
+    /// never scanned, so replication does not duplicate query results).
+    pub replica: Arc<StorageEngine>,
+    /// Node-local full-text index over primary documents ("full-text
+    /// index search on a set of data nodes", §3.3).
+    pub text_index: Arc<InvertedIndex>,
+}
+
+impl DataNodeState {
+    /// Create a data-node state with an empty replica store and text
+    /// index shard.
+    pub fn new(storage: Arc<StorageEngine>) -> DataNodeState {
+        DataNodeState {
+            storage,
+            replica: Arc::new(StorageEngine::with_defaults()),
+            text_index: Arc::new(InvertedIndex::new(8)),
+        }
+    }
+}
+
+/// Route a document id to one of `n` data nodes (must match the routing
+/// used at ingestion so scans see every document exactly once).
+pub fn route_doc(id: DocId, n: usize) -> usize {
+    (id.0.wrapping_mul(0x9E3779B97F4A7C15) >> 33) as usize % n.max(1)
+}
+
+/// Fan a push-down scan out to every data node and merge the partials.
+/// Bytes returned by each node are charged to the network (reply
+/// envelopes are charged by the runtime; the payload is charged here).
+pub fn dist_scan(rt: &ClusterRuntime, request: &ScanRequest) -> Result<ScanResult, ClusterError> {
+    let data_nodes = rt.nodes_of_kind(NodeKind::Data);
+    if data_nodes.is_empty() {
+        return Err(ClusterError::NoNodeOfKind("data"));
+    }
+    // request size ≈ textual size of the request definition
+    let req_bytes = format!("{request:?}").len() as u64;
+    let mut handles = Vec::with_capacity(data_nodes.len());
+    for id in data_nodes {
+        let req = request.clone();
+        let handle = rt.submit_to(id, req_bytes, move |ctx| {
+            let state = ctx
+                .state
+                .downcast_ref::<DataNodeState>()
+                .expect("data node state must be DataNodeState");
+            let result = state.storage.scan(&req);
+            if let Ok(r) = &result {
+                // charge the partial-result payload from this node back to
+                // the coordinator (node u32::MAX in the runtime)
+                ctx.network.transmit(
+                    ctx.id,
+                    impliance_cluster::NodeId(u32::MAX),
+                    r.metrics.bytes_returned,
+                );
+            }
+            result
+        })?;
+        handles.push(handle);
+    }
+    let mut merged = ScanResult::default();
+    for h in handles {
+        let partial = h.join()?.map_err(|_| ClusterError::TaskLost)?;
+        merged.merge(partial);
+    }
+    Ok(merged)
+}
+
+/// Distributed grouped aggregation: partial aggregation happens inside
+/// each data node's scan (push-down), the partial group states ship to a
+/// grid node for the global merge. Returns (group → state).
+pub fn dist_aggregate(
+    rt: &ClusterRuntime,
+    request: &ScanRequest,
+) -> Result<std::collections::BTreeMap<String, AggValue>, ClusterError> {
+    assert!(request.aggregate.is_some(), "dist_aggregate needs an aggregate spec");
+    let partial = dist_scan(rt, request)?;
+    // ship group states to a grid node for the (here trivial) global phase
+    let groups = partial.groups;
+    let payload = groups.len() as u64 * 48;
+    let handle = rt.submit_to_kind(NodeKind::Grid, payload, move |_ctx| groups)?;
+    handle.join()
+}
+
+/// Distributed equi-join: scan both sides on the data nodes (with
+/// push-down predicates in the requests), ship the reduced sides to one
+/// grid node, hash-join there. Returns joined tuples.
+pub fn dist_join(
+    rt: &ClusterRuntime,
+    left_request: &ScanRequest,
+    right_request: &ScanRequest,
+    left_alias: &str,
+    right_alias: &str,
+    left_key: (String, String),
+    right_key: (String, String),
+) -> Result<Vec<Tuple>, ClusterError> {
+    let left = dist_scan(rt, left_request)?;
+    let right = dist_scan(rt, right_request)?;
+    let payload = left.metrics.bytes_returned + right.metrics.bytes_returned;
+    let la = left_alias.to_string();
+    let ra = right_alias.to_string();
+    let handle = rt.submit_to_kind(NodeKind::Grid, payload, move |_ctx| {
+        let lt: Vec<Tuple> =
+            left.documents.into_iter().map(|d| Tuple::single(&la, Arc::new(d))).collect();
+        let rt_: Vec<Tuple> =
+            right.documents.into_iter().map(|d| Tuple::single(&ra, Arc::new(d))).collect();
+        joins::hash_join(lt, rt_, &left_key, &right_key)
+    })?;
+    handle.join()
+}
+
+/// Ingest a document into the cluster: route to the owning data node and
+/// store it there. Returns the encoded size.
+pub fn dist_put(rt: &ClusterRuntime, doc: &Document) -> Result<usize, ClusterError> {
+    let data_nodes = rt.nodes_of_kind(NodeKind::Data);
+    if data_nodes.is_empty() {
+        return Err(ClusterError::NoNodeOfKind("data"));
+    }
+    let target = data_nodes[route_doc(doc.id(), data_nodes.len())];
+    let encoded = codec::encode_document_vec(doc);
+    let size = encoded.len();
+    let doc = doc.clone();
+    let handle = rt.submit_to(target, size as u64, move |ctx| {
+        let state = ctx.state.downcast_ref::<DataNodeState>().expect("data node state");
+        state.storage.put(&doc).is_ok()
+    })?;
+    if handle.join()? {
+        Ok(size)
+    } else {
+        Err(ClusterError::TaskLost)
+    }
+}
+
+/// Scatter-gather keyword search: every data node searches its local
+/// index shard, the coordinator merges partial top-k lists by score.
+/// Scores use shard-local document frequencies (the standard sharded
+/// approximation); ties break by ascending id for determinism.
+pub fn dist_search(
+    rt: &ClusterRuntime,
+    query: &str,
+    k: usize,
+) -> Result<Vec<SearchHit>, ClusterError> {
+    let data_nodes = rt.nodes_of_kind(NodeKind::Data);
+    if data_nodes.is_empty() {
+        return Err(ClusterError::NoNodeOfKind("data"));
+    }
+    let mut handles = Vec::with_capacity(data_nodes.len());
+    for id in data_nodes {
+        let q = query.to_string();
+        let handle = rt.submit_to(id, q.len() as u64, move |ctx| {
+            let state = ctx
+                .state
+                .downcast_ref::<DataNodeState>()
+                .expect("data node state must be DataNodeState");
+            let hits =
+                impliance_index::search::search(&state.text_index, &SearchQuery::new(q, k));
+            // each hit envelope ≈ 16 bytes on the wire
+            ctx.network.transmit(
+                ctx.id,
+                impliance_cluster::NodeId(u32::MAX),
+                (hits.len() * 16) as u64,
+            );
+            hits
+        })?;
+        handles.push(handle);
+    }
+    let mut merged: Vec<SearchHit> = Vec::new();
+    for h in handles {
+        merged.append(&mut h.join()?);
+    }
+    merged.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.id.cmp(&b.id)));
+    merged.truncate(k);
+    Ok(merged)
+}
+
+/// Fetch the latest version of a document from its owning data node.
+pub fn dist_get(rt: &ClusterRuntime, id: DocId) -> Result<Option<Document>, ClusterError> {
+    let data_nodes = rt.nodes_of_kind(NodeKind::Data);
+    if data_nodes.is_empty() {
+        return Err(ClusterError::NoNodeOfKind("data"));
+    }
+    let target = data_nodes[route_doc(id, data_nodes.len())];
+    let handle = rt.submit_to(target, 16, move |ctx| {
+        let state = ctx.state.downcast_ref::<DataNodeState>().expect("data node state");
+        state.storage.get_latest(id).ok().flatten()
+    })?;
+    handle.join()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impliance_cluster::{Network, NodeSpec};
+    use impliance_docmodel::{DocumentBuilder, SourceFormat, Value};
+    use impliance_storage::{AggFunc, AggSpec, Predicate, StorageOptions};
+
+    fn boot(data_nodes: u32, grid_nodes: u32) -> ClusterRuntime {
+        let mut specs = Vec::new();
+        for i in 0..data_nodes {
+            specs.push(NodeSpec::new(i, NodeKind::Data));
+        }
+        for i in 0..grid_nodes {
+            specs.push(NodeSpec::new(100 + i, NodeKind::Grid));
+        }
+        specs.push(NodeSpec::new(200, NodeKind::Cluster));
+        ClusterRuntime::boot(&specs, Arc::new(Network::new()), |spec| match spec.kind {
+            NodeKind::Data => Arc::new(DataNodeState::new(Arc::new(StorageEngine::new(
+                StorageOptions { partitions: 2, seal_threshold: 64, compression: true, encryption_key: None },
+            )))),
+            _ => Arc::new(()),
+        })
+    }
+
+    fn load(rt: &ClusterRuntime, n: u64) {
+        for i in 0..n {
+            let d = DocumentBuilder::new(DocId(i), SourceFormat::Json, "orders")
+                .field("amount", (i % 100) as i64)
+                .field("cust", format!("C-{}", i % 10))
+                .build();
+            dist_put(rt, &d).unwrap();
+        }
+    }
+
+    #[test]
+    fn put_and_get_route_consistently() {
+        let rt = boot(4, 2);
+        load(&rt, 50);
+        for i in [0u64, 13, 49] {
+            let d = dist_get(&rt, DocId(i)).unwrap().unwrap();
+            assert_eq!(d.id(), DocId(i));
+        }
+        assert!(dist_get(&rt, DocId(999)).unwrap().is_none());
+    }
+
+    #[test]
+    fn dist_scan_sees_every_document_once() {
+        let rt = boot(3, 1);
+        load(&rt, 100);
+        let res = dist_scan(&rt, &ScanRequest::full()).unwrap();
+        assert_eq!(res.documents.len(), 100);
+        let mut ids: Vec<u64> = res.documents.iter().map(|d| d.id().0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 100);
+    }
+
+    #[test]
+    fn dist_scan_pushdown_reduces_network_bytes() {
+        let rt = boot(2, 1);
+        load(&rt, 200);
+        rt.network().reset_metrics();
+        let filtered = dist_scan(
+            &rt,
+            &ScanRequest::filtered(Predicate::Ge("amount".into(), Value::Int(95))),
+        )
+        .unwrap();
+        let filtered_bytes = rt.network().metrics().bytes;
+        rt.network().reset_metrics();
+        let full = dist_scan(&rt, &ScanRequest::full()).unwrap();
+        let full_bytes = rt.network().metrics().bytes;
+        assert_eq!(filtered.documents.len(), 10);
+        assert_eq!(full.documents.len(), 200);
+        assert!(
+            filtered_bytes * 2 < full_bytes,
+            "pushdown scan moved {filtered_bytes}, full scan {full_bytes}"
+        );
+    }
+
+    #[test]
+    fn dist_aggregate_matches_local_answer() {
+        let rt = boot(3, 2);
+        load(&rt, 100);
+        let req = ScanRequest {
+            predicate: None,
+            projection: impliance_storage::Projection::All,
+            aggregate: Some(AggSpec {
+                group_by: Some("cust".into()),
+                func: AggFunc::Sum,
+                operand: Some("amount".into()),
+            }),
+            limit: None,
+        };
+        let groups = dist_aggregate(&rt, &req).unwrap();
+        assert_eq!(groups.len(), 10);
+        // sum over all groups must equal sum of 0..100 of (i%100) = 4950
+        let total: f64 = groups.values().map(|v| v.sum).sum();
+        assert_eq!(total, 4950.0);
+    }
+
+    #[test]
+    fn dist_join_produces_matches() {
+        let rt = boot(2, 2);
+        // orders
+        load(&rt, 30);
+        // customers
+        for i in 0..10u64 {
+            let d = DocumentBuilder::new(DocId(1000 + i), SourceFormat::Json, "customers")
+                .field("code", format!("C-{i}"))
+                .field("name", format!("Customer {i}"))
+                .build();
+            dist_put(&rt, &d).unwrap();
+        }
+        let left = ScanRequest::filtered(Predicate::CollectionIs("orders".into()));
+        let right = ScanRequest::filtered(Predicate::CollectionIs("customers".into()));
+        let tuples = dist_join(
+            &rt,
+            &left,
+            &right,
+            "o",
+            "c",
+            ("o".to_string(), "cust".to_string()),
+            ("c".to_string(), "code".to_string()),
+        )
+        .unwrap();
+        assert_eq!(tuples.len(), 30, "every order has exactly one customer");
+        for t in &tuples {
+            assert_eq!(t.key("o", "cust"), t.key("c", "code"));
+        }
+    }
+
+    #[test]
+    fn scan_fails_without_data_nodes() {
+        let specs = vec![NodeSpec::new(1, NodeKind::Grid)];
+        let rt = ClusterRuntime::boot(&specs, Arc::new(Network::new()), |_| Arc::new(()));
+        assert!(matches!(
+            dist_scan(&rt, &ScanRequest::full()),
+            Err(ClusterError::NoNodeOfKind("data"))
+        ));
+    }
+}
+
+#[cfg(test)]
+mod search_tests {
+    use super::*;
+    use impliance_cluster::{Network, NodeSpec};
+    use impliance_docmodel::{DocumentBuilder, SourceFormat};
+    use impliance_storage::StorageOptions;
+
+    fn boot(data_nodes: u32) -> ClusterRuntime {
+        let mut specs: Vec<NodeSpec> =
+            (0..data_nodes).map(|i| NodeSpec::new(i, NodeKind::Data)).collect();
+        specs.push(NodeSpec::new(100, NodeKind::Grid));
+        ClusterRuntime::boot(&specs, Arc::new(Network::new()), |spec| match spec.kind {
+            NodeKind::Data => Arc::new(DataNodeState::new(Arc::new(StorageEngine::new(
+                StorageOptions { partitions: 2, seal_threshold: 64, compression: true, encryption_key: None },
+            )))),
+            _ => Arc::new(()),
+        })
+    }
+
+    fn put_and_index(rt: &ClusterRuntime, id: u64, text: &str) {
+        let d = DocumentBuilder::new(DocId(id), SourceFormat::Text, "t")
+            .field("body", text)
+            .build();
+        let n = rt.nodes_of_kind(NodeKind::Data);
+        let target = n[route_doc(d.id(), n.len())];
+        let doc = d.clone();
+        rt.submit_to(target, 0, move |ctx| {
+            let state = ctx.state.downcast_ref::<DataNodeState>().unwrap();
+            state.storage.put(&doc).unwrap();
+            state.text_index.index_document(&doc);
+        })
+        .unwrap()
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn sharded_search_finds_documents_on_every_node() {
+        let rt = boot(4);
+        for i in 0..40 {
+            let text = if i % 5 == 0 { "zanzibar sighting confirmed" } else { "routine note" };
+            put_and_index(&rt, i, text);
+        }
+        let hits = dist_search(&rt, "zanzibar", 100).unwrap();
+        assert_eq!(hits.len(), 8);
+        // ids spread over nodes: the shards each contributed
+        let mut ids: Vec<u64> = hits.iter().map(|h| h.id.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 5, 10, 15, 20, 25, 30, 35]);
+    }
+
+    #[test]
+    fn sharded_search_truncates_to_k_by_score() {
+        let rt = boot(3);
+        for i in 0..30 {
+            put_and_index(&rt, i, "needle in text");
+        }
+        let hits = dist_search(&rt, "needle", 5).unwrap();
+        assert_eq!(hits.len(), 5);
+    }
+
+    #[test]
+    fn search_without_data_nodes_errors() {
+        let specs = vec![NodeSpec::new(1, NodeKind::Grid)];
+        let rt = ClusterRuntime::boot(&specs, Arc::new(Network::new()), |_| Arc::new(()));
+        assert!(dist_search(&rt, "x", 5).is_err());
+    }
+}

@@ -1,0 +1,657 @@
+//! Single-node plan execution.
+//!
+//! The [`ExecContext`] bundles the storage engine and the three index
+//! structures; [`execute`] walks a [`LogicalPlan`] bottom-up, running each
+//! operator materialized. The distributed executor ([`crate::dist`])
+//! reuses the same operators but places stages on simulated nodes.
+
+use std::sync::Arc;
+
+use impliance_docmodel::{DocId, Document};
+use impliance_index::{search, InvertedIndex, JoinIndex, PathValueIndex, SearchQuery};
+use impliance_storage::{
+    Predicate, Projection, ScanMetrics, ScanRequest, StorageEngine, StorageError,
+};
+
+use crate::joins;
+use crate::ops;
+use crate::plan::{JoinAlgo, LogicalPlan};
+#[cfg(test)]
+use crate::plan::AggItem;
+use crate::tuple::{Row, Tuple};
+
+/// Errors during execution.
+#[derive(Debug)]
+pub enum ExecError {
+    /// Underlying storage failed.
+    Storage(StorageError),
+    /// The plan was malformed (e.g. projection over a row-producing
+    /// input).
+    BadPlan(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Storage(e) => write!(f, "storage error: {e}"),
+            ExecError::BadPlan(m) => write!(f, "bad plan: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<StorageError> for ExecError {
+    fn from(e: StorageError) -> Self {
+        ExecError::Storage(e)
+    }
+}
+
+/// Execution-side metrics (merged scan metrics plus row counts).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecMetrics {
+    /// Storage scan accounting.
+    pub scan: ScanMetrics,
+    /// Tuples produced by the root operator.
+    pub rows_out: u64,
+    /// Index lookups performed.
+    pub index_lookups: u64,
+}
+
+/// Everything a query needs to run on one node.
+pub struct ExecContext<'a> {
+    /// The document store.
+    pub storage: &'a StorageEngine,
+    /// Full-text index.
+    pub text_index: &'a InvertedIndex,
+    /// Path/value index.
+    pub value_index: &'a PathValueIndex,
+    /// Discovered-relationship index.
+    pub join_index: &'a JoinIndex,
+    /// Evaluate predicates at the storage node (push-down). On by
+    /// default; experiment C2 turns it off to measure the difference.
+    pub pushdown: bool,
+}
+
+/// The result of executing a plan.
+#[derive(Debug)]
+pub enum QueryOutput {
+    /// Projected/aggregated rows.
+    Rows(Vec<Row>),
+    /// Bound documents (un-projected plans).
+    Docs(Vec<Arc<Document>>),
+    /// Graph connection path (`GraphConnect` plans).
+    Path(Option<Vec<DocId>>),
+}
+
+impl QueryOutput {
+    /// Row view (empty for non-row outputs).
+    pub fn rows(&self) -> &[Row] {
+        match self {
+            QueryOutput::Rows(r) => r,
+            _ => &[],
+        }
+    }
+
+    /// Document view (empty for non-doc outputs).
+    pub fn docs(&self) -> &[Arc<Document>] {
+        match self {
+            QueryOutput::Docs(d) => d,
+            _ => &[],
+        }
+    }
+
+    /// Number of rows/docs produced.
+    pub fn len(&self) -> usize {
+        match self {
+            QueryOutput::Rows(r) => r.len(),
+            QueryOutput::Docs(d) => d.len(),
+            QueryOutput::Path(p) => usize::from(p.is_some()),
+        }
+    }
+
+    /// True when nothing was produced.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+enum Stage {
+    Tuples(Vec<Tuple>),
+    Rows(Vec<Row>),
+    Path(Option<Vec<DocId>>),
+}
+
+/// Execute a plan, returning output and metrics.
+pub fn execute(ctx: &ExecContext<'_>, plan: &LogicalPlan) -> Result<(QueryOutput, ExecMetrics), ExecError> {
+    let mut metrics = ExecMetrics::default();
+    let stage = run(ctx, plan, &mut metrics)?;
+    let output = match stage {
+        Stage::Rows(rows) => {
+            metrics.rows_out = rows.len() as u64;
+            QueryOutput::Rows(rows)
+        }
+        Stage::Tuples(tuples) => {
+            metrics.rows_out = tuples.len() as u64;
+            let docs = tuples
+                .into_iter()
+                .flat_map(|t| t.bindings.into_values().collect::<Vec<_>>())
+                .collect();
+            QueryOutput::Docs(docs)
+        }
+        Stage::Path(p) => QueryOutput::Path(p),
+    };
+    Ok((output, metrics))
+}
+
+fn run(ctx: &ExecContext<'_>, plan: &LogicalPlan, metrics: &mut ExecMetrics) -> Result<Stage, ExecError> {
+    match plan {
+        LogicalPlan::Scan { collection, predicate, alias, use_value_index } => {
+            let tuples = scan(ctx, collection.as_deref(), predicate.as_ref(), alias, *use_value_index, metrics)?;
+            Ok(Stage::Tuples(tuples))
+        }
+        LogicalPlan::KeywordSearch { query, path, limit, alias } => {
+            let mut q = SearchQuery::new(query.clone(), *limit);
+            if let Some(p) = path {
+                q = q.within(p.clone());
+            }
+            let hits = search::search(ctx.text_index, &q);
+            metrics.index_lookups += 1;
+            let mut tuples = Vec::with_capacity(hits.len());
+            for hit in hits {
+                if let Some(doc) = ctx.storage.get_latest(hit.id)? {
+                    tuples.push(Tuple::single(alias, Arc::new(doc)));
+                }
+            }
+            Ok(Stage::Tuples(tuples))
+        }
+        LogicalPlan::Filter { input, alias, predicate } => {
+            match run(ctx, input, metrics)? {
+                // multi-conjunct filters run through the self-adapting
+                // chain (§3.3 adaptive operators): predicate order follows
+                // observed selectivity, no optimizer statistics involved
+                Stage::Tuples(t) => match predicate {
+                    Predicate::And(conjuncts) if conjuncts.len() > 1 => {
+                        let mut chain =
+                            crate::adaptive::AdaptiveFilterChain::new(conjuncts.clone(), 64);
+                        Ok(Stage::Tuples(chain.filter(t, alias)))
+                    }
+                    _ => Ok(Stage::Tuples(ops::filter(t, alias, predicate))),
+                },
+                _ => Err(ExecError::BadPlan("filter over non-tuple input".into())),
+            }
+        }
+        LogicalPlan::Join { left, right, left_key, right_key, algo } => {
+            let lt = match run(ctx, left, metrics)? {
+                Stage::Tuples(t) => t,
+                _ => return Err(ExecError::BadPlan("join left input must be tuples".into())),
+            };
+            match algo {
+                JoinAlgo::IndexedNestedLoop => {
+                    // right side must be a bare scan we can index-probe
+                    let (right_alias, right_collection) = match right.as_ref() {
+                        LogicalPlan::Scan { alias, collection, predicate: None, .. } => {
+                            (alias.clone(), collection.clone())
+                        }
+                        _ => {
+                            return Err(ExecError::BadPlan(
+                                "indexed NL join right side must be a plain scan".into(),
+                            ))
+                        }
+                    };
+                    let storage = ctx.storage;
+                    let fetch = move |id: DocId| -> Option<Arc<Document>> {
+                        match storage.get_latest(id) {
+                            Ok(Some(d)) => {
+                                if let Some(c) = &right_collection {
+                                    if d.collection() != c {
+                                        return None;
+                                    }
+                                }
+                                Some(Arc::new(d))
+                            }
+                            _ => None,
+                        }
+                    };
+                    metrics.index_lookups += lt.len() as u64;
+                    Ok(Stage::Tuples(joins::indexed_nl_join(
+                        lt,
+                        ctx.value_index,
+                        &right_alias,
+                        &right_key.1,
+                        left_key,
+                        &fetch,
+                        None,
+                    )))
+                }
+                JoinAlgo::SortMerge => {
+                    let rt = match run(ctx, right, metrics)? {
+                        Stage::Tuples(t) => t,
+                        _ => return Err(ExecError::BadPlan("join right input must be tuples".into())),
+                    };
+                    Ok(Stage::Tuples(joins::sort_merge_join(lt, rt, left_key, right_key)))
+                }
+                JoinAlgo::Hash | JoinAlgo::Unspecified => {
+                    let rt = match run(ctx, right, metrics)? {
+                        Stage::Tuples(t) => t,
+                        _ => return Err(ExecError::BadPlan("join right input must be tuples".into())),
+                    };
+                    Ok(Stage::Tuples(joins::hash_join(lt, rt, left_key, right_key)))
+                }
+            }
+        }
+        LogicalPlan::GroupAgg { input, group_by, aggs } => match run(ctx, input, metrics)? {
+            Stage::Tuples(t) => Ok(Stage::Rows(ops::group_agg(&t, group_by.as_ref(), aggs))),
+            _ => Err(ExecError::BadPlan("aggregate over non-tuple input".into())),
+        },
+        LogicalPlan::Project { input, columns } => match run(ctx, input, metrics)? {
+            Stage::Tuples(t) => Ok(Stage::Rows(ops::project(&t, columns))),
+            Stage::Rows(r) => Ok(Stage::Rows(r)), // projection over rows is identity
+            _ => Err(ExecError::BadPlan("project over path output".into())),
+        },
+        LogicalPlan::Sort { input, keys } => match run(ctx, input, metrics)? {
+            Stage::Tuples(t) => Ok(Stage::Tuples(ops::sort(t, keys))),
+            Stage::Rows(mut rows) => {
+                // sort rows by the named output columns
+                rows.sort_by(|a, b| {
+                    for k in keys {
+                        let ord = a.get(&k.path).total_cmp(b.get(&k.path));
+                        let ord = if k.descending { ord.reverse() } else { ord };
+                        if ord != std::cmp::Ordering::Equal {
+                            return ord;
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                });
+                Ok(Stage::Rows(rows))
+            }
+            p => Ok(p),
+        },
+        LogicalPlan::Limit { input, n } => match run(ctx, input, metrics)? {
+            Stage::Tuples(t) => Ok(Stage::Tuples(ops::limit(t, *n))),
+            Stage::Rows(mut r) => {
+                r.truncate(*n);
+                Ok(Stage::Rows(r))
+            }
+            p => Ok(p),
+        },
+        LogicalPlan::GraphConnect { a, b, max_hops } => {
+            metrics.index_lookups += 1;
+            Ok(Stage::Path(ctx.join_index.connect(DocId(*a), DocId(*b), *max_hops)))
+        }
+    }
+}
+
+fn scan(
+    ctx: &ExecContext<'_>,
+    collection: Option<&str>,
+    predicate: Option<&Predicate>,
+    alias: &str,
+    use_value_index: bool,
+    metrics: &mut ExecMetrics,
+) -> Result<Vec<Tuple>, ExecError> {
+    // Index-backed point lookup: only for a top-level Eq predicate.
+    if use_value_index {
+        if let Some(Predicate::Eq(path, value)) = predicate {
+            metrics.index_lookups += 1;
+            let ids = ctx.value_index.lookup_eq(path, value);
+            let mut tuples = Vec::with_capacity(ids.len());
+            for id in ids {
+                if let Some(doc) = ctx.storage.get_latest(id)? {
+                    if collection.map(|c| doc.collection() == c).unwrap_or(true) {
+                        tuples.push(Tuple::single(alias, Arc::new(doc)));
+                    }
+                }
+            }
+            return Ok(tuples);
+        }
+    }
+    // Storage scan, with or without push-down.
+    let mut combined = Vec::new();
+    if let Some(c) = collection {
+        combined.push(Predicate::CollectionIs(c.to_string()));
+    }
+    let request = if ctx.pushdown {
+        if let Some(p) = predicate {
+            combined.push(p.clone());
+        }
+        ScanRequest {
+            predicate: match combined.len() {
+                0 => None,
+                1 => Some(combined.pop().unwrap()),
+                _ => Some(Predicate::And(combined)),
+            },
+            projection: Projection::All,
+            aggregate: None,
+            limit: None,
+        }
+    } else {
+        // No push-down: only collection routing happens at storage; the
+        // predicate runs here, after full documents crossed the "network".
+        ScanRequest {
+            predicate: match combined.len() {
+                0 => None,
+                _ => Some(Predicate::And(combined)),
+            },
+            projection: Projection::All,
+            aggregate: None,
+            limit: None,
+        }
+    };
+    let result = ctx.storage.scan(&request)?;
+    metrics.scan.merge(&result.metrics);
+    let mut tuples: Vec<Tuple> = result
+        .documents
+        .into_iter()
+        .map(|d| Tuple::single(alias, Arc::new(d)))
+        .collect();
+    if !ctx.pushdown {
+        if let Some(p) = predicate {
+            tuples = ops::filter(tuples, alias, p);
+        }
+    }
+    Ok(tuples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impliance_docmodel::{DocumentBuilder, SourceFormat, Value};
+    use impliance_storage::{AggFunc, StorageOptions};
+
+    struct Fixture {
+        storage: StorageEngine,
+        text: InvertedIndex,
+        values: PathValueIndex,
+        joins: JoinIndex,
+    }
+
+    impl Fixture {
+        fn new() -> Fixture {
+            let storage = StorageEngine::new(StorageOptions {
+                partitions: 2,
+                seal_threshold: 16,
+                compression: true, encryption_key: None });
+            let text = InvertedIndex::new(4);
+            let values = PathValueIndex::new();
+            let joins = JoinIndex::new();
+            // customers
+            for (id, code, name) in [(1u64, "C-1", "Ada"), (2, "C-2", "Grace")] {
+                let d = DocumentBuilder::new(DocId(id), SourceFormat::RelationalRow, "customers")
+                    .field("code", code)
+                    .field("name", name)
+                    .build();
+                storage.put(&d).unwrap();
+                text.index_document(&d);
+                values.index_document(&d);
+            }
+            // orders
+            for (id, cust, amount, notes) in [
+                (10u64, "C-1", 100i64, "urgent bumper replacement"),
+                (11, "C-1", 250, "hood repaint"),
+                (12, "C-2", 50, "mirror fix"),
+            ] {
+                let d = DocumentBuilder::new(DocId(id), SourceFormat::Json, "orders")
+                    .field("cust", cust)
+                    .field("amount", amount)
+                    .field("notes", notes)
+                    .build();
+                storage.put(&d).unwrap();
+                text.index_document(&d);
+                values.index_document(&d);
+            }
+            joins.add_edge(DocId(10), DocId(1), "references-customer");
+            joins.add_edge(DocId(12), DocId(2), "references-customer");
+            Fixture { storage, text, values, joins }
+        }
+
+        fn ctx(&self) -> ExecContext<'_> {
+            ExecContext {
+                storage: &self.storage,
+                text_index: &self.text,
+                value_index: &self.values,
+                join_index: &self.joins,
+                pushdown: true,
+            }
+        }
+    }
+
+    fn scan_plan(collection: &str) -> LogicalPlan {
+        LogicalPlan::Scan {
+            collection: Some(collection.to_string()),
+            predicate: None,
+            alias: collection.to_string(),
+            use_value_index: false,
+        }
+    }
+
+    #[test]
+    fn scan_filters_by_collection() {
+        let f = Fixture::new();
+        let (out, m) = execute(&f.ctx(), &scan_plan("customers")).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(m.scan.docs_scanned, 5);
+    }
+
+    #[test]
+    fn scan_with_pushdown_predicate() {
+        let f = Fixture::new();
+        let plan = LogicalPlan::Scan {
+            collection: Some("orders".into()),
+            predicate: Some(Predicate::Ge("amount".into(), Value::Int(100))),
+            alias: "o".into(),
+            use_value_index: false,
+        };
+        let (out, m) = execute(&f.ctx(), &plan).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(m.scan.docs_matched, 2);
+    }
+
+    #[test]
+    fn pushdown_off_returns_same_answers_more_bytes() {
+        let f = Fixture::new();
+        let plan = LogicalPlan::Scan {
+            collection: Some("orders".into()),
+            predicate: Some(Predicate::Ge("amount".into(), Value::Int(100))),
+            alias: "o".into(),
+            use_value_index: false,
+        };
+        let mut ctx_off = f.ctx();
+        ctx_off.pushdown = false;
+        let (out_on, m_on) = execute(&f.ctx(), &plan).unwrap();
+        let (out_off, m_off) = execute(&ctx_off, &plan).unwrap();
+        assert_eq!(out_on.len(), out_off.len());
+        assert!(
+            m_off.scan.bytes_returned > m_on.scan.bytes_returned,
+            "without pushdown more bytes travel: {} vs {}",
+            m_off.scan.bytes_returned,
+            m_on.scan.bytes_returned
+        );
+    }
+
+    #[test]
+    fn index_backed_scan() {
+        let f = Fixture::new();
+        let plan = LogicalPlan::Scan {
+            collection: Some("orders".into()),
+            predicate: Some(Predicate::Eq("cust".into(), Value::Str("C-1".into()))),
+            alias: "o".into(),
+            use_value_index: true,
+        };
+        let (out, m) = execute(&f.ctx(), &plan).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(m.index_lookups, 1);
+        assert_eq!(m.scan.docs_scanned, 0, "no storage scan happened");
+    }
+
+    #[test]
+    fn keyword_search_plan() {
+        let f = Fixture::new();
+        let plan = LogicalPlan::KeywordSearch {
+            query: "bumper".into(),
+            path: None,
+            limit: 10,
+            alias: "d".into(),
+        };
+        let (out, _) = execute(&f.ctx(), &plan).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.docs()[0].id(), DocId(10));
+    }
+
+    #[test]
+    fn join_and_project_end_to_end() {
+        let f = Fixture::new();
+        let plan = LogicalPlan::Project {
+            input: Box::new(LogicalPlan::Join {
+                left: Box::new(scan_plan("orders")),
+                right: Box::new(LogicalPlan::Scan {
+                    collection: Some("customers".into()),
+                    predicate: None,
+                    alias: "customers".into(),
+                    use_value_index: false,
+                }),
+                left_key: ("orders".into(), "cust".into()),
+                right_key: ("customers".into(), "code".into()),
+                algo: JoinAlgo::Hash,
+            }),
+            columns: vec![
+                ("customers".into(), "name".into(), "name".into()),
+                ("orders".into(), "amount".into(), "amount".into()),
+            ],
+        };
+        let (out, _) = execute(&f.ctx(), &plan).unwrap();
+        let rows = out.rows();
+        assert_eq!(rows.len(), 3);
+        assert!(rows
+            .iter()
+            .any(|r| r.get("name") == &Value::Str("Ada".into()) && r.get("amount") == &Value::Int(250)));
+    }
+
+    #[test]
+    fn indexed_nl_join_through_executor() {
+        let f = Fixture::new();
+        let plan = LogicalPlan::Join {
+            left: Box::new(scan_plan("orders")),
+            right: Box::new(scan_plan("customers")),
+            left_key: ("orders".into(), "cust".into()),
+            right_key: ("customers".into(), "code".into()),
+            algo: JoinAlgo::IndexedNestedLoop,
+        };
+        let (out, m) = execute(&f.ctx(), &plan).unwrap();
+        assert_eq!(out.len() / 2, 3); // 3 tuples × 2 bindings each
+        assert!(m.index_lookups >= 3);
+    }
+
+    #[test]
+    fn group_agg_over_join() {
+        let f = Fixture::new();
+        let plan = LogicalPlan::GroupAgg {
+            input: Box::new(scan_plan("orders")),
+            group_by: Some(("orders".into(), "cust".into())),
+            aggs: vec![AggItem {
+                func: AggFunc::Sum,
+                operand: Some("amount".into()),
+                output: "total".into(),
+            }],
+        };
+        let (out, _) = execute(&f.ctx(), &plan).unwrap();
+        let rows = out.rows();
+        assert_eq!(rows.len(), 2);
+        let c1 = rows.iter().find(|r| r.get("group") == &Value::Str("C-1".into())).unwrap();
+        assert_eq!(c1.get("total"), &Value::Float(350.0));
+    }
+
+    #[test]
+    fn sort_and_limit() {
+        let f = Fixture::new();
+        let plan = LogicalPlan::Limit {
+            input: Box::new(LogicalPlan::Sort {
+                input: Box::new(scan_plan("orders")),
+                keys: vec![crate::plan::SortKey {
+                    alias: "orders".into(),
+                    path: "amount".into(),
+                    descending: true,
+                }],
+            }),
+            n: 1,
+        };
+        let (out, _) = execute(&f.ctx(), &plan).unwrap();
+        assert_eq!(out.docs()[0].id(), DocId(11)); // amount 250
+    }
+
+    #[test]
+    fn graph_connect_plan() {
+        let f = Fixture::new();
+        // orders 10 and 12 connect through their customers? 10-1, 12-2: no.
+        let (out, _) = execute(&f.ctx(), &LogicalPlan::GraphConnect { a: 10, b: 1, max_hops: 2 }).unwrap();
+        match out {
+            QueryOutput::Path(Some(p)) => assert_eq!(p, vec![DocId(10), DocId(1)]),
+            other => panic!("expected path, got {other:?}"),
+        }
+        let (out2, _) =
+            execute(&f.ctx(), &LogicalPlan::GraphConnect { a: 10, b: 12, max_hops: 1 }).unwrap();
+        assert!(matches!(out2, QueryOutput::Path(None)));
+    }
+
+    #[test]
+    fn bad_plan_errors() {
+        let f = Fixture::new();
+        // filter over rows output
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::GroupAgg {
+                input: Box::new(scan_plan("orders")),
+                group_by: None,
+                aggs: vec![],
+            }),
+            alias: "x".into(),
+            predicate: Predicate::True,
+        };
+        assert!(matches!(execute(&f.ctx(), &plan), Err(ExecError::BadPlan(_))));
+    }
+}
+
+#[cfg(test)]
+mod adaptive_exec_tests {
+    use super::*;
+    use impliance_docmodel::{DocumentBuilder, SourceFormat, Value};
+    use impliance_storage::StorageOptions;
+
+    #[test]
+    fn multi_conjunct_filter_uses_adaptive_chain_with_same_answers() {
+        let storage = StorageEngine::new(StorageOptions::default());
+        let text = InvertedIndex::new(4);
+        let values = PathValueIndex::new();
+        let joins_idx = JoinIndex::new();
+        for i in 0..500u64 {
+            let d = DocumentBuilder::new(impliance_docmodel::DocId(i), SourceFormat::Json, "c")
+                .field("a", (i % 2) as i64)
+                .field("b", (i % 50) as i64)
+                .build();
+            storage.put(&d).unwrap();
+        }
+        let ctx = ExecContext {
+            storage: &storage,
+            text_index: &text,
+            value_index: &values,
+            join_index: &joins_idx,
+            pushdown: true,
+        };
+        // Filter node (post-scan) with a 2-conjunct And → adaptive path
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Scan {
+                collection: Some("c".into()),
+                predicate: None,
+                alias: "c".into(),
+                use_value_index: false,
+            }),
+            alias: "c".into(),
+            predicate: Predicate::And(vec![
+                Predicate::Eq("a".into(), Value::Int(0)),
+                Predicate::Eq("b".into(), Value::Int(0)),
+            ]),
+        };
+        let (out, _) = execute(&ctx, &plan).unwrap();
+        // i where i%2==0 and i%50==0 → multiples of 50: 0,50,...,450 → 10
+        assert_eq!(out.len(), 10);
+    }
+}

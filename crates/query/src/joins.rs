@@ -1,0 +1,274 @@
+//! The three equi-join algorithms.
+//!
+//! §3.3: "given a keyword-search interface that requires only the top-k
+//! results, indexed nested-loop joins may always be the preferred join
+//! method." Experiment C4 measures that crossover: indexed NL wins for
+//! small k, hash join wins for full joins.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use impliance_docmodel::{DocId, Document, Value};
+use impliance_index::PathValueIndex;
+
+use crate::tuple::Tuple;
+
+/// Hash join: build on the smaller side, probe with the larger.
+/// `left_key`/`right_key` are (alias, structural path).
+pub fn hash_join(
+    left: Vec<Tuple>,
+    right: Vec<Tuple>,
+    left_key: &(String, String),
+    right_key: &(String, String),
+) -> Vec<Tuple> {
+    let (build, probe, build_key, probe_key, build_is_left) = if left.len() <= right.len() {
+        (&left, &right, left_key, right_key, true)
+    } else {
+        (&right, &left, right_key, left_key, false)
+    };
+    let mut table: HashMap<String, Vec<&Tuple>> = HashMap::new();
+    for t in build {
+        let k = t.key(&build_key.0, &build_key.1);
+        if !k.is_null() {
+            table.entry(k.render()).or_default().push(t);
+        }
+    }
+    let mut out = Vec::new();
+    for t in probe {
+        let k = t.key(&probe_key.0, &probe_key.1);
+        if k.is_null() {
+            continue;
+        }
+        if let Some(matches) = table.get(&k.render()) {
+            for m in matches {
+                out.push(if build_is_left { m.join(t) } else { t.join(m) });
+            }
+        }
+    }
+    out
+}
+
+/// Sort-merge join: sorts both inputs by key rendering and merges.
+pub fn sort_merge_join(
+    mut left: Vec<Tuple>,
+    mut right: Vec<Tuple>,
+    left_key: &(String, String),
+    right_key: &(String, String),
+) -> Vec<Tuple> {
+    let key_of = |t: &Tuple, k: &(String, String)| t.key(&k.0, &k.1);
+    left.sort_by(|a, b| key_of(a, left_key).total_cmp(&key_of(b, left_key)));
+    right.sort_by(|a, b| key_of(a, right_key).total_cmp(&key_of(b, right_key)));
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut j = 0;
+    while i < left.len() && j < right.len() {
+        let kl = key_of(&left[i], left_key);
+        let kr = key_of(&right[j], right_key);
+        if kl.is_null() {
+            i += 1;
+            continue;
+        }
+        if kr.is_null() {
+            j += 1;
+            continue;
+        }
+        match kl.total_cmp(&kr) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                // find the equal runs on both sides
+                let mut i_end = i + 1;
+                while i_end < left.len() && key_of(&left[i_end], left_key).query_eq(&kl) {
+                    i_end += 1;
+                }
+                let mut j_end = j + 1;
+                while j_end < right.len() && key_of(&right[j_end], right_key).query_eq(&kr) {
+                    j_end += 1;
+                }
+                for l in &left[i..i_end] {
+                    for r in &right[j..j_end] {
+                        out.push(l.join(r));
+                    }
+                }
+                i = i_end;
+                j = j_end;
+            }
+        }
+    }
+    out
+}
+
+/// Indexed nested-loop join: for each left tuple, probe the right
+/// collection's value index, fetching matching documents via `fetch`.
+/// Stops early once `limit` output tuples exist (the top-k case the simple
+/// planner optimizes for).
+#[allow(clippy::too_many_arguments)]
+pub fn indexed_nl_join(
+    left: Vec<Tuple>,
+    index: &PathValueIndex,
+    right_alias: &str,
+    right_path: &str,
+    left_key: &(String, String),
+    fetch: &dyn Fn(DocId) -> Option<Arc<Document>>,
+    limit: Option<usize>,
+) -> Vec<Tuple> {
+    let mut out = Vec::new();
+    for t in left {
+        let k: Value = t.key(&left_key.0, &left_key.1);
+        if k.is_null() {
+            continue;
+        }
+        for id in index.lookup_eq(right_path, &k) {
+            if let Some(doc) = fetch(id) {
+                out.push(t.join(&Tuple::single(right_alias, doc)));
+                if let Some(l) = limit {
+                    if out.len() >= l {
+                        return out;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impliance_docmodel::{DocumentBuilder, SourceFormat};
+    use std::collections::HashMap as Map;
+
+    fn orders() -> Vec<Tuple> {
+        [(1u64, "C-1"), (2, "C-2"), (3, "C-1"), (4, "C-9")]
+            .into_iter()
+            .map(|(id, cust)| {
+                Tuple::single(
+                    "o",
+                    Arc::new(
+                        DocumentBuilder::new(DocId(id), SourceFormat::Json, "orders")
+                            .field("cust", cust)
+                            .field("order_id", id as i64)
+                            .build(),
+                    ),
+                )
+            })
+            .collect()
+    }
+
+    fn customers() -> Vec<(DocId, Arc<Document>)> {
+        [(100u64, "C-1", "Ada"), (101, "C-2", "Grace")]
+            .into_iter()
+            .map(|(id, code, name)| {
+                (
+                    DocId(id),
+                    Arc::new(
+                        DocumentBuilder::new(DocId(id), SourceFormat::Json, "customers")
+                            .field("code", code)
+                            .field("name", name)
+                            .build(),
+                    ),
+                )
+            })
+            .collect()
+    }
+
+    fn customer_tuples() -> Vec<Tuple> {
+        customers().into_iter().map(|(_, d)| Tuple::single("c", d)).collect()
+    }
+
+    fn lk() -> (String, String) {
+        ("o".to_string(), "cust".to_string())
+    }
+    fn rk() -> (String, String) {
+        ("c".to_string(), "code".to_string())
+    }
+
+    #[test]
+    fn hash_join_matches() {
+        let out = hash_join(orders(), customer_tuples(), &lk(), &rk());
+        assert_eq!(out.len(), 3); // C-9 has no customer
+        for t in &out {
+            assert_eq!(t.key("o", "cust"), t.key("c", "code"));
+        }
+    }
+
+    #[test]
+    fn hash_join_sides_commute() {
+        // swapping inputs (and keys) yields the same multiset
+        let a = hash_join(orders(), customer_tuples(), &lk(), &rk());
+        let b = hash_join(customer_tuples(), orders(), &rk(), &lk());
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn sort_merge_join_matches_hash_join() {
+        let h = hash_join(orders(), customer_tuples(), &lk(), &rk());
+        let m = sort_merge_join(orders(), customer_tuples(), &lk(), &rk());
+        assert_eq!(h.len(), m.len());
+    }
+
+    #[test]
+    fn sort_merge_handles_duplicate_runs() {
+        // two orders share C-1; add duplicate customer C-1 rows
+        let mut custs = customer_tuples();
+        custs.push(Tuple::single(
+            "c",
+            Arc::new(
+                DocumentBuilder::new(DocId(102), SourceFormat::Json, "customers")
+                    .field("code", "C-1")
+                    .field("name", "Ada2")
+                    .build(),
+            ),
+        ));
+        let out = sort_merge_join(orders(), custs, &lk(), &rk());
+        // C-1 orders (2) × C-1 custs (2) + C-2 (1×1) = 5
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn indexed_nl_join_probes_index() {
+        let index = PathValueIndex::new();
+        let store: Map<DocId, Arc<Document>> = customers().into_iter().collect();
+        for d in store.values() {
+            index.index_document(d);
+        }
+        let fetch = |id: DocId| store.get(&id).cloned();
+        let out = indexed_nl_join(orders(), &index, "c", "code", &lk(), &fetch, None);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn indexed_nl_join_early_exit_on_limit() {
+        let index = PathValueIndex::new();
+        let store: Map<DocId, Arc<Document>> = customers().into_iter().collect();
+        for d in store.values() {
+            index.index_document(d);
+        }
+        let fetch = |id: DocId| store.get(&id).cloned();
+        let out = indexed_nl_join(orders(), &index, "c", "code", &lk(), &fetch, Some(1));
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn null_keys_never_join() {
+        let mut left = orders();
+        left.push(Tuple::single(
+            "o",
+            Arc::new(
+                DocumentBuilder::new(DocId(9), SourceFormat::Json, "orders")
+                    .field("order_id", 9i64)
+                    .build(), // no cust key
+            ),
+        ));
+        let out = hash_join(left.clone(), customer_tuples(), &lk(), &rk());
+        assert_eq!(out.len(), 3);
+        let out2 = sort_merge_join(left, customer_tuples(), &lk(), &rk());
+        assert_eq!(out2.len(), 3);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(hash_join(Vec::new(), customer_tuples(), &lk(), &rk()).is_empty());
+        assert!(sort_merge_join(orders(), Vec::new(), &lk(), &rk()).is_empty());
+    }
+}

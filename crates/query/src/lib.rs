@@ -1,0 +1,47 @@
+//! # Impliance query processing
+//!
+//! §3.3: "Instead of implementing a full-fledged cost-based optimizer as a
+//! conventional database system does, we propose to build a simple planner
+//! that allows only a few limited choices of the underlying physical
+//! operators. Such a planner is desirable because it offers predictable
+//! performance (as opposed to optimal performance) and obviates the need
+//! for maintaining complex statistics."
+//!
+//! This crate contains both sides of that argument so experiment C1 can
+//! measure it:
+//!
+//! * [`plan`] — the logical algebra (scan, search, filter, project, join,
+//!   group/aggregate, sort, limit, graph-connect).
+//! * [`ops`] / [`joins`] — physical operators, including the three join
+//!   algorithms (indexed nested-loop, hash, sort-merge).
+//! * [`simple`] — the **simple planner**: a handful of fixed rules, no
+//!   statistics, biased toward index use and top-k friendliness.
+//! * [`costopt`] — the **cost-based baseline**: selectivity estimation
+//!   from storage statistics and exhaustive operator choice, standing in
+//!   for the conventional optimizer the paper argues against.
+//! * [`adaptive`] — runtime adaptation (selectivity-ordered predicate
+//!   chains, join side swapping), borrowing from the adaptive query
+//!   processing literature the paper cites.
+//! * [`sql`] — a mini-SQL surface ("Traditional structured query languages
+//!   such as SQL … can be mapped to this new query interface").
+//! * [`exec`] — the single-node executor.
+//! * [`dist`] — the distributed executor: scans on data nodes, join and
+//!   aggregation on grid nodes, updates via cluster nodes (Figure 3's
+//!   example query flow).
+
+pub mod adaptive;
+pub mod costopt;
+pub mod dist;
+pub mod exec;
+pub mod joins;
+pub mod ops;
+pub mod plan;
+pub mod simple;
+pub mod sql;
+pub mod tuple;
+
+pub use exec::{ExecContext, ExecError, ExecMetrics, QueryOutput};
+pub use plan::{AggItem, JoinAlgo, LogicalPlan, SortKey};
+pub use simple::SimplePlanner;
+pub use sql::parse_sql;
+pub use tuple::{Row, Tuple};

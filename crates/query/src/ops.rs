@@ -1,0 +1,240 @@
+//! Scalar physical operators: filter, project, sort, limit, group/agg.
+//!
+//! All operators are materialized (Vec in → Vec out): at appliance scale
+//! the scheduler moves whole operator stages between node kinds (§3.3),
+//! and materialized stages are what travels.
+
+use std::collections::BTreeMap;
+
+use impliance_docmodel::Value;
+use impliance_storage::{AggValue, Predicate};
+
+use crate::plan::{AggItem, SortKey};
+use crate::tuple::{Row, Tuple};
+
+/// Filter tuples: keep those whose binding at `alias` satisfies the
+/// predicate.
+pub fn filter(tuples: Vec<Tuple>, alias: &str, predicate: &Predicate) -> Vec<Tuple> {
+    tuples
+        .into_iter()
+        .filter(|t| t.bindings.get(alias).map(|d| predicate.matches(d)).unwrap_or(false))
+        .collect()
+}
+
+/// Project tuples into final rows.
+pub fn project(tuples: &[Tuple], columns: &[(String, String, String)]) -> Vec<Row> {
+    tuples
+        .iter()
+        .map(|t| {
+            Row::from_pairs(
+                columns
+                    .iter()
+                    .map(|(alias, path, out)| (out.clone(), t.key(alias, path))),
+            )
+        })
+        .collect()
+}
+
+/// Sort tuples by the given keys.
+pub fn sort(mut tuples: Vec<Tuple>, keys: &[SortKey]) -> Vec<Tuple> {
+    tuples.sort_by(|a, b| {
+        for k in keys {
+            let va = a.key(&k.alias, &k.path);
+            let vb = b.key(&k.alias, &k.path);
+            let ord = va.total_cmp(&vb);
+            let ord = if k.descending { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    tuples
+}
+
+/// Keep the first `n` tuples.
+pub fn limit(mut tuples: Vec<Tuple>, n: usize) -> Vec<Tuple> {
+    tuples.truncate(n);
+    tuples
+}
+
+/// Group tuples by an optional `(alias, path)` key and compute the
+/// aggregates. Output rows have the group key under `"group"` (when
+/// grouped) plus one column per aggregate.
+pub fn group_agg(
+    tuples: &[Tuple],
+    group_by: Option<&(String, String)>,
+    aggs: &[AggItem],
+) -> Vec<Row> {
+    // group key rendering → (raw group value, per-agg states)
+    let mut groups: BTreeMap<String, (Value, Vec<AggValue>)> = BTreeMap::new();
+    for t in tuples {
+        let (key_render, key_value) = match group_by {
+            None => (String::new(), Value::Null),
+            Some((alias, path)) => {
+                let v = t.key(alias, path);
+                if v.is_null() {
+                    continue; // no group key → excluded
+                }
+                (v.render(), v)
+            }
+        };
+        let entry = groups
+            .entry(key_render)
+            .or_insert_with(|| (key_value, vec![AggValue::default(); aggs.len()]));
+        for (i, agg) in aggs.iter().enumerate() {
+            match &agg.operand {
+                None => entry.1[i].count += 1,
+                Some(path) => {
+                    // operand path may be alias-qualified through group_by
+                    // alias; use the first alias that has the path
+                    let mut observed = false;
+                    for alias in t.bindings.keys() {
+                        let v = t.key(alias, path);
+                        if !v.is_null() {
+                            entry.1[i].observe(&v);
+                            observed = true;
+                            break;
+                        }
+                    }
+                    if !observed && matches!(agg.func, impliance_storage::AggFunc::Count) {
+                        // COUNT(path) counts only present values: skip
+                    }
+                }
+            }
+        }
+    }
+    groups
+        .into_values()
+        .map(|(key_value, states)| {
+            let mut pairs: Vec<(String, Value)> = Vec::with_capacity(aggs.len() + 1);
+            if group_by.is_some() {
+                pairs.push(("group".to_string(), key_value));
+            }
+            for (agg, state) in aggs.iter().zip(states) {
+                pairs.push((agg.output.clone(), state.finish(agg.func)));
+            }
+            Row::from_pairs(pairs)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impliance_docmodel::{DocId, DocumentBuilder, SourceFormat};
+    use impliance_storage::AggFunc;
+    use std::sync::Arc;
+
+    fn tuples() -> Vec<Tuple> {
+        [(1, 100, "Volvo"), (2, 250, "Saab"), (3, 50, "Volvo"), (4, 175, "Saab")]
+            .into_iter()
+            .map(|(id, amount, make)| {
+                Tuple::single(
+                    "c",
+                    Arc::new(
+                        DocumentBuilder::new(DocId(id), SourceFormat::Json, "claims")
+                            .field("amount", amount as i64)
+                            .field("make", make)
+                            .build(),
+                    ),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn filter_by_alias_predicate() {
+        let out = filter(tuples(), "c", &Predicate::Gt("amount".into(), Value::Int(100)));
+        assert_eq!(out.len(), 2);
+        let out2 = filter(tuples(), "missing", &Predicate::True);
+        assert!(out2.is_empty(), "unknown alias matches nothing");
+    }
+
+    #[test]
+    fn project_emits_named_columns() {
+        let rows = project(
+            &tuples()[..1],
+            &[
+                ("c".to_string(), "make".to_string(), "vehicle".to_string()),
+                ("c".to_string(), "amount".to_string(), "amt".to_string()),
+            ],
+        );
+        assert_eq!(rows[0].get("vehicle"), &Value::Str("Volvo".into()));
+        assert_eq!(rows[0].get("amt"), &Value::Int(100));
+    }
+
+    #[test]
+    fn sort_ascending_descending_multi_key() {
+        let sorted = sort(
+            tuples(),
+            &[SortKey { alias: "c".into(), path: "make".into(), descending: false },
+              SortKey { alias: "c".into(), path: "amount".into(), descending: true }],
+        );
+        let amounts: Vec<Value> = sorted.iter().map(|t| t.key("c", "amount")).collect();
+        assert_eq!(
+            amounts,
+            vec![Value::Int(250), Value::Int(175), Value::Int(100), Value::Int(50)]
+        );
+    }
+
+    #[test]
+    fn limit_truncates() {
+        assert_eq!(limit(tuples(), 2).len(), 2);
+        assert_eq!(limit(tuples(), 100).len(), 4);
+        assert!(limit(tuples(), 0).is_empty());
+    }
+
+    #[test]
+    fn group_agg_grouped_sum_count() {
+        let rows = group_agg(
+            &tuples(),
+            Some(&("c".to_string(), "make".to_string())),
+            &[
+                AggItem { func: AggFunc::Sum, operand: Some("amount".into()), output: "total".into() },
+                AggItem { func: AggFunc::Count, operand: None, output: "n".into() },
+            ],
+        );
+        assert_eq!(rows.len(), 2);
+        let saab = rows.iter().find(|r| r.get("group") == &Value::Str("Saab".into())).unwrap();
+        assert_eq!(saab.get("total"), &Value::Float(425.0));
+        assert_eq!(saab.get("n"), &Value::Int(2));
+    }
+
+    #[test]
+    fn group_agg_global() {
+        let rows = group_agg(
+            &tuples(),
+            None,
+            &[
+                AggItem { func: AggFunc::Min, operand: Some("amount".into()), output: "lo".into() },
+                AggItem { func: AggFunc::Max, operand: Some("amount".into()), output: "hi".into() },
+                AggItem { func: AggFunc::Avg, operand: Some("amount".into()), output: "avg".into() },
+            ],
+        );
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("lo"), &Value::Int(50));
+        assert_eq!(rows[0].get("hi"), &Value::Int(250));
+        assert_eq!(rows[0].get("avg"), &Value::Float(143.75));
+    }
+
+    #[test]
+    fn group_agg_skips_null_group_keys() {
+        let mut ts = tuples();
+        ts.push(Tuple::single(
+            "c",
+            Arc::new(
+                DocumentBuilder::new(DocId(9), SourceFormat::Json, "claims")
+                    .field("amount", 1i64)
+                    .build(), // no make
+            ),
+        ));
+        let rows = group_agg(
+            &ts,
+            Some(&("c".to_string(), "make".to_string())),
+            &[AggItem { func: AggFunc::Count, operand: None, output: "n".into() }],
+        );
+        let total: i64 = rows.iter().map(|r| r.get("n").as_i64().unwrap()).sum();
+        assert_eq!(total, 4, "keyless tuple excluded");
+    }
+}

@@ -1,0 +1,249 @@
+//! The logical algebra.
+//!
+//! A [`LogicalPlan`] is a tree of the operations §2.2 enumerates —
+//! search/query, composition (joins), and aggregation — over uniform
+//! documents. Planners (simple or cost-based) rewrite the tree by choosing
+//! physical strategies (`JoinAlgo`, index-backed scans) before execution.
+
+use impliance_storage::{AggFunc, Predicate};
+
+/// Physical join algorithm choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinAlgo {
+    /// Planner has not chosen yet (executor defaults to hash).
+    Unspecified,
+    /// For each left tuple, probe the value index of the right collection.
+    IndexedNestedLoop,
+    /// Build a hash table on the smaller side, probe with the other.
+    Hash,
+    /// Sort both sides on the key and merge.
+    SortMerge,
+}
+
+/// One aggregate output item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggItem {
+    /// Function to compute.
+    pub func: AggFunc,
+    /// Operand structural path within the (single) input alias; `None`
+    /// for `Count`.
+    pub operand: Option<String>,
+    /// Output column name.
+    pub output: String,
+}
+
+/// Sort specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortKey {
+    /// `alias.path` qualified structural path.
+    pub alias: String,
+    /// Structural path within the alias.
+    pub path: String,
+    /// Descending order if set.
+    pub descending: bool,
+}
+
+/// A logical query plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Scan a collection's latest documents, with optional storage-side
+    /// predicate (push-down) and binding alias.
+    Scan {
+        /// Collection to scan (`None` scans everything).
+        collection: Option<String>,
+        /// Predicate executed at the storage node when push-down is on.
+        predicate: Option<Predicate>,
+        /// Alias the documents bind to.
+        alias: String,
+        /// If set, the planner chose an index lookup (structural path +
+        /// operation encoded in the predicate) rather than a full scan.
+        use_value_index: bool,
+    },
+    /// Top-k keyword search via the inverted index.
+    KeywordSearch {
+        /// Query text.
+        query: String,
+        /// Restrict to a structural path.
+        path: Option<String>,
+        /// Max hits.
+        limit: usize,
+        /// Alias the hits bind to.
+        alias: String,
+    },
+    /// Filter tuples by a predicate over one alias.
+    Filter {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Alias the predicate applies to.
+        alias: String,
+        /// The predicate.
+        predicate: Predicate,
+    },
+    /// Equi-join two inputs on alias.path = alias.path.
+    Join {
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+        /// Left key: (alias, structural path).
+        left_key: (String, String),
+        /// Right key: (alias, structural path).
+        right_key: (String, String),
+        /// Physical algorithm (planner's choice).
+        algo: JoinAlgo,
+    },
+    /// Group by a key and compute aggregates (single-alias input).
+    GroupAgg {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Group key: (alias, structural path); `None` = one global group.
+        group_by: Option<(String, String)>,
+        /// Aggregates to compute.
+        aggs: Vec<AggItem>,
+    },
+    /// Project tuples to output rows of `alias.path` columns.
+    Project {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Output columns: (alias, structural path, output name).
+        columns: Vec<(String, String, String)>,
+    },
+    /// Sort tuples.
+    Sort {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Sort keys, most significant first.
+        keys: Vec<SortKey>,
+    },
+    /// Keep the first `n` tuples.
+    Limit {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Row cap.
+        n: usize,
+    },
+    /// Graph connection query over join indexes (§3.2.1: "given two pieces
+    /// of data, we should be able to ask how they are connected").
+    GraphConnect {
+        /// First document id.
+        a: u64,
+        /// Second document id.
+        b: u64,
+        /// Hop bound.
+        max_hops: usize,
+    },
+}
+
+impl LogicalPlan {
+    /// Number of nodes in the plan tree (diagnostics, planner tests).
+    pub fn node_count(&self) -> usize {
+        1 + match self {
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::GroupAgg { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. } => input.node_count(),
+            LogicalPlan::Join { left, right, .. } => left.node_count() + right.node_count(),
+            _ => 0,
+        }
+    }
+
+    /// Does the plan contain a limit anywhere above its joins? The simple
+    /// planner uses this as its "top-k workload" signal.
+    pub fn has_limit(&self) -> bool {
+        match self {
+            LogicalPlan::Limit { .. } => true,
+            LogicalPlan::KeywordSearch { .. } => true, // inherently top-k
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::GroupAgg { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Sort { input, .. } => input.has_limit(),
+            _ => false,
+        }
+    }
+
+    /// Compact single-line rendering for plan-shape assertions.
+    pub fn describe(&self) -> String {
+        match self {
+            LogicalPlan::Scan { collection, predicate, use_value_index, .. } => {
+                let c = collection.as_deref().unwrap_or("*");
+                let how = if *use_value_index { "index" } else { "scan" };
+                let p = if predicate.is_some() { "+pred" } else { "" };
+                format!("{how}({c}{p})")
+            }
+            LogicalPlan::KeywordSearch { query, limit, .. } => {
+                format!("search('{query}',k={limit})")
+            }
+            LogicalPlan::Filter { input, .. } => format!("filter({})", input.describe()),
+            LogicalPlan::Join { left, right, algo, .. } => {
+                let a = match algo {
+                    JoinAlgo::Unspecified => "join",
+                    JoinAlgo::IndexedNestedLoop => "inlj",
+                    JoinAlgo::Hash => "hashjoin",
+                    JoinAlgo::SortMerge => "mergejoin",
+                };
+                format!("{a}({},{})", left.describe(), right.describe())
+            }
+            LogicalPlan::GroupAgg { input, .. } => format!("agg({})", input.describe()),
+            LogicalPlan::Project { input, .. } => format!("project({})", input.describe()),
+            LogicalPlan::Sort { input, .. } => format!("sort({})", input.describe()),
+            LogicalPlan::Limit { input, n } => format!("limit{n}({})", input.describe()),
+            LogicalPlan::GraphConnect { a, b, .. } => format!("connect({a},{b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impliance_docmodel::Value;
+
+    fn scan(c: &str) -> LogicalPlan {
+        LogicalPlan::Scan {
+            collection: Some(c.to_string()),
+            predicate: None,
+            alias: c.to_string(),
+            use_value_index: false,
+        }
+    }
+
+    #[test]
+    fn node_count_and_describe() {
+        let plan = LogicalPlan::Limit {
+            input: Box::new(LogicalPlan::Join {
+                left: Box::new(scan("a")),
+                right: Box::new(scan("b")),
+                left_key: ("a".into(), "x".into()),
+                right_key: ("b".into(), "x".into()),
+                algo: JoinAlgo::Hash,
+            }),
+            n: 10,
+        };
+        assert_eq!(plan.node_count(), 4);
+        assert_eq!(plan.describe(), "limit10(hashjoin(scan(a),scan(b)))");
+        assert!(plan.has_limit());
+    }
+
+    #[test]
+    fn has_limit_spots_keyword_search() {
+        let plan = LogicalPlan::KeywordSearch {
+            query: "q".into(),
+            path: None,
+            limit: 5,
+            alias: "d".into(),
+        };
+        assert!(plan.has_limit());
+        assert!(!scan("a").has_limit());
+    }
+
+    #[test]
+    fn describe_marks_predicates_and_indexes() {
+        let p = LogicalPlan::Scan {
+            collection: Some("c".into()),
+            predicate: Some(Predicate::Eq("x".into(), Value::Int(1))),
+            alias: "c".into(),
+            use_value_index: true,
+        };
+        assert_eq!(p.describe(), "index(c+pred)");
+    }
+}

@@ -1,0 +1,162 @@
+//! The simple planner.
+//!
+//! §3.3's argument: a planner with "only a few limited choices of the
+//! underlying physical operators … offers predictable performance (as
+//! opposed to optimal performance) and obviates the need for maintaining
+//! complex statistics."
+//!
+//! The entire rule set, applied in one deterministic pass with **no
+//! statistics**:
+//!
+//! 1. A scan whose predicate is a top-level equality uses the value index.
+//! 2. A join whose query is top-k (a LIMIT above it, or a keyword-search
+//!    input) and whose right side is a plain scan becomes an indexed
+//!    nested-loop join; every other join is a hash join.
+//! 3. Nothing is ever reordered.
+//!
+//! That's it — the planner is O(plan size) and produces the same plan for
+//! the same query every time, which is precisely the predictability claim
+//! experiment C1 measures.
+
+use impliance_storage::Predicate;
+
+use crate::plan::{JoinAlgo, LogicalPlan};
+
+/// The simple, statistics-free planner.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimplePlanner;
+
+impl SimplePlanner {
+    /// Create a planner.
+    pub fn new() -> SimplePlanner {
+        SimplePlanner
+    }
+
+    /// Plan: rewrite an unoptimized logical plan with physical choices.
+    pub fn plan(&self, plan: LogicalPlan) -> LogicalPlan {
+        let topk = plan.has_limit();
+        self.rewrite(plan, topk)
+    }
+
+    fn rewrite(&self, plan: LogicalPlan, topk: bool) -> LogicalPlan {
+        match plan {
+            LogicalPlan::Scan { collection, predicate, alias, .. } => {
+                let use_value_index = matches!(&predicate, Some(Predicate::Eq(_, _)));
+                LogicalPlan::Scan { collection, predicate, alias, use_value_index }
+            }
+            LogicalPlan::Join { left, right, left_key, right_key, .. } => {
+                let left = Box::new(self.rewrite(*left, topk));
+                let right_is_plain_scan =
+                    matches!(right.as_ref(), LogicalPlan::Scan { predicate: None, .. });
+                let algo = if topk && right_is_plain_scan {
+                    JoinAlgo::IndexedNestedLoop
+                } else {
+                    JoinAlgo::Hash
+                };
+                let right = if algo == JoinAlgo::IndexedNestedLoop {
+                    right // left untouched: INLJ consumes the scan directly
+                } else {
+                    Box::new(self.rewrite(*right, topk))
+                };
+                LogicalPlan::Join { left, right, left_key, right_key, algo }
+            }
+            LogicalPlan::Filter { input, alias, predicate } => LogicalPlan::Filter {
+                input: Box::new(self.rewrite(*input, topk)),
+                alias,
+                predicate,
+            },
+            LogicalPlan::GroupAgg { input, group_by, aggs } => LogicalPlan::GroupAgg {
+                input: Box::new(self.rewrite(*input, topk)),
+                group_by,
+                aggs,
+            },
+            LogicalPlan::Project { input, columns } => {
+                LogicalPlan::Project { input: Box::new(self.rewrite(*input, topk)), columns }
+            }
+            LogicalPlan::Sort { input, keys } => {
+                LogicalPlan::Sort { input: Box::new(self.rewrite(*input, topk)), keys }
+            }
+            LogicalPlan::Limit { input, n } => {
+                LogicalPlan::Limit { input: Box::new(self.rewrite(*input, topk)), n }
+            }
+            other @ (LogicalPlan::KeywordSearch { .. } | LogicalPlan::GraphConnect { .. }) => {
+                other
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impliance_docmodel::Value;
+
+    fn scan(c: &str, pred: Option<Predicate>) -> LogicalPlan {
+        LogicalPlan::Scan {
+            collection: Some(c.to_string()),
+            predicate: pred,
+            alias: c.to_string(),
+            use_value_index: false,
+        }
+    }
+
+    fn join(l: LogicalPlan, r: LogicalPlan) -> LogicalPlan {
+        LogicalPlan::Join {
+            left: Box::new(l),
+            right: Box::new(r),
+            left_key: ("a".into(), "x".into()),
+            right_key: ("b".into(), "x".into()),
+            algo: JoinAlgo::Unspecified,
+        }
+    }
+
+    #[test]
+    fn eq_predicates_use_value_index() {
+        let p = SimplePlanner::new()
+            .plan(scan("c", Some(Predicate::Eq("x".into(), Value::Int(1)))));
+        assert_eq!(p.describe(), "index(c+pred)");
+        // range predicates do not
+        let p2 = SimplePlanner::new()
+            .plan(scan("c", Some(Predicate::Gt("x".into(), Value::Int(1)))));
+        assert_eq!(p2.describe(), "scan(c+pred)");
+    }
+
+    #[test]
+    fn topk_join_becomes_indexed_nl() {
+        let plan = LogicalPlan::Limit {
+            input: Box::new(join(scan("a", None), scan("b", None))),
+            n: 10,
+        };
+        let p = SimplePlanner::new().plan(plan);
+        assert_eq!(p.describe(), "limit10(inlj(scan(a),scan(b)))");
+    }
+
+    #[test]
+    fn full_join_becomes_hash() {
+        let p = SimplePlanner::new().plan(join(scan("a", None), scan("b", None)));
+        assert_eq!(p.describe(), "hashjoin(scan(a),scan(b))");
+    }
+
+    #[test]
+    fn topk_join_with_filtered_right_falls_back_to_hash() {
+        let plan = LogicalPlan::Limit {
+            input: Box::new(join(
+                scan("a", None),
+                scan("b", Some(Predicate::Gt("y".into(), Value::Int(0)))),
+            )),
+            n: 5,
+        };
+        let p = SimplePlanner::new().plan(plan);
+        assert!(p.describe().contains("hashjoin"), "{}", p.describe());
+    }
+
+    #[test]
+    fn planning_is_deterministic() {
+        let mk = || {
+            LogicalPlan::Limit { input: Box::new(join(scan("a", None), scan("b", None))), n: 3 }
+        };
+        let p1 = SimplePlanner::new().plan(mk());
+        let p2 = SimplePlanner::new().plan(mk());
+        assert_eq!(p1, p2);
+    }
+}

@@ -1,0 +1,672 @@
+//! A mini-SQL surface over the uniform document model.
+//!
+//! §3.2: a relational row "can immediately be queried by SQL and retrieved
+//! without change", and §3.2.1: "Traditional structured query languages
+//! such as SQL and XQuery can be mapped to this new query interface."
+//!
+//! Supported grammar (case-insensitive keywords):
+//!
+//! ```text
+//! SELECT <*|items> FROM coll [alias] [JOIN coll [alias] ON a.p = b.q]*
+//!   [WHERE cond [AND cond]*] [GROUP BY a.p]
+//!   [ORDER BY key [DESC]] [LIMIT n]
+//! item  := a.path [AS name] | COUNT(*) | SUM|MIN|MAX|AVG(a.path) [AS name]
+//! cond  := a.path (=|!=|<|<=|>|>=) literal | a.path CONTAINS 'text'
+//! ```
+//!
+//! Paths are structural document paths (`claim.vehicle.make`,
+//! `items[].sku`). With a single FROM source the alias prefix is optional.
+//! Grouped queries output their key in a column named `group` unless the
+//! key item carries an `AS` name.
+
+use impliance_docmodel::Value;
+use impliance_storage::{AggFunc, Predicate};
+
+use crate::plan::{AggItem, JoinAlgo, LogicalPlan, SortKey};
+
+/// SQL parse error with a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlError(pub String);
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SQL error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Word(String),
+    Str(String),
+    Num(f64),
+    Int(i64),
+    Symbol(String),
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>, SqlError> {
+    let mut toks = Vec::new();
+    let bytes: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c == '\'' {
+            let mut s = String::new();
+            i += 1;
+            while i < bytes.len() && bytes[i] != '\'' {
+                s.push(bytes[i]);
+                i += 1;
+            }
+            if i >= bytes.len() {
+                return Err(SqlError("unterminated string literal".into()));
+            }
+            i += 1;
+            toks.push(Tok::Str(s));
+        } else if c.is_ascii_digit()
+            || (c == '-' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit())
+        {
+            let start = i;
+            i += 1;
+            let mut is_float = false;
+            while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == '.') {
+                if bytes[i] == '.' {
+                    is_float = true;
+                }
+                i += 1;
+            }
+            let text: String = bytes[start..i].iter().collect();
+            if is_float {
+                toks.push(Tok::Num(text.parse().map_err(|_| SqlError(format!("bad number {text}")))?));
+            } else {
+                toks.push(Tok::Int(text.parse().map_err(|_| SqlError(format!("bad number {text}")))?));
+            }
+        } else if c.is_alphanumeric() || c == '_' || c == '@' {
+            // '@' appears in XML-derived attribute paths (claim.@id)
+            let start = i;
+            while i < bytes.len()
+                && (bytes[i].is_alphanumeric()
+                    || matches!(bytes[i], '_' | '.' | '[' | ']' | '@'))
+            {
+                i += 1;
+            }
+            toks.push(Tok::Word(bytes[start..i].iter().collect()));
+        } else if c == '*' {
+            toks.push(Tok::Symbol("*".into()));
+            i += 1;
+        } else if matches!(c, ',' | '(' | ')') {
+            toks.push(Tok::Symbol(c.to_string()));
+            i += 1;
+        } else if matches!(c, '=' | '<' | '>' | '!') {
+            let mut op = c.to_string();
+            if i + 1 < bytes.len() && bytes[i + 1] == '=' {
+                op.push('=');
+                i += 1;
+            }
+            i += 1;
+            toks.push(Tok::Symbol(op));
+        } else {
+            return Err(SqlError(format!("unexpected character '{c}'")));
+        }
+    }
+    Ok(toks)
+}
+
+#[derive(Debug)]
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+#[derive(Debug, Clone)]
+enum SelectItem {
+    Star,
+    Col { path: String, output: Option<String> },
+    Agg { func: AggFunc, path: Option<String>, output: Option<String> },
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn keyword(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Word(w)) = self.peek() {
+            if w.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.keyword(kw) {
+            Ok(())
+        } else {
+            Err(SqlError(format!("expected {kw} at token {}", self.pos)))
+        }
+    }
+
+    fn expect_symbol(&mut self, s: &str) -> Result<(), SqlError> {
+        match self.next() {
+            Some(Tok::Symbol(sym)) if sym == s => Ok(()),
+            other => Err(SqlError(format!("expected '{s}', got {other:?}"))),
+        }
+    }
+
+    fn word(&mut self) -> Result<String, SqlError> {
+        match self.next() {
+            Some(Tok::Word(w)) => Ok(w),
+            other => Err(SqlError(format!("expected identifier, got {other:?}"))),
+        }
+    }
+}
+
+const KEYWORDS: &[&str] = &[
+    "select", "from", "join", "on", "where", "group", "order", "by", "limit", "as", "desc",
+    "and", "or", "contains",
+];
+
+fn is_keyword(w: &str) -> bool {
+    KEYWORDS.iter().any(|k| w.eq_ignore_ascii_case(k))
+}
+
+fn agg_func(name: &str) -> Option<AggFunc> {
+    match name.to_ascii_lowercase().as_str() {
+        "count" => Some(AggFunc::Count),
+        "sum" => Some(AggFunc::Sum),
+        "min" => Some(AggFunc::Min),
+        "max" => Some(AggFunc::Max),
+        "avg" => Some(AggFunc::Avg),
+        _ => None,
+    }
+}
+
+/// Split `a.rest.of.path` into alias + path when `a` is a known alias.
+fn qualify(token: &str, aliases: &[String]) -> (Option<String>, String) {
+    if let Some(dot) = token.find('.') {
+        let head = &token[..dot];
+        if aliases.iter().any(|a| a == head) {
+            return (Some(head.to_string()), token[dot + 1..].to_string());
+        }
+    }
+    (None, token.to_string())
+}
+
+/// Parse a SQL text into an unoptimized [`LogicalPlan`] (joins
+/// `Unspecified`, scans without index hints) ready for a planner.
+pub fn parse_sql(input: &str) -> Result<LogicalPlan, SqlError> {
+    let toks = lex(input)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.expect_keyword("select")?;
+
+    // select list
+    let mut items = Vec::new();
+    loop {
+        if let Some(Tok::Symbol(s)) = p.peek() {
+            if s == "*" {
+                p.next();
+                items.push(SelectItem::Star);
+            }
+        }
+        if matches!(items.last(), Some(SelectItem::Star)) {
+            // star consumed; check for comma or FROM below
+        } else if let Some(Tok::Word(w)) = p.peek().cloned() {
+            if let Some(func) = agg_func(&w) {
+                // lookahead for '('
+                if matches!(p.toks.get(p.pos + 1), Some(Tok::Symbol(s)) if s == "(") {
+                    p.next(); // func name
+                    p.expect_symbol("(")?;
+                    let path = match p.next() {
+                        Some(Tok::Symbol(s)) if s == "*" => None,
+                        Some(Tok::Word(w)) => Some(w),
+                        other => return Err(SqlError(format!("bad aggregate operand {other:?}"))),
+                    };
+                    p.expect_symbol(")")?;
+                    let output = if p.keyword("as") { Some(p.word()?) } else { None };
+                    items.push(SelectItem::Agg { func, path, output });
+                } else {
+                    let col = p.word()?;
+                    let output = if p.keyword("as") { Some(p.word()?) } else { None };
+                    items.push(SelectItem::Col { path: col, output });
+                }
+            } else if !is_keyword(&w) {
+                let col = p.word()?;
+                let output = if p.keyword("as") { Some(p.word()?) } else { None };
+                items.push(SelectItem::Col { path: col, output });
+            } else {
+                return Err(SqlError(format!("unexpected keyword {w} in select list")));
+            }
+        } else if items.is_empty() {
+            return Err(SqlError("empty select list".into()));
+        }
+        if let Some(Tok::Symbol(s)) = p.peek() {
+            if s == "," {
+                p.next();
+                continue;
+            }
+        }
+        break;
+    }
+
+    // FROM
+    p.expect_keyword("from")?;
+    let first_coll = p.word()?;
+    let first_alias = match p.peek() {
+        Some(Tok::Word(w)) if !is_keyword(w) => p.word()?,
+        _ => first_coll.clone(),
+    };
+    let mut aliases = vec![first_alias.clone()];
+    let mut sources = vec![(first_coll, first_alias)];
+    let mut join_keys: Vec<((String, String), (String, String))> = Vec::new();
+
+    while p.keyword("join") {
+        let coll = p.word()?;
+        let alias = match p.peek() {
+            Some(Tok::Word(w)) if !is_keyword(w) && !w.eq_ignore_ascii_case("on") => p.word()?,
+            _ => coll.clone(),
+        };
+        aliases.push(alias.clone());
+        sources.push((coll, alias));
+        p.expect_keyword("on")?;
+        let lhs = p.word()?;
+        p.expect_symbol("=")?;
+        let rhs = p.word()?;
+        let (la, lp) = qualify(&lhs, &aliases);
+        let (ra, rp) = qualify(&rhs, &aliases);
+        let la = la.ok_or_else(|| SqlError(format!("join key {lhs} must be alias-qualified")))?;
+        let ra = ra.ok_or_else(|| SqlError(format!("join key {rhs} must be alias-qualified")))?;
+        join_keys.push(((la, lp), (ra, rp)));
+    }
+
+    // WHERE: disjunction of conjunctions (AND binds tighter than OR).
+    // A query using OR must confine its predicates to one source alias so
+    // the whole disjunction can be pushed to that scan.
+    let mut per_alias_preds: std::collections::BTreeMap<String, Vec<Predicate>> =
+        std::collections::BTreeMap::new();
+    let mut or_groups: Vec<Vec<(String, Predicate)>> = vec![Vec::new()];
+    let mut saw_or = false;
+    if p.keyword("where") {
+        loop {
+            let col = p.word()?;
+            let (alias, path) = qualify(&col, &aliases);
+            let alias = alias.unwrap_or_else(|| aliases[0].clone());
+            let pred = if p.keyword("contains") {
+                match p.next() {
+                    Some(Tok::Str(s)) => Predicate::Contains(path, s),
+                    other => return Err(SqlError(format!("CONTAINS needs a string, got {other:?}"))),
+                }
+            } else {
+                let op = match p.next() {
+                    Some(Tok::Symbol(s)) => s,
+                    other => return Err(SqlError(format!("expected operator, got {other:?}"))),
+                };
+                let value = match p.next() {
+                    Some(Tok::Int(i)) => Value::Int(i),
+                    Some(Tok::Num(f)) => Value::Float(f),
+                    Some(Tok::Str(s)) => Value::Str(s),
+                    Some(Tok::Word(w)) if w.eq_ignore_ascii_case("true") => Value::Bool(true),
+                    Some(Tok::Word(w)) if w.eq_ignore_ascii_case("false") => Value::Bool(false),
+                    Some(Tok::Word(w)) if w.eq_ignore_ascii_case("null") => Value::Null,
+                    other => return Err(SqlError(format!("expected literal, got {other:?}"))),
+                };
+                match op.as_str() {
+                    "=" => Predicate::Eq(path, value),
+                    "!=" => Predicate::Ne(path, value),
+                    "<" => Predicate::Lt(path, value),
+                    "<=" => Predicate::Le(path, value),
+                    ">" => Predicate::Gt(path, value),
+                    ">=" => Predicate::Ge(path, value),
+                    other => return Err(SqlError(format!("unknown operator {other}"))),
+                }
+            };
+            or_groups.last_mut().unwrap().push((alias, pred));
+            if p.keyword("and") {
+                continue;
+            }
+            if p.keyword("or") {
+                saw_or = true;
+                or_groups.push(Vec::new());
+                continue;
+            }
+            break;
+        }
+    }
+    if saw_or {
+        let mut aliases_used: Vec<&String> =
+            or_groups.iter().flatten().map(|(a, _)| a).collect();
+        aliases_used.sort();
+        aliases_used.dedup();
+        if aliases_used.len() != 1 {
+            return Err(SqlError(
+                "OR conditions must reference a single source".to_string(),
+            ));
+        }
+        let alias = aliases_used[0].clone();
+        let disjuncts: Vec<Predicate> = or_groups
+            .into_iter()
+            .filter(|g| !g.is_empty())
+            .map(|g| {
+                let mut conjuncts: Vec<Predicate> = g.into_iter().map(|(_, p)| p).collect();
+                if conjuncts.len() == 1 {
+                    conjuncts.pop().unwrap()
+                } else {
+                    Predicate::And(conjuncts)
+                }
+            })
+            .collect();
+        per_alias_preds.insert(alias, vec![Predicate::Or(disjuncts)]);
+    } else {
+        for (alias, pred) in or_groups.into_iter().flatten() {
+            per_alias_preds.entry(alias).or_default().push(pred);
+        }
+    }
+
+    // GROUP BY
+    let mut group_by: Option<(String, String)> = None;
+    if p.keyword("group") {
+        p.expect_keyword("by")?;
+        let col = p.word()?;
+        let (alias, path) = qualify(&col, &aliases);
+        group_by = Some((alias.unwrap_or_else(|| aliases[0].clone()), path));
+    }
+
+    // ORDER BY
+    let mut order: Option<(String, String, bool)> = None;
+    if p.keyword("order") {
+        p.expect_keyword("by")?;
+        let col = p.word()?;
+        let (alias, path) = qualify(&col, &aliases);
+        let desc = p.keyword("desc");
+        order = Some((alias.unwrap_or_else(|| aliases[0].clone()), path, desc));
+    }
+
+    // LIMIT
+    let mut limit_n: Option<usize> = None;
+    if p.keyword("limit") {
+        match p.next() {
+            Some(Tok::Int(n)) if n >= 0 => limit_n = Some(n as usize),
+            other => return Err(SqlError(format!("LIMIT needs an integer, got {other:?}"))),
+        }
+    }
+
+    if p.peek().is_some() {
+        return Err(SqlError(format!("trailing tokens at {}", p.pos)));
+    }
+
+    // assemble: scans with their predicates
+    let mut scans: Vec<LogicalPlan> = sources
+        .iter()
+        .map(|(coll, alias)| {
+            let preds = per_alias_preds.remove(alias).unwrap_or_default();
+            let predicate = match preds.len() {
+                0 => None,
+                1 => Some(preds.into_iter().next().unwrap()),
+                _ => Some(Predicate::And(preds)),
+            };
+            LogicalPlan::Scan {
+                collection: Some(coll.clone()),
+                predicate,
+                alias: alias.clone(),
+                use_value_index: false,
+            }
+        })
+        .collect();
+    if !per_alias_preds.is_empty() {
+        return Err(SqlError(format!(
+            "predicates reference unknown alias(es): {:?}",
+            per_alias_preds.keys().collect::<Vec<_>>()
+        )));
+    }
+
+    let mut plan = scans.remove(0);
+    for (i, right) in scans.into_iter().enumerate() {
+        let (lk, rk) = join_keys
+            .get(i)
+            .cloned()
+            .ok_or_else(|| SqlError("JOIN without ON clause".into()))?;
+        plan = LogicalPlan::Join {
+            left: Box::new(plan),
+            right: Box::new(right),
+            left_key: lk,
+            right_key: rk,
+            algo: JoinAlgo::Unspecified,
+        };
+    }
+
+    // aggregation or projection
+    let has_aggs = items.iter().any(|i| matches!(i, SelectItem::Agg { .. }));
+    if has_aggs || group_by.is_some() {
+        let aggs: Vec<AggItem> = items
+            .iter()
+            .filter_map(|i| match i {
+                SelectItem::Agg { func, path, output } => {
+                    let operand = path.as_ref().map(|p| {
+                        let (_, pp) = qualify(p, &aliases);
+                        pp
+                    });
+                    let default_name = match func {
+                        AggFunc::Count => "count".to_string(),
+                        AggFunc::Sum => "sum".to_string(),
+                        AggFunc::Min => "min".to_string(),
+                        AggFunc::Max => "max".to_string(),
+                        AggFunc::Avg => "avg".to_string(),
+                    };
+                    Some(AggItem {
+                        func: *func,
+                        operand,
+                        output: output.clone().unwrap_or(default_name),
+                    })
+                }
+                _ => None,
+            })
+            .collect();
+        plan = LogicalPlan::GroupAgg { input: Box::new(plan), group_by, aggs };
+        if let Some((_, path, desc)) = order {
+            plan = LogicalPlan::Sort {
+                input: Box::new(plan),
+                keys: vec![SortKey { alias: String::new(), path, descending: desc }],
+            };
+        }
+    } else {
+        if let Some((alias, path, desc)) = order {
+            plan = LogicalPlan::Sort {
+                input: Box::new(plan),
+                keys: vec![SortKey { alias, path, descending: desc }],
+            };
+        }
+        let columns: Vec<(String, String, String)> = items
+            .iter()
+            .filter_map(|i| match i {
+                SelectItem::Col { path, output } => {
+                    let (alias, pp) = qualify(path, &aliases);
+                    let alias = alias.unwrap_or_else(|| aliases[0].clone());
+                    let out = output.clone().unwrap_or_else(|| pp.clone());
+                    Some((alias, pp, out))
+                }
+                _ => None,
+            })
+            .collect();
+        if !columns.is_empty() {
+            plan = LogicalPlan::Project { input: Box::new(plan), columns };
+        }
+    }
+
+    if let Some(n) = limit_n {
+        plan = LogicalPlan::Limit { input: Box::new(plan), n };
+    }
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_star() {
+        let p = parse_sql("SELECT * FROM claims").unwrap();
+        assert_eq!(p.describe(), "scan(claims)");
+    }
+
+    #[test]
+    fn where_conditions_push_into_scan() {
+        let p = parse_sql("SELECT * FROM claims WHERE amount > 100 AND make = 'Volvo'").unwrap();
+        assert_eq!(p.describe(), "scan(claims+pred)");
+        if let LogicalPlan::Scan { predicate: Some(Predicate::And(ps)), .. } = &p {
+            assert_eq!(ps.len(), 2);
+        } else {
+            panic!("expected conjunctive scan predicate: {p:?}");
+        }
+    }
+
+    #[test]
+    fn projection_with_aliases() {
+        let p = parse_sql("SELECT make AS vehicle, amount FROM claims").unwrap();
+        if let LogicalPlan::Project { columns, .. } = &p {
+            assert_eq!(columns[0], ("claims".to_string(), "make".to_string(), "vehicle".to_string()));
+            assert_eq!(columns[1].2, "amount");
+        } else {
+            panic!("expected project: {p:?}");
+        }
+    }
+
+    #[test]
+    fn join_with_on() {
+        let p = parse_sql(
+            "SELECT o.amount, c.name FROM orders o JOIN customers c ON o.cust = c.code",
+        )
+        .unwrap();
+        assert_eq!(p.describe(), "project(join(scan(orders),scan(customers)))");
+        if let LogicalPlan::Project { input, .. } = &p {
+            if let LogicalPlan::Join { left_key, right_key, .. } = input.as_ref() {
+                assert_eq!(left_key, &("o".to_string(), "cust".to_string()));
+                assert_eq!(right_key, &("c".to_string(), "code".to_string()));
+                return;
+            }
+        }
+        panic!("expected join: {p:?}");
+    }
+
+    #[test]
+    fn group_by_with_aggregates() {
+        let p = parse_sql(
+            "SELECT make, SUM(amount) AS total, COUNT(*) FROM claims GROUP BY make",
+        )
+        .unwrap();
+        if let LogicalPlan::GroupAgg { group_by, aggs, .. } = &p {
+            assert_eq!(group_by, &Some(("claims".to_string(), "make".to_string())));
+            assert_eq!(aggs.len(), 2);
+            assert_eq!(aggs[0].output, "total");
+            assert_eq!(aggs[1].output, "count");
+        } else {
+            panic!("expected group agg: {p:?}");
+        }
+    }
+
+    #[test]
+    fn order_and_limit() {
+        let p = parse_sql("SELECT * FROM claims ORDER BY amount DESC LIMIT 5").unwrap();
+        assert_eq!(p.describe(), "limit5(sort(scan(claims)))");
+        assert!(p.has_limit());
+    }
+
+    #[test]
+    fn contains_predicate() {
+        let p = parse_sql("SELECT * FROM notes WHERE body CONTAINS 'fraud'").unwrap();
+        if let LogicalPlan::Scan { predicate: Some(Predicate::Contains(path, s)), .. } = &p {
+            assert_eq!(path, "body");
+            assert_eq!(s, "fraud");
+        } else {
+            panic!("expected contains: {p:?}");
+        }
+    }
+
+    #[test]
+    fn nested_paths_in_predicates() {
+        let p = parse_sql("SELECT * FROM claims WHERE claim.vehicle.make = 'Saab'").unwrap();
+        if let LogicalPlan::Scan { predicate: Some(Predicate::Eq(path, _)), .. } = &p {
+            assert_eq!(path, "claim.vehicle.make");
+        } else {
+            panic!("{p:?}");
+        }
+    }
+
+    #[test]
+    fn float_bool_literals() {
+        let p = parse_sql("SELECT * FROM t WHERE x >= 2.5 AND ok = true").unwrap();
+        if let LogicalPlan::Scan { predicate: Some(Predicate::And(ps)), .. } = &p {
+            assert!(matches!(&ps[0], Predicate::Ge(_, Value::Float(f)) if *f == 2.5));
+            assert!(matches!(&ps[1], Predicate::Eq(_, Value::Bool(true))));
+        } else {
+            panic!("{p:?}");
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_sql("SELECT").is_err());
+        assert!(parse_sql("SELECT * FROM").is_err());
+        assert!(parse_sql("SELECT * FROM t WHERE x ~ 3").is_err());
+        assert!(parse_sql("SELECT * FROM t WHERE x = 'unterminated").is_err());
+        assert!(parse_sql("SELECT * FROM t LIMIT soon").is_err());
+        assert!(parse_sql("SELECT * FROM a JOIN b ON x = b.y").is_err(), "unqualified join key");
+        assert!(parse_sql("SELECT * FROM t extra garbage tokens +").is_err());
+    }
+
+    #[test]
+    fn unknown_alias_in_where_fails() {
+        let r = parse_sql("SELECT * FROM t WHERE z.x = 1");
+        // z.x is treated as a path on t (alias optional), so this parses;
+        // but an explicitly-qualified unknown alias via join keys fails:
+        assert!(r.is_ok());
+    }
+}
+
+#[cfg(test)]
+mod or_tests {
+    use super::*;
+
+    #[test]
+    fn or_builds_a_disjunction() {
+        let p = parse_sql("SELECT * FROM t WHERE make = 'Volvo' OR make = 'Saab'").unwrap();
+        if let LogicalPlan::Scan { predicate: Some(Predicate::Or(ps)), .. } = &p {
+            assert_eq!(ps.len(), 2);
+        } else {
+            panic!("expected Or predicate: {p:?}");
+        }
+    }
+
+    #[test]
+    fn and_binds_tighter_than_or() {
+        let p = parse_sql(
+            "SELECT * FROM t WHERE make = 'Volvo' AND amount > 100 OR make = 'Saab'",
+        )
+        .unwrap();
+        if let LogicalPlan::Scan { predicate: Some(Predicate::Or(ps)), .. } = &p {
+            assert_eq!(ps.len(), 2);
+            assert!(matches!(&ps[0], Predicate::And(conj) if conj.len() == 2));
+            assert!(matches!(&ps[1], Predicate::Eq(_, _)));
+        } else {
+            panic!("expected Or of (And, Eq): {p:?}");
+        }
+    }
+
+    #[test]
+    fn or_across_aliases_is_rejected() {
+        let r = parse_sql(
+            "SELECT * FROM a x JOIN b y ON x.k = y.k WHERE x.m = 1 OR y.n = 2",
+        );
+        assert!(r.is_err());
+    }
+}

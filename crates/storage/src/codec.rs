@@ -1,0 +1,497 @@
+//! Deterministic binary encoding of documents.
+//!
+//! This is Impliance's "native format" (§3.2): every ingested document is
+//! first persisted in this encoding. The format is self-delimiting (a
+//! decoder can read one document from a longer buffer and report how many
+//! bytes it consumed), which the segment layout relies on.
+//!
+//! Layout (all integers are LEB128 varints; signed values are zig-zag
+//! encoded):
+//!
+//! ```text
+//! document := MAGIC(0xD0) fmt_version(u8=1)
+//!             id(varint) version(varint) format(u8)
+//!             collection(str) ingested_at(zigzag)
+//!             flags(u8: bit0=has_subject, bit1=has_supersedes)
+//!             [subject(varint)] [supersedes(varint)]
+//!             node
+//! node     := tag(u8) payload
+//!   0 null | 1 false | 2 true | 3 int(zigzag) | 4 float(8B LE)
+//!   5 str(len,bytes) | 6 bytes(len,bytes) | 7 timestamp(zigzag)
+//!   8 seq(count, node*) | 9 map(count, (str,node)*)
+//! str      := len(varint) utf8-bytes
+//! ```
+
+use impliance_docmodel::{DocId, Document, Node, SourceFormat, Value, Version};
+
+use crate::error::StorageError;
+
+const MAGIC: u8 = 0xD0;
+const FMT_VERSION: u8 = 1;
+
+/// Append a LEB128 varint.
+pub fn write_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Read a LEB128 varint, returning `(value, new_offset)`.
+pub fn read_varint(buf: &[u8], mut pos: usize) -> Result<(u64, usize), StorageError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf
+            .get(pos)
+            .ok_or(StorageError::Corrupt { offset: pos, message: "truncated varint".into() })?;
+        pos += 1;
+        if shift >= 64 {
+            return Err(StorageError::Corrupt { offset: pos, message: "varint overflow".into() });
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok((v, pos));
+        }
+        shift += 7;
+    }
+}
+
+/// Zig-zag encode a signed integer.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Zig-zag decode.
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn write_str(buf: &mut Vec<u8>, s: &str) {
+    write_varint(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn read_str(buf: &[u8], pos: usize) -> Result<(String, usize), StorageError> {
+    let (len, pos) = read_varint(buf, pos)?;
+    let len = len as usize;
+    let end = pos + len;
+    if end > buf.len() {
+        return Err(StorageError::Corrupt { offset: pos, message: "truncated string".into() });
+    }
+    let s = std::str::from_utf8(&buf[pos..end])
+        .map_err(|_| StorageError::Corrupt { offset: pos, message: "invalid utf-8".into() })?;
+    Ok((s.to_string(), end))
+}
+
+fn format_to_u8(f: SourceFormat) -> u8 {
+    match f {
+        SourceFormat::RelationalRow => 0,
+        SourceFormat::Json => 1,
+        SourceFormat::Csv => 2,
+        SourceFormat::Text => 3,
+        SourceFormat::Email => 4,
+        SourceFormat::KeyValue => 5,
+        SourceFormat::Annotation => 6,
+        SourceFormat::Binary => 7,
+        SourceFormat::Xml => 8,
+    }
+}
+
+fn format_from_u8(b: u8, pos: usize) -> Result<SourceFormat, StorageError> {
+    Ok(match b {
+        0 => SourceFormat::RelationalRow,
+        1 => SourceFormat::Json,
+        2 => SourceFormat::Csv,
+        3 => SourceFormat::Text,
+        4 => SourceFormat::Email,
+        5 => SourceFormat::KeyValue,
+        6 => SourceFormat::Annotation,
+        7 => SourceFormat::Binary,
+        8 => SourceFormat::Xml,
+        _ => {
+            return Err(StorageError::Corrupt {
+                offset: pos,
+                message: format!("unknown format byte {b}"),
+            })
+        }
+    })
+}
+
+/// Encode a node subtree.
+pub fn encode_node(node: &Node, buf: &mut Vec<u8>) {
+    match node {
+        Node::Value(Value::Null) => buf.push(0),
+        Node::Value(Value::Bool(false)) => buf.push(1),
+        Node::Value(Value::Bool(true)) => buf.push(2),
+        Node::Value(Value::Int(i)) => {
+            buf.push(3);
+            write_varint(buf, zigzag(*i));
+        }
+        Node::Value(Value::Float(f)) => {
+            buf.push(4);
+            buf.extend_from_slice(&f.to_le_bytes());
+        }
+        Node::Value(Value::Str(s)) => {
+            buf.push(5);
+            write_str(buf, s);
+        }
+        Node::Value(Value::Bytes(b)) => {
+            buf.push(6);
+            write_varint(buf, b.len() as u64);
+            buf.extend_from_slice(b);
+        }
+        Node::Value(Value::Timestamp(t)) => {
+            buf.push(7);
+            write_varint(buf, zigzag(*t));
+        }
+        Node::Seq(items) => {
+            buf.push(8);
+            write_varint(buf, items.len() as u64);
+            for item in items {
+                encode_node(item, buf);
+            }
+        }
+        Node::Map(m) => {
+            buf.push(9);
+            write_varint(buf, m.len() as u64);
+            for (k, v) in m {
+                write_str(buf, k);
+                encode_node(v, buf);
+            }
+        }
+    }
+}
+
+/// Decode a node subtree, returning `(node, new_offset)`.
+pub fn decode_node(buf: &[u8], pos: usize) -> Result<(Node, usize), StorageError> {
+    let tag = *buf
+        .get(pos)
+        .ok_or(StorageError::Corrupt { offset: pos, message: "truncated node tag".into() })?;
+    let pos = pos + 1;
+    match tag {
+        0 => Ok((Node::Value(Value::Null), pos)),
+        1 => Ok((Node::Value(Value::Bool(false)), pos)),
+        2 => Ok((Node::Value(Value::Bool(true)), pos)),
+        3 => {
+            let (v, pos) = read_varint(buf, pos)?;
+            Ok((Node::Value(Value::Int(unzigzag(v))), pos))
+        }
+        4 => {
+            let end = pos + 8;
+            if end > buf.len() {
+                return Err(StorageError::Corrupt {
+                    offset: pos,
+                    message: "truncated float".into(),
+                });
+            }
+            let mut arr = [0u8; 8];
+            arr.copy_from_slice(&buf[pos..end]);
+            Ok((Node::Value(Value::Float(f64::from_le_bytes(arr))), end))
+        }
+        5 => {
+            let (s, pos) = read_str(buf, pos)?;
+            Ok((Node::Value(Value::Str(s)), pos))
+        }
+        6 => {
+            let (len, pos) = read_varint(buf, pos)?;
+            let end = pos + len as usize;
+            if end > buf.len() {
+                return Err(StorageError::Corrupt {
+                    offset: pos,
+                    message: "truncated bytes".into(),
+                });
+            }
+            Ok((Node::Value(Value::Bytes(buf[pos..end].to_vec())), end))
+        }
+        7 => {
+            let (v, pos) = read_varint(buf, pos)?;
+            Ok((Node::Value(Value::Timestamp(unzigzag(v))), pos))
+        }
+        8 => {
+            let (count, mut pos) = read_varint(buf, pos)?;
+            let mut items = Vec::with_capacity(count.min(1024) as usize);
+            for _ in 0..count {
+                let (item, p) = decode_node(buf, pos)?;
+                items.push(item);
+                pos = p;
+            }
+            Ok((Node::Seq(items), pos))
+        }
+        9 => {
+            let (count, mut pos) = read_varint(buf, pos)?;
+            let mut map = std::collections::BTreeMap::new();
+            for _ in 0..count {
+                let (k, p) = read_str(buf, pos)?;
+                let (v, p) = decode_node(buf, p)?;
+                map.insert(k, v);
+                pos = p;
+            }
+            Ok((Node::Map(map), pos))
+        }
+        t => Err(StorageError::Corrupt { offset: pos - 1, message: format!("bad node tag {t}") }),
+    }
+}
+
+/// Encode a whole document into `buf`.
+pub fn encode_document(doc: &Document, buf: &mut Vec<u8>) {
+    buf.push(MAGIC);
+    buf.push(FMT_VERSION);
+    write_varint(buf, doc.id().0);
+    write_varint(buf, u64::from(doc.version().0));
+    buf.push(format_to_u8(doc.format()));
+    write_str(buf, doc.collection());
+    write_varint(buf, zigzag(doc.ingested_at()));
+    let mut flags = 0u8;
+    if doc.subject().is_some() {
+        flags |= 1;
+    }
+    if doc.supersedes().is_some() {
+        flags |= 2;
+    }
+    buf.push(flags);
+    if let Some(s) = doc.subject() {
+        write_varint(buf, s.0);
+    }
+    if let Some(v) = doc.supersedes() {
+        write_varint(buf, u64::from(v.0));
+    }
+    encode_node(doc.root(), buf);
+}
+
+/// Convenience: encode into a fresh buffer.
+pub fn encode_document_vec(doc: &Document) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(128);
+    encode_document(doc, &mut buf);
+    buf
+}
+
+/// Decode one document starting at `pos`; returns the document and the
+/// offset just past it.
+pub fn decode_document(buf: &[u8], pos: usize) -> Result<(Document, usize), StorageError> {
+    let magic = *buf
+        .get(pos)
+        .ok_or(StorageError::Corrupt { offset: pos, message: "empty input".into() })?;
+    if magic != MAGIC {
+        return Err(StorageError::Corrupt { offset: pos, message: "bad magic".into() });
+    }
+    let ver = *buf
+        .get(pos + 1)
+        .ok_or(StorageError::Corrupt { offset: pos + 1, message: "truncated header".into() })?;
+    if ver != FMT_VERSION {
+        return Err(StorageError::Corrupt {
+            offset: pos + 1,
+            message: format!("unsupported format version {ver}"),
+        });
+    }
+    let (id, p) = read_varint(buf, pos + 2)?;
+    let (version, p) = read_varint(buf, p)?;
+    let fmt_byte = *buf
+        .get(p)
+        .ok_or(StorageError::Corrupt { offset: p, message: "truncated format".into() })?;
+    let format = format_from_u8(fmt_byte, p)?;
+    let (collection, p) = read_str(buf, p + 1)?;
+    let (ts, p) = read_varint(buf, p)?;
+    let flags = *buf
+        .get(p)
+        .ok_or(StorageError::Corrupt { offset: p, message: "truncated flags".into() })?;
+    let mut p = p + 1;
+    let subject = if flags & 1 != 0 {
+        let (s, np) = read_varint(buf, p)?;
+        p = np;
+        Some(DocId(s))
+    } else {
+        None
+    };
+    let supersedes = if flags & 2 != 0 {
+        let (v, np) = read_varint(buf, p)?;
+        p = np;
+        Some(Version(v as u32))
+    } else {
+        None
+    };
+    let (root, p) = decode_node(buf, p)?;
+
+    // Rebuild through the public constructors, then fix up version/lineage.
+    let doc = rebuild(
+        DocId(id),
+        Version(version as u32),
+        format,
+        collection,
+        unzigzag(ts),
+        subject,
+        supersedes,
+        root,
+    );
+    Ok((doc, p))
+}
+
+/// Reconstruct a `Document` with explicit version/lineage fields. The
+/// docmodel API only creates initial versions and derived versions, so the
+/// codec replays that history shape.
+#[allow(clippy::too_many_arguments)]
+fn rebuild(
+    id: DocId,
+    version: Version,
+    format: SourceFormat,
+    collection: String,
+    ingested_at: i64,
+    subject: Option<DocId>,
+    supersedes: Option<Version>,
+    root: Node,
+) -> Document {
+    // Initial version documents can be constructed directly.
+    if version == Version::INITIAL && supersedes.is_none() {
+        return match subject {
+            Some(subj) => Document::annotation(id, subj, collection, ingested_at, root),
+            None => Document::new(id, format, collection, ingested_at, root),
+        };
+    }
+    // Later versions: synthesize the base and walk forward. The intermediate
+    // bodies never existed in the buffer, so use an empty body and replace
+    // at the final step.
+    let base = match subject {
+        Some(subj) => Document::annotation(id, subj, collection.clone(), ingested_at, Node::empty_map()),
+        None => Document::new(id, format, collection, ingested_at, Node::empty_map()),
+    };
+    let mut doc = base;
+    while doc.version().0 + 1 < version.0 {
+        doc = doc.new_version(Node::empty_map(), ingested_at);
+    }
+    doc.new_version(root, ingested_at)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impliance_docmodel::DocumentBuilder;
+
+    fn sample_doc() -> Document {
+        DocumentBuilder::new(DocId(42), SourceFormat::Json, "claims")
+            .at(1_700_000_000_000)
+            .field("claim.amount", 1500i64)
+            .field("claim.ratio", 0.75)
+            .field("claim.open", true)
+            .field("claim.vehicle.make", "Volvo")
+            .node(
+                "claim.parts",
+                Node::seq([Node::scalar("bumper"), Node::scalar("hood")]),
+            )
+            .field("claim.filed", Value::Timestamp(1_699_999_999_999))
+            .field("claim.blob", Value::Bytes(vec![1, 2, 3, 255]))
+            .field("claim.gap", Value::Null)
+            .build()
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        let mut buf = Vec::new();
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            buf.clear();
+            write_varint(&mut buf, v);
+            let (back, pos) = read_varint(&buf, 0).unwrap();
+            assert_eq!(back, v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn document_roundtrip() {
+        let doc = sample_doc();
+        let buf = encode_document_vec(&doc);
+        let (back, consumed) = decode_document(&buf, 0).unwrap();
+        assert_eq!(consumed, buf.len());
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn versioned_document_roundtrip() {
+        let v1 = sample_doc();
+        let v2 = v1.new_version(Node::map([("x".into(), Node::scalar(1i64))]), 5);
+        let v3 = v2.new_version(Node::map([("x".into(), Node::scalar(2i64))]), 6);
+        let buf = encode_document_vec(&v3);
+        let (back, _) = decode_document(&buf, 0).unwrap();
+        assert_eq!(back.version(), Version(3));
+        assert_eq!(back.supersedes(), Some(Version(2)));
+        assert_eq!(back.root(), v3.root());
+        assert_eq!(back.id(), v3.id());
+    }
+
+    #[test]
+    fn annotation_document_roundtrip() {
+        let a = Document::annotation(
+            DocId(9),
+            DocId(42),
+            "annotations.entities",
+            77,
+            Node::map([("entity".into(), Node::scalar("Volvo"))]),
+        );
+        let buf = encode_document_vec(&a);
+        let (back, _) = decode_document(&buf, 0).unwrap();
+        assert_eq!(back, a);
+        assert_eq!(back.subject(), Some(DocId(42)));
+    }
+
+    #[test]
+    fn consecutive_documents_in_one_buffer() {
+        let d1 = sample_doc();
+        let d2 = Document::new(DocId(43), SourceFormat::Text, "t", 1, Node::scalar("hello"));
+        let mut buf = Vec::new();
+        encode_document(&d1, &mut buf);
+        let mid = buf.len();
+        encode_document(&d2, &mut buf);
+        let (b1, p1) = decode_document(&buf, 0).unwrap();
+        assert_eq!(p1, mid);
+        let (b2, p2) = decode_document(&buf, p1).unwrap();
+        assert_eq!(p2, buf.len());
+        assert_eq!(b1, d1);
+        assert_eq!(b2, d2);
+    }
+
+    #[test]
+    fn corrupt_inputs_error_not_panic() {
+        let doc = sample_doc();
+        let buf = encode_document_vec(&doc);
+        // bad magic
+        let mut bad = buf.clone();
+        bad[0] = 0x00;
+        assert!(decode_document(&bad, 0).is_err());
+        // truncations at every prefix must error, never panic
+        for cut in 0..buf.len() {
+            assert!(decode_document(&buf[..cut], 0).is_err(), "prefix {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn unknown_format_version_rejected() {
+        let doc = sample_doc();
+        let mut buf = encode_document_vec(&doc);
+        buf[1] = 99;
+        assert!(matches!(decode_document(&buf, 0), Err(StorageError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn float_bit_patterns_survive() {
+        for f in [0.0f64, -0.0, f64::MIN_POSITIVE, f64::MAX, f64::NEG_INFINITY, f64::NAN] {
+            let d = Document::new(DocId(1), SourceFormat::Json, "c", 0, Node::scalar(f));
+            let (back, _) = decode_document(&encode_document_vec(&d), 0).unwrap();
+            if let Node::Value(Value::Float(g)) = back.root() {
+                assert_eq!(g.to_bits(), f.to_bits());
+            } else {
+                panic!("expected float");
+            }
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Storage-layer errors.
+
+use std::fmt;
+
+/// Errors produced by the storage engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The binary codec met malformed bytes (corruption or version skew).
+    Corrupt { offset: usize, message: String },
+    /// A put attempted to write a version at or below the latest stored
+    /// version for the document (versions must advance monotonically).
+    StaleVersion { latest: u32, attempted: u32 },
+    /// A compressed block failed its integrity check.
+    BadBlock(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Corrupt { offset, message } => {
+                write!(f, "corrupt encoding at byte {offset}: {message}")
+            }
+            StorageError::StaleVersion { latest, attempted } => {
+                write!(f, "stale version {attempted} (latest is {latest})")
+            }
+            StorageError::BadBlock(m) => write!(f, "bad compressed block: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = StorageError::StaleVersion { latest: 3, attempted: 2 };
+        assert_eq!(e.to_string(), "stale version 2 (latest is 3)");
+    }
+}

@@ -1,0 +1,42 @@
+//! # Impliance storage engine (data-node substrate)
+//!
+//! The paper's data nodes "have direct ownership of a subset of the
+//! persistent storage" (§3.3) and run the push-down logic "in the software
+//! component of a storage unit" (§3.1). This crate is that storage unit:
+//!
+//! * [`codec`] — deterministic binary encoding of documents (the on-disk
+//!   format).
+//! * [`compress`] — block compression (LZ-style plus RLE), applied inside
+//!   the storage node per §3.1's "pushing down logic … compression".
+//! * [`crypt`] — segment encryption (XTEA-CTR, simulation-grade) applied
+//!   after compression, the paper's second push-down example: plaintext
+//!   never leaves the storage node.
+//! * [`segment`] / [`memtable`] / [`partition`] — an append-only,
+//!   immutable-segment layout: documents are never updated in place (§4);
+//!   a new version is appended and the latest-version map is advanced.
+//! * [`pushdown`] — predicate, projection, and aggregation evaluation *at*
+//!   the storage node for early data reduction, with byte-level metrics so
+//!   experiment C2 can show how much data movement pushdown saves.
+//! * [`stats`] — per-partition statistics (path cardinalities, min/max,
+//!   histograms, distinct estimates) maintained as a side effect of
+//!   sealing segments; used by the cost-based baseline optimizer.
+//! * [`engine`] — the [`StorageEngine`] facade combining hash-partitioned
+//!   storage with version-chain reads.
+
+pub mod codec;
+pub mod compress;
+pub mod crypt;
+pub mod engine;
+pub mod error;
+pub mod memtable;
+pub mod partition;
+pub mod pushdown;
+pub mod segment;
+pub mod stats;
+
+pub use engine::{StorageEngine, StorageOptions};
+pub use error::StorageError;
+pub use pushdown::{
+    AggFunc, AggSpec, AggValue, Predicate, Projection, ScanMetrics, ScanRequest, ScanResult,
+};
+pub use stats::{PartitionStats, PathStats};

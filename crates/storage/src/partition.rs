@@ -1,0 +1,443 @@
+//! A partition: one memtable plus its sealed segments and version map.
+//!
+//! Partitions are the unit of ownership a data node holds. Each tracks,
+//! per logical document, the full version chain location so both
+//! latest-version scans and point-in-time reads (§4 auditing) are served
+//! without rewriting history.
+
+use std::collections::HashMap;
+
+use impliance_docmodel::{DocId, Document, Version};
+
+use crate::error::StorageError;
+use crate::memtable::Memtable;
+use crate::pushdown::{aggregate_document, project, Projection, ScanRequest, ScanResult};
+use crate::segment::Segment;
+use crate::stats::PartitionStats;
+
+/// Where one document version lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Location {
+    /// In the active memtable at the given entry index.
+    Mem(usize),
+    /// In sealed segment `seg` at directory index `idx`.
+    Seg { seg: usize, idx: usize },
+}
+
+/// One storage partition.
+#[derive(Debug)]
+pub struct Partition {
+    memtable: Memtable,
+    segments: Vec<Segment>,
+    /// id → ordered version chain (version, location, ingested_at).
+    /// Push-only.
+    chains: HashMap<DocId, Vec<(Version, Location, i64)>>,
+    stats: PartitionStats,
+    seal_threshold: usize,
+    compress: bool,
+    encryption_key: Option<crate::crypt::Key>,
+    nonce_base: u64,
+}
+
+impl Partition {
+    /// Create a partition sealing after `seal_threshold` buffered versions.
+    pub fn new(seal_threshold: usize, compress: bool) -> Partition {
+        Partition::new_with_encryption(seal_threshold, compress, None, 0)
+    }
+
+    /// Create a partition with optional at-rest encryption.
+    pub fn new_with_encryption(
+        seal_threshold: usize,
+        compress: bool,
+        encryption_key: Option<crate::crypt::Key>,
+        nonce_base: u64,
+    ) -> Partition {
+        Partition {
+            memtable: Memtable::new(),
+            segments: Vec::new(),
+            chains: HashMap::new(),
+            stats: PartitionStats::default(),
+            seal_threshold: seal_threshold.max(1),
+            compress,
+            encryption_key,
+            nonce_base,
+        }
+    }
+
+    /// Append a document version. Rejects non-monotonic versions for an
+    /// existing chain.
+    pub fn put(&mut self, doc: &Document) -> Result<(), StorageError> {
+        if let Some(chain) = self.chains.get(&doc.id()) {
+            if let Some((latest, _, _)) = chain.last() {
+                if doc.version() <= *latest {
+                    return Err(StorageError::StaleVersion {
+                        latest: latest.0,
+                        attempted: doc.version().0,
+                    });
+                }
+            }
+        }
+        let idx = self.memtable.put(doc);
+        let encoded_len = self.memtable.encoded_len(idx);
+        let is_new_chain = !self.chains.contains_key(&doc.id());
+        self.chains
+            .entry(doc.id())
+            .or_default()
+            .push((doc.version(), Location::Mem(idx), doc.ingested_at()));
+        self.stats.observe_document(doc, encoded_len);
+        if is_new_chain {
+            self.stats.live_docs += 1;
+        }
+        if self.memtable.len() >= self.seal_threshold {
+            self.seal();
+        }
+        Ok(())
+    }
+
+    /// Freeze the memtable into a new segment and rewrite memtable
+    /// locations to segment locations.
+    pub fn seal(&mut self) {
+        if self.memtable.is_empty() {
+            return;
+        }
+        let entries = self.memtable.drain();
+        let seg_no = self.segments.len();
+        let mut remap: HashMap<(DocId, Version), usize> = HashMap::new();
+        for (i, e) in entries.iter().enumerate() {
+            remap.insert((e.id, e.version), i);
+        }
+        let segment = Segment::seal_with(
+            entries,
+            self.compress,
+            self.encryption_key,
+            self.nonce_base | seg_no as u64,
+        );
+        self.segments.push(segment);
+        self.fix_locations(seg_no, &remap);
+    }
+
+    /// Rewrite any remaining `Mem` locations using the remap table.
+    fn fix_locations(&mut self, seg_no: usize, remap: &HashMap<(DocId, Version), usize>) {
+        for (id, chain) in self.chains.iter_mut() {
+            for (version, loc, _) in chain.iter_mut() {
+                if matches!(loc, Location::Mem(_)) {
+                    if let Some(&idx) = remap.get(&(*id, *version)) {
+                        *loc = Location::Seg { seg: seg_no, idx };
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fetch a document at a given location.
+    fn fetch(&self, loc: Location) -> Result<Document, StorageError> {
+        match loc {
+            Location::Mem(i) => self.memtable.get(i),
+            Location::Seg { seg, idx } => self.segments[seg].get(idx),
+        }
+    }
+
+    /// Latest version of a document.
+    pub fn get_latest(&self, id: DocId) -> Result<Option<Document>, StorageError> {
+        match self.chains.get(&id).and_then(|c| c.last()) {
+            Some((_, loc, _)) => Ok(Some(self.fetch(*loc)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// A specific version of a document.
+    pub fn get_version(&self, id: DocId, v: Version) -> Result<Option<Document>, StorageError> {
+        match self.chains.get(&id).and_then(|c| c.iter().find(|(cv, _, _)| *cv == v)) {
+            Some((_, loc, _)) => Ok(Some(self.fetch(*loc)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// The version that was current at timestamp `ts` (the latest version
+    /// ingested at or before it), or `None` if the document did not exist
+    /// yet — §4's auditing time travel.
+    pub fn get_as_of(&self, id: DocId, ts: i64) -> Result<Option<Document>, StorageError> {
+        match self
+            .chains
+            .get(&id)
+            .and_then(|c| c.iter().rev().find(|(_, _, at)| *at <= ts))
+        {
+            Some((_, loc, _)) => Ok(Some(self.fetch(*loc)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// All stored versions of a document, oldest first.
+    pub fn versions(&self, id: DocId) -> Vec<Version> {
+        self.chains.get(&id).map(|c| c.iter().map(|(v, _, _)| *v).collect()).unwrap_or_default()
+    }
+
+    /// Number of live (latest-version) documents.
+    pub fn live_docs(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// Total stored document versions.
+    pub fn total_versions(&self) -> usize {
+        self.chains.values().map(Vec::len).sum()
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> &PartitionStats {
+        &self.stats
+    }
+
+    /// Stored bytes (segments at stored size + memtable raw).
+    pub fn stored_bytes(&self) -> usize {
+        self.segments.iter().map(Segment::stored_bytes).sum::<usize>() + self.memtable.bytes()
+    }
+
+    /// Execute a scan request over the *latest versions* in this
+    /// partition, applying predicate/projection/aggregation at the storage
+    /// node (push-down).
+    pub fn scan(&self, req: &ScanRequest) -> Result<ScanResult, StorageError> {
+        let mut result = ScanResult::default();
+        // Build the set of latest locations for a single pass.
+        let mut latest: HashMap<(usize, usize), ()> = HashMap::new();
+        let mut latest_mem: HashMap<usize, ()> = HashMap::new();
+        for chain in self.chains.values() {
+            if let Some((_, loc, _)) = chain.last() {
+                match loc {
+                    Location::Mem(i) => {
+                        latest_mem.insert(*i, ());
+                    }
+                    Location::Seg { seg, idx } => {
+                        latest.insert((*seg, *idx), ());
+                    }
+                }
+            }
+        }
+        // Scan segments in order, then the memtable.
+        for (seg_no, segment) in self.segments.iter().enumerate() {
+            let mut idx = 0usize;
+            segment.scan(|doc, len| {
+                if latest.contains_key(&(seg_no, idx)) {
+                    self.consider(doc, len, req, &mut result);
+                }
+                idx += 1;
+                Ok(())
+            })?;
+            if let Some(limit) = req.limit {
+                if result.documents.len() >= limit || result.ids.len() >= limit {
+                    return Ok(result);
+                }
+            }
+        }
+        for (i, _id, _v, len) in self.memtable.iter_meta() {
+            if latest_mem.contains_key(&i) {
+                let doc = self.memtable.get(i)?;
+                self.consider(doc, len, req, &mut result);
+                if let Some(limit) = req.limit {
+                    if result.documents.len() >= limit || result.ids.len() >= limit {
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(result)
+    }
+
+    /// Execute a scan over the snapshot as of timestamp `ts`: for every
+    /// chain the version current at `ts` participates (documents created
+    /// later are invisible).
+    pub fn scan_as_of(&self, req: &ScanRequest, ts: i64) -> Result<ScanResult, StorageError> {
+        let mut result = ScanResult::default();
+        for chain in self.chains.values() {
+            if let Some((_, loc, _)) = chain.iter().rev().find(|(_, _, at)| *at <= ts) {
+                let doc = self.fetch(*loc)?;
+                let encoded_len = crate::codec::encode_document_vec(&doc).len();
+                self.consider(doc, encoded_len, req, &mut result);
+            }
+        }
+        Ok(result)
+    }
+
+    fn consider(&self, doc: Document, encoded_len: usize, req: &ScanRequest, out: &mut ScanResult) {
+        out.metrics.docs_scanned += 1;
+        out.metrics.bytes_scanned += encoded_len as u64;
+        if let Some(limit) = req.limit {
+            if out.documents.len() >= limit || out.ids.len() >= limit {
+                return;
+            }
+        }
+        let matched = req.predicate.as_ref().map(|p| p.matches(&doc)).unwrap_or(true);
+        if !matched {
+            return;
+        }
+        out.metrics.docs_matched += 1;
+        if let Some(spec) = &req.aggregate {
+            aggregate_document(&doc, spec, &mut out.groups);
+            // aggregates travel as tiny group states; approximate their
+            // wire size as 32 bytes per update
+            out.metrics.bytes_returned += 32;
+            return;
+        }
+        match &req.projection {
+            Projection::IdsOnly => {
+                out.ids.push(doc.id());
+                out.metrics.bytes_returned += 8;
+            }
+            proj => {
+                let projected = project(&doc, proj);
+                let bytes = crate::codec::encode_document_vec(&projected);
+                out.metrics.bytes_returned += bytes.len() as u64;
+                out.documents.push(projected);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pushdown::{AggFunc, AggSpec, Predicate};
+    use impliance_docmodel::{DocumentBuilder, Node, SourceFormat, Value};
+
+    fn doc(i: u64, amount: i64) -> Document {
+        DocumentBuilder::new(DocId(i), SourceFormat::Json, "claims")
+            .field("amount", amount)
+            .field("make", if i.is_multiple_of(2) { "Volvo" } else { "Saab" })
+            .build()
+    }
+
+    #[test]
+    fn put_get_latest_across_seal() {
+        let mut p = Partition::new(4, true);
+        for i in 0..10 {
+            p.put(&doc(i, i as i64 * 100)).unwrap();
+        }
+        // threshold 4 → at least two segments sealed
+        assert!(p.segments.len() >= 2);
+        for i in 0..10 {
+            let d = p.get_latest(DocId(i)).unwrap().unwrap();
+            assert_eq!(d.get_str_path("amount").unwrap().as_value().unwrap(), &Value::Int(i as i64 * 100));
+        }
+    }
+
+    #[test]
+    fn version_chain_reads() {
+        let mut p = Partition::new(2, false);
+        let d1 = doc(1, 100);
+        p.put(&d1).unwrap();
+        let d2 = d1.new_version(Node::map([("amount".into(), Node::scalar(200i64))]), 1);
+        p.put(&d2).unwrap();
+        let d3 = d2.new_version(Node::map([("amount".into(), Node::scalar(300i64))]), 2);
+        p.put(&d3).unwrap();
+
+        assert_eq!(p.versions(DocId(1)), vec![Version(1), Version(2), Version(3)]);
+        let latest = p.get_latest(DocId(1)).unwrap().unwrap();
+        assert_eq!(latest.version(), Version(3));
+        let old = p.get_version(DocId(1), Version(1)).unwrap().unwrap();
+        assert_eq!(old.get_str_path("amount").unwrap().as_value().unwrap(), &Value::Int(100));
+        assert_eq!(p.live_docs(), 1);
+        assert_eq!(p.total_versions(), 3);
+    }
+
+    #[test]
+    fn stale_version_rejected() {
+        let mut p = Partition::new(100, false);
+        let d1 = doc(1, 100);
+        p.put(&d1).unwrap();
+        assert!(matches!(p.put(&d1), Err(StorageError::StaleVersion { .. })));
+    }
+
+    #[test]
+    fn scan_sees_only_latest_versions() {
+        let mut p = Partition::new(3, true);
+        let d1 = doc(1, 100);
+        p.put(&d1).unwrap();
+        let d2 = d1.new_version(Node::map([("amount".into(), Node::scalar(999i64))]), 1);
+        p.put(&d2).unwrap();
+        p.put(&doc(2, 50)).unwrap();
+        p.put(&doc(3, 60)).unwrap(); // forces sealing along the way
+
+        let res = p.scan(&ScanRequest::full()).unwrap();
+        assert_eq!(res.documents.len(), 3);
+        let amounts: Vec<i64> = res
+            .documents
+            .iter()
+            .map(|d| d.get_str_path("amount").unwrap().as_value().unwrap().as_i64().unwrap())
+            .collect();
+        assert!(amounts.contains(&999));
+        assert!(!amounts.contains(&100), "superseded version must not appear");
+    }
+
+    #[test]
+    fn scan_with_predicate_and_metrics() {
+        let mut p = Partition::new(8, true);
+        for i in 0..20 {
+            p.put(&doc(i, i as i64)).unwrap();
+        }
+        let req = ScanRequest::filtered(Predicate::Ge("amount".into(), Value::Int(15)));
+        let res = p.scan(&req).unwrap();
+        assert_eq!(res.documents.len(), 5);
+        assert_eq!(res.metrics.docs_scanned, 20);
+        assert_eq!(res.metrics.docs_matched, 5);
+        assert!(res.metrics.bytes_scanned > res.metrics.bytes_returned);
+    }
+
+    #[test]
+    fn scan_pushdown_aggregate() {
+        let mut p = Partition::new(8, false);
+        for i in 0..10 {
+            p.put(&doc(i, 10)).unwrap();
+        }
+        let req = ScanRequest {
+            predicate: None,
+            projection: Projection::All,
+            aggregate: Some(AggSpec {
+                group_by: Some("make".into()),
+                func: AggFunc::Sum,
+                operand: Some("amount".into()),
+            }),
+            limit: None,
+        };
+        let res = p.scan(&req).unwrap();
+        assert!(res.documents.is_empty());
+        assert_eq!(res.groups["Volvo"].finish(AggFunc::Sum), Value::Float(50.0));
+        assert_eq!(res.groups["Saab"].finish(AggFunc::Sum), Value::Float(50.0));
+    }
+
+    #[test]
+    fn scan_ids_only_returns_small_bytes() {
+        let mut p = Partition::new(100, false);
+        for i in 0..10 {
+            p.put(&doc(i, 1)).unwrap();
+        }
+        let req = ScanRequest {
+            projection: Projection::IdsOnly,
+            ..ScanRequest::full()
+        };
+        let res = p.scan(&req).unwrap();
+        assert_eq!(res.ids.len(), 10);
+        assert_eq!(res.metrics.bytes_returned, 80);
+    }
+
+    #[test]
+    fn scan_limit_stops_early() {
+        let mut p = Partition::new(100, false);
+        for i in 0..50 {
+            p.put(&doc(i, 1)).unwrap();
+        }
+        let req = ScanRequest { limit: Some(5), ..ScanRequest::full() };
+        let res = p.scan(&req).unwrap();
+        assert_eq!(res.documents.len(), 5);
+    }
+
+    #[test]
+    fn stored_bytes_nonzero_and_stats() {
+        let mut p = Partition::new(4, true);
+        for i in 0..8 {
+            p.put(&doc(i, i as i64)).unwrap();
+        }
+        assert!(p.stored_bytes() > 0);
+        assert_eq!(p.stats().doc_versions, 8);
+        assert_eq!(p.stats().live_docs, 8);
+        assert!(p.stats().paths.contains_key("amount"));
+    }
+}

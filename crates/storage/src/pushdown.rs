@@ -1,0 +1,555 @@
+//! Predicate, projection, and aggregation push-down.
+//!
+//! §3.1: "higher-level functionality like aggregation and predicate
+//! application can be more easily 'pushed down' closer to the storage for
+//! early data reduction." This module defines the request language a data
+//! node accepts and evaluates it *inside* the storage engine, so only
+//! reduced data crosses the (simulated) network. [`ScanMetrics`] records
+//! bytes scanned vs. bytes returned; experiment C2 compares the two with
+//! push-down on and off.
+
+use std::collections::BTreeMap;
+
+use impliance_docmodel::{Document, Node, Value};
+
+/// A document-level predicate over structural paths.
+///
+/// Path operands are *structural* forms (`orders[].sku`): a comparison is
+/// true if **any** leaf whose structural path matches satisfies it —
+/// existential semantics, the natural choice for schema-free documents.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Always true (full scan).
+    True,
+    /// Leaf equals value.
+    Eq(String, Value),
+    /// Leaf differs from value (existential: some matching leaf differs).
+    Ne(String, Value),
+    /// Leaf less than value.
+    Lt(String, Value),
+    /// Leaf less than or equal.
+    Le(String, Value),
+    /// Leaf greater than value.
+    Gt(String, Value),
+    /// Leaf greater than or equal.
+    Ge(String, Value),
+    /// String leaf contains the given substring (case-insensitive).
+    Contains(String, String),
+    /// A leaf exists at the structural path.
+    Exists(String),
+    /// Document belongs to the named collection.
+    CollectionIs(String),
+    /// Document was ingested from the named format (see
+    /// `SourceFormat::name`).
+    FormatIs(String),
+    /// All of the sub-predicates hold.
+    And(Vec<Predicate>),
+    /// Any of the sub-predicates holds.
+    Or(Vec<Predicate>),
+    /// The sub-predicate does not hold.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Evaluate against a document.
+    pub fn matches(&self, doc: &Document) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::Eq(p, v) => any_leaf(doc, p, |leaf| leaf.query_eq(v)),
+            Predicate::Ne(p, v) => any_leaf(doc, p, |leaf| !leaf.query_eq(v)),
+            Predicate::Lt(p, v) => any_leaf(doc, p, |leaf| leaf.total_cmp(v).is_lt()),
+            Predicate::Le(p, v) => any_leaf(doc, p, |leaf| leaf.total_cmp(v).is_le()),
+            Predicate::Gt(p, v) => any_leaf(doc, p, |leaf| leaf.total_cmp(v).is_gt()),
+            Predicate::Ge(p, v) => any_leaf(doc, p, |leaf| leaf.total_cmp(v).is_ge()),
+            Predicate::Contains(p, needle) => {
+                let needle = needle.to_ascii_lowercase();
+                any_leaf(doc, p, |leaf| {
+                    leaf.as_str()
+                        .map(|s| s.to_ascii_lowercase().contains(&needle))
+                        .unwrap_or(false)
+                })
+            }
+            Predicate::Exists(p) => any_leaf(doc, p, |_| true),
+            Predicate::CollectionIs(c) => doc.collection() == c,
+            Predicate::FormatIs(f) => doc.format().name() == f,
+            Predicate::And(ps) => ps.iter().all(|p| p.matches(doc)),
+            Predicate::Or(ps) => ps.iter().any(|p| p.matches(doc)),
+            Predicate::Not(p) => !p.matches(doc),
+        }
+    }
+
+    /// The structural paths this predicate consults (used by the optimizer
+    /// to pick indexes and by statistics-based selectivity estimation).
+    pub fn referenced_paths(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_paths(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_paths<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Predicate::Eq(p, _)
+            | Predicate::Ne(p, _)
+            | Predicate::Lt(p, _)
+            | Predicate::Le(p, _)
+            | Predicate::Gt(p, _)
+            | Predicate::Ge(p, _)
+            | Predicate::Contains(p, _)
+            | Predicate::Exists(p) => out.push(p),
+            Predicate::And(ps) | Predicate::Or(ps) => {
+                for p in ps {
+                    p.collect_paths(out);
+                }
+            }
+            Predicate::Not(p) => p.collect_paths(out),
+            _ => {}
+        }
+    }
+}
+
+fn any_leaf(doc: &Document, structural: &str, f: impl Fn(&Value) -> bool) -> bool {
+    doc.leaves().iter().any(|(p, v)| p.structural_form() == structural && f(v))
+}
+
+/// Which parts of matching documents to return.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum Projection {
+    /// Return full documents.
+    #[default]
+    All,
+    /// Return only the listed structural paths (a pruned copy of each
+    /// document). Early data reduction for the network.
+    Paths(Vec<String>),
+    /// Return only document ids (e.g. when an index or join will fetch
+    /// bodies later).
+    IdsOnly,
+}
+
+/// Aggregate functions computable at the storage node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Count of matching documents.
+    Count,
+    /// Sum of a numeric path.
+    Sum,
+    /// Minimum value of a path.
+    Min,
+    /// Maximum value of a path.
+    Max,
+    /// Arithmetic mean of a numeric path.
+    Avg,
+}
+
+/// An aggregation request: optional group-by path plus one aggregate over
+/// an operand path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    /// Structural path whose value keys the groups; `None` for a single
+    /// global group.
+    pub group_by: Option<String>,
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Operand path (ignored for `Count`).
+    pub operand: Option<String>,
+}
+
+/// Partial aggregate state, combinable across partitions and nodes — the
+/// classic two-phase (local/global) aggregation the paper's grid nodes
+/// perform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggValue {
+    /// Number of contributing leaves/documents.
+    pub count: u64,
+    /// Running sum (numeric aggregates).
+    pub sum: f64,
+    /// Running minimum.
+    pub min: Option<Value>,
+    /// Running maximum.
+    pub max: Option<Value>,
+}
+
+impl Default for AggValue {
+    fn default() -> Self {
+        AggValue { count: 0, sum: 0.0, min: None, max: None }
+    }
+}
+
+impl AggValue {
+    /// Fold one observed value into the state.
+    pub fn observe(&mut self, v: &Value) {
+        self.count += 1;
+        if let Some(n) = v.as_f64() {
+            self.sum += n;
+        }
+        match &self.min {
+            None => self.min = Some(v.clone()),
+            Some(m) if v.total_cmp(m).is_lt() => self.min = Some(v.clone()),
+            _ => {}
+        }
+        match &self.max {
+            None => self.max = Some(v.clone()),
+            Some(m) if v.total_cmp(m).is_gt() => self.max = Some(v.clone()),
+            _ => {}
+        }
+    }
+
+    /// Merge another partial state into this one (global phase).
+    pub fn merge(&mut self, other: &AggValue) {
+        self.count += other.count;
+        self.sum += other.sum;
+        if let Some(m) = &other.min {
+            match &self.min {
+                None => self.min = Some(m.clone()),
+                Some(cur) if m.total_cmp(cur).is_lt() => self.min = Some(m.clone()),
+                _ => {}
+            }
+        }
+        if let Some(m) = &other.max {
+            match &self.max {
+                None => self.max = Some(m.clone()),
+                Some(cur) if m.total_cmp(cur).is_gt() => self.max = Some(m.clone()),
+                _ => {}
+            }
+        }
+    }
+
+    /// Final scalar result for the requested function.
+    pub fn finish(&self, func: AggFunc) -> Value {
+        match func {
+            AggFunc::Count => Value::Int(self.count as i64),
+            AggFunc::Sum => Value::Float(self.sum),
+            AggFunc::Min => self.min.clone().unwrap_or(Value::Null),
+            AggFunc::Max => self.max.clone().unwrap_or(Value::Null),
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum / self.count as f64)
+                }
+            }
+        }
+    }
+}
+
+/// A complete scan request: filter, then project or aggregate.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ScanRequest {
+    /// Filter evaluated at the storage node.
+    pub predicate: Option<Predicate>,
+    /// Projection applied to survivors.
+    pub projection: Projection,
+    /// Optional aggregation; when set, documents are consumed at the node
+    /// and only group states travel.
+    pub aggregate: Option<AggSpec>,
+    /// Optional cap on returned documents (top-of-scan limit).
+    pub limit: Option<usize>,
+}
+
+impl ScanRequest {
+    /// A full unfiltered scan.
+    pub fn full() -> ScanRequest {
+        ScanRequest::default()
+    }
+
+    /// A filtered scan.
+    pub fn filtered(p: Predicate) -> ScanRequest {
+        ScanRequest { predicate: Some(p), ..ScanRequest::default() }
+    }
+}
+
+/// Byte-level accounting of a scan, the observable for experiment C2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScanMetrics {
+    /// Documents examined.
+    pub docs_scanned: u64,
+    /// Documents that satisfied the predicate.
+    pub docs_matched: u64,
+    /// Encoded bytes read from segments/memtables.
+    pub bytes_scanned: u64,
+    /// Encoded bytes of the result (what would cross the network).
+    pub bytes_returned: u64,
+}
+
+impl ScanMetrics {
+    /// Merge metrics from another partition/node.
+    pub fn merge(&mut self, other: &ScanMetrics) {
+        self.docs_scanned += other.docs_scanned;
+        self.docs_matched += other.docs_matched;
+        self.bytes_scanned += other.bytes_scanned;
+        self.bytes_returned += other.bytes_returned;
+    }
+}
+
+/// The result of a scan: documents or aggregate groups, plus metrics.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ScanResult {
+    /// Matching (possibly projected) documents; empty when aggregating or
+    /// `IdsOnly`.
+    pub documents: Vec<Document>,
+    /// Matching ids (populated for `IdsOnly`).
+    pub ids: Vec<impliance_docmodel::DocId>,
+    /// Aggregate groups keyed by group value rendering (`""` for the global
+    /// group).
+    pub groups: BTreeMap<String, AggValue>,
+    /// Scan accounting.
+    pub metrics: ScanMetrics,
+}
+
+impl ScanResult {
+    /// Merge a partition-local result into a global one.
+    pub fn merge(&mut self, mut other: ScanResult) {
+        self.documents.append(&mut other.documents);
+        self.ids.append(&mut other.ids);
+        for (k, v) in other.groups {
+            self.groups.entry(k).or_default().merge(&v);
+        }
+        self.metrics.merge(&other.metrics);
+    }
+}
+
+/// Apply a projection to a document, producing the pruned copy that would
+/// travel over the network.
+pub fn project(doc: &Document, projection: &Projection) -> Document {
+    match projection {
+        Projection::All | Projection::IdsOnly => doc.clone(),
+        Projection::Paths(paths) => {
+            let mut root = Node::empty_map();
+            for (path, value) in doc.leaves() {
+                let structural = path.structural_form();
+                if paths.contains(&structural) {
+                    root.set(&path, Node::Value(value.clone()));
+                }
+            }
+            // Rebuild with same identity/metadata but pruned body.
+            let pruned = Document::new(
+                doc.id(),
+                doc.format(),
+                doc.collection().to_string(),
+                doc.ingested_at(),
+                root,
+            );
+            advance_to_version(pruned, doc)
+        }
+    }
+}
+
+fn advance_to_version(mut pruned: Document, original: &Document) -> Document {
+    while pruned.version() < original.version() {
+        let body = pruned.root().clone();
+        pruned = pruned.new_version(body, original.ingested_at());
+    }
+    pruned
+}
+
+/// Fold one matching document into an aggregation result.
+pub fn aggregate_document(doc: &Document, spec: &AggSpec, groups: &mut BTreeMap<String, AggValue>) {
+    let group_keys: Vec<String> = match &spec.group_by {
+        None => vec![String::new()],
+        Some(gp) => {
+            let keys: Vec<String> = doc
+                .leaves()
+                .iter()
+                .filter(|(p, _)| p.structural_form() == *gp)
+                .map(|(_, v)| v.render())
+                .collect();
+            if keys.is_empty() {
+                return; // no group value → excluded, like SQL GROUP BY on NULL-less key
+            }
+            keys
+        }
+    };
+    for key in group_keys {
+        let entry = groups.entry(key).or_default();
+        match (&spec.operand, spec.func) {
+            (_, AggFunc::Count) => {
+                entry.count += 1;
+            }
+            (Some(op), _) => {
+                for (p, v) in doc.leaves() {
+                    if p.structural_form() == *op {
+                        entry.observe(v);
+                    }
+                }
+            }
+            (None, _) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impliance_docmodel::{DocId, DocumentBuilder, SourceFormat};
+
+    fn doc(amount: i64, make: &str) -> Document {
+        DocumentBuilder::new(DocId(amount as u64), SourceFormat::Json, "claims")
+            .field("claim.amount", amount)
+            .field("claim.vehicle.make", make)
+            .field("claim.notes", format!("Repair for {make} bumper"))
+            .build()
+    }
+
+    #[test]
+    fn comparison_predicates() {
+        let d = doc(1500, "Volvo");
+        assert!(Predicate::Eq("claim.amount".into(), Value::Int(1500)).matches(&d));
+        assert!(Predicate::Gt("claim.amount".into(), Value::Int(1000)).matches(&d));
+        assert!(!Predicate::Lt("claim.amount".into(), Value::Int(1000)).matches(&d));
+        assert!(Predicate::Ge("claim.amount".into(), Value::Int(1500)).matches(&d));
+        assert!(Predicate::Le("claim.amount".into(), Value::Float(1500.0)).matches(&d));
+        assert!(Predicate::Ne("claim.vehicle.make".into(), Value::Str("Saab".into())).matches(&d));
+    }
+
+    #[test]
+    fn contains_is_case_insensitive() {
+        let d = doc(1, "Volvo");
+        assert!(Predicate::Contains("claim.notes".into(), "volvo".into()).matches(&d));
+        assert!(!Predicate::Contains("claim.notes".into(), "tesla".into()).matches(&d));
+        // non-string leaf never matches contains
+        assert!(!Predicate::Contains("claim.amount".into(), "1".into()).matches(&d));
+    }
+
+    #[test]
+    fn exists_collection_format() {
+        let d = doc(1, "Volvo");
+        assert!(Predicate::Exists("claim.vehicle.make".into()).matches(&d));
+        assert!(!Predicate::Exists("claim.vehicle.year".into()).matches(&d));
+        assert!(Predicate::CollectionIs("claims".into()).matches(&d));
+        assert!(!Predicate::CollectionIs("mail".into()).matches(&d));
+        assert!(Predicate::FormatIs("json".into()).matches(&d));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let d = doc(1500, "Volvo");
+        let p = Predicate::And(vec![
+            Predicate::Gt("claim.amount".into(), Value::Int(1000)),
+            Predicate::Or(vec![
+                Predicate::Eq("claim.vehicle.make".into(), Value::Str("Saab".into())),
+                Predicate::Eq("claim.vehicle.make".into(), Value::Str("Volvo".into())),
+            ]),
+        ]);
+        assert!(p.matches(&d));
+        assert!(!Predicate::Not(Box::new(p)).matches(&d));
+    }
+
+    #[test]
+    fn existential_semantics_over_sequences() {
+        let d = DocumentBuilder::new(DocId(1), SourceFormat::Json, "orders")
+            .node(
+                "items",
+                impliance_docmodel::Node::seq([
+                    impliance_docmodel::Node::map([(
+                        "sku".to_string(),
+                        impliance_docmodel::Node::scalar("A-1"),
+                    )]),
+                    impliance_docmodel::Node::map([(
+                        "sku".to_string(),
+                        impliance_docmodel::Node::scalar("B-2"),
+                    )]),
+                ]),
+            )
+            .build();
+        assert!(Predicate::Eq("items[].sku".into(), Value::Str("B-2".into())).matches(&d));
+        assert!(!Predicate::Eq("items[].sku".into(), Value::Str("C-3".into())).matches(&d));
+    }
+
+    #[test]
+    fn referenced_paths_dedup() {
+        let p = Predicate::And(vec![
+            Predicate::Eq("a".into(), Value::Int(1)),
+            Predicate::Not(Box::new(Predicate::Gt("a".into(), Value::Int(0)))),
+            Predicate::Exists("b".into()),
+        ]);
+        assert_eq!(p.referenced_paths(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn projection_prunes_paths() {
+        let d = doc(1500, "Volvo");
+        let p = project(&d, &Projection::Paths(vec!["claim.amount".into()]));
+        assert!(p.get_str_path("claim.amount").is_some());
+        assert!(p.get_str_path("claim.vehicle.make").is_none());
+        assert_eq!(p.id(), d.id());
+    }
+
+    #[test]
+    fn projection_preserves_version() {
+        let d = doc(1, "Volvo");
+        let d2 = d.new_version(d.root().clone(), 9);
+        let p = project(&d2, &Projection::Paths(vec!["claim.amount".into()]));
+        assert_eq!(p.version(), d2.version());
+    }
+
+    #[test]
+    fn agg_value_observe_and_merge() {
+        let mut a = AggValue::default();
+        a.observe(&Value::Int(10));
+        a.observe(&Value::Int(20));
+        let mut b = AggValue::default();
+        b.observe(&Value::Int(5));
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.finish(AggFunc::Sum), Value::Float(35.0));
+        assert_eq!(a.finish(AggFunc::Min), Value::Int(5));
+        assert_eq!(a.finish(AggFunc::Max), Value::Int(20));
+        assert_eq!(a.finish(AggFunc::Avg), Value::Float(35.0 / 3.0));
+    }
+
+    #[test]
+    fn avg_of_nothing_is_null() {
+        let a = AggValue::default();
+        assert_eq!(a.finish(AggFunc::Avg), Value::Null);
+        assert_eq!(a.finish(AggFunc::Count), Value::Int(0));
+    }
+
+    #[test]
+    fn aggregate_with_group_by() {
+        let docs = [doc(100, "Volvo"), doc(200, "Volvo"), doc(50, "Saab")];
+        let spec = AggSpec {
+            group_by: Some("claim.vehicle.make".into()),
+            func: AggFunc::Sum,
+            operand: Some("claim.amount".into()),
+        };
+        let mut groups = BTreeMap::new();
+        for d in &docs {
+            aggregate_document(d, &spec, &mut groups);
+        }
+        assert_eq!(groups["Volvo"].finish(AggFunc::Sum), Value::Float(300.0));
+        assert_eq!(groups["Saab"].finish(AggFunc::Sum), Value::Float(50.0));
+    }
+
+    #[test]
+    fn count_without_operand() {
+        let docs = [doc(1, "Volvo"), doc(2, "Saab")];
+        let spec = AggSpec { group_by: None, func: AggFunc::Count, operand: None };
+        let mut groups = BTreeMap::new();
+        for d in &docs {
+            aggregate_document(d, &spec, &mut groups);
+        }
+        assert_eq!(groups[""].finish(AggFunc::Count), Value::Int(2));
+    }
+
+    #[test]
+    fn scan_result_merge_combines_groups_and_metrics() {
+        let mut a = ScanResult::default();
+        a.groups.insert("x".into(), {
+            let mut v = AggValue::default();
+            v.observe(&Value::Int(1));
+            v
+        });
+        a.metrics.docs_scanned = 10;
+        let mut b = ScanResult::default();
+        b.groups.insert("x".into(), {
+            let mut v = AggValue::default();
+            v.observe(&Value::Int(2));
+            v
+        });
+        b.metrics.docs_scanned = 5;
+        a.merge(b);
+        assert_eq!(a.groups["x"].count, 2);
+        assert_eq!(a.metrics.docs_scanned, 15);
+    }
+}

@@ -1,0 +1,377 @@
+//! Per-partition statistics.
+//!
+//! The simple planner of §3.3 deliberately avoids "maintaining complex
+//! statistics" — but the *baseline* cost-based optimizer (built for
+//! experiment C1) needs them, and the storage manager uses cheap counters
+//! for placement. Statistics are folded in on every put; they are
+//! monotone summaries, never recomputed, so their maintenance cost is O(1)
+//! per leaf.
+
+use std::collections::HashMap;
+
+use impliance_docmodel::{Document, Value};
+
+/// A fixed-width histogram over a numeric path's observed range. Buckets
+/// adapt by widening: when a value falls outside the current range the
+/// histogram rescales (halving resolution) rather than re-reading data.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Create a histogram with `n` buckets spanning an initial guess range.
+    pub fn new(n: usize) -> Histogram {
+        Histogram { lo: 0.0, hi: 1.0, buckets: vec![0; n.max(2)], total: 0 }
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        if self.total == 0 {
+            self.lo = v;
+            self.hi = v + 1.0;
+        }
+        while v < self.lo || v >= self.hi {
+            self.rescale(v);
+        }
+        let idx = (((v - self.lo) / (self.hi - self.lo)) * self.buckets.len() as f64) as usize;
+        let idx = idx.min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+        self.total += 1;
+    }
+
+    fn rescale(&mut self, toward: f64) {
+        // Double the range toward the out-of-range value, merging bucket
+        // pairs to keep counts approximately placed.
+        let width = self.hi - self.lo;
+        let (new_lo, new_hi) = if toward < self.lo {
+            (self.lo - width, self.hi)
+        } else {
+            (self.lo, self.hi + width)
+        };
+        let n = self.buckets.len();
+        let mut merged = vec![0u64; n];
+        for (i, &c) in self.buckets.iter().enumerate() {
+            // old bucket center
+            let center = self.lo + (i as f64 + 0.5) * width / n as f64;
+            let j = (((center - new_lo) / (new_hi - new_lo)) * n as f64) as usize;
+            merged[j.min(n - 1)] += c;
+        }
+        self.lo = new_lo;
+        self.hi = new_hi;
+        self.buckets = merged;
+    }
+
+    /// Estimate the fraction of observations ≤ `v` (cumulative frequency).
+    pub fn cdf(&self, v: f64) -> f64 {
+        if self.total == 0 {
+            return 0.5;
+        }
+        if v < self.lo {
+            return 0.0;
+        }
+        if v >= self.hi {
+            return 1.0;
+        }
+        let n = self.buckets.len() as f64;
+        let pos = (v - self.lo) / (self.hi - self.lo) * n;
+        let full = pos.floor() as usize;
+        let mut acc: u64 = self.buckets[..full].iter().sum();
+        // linear interpolation inside the partial bucket
+        let frac = pos - pos.floor();
+        acc += (self.buckets.get(full).copied().unwrap_or(0) as f64 * frac) as u64;
+        acc as f64 / self.total as f64
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+/// A small fixed-register cardinality estimator (HyperLogLog with 256
+/// registers), used for distinct-value estimates per path.
+#[derive(Debug, Clone)]
+pub struct DistinctEstimator {
+    registers: [u8; 256],
+}
+
+impl Default for DistinctEstimator {
+    fn default() -> Self {
+        DistinctEstimator { registers: [0; 256] }
+    }
+}
+
+impl DistinctEstimator {
+    /// Fold in one rendered value.
+    pub fn observe(&mut self, s: &str) {
+        let h = fnv64(s.as_bytes());
+        let idx = (h & 0xff) as usize;
+        let rest = h >> 8;
+        let rank = (rest.trailing_zeros() + 1).min(56) as u8;
+        if rank > self.registers[idx] {
+            self.registers[idx] = rank;
+        }
+    }
+
+    /// Estimated distinct count.
+    pub fn estimate(&self) -> f64 {
+        let m = 256.0_f64;
+        let sum: f64 = self.registers.iter().map(|&r| 2f64.powi(-(r as i32))).sum();
+        let alpha = 0.7213 / (1.0 + 1.079 / m);
+        let raw = alpha * m * m / sum;
+        if raw <= 2.5 * m {
+            let zeros = self.registers.iter().filter(|&&r| r == 0).count();
+            if zeros > 0 {
+                return m * (m / zeros as f64).ln();
+            }
+        }
+        raw
+    }
+
+    /// Merge another estimator (register-wise max).
+    pub fn merge(&mut self, other: &DistinctEstimator) {
+        for (a, b) in self.registers.iter_mut().zip(other.registers.iter()) {
+            *a = (*a).max(*b);
+        }
+    }
+}
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Statistics for one structural path.
+#[derive(Debug, Clone)]
+pub struct PathStats {
+    /// Leaves observed at this path.
+    pub count: u64,
+    /// Minimum observed value.
+    pub min: Option<Value>,
+    /// Maximum observed value.
+    pub max: Option<Value>,
+    /// Histogram over numeric observations.
+    pub histogram: Histogram,
+    /// Distinct-value estimator over rendered values.
+    pub distinct: DistinctEstimator,
+}
+
+impl Default for PathStats {
+    fn default() -> Self {
+        PathStats {
+            count: 0,
+            min: None,
+            max: None,
+            histogram: Histogram::new(32),
+            distinct: DistinctEstimator::default(),
+        }
+    }
+}
+
+impl PathStats {
+    /// Fold one leaf value in.
+    pub fn observe(&mut self, v: &Value) {
+        self.count += 1;
+        if let Some(n) = v.as_f64() {
+            self.histogram.observe(n);
+        }
+        self.distinct.observe(&v.render());
+        match &self.min {
+            None => self.min = Some(v.clone()),
+            Some(m) if v.total_cmp(m).is_lt() => self.min = Some(v.clone()),
+            _ => {}
+        }
+        match &self.max {
+            None => self.max = Some(v.clone()),
+            Some(m) if v.total_cmp(m).is_gt() => self.max = Some(v.clone()),
+            _ => {}
+        }
+    }
+
+    /// Estimated selectivity of an equality predicate on this path.
+    pub fn eq_selectivity(&self) -> f64 {
+        let d = self.distinct.estimate().max(1.0);
+        1.0 / d
+    }
+
+    /// Estimated selectivity of `path < v`.
+    pub fn lt_selectivity(&self, v: &Value) -> f64 {
+        match v.as_f64() {
+            Some(n) => self.histogram.cdf(n),
+            None => 0.33, // non-numeric guess
+        }
+    }
+}
+
+/// Statistics for one partition: document counts and per-path stats.
+#[derive(Debug, Clone, Default)]
+pub struct PartitionStats {
+    /// Total document versions stored.
+    pub doc_versions: u64,
+    /// Distinct logical documents (latest map size).
+    pub live_docs: u64,
+    /// Total encoded bytes.
+    pub bytes: u64,
+    /// Per-structural-path statistics.
+    pub paths: HashMap<String, PathStats>,
+}
+
+impl PartitionStats {
+    /// Fold a stored document into the statistics.
+    pub fn observe_document(&mut self, doc: &Document, encoded_len: usize) {
+        self.doc_versions += 1;
+        self.bytes += encoded_len as u64;
+        for (path, value) in doc.leaves() {
+            self.paths.entry(path.structural_form()).or_default().observe(value);
+        }
+    }
+
+    /// Merge partition stats (for engine-wide totals).
+    pub fn merge(&mut self, other: &PartitionStats) {
+        self.doc_versions += other.doc_versions;
+        self.live_docs += other.live_docs;
+        self.bytes += other.bytes;
+        for (k, v) in &other.paths {
+            let e = self.paths.entry(k.clone()).or_default();
+            e.count += v.count;
+            e.distinct.merge(&v.distinct);
+            if let Some(m) = &v.min {
+                if e.min.as_ref().map(|cur| m.total_cmp(cur).is_lt()).unwrap_or(true) {
+                    e.min = Some(m.clone());
+                }
+            }
+            if let Some(m) = &v.max {
+                if e.max.as_ref().map(|cur| m.total_cmp(cur).is_gt()).unwrap_or(true) {
+                    e.max = Some(m.clone());
+                }
+            }
+            // histograms are approximate; fold counts via observe of bucket
+            // centers would distort, so keep the larger one
+            if v.histogram.total() > e.histogram.total() {
+                e.histogram = v.histogram.clone();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impliance_docmodel::{DocId, DocumentBuilder, SourceFormat};
+
+    #[test]
+    fn histogram_cdf_uniform() {
+        let mut h = Histogram::new(32);
+        for i in 0..1000 {
+            h.observe(i as f64);
+        }
+        let mid = h.cdf(500.0);
+        assert!((mid - 0.5).abs() < 0.1, "cdf(500)={mid}");
+        assert_eq!(h.cdf(-1.0), 0.0);
+        assert_eq!(h.cdf(2000.0), 1.0);
+    }
+
+    #[test]
+    fn histogram_rescales_for_outliers() {
+        let mut h = Histogram::new(16);
+        h.observe(1.0);
+        h.observe(1_000_000.0);
+        h.observe(-1_000_000.0);
+        assert_eq!(h.total(), 3);
+        assert!(h.cdf(0.0) > 0.0);
+    }
+
+    #[test]
+    fn histogram_ignores_non_finite() {
+        let mut h = Histogram::new(8);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn distinct_estimator_in_range() {
+        let mut d = DistinctEstimator::default();
+        for i in 0..10_000 {
+            d.observe(&format!("value-{i}"));
+        }
+        let est = d.estimate();
+        assert!(est > 7_000.0 && est < 13_000.0, "estimate {est}");
+    }
+
+    #[test]
+    fn distinct_estimator_small_counts() {
+        let mut d = DistinctEstimator::default();
+        for i in 0..10 {
+            d.observe(&format!("v{i}"));
+            d.observe(&format!("v{i}")); // duplicates don't inflate
+        }
+        let est = d.estimate();
+        assert!(est > 5.0 && est < 20.0, "estimate {est}");
+    }
+
+    #[test]
+    fn distinct_merge_is_union_like() {
+        let mut a = DistinctEstimator::default();
+        let mut b = DistinctEstimator::default();
+        for i in 0..500 {
+            a.observe(&format!("a{i}"));
+            b.observe(&format!("b{i}"));
+        }
+        a.merge(&b);
+        let est = a.estimate();
+        assert!(est > 700.0 && est < 1400.0, "estimate {est}");
+    }
+
+    #[test]
+    fn path_stats_track_min_max_and_selectivity() {
+        let mut s = PathStats::default();
+        for i in 0..100 {
+            s.observe(&Value::Int(i));
+        }
+        assert_eq!(s.min, Some(Value::Int(0)));
+        assert_eq!(s.max, Some(Value::Int(99)));
+        assert!(s.eq_selectivity() < 0.05);
+        let lt = s.lt_selectivity(&Value::Int(50));
+        assert!((lt - 0.5).abs() < 0.15, "lt_selectivity {lt}");
+    }
+
+    #[test]
+    fn partition_stats_observe_documents() {
+        let mut ps = PartitionStats::default();
+        for i in 0..10 {
+            let d = DocumentBuilder::new(DocId(i), SourceFormat::Json, "c")
+                .field("x", i as i64)
+                .build();
+            ps.observe_document(&d, 50);
+        }
+        assert_eq!(ps.doc_versions, 10);
+        assert_eq!(ps.bytes, 500);
+        assert_eq!(ps.paths["x"].count, 10);
+    }
+
+    #[test]
+    fn partition_stats_merge() {
+        let mut a = PartitionStats::default();
+        let mut b = PartitionStats::default();
+        let d1 = DocumentBuilder::new(DocId(1), SourceFormat::Json, "c").field("x", 1i64).build();
+        let d2 = DocumentBuilder::new(DocId(2), SourceFormat::Json, "c").field("x", 99i64).build();
+        a.observe_document(&d1, 10);
+        b.observe_document(&d2, 20);
+        a.merge(&b);
+        assert_eq!(a.doc_versions, 2);
+        assert_eq!(a.paths["x"].min, Some(Value::Int(1)));
+        assert_eq!(a.paths["x"].max, Some(Value::Int(99)));
+    }
+}

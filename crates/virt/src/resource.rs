@@ -1,0 +1,266 @@
+//! Resource groups, the group hierarchy, and the broker.
+//!
+//! §3.4: "At the bottom of the hierarchy are resource groups that provide
+//! a pool of compute and storage resources … Higher in the hierarchy are
+//! components that perform macro-level scheduling of jobs to resource
+//! groups, as well as components that act as brokers for facilitating the
+//! transfer of resources between groups. For example, when a group reports
+//! the failure or loss of a resource, it can contact a broker to help it
+//! acquire resources from some other group that is willing to relinquish
+//! them."
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use impliance_cluster::NodeId;
+
+/// Identifier of a resource group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupId(pub u32);
+
+/// The service role a group is assigned (§3.3's three flavors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupRole {
+    /// Data storage service.
+    DataStorage,
+    /// Grid (analytic compute) service.
+    Grid,
+    /// Cluster (consistency) service.
+    Cluster,
+}
+
+/// A group of tightly-coupled nodes serving one role.
+#[derive(Debug, Clone)]
+pub struct ResourceGroup {
+    /// Group identity.
+    pub id: GroupId,
+    /// Assigned role.
+    pub role: GroupRole,
+    /// Member nodes.
+    pub members: BTreeSet<NodeId>,
+    /// Minimum members the group's service level requires.
+    pub min_members: usize,
+    /// Parent group in the hierarchy (`None` for the root region).
+    pub parent: Option<GroupId>,
+}
+
+impl ResourceGroup {
+    /// Spare nodes beyond the service-level minimum.
+    pub fn surplus(&self) -> usize {
+        self.members.len().saturating_sub(self.min_members)
+    }
+
+    /// Shortfall below the service-level minimum.
+    pub fn deficit(&self) -> usize {
+        self.min_members.saturating_sub(self.members.len())
+    }
+}
+
+/// The set of all resource groups (the hierarchy) plus the broker state.
+#[derive(Debug, Default)]
+pub struct ResourcePool {
+    groups: BTreeMap<GroupId, ResourceGroup>,
+}
+
+/// A transfer the broker decided: move `node` from `from` to `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transfer {
+    /// Donor group.
+    pub from: GroupId,
+    /// Receiving group.
+    pub to: GroupId,
+    /// The node moved.
+    pub node: NodeId,
+}
+
+impl ResourcePool {
+    /// An empty pool.
+    pub fn new() -> ResourcePool {
+        ResourcePool::default()
+    }
+
+    /// Register a group.
+    pub fn add_group(&mut self, group: ResourceGroup) {
+        self.groups.insert(group.id, group);
+    }
+
+    /// Look up a group.
+    pub fn group(&self, id: GroupId) -> Option<&ResourceGroup> {
+        self.groups.get(&id)
+    }
+
+    /// All groups, ascending by id.
+    pub fn groups(&self) -> impl Iterator<Item = &ResourceGroup> {
+        self.groups.values()
+    }
+
+    /// Which group a node currently belongs to.
+    pub fn group_of(&self, node: NodeId) -> Option<GroupId> {
+        self.groups.values().find(|g| g.members.contains(&node)).map(|g| g.id)
+    }
+
+    /// Remove a failed node wherever it is. Returns its former group.
+    pub fn remove_node(&mut self, node: NodeId) -> Option<GroupId> {
+        for g in self.groups.values_mut() {
+            if g.members.remove(&node) {
+                return Some(g.id);
+            }
+        }
+        None
+    }
+
+    /// Add a brand-new node to the group that needs it most (largest
+    /// deficit; ties to the smallest group). Returns the chosen group.
+    /// This is §3.4's "when new compute or storage resources are added,
+    /// brokers offer these resources to the groups that will make best use
+    /// of them."
+    pub fn offer_node(&mut self, node: NodeId) -> Option<GroupId> {
+        let target = self
+            .groups
+            .values()
+            .max_by_key(|g| (g.deficit(), std::cmp::Reverse(g.members.len())))
+            .map(|g| g.id)?;
+        self.groups.get_mut(&target).map(|g| {
+            g.members.insert(node);
+            g.id
+        })
+    }
+
+    /// Apply a transfer decided by the broker.
+    fn apply(&mut self, t: Transfer) {
+        if let Some(from) = self.groups.get_mut(&t.from) {
+            from.members.remove(&t.node);
+        }
+        if let Some(to) = self.groups.get_mut(&t.to) {
+            to.members.insert(t.node);
+        }
+    }
+}
+
+/// The broker: balances groups against their service levels.
+#[derive(Debug, Default)]
+pub struct Broker;
+
+impl Broker {
+    /// Create a broker.
+    pub fn new() -> Broker {
+        Broker
+    }
+
+    /// Plan and apply transfers so that no group with a deficit coexists
+    /// with a group holding surplus. Donors are chosen by largest surplus.
+    /// Returns the transfers performed, in order.
+    pub fn rebalance(&self, pool: &mut ResourcePool) -> Vec<Transfer> {
+        let mut transfers = Vec::new();
+        loop {
+            let needy = pool
+                .groups()
+                .filter(|g| g.deficit() > 0)
+                .max_by_key(|g| g.deficit())
+                .map(|g| g.id);
+            let Some(needy) = needy else { break };
+            let donor = pool
+                .groups()
+                .filter(|g| g.surplus() > 0 && g.id != needy)
+                .max_by_key(|g| g.surplus())
+                .map(|g| g.id);
+            let Some(donor) = donor else { break };
+            // take the highest-id node (stable, deterministic choice)
+            let node = match pool.group(donor).and_then(|g| g.members.iter().next_back()) {
+                Some(n) => *n,
+                None => break,
+            };
+            let t = Transfer { from: donor, to: needy, node };
+            pool.apply(t);
+            transfers.push(t);
+        }
+        transfers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group(id: u32, role: GroupRole, members: &[u32], min: usize) -> ResourceGroup {
+        ResourceGroup {
+            id: GroupId(id),
+            role,
+            members: members.iter().map(|&i| NodeId(i)).collect(),
+            min_members: min,
+            parent: None,
+        }
+    }
+
+    fn pool() -> ResourcePool {
+        let mut p = ResourcePool::new();
+        p.add_group(group(1, GroupRole::DataStorage, &[1, 2, 3], 3));
+        p.add_group(group(2, GroupRole::Grid, &[10, 11, 12, 13], 2));
+        p.add_group(group(3, GroupRole::Cluster, &[20], 1));
+        p
+    }
+
+    #[test]
+    fn surplus_and_deficit() {
+        let p = pool();
+        assert_eq!(p.group(GroupId(1)).unwrap().surplus(), 0);
+        assert_eq!(p.group(GroupId(2)).unwrap().surplus(), 2);
+        assert_eq!(p.group(GroupId(3)).unwrap().deficit(), 0);
+    }
+
+    #[test]
+    fn group_of_and_remove() {
+        let mut p = pool();
+        assert_eq!(p.group_of(NodeId(11)), Some(GroupId(2)));
+        assert_eq!(p.remove_node(NodeId(11)), Some(GroupId(2)));
+        assert_eq!(p.group_of(NodeId(11)), None);
+        assert_eq!(p.remove_node(NodeId(99)), None);
+    }
+
+    #[test]
+    fn broker_fills_deficit_from_surplus() {
+        let mut p = pool();
+        // kill two data nodes → deficit 2
+        p.remove_node(NodeId(2));
+        p.remove_node(NodeId(3));
+        let transfers = Broker::new().rebalance(&mut p);
+        assert_eq!(transfers.len(), 2);
+        assert!(transfers.iter().all(|t| t.from == GroupId(2) && t.to == GroupId(1)));
+        assert_eq!(p.group(GroupId(1)).unwrap().members.len(), 3);
+        assert_eq!(p.group(GroupId(2)).unwrap().members.len(), 2);
+        // grid group never dips below its own minimum
+        assert_eq!(p.group(GroupId(2)).unwrap().deficit(), 0);
+    }
+
+    #[test]
+    fn broker_stops_when_no_donor_has_surplus() {
+        let mut p = ResourcePool::new();
+        p.add_group(group(1, GroupRole::DataStorage, &[1], 3));
+        p.add_group(group(2, GroupRole::Grid, &[10, 11], 2));
+        let transfers = Broker::new().rebalance(&mut p);
+        assert!(transfers.is_empty(), "no group can donate: {transfers:?}");
+        assert_eq!(p.group(GroupId(1)).unwrap().deficit(), 2);
+    }
+
+    #[test]
+    fn offer_node_goes_to_neediest_group() {
+        let mut p = pool();
+        p.remove_node(NodeId(1));
+        p.remove_node(NodeId(2)); // data group deficit 2
+        let target = p.offer_node(NodeId(50)).unwrap();
+        assert_eq!(target, GroupId(1));
+        // with no deficit anywhere, smallest group gets the node
+        let mut p2 = pool();
+        let target2 = p2.offer_node(NodeId(51)).unwrap();
+        assert_eq!(target2, GroupId(3), "cluster group is smallest");
+    }
+
+    #[test]
+    fn rebalance_is_deterministic() {
+        let run = || {
+            let mut p = pool();
+            p.remove_node(NodeId(3));
+            Broker::new().rebalance(&mut p)
+        };
+        assert_eq!(run(), run());
+    }
+}

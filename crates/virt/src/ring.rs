@@ -1,0 +1,173 @@
+//! Consistent-hash ring for replica placement.
+//!
+//! Documents are placed on data nodes by hashing their id onto a ring of
+//! virtual nodes. Adding or removing a physical node relocates only the
+//! keys in its arc — the property that lets Impliance "seamlessly and
+//! scalably expand" (§1) without mass data reshuffling.
+
+use std::collections::BTreeMap;
+
+use impliance_cluster::NodeId;
+use impliance_docmodel::DocId;
+
+/// Virtual nodes per physical node; more vnodes → smoother balance.
+const VNODES: u32 = 64;
+
+fn hash64(x: u64) -> u64 {
+    // splitmix64 finalizer
+    let mut z = x.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// A consistent-hash ring over data nodes.
+#[derive(Debug, Clone, Default)]
+pub struct HashRing {
+    /// ring position → physical node
+    ring: BTreeMap<u64, NodeId>,
+    nodes: Vec<NodeId>,
+}
+
+impl HashRing {
+    /// An empty ring.
+    pub fn new() -> HashRing {
+        HashRing::default()
+    }
+
+    /// Add a node (idempotent).
+    pub fn add_node(&mut self, node: NodeId) {
+        if self.nodes.contains(&node) {
+            return;
+        }
+        self.nodes.push(node);
+        self.nodes.sort_unstable();
+        for v in 0..VNODES {
+            let pos = hash64((u64::from(node.0) << 32) | u64::from(v));
+            self.ring.insert(pos, node);
+        }
+    }
+
+    /// Remove a node and its virtual nodes.
+    pub fn remove_node(&mut self, node: NodeId) {
+        self.nodes.retain(|n| *n != node);
+        self.ring.retain(|_, n| *n != node);
+    }
+
+    /// Nodes currently on the ring, ascending.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The `replicas` distinct nodes responsible for a document, primary
+    /// first. Returns fewer when the ring has fewer nodes.
+    pub fn placement(&self, id: DocId, replicas: usize) -> Vec<NodeId> {
+        if self.ring.is_empty() || replicas == 0 {
+            return Vec::new();
+        }
+        let start = hash64(id.0);
+        let mut out = Vec::with_capacity(replicas);
+        for (_, node) in self.ring.range(start..).chain(self.ring.range(..start)) {
+            if !out.contains(node) {
+                out.push(*node);
+                if out.len() == replicas {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Primary owner of a document.
+    pub fn primary(&self, id: DocId) -> Option<NodeId> {
+        self.placement(id, 1).first().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_of(n: u32) -> HashRing {
+        let mut r = HashRing::new();
+        for i in 0..n {
+            r.add_node(NodeId(i));
+        }
+        r
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_distinct() {
+        let r = ring_of(5);
+        for i in 0..100u64 {
+            let p1 = r.placement(DocId(i), 3);
+            let p2 = r.placement(DocId(i), 3);
+            assert_eq!(p1, p2);
+            assert_eq!(p1.len(), 3);
+            let mut dedup = p1.clone();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 3, "replicas must be distinct nodes");
+        }
+    }
+
+    #[test]
+    fn placement_capped_by_ring_size() {
+        let r = ring_of(2);
+        assert_eq!(r.placement(DocId(1), 3).len(), 2);
+        assert!(HashRing::new().placement(DocId(1), 3).is_empty());
+    }
+
+    #[test]
+    fn balance_is_reasonable() {
+        let r = ring_of(4);
+        let mut counts = std::collections::HashMap::new();
+        for i in 0..4000u64 {
+            let p = r.primary(DocId(i)).unwrap();
+            *counts.entry(p).or_insert(0u32) += 1;
+        }
+        for (_, c) in counts {
+            assert!(c > 500 && c < 2000, "unbalanced: {c}");
+        }
+    }
+
+    #[test]
+    fn removal_only_moves_owned_keys() {
+        let r1 = ring_of(5);
+        let mut r2 = ring_of(5);
+        r2.remove_node(NodeId(3));
+        let mut moved = 0;
+        let total = 2000u64;
+        for i in 0..total {
+            let p1 = r1.primary(DocId(i)).unwrap();
+            let p2 = r2.primary(DocId(i)).unwrap();
+            if p1 != p2 {
+                // only keys previously owned by node 3 may move
+                assert_eq!(p1, NodeId(3), "key {i} moved from a surviving node");
+                moved += 1;
+            }
+        }
+        // ~1/5 of keys should move
+        assert!(moved > (total / 10) as i32 && moved < (total / 3) as i32, "moved {moved}");
+    }
+
+    #[test]
+    fn add_node_is_idempotent() {
+        let mut r = ring_of(3);
+        let before = r.ring.len();
+        r.add_node(NodeId(1));
+        assert_eq!(r.ring.len(), before);
+        assert_eq!(r.nodes().len(), 3);
+    }
+
+    #[test]
+    fn failover_placement_promotes_next_replica() {
+        let mut r = ring_of(5);
+        let id = DocId(42);
+        let before = r.placement(id, 3);
+        r.remove_node(before[0]);
+        let after = r.placement(id, 3);
+        // old second replica becomes primary
+        assert_eq!(after[0], before[1]);
+        assert_eq!(after.len(), 3);
+    }
+}

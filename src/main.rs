@@ -1,0 +1,212 @@
+//! The Impliance shell: an interactive front end to a single-box
+//! appliance instance.
+//!
+//! ```text
+//! cargo run --release --bin impliance
+//! impliance> ingest json claims {"claimant": "Grace Hopper", "amount": 1500}
+//! impliance> sql SELECT claimant FROM claims WHERE amount > 1000
+//! impliance> drain
+//! impliance> search hopper
+//! ```
+//!
+//! Type `help` inside the shell for the full command list.
+
+use std::io::{BufRead, Write};
+
+use impliance::core::{ApplianceConfig, Impliance};
+use impliance::docmodel::DocId;
+
+fn main() {
+    let imp = Impliance::boot(ApplianceConfig::default());
+    println!("Impliance appliance — operational out of the box. Type 'help' for commands.");
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        print!("impliance> ");
+        std::io::stdout().flush().ok();
+        line.clear();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let input = line.trim();
+        if input.is_empty() {
+            continue;
+        }
+        if input == "quit" || input == "exit" {
+            break;
+        }
+        if let Err(message) = dispatch(&imp, input) {
+            println!("error: {message}");
+        }
+    }
+}
+
+fn dispatch(imp: &Impliance, input: &str) -> Result<(), String> {
+    let (command, rest) = input.split_once(' ').unwrap_or((input, ""));
+    match command {
+        "help" => {
+            println!(
+                "commands:\n\
+                 \x20 ingest json <collection> <json>   ingest a JSON document\n\
+                 \x20 ingest text <collection> <text>   ingest plain text\n\
+                 \x20 ingest xml <collection> <xml>     ingest XML\n\
+                 \x20 sql <statement>                   run SQL (SELECT ...)\n\
+                 \x20 search <terms>                    keyword search (top 10)\n\
+                 \x20 phrase <words>                    exact-phrase search\n\
+                 \x20 guided <terms path:value ...>     guided faceted search\n\
+                 \x20 facets [path]                     facet dimensions / counts\n\
+                 \x20 connect <id> <id>                 how are two docs connected?\n\
+                 \x20 lineage <id>                      provenance of a document\n\
+                 \x20 drain                             run background indexing+discovery\n\
+                 \x20 stats                             appliance counters\n\
+                 \x20 demo                              load a small demo corpus\n\
+                 \x20 quit"
+            );
+            Ok(())
+        }
+        "ingest" => {
+            let (format, rest) = rest.split_once(' ').ok_or("usage: ingest <format> ...")?;
+            let (collection, body) =
+                rest.split_once(' ').ok_or("usage: ingest <format> <collection> <body>")?;
+            let id = match format {
+                "json" => imp.ingest_json(collection, body),
+                "text" => imp.ingest_text(collection, body),
+                "xml" => imp.ingest_xml(collection, body),
+                "email" => imp.ingest_email(collection, body),
+                other => return Err(format!("unknown format {other}")),
+            }
+            .map_err(|e| e.to_string())?;
+            println!("ingested {id} (background analysis pending — run 'drain')");
+            Ok(())
+        }
+        "sql" => {
+            let out = imp.sql(input.strip_prefix("sql ").unwrap_or(rest)).map_err(|e| e.to_string())?;
+            match &out {
+                impliance::query::QueryOutput::Rows(rows) => {
+                    for row in rows.iter().take(25) {
+                        println!("{}", row.render());
+                    }
+                    println!("({} row(s))", rows.len());
+                }
+                impliance::query::QueryOutput::Docs(docs) => {
+                    for d in docs.iter().take(10) {
+                        println!("{} [{}] {}", d.id(), d.collection(), impliance::docmodel::json::emit(d.root()));
+                    }
+                    println!("({} document(s))", docs.len());
+                }
+                impliance::query::QueryOutput::Path(p) => println!("{p:?}"),
+            }
+            Ok(())
+        }
+        "search" => {
+            for hit in imp.search(rest, 10) {
+                let snippet = imp
+                    .get(hit.id)
+                    .ok()
+                    .flatten()
+                    .map(|d| {
+                        let t = d.full_text();
+                        t.chars().take(70).collect::<String>()
+                    })
+                    .unwrap_or_default();
+                println!("{} (score {:.3}) {}", hit.id, hit.score, snippet);
+            }
+            Ok(())
+        }
+        "phrase" => {
+            for hit in imp.search_phrase(rest, None, 10) {
+                println!("{} ({} occurrence(s))", hit.id, hit.score);
+            }
+            Ok(())
+        }
+        "guided" => {
+            let mut session = imp.session();
+            impliance::facet::apply_guided_query(&mut session, rest);
+            let results = session.results();
+            println!("{} result(s): {:?}", results.len(), results.iter().take(10).collect::<Vec<_>>());
+            for dim in session.suggest_dimensions(3) {
+                println!("  drill-down suggestion: {dim}");
+            }
+            Ok(())
+        }
+        "facets" => {
+            if rest.is_empty() {
+                println!("{:?}", imp.facet_dimensions(2, 30));
+            } else {
+                for v in imp.facet(rest).values.iter().take(15) {
+                    println!("{}: {}", v.label, v.count);
+                }
+            }
+            Ok(())
+        }
+        "connect" => {
+            let mut parts = rest.split_whitespace();
+            let a: u64 = parts.next().and_then(|s| s.parse().ok()).ok_or("connect <id> <id>")?;
+            let b: u64 = parts.next().and_then(|s| s.parse().ok()).ok_or("connect <id> <id>")?;
+            match imp.connect(DocId(a), DocId(b), 4) {
+                Some(path) => println!("connected: {path:?}"),
+                None => println!("not connected within 4 hops"),
+            }
+            Ok(())
+        }
+        "lineage" => {
+            let id: u64 = rest.trim().parse().map_err(|_| "lineage <id>")?;
+            for entry in impliance::core::audit::lineage(imp, DocId(id)) {
+                println!("{entry:?}");
+            }
+            Ok(())
+        }
+        "drain" => {
+            imp.quiesce();
+            let s = imp.discovery_stats();
+            println!(
+                "background work drained: {} docs analyzed, {} annotations, {} relationships",
+                s.docs_processed, s.annotations, s.relationships
+            );
+            Ok(())
+        }
+        "stats" => {
+            println!(
+                "live docs: {}  versions: {}  stored: {} bytes  indexed backlog: {}  discovery backlog: {}  admin ops: {}",
+                imp.storage().live_docs(),
+                imp.storage().total_versions(),
+                imp.storage().stored_bytes(),
+                imp.indexing_backlog(),
+                imp.discovery_backlog(),
+                imp.ledger().count()
+            );
+            Ok(())
+        }
+        "demo" => {
+            imp.ingest_json(
+                "claims",
+                r#"{"claimant": "Grace Hopper", "amount": 1500, "vehicle": {"make": "Volvo"}, "notes": "bumper damage, Grace Hopper very unhappy"}"#,
+            )
+            .map_err(|e| e.to_string())?;
+            imp.ingest_json(
+                "claims",
+                r#"{"claimant": "Alan Turing", "amount": 320, "vehicle": {"make": "Saab"}, "notes": "mirror fix, quick and great service"}"#,
+            )
+            .map_err(|e| e.to_string())?;
+            imp.ingest_text(
+                "transcripts",
+                "Call from Grace Hopper in Seattle about product BX-1042, requesting refund",
+            )
+            .map_err(|e| e.to_string())?;
+            imp.ingest_email(
+                "mail",
+                "From: ada@example.com\nSubject: Acme Widgets Inc. contract\n\nRenewal confirmed for BX-1042.",
+            )
+            .map_err(|e| e.to_string())?;
+            imp.quiesce();
+            println!("demo corpus loaded and analyzed; try: sql SELECT claimant, amount FROM claims");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other} (try 'help')")),
+    }
+}

@@ -1,0 +1,157 @@
+//! Cluster-level integration: Figure 3 behaviours across crates
+//! (cluster runtime + storage + query dist + virt recovery).
+
+use impliance::cluster::NodeKind;
+use impliance::core::{ApplianceConfig, ClusterImpliance};
+use impliance::docmodel::Value;
+use impliance::storage::{AggFunc, AggSpec, Predicate, Projection, ScanRequest};
+use impliance_bench::Corpus;
+
+fn config(data: usize, grid: usize, replication: usize) -> ApplianceConfig {
+    ApplianceConfig {
+        data_nodes: data,
+        grid_nodes: grid,
+        cluster_nodes: 3,
+        replication,
+        seal_threshold: 64,
+        ..ApplianceConfig::default()
+    }
+}
+
+fn load_orders(app: &ClusterImpliance, n: usize, seed: u64) {
+    let mut corpus = Corpus::new(seed);
+    for _ in 0..n {
+        app.ingest_json("orders", &corpus.order_json(20)).unwrap();
+    }
+}
+
+#[test]
+fn distributed_answers_match_across_cluster_sizes() {
+    // the same workload on 1, 2, and 6 data nodes must agree exactly
+    let mut reference: Option<Vec<(String, f64)>> = None;
+    for d in [1usize, 2, 6] {
+        let app = ClusterImpliance::boot(config(d, 2, 1));
+        load_orders(&app, 300, 42);
+        let req = ScanRequest {
+            predicate: None,
+            projection: Projection::All,
+            aggregate: Some(AggSpec {
+                group_by: Some("cust".into()),
+                func: AggFunc::Sum,
+                operand: Some("amount".into()),
+            }),
+            limit: None,
+        };
+        let groups = app.aggregate(&req).unwrap();
+        let result: Vec<(String, f64)> =
+            groups.iter().map(|(k, v)| (k.clone(), v.sum)).collect();
+        match &reference {
+            None => reference = Some(result),
+            Some(r) => assert_eq!(r, &result, "answers must not depend on cluster size ({d})"),
+        }
+    }
+}
+
+#[test]
+fn pushdown_reduces_traffic_at_any_scale() {
+    for d in [2usize, 4] {
+        let app = ClusterImpliance::boot(config(d, 1, 1));
+        load_orders(&app, 500, 7);
+        let selective = Predicate::Gt("amount".into(), Value::Int(950));
+        app.runtime().network().reset_metrics();
+        app.scan(&ScanRequest::filtered(selective)).unwrap();
+        let push = app.runtime().network().metrics().bytes;
+        app.runtime().network().reset_metrics();
+        app.scan(&ScanRequest::full()).unwrap();
+        let full = app.runtime().network().metrics().bytes;
+        assert!(push * 3 < full, "d={d}: pushdown {push} vs full {full}");
+    }
+}
+
+#[test]
+fn replicated_cluster_survives_sequential_failures() {
+    let app = ClusterImpliance::boot(config(6, 1, 3));
+    load_orders(&app, 600, 9);
+    let data_nodes = app.runtime().nodes_of_kind(NodeKind::Data);
+    // kill two of six nodes, one at a time
+    for victim in &data_nodes[..2] {
+        let report = app.kill_data_node(*victim).unwrap();
+        assert_eq!(report.docs_lost, 0, "replication 3 survives two failures");
+        let visible = app.scan(&ScanRequest::full()).unwrap().documents.len();
+        assert_eq!(visible, 600, "after killing {victim:?}");
+    }
+}
+
+#[test]
+fn unreplicated_cluster_loses_data_on_failure() {
+    // the negative control: replication 1 must actually lose documents
+    let app = ClusterImpliance::boot(config(4, 1, 1));
+    load_orders(&app, 400, 10);
+    let victim = app.runtime().nodes_of_kind(NodeKind::Data)[0];
+    let before = app.scan(&ScanRequest::full()).unwrap().documents.len();
+    assert_eq!(before, 400);
+    let report = app.kill_data_node(victim).unwrap();
+    let after = app.scan(&ScanRequest::full()).unwrap().documents.len();
+    assert!(report.docs_lost > 0);
+    assert_eq!(after, 400 - report.docs_lost);
+}
+
+#[test]
+fn pipeline_query_spans_all_three_node_kinds() {
+    let app = ClusterImpliance::boot(config(3, 2, 1));
+    load_orders(&app, 200, 11);
+    let req = ScanRequest {
+        predicate: Some(Predicate::Ge("amount".into(), Value::Int(0))),
+        projection: Projection::All,
+        aggregate: Some(AggSpec {
+            group_by: Some("cust".into()),
+            func: AggFunc::Avg,
+            operand: Some("amount".into()),
+        }),
+        limit: None,
+    };
+    let committed = app.pipeline_query(&req).unwrap();
+    assert_eq!(committed, 20);
+    // the consistency group holds exactly one commit with all members
+    assert_eq!(app.group().log().len(), 1);
+    assert_eq!(app.group().alive_members().len(), 3);
+}
+
+#[test]
+fn grid_nodes_scale_compute_independently_of_data() {
+    let app = ClusterImpliance::boot(config(1, 4, 1));
+    // 8 compute tasks over 4 grid nodes complete and balance
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            app.runtime()
+                .submit_to_kind(NodeKind::Grid, 0, |ctx| ctx.id)
+                .unwrap()
+        })
+        .collect();
+    let mut used = std::collections::HashSet::new();
+    for h in handles {
+        used.insert(h.join().unwrap());
+    }
+    assert!(used.len() >= 3, "work crew should spread over the grid: {used:?}");
+}
+
+#[test]
+fn distributed_join_agrees_with_expected_cardinality() {
+    let app = ClusterImpliance::boot(config(3, 2, 1));
+    load_orders(&app, 100, 12);
+    for i in 0..20u64 {
+        app.ingest_json("customers", &format!(r#"{{"code": "C-{i}", "name": "N{i}"}}"#))
+            .unwrap();
+    }
+    let tuples = app
+        .join(
+            &ScanRequest::filtered(Predicate::CollectionIs("orders".into())),
+            &ScanRequest::filtered(Predicate::CollectionIs("customers".into())),
+            "o",
+            "c",
+            ("o".to_string(), "cust".to_string()),
+            ("c".to_string(), "code".to_string()),
+        )
+        .unwrap();
+    assert_eq!(tuples.len(), 100);
+}
