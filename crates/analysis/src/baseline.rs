@@ -1,0 +1,184 @@
+//! The ratchet: pre-existing lint debt is recorded in
+//! `lint_baseline.json`; a check run fails only on findings *not* covered
+//! by the baseline, so debt can be burned down incrementally without a
+//! flag day. Keys are `(lint, file, normalized line text)` with an
+//! occurrence count — line numbers are excluded so unrelated edits don't
+//! invalidate entries, and counts ratchet per signature: removing one of
+//! three identical `unwrap()` lines shrinks the allowance from 3 to 2 on
+//! the next `--update-baseline`.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::report::{count_by_key, Diagnostic, Json};
+
+/// File name of the committed baseline, relative to the workspace root.
+pub const BASELINE_FILE: &str = "lint_baseline.json";
+
+/// Parsed baseline: ratchet key -> allowed occurrence count.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Baseline {
+    /// Allowed occurrences per ratchet key.
+    pub entries: BTreeMap<String, usize>,
+}
+
+impl Baseline {
+    /// Load from `root/lint_baseline.json`. A missing file is an empty
+    /// baseline (everything is "new"); a malformed file is an error so a
+    /// bad merge can't silently allow regressions.
+    pub fn load(root: &Path) -> Result<Baseline, String> {
+        let path = root.join(BASELINE_FILE);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Baseline::default()),
+            Err(e) => return Err(format!("reading {}: {e}", path.display())),
+        };
+        let doc = crate::report::parse_json(&text)
+            .map_err(|e| format!("parsing {}: {e}", path.display()))?;
+        let mut entries = BTreeMap::new();
+        let list = doc
+            .get("entries")
+            .and_then(|e| e.as_arr())
+            .ok_or_else(|| format!("{}: missing \"entries\" array", path.display()))?;
+        for item in list {
+            let key = item
+                .get("key")
+                .and_then(|k| k.as_str())
+                .ok_or_else(|| format!("{}: entry missing \"key\"", path.display()))?;
+            let count = item.get("count").and_then(|c| c.as_f64()).unwrap_or(1.0) as usize;
+            entries.insert(key.to_string(), count);
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Build a baseline that exactly covers `diags`.
+    pub fn from_diagnostics(diags: &[Diagnostic]) -> Baseline {
+        Baseline {
+            entries: count_by_key(diags),
+        }
+    }
+
+    /// Total allowed occurrences.
+    pub fn total(&self) -> usize {
+        self.entries.values().sum()
+    }
+
+    /// Serialize to the committed JSON format.
+    pub fn to_json(&self) -> Json {
+        let entries: Vec<Json> = self
+            .entries
+            .iter()
+            .map(|(key, count)| {
+                let mut obj = BTreeMap::new();
+                obj.insert("key".to_string(), Json::Str(key.clone()));
+                obj.insert("count".to_string(), Json::Num(*count as f64));
+                Json::Obj(obj)
+            })
+            .collect();
+        let mut doc = BTreeMap::new();
+        doc.insert("version".to_string(), Json::Num(1.0));
+        doc.insert(
+            "comment".to_string(),
+            Json::Str(
+                "Ratcheted lint debt. Regenerate with `cargo run -p impliance-analysis -- \
+                 check --update-baseline`; the diff is the review artifact."
+                    .to_string(),
+            ),
+        );
+        doc.insert("entries".to_string(), Json::Arr(entries));
+        Json::Obj(doc)
+    }
+
+    /// Write to `root/lint_baseline.json`.
+    pub fn save(&self, root: &Path) -> std::io::Result<()> {
+        std::fs::write(root.join(BASELINE_FILE), self.to_json().pretty())
+    }
+
+    /// Split `diags` into (covered-by-baseline, new) under the ratchet:
+    /// for each key, up to the baseline count is covered; overflow is new.
+    pub fn partition<'d>(
+        &self,
+        diags: &'d [Diagnostic],
+    ) -> (Vec<&'d Diagnostic>, Vec<&'d Diagnostic>) {
+        let mut budget = self.entries.clone();
+        let mut covered = Vec::new();
+        let mut fresh = Vec::new();
+        for d in diags {
+            let key = d.ratchet_key();
+            match budget.get_mut(&key) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    covered.push(d);
+                }
+                _ => fresh.push(d),
+            }
+        }
+        (covered, fresh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::LintId;
+
+    fn diag(id: LintId, file: &str, line: u32, sig: &str) -> Diagnostic {
+        Diagnostic {
+            id,
+            file: file.into(),
+            line,
+            signature: sig.into(),
+            message: "m".into(),
+            suggestion: "s".into(),
+        }
+    }
+
+    #[test]
+    fn partition_ratchets_per_signature_count() {
+        let existing = vec![
+            diag(LintId::L1, "a.rs", 10, "x.unwrap()"),
+            diag(LintId::L1, "a.rs", 20, "x.unwrap()"),
+        ];
+        let baseline = Baseline::from_diagnostics(&existing);
+        // same two sites (lines moved) → all covered
+        let moved = vec![
+            diag(LintId::L1, "a.rs", 11, "x.unwrap()"),
+            diag(LintId::L1, "a.rs", 99, "x.unwrap()"),
+        ];
+        let (covered, fresh) = baseline.partition(&moved);
+        assert_eq!((covered.len(), fresh.len()), (2, 0));
+        // a third identical site → 1 new
+        let grown = vec![
+            diag(LintId::L1, "a.rs", 11, "x.unwrap()"),
+            diag(LintId::L1, "a.rs", 99, "x.unwrap()"),
+            diag(LintId::L1, "a.rs", 120, "x.unwrap()"),
+        ];
+        let (covered, fresh) = baseline.partition(&grown);
+        assert_eq!((covered.len(), fresh.len()), (2, 1));
+    }
+
+    #[test]
+    fn roundtrip_through_json() {
+        let diags = vec![
+            diag(LintId::L1, "a.rs", 1, "x.unwrap()"),
+            diag(LintId::L4, "b.rs", 2, "tx.send(v)"),
+        ];
+        let baseline = Baseline::from_diagnostics(&diags);
+        let text = baseline.to_json().pretty();
+        let doc = crate::report::parse_json(&text).unwrap();
+        let mut back = Baseline::default();
+        for item in doc.get("entries").unwrap().as_arr().unwrap() {
+            back.entries.insert(
+                item.get("key").unwrap().as_str().unwrap().to_string(),
+                item.get("count").unwrap().as_f64().unwrap() as usize,
+            );
+        }
+        assert_eq!(back, baseline);
+    }
+
+    #[test]
+    fn missing_file_is_empty_baseline() {
+        let b = Baseline::load(Path::new("/definitely/not/here")).unwrap();
+        assert_eq!(b.total(), 0);
+    }
+}

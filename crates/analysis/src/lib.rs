@@ -1,0 +1,31 @@
+//! `impliance-analysis`: correctness tooling for the Impliance workspace.
+//!
+//! Two halves:
+//!
+//! * **Static invariant linter** ([`lints`], [`baseline`], [`report`]) —
+//!   enforces the L1-L4 workspace invariants over a self-contained lexer
+//!   ([`lexer`]), with pre-existing debt ratcheted through
+//!   `lint_baseline.json`. Run it with
+//!   `cargo run -p impliance-analysis -- check`.
+//! * **Runtime lock-order detector** ([`locks`]) — [`TrackedMutex`] /
+//!   [`TrackedRwLock`] wrappers that, in debug builds, maintain a global
+//!   acquired-before graph and panic with the offending cycle on
+//!   lock-order inversion. Adopted by the cluster runtime, the storage
+//!   engine, and the virtualization execution manager.
+//!
+//! The paper's appliance promise ("ease of administration", §3) is only
+//! honest if the substrate's invariants are checked by machines, not by
+//! reviewers; this crate is that machine.
+
+pub mod baseline;
+pub mod lexer;
+pub mod lints;
+pub mod locks;
+pub mod report;
+
+pub use baseline::{Baseline, BASELINE_FILE};
+pub use lints::{collect_sources, lint_source, lint_workspace, LintConfig};
+#[cfg(debug_assertions)]
+pub use locks::reset_lock_order_graph_for_tests;
+pub use locks::{TrackedMutex, TrackedRwLock};
+pub use report::{Diagnostic, Json, LintId};

@@ -1,0 +1,800 @@
+//! The four Impliance workspace invariants (L1-L4), enforced over the
+//! token stream produced by [`crate::lexer`].
+//!
+//! | id | invariant |
+//! |----|-----------|
+//! | L1 | no `unwrap()` / `expect()` / `panic!` in non-test library code of hot-path crates |
+//! | L2 | no raw channel `send` / `thread::sleep` in cluster code outside the `Network` accounting layer |
+//! | L3 | no `Instant::now` / `SystemTime::now` in simulation-deterministic cluster code outside the clock exemptions |
+//! | L4 | no `Mutex`/`RwLock` guard held across a channel `send`/`recv` in the same function body |
+//!
+//! The analysis is lexical (the environment has no `syn`), which buys
+//! simplicity and zero dependencies at the cost of heuristics that are
+//! documented on each lint below. Every finding can be suppressed with a
+//! trailing or preceding comment `impliance-lint: allow(Lx)`; pre-existing
+//! debt is ratcheted via `lint_baseline.json` (see [`crate::baseline`]).
+
+use std::collections::{BTreeSet, HashSet};
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Lexed, TokenKind};
+use crate::report::{Diagnostic, LintId};
+
+/// What to scan and which invariants apply where. All paths are
+/// workspace-relative with forward slashes.
+#[derive(Clone, Debug)]
+pub struct LintConfig {
+    /// Workspace root directory.
+    pub root: PathBuf,
+    /// Directory prefixes holding library code to scan at all.
+    pub scan_prefixes: Vec<String>,
+    /// Prefixes of hot-path crates for L1.
+    pub l1_prefixes: Vec<String>,
+    /// Prefixes of simulation/cluster code for L2 and L3.
+    pub cluster_prefixes: Vec<String>,
+    /// Files exempt from L2 (the byte-accounting layer itself).
+    pub l2_exempt: Vec<String>,
+    /// Files exempt from L3 (the clock abstraction).
+    pub l3_exempt: Vec<String>,
+}
+
+impl LintConfig {
+    /// The configuration for this repository.
+    pub fn impliance(root: impl Into<PathBuf>) -> LintConfig {
+        LintConfig {
+            root: root.into(),
+            scan_prefixes: vec!["crates/".into(), "src/".into()],
+            l1_prefixes: vec![
+                "crates/storage/src/".into(),
+                "crates/query/src/".into(),
+                "crates/index/src/".into(),
+                "crates/cluster/src/".into(),
+                "crates/core/src/".into(),
+            ],
+            cluster_prefixes: vec![
+                "crates/cluster/src/".into(),
+                "crates/core/src/cluster_app.rs".into(),
+            ],
+            l2_exempt: vec!["crates/cluster/src/network.rs".into()],
+            l3_exempt: vec!["crates/cluster/src/network.rs".into()],
+        }
+    }
+
+    fn in_any(prefixes: &[String], rel: &str) -> bool {
+        prefixes.iter().any(|p| rel.starts_with(p.as_str()))
+    }
+}
+
+/// Directories never scanned (tests, benches, fixtures, build output,
+/// vendored shims).
+const SKIP_DIRS: &[&str] = &[
+    "tests", "benches", "examples", "fixtures", "target", "vendor", ".git",
+];
+
+/// Recursively collect workspace-relative paths of library `.rs` files.
+pub fn collect_sources(config: &LintConfig) -> Vec<String> {
+    let mut out = Vec::new();
+    for prefix in &config.scan_prefixes {
+        let dir = config.root.join(prefix.trim_end_matches('/'));
+        walk(&dir, &config.root, &mut out);
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<String>) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().to_string();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) {
+                continue;
+            }
+            walk(&path, root, out);
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+}
+
+/// Run every applicable lint over one file's source text.
+pub fn lint_source(config: &LintConfig, rel_path: &str, source: &str) -> Vec<Diagnostic> {
+    let lexed = lex(source);
+    let lines: Vec<&str> = source.lines().collect();
+    let ctx = FileContext::new(rel_path, &lexed, &lines);
+
+    let mut diags = Vec::new();
+    if LintConfig::in_any(&config.l1_prefixes, rel_path) {
+        lint_l1(&ctx, &mut diags);
+    }
+    if LintConfig::in_any(&config.cluster_prefixes, rel_path) {
+        if !config.l2_exempt.iter().any(|f| f == rel_path) {
+            lint_l2(&ctx, &mut diags);
+        }
+        if !config.l3_exempt.iter().any(|f| f == rel_path) {
+            lint_l3(&ctx, &mut diags);
+        }
+    }
+    lint_l4(&ctx, &mut diags);
+
+    diags.retain(|d| !ctx.allowed(d.id, d.line));
+    diags.sort_by_key(|d| (d.line, d.id));
+    diags
+}
+
+/// Run the full scan over the workspace.
+pub fn lint_workspace(config: &LintConfig) -> std::io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+    for rel in collect_sources(config) {
+        let path = config.root.join(&rel);
+        let source = std::fs::read_to_string(&path)?;
+        diags.extend(lint_source(config, &rel, &source));
+    }
+    Ok(diags)
+}
+
+// ---------------------------------------------------------------------
+// shared per-file context
+// ---------------------------------------------------------------------
+
+struct FileContext<'a> {
+    rel_path: &'a str,
+    lexed: &'a Lexed,
+    lines: &'a [&'a str],
+    /// Token indexes inside `#[cfg(test)] mod ... { }` bodies.
+    test_tokens: Vec<bool>,
+    /// (lint, line) pairs suppressed by `impliance-lint: allow(..)`.
+    allows: HashSet<(LintId, u32)>,
+}
+
+impl<'a> FileContext<'a> {
+    fn new(rel_path: &'a str, lexed: &'a Lexed, lines: &'a [&'a str]) -> FileContext<'a> {
+        let test_tokens = mark_test_modules(lexed);
+        let mut allows = HashSet::new();
+        for comment in &lexed.comments {
+            if let Some(ids) = parse_allow(&comment.text) {
+                for id in ids {
+                    // a marker covers its own lines and the next line
+                    for line in comment.line..=comment.end_line + 1 {
+                        allows.insert((id, line));
+                    }
+                }
+            }
+        }
+        FileContext {
+            rel_path,
+            lexed,
+            lines,
+            test_tokens,
+            allows,
+        }
+    }
+
+    fn allowed(&self, id: LintId, line: u32) -> bool {
+        self.allows.contains(&(id, line))
+    }
+
+    fn is_test_token(&self, idx: usize) -> bool {
+        self.test_tokens.get(idx).copied().unwrap_or(false)
+    }
+
+    fn signature(&self, line: u32) -> String {
+        let text = self.lines.get(line as usize - 1).copied().unwrap_or("");
+        let mut sig = String::with_capacity(text.len());
+        let mut last_space = true;
+        for c in text.trim().chars() {
+            if c.is_whitespace() {
+                if !last_space {
+                    sig.push(' ');
+                }
+                last_space = true;
+            } else {
+                sig.push(c);
+                last_space = false;
+            }
+        }
+        sig
+    }
+
+    fn diag(&self, id: LintId, line: u32, message: String, suggestion: &str) -> Diagnostic {
+        Diagnostic {
+            id,
+            file: self.rel_path.to_string(),
+            line,
+            signature: self.signature(line),
+            message,
+            suggestion: suggestion.to_string(),
+        }
+    }
+}
+
+/// Parse `impliance-lint: allow(L1)` / `allow(L1, L4)` out of a comment.
+fn parse_allow(comment: &str) -> Option<Vec<LintId>> {
+    let marker = "impliance-lint:";
+    let rest = &comment[comment.find(marker)? + marker.len()..];
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix("allow(")?;
+    let inner = &rest[..rest.find(')')?];
+    let ids: Vec<LintId> = inner
+        .split(',')
+        .filter_map(|part| LintId::parse(part.trim()))
+        .collect();
+    (!ids.is_empty()).then_some(ids)
+}
+
+/// Mark every token inside `#[cfg(test)] mod name { ... }` bodies, plus
+/// `#[test]`-attributed functions, as test code.
+fn mark_test_modules(lexed: &Lexed) -> Vec<bool> {
+    let toks = &lexed.tokens;
+    let mut marked = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        // match "#" "[" ("cfg" "(" "test" ...| "test" "]") — i.e. the
+        // attribute opener for either #[cfg(test)] or #[test]
+        if toks[i].text == "#" && toks.get(i + 1).map(|t| t.text.as_str()) == Some("[") {
+            let is_cfg_test = toks.get(i + 2).map(|t| t.text.as_str()) == Some("cfg")
+                && toks.get(i + 3).map(|t| t.text.as_str()) == Some("(")
+                && toks.get(i + 4).map(|t| t.text.as_str()) == Some("test");
+            let is_test_attr = toks.get(i + 2).map(|t| t.text.as_str()) == Some("test")
+                && toks.get(i + 3).map(|t| t.text.as_str()) == Some("]");
+            if is_cfg_test || is_test_attr {
+                // find the end of the attribute, then the item's body
+                let mut j = i + 2;
+                let mut bracket_depth = 1; // we're inside "["
+                while j < toks.len() && bracket_depth > 0 {
+                    match toks[j].text.as_str() {
+                        "[" => bracket_depth += 1,
+                        "]" => bracket_depth -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                // scan forward to the item's opening brace (skipping
+                // further attributes and the item header); bail on `;`
+                let mut k = j;
+                let mut paren_depth = 0i32;
+                while k < toks.len() {
+                    match toks[k].text.as_str() {
+                        "(" | "<" => paren_depth += 1,
+                        ")" | ">" => paren_depth -= 1,
+                        "{" if paren_depth <= 0 => break,
+                        ";" if paren_depth <= 0 => {
+                            k = toks.len();
+                            break;
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                if k < toks.len() {
+                    // mark to the matching close brace
+                    let mut depth = 0i32;
+                    let mut m = k;
+                    while m < toks.len() {
+                        match toks[m].text.as_str() {
+                            "{" => depth += 1,
+                            "}" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        marked[m] = true;
+                        m += 1;
+                    }
+                    if m < toks.len() {
+                        marked[m] = true;
+                    }
+                    i = m + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    marked
+}
+
+// ---------------------------------------------------------------------
+// function spans (for L2/L4)
+// ---------------------------------------------------------------------
+
+struct FnSpan {
+    /// Index of the `{` opening the body.
+    body_start: usize,
+    /// Index of the matching `}`.
+    body_end: usize,
+}
+
+/// Locate function bodies: each `fn` keyword followed (at paren-depth 0)
+/// by `{`. Declarations ending in `;` (trait methods, externs) are
+/// skipped. Nested functions/closures are inside their parent's span;
+/// lints that walk spans de-duplicate findings by token index.
+fn function_spans(lexed: &Lexed) -> Vec<FnSpan> {
+    let toks = &lexed.tokens;
+    let mut spans = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].kind != TokenKind::Ident || toks[i].text != "fn" {
+            continue;
+        }
+        let mut j = i + 1;
+        let mut paren_depth = 0i32;
+        let mut body_start = None;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "(" => paren_depth += 1,
+                ")" => paren_depth -= 1,
+                "{" if paren_depth == 0 => {
+                    body_start = Some(j);
+                    break;
+                }
+                ";" if paren_depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(start) = body_start else { continue };
+        let mut depth = 0i32;
+        let mut m = start;
+        while m < toks.len() {
+            match toks[m].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            m += 1;
+        }
+        if m < toks.len() {
+            spans.push(FnSpan {
+                body_start: start,
+                body_end: m,
+            });
+        }
+    }
+    spans
+}
+
+// ---------------------------------------------------------------------
+// L1: no unwrap/expect/panic! in hot-path library code
+// ---------------------------------------------------------------------
+
+fn lint_l1(ctx: &FileContext<'_>, diags: &mut Vec<Diagnostic>) {
+    let toks = &ctx.lexed.tokens;
+    for i in 0..toks.len() {
+        if ctx.is_test_token(i) || toks[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let next_is = |off: usize, s: &str| toks.get(i + off).map(|t| t.text.as_str()) == Some(s);
+        let prev_is_dot = i > 0 && toks[i - 1].text == ".";
+        match toks[i].text.as_str() {
+            "unwrap" | "expect" if prev_is_dot && next_is(1, "(") => {
+                diags.push(ctx.diag(
+                    LintId::L1,
+                    toks[i].line,
+                    format!(
+                        "`{}()` in hot-path library code can panic under load",
+                        toks[i].text
+                    ),
+                    "propagate the error (`?` / `ok_or`) or handle the None/Err arm explicitly",
+                ));
+            }
+            "panic" if next_is(1, "!") => {
+                diags.push(ctx.diag(
+                    LintId::L1,
+                    toks[i].line,
+                    "`panic!` in hot-path library code aborts the worker thread".to_string(),
+                    "return a typed error; reserve panics for programmer bugs behind debug_assert!",
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// L2: cluster sends must go through the Network accounting layer
+// ---------------------------------------------------------------------
+
+/// Heuristic: inside each function body in cluster-scoped files, a
+/// `.send(...)` is legal only if a `transmit(...)` call appears earlier in
+/// the same body (the runtime charges the Network before shipping bytes).
+/// `thread::sleep` is never legal — simulated time must come from the
+/// clock abstraction so single-node runs stay deterministic.
+fn lint_l2(ctx: &FileContext<'_>, diags: &mut Vec<Diagnostic>) {
+    let toks = &ctx.lexed.tokens;
+    let mut seen: BTreeSet<usize> = BTreeSet::new();
+    for span in function_spans(ctx.lexed) {
+        let mut transmit_seen = false;
+        for i in span.body_start..=span.body_end.min(toks.len() - 1) {
+            if ctx.is_test_token(i) || toks[i].kind != TokenKind::Ident {
+                continue;
+            }
+            let next_is_paren = toks.get(i + 1).map(|t| t.text.as_str()) == Some("(");
+            match toks[i].text.as_str() {
+                "transmit" if next_is_paren => transmit_seen = true,
+                "send" | "try_send"
+                    if next_is_paren
+                        && i > 0
+                        && toks[i - 1].text == "."
+                        && !transmit_seen
+                        && seen.insert(i) =>
+                {
+                    diags.push(ctx.diag(
+                        LintId::L2,
+                        toks[i].line,
+                        "raw channel send in cluster code without a preceding Network::transmit \
+                         charge in this function"
+                            .to_string(),
+                        "route the transfer through Network::transmit so bytes are accounted, \
+                         or move the send into the accounting layer",
+                    ));
+                }
+                "sleep"
+                    if next_is_paren
+                        && i >= 2
+                        && toks[i - 1].text == ":"
+                        && toks[i - 2].text == ":"
+                        && seen.insert(i) =>
+                {
+                    diags.push(ctx.diag(
+                        LintId::L2,
+                        toks[i].line,
+                        "thread::sleep in cluster code couples simulation behaviour to \
+                         wall-clock time"
+                            .to_string(),
+                        "use the simulated clock / latency model on Network instead of sleeping",
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// L3: no wall-clock reads in simulation-deterministic cluster code
+// ---------------------------------------------------------------------
+
+fn lint_l3(ctx: &FileContext<'_>, diags: &mut Vec<Diagnostic>) {
+    let toks = &ctx.lexed.tokens;
+    for i in 0..toks.len() {
+        if ctx.is_test_token(i) || toks[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let is_clock = matches!(toks[i].text.as_str(), "Instant" | "SystemTime");
+        if is_clock
+            && toks.get(i + 1).map(|t| t.text.as_str()) == Some(":")
+            && toks.get(i + 2).map(|t| t.text.as_str()) == Some(":")
+            && toks.get(i + 3).map(|t| t.text.as_str()) == Some("now")
+        {
+            diags.push(ctx.diag(
+                LintId::L3,
+                toks[i].line,
+                format!(
+                    "`{}::now` leaks wall-clock time into simulation-deterministic cluster code",
+                    toks[i].text
+                ),
+                "take timestamps from the clock abstraction (or pass them in) so simulated \
+                 runs are reproducible",
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// L4: no lock guard held across a channel send/recv
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+struct ActiveGuard {
+    name: String,
+    depth: i32,
+    line: u32,
+}
+
+/// Heuristic: a `let g = <expr>.lock();` / `.read();` / `.write();`
+/// statement binds a guard named `g`; the guard is live until `drop(g)` or
+/// the closing brace of its block. Any `.send(` / `.recv(` /
+/// `.recv_timeout(` / `.try_recv(` while a guard is live is a finding.
+/// Chained uses (`map.lock().get(..)`) create only a temporary guard and
+/// are ignored.
+fn lint_l4(ctx: &FileContext<'_>, diags: &mut Vec<Diagnostic>) {
+    let toks = &ctx.lexed.tokens;
+    let mut reported: BTreeSet<usize> = BTreeSet::new();
+    for span in function_spans(ctx.lexed) {
+        let mut depth = 0i32;
+        let mut guards: Vec<ActiveGuard> = Vec::new();
+        let mut i = span.body_start;
+        while i <= span.body_end.min(toks.len() - 1) {
+            let text = toks[i].text.as_str();
+            match text {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    guards.retain(|g| g.depth <= depth);
+                }
+                "let" if toks[i].kind == TokenKind::Ident && !ctx.is_test_token(i) => {
+                    // find simple `let [mut] name = ... .lock() ;` pattern
+                    if let Some((name, end)) = guard_binding(toks, i, span.body_end) {
+                        guards.push(ActiveGuard {
+                            name,
+                            depth,
+                            line: toks[i].line,
+                        });
+                        i = end;
+                        continue;
+                    }
+                }
+                "drop"
+                    if toks.get(i + 1).map(|t| t.text.as_str()) == Some("(")
+                        && toks.get(i + 3).map(|t| t.text.as_str()) == Some(")") =>
+                {
+                    if let Some(dropped) = toks.get(i + 2) {
+                        guards.retain(|g| g.name != dropped.text);
+                    }
+                }
+                "send" | "recv" | "recv_timeout" | "try_recv" | "try_send"
+                    if !ctx.is_test_token(i)
+                        && i > 0
+                        && toks[i - 1].text == "."
+                        && toks.get(i + 1).map(|t| t.text.as_str()) == Some("(")
+                        && !guards.is_empty()
+                        && reported.insert(i) =>
+                {
+                    let held: Vec<String> = guards
+                        .iter()
+                        .map(|g| format!("`{}` (taken line {})", g.name, g.line))
+                        .collect();
+                    diags.push(ctx.diag(
+                        LintId::L4,
+                        toks[i].line,
+                        format!(
+                            "channel `{}` while lock guard{} {} still held — blocks the lock \
+                             for the channel's latency and invites deadlock",
+                            text,
+                            if held.len() == 1 { "" } else { "s" },
+                            held.join(", ")
+                        ),
+                        "drop the guard (narrow scope or explicit drop()) before touching the \
+                         channel",
+                    ));
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+}
+
+/// If tokens at `let_idx` form `let [mut] name = ... .lock|read|write ( ) ;`
+/// (the lock call terminating the statement), return the guard name and the
+/// index of the `;`.
+fn guard_binding(
+    toks: &[crate::lexer::Token],
+    let_idx: usize,
+    limit: usize,
+) -> Option<(String, usize)> {
+    let mut j = let_idx + 1;
+    if toks.get(j).map(|t| t.text.as_str()) == Some("mut") {
+        j += 1;
+    }
+    let name_tok = toks.get(j)?;
+    if name_tok.kind != TokenKind::Ident {
+        return None; // tuple/struct pattern — not a simple guard binding
+    }
+    let name = name_tok.text.clone();
+    if toks.get(j + 1).map(|t| t.text.as_str()) != Some("=") {
+        return None; // `let x: T = ...` (typed) or something else; skip type ascription
+    }
+    // scan to the end of the statement at nesting depth 0
+    let mut k = j + 2;
+    let mut nest = 0i32;
+    while k <= limit {
+        match toks.get(k).map(|t| t.text.as_str()) {
+            Some("(") | Some("[") | Some("{") => nest += 1,
+            Some(")") | Some("]") | Some("}") => nest -= 1,
+            Some(";") if nest == 0 => break,
+            None => return None,
+            _ => {}
+        }
+        k += 1;
+    }
+    if k > limit {
+        return None;
+    }
+    // statement must end with `. lock|read|write ( ) ;`
+    if k >= 4
+        && toks[k - 1].text == ")"
+        && toks[k - 2].text == "("
+        && matches!(toks[k - 3].text.as_str(), "lock" | "read" | "write")
+        && toks[k - 4].text == "."
+    {
+        Some((name, k))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config_for(path: &str) -> LintConfig {
+        let mut c = LintConfig::impliance("/nonexistent");
+        if !path.starts_with("crates/") {
+            c.l1_prefixes.push(path.to_string());
+            c.cluster_prefixes.push(path.to_string());
+        }
+        c
+    }
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        lint_source(&config_for(path), path, src)
+    }
+
+    #[test]
+    fn l1_flags_unwrap_expect_panic() {
+        let src = r#"
+            pub fn f(x: Option<u32>) -> u32 {
+                let a = x.unwrap();
+                let b = x.expect("boom");
+                if a + b > 100 { panic!("too big"); }
+                a
+            }
+        "#;
+        let diags = run("crates/storage/src/engine.rs", src);
+        let ids: Vec<_> = diags.iter().map(|d| d.id).collect();
+        assert_eq!(ids, vec![LintId::L1, LintId::L1, LintId::L1]);
+    }
+
+    #[test]
+    fn l1_ignores_test_modules_and_strings() {
+        let src = r#"
+            pub fn g() -> &'static str { "please .unwrap() responsibly" }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { Some(1).unwrap(); }
+            }
+        "#;
+        assert!(run("crates/storage/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l1_not_applied_outside_hot_path() {
+        let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert!(run("crates/docmodel/src/node.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_comment_suppresses() {
+        let src = r#"
+            pub fn f(x: Option<u32>) -> u32 {
+                // impliance-lint: allow(L1)
+                x.unwrap()
+            }
+        "#;
+        assert!(run("crates/storage/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l2_send_without_transmit_flags() {
+        let src = r#"
+            pub fn relay(tx: &Sender<u32>) {
+                tx.send(1).ok();
+            }
+        "#;
+        let diags = run("crates/cluster/src/group.rs", src);
+        assert_eq!(diags.iter().filter(|d| d.id == LintId::L2).count(), 1);
+    }
+
+    #[test]
+    fn l2_send_after_transmit_passes() {
+        let src = r#"
+            pub fn relay(net: &Network, tx: &Sender<u32>) {
+                net.transmit(a, b, 64);
+                tx.send(1).ok();
+            }
+        "#;
+        assert!(run("crates/cluster/src/group.rs", src)
+            .iter()
+            .all(|d| d.id != LintId::L2));
+    }
+
+    #[test]
+    fn l2_sleep_always_flags() {
+        let src = r#"
+            pub fn wait() { std::thread::sleep(Duration::from_millis(5)); }
+        "#;
+        let diags = run("crates/cluster/src/group.rs", src);
+        assert_eq!(diags.iter().filter(|d| d.id == LintId::L2).count(), 1);
+    }
+
+    #[test]
+    fn l3_flags_wall_clock() {
+        let src = r#"
+            pub fn stamp() -> Instant { Instant::now() }
+            pub fn stamp2() -> SystemTime { SystemTime::now() }
+        "#;
+        let diags = run("crates/cluster/src/group.rs", src);
+        assert_eq!(diags.iter().filter(|d| d.id == LintId::L3).count(), 2);
+    }
+
+    #[test]
+    fn l3_exempt_file_passes() {
+        let src = "pub fn stamp() -> Instant { Instant::now() }";
+        let c = LintConfig::impliance("/nonexistent");
+        assert!(lint_source(&c, "crates/cluster/src/network.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l4_guard_across_send_flags() {
+        let src = r#"
+            pub fn f(&self) {
+                let nodes = self.nodes.read();
+                self.tx.send(1).ok();
+            }
+        "#;
+        let diags = run("crates/docmodel/src/node.rs", src);
+        assert_eq!(diags.iter().filter(|d| d.id == LintId::L4).count(), 1);
+        assert!(diags[0].message.contains("`nodes`"));
+    }
+
+    #[test]
+    fn l4_dropped_guard_passes() {
+        let src = r#"
+            pub fn f(&self) {
+                let nodes = self.nodes.read();
+                drop(nodes);
+                self.tx.send(1).ok();
+            }
+        "#;
+        assert!(run("crates/docmodel/src/node.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l4_scoped_guard_passes() {
+        let src = r#"
+            pub fn f(&self) {
+                {
+                    let nodes = self.nodes.read();
+                    let _ = nodes.len();
+                }
+                self.tx.send(1).ok();
+            }
+        "#;
+        assert!(run("crates/docmodel/src/node.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l4_chained_temporary_is_not_a_guard() {
+        let src = r#"
+            pub fn f(&self) {
+                let n = self.nodes.read().len();
+                self.tx.send(n).ok();
+            }
+        "#;
+        assert!(run("crates/docmodel/src/node.rs", src).is_empty());
+    }
+
+    #[test]
+    fn signatures_normalize_whitespace() {
+        let src = "pub fn f(x: Option<u32>) -> u32 {\n    x   .unwrap()\n}";
+        let diags = run("crates/storage/src/engine.rs", src);
+        assert_eq!(diags[0].signature, "x .unwrap()");
+    }
+}

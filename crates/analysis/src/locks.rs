@@ -1,0 +1,299 @@
+//! Runtime lock-order detection: [`TrackedMutex`] / [`TrackedRwLock`].
+//!
+//! In debug builds every tracked acquisition records, per thread, the set
+//! of lock *names* currently held; acquiring lock `B` while holding `A`
+//! inserts the edge `A -> B` into a process-global order graph. If the new
+//! edge closes a cycle the process panics immediately, naming the cycle —
+//! converting a maybe-once-a-month deadlock into a deterministic test
+//! failure the first time two call paths disagree about ordering. The
+//! graph is keyed by the static name given at construction, so all
+//! instances created at one site share a node (that is what makes the
+//! A->B / B->A pattern detectable from single-threaded tests).
+//!
+//! Release builds compile the tracking away entirely: the wrappers are
+//! `#[repr(transparent)]`-thin over `parking_lot` and the lock/unlock path
+//! has zero extra work.
+
+use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+#[cfg(debug_assertions)]
+mod graph {
+    use parking_lot::Mutex;
+    use std::cell::RefCell;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    /// Process-global acquired-before graph: name -> names acquired while
+    /// it was held.
+    static EDGES: Mutex<BTreeMap<&'static str, BTreeSet<&'static str>>> =
+        Mutex::new(BTreeMap::new());
+
+    thread_local! {
+        /// Names of tracked locks currently held by this thread, in
+        /// acquisition order (duplicates possible for reentrant reads).
+        static HELD: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Record an acquisition of `name`, panicking if it inverts an order
+    /// the process has already committed to.
+    pub fn on_acquire(name: &'static str) {
+        HELD.with(|held| {
+            let held = held.borrow();
+            if held.is_empty() {
+                return;
+            }
+            let mut edges = EDGES.lock();
+            for &h in held.iter() {
+                if h == name {
+                    continue; // same-name reentrancy is the lock's business
+                }
+                edges.entry(h).or_default().insert(name);
+            }
+            // adding h->name may close a cycle: walk from `name` back to
+            // any held lock
+            for &h in held.iter() {
+                if h == name {
+                    continue;
+                }
+                if let Some(path) = path_between(&edges, name, h) {
+                    let mut cycle: Vec<&str> = path;
+                    cycle.push(name);
+                    panic!(
+                        "lock-order inversion: acquiring `{name}` while holding `{h}`, but the \
+                         process already acquired them in the opposite order \
+                         (cycle: {})",
+                        cycle.join(" -> ")
+                    );
+                }
+            }
+        });
+        HELD.with(|held| held.borrow_mut().push(name));
+    }
+
+    /// Record a release of `name` (latest acquisition wins).
+    pub fn on_release(name: &'static str) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|&h| h == name) {
+                held.remove(pos);
+            }
+        });
+    }
+
+    /// DFS: path from `from` to `to` along recorded edges, if any.
+    fn path_between(
+        edges: &BTreeMap<&'static str, BTreeSet<&'static str>>,
+        from: &'static str,
+        to: &'static str,
+    ) -> Option<Vec<&'static str>> {
+        let mut stack = vec![(from, vec![from])];
+        let mut seen = BTreeSet::new();
+        while let Some((node, path)) = stack.pop() {
+            if node == to {
+                return Some(path);
+            }
+            if !seen.insert(node) {
+                continue;
+            }
+            if let Some(nexts) = edges.get(node) {
+                for &n in nexts {
+                    let mut p = path.clone();
+                    p.push(n);
+                    stack.push((n, p));
+                }
+            }
+        }
+        None
+    }
+
+    /// Test-only: forget all recorded edges (thread-held state is left
+    /// alone; callers must have released their guards).
+    pub fn reset_for_tests() {
+        EDGES.lock().clear();
+    }
+}
+
+/// Test-only escape hatch: clear the global order graph so independent
+/// tests don't see each other's edges. Debug builds only.
+#[cfg(debug_assertions)]
+pub fn reset_lock_order_graph_for_tests() {
+    graph::reset_for_tests();
+}
+
+/// A [`parking_lot::Mutex`] that participates in lock-order checking in
+/// debug builds. The `name` should be unique per lock *role* (e.g.
+/// `"cluster.nodes"`), not per instance.
+pub struct TrackedMutex<T: ?Sized> {
+    name: &'static str,
+    inner: Mutex<T>,
+}
+
+/// Guard for [`TrackedMutex`]; releases the order-graph hold on drop.
+pub struct TrackedMutexGuard<'a, T: ?Sized> {
+    name: &'static str,
+    // Option so Drop can release the graph entry after the guard.
+    guard: Option<MutexGuard<'a, T>>,
+}
+
+impl<T> TrackedMutex<T> {
+    /// Create a named tracked mutex.
+    pub const fn new(name: &'static str, value: T) -> TrackedMutex<T> {
+        TrackedMutex {
+            name,
+            inner: Mutex::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> TrackedMutex<T> {
+    /// The role name this lock registers in the order graph.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Acquire, recording the acquisition order in debug builds. Panics on
+    /// lock-order inversion (debug builds only).
+    pub fn lock(&self) -> TrackedMutexGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        graph::on_acquire(self.name);
+        TrackedMutexGuard {
+            name: self.name,
+            guard: Some(self.inner.lock()),
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for TrackedMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.guard.take();
+        #[cfg(debug_assertions)]
+        graph::on_release(self.name);
+        #[cfg(not(debug_assertions))]
+        let _ = self.name;
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for TrackedMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present until drop")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for TrackedMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present until drop")
+    }
+}
+
+/// A [`parking_lot::RwLock`] that participates in lock-order checking in
+/// debug builds. Read and write acquisitions share one graph node: a
+/// read/write pair in opposite orders can deadlock just like two writes.
+pub struct TrackedRwLock<T: ?Sized> {
+    name: &'static str,
+    inner: RwLock<T>,
+}
+
+/// Read guard for [`TrackedRwLock`].
+pub struct TrackedReadGuard<'a, T: ?Sized> {
+    name: &'static str,
+    guard: Option<RwLockReadGuard<'a, T>>,
+}
+
+/// Write guard for [`TrackedRwLock`].
+pub struct TrackedWriteGuard<'a, T: ?Sized> {
+    name: &'static str,
+    guard: Option<RwLockWriteGuard<'a, T>>,
+}
+
+impl<T> TrackedRwLock<T> {
+    /// Create a named tracked rwlock.
+    pub const fn new(name: &'static str, value: T) -> TrackedRwLock<T> {
+        TrackedRwLock {
+            name,
+            inner: RwLock::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> TrackedRwLock<T> {
+    /// The role name this lock registers in the order graph.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Acquire shared, recording order in debug builds.
+    pub fn read(&self) -> TrackedReadGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        graph::on_acquire(self.name);
+        TrackedReadGuard {
+            name: self.name,
+            guard: Some(self.inner.read()),
+        }
+    }
+
+    /// Acquire exclusive, recording order in debug builds.
+    pub fn write(&self) -> TrackedWriteGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        graph::on_acquire(self.name);
+        TrackedWriteGuard {
+            name: self.name,
+            guard: Some(self.inner.write()),
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for TrackedReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.guard.take();
+        #[cfg(debug_assertions)]
+        graph::on_release(self.name);
+        #[cfg(not(debug_assertions))]
+        let _ = self.name;
+    }
+}
+
+impl<T: ?Sized> Drop for TrackedWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.guard.take();
+        #[cfg(debug_assertions)]
+        graph::on_release(self.name);
+        #[cfg(not(debug_assertions))]
+        let _ = self.name;
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for TrackedReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present until drop")
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for TrackedWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present until drop")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for TrackedWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present until drop")
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for TrackedMutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrackedMutex")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for TrackedRwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrackedRwLock")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}

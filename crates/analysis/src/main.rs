@@ -1,0 +1,254 @@
+//! CLI for the Impliance invariant linter.
+//!
+//! ```text
+//! cargo run -p impliance-analysis -- check                    # gate: fail on NEW violations
+//! cargo run -p impliance-analysis -- check --update-baseline  # re-ratchet after intentional changes
+//! cargo run -p impliance-analysis -- check --json-out out.json --root /path/to/ws
+//! ```
+//!
+//! Exit codes: 0 = clean (all findings covered by the baseline), 1 = new
+//! violations, 2 = usage or I/O error.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use impliance_analysis::report::{count_by_key, Json};
+use impliance_analysis::{lint_workspace, Baseline, Diagnostic, LintConfig, LintId};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: impliance-analysis check [--update-baseline] [--root DIR] [--json-out FILE]\n\
+         \n\
+         Enforced invariants:\n\
+         {}",
+        LintId::ALL
+            .iter()
+            .map(|l| format!("  {l}: {}\n", l.description()))
+            .collect::<String>()
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut update_baseline = false;
+    let mut root: Option<PathBuf> = None;
+    let mut json_out: Option<PathBuf> = None;
+    let mut command: Option<String> = None;
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "check" if command.is_none() => command = Some("check".into()),
+            "--update-baseline" => update_baseline = true,
+            "--root" => match iter.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
+            "--json-out" => match iter.next() {
+                Some(file) => json_out = Some(PathBuf::from(file)),
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+    if command.as_deref() != Some("check") {
+        return usage();
+    }
+
+    let root = root.unwrap_or_else(find_workspace_root);
+    let config = LintConfig::impliance(&root);
+
+    let diags = match lint_workspace(&config) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("impliance-analysis: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let baseline = match Baseline::load(&root) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("impliance-analysis: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if update_baseline {
+        let fresh = Baseline::from_diagnostics(&diags);
+        let (old_total, new_total) = (baseline.total(), fresh.total());
+        if let Err(e) = fresh.save(&root) {
+            eprintln!("impliance-analysis: writing baseline: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "baseline updated: {} -> {} allowed findings ({} keys); review the \
+             lint_baseline.json diff",
+            old_total,
+            new_total,
+            fresh.entries.len()
+        );
+        write_report(&root, json_out, &diags, &[], &fresh);
+        return ExitCode::SUCCESS;
+    }
+
+    let (covered, fresh) = baseline.partition(&diags);
+
+    let report_path = write_report(&root, json_out, &diags, &fresh, &baseline);
+
+    let mut per_lint: BTreeMap<LintId, usize> = BTreeMap::new();
+    for d in &diags {
+        *per_lint.entry(d.id).or_insert(0) += 1;
+    }
+    println!(
+        "impliance-analysis: scanned workspace at {}",
+        root.display()
+    );
+    for id in LintId::ALL {
+        println!(
+            "  {id} ({}): {} finding(s)",
+            id.description(),
+            per_lint.get(&id).copied().unwrap_or(0)
+        );
+    }
+    println!(
+        "  total {} finding(s): {} covered by baseline, {} NEW",
+        diags.len(),
+        covered.len(),
+        fresh.len()
+    );
+    if let Some(p) = report_path {
+        println!("  report: {}", p.display());
+    }
+
+    if fresh.is_empty() {
+        println!("OK: no new invariant violations");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\nNEW violations (not in lint_baseline.json):");
+        for d in &fresh {
+            eprintln!("{}", d.render());
+        }
+        eprintln!(
+            "\nFAIL: {} new violation(s). Fix them, annotate with \
+             `// impliance-lint: allow(Lx)` and a justification, or (for intentional \
+             additions) run `cargo run -p impliance-analysis -- check --update-baseline` \
+             and commit the diff.",
+            fresh.len()
+        );
+        ExitCode::from(1)
+    }
+}
+
+/// Walk up from CWD to the first directory holding a `[workspace]`
+/// Cargo.toml; fall back to CWD.
+fn find_workspace_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = cwd.clone();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent.to_path_buf(),
+            None => return cwd,
+        }
+    }
+}
+
+/// Emit `analysis_report.json` (machine-readable mirror of the run).
+fn write_report(
+    root: &std::path::Path,
+    json_out: Option<PathBuf>,
+    diags: &[Diagnostic],
+    fresh: &[&Diagnostic],
+    baseline: &Baseline,
+) -> Option<PathBuf> {
+    let path = json_out.unwrap_or_else(|| root.join("analysis_report.json"));
+
+    let diag_json = |d: &Diagnostic| {
+        let mut obj = BTreeMap::new();
+        obj.insert("id".to_string(), Json::Str(d.id.as_str().to_string()));
+        obj.insert("file".to_string(), Json::Str(d.file.clone()));
+        obj.insert("line".to_string(), Json::Num(d.line as f64));
+        obj.insert("signature".to_string(), Json::Str(d.signature.clone()));
+        obj.insert("message".to_string(), Json::Str(d.message.clone()));
+        obj.insert("suggestion".to_string(), Json::Str(d.suggestion.clone()));
+        Json::Obj(obj)
+    };
+
+    let mut per_lint: BTreeMap<String, Json> = BTreeMap::new();
+    for id in LintId::ALL {
+        let n = diags.iter().filter(|d| d.id == id).count();
+        per_lint.insert(id.as_str().to_string(), Json::Num(n as f64));
+    }
+
+    let mut totals = BTreeMap::new();
+    totals.insert("findings".to_string(), Json::Num(diags.len() as f64));
+    totals.insert("new".to_string(), Json::Num(fresh.len() as f64));
+    totals.insert(
+        "baseline_allowed".to_string(),
+        Json::Num(baseline.total() as f64),
+    );
+    totals.insert("per_lint".to_string(), Json::Obj(per_lint));
+
+    let mut doc = BTreeMap::new();
+    doc.insert(
+        "tool".to_string(),
+        Json::Str("impliance-analysis".to_string()),
+    );
+    doc.insert("version".to_string(), Json::Num(1.0));
+    doc.insert("totals".to_string(), Json::Obj(totals));
+    doc.insert(
+        "new_violations".to_string(),
+        Json::Arr(fresh.iter().map(|d| diag_json(d)).collect()),
+    );
+    doc.insert(
+        "diagnostics".to_string(),
+        Json::Arr(diags.iter().map(diag_json).collect()),
+    );
+    doc.insert(
+        "invariants".to_string(),
+        Json::Obj(
+            LintId::ALL
+                .iter()
+                .map(|l| {
+                    (
+                        l.as_str().to_string(),
+                        Json::Str(l.description().to_string()),
+                    )
+                })
+                .collect(),
+        ),
+    );
+    // sanity: occurrence counts by ratchet key, for diffing runs
+    doc.insert(
+        "by_key".to_string(),
+        Json::Obj(
+            count_by_key(diags)
+                .into_iter()
+                .map(|(k, v)| (k, Json::Num(v as f64)))
+                .collect(),
+        ),
+    );
+
+    match std::fs::write(&path, Json::Obj(doc).pretty()) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!(
+                "impliance-analysis: warning: could not write {}: {e}",
+                path.display()
+            );
+            None
+        }
+    }
+}

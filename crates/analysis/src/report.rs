@@ -1,0 +1,437 @@
+//! Diagnostics, human-readable rendering, and a dependency-free JSON
+//! layer (writer + recursive-descent reader) used for
+//! `analysis_report.json` and `lint_baseline.json`. serde is unavailable
+//! offline, so the small JSON dialect these files need is implemented
+//! here directly.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of an enforced invariant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintId {
+    /// No `unwrap()` / `expect()` / `panic!` in hot-path library code.
+    L1,
+    /// Cluster traffic must flow through the byte-accounted `Network`.
+    L2,
+    /// No wall-clock reads in simulation-deterministic cluster code.
+    L3,
+    /// No lock guard held across a channel `send` / `recv`.
+    L4,
+}
+
+impl LintId {
+    /// All lints, in order.
+    pub const ALL: [LintId; 4] = [LintId::L1, LintId::L2, LintId::L3, LintId::L4];
+
+    /// Stable string form (`"L1"`...).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            LintId::L1 => "L1",
+            LintId::L2 => "L2",
+            LintId::L3 => "L3",
+            LintId::L4 => "L4",
+        }
+    }
+
+    /// Parse from the stable string form.
+    pub fn parse(s: &str) -> Option<LintId> {
+        match s {
+            "L1" => Some(LintId::L1),
+            "L2" => Some(LintId::L2),
+            "L3" => Some(LintId::L3),
+            "L4" => Some(LintId::L4),
+            _ => None,
+        }
+    }
+
+    /// One-line description of what the invariant protects.
+    pub fn description(&self) -> &'static str {
+        match self {
+            LintId::L1 => "no unwrap()/expect()/panic! in hot-path library code",
+            LintId::L2 => "cluster sends/sleeps must go through the Network accounting layer",
+            LintId::L3 => {
+                "no Instant::now/SystemTime::now in simulation-deterministic cluster code"
+            }
+            LintId::L4 => "no Mutex/RwLock guard held across a channel send/recv",
+        }
+    }
+}
+
+impl fmt::Display for LintId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which invariant was violated.
+    pub id: LintId,
+    /// Workspace-relative file path (forward slashes).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The offending construct (normalized snippet used as the ratchet key).
+    pub signature: String,
+    /// Human message.
+    pub message: String,
+    /// Suggested fix.
+    pub suggestion: String,
+}
+
+impl Diagnostic {
+    /// Stable ratchet key: file + lint + normalized signature. Line numbers
+    /// are deliberately excluded so edits elsewhere in a file don't
+    /// invalidate the baseline.
+    pub fn ratchet_key(&self) -> String {
+        format!("{}:{}:{}", self.id, self.file, self.signature)
+    }
+
+    /// `file:line: [Lx] message (suggestion)` — the human rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}\n    suggestion: {}",
+            self.file, self.line, self.id, self.message, self.suggestion
+        )
+    }
+}
+
+/// Aggregate findings keyed for the ratchet: key -> occurrence count.
+pub fn count_by_key(diags: &[Diagnostic]) -> BTreeMap<String, usize> {
+    let mut map = BTreeMap::new();
+    for d in diags {
+        *map.entry(d.ratchet_key()).or_insert(0) += 1;
+    }
+    map
+}
+
+// ---------------------------------------------------------------------
+// JSON value + writer
+// ---------------------------------------------------------------------
+
+/// Minimal JSON value tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// null
+    Null,
+    /// true / false
+    Bool(bool),
+    /// Numbers (always written as f64; integral values print without `.0`).
+    Num(f64),
+    /// String
+    Str(String),
+    /// Array
+    Arr(Vec<Json>),
+    /// Object — BTreeMap so output is deterministic and diffs are stable.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Object member access.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// String content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric content, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Array items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Serialize with 2-space indentation (stable, diff-friendly).
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        let pad_in = "  ".repeat(indent + 1);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            Json::Str(s) => write_json_string(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad_in);
+                    item.write(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in map.iter().enumerate() {
+                    out.push_str(&pad_in);
+                    write_json_string(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                    if i + 1 < map.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------
+// JSON reader
+// ---------------------------------------------------------------------
+
+/// Parse a JSON document. Returns a message on malformed input.
+pub fn parse_json(input: &str) -> Result<Json, String> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut pos = 0usize;
+    let value = parse_value(&chars, &mut pos)?;
+    skip_ws(&chars, &mut pos);
+    if pos != chars.len() {
+        return Err(format!("trailing characters at offset {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(chars: &[char], pos: &mut usize) {
+    while *pos < chars.len() && chars[*pos].is_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn parse_value(chars: &[char], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(chars, pos);
+    match chars.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some('{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(chars, pos);
+            if chars.get(*pos) == Some(&'}') {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            loop {
+                skip_ws(chars, pos);
+                let key = match parse_value(chars, pos)? {
+                    Json::Str(s) => s,
+                    other => return Err(format!("object key must be string, got {other:?}")),
+                };
+                skip_ws(chars, pos);
+                if chars.get(*pos) != Some(&':') {
+                    return Err(format!("expected ':' at offset {pos}", pos = *pos));
+                }
+                *pos += 1;
+                let value = parse_value(chars, pos)?;
+                map.insert(key, value);
+                skip_ws(chars, pos);
+                match chars.get(*pos) {
+                    Some(',') => {
+                        *pos += 1;
+                    }
+                    Some('}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(map));
+                    }
+                    other => return Err(format!("expected ',' or '}}', got {other:?}")),
+                }
+            }
+        }
+        Some('[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(chars, pos);
+            if chars.get(*pos) == Some(&']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(chars, pos)?);
+                skip_ws(chars, pos);
+                match chars.get(*pos) {
+                    Some(',') => {
+                        *pos += 1;
+                    }
+                    Some(']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    other => return Err(format!("expected ',' or ']', got {other:?}")),
+                }
+            }
+        }
+        Some('"') => {
+            *pos += 1;
+            let mut s = String::new();
+            while let Some(&c) = chars.get(*pos) {
+                *pos += 1;
+                match c {
+                    '"' => return Ok(Json::Str(s)),
+                    '\\' => {
+                        let esc = chars.get(*pos).copied().ok_or("bad escape")?;
+                        *pos += 1;
+                        match esc {
+                            'n' => s.push('\n'),
+                            'r' => s.push('\r'),
+                            't' => s.push('\t'),
+                            'u' => {
+                                let hex: String = chars
+                                    .get(*pos..*pos + 4)
+                                    .unwrap_or_default()
+                                    .iter()
+                                    .collect();
+                                *pos += 4;
+                                let cp = u32::from_str_radix(&hex, 16)
+                                    .map_err(|e| format!("bad \\u escape: {e}"))?;
+                                s.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
+                            }
+                            other => s.push(other),
+                        }
+                    }
+                    c => s.push(c),
+                }
+            }
+            Err("unterminated string".into())
+        }
+        Some(c) if *c == '-' || c.is_ascii_digit() => {
+            let start = *pos;
+            while let Some(&c) = chars.get(*pos) {
+                if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E') {
+                    *pos += 1;
+                } else {
+                    break;
+                }
+            }
+            let text: String = chars[start..*pos].iter().collect();
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|e| format!("bad number {text:?}: {e}"))
+        }
+        Some('t') if chars[*pos..].starts_with(&['t', 'r', 'u', 'e']) => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some('f') if chars[*pos..].starts_with(&['f', 'a', 'l', 's', 'e']) => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some('n') if chars[*pos..].starts_with(&['n', 'u', 'l', 'l']) => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(c) => Err(format!("unexpected character {c:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip() {
+        let mut obj = BTreeMap::new();
+        obj.insert(
+            "name".to_string(),
+            Json::Str("a \"quoted\"\nvalue".to_string()),
+        );
+        obj.insert("count".to_string(), Json::Num(473.0));
+        obj.insert(
+            "nested".to_string(),
+            Json::Arr(vec![Json::Bool(true), Json::Null]),
+        );
+        let doc = Json::Obj(obj);
+        let text = doc.pretty();
+        let back = parse_json(&text).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_json("{ \"a\": }").is_err());
+        assert!(parse_json("[1, 2").is_err());
+        assert!(parse_json("{} trailing").is_err());
+    }
+
+    #[test]
+    fn ratchet_key_excludes_line() {
+        let a = Diagnostic {
+            id: LintId::L1,
+            file: "crates/x/src/lib.rs".into(),
+            line: 10,
+            signature: "foo().unwrap()".into(),
+            message: "m".into(),
+            suggestion: "s".into(),
+        };
+        let mut b = a.clone();
+        b.line = 99;
+        assert_eq!(a.ratchet_key(), b.ratchet_key());
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let v = parse_json(r#""snow☃man""#).unwrap();
+        assert_eq!(v.as_str(), Some("snow☃man"));
+    }
+}

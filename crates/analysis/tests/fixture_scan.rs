@@ -1,0 +1,127 @@
+//! The fixture workspace under `tests/fixtures/ws` carries exactly one
+//! deliberate violation per invariant; the scan over it is asserted both
+//! structurally and against the golden JSON report.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use impliance_analysis::report::parse_json;
+use impliance_analysis::{lint_workspace, LintConfig, LintId};
+
+fn fixture_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws")
+}
+
+#[test]
+fn fixture_trips_each_invariant_exactly_once() {
+    let config = LintConfig::impliance(fixture_root());
+    let diags = lint_workspace(&config).expect("fixture scan");
+    let count = |id| diags.iter().filter(|d| d.id == id).count();
+    assert_eq!(count(LintId::L1), 1, "diags: {diags:?}");
+    assert_eq!(count(LintId::L2), 1, "diags: {diags:?}");
+    assert_eq!(count(LintId::L3), 1, "diags: {diags:?}");
+    assert_eq!(count(LintId::L4), 1, "diags: {diags:?}");
+
+    // negative cases: the allowed unwrap and the test-module unwrap are
+    // not reported, so L1 has exactly the one flagged line
+    let l1 = diags
+        .iter()
+        .find(|d| d.id == LintId::L1)
+        .expect("an L1 diag");
+    assert_eq!(l1.file, "crates/storage/src/hotpath.rs");
+    assert_eq!(l1.line, 5);
+
+    let l4 = diags
+        .iter()
+        .find(|d| d.id == LintId::L4)
+        .expect("an L4 diag");
+    assert!(
+        l4.message.contains("`log`"),
+        "L4 names the held guard: {}",
+        l4.message
+    );
+}
+
+#[test]
+fn checker_binary_fails_on_fixture_with_golden_report() {
+    let out_path = std::env::temp_dir().join(format!(
+        "impliance-fixture-report-{}.json",
+        std::process::id()
+    ));
+    let output = Command::new(env!("CARGO_BIN_EXE_impliance-analysis"))
+        .args(["check", "--root"])
+        .arg(fixture_root())
+        .arg("--json-out")
+        .arg(&out_path)
+        .output()
+        .expect("run checker binary");
+
+    // non-zero exit: the fixture has no baseline, so all 4 findings are new
+    assert_eq!(
+        output.status.code(),
+        Some(1),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    for id in ["[L1]", "[L2]", "[L3]", "[L4]"] {
+        assert!(stderr.contains(id), "stderr names {id}: {stderr}");
+    }
+
+    // the JSON report matches the committed golden byte-for-byte (both are
+    // produced by the same deterministic pretty-printer)
+    let got = std::fs::read_to_string(&out_path).expect("report written");
+    let golden = std::fs::read_to_string(
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden_report.json"),
+    )
+    .expect("golden present");
+    assert_eq!(got, golden, "report drifted from tests/golden_report.json");
+    let _ = std::fs::remove_file(&out_path);
+
+    // and it parses back
+    let doc = parse_json(&got).expect("valid json");
+    let new = doc
+        .get("totals")
+        .and_then(|t| t.get("new"))
+        .and_then(|n| n.as_f64());
+    assert_eq!(new, Some(4.0));
+}
+
+#[test]
+fn update_baseline_then_check_is_clean() {
+    // copy the fixture tree to a temp root so --update-baseline does not
+    // touch the committed fixture
+    let tmp = std::env::temp_dir().join(format!("impliance-fixture-ws-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    copy_tree(&fixture_root(), &tmp);
+
+    let run = |extra: &[&str]| {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_impliance-analysis"));
+        cmd.args(["check", "--root"]).arg(&tmp).args(extra);
+        cmd.output().expect("run checker binary")
+    };
+
+    assert_eq!(run(&[]).status.code(), Some(1), "dirty tree fails");
+    assert_eq!(run(&["--update-baseline"]).status.code(), Some(0));
+    let clean = run(&[]);
+    assert_eq!(
+        clean.status.code(),
+        Some(0),
+        "ratcheted tree passes; stderr: {}",
+        String::from_utf8_lossy(&clean.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&tmp);
+}
+
+fn copy_tree(from: &std::path::Path, to: &std::path::Path) {
+    std::fs::create_dir_all(to).expect("mkdir");
+    for entry in std::fs::read_dir(from).expect("readdir") {
+        let entry = entry.expect("entry");
+        let target = to.join(entry.file_name());
+        if entry.file_type().expect("ftype").is_dir() {
+            copy_tree(&entry.path(), &target);
+        } else {
+            std::fs::copy(entry.path(), &target).expect("copy");
+        }
+    }
+}

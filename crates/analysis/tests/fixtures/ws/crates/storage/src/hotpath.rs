@@ -1,0 +1,20 @@
+//! Fixture: one deliberate L1 violation in hot-path storage code, plus
+//! negative cases (test module, allow comment) that must NOT be flagged.
+
+pub fn lookup(map: &std::collections::HashMap<u32, String>, key: u32) -> String {
+    map.get(&key).unwrap().clone() // L1: unwrap in hot-path library code
+}
+
+pub fn lookup_allowed(map: &std::collections::HashMap<u32, String>, key: u32) -> String {
+    // impliance-lint: allow(L1)
+    map.get(&key).unwrap().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -71,7 +71,10 @@ impl Annotator for EntityAnnotator {
                 Node::map([
                     ("kind".to_string(), Node::scalar(m.kind.name())),
                     ("text".to_string(), Node::scalar(m.text.as_str())),
-                    ("normalized".to_string(), Node::scalar(m.normalized.as_str())),
+                    (
+                        "normalized".to_string(),
+                        Node::scalar(m.normalized.as_str()),
+                    ),
                     ("path".to_string(), Node::scalar(path.as_str())),
                     ("offset".to_string(), Node::scalar(m.offset as i64)),
                 ])
@@ -116,7 +119,11 @@ impl Annotator for SentimentAnnotator {
             ("label".to_string(), Node::scalar(label.name())),
             ("polarity_words".to_string(), Node::scalar(i64::from(hits))),
         ]);
-        vec![Annotation { kind: "sentiment".to_string(), body, mentions: Vec::new() }]
+        vec![Annotation {
+            kind: "sentiment".to_string(),
+            body,
+            mentions: Vec::new(),
+        }]
     }
 }
 
@@ -126,7 +133,9 @@ mod tests {
     use impliance_docmodel::{DocId, DocumentBuilder, SourceFormat};
 
     fn text_doc(t: &str) -> Document {
-        DocumentBuilder::new(DocId(1), SourceFormat::Text, "t").field("body", t).build()
+        DocumentBuilder::new(DocId(1), SourceFormat::Text, "t")
+            .field("body", t)
+            .build()
     }
 
     #[test]
@@ -137,7 +146,12 @@ mod tests {
             .build();
         let anns = EntityAnnotator.annotate(&d);
         assert_eq!(anns.len(), 1);
-        let mentions = anns[0].body.get_str_path("mentions").unwrap().as_seq().unwrap();
+        let mentions = anns[0]
+            .body
+            .get_str_path("mentions")
+            .unwrap()
+            .as_seq()
+            .unwrap();
         assert!(mentions.len() >= 3);
         // every mention records its source path
         for m in mentions {
@@ -169,7 +183,13 @@ mod tests {
         let anns = SentimentAnnotator.annotate(&d);
         assert_eq!(anns.len(), 1);
         assert_eq!(
-            anns[0].body.get_str_path("label").unwrap().as_value().unwrap().as_str(),
+            anns[0]
+                .body
+                .get_str_path("label")
+                .unwrap()
+                .as_value()
+                .unwrap()
+                .as_str(),
             Some("positive")
         );
     }

@@ -31,7 +31,7 @@ pub mod schema_map;
 pub mod sentiment;
 
 pub use annotator::{Annotation, Annotator, EntityAnnotator, SentimentAnnotator};
-pub use pipeline::{DiscoveryPipeline, DiscoveryStats, DiscoverySink, DocSource};
+pub use pipeline::{DiscoveryPipeline, DiscoverySink, DiscoveryStats, DocSource};
 pub use resolve::{jaro_winkler, EntityResolver};
 pub use scan::{scan_entities, EntityKind, EntityMention};
 pub use schema_map::{SchemaMapper, UnifiedAttribute, UnifiedSchema};

@@ -153,11 +153,7 @@ impl DiscoveryPipeline {
         // Inter-document stage: resolve entities against everything seen.
         let links = self.resolver.lock().observe(doc.id(), &all_mentions);
         for link in &links {
-            sink.add_relationship(
-                link.a,
-                link.b,
-                &format!("same-{}", link.kind.name()),
-            );
+            sink.add_relationship(link.a, link.b, &format!("same-{}", link.kind.name()));
         }
         let mut stats = self.stats.lock();
         stats.docs_processed += 1;
@@ -214,7 +210,10 @@ mod tests {
     #[test]
     fn drain_processes_queue_and_stores_annotations() {
         let store = MemStore::default();
-        let d = doc(1, "Grace Hopper is very happy with product BX-1042, thanks!");
+        let d = doc(
+            1,
+            "Grace Hopper is very happy with product BX-1042, thanks!",
+        );
         store.docs.write().insert(DocId(1), d);
         let p = pipeline();
         p.enqueue(DocId(1));
@@ -226,8 +225,12 @@ mod tests {
         // entity + sentiment annotations
         assert_eq!(anns.len(), 2);
         assert!(anns.iter().all(|a| a.subject() == Some(DocId(1))));
-        assert!(anns.iter().any(|a| a.collection() == "annotations.entities"));
-        assert!(anns.iter().any(|a| a.collection() == "annotations.sentiment"));
+        assert!(anns
+            .iter()
+            .any(|a| a.collection() == "annotations.entities"));
+        assert!(anns
+            .iter()
+            .any(|a| a.collection() == "annotations.sentiment"));
         // every annotation has an "annotates" edge
         let edges = store.edges.read();
         assert_eq!(edges.iter().filter(|(_, _, l)| l == "annotates").count(), 2);
@@ -236,15 +239,23 @@ mod tests {
     #[test]
     fn cross_document_resolution_links_shared_entities() {
         let store = MemStore::default();
-        store.docs.write().insert(DocId(1), doc(1, "Call from Grace Hopper about a refund"));
-        store.docs.write().insert(DocId(2), doc(2, "Grace Hopper bought product AX-99 again"));
+        store
+            .docs
+            .write()
+            .insert(DocId(1), doc(1, "Call from Grace Hopper about a refund"));
+        store
+            .docs
+            .write()
+            .insert(DocId(2), doc(2, "Grace Hopper bought product AX-99 again"));
         let p = pipeline();
         p.enqueue(DocId(1));
         p.enqueue(DocId(2));
         p.drain(&store, &store, None);
         let edges = store.edges.read();
         assert!(
-            edges.iter().any(|(a, b, l)| *a == DocId(1) && *b == DocId(2) && l == "same-person"),
+            edges
+                .iter()
+                .any(|(a, b, l)| *a == DocId(1) && *b == DocId(2) && l == "same-person"),
             "expected same-person edge, got {edges:?}"
         );
     }
@@ -253,7 +264,10 @@ mod tests {
     fn budget_limits_work_per_drain() {
         let store = MemStore::default();
         for i in 0..10 {
-            store.docs.write().insert(DocId(i), doc(i, "Ada is happy in Boston today"));
+            store
+                .docs
+                .write()
+                .insert(DocId(i), doc(i, "Ada is happy in Boston today"));
         }
         let p = pipeline();
         for i in 0..10 {
@@ -276,7 +290,10 @@ mod tests {
     #[test]
     fn stats_accumulate() {
         let store = MemStore::default();
-        store.docs.write().insert(DocId(1), doc(1, "Mr. Jones was extremely disappointed"));
+        store
+            .docs
+            .write()
+            .insert(DocId(1), doc(1, "Mr. Jones was extremely disappointed"));
         let p = pipeline();
         p.enqueue(DocId(1));
         p.drain(&store, &store, None);
@@ -289,7 +306,10 @@ mod tests {
     #[test]
     fn annotation_ids_come_from_allocator() {
         let store = MemStore::default();
-        store.docs.write().insert(DocId(1), doc(1, "Ada is happy with service, thanks a lot"));
+        store
+            .docs
+            .write()
+            .insert(DocId(1), doc(1, "Ada is happy with service, thanks a lot"));
         let alloc = Arc::new(AtomicU64::new(500));
         let p = DiscoveryPipeline::new(vec![Box::new(EntityAnnotator)], alloc, 0.9);
         p.enqueue(DocId(1));

@@ -45,12 +45,19 @@ pub fn jaro(a: &str, b: &str) -> f64 {
         return 0.0;
     }
     // transpositions: compare matched sequences
-    let a_seq: Vec<char> =
-        a.iter().zip(&a_matched).filter(|(_, &m)| m).map(|(&c, _)| c).collect();
-    let b_seq: Vec<char> =
-        b.iter().zip(&b_used).filter(|(_, &u)| u).map(|(&c, _)| c).collect();
-    let transpositions =
-        a_seq.iter().zip(&b_seq).filter(|(x, y)| x != y).count() / 2;
+    let a_seq: Vec<char> = a
+        .iter()
+        .zip(&a_matched)
+        .filter(|(_, &m)| m)
+        .map(|(&c, _)| c)
+        .collect();
+    let b_seq: Vec<char> = b
+        .iter()
+        .zip(&b_used)
+        .filter(|(_, &u)| u)
+        .map(|(&c, _)| c)
+        .collect();
+    let transpositions = a_seq.iter().zip(&b_seq).filter(|(x, y)| x != y).count() / 2;
     let m = matches as f64;
     (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions as f64) / m) / 3.0
 }
@@ -58,7 +65,12 @@ pub fn jaro(a: &str, b: &str) -> f64 {
 /// Jaro-Winkler similarity: Jaro boosted by shared prefix (up to 4 chars).
 pub fn jaro_winkler(a: &str, b: &str) -> f64 {
     let j = jaro(a, b);
-    let prefix = a.chars().zip(b.chars()).take(4).take_while(|(x, y)| x == y).count();
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count();
     j + prefix as f64 * 0.1 * (1.0 - j)
 }
 
@@ -89,7 +101,10 @@ pub struct EntityResolver {
 impl EntityResolver {
     /// Create a resolver with a Jaro-Winkler link threshold (e.g. 0.92).
     pub fn new(threshold: f64) -> EntityResolver {
-        EntityResolver { threshold: threshold.clamp(0.0, 1.0), blocks: HashMap::new() }
+        EntityResolver {
+            threshold: threshold.clamp(0.0, 1.0),
+            blocks: HashMap::new(),
+        }
     }
 
     fn block_key(kind: EntityKind, normalized: &str) -> (EntityKind, char) {
@@ -129,7 +144,9 @@ impl EntityResolver {
         }
         // de-duplicate multiple links between the same pair (keep best)
         links.sort_by(|x, y| {
-            (x.a, x.b, x.kind).cmp(&(y.a, y.b, y.kind)).then(y.similarity.total_cmp(&x.similarity))
+            (x.a, x.b, x.kind)
+                .cmp(&(y.a, y.b, y.kind))
+                .then(y.similarity.total_cmp(&x.similarity))
         });
         links.dedup_by_key(|l| (l.a, l.b, l.kind));
         links
@@ -146,7 +163,12 @@ mod tests {
     use super::*;
 
     fn mention(kind: EntityKind, norm: &str) -> EntityMention {
-        EntityMention { kind, text: norm.to_string(), normalized: norm.to_string(), offset: 0 }
+        EntityMention {
+            kind,
+            text: norm.to_string(),
+            normalized: norm.to_string(),
+            offset: 0,
+        }
     }
 
     #[test]
@@ -174,7 +196,9 @@ mod tests {
     #[test]
     fn exact_mentions_link() {
         let mut r = EntityResolver::new(0.92);
-        assert!(r.observe(DocId(1), &[mention(EntityKind::Person, "grace hopper")]).is_empty());
+        assert!(r
+            .observe(DocId(1), &[mention(EntityKind::Person, "grace hopper")])
+            .is_empty());
         let links = r.observe(DocId(2), &[mention(EntityKind::Person, "grace hopper")]);
         assert_eq!(links.len(), 1);
         assert_eq!(links[0].a, DocId(1));
@@ -187,7 +211,11 @@ mod tests {
         let mut r = EntityResolver::new(0.90);
         r.observe(DocId(1), &[mention(EntityKind::Person, "jon smith")]);
         let links = r.observe(DocId(2), &[mention(EntityKind::Person, "john smith")]);
-        assert_eq!(links.len(), 1, "jw(jon smith, john smith) should exceed 0.90");
+        assert_eq!(
+            links.len(),
+            1,
+            "jw(jon smith, john smith) should exceed 0.90"
+        );
     }
 
     #[test]
@@ -203,7 +231,10 @@ mod tests {
         let mut r = EntityResolver::new(0.0); // would link anything compared
         r.observe(DocId(1), &[mention(EntityKind::Person, "alice")]);
         let links = r.observe(DocId(2), &[mention(EntityKind::Person, "zelda")]);
-        assert!(links.is_empty(), "different first letters are never compared");
+        assert!(
+            links.is_empty(),
+            "different first letters are never compared"
+        );
     }
 
     #[test]
@@ -219,7 +250,10 @@ mod tests {
         let mut r = EntityResolver::new(0.9);
         r.observe(
             DocId(1),
-            &[mention(EntityKind::Person, "ada"), mention(EntityKind::Person, "ada")],
+            &[
+                mention(EntityKind::Person, "ada"),
+                mention(EntityKind::Person, "ada"),
+            ],
         );
         let links = r.observe(DocId(2), &[mention(EntityKind::Person, "ada")]);
         assert_eq!(links.len(), 1);

@@ -68,8 +68,7 @@ pub const FIRST_NAMES: &[&str] = &[
     "Ada", "Alan", "Alice", "Barbara", "Bob", "Carlos", "Carol", "Charles", "Claude", "David",
     "Diana", "Edgar", "Elena", "Emma", "Frank", "Grace", "Hector", "Irene", "James", "Jane",
     "John", "Karen", "Laura", "Linda", "Maria", "Mark", "Mary", "Michael", "Nancy", "Olivia",
-    "Patricia", "Paul", "Peter", "Rachel", "Robert", "Sarah", "Susan", "Thomas", "Victor",
-    "Wendy",
+    "Patricia", "Paul", "Peter", "Rachel", "Robert", "Sarah", "Susan", "Thomas", "Victor", "Wendy",
 ];
 
 /// Honorific prefixes that force person recognition of the following
@@ -78,8 +77,22 @@ pub const HONORIFICS: &[&str] = &["Mr.", "Mrs.", "Ms.", "Dr.", "Prof."];
 
 /// Location gazetteer (cities/states used by the synthetic corpora).
 pub const LOCATIONS: &[&str] = &[
-    "Atlanta", "Austin", "Boston", "California", "Chicago", "Dallas", "Denver", "Houston",
-    "Miami", "Nevada", "Oregon", "Phoenix", "Portland", "Seattle", "Texas", "Tucson",
+    "Atlanta",
+    "Austin",
+    "Boston",
+    "California",
+    "Chicago",
+    "Dallas",
+    "Denver",
+    "Houston",
+    "Miami",
+    "Nevada",
+    "Oregon",
+    "Phoenix",
+    "Portland",
+    "Seattle",
+    "Texas",
+    "Tucson",
 ];
 
 /// Organization suffixes: a capitalized word followed by one of these is
@@ -87,9 +100,29 @@ pub const LOCATIONS: &[&str] = &[
 pub const ORG_SUFFIXES: &[&str] = &["Inc", "Inc.", "Corp", "Corp.", "LLC", "Ltd", "Ltd.", "Co."];
 
 const MONTHS: &[&str] = &[
-    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
-    "January", "February", "March", "April", "June", "July", "August", "September", "October",
-    "November", "December",
+    "Jan",
+    "Feb",
+    "Mar",
+    "Apr",
+    "May",
+    "Jun",
+    "Jul",
+    "Aug",
+    "Sep",
+    "Oct",
+    "Nov",
+    "Dec",
+    "January",
+    "February",
+    "March",
+    "April",
+    "June",
+    "July",
+    "August",
+    "September",
+    "October",
+    "November",
+    "December",
 ];
 
 /// Run all scanners over `text`, returning mentions sorted by offset.
@@ -117,14 +150,20 @@ fn words(text: &str) -> Vec<Word<'_>> {
     for (i, c) in text.char_indices() {
         if c.is_whitespace() {
             if let Some(s) = start.take() {
-                out.push(Word { text: &text[s..i], offset: s });
+                out.push(Word {
+                    text: &text[s..i],
+                    offset: s,
+                });
             }
         } else if start.is_none() {
             start = Some(i);
         }
     }
     if let Some(s) = start {
-        out.push(Word { text: &text[s..], offset: s });
+        out.push(Word {
+            text: &text[s..],
+            offset: s,
+        });
     }
     out
 }
@@ -148,7 +187,9 @@ fn scan_emails(text: &str, out: &mut Vec<EntityMention>) {
             let (local, domain) = t.split_at(at);
             let domain = &domain[1..];
             let local_ok = !local.is_empty()
-                && local.chars().all(|c| c.is_alphanumeric() || matches!(c, '.' | '_' | '-' | '+'));
+                && local
+                    .chars()
+                    .all(|c| c.is_alphanumeric() || matches!(c, '.' | '_' | '-' | '+'));
             let domain_ok = domain.contains('.')
                 && domain
                     .chars()
@@ -188,7 +229,9 @@ fn scan_money(text: &str, out: &mut Vec<EntityMention>) {
                 let amount: f64 = digits.parse().unwrap_or(0.0);
                 out.push(EntityMention {
                     kind: EntityKind::Money,
-                    text: text[start..start + (j - start)].trim_end_matches('.').to_string(),
+                    text: text[start..start + (j - start)]
+                        .trim_end_matches('.')
+                        .to_string(),
                     normalized: format!("{amount:.2}"),
                     offset: start,
                 });
@@ -238,8 +281,7 @@ fn scan_dates(text: &str, out: &mut Vec<EntityMention>) {
             let year_txt = trim_punct(triple[2].text).trim_end_matches('.');
             if let (Ok(d), Ok(y)) = (day_txt.parse::<u32>(), year_txt.parse::<i32>()) {
                 if (1..=31).contains(&d) && (1000..=3000).contains(&y) {
-                    let text_span =
-                        format!("{} {} {}", triple[0].text, triple[1].text, year_txt);
+                    let text_span = format!("{} {} {}", triple[0].text, triple[1].text, year_txt);
                     out.push(date_mention(&text_span, triple[0].offset, y, m, d));
                 }
             }
@@ -280,28 +322,31 @@ fn parse_slash_date(t: &str) -> Option<(i32, u32, u32)> {
 }
 
 fn month_number(name: &str) -> Option<u32> {
-    MONTHS.iter().position(|m| m.eq_ignore_ascii_case(name)).map(|i| {
-        if i < 12 {
-            (i + 1) as u32
-        } else {
-            // full names start at index 12: Jan..Dec then January..December
-            // (May appears once in the short list and is reused.)
-            match i {
-                12 => 1,
-                13 => 2,
-                14 => 3,
-                15 => 4,
-                16 => 6,
-                17 => 7,
-                18 => 8,
-                19 => 9,
-                20 => 10,
-                21 => 11,
-                22 => 12,
-                _ => 1,
+    MONTHS
+        .iter()
+        .position(|m| m.eq_ignore_ascii_case(name))
+        .map(|i| {
+            if i < 12 {
+                (i + 1) as u32
+            } else {
+                // full names start at index 12: Jan..Dec then January..December
+                // (May appears once in the short list and is reused.)
+                match i {
+                    12 => 1,
+                    13 => 2,
+                    14 => 3,
+                    15 => 4,
+                    16 => 6,
+                    17 => 7,
+                    18 => 8,
+                    19 => 9,
+                    20 => 10,
+                    21 => 11,
+                    22 => 12,
+                    _ => 1,
+                }
             }
-        }
-    })
+        })
 }
 
 fn scan_phones(text: &str, out: &mut Vec<EntityMention>) {
@@ -311,24 +356,27 @@ fn scan_phones(text: &str, out: &mut Vec<EntityMention>) {
     let mut i = 0;
     while i < bytes.len() {
         // (xxx) xxx-xxxx
-        if bytes[i] == b'(' && digit_at(i + 1) && digit_at(i + 2) && digit_at(i + 3)
+        if bytes[i] == b'('
+            && digit_at(i + 1)
+            && digit_at(i + 2)
+            && digit_at(i + 3)
             && i + 13 < bytes.len()
-                && bytes[i + 4] == b')'
-                && bytes[i + 5] == b' '
-                && (i + 6..i + 9).all(digit_at)
-                && bytes[i + 9] == b'-'
-                && (i + 10..i + 14).all(digit_at)
-            {
-                let span = &text[i..i + 14];
-                out.push(EntityMention {
-                    kind: EntityKind::Phone,
-                    text: span.to_string(),
-                    normalized: span.chars().filter(|c| c.is_ascii_digit()).collect(),
-                    offset: i,
-                });
-                i += 14;
-                continue;
-            }
+            && bytes[i + 4] == b')'
+            && bytes[i + 5] == b' '
+            && (i + 6..i + 9).all(digit_at)
+            && bytes[i + 9] == b'-'
+            && (i + 10..i + 14).all(digit_at)
+        {
+            let span = &text[i..i + 14];
+            out.push(EntityMention {
+                kind: EntityKind::Phone,
+                text: span.to_string(),
+                normalized: span.chars().filter(|c| c.is_ascii_digit()).collect(),
+                offset: i,
+            });
+            i += 14;
+            continue;
+        }
         // xxx-xxx-xxxx
         if digit_at(i)
             && (i..i + 3).all(digit_at)
@@ -486,15 +534,22 @@ mod tests {
     use super::*;
 
     fn kinds_of(text: &str) -> Vec<(EntityKind, String)> {
-        scan_entities(text).into_iter().map(|m| (m.kind, m.normalized)).collect()
+        scan_entities(text)
+            .into_iter()
+            .map(|m| (m.kind, m.normalized))
+            .collect()
     }
 
     #[test]
     fn emails() {
         let ms = kinds_of("Contact Ada.Lovelace+claims@Example.COM today");
         assert!(ms.contains(&(EntityKind::Email, "ada.lovelace+claims@example.com".into())));
-        assert!(kinds_of("no at-sign here").iter().all(|(k, _)| *k != EntityKind::Email));
-        assert!(kinds_of("bad@nodot").iter().all(|(k, _)| *k != EntityKind::Email));
+        assert!(kinds_of("no at-sign here")
+            .iter()
+            .all(|(k, _)| *k != EntityKind::Email));
+        assert!(kinds_of("bad@nodot")
+            .iter()
+            .all(|(k, _)| *k != EntityKind::Email));
     }
 
     #[test]
@@ -514,30 +569,50 @@ mod tests {
     #[test]
     fn dates_iso_slash_and_textual() {
         assert!(kinds_of("filed on 2006-11-03.").contains(&(EntityKind::Date, "2006-11-03".into())));
-        assert!(kinds_of("on 11/03/2006 it rained").contains(&(EntityKind::Date, "2006-11-03".into())));
-        assert!(kinds_of("signed Jan 5, 2007 by both").contains(&(EntityKind::Date, "2007-01-05".into())));
-        assert!(kinds_of("signed January 5, 2007").contains(&(EntityKind::Date, "2007-01-05".into())));
+        assert!(
+            kinds_of("on 11/03/2006 it rained").contains(&(EntityKind::Date, "2006-11-03".into()))
+        );
+        assert!(kinds_of("signed Jan 5, 2007 by both")
+            .contains(&(EntityKind::Date, "2007-01-05".into())));
+        assert!(
+            kinds_of("signed January 5, 2007").contains(&(EntityKind::Date, "2007-01-05".into()))
+        );
     }
 
     #[test]
     fn invalid_dates_rejected() {
-        assert!(kinds_of("13/45/2006").iter().all(|(k, _)| *k != EntityKind::Date));
-        assert!(kinds_of("2006-13-01").iter().all(|(k, _)| *k != EntityKind::Date));
+        assert!(kinds_of("13/45/2006")
+            .iter()
+            .all(|(k, _)| *k != EntityKind::Date));
+        assert!(kinds_of("2006-13-01")
+            .iter()
+            .all(|(k, _)| *k != EntityKind::Date));
     }
 
     #[test]
     fn phones() {
-        assert!(kinds_of("call 555-123-4567 now").contains(&(EntityKind::Phone, "5551234567".into())));
-        assert!(kinds_of("call (555) 123-4567 now").contains(&(EntityKind::Phone, "5551234567".into())));
+        assert!(
+            kinds_of("call 555-123-4567 now").contains(&(EntityKind::Phone, "5551234567".into()))
+        );
+        assert!(
+            kinds_of("call (555) 123-4567 now").contains(&(EntityKind::Phone, "5551234567".into()))
+        );
         // date-like or long digit runs must not match
-        assert!(kinds_of("id 5551234567890").iter().all(|(k, _)| *k != EntityKind::Phone));
+        assert!(kinds_of("id 5551234567890")
+            .iter()
+            .all(|(k, _)| *k != EntityKind::Phone));
     }
 
     #[test]
     fn product_codes() {
-        assert!(kinds_of("replaced part BX-1042 and AX-7.").contains(&(EntityKind::ProductCode, "BX-1042".into())));
-        assert!(kinds_of("code X-1 too short").iter().all(|(k, _)| *k != EntityKind::ProductCode));
-        assert!(kinds_of("lower bx-1042").iter().all(|(k, _)| *k != EntityKind::ProductCode));
+        assert!(kinds_of("replaced part BX-1042 and AX-7.")
+            .contains(&(EntityKind::ProductCode, "BX-1042".into())));
+        assert!(kinds_of("code X-1 too short")
+            .iter()
+            .all(|(k, _)| *k != EntityKind::ProductCode));
+        assert!(kinds_of("lower bx-1042")
+            .iter()
+            .all(|(k, _)| *k != EntityKind::ProductCode));
     }
 
     #[test]

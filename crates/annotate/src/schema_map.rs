@@ -32,7 +32,10 @@ pub struct UnifiedSchema {
 impl UnifiedSchema {
     /// The source paths feeding a canonical attribute, or empty.
     pub fn sources_of(&self, canonical: &str) -> &[(String, String)] {
-        self.attributes.get(canonical).map(|a| a.sources.as_slice()).unwrap_or(&[])
+        self.attributes
+            .get(canonical)
+            .map(|a| a.sources.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Resolve a canonical attribute to source paths for one collection.
@@ -62,7 +65,9 @@ impl Default for SchemaMapper {
 impl SchemaMapper {
     /// A mapper with no synonyms (normalization only).
     pub fn new() -> SchemaMapper {
-        SchemaMapper { synonym_groups: Vec::new() }
+        SchemaMapper {
+            synonym_groups: Vec::new(),
+        }
     }
 
     /// A mapper seeded with synonym groups common in business data.
@@ -89,7 +94,8 @@ impl SchemaMapper {
 
     /// Add a synonym group; the first entry becomes its canonical name.
     pub fn add_synonyms(&mut self, group: &[&str]) {
-        self.synonym_groups.push(group.iter().map(|s| normalize_name(s)).collect());
+        self.synonym_groups
+            .push(group.iter().map(|s| normalize_name(s)).collect());
     }
 
     /// Normalize then canonicalize one field name.
@@ -124,12 +130,19 @@ impl SchemaMapper {
         let mut out = UnifiedSchema::default();
         for (collection, paths) in schemas {
             for path in paths {
-                let leaf = path.rsplit('.').next().unwrap_or(path).trim_end_matches("[]");
+                let leaf = path
+                    .rsplit('.')
+                    .next()
+                    .unwrap_or(path)
+                    .trim_end_matches("[]");
                 let canonical = self.canonical_name(leaf);
-                let attr = out
-                    .attributes
-                    .entry(canonical.clone())
-                    .or_insert_with(|| UnifiedAttribute { canonical, sources: Vec::new() });
+                let attr =
+                    out.attributes
+                        .entry(canonical.clone())
+                        .or_insert_with(|| UnifiedAttribute {
+                            canonical,
+                            sources: Vec::new(),
+                        });
                 attr.sources.push((collection.clone(), path.clone()));
             }
         }
@@ -145,9 +158,7 @@ impl SchemaMapper {
             paths
                 .iter()
                 .map(|p| {
-                    self.canonical_name(
-                        p.rsplit('.').next().unwrap_or(p).trim_end_matches("[]"),
-                    )
+                    self.canonical_name(p.rsplit('.').next().unwrap_or(p).trim_end_matches("[]"))
                 })
                 .collect()
         };
@@ -209,11 +220,21 @@ mod tests {
     fn consolidation_groups_sources() {
         let m = SchemaMapper::with_default_synonyms();
         let schemas = vec![
-            ("orders_db".to_string(), vec!["cust".to_string(), "total".to_string()]),
-            ("orders_csv".to_string(), vec!["customer".to_string(), "price".to_string()]),
+            (
+                "orders_db".to_string(),
+                vec!["cust".to_string(), "total".to_string()],
+            ),
+            (
+                "orders_csv".to_string(),
+                vec!["customer".to_string(), "price".to_string()],
+            ),
             (
                 "orders_email".to_string(),
-                vec!["headers.from".to_string(), "body".to_string(), "buyer".to_string()],
+                vec![
+                    "headers.from".to_string(),
+                    "body".to_string(),
+                    "buyer".to_string(),
+                ],
             ),
         ];
         let unified = m.consolidate(&schemas);
@@ -230,8 +251,7 @@ mod tests {
     #[test]
     fn consolidation_uses_leaf_names() {
         let m = SchemaMapper::with_default_synonyms();
-        let schemas =
-            vec![("c".to_string(), vec!["order.items[].qty".to_string()])];
+        let schemas = vec![("c".to_string(), vec!["order.items[].qty".to_string()])];
         let unified = m.consolidate(&schemas);
         assert_eq!(unified.sources_of("quantity").len(), 1);
     }
@@ -240,7 +260,11 @@ mod tests {
     fn schema_similarity_jaccard() {
         let m = SchemaMapper::with_default_synonyms();
         let a = vec!["cust".to_string(), "total".to_string(), "date".to_string()];
-        let b = vec!["customer".to_string(), "price".to_string(), "when".to_string()];
+        let b = vec![
+            "customer".to_string(),
+            "price".to_string(),
+            "when".to_string(),
+        ];
         // all three canonicalize identically → similarity 1.0
         assert_eq!(m.schema_similarity(&a, &b), 1.0);
         let c = vec!["entirely".to_string(), "different".to_string()];

@@ -7,14 +7,44 @@
 
 /// Positive polarity words.
 pub const POSITIVE: &[&str] = &[
-    "amazing", "excellent", "fantastic", "glad", "good", "great", "happy", "helpful", "love",
-    "loved", "perfect", "pleased", "recommend", "reliable", "satisfied", "thanks", "wonderful",
+    "amazing",
+    "excellent",
+    "fantastic",
+    "glad",
+    "good",
+    "great",
+    "happy",
+    "helpful",
+    "love",
+    "loved",
+    "perfect",
+    "pleased",
+    "recommend",
+    "reliable",
+    "satisfied",
+    "thanks",
+    "wonderful",
 ];
 
 /// Negative polarity words.
 pub const NEGATIVE: &[&str] = &[
-    "angry", "awful", "bad", "broken", "complaint", "defective", "disappointed", "frustrated",
-    "hate", "horrible", "late", "poor", "problem", "refund", "terrible", "unhappy", "upset",
+    "angry",
+    "awful",
+    "bad",
+    "broken",
+    "complaint",
+    "defective",
+    "disappointed",
+    "frustrated",
+    "hate",
+    "horrible",
+    "late",
+    "poor",
+    "problem",
+    "refund",
+    "terrible",
+    "unhappy",
+    "upset",
     "worst",
 ];
 

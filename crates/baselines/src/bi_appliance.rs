@@ -65,8 +65,10 @@ impl BiAppliance {
 
     /// Insert a row; rows round-robin across shards.
     pub fn insert(&mut self, table: &str, row: Vec<Value>) -> Result<(), RdbmsError> {
-        let schema =
-            self.schemas.get(table).ok_or_else(|| RdbmsError::NoSuchTable(table.into()))?;
+        let schema = self
+            .schemas
+            .get(table)
+            .ok_or_else(|| RdbmsError::NoSuchTable(table.into()))?;
         if row.len() != schema.len() {
             return Err(RdbmsError::SchemaViolation(format!(
                 "arity {} != {}",
@@ -139,7 +141,10 @@ impl BiAppliance {
 
     /// Total rows in a table across shards.
     pub fn row_count(&self, table: &str) -> usize {
-        self.shards.iter().map(|s| s.get(table).map(Vec::len).unwrap_or(0)).sum()
+        self.shards
+            .iter()
+            .map(|s| s.get(table).map(Vec::len).unwrap_or(0))
+            .sum()
     }
 }
 
@@ -175,7 +180,10 @@ mod tests {
         let mut b = BiAppliance::boot(shards);
         b.create_table(TableSchema {
             name: "sales".into(),
-            columns: vec![("region".into(), ColumnType::Text), ("amount".into(), ColumnType::Float)],
+            columns: vec![
+                ("region".into(), ColumnType::Text),
+                ("amount".into(), ColumnType::Float),
+            ],
         });
         for i in 0..100 {
             b.insert(
@@ -212,8 +220,14 @@ mod tests {
     fn still_schema_first_and_relational_only() {
         let mut b = BiAppliance::boot(2);
         assert!(b.insert("nothing", vec![Value::Int(1)]).is_err());
-        b.create_table(TableSchema { name: "t".into(), columns: vec![("x".into(), ColumnType::Int)] });
-        assert!(b.insert("t", vec![Value::Int(1), Value::Int(2)]).is_err(), "arity enforced");
+        b.create_table(TableSchema {
+            name: "t".into(),
+            columns: vec![("x".into(), ColumnType::Int)],
+        });
+        assert!(
+            b.insert("t", vec![Value::Int(1), Value::Int(2)]).is_err(),
+            "arity enforced"
+        );
         assert_eq!(b.admin_ops(), 1);
         assert!(!b.supports(Capability::KeywordSearch));
         assert!(!b.supports(Capability::SchemaFreeIngest));
@@ -224,7 +238,9 @@ mod tests {
     #[test]
     fn select_eq_spans_shards() {
         let b = appliance(4);
-        let east = b.select_eq("sales", "region", &Value::Str("east".into())).unwrap();
+        let east = b
+            .select_eq("sales", "region", &Value::Str("east".into()))
+            .unwrap();
         assert_eq!(east.len(), 50);
     }
 }

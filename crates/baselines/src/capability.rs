@@ -85,7 +85,10 @@ pub trait InfoSystem {
     }
     /// Query-power score: supported fraction of all capabilities.
     fn power_score(&self) -> f64 {
-        let supported = ALL_CAPABILITIES.iter().filter(|c| self.supports(**c)).count();
+        let supported = ALL_CAPABILITIES
+            .iter()
+            .filter(|c| self.supports(**c))
+            .count();
         supported as f64 / ALL_CAPABILITIES.len() as f64
     }
 }

@@ -56,7 +56,8 @@ impl ContentStore {
     /// Register the metadata template — a human catalog-design decision
     /// (JSR-170-style), recorded in the ledger.
     pub fn register_template(&mut self, fields: &[&str]) {
-        self.ledger.record(format!("REGISTER METADATA TEMPLATE {fields:?}"));
+        self.ledger
+            .record(format!("REGISTER METADATA TEMPLATE {fields:?}"));
         self.template = fields.iter().map(|s| s.to_string()).collect();
     }
 
@@ -81,13 +82,22 @@ impl ContentStore {
         }
         let id = self.next_id;
         self.next_id += 1;
-        self.items.insert(id, Item { content: content.to_vec(), metadata: md });
+        self.items.insert(
+            id,
+            Item {
+                content: content.to_vec(),
+                metadata: md,
+            },
+        );
         Ok(id)
     }
 
     /// Fetch raw content.
     pub fn fetch(&self, id: u64) -> Result<&[u8], ContentError> {
-        self.items.get(&id).map(|i| i.content.as_slice()).ok_or(ContentError::NotFound(id))
+        self.items
+            .get(&id)
+            .map(|i| i.content.as_slice())
+            .ok_or(ContentError::NotFound(id))
     }
 
     /// Metadata-only search: exact match on one field. **The content
@@ -96,7 +106,12 @@ impl ContentStore {
         let mut out: Vec<u64> = self
             .items
             .iter()
-            .filter(|(_, item)| item.metadata.get(field).map(|v| v == value).unwrap_or(false))
+            .filter(|(_, item)| {
+                item.metadata
+                    .get(field)
+                    .map(|v| v == value)
+                    .unwrap_or(false)
+            })
             .map(|(id, _)| *id)
             .collect();
         out.sort_unstable();
@@ -143,9 +158,15 @@ mod tests {
     fn store_and_fetch() {
         let mut s = store();
         let id = s
-            .store(b"the claim text mentions a Volvo bumper", &[("author", "ada"), ("date", "2006-11-03")])
+            .store(
+                b"the claim text mentions a Volvo bumper",
+                &[("author", "ada"), ("date", "2006-11-03")],
+            )
             .unwrap();
-        assert_eq!(s.fetch(id).unwrap(), b"the claim text mentions a Volvo bumper");
+        assert_eq!(
+            s.fetch(id).unwrap(),
+            b"the claim text mentions a Volvo bumper"
+        );
         assert!(matches!(s.fetch(999), Err(ContentError::NotFound(999))));
     }
 
@@ -159,7 +180,11 @@ mod tests {
     #[test]
     fn search_is_metadata_only() {
         let mut s = store();
-        s.store(b"contains keyword volvo inside content", &[("author", "ada")]).unwrap();
+        s.store(
+            b"contains keyword volvo inside content",
+            &[("author", "ada")],
+        )
+        .unwrap();
         s.store(b"other text", &[("author", "grace")]).unwrap();
         assert_eq!(s.search_metadata("author", "ada").len(), 1);
         // content words are invisible to search — the defining limitation

@@ -44,7 +44,9 @@ impl FsStore {
         for (name, content) in &self.files {
             self.bytes_scanned += content.len() as u64;
             if !needle_bytes.is_empty()
-                && content.windows(needle_bytes.len()).any(|w| w == needle_bytes)
+                && content
+                    .windows(needle_bytes.len())
+                    .any(|w| w == needle_bytes)
             {
                 out.push(name.clone());
             }

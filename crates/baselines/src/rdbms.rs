@@ -107,14 +107,22 @@ impl MiniRdbms {
         self.ledger.record(format!("CREATE TABLE {}", schema.name));
         self.tables.insert(
             schema.name.clone(),
-            Table { schema: schema.columns, rows: Vec::new(), indexes: HashMap::new() },
+            Table {
+                schema: schema.columns,
+                rows: Vec::new(),
+                indexes: HashMap::new(),
+            },
         );
     }
 
     /// DDL: declare an index on a column. Also a human decision.
     pub fn create_index(&mut self, table: &str, column: &str) -> Result<(), RdbmsError> {
-        self.ledger.record(format!("CREATE INDEX ON {table}({column})"));
-        let t = self.tables.get_mut(table).ok_or_else(|| RdbmsError::NoSuchTable(table.into()))?;
+        self.ledger
+            .record(format!("CREATE INDEX ON {table}({column})"));
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| RdbmsError::NoSuchTable(table.into()))?;
         let col = t
             .schema
             .iter()
@@ -131,7 +139,10 @@ impl MiniRdbms {
     /// Insert a row. Schema is enforced and **indexes are maintained in
     /// the same operation** — the synchronous coupling Impliance rejects.
     pub fn insert(&mut self, table: &str, row: Vec<Value>) -> Result<(), RdbmsError> {
-        let t = self.tables.get_mut(table).ok_or_else(|| RdbmsError::NoSuchTable(table.into()))?;
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| RdbmsError::NoSuchTable(table.into()))?;
         if row.len() != t.schema.len() {
             return Err(RdbmsError::SchemaViolation(format!(
                 "arity {} != {}",
@@ -165,7 +176,10 @@ impl MiniRdbms {
         column: &str,
         value: &Value,
     ) -> Result<Vec<&[Value]>, RdbmsError> {
-        let t = self.tables.get(table).ok_or_else(|| RdbmsError::NoSuchTable(table.into()))?;
+        let t = self
+            .tables
+            .get(table)
+            .ok_or_else(|| RdbmsError::NoSuchTable(table.into()))?;
         let col = t
             .schema
             .iter()
@@ -175,7 +189,11 @@ impl MiniRdbms {
             let rids = index.get(&value.render()).cloned().unwrap_or_default();
             return Ok(rids.into_iter().map(|rid| t.rows[rid].as_slice()).collect());
         }
-        Ok(t.rows.iter().filter(|r| r[col].query_eq(value)).map(|r| r.as_slice()).collect())
+        Ok(t.rows
+            .iter()
+            .filter(|r| r[col].query_eq(value))
+            .map(|r| r.as_slice())
+            .collect())
     }
 
     /// Range select (inclusive bounds), always a scan in this mini system.
@@ -186,7 +204,10 @@ impl MiniRdbms {
         lo: &Value,
         hi: &Value,
     ) -> Result<Vec<&[Value]>, RdbmsError> {
-        let t = self.tables.get(table).ok_or_else(|| RdbmsError::NoSuchTable(table.into()))?;
+        let t = self
+            .tables
+            .get(table)
+            .ok_or_else(|| RdbmsError::NoSuchTable(table.into()))?;
         let col = t
             .schema
             .iter()
@@ -207,8 +228,14 @@ impl MiniRdbms {
         right: &str,
         right_col: &str,
     ) -> Result<JoinedRows, RdbmsError> {
-        let lt = self.tables.get(left).ok_or_else(|| RdbmsError::NoSuchTable(left.into()))?;
-        let rt = self.tables.get(right).ok_or_else(|| RdbmsError::NoSuchTable(right.into()))?;
+        let lt = self
+            .tables
+            .get(left)
+            .ok_or_else(|| RdbmsError::NoSuchTable(left.into()))?;
+        let rt = self
+            .tables
+            .get(right)
+            .ok_or_else(|| RdbmsError::NoSuchTable(right.into()))?;
         let lcol = lt
             .schema
             .iter()
@@ -241,7 +268,10 @@ impl MiniRdbms {
         group_col: &str,
         sum_col: &str,
     ) -> Result<BTreeMap<String, f64>, RdbmsError> {
-        let t = self.tables.get(table).ok_or_else(|| RdbmsError::NoSuchTable(table.into()))?;
+        let t = self
+            .tables
+            .get(table)
+            .ok_or_else(|| RdbmsError::NoSuchTable(table.into()))?;
         let g = t
             .schema
             .iter()
@@ -301,12 +331,18 @@ mod tests {
                 ("amount".into(), ColumnType::Float),
             ],
         });
-        for (id, make, amount) in
-            [(1i64, "Volvo", 100.0), (2, "Saab", 250.0), (3, "Volvo", 50.0)]
-        {
+        for (id, make, amount) in [
+            (1i64, "Volvo", 100.0),
+            (2, "Saab", 250.0),
+            (3, "Volvo", 50.0),
+        ] {
             db.insert(
                 "claims",
-                vec![Value::Int(id), Value::Str(make.into()), Value::Float(amount)],
+                vec![
+                    Value::Int(id),
+                    Value::Str(make.into()),
+                    Value::Float(amount),
+                ],
             )
             .unwrap();
         }
@@ -320,7 +356,11 @@ mod tests {
         assert!(matches!(bad_arity, Err(RdbmsError::SchemaViolation(_))));
         let bad_type = d.insert(
             "claims",
-            vec![Value::Str("x".into()), Value::Str("y".into()), Value::Float(1.0)],
+            vec![
+                Value::Str("x".into()),
+                Value::Str("y".into()),
+                Value::Float(1.0),
+            ],
         );
         assert!(matches!(bad_type, Err(RdbmsError::SchemaViolation(_))));
         assert!(matches!(
@@ -340,30 +380,57 @@ mod tests {
     #[test]
     fn select_eq_with_and_without_index() {
         let mut d = db();
-        let scan = d.select_eq("claims", "make", &Value::Str("Volvo".into())).unwrap();
+        let scan = d
+            .select_eq("claims", "make", &Value::Str("Volvo".into()))
+            .unwrap();
         assert_eq!(scan.len(), 2);
         d.create_index("claims", "make").unwrap();
-        let indexed = d.select_eq("claims", "make", &Value::Str("Volvo".into())).unwrap();
+        let indexed = d
+            .select_eq("claims", "make", &Value::Str("Volvo".into()))
+            .unwrap();
         assert_eq!(indexed.len(), 2);
         // index stays fresh after inserts (synchronous maintenance)
         d.insert(
             "claims",
-            vec![Value::Int(4), Value::Str("Volvo".into()), Value::Float(75.0)],
+            vec![
+                Value::Int(4),
+                Value::Str("Volvo".into()),
+                Value::Float(75.0),
+            ],
         )
         .unwrap();
-        assert_eq!(d.select_eq("claims", "make", &Value::Str("Volvo".into())).unwrap().len(), 3);
+        assert_eq!(
+            d.select_eq("claims", "make", &Value::Str("Volvo".into()))
+                .unwrap()
+                .len(),
+            3
+        );
     }
 
     #[test]
     fn range_join_aggregate() {
         let mut d = db();
-        let r = d.select_range("claims", "amount", &Value::Float(60.0), &Value::Float(300.0)).unwrap();
+        let r = d
+            .select_range(
+                "claims",
+                "amount",
+                &Value::Float(60.0),
+                &Value::Float(300.0),
+            )
+            .unwrap();
         assert_eq!(r.len(), 2);
         d.create_table(TableSchema {
             name: "makes".into(),
-            columns: vec![("make".into(), ColumnType::Text), ("country".into(), ColumnType::Text)],
+            columns: vec![
+                ("make".into(), ColumnType::Text),
+                ("country".into(), ColumnType::Text),
+            ],
         });
-        d.insert("makes", vec![Value::Str("Volvo".into()), Value::Str("SE".into())]).unwrap();
+        d.insert(
+            "makes",
+            vec![Value::Str("Volvo".into()), Value::Str("SE".into())],
+        )
+        .unwrap();
         let j = d.join("claims", "make", "makes", "make").unwrap();
         assert_eq!(j.len(), 2);
         let sums = d.sum_group_by("claims", "make", "amount").unwrap();

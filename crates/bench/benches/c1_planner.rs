@@ -14,7 +14,8 @@ fn bench(c: &mut Criterion) {
     let schema = Corpus::po_schema();
     let mut corpus = Corpus::new(31);
     for _ in 0..5000 {
-        imp.ingest_row(&schema, corpus.purchase_order_row(50)).unwrap();
+        imp.ingest_row(&schema, corpus.purchase_order_row(50))
+            .unwrap();
     }
     let stats = imp.storage().stats();
     let counts = HashMap::from([("orders".to_string(), imp.storage().live_docs() as u64)]);

@@ -23,12 +23,20 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("c2_pushdown");
     group.sample_size(10);
     group.bench_function("pushdown_filter", |b| {
-        b.iter(|| app.scan(&ScanRequest::filtered(selective.clone())).unwrap().documents.len())
+        b.iter(|| {
+            app.scan(&ScanRequest::filtered(selective.clone()))
+                .unwrap()
+                .documents
+                .len()
+        })
     });
     group.bench_function("ship_all_filter_at_coordinator", |b| {
         b.iter(|| {
             let res = app.scan(&ScanRequest::full()).unwrap();
-            res.documents.iter().filter(|d| selective.matches(d)).count()
+            res.documents
+                .iter()
+                .filter(|d| selective.matches(d))
+                .count()
         })
     });
     group.finish();

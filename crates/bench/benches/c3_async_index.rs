@@ -43,7 +43,8 @@ fn bench(c: &mut Criterion) {
                 let imp = Impliance::boot(ApplianceConfig::default());
                 let mut corpus = Corpus::new(52);
                 for _ in 0..1000 {
-                    imp.ingest_text("transcripts", &corpus.transcript()).unwrap();
+                    imp.ingest_text("transcripts", &corpus.transcript())
+                        .unwrap();
                 }
                 imp
             },

@@ -25,7 +25,9 @@ fn bench(c: &mut Criterion) {
     }
     let orders: Vec<Tuple> = imp
         .storage()
-        .scan(&ScanRequest::filtered(Predicate::CollectionIs("orders".into())))
+        .scan(&ScanRequest::filtered(Predicate::CollectionIs(
+            "orders".into(),
+        )))
         .unwrap()
         .documents
         .into_iter()
@@ -33,7 +35,9 @@ fn bench(c: &mut Criterion) {
         .collect();
     let customers: Vec<Tuple> = imp
         .storage()
-        .scan(&ScanRequest::filtered(Predicate::CollectionIs("customers".into())))
+        .scan(&ScanRequest::filtered(Predicate::CollectionIs(
+            "customers".into(),
+        )))
         .unwrap()
         .documents
         .into_iter()

@@ -9,8 +9,9 @@ use impliance_docmodel::{Node, Path, Version};
 fn bench(c: &mut Criterion) {
     let imp = Impliance::boot(ApplianceConfig::default());
     let mut corpus = Corpus::new(81);
-    let ids: Vec<_> =
-        (0..1000).map(|_| imp.ingest_json("claims", &corpus.claim_json()).unwrap()).collect();
+    let ids: Vec<_> = (0..1000)
+        .map(|_| imp.ingest_json("claims", &corpus.claim_json()).unwrap())
+        .collect();
     // create some history
     for &id in &ids {
         let doc = imp.get(id).unwrap().unwrap();
@@ -50,7 +51,10 @@ fn bench(c: &mut Criterion) {
         let mut i = 0usize;
         b.iter(|| {
             i += 1;
-            imp.get_version(ids[i % ids.len()], Version(1)).unwrap().unwrap().version()
+            imp.get_version(ids[i % ids.len()], Version(1))
+                .unwrap()
+                .unwrap()
+                .version()
         })
     });
 

@@ -9,12 +9,18 @@ use impliance_storage::{compress, ScanRequest, StorageEngine, StorageOptions};
 fn bench(c: &mut Criterion) {
     // raw compressor throughput
     let mut corpus = Corpus::new(91);
-    let blob: Vec<u8> = (0..200).map(|_| corpus.transcript()).collect::<Vec<_>>().join(" ").into_bytes();
+    let blob: Vec<u8> = (0..200)
+        .map(|_| corpus.transcript())
+        .collect::<Vec<_>>()
+        .join(" ")
+        .into_bytes();
     let compressed = compress::lz_compress(&blob);
 
     let mut group = c.benchmark_group("c7_codec");
     group.throughput(Throughput::Bytes(blob.len() as u64));
-    group.bench_function("lz_compress", |b| b.iter(|| compress::lz_compress(&blob).len()));
+    group.bench_function("lz_compress", |b| {
+        b.iter(|| compress::lz_compress(&blob).len())
+    });
     group.bench_function("lz_decompress", |b| {
         b.iter(|| compress::lz_decompress(&compressed).unwrap().len())
     });
@@ -25,11 +31,18 @@ fn bench(c: &mut Criterion) {
         let engine = StorageEngine::new(StorageOptions {
             partitions: 2,
             seal_threshold: 128,
-            compression, encryption_key: None });
+            compression,
+            encryption_key: None,
+        });
         let mut corpus = Corpus::new(92);
         for i in 0..2000u64 {
             engine
-                .put(&text_to_document(DocId(i), "transcripts", &corpus.transcript(), 0))
+                .put(&text_to_document(
+                    DocId(i),
+                    "transcripts",
+                    &corpus.transcript(),
+                    0,
+                ))
                 .unwrap();
         }
         engine.seal_all();
@@ -41,10 +54,22 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("c7_scan");
     group.sample_size(10);
     group.bench_function("scan_compressed", |b| {
-        b.iter(|| compressed_engine.scan(&ScanRequest::full()).unwrap().documents.len())
+        b.iter(|| {
+            compressed_engine
+                .scan(&ScanRequest::full())
+                .unwrap()
+                .documents
+                .len()
+        })
     });
     group.bench_function("scan_uncompressed", |b| {
-        b.iter(|| raw_engine.scan(&ScanRequest::full()).unwrap().documents.len())
+        b.iter(|| {
+            raw_engine
+                .scan(&ScanRequest::full())
+                .unwrap()
+                .documents
+                .len()
+        })
     });
     group.finish();
 }

@@ -35,7 +35,8 @@ fn bench(c: &mut Criterion) {
                 let imp = Impliance::boot(ApplianceConfig::default());
                 let mut corpus = Corpus::new(102);
                 for _ in 0..500 {
-                    imp.ingest_text("transcripts", &corpus.transcript()).unwrap();
+                    imp.ingest_text("transcripts", &corpus.transcript())
+                        .unwrap();
                 }
                 imp
             },

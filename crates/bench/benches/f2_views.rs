@@ -9,7 +9,8 @@ fn appliance(n: usize) -> Impliance {
     let imp = Impliance::boot(ApplianceConfig::default());
     let mut corpus = Corpus::new(7);
     for _ in 0..n {
-        imp.ingest_text("transcripts", &corpus.transcript()).unwrap();
+        imp.ingest_text("transcripts", &corpus.transcript())
+            .unwrap();
     }
     imp.quiesce();
     imp
@@ -38,7 +39,10 @@ fn bench(c: &mut Criterion) {
 
     group.bench_function("sql_over_annotations", |b| {
         b.iter(|| {
-            imp.sql("SELECT COUNT(*) AS n FROM annotations.entities").unwrap().rows().len()
+            imp.sql("SELECT COUNT(*) AS n FROM annotations.entities")
+                .unwrap()
+                .rows()
+                .len()
         })
     });
 

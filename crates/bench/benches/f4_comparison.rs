@@ -53,10 +53,18 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("f4_exact_lookup");
     group.sample_size(20);
     group.bench_function("impliance_indexed", |b| {
-        b.iter(|| imp.value_index().lookup_eq("cust", &Value::Str("C-7".into())).len())
+        b.iter(|| {
+            imp.value_index()
+                .lookup_eq("cust", &Value::Str("C-7".into()))
+                .len()
+        })
     });
     group.bench_function("rdbms_indexed", |b| {
-        b.iter(|| db.select_eq("orders", "cust", &Value::Str("C-7".into())).unwrap().len())
+        b.iter(|| {
+            db.select_eq("orders", "cust", &Value::Str("C-7".into()))
+                .unwrap()
+                .len()
+        })
     });
     group.finish();
 

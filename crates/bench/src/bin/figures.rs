@@ -8,7 +8,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use impliance_annotate::{SchemaMapper};
+use impliance_annotate::SchemaMapper;
 use impliance_baselines::{
     BiAppliance, ColumnType, ContentStore, FsStore, InfoSystem, MiniRdbms, TableSchema,
     ALL_CAPABILITIES,
@@ -87,7 +87,12 @@ fn c9_interleaving() {
 
     let mut table = Table::new(
         "C9 — interleaving background discovery with interactive queries",
-        &["policy", "interactive mean", "interactive p95", "backlog done at"],
+        &[
+            "policy",
+            "interactive mean",
+            "interactive p95",
+            "backlog done at",
+        ],
     );
 
     for policy in ["fifo", "interleaved"] {
@@ -95,10 +100,12 @@ fn c9_interleaving() {
         let mut corpus = Corpus::new(15);
         let schema = Corpus::po_schema();
         for _ in 0..2000 {
-            imp.ingest_text("transcripts", &corpus.transcript()).unwrap();
+            imp.ingest_text("transcripts", &corpus.transcript())
+                .unwrap();
         }
         for _ in 0..500 {
-            imp.ingest_row(&schema, corpus.purchase_order_row(20)).unwrap();
+            imp.ingest_row(&schema, corpus.purchase_order_row(20))
+                .unwrap();
         }
 
         let mgr = ExecutionManager::new(8, 1);
@@ -115,9 +122,7 @@ fn c9_interleaving() {
 
         while latencies.len() < QUERIES || batches_run < BATCHES {
             // admit arrivals up to the current clock
-            while next_arrival < QUERIES
-                && (next_arrival as u64 * ARRIVAL_GAP_US) <= clock_us
-            {
+            while next_arrival < QUERIES && (next_arrival as u64 * ARRIVAL_GAP_US) <= clock_us {
                 mgr.submit(next_arrival as u64, TaskClass::Interactive, clock_us);
                 next_arrival += 1;
             }
@@ -209,7 +214,9 @@ fn f1_pipeline() {
     let ingest_time = t0.elapsed();
     // SQL answer available immediately (value index is synchronous):
     let t_sql = Instant::now();
-    let sql_rows = imp.sql("SELECT COUNT(*) AS n FROM claims WHERE amount > 1000").unwrap();
+    let sql_rows = imp
+        .sql("SELECT COUNT(*) AS n FROM claims WHERE amount > 1000")
+        .unwrap();
     let sql_latency = t_sql.elapsed();
     // keyword answers appear after the asynchronous text-index pass:
     let t_idx = Instant::now();
@@ -240,7 +247,12 @@ fn f1_pipeline() {
         if *kind == 1 {
             // a human-written loader extracts two fields from the JSON
             let parsed = impliance_docmodel::json::parse(body).unwrap();
-            let claimant = parsed.get_str_path("claimant").unwrap().as_value().unwrap().clone();
+            let claimant = parsed
+                .get_str_path("claimant")
+                .unwrap()
+                .as_value()
+                .unwrap()
+                .clone();
             let amount = parsed
                 .get_str_path("amount")
                 .unwrap()
@@ -248,7 +260,8 @@ fn f1_pipeline() {
                 .unwrap()
                 .as_f64()
                 .unwrap();
-            db.insert("claims", vec![claimant, Value::Float(amount)]).unwrap();
+            db.insert("claims", vec![claimant, Value::Float(amount)])
+                .unwrap();
             accepted += 1;
         } else {
             rejected += 1; // transcripts and e-mail have no table
@@ -270,20 +283,35 @@ fn f1_pipeline() {
         format!("{N}/{N} (all formats)"),
         format!("{accepted}/{N} ({rejected} rejected)"),
     ]);
-    t.row(&["ingest time".into(), fmt_duration(ingest_time), fmt_duration(rdbms_time)]);
+    t.row(&[
+        "ingest time".into(),
+        fmt_duration(ingest_time),
+        fmt_duration(rdbms_time),
+    ]);
     t.row(&[
         "SQL usable".into(),
-        format!("immediately ({} in {})", sql_rows.rows()[0].get("n").render(), fmt_duration(sql_latency)),
+        format!(
+            "immediately ({} in {})",
+            sql_rows.rows()[0].get("n").render(),
+            fmt_duration(sql_latency)
+        ),
         "after schema design".into(),
     ]);
     t.row(&[
         "keyword search usable".into(),
-        format!("after async index ({}) — {} hits for 'bumper'", fmt_duration(index_time), hits),
+        format!(
+            "after async index ({}) — {} hits for 'bumper'",
+            fmt_duration(index_time),
+            hits
+        ),
         "never (content unsearchable)".into(),
     ]);
     t.row(&[
         "discovered entity rows".into(),
-        format!("{entities} (after {} discovery)", fmt_duration(discovery_time)),
+        format!(
+            "{entities} (after {} discovery)",
+            fmt_duration(discovery_time)
+        ),
         "0".into(),
     ]);
     t.print();
@@ -298,10 +326,12 @@ fn f2_views() {
     let mut corpus = Corpus::new(2);
     let schema = Corpus::po_schema();
     for _ in 0..500 {
-        imp.ingest_row(&schema, corpus.purchase_order_row(20)).unwrap();
+        imp.ingest_row(&schema, corpus.purchase_order_row(20))
+            .unwrap();
     }
     for _ in 0..300 {
-        imp.ingest_text("transcripts", &corpus.transcript()).unwrap();
+        imp.ingest_text("transcripts", &corpus.transcript())
+            .unwrap();
     }
 
     let mut t = Table::new(
@@ -313,7 +343,11 @@ fn f2_views() {
     let rows = imp.sql("SELECT COUNT(*) AS n FROM orders").unwrap();
     t.row(&[
         "SQL over rows pre-discovery".into(),
-        format!("COUNT(*) = {} in {}", rows.rows()[0].get("n").render(), fmt_duration(q.elapsed())),
+        format!(
+            "COUNT(*) = {} in {}",
+            rows.rows()[0].get("n").render(),
+            fmt_duration(q.elapsed())
+        ),
     ]);
     t.row(&[
         "entity view rows pre-discovery".into(),
@@ -330,18 +364,32 @@ fn f2_views() {
     let lag = t0.elapsed();
     let entity_rows = views::entity_view(&imp).unwrap();
     let sentiment_rows = views::sentiment_view(&imp).unwrap();
-    t.row(&["background drain".into(), format!("{steps} steps, {}", fmt_duration(lag))]);
-    t.row(&["entity view rows post-discovery".into(), entity_rows.len().to_string()]);
-    t.row(&["sentiment view rows".into(), sentiment_rows.len().to_string()]);
+    t.row(&[
+        "background drain".into(),
+        format!("{steps} steps, {}", fmt_duration(lag)),
+    ]);
+    t.row(&[
+        "entity view rows post-discovery".into(),
+        entity_rows.len().to_string(),
+    ]);
+    t.row(&[
+        "sentiment view rows".into(),
+        sentiment_rows.len().to_string(),
+    ]);
     // view joined back to base data
     let joined = views::entities_with_base(&imp, "total").unwrap();
-    let with_base = joined.iter().filter(|r| !r.get("base_total").is_null()).count();
+    let with_base = joined
+        .iter()
+        .filter(|r| !r.get("base_total").is_null())
+        .count();
     t.row(&[
         "entity rows joined to base total".into(),
         format!("{with_base}/{} carry a base value", joined.len()),
     ]);
     // annotations queryable by plain SQL
-    let ann = imp.sql("SELECT COUNT(*) AS n FROM annotations.entities").unwrap();
+    let ann = imp
+        .sql("SELECT COUNT(*) AS n FROM annotations.entities")
+        .unwrap();
     t.row(&[
         "SQL over annotation collection".into(),
         format!("COUNT(*) = {}", ann.rows()[0].get("n").render()),
@@ -363,7 +411,14 @@ fn f3_scaleout() {
     const DOCS: usize = 12_000;
     let mut t = Table::new(
         "F3 — Figure 3 scale-out: simulated scan makespan vs data nodes (12k docs)",
-        &["data nodes", "total work", "makespan", "speedup", "balance (max/min)", "net bytes"],
+        &[
+            "data nodes",
+            "total work",
+            "makespan",
+            "speedup",
+            "balance (max/min)",
+            "net bytes",
+        ],
     );
     let mut base: Option<Duration> = None;
     for d in [1usize, 2, 4, 8, 16] {
@@ -422,7 +477,10 @@ fn f3_scaleout() {
             fmt_duration(total),
             fmt_duration(makespan),
             format!("{speedup:.2}x"),
-            format!("{:.2}", makespan.as_secs_f64() / min.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.2}",
+                makespan.as_secs_f64() / min.as_secs_f64().max(1e-9)
+            ),
             fmt_bytes(app.runtime().network().metrics().bytes),
         ]);
     }
@@ -503,7 +561,10 @@ fn f3_scaleout() {
     );
     t3.row(&["groups committed".into(), groups.to_string()]);
     t3.row(&["pipeline latency".into(), fmt_duration(t0.elapsed())]);
-    t3.row(&["cluster 2PC log entries".into(), app.group().log().len().to_string()]);
+    t3.row(&[
+        "cluster 2PC log entries".into(),
+        app.group().log().len().to_string(),
+    ]);
     t3.print();
 }
 
@@ -517,8 +578,10 @@ fn f4_comparison() {
     let mut corpus = Corpus::new(5);
     let schema = Corpus::po_schema();
     for _ in 0..200 {
-        imp.ingest_row(&schema, corpus.purchase_order_row(10)).unwrap();
-        imp.ingest_text("transcripts", &corpus.transcript()).unwrap();
+        imp.ingest_row(&schema, corpus.purchase_order_row(10))
+            .unwrap();
+        imp.ingest_text("transcripts", &corpus.transcript())
+            .unwrap();
     }
     imp.quiesce();
 
@@ -543,8 +606,11 @@ fn f4_comparison() {
     cs.register_template(&["author", "date"]);
     let mut corpus3 = Corpus::new(5);
     for i in 0..200 {
-        cs.store(corpus3.transcript().as_bytes(), &[("author", "agent"), ("date", "2006-11-03")])
-            .unwrap_or_else(|_| panic!("store {i}"));
+        cs.store(
+            corpus3.transcript().as_bytes(),
+            &[("author", "agent"), ("date", "2006-11-03")],
+        )
+        .unwrap_or_else(|_| panic!("store {i}"));
     }
 
     let mut fs = FsStore::new();
@@ -572,12 +638,23 @@ fn f4_comparison() {
     let systems: Vec<&dyn InfoSystem> = vec![&imp, &bi, &db, &cs, &fs];
     let mut t = Table::new(
         "F4 — Figure 4 comparison: capability matrix (✓ = supported)",
-        &["capability", "impliance", "bi-appliance", "mini-rdbms", "content-store", "fs-store"],
+        &[
+            "capability",
+            "impliance",
+            "bi-appliance",
+            "mini-rdbms",
+            "content-store",
+            "fs-store",
+        ],
     );
     for cap in ALL_CAPABILITIES {
         let mut cells = vec![cap.name().to_string()];
         for s in &systems {
-            cells.push(if s.supports(*cap) { "✓".into() } else { "-".into() });
+            cells.push(if s.supports(*cap) {
+                "✓".into()
+            } else {
+                "-".into()
+            });
         }
         t.row(&cells);
     }
@@ -616,12 +693,16 @@ fn c1_planner() {
     // §3.3's "predictable performance (as opposed to optimal
     // performance)". Compression is off so random index probes are not
     // charged block decompression — the comparison isolates plan shape.
-    let imp = Impliance::boot(ApplianceConfig { compression: false, ..ApplianceConfig::default() });
+    let imp = Impliance::boot(ApplianceConfig {
+        compression: false,
+        ..ApplianceConfig::default()
+    });
     let po = Corpus::po_schema();
     let cu = Corpus::customer_schema();
     let mut corpus = Corpus::new(6);
     for _ in 0..4000 {
-        imp.ingest_row(&po, corpus.purchase_order_row(2000)).unwrap();
+        imp.ingest_row(&po, corpus.purchase_order_row(2000))
+            .unwrap();
     }
     for c in 0..8000 {
         imp.ingest_row(&cu, corpus.customer_row(c % 2000)).unwrap();
@@ -675,7 +756,14 @@ fn c1_planner() {
 
     let mut table = Table::new(
         "C1 — simple planner vs cost-based optimizer across a distribution shift",
-        &["planner", "plan time", "plan", "exec (fresh stats)", "exec (stale stats)", "degradation"],
+        &[
+            "planner",
+            "plan time",
+            "plan",
+            "exec (fresh stats)",
+            "exec (stale stats)",
+            "degradation",
+        ],
     );
     table.row(&[
         "simple".into(),
@@ -683,7 +771,10 @@ fn c1_planner() {
         simple_plan.describe(),
         fmt_duration(simple_fresh),
         fmt_duration(simple_stale),
-        format!("{:.1}x", simple_stale.as_secs_f64() / simple_fresh.as_secs_f64()),
+        format!(
+            "{:.1}x",
+            simple_stale.as_secs_f64() / simple_fresh.as_secs_f64()
+        ),
     ]);
     table.row(&[
         "cost-based".into(),
@@ -691,7 +782,10 @@ fn c1_planner() {
         cost_plan.describe(),
         fmt_duration(cost_fresh),
         fmt_duration(cost_stale),
-        format!("{:.1}x", cost_stale.as_secs_f64() / cost_fresh.as_secs_f64()),
+        format!(
+            "{:.1}x",
+            cost_stale.as_secs_f64() / cost_fresh.as_secs_f64()
+        ),
     ]);
     table.print();
     println!(
@@ -723,7 +817,7 @@ fn c2_pushdown() {
         &["query", "mode", "net bytes", "reduction", "latency"],
     );
     let selective = Predicate::Gt("amount".into(), Value::Int(950)); // ~5%
-    // filter push-down
+                                                                     // filter push-down
     for (mode, req) in [
         ("pushdown", ScanRequest::filtered(selective.clone())),
         ("ship-all", ScanRequest::full()),
@@ -735,7 +829,10 @@ fn c2_pushdown() {
         let bytes = app.runtime().network().metrics().bytes;
         // in ship-all mode the coordinator filters afterwards
         let matching = if mode == "ship-all" {
-            res.documents.iter().filter(|d| selective.matches(d)).count()
+            res.documents
+                .iter()
+                .filter(|d| selective.matches(d))
+                .count()
         } else {
             res.documents.len()
         };
@@ -768,9 +865,14 @@ fn c2_pushdown() {
     let res = app.scan(&ScanRequest::full()).unwrap();
     let mut coord_groups: std::collections::BTreeMap<String, f64> = Default::default();
     for d in &res.documents {
-        let cust = d.get_str_path("cust").and_then(|n| n.as_value()).map(|v| v.render());
-        let amount =
-            d.get_str_path("amount").and_then(|n| n.as_value()).and_then(|v| v.as_f64());
+        let cust = d
+            .get_str_path("cust")
+            .and_then(|n| n.as_value())
+            .map(|v| v.render());
+        let amount = d
+            .get_str_path("amount")
+            .and_then(|n| n.as_value())
+            .and_then(|v| v.as_f64());
         if let (Some(c), Some(a)) = (cust, amount) {
             *coord_groups.entry(c).or_insert(0.0) += a;
         }
@@ -803,7 +905,13 @@ fn c3_async_indexing() {
     const N: usize = 3000;
     let mut t = Table::new(
         "C3 — ingest throughput: async background indexing vs index-in-transaction",
-        &["mode", "ingest time", "docs/s", "backlog after ingest", "drain time"],
+        &[
+            "mode",
+            "ingest time",
+            "docs/s",
+            "backlog after ingest",
+            "drain time",
+        ],
     );
     for sync in [false, true] {
         let imp = Impliance::boot(ApplianceConfig {
@@ -846,7 +954,8 @@ fn c4_topk_join() {
     let po = Corpus::po_schema();
     let cu = Corpus::customer_schema();
     for _ in 0..ORDERS {
-        imp.ingest_row(&po, corpus.purchase_order_row(CUSTOMERS)).unwrap();
+        imp.ingest_row(&po, corpus.purchase_order_row(CUSTOMERS))
+            .unwrap();
     }
     for c in 0..CUSTOMERS {
         imp.ingest_row(&cu, corpus.customer_row(c)).unwrap();
@@ -854,7 +963,9 @@ fn c4_topk_join() {
     // materialize both sides once (tuples)
     let orders: Vec<Tuple> = imp
         .storage()
-        .scan(&ScanRequest::filtered(Predicate::CollectionIs("orders".into())))
+        .scan(&ScanRequest::filtered(Predicate::CollectionIs(
+            "orders".into(),
+        )))
         .unwrap()
         .documents
         .into_iter()
@@ -862,7 +973,9 @@ fn c4_topk_join() {
         .collect();
     let customers: Vec<Tuple> = imp
         .storage()
-        .scan(&ScanRequest::filtered(Predicate::CollectionIs("customers".into())))
+        .scan(&ScanRequest::filtered(Predicate::CollectionIs(
+            "customers".into(),
+        )))
         .unwrap()
         .documents
         .into_iter()
@@ -894,12 +1007,21 @@ fn c4_topk_join() {
         hashed.truncate(k);
         let hash_time = t1.elapsed();
         assert_eq!(inl.len().min(k), hashed.len().min(k));
-        let label = if k == usize::MAX { "all".to_string() } else { k.to_string() };
+        let label = if k == usize::MAX {
+            "all".to_string()
+        } else {
+            k.to_string()
+        };
         t.row(&[
             label,
             fmt_duration(inl_time),
             fmt_duration(hash_time),
-            if inl_time < hash_time { "indexed NL" } else { "hash" }.into(),
+            if inl_time < hash_time {
+                "indexed NL"
+            } else {
+                "hash"
+            }
+            .into(),
         ]);
     }
     t.print();
@@ -913,7 +1035,14 @@ fn c5_failover() {
     const DOCS: usize = 4000;
     let mut t = Table::new(
         "C5 — data-node failure: autonomous re-replication (4000 docs, 6 data nodes)",
-        &["replication", "recovery time", "docs repaired", "bytes copied", "docs lost", "scan after"],
+        &[
+            "replication",
+            "recovery time",
+            "docs repaired",
+            "bytes copied",
+            "docs lost",
+            "scan after",
+        ],
     );
     for replication in [1usize, 2, 3] {
         let app = ClusterImpliance::boot(ApplianceConfig {
@@ -988,7 +1117,9 @@ fn c6_versioning() {
     let latest_read = t1.elapsed() / 500;
     let t2 = Instant::now();
     for &id in ids.iter().take(500) {
-        imp.get_version(id, impliance_docmodel::Version(1)).unwrap().unwrap();
+        imp.get_version(id, impliance_docmodel::Version(1))
+            .unwrap()
+            .unwrap();
     }
     let old_read = t2.elapsed() / 500;
 
@@ -996,8 +1127,14 @@ fn c6_versioning() {
         "C6 — immutable versioning (2000 docs × 5 versions) vs in-place baseline",
         &["observable", "value"],
     );
-    t.row(&["stored versions".into(), imp.storage().total_versions().to_string()]);
-    t.row(&["live documents".into(), imp.storage().live_docs().to_string()]);
+    t.row(&[
+        "stored versions".into(),
+        imp.storage().total_versions().to_string(),
+    ]);
+    t.row(&[
+        "live documents".into(),
+        imp.storage().live_docs().to_string(),
+    ]);
     t.row(&["bytes after v1 only".into(), fmt_bytes(base_bytes as u64)]);
     t.row(&[
         "bytes with full history".into(),
@@ -1007,10 +1144,13 @@ fn c6_versioning() {
             full_bytes as f64 / base_bytes as f64
         ),
     ]);
-    t.row(&["update throughput".into(), format!(
-        "{:.0} versions/s",
-        (DOCS * UPDATES) as f64 / update_time.as_secs_f64()
-    )]);
+    t.row(&[
+        "update throughput".into(),
+        format!(
+            "{:.0} versions/s",
+            (DOCS * UPDATES) as f64 / update_time.as_secs_f64()
+        ),
+    ]);
     t.row(&["latest-version read".into(), fmt_duration(latest_read)]);
     t.row(&["point-in-time read (v1)".into(), fmt_duration(old_read)]);
     t.row(&[
@@ -1028,14 +1168,22 @@ fn c7_compression() {
     const DOCS: u64 = 4000;
     let mut t = Table::new(
         "C7 — compression inside the storage node (4000 text-heavy docs)",
-        &["compression", "stored bytes", "ratio", "ingest time", "full-scan time"],
+        &[
+            "compression",
+            "stored bytes",
+            "ratio",
+            "ingest time",
+            "full-scan time",
+        ],
     );
     let mut raw_bytes = 0usize;
     for compression in [false, true] {
         let engine = StorageEngine::new(StorageOptions {
             partitions: 4,
             seal_threshold: 256,
-            compression, encryption_key: None });
+            compression,
+            encryption_key: None,
+        });
         let mut corpus = Corpus::new(12);
         let t0 = Instant::now();
         for i in 0..DOCS {
@@ -1079,19 +1227,30 @@ fn c8_discovery() {
     const N: usize = 2000;
     let mut t = Table::new(
         "C8 — discovery makespan vs worker crew size (2000 transcripts)",
-        &["workers", "total work", "makespan", "docs/s (simulated)", "speedup"],
+        &[
+            "workers",
+            "total work",
+            "makespan",
+            "docs/s (simulated)",
+            "speedup",
+        ],
     );
     let mut base: Option<Duration> = None;
     for workers in [1usize, 2, 4, 8] {
         let imp = Impliance::boot(ApplianceConfig::default());
         let mut corpus = Corpus::new(13);
         for _ in 0..N {
-            imp.ingest_text("transcripts", &corpus.transcript()).unwrap();
+            imp.ingest_text("transcripts", &corpus.transcript())
+                .unwrap();
         }
         let share = N / workers;
         let mut share_times = Vec::new();
         for w in 0..workers {
-            let budget = if w + 1 == workers { N - share * w } else { share };
+            let budget = if w + 1 == workers {
+                N - share * w
+            } else {
+                share
+            };
             let t0 = Instant::now();
             let done = imp.run_discovery(Some(budget));
             share_times.push(t0.elapsed());
@@ -1115,7 +1274,8 @@ fn c8_discovery() {
     let imp = Impliance::boot(ApplianceConfig::default());
     let mut corpus = Corpus::new(14);
     for _ in 0..500 {
-        imp.ingest_text("transcripts", &corpus.transcript()).unwrap();
+        imp.ingest_text("transcripts", &corpus.transcript())
+            .unwrap();
     }
     let t0 = Instant::now();
     imp.run_discovery(None);
@@ -1124,11 +1284,20 @@ fn c8_discovery() {
     imp.run_indexing(None);
     let idx = t1.elapsed();
     let stats = imp.discovery_stats();
-    let mut t2 = Table::new("C8 — stage breakdown (500 transcripts)", &["stage", "value"]);
+    let mut t2 = Table::new(
+        "C8 — stage breakdown (500 transcripts)",
+        &["stage", "value"],
+    );
     t2.row(&["intra+inter-document analysis".into(), fmt_duration(disc)]);
-    t2.row(&["annotation indexing (cluster persist)".into(), fmt_duration(idx)]);
+    t2.row(&[
+        "annotation indexing (cluster persist)".into(),
+        fmt_duration(idx),
+    ]);
     t2.row(&["mentions extracted".into(), stats.mentions.to_string()]);
-    t2.row(&["relationships discovered".into(), stats.relationships.to_string()]);
+    t2.row(&[
+        "relationships discovered".into(),
+        stats.relationships.to_string(),
+    ]);
     t2.print();
 
     let _ = SchemaMapper::default(); // referenced to keep the mapper in the harness's scope

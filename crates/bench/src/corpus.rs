@@ -11,8 +11,8 @@ use impliance_annotate::scan::{FIRST_NAMES, LOCATIONS};
 
 const SURNAMES: &[&str] = &[
     "Anderson", "Baker", "Chen", "Davis", "Engel", "Fischer", "Garcia", "Hopper", "Ishikawa",
-    "Johnson", "Kim", "Lovelace", "Miller", "Nguyen", "Olsen", "Patel", "Quinn", "Rivera",
-    "Smith", "Turing",
+    "Johnson", "Kim", "Lovelace", "Miller", "Nguyen", "Olsen", "Patel", "Quinn", "Rivera", "Smith",
+    "Turing",
 ];
 
 const PRODUCTS: &[&str] = &["BX", "AX", "CW", "DZ", "MK"];
@@ -40,8 +40,14 @@ const NEUTRAL_PHRASES: &[&str] = &[
     "the manual mentions a firmware update procedure",
 ];
 
-const DAMAGE_PARTS: &[&str] =
-    &["bumper", "hood", "windshield", "door panel", "mirror", "tail light"];
+const DAMAGE_PARTS: &[&str] = &[
+    "bumper",
+    "hood",
+    "windshield",
+    "door panel",
+    "mirror",
+    "tail light",
+];
 
 /// Deterministic corpus generator.
 pub struct Corpus {
@@ -52,7 +58,10 @@ pub struct Corpus {
 impl Corpus {
     /// Create a generator from a seed.
     pub fn new(seed: u64) -> Corpus {
-        Corpus { rng: StdRng::seed_from_u64(seed), next_customer: 0 }
+        Corpus {
+            rng: StdRng::seed_from_u64(seed),
+            next_customer: 0,
+        }
     }
 
     fn pick<'a>(&mut self, items: &[&'a str]) -> &'a str {
@@ -202,9 +211,18 @@ mod tests {
         let mut c = Corpus::new(42);
         let t = c.transcript();
         let kinds: Vec<_> = scan_entities(&t).into_iter().map(|m| m.kind).collect();
-        assert!(kinds.contains(&impliance_annotate::EntityKind::Person), "{t}");
-        assert!(kinds.contains(&impliance_annotate::EntityKind::ProductCode), "{t}");
-        assert!(kinds.contains(&impliance_annotate::EntityKind::Location), "{t}");
+        assert!(
+            kinds.contains(&impliance_annotate::EntityKind::Person),
+            "{t}"
+        );
+        assert!(
+            kinds.contains(&impliance_annotate::EntityKind::ProductCode),
+            "{t}"
+        );
+        assert!(
+            kinds.contains(&impliance_annotate::EntityKind::Location),
+            "{t}"
+        );
     }
 
     #[test]
@@ -219,8 +237,14 @@ mod tests {
     #[test]
     fn rows_match_schemas() {
         let mut c = Corpus::new(3);
-        assert_eq!(c.purchase_order_row(10).len(), Corpus::po_schema().columns.len());
-        assert_eq!(c.customer_row(1).len(), Corpus::customer_schema().columns.len());
+        assert_eq!(
+            c.purchase_order_row(10).len(),
+            Corpus::po_schema().columns.len()
+        );
+        assert_eq!(
+            c.customer_row(1).len(),
+            Corpus::customer_schema().columns.len()
+        );
     }
 
     #[test]

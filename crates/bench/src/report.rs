@@ -58,7 +58,9 @@ impl Table {
         };
         out.push_str(&fmt_row(&self.headers, &widths));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&fmt_row(row, &widths));
@@ -115,7 +117,10 @@ mod tests {
     #[test]
     fn formats() {
         assert_eq!(fmt_duration(std::time::Duration::from_micros(500)), "500µs");
-        assert_eq!(fmt_duration(std::time::Duration::from_millis(20)), "20.00ms");
+        assert_eq!(
+            fmt_duration(std::time::Duration::from_millis(20)),
+            "20.00ms"
+        );
         assert_eq!(fmt_bytes(100), "100B");
         assert_eq!(fmt_bytes(2048), "2.0KiB");
     }

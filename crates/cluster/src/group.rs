@@ -94,9 +94,14 @@ impl ConsistencyGroup {
     pub fn join(&self, id: NodeId) -> Vec<GroupEvent> {
         let mut inner = self.inner.lock();
         let now = inner.now;
-        inner
-            .members
-            .insert(id, Member { last_heartbeat: now, alive: true, refuse_prepare: false });
+        inner.members.insert(
+            id,
+            Member {
+                last_heartbeat: now,
+                alive: true,
+                refuse_prepare: false,
+            },
+        );
         let mut events = vec![GroupEvent::MemberJoined(id)];
         events.extend(Self::reelect(&mut inner));
         events
@@ -138,7 +143,11 @@ impl ConsistencyGroup {
     }
 
     fn reelect(inner: &mut Inner) -> Vec<GroupEvent> {
-        let new_primary = inner.members.iter().find(|(_, m)| m.alive).map(|(id, _)| *id);
+        let new_primary = inner
+            .members
+            .iter()
+            .find(|(_, m)| m.alive)
+            .map(|(id, _)| *id);
         if new_primary != inner.primary {
             inner.primary = new_primary;
             if let Some(p) = new_primary {
@@ -155,7 +164,13 @@ impl ConsistencyGroup {
 
     /// Alive members, ascending.
     pub fn alive_members(&self) -> Vec<NodeId> {
-        self.inner.lock().members.iter().filter(|(_, m)| m.alive).map(|(id, _)| *id).collect()
+        self.inner
+            .lock()
+            .members
+            .iter()
+            .filter(|(_, m)| m.alive)
+            .map(|(id, _)| *id)
+            .collect()
     }
 
     /// Inject a prepare-refusal fault into a member.
@@ -171,8 +186,12 @@ impl ConsistencyGroup {
     pub fn commit(&self, payload: &str) -> CommitOutcome {
         let mut inner = self.inner.lock();
         inner.commit_rounds += 1;
-        let alive: Vec<NodeId> =
-            inner.members.iter().filter(|(_, m)| m.alive).map(|(id, _)| *id).collect();
+        let alive: Vec<NodeId> = inner
+            .members
+            .iter()
+            .filter(|(_, m)| m.alive)
+            .map(|(id, _)| *id)
+            .collect();
         if alive.is_empty() {
             return CommitOutcome::NoMembers;
         }
@@ -202,7 +221,12 @@ impl ConsistencyGroup {
 
     /// Members in a BTree order with liveness, for diagnostics.
     pub fn membership(&self) -> BTreeSet<(NodeId, bool)> {
-        self.inner.lock().members.iter().map(|(id, m)| (*id, m.alive)).collect()
+        self.inner
+            .lock()
+            .members
+            .iter()
+            .map(|(id, m)| (*id, m.alive))
+            .collect()
     }
 }
 

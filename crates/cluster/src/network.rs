@@ -69,7 +69,8 @@ impl Network {
     /// Enable simulated latency: a fixed per-message cost plus a per-byte
     /// cost. Both in nanoseconds.
     pub fn set_latency(&self, nanos_per_message: u64, nanos_per_byte: u64) {
-        self.nanos_per_message.store(nanos_per_message, Ordering::Relaxed);
+        self.nanos_per_message
+            .store(nanos_per_message, Ordering::Relaxed);
         self.nanos_per_byte.store(nanos_per_byte, Ordering::Relaxed);
     }
 
@@ -92,7 +93,10 @@ impl Network {
             y ^= y << 13;
             y ^= y >> 7;
             y ^= y << 17;
-            match self.rng.compare_exchange_weak(x, y, Ordering::Relaxed, Ordering::Relaxed) {
+            match self
+                .rng
+                .compare_exchange_weak(x, y, Ordering::Relaxed, Ordering::Relaxed)
+            {
                 Ok(_) => return y,
                 Err(cur) => x = cur,
             }

@@ -53,7 +53,11 @@ pub struct NodeSpec {
 impl NodeSpec {
     /// A baseline-capacity node.
     pub fn new(id: u32, kind: NodeKind) -> NodeSpec {
-        NodeSpec { id: NodeId(id), kind, capacity: 1.0 }
+        NodeSpec {
+            id: NodeId(id),
+            kind,
+            capacity: 1.0,
+        }
     }
 }
 

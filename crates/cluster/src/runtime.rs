@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use parking_lot::{Mutex, RwLock};
+use impliance_analysis::{TrackedMutex, TrackedRwLock};
 
 use crate::network::Network;
 use crate::node::{NodeId, NodeKind, NodeSpec};
@@ -57,7 +57,11 @@ pub struct NodeCtx {
 type Job = Box<dyn FnOnce(&NodeCtx) -> Box<dyn Any + Send> + Send>;
 
 enum Mail {
-    Task { job: Job, reply: Sender<Box<dyn Any + Send>>, reply_to: NodeId },
+    Task {
+        job: Job,
+        reply: Sender<Box<dyn Any + Send>>,
+        reply_to: NodeId,
+    },
     Stop,
 }
 
@@ -80,7 +84,10 @@ impl<T: 'static> TaskHandle<T> {
     /// or the result had an unexpected type.
     pub fn join(self) -> Result<T, ClusterError> {
         match self.receiver.recv() {
-            Ok(boxed) => boxed.downcast::<T>().map(|b| *b).map_err(|_| ClusterError::TaskLost),
+            Ok(boxed) => boxed
+                .downcast::<T>()
+                .map(|b| *b)
+                .map_err(|_| ClusterError::TaskLost),
             Err(_) => Err(ClusterError::TaskLost),
         }
     }
@@ -88,10 +95,10 @@ impl<T: 'static> TaskHandle<T> {
 
 /// The cluster runtime: spawns and addresses node threads.
 pub struct ClusterRuntime {
-    nodes: RwLock<HashMap<NodeId, NodeHandle>>,
+    nodes: TrackedRwLock<HashMap<NodeId, NodeHandle>>,
     network: Arc<Network>,
     /// Round-robin cursors per kind.
-    cursors: Mutex<HashMap<&'static str, usize>>,
+    cursors: TrackedMutex<HashMap<&'static str, usize>>,
     /// The coordinator's "node id" used as message source for client work.
     coordinator: NodeId,
 }
@@ -106,9 +113,9 @@ impl ClusterRuntime {
         mut make_state: impl FnMut(&NodeSpec) -> Arc<dyn Any + Send + Sync>,
     ) -> ClusterRuntime {
         let rt = ClusterRuntime {
-            nodes: RwLock::new(HashMap::new()),
+            nodes: TrackedRwLock::new("cluster.nodes", HashMap::new()),
             network,
-            cursors: Mutex::new(HashMap::new()),
+            cursors: TrackedMutex::new("cluster.cursors", HashMap::new()),
             coordinator: NodeId(u32::MAX),
         };
         for spec in specs {
@@ -119,8 +126,10 @@ impl ClusterRuntime {
     }
 
     /// Add a node at runtime ("add more data nodes to provide additional
-    /// data capacity", §3.3).
-    pub fn spawn_node(&self, spec: NodeSpec, state: Arc<dyn Any + Send + Sync>) {
+    /// data capacity", §3.3). Returns `false` if the OS refused the node's
+    /// worker thread — the node is then simply absent (`NodeDown` on
+    /// submit), which degrades capacity instead of crashing the appliance.
+    pub fn spawn_node(&self, spec: NodeSpec, state: Arc<dyn Any + Send + Sync>) -> bool {
         let (tx, rx) = unbounded::<Mail>();
         let inflight = Arc::new(AtomicU64::new(0));
         let completed = Arc::new(AtomicU64::new(0));
@@ -134,12 +143,16 @@ impl ClusterRuntime {
         let completed2 = Arc::clone(&completed);
         let network = Arc::clone(&self.network);
         let node_id = spec.id;
-        let thread = std::thread::Builder::new()
+        let spawned = std::thread::Builder::new()
             .name(format!("impliance-{}-{}", spec.kind.name(), spec.id.0))
             .spawn(move || {
                 for mail in rx.iter() {
                     match mail {
-                        Mail::Task { job, reply, reply_to } => {
+                        Mail::Task {
+                            job,
+                            reply,
+                            reply_to,
+                        } => {
                             let out = job(&ctx);
                             // Charge the reply transfer. Size estimation:
                             // tasks that care report exact sizes themselves;
@@ -152,12 +165,24 @@ impl ClusterRuntime {
                         Mail::Stop => break,
                     }
                 }
-            })
-            .expect("spawn node thread");
+            });
+        let thread = match spawned {
+            Ok(t) => t,
+            // No worker means no mailbox drain: leave the node unregistered
+            // so submissions report NodeDown rather than hanging.
+            Err(_) => return false,
+        };
         self.nodes.write().insert(
             spec.id,
-            NodeHandle { spec, sender: tx, thread: Some(thread), inflight, completed },
+            NodeHandle {
+                spec,
+                sender: tx,
+                thread: Some(thread),
+                inflight,
+                completed,
+            },
         );
+        true
     }
 
     /// The shared network.
@@ -193,8 +218,13 @@ impl ClusterRuntime {
         payload_bytes: u64,
         job: impl FnOnce(&NodeCtx) -> T + Send + 'static,
     ) -> Result<TaskHandle<T>, ClusterError> {
-        let nodes = self.nodes.read();
-        let handle = nodes.get(&node).ok_or(ClusterError::NodeDown(node))?;
+        // Copy the mailbox out under the lock, then release it before any
+        // channel traffic (invariant L4: never hold a guard across a send).
+        let (sender, inflight) = {
+            let nodes = self.nodes.read();
+            let handle = nodes.get(&node).ok_or(ClusterError::NodeDown(node))?;
+            (handle.sender.clone(), Arc::clone(&handle.inflight))
+        };
         if !self.network.transmit(self.coordinator, node, payload_bytes) {
             return Err(ClusterError::NodeDown(node)); // dropped by injection
         }
@@ -204,9 +234,15 @@ impl ClusterRuntime {
             reply: reply_tx,
             reply_to: self.coordinator,
         };
-        handle.inflight.fetch_add(1, Ordering::Relaxed);
-        handle.sender.send(mail).map_err(|_| ClusterError::NodeDown(node))?;
-        Ok(TaskHandle { receiver: reply_rx, _marker: std::marker::PhantomData })
+        inflight.fetch_add(1, Ordering::Relaxed);
+        if sender.send(mail).is_err() {
+            inflight.fetch_sub(1, Ordering::Relaxed); // node died between lookup and send
+            return Err(ClusterError::NodeDown(node));
+        }
+        Ok(TaskHandle {
+            receiver: reply_rx,
+            _marker: std::marker::PhantomData,
+        })
     }
 
     /// Submit to the least-loaded node of a kind (the scheduler's
@@ -265,7 +301,11 @@ impl ClusterRuntime {
 
     /// Tasks completed by a node so far.
     pub fn completed(&self, node: NodeId) -> u64 {
-        self.nodes.read().get(&node).map(|h| h.completed.load(Ordering::Relaxed)).unwrap_or(0)
+        self.nodes
+            .read()
+            .get(&node)
+            .map(|h| h.completed.load(Ordering::Relaxed))
+            .unwrap_or(0)
     }
 
     /// Kill a node (failure injection). In-flight tasks are lost; later
@@ -274,6 +314,9 @@ impl ClusterRuntime {
         let handle = self.nodes.write().remove(&node);
         match handle {
             Some(mut h) => {
+                // Zero-byte control-plane stop, not a data transfer:
+                // nothing to charge to the Network.
+                // impliance-lint: allow(L2)
                 let _ = h.sender.send(Mail::Stop);
                 if let Some(t) = h.thread.take() {
                     let _ = t.join();
@@ -359,7 +402,9 @@ mod tests {
             Arc::new(spec.id.0 * 100) as Arc<dyn Any + Send + Sync>
         });
         let h = rt
-            .submit_to(NodeId(2), 0, |ctx| *ctx.state.downcast_ref::<u32>().unwrap())
+            .submit_to(NodeId(2), 0, |ctx| {
+                *ctx.state.downcast_ref::<u32>().unwrap()
+            })
             .unwrap();
         assert_eq!(h.join().unwrap(), 200);
     }
@@ -368,7 +413,10 @@ mod tests {
     fn network_is_charged_for_requests_and_replies() {
         let rt = boot();
         rt.network().reset_metrics();
-        rt.submit_to(NodeId(1), 500, |_| ()).unwrap().join().unwrap();
+        rt.submit_to(NodeId(1), 500, |_| ())
+            .unwrap()
+            .join()
+            .unwrap();
         let m = rt.network().metrics();
         assert_eq!(m.messages, 2); // request + reply envelope
         assert_eq!(m.bytes, 564);
@@ -428,6 +476,9 @@ mod tests {
             h.join().unwrap();
         }
         let elapsed = start.elapsed();
-        assert!(elapsed < std::time::Duration::from_millis(110), "elapsed {elapsed:?}");
+        assert!(
+            elapsed < std::time::Duration::from_millis(110),
+            "elapsed {elapsed:?}"
+        );
     }
 }

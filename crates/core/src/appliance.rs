@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use impliance_annotate::{
-    Annotator, DiscoveryPipeline, DiscoveryStats, DiscoverySink, DocSource, EntityAnnotator,
+    Annotator, DiscoveryPipeline, DiscoverySink, DiscoveryStats, DocSource, EntityAnnotator,
     SentimentAnnotator,
 };
 use impliance_baselines::{AdminLedger, Capability, InfoSystem};
@@ -126,12 +126,17 @@ impl Impliance {
         let storage = Arc::new(StorageEngine::new(StorageOptions {
             partitions: config.partitions_per_node.max(1) * config.data_nodes.max(1),
             seal_threshold: config.seal_threshold,
-            compression: config.compression, encryption_key: config.encryption_key }));
+            compression: config.compression,
+            encryption_key: config.encryption_key,
+        }));
         let next_id = Arc::new(AtomicU64::new(1));
         let annotators: Vec<Box<dyn Annotator>> =
             vec![Box::new(EntityAnnotator), Box::new(SentimentAnnotator)];
-        let pipeline =
-            DiscoveryPipeline::new(annotators, Arc::clone(&next_id), config.resolution_threshold);
+        let pipeline = DiscoveryPipeline::new(
+            annotators,
+            Arc::clone(&next_id),
+            config.resolution_threshold,
+        );
         Impliance {
             config,
             storage,
@@ -217,7 +222,13 @@ impl Impliance {
     /// Ingest a JSON document.
     pub fn ingest_json(&self, collection: &str, text: &str) -> Result<DocId, ApplianceError> {
         let root = json::parse(text)?;
-        let doc = Document::new(self.alloc_id(), SourceFormat::Json, collection, self.now(), root);
+        let doc = Document::new(
+            self.alloc_id(),
+            SourceFormat::Json,
+            collection,
+            self.now(),
+            root,
+        );
         self.ingest_document(doc)
     }
 
@@ -236,7 +247,13 @@ impl Impliance {
     /// Ingest an XML document.
     pub fn ingest_xml(&self, collection: &str, text: &str) -> Result<DocId, ApplianceError> {
         let root = impliance_docmodel::xml::parse(text)?;
-        let doc = Document::new(self.alloc_id(), SourceFormat::Xml, collection, self.now(), root);
+        let doc = Document::new(
+            self.alloc_id(),
+            SourceFormat::Xml,
+            collection,
+            self.now(),
+            root,
+        );
         self.ingest_document(doc)
     }
 
@@ -260,8 +277,13 @@ impl Impliance {
                 Node::Value(impliance_docmodel::convert::sniff_scalar(v)),
             );
         }
-        let doc =
-            Document::new(self.alloc_id(), SourceFormat::Binary, collection, self.now(), root);
+        let doc = Document::new(
+            self.alloc_id(),
+            SourceFormat::Binary,
+            collection,
+            self.now(),
+            root,
+        );
         self.ingest_document(doc)
     }
 
@@ -302,7 +324,10 @@ impl Impliance {
     /// Append a new version of a document with a new body. The old
     /// version remains readable (auditing/time travel).
     pub fn update(&self, id: DocId, new_root: Node) -> Result<Version, ApplianceError> {
-        let current = self.storage.get_latest(id)?.ok_or(ApplianceError::NotFound(id))?;
+        let current = self
+            .storage
+            .get_latest(id)?
+            .ok_or(ApplianceError::NotFound(id))?;
         let next = current.new_version(new_root, self.now());
         let v = next.version();
         self.ingest_document(next)?;
@@ -465,11 +490,18 @@ impl Impliance {
         measure_path: Option<&str>,
         level: RollupLevel,
     ) -> Result<Vec<RollupRow>, ApplianceError> {
-        let result = self.storage.scan(&impliance_storage::ScanRequest::filtered(
-            impliance_storage::Predicate::CollectionIs(collection.to_string()),
-        ))?;
+        let result = self
+            .storage
+            .scan(&impliance_storage::ScanRequest::filtered(
+                impliance_storage::Predicate::CollectionIs(collection.to_string()),
+            ))?;
         let refs: Vec<&Document> = result.documents.iter().collect();
-        Ok(impliance_facet::time_rollup(&refs, time_path, measure_path, level))
+        Ok(impliance_facet::time_rollup(
+            &refs,
+            time_path,
+            measure_path,
+            level,
+        ))
     }
 
     /// The admin ledger — the appliance's TCO observable. Stays empty
@@ -497,7 +529,9 @@ impl Impliance {
     /// bookkeeping made queryable).
     pub fn collection_structures(&self) -> Vec<(String, Vec<String>)> {
         let map = self.collection_paths.lock();
-        map.iter().map(|(c, paths)| (c.clone(), paths.iter().cloned().collect())).collect()
+        map.iter()
+            .map(|(c, paths)| (c.clone(), paths.iter().cloned().collect()))
+            .collect()
     }
 
     /// Query a *canonical* attribute across every collection: the value
@@ -546,15 +580,26 @@ mod tests {
     #[test]
     fn ingest_all_formats_without_schema() {
         let imp = boot();
-        let j = imp.ingest_json("claims", r#"{"amount": 1500, "make": "Volvo"}"#).unwrap();
-        let t = imp.ingest_text("notes", "Grace Hopper reported a broken bumper").unwrap();
+        let j = imp
+            .ingest_json("claims", r#"{"amount": 1500, "make": "Volvo"}"#)
+            .unwrap();
+        let t = imp
+            .ingest_text("notes", "Grace Hopper reported a broken bumper")
+            .unwrap();
         let e = imp
-            .ingest_email("mail", "From: ada@example.com\nSubject: claim\n\nSee attached.")
+            .ingest_email(
+                "mail",
+                "From: ada@example.com\nSubject: claim\n\nSee attached.",
+            )
             .unwrap();
         let k = imp.ingest_kv("sensors", &[("temp", "21.5")]).unwrap();
-        let rows = imp.ingest_csv("people", "name,age\nAda,36\nGrace,45\n").unwrap();
+        let rows = imp
+            .ingest_csv("people", "name,age\nAda,36\nGrace,45\n")
+            .unwrap();
         let schema = RelationalSchema::new("orders", &["id", "total"]);
-        let r = imp.ingest_row(&schema, vec![Value::Int(1), Value::Float(99.5)]).unwrap();
+        let r = imp
+            .ingest_row(&schema, vec![Value::Int(1), Value::Float(99.5)])
+            .unwrap();
         for id in [j, t, e, k, rows[0], rows[1], r] {
             assert!(imp.get(id).unwrap().is_some());
         }
@@ -567,9 +612,14 @@ mod tests {
         // retrieved without change" — before any background work runs.
         let imp = boot();
         let schema = RelationalSchema::new("customers", &["code", "name"]);
-        imp.ingest_row(&schema, vec![Value::Str("C-1".into()), Value::Str("Ada".into())])
+        imp.ingest_row(
+            &schema,
+            vec![Value::Str("C-1".into()), Value::Str("Ada".into())],
+        )
+        .unwrap();
+        let out = imp
+            .sql("SELECT name FROM customers WHERE code = 'C-1'")
             .unwrap();
-        let out = imp.sql("SELECT name FROM customers WHERE code = 'C-1'").unwrap();
         assert_eq!(out.rows().len(), 1);
         assert_eq!(out.rows()[0].get("name"), &Value::Str("Ada".into()));
     }
@@ -599,9 +649,14 @@ mod tests {
     fn discovery_produces_annotations_views_and_edges() {
         let imp = boot();
         let a = imp
-            .ingest_text("transcripts", "Grace Hopper is very happy with product BX-1042, thanks!")
+            .ingest_text(
+                "transcripts",
+                "Grace Hopper is very happy with product BX-1042, thanks!",
+            )
             .unwrap();
-        let b = imp.ingest_text("transcripts", "Grace Hopper called again about BX-1042").unwrap();
+        let b = imp
+            .ingest_text("transcripts", "Grace Hopper called again about BX-1042")
+            .unwrap();
         imp.quiesce();
         let stats = imp.discovery_stats();
         assert_eq!(stats.docs_processed, 2);
@@ -611,7 +666,10 @@ mod tests {
         assert!(!out.is_empty());
         // cross-document resolution linked the two transcripts
         let path = imp.connect(a, b, 2);
-        assert!(path.is_some(), "same-person edge should connect the transcripts");
+        assert!(
+            path.is_some(),
+            "same-person edge should connect the transcripts"
+        );
     }
 
     #[test]
@@ -620,7 +678,10 @@ mod tests {
         let id = imp.ingest_text("notes", "draft wording").unwrap();
         imp.run_indexing(None);
         let v2 = imp
-            .update(id, Node::map([("body".into(), Node::scalar("final wording"))]))
+            .update(
+                id,
+                Node::map([("body".into(), Node::scalar("final wording"))]),
+            )
             .unwrap();
         assert_eq!(v2, Version(2));
         imp.run_indexing(None);
@@ -644,9 +705,12 @@ mod tests {
     #[test]
     fn faceted_session_over_mixed_corpus() {
         let imp = boot();
-        for (make, city) in
-            [("Volvo", "Seattle"), ("Volvo", "Austin"), ("Saab", "Seattle"), ("Tesla", "Austin")]
-        {
+        for (make, city) in [
+            ("Volvo", "Seattle"),
+            ("Volvo", "Austin"),
+            ("Saab", "Seattle"),
+            ("Tesla", "Austin"),
+        ] {
             imp.ingest_json(
                 "claims",
                 &format!(r#"{{"make": "{make}", "city": "{city}", "notes": "bumper work"}}"#),
@@ -657,7 +721,9 @@ mod tests {
         let dims = imp.facet_dimensions(2, 10);
         assert!(dims.contains(&"make".to_string()));
         let mut session = imp.session();
-        session.keywords("bumper").drill_down("make", Value::Str("Volvo".into()));
+        session
+            .keywords("bumper")
+            .drill_down("make", Value::Str("Volvo".into()));
         assert_eq!(session.results().len(), 2);
         let facet = imp.facet("city");
         assert_eq!(facet.values.iter().map(|v| v.count).sum::<usize>(), 4);
@@ -668,9 +734,13 @@ mod tests {
         // §2.1.2: relate extracted content facts to structured records.
         let imp = boot();
         let schema = RelationalSchema::new("products", &["sku", "price"]);
-        imp.ingest_row(&schema, vec![Value::Str("BX-1042".into()), Value::Float(29.5)])
+        imp.ingest_row(
+            &schema,
+            vec![Value::Str("BX-1042".into()), Value::Float(29.5)],
+        )
+        .unwrap();
+        imp.ingest_text("transcripts", "customer asked about BX-1042 being late")
             .unwrap();
-        imp.ingest_text("transcripts", "customer asked about BX-1042 being late").unwrap();
         imp.quiesce();
         // entity view exposes product codes as rows; join via SQL over
         // the annotations collection is exercised in views.rs tests.
@@ -704,36 +774,56 @@ mod schema_tests {
         // cust (rows), customer (JSON), and buyer (KV).
         let imp = Impliance::boot(ApplianceConfig::default());
         let schema = RelationalSchema::new("orders_db", &["cust", "total"]);
-        imp.ingest_row(&schema, vec![Value::Str("C-1".into()), Value::Float(10.0)]).unwrap();
-        imp.ingest_json("orders_web", r#"{"customer": "C-1", "price": 20.0}"#).unwrap();
-        imp.ingest_kv("orders_fax", &[("buyer", "C-1"), ("value", "30.0")]).unwrap();
+        imp.ingest_row(&schema, vec![Value::Str("C-1".into()), Value::Float(10.0)])
+            .unwrap();
+        imp.ingest_json("orders_web", r#"{"customer": "C-1", "price": 20.0}"#)
+            .unwrap();
+        imp.ingest_kv("orders_fax", &[("buyer", "C-1"), ("value", "30.0")])
+            .unwrap();
 
         let unified = imp.consolidated_schema();
         let sources = unified.sources_of("customer");
         assert_eq!(sources.len(), 3, "{sources:?}");
         let amounts = unified.sources_of("amount");
-        assert_eq!(amounts.len(), 3, "total/price/value all map to amount: {amounts:?}");
+        assert_eq!(
+            amounts.len(),
+            3,
+            "total/price/value all map to amount: {amounts:?}"
+        );
     }
 
     #[test]
     fn search_attribute_fans_out_across_collections() {
         let imp = Impliance::boot(ApplianceConfig::default());
         let schema = RelationalSchema::new("orders_db", &["cust", "total"]);
-        let a = imp.ingest_row(&schema, vec![Value::Str("C-9".into()), Value::Float(1.0)]).unwrap();
-        let b = imp.ingest_json("orders_web", r#"{"customer": "C-9"}"#).unwrap();
+        let a = imp
+            .ingest_row(&schema, vec![Value::Str("C-9".into()), Value::Float(1.0)])
+            .unwrap();
+        let b = imp
+            .ingest_json("orders_web", r#"{"customer": "C-9"}"#)
+            .unwrap();
         let c = imp.ingest_kv("orders_fax", &[("buyer", "C-9")]).unwrap();
-        imp.ingest_json("orders_web", r#"{"customer": "C-8"}"#).unwrap();
+        imp.ingest_json("orders_web", r#"{"customer": "C-8"}"#)
+            .unwrap();
 
         let hits = imp.search_attribute("customer", &Value::Str("C-9".into()));
         assert_eq!(hits, vec![a, b, c]);
-        assert!(imp.search_attribute("customer", &Value::Str("C-404".into())).is_empty());
-        assert!(imp.search_attribute("no_such_attribute", &Value::Int(1)).is_empty());
+        assert!(imp
+            .search_attribute("customer", &Value::Str("C-404".into()))
+            .is_empty());
+        assert!(imp
+            .search_attribute("no_such_attribute", &Value::Int(1))
+            .is_empty());
     }
 
     #[test]
     fn collection_structures_track_paths() {
         let imp = Impliance::boot(ApplianceConfig::default());
-        imp.ingest_json("claims", r#"{"vehicle": {"make": "Saab"}, "items": [1, 2]}"#).unwrap();
+        imp.ingest_json(
+            "claims",
+            r#"{"vehicle": {"make": "Saab"}, "items": [1, 2]}"#,
+        )
+        .unwrap();
         let structures = imp.collection_structures();
         let claims = structures.iter().find(|(c, _)| c == "claims").unwrap();
         assert!(claims.1.contains(&"vehicle.make".to_string()));
@@ -776,7 +866,11 @@ mod format_tests {
             .ingest_binary(
                 "media",
                 &payload,
-                &[("title", "crash site photo"), ("camera", "D70"), ("width", "3008")],
+                &[
+                    ("title", "crash site photo"),
+                    ("camera", "D70"),
+                    ("width", "3008"),
+                ],
             )
             .unwrap();
         let doc = imp.get(id).unwrap().unwrap();
@@ -784,9 +878,16 @@ mod format_tests {
             doc.get_str_path("content").unwrap().as_value().unwrap(),
             &Value::Bytes(payload)
         );
-        assert_eq!(doc.get_str_path("width").unwrap().as_value().unwrap(), &Value::Int(3008));
+        assert_eq!(
+            doc.get_str_path("width").unwrap().as_value().unwrap(),
+            &Value::Int(3008)
+        );
         imp.run_indexing(None);
-        assert_eq!(imp.search("crash photo", 10).len(), 1, "metadata is searchable");
+        assert_eq!(
+            imp.search("crash photo", 10).len(),
+            1,
+            "metadata is searchable"
+        );
     }
 
     #[test]
@@ -803,8 +904,13 @@ mod phrase_surface_tests {
     #[test]
     fn phrase_search_from_the_appliance() {
         let imp = Impliance::boot(ApplianceConfig::default());
-        imp.ingest_text("notes", "total cost of ownership is the deciding factor").unwrap();
-        imp.ingest_text("notes", "the ownership model drives total confusion and cost").unwrap();
+        imp.ingest_text("notes", "total cost of ownership is the deciding factor")
+            .unwrap();
+        imp.ingest_text(
+            "notes",
+            "the ownership model drives total confusion and cost",
+        )
+        .unwrap();
         imp.run_indexing(None);
         let hits = imp.search_phrase("total cost of ownership", None, 10);
         assert_eq!(hits.len(), 1);
@@ -825,12 +931,17 @@ mod encryption_surface_tests {
             ..ApplianceConfig::default()
         });
         for i in 0..30 {
-            imp.ingest_json("claims", &format!(r#"{{"amount": {i}, "notes": "secret note {i}"}}"#))
-                .unwrap();
+            imp.ingest_json(
+                "claims",
+                &format!(r#"{{"amount": {i}, "notes": "secret note {i}"}}"#),
+            )
+            .unwrap();
         }
         imp.storage().seal_all();
         imp.quiesce();
-        let out = imp.sql("SELECT COUNT(*) AS n FROM claims WHERE amount >= 10").unwrap();
+        let out = imp
+            .sql("SELECT COUNT(*) AS n FROM claims WHERE amount >= 10")
+            .unwrap();
         assert_eq!(out.rows()[0].get("n"), &Value::Int(20));
         assert!(!imp.search("secret", 10).is_empty());
     }

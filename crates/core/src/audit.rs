@@ -55,7 +55,11 @@ impl AccessPolicy {
 
     /// Additionally grant a principal on an already-restricted collection.
     pub fn grant(&self, collection: &str, principal: Principal) {
-        self.restricted.write().entry(collection.to_string()).or_default().insert(principal);
+        self.restricted
+            .write()
+            .entry(collection.to_string())
+            .or_default()
+            .insert(principal);
     }
 
     /// May `principal` read `collection`?
@@ -128,12 +132,22 @@ impl AuditLog {
 
     /// The Hippocratic question: which accesses touched this document?
     pub fn accesses_of(&self, doc: DocId) -> Vec<AuditRecord> {
-        self.records.lock().iter().filter(|r| r.docs.contains(&doc)).cloned().collect()
+        self.records
+            .lock()
+            .iter()
+            .filter(|r| r.docs.contains(&doc))
+            .cloned()
+            .collect()
     }
 
     /// Accesses performed by a principal.
     pub fn accesses_by(&self, principal: &Principal) -> Vec<AuditRecord> {
-        self.records.lock().iter().filter(|r| &r.principal == principal).cloned().collect()
+        self.records
+            .lock()
+            .iter()
+            .filter(|r| &r.principal == principal)
+            .cloned()
+            .collect()
     }
 }
 
@@ -154,7 +168,12 @@ impl<'a> GuardedAppliance<'a> {
         log: &'a AuditLog,
         principal: Principal,
     ) -> GuardedAppliance<'a> {
-        GuardedAppliance { imp, policy, log, principal }
+        GuardedAppliance {
+            imp,
+            policy,
+            log,
+            principal,
+        }
     }
 
     /// Policy-filtered keyword search: hits in restricted collections the
@@ -175,9 +194,11 @@ impl<'a> GuardedAppliance<'a> {
             }
         }
         if !withheld.is_empty() {
-            self.log.record(&self.principal, "search(withheld)", withheld, true);
+            self.log
+                .record(&self.principal, "search(withheld)", withheld, true);
         }
-        self.log.record(&self.principal, "search", allowed.clone(), false);
+        self.log
+            .record(&self.principal, "search", allowed.clone(), false);
         allowed
     }
 
@@ -238,8 +259,10 @@ mod tests {
 
     fn fixture() -> (Impliance, AccessPolicy, AuditLog) {
         let imp = Impliance::boot(ApplianceConfig::default());
-        imp.ingest_text("public", "Grace Hopper shares zebra knowledge from Seattle").unwrap();
-        imp.ingest_text("hr.salaries", "confidential zebra compensation data").unwrap();
+        imp.ingest_text("public", "Grace Hopper shares zebra knowledge from Seattle")
+            .unwrap();
+        imp.ingest_text("hr.salaries", "confidential zebra compensation data")
+            .unwrap();
         imp.quiesce();
         let policy = AccessPolicy::new();
         policy.restrict("hr.salaries", &[Principal::new("hr-admin")]);
@@ -313,12 +336,14 @@ mod tests {
         assert!(lin.contains(&LineageEntry::PriorVersion(Version(1))));
         // discovery attached annotations to the doc
         assert!(
-            lin.iter().any(|e| matches!(e, LineageEntry::AnnotatedBy(_))),
+            lin.iter()
+                .any(|e| matches!(e, LineageEntry::AnnotatedBy(_))),
             "expected annotation lineage: {lin:?}"
         );
         // and the annotation's own lineage points back
-        if let Some(LineageEntry::AnnotatedBy(ann)) =
-            lin.iter().find(|e| matches!(e, LineageEntry::AnnotatedBy(_)))
+        if let Some(LineageEntry::AnnotatedBy(ann)) = lin
+            .iter()
+            .find(|e| matches!(e, LineageEntry::AnnotatedBy(_)))
         {
             let ann_lineage = lineage(&imp, *ann);
             assert!(ann_lineage.contains(&LineageEntry::Annotates(id)));

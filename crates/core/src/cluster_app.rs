@@ -69,15 +69,22 @@ impl ClusterImpliance {
         let seal = config.seal_threshold;
         let compression = config.compression;
         let encryption_key = config.encryption_key;
-        let runtime = Arc::new(ClusterRuntime::boot(&specs, network, |spec| match spec.kind {
-            NodeKind::Data => {
-                let state = Arc::new(DataNodeState::new(Arc::new(StorageEngine::new(
-                    StorageOptions { partitions, seal_threshold: seal, compression, encryption_key },
-                ))));
-                engines.lock().insert(spec.id, Arc::clone(&state));
-                state
+        let runtime = Arc::new(ClusterRuntime::boot(&specs, network, |spec| {
+            match spec.kind {
+                NodeKind::Data => {
+                    let state = Arc::new(DataNodeState::new(Arc::new(StorageEngine::new(
+                        StorageOptions {
+                            partitions,
+                            seal_threshold: seal,
+                            compression,
+                            encryption_key,
+                        },
+                    ))));
+                    engines.lock().insert(spec.id, Arc::clone(&state));
+                    state
+                }
+                _ => Arc::new(()),
             }
-            _ => Arc::new(()),
         }));
         let data_ids: Vec<NodeId> = runtime.nodes_of_kind(NodeKind::Data);
         let storage_mgr = StorageManager::new(
@@ -149,8 +156,10 @@ impl ClusterImpliance {
     /// Ingest a pre-built document with replication.
     pub fn ingest_document(&self, doc: Document) -> Result<DocId, ClusterError> {
         let encoded_len = codec::encode_document_vec(&doc).len() as u64;
-        let placement =
-            self.storage_mgr.lock().place(doc.id(), DataClass::UserBase, encoded_len);
+        let placement = self
+            .storage_mgr
+            .lock()
+            .place(doc.id(), DataClass::UserBase, encoded_len);
         if placement.is_empty() {
             return Err(ClusterError::NoNodeOfKind("data"));
         }
@@ -158,8 +167,14 @@ impl ClusterImpliance {
             let doc = doc.clone();
             let primary = i == 0;
             let handle = self.runtime.submit_to(*node, encoded_len, move |ctx| {
-                let state = ctx.state.downcast_ref::<DataNodeState>().expect("data state");
-                let engine = if primary { &state.storage } else { &state.replica };
+                let Some(state) = ctx.state.downcast_ref::<DataNodeState>() else {
+                    return false; // misconfigured node can't store anything
+                };
+                let engine = if primary {
+                    &state.storage
+                } else {
+                    &state.replica
+                };
                 let stored = engine.put(&doc).is_ok();
                 if stored && primary {
                     // the primary owner also maintains its text shard
@@ -190,7 +205,11 @@ impl ClusterImpliance {
     }
 
     /// Scatter-gather keyword search over every data node's index shard.
-    pub fn search(&self, query: &str, k: usize) -> Result<Vec<impliance_index::SearchHit>, ClusterError> {
+    pub fn search(
+        &self,
+        query: &str,
+        k: usize,
+    ) -> Result<Vec<impliance_index::SearchHit>, ClusterError> {
         dist::dist_search(&self.runtime, query, k)
     }
 
@@ -214,7 +233,15 @@ impl ClusterImpliance {
         left_key: (String, String),
         right_key: (String, String),
     ) -> Result<Vec<Tuple>, ClusterError> {
-        dist::dist_join(&self.runtime, left, right, left_alias, right_alias, left_key, right_key)
+        dist::dist_join(
+            &self.runtime,
+            left,
+            right,
+            left_alias,
+            right_alias,
+            left_key,
+            right_key,
+        )
     }
 
     /// Figure 3's full pipeline: data-node scan+partial aggregation →
@@ -233,8 +260,12 @@ impl ClusterImpliance {
     /// under-replicated documents and promote replicas of documents whose
     /// primary died, so subsequent scans still see everything.
     pub fn kill_data_node(&self, node: NodeId) -> Result<RecoveryReport, ClusterError> {
-        let dead_state =
-            self.engines.lock().get(&node).cloned().ok_or(ClusterError::NodeDown(node))?;
+        let dead_state = self
+            .engines
+            .lock()
+            .get(&node)
+            .cloned()
+            .ok_or(ClusterError::NodeDown(node))?;
         // capture the dead node's primary doc ids before the kill
         let dead_primary: Vec<DocId> = {
             let res = dead_state.storage.scan(&ScanRequest {
@@ -257,7 +288,9 @@ impl ClusterImpliance {
                 continue;
             };
             let bytes = codec::encode_document_vec(&doc).len() as u64;
-            self.runtime.network().transmit(action.from, action.to, bytes);
+            self.runtime
+                .network()
+                .transmit(action.from, action.to, bytes);
             if let Some(target) = engines.get(&action.to) {
                 let _ = target.replica.put(&doc);
                 out.docs_repaired += 1;
@@ -325,7 +358,11 @@ impl ClusterImpliance {
                 };
                 self.runtime.kill(node);
                 self.runtime.spawn_node(
-                    impliance_cluster::NodeSpec { id: node, kind, capacity: 1.0 },
+                    impliance_cluster::NodeSpec {
+                        id: node,
+                        kind,
+                        capacity: 1.0,
+                    },
                     state,
                 );
                 self.versions.lock().insert(node, to_version.to_string());
@@ -344,7 +381,11 @@ impl ClusterImpliance {
     /// The software version each node currently runs (nodes never
     /// upgraded report the boot version "1.0").
     pub fn node_version(&self, node: NodeId) -> String {
-        self.versions.lock().get(&node).cloned().unwrap_or_else(|| "1.0".to_string())
+        self.versions
+            .lock()
+            .get(&node)
+            .cloned()
+            .unwrap_or_else(|| "1.0".to_string())
     }
 
     fn fetch_anywhere(
@@ -396,7 +437,11 @@ mod tests {
         let app = ClusterImpliance::boot(config(4, 2));
         load(&app, 100);
         let res = app.scan(&ScanRequest::full()).unwrap();
-        assert_eq!(res.documents.len(), 100, "replicas must not duplicate scan results");
+        assert_eq!(
+            res.documents.len(),
+            100,
+            "replicas must not duplicate scan results"
+        );
         assert_eq!(app.doc_count(), 100);
     }
 
@@ -418,7 +463,11 @@ mod tests {
         assert_eq!(groups.len(), 10);
         let committed = app.pipeline_query(&req).unwrap();
         assert_eq!(committed, 10);
-        assert_eq!(app.group().log().len(), 1, "cluster nodes committed the derived result");
+        assert_eq!(
+            app.group().log().len(),
+            1,
+            "cluster nodes committed the derived result"
+        );
     }
 
     #[test]
@@ -426,8 +475,11 @@ mod tests {
         let app = ClusterImpliance::boot(config(2, 2));
         load(&app, 20);
         for i in 0..10u64 {
-            app.ingest_json("customers", &format!(r#"{{"code": "C-{i}", "name": "N{i}"}}"#))
-                .unwrap();
+            app.ingest_json(
+                "customers",
+                &format!(r#"{{"code": "C-{i}", "name": "N{i}"}}"#),
+            )
+            .unwrap();
         }
         let tuples = app
             .join(
@@ -449,7 +501,10 @@ mod tests {
         let victim = app.runtime().nodes_of_kind(NodeKind::Data)[1];
         let report = app.kill_data_node(victim).unwrap();
         assert!(report.docs_repaired > 0, "repairs must happen: {report:?}");
-        assert_eq!(report.docs_lost, 0, "replication 2 must survive one failure");
+        assert_eq!(
+            report.docs_lost, 0,
+            "replication 2 must survive one failure"
+        );
         // every document still visible to scans
         let res = app.scan(&ScanRequest::full()).unwrap();
         assert_eq!(res.documents.len(), 200, "no documents lost after recovery");
@@ -470,7 +525,12 @@ mod tests {
         load(&small, 100);
         load(&large, 100);
         let max_per_node = |app: &ClusterImpliance| {
-            app.engines.lock().values().map(|s| s.storage.live_docs()).max().unwrap_or(0)
+            app.engines
+                .lock()
+                .values()
+                .map(|s| s.storage.live_docs())
+                .max()
+                .unwrap_or(0)
         };
         assert!(
             max_per_node(&large) < max_per_node(&small),
@@ -512,7 +572,8 @@ mod upgrade_tests {
             ..ApplianceConfig::default()
         });
         for i in 0..100 {
-            app.ingest_json("orders", &format!(r#"{{"amount": {i}}}"#)).unwrap();
+            app.ingest_json("orders", &format!(r#"{{"amount": {i}}}"#))
+                .unwrap();
         }
         let batches = app
             .rolling_upgrade("2.0", &impliance_virt::UpgradePolicy::default())
@@ -561,9 +622,16 @@ mod cluster_search_tests {
             ..ApplianceConfig::default()
         });
         for i in 0..40 {
-            let notes = if i % 4 == 0 { "fraud indicator present" } else { "routine claim" };
-            app.ingest_json("claims", &format!(r#"{{"amount": {i}, "notes": "{notes}"}}"#))
-                .unwrap();
+            let notes = if i % 4 == 0 {
+                "fraud indicator present"
+            } else {
+                "routine claim"
+            };
+            app.ingest_json(
+                "claims",
+                &format!(r#"{{"amount": {i}, "notes": "{notes}"}}"#),
+            )
+            .unwrap();
         }
         let hits = app.search("fraud", 100).unwrap();
         assert_eq!(hits.len(), 10, "replicas must not duplicate search hits");

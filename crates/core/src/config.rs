@@ -63,7 +63,10 @@ mod tests {
     fn defaults_describe_the_paper_design() {
         let c = ApplianceConfig::default();
         assert!(c.pushdown, "pushdown is the paper's design point");
-        assert!(!c.synchronous_indexing, "async indexing is the paper's design point");
+        assert!(
+            !c.synchronous_indexing,
+            "async indexing is the paper's design point"
+        );
         assert!(c.compression);
         assert!(c.data_nodes >= 1 && c.grid_nodes >= 1 && c.cluster_nodes >= 1);
     }

@@ -19,9 +19,11 @@ use crate::appliance::{ApplianceError, Impliance};
 /// One row of the entity view: an extracted mention tied to its subject
 /// document.
 pub fn entity_view(imp: &Impliance) -> Result<Vec<Row>, ApplianceError> {
-    let result = imp.storage().scan(&ScanRequest::filtered(Predicate::CollectionIs(
-        "annotations.entities".to_string(),
-    )))?;
+    let result = imp
+        .storage()
+        .scan(&ScanRequest::filtered(Predicate::CollectionIs(
+            "annotations.entities".to_string(),
+        )))?;
     let mut rows = Vec::new();
     for ann in &result.documents {
         let subject = ann.subject().map(|s| s.0 as i64).unwrap_or(-1);
@@ -30,7 +32,10 @@ pub fn entity_view(imp: &Impliance) -> Result<Vec<Row>, ApplianceError> {
         };
         for m in mentions {
             let get = |field: &str| -> Value {
-                m.get_str_path(field).and_then(|n| n.as_value()).cloned().unwrap_or(Value::Null)
+                m.get_str_path(field)
+                    .and_then(|n| n.as_value())
+                    .cloned()
+                    .unwrap_or(Value::Null)
             };
             rows.push(Row::from_pairs([
                 ("subject".to_string(), Value::Int(subject)),
@@ -50,14 +55,19 @@ pub fn entity_view(imp: &Impliance) -> Result<Vec<Row>, ApplianceError> {
 
 /// One row of the sentiment view: subject id, label, score.
 pub fn sentiment_view(imp: &Impliance) -> Result<Vec<Row>, ApplianceError> {
-    let result = imp.storage().scan(&ScanRequest::filtered(Predicate::CollectionIs(
-        "annotations.sentiment".to_string(),
-    )))?;
+    let result = imp
+        .storage()
+        .scan(&ScanRequest::filtered(Predicate::CollectionIs(
+            "annotations.sentiment".to_string(),
+        )))?;
     let mut rows = Vec::new();
     for ann in &result.documents {
         let subject = ann.subject().map(|s| s.0 as i64).unwrap_or(-1);
         let get = |field: &str| -> Value {
-            ann.get_str_path(field).and_then(|n| n.as_value()).cloned().unwrap_or(Value::Null)
+            ann.get_str_path(field)
+                .and_then(|n| n.as_value())
+                .cloned()
+                .unwrap_or(Value::Null)
         };
         rows.push(Row::from_pairs([
             ("subject".to_string(), Value::Int(subject)),
@@ -80,11 +90,15 @@ pub fn entities_with_base(
     let entities = entity_view(imp)?;
     let mut rows = Vec::new();
     for e in entities {
-        let Some(subject) = e.get("subject").as_i64() else { continue };
+        let Some(subject) = e.get("subject").as_i64() else {
+            continue;
+        };
         if subject < 0 {
             continue;
         }
-        let Some(doc) = imp.get(DocId(subject as u64))? else { continue };
+        let Some(doc) = imp.get(DocId(subject as u64))? else {
+            continue;
+        };
         let base_value = doc
             .leaves()
             .into_iter()
@@ -92,7 +106,10 @@ pub fn entities_with_base(
             .map(|(_, v)| v.clone())
             .unwrap_or(Value::Null);
         let mut columns = e.columns.clone();
-        columns.insert(format!("base_{}", base_join_path.replace('.', "_")), base_value);
+        columns.insert(
+            format!("base_{}", base_join_path.replace('.', "_")),
+            base_value,
+        );
         rows.push(Row { columns });
     }
     Ok(rows)
@@ -130,8 +147,10 @@ mod tests {
             assert!(!r.get("kind").is_null());
         }
         // persons were found
-        assert!(rows.iter().any(|r| r.get("kind") == &Value::Str("person".into())
-            && r.get("normalized") == &Value::Str("grace hopper".into())));
+        assert!(rows
+            .iter()
+            .any(|r| r.get("kind") == &Value::Str("person".into())
+                && r.get("normalized") == &Value::Str("grace hopper".into())));
         assert!(rows
             .iter()
             .any(|r| r.get("kind") == &Value::Str("location".into())));

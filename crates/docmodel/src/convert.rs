@@ -54,18 +54,19 @@ pub fn relational_row_to_document(
     for (col, val) in schema.columns.iter().zip(values) {
         map.insert(col.clone(), Node::Value(val));
     }
-    Ok(Document::new(id, SourceFormat::RelationalRow, schema.table.clone(), at, Node::Map(map)))
+    Ok(Document::new(
+        id,
+        SourceFormat::RelationalRow,
+        schema.table.clone(),
+        at,
+        Node::Map(map),
+    ))
 }
 
 /// Convert flat key-value pairs (properties files, sensor readings) into a
 /// document. Values are type-sniffed: integers, floats, and booleans are
 /// recognized; everything else stays a string.
-pub fn kv_to_document(
-    id: DocId,
-    collection: &str,
-    pairs: &[(&str, &str)],
-    at: i64,
-) -> Document {
+pub fn kv_to_document(id: DocId, collection: &str, pairs: &[(&str, &str)], at: i64) -> Document {
     let mut map = BTreeMap::new();
     for (k, v) in pairs {
         map.insert(k.to_string(), Node::Value(sniff_scalar(v)));
@@ -77,8 +78,10 @@ pub fn kv_to_document(
 /// The "repository of last resort" case: even a bag of bytes with no
 /// structure at all is first-class in the uniform model.
 pub fn text_to_document(id: DocId, collection: &str, text: &str, at: i64) -> Document {
-    let map =
-        BTreeMap::from([("body".to_string(), Node::Value(Value::Str(text.to_string())))]);
+    let map = BTreeMap::from([(
+        "body".to_string(),
+        Node::Value(Value::Str(text.to_string())),
+    )]);
     Document::new(id, SourceFormat::Text, collection, at, Node::Map(map))
 }
 
@@ -149,7 +152,11 @@ impl<'a> CsvReader<'a> {
     /// Create a reader over a CSV text; consumes the header record
     /// immediately. Returns an error for an empty input.
     pub fn new(input: &'a str) -> Result<CsvReader<'a>, DocError> {
-        let mut r = CsvReader { input, pos: 0, header: Vec::new() };
+        let mut r = CsvReader {
+            input,
+            pos: 0,
+            header: Vec::new(),
+        };
         let header = r
             .next_record()
             .ok_or_else(|| DocError::Conversion("empty CSV input".to_string()))?;
@@ -222,22 +229,26 @@ impl<'a> CsvReader<'a> {
 
     /// Read the next record as a document. Missing trailing fields become
     /// `Null`; extra fields are named `_extra<N>`.
-    pub fn next_document(
-        &mut self,
-        id: DocId,
-        collection: &str,
-        at: i64,
-    ) -> Option<Document> {
+    pub fn next_document(&mut self, id: DocId, collection: &str, at: i64) -> Option<Document> {
         let record = self.next_record()?;
         let mut map = BTreeMap::new();
         for (i, name) in self.header.iter().enumerate() {
-            let val = record.get(i).map(|s| sniff_scalar(s)).unwrap_or(Value::Null);
+            let val = record
+                .get(i)
+                .map(|s| sniff_scalar(s))
+                .unwrap_or(Value::Null);
             map.insert(name.clone(), Node::Value(val));
         }
         for (i, extra) in record.iter().enumerate().skip(self.header.len()) {
             map.insert(format!("_extra{i}"), Node::Value(sniff_scalar(extra)));
         }
-        Some(Document::new(id, SourceFormat::Csv, collection, at, Node::Map(map)))
+        Some(Document::new(
+            id,
+            SourceFormat::Csv,
+            collection,
+            at,
+            Node::Map(map),
+        ))
     }
 }
 
@@ -260,7 +271,8 @@ pub fn sniff_scalar(s: &str) -> Value {
     // Require a digit so strings like "." or "e" do not become floats, and
     // require typical float syntax so IDs like "1-2" stay strings.
     if t.bytes().any(|b| b.is_ascii_digit())
-        && t.bytes().all(|b| b.is_ascii_digit() || matches!(b, b'.' | b'-' | b'+' | b'e' | b'E'))
+        && t.bytes()
+            .all(|b| b.is_ascii_digit() || matches!(b, b'.' | b'-' | b'+' | b'e' | b'E'))
     {
         if let Ok(f) = t.parse::<f64>() {
             return Value::Float(f);
@@ -285,8 +297,14 @@ mod tests {
         .unwrap();
         assert_eq!(d.collection(), "customers");
         assert_eq!(d.format(), SourceFormat::RelationalRow);
-        assert_eq!(d.get_str_path("name").unwrap().as_value().unwrap().as_str(), Some("Ada"));
-        assert_eq!(d.get_str_path("id").unwrap().as_value().unwrap(), &Value::Int(7));
+        assert_eq!(
+            d.get_str_path("name").unwrap().as_value().unwrap().as_str(),
+            Some("Ada")
+        );
+        assert_eq!(
+            d.get_str_path("id").unwrap().as_value().unwrap(),
+            &Value::Int(7)
+        );
     }
 
     #[test]
@@ -301,13 +319,31 @@ mod tests {
         let d = kv_to_document(
             DocId(2),
             "sensors",
-            &[("temp", "21.5"), ("count", "3"), ("ok", "true"), ("tag", "north"), ("gap", "")],
+            &[
+                ("temp", "21.5"),
+                ("count", "3"),
+                ("ok", "true"),
+                ("tag", "north"),
+                ("gap", ""),
+            ],
             0,
         );
-        assert_eq!(d.get_str_path("temp").unwrap().as_value().unwrap(), &Value::Float(21.5));
-        assert_eq!(d.get_str_path("count").unwrap().as_value().unwrap(), &Value::Int(3));
-        assert_eq!(d.get_str_path("ok").unwrap().as_value().unwrap(), &Value::Bool(true));
-        assert_eq!(d.get_str_path("tag").unwrap().as_value().unwrap().as_str(), Some("north"));
+        assert_eq!(
+            d.get_str_path("temp").unwrap().as_value().unwrap(),
+            &Value::Float(21.5)
+        );
+        assert_eq!(
+            d.get_str_path("count").unwrap().as_value().unwrap(),
+            &Value::Int(3)
+        );
+        assert_eq!(
+            d.get_str_path("ok").unwrap().as_value().unwrap(),
+            &Value::Bool(true)
+        );
+        assert_eq!(
+            d.get_str_path("tag").unwrap().as_value().unwrap().as_str(),
+            Some("north")
+        );
         assert!(d.get_str_path("gap").unwrap().as_value().unwrap().is_null());
     }
 
@@ -333,13 +369,27 @@ mod tests {
                    Received: relay1\r\nReceived: relay2\r\n\r\nLet's meet at noon.\nBring notes.";
         let d = email_to_document(DocId(4), "mail", raw, 0);
         assert_eq!(
-            d.get_str_path("headers.subject").unwrap().as_value().unwrap().as_str(),
+            d.get_str_path("headers.subject")
+                .unwrap()
+                .as_value()
+                .unwrap()
+                .as_str(),
             Some("Meeting")
         );
         // repeated header became a sequence
-        let received = d.get_str_path("headers.received").unwrap().as_seq().unwrap();
+        let received = d
+            .get_str_path("headers.received")
+            .unwrap()
+            .as_seq()
+            .unwrap();
         assert_eq!(received.len(), 2);
-        let body = d.get_str_path("body").unwrap().as_value().unwrap().as_str().unwrap();
+        let body = d
+            .get_str_path("body")
+            .unwrap()
+            .as_value()
+            .unwrap()
+            .as_str()
+            .unwrap();
         assert!(body.starts_with("Let's meet"));
     }
 
@@ -348,7 +398,11 @@ mod tests {
         let raw = "Subject: a very\n  long subject\n\nbody";
         let d = email_to_document(DocId(5), "mail", raw, 0);
         assert_eq!(
-            d.get_str_path("headers.subject").unwrap().as_value().unwrap().as_str(),
+            d.get_str_path("headers.subject")
+                .unwrap()
+                .as_value()
+                .unwrap()
+                .as_str(),
             Some("a very long subject")
         );
     }
@@ -358,10 +412,17 @@ mod tests {
         let raw = "From: x@y.z\nSubject: hi";
         let d = email_to_document(DocId(6), "mail", raw, 0);
         assert_eq!(
-            d.get_str_path("headers.from").unwrap().as_value().unwrap().as_str(),
+            d.get_str_path("headers.from")
+                .unwrap()
+                .as_value()
+                .unwrap()
+                .as_str(),
             Some("x@y.z")
         );
-        assert_eq!(d.get_str_path("body").unwrap().as_value().unwrap().as_str(), Some(""));
+        assert_eq!(
+            d.get_str_path("body").unwrap().as_value().unwrap().as_str(),
+            Some("")
+        );
     }
 
     #[test]
@@ -371,12 +432,20 @@ mod tests {
         assert_eq!(r.header(), &["id", "name", "notes"]);
         let d1 = r.next_document(DocId(1), "people", 0).unwrap();
         assert_eq!(
-            d1.get_str_path("notes").unwrap().as_value().unwrap().as_str(),
+            d1.get_str_path("notes")
+                .unwrap()
+                .as_value()
+                .unwrap()
+                .as_str(),
             Some("likes, commas")
         );
         let d2 = r.next_document(DocId(2), "people", 0).unwrap();
         assert_eq!(
-            d2.get_str_path("name").unwrap().as_value().unwrap().as_str(),
+            d2.get_str_path("name")
+                .unwrap()
+                .as_value()
+                .unwrap()
+                .as_str(),
             Some("Grace \"G\"")
         );
         assert!(r.next_document(DocId(3), "people", 0).is_none());
@@ -391,7 +460,10 @@ mod tests {
             d.get_str_path("a").unwrap().as_value().unwrap().as_str(),
             Some("line1\nline2")
         );
-        assert_eq!(d.get_str_path("b").unwrap().as_value().unwrap(), &Value::Int(2));
+        assert_eq!(
+            d.get_str_path("b").unwrap().as_value().unwrap(),
+            &Value::Int(2)
+        );
     }
 
     #[test]
@@ -401,7 +473,10 @@ mod tests {
         let d1 = r.next_document(DocId(1), "c", 0).unwrap();
         assert!(d1.get_str_path("b").unwrap().as_value().unwrap().is_null());
         let d2 = r.next_document(DocId(2), "c", 0).unwrap();
-        assert_eq!(d2.get_str_path("_extra2").unwrap().as_value().unwrap(), &Value::Int(3));
+        assert_eq!(
+            d2.get_str_path("_extra2").unwrap().as_value().unwrap(),
+            &Value::Int(3)
+        );
     }
 
     #[test]
@@ -414,6 +489,9 @@ mod tests {
         let csv = "name\nJosé\n";
         let mut r = CsvReader::new(csv).unwrap();
         let d = r.next_document(DocId(1), "c", 0).unwrap();
-        assert_eq!(d.get_str_path("name").unwrap().as_value().unwrap().as_str(), Some("José"));
+        assert_eq!(
+            d.get_str_path("name").unwrap().as_value().unwrap().as_str(),
+            Some("José")
+        );
     }
 }

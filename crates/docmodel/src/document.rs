@@ -298,7 +298,11 @@ mod tests {
         assert_eq!(d.version(), Version::INITIAL);
         assert_eq!(d.ingested_at(), 42);
         assert_eq!(
-            d.get_str_path("claim.vehicle.make").unwrap().as_value().unwrap().as_str(),
+            d.get_str_path("claim.vehicle.make")
+                .unwrap()
+                .as_value()
+                .unwrap()
+                .as_str(),
             Some("Volvo")
         );
     }
@@ -313,7 +317,14 @@ mod tests {
         assert_eq!(d2.version(), Version(2));
         assert_eq!(d2.supersedes(), Some(Version(1)));
         // d1 untouched
-        assert_eq!(d1.get_str_path("body").unwrap().as_value().unwrap().as_str(), Some("v1"));
+        assert_eq!(
+            d1.get_str_path("body")
+                .unwrap()
+                .as_value()
+                .unwrap()
+                .as_str(),
+            Some("v1")
+        );
     }
 
     #[test]

@@ -14,7 +14,10 @@ pub enum DocError {
     /// whose arity does not match its schema).
     Conversion(String),
     /// A scalar value was used where a different type was required.
-    TypeMismatch { expected: &'static str, actual: &'static str },
+    TypeMismatch {
+        expected: &'static str,
+        actual: &'static str,
+    },
 }
 
 impl fmt::Display for DocError {
@@ -40,10 +43,19 @@ mod tests {
 
     #[test]
     fn display_formats_are_stable() {
-        let e = DocError::Parse { offset: 7, message: "bad token".into() };
+        let e = DocError::Parse {
+            offset: 7,
+            message: "bad token".into(),
+        };
         assert_eq!(e.to_string(), "parse error at byte 7: bad token");
-        assert_eq!(DocError::PathNotFound("a.b".into()).to_string(), "path not found: a.b");
-        let t = DocError::TypeMismatch { expected: "int", actual: "string" };
+        assert_eq!(
+            DocError::PathNotFound("a.b".into()).to_string(),
+            "path not found: a.b"
+        );
+        let t = DocError::TypeMismatch {
+            expected: "int",
+            actual: "string",
+        };
         assert_eq!(t.to_string(), "type mismatch: expected int, got string");
     }
 }

@@ -13,7 +13,10 @@ use crate::value::Value;
 
 /// Parse a JSON text into a document tree.
 pub fn parse(input: &str) -> Result<Node, DocError> {
-    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let node = p.parse_node()?;
     p.skip_ws();
@@ -162,7 +165,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, msg: &str) -> DocError {
-        DocError::Parse { offset: self.pos, message: msg.to_string() }
+        DocError::Parse {
+            offset: self.pos,
+            message: msg.to_string(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -320,8 +326,12 @@ impl<'a> Parser<'a> {
     fn parse_hex4(&mut self) -> Result<u32, DocError> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
-            let d = (b as char).to_digit(16).ok_or_else(|| self.err("invalid hex digit"))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid hex digit"))?;
             v = v * 16 + d;
         }
         Ok(v)
@@ -418,18 +428,33 @@ mod tests {
         assert_eq!(parse("1e3").unwrap(), Node::Value(Value::Float(1000.0)));
         assert_eq!(parse("true").unwrap(), Node::Value(Value::Bool(true)));
         assert_eq!(parse("null").unwrap(), Node::Value(Value::Null));
-        assert_eq!(parse("\"hi\"").unwrap(), Node::Value(Value::Str("hi".into())));
+        assert_eq!(
+            parse("\"hi\"").unwrap(),
+            Node::Value(Value::Str("hi".into()))
+        );
     }
 
     #[test]
     fn parses_nested_structures() {
         let n = parse(r#"{"a": [1, {"b": "x"}], "c": null}"#).unwrap();
-        assert_eq!(n.get(&Path::parse("a[0]")).unwrap().as_value().unwrap(), &Value::Int(1));
         assert_eq!(
-            n.get(&Path::parse("a[1].b")).unwrap().as_value().unwrap().as_str(),
+            n.get(&Path::parse("a[0]")).unwrap().as_value().unwrap(),
+            &Value::Int(1)
+        );
+        assert_eq!(
+            n.get(&Path::parse("a[1].b"))
+                .unwrap()
+                .as_value()
+                .unwrap()
+                .as_str(),
             Some("x")
         );
-        assert!(n.get(&Path::parse("c")).unwrap().as_value().unwrap().is_null());
+        assert!(n
+            .get(&Path::parse("c"))
+            .unwrap()
+            .as_value()
+            .unwrap()
+            .is_null());
     }
 
     #[test]
@@ -446,7 +471,16 @@ mod tests {
 
     #[test]
     fn rejects_malformed_input() {
-        for bad in ["{", "[1,", "{\"a\" 1}", "tru", "\"abc", "01x", "", "[1] extra"] {
+        for bad in [
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "tru",
+            "\"abc",
+            "01x",
+            "",
+            "[1] extra",
+        ] {
             assert!(parse(bad).is_err(), "{bad:?} should fail");
         }
     }

@@ -97,8 +97,9 @@ impl Node {
                         *cur = Node::empty_map();
                     }
                     if let Node::Map(m) = cur {
-                        let child =
-                            m.entry(name.clone()).or_insert_with(|| Node::Value(Value::Null));
+                        let child = m
+                            .entry(name.clone())
+                            .or_insert_with(|| Node::Value(Value::Null));
                         set_rec(child, rest, node);
                     }
                 }
@@ -147,8 +148,11 @@ impl Node {
     /// indexes collapsed to `[]`), used by the path index and the schema
     /// mapper. Returned sorted and de-duplicated.
     pub fn structure_paths(&self) -> Vec<String> {
-        let mut out: Vec<String> =
-            self.leaves().into_iter().map(|(p, _)| p.structural_form()).collect();
+        let mut out: Vec<String> = self
+            .leaves()
+            .into_iter()
+            .map(|(p, _)| p.structural_form())
+            .collect();
         out.sort();
         out.dedup();
         out
@@ -215,7 +219,11 @@ mod tests {
     #[test]
     fn get_resolves_nested_paths() {
         let doc = sample();
-        let v = doc.get_str_path("orders[1].sku").unwrap().as_value().unwrap();
+        let v = doc
+            .get_str_path("orders[1].sku")
+            .unwrap()
+            .as_value()
+            .unwrap();
         assert_eq!(v, &Value::Str("B-2".into()));
         assert!(doc.get_str_path("orders[2].sku").is_none());
         assert!(doc.get_str_path("name.sub").is_none());
@@ -225,16 +233,25 @@ mod tests {
     fn set_creates_intermediate_structure() {
         let mut n = Node::empty_map();
         n.set(&Path::parse("a.b[2].c"), Node::scalar(7i64));
-        assert_eq!(n.get_str_path("a.b[2].c").unwrap().as_value().unwrap(), &Value::Int(7));
+        assert_eq!(
+            n.get_str_path("a.b[2].c").unwrap().as_value().unwrap(),
+            &Value::Int(7)
+        );
         // Slots 0 and 1 were padded with nulls.
-        assert_eq!(n.get_str_path("a.b[0]").unwrap().as_value().unwrap(), &Value::Null);
+        assert_eq!(
+            n.get_str_path("a.b[0]").unwrap().as_value().unwrap(),
+            &Value::Null
+        );
     }
 
     #[test]
     fn set_overwrites_existing() {
         let mut n = sample();
         n.set(&Path::parse("name"), Node::scalar("Grace"));
-        assert_eq!(n.get_str_path("name").unwrap().as_value().unwrap().as_str(), Some("Grace"));
+        assert_eq!(
+            n.get_str_path("name").unwrap().as_value().unwrap().as_str(),
+            Some("Grace")
+        );
     }
 
     #[test]
@@ -244,14 +261,23 @@ mod tests {
         let paths: Vec<String> = leaves.iter().map(|(p, _)| p.to_string()).collect();
         assert_eq!(
             paths,
-            vec!["name", "orders[0].qty", "orders[0].sku", "orders[1].qty", "orders[1].sku"]
+            vec![
+                "name",
+                "orders[0].qty",
+                "orders[0].sku",
+                "orders[1].qty",
+                "orders[1].sku"
+            ]
         );
     }
 
     #[test]
     fn structure_paths_collapse_indexes() {
         let doc = sample();
-        assert_eq!(doc.structure_paths(), vec!["name", "orders[].qty", "orders[].sku"]);
+        assert_eq!(
+            doc.structure_paths(),
+            vec!["name", "orders[].qty", "orders[].sku"]
+        );
     }
 
     #[test]

@@ -123,7 +123,9 @@ impl Path {
         if self.steps.is_empty() {
             None
         } else {
-            Some(Path { steps: self.steps[..self.steps.len() - 1].to_vec() })
+            Some(Path {
+                steps: self.steps[..self.steps.len() - 1].to_vec(),
+            })
         }
     }
 
@@ -203,7 +205,10 @@ mod tests {
 
     #[test]
     fn structural_form_collapses_indexes() {
-        assert_eq!(Path::parse("orders[3].sku").structural_form(), "orders[].sku");
+        assert_eq!(
+            Path::parse("orders[3].sku").structural_form(),
+            "orders[].sku"
+        );
         assert_eq!(Path::parse("a[0][1].b").structural_form(), "a[][].b");
         assert_eq!(Path::parse("a.b").structural_form(), "a.b");
     }

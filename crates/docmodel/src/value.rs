@@ -200,7 +200,13 @@ mod tests {
             Value::Bytes(vec![0]),
         ];
         for w in vals.windows(2) {
-            assert_eq!(w[0].total_cmp(&w[1]), Ordering::Less, "{:?} < {:?}", w[0], w[1]);
+            assert_eq!(
+                w[0].total_cmp(&w[1]),
+                Ordering::Less,
+                "{:?} < {:?}",
+                w[0],
+                w[1]
+            );
         }
     }
 
@@ -213,8 +219,14 @@ mod tests {
 
     #[test]
     fn nan_sorts_after_numbers_keeping_order_total() {
-        assert_eq!(Value::Float(f64::NAN).total_cmp(&Value::Int(i64::MAX)), Ordering::Greater);
-        assert_eq!(Value::Float(f64::NAN).total_cmp(&Value::Float(f64::NAN)), Ordering::Equal);
+        assert_eq!(
+            Value::Float(f64::NAN).total_cmp(&Value::Int(i64::MAX)),
+            Ordering::Greater
+        );
+        assert_eq!(
+            Value::Float(f64::NAN).total_cmp(&Value::Float(f64::NAN)),
+            Ordering::Equal
+        );
     }
 
     #[test]

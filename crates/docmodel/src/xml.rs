@@ -23,7 +23,10 @@ use crate::value::Value;
 
 /// Parse an XML text into a document tree rooted at the document element.
 pub fn parse(input: &str) -> Result<Node, DocError> {
-    let mut p = XmlParser { bytes: input.as_bytes(), pos: 0 };
+    let mut p = XmlParser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
     p.skip_misc()?;
     let (name, node) = p.parse_element()?;
     p.skip_misc()?;
@@ -40,7 +43,10 @@ struct XmlParser<'a> {
 
 impl<'a> XmlParser<'a> {
     fn err(&self, msg: &str) -> DocError {
-        DocError::Parse { offset: self.pos, message: format!("xml: {msg}") }
+        DocError::Parse {
+            offset: self.pos,
+            message: format!("xml: {msg}"),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -250,7 +256,10 @@ mod tests {
     #[test]
     fn simple_element_with_text() {
         let n = parse("<note>hello world</note>").unwrap();
-        assert_eq!(n.get_str_path("note").unwrap().as_value().unwrap().as_str(), Some("hello world"));
+        assert_eq!(
+            n.get_str_path("note").unwrap().as_value().unwrap().as_str(),
+            Some("hello world")
+        );
     }
 
     #[test]
@@ -262,17 +271,33 @@ mod tests {
                </claim>"#,
         )
         .unwrap();
-        assert_eq!(n.get_str_path("claim.@id").unwrap().as_value().unwrap(), &Value::Int(42));
-        assert_eq!(n.get_str_path("claim.@open").unwrap().as_value().unwrap(), &Value::Bool(true));
         assert_eq!(
-            n.get_str_path("claim.vehicle.@make").unwrap().as_value().unwrap().as_str(),
+            n.get_str_path("claim.@id").unwrap().as_value().unwrap(),
+            &Value::Int(42)
+        );
+        assert_eq!(
+            n.get_str_path("claim.@open").unwrap().as_value().unwrap(),
+            &Value::Bool(true)
+        );
+        assert_eq!(
+            n.get_str_path("claim.vehicle.@make")
+                .unwrap()
+                .as_value()
+                .unwrap()
+                .as_str(),
             Some("Volvo")
         );
         assert_eq!(
-            n.get_str_path("claim.vehicle.year").unwrap().as_value().unwrap(),
+            n.get_str_path("claim.vehicle.year")
+                .unwrap()
+                .as_value()
+                .unwrap(),
             &Value::Int(2004)
         );
-        assert_eq!(n.get_str_path("claim.amount").unwrap().as_value().unwrap(), &Value::Int(1500));
+        assert_eq!(
+            n.get_str_path("claim.amount").unwrap().as_value().unwrap(),
+            &Value::Int(1500)
+        );
     }
 
     #[test]
@@ -286,8 +311,17 @@ mod tests {
     #[test]
     fn mixed_text_and_children() {
         let n = parse("<p>before <b>bold</b> after</p>").unwrap();
-        assert_eq!(n.get_str_path("p.b").unwrap().as_value().unwrap().as_str(), Some("bold"));
-        let text = n.get_str_path("p.#text").unwrap().as_value().unwrap().as_str().unwrap();
+        assert_eq!(
+            n.get_str_path("p.b").unwrap().as_value().unwrap().as_str(),
+            Some("bold")
+        );
+        let text = n
+            .get_str_path("p.#text")
+            .unwrap()
+            .as_value()
+            .unwrap()
+            .as_str()
+            .unwrap();
         assert!(text.contains("before"));
         assert!(text.contains("after"));
     }
@@ -300,11 +334,19 @@ mod tests {
         )
         .unwrap();
         assert_eq!(
-            n.get_str_path("doc.raw").unwrap().as_value().unwrap().as_str(),
+            n.get_str_path("doc.raw")
+                .unwrap()
+                .as_value()
+                .unwrap()
+                .as_str(),
             Some("5 < 6 & 7 > 2")
         );
         assert_eq!(
-            n.get_str_path("doc.esc").unwrap().as_value().unwrap().as_str(),
+            n.get_str_path("doc.esc")
+                .unwrap()
+                .as_value()
+                .unwrap()
+                .as_str(),
             Some("a & b <tag>")
         );
     }
@@ -312,8 +354,18 @@ mod tests {
     #[test]
     fn self_closing_and_empty_elements() {
         let n = parse("<doc><gap/><empty></empty></doc>").unwrap();
-        assert!(n.get_str_path("doc.gap").unwrap().as_value().unwrap().is_null());
-        assert!(n.get_str_path("doc.empty").unwrap().as_value().unwrap().is_null());
+        assert!(n
+            .get_str_path("doc.gap")
+            .unwrap()
+            .as_value()
+            .unwrap()
+            .is_null());
+        assert!(n
+            .get_str_path("doc.empty")
+            .unwrap()
+            .as_value()
+            .unwrap()
+            .is_null());
     }
 
     #[test]
@@ -332,8 +384,8 @@ mod tests {
 
     #[test]
     fn full_text_flows_through() {
-        let n = parse("<memo><to>Ada</to><body>please review the Acme contract</body></memo>")
-            .unwrap();
+        let n =
+            parse("<memo><to>Ada</to><body>please review the Acme contract</body></memo>").unwrap();
         let text = n.full_text();
         assert!(text.contains("Ada"));
         assert!(text.contains("Acme contract"));

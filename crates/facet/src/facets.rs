@@ -45,11 +45,7 @@ impl<'a> FacetEngine<'a> {
     /// Discover facet-worthy paths: coverage ≥ `min_coverage` documents
     /// and between 2 and `max_cardinality` distinct values. Returned in
     /// descending coverage order.
-    pub fn discover_dimensions(
-        &self,
-        min_coverage: usize,
-        max_cardinality: usize,
-    ) -> Vec<String> {
+    pub fn discover_dimensions(&self, min_coverage: usize, max_cardinality: usize) -> Vec<String> {
         let mut out: Vec<(String, usize)> = self
             .index
             .path_census()
@@ -88,7 +84,10 @@ impl<'a> FacetEngine<'a> {
             })
             .collect();
         values.sort_by(|a, b| b.count.cmp(&a.count).then(a.label.cmp(&b.label)));
-        FacetDimension { path: path.to_string(), values }
+        FacetDimension {
+            path: path.to_string(),
+            values,
+        }
     }
 
     /// Bucket a numeric dimension into `buckets` equal-width ranges over
@@ -105,10 +104,19 @@ impl<'a> FacetEngine<'a> {
             .filter_map(|(v, _)| v.as_f64().map(|f| (f, self.index.lookup_eq(path, v))))
             .collect();
         if numeric.is_empty() {
-            return FacetDimension { path: path.to_string(), values: Vec::new() };
+            return FacetDimension {
+                path: path.to_string(),
+                values: Vec::new(),
+            };
         }
-        let lo = numeric.iter().map(|(f, _)| *f).fold(f64::INFINITY, f64::min);
-        let hi = numeric.iter().map(|(f, _)| *f).fold(f64::NEG_INFINITY, f64::max);
+        let lo = numeric
+            .iter()
+            .map(|(f, _)| *f)
+            .fold(f64::INFINITY, f64::min);
+        let hi = numeric
+            .iter()
+            .map(|(f, _)| *f)
+            .fold(f64::NEG_INFINITY, f64::max);
         let n = buckets.max(1);
         let width = ((hi - lo) / n as f64).max(f64::MIN_POSITIVE);
         let mut counts = vec![0usize; n];
@@ -134,7 +142,10 @@ impl<'a> FacetEngine<'a> {
                 }
             })
             .collect();
-        FacetDimension { path: path.to_string(), values }
+        FacetDimension {
+            path: path.to_string(),
+            values,
+        }
     }
 }
 
@@ -161,7 +172,10 @@ mod tests {
         let idx = index();
         let dims = FacetEngine::new(&idx).discover_dimensions(10, 10);
         assert!(dims.contains(&"make".to_string()));
-        assert!(!dims.contains(&"id".to_string()), "60 distinct values is not a facet");
+        assert!(
+            !dims.contains(&"id".to_string()),
+            "60 distinct values is not a facet"
+        );
         assert!(!dims.contains(&"amount".to_string()));
     }
 

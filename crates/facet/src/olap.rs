@@ -85,8 +85,10 @@ pub fn time_rollup(
         let entry = buckets.entry(label).or_insert((0, 0.0));
         entry.0 += 1;
         if let Some(mp) = measure_path {
-            if let Some((_, v)) =
-                doc.leaves().into_iter().find(|(p, _)| p.structural_form() == mp)
+            if let Some((_, v)) = doc
+                .leaves()
+                .into_iter()
+                .find(|(p, _)| p.structural_form() == mp)
             {
                 if let Some(f) = v.as_f64() {
                     entry.1 += f;
@@ -124,7 +126,10 @@ mod tests {
         assert_eq!(civil_from_millis(millis(2007, 1, 10)), (2007, 1, 10));
         assert_eq!(civil_from_millis(millis(2000, 2, 29)), (2000, 2, 29)); // leap
         assert_eq!(civil_from_millis(millis(1969, 12, 31)), (1969, 12, 31)); // pre-epoch
-        assert_eq!(civil_from_millis(millis(2006, 12, 31) + 86_399_999), (2006, 12, 31));
+        assert_eq!(
+            civil_from_millis(millis(2006, 12, 31) + 86_399_999),
+            (2006, 12, 31)
+        );
     }
 
     fn docs() -> Vec<Document> {
@@ -150,8 +155,22 @@ mod tests {
         let refs: Vec<&Document> = ds.iter().collect();
         let rows = time_rollup(&refs, "filed", Some("amount"), RollupLevel::Year);
         assert_eq!(rows.len(), 2);
-        assert_eq!(rows[0], RollupRow { bucket: "2006".into(), count: 3, sum: 175.0 });
-        assert_eq!(rows[1], RollupRow { bucket: "2007".into(), count: 1, sum: 10.0 });
+        assert_eq!(
+            rows[0],
+            RollupRow {
+                bucket: "2006".into(),
+                count: 3,
+                sum: 175.0
+            }
+        );
+        assert_eq!(
+            rows[1],
+            RollupRow {
+                bucket: "2007".into(),
+                count: 1,
+                sum: 10.0
+            }
+        );
     }
 
     #[test]

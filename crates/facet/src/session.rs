@@ -43,13 +43,20 @@ impl<'a> GuidedSession<'a> {
 
     /// Set (or replace) the keyword query. Clears nothing else.
     pub fn keywords(&mut self, query: &str) -> &mut Self {
-        self.keyword = if query.trim().is_empty() { None } else { Some(query.to_string()) };
+        self.keyword = if query.trim().is_empty() {
+            None
+        } else {
+            Some(query.to_string())
+        };
         self
     }
 
     /// Drill down: constrain a facet dimension to a value.
     pub fn drill_down(&mut self, path: &str, value: Value) -> &mut Self {
-        self.constraints.push(Constraint { path: path.to_string(), value });
+        self.constraints.push(Constraint {
+            path: path.to_string(),
+            value,
+        });
         self
     }
 
@@ -72,7 +79,10 @@ impl<'a> GuidedSession<'a> {
 
     /// Active constraints as (path, value) pairs.
     pub fn active_constraints(&self) -> Vec<(String, Value)> {
-        self.constraints.iter().map(|c| (c.path.clone(), c.value.clone())).collect()
+        self.constraints
+            .iter()
+            .map(|c| (c.path.clone(), c.value.clone()))
+            .collect()
     }
 
     /// Current result set: keyword hits (if any) intersected with every
@@ -80,12 +90,18 @@ impl<'a> GuidedSession<'a> {
     pub fn results(&self) -> Vec<DocId> {
         let mut current: Option<HashSet<DocId>> = None;
         if let Some(q) = &self.keyword {
-            let hits = search::search(self.text_index, &SearchQuery::new(q.clone(), self.search_limit));
+            let hits = search::search(
+                self.text_index,
+                &SearchQuery::new(q.clone(), self.search_limit),
+            );
             current = Some(hits.into_iter().map(|h| h.id).collect());
         }
         for c in &self.constraints {
-            let docs: HashSet<DocId> =
-                self.value_index.lookup_eq(&c.path, &c.value).into_iter().collect();
+            let docs: HashSet<DocId> = self
+                .value_index
+                .lookup_eq(&c.path, &c.value)
+                .into_iter()
+                .collect();
             current = Some(match current {
                 None => docs,
                 Some(cur) => cur.intersection(&docs).copied().collect(),
@@ -165,8 +181,11 @@ mod tests {
         let mut s = GuidedSession::new(&text, &values);
         s.keywords("bumper");
         let dim = s.facet("make");
-        let labels: Vec<(String, usize)> =
-            dim.values.iter().map(|v| (v.label.clone(), v.count)).collect();
+        let labels: Vec<(String, usize)> = dim
+            .values
+            .iter()
+            .map(|v| (v.label.clone(), v.count))
+            .collect();
         assert_eq!(labels.len(), 3);
         assert!(labels.contains(&("Volvo".to_string(), 1)));
     }
@@ -207,7 +226,10 @@ mod tests {
     fn empty_session_returns_nothing() {
         let (text, values) = corpus();
         let s = GuidedSession::new(&text, &values);
-        assert!(s.results().is_empty(), "no query, no constraints → empty, not everything");
+        assert!(
+            s.results().is_empty(),
+            "no query, no constraints → empty, not everything"
+        );
     }
 
     #[test]
@@ -250,7 +272,10 @@ mod guided_query_tests {
     use super::*;
     use impliance_docmodel::{DocId, DocumentBuilder, SourceFormat};
 
-    fn indexes() -> (impliance_index::InvertedIndex, impliance_index::PathValueIndex) {
+    fn indexes() -> (
+        impliance_index::InvertedIndex,
+        impliance_index::PathValueIndex,
+    ) {
         let text = impliance_index::InvertedIndex::new(4);
         let values = impliance_index::PathValueIndex::new();
         for (id, make, amount, notes) in [

@@ -69,7 +69,10 @@ pub struct InvertedIndex {
 impl InvertedIndex {
     /// Create an index that compacts once it accumulates `max_runs` runs.
     pub fn new(max_runs: usize) -> InvertedIndex {
-        InvertedIndex { max_runs: max_runs.max(2), ..InvertedIndex::default() }
+        InvertedIndex {
+            max_runs: max_runs.max(2),
+            ..InvertedIndex::default()
+        }
     }
 
     /// Index (or re-index) a document's latest version. Returns the
@@ -134,7 +137,8 @@ impl InvertedIndex {
         let mut run = Run::default();
         for (term, mut postings) in terms {
             postings.sort_by_key(|p| p.ordinal);
-            run.terms.insert(term, PostingsList::from_postings(&postings));
+            run.terms
+                .insert(term, PostingsList::from_postings(&postings));
         }
         let mut runs = self.runs.write();
         runs.push(run);
@@ -189,7 +193,12 @@ impl InvertedIndex {
 
     /// Token length of a live ordinal.
     pub fn doc_len(&self, ord: DocOrdinal) -> u32 {
-        self.registry.read().lengths.get(ord as usize).copied().unwrap_or(0)
+        self.registry
+            .read()
+            .lengths
+            .get(ord as usize)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Resolve an ordinal to its document id, if still live.
@@ -235,7 +244,12 @@ impl InvertedIndex {
         let reg = self.registry.read();
         let mut out: Vec<Posting> = by_ord
             .into_values()
-            .filter(|p| reg.docs.get(p.ordinal as usize).map(|d| d.2).unwrap_or(false))
+            .filter(|p| {
+                reg.docs
+                    .get(p.ordinal as usize)
+                    .map(|d| d.2)
+                    .unwrap_or(false)
+            })
             .collect();
         out.sort_by_key(|p| p.ordinal);
         out
@@ -256,7 +270,10 @@ fn push_token(
     let postings = terms.entry(key).or_default();
     match postings.last_mut() {
         Some(last) if last.ordinal == ordinal => last.positions.push(position),
-        _ => postings.push(Posting { ordinal, positions: vec![position] }),
+        _ => postings.push(Posting {
+            ordinal,
+            positions: vec![position],
+        }),
     }
 }
 
@@ -266,7 +283,9 @@ mod tests {
     use impliance_docmodel::{DocumentBuilder, Node, SourceFormat};
 
     fn doc(i: u64, text: &str) -> Document {
-        DocumentBuilder::new(DocId(i), SourceFormat::Text, "t").field("body", text).build()
+        DocumentBuilder::new(DocId(i), SourceFormat::Text, "t")
+            .field("body", text)
+            .build()
     }
 
     #[test]
@@ -312,9 +331,16 @@ mod tests {
         let d1 = doc(1, "original text here");
         idx.index_document(&d1);
         idx.commit();
-        let d2 = d1.new_version(Node::map([("body".into(), Node::scalar("replacement words"))]), 1);
+        let d2 = d1.new_version(
+            Node::map([("body".into(), Node::scalar("replacement words"))]),
+            1,
+        );
         idx.index_document(&d2);
-        assert_eq!(idx.postings("original", None).len(), 0, "old version must be dead");
+        assert_eq!(
+            idx.postings("original", None).len(),
+            0,
+            "old version must be dead"
+        );
         assert_eq!(idx.postings("replacement", None).len(), 1);
         assert_eq!(idx.live_docs(), 1);
     }
@@ -384,7 +410,10 @@ mod multi_leaf_tests {
         assert_eq!(postings[0].tf(), 3);
         let positions = &postings[0].positions;
         for w in positions.windows(2) {
-            assert!(w[0] < w[1], "positions must be strictly increasing: {positions:?}");
+            assert!(
+                w[0] < w[1],
+                "positions must be strictly increasing: {positions:?}"
+            );
         }
     }
 

@@ -52,8 +52,20 @@ impl JoinIndex {
         if !inner.edges.insert((from, to, label.to_string())) {
             return false;
         }
-        inner.forward.entry(label.to_string()).or_default().entry(from).or_default().push(to);
-        inner.reverse.entry(label.to_string()).or_default().entry(to).or_default().push(from);
+        inner
+            .forward
+            .entry(label.to_string())
+            .or_default()
+            .entry(from)
+            .or_default()
+            .push(to);
+        inner
+            .reverse
+            .entry(label.to_string())
+            .or_default()
+            .entry(to)
+            .or_default()
+            .push(from);
         inner.edge_count += 1;
         true
     }
@@ -61,13 +73,23 @@ impl JoinIndex {
     /// Targets of `from` under `label`.
     pub fn targets(&self, from: DocId, label: &str) -> Vec<DocId> {
         let inner = self.inner.read();
-        inner.forward.get(label).and_then(|m| m.get(&from)).cloned().unwrap_or_default()
+        inner
+            .forward
+            .get(label)
+            .and_then(|m| m.get(&from))
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Sources pointing at `to` under `label`.
     pub fn sources(&self, to: DocId, label: &str) -> Vec<DocId> {
         let inner = self.inner.read();
-        inner.reverse.get(label).and_then(|m| m.get(&to)).cloned().unwrap_or_default()
+        inner
+            .reverse
+            .get(label)
+            .and_then(|m| m.get(&to))
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// All neighbors (either direction, any label) with the connecting
@@ -180,7 +202,10 @@ mod tests {
         let j = JoinIndex::new();
         assert!(j.add_edge(DocId(1), DocId(2), "refs"));
         assert!(!j.add_edge(DocId(1), DocId(2), "refs"), "duplicate ignored");
-        assert!(j.add_edge(DocId(1), DocId(2), "same-entity"), "different label is new");
+        assert!(
+            j.add_edge(DocId(1), DocId(2), "same-entity"),
+            "different label is new"
+        );
         assert_eq!(j.targets(DocId(1), "refs"), vec![DocId(2)]);
         assert_eq!(j.sources(DocId(2), "refs"), vec![DocId(1)]);
         assert_eq!(j.edge_count(), 2);
@@ -193,7 +218,10 @@ mod tests {
         j.add_edge(DocId(1), DocId(2), "a");
         j.add_edge(DocId(3), DocId(1), "b");
         let n = j.neighbors(DocId(1));
-        assert_eq!(n, vec![(DocId(2), "a".to_string()), (DocId(3), "b".to_string())]);
+        assert_eq!(
+            n,
+            vec![(DocId(2), "a".to_string()), (DocId(3), "b".to_string())]
+        );
     }
 
     #[test]

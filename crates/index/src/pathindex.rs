@@ -65,7 +65,11 @@ impl PathValueIndex {
                 .entry(OrdValue(value.clone()))
                 .or_default()
                 .insert(doc.id());
-            inner.paths.entry(structural.clone()).or_default().insert(doc.id());
+            inner
+                .paths
+                .entry(structural.clone())
+                .or_default()
+                .insert(doc.id());
             contributed.push((structural, value.clone()));
         }
         inner.doc_paths.insert(doc.id(), contributed);
@@ -149,8 +153,11 @@ impl PathValueIndex {
     /// material for facet discovery.
     pub fn path_census(&self) -> Vec<(String, usize)> {
         let inner = self.inner.read();
-        let mut out: Vec<(String, usize)> =
-            inner.paths.iter().map(|(p, set)| (p.clone(), set.len())).collect();
+        let mut out: Vec<(String, usize)> = inner
+            .paths
+            .iter()
+            .map(|(p, set)| (p.clone(), set.len()))
+            .collect();
         out.sort();
         out
     }
@@ -190,9 +197,17 @@ mod tests {
         idx.index_document(&doc(1, 100, "Volvo"));
         idx.index_document(&doc(2, 200, "Volvo"));
         idx.index_document(&doc(3, 100, "Saab"));
-        assert_eq!(idx.lookup_eq("make", &Value::Str("Volvo".into())), vec![DocId(1), DocId(2)]);
-        assert_eq!(idx.lookup_eq("amount", &Value::Int(100)), vec![DocId(1), DocId(3)]);
-        assert!(idx.lookup_eq("make", &Value::Str("Tesla".into())).is_empty());
+        assert_eq!(
+            idx.lookup_eq("make", &Value::Str("Volvo".into())),
+            vec![DocId(1), DocId(2)]
+        );
+        assert_eq!(
+            idx.lookup_eq("amount", &Value::Int(100)),
+            vec![DocId(1), DocId(3)]
+        );
+        assert!(idx
+            .lookup_eq("make", &Value::Str("Tesla".into()))
+            .is_empty());
     }
 
     #[test]
@@ -246,8 +261,13 @@ mod tests {
             1,
         );
         idx.index_document(&d2);
-        assert!(idx.lookup_eq("make", &Value::Str("Volvo".into())).is_empty());
-        assert_eq!(idx.lookup_eq("make", &Value::Str("Saab".into())), vec![DocId(1)]);
+        assert!(idx
+            .lookup_eq("make", &Value::Str("Volvo".into()))
+            .is_empty());
+        assert_eq!(
+            idx.lookup_eq("make", &Value::Str("Saab".into())),
+            vec![DocId(1)]
+        );
         assert!(idx.lookup_eq("amount", &Value::Int(100)).is_empty());
     }
 
@@ -271,7 +291,10 @@ mod tests {
         let values = idx.value_census("make");
         assert_eq!(
             values,
-            vec![(Value::Str("Saab".into()), 1), (Value::Str("Volvo".into()), 2)]
+            vec![
+                (Value::Str("Saab".into()), 1),
+                (Value::Str("Volvo".into()), 2)
+            ]
         );
     }
 
@@ -288,6 +311,9 @@ mod tests {
             .build();
         let idx = PathValueIndex::new();
         idx.index_document(&d);
-        assert_eq!(idx.lookup_eq("items[].sku", &Value::Str("B-2".into())), vec![DocId(1)]);
+        assert_eq!(
+            idx.lookup_eq("items[].sku", &Value::Str("B-2".into())),
+            vec![DocId(1)]
+        );
     }
 }

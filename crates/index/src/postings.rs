@@ -65,8 +65,15 @@ impl PostingsList {
         let mut data = Vec::with_capacity(postings.len() * 3);
         let mut prev_ord = 0u32;
         for (i, p) in postings.iter().enumerate() {
-            debug_assert!(i == 0 || p.ordinal > prev_ord, "postings must be strictly sorted");
-            let delta = if i == 0 { p.ordinal } else { p.ordinal - prev_ord };
+            debug_assert!(
+                i == 0 || p.ordinal > prev_ord,
+                "postings must be strictly sorted"
+            );
+            let delta = if i == 0 {
+                p.ordinal
+            } else {
+                p.ordinal - prev_ord
+            };
             write_varint(&mut data, delta);
             write_varint(&mut data, p.positions.len() as u32);
             let mut prev_pos = 0u32;
@@ -77,7 +84,10 @@ impl PostingsList {
             }
             prev_ord = p.ordinal;
         }
-        PostingsList { data, doc_count: postings.len() as u32 }
+        PostingsList {
+            data,
+            doc_count: postings.len() as u32,
+        }
     }
 
     /// Number of documents in the list.
@@ -92,29 +102,48 @@ impl PostingsList {
 
     /// Iterate decoded postings.
     pub fn iter(&self) -> PostingsIter<'_> {
-        PostingsIter { data: &self.data, pos: 0, remaining: self.doc_count, prev_ord: 0 }
+        PostingsIter {
+            data: &self.data,
+            pos: 0,
+            remaining: self.doc_count,
+            prev_ord: 0,
+        }
     }
 
     /// Merge two sorted lists into one. When both contain the same
     /// ordinal, `other`'s entry wins (used when re-indexing merges newer
     /// runs over older ones).
     pub fn merge(&self, other: &PostingsList) -> PostingsList {
-        let mut a = self.iter().peekable();
-        let mut b = other.iter().peekable();
+        let mut a = self.iter();
+        let mut b = other.iter();
         let mut out = Vec::new();
+        let (mut x, mut y) = (a.next(), b.next());
         loop {
-            match (a.peek(), b.peek()) {
+            match (x, y) {
                 (None, None) => break,
-                (Some(_), None) => out.push(a.next().unwrap()),
-                (None, Some(_)) => out.push(b.next().unwrap()),
-                (Some(x), Some(y)) => {
-                    if x.ordinal < y.ordinal {
-                        out.push(a.next().unwrap());
-                    } else if x.ordinal > y.ordinal {
-                        out.push(b.next().unwrap());
+                (Some(p), None) => {
+                    out.push(p);
+                    x = a.next();
+                    y = None;
+                }
+                (None, Some(q)) => {
+                    out.push(q);
+                    x = None;
+                    y = b.next();
+                }
+                (Some(p), Some(q)) => {
+                    if p.ordinal < q.ordinal {
+                        out.push(p);
+                        x = a.next();
+                        y = Some(q);
+                    } else if p.ordinal > q.ordinal {
+                        out.push(q);
+                        x = Some(p);
+                        y = b.next();
                     } else {
-                        a.next();
-                        out.push(b.next().unwrap());
+                        out.push(q);
+                        x = a.next();
+                        y = b.next();
                     }
                 }
             }
@@ -163,7 +192,10 @@ mod tests {
     use super::*;
 
     fn p(ord: u32, positions: &[u32]) -> Posting {
-        Posting { ordinal: ord, positions: positions.to_vec() }
+        Posting {
+            ordinal: ord,
+            positions: positions.to_vec(),
+        }
     }
 
     #[test]

@@ -40,7 +40,12 @@ pub struct SearchQuery {
 impl SearchQuery {
     /// Conjunctive top-`limit` query over all paths.
     pub fn new(text: impl Into<String>, limit: usize) -> SearchQuery {
-        SearchQuery { text: text.into(), mode: SearchMode::And, path: None, limit }
+        SearchQuery {
+            text: text.into(),
+            mode: SearchMode::And,
+            path: None,
+            limit,
+        }
     }
 
     /// Switch to disjunctive semantics.
@@ -204,7 +209,10 @@ mod tests {
             .field("body", "fraud detected in claims")
             .build();
         idx.index_document(&d);
-        assert_eq!(search(&idx, &SearchQuery::new("fraud", 10).within("body")).len(), 1);
+        assert_eq!(
+            search(&idx, &SearchQuery::new("fraud", 10).within("body")).len(),
+            1
+        );
         assert!(search(&idx, &SearchQuery::new("fraud", 10).within("title")).is_empty());
     }
 
@@ -274,7 +282,12 @@ pub fn search_phrase(
         if postings.is_empty() {
             return Vec::new();
         }
-        term_positions.push(postings.into_iter().map(|p| (p.ordinal, p.positions)).collect());
+        term_positions.push(
+            postings
+                .into_iter()
+                .map(|p| (p.ordinal, p.positions))
+                .collect(),
+        );
     }
     // candidate ordinals: those present in every term's postings
     let mut hits: Vec<(DocOrdinal, usize)> = Vec::new();
@@ -305,7 +318,12 @@ pub fn search_phrase(
     }
     let mut out: Vec<SearchHit> = hits
         .into_iter()
-        .filter_map(|(ord, n)| index.resolve(ord).map(|(id, _)| SearchHit { id, score: n as f64 }))
+        .filter_map(|(ord, n)| {
+            index.resolve(ord).map(|(id, _)| SearchHit {
+                id,
+                score: n as f64,
+            })
+        })
         .collect();
     out.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.id.cmp(&b.id)));
     out.truncate(limit);
@@ -352,7 +370,11 @@ mod phrase_tests {
         ]);
         let hits = search_phrase(&idx, "jack of all trades", None, 10);
         let ids: Vec<u64> = hits.iter().map(|h| h.id.0).collect();
-        assert_eq!(ids, vec![0, 1], "one-word slot matches; two-word gap does not");
+        assert_eq!(
+            ids,
+            vec![0, 1],
+            "one-word slot matches; two-word gap does not"
+        );
     }
 
     #[test]
@@ -372,7 +394,10 @@ mod phrase_tests {
             .field("body", "the earnings were discussed on the call")
             .build();
         idx.index_document(&d);
-        assert_eq!(search_phrase(&idx, "earnings call", Some("title"), 10).len(), 1);
+        assert_eq!(
+            search_phrase(&idx, "earnings call", Some("title"), 10).len(),
+            1
+        );
         assert!(search_phrase(&idx, "earnings call", Some("body"), 10).is_empty());
     }
 

@@ -17,8 +17,8 @@ pub struct Token {
 /// English stopwords excluded from indexing (but still counted for
 /// positions, so phrases stay aligned).
 pub const STOPWORDS: &[&str] = &[
-    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "has", "he", "in", "is",
-    "it", "its", "of", "on", "or", "that", "the", "to", "was", "were", "will", "with",
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "has", "he", "in", "is", "it",
+    "its", "of", "on", "or", "that", "the", "to", "was", "were", "will", "with",
 ];
 
 fn is_stopword(s: &str) -> bool {
@@ -46,7 +46,10 @@ fn analyze(text: &str, drop_stopwords: bool) -> Vec<Token> {
         let text = std::mem::take(current);
         let keep = !drop_stopwords || !is_stopword(&text);
         if keep {
-            tokens.push(Token { text, position: *position });
+            tokens.push(Token {
+                text,
+                position: *position,
+            });
         }
         *position += 1;
     };
@@ -93,8 +96,20 @@ mod tests {
         let toks = tokenize("the cat and the hat");
         // "the"(0) cat(1) "and"(2) "the"(3) hat(4)
         assert_eq!(toks.len(), 2);
-        assert_eq!(toks[0], Token { text: "cat".into(), position: 1 });
-        assert_eq!(toks[1], Token { text: "hat".into(), position: 4 });
+        assert_eq!(
+            toks[0],
+            Token {
+                text: "cat".into(),
+                position: 1
+            }
+        );
+        assert_eq!(
+            toks[1],
+            Token {
+                text: "hat".into(),
+                position: 4
+            }
+        );
     }
 
     #[test]

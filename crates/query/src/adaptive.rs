@@ -49,7 +49,9 @@ impl AdaptiveFilterChain {
     /// Evaluate the conjunction against one tuple's binding, short-
     /// circuiting on the first failure and adapting order periodically.
     pub fn matches(&mut self, tuple: &Tuple, alias: &str) -> bool {
-        let Some(doc) = tuple.bindings.get(alias) else { return false };
+        let Some(doc) = tuple.bindings.get(alias) else {
+            return false;
+        };
         let mut ok = true;
         for (i, p) in self.predicates.iter().enumerate() {
             self.evaluations += 1;
@@ -70,7 +72,10 @@ impl AdaptiveFilterChain {
 
     /// Filter a batch of tuples.
     pub fn filter(&mut self, tuples: Vec<Tuple>, alias: &str) -> Vec<Tuple> {
-        tuples.into_iter().filter(|t| self.matches(t, alias)).collect()
+        tuples
+            .into_iter()
+            .filter(|t| self.matches(t, alias))
+            .collect()
     }
 
     fn reorder(&mut self) {
@@ -78,8 +83,10 @@ impl AdaptiveFilterChain {
         let mut order: Vec<usize> = (0..self.predicates.len()).collect();
         let rate = |&(evals, passes): &(u64, u64)| (passes as f64 + 1.0) / (evals as f64 + 2.0);
         order.sort_by(|&a, &b| rate(&self.observed[a]).total_cmp(&rate(&self.observed[b])));
-        let predicates =
-            order.iter().map(|&i| self.predicates[i].clone()).collect::<Vec<_>>();
+        let predicates = order
+            .iter()
+            .map(|&i| self.predicates[i].clone())
+            .collect::<Vec<_>>();
         let observed = order.iter().map(|&i| self.observed[i]).collect::<Vec<_>>();
         self.predicates = predicates;
         self.observed = observed;

@@ -47,7 +47,10 @@ impl CostOptimizer {
     /// Build an optimizer from a statistics snapshot and per-collection
     /// document counts.
     pub fn new(stats: PartitionStats, collection_counts: HashMap<String, u64>) -> CostOptimizer {
-        CostOptimizer { stats, collection_counts }
+        CostOptimizer {
+            stats,
+            collection_counts,
+        }
     }
 
     fn collection_card(&self, collection: Option<&str>) -> f64 {
@@ -62,22 +65,42 @@ impl CostOptimizer {
     pub fn selectivity(&self, predicate: &Predicate) -> f64 {
         match predicate {
             Predicate::True => 1.0,
-            Predicate::Eq(path, _) => {
-                self.stats.paths.get(path).map(|s| s.eq_selectivity()).unwrap_or(0.1)
-            }
+            Predicate::Eq(path, _) => self
+                .stats
+                .paths
+                .get(path)
+                .map(|s| s.eq_selectivity())
+                .unwrap_or(0.1),
             Predicate::Ne(path, _) => {
-                1.0 - self.stats.paths.get(path).map(|s| s.eq_selectivity()).unwrap_or(0.1)
+                1.0 - self
+                    .stats
+                    .paths
+                    .get(path)
+                    .map(|s| s.eq_selectivity())
+                    .unwrap_or(0.1)
             }
-            Predicate::Lt(path, v) | Predicate::Le(path, v) => {
-                self.stats.paths.get(path).map(|s| s.lt_selectivity(v)).unwrap_or(0.33)
-            }
+            Predicate::Lt(path, v) | Predicate::Le(path, v) => self
+                .stats
+                .paths
+                .get(path)
+                .map(|s| s.lt_selectivity(v))
+                .unwrap_or(0.33),
             Predicate::Gt(path, v) | Predicate::Ge(path, v) => {
-                1.0 - self.stats.paths.get(path).map(|s| s.lt_selectivity(v)).unwrap_or(0.67)
+                1.0 - self
+                    .stats
+                    .paths
+                    .get(path)
+                    .map(|s| s.lt_selectivity(v))
+                    .unwrap_or(0.67)
             }
             Predicate::Contains(_, _) => 0.1,
             Predicate::Exists(path) => {
                 let total: f64 = self.stats.doc_versions.max(1) as f64;
-                self.stats.paths.get(path).map(|s| s.count as f64 / total).unwrap_or(0.5)
+                self.stats
+                    .paths
+                    .get(path)
+                    .map(|s| s.count as f64 / total)
+                    .unwrap_or(0.5)
             }
             Predicate::CollectionIs(_) | Predicate::FormatIs(_) => 0.5,
             Predicate::And(ps) => ps.iter().map(|p| self.selectivity(p)).product(),
@@ -98,9 +121,17 @@ impl CostOptimizer {
 
     fn opt(&self, plan: LogicalPlan) -> CostedPlan {
         match plan {
-            LogicalPlan::Scan { collection, predicate, alias, .. } => {
+            LogicalPlan::Scan {
+                collection,
+                predicate,
+                alias,
+                ..
+            } => {
                 let base = self.collection_card(collection.as_deref());
-                let sel = predicate.as_ref().map(|p| self.selectivity(p)).unwrap_or(1.0);
+                let sel = predicate
+                    .as_ref()
+                    .map(|p| self.selectivity(p))
+                    .unwrap_or(1.0);
                 let out_rows = (base * sel).max(0.0);
                 // choose index scan for selective equality predicates
                 let eq_index_possible = matches!(&predicate, Some(Predicate::Eq(_, _)));
@@ -109,12 +140,23 @@ impl CostOptimizer {
                 let use_value_index = eq_index_possible && idx_cost < seq_cost;
                 let cost = if use_value_index { idx_cost } else { seq_cost };
                 CostedPlan {
-                    plan: LogicalPlan::Scan { collection, predicate, alias, use_value_index },
+                    plan: LogicalPlan::Scan {
+                        collection,
+                        predicate,
+                        alias,
+                        use_value_index,
+                    },
                     estimated_cost: cost,
                     estimated_rows: out_rows,
                 }
             }
-            LogicalPlan::Join { left, right, left_key, right_key, .. } => {
+            LogicalPlan::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+                ..
+            } => {
                 let l = self.opt(*left);
                 let r = self.opt(*right);
                 // join selectivity from distinct counts of the key paths
@@ -128,8 +170,13 @@ impl CostOptimizer {
                 let out_rows = (l.estimated_rows * r.estimated_rows / distinct).max(0.0);
 
                 // candidate algorithms
-                let right_is_plain_scan =
-                    matches!(&r.plan, LogicalPlan::Scan { predicate: None, .. });
+                let right_is_plain_scan = matches!(
+                    &r.plan,
+                    LogicalPlan::Scan {
+                        predicate: None,
+                        ..
+                    }
+                );
                 let hash_cost = l.estimated_cost
                     + r.estimated_cost
                     + l.estimated_rows.min(r.estimated_rows) * COST_HASH_BUILD
@@ -163,16 +210,28 @@ impl CostOptimizer {
                     estimated_rows: out_rows,
                 }
             }
-            LogicalPlan::Filter { input, alias, predicate } => {
+            LogicalPlan::Filter {
+                input,
+                alias,
+                predicate,
+            } => {
                 let i = self.opt(*input);
                 let sel = self.selectivity(&predicate);
                 CostedPlan {
                     estimated_cost: i.estimated_cost + i.estimated_rows * 0.1,
                     estimated_rows: i.estimated_rows * sel,
-                    plan: LogicalPlan::Filter { input: Box::new(i.plan), alias, predicate },
+                    plan: LogicalPlan::Filter {
+                        input: Box::new(i.plan),
+                        alias,
+                        predicate,
+                    },
                 }
             }
-            LogicalPlan::GroupAgg { input, group_by, aggs } => {
+            LogicalPlan::GroupAgg {
+                input,
+                group_by,
+                aggs,
+            } => {
                 let i = self.opt(*input);
                 let groups = group_by
                     .as_ref()
@@ -182,7 +241,11 @@ impl CostOptimizer {
                 CostedPlan {
                     estimated_cost: i.estimated_cost + i.estimated_rows,
                     estimated_rows: groups,
-                    plan: LogicalPlan::GroupAgg { input: Box::new(i.plan), group_by, aggs },
+                    plan: LogicalPlan::GroupAgg {
+                        input: Box::new(i.plan),
+                        group_by,
+                        aggs,
+                    },
                 }
             }
             LogicalPlan::Project { input, columns } => {
@@ -190,7 +253,10 @@ impl CostOptimizer {
                 CostedPlan {
                     estimated_cost: i.estimated_cost,
                     estimated_rows: i.estimated_rows,
-                    plan: LogicalPlan::Project { input: Box::new(i.plan), columns },
+                    plan: LogicalPlan::Project {
+                        input: Box::new(i.plan),
+                        columns,
+                    },
                 }
             }
             LogicalPlan::Sort { input, keys } => {
@@ -199,7 +265,10 @@ impl CostOptimizer {
                 CostedPlan {
                     estimated_cost: i.estimated_cost + COST_SORT_FACTOR * n * n.log2(),
                     estimated_rows: i.estimated_rows,
-                    plan: LogicalPlan::Sort { input: Box::new(i.plan), keys },
+                    plan: LogicalPlan::Sort {
+                        input: Box::new(i.plan),
+                        keys,
+                    },
                 }
             }
             LogicalPlan::Limit { input, n } => {
@@ -207,11 +276,18 @@ impl CostOptimizer {
                 CostedPlan {
                     estimated_cost: i.estimated_cost,
                     estimated_rows: i.estimated_rows.min(n as f64),
-                    plan: LogicalPlan::Limit { input: Box::new(i.plan), n },
+                    plan: LogicalPlan::Limit {
+                        input: Box::new(i.plan),
+                        n,
+                    },
                 }
             }
             other @ (LogicalPlan::KeywordSearch { .. } | LogicalPlan::GraphConnect { .. }) => {
-                CostedPlan { plan: other, estimated_cost: 10.0, estimated_rows: 10.0 }
+                CostedPlan {
+                    plan: other,
+                    estimated_cost: 10.0,
+                    estimated_rows: 10.0,
+                }
             }
         }
     }
@@ -220,7 +296,11 @@ impl CostOptimizer {
 /// Convenience: estimate equality selectivity for a `(path, value)` pair
 /// (used by the adaptive executor for initial ordering).
 pub fn eq_selectivity(stats: &PartitionStats, path: &str) -> f64 {
-    stats.paths.get(path).map(|s| s.eq_selectivity()).unwrap_or(0.1)
+    stats
+        .paths
+        .get(path)
+        .map(|s| s.eq_selectivity())
+        .unwrap_or(0.1)
 }
 
 #[cfg(test)]
@@ -271,8 +351,15 @@ mod tests {
         let opt = CostOptimizer::new(stats, counts);
         // cust has ~10 distinct values over 10k docs: sel 0.1 → 1000 rows;
         // index probes (3.0 each) = 3000 < 10k seq cost → index
-        let p = opt.optimize(scan(Some(Predicate::Eq("cust".into(), Value::Str("C-1".into())))));
-        assert!(p.plan.describe().starts_with("index("), "{}", p.plan.describe());
+        let p = opt.optimize(scan(Some(Predicate::Eq(
+            "cust".into(),
+            Value::Str("C-1".into()),
+        ))));
+        assert!(
+            p.plan.describe().starts_with("index("),
+            "{}",
+            p.plan.describe()
+        );
     }
 
     #[test]
@@ -280,7 +367,10 @@ mod tests {
         let (stats, counts) = stats_from_docs(1000);
         let opt = CostOptimizer::new(stats, counts);
         let join = LogicalPlan::Join {
-            left: Box::new(scan(Some(Predicate::Eq("cust".into(), Value::Str("C-1".into()))))),
+            left: Box::new(scan(Some(Predicate::Eq(
+                "cust".into(),
+                Value::Str("C-1".into()),
+            )))),
             right: Box::new(LogicalPlan::Scan {
                 collection: Some("orders".into()),
                 predicate: None,
@@ -315,7 +405,11 @@ mod tests {
             algo: JoinAlgo::Unspecified,
         };
         let p = opt.optimize(join);
-        assert!(p.plan.describe().contains("hashjoin"), "{}", p.plan.describe());
+        assert!(
+            p.plan.describe().contains("hashjoin"),
+            "{}",
+            p.plan.describe()
+        );
     }
 
     #[test]
@@ -324,7 +418,10 @@ mod tests {
         let opt = CostOptimizer::new(stats, counts);
         let bare = opt.optimize(scan(None)).estimated_cost;
         let sorted = opt
-            .optimize(LogicalPlan::Sort { input: Box::new(scan(None)), keys: vec![] })
+            .optimize(LogicalPlan::Sort {
+                input: Box::new(scan(None)),
+                keys: vec![],
+            })
             .estimated_cost;
         assert!(sorted > bare);
     }

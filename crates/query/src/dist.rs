@@ -67,11 +67,12 @@ pub fn dist_scan(rt: &ClusterRuntime, request: &ScanRequest) -> Result<ScanResul
     for id in data_nodes {
         let req = request.clone();
         let handle = rt.submit_to(id, req_bytes, move |ctx| {
-            let state = ctx
-                .state
-                .downcast_ref::<DataNodeState>()
-                .expect("data node state must be DataNodeState");
-            let result = state.storage.scan(&req);
+            let Some(state) = ctx.state.downcast_ref::<DataNodeState>() else {
+                // misconfigured node state: surface as a failed partial,
+                // which the coordinator maps to TaskLost
+                return Err("node state is not DataNodeState".to_string());
+            };
+            let result = state.storage.scan(&req).map_err(|e| e.to_string());
             if let Ok(r) = &result {
                 // charge the partial-result payload from this node back to
                 // the coordinator (node u32::MAX in the runtime)
@@ -100,7 +101,10 @@ pub fn dist_aggregate(
     rt: &ClusterRuntime,
     request: &ScanRequest,
 ) -> Result<std::collections::BTreeMap<String, AggValue>, ClusterError> {
-    assert!(request.aggregate.is_some(), "dist_aggregate needs an aggregate spec");
+    assert!(
+        request.aggregate.is_some(),
+        "dist_aggregate needs an aggregate spec"
+    );
     let partial = dist_scan(rt, request)?;
     // ship group states to a grid node for the (here trivial) global phase
     let groups = partial.groups;
@@ -127,10 +131,16 @@ pub fn dist_join(
     let la = left_alias.to_string();
     let ra = right_alias.to_string();
     let handle = rt.submit_to_kind(NodeKind::Grid, payload, move |_ctx| {
-        let lt: Vec<Tuple> =
-            left.documents.into_iter().map(|d| Tuple::single(&la, Arc::new(d))).collect();
-        let rt_: Vec<Tuple> =
-            right.documents.into_iter().map(|d| Tuple::single(&ra, Arc::new(d))).collect();
+        let lt: Vec<Tuple> = left
+            .documents
+            .into_iter()
+            .map(|d| Tuple::single(&la, Arc::new(d)))
+            .collect();
+        let rt_: Vec<Tuple> = right
+            .documents
+            .into_iter()
+            .map(|d| Tuple::single(&ra, Arc::new(d)))
+            .collect();
         joins::hash_join(lt, rt_, &left_key, &right_key)
     })?;
     handle.join()
@@ -148,7 +158,9 @@ pub fn dist_put(rt: &ClusterRuntime, doc: &Document) -> Result<usize, ClusterErr
     let size = encoded.len();
     let doc = doc.clone();
     let handle = rt.submit_to(target, size as u64, move |ctx| {
-        let state = ctx.state.downcast_ref::<DataNodeState>().expect("data node state");
+        let Some(state) = ctx.state.downcast_ref::<DataNodeState>() else {
+            return false;
+        };
         state.storage.put(&doc).is_ok()
     })?;
     if handle.join()? {
@@ -175,12 +187,10 @@ pub fn dist_search(
     for id in data_nodes {
         let q = query.to_string();
         let handle = rt.submit_to(id, q.len() as u64, move |ctx| {
-            let state = ctx
-                .state
-                .downcast_ref::<DataNodeState>()
-                .expect("data node state must be DataNodeState");
-            let hits =
-                impliance_index::search::search(&state.text_index, &SearchQuery::new(q, k));
+            let Some(state) = ctx.state.downcast_ref::<DataNodeState>() else {
+                return Vec::new(); // misconfigured node contributes no hits
+            };
+            let hits = impliance_index::search::search(&state.text_index, &SearchQuery::new(q, k));
             // each hit envelope ≈ 16 bytes on the wire
             ctx.network.transmit(
                 ctx.id,
@@ -208,7 +218,7 @@ pub fn dist_get(rt: &ClusterRuntime, id: DocId) -> Result<Option<Document>, Clus
     }
     let target = data_nodes[route_doc(id, data_nodes.len())];
     let handle = rt.submit_to(target, 16, move |ctx| {
-        let state = ctx.state.downcast_ref::<DataNodeState>().expect("data node state");
+        let state = ctx.state.downcast_ref::<DataNodeState>()?;
         state.storage.get_latest(id).ok().flatten()
     })?;
     handle.join()
@@ -232,7 +242,12 @@ mod tests {
         specs.push(NodeSpec::new(200, NodeKind::Cluster));
         ClusterRuntime::boot(&specs, Arc::new(Network::new()), |spec| match spec.kind {
             NodeKind::Data => Arc::new(DataNodeState::new(Arc::new(StorageEngine::new(
-                StorageOptions { partitions: 2, seal_threshold: 64, compression: true, encryption_key: None },
+                StorageOptions {
+                    partitions: 2,
+                    seal_threshold: 64,
+                    compression: true,
+                    encryption_key: None,
+                },
             )))),
             _ => Arc::new(()),
         })
@@ -364,12 +379,18 @@ mod search_tests {
     use impliance_storage::StorageOptions;
 
     fn boot(data_nodes: u32) -> ClusterRuntime {
-        let mut specs: Vec<NodeSpec> =
-            (0..data_nodes).map(|i| NodeSpec::new(i, NodeKind::Data)).collect();
+        let mut specs: Vec<NodeSpec> = (0..data_nodes)
+            .map(|i| NodeSpec::new(i, NodeKind::Data))
+            .collect();
         specs.push(NodeSpec::new(100, NodeKind::Grid));
         ClusterRuntime::boot(&specs, Arc::new(Network::new()), |spec| match spec.kind {
             NodeKind::Data => Arc::new(DataNodeState::new(Arc::new(StorageEngine::new(
-                StorageOptions { partitions: 2, seal_threshold: 64, compression: true, encryption_key: None },
+                StorageOptions {
+                    partitions: 2,
+                    seal_threshold: 64,
+                    compression: true,
+                    encryption_key: None,
+                },
             )))),
             _ => Arc::new(()),
         })
@@ -396,7 +417,11 @@ mod search_tests {
     fn sharded_search_finds_documents_on_every_node() {
         let rt = boot(4);
         for i in 0..40 {
-            let text = if i % 5 == 0 { "zanzibar sighting confirmed" } else { "routine note" };
+            let text = if i % 5 == 0 {
+                "zanzibar sighting confirmed"
+            } else {
+                "routine note"
+            };
             put_and_index(&rt, i, text);
         }
         let hits = dist_search(&rt, "zanzibar", 100).unwrap();

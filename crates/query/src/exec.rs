@@ -15,9 +15,9 @@ use impliance_storage::{
 
 use crate::joins;
 use crate::ops;
-use crate::plan::{JoinAlgo, LogicalPlan};
 #[cfg(test)]
 use crate::plan::AggItem;
+use crate::plan::{JoinAlgo, LogicalPlan};
 use crate::tuple::{Row, Tuple};
 
 /// Errors during execution.
@@ -123,7 +123,10 @@ enum Stage {
 }
 
 /// Execute a plan, returning output and metrics.
-pub fn execute(ctx: &ExecContext<'_>, plan: &LogicalPlan) -> Result<(QueryOutput, ExecMetrics), ExecError> {
+pub fn execute(
+    ctx: &ExecContext<'_>,
+    plan: &LogicalPlan,
+) -> Result<(QueryOutput, ExecMetrics), ExecError> {
     let mut metrics = ExecMetrics::default();
     let stage = run(ctx, plan, &mut metrics)?;
     let output = match stage {
@@ -144,13 +147,34 @@ pub fn execute(ctx: &ExecContext<'_>, plan: &LogicalPlan) -> Result<(QueryOutput
     Ok((output, metrics))
 }
 
-fn run(ctx: &ExecContext<'_>, plan: &LogicalPlan, metrics: &mut ExecMetrics) -> Result<Stage, ExecError> {
+fn run(
+    ctx: &ExecContext<'_>,
+    plan: &LogicalPlan,
+    metrics: &mut ExecMetrics,
+) -> Result<Stage, ExecError> {
     match plan {
-        LogicalPlan::Scan { collection, predicate, alias, use_value_index } => {
-            let tuples = scan(ctx, collection.as_deref(), predicate.as_ref(), alias, *use_value_index, metrics)?;
+        LogicalPlan::Scan {
+            collection,
+            predicate,
+            alias,
+            use_value_index,
+        } => {
+            let tuples = scan(
+                ctx,
+                collection.as_deref(),
+                predicate.as_ref(),
+                alias,
+                *use_value_index,
+                metrics,
+            )?;
             Ok(Stage::Tuples(tuples))
         }
-        LogicalPlan::KeywordSearch { query, path, limit, alias } => {
+        LogicalPlan::KeywordSearch {
+            query,
+            path,
+            limit,
+            alias,
+        } => {
             let mut q = SearchQuery::new(query.clone(), *limit);
             if let Some(p) = path {
                 q = q.within(p.clone());
@@ -165,7 +189,11 @@ fn run(ctx: &ExecContext<'_>, plan: &LogicalPlan, metrics: &mut ExecMetrics) -> 
             }
             Ok(Stage::Tuples(tuples))
         }
-        LogicalPlan::Filter { input, alias, predicate } => {
+        LogicalPlan::Filter {
+            input,
+            alias,
+            predicate,
+        } => {
             match run(ctx, input, metrics)? {
                 // multi-conjunct filters run through the self-adapting
                 // chain (§3.3 adaptive operators): predicate order follows
@@ -181,7 +209,13 @@ fn run(ctx: &ExecContext<'_>, plan: &LogicalPlan, metrics: &mut ExecMetrics) -> 
                 _ => Err(ExecError::BadPlan("filter over non-tuple input".into())),
             }
         }
-        LogicalPlan::Join { left, right, left_key, right_key, algo } => {
+        LogicalPlan::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+            algo,
+        } => {
             let lt = match run(ctx, left, metrics)? {
                 Stage::Tuples(t) => t,
                 _ => return Err(ExecError::BadPlan("join left input must be tuples".into())),
@@ -190,9 +224,12 @@ fn run(ctx: &ExecContext<'_>, plan: &LogicalPlan, metrics: &mut ExecMetrics) -> 
                 JoinAlgo::IndexedNestedLoop => {
                     // right side must be a bare scan we can index-probe
                     let (right_alias, right_collection) = match right.as_ref() {
-                        LogicalPlan::Scan { alias, collection, predicate: None, .. } => {
-                            (alias.clone(), collection.clone())
-                        }
+                        LogicalPlan::Scan {
+                            alias,
+                            collection,
+                            predicate: None,
+                            ..
+                        } => (alias.clone(), collection.clone()),
                         _ => {
                             return Err(ExecError::BadPlan(
                                 "indexed NL join right side must be a plain scan".into(),
@@ -227,20 +264,34 @@ fn run(ctx: &ExecContext<'_>, plan: &LogicalPlan, metrics: &mut ExecMetrics) -> 
                 JoinAlgo::SortMerge => {
                     let rt = match run(ctx, right, metrics)? {
                         Stage::Tuples(t) => t,
-                        _ => return Err(ExecError::BadPlan("join right input must be tuples".into())),
+                        _ => {
+                            return Err(ExecError::BadPlan(
+                                "join right input must be tuples".into(),
+                            ))
+                        }
                     };
-                    Ok(Stage::Tuples(joins::sort_merge_join(lt, rt, left_key, right_key)))
+                    Ok(Stage::Tuples(joins::sort_merge_join(
+                        lt, rt, left_key, right_key,
+                    )))
                 }
                 JoinAlgo::Hash | JoinAlgo::Unspecified => {
                     let rt = match run(ctx, right, metrics)? {
                         Stage::Tuples(t) => t,
-                        _ => return Err(ExecError::BadPlan("join right input must be tuples".into())),
+                        _ => {
+                            return Err(ExecError::BadPlan(
+                                "join right input must be tuples".into(),
+                            ))
+                        }
                     };
                     Ok(Stage::Tuples(joins::hash_join(lt, rt, left_key, right_key)))
                 }
             }
         }
-        LogicalPlan::GroupAgg { input, group_by, aggs } => match run(ctx, input, metrics)? {
+        LogicalPlan::GroupAgg {
+            input,
+            group_by,
+            aggs,
+        } => match run(ctx, input, metrics)? {
             Stage::Tuples(t) => Ok(Stage::Rows(ops::group_agg(&t, group_by.as_ref(), aggs))),
             _ => Err(ExecError::BadPlan("aggregate over non-tuple input".into())),
         },
@@ -277,7 +328,11 @@ fn run(ctx: &ExecContext<'_>, plan: &LogicalPlan, metrics: &mut ExecMetrics) -> 
         },
         LogicalPlan::GraphConnect { a, b, max_hops } => {
             metrics.index_lookups += 1;
-            Ok(Stage::Path(ctx.join_index.connect(DocId(*a), DocId(*b), *max_hops)))
+            Ok(Stage::Path(ctx.join_index.connect(
+                DocId(*a),
+                DocId(*b),
+                *max_hops,
+            )))
         }
     }
 }
@@ -318,7 +373,7 @@ fn scan(
         ScanRequest {
             predicate: match combined.len() {
                 0 => None,
-                1 => Some(combined.pop().unwrap()),
+                1 => combined.pop(),
                 _ => Some(Predicate::And(combined)),
             },
             projection: Projection::All,
@@ -371,7 +426,9 @@ mod tests {
             let storage = StorageEngine::new(StorageOptions {
                 partitions: 2,
                 seal_threshold: 16,
-                compression: true, encryption_key: None });
+                compression: true,
+                encryption_key: None,
+            });
             let text = InvertedIndex::new(4);
             let values = PathValueIndex::new();
             let joins = JoinIndex::new();
@@ -402,7 +459,12 @@ mod tests {
             }
             joins.add_edge(DocId(10), DocId(1), "references-customer");
             joins.add_edge(DocId(12), DocId(2), "references-customer");
-            Fixture { storage, text, values, joins }
+            Fixture {
+                storage,
+                text,
+                values,
+                joins,
+            }
         }
 
         fn ctx(&self) -> ExecContext<'_> {
@@ -524,7 +586,8 @@ mod tests {
         assert_eq!(rows.len(), 3);
         assert!(rows
             .iter()
-            .any(|r| r.get("name") == &Value::Str("Ada".into()) && r.get("amount") == &Value::Int(250)));
+            .any(|r| r.get("name") == &Value::Str("Ada".into())
+                && r.get("amount") == &Value::Int(250)));
     }
 
     #[test]
@@ -557,7 +620,10 @@ mod tests {
         let (out, _) = execute(&f.ctx(), &plan).unwrap();
         let rows = out.rows();
         assert_eq!(rows.len(), 2);
-        let c1 = rows.iter().find(|r| r.get("group") == &Value::Str("C-1".into())).unwrap();
+        let c1 = rows
+            .iter()
+            .find(|r| r.get("group") == &Value::Str("C-1".into()))
+            .unwrap();
         assert_eq!(c1.get("total"), &Value::Float(350.0));
     }
 
@@ -583,13 +649,28 @@ mod tests {
     fn graph_connect_plan() {
         let f = Fixture::new();
         // orders 10 and 12 connect through their customers? 10-1, 12-2: no.
-        let (out, _) = execute(&f.ctx(), &LogicalPlan::GraphConnect { a: 10, b: 1, max_hops: 2 }).unwrap();
+        let (out, _) = execute(
+            &f.ctx(),
+            &LogicalPlan::GraphConnect {
+                a: 10,
+                b: 1,
+                max_hops: 2,
+            },
+        )
+        .unwrap();
         match out {
             QueryOutput::Path(Some(p)) => assert_eq!(p, vec![DocId(10), DocId(1)]),
             other => panic!("expected path, got {other:?}"),
         }
-        let (out2, _) =
-            execute(&f.ctx(), &LogicalPlan::GraphConnect { a: 10, b: 12, max_hops: 1 }).unwrap();
+        let (out2, _) = execute(
+            &f.ctx(),
+            &LogicalPlan::GraphConnect {
+                a: 10,
+                b: 12,
+                max_hops: 1,
+            },
+        )
+        .unwrap();
         assert!(matches!(out2, QueryOutput::Path(None)));
     }
 
@@ -606,7 +687,10 @@ mod tests {
             alias: "x".into(),
             predicate: Predicate::True,
         };
-        assert!(matches!(execute(&f.ctx(), &plan), Err(ExecError::BadPlan(_))));
+        assert!(matches!(
+            execute(&f.ctx(), &plan),
+            Err(ExecError::BadPlan(_))
+        ));
     }
 }
 

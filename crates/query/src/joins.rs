@@ -173,7 +173,10 @@ mod tests {
     }
 
     fn customer_tuples() -> Vec<Tuple> {
-        customers().into_iter().map(|(_, d)| Tuple::single("c", d)).collect()
+        customers()
+            .into_iter()
+            .map(|(_, d)| Tuple::single("c", d))
+            .collect()
     }
 
     fn lk() -> (String, String) {

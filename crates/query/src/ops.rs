@@ -17,7 +17,12 @@ use crate::tuple::{Row, Tuple};
 pub fn filter(tuples: Vec<Tuple>, alias: &str, predicate: &Predicate) -> Vec<Tuple> {
     tuples
         .into_iter()
-        .filter(|t| t.bindings.get(alias).map(|d| predicate.matches(d)).unwrap_or(false))
+        .filter(|t| {
+            t.bindings
+                .get(alias)
+                .map(|d| predicate.matches(d))
+                .unwrap_or(false)
+        })
         .collect()
 }
 
@@ -127,25 +132,34 @@ mod tests {
     use std::sync::Arc;
 
     fn tuples() -> Vec<Tuple> {
-        [(1, 100, "Volvo"), (2, 250, "Saab"), (3, 50, "Volvo"), (4, 175, "Saab")]
-            .into_iter()
-            .map(|(id, amount, make)| {
-                Tuple::single(
-                    "c",
-                    Arc::new(
-                        DocumentBuilder::new(DocId(id), SourceFormat::Json, "claims")
-                            .field("amount", amount as i64)
-                            .field("make", make)
-                            .build(),
-                    ),
-                )
-            })
-            .collect()
+        [
+            (1, 100, "Volvo"),
+            (2, 250, "Saab"),
+            (3, 50, "Volvo"),
+            (4, 175, "Saab"),
+        ]
+        .into_iter()
+        .map(|(id, amount, make)| {
+            Tuple::single(
+                "c",
+                Arc::new(
+                    DocumentBuilder::new(DocId(id), SourceFormat::Json, "claims")
+                        .field("amount", amount as i64)
+                        .field("make", make)
+                        .build(),
+                ),
+            )
+        })
+        .collect()
     }
 
     #[test]
     fn filter_by_alias_predicate() {
-        let out = filter(tuples(), "c", &Predicate::Gt("amount".into(), Value::Int(100)));
+        let out = filter(
+            tuples(),
+            "c",
+            &Predicate::Gt("amount".into(), Value::Int(100)),
+        );
         assert_eq!(out.len(), 2);
         let out2 = filter(tuples(), "missing", &Predicate::True);
         assert!(out2.is_empty(), "unknown alias matches nothing");
@@ -168,13 +182,28 @@ mod tests {
     fn sort_ascending_descending_multi_key() {
         let sorted = sort(
             tuples(),
-            &[SortKey { alias: "c".into(), path: "make".into(), descending: false },
-              SortKey { alias: "c".into(), path: "amount".into(), descending: true }],
+            &[
+                SortKey {
+                    alias: "c".into(),
+                    path: "make".into(),
+                    descending: false,
+                },
+                SortKey {
+                    alias: "c".into(),
+                    path: "amount".into(),
+                    descending: true,
+                },
+            ],
         );
         let amounts: Vec<Value> = sorted.iter().map(|t| t.key("c", "amount")).collect();
         assert_eq!(
             amounts,
-            vec![Value::Int(250), Value::Int(175), Value::Int(100), Value::Int(50)]
+            vec![
+                Value::Int(250),
+                Value::Int(175),
+                Value::Int(100),
+                Value::Int(50)
+            ]
         );
     }
 
@@ -191,12 +220,23 @@ mod tests {
             &tuples(),
             Some(&("c".to_string(), "make".to_string())),
             &[
-                AggItem { func: AggFunc::Sum, operand: Some("amount".into()), output: "total".into() },
-                AggItem { func: AggFunc::Count, operand: None, output: "n".into() },
+                AggItem {
+                    func: AggFunc::Sum,
+                    operand: Some("amount".into()),
+                    output: "total".into(),
+                },
+                AggItem {
+                    func: AggFunc::Count,
+                    operand: None,
+                    output: "n".into(),
+                },
             ],
         );
         assert_eq!(rows.len(), 2);
-        let saab = rows.iter().find(|r| r.get("group") == &Value::Str("Saab".into())).unwrap();
+        let saab = rows
+            .iter()
+            .find(|r| r.get("group") == &Value::Str("Saab".into()))
+            .unwrap();
         assert_eq!(saab.get("total"), &Value::Float(425.0));
         assert_eq!(saab.get("n"), &Value::Int(2));
     }
@@ -207,9 +247,21 @@ mod tests {
             &tuples(),
             None,
             &[
-                AggItem { func: AggFunc::Min, operand: Some("amount".into()), output: "lo".into() },
-                AggItem { func: AggFunc::Max, operand: Some("amount".into()), output: "hi".into() },
-                AggItem { func: AggFunc::Avg, operand: Some("amount".into()), output: "avg".into() },
+                AggItem {
+                    func: AggFunc::Min,
+                    operand: Some("amount".into()),
+                    output: "lo".into(),
+                },
+                AggItem {
+                    func: AggFunc::Max,
+                    operand: Some("amount".into()),
+                    output: "hi".into(),
+                },
+                AggItem {
+                    func: AggFunc::Avg,
+                    operand: Some("amount".into()),
+                    output: "avg".into(),
+                },
             ],
         );
         assert_eq!(rows.len(), 1);
@@ -232,7 +284,11 @@ mod tests {
         let rows = group_agg(
             &ts,
             Some(&("c".to_string(), "make".to_string())),
-            &[AggItem { func: AggFunc::Count, operand: None, output: "n".into() }],
+            &[AggItem {
+                func: AggFunc::Count,
+                operand: None,
+                output: "n".into(),
+            }],
         );
         let total: i64 = rows.iter().map(|r| r.get("n").as_i64().unwrap()).sum();
         assert_eq!(total, 4, "keyless tuple excluded");

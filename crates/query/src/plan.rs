@@ -165,7 +165,12 @@ impl LogicalPlan {
     /// Compact single-line rendering for plan-shape assertions.
     pub fn describe(&self) -> String {
         match self {
-            LogicalPlan::Scan { collection, predicate, use_value_index, .. } => {
+            LogicalPlan::Scan {
+                collection,
+                predicate,
+                use_value_index,
+                ..
+            } => {
                 let c = collection.as_deref().unwrap_or("*");
                 let how = if *use_value_index { "index" } else { "scan" };
                 let p = if predicate.is_some() { "+pred" } else { "" };
@@ -175,7 +180,9 @@ impl LogicalPlan {
                 format!("search('{query}',k={limit})")
             }
             LogicalPlan::Filter { input, .. } => format!("filter({})", input.describe()),
-            LogicalPlan::Join { left, right, algo, .. } => {
+            LogicalPlan::Join {
+                left, right, algo, ..
+            } => {
                 let a = match algo {
                     JoinAlgo::Unspecified => "join",
                     JoinAlgo::IndexedNestedLoop => "inlj",

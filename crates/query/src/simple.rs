@@ -40,14 +40,35 @@ impl SimplePlanner {
 
     fn rewrite(&self, plan: LogicalPlan, topk: bool) -> LogicalPlan {
         match plan {
-            LogicalPlan::Scan { collection, predicate, alias, .. } => {
+            LogicalPlan::Scan {
+                collection,
+                predicate,
+                alias,
+                ..
+            } => {
                 let use_value_index = matches!(&predicate, Some(Predicate::Eq(_, _)));
-                LogicalPlan::Scan { collection, predicate, alias, use_value_index }
+                LogicalPlan::Scan {
+                    collection,
+                    predicate,
+                    alias,
+                    use_value_index,
+                }
             }
-            LogicalPlan::Join { left, right, left_key, right_key, .. } => {
+            LogicalPlan::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+                ..
+            } => {
                 let left = Box::new(self.rewrite(*left, topk));
-                let right_is_plain_scan =
-                    matches!(right.as_ref(), LogicalPlan::Scan { predicate: None, .. });
+                let right_is_plain_scan = matches!(
+                    right.as_ref(),
+                    LogicalPlan::Scan {
+                        predicate: None,
+                        ..
+                    }
+                );
                 let algo = if topk && right_is_plain_scan {
                     JoinAlgo::IndexedNestedLoop
                 } else {
@@ -58,30 +79,45 @@ impl SimplePlanner {
                 } else {
                     Box::new(self.rewrite(*right, topk))
                 };
-                LogicalPlan::Join { left, right, left_key, right_key, algo }
+                LogicalPlan::Join {
+                    left,
+                    right,
+                    left_key,
+                    right_key,
+                    algo,
+                }
             }
-            LogicalPlan::Filter { input, alias, predicate } => LogicalPlan::Filter {
+            LogicalPlan::Filter {
+                input,
+                alias,
+                predicate,
+            } => LogicalPlan::Filter {
                 input: Box::new(self.rewrite(*input, topk)),
                 alias,
                 predicate,
             },
-            LogicalPlan::GroupAgg { input, group_by, aggs } => LogicalPlan::GroupAgg {
+            LogicalPlan::GroupAgg {
+                input,
+                group_by,
+                aggs,
+            } => LogicalPlan::GroupAgg {
                 input: Box::new(self.rewrite(*input, topk)),
                 group_by,
                 aggs,
             },
-            LogicalPlan::Project { input, columns } => {
-                LogicalPlan::Project { input: Box::new(self.rewrite(*input, topk)), columns }
-            }
-            LogicalPlan::Sort { input, keys } => {
-                LogicalPlan::Sort { input: Box::new(self.rewrite(*input, topk)), keys }
-            }
-            LogicalPlan::Limit { input, n } => {
-                LogicalPlan::Limit { input: Box::new(self.rewrite(*input, topk)), n }
-            }
-            other @ (LogicalPlan::KeywordSearch { .. } | LogicalPlan::GraphConnect { .. }) => {
-                other
-            }
+            LogicalPlan::Project { input, columns } => LogicalPlan::Project {
+                input: Box::new(self.rewrite(*input, topk)),
+                columns,
+            },
+            LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+                input: Box::new(self.rewrite(*input, topk)),
+                keys,
+            },
+            LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+                input: Box::new(self.rewrite(*input, topk)),
+                n,
+            },
+            other @ (LogicalPlan::KeywordSearch { .. } | LogicalPlan::GraphConnect { .. }) => other,
         }
     }
 }
@@ -112,12 +148,12 @@ mod tests {
 
     #[test]
     fn eq_predicates_use_value_index() {
-        let p = SimplePlanner::new()
-            .plan(scan("c", Some(Predicate::Eq("x".into(), Value::Int(1)))));
+        let p =
+            SimplePlanner::new().plan(scan("c", Some(Predicate::Eq("x".into(), Value::Int(1)))));
         assert_eq!(p.describe(), "index(c+pred)");
         // range predicates do not
-        let p2 = SimplePlanner::new()
-            .plan(scan("c", Some(Predicate::Gt("x".into(), Value::Int(1)))));
+        let p2 =
+            SimplePlanner::new().plan(scan("c", Some(Predicate::Gt("x".into(), Value::Int(1)))));
         assert_eq!(p2.describe(), "scan(c+pred)");
     }
 
@@ -152,8 +188,9 @@ mod tests {
 
     #[test]
     fn planning_is_deterministic() {
-        let mk = || {
-            LogicalPlan::Limit { input: Box::new(join(scan("a", None), scan("b", None))), n: 3 }
+        let mk = || LogicalPlan::Limit {
+            input: Box::new(join(scan("a", None), scan("b", None))),
+            n: 3,
         };
         let p1 = SimplePlanner::new().plan(mk());
         let p2 = SimplePlanner::new().plan(mk());

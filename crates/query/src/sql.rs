@@ -79,16 +79,21 @@ fn lex(input: &str) -> Result<Vec<Tok>, SqlError> {
             }
             let text: String = bytes[start..i].iter().collect();
             if is_float {
-                toks.push(Tok::Num(text.parse().map_err(|_| SqlError(format!("bad number {text}")))?));
+                toks.push(Tok::Num(
+                    text.parse()
+                        .map_err(|_| SqlError(format!("bad number {text}")))?,
+                ));
             } else {
-                toks.push(Tok::Int(text.parse().map_err(|_| SqlError(format!("bad number {text}")))?));
+                toks.push(Tok::Int(
+                    text.parse()
+                        .map_err(|_| SqlError(format!("bad number {text}")))?,
+                ));
             }
         } else if c.is_alphanumeric() || c == '_' || c == '@' {
             // '@' appears in XML-derived attribute paths (claim.@id)
             let start = i;
             while i < bytes.len()
-                && (bytes[i].is_alphanumeric()
-                    || matches!(bytes[i], '_' | '.' | '[' | ']' | '@'))
+                && (bytes[i].is_alphanumeric() || matches!(bytes[i], '_' | '.' | '[' | ']' | '@'))
             {
                 i += 1;
             }
@@ -123,8 +128,15 @@ struct Parser {
 #[derive(Debug, Clone)]
 enum SelectItem {
     Star,
-    Col { path: String, output: Option<String> },
-    Agg { func: AggFunc, path: Option<String>, output: Option<String> },
+    Col {
+        path: String,
+        output: Option<String>,
+    },
+    Agg {
+        func: AggFunc,
+        path: Option<String>,
+        output: Option<String>,
+    },
 }
 
 impl Parser {
@@ -174,8 +186,8 @@ impl Parser {
 }
 
 const KEYWORDS: &[&str] = &[
-    "select", "from", "join", "on", "where", "group", "order", "by", "limit", "as", "desc",
-    "and", "or", "contains",
+    "select", "from", "join", "on", "where", "group", "order", "by", "limit", "as", "desc", "and",
+    "or", "contains",
 ];
 
 fn is_keyword(w: &str) -> bool {
@@ -234,16 +246,28 @@ pub fn parse_sql(input: &str) -> Result<LogicalPlan, SqlError> {
                         other => return Err(SqlError(format!("bad aggregate operand {other:?}"))),
                     };
                     p.expect_symbol(")")?;
-                    let output = if p.keyword("as") { Some(p.word()?) } else { None };
+                    let output = if p.keyword("as") {
+                        Some(p.word()?)
+                    } else {
+                        None
+                    };
                     items.push(SelectItem::Agg { func, path, output });
                 } else {
                     let col = p.word()?;
-                    let output = if p.keyword("as") { Some(p.word()?) } else { None };
+                    let output = if p.keyword("as") {
+                        Some(p.word()?)
+                    } else {
+                        None
+                    };
                     items.push(SelectItem::Col { path: col, output });
                 }
             } else if !is_keyword(&w) {
                 let col = p.word()?;
-                let output = if p.keyword("as") { Some(p.word()?) } else { None };
+                let output = if p.keyword("as") {
+                    Some(p.word()?)
+                } else {
+                    None
+                };
                 items.push(SelectItem::Col { path: col, output });
             } else {
                 return Err(SqlError(format!("unexpected keyword {w} in select list")));
@@ -305,7 +329,9 @@ pub fn parse_sql(input: &str) -> Result<LogicalPlan, SqlError> {
             let pred = if p.keyword("contains") {
                 match p.next() {
                     Some(Tok::Str(s)) => Predicate::Contains(path, s),
-                    other => return Err(SqlError(format!("CONTAINS needs a string, got {other:?}"))),
+                    other => {
+                        return Err(SqlError(format!("CONTAINS needs a string, got {other:?}")))
+                    }
                 }
             } else {
                 let op = match p.next() {
@@ -331,7 +357,12 @@ pub fn parse_sql(input: &str) -> Result<LogicalPlan, SqlError> {
                     other => return Err(SqlError(format!("unknown operator {other}"))),
                 }
             };
-            or_groups.last_mut().unwrap().push((alias, pred));
+            let Some(group) = or_groups.last_mut() else {
+                return Err(SqlError(
+                    "internal: predicate outside an OR group".to_string(),
+                ));
+            };
+            group.push((alias, pred));
             if p.keyword("and") {
                 continue;
             }
@@ -344,8 +375,7 @@ pub fn parse_sql(input: &str) -> Result<LogicalPlan, SqlError> {
         }
     }
     if saw_or {
-        let mut aliases_used: Vec<&String> =
-            or_groups.iter().flatten().map(|(a, _)| a).collect();
+        let mut aliases_used: Vec<&String> = or_groups.iter().flatten().map(|(a, _)| a).collect();
         aliases_used.sort();
         aliases_used.dedup();
         if aliases_used.len() != 1 {
@@ -359,10 +389,13 @@ pub fn parse_sql(input: &str) -> Result<LogicalPlan, SqlError> {
             .filter(|g| !g.is_empty())
             .map(|g| {
                 let mut conjuncts: Vec<Predicate> = g.into_iter().map(|(_, p)| p).collect();
-                if conjuncts.len() == 1 {
-                    conjuncts.pop().unwrap()
-                } else {
-                    Predicate::And(conjuncts)
+                match conjuncts.pop() {
+                    Some(only) if conjuncts.is_empty() => only,
+                    Some(last) => {
+                        conjuncts.push(last);
+                        Predicate::And(conjuncts)
+                    }
+                    None => Predicate::And(Vec::new()), // unreachable: empty groups filtered
                 }
             })
             .collect();
@@ -409,10 +442,10 @@ pub fn parse_sql(input: &str) -> Result<LogicalPlan, SqlError> {
     let mut scans: Vec<LogicalPlan> = sources
         .iter()
         .map(|(coll, alias)| {
-            let preds = per_alias_preds.remove(alias).unwrap_or_default();
+            let mut preds = per_alias_preds.remove(alias).unwrap_or_default();
             let predicate = match preds.len() {
                 0 => None,
-                1 => Some(preds.into_iter().next().unwrap()),
+                1 => preds.pop(),
                 _ => Some(Predicate::And(preds)),
             };
             LogicalPlan::Scan {
@@ -472,18 +505,30 @@ pub fn parse_sql(input: &str) -> Result<LogicalPlan, SqlError> {
                 _ => None,
             })
             .collect();
-        plan = LogicalPlan::GroupAgg { input: Box::new(plan), group_by, aggs };
+        plan = LogicalPlan::GroupAgg {
+            input: Box::new(plan),
+            group_by,
+            aggs,
+        };
         if let Some((_, path, desc)) = order {
             plan = LogicalPlan::Sort {
                 input: Box::new(plan),
-                keys: vec![SortKey { alias: String::new(), path, descending: desc }],
+                keys: vec![SortKey {
+                    alias: String::new(),
+                    path,
+                    descending: desc,
+                }],
             };
         }
     } else {
         if let Some((alias, path, desc)) = order {
             plan = LogicalPlan::Sort {
                 input: Box::new(plan),
-                keys: vec![SortKey { alias, path, descending: desc }],
+                keys: vec![SortKey {
+                    alias,
+                    path,
+                    descending: desc,
+                }],
             };
         }
         let columns: Vec<(String, String, String)> = items
@@ -499,12 +544,18 @@ pub fn parse_sql(input: &str) -> Result<LogicalPlan, SqlError> {
             })
             .collect();
         if !columns.is_empty() {
-            plan = LogicalPlan::Project { input: Box::new(plan), columns };
+            plan = LogicalPlan::Project {
+                input: Box::new(plan),
+                columns,
+            };
         }
     }
 
     if let Some(n) = limit_n {
-        plan = LogicalPlan::Limit { input: Box::new(plan), n };
+        plan = LogicalPlan::Limit {
+            input: Box::new(plan),
+            n,
+        };
     }
     Ok(plan)
 }
@@ -523,7 +574,11 @@ mod tests {
     fn where_conditions_push_into_scan() {
         let p = parse_sql("SELECT * FROM claims WHERE amount > 100 AND make = 'Volvo'").unwrap();
         assert_eq!(p.describe(), "scan(claims+pred)");
-        if let LogicalPlan::Scan { predicate: Some(Predicate::And(ps)), .. } = &p {
+        if let LogicalPlan::Scan {
+            predicate: Some(Predicate::And(ps)),
+            ..
+        } = &p
+        {
             assert_eq!(ps.len(), 2);
         } else {
             panic!("expected conjunctive scan predicate: {p:?}");
@@ -534,7 +589,14 @@ mod tests {
     fn projection_with_aliases() {
         let p = parse_sql("SELECT make AS vehicle, amount FROM claims").unwrap();
         if let LogicalPlan::Project { columns, .. } = &p {
-            assert_eq!(columns[0], ("claims".to_string(), "make".to_string(), "vehicle".to_string()));
+            assert_eq!(
+                columns[0],
+                (
+                    "claims".to_string(),
+                    "make".to_string(),
+                    "vehicle".to_string()
+                )
+            );
             assert_eq!(columns[1].2, "amount");
         } else {
             panic!("expected project: {p:?}");
@@ -543,13 +605,17 @@ mod tests {
 
     #[test]
     fn join_with_on() {
-        let p = parse_sql(
-            "SELECT o.amount, c.name FROM orders o JOIN customers c ON o.cust = c.code",
-        )
-        .unwrap();
+        let p =
+            parse_sql("SELECT o.amount, c.name FROM orders o JOIN customers c ON o.cust = c.code")
+                .unwrap();
         assert_eq!(p.describe(), "project(join(scan(orders),scan(customers)))");
         if let LogicalPlan::Project { input, .. } = &p {
-            if let LogicalPlan::Join { left_key, right_key, .. } = input.as_ref() {
+            if let LogicalPlan::Join {
+                left_key,
+                right_key,
+                ..
+            } = input.as_ref()
+            {
                 assert_eq!(left_key, &("o".to_string(), "cust".to_string()));
                 assert_eq!(right_key, &("c".to_string(), "code".to_string()));
                 return;
@@ -560,10 +626,8 @@ mod tests {
 
     #[test]
     fn group_by_with_aggregates() {
-        let p = parse_sql(
-            "SELECT make, SUM(amount) AS total, COUNT(*) FROM claims GROUP BY make",
-        )
-        .unwrap();
+        let p = parse_sql("SELECT make, SUM(amount) AS total, COUNT(*) FROM claims GROUP BY make")
+            .unwrap();
         if let LogicalPlan::GroupAgg { group_by, aggs, .. } = &p {
             assert_eq!(group_by, &Some(("claims".to_string(), "make".to_string())));
             assert_eq!(aggs.len(), 2);
@@ -584,7 +648,11 @@ mod tests {
     #[test]
     fn contains_predicate() {
         let p = parse_sql("SELECT * FROM notes WHERE body CONTAINS 'fraud'").unwrap();
-        if let LogicalPlan::Scan { predicate: Some(Predicate::Contains(path, s)), .. } = &p {
+        if let LogicalPlan::Scan {
+            predicate: Some(Predicate::Contains(path, s)),
+            ..
+        } = &p
+        {
             assert_eq!(path, "body");
             assert_eq!(s, "fraud");
         } else {
@@ -595,7 +663,11 @@ mod tests {
     #[test]
     fn nested_paths_in_predicates() {
         let p = parse_sql("SELECT * FROM claims WHERE claim.vehicle.make = 'Saab'").unwrap();
-        if let LogicalPlan::Scan { predicate: Some(Predicate::Eq(path, _)), .. } = &p {
+        if let LogicalPlan::Scan {
+            predicate: Some(Predicate::Eq(path, _)),
+            ..
+        } = &p
+        {
             assert_eq!(path, "claim.vehicle.make");
         } else {
             panic!("{p:?}");
@@ -605,7 +677,11 @@ mod tests {
     #[test]
     fn float_bool_literals() {
         let p = parse_sql("SELECT * FROM t WHERE x >= 2.5 AND ok = true").unwrap();
-        if let LogicalPlan::Scan { predicate: Some(Predicate::And(ps)), .. } = &p {
+        if let LogicalPlan::Scan {
+            predicate: Some(Predicate::And(ps)),
+            ..
+        } = &p
+        {
             assert!(matches!(&ps[0], Predicate::Ge(_, Value::Float(f)) if *f == 2.5));
             assert!(matches!(&ps[1], Predicate::Eq(_, Value::Bool(true))));
         } else {
@@ -620,7 +696,10 @@ mod tests {
         assert!(parse_sql("SELECT * FROM t WHERE x ~ 3").is_err());
         assert!(parse_sql("SELECT * FROM t WHERE x = 'unterminated").is_err());
         assert!(parse_sql("SELECT * FROM t LIMIT soon").is_err());
-        assert!(parse_sql("SELECT * FROM a JOIN b ON x = b.y").is_err(), "unqualified join key");
+        assert!(
+            parse_sql("SELECT * FROM a JOIN b ON x = b.y").is_err(),
+            "unqualified join key"
+        );
         assert!(parse_sql("SELECT * FROM t extra garbage tokens +").is_err());
     }
 
@@ -640,7 +719,11 @@ mod or_tests {
     #[test]
     fn or_builds_a_disjunction() {
         let p = parse_sql("SELECT * FROM t WHERE make = 'Volvo' OR make = 'Saab'").unwrap();
-        if let LogicalPlan::Scan { predicate: Some(Predicate::Or(ps)), .. } = &p {
+        if let LogicalPlan::Scan {
+            predicate: Some(Predicate::Or(ps)),
+            ..
+        } = &p
+        {
             assert_eq!(ps.len(), 2);
         } else {
             panic!("expected Or predicate: {p:?}");
@@ -649,11 +732,13 @@ mod or_tests {
 
     #[test]
     fn and_binds_tighter_than_or() {
-        let p = parse_sql(
-            "SELECT * FROM t WHERE make = 'Volvo' AND amount > 100 OR make = 'Saab'",
-        )
-        .unwrap();
-        if let LogicalPlan::Scan { predicate: Some(Predicate::Or(ps)), .. } = &p {
+        let p = parse_sql("SELECT * FROM t WHERE make = 'Volvo' AND amount > 100 OR make = 'Saab'")
+            .unwrap();
+        if let LogicalPlan::Scan {
+            predicate: Some(Predicate::Or(ps)),
+            ..
+        } = &p
+        {
             assert_eq!(ps.len(), 2);
             assert!(matches!(&ps[0], Predicate::And(conj) if conj.len() == 2));
             assert!(matches!(&ps[1], Predicate::Eq(_, _)));
@@ -664,9 +749,7 @@ mod or_tests {
 
     #[test]
     fn or_across_aliases_is_rejected() {
-        let r = parse_sql(
-            "SELECT * FROM a x JOIN b y ON x.k = y.k WHERE x.m = 1 OR y.n = 2",
-        );
+        let r = parse_sql("SELECT * FROM a x JOIN b y ON x.k = y.k WHERE x.m = 1 OR y.n = 2");
         assert!(r.is_err());
     }
 }

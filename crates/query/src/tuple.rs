@@ -19,7 +19,9 @@ pub struct Tuple {
 impl Tuple {
     /// A tuple with one binding.
     pub fn single(alias: &str, doc: Arc<Document>) -> Tuple {
-        Tuple { bindings: BTreeMap::from([(alias.to_string(), doc)]) }
+        Tuple {
+            bindings: BTreeMap::from([(alias.to_string(), doc)]),
+        }
     }
 
     /// Combine two tuples (disjoint alias sets).
@@ -66,7 +68,9 @@ pub struct Row {
 impl Row {
     /// Construct from pairs.
     pub fn from_pairs<I: IntoIterator<Item = (String, Value)>>(pairs: I) -> Row {
-        Row { columns: pairs.into_iter().collect() }
+        Row {
+            columns: pairs.into_iter().collect(),
+        }
     }
 
     /// Value of a column (Null when absent).
@@ -77,8 +81,11 @@ impl Row {
     /// Render as a stable single-line string (tests and the figures
     /// harness).
     pub fn render(&self) -> String {
-        let parts: Vec<String> =
-            self.columns.iter().map(|(k, v)| format!("{k}={}", v.render())).collect();
+        let parts: Vec<String> = self
+            .columns
+            .iter()
+            .map(|(k, v)| format!("{k}={}", v.render()))
+            .collect();
         parts.join(" ")
     }
 }

@@ -47,12 +47,16 @@ pub fn read_varint(buf: &[u8], mut pos: usize) -> Result<(u64, usize), StorageEr
     let mut v: u64 = 0;
     let mut shift = 0u32;
     loop {
-        let byte = *buf
-            .get(pos)
-            .ok_or(StorageError::Corrupt { offset: pos, message: "truncated varint".into() })?;
+        let byte = *buf.get(pos).ok_or(StorageError::Corrupt {
+            offset: pos,
+            message: "truncated varint".into(),
+        })?;
         pos += 1;
         if shift >= 64 {
-            return Err(StorageError::Corrupt { offset: pos, message: "varint overflow".into() });
+            return Err(StorageError::Corrupt {
+                offset: pos,
+                message: "varint overflow".into(),
+            });
         }
         v |= u64::from(byte & 0x7f) << shift;
         if byte & 0x80 == 0 {
@@ -82,10 +86,15 @@ fn read_str(buf: &[u8], pos: usize) -> Result<(String, usize), StorageError> {
     let len = len as usize;
     let end = pos + len;
     if end > buf.len() {
-        return Err(StorageError::Corrupt { offset: pos, message: "truncated string".into() });
+        return Err(StorageError::Corrupt {
+            offset: pos,
+            message: "truncated string".into(),
+        });
     }
-    let s = std::str::from_utf8(&buf[pos..end])
-        .map_err(|_| StorageError::Corrupt { offset: pos, message: "invalid utf-8".into() })?;
+    let s = std::str::from_utf8(&buf[pos..end]).map_err(|_| StorageError::Corrupt {
+        offset: pos,
+        message: "invalid utf-8".into(),
+    })?;
     Ok((s.to_string(), end))
 }
 
@@ -170,9 +179,10 @@ pub fn encode_node(node: &Node, buf: &mut Vec<u8>) {
 
 /// Decode a node subtree, returning `(node, new_offset)`.
 pub fn decode_node(buf: &[u8], pos: usize) -> Result<(Node, usize), StorageError> {
-    let tag = *buf
-        .get(pos)
-        .ok_or(StorageError::Corrupt { offset: pos, message: "truncated node tag".into() })?;
+    let tag = *buf.get(pos).ok_or(StorageError::Corrupt {
+        offset: pos,
+        message: "truncated node tag".into(),
+    })?;
     let pos = pos + 1;
     match tag {
         0 => Ok((Node::Value(Value::Null), pos)),
@@ -234,7 +244,10 @@ pub fn decode_node(buf: &[u8], pos: usize) -> Result<(Node, usize), StorageError
             }
             Ok((Node::Map(map), pos))
         }
-        t => Err(StorageError::Corrupt { offset: pos - 1, message: format!("bad node tag {t}") }),
+        t => Err(StorageError::Corrupt {
+            offset: pos - 1,
+            message: format!("bad node tag {t}"),
+        }),
     }
 }
 
@@ -274,15 +287,20 @@ pub fn encode_document_vec(doc: &Document) -> Vec<u8> {
 /// Decode one document starting at `pos`; returns the document and the
 /// offset just past it.
 pub fn decode_document(buf: &[u8], pos: usize) -> Result<(Document, usize), StorageError> {
-    let magic = *buf
-        .get(pos)
-        .ok_or(StorageError::Corrupt { offset: pos, message: "empty input".into() })?;
+    let magic = *buf.get(pos).ok_or(StorageError::Corrupt {
+        offset: pos,
+        message: "empty input".into(),
+    })?;
     if magic != MAGIC {
-        return Err(StorageError::Corrupt { offset: pos, message: "bad magic".into() });
+        return Err(StorageError::Corrupt {
+            offset: pos,
+            message: "bad magic".into(),
+        });
     }
-    let ver = *buf
-        .get(pos + 1)
-        .ok_or(StorageError::Corrupt { offset: pos + 1, message: "truncated header".into() })?;
+    let ver = *buf.get(pos + 1).ok_or(StorageError::Corrupt {
+        offset: pos + 1,
+        message: "truncated header".into(),
+    })?;
     if ver != FMT_VERSION {
         return Err(StorageError::Corrupt {
             offset: pos + 1,
@@ -291,15 +309,17 @@ pub fn decode_document(buf: &[u8], pos: usize) -> Result<(Document, usize), Stor
     }
     let (id, p) = read_varint(buf, pos + 2)?;
     let (version, p) = read_varint(buf, p)?;
-    let fmt_byte = *buf
-        .get(p)
-        .ok_or(StorageError::Corrupt { offset: p, message: "truncated format".into() })?;
+    let fmt_byte = *buf.get(p).ok_or(StorageError::Corrupt {
+        offset: p,
+        message: "truncated format".into(),
+    })?;
     let format = format_from_u8(fmt_byte, p)?;
     let (collection, p) = read_str(buf, p + 1)?;
     let (ts, p) = read_varint(buf, p)?;
-    let flags = *buf
-        .get(p)
-        .ok_or(StorageError::Corrupt { offset: p, message: "truncated flags".into() })?;
+    let flags = *buf.get(p).ok_or(StorageError::Corrupt {
+        offset: p,
+        message: "truncated flags".into(),
+    })?;
     let mut p = p + 1;
     let subject = if flags & 1 != 0 {
         let (s, np) = read_varint(buf, p)?;
@@ -356,7 +376,9 @@ fn rebuild(
     // bodies never existed in the buffer, so use an empty body and replace
     // at the final step.
     let base = match subject {
-        Some(subj) => Document::annotation(id, subj, collection.clone(), ingested_at, Node::empty_map()),
+        Some(subj) => {
+            Document::annotation(id, subj, collection.clone(), ingested_at, Node::empty_map())
+        }
         None => Document::new(id, format, collection, ingested_at, Node::empty_map()),
     };
     let mut doc = base;
@@ -470,7 +492,10 @@ mod tests {
         assert!(decode_document(&bad, 0).is_err());
         // truncations at every prefix must error, never panic
         for cut in 0..buf.len() {
-            assert!(decode_document(&buf[..cut], 0).is_err(), "prefix {cut} should fail");
+            assert!(
+                decode_document(&buf[..cut], 0).is_err(),
+                "prefix {cut} should fail"
+            );
         }
     }
 
@@ -479,12 +504,22 @@ mod tests {
         let doc = sample_doc();
         let mut buf = encode_document_vec(&doc);
         buf[1] = 99;
-        assert!(matches!(decode_document(&buf, 0), Err(StorageError::Corrupt { .. })));
+        assert!(matches!(
+            decode_document(&buf, 0),
+            Err(StorageError::Corrupt { .. })
+        ));
     }
 
     #[test]
     fn float_bit_patterns_survive() {
-        for f in [0.0f64, -0.0, f64::MIN_POSITIVE, f64::MAX, f64::NEG_INFINITY, f64::NAN] {
+        for f in [
+            0.0f64,
+            -0.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            f64::NEG_INFINITY,
+            f64::NAN,
+        ] {
             let d = Document::new(DocId(1), SourceFormat::Json, "c", 0, Node::scalar(f));
             let (back, _) = decode_document(&encode_document_vec(&d), 0).unwrap();
             if let Node::Value(Value::Float(g)) = back.root() {

@@ -218,7 +218,12 @@ mod tests {
             .copied()
             .collect();
         let z = lz_compress(&data);
-        assert!(z.len() < data.len() / 3, "{} !< {}", z.len(), data.len() / 3);
+        assert!(
+            z.len() < data.len() / 3,
+            "{} !< {}",
+            z.len(),
+            data.len() / 3
+        );
     }
 
     #[test]

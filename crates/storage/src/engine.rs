@@ -7,8 +7,8 @@
 //! partitions are individually locked so concurrent ingest and scans
 //! interleave.
 
+use impliance_analysis::TrackedRwLock;
 use impliance_docmodel::{DocId, Document, Version};
-use parking_lot::RwLock;
 
 use crate::error::StorageError;
 use crate::partition::Partition;
@@ -44,7 +44,10 @@ impl Default for StorageOptions {
 /// A data node's storage engine.
 #[derive(Debug)]
 pub struct StorageEngine {
-    partitions: Vec<RwLock<Partition>>,
+    // All partitions share one lock-order node ("storage.partition"): the
+    // engine never nests partition locks, and the shared name catches any
+    // future code path that tries to.
+    partitions: Vec<TrackedRwLock<Partition>>,
 }
 
 impl StorageEngine {
@@ -54,13 +57,16 @@ impl StorageEngine {
         StorageEngine {
             partitions: (0..n)
                 .map(|i| {
-                    RwLock::new(Partition::new_with_encryption(
-                        opts.seal_threshold,
-                        opts.compression,
-                        opts.encryption_key,
-                        // distinct nonce space per partition
-                        (i as u64) << 32,
-                    ))
+                    TrackedRwLock::new(
+                        "storage.partition",
+                        Partition::new_with_encryption(
+                            opts.seal_threshold,
+                            opts.compression,
+                            opts.encryption_key,
+                            // distinct nonce space per partition
+                            (i as u64) << 32,
+                        ),
+                    )
                 })
                 .collect(),
         }
@@ -142,12 +148,18 @@ impl StorageEngine {
 
     /// Total stored versions.
     pub fn total_versions(&self) -> usize {
-        self.partitions.iter().map(|p| p.read().total_versions()).sum()
+        self.partitions
+            .iter()
+            .map(|p| p.read().total_versions())
+            .sum()
     }
 
     /// Total stored bytes across partitions.
     pub fn stored_bytes(&self) -> usize {
-        self.partitions.iter().map(|p| p.read().stored_bytes()).sum()
+        self.partitions
+            .iter()
+            .map(|p| p.read().stored_bytes())
+            .sum()
     }
 
     /// Merged statistics snapshot across partitions.
@@ -181,7 +193,12 @@ mod tests {
 
     #[test]
     fn put_get_across_partitions() {
-        let e = StorageEngine::new(StorageOptions { partitions: 8, seal_threshold: 16, compression: true, encryption_key: None });
+        let e = StorageEngine::new(StorageOptions {
+            partitions: 8,
+            seal_threshold: 16,
+            compression: true,
+            encryption_key: None,
+        });
         for i in 0..200 {
             e.put(&doc(i)).unwrap();
         }
@@ -194,12 +211,20 @@ mod tests {
 
     #[test]
     fn scan_merges_partitions() {
-        let e = StorageEngine::new(StorageOptions { partitions: 4, seal_threshold: 10, compression: false, encryption_key: None });
+        let e = StorageEngine::new(StorageOptions {
+            partitions: 4,
+            seal_threshold: 10,
+            compression: false,
+            encryption_key: None,
+        });
         for i in 0..100 {
             e.put(&doc(i)).unwrap();
         }
         let res = e
-            .scan(&ScanRequest::filtered(Predicate::Eq("tag".into(), Value::Str("fizz".into()))))
+            .scan(&ScanRequest::filtered(Predicate::Eq(
+                "tag".into(),
+                Value::Str("fizz".into()),
+            )))
             .unwrap();
         assert_eq!(res.documents.len(), 34); // i.is_multiple_of(3) for 0..100
         assert_eq!(res.metrics.docs_scanned, 100);
@@ -215,9 +240,15 @@ mod tests {
         assert_eq!(e.total_versions(), 2);
         assert_eq!(e.live_docs(), 1);
         let latest = e.get_latest(DocId(1)).unwrap().unwrap();
-        assert_eq!(latest.get_str_path("x").unwrap().as_value().unwrap(), &Value::Int(999));
+        assert_eq!(
+            latest.get_str_path("x").unwrap().as_value().unwrap(),
+            &Value::Int(999)
+        );
         let v1 = e.get_version(DocId(1), Version(1)).unwrap().unwrap();
-        assert_eq!(v1.get_str_path("x").unwrap().as_value().unwrap(), &Value::Int(1));
+        assert_eq!(
+            v1.get_str_path("x").unwrap().as_value().unwrap(),
+            &Value::Int(1)
+        );
     }
 
     #[test]
@@ -225,7 +256,9 @@ mod tests {
         let e = Arc::new(StorageEngine::new(StorageOptions {
             partitions: 4,
             seal_threshold: 32,
-            compression: true, encryption_key: None }));
+            compression: true,
+            encryption_key: None,
+        }));
         let writers: Vec<_> = (0..4)
             .map(|t| {
                 let e = Arc::clone(&e);
@@ -250,7 +283,12 @@ mod tests {
 
     #[test]
     fn stats_cover_all_partitions() {
-        let e = StorageEngine::new(StorageOptions { partitions: 3, seal_threshold: 8, compression: true, encryption_key: None });
+        let e = StorageEngine::new(StorageOptions {
+            partitions: 3,
+            seal_threshold: 8,
+            compression: true,
+            encryption_key: None,
+        });
         for i in 0..50 {
             e.put(&doc(i)).unwrap();
         }
@@ -262,7 +300,12 @@ mod tests {
 
     #[test]
     fn seal_all_flushes_memtables() {
-        let e = StorageEngine::new(StorageOptions { partitions: 2, seal_threshold: 10_000, compression: true, encryption_key: None });
+        let e = StorageEngine::new(StorageOptions {
+            partitions: 2,
+            seal_threshold: 10_000,
+            compression: true,
+            encryption_key: None,
+        });
         for i in 0..100 {
             e.put(&doc(i)).unwrap();
         }
@@ -277,10 +320,15 @@ mod tests {
             let e = StorageEngine::new(StorageOptions {
                 partitions: 1,
                 seal_threshold: 64,
-                compression: compress, encryption_key: None });
+                compression: compress,
+                encryption_key: None,
+            });
             for i in 0..512u64 {
                 let d = DocumentBuilder::new(DocId(i), SourceFormat::Text, "t")
-                    .field("body", "the quick brown fox jumps over the lazy dog ".repeat(4))
+                    .field(
+                        "body",
+                        "the quick brown fox jumps over the lazy dog ".repeat(4),
+                    )
                     .build();
                 e.put(&d).unwrap();
             }
@@ -366,7 +414,10 @@ mod encryption_tests {
         e.seal_all();
         assert_eq!(e.versions(DocId(1)).len(), 2);
         let v1 = e.get_version(DocId(1), Version(1)).unwrap().unwrap();
-        assert_eq!(v1.get_str_path("x").unwrap().as_value().unwrap().as_i64(), Some(1));
+        assert_eq!(
+            v1.get_str_path("x").unwrap().as_value().unwrap().as_i64(),
+            Some(1)
+        );
     }
 }
 
@@ -396,13 +447,25 @@ mod time_travel_tests {
         let v3 = v2.new_version(Node::map([("amount".into(), Node::scalar(300i64))]), 30);
         e.put(&v3).unwrap();
 
-        assert!(e.get_as_of(DocId(1), 5).unwrap().is_none(), "did not exist yet");
+        assert!(
+            e.get_as_of(DocId(1), 5).unwrap().is_none(),
+            "did not exist yet"
+        );
         let at15 = e.get_as_of(DocId(1), 15).unwrap().unwrap();
-        assert_eq!(at15.get_str_path("amount").unwrap().as_value().unwrap(), &Value::Int(100));
+        assert_eq!(
+            at15.get_str_path("amount").unwrap().as_value().unwrap(),
+            &Value::Int(100)
+        );
         let at20 = e.get_as_of(DocId(1), 20).unwrap().unwrap();
-        assert_eq!(at20.get_str_path("amount").unwrap().as_value().unwrap(), &Value::Int(200));
+        assert_eq!(
+            at20.get_str_path("amount").unwrap().as_value().unwrap(),
+            &Value::Int(200)
+        );
         let at99 = e.get_as_of(DocId(1), 99).unwrap().unwrap();
-        assert_eq!(at99.get_str_path("amount").unwrap().as_value().unwrap(), &Value::Int(300));
+        assert_eq!(
+            at99.get_str_path("amount").unwrap().as_value().unwrap(),
+            &Value::Int(300)
+        );
     }
 
     #[test]
@@ -438,17 +501,23 @@ mod time_travel_tests {
 
         let at25 = e.scan_as_of(&ScanRequest::full(), 25).unwrap();
         assert_eq!(at25.documents.len(), 10, "new docs at t=30 invisible");
-        let updated =
-            at25.documents.iter().filter(|d| {
-                d.get_str_path("amount").unwrap().as_value().unwrap().query_eq(&Value::Int(999))
-            });
+        let updated = at25.documents.iter().filter(|d| {
+            d.get_str_path("amount")
+                .unwrap()
+                .as_value()
+                .unwrap()
+                .query_eq(&Value::Int(999))
+        });
         assert_eq!(updated.count(), 5);
 
         let now = e.scan_as_of(&ScanRequest::full(), i64::MAX).unwrap();
         assert_eq!(now.documents.len(), 12);
         // predicates still push down in snapshot scans
         let filtered = e
-            .scan_as_of(&ScanRequest::filtered(Predicate::Eq("amount".into(), Value::Int(999))), 25)
+            .scan_as_of(
+                &ScanRequest::filtered(Predicate::Eq("amount".into(), Value::Int(999))),
+                25,
+            )
             .unwrap();
         assert_eq!(filtered.documents.len(), 5);
     }

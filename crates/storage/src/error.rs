@@ -36,7 +36,10 @@ mod tests {
 
     #[test]
     fn display() {
-        let e = StorageError::StaleVersion { latest: 3, attempted: 2 };
+        let e = StorageError::StaleVersion {
+            latest: 3,
+            attempted: 2,
+        };
         assert_eq!(e.to_string(), "stale version 2 (latest is 3)");
     }
 }

@@ -38,7 +38,11 @@ impl Memtable {
     pub fn put(&mut self, doc: &Document) -> usize {
         let encoded = codec::encode_document_vec(doc);
         self.bytes += encoded.len();
-        self.entries.push(MemEntry { id: doc.id(), version: doc.version(), encoded });
+        self.entries.push(MemEntry {
+            id: doc.id(),
+            version: doc.version(),
+            encoded,
+        });
         self.entries.len() - 1
     }
 
@@ -71,7 +75,10 @@ impl Memtable {
 
     /// Iterate over entries (index, id, version, encoded length).
     pub fn iter_meta(&self) -> impl Iterator<Item = (usize, DocId, Version, usize)> + '_ {
-        self.entries.iter().enumerate().map(|(i, e)| (i, e.id, e.version, e.encoded.len()))
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (i, e.id, e.version, e.encoded.len()))
     }
 
     /// Drain all entries for sealing into a segment, leaving the memtable
@@ -88,7 +95,9 @@ mod tests {
     use impliance_docmodel::{DocumentBuilder, SourceFormat};
 
     fn doc(i: u64) -> Document {
-        DocumentBuilder::new(DocId(i), SourceFormat::Json, "c").field("x", i as i64).build()
+        DocumentBuilder::new(DocId(i), SourceFormat::Json, "c")
+            .field("x", i as i64)
+            .build()
     }
 
     #[test]

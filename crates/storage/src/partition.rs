@@ -80,10 +80,11 @@ impl Partition {
         let idx = self.memtable.put(doc);
         let encoded_len = self.memtable.encoded_len(idx);
         let is_new_chain = !self.chains.contains_key(&doc.id());
-        self.chains
-            .entry(doc.id())
-            .or_default()
-            .push((doc.version(), Location::Mem(idx), doc.ingested_at()));
+        self.chains.entry(doc.id()).or_default().push((
+            doc.version(),
+            Location::Mem(idx),
+            doc.ingested_at(),
+        ));
         self.stats.observe_document(doc, encoded_len);
         if is_new_chain {
             self.stats.live_docs += 1;
@@ -147,7 +148,11 @@ impl Partition {
 
     /// A specific version of a document.
     pub fn get_version(&self, id: DocId, v: Version) -> Result<Option<Document>, StorageError> {
-        match self.chains.get(&id).and_then(|c| c.iter().find(|(cv, _, _)| *cv == v)) {
+        match self
+            .chains
+            .get(&id)
+            .and_then(|c| c.iter().find(|(cv, _, _)| *cv == v))
+        {
             Some((_, loc, _)) => Ok(Some(self.fetch(*loc)?)),
             None => Ok(None),
         }
@@ -169,7 +174,10 @@ impl Partition {
 
     /// All stored versions of a document, oldest first.
     pub fn versions(&self, id: DocId) -> Vec<Version> {
-        self.chains.get(&id).map(|c| c.iter().map(|(v, _, _)| *v).collect()).unwrap_or_default()
+        self.chains
+            .get(&id)
+            .map(|c| c.iter().map(|(v, _, _)| *v).collect())
+            .unwrap_or_default()
     }
 
     /// Number of live (latest-version) documents.
@@ -189,7 +197,11 @@ impl Partition {
 
     /// Stored bytes (segments at stored size + memtable raw).
     pub fn stored_bytes(&self) -> usize {
-        self.segments.iter().map(Segment::stored_bytes).sum::<usize>() + self.memtable.bytes()
+        self.segments
+            .iter()
+            .map(Segment::stored_bytes)
+            .sum::<usize>()
+            + self.memtable.bytes()
     }
 
     /// Execute a scan request over the *latest versions* in this
@@ -265,7 +277,11 @@ impl Partition {
                 return;
             }
         }
-        let matched = req.predicate.as_ref().map(|p| p.matches(&doc)).unwrap_or(true);
+        let matched = req
+            .predicate
+            .as_ref()
+            .map(|p| p.matches(&doc))
+            .unwrap_or(true);
         if !matched {
             return;
         }
@@ -315,7 +331,10 @@ mod tests {
         assert!(p.segments.len() >= 2);
         for i in 0..10 {
             let d = p.get_latest(DocId(i)).unwrap().unwrap();
-            assert_eq!(d.get_str_path("amount").unwrap().as_value().unwrap(), &Value::Int(i as i64 * 100));
+            assert_eq!(
+                d.get_str_path("amount").unwrap().as_value().unwrap(),
+                &Value::Int(i as i64 * 100)
+            );
         }
     }
 
@@ -329,11 +348,17 @@ mod tests {
         let d3 = d2.new_version(Node::map([("amount".into(), Node::scalar(300i64))]), 2);
         p.put(&d3).unwrap();
 
-        assert_eq!(p.versions(DocId(1)), vec![Version(1), Version(2), Version(3)]);
+        assert_eq!(
+            p.versions(DocId(1)),
+            vec![Version(1), Version(2), Version(3)]
+        );
         let latest = p.get_latest(DocId(1)).unwrap().unwrap();
         assert_eq!(latest.version(), Version(3));
         let old = p.get_version(DocId(1), Version(1)).unwrap().unwrap();
-        assert_eq!(old.get_str_path("amount").unwrap().as_value().unwrap(), &Value::Int(100));
+        assert_eq!(
+            old.get_str_path("amount").unwrap().as_value().unwrap(),
+            &Value::Int(100)
+        );
         assert_eq!(p.live_docs(), 1);
         assert_eq!(p.total_versions(), 3);
     }
@@ -361,10 +386,20 @@ mod tests {
         let amounts: Vec<i64> = res
             .documents
             .iter()
-            .map(|d| d.get_str_path("amount").unwrap().as_value().unwrap().as_i64().unwrap())
+            .map(|d| {
+                d.get_str_path("amount")
+                    .unwrap()
+                    .as_value()
+                    .unwrap()
+                    .as_i64()
+                    .unwrap()
+            })
             .collect();
         assert!(amounts.contains(&999));
-        assert!(!amounts.contains(&100), "superseded version must not appear");
+        assert!(
+            !amounts.contains(&100),
+            "superseded version must not appear"
+        );
     }
 
     #[test]
@@ -424,7 +459,10 @@ mod tests {
         for i in 0..50 {
             p.put(&doc(i, 1)).unwrap();
         }
-        let req = ScanRequest { limit: Some(5), ..ScanRequest::full() };
+        let req = ScanRequest {
+            limit: Some(5),
+            ..ScanRequest::full()
+        };
         let res = p.scan(&req).unwrap();
         assert_eq!(res.documents.len(), 5);
     }

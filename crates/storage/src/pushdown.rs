@@ -110,7 +110,9 @@ impl Predicate {
 }
 
 fn any_leaf(doc: &Document, structural: &str, f: impl Fn(&Value) -> bool) -> bool {
-    doc.leaves().iter().any(|(p, v)| p.structural_form() == structural && f(v))
+    doc.leaves()
+        .iter()
+        .any(|(p, v)| p.structural_form() == structural && f(v))
 }
 
 /// Which parts of matching documents to return.
@@ -172,7 +174,12 @@ pub struct AggValue {
 
 impl Default for AggValue {
     fn default() -> Self {
-        AggValue { count: 0, sum: 0.0, min: None, max: None }
+        AggValue {
+            count: 0,
+            sum: 0.0,
+            min: None,
+            max: None,
+        }
     }
 }
 
@@ -255,7 +262,10 @@ impl ScanRequest {
 
     /// A filtered scan.
     pub fn filtered(p: Predicate) -> ScanRequest {
-        ScanRequest { predicate: Some(p), ..ScanRequest::default() }
+        ScanRequest {
+            predicate: Some(p),
+            ..ScanRequest::default()
+        }
     }
 }
 
@@ -524,7 +534,11 @@ mod tests {
     #[test]
     fn count_without_operand() {
         let docs = [doc(1, "Volvo"), doc(2, "Saab")];
-        let spec = AggSpec { group_by: None, func: AggFunc::Count, operand: None };
+        let spec = AggSpec {
+            group_by: None,
+            func: AggFunc::Count,
+            operand: None,
+        };
         let mut groups = BTreeMap::new();
         for d in &docs {
             aggregate_document(d, &spec, &mut groups);

@@ -69,7 +69,11 @@ impl Segment {
             data.extend_from_slice(&e.encoded);
         }
         let raw_len = data.len();
-        let mut stored = if compress_block { compress::lz_compress(&data) } else { data };
+        let mut stored = if compress_block {
+            compress::lz_compress(&data)
+        } else {
+            data
+        };
         let encryption = key.map(|k| {
             crypt::ctr_crypt(&k, nonce, &mut stored);
             (k, nonce)
@@ -192,7 +196,10 @@ mod tests {
     fn seal_and_get_compressed() {
         let s = Segment::seal(entries(50), true);
         assert!(s.is_compressed());
-        assert!(s.stored_bytes() < s.raw_bytes(), "compression should shrink repeated text");
+        assert!(
+            s.stored_bytes() < s.raw_bytes(),
+            "compression should shrink repeated text"
+        );
         for i in [0usize, 25, 49] {
             assert_eq!(s.get(i).unwrap().id(), DocId(i as u64));
         }

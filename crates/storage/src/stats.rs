@@ -25,7 +25,12 @@ pub struct Histogram {
 impl Histogram {
     /// Create a histogram with `n` buckets spanning an initial guess range.
     pub fn new(n: usize) -> Histogram {
-        Histogram { lo: 0.0, hi: 1.0, buckets: vec![0; n.max(2)], total: 0 }
+        Histogram {
+            lo: 0.0,
+            hi: 1.0,
+            buckets: vec![0; n.max(2)],
+            total: 0,
+        }
     }
 
     /// Record one observation.
@@ -104,7 +109,9 @@ pub struct DistinctEstimator {
 
 impl Default for DistinctEstimator {
     fn default() -> Self {
-        DistinctEstimator { registers: [0; 256] }
+        DistinctEstimator {
+            registers: [0; 256],
+        }
     }
 }
 
@@ -233,7 +240,10 @@ impl PartitionStats {
         self.doc_versions += 1;
         self.bytes += encoded_len as u64;
         for (path, value) in doc.leaves() {
-            self.paths.entry(path.structural_form()).or_default().observe(value);
+            self.paths
+                .entry(path.structural_form())
+                .or_default()
+                .observe(value);
         }
     }
 
@@ -247,12 +257,20 @@ impl PartitionStats {
             e.count += v.count;
             e.distinct.merge(&v.distinct);
             if let Some(m) = &v.min {
-                if e.min.as_ref().map(|cur| m.total_cmp(cur).is_lt()).unwrap_or(true) {
+                if e.min
+                    .as_ref()
+                    .map(|cur| m.total_cmp(cur).is_lt())
+                    .unwrap_or(true)
+                {
                     e.min = Some(m.clone());
                 }
             }
             if let Some(m) = &v.max {
-                if e.max.as_ref().map(|cur| m.total_cmp(cur).is_gt()).unwrap_or(true) {
+                if e.max
+                    .as_ref()
+                    .map(|cur| m.total_cmp(cur).is_gt())
+                    .unwrap_or(true)
+                {
                     e.max = Some(m.clone());
                 }
             }
@@ -365,8 +383,12 @@ mod tests {
     fn partition_stats_merge() {
         let mut a = PartitionStats::default();
         let mut b = PartitionStats::default();
-        let d1 = DocumentBuilder::new(DocId(1), SourceFormat::Json, "c").field("x", 1i64).build();
-        let d2 = DocumentBuilder::new(DocId(2), SourceFormat::Json, "c").field("x", 99i64).build();
+        let d1 = DocumentBuilder::new(DocId(1), SourceFormat::Json, "c")
+            .field("x", 1i64)
+            .build();
+        let d2 = DocumentBuilder::new(DocId(2), SourceFormat::Json, "c")
+            .field("x", 99i64)
+            .build();
         a.observe_document(&d1, 10);
         b.observe_document(&d2, 20);
         a.merge(&b);

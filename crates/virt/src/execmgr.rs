@@ -13,7 +13,7 @@
 
 use std::collections::VecDeque;
 
-use parking_lot::Mutex;
+use impliance_analysis::TrackedMutex;
 
 /// Task priority classes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,7 +49,7 @@ struct Queues {
 /// The execution manager.
 #[derive(Debug)]
 pub struct ExecutionManager {
-    queues: Mutex<Queues>,
+    queues: TrackedMutex<Queues>,
     /// Dispatch window size.
     window: u32,
     /// Guaranteed background dispatches per window (when backlogged).
@@ -61,7 +61,7 @@ impl ExecutionManager {
     /// dispatches to background work.
     pub fn new(window: u32, background_share: u32) -> ExecutionManager {
         ExecutionManager {
-            queues: Mutex::new(Queues::default()),
+            queues: TrackedMutex::new("virt.exec_queues", Queues::default()),
             window: window.max(1),
             background_share: background_share.min(window),
         }
@@ -70,7 +70,11 @@ impl ExecutionManager {
     /// Enqueue a task.
     pub fn submit(&self, id: u64, class: TaskClass, now: u64) {
         let mut q = self.queues.lock();
-        let ticket = TaskTicket { id, class, enqueued_at: now };
+        let ticket = TaskTicket {
+            id,
+            class,
+            enqueued_at: now,
+        };
         match class {
             TaskClass::Interactive => q.interactive.push_back(ticket),
             TaskClass::Background => q.background.push_back(ticket),
@@ -95,8 +99,8 @@ impl ExecutionManager {
         let bg_owed = self.background_share.saturating_sub(q.background_in_window);
         // Take background when it is owed its share and the window could
         // not otherwise satisfy it, or when no interactive work waits.
-        let take_background = !q.background.is_empty()
-            && (q.interactive.is_empty() || bg_owed >= remaining);
+        let take_background =
+            !q.background.is_empty() && (q.interactive.is_empty() || bg_owed >= remaining);
         let ticket = if take_background {
             q.background_in_window += 1;
             q.background.pop_front()

@@ -22,13 +22,13 @@
 //!   autonomous re-replication after node loss (experiment C5).
 
 pub mod execmgr;
-pub mod upgrade;
 pub mod resource;
 pub mod ring;
 pub mod storagemgr;
+pub mod upgrade;
 
 pub use execmgr::{ExecutionManager, TaskClass, TaskTicket};
-pub use upgrade::{plan_rolling_upgrade, validate_plan, UpgradePlan, UpgradePolicy};
 pub use resource::{Broker, GroupId, GroupRole, ResourceGroup, ResourcePool};
 pub use ring::HashRing;
 pub use storagemgr::{DataClass, ReplicationReport, StorageManager, StoragePolicy};
+pub use upgrade::{plan_rolling_upgrade, validate_plan, UpgradePlan, UpgradePolicy};

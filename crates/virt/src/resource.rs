@@ -95,7 +95,10 @@ impl ResourcePool {
 
     /// Which group a node currently belongs to.
     pub fn group_of(&self, node: NodeId) -> Option<GroupId> {
-        self.groups.values().find(|g| g.members.contains(&node)).map(|g| g.id)
+        self.groups
+            .values()
+            .find(|g| g.members.contains(&node))
+            .map(|g| g.id)
     }
 
     /// Remove a failed node wherever it is. Returns its former group.
@@ -169,7 +172,11 @@ impl Broker {
                 Some(n) => *n,
                 None => break,
             };
-            let t = Transfer { from: donor, to: needy, node };
+            let t = Transfer {
+                from: donor,
+                to: needy,
+                node,
+            };
             pool.apply(t);
             transfers.push(t);
         }
@@ -224,7 +231,9 @@ mod tests {
         p.remove_node(NodeId(3));
         let transfers = Broker::new().rebalance(&mut p);
         assert_eq!(transfers.len(), 2);
-        assert!(transfers.iter().all(|t| t.from == GroupId(2) && t.to == GroupId(1)));
+        assert!(transfers
+            .iter()
+            .all(|t| t.from == GroupId(2) && t.to == GroupId(1)));
         assert_eq!(p.group(GroupId(1)).unwrap().members.len(), 3);
         assert_eq!(p.group(GroupId(2)).unwrap().members.len(), 2);
         // grid group never dips below its own minimum

@@ -147,7 +147,10 @@ mod tests {
             }
         }
         // ~1/5 of keys should move
-        assert!(moved > (total / 10) as i32 && moved < (total / 3) as i32, "moved {moved}");
+        assert!(
+            moved > (total / 10) as i32 && moved < (total / 3) as i32,
+            "moved {moved}"
+        );
     }
 
     #[test]

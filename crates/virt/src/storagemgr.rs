@@ -45,7 +45,11 @@ pub struct StoragePolicy {
 
 impl Default for StoragePolicy {
     fn default() -> Self {
-        StoragePolicy { user_base: 3, derived: 1, regulatory: 3 }
+        StoragePolicy {
+            user_base: 3,
+            derived: 1,
+            regulatory: 3,
+        }
     }
 }
 
@@ -108,7 +112,11 @@ impl StorageManager {
         for &n in nodes {
             ring.add_node(n);
         }
-        StorageManager { policy, ring, docs: HashMap::new() }
+        StorageManager {
+            policy,
+            ring,
+            docs: HashMap::new(),
+        }
     }
 
     /// Current data nodes.
@@ -133,7 +141,10 @@ impl StorageManager {
 
     /// The replica set currently recorded for a document.
     pub fn replicas(&self, doc: DocId) -> Vec<NodeId> {
-        self.docs.get(&doc).map(|m| m.replicas.clone()).unwrap_or_default()
+        self.docs
+            .get(&doc)
+            .map(|m| m.replicas.clone())
+            .unwrap_or_default()
     }
 
     /// Whether the document is write-once (regulatory).
@@ -185,7 +196,12 @@ impl StorageManager {
                 }
                 if !meta.replicas.contains(&cand) {
                     meta.replicas.push(cand);
-                    report.actions.push(RepairAction { doc: id, from, to: cand, bytes: meta.bytes });
+                    report.actions.push(RepairAction {
+                        doc: id,
+                        from,
+                        to: cand,
+                        bytes: meta.bytes,
+                    });
                     report.bytes_to_move += meta.bytes;
                 }
             }
@@ -243,7 +259,10 @@ mod tests {
         assert_eq!(m.fully_replicated(), 200);
         let victim = NodeId(2);
         let report = m.node_failed(victim);
-        assert!(report.under_replicated > 0, "some docs must have lived on node 2");
+        assert!(
+            report.under_replicated > 0,
+            "some docs must have lived on node 2"
+        );
         assert_eq!(report.actions.len(), report.under_replicated);
         assert_eq!(report.bytes_to_move, report.actions.len() as u64 * 50);
         // after repair, everything is back to factor 3 and nothing
@@ -303,7 +322,9 @@ mod tests {
         m.node_added(NodeId(9));
         let mut seen = false;
         for i in 0..200u64 {
-            if m.place(DocId(i), DataClass::UserBase, 1).contains(&NodeId(9)) {
+            if m.place(DocId(i), DataClass::UserBase, 1)
+                .contains(&NodeId(9))
+            {
                 seen = true;
                 break;
             }

@@ -61,7 +61,10 @@ impl std::fmt::Display for UpgradeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             UpgradeError::CannotMaintainAvailability(kind) => {
-                write!(f, "cannot upgrade {kind} nodes while keeping the availability floor")
+                write!(
+                    f,
+                    "cannot upgrade {kind} nodes while keeping the availability floor"
+                )
             }
         }
     }
@@ -97,10 +100,15 @@ pub fn plan_rolling_upgrade(
         let max_down = (total - floor).max(1);
         let step = policy.batch_size.min(max_down).max(1);
         for chunk in ids.chunks(step) {
-            batches.push(UpgradeBatch { nodes: chunk.to_vec() });
+            batches.push(UpgradeBatch {
+                nodes: chunk.to_vec(),
+            });
         }
     }
-    Ok(UpgradePlan { batches, to_version: to_version.to_string() })
+    Ok(UpgradePlan {
+        batches,
+        to_version: to_version.to_string(),
+    })
 }
 
 /// Verify a plan against its policy (used by tests and by the executor
@@ -173,7 +181,11 @@ mod tests {
         let nodes = cluster(0, 0, 3);
         let policy = UpgradePolicy::default();
         let plan = plan_rolling_upgrade(&nodes, &policy, "2.0").unwrap();
-        assert_eq!(plan.batches.len(), 3, "one cluster node per batch: {plan:?}");
+        assert_eq!(
+            plan.batches.len(),
+            3,
+            "one cluster node per batch: {plan:?}"
+        );
         assert!(validate_plan(&plan, &nodes, &policy));
     }
 
@@ -205,13 +217,17 @@ mod tests {
         let policy = UpgradePolicy::default();
         // both data nodes in one batch with floor 1 → invalid
         let bad = UpgradePlan {
-            batches: vec![UpgradeBatch { nodes: vec![NodeId(0), NodeId(1)] }],
+            batches: vec![UpgradeBatch {
+                nodes: vec![NodeId(0), NodeId(1)],
+            }],
             to_version: "x".into(),
         };
         assert!(!validate_plan(&bad, &nodes, &policy));
         // a plan that misses a node → invalid
         let partial = UpgradePlan {
-            batches: vec![UpgradeBatch { nodes: vec![NodeId(0)] }],
+            batches: vec![UpgradeBatch {
+                nodes: vec![NodeId(0)],
+            }],
             to_version: "x".into(),
         };
         assert!(!validate_plan(&partial, &nodes, &policy));

@@ -29,9 +29,13 @@ fn main() {
         imp.ingest_row(&schema, corpus.customer_row(code)).unwrap();
     }
     for _ in 0..400 {
-        imp.ingest_text("transcripts", &corpus.transcript()).unwrap();
+        imp.ingest_text("transcripts", &corpus.transcript())
+            .unwrap();
     }
-    println!("ingested 50 customer rows + 400 transcripts (admin ops: {})", imp.ledger().count());
+    println!(
+        "ingested 50 customer rows + 400 transcripts (admin ops: {})",
+        imp.ledger().count()
+    );
 
     // background discovery: entities (products, persons) + sentiment
     imp.quiesce();
@@ -61,7 +65,9 @@ fn main() {
         if e.get("kind") == &Value::Str("product_code".into()) {
             if let Some(subj) = e.get("subject").as_i64() {
                 if negative_subjects.contains(&subj) {
-                    *complained_products.entry(e.get("text").render()).or_insert(0) += 1;
+                    *complained_products
+                        .entry(e.get("text").render())
+                        .or_insert(0) += 1;
                 }
             }
         }
@@ -76,7 +82,10 @@ fn main() {
     // Question 3: guided search — drill into unhappy calls interactively.
     let mut session = imp.session();
     session.keywords("refund");
-    println!("\nguided search 'refund' → {} calls", session.results().len());
+    println!(
+        "\nguided search 'refund' → {} calls",
+        session.results().len()
+    );
     let dims = session.suggest_dimensions(3);
     println!("suggested drill-down dimensions: {dims:?}");
 

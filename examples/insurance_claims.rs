@@ -51,14 +51,20 @@ fn main() {
 
     // 2. Flag excessive estimates: claims 5x over their make's average.
     println!("\nclaims flagged as excessive (>5x make average):");
-    let all = imp.sql("SELECT claimant, vehicle.make AS make, amount FROM claims").unwrap();
+    let all = imp
+        .sql("SELECT claimant, vehicle.make AS make, amount FROM claims")
+        .unwrap();
     let mut flagged = 0;
     for row in all.rows() {
         let make = row.get("make").render();
         let amount = row.get("amount").as_f64().unwrap_or(0.0);
         if let Some(avg) = averages.get(&make) {
             if amount > avg * 5.0 {
-                println!("  {} — {} claim of ${amount} (make avg ${avg:.0})", row.get("claimant").render(), make);
+                println!(
+                    "  {} — {} claim of ${amount} (make avg ${avg:.0})",
+                    row.get("claimant").render(),
+                    make
+                );
                 flagged += 1;
             }
         }
@@ -70,7 +76,10 @@ fn main() {
     let out = imp
         .sql("SELECT claimant, amount FROM claims WHERE notes CONTAINS 'bumper' AND amount > 3000")
         .unwrap();
-    println!("\nbumper claims over $3000: {} (content+data join)", out.rows().len());
+    println!(
+        "\nbumper claims over $3000: {} (content+data join)",
+        out.rows().len()
+    );
 
     // 4. Facets over discovered structure: damage distribution by city.
     let facet = imp.facet("city");
@@ -81,8 +90,13 @@ fn main() {
 
     // 5. OLAP over time — ingestion dates roll up by month (§3.2.1's
     //    "aspects from traditional OLAP").
-    let rollup = imp.rollup("claims", "_none", None, RollupLevel::Month).unwrap();
-    println!("\ntime rollup buckets (claims carry no timestamp leaf): {}", rollup.len());
+    let rollup = imp
+        .rollup("claims", "_none", None, RollupLevel::Month)
+        .unwrap();
+    println!(
+        "\ntime rollup buckets (claims carry no timestamp leaf): {}",
+        rollup.len()
+    );
 
     // 6. Cross-document discovery: claimants appearing in multiple claims
     //    (possible fraud ring) surface as same-person relationships.

@@ -41,7 +41,10 @@ fn main() {
 
     // 1. Locate: keyword search across the whole archive, any format.
     let hits = imp.search("Acme agreement", 20);
-    println!("keyword sweep for 'Acme agreement' → {} documents", hits.len());
+    println!(
+        "keyword sweep for 'Acme agreement' → {} documents",
+        hits.len()
+    );
 
     // 2. Expand: transitive closure over discovered relationships from
     //    the contract (same-organization links across e-mails).
@@ -78,7 +81,10 @@ fn main() {
     );
 
     // 5. Audit surface: every version of the contract on record.
-    println!("versions on record for the contract: {:?}", imp.versions(contract));
+    println!(
+        "versions on record for the contract: {:?}",
+        imp.versions(contract)
+    );
 
     // 6. Proactive compliance: entity view gives auditors a relational
     //    surface over *content* without any application rewrite.

@@ -26,12 +26,22 @@ fn main() {
     )
     .unwrap();
     let schema = RelationalSchema::new("products", &["sku", "price"]);
-    imp.ingest_row(&schema, vec![Value::Str("BX-1042".into()), Value::Float(29.95)]).unwrap();
-    imp.ingest_csv("stores", "city,manager\nSeattle,Ada Lovelace\nAustin,Alan Turing\n").unwrap();
+    imp.ingest_row(
+        &schema,
+        vec![Value::Str("BX-1042".into()), Value::Float(29.95)],
+    )
+    .unwrap();
+    imp.ingest_csv(
+        "stores",
+        "city,manager\nSeattle,Ada Lovelace\nAustin,Alan Turing\n",
+    )
+    .unwrap();
 
     // 3. SQL works immediately — the relational row "can immediately be
     //    queried by SQL" (Figure 2).
-    let out = imp.sql("SELECT price FROM products WHERE sku = 'BX-1042'").unwrap();
+    let out = imp
+        .sql("SELECT price FROM products WHERE sku = 'BX-1042'")
+        .unwrap();
     println!("SQL price lookup     → {}", out.rows()[0].render());
 
     // 4. Background phases enrich answers: text indexing, then discovery.
@@ -43,7 +53,10 @@ fn main() {
 
     // 6. Discovered annotations exposed as relational views (Figure 2).
     let entities = impliance::core::views::entity_view(&imp).unwrap();
-    println!("entity view          → {} extracted mention rows", entities.len());
+    println!(
+        "entity view          → {} extracted mention rows",
+        entities.len()
+    );
     for row in entities.iter().take(4) {
         println!("                       {}", row.render());
     }
@@ -64,7 +77,10 @@ fn main() {
     // 8. Faceted guided search (§3.2.1).
     let mut session = imp.session();
     session.keywords("grace");
-    println!("guided search        → {} result(s) for 'grace'", session.results().len());
+    println!(
+        "guided search        → {} result(s) for 'grace'",
+        session.results().len()
+    );
     let dims = imp.facet_dimensions(1, 20);
     println!("discovered facets    → {dims:?}");
 

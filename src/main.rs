@@ -71,8 +71,9 @@ fn dispatch(imp: &Impliance, input: &str) -> Result<(), String> {
         }
         "ingest" => {
             let (format, rest) = rest.split_once(' ').ok_or("usage: ingest <format> ...")?;
-            let (collection, body) =
-                rest.split_once(' ').ok_or("usage: ingest <format> <collection> <body>")?;
+            let (collection, body) = rest
+                .split_once(' ')
+                .ok_or("usage: ingest <format> <collection> <body>")?;
             let id = match format {
                 "json" => imp.ingest_json(collection, body),
                 "text" => imp.ingest_text(collection, body),
@@ -85,7 +86,9 @@ fn dispatch(imp: &Impliance, input: &str) -> Result<(), String> {
             Ok(())
         }
         "sql" => {
-            let out = imp.sql(input.strip_prefix("sql ").unwrap_or(rest)).map_err(|e| e.to_string())?;
+            let out = imp
+                .sql(input.strip_prefix("sql ").unwrap_or(rest))
+                .map_err(|e| e.to_string())?;
             match &out {
                 impliance::query::QueryOutput::Rows(rows) => {
                     for row in rows.iter().take(25) {
@@ -95,7 +98,12 @@ fn dispatch(imp: &Impliance, input: &str) -> Result<(), String> {
                 }
                 impliance::query::QueryOutput::Docs(docs) => {
                     for d in docs.iter().take(10) {
-                        println!("{} [{}] {}", d.id(), d.collection(), impliance::docmodel::json::emit(d.root()));
+                        println!(
+                            "{} [{}] {}",
+                            d.id(),
+                            d.collection(),
+                            impliance::docmodel::json::emit(d.root())
+                        );
                     }
                     println!("({} document(s))", docs.len());
                 }
@@ -128,7 +136,11 @@ fn dispatch(imp: &Impliance, input: &str) -> Result<(), String> {
             let mut session = imp.session();
             impliance::facet::apply_guided_query(&mut session, rest);
             let results = session.results();
-            println!("{} result(s): {:?}", results.len(), results.iter().take(10).collect::<Vec<_>>());
+            println!(
+                "{} result(s): {:?}",
+                results.len(),
+                results.iter().take(10).collect::<Vec<_>>()
+            );
             for dim in session.suggest_dimensions(3) {
                 println!("  drill-down suggestion: {dim}");
             }
@@ -146,8 +158,14 @@ fn dispatch(imp: &Impliance, input: &str) -> Result<(), String> {
         }
         "connect" => {
             let mut parts = rest.split_whitespace();
-            let a: u64 = parts.next().and_then(|s| s.parse().ok()).ok_or("connect <id> <id>")?;
-            let b: u64 = parts.next().and_then(|s| s.parse().ok()).ok_or("connect <id> <id>")?;
+            let a: u64 = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or("connect <id> <id>")?;
+            let b: u64 = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or("connect <id> <id>")?;
             match imp.connect(DocId(a), DocId(b), 4) {
                 Some(path) => println!("connected: {path:?}"),
                 None => println!("not connected within 4 hops"),
@@ -204,7 +222,9 @@ fn dispatch(imp: &Impliance, input: &str) -> Result<(), String> {
             )
             .map_err(|e| e.to_string())?;
             imp.quiesce();
-            println!("demo corpus loaded and analyzed; try: sql SELECT claimant, amount FROM claims");
+            println!(
+                "demo corpus loaded and analyzed; try: sql SELECT claimant, amount FROM claims"
+            );
             Ok(())
         }
         other => Err(format!("unknown command {other} (try 'help')")),

@@ -43,8 +43,7 @@ fn distributed_answers_match_across_cluster_sizes() {
             limit: None,
         };
         let groups = app.aggregate(&req).unwrap();
-        let result: Vec<(String, f64)> =
-            groups.iter().map(|(k, v)| (k.clone(), v.sum)).collect();
+        let result: Vec<(String, f64)> = groups.iter().map(|(k, v)| (k.clone(), v.sum)).collect();
         match &reference {
             None => reference = Some(result),
             Some(r) => assert_eq!(r, &result, "answers must not depend on cluster size ({d})"),
@@ -132,7 +131,10 @@ fn grid_nodes_scale_compute_independently_of_data() {
     for h in handles {
         used.insert(h.join().unwrap());
     }
-    assert!(used.len() >= 3, "work crew should spread over the grid: {used:?}");
+    assert!(
+        used.len() >= 3,
+        "work crew should spread over the grid: {used:?}"
+    );
 }
 
 #[test]
@@ -140,8 +142,11 @@ fn distributed_join_agrees_with_expected_cardinality() {
     let app = ClusterImpliance::boot(config(3, 2, 1));
     load_orders(&app, 100, 12);
     for i in 0..20u64 {
-        app.ingest_json("customers", &format!(r#"{{"code": "C-{i}", "name": "N{i}"}}"#))
-            .unwrap();
+        app.ingest_json(
+            "customers",
+            &format!(r#"{{"code": "C-{i}", "name": "N{i}"}}"#),
+        )
+        .unwrap();
     }
     let tuples = app
         .join(

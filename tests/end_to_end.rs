@@ -13,10 +13,14 @@ fn stewing_pot_full_lifecycle() {
     let schema = Corpus::po_schema();
     let mut order_ids = Vec::new();
     for _ in 0..100 {
-        order_ids.push(imp.ingest_row(&schema, corpus.purchase_order_row(10)).unwrap());
+        order_ids.push(
+            imp.ingest_row(&schema, corpus.purchase_order_row(10))
+                .unwrap(),
+        );
     }
     for _ in 0..100 {
-        imp.ingest_text("transcripts", &corpus.transcript()).unwrap();
+        imp.ingest_text("transcripts", &corpus.transcript())
+            .unwrap();
     }
     for _ in 0..50 {
         imp.ingest_email("mail", &corpus.email()).unwrap();
@@ -24,14 +28,20 @@ fn stewing_pot_full_lifecycle() {
     for _ in 0..50 {
         imp.ingest_json("claims", &corpus.claim_json()).unwrap();
     }
-    imp.ingest_csv("stores", "city,manager\nSeattle,Ada Lovelace\nAustin,Alan Turing\n").unwrap();
+    imp.ingest_csv(
+        "stores",
+        "city,manager\nSeattle,Ada Lovelace\nAustin,Alan Turing\n",
+    )
+    .unwrap();
 
     // SQL immediately
     let n = imp.sql("SELECT COUNT(*) AS n FROM orders").unwrap();
     assert_eq!(n.rows()[0].get("n"), &Value::Int(100));
 
     // aggregation across the uniform model
-    let sums = imp.sql("SELECT cust, SUM(total) AS t FROM orders GROUP BY cust").unwrap();
+    let sums = imp
+        .sql("SELECT cust, SUM(total) AS t FROM orders GROUP BY cust")
+        .unwrap();
     assert_eq!(sums.rows().len(), 10);
 
     // background phases
@@ -41,7 +51,10 @@ fn stewing_pot_full_lifecycle() {
 
     // keyword search across formats
     assert!(!imp.search("transcript", 10).is_empty());
-    assert!(!imp.search("agreement", 10).is_empty(), "email bodies searchable");
+    assert!(
+        !imp.search("agreement", 10).is_empty(),
+        "email bodies searchable"
+    );
 
     // discovery produced annotations, views, and relationships
     let stats = imp.discovery_stats();
@@ -51,7 +64,9 @@ fn stewing_pot_full_lifecycle() {
     assert!(!views::sentiment_view(&imp).unwrap().is_empty());
 
     // annotations are ordinary SQL-visible collections
-    let ann = imp.sql("SELECT COUNT(*) AS n FROM annotations.entities").unwrap();
+    let ann = imp
+        .sql("SELECT COUNT(*) AS n FROM annotations.entities")
+        .unwrap();
     assert!(ann.rows()[0].get("n").as_i64().unwrap() > 0);
 
     // zero admin operations for all of the above
@@ -62,7 +77,10 @@ fn stewing_pot_full_lifecycle() {
 fn versioning_is_end_to_end_consistent() {
     let imp = Impliance::boot(ApplianceConfig::default());
     let id = imp
-        .ingest_json("claims", r#"{"amount": 100, "notes": "original assessment text"}"#)
+        .ingest_json(
+            "claims",
+            r#"{"amount": 100, "notes": "original assessment text"}"#,
+        )
         .unwrap();
     imp.quiesce();
     assert_eq!(imp.search("original", 10).len(), 1);
@@ -93,8 +111,14 @@ fn versioning_is_end_to_end_consistent() {
     let v1 = imp.get_version(id, Version(1)).unwrap().unwrap();
     assert!(v1.full_text().contains("original"));
     // the value index tracks the latest version only
-    assert!(imp.value_index().lookup_eq("amount", &Value::Int(100)).is_empty());
-    assert_eq!(imp.value_index().lookup_eq("amount", &Value::Int(130)), vec![id]);
+    assert!(imp
+        .value_index()
+        .lookup_eq("amount", &Value::Int(100))
+        .is_empty());
+    assert_eq!(
+        imp.value_index().lookup_eq("amount", &Value::Int(130)),
+        vec![id]
+    );
 }
 
 #[test]
@@ -108,13 +132,20 @@ fn cross_silo_composition_with_discovered_links() {
         )
         .unwrap();
     let transcript = imp
-        .ingest_text("transcripts", "Wendy Rivera called; she is unhappy about the delay")
+        .ingest_text(
+            "transcripts",
+            "Wendy Rivera called; she is unhappy about the delay",
+        )
         .unwrap();
-    let unrelated = imp.ingest_text("transcripts", "routine systems check, nothing to report").unwrap();
+    let unrelated = imp
+        .ingest_text("transcripts", "routine systems check, nothing to report")
+        .unwrap();
     imp.quiesce();
 
     // the discovered same-person relationship composes the two silos
-    let path = imp.connect(claim, transcript, 2).expect("claim ↔ transcript via person");
+    let path = imp
+        .connect(claim, transcript, 2)
+        .expect("claim ↔ transcript via person");
     assert_eq!(path.first(), Some(&claim));
     assert_eq!(path.last(), Some(&transcript));
     assert!(imp.connect(claim, unrelated, 2).is_none());
@@ -156,13 +187,24 @@ fn guided_search_session_over_live_appliance() {
 fn schema_free_means_heterogeneous_rows_coexist() {
     // schema evolution/chaos: same collection, three different shapes
     let imp = Impliance::boot(ApplianceConfig::default());
-    imp.ingest_json("events", r#"{"kind": "click", "x": 10, "y": 20}"#).unwrap();
-    imp.ingest_json("events", r#"{"kind": "purchase", "sku": "BX-1", "total": 9.5}"#).unwrap();
-    imp.ingest_json("events", r#"{"kind": "error", "trace": ["a", "b"], "fatal": true}"#).unwrap();
+    imp.ingest_json("events", r#"{"kind": "click", "x": 10, "y": 20}"#)
+        .unwrap();
+    imp.ingest_json(
+        "events",
+        r#"{"kind": "purchase", "sku": "BX-1", "total": 9.5}"#,
+    )
+    .unwrap();
+    imp.ingest_json(
+        "events",
+        r#"{"kind": "error", "trace": ["a", "b"], "fatal": true}"#,
+    )
+    .unwrap();
 
     let all = imp.sql("SELECT COUNT(*) AS n FROM events").unwrap();
     assert_eq!(all.rows()[0].get("n"), &Value::Int(3));
-    let clicks = imp.sql("SELECT * FROM events WHERE kind = 'click'").unwrap();
+    let clicks = imp
+        .sql("SELECT * FROM events WHERE kind = 'click'")
+        .unwrap();
     assert_eq!(clicks.len(), 1);
     let fatal = imp.sql("SELECT * FROM events WHERE fatal = true").unwrap();
     assert_eq!(fatal.len(), 1);
@@ -195,13 +237,18 @@ fn mini_rdbms_agrees_with_impliance_on_relational_answers() {
         imp.ingest_row(&schema, row).unwrap();
     }
     let db_sums = db.sum_group_by("orders", "cust", "total").unwrap();
-    let imp_out = imp.sql("SELECT cust, SUM(total) AS t FROM orders GROUP BY cust").unwrap();
+    let imp_out = imp
+        .sql("SELECT cust, SUM(total) AS t FROM orders GROUP BY cust")
+        .unwrap();
     assert_eq!(imp_out.rows().len(), db_sums.len());
     for row in imp_out.rows() {
         let cust = row.get("group").render();
         let total = row.get("t").as_f64().unwrap();
         let expected = db_sums[&cust];
-        assert!((total - expected).abs() < 1e-6, "{cust}: {total} vs {expected}");
+        assert!(
+            (total - expected).abs() < 1e-6,
+            "{cust}: {total} vs {expected}"
+        );
     }
 }
 
@@ -215,7 +262,8 @@ fn ingest_is_usable_from_multiple_threads() {
         handles.push(std::thread::spawn(move || {
             let mut corpus = Corpus::new(100 + t);
             for _ in 0..100 {
-                imp.ingest_text("transcripts", &corpus.transcript()).unwrap();
+                imp.ingest_text("transcripts", &corpus.transcript())
+                    .unwrap();
             }
         }));
     }
@@ -239,11 +287,17 @@ fn doc_ids_never_collide_between_ingest_and_annotations() {
     let mut ids: Vec<DocId> = Vec::new();
     let mut corpus = Corpus::new(17);
     for _ in 0..50 {
-        ids.push(imp.ingest_text("transcripts", &corpus.transcript()).unwrap());
+        ids.push(
+            imp.ingest_text("transcripts", &corpus.transcript())
+                .unwrap(),
+        );
     }
     imp.quiesce();
     for _ in 0..50 {
-        ids.push(imp.ingest_text("transcripts", &corpus.transcript()).unwrap());
+        ids.push(
+            imp.ingest_text("transcripts", &corpus.transcript())
+                .unwrap(),
+        );
     }
     imp.quiesce();
     let mut all = ids.clone();
@@ -251,6 +305,8 @@ fn doc_ids_never_collide_between_ingest_and_annotations() {
     all.dedup();
     assert_eq!(all.len(), ids.len(), "ingested ids are unique");
     // annotation ids come from the same allocator, so they are disjoint
-    let ann = imp.sql("SELECT COUNT(*) AS n FROM annotations.entities").unwrap();
+    let ann = imp
+        .sql("SELECT COUNT(*) AS n FROM annotations.entities")
+        .unwrap();
     assert!(ann.rows()[0].get("n").as_i64().unwrap() > 0);
 }

@@ -35,7 +35,11 @@ fn rdbms_power_matches_its_envelope() {
 fn content_store_cannot_search_content() {
     let mut cs = ContentStore::new();
     cs.register_template(&["author"]);
-    cs.store(b"the word zanzibar lives in the content", &[("author", "ada")]).unwrap();
+    cs.store(
+        b"the word zanzibar lives in the content",
+        &[("author", "ada")],
+    )
+    .unwrap();
     // metadata search works; content search does not exist
     assert_eq!(cs.search_metadata("author", "ada").len(), 1);
     assert!(cs.search_metadata("author", "zanzibar").is_empty());
@@ -46,7 +50,10 @@ fn content_store_cannot_search_content() {
 fn fs_store_full_scan_is_the_only_query() {
     let mut fs = FsStore::new();
     for i in 0..100 {
-        fs.put(&format!("f{i}"), format!("file number {i} content").as_bytes());
+        fs.put(
+            &format!("f{i}"),
+            format!("file number {i} content").as_bytes(),
+        );
     }
     let before = fs.bytes_scanned();
     let hits = fs.grep("number 42");
@@ -61,16 +68,22 @@ fn tco_ordering_matches_figure4() {
     // same workload; the admin-ops ledgers must order as the paper claims:
     // impliance < content store < rdbms
     let imp = Impliance::boot(ApplianceConfig::default());
-    imp.ingest_json("orders", r#"{"cust": "C-1", "total": 10.5}"#).unwrap();
-    imp.ingest_text("docs", "free text content needs no catalog").unwrap();
+    imp.ingest_json("orders", r#"{"cust": "C-1", "total": 10.5}"#)
+        .unwrap();
+    imp.ingest_text("docs", "free text content needs no catalog")
+        .unwrap();
 
     let mut db = MiniRdbms::new();
     db.create_table(TableSchema {
         name: "orders".into(),
-        columns: vec![("cust".into(), ColumnType::Text), ("total".into(), ColumnType::Float)],
+        columns: vec![
+            ("cust".into(), ColumnType::Text),
+            ("total".into(), ColumnType::Float),
+        ],
     });
     db.create_index("orders", "cust").unwrap();
-    db.insert("orders", vec![Value::Str("C-1".into()), Value::Float(10.5)]).unwrap();
+    db.insert("orders", vec![Value::Str("C-1".into()), Value::Float(10.5)])
+        .unwrap();
 
     let mut cs = ContentStore::new();
     cs.register_template(&["kind"]);
@@ -97,7 +110,10 @@ fn impliance_actually_performs_each_claimed_capability() {
     assert!(!imp.search("claim", 10).is_empty());
     // range query
     assert_eq!(
-        imp.sql("SELECT * FROM claims WHERE amount > 100").unwrap().docs().len(),
+        imp.sql("SELECT * FROM claims WHERE amount > 100")
+            .unwrap()
+            .docs()
+            .len(),
         1
     );
     // graph connection
@@ -108,10 +124,14 @@ fn impliance_actually_performs_each_claimed_capability() {
     assert!(!imp.facet("claimant").values.is_empty());
     // time travel (the update retires the old body from live indexes,
     // but the old version stays readable)
-    imp.update(a, impliance::docmodel::Node::empty_map()).unwrap();
+    imp.update(a, impliance::docmodel::Node::empty_map())
+        .unwrap();
     assert!(imp
         .get_version(a, impliance::docmodel::Version(1))
         .unwrap()
         .is_some());
-    assert!(imp.facet("claimant").values.is_empty(), "live facets track latest versions");
+    assert!(
+        imp.facet("claimant").values.is_empty(),
+        "live facets track latest versions"
+    );
 }

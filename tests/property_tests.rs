@@ -38,15 +38,20 @@ fn arb_node() -> impl Strategy<Value = Node> {
     leaf.prop_recursive(3, 48, 6, |inner| {
         prop_oneof![
             proptest::collection::vec(inner.clone(), 0..5).prop_map(Node::Seq),
-            proptest::collection::btree_map("[a-z][a-z0-9_]{0,8}", inner, 0..5)
-                .prop_map(Node::Map),
+            proptest::collection::btree_map("[a-z][a-z0-9_]{0,8}", inner, 0..5).prop_map(Node::Map),
         ]
     })
 }
 
 fn arb_document() -> impl Strategy<Value = Document> {
-    (any::<u64>(), 0u8..7, "[a-z]{1,10}", any::<i64>(), arb_node()).prop_map(
-        |(id, fmt, collection, ts, root)| {
+    (
+        any::<u64>(),
+        0u8..7,
+        "[a-z]{1,10}",
+        any::<i64>(),
+        arb_node(),
+    )
+        .prop_map(|(id, fmt, collection, ts, root)| {
             let format = match fmt {
                 0 => SourceFormat::RelationalRow,
                 1 => SourceFormat::Json,
@@ -57,8 +62,7 @@ fn arb_document() -> impl Strategy<Value = Document> {
                 _ => SourceFormat::Binary,
             };
             Document::new(DocId(id), format, collection, ts, root)
-        },
-    )
+        })
 }
 
 // ---------------------------------------------------------------------

@@ -27,12 +27,18 @@ fn fixture() -> Impliance {
         )
         .unwrap();
     }
-    for (code, name, city) in
-        [("C-1", "Ada", "Seattle"), ("C-2", "Grace", "Austin"), ("C-3", "Alan", "Seattle")]
-    {
+    for (code, name, city) in [
+        ("C-1", "Ada", "Seattle"),
+        ("C-2", "Grace", "Austin"),
+        ("C-3", "Alan", "Seattle"),
+    ] {
         imp.ingest_row(
             &customers,
-            vec![Value::Str(code.into()), Value::Str(name.into()), Value::Str(city.into())],
+            vec![
+                Value::Str(code.into()),
+                Value::Str(name.into()),
+                Value::Str(city.into()),
+            ],
         )
         .unwrap();
     }
@@ -43,7 +49,9 @@ fn fixture() -> Impliance {
 fn select_star_and_projection() {
     let imp = fixture();
     assert_eq!(imp.sql("SELECT * FROM orders").unwrap().docs().len(), 5);
-    let out = imp.sql("SELECT cust, amount FROM orders WHERE amount >= 175").unwrap();
+    let out = imp
+        .sql("SELECT cust, amount FROM orders WHERE amount >= 175")
+        .unwrap();
     assert_eq!(out.rows().len(), 3);
     for row in out.rows() {
         assert!(row.get("amount").as_i64().unwrap() >= 175);
@@ -59,9 +67,13 @@ fn where_combinations() {
         .unwrap();
     assert_eq!(out.rows().len(), 1);
     assert_eq!(out.rows()[0].get("id"), &Value::Int(2));
-    let bools = imp.sql("SELECT id FROM orders WHERE priority = true").unwrap();
+    let bools = imp
+        .sql("SELECT id FROM orders WHERE priority = true")
+        .unwrap();
     assert_eq!(bools.rows().len(), 3);
-    let ne = imp.sql("SELECT id FROM orders WHERE cust != 'C-1'").unwrap();
+    let ne = imp
+        .sql("SELECT id FROM orders WHERE cust != 'C-1'")
+        .unwrap();
     assert_eq!(ne.rows().len(), 3);
 }
 
@@ -72,7 +84,11 @@ fn group_by_aggregates() {
         .sql("SELECT cust, SUM(amount) AS total, COUNT(*) AS n, MAX(amount) AS hi FROM orders GROUP BY cust")
         .unwrap();
     assert_eq!(out.rows().len(), 3);
-    let c1 = out.rows().iter().find(|r| r.get("group") == &Value::Str("C-1".into())).unwrap();
+    let c1 = out
+        .rows()
+        .iter()
+        .find(|r| r.get("group") == &Value::Str("C-1".into()))
+        .unwrap();
     assert_eq!(c1.get("total"), &Value::Float(350.0));
     assert_eq!(c1.get("n"), &Value::Int(2));
     assert_eq!(c1.get("hi"), &Value::Int(250));
@@ -81,7 +97,9 @@ fn group_by_aggregates() {
 #[test]
 fn global_aggregates_without_group() {
     let imp = fixture();
-    let out = imp.sql("SELECT COUNT(*) AS n, AVG(amount) AS avg FROM orders").unwrap();
+    let out = imp
+        .sql("SELECT COUNT(*) AS n, AVG(amount) AS avg FROM orders")
+        .unwrap();
     assert_eq!(out.rows().len(), 1);
     assert_eq!(out.rows()[0].get("n"), &Value::Int(5));
     assert_eq!(out.rows()[0].get("avg"), &Value::Float(295.0));
@@ -110,19 +128,26 @@ fn join_then_group() {
         .sql("SELECT c.city, SUM(o.amount) AS total FROM orders o JOIN customers c ON o.cust = c.code GROUP BY c.city")
         .unwrap();
     assert_eq!(out.rows().len(), 2);
-    let seattle =
-        out.rows().iter().find(|r| r.get("group") == &Value::Str("Seattle".into())).unwrap();
+    let seattle = out
+        .rows()
+        .iter()
+        .find(|r| r.get("group") == &Value::Str("Seattle".into()))
+        .unwrap();
     assert_eq!(seattle.get("total"), &Value::Float(1250.0)); // C-1 (350) + C-3 (900)
 }
 
 #[test]
 fn order_by_and_limit() {
     let imp = fixture();
-    let out = imp.sql("SELECT id, amount FROM orders ORDER BY amount DESC LIMIT 2").unwrap();
+    let out = imp
+        .sql("SELECT id, amount FROM orders ORDER BY amount DESC LIMIT 2")
+        .unwrap();
     assert_eq!(out.rows().len(), 2);
     assert_eq!(out.rows()[0].get("amount"), &Value::Int(900));
     assert_eq!(out.rows()[1].get("amount"), &Value::Int(250));
-    let asc = imp.sql("SELECT amount FROM orders ORDER BY amount LIMIT 1").unwrap();
+    let asc = imp
+        .sql("SELECT amount FROM orders ORDER BY amount LIMIT 1")
+        .unwrap();
     assert_eq!(asc.rows()[0].get("amount"), &Value::Int(50));
 }
 
@@ -139,9 +164,12 @@ fn order_by_aggregate_output_column() {
 #[test]
 fn contains_over_text_content() {
     let imp = fixture();
-    imp.ingest_text("notes", "suspicious duplicate claim spotted").unwrap();
+    imp.ingest_text("notes", "suspicious duplicate claim spotted")
+        .unwrap();
     imp.ingest_text("notes", "all clear today").unwrap();
-    let out = imp.sql("SELECT * FROM notes WHERE body CONTAINS 'duplicate'").unwrap();
+    let out = imp
+        .sql("SELECT * FROM notes WHERE body CONTAINS 'duplicate'")
+        .unwrap();
     assert_eq!(out.docs().len(), 1);
 }
 
@@ -164,10 +192,17 @@ fn sql_errors_are_reported_not_panicked() {
 fn queries_span_heterogeneous_documents_in_one_collection() {
     let imp = fixture();
     // a JSON document lands in the same collection as the relational rows
-    imp.ingest_json("orders", r#"{"id": 99, "cust": "C-1", "amount": 10, "channel": "web"}"#)
+    imp.ingest_json(
+        "orders",
+        r#"{"id": 99, "cust": "C-1", "amount": 10, "channel": "web"}"#,
+    )
+    .unwrap();
+    let out = imp
+        .sql("SELECT SUM(amount) AS t FROM orders GROUP BY cust")
         .unwrap();
-    let out = imp.sql("SELECT SUM(amount) AS t FROM orders GROUP BY cust").unwrap();
     assert_eq!(out.rows().len(), 3);
-    let web = imp.sql("SELECT id FROM orders WHERE channel = 'web'").unwrap();
+    let web = imp
+        .sql("SELECT id FROM orders WHERE channel = 'web'")
+        .unwrap();
     assert_eq!(web.rows().len(), 1);
 }

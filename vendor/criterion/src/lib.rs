@@ -1,0 +1,395 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Implements the API subset the Impliance benches use — `Criterion`,
+//! `BenchmarkGroup`, `Bencher::{iter, iter_batched}`, `BenchmarkId`,
+//! `Throughput`, `BatchSize`, and the `criterion_group!` /
+//! `criterion_main!` macros — with a simple mean-of-samples measurement
+//! loop. Results print as `name ... time: <mean> [<min> .. <max>]` per
+//! sample batch; no statistical analysis, plotting, or HTML reports.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost. The shim runs one routine call
+/// per setup call regardless, so the variants only document intent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh setup for every routine call.
+    PerIteration,
+}
+
+/// Declared throughput of a benchmark, echoed in the report line.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier, optionally parameterized.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `<name>/<parameter>`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// Rendered benchmark name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+/// Prevent the optimizer from discarding a value. Uses the same
+/// read-volatile trick as criterion's fallback implementation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Timing loop driver handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    measurement: Duration,
+    /// (mean_ns, min_ns, max_ns, iterations)
+    result: Option<(f64, f64, f64, u64)>,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: find an iteration count that fills
+        // roughly measurement/samples per sample.
+        let mut iters_per_sample = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters_per_sample >= 1 << 20 {
+                let per_iter = elapsed.as_nanos().max(1) as u64 / iters_per_sample.max(1);
+                let target_ns =
+                    (self.measurement.as_nanos() as u64 / self.samples.max(1) as u64).max(1);
+                iters_per_sample = (target_ns / per_iter.max(1)).clamp(1, 1 << 24);
+                break;
+            }
+            iters_per_sample *= 2;
+        }
+        let mut means = Vec::with_capacity(self.samples);
+        let mut total_iters = 0u64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            means.push(ns);
+            total_iters += iters_per_sample;
+        }
+        self.finish_samples(means, total_iters);
+    }
+
+    /// Measure `routine` with a fresh `setup` value per call; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut means = Vec::with_capacity(self.samples);
+        let mut total_iters = 0u64;
+        // Keep per-sample iteration counts small: setup runs outside the
+        // timed region but still costs wall-clock.
+        let iters_per_sample = 8u64;
+        for _ in 0..self.samples {
+            let mut sample_ns = 0u128;
+            for _ in 0..iters_per_sample {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                sample_ns += start.elapsed().as_nanos();
+            }
+            means.push(sample_ns as f64 / iters_per_sample as f64);
+            total_iters += iters_per_sample;
+        }
+        self.finish_samples(means, total_iters);
+    }
+
+    fn finish_samples(&mut self, means: Vec<f64>, iters: u64) {
+        let min = means.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = means.iter().copied().fold(0.0f64, f64::max);
+        let mean = means.iter().sum::<f64>() / means.len().max(1) as f64;
+        self.result = Some((mean, min, max, iters));
+    }
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            measurement: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; the shim has no separate warm-up.
+    pub fn warm_up_time(self, _d: Duration) -> Criterion {
+        self
+    }
+
+    /// Total target time spent measuring each benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement = d;
+        self
+    }
+
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n;
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        println!("\n== group {name} ==");
+        BenchmarkGroup {
+            prefix: name.to_string(),
+            sample_size: self.sample_size,
+            measurement: self.measurement,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl IntoBenchmarkId, f: F) {
+        run_one(&name.into_id(), self.sample_size, self.measurement, None, f);
+    }
+}
+
+/// A group of benchmarks sharing a prefix and configuration.
+pub struct BenchmarkGroup<'a> {
+    prefix: String,
+    sample_size: usize,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark within this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Target measuring time within this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Declare throughput for subsequent benchmarks in the group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) {
+        let name = format!("{}/{}", self.prefix, id.into_id());
+        run_one(
+            &name,
+            self.sample_size,
+            self.measurement,
+            self.throughput,
+            f,
+        );
+    }
+
+    /// Benchmark a closure with an explicit input value.
+    pub fn bench_with_input<I, F>(&mut self, id: impl IntoBenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.prefix, id.into_id());
+        run_one(
+            &name,
+            self.sample_size,
+            self.measurement,
+            self.throughput,
+            |b| f(b, input),
+        );
+    }
+
+    /// End the group (prints nothing extra; provided for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    samples: usize,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        samples,
+        measurement,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some((mean, min, max, iters)) => {
+            let tput = match throughput {
+                Some(Throughput::Bytes(n)) => {
+                    let gib_s = n as f64 / mean / 1.073_741_824;
+                    format!("  ({gib_s:.3} GiB/s)")
+                }
+                Some(Throughput::Elements(n)) => {
+                    let elems_s = n as f64 * 1e9 / mean;
+                    format!("  ({elems_s:.0} elem/s)")
+                }
+                None => String::new(),
+            };
+            println!(
+                "{name:<48} time: {} [{} .. {}]  ({iters} iters){tput}",
+                human_ns(mean),
+                human_ns(min),
+                human_ns(max),
+            );
+        }
+        None => println!("{name:<48} (no measurement: bencher never ran)"),
+    }
+}
+
+/// Define a benchmark group: both the `name/config/targets` struct form and
+/// the positional `(group_name, target, ...)` form are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main()` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30));
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut hits = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                hits += 1;
+                hits
+            })
+        });
+        group.finish();
+        assert!(hits > 0, "routine should have been driven");
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_call() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10));
+        let mut setups = 0u64;
+        let mut runs = 0u64;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 16]
+                },
+                |v| {
+                    runs += 1;
+                    v.len()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, runs);
+        assert!(runs > 0);
+    }
+}

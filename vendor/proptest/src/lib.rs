@@ -1,0 +1,776 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this workspace-local
+//! crate reimplements the slice of proptest that `tests/property_tests.rs`
+//! uses: the [`Strategy`] trait with `prop_map` / `prop_recursive` /
+//! `boxed`, `any::<T>()`, range and regex-lite string strategies, tuple
+//! strategies, `collection::{vec, btree_map}`, `option::of`,
+//! `sample::Index`, and the `proptest!` / `prop_oneof!` / `prop_assert*`
+//! macros. There is no shrinking: a failing case panics immediately with
+//! the case number and the seed needed to replay it
+//! (`PROPTEST_SEED=<n> cargo test <name>`).
+
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// deterministic RNG
+// ---------------------------------------------------------------------
+
+/// Deterministic SplitMix64 generator driving all strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed directly.
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng {
+            state: seed ^ 0x6A09_E667_F3BC_C909,
+        }
+    }
+
+    /// Seed from `PROPTEST_SEED` (if set) mixed with the test name, so each
+    /// test gets an independent deterministic stream.
+    pub fn for_test(name: &str) -> TestRng {
+        let base = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(DEFAULT_SEED);
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng::from_seed(base ^ h)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform usize below `bound` (bound > 0).
+    pub fn below(&mut self, bound: usize) -> usize {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as usize
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Default base seed when `PROPTEST_SEED` is unset: fixed, so CI is stable.
+const DEFAULT_SEED: u64 = 0x1337_C0DE_2026_0806;
+
+// ---------------------------------------------------------------------
+// configuration
+// ---------------------------------------------------------------------
+
+/// Subset of proptest's run configuration: just the case count.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run each property `cases` times.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Strategy core
+// ---------------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Grow recursive structures: `recurse` receives a strategy for the
+    /// previous depth level; `depth` bounds nesting. The size-tuning
+    /// parameters of real proptest are accepted and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        let leaf = self.boxed();
+        Recursive {
+            leaf,
+            depth,
+            recurse: Arc::new(move |inner| recurse(inner).boxed()),
+        }
+    }
+
+    /// Type-erase into a cloneable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+trait DynStrategy<T> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// Cloneable type-erased strategy handle.
+pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_recursive`].
+pub struct Recursive<T> {
+    leaf: BoxedStrategy<T>,
+    depth: u32,
+    #[allow(clippy::type_complexity)]
+    recurse: Arc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+}
+
+impl<T: 'static> Strategy for Recursive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        // Vary the nesting depth per case so both shallow and deep shapes
+        // are exercised.
+        let levels = rng.below(self.depth as usize + 1) as u32;
+        let mut strat = self.leaf.clone();
+        for _ in 0..levels {
+            strat = (self.recurse)(strat);
+        }
+        strat.generate(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among equally-weighted alternatives (see [`prop_oneof!`]).
+pub struct Union<T> {
+    choices: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Build from boxed alternatives. Panics if empty.
+    pub fn new(choices: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(
+            !choices.is_empty(),
+            "prop_oneof! needs at least one alternative"
+        );
+        Union { choices }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.choices.len());
+        self.choices[idx].generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// primitive strategies: any::<T>() and ranges
+// ---------------------------------------------------------------------
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value, biased toward edge cases for integers.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T` over its whole domain.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // 1-in-8 cases draw from the edge set; the rest are uniform.
+                if rng.below(8) == 0 {
+                    const EDGES: [$t; 5] = [0, 1, <$t>::MAX, <$t>::MIN, <$t>::MAX / 2];
+                    EDGES[rng.below(EDGES.len())]
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                let r = (rng.next_u64() as u128 * span as u128 >> 64) as u64;
+                (self.start as $wide).wrapping_add(r as $wide) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+// ---------------------------------------------------------------------
+// tuple strategies
+// ---------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+// ---------------------------------------------------------------------
+// regex-lite string strategies
+// ---------------------------------------------------------------------
+
+/// `&'static str` patterns act as regex-lite string strategies. Supported
+/// syntax: literal characters, `[...]` classes with ranges, `\PC` (any
+/// printable character), and `{n}` / `{m,n}` quantifiers on the previous
+/// atom. This covers every pattern in the workspace's property tests.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+#[derive(Clone)]
+enum Atom {
+    Class(Vec<(char, char)>),
+    Printable,
+    Literal(char),
+}
+
+fn parse_pattern(pattern: &str) -> Vec<(Atom, u32, u32)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms: Vec<(Atom, u32, u32)> = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let mut ranges = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    let c = if chars[i] == '\\' {
+                        i += 1;
+                        chars[i]
+                    } else {
+                        chars[i]
+                    };
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((c, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((c, c));
+                        i += 1;
+                    }
+                }
+                i += 1; // consume ']'
+                Atom::Class(ranges)
+            }
+            '\\' => {
+                i += 1;
+                match chars.get(i) {
+                    Some('P') | Some('p') => {
+                        // \PC / \pC — treat as "printable": skip category letter
+                        i += 1;
+                        if chars.get(i) == Some(&'{') {
+                            while i < chars.len() && chars[i] != '}' {
+                                i += 1;
+                            }
+                        }
+                        i += 1;
+                        Atom::Printable
+                    }
+                    Some(&c) => {
+                        i += 1;
+                        Atom::Literal(c)
+                    }
+                    None => break,
+                }
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // optional {n} / {m,n}
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..].iter().position(|&c| c == '}').map(|p| p + i);
+            let close = close.unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().unwrap_or(0),
+                    hi.trim().parse().unwrap_or(0),
+                ),
+                None => {
+                    let n: u32 = body.trim().parse().unwrap_or(1);
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push((atom, min, max));
+    }
+    atoms
+}
+
+/// `\PC` sample source: mostly ASCII printable, with occasional multi-byte
+/// characters so parsers see real UTF-8 boundaries.
+fn random_printable(rng: &mut TestRng) -> char {
+    if rng.below(10) == 0 {
+        let pool: &[char] = &['é', 'ß', 'λ', '中', '🦀', '“', '\u{00A0}', '☃'];
+        pool[rng.below(pool.len())]
+    } else {
+        // ASCII printable: 0x20..=0x7E
+        char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap_or(' ')
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse_pattern(pattern);
+    let mut out = String::new();
+    for (atom, min, max) in &atoms {
+        let count = if min == max {
+            *min
+        } else {
+            *min + rng.below((*max - *min + 1) as usize) as u32
+        };
+        for _ in 0..count {
+            match atom {
+                Atom::Class(ranges) => {
+                    let total: u32 = ranges
+                        .iter()
+                        .map(|(lo, hi)| (*hi as u32).saturating_sub(*lo as u32) + 1)
+                        .sum();
+                    let mut pick = rng.below(total.max(1) as usize) as u32;
+                    for (lo, hi) in ranges {
+                        let span = (*hi as u32) - (*lo as u32) + 1;
+                        if pick < span {
+                            if let Some(c) = char::from_u32(*lo as u32 + pick) {
+                                out.push(c);
+                            }
+                            break;
+                        }
+                        pick -= span;
+                    }
+                }
+                Atom::Printable => out.push(random_printable(rng)),
+                Atom::Literal(c) => out.push(*c),
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// collection / option / sample strategies
+// ---------------------------------------------------------------------
+
+/// Strategies over standard collections.
+pub mod collection {
+    use super::*;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vector of `element` values, length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.end.saturating_sub(self.size.start).max(1);
+            let len = self.size.start + rng.below(span);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap<K::Value, V::Value>`.
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: Range<usize>,
+    }
+
+    /// Map with `size.start..size.end` entries (fewer on key collisions,
+    /// matching proptest's behaviour of deduplicating keys).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: Range<usize>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let span = self.size.end.saturating_sub(self.size.start).max(1);
+            let len = self.size.start + rng.below(span);
+            let mut out = BTreeMap::new();
+            for _ in 0..len {
+                out.insert(self.key.generate(rng), self.value.generate(rng));
+            }
+            out
+        }
+    }
+}
+
+/// Strategies over `Option`.
+pub mod option {
+    use super::*;
+
+    /// Strategy for `Option<S::Value>`: `None` about a third of the time.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Some` of the inner strategy, or `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(3) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// Positional sampling helpers (`prop::sample`).
+pub mod sample {
+    use super::{Arbitrary, TestRng};
+
+    /// An index into a collection of as-yet-unknown length. Generated
+    /// uniformly; resolved against a concrete length with [`Index::index`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct Index {
+        raw: u64,
+    }
+
+    impl Index {
+        /// Resolve against a collection of length `len` (> 0).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.raw % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Index {
+            Index {
+                raw: rng.next_u64(),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// macros + prelude
+// ---------------------------------------------------------------------
+
+/// Run a property body for every generated case, reporting the case number
+/// and replay seed on failure. No shrinking.
+#[doc(hidden)]
+pub fn __run_cases<F: FnMut(&mut TestRng)>(name: &str, cases: u32, mut body: F) {
+    let mut rng = TestRng::for_test(name);
+    for case in 0..cases {
+        let case_seed = rng.next_u64();
+        let mut case_rng = TestRng::from_seed(case_seed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut case_rng)));
+        if let Err(payload) = result {
+            eprintln!(
+                "proptest-shim: property {name:?} failed at case {case} \
+                 (replay: PROPTEST_SEED with this test only; no shrinking)"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// proptest's main macro: a block of `#[test]` properties with generated
+/// inputs (`arg in strategy` syntax).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body!($crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ($cfg:expr; $(
+        #[test]
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            $(let $arg = $strat;)+
+            // Shadow the strategies with per-case generated values inside
+            // the closure; the originals stay alive across cases.
+            $crate::__run_cases(stringify!($name), cfg.cases, |__rng| {
+                $(let $arg = $crate::Strategy::generate(&$arg, __rng);)+
+                $body
+            });
+        }
+    )*};
+}
+
+/// Assert within a property (panics; no shrink-and-replay machinery).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assert within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among alternatives, all yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Everything the tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestRng, Union,
+    };
+
+    /// Mirror of proptest's `prelude::prop` namespace.
+    pub mod prop {
+        pub use crate::{collection, option, sample};
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn determinism_same_seed_same_values() {
+        let strat = crate::collection::vec(0i64..100, 1..10);
+        let mut a = TestRng::from_seed(9);
+        let mut b = TestRng::from_seed(9);
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+    }
+
+    #[test]
+    fn pattern_strategies_honor_counts_and_classes() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9_]{0,8}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 9, "bad len: {s:?}");
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn union_and_map_compose() {
+        let strat = prop_oneof![Just(1i32), 10i32..20, Just(5i32)].prop_map(|v| v * 2);
+        let mut rng = TestRng::from_seed(11);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!(v == 2 || v == 10 || (20..40).contains(&v), "unexpected {v}");
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug)]
+        #[allow(dead_code)]
+        enum Tree {
+            Leaf(i64),
+            Branch(Vec<Tree>),
+        }
+        let strat = (0i64..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 4, |inner| {
+                crate::collection::vec(inner, 0..4).prop_map(Tree::Branch)
+            });
+        let mut rng = TestRng::from_seed(5);
+        for _ in 0..100 {
+            let _ = strat.generate(&mut rng); // must not hang or overflow
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_form_generates_in_range(v in 5u64..50, flag in any::<bool>()) {
+            prop_assert!((5..50).contains(&v));
+            let _ = flag;
+        }
+    }
+}
