@@ -11,6 +11,12 @@ cargo build --release
 echo "==> cargo test -q (workspace)"
 cargo test --workspace -q
 
+# The observability layer underpins every instrumented subsystem; run its
+# suite explicitly (unit + integration, incl. the lock-order smoke test)
+# so a failure is attributed before the big workspace matrix.
+echo "==> impliance-obs test suite"
+cargo test -q -p impliance-obs
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
@@ -23,7 +29,7 @@ cargo clippy --workspace --all-targets -q -- \
   -D clippy::unimplemented \
   -D clippy::await_holding_lock
 
-echo "==> impliance-analysis check (L1-L4 invariants, ratcheted)"
+echo "==> impliance-analysis check (L1-L5 invariants, ratcheted)"
 cargo run -q -p impliance-analysis -- check
 
 echo "CI gate passed"

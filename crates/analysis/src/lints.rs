@@ -36,6 +36,9 @@ pub struct LintConfig {
     pub l2_exempt: Vec<String>,
     /// Files exempt from L3 (the clock abstraction).
     pub l3_exempt: Vec<String>,
+    /// Prefixes exempt from L5 (harness/tooling crates whose job is to
+    /// print: the bench harness and the analysis driver itself).
+    pub l5_exempt_prefixes: Vec<String>,
 }
 
 impl LintConfig {
@@ -57,6 +60,7 @@ impl LintConfig {
             ],
             l2_exempt: vec!["crates/cluster/src/network.rs".into()],
             l3_exempt: vec!["crates/cluster/src/network.rs".into()],
+            l5_exempt_prefixes: vec!["crates/bench/".into(), "crates/analysis/".into()],
         }
     }
 
@@ -123,6 +127,12 @@ pub fn lint_source(config: &LintConfig, rel_path: &str, source: &str) -> Vec<Dia
         }
     }
     lint_l4(&ctx, &mut diags);
+    if !LintConfig::in_any(&config.l5_exempt_prefixes, rel_path)
+        && !rel_path.ends_with("main.rs")
+        && !rel_path.contains("/bin/")
+    {
+        lint_l5(&ctx, &mut diags);
+    }
 
     diags.retain(|d| !ctx.allowed(d.id, d.line));
     diags.sort_by_key(|d| (d.line, d.id));
@@ -496,6 +506,42 @@ fn lint_l3(ctx: &FileContext<'_>, diags: &mut Vec<Diagnostic>) {
 }
 
 // ---------------------------------------------------------------------
+// L5: library crates must not print to stdout/stderr
+// ---------------------------------------------------------------------
+
+/// Library code talks through the observability layer, not the console:
+/// a `println!` inside a storage or query crate corrupts harness output
+/// (the figures binary emits machine-readable tables and a JSON metrics
+/// snapshot on stdout) and is invisible to anything consuming the
+/// appliance as a library. Binaries (`main.rs`, `src/bin/`) and the
+/// harness/analysis crates are exempt via config.
+fn lint_l5(ctx: &FileContext<'_>, diags: &mut Vec<Diagnostic>) {
+    let toks = &ctx.lexed.tokens;
+    for i in 0..toks.len() {
+        if ctx.is_test_token(i) || toks[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let is_print = matches!(
+            toks[i].text.as_str(),
+            "println" | "print" | "eprintln" | "eprint"
+        );
+        if is_print && toks.get(i + 1).map(|t| t.text.as_str()) == Some("!") {
+            diags.push(ctx.diag(
+                LintId::L5,
+                toks[i].line,
+                format!(
+                    "`{}!` in library code writes to the console instead of the \
+                     observability layer",
+                    toks[i].text
+                ),
+                "record a counter/event via impliance-obs, or return the text to the caller; \
+                 only binaries may print",
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // L4: no lock guard held across a channel send/recv
 // ---------------------------------------------------------------------
 
@@ -789,6 +835,48 @@ mod tests {
             }
         "#;
         assert!(run("crates/docmodel/src/node.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l5_flags_console_prints_in_library_code() {
+        let src = r#"
+            pub fn noisy(x: u32) {
+                println!("value = {x}");
+                eprintln!("warning");
+            }
+        "#;
+        let diags = run("crates/storage/src/engine.rs", src);
+        assert_eq!(diags.iter().filter(|d| d.id == LintId::L5).count(), 2);
+    }
+
+    #[test]
+    fn l5_skips_binaries_harness_and_tests() {
+        let src = r#"pub fn noisy() { println!("hello"); }"#;
+        let c = LintConfig::impliance("/nonexistent");
+        assert!(lint_source(&c, "crates/bench/src/report.rs", src).is_empty());
+        assert!(lint_source(&c, "crates/analysis/src/main.rs", src).is_empty());
+        assert!(lint_source(&c, "crates/bench/src/bin/figures.rs", src).is_empty());
+        assert!(lint_source(&c, "src/main.rs", src).is_empty());
+        let test_src = r#"
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { println!("debugging a test is fine"); }
+            }
+        "#;
+        assert!(lint_source(&c, "crates/storage/src/engine.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn l5_allow_comment_suppresses() {
+        let src = r#"
+            pub fn report() {
+                // impliance-lint: allow(L5)
+                println!("sanctioned output");
+            }
+        "#;
+        let c = LintConfig::impliance("/nonexistent");
+        assert!(lint_source(&c, "crates/storage/src/engine.rs", src).is_empty());
     }
 
     #[test]

@@ -18,11 +18,14 @@ pub enum LintId {
     L3,
     /// No lock guard held across a channel `send` / `recv`.
     L4,
+    /// Library crates must not print to stdout/stderr — diagnostics flow
+    /// through the observability layer (`impliance-obs`), not the console.
+    L5,
 }
 
 impl LintId {
     /// All lints, in order.
-    pub const ALL: [LintId; 4] = [LintId::L1, LintId::L2, LintId::L3, LintId::L4];
+    pub const ALL: [LintId; 5] = [LintId::L1, LintId::L2, LintId::L3, LintId::L4, LintId::L5];
 
     /// Stable string form (`"L1"`...).
     pub fn as_str(&self) -> &'static str {
@@ -31,6 +34,7 @@ impl LintId {
             LintId::L2 => "L2",
             LintId::L3 => "L3",
             LintId::L4 => "L4",
+            LintId::L5 => "L5",
         }
     }
 
@@ -41,6 +45,7 @@ impl LintId {
             "L2" => Some(LintId::L2),
             "L3" => Some(LintId::L3),
             "L4" => Some(LintId::L4),
+            "L5" => Some(LintId::L5),
             _ => None,
         }
     }
@@ -54,6 +59,7 @@ impl LintId {
                 "no Instant::now/SystemTime::now in simulation-deterministic cluster code"
             }
             LintId::L4 => "no Mutex/RwLock guard held across a channel send/recv",
+            LintId::L5 => "no print!/println!/eprint!/eprintln! in library crates",
         }
     }
 }

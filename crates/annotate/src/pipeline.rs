@@ -16,13 +16,31 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use impliance_docmodel::{DocId, Document};
+use impliance_obs::Counter;
 use parking_lot::Mutex;
 
 use crate::annotator::Annotator;
 use crate::resolve::EntityResolver;
+
+/// Pipeline progress surfaced through the workspace metrics registry.
+struct PipelineObs {
+    docs_scanned: Arc<Counter>,
+    annotations_emitted: Arc<Counter>,
+}
+
+fn pipeline_obs() -> &'static PipelineObs {
+    static OBS: OnceLock<PipelineObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let m = impliance_obs::global().metrics();
+        PipelineObs {
+            docs_scanned: m.counter("annotate.docs_scanned"),
+            annotations_emitted: m.counter("annotate.annotations_emitted"),
+        }
+    })
+}
 
 /// Where the pipeline reads documents from (implemented by the appliance
 /// over its storage engine).
@@ -155,6 +173,9 @@ impl DiscoveryPipeline {
         for link in &links {
             sink.add_relationship(link.a, link.b, &format!("same-{}", link.kind.name()));
         }
+        let obs = pipeline_obs();
+        obs.docs_scanned.inc();
+        obs.annotations_emitted.add(produced);
         let mut stats = self.stats.lock();
         stats.docs_processed += 1;
         stats.annotations += produced;

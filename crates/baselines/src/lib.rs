@@ -37,6 +37,6 @@ pub mod rdbms;
 pub use admin::AdminLedger;
 pub use bi_appliance::BiAppliance;
 pub use capability::{Capability, InfoSystem, ALL_CAPABILITIES};
-pub use content::ContentStore;
+pub use content::{ContentError, ContentStore};
 pub use fsstore::FsStore;
 pub use rdbms::{ColumnType, MiniRdbms, RdbmsError, TableSchema};

@@ -7,7 +7,9 @@ use std::collections::HashMap;
 use criterion::{criterion_group, criterion_main, Criterion};
 use impliance_bench::Corpus;
 use impliance_core::{ApplianceConfig, Impliance};
-use impliance_query::{costopt::CostOptimizer, exec, parse_sql, ExecContext, SimplePlanner};
+use impliance_query::{
+    costopt::CostOptimizer, execute_plan, parse_sql, ExecContext, SimplePlanner,
+};
 
 fn bench(c: &mut Criterion) {
     let imp = Impliance::boot(ApplianceConfig::default());
@@ -44,10 +46,10 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("c1_execution");
     group.sample_size(15);
     group.bench_function("simple_plan_exec", |b| {
-        b.iter(|| exec::execute(&ctx, &simple_plan).unwrap().0.len())
+        b.iter(|| execute_plan(&ctx, &simple_plan).unwrap().0.len())
     });
     group.bench_function("cost_plan_exec", |b| {
-        b.iter(|| exec::execute(&ctx, &cost_plan).unwrap().0.len())
+        b.iter(|| execute_plan(&ctx, &cost_plan).unwrap().0.len())
     });
     group.finish();
 }

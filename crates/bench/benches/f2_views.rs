@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use impliance_bench::Corpus;
-use impliance_core::{views, ApplianceConfig, Impliance};
+use impliance_core::{views, ApplianceConfig, Impliance, QueryRequest};
 
 fn appliance(n: usize) -> Impliance {
     let imp = Impliance::boot(ApplianceConfig::default());
@@ -39,10 +39,12 @@ fn bench(c: &mut Criterion) {
 
     group.bench_function("sql_over_annotations", |b| {
         b.iter(|| {
-            imp.sql("SELECT COUNT(*) AS n FROM annotations.entities")
-                .unwrap()
-                .rows()
-                .len()
+            imp.query(
+                QueryRequest::builder("SELECT COUNT(*) AS n FROM annotations.entities").build(),
+            )
+            .unwrap()
+            .rows()
+            .len()
         })
     });
 

@@ -16,7 +16,7 @@ use impliance_baselines::{
 use impliance_bench::report::{fmt_bytes, fmt_duration};
 use impliance_bench::{Corpus, Table};
 use impliance_cluster::NodeKind;
-use impliance_core::{views, ApplianceConfig, ClusterImpliance, Impliance};
+use impliance_core::{views, ApplianceConfig, ClusterImpliance, Impliance, QueryRequest};
 use impliance_docmodel::{DocId, Value};
 use impliance_query::{costopt::CostOptimizer, joins, parse_sql, SimplePlanner, Tuple};
 use impliance_storage::{
@@ -66,6 +66,19 @@ fn main() {
     if all || which == "c9" {
         c9_interleaving();
     }
+    obs_snapshot();
+}
+
+// ---------------------------------------------------------------------
+// Observability snapshot: every experiment above funnels its storage,
+// query, cluster, and annotate activity through the workspace metrics
+// registry; dump it so a figures run is self-describing.
+// ---------------------------------------------------------------------
+
+fn obs_snapshot() {
+    let snap = impliance_obs::global().snapshot();
+    println!("\n=== observability snapshot (metrics registry + trace rings) ===");
+    println!("{}", snap.to_json().pretty());
 }
 
 // ---------------------------------------------------------------------
@@ -167,7 +180,10 @@ fn c9_interleaving() {
                     clock_us = arrival_us; // idle until it arrives
                 }
                 let t0 = Instant::now();
-                let _ = imp.sql("SELECT cust, SUM(total) AS t FROM orders GROUP BY cust");
+                let _ = imp.query(
+                    QueryRequest::builder("SELECT cust, SUM(total) AS t FROM orders GROUP BY cust")
+                        .build(),
+                );
                 clock_us += t0.elapsed().as_micros() as u64;
                 latencies.push(clock_us - arrival_us);
             }
@@ -215,7 +231,9 @@ fn f1_pipeline() {
     // SQL answer available immediately (value index is synchronous):
     let t_sql = Instant::now();
     let sql_rows = imp
-        .sql("SELECT COUNT(*) AS n FROM claims WHERE amount > 1000")
+        .query(
+            QueryRequest::builder("SELECT COUNT(*) AS n FROM claims WHERE amount > 1000").build(),
+        )
         .unwrap();
     let sql_latency = t_sql.elapsed();
     // keyword answers appear after the asynchronous text-index pass:
@@ -340,7 +358,9 @@ fn f2_views() {
     );
     // immediate SQL over freshly ingested rows
     let q = Instant::now();
-    let rows = imp.sql("SELECT COUNT(*) AS n FROM orders").unwrap();
+    let rows = imp
+        .query(QueryRequest::builder("SELECT COUNT(*) AS n FROM orders").build())
+        .unwrap();
     t.row(&[
         "SQL over rows pre-discovery".into(),
         format!(
@@ -388,7 +408,7 @@ fn f2_views() {
     ]);
     // annotations queryable by plain SQL
     let ann = imp
-        .sql("SELECT COUNT(*) AS n FROM annotations.entities")
+        .query(QueryRequest::builder("SELECT COUNT(*) AS n FROM annotations.entities").build())
         .unwrap();
     t.row(&[
         "SQL over annotation collection".into(),
@@ -732,7 +752,7 @@ fn c1_planner() {
             pushdown: true,
         };
         let t = Instant::now();
-        let (out, _) = impliance_query::exec::execute(&ctx, plan).unwrap();
+        let (out, _) = impliance_query::execute_plan(&ctx, plan).unwrap();
         (t.elapsed(), out.len())
     };
 

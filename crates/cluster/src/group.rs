@@ -14,10 +14,36 @@
 //! and consistently") uses a two-phase commit across the alive members.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, OnceLock};
 
+use impliance_obs::Counter;
 use parking_lot::Mutex;
 
 use crate::node::NodeId;
+
+/// Group-protocol counters surfaced through the workspace metrics
+/// registry: heartbeat volume and misses plus 2PC outcomes.
+struct GroupObs {
+    heartbeats: Arc<Counter>,
+    heartbeat_misses: Arc<Counter>,
+    committed: Arc<Counter>,
+    aborted: Arc<Counter>,
+    no_members: Arc<Counter>,
+}
+
+fn group_obs() -> &'static GroupObs {
+    static OBS: OnceLock<GroupObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let m = impliance_obs::global().metrics();
+        GroupObs {
+            heartbeats: m.counter("cluster.group.heartbeats"),
+            heartbeat_misses: m.counter("cluster.group.heartbeat_misses"),
+            committed: m.counter("cluster.group.2pc.committed"),
+            aborted: m.counter("cluster.group.2pc.aborted"),
+            no_members: m.counter("cluster.group.2pc.no_members"),
+        }
+    })
+}
 
 /// Result of a two-phase commit attempt.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -112,6 +138,7 @@ impl ConsistencyGroup {
     pub fn heartbeat(&self, id: NodeId) -> Vec<GroupEvent> {
         let mut inner = self.inner.lock();
         inner.heartbeats_seen += 1;
+        group_obs().heartbeats.inc();
         let now = inner.now;
         let mut events = Vec::new();
         if let Some(m) = inner.members.get_mut(&id) {
@@ -135,6 +162,7 @@ impl ConsistencyGroup {
         for (id, m) in inner.members.iter_mut() {
             if m.alive && now.saturating_sub(m.last_heartbeat) > timeout {
                 m.alive = false;
+                group_obs().heartbeat_misses.inc();
                 events.push(GroupEvent::MemberFailed(*id));
             }
         }
@@ -193,6 +221,7 @@ impl ConsistencyGroup {
             .map(|(id, _)| *id)
             .collect();
         if alive.is_empty() {
+            group_obs().no_members.inc();
             return CommitOutcome::NoMembers;
         }
         let refused: Vec<NodeId> = alive
@@ -201,9 +230,11 @@ impl ConsistencyGroup {
             .filter(|id| inner.members[id].refuse_prepare)
             .collect();
         if !refused.is_empty() {
+            group_obs().aborted.inc();
             return CommitOutcome::Aborted { refused };
         }
         inner.log.push(payload.to_string());
+        group_obs().committed.inc();
         CommitOutcome::Committed { acks: alive }
     }
 

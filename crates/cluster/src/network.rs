@@ -9,11 +9,34 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
+use impliance_obs::Counter;
 use parking_lot::Mutex;
 
 use crate::node::NodeId;
+
+/// Byte/message accounting re-exported through the workspace metrics
+/// registry, so a figures run carries interconnect counters in its
+/// observability snapshot alongside storage and query metrics.
+struct NetObs {
+    messages: Arc<Counter>,
+    bytes: Arc<Counter>,
+    dropped: Arc<Counter>,
+}
+
+fn net_obs() -> &'static NetObs {
+    static OBS: OnceLock<NetObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let m = impliance_obs::global().metrics();
+        NetObs {
+            messages: m.counter("cluster.net.messages"),
+            bytes: m.counter("cluster.net.bytes"),
+            dropped: m.counter("cluster.net.dropped"),
+        }
+    })
+}
 
 /// Aggregate traffic counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -111,12 +134,16 @@ impl Network {
                 let roll = (self.next_rand() % 1_000_000) as u32;
                 if roll < rate {
                     self.dropped.fetch_add(1, Ordering::Relaxed);
+                    net_obs().dropped.inc();
                     return false;
                 }
             }
         }
         self.messages.fetch_add(1, Ordering::Relaxed);
         self.bytes.fetch_add(payload, Ordering::Relaxed);
+        let obs = net_obs();
+        obs.messages.inc();
+        obs.bytes.add(payload);
         *self.edges.lock().entry((from, to)).or_insert(0) += payload;
         let npb = self.nanos_per_byte.load(Ordering::Relaxed);
         let npm = self.nanos_per_message.load(Ordering::Relaxed);

@@ -14,9 +14,19 @@ use std::sync::Arc;
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use impliance_analysis::{TrackedMutex, TrackedRwLock};
+use impliance_obs::Counter;
 
 use crate::network::Network;
 use crate::node::{NodeId, NodeKind, NodeSpec};
+
+fn tasks_submitted() -> &'static Arc<Counter> {
+    static OBS: std::sync::OnceLock<Arc<Counter>> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| {
+        impliance_obs::global()
+            .metrics()
+            .counter("cluster.runtime.tasks_submitted")
+    })
+}
 
 /// Errors from the cluster runtime.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -235,6 +245,7 @@ impl ClusterRuntime {
             reply_to: self.coordinator,
         };
         inflight.fetch_add(1, Ordering::Relaxed);
+        tasks_submitted().inc();
         if sender.send(mail).is_err() {
             inflight.fetch_sub(1, Ordering::Relaxed); // node died between lookup and send
             return Err(ClusterError::NodeDown(node));

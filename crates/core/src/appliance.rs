@@ -21,13 +21,34 @@ use impliance_docmodel::{
 };
 use impliance_facet::{FacetDimension, FacetEngine, GuidedSession, RollupLevel, RollupRow};
 use impliance_index::{search, InvertedIndex, JoinIndex, PathValueIndex, SearchHit, SearchQuery};
+use impliance_obs::Counter;
 use impliance_query::{
-    exec, parse_sql, ExecContext, ExecError, ExecMetrics, QueryOutput, SimplePlanner,
+    execute_plan, parse_sql, ExecContext, ExecError, ExecMetrics, LogicalPlan, QueryOutput,
+    SimplePlanner,
 };
 use impliance_storage::{StorageEngine, StorageError, StorageOptions};
 use parking_lot::Mutex;
 
 use crate::config::ApplianceConfig;
+use crate::error::Error;
+use crate::query_api::{QueryRequest, QueryResponse};
+
+/// Plan-cache hit/miss counters in the workspace metrics registry.
+struct PlanCacheObs {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+}
+
+fn plan_cache_obs() -> &'static PlanCacheObs {
+    static OBS: std::sync::OnceLock<PlanCacheObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| {
+        let m = impliance_obs::global().metrics();
+        PlanCacheObs {
+            hits: m.counter("query.plan_cache.hits"),
+            misses: m.counter("query.plan_cache.misses"),
+        }
+    })
+}
 
 /// Appliance-level errors.
 #[derive(Debug)]
@@ -91,6 +112,9 @@ pub struct Impliance {
     clock_ms: AtomicI64,
     ledger: AdminLedger,
     planner: SimplePlanner,
+    /// Statement → planned query. The simple planner is deterministic and
+    /// statistics-free (§3.3), so a cached plan never goes stale.
+    plan_cache: Mutex<std::collections::HashMap<String, LogicalPlan>>,
 }
 
 struct SourceAdapter<'a>(&'a Impliance);
@@ -150,6 +174,7 @@ impl Impliance {
             clock_ms: AtomicI64::new(1_168_000_000_000), // Jan 2007, the paper's era
             ledger: AdminLedger::new(),
             planner: SimplePlanner::new(),
+            plan_cache: Mutex::new(std::collections::HashMap::new()),
         }
     }
 
@@ -199,7 +224,7 @@ impl Impliance {
     /// appliance's equivalent of a primary-key index, and index-backed
     /// SQL must see a row "immediately" (Figure 2). Full-text indexing
     /// and discovery are the asynchronous phases (§3.2).
-    fn ingest_document(&self, doc: Document) -> Result<DocId, ApplianceError> {
+    fn ingest_document(&self, doc: Document) -> Result<DocId, Error> {
         let id = doc.id();
         self.storage.put(&doc)?;
         self.value_index.index_document(&doc);
@@ -220,7 +245,7 @@ impl Impliance {
     }
 
     /// Ingest a JSON document.
-    pub fn ingest_json(&self, collection: &str, text: &str) -> Result<DocId, ApplianceError> {
+    pub fn ingest_json(&self, collection: &str, text: &str) -> Result<DocId, Error> {
         let root = json::parse(text)?;
         let doc = Document::new(
             self.alloc_id(),
@@ -233,19 +258,19 @@ impl Impliance {
     }
 
     /// Ingest plain text.
-    pub fn ingest_text(&self, collection: &str, text: &str) -> Result<DocId, ApplianceError> {
+    pub fn ingest_text(&self, collection: &str, text: &str) -> Result<DocId, Error> {
         let doc = text_to_document(self.alloc_id(), collection, text, self.now());
         self.ingest_document(doc)
     }
 
     /// Ingest an e-mail message.
-    pub fn ingest_email(&self, collection: &str, raw: &str) -> Result<DocId, ApplianceError> {
+    pub fn ingest_email(&self, collection: &str, raw: &str) -> Result<DocId, Error> {
         let doc = email_to_document(self.alloc_id(), collection, raw, self.now());
         self.ingest_document(doc)
     }
 
     /// Ingest an XML document.
-    pub fn ingest_xml(&self, collection: &str, text: &str) -> Result<DocId, ApplianceError> {
+    pub fn ingest_xml(&self, collection: &str, text: &str) -> Result<DocId, Error> {
         let root = impliance_docmodel::xml::parse(text)?;
         let doc = Document::new(
             self.alloc_id(),
@@ -265,7 +290,7 @@ impl Impliance {
         collection: &str,
         bytes: &[u8],
         metadata: &[(&str, &str)],
-    ) -> Result<DocId, ApplianceError> {
+    ) -> Result<DocId, Error> {
         let mut root = Node::empty_map();
         root.set(
             &impliance_docmodel::Path::parse("content"),
@@ -288,11 +313,7 @@ impl Impliance {
     }
 
     /// Ingest key-value pairs.
-    pub fn ingest_kv(
-        &self,
-        collection: &str,
-        pairs: &[(&str, &str)],
-    ) -> Result<DocId, ApplianceError> {
+    pub fn ingest_kv(&self, collection: &str, pairs: &[(&str, &str)]) -> Result<DocId, Error> {
         let doc = kv_to_document(self.alloc_id(), collection, pairs, self.now());
         self.ingest_document(doc)
     }
@@ -302,13 +323,13 @@ impl Impliance {
         &self,
         schema: &RelationalSchema,
         values: Vec<Value>,
-    ) -> Result<DocId, ApplianceError> {
+    ) -> Result<DocId, Error> {
         let doc = relational_row_to_document(self.alloc_id(), schema, values, self.now())?;
         self.ingest_document(doc)
     }
 
     /// Ingest a whole CSV text; returns the ids, one per record.
-    pub fn ingest_csv(&self, collection: &str, csv: &str) -> Result<Vec<DocId>, ApplianceError> {
+    pub fn ingest_csv(&self, collection: &str, csv: &str) -> Result<Vec<DocId>, Error> {
         let mut reader = CsvReader::new(csv)?;
         let mut ids = Vec::new();
         while let Some(doc) = reader.next_document(self.alloc_id(), collection, self.now()) {
@@ -323,7 +344,7 @@ impl Impliance {
 
     /// Append a new version of a document with a new body. The old
     /// version remains readable (auditing/time travel).
-    pub fn update(&self, id: DocId, new_root: Node) -> Result<Version, ApplianceError> {
+    pub fn update(&self, id: DocId, new_root: Node) -> Result<Version, Error> {
         let current = self
             .storage
             .get_latest(id)?
@@ -335,12 +356,12 @@ impl Impliance {
     }
 
     /// Latest version of a document.
-    pub fn get(&self, id: DocId) -> Result<Option<Document>, ApplianceError> {
+    pub fn get(&self, id: DocId) -> Result<Option<Document>, Error> {
         Ok(self.storage.get_latest(id)?)
     }
 
     /// A specific stored version (time travel).
-    pub fn get_version(&self, id: DocId, v: Version) -> Result<Option<Document>, ApplianceError> {
+    pub fn get_version(&self, id: DocId, v: Version) -> Result<Option<Document>, Error> {
         Ok(self.storage.get_version(id, v)?)
     }
 
@@ -351,7 +372,7 @@ impl Impliance {
 
     /// The version of a document current at appliance time `ts` (§4
     /// auditing: "trace the lineage of a piece of data").
-    pub fn get_as_of(&self, id: DocId, ts: i64) -> Result<Option<Document>, ApplianceError> {
+    pub fn get_as_of(&self, id: DocId, ts: i64) -> Result<Option<Document>, Error> {
         Ok(self.storage.get_as_of(id, ts)?)
     }
 
@@ -434,26 +455,62 @@ impl Impliance {
         impliance_index::search_phrase(&self.text_index, phrase, path, k)
     }
 
-    /// SQL over anything ingested (including annotation collections).
-    pub fn sql(&self, statement: &str) -> Result<QueryOutput, ApplianceError> {
-        Ok(self.sql_with_metrics(statement)?.0)
-    }
-
-    /// SQL returning execution metrics too.
-    pub fn sql_with_metrics(
-        &self,
-        statement: &str,
-    ) -> Result<(QueryOutput, ExecMetrics), ApplianceError> {
-        let plan = parse_sql(statement).map_err(|e| ApplianceError::Sql(e.to_string()))?;
-        let plan = self.planner.plan(plan);
+    /// The unified query entry point: plan (or reuse a cached plan),
+    /// execute under a tracing span, and return the full
+    /// [`QueryResponse`] — output, metrics, chosen plan, span id, and
+    /// cache disposition.
+    pub fn query(&self, req: QueryRequest) -> Result<QueryResponse, Error> {
+        let obs = impliance_obs::global();
+        let span = impliance_obs::span!(obs, "query", "appliance.query");
+        let (plan, plan_cache_hit) = self.plan_for(&req)?;
         let ctx = ExecContext {
             storage: &self.storage,
             text_index: &self.text_index,
             value_index: &self.value_index,
             join_index: &self.join_index,
-            pushdown: self.config.pushdown,
+            pushdown: req.pushdown().unwrap_or(self.config.pushdown),
         };
-        Ok(exec::execute(&ctx, &plan)?)
+        let (output, metrics) = execute_plan(&ctx, &plan)?;
+        Ok(QueryResponse {
+            output,
+            metrics,
+            plan,
+            span_id: span.id(),
+            plan_cache_hit,
+        })
+    }
+
+    /// Resolve a request to a physical plan, consulting the plan cache
+    /// when the request allows it.
+    fn plan_for(&self, req: &QueryRequest) -> Result<(LogicalPlan, bool), Error> {
+        if req.plan_cache_enabled() {
+            if let Some(plan) = self.plan_cache.lock().get(req.statement()).cloned() {
+                plan_cache_obs().hits.inc();
+                return Ok((plan, true));
+            }
+            plan_cache_obs().misses.inc();
+        }
+        let parsed = parse_sql(req.statement()).map_err(|e| ApplianceError::Sql(e.to_string()))?;
+        let plan = self.planner.plan(parsed);
+        if req.plan_cache_enabled() {
+            self.plan_cache
+                .lock()
+                .insert(req.statement().to_string(), plan.clone());
+        }
+        Ok((plan, false))
+    }
+
+    /// SQL over anything ingested (including annotation collections).
+    /// Convenience wrapper over [`Impliance::query`].
+    pub fn sql(&self, statement: &str) -> Result<QueryOutput, Error> {
+        Ok(self.query(QueryRequest::builder(statement).build())?.output)
+    }
+
+    /// SQL returning execution metrics too. Convenience wrapper over
+    /// [`Impliance::query`].
+    pub fn sql_with_metrics(&self, statement: &str) -> Result<(QueryOutput, ExecMetrics), Error> {
+        let resp = self.query(QueryRequest::builder(statement).build())?;
+        Ok((resp.output, resp.metrics))
     }
 
     /// The graph interface: how are two items connected (§3.2.1)?
@@ -489,7 +546,7 @@ impl Impliance {
         time_path: &str,
         measure_path: Option<&str>,
         level: RollupLevel,
-    ) -> Result<Vec<RollupRow>, ApplianceError> {
+    ) -> Result<Vec<RollupRow>, Error> {
         let result = self
             .storage
             .scan(&impliance_storage::ScanRequest::filtered(
@@ -696,10 +753,10 @@ mod tests {
     #[test]
     fn update_missing_doc_errors() {
         let imp = boot();
-        assert!(matches!(
-            imp.update(DocId(777), Node::empty_map()),
-            Err(ApplianceError::NotFound(_))
-        ));
+        let err = imp
+            .update(DocId(777), Node::empty_map())
+            .expect_err("update of a missing doc must fail");
+        assert_eq!(err.kind(), crate::error::ErrorKind::NotFound);
     }
 
     #[test]

@@ -23,6 +23,7 @@ use impliance_virt::{DataClass, ReplicationReport, StorageManager, StoragePolicy
 use parking_lot::Mutex;
 
 use crate::config::ApplianceConfig;
+use crate::error::Error;
 
 /// Summary of a failure-recovery round (experiment C5).
 #[derive(Debug, Clone, Default)]
@@ -132,7 +133,7 @@ impl ClusterImpliance {
 
     /// Ingest a JSON document: the primary copy goes to the ring-assigned
     /// owner, replicas to the next nodes on the ring.
-    pub fn ingest_json(&self, collection: &str, text: &str) -> Result<DocId, ClusterError> {
+    pub fn ingest_json(&self, collection: &str, text: &str) -> Result<DocId, Error> {
         let root = json::parse(text).map_err(|_| ClusterError::TaskLost)?;
         let id = DocId(self.next_id.fetch_add(1, Ordering::Relaxed));
         let doc = Document::new(id, SourceFormat::Json, collection, self.now(), root);
@@ -140,28 +141,28 @@ impl ClusterImpliance {
     }
 
     /// Ingest plain text with replication.
-    pub fn ingest_text(&self, collection: &str, text: &str) -> Result<DocId, ClusterError> {
+    pub fn ingest_text(&self, collection: &str, text: &str) -> Result<DocId, Error> {
         let id = DocId(self.next_id.fetch_add(1, Ordering::Relaxed));
         let doc = impliance_docmodel::text_to_document(id, collection, text, self.now());
         self.ingest_document(doc)
     }
 
     /// Ingest an e-mail message with replication.
-    pub fn ingest_email(&self, collection: &str, raw: &str) -> Result<DocId, ClusterError> {
+    pub fn ingest_email(&self, collection: &str, raw: &str) -> Result<DocId, Error> {
         let id = DocId(self.next_id.fetch_add(1, Ordering::Relaxed));
         let doc = impliance_docmodel::email_to_document(id, collection, raw, self.now());
         self.ingest_document(doc)
     }
 
     /// Ingest a pre-built document with replication.
-    pub fn ingest_document(&self, doc: Document) -> Result<DocId, ClusterError> {
+    pub fn ingest_document(&self, doc: Document) -> Result<DocId, Error> {
         let encoded_len = codec::encode_document_vec(&doc).len() as u64;
         let placement = self
             .storage_mgr
             .lock()
             .place(doc.id(), DataClass::UserBase, encoded_len);
         if placement.is_empty() {
-            return Err(ClusterError::NoNodeOfKind("data"));
+            return Err(ClusterError::NoNodeOfKind("data").into());
         }
         for (i, node) in placement.iter().enumerate() {
             let doc = doc.clone();
@@ -183,7 +184,7 @@ impl ClusterImpliance {
                 stored
             })?;
             if !handle.join()? {
-                return Err(ClusterError::TaskLost);
+                return Err(ClusterError::TaskLost.into());
             }
         }
         Ok(doc.id())
@@ -200,17 +201,13 @@ impl ClusterImpliance {
     }
 
     /// Push-down scan over all primary stores.
-    pub fn scan(&self, request: &ScanRequest) -> Result<ScanResult, ClusterError> {
-        dist::dist_scan(&self.runtime, request)
+    pub fn scan(&self, request: &ScanRequest) -> Result<ScanResult, Error> {
+        Ok(dist::dist_scan(&self.runtime, request)?)
     }
 
     /// Scatter-gather keyword search over every data node's index shard.
-    pub fn search(
-        &self,
-        query: &str,
-        k: usize,
-    ) -> Result<Vec<impliance_index::SearchHit>, ClusterError> {
-        dist::dist_search(&self.runtime, query, k)
+    pub fn search(&self, query: &str, k: usize) -> Result<Vec<impliance_index::SearchHit>, Error> {
+        Ok(dist::dist_search(&self.runtime, query, k)?)
     }
 
     /// Distributed grouped aggregation (data-node partials merged on a
@@ -218,8 +215,8 @@ impl ClusterImpliance {
     pub fn aggregate(
         &self,
         request: &ScanRequest,
-    ) -> Result<std::collections::BTreeMap<String, AggValue>, ClusterError> {
-        dist::dist_aggregate(&self.runtime, request)
+    ) -> Result<std::collections::BTreeMap<String, AggValue>, Error> {
+        Ok(dist::dist_aggregate(&self.runtime, request)?)
     }
 
     /// Distributed equi-join (reduced sides shipped to a grid node).
@@ -232,8 +229,8 @@ impl ClusterImpliance {
         right_alias: &str,
         left_key: (String, String),
         right_key: (String, String),
-    ) -> Result<Vec<Tuple>, ClusterError> {
-        dist::dist_join(
+    ) -> Result<Vec<Tuple>, Error> {
+        Ok(dist::dist_join(
             &self.runtime,
             left,
             right,
@@ -241,25 +238,25 @@ impl ClusterImpliance {
             right_alias,
             left_key,
             right_key,
-        )
+        )?)
     }
 
     /// Figure 3's full pipeline: data-node scan+partial aggregation →
     /// grid-node global merge → cluster-node consistent commit of the
     /// derived result. Returns the committed group count.
-    pub fn pipeline_query(&self, request: &ScanRequest) -> Result<usize, ClusterError> {
+    pub fn pipeline_query(&self, request: &ScanRequest) -> Result<usize, Error> {
         let groups = self.aggregate(request)?;
         let payload = format!("derived-aggregate:{} groups", groups.len());
         match self.group.commit(&payload) {
             impliance_cluster::CommitOutcome::Committed { .. } => Ok(groups.len()),
-            _ => Err(ClusterError::TaskLost),
+            _ => Err(ClusterError::TaskLost.into()),
         }
     }
 
     /// Kill a data node and autonomously recover: re-replicate
     /// under-replicated documents and promote replicas of documents whose
     /// primary died, so subsequent scans still see everything.
-    pub fn kill_data_node(&self, node: NodeId) -> Result<RecoveryReport, ClusterError> {
+    pub fn kill_data_node(&self, node: NodeId) -> Result<RecoveryReport, Error> {
         let dead_state = self
             .engines
             .lock()
@@ -330,7 +327,7 @@ impl ClusterImpliance {
         &self,
         to_version: &str,
         policy: &impliance_virt::UpgradePolicy,
-    ) -> Result<Vec<usize>, ClusterError> {
+    ) -> Result<Vec<usize>, Error> {
         let inventory: Vec<(NodeId, NodeKind)> = {
             let mut out = Vec::new();
             for kind in [NodeKind::Data, NodeKind::Grid, NodeKind::Cluster] {

@@ -28,9 +28,13 @@ pub mod appliance;
 pub mod audit;
 pub mod cluster_app;
 pub mod config;
+pub mod error;
+pub mod query_api;
 pub mod views;
 
 pub use appliance::{ApplianceError, Impliance};
 pub use audit::{AccessPolicy, AuditLog, GuardedAppliance, Principal};
 pub use cluster_app::ClusterImpliance;
 pub use config::ApplianceConfig;
+pub use error::{Error, ErrorKind};
+pub use query_api::{QueryRequest, QueryRequestBuilder, QueryResponse};

@@ -1,0 +1,133 @@
+//! The unified query surface: [`QueryRequest`] in, [`QueryResponse`] out.
+//!
+//! Every consumer of the appliance — examples, benches, the figure
+//! harness — asks questions the same way: build a request, call
+//! [`crate::Impliance::query`], inspect the response. The response
+//! carries not just rows/documents but the plan that was run, the
+//! execution metrics, whether the plan came from the cache, and the
+//! observability span id under which the execution was traced — enough
+//! to correlate any answer with the metrics snapshot.
+
+use impliance_obs::SpanId;
+use impliance_query::{ExecMetrics, LogicalPlan, QueryOutput};
+
+/// A query against the appliance. Build with [`QueryRequest::builder`].
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    statement: String,
+    pushdown: Option<bool>,
+    plan_cache: bool,
+}
+
+impl QueryRequest {
+    /// Start building a request for a mini-SQL statement.
+    pub fn builder(statement: impl Into<String>) -> QueryRequestBuilder {
+        QueryRequestBuilder {
+            request: QueryRequest {
+                statement: statement.into(),
+                pushdown: None,
+                plan_cache: true,
+            },
+        }
+    }
+
+    /// The SQL text.
+    pub fn statement(&self) -> &str {
+        &self.statement
+    }
+
+    /// The per-request pushdown override, if any (defaults to the
+    /// appliance configuration when `None`).
+    pub fn pushdown(&self) -> Option<bool> {
+        self.pushdown
+    }
+
+    /// Whether the plan cache may serve/store this statement's plan.
+    pub fn plan_cache_enabled(&self) -> bool {
+        self.plan_cache
+    }
+}
+
+/// Builder for [`QueryRequest`].
+#[derive(Debug, Clone)]
+pub struct QueryRequestBuilder {
+    request: QueryRequest,
+}
+
+impl QueryRequestBuilder {
+    /// Override predicate pushdown for this request only.
+    pub fn pushdown(mut self, enabled: bool) -> QueryRequestBuilder {
+        self.request.pushdown = Some(enabled);
+        self
+    }
+
+    /// Enable or disable the plan cache for this request (on by default;
+    /// disable when benchmarking the planner itself).
+    pub fn plan_cache(mut self, enabled: bool) -> QueryRequestBuilder {
+        self.request.plan_cache = enabled;
+        self
+    }
+
+    /// Finish the request.
+    pub fn build(self) -> QueryRequest {
+        self.request
+    }
+}
+
+/// Everything the appliance knows about one answered query.
+#[derive(Debug)]
+pub struct QueryResponse {
+    /// The rows or documents produced by the root operator.
+    pub output: QueryOutput,
+    /// Execution-side metrics (scan accounting, rows out, index lookups).
+    pub metrics: ExecMetrics,
+    /// The physical plan that was executed.
+    pub plan: LogicalPlan,
+    /// The tracing span under which execution was recorded; look it up in
+    /// the observability snapshot to get wall time and child spans.
+    pub span_id: SpanId,
+    /// Whether the plan was served from the appliance plan cache.
+    pub plan_cache_hit: bool,
+}
+
+impl QueryResponse {
+    /// Row view of the output (empty for non-row outputs).
+    pub fn rows(&self) -> &[impliance_query::Row] {
+        self.output.rows()
+    }
+
+    /// Document view of the output (empty for non-doc outputs).
+    pub fn docs(&self) -> &[std::sync::Arc<impliance_docmodel::Document>] {
+        self.output.docs()
+    }
+
+    /// Number of rows/docs produced.
+    pub fn len(&self) -> usize {
+        self.output.len()
+    }
+
+    /// True when nothing was produced.
+    pub fn is_empty(&self) -> bool {
+        self.output.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_and_overrides() {
+        let req = QueryRequest::builder("SELECT * FROM docs").build();
+        assert_eq!(req.statement(), "SELECT * FROM docs");
+        assert_eq!(req.pushdown(), None);
+        assert!(req.plan_cache_enabled());
+
+        let req = QueryRequest::builder("SELECT * FROM docs")
+            .pushdown(false)
+            .plan_cache(false)
+            .build();
+        assert_eq!(req.pushdown(), Some(false));
+        assert!(!req.plan_cache_enabled());
+    }
+}

@@ -14,11 +14,12 @@ use impliance_docmodel::{DocId, Value};
 use impliance_query::Row;
 use impliance_storage::{Predicate, ScanRequest};
 
-use crate::appliance::{ApplianceError, Impliance};
+use crate::appliance::Impliance;
+use crate::error::Error;
 
 /// One row of the entity view: an extracted mention tied to its subject
 /// document.
-pub fn entity_view(imp: &Impliance) -> Result<Vec<Row>, ApplianceError> {
+pub fn entity_view(imp: &Impliance) -> Result<Vec<Row>, Error> {
     let result = imp
         .storage()
         .scan(&ScanRequest::filtered(Predicate::CollectionIs(
@@ -54,7 +55,7 @@ pub fn entity_view(imp: &Impliance) -> Result<Vec<Row>, ApplianceError> {
 }
 
 /// One row of the sentiment view: subject id, label, score.
-pub fn sentiment_view(imp: &Impliance) -> Result<Vec<Row>, ApplianceError> {
+pub fn sentiment_view(imp: &Impliance) -> Result<Vec<Row>, Error> {
     let result = imp
         .storage()
         .scan(&ScanRequest::filtered(Predicate::CollectionIs(
@@ -83,10 +84,7 @@ pub fn sentiment_view(imp: &Impliance) -> Result<Vec<Row>, ApplianceError> {
 /// `(subject, kind, normalized, <join_path value>)` where the subject
 /// document's `join_path` leaf is attached. This is §2.1.2's
 /// content-plus-data composition as a reusable view.
-pub fn entities_with_base(
-    imp: &Impliance,
-    base_join_path: &str,
-) -> Result<Vec<Row>, ApplianceError> {
+pub fn entities_with_base(imp: &Impliance, base_join_path: &str) -> Result<Vec<Row>, Error> {
     let entities = entity_view(imp)?;
     let mut rows = Vec::new();
     for e in entities {

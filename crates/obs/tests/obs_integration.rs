@@ -1,0 +1,154 @@
+//! Integration tests for the observability layer: snapshot JSON golden
+//! output, histogram bucket boundaries, nested-span parentage, and a
+//! concurrency smoke test that runs the counters under the
+//! `impliance-analysis` lock-order detector (the registry and trace
+//! rings use `TrackedRwLock`/`TrackedMutex`, so a lock-order inversion
+//! anywhere in the obs hot path would panic this test in debug builds).
+
+use std::sync::Arc;
+use std::thread;
+
+use impliance_obs::{span, Obs};
+
+#[test]
+fn snapshot_metrics_json_matches_golden() {
+    let obs = Obs::with_capacity(8);
+    obs.metrics().counter("storage.put.count").add(3);
+    obs.metrics().gauge("annotate.queue_depth").set(2);
+    let h = obs.metrics().histogram("query.op.scan.us", &[10, 100]);
+    h.observe(7);
+    h.observe(50);
+    h.observe(5_000);
+    let got = obs.snapshot().metrics_json().pretty();
+    let want = r#"{
+  "counters": {
+    "storage.put.count": 3
+  },
+  "gauges": {
+    "annotate.queue_depth": 2
+  },
+  "histograms": {
+    "query.op.scan.us": {
+      "bounds": [
+        10,
+        100
+      ],
+      "buckets": [
+        1,
+        1,
+        1
+      ],
+      "count": 3,
+      "sum": 5057
+    }
+  }
+}
+"#;
+    assert_eq!(got, want);
+}
+
+#[test]
+fn full_snapshot_json_parses_and_carries_spans() {
+    let obs = Obs::with_capacity(8);
+    {
+        let _outer = span!(obs, "query", "execute");
+        let _inner = span!(obs, "storage", "scan");
+        obs.tracer()
+            .event("storage", "bytes_scanned", &[("bytes", 128)]);
+    }
+    let text = obs.snapshot().to_json().pretty();
+    let parsed = impliance_analysis::report::parse_json(&text).expect("snapshot JSON must parse");
+    let spans = parsed.get("spans").and_then(|s| s.as_arr()).unwrap();
+    assert_eq!(spans.len(), 2);
+    // inner span finished first and points at the outer span
+    let inner = &spans[0];
+    assert_eq!(
+        inner.get("subsystem").and_then(|s| s.as_str()),
+        Some("storage")
+    );
+    assert_eq!(
+        inner.get("parent").and_then(|p| p.as_f64()),
+        spans[1].get("id").and_then(|i| i.as_f64())
+    );
+    let events = parsed.get("events").and_then(|e| e.as_arr()).unwrap();
+    assert_eq!(
+        events[0]
+            .get("fields")
+            .and_then(|f| f.get("bytes"))
+            .and_then(|b| b.as_f64()),
+        Some(128.0)
+    );
+}
+
+#[test]
+fn histogram_boundary_values_land_in_lower_bucket() {
+    let obs = Obs::new();
+    let h = obs.metrics().histogram("edge", &[1, 2, 5]);
+    // exact boundary values are inclusive upper bounds
+    for v in [1, 2, 5] {
+        h.observe(v);
+    }
+    assert_eq!(h.bucket_counts(), vec![1, 1, 1, 0]);
+    h.observe(6);
+    assert_eq!(h.bucket_counts(), vec![1, 1, 1, 1]);
+}
+
+#[test]
+fn deep_span_nesting_reconstructs_the_full_chain() {
+    let obs = Obs::with_capacity(64);
+    fn recurse(obs: &Obs, depth: usize) {
+        if depth == 0 {
+            return;
+        }
+        let _g = span!(obs, "test", "level");
+        recurse(obs, depth - 1);
+    }
+    recurse(&obs, 5);
+    let spans = obs.snapshot().spans;
+    assert_eq!(spans.len(), 5);
+    // walk the parent chain from the innermost (first finished) span
+    let mut hops = 0;
+    let mut cursor = spans[0].clone();
+    while let Some(parent) = cursor.parent {
+        cursor = spans.iter().find(|s| s.id == parent).cloned().unwrap();
+        hops += 1;
+    }
+    assert_eq!(hops, 4);
+}
+
+#[test]
+fn counters_are_race_free_under_lock_order_detector() {
+    let obs = Arc::new(Obs::with_capacity(256));
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let obs = Arc::clone(&obs);
+            thread::spawn(move || {
+                // half the threads pre-register, half race the registry
+                let counter = obs.metrics().counter("smoke.hits");
+                let hist = obs.metrics().histogram("smoke.us", &[8, 64]);
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    hist.observe(i % 100);
+                    if i % 1000 == 0 {
+                        let _g = obs.tracer().span("smoke", "tick");
+                        obs.tracer().event("smoke", "mark", &[("thread", t as u64)]);
+                        // snapshotting while writers run must not deadlock
+                        // or invert lock order
+                        let _ = obs.snapshot();
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("no lock-order panic in any thread");
+    }
+    let snap = obs.snapshot();
+    assert_eq!(snap.counters["smoke.hits"], THREADS as u64 * PER_THREAD);
+    assert_eq!(
+        snap.histograms["smoke.us"].count,
+        THREADS as u64 * PER_THREAD
+    );
+}

@@ -5,10 +5,12 @@
 //! operator materialized. The distributed executor ([`crate::dist`])
 //! reuses the same operators but places stages on simulated nodes.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 use impliance_docmodel::{DocId, Document};
 use impliance_index::{search, InvertedIndex, JoinIndex, PathValueIndex, SearchQuery};
+use impliance_obs::{Counter, Histogram, LATENCY_BUCKETS_US};
 use impliance_storage::{
     Predicate, Projection, ScanMetrics, ScanRequest, StorageEngine, StorageError,
 };
@@ -122,8 +124,70 @@ enum Stage {
     Path(Option<Vec<DocId>>),
 }
 
+impl Stage {
+    fn len(&self) -> usize {
+        match self {
+            Stage::Tuples(t) => t.len(),
+            Stage::Rows(r) => r.len(),
+            Stage::Path(p) => usize::from(p.is_some()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-operator observability: row counters and (inclusive) timing
+// histograms, keyed by operator kind. Handles are cached once; the
+// per-operator cost is two relaxed atomic RMWs.
+// ---------------------------------------------------------------------
+
+const OP_NAMES: [&str; 9] = [
+    "scan",
+    "keyword_search",
+    "filter",
+    "join",
+    "group_agg",
+    "project",
+    "sort",
+    "limit",
+    "graph_connect",
+];
+
+struct OpObs {
+    rows: Arc<Counter>,
+    us: Arc<Histogram>,
+}
+
+fn op_index(plan: &LogicalPlan) -> usize {
+    match plan {
+        LogicalPlan::Scan { .. } => 0,
+        LogicalPlan::KeywordSearch { .. } => 1,
+        LogicalPlan::Filter { .. } => 2,
+        LogicalPlan::Join { .. } => 3,
+        LogicalPlan::GroupAgg { .. } => 4,
+        LogicalPlan::Project { .. } => 5,
+        LogicalPlan::Sort { .. } => 6,
+        LogicalPlan::Limit { .. } => 7,
+        LogicalPlan::GraphConnect { .. } => 8,
+    }
+}
+
+fn op_obs(idx: usize) -> Option<&'static OpObs> {
+    static OBS: OnceLock<Vec<OpObs>> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let m = impliance_obs::global().metrics();
+        OP_NAMES
+            .iter()
+            .map(|name| OpObs {
+                rows: m.counter(&format!("query.op.{name}.rows")),
+                us: m.histogram(&format!("query.op.{name}.us"), &LATENCY_BUCKETS_US),
+            })
+            .collect()
+    })
+    .get(idx)
+}
+
 /// Execute a plan, returning output and metrics.
-pub fn execute(
+pub fn execute_plan(
     ctx: &ExecContext<'_>,
     plan: &LogicalPlan,
 ) -> Result<(QueryOutput, ExecMetrics), ExecError> {
@@ -147,7 +211,35 @@ pub fn execute(
     Ok((output, metrics))
 }
 
+/// Former free-function entry point, kept as a thin shim.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `execute_plan`, or the `QueryRequest` API on `impliance_core::Impliance`"
+)]
+pub fn execute(
+    ctx: &ExecContext<'_>,
+    plan: &LogicalPlan,
+) -> Result<(QueryOutput, ExecMetrics), ExecError> {
+    execute_plan(ctx, plan)
+}
+
+/// Run one operator (recursively), recording per-operator row counts and
+/// inclusive wall time into the global registry.
 fn run(
+    ctx: &ExecContext<'_>,
+    plan: &LogicalPlan,
+    metrics: &mut ExecMetrics,
+) -> Result<Stage, ExecError> {
+    let started = Instant::now();
+    let result = run_op(ctx, plan, metrics);
+    if let (Ok(stage), Some(obs)) = (&result, op_obs(op_index(plan))) {
+        obs.rows.add(stage.len() as u64);
+        obs.us.observe(started.elapsed().as_micros() as u64);
+    }
+    result
+}
+
+fn run_op(
     ctx: &ExecContext<'_>,
     plan: &LogicalPlan,
     metrics: &mut ExecMetrics,
@@ -490,7 +582,7 @@ mod tests {
     #[test]
     fn scan_filters_by_collection() {
         let f = Fixture::new();
-        let (out, m) = execute(&f.ctx(), &scan_plan("customers")).unwrap();
+        let (out, m) = execute_plan(&f.ctx(), &scan_plan("customers")).unwrap();
         assert_eq!(out.len(), 2);
         assert_eq!(m.scan.docs_scanned, 5);
     }
@@ -504,7 +596,7 @@ mod tests {
             alias: "o".into(),
             use_value_index: false,
         };
-        let (out, m) = execute(&f.ctx(), &plan).unwrap();
+        let (out, m) = execute_plan(&f.ctx(), &plan).unwrap();
         assert_eq!(out.len(), 2);
         assert_eq!(m.scan.docs_matched, 2);
     }
@@ -520,8 +612,8 @@ mod tests {
         };
         let mut ctx_off = f.ctx();
         ctx_off.pushdown = false;
-        let (out_on, m_on) = execute(&f.ctx(), &plan).unwrap();
-        let (out_off, m_off) = execute(&ctx_off, &plan).unwrap();
+        let (out_on, m_on) = execute_plan(&f.ctx(), &plan).unwrap();
+        let (out_off, m_off) = execute_plan(&ctx_off, &plan).unwrap();
         assert_eq!(out_on.len(), out_off.len());
         assert!(
             m_off.scan.bytes_returned > m_on.scan.bytes_returned,
@@ -540,7 +632,7 @@ mod tests {
             alias: "o".into(),
             use_value_index: true,
         };
-        let (out, m) = execute(&f.ctx(), &plan).unwrap();
+        let (out, m) = execute_plan(&f.ctx(), &plan).unwrap();
         assert_eq!(out.len(), 2);
         assert_eq!(m.index_lookups, 1);
         assert_eq!(m.scan.docs_scanned, 0, "no storage scan happened");
@@ -555,7 +647,7 @@ mod tests {
             limit: 10,
             alias: "d".into(),
         };
-        let (out, _) = execute(&f.ctx(), &plan).unwrap();
+        let (out, _) = execute_plan(&f.ctx(), &plan).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out.docs()[0].id(), DocId(10));
     }
@@ -581,7 +673,7 @@ mod tests {
                 ("orders".into(), "amount".into(), "amount".into()),
             ],
         };
-        let (out, _) = execute(&f.ctx(), &plan).unwrap();
+        let (out, _) = execute_plan(&f.ctx(), &plan).unwrap();
         let rows = out.rows();
         assert_eq!(rows.len(), 3);
         assert!(rows
@@ -600,7 +692,7 @@ mod tests {
             right_key: ("customers".into(), "code".into()),
             algo: JoinAlgo::IndexedNestedLoop,
         };
-        let (out, m) = execute(&f.ctx(), &plan).unwrap();
+        let (out, m) = execute_plan(&f.ctx(), &plan).unwrap();
         assert_eq!(out.len() / 2, 3); // 3 tuples × 2 bindings each
         assert!(m.index_lookups >= 3);
     }
@@ -617,7 +709,7 @@ mod tests {
                 output: "total".into(),
             }],
         };
-        let (out, _) = execute(&f.ctx(), &plan).unwrap();
+        let (out, _) = execute_plan(&f.ctx(), &plan).unwrap();
         let rows = out.rows();
         assert_eq!(rows.len(), 2);
         let c1 = rows
@@ -641,7 +733,7 @@ mod tests {
             }),
             n: 1,
         };
-        let (out, _) = execute(&f.ctx(), &plan).unwrap();
+        let (out, _) = execute_plan(&f.ctx(), &plan).unwrap();
         assert_eq!(out.docs()[0].id(), DocId(11)); // amount 250
     }
 
@@ -649,7 +741,7 @@ mod tests {
     fn graph_connect_plan() {
         let f = Fixture::new();
         // orders 10 and 12 connect through their customers? 10-1, 12-2: no.
-        let (out, _) = execute(
+        let (out, _) = execute_plan(
             &f.ctx(),
             &LogicalPlan::GraphConnect {
                 a: 10,
@@ -662,7 +754,7 @@ mod tests {
             QueryOutput::Path(Some(p)) => assert_eq!(p, vec![DocId(10), DocId(1)]),
             other => panic!("expected path, got {other:?}"),
         }
-        let (out2, _) = execute(
+        let (out2, _) = execute_plan(
             &f.ctx(),
             &LogicalPlan::GraphConnect {
                 a: 10,
@@ -688,7 +780,7 @@ mod tests {
             predicate: Predicate::True,
         };
         assert!(matches!(
-            execute(&f.ctx(), &plan),
+            execute_plan(&f.ctx(), &plan),
             Err(ExecError::BadPlan(_))
         ));
     }
@@ -734,7 +826,7 @@ mod adaptive_exec_tests {
                 Predicate::Eq("b".into(), Value::Int(0)),
             ]),
         };
-        let (out, _) = execute(&ctx, &plan).unwrap();
+        let (out, _) = execute_plan(&ctx, &plan).unwrap();
         // i where i%2==0 and i%50==0 → multiples of 50: 0,50,...,450 → 10
         assert_eq!(out.len(), 10);
     }

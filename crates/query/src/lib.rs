@@ -40,7 +40,7 @@ pub mod simple;
 pub mod sql;
 pub mod tuple;
 
-pub use exec::{ExecContext, ExecError, ExecMetrics, QueryOutput};
+pub use exec::{execute_plan, ExecContext, ExecError, ExecMetrics, QueryOutput};
 pub use plan::{AggItem, JoinAlgo, LogicalPlan, SortKey};
 pub use simple::SimplePlanner;
 pub use sql::parse_sql;

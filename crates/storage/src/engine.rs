@@ -7,13 +7,47 @@
 //! partitions are individually locked so concurrent ingest and scans
 //! interleave.
 
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
 use impliance_analysis::TrackedRwLock;
 use impliance_docmodel::{DocId, Document, Version};
+use impliance_obs::{Counter, Histogram, LATENCY_BUCKETS_US};
 
 use crate::error::StorageError;
 use crate::partition::Partition;
 use crate::pushdown::{ScanRequest, ScanResult};
 use crate::stats::PartitionStats;
+
+/// Cached handles into the global metrics registry; obtained once so the
+/// put/get/scan hot paths stay lock-free (one atomic RMW each).
+struct EngineObs {
+    puts: Arc<Counter>,
+    put_us: Arc<Histogram>,
+    gets: Arc<Counter>,
+    get_us: Arc<Histogram>,
+    scans: Arc<Counter>,
+    scan_us: Arc<Histogram>,
+    seals: Arc<Counter>,
+    bytes_compressed: Arc<Counter>,
+}
+
+fn engine_obs() -> &'static EngineObs {
+    static OBS: OnceLock<EngineObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let m = impliance_obs::global().metrics();
+        EngineObs {
+            puts: m.counter("storage.put.count"),
+            put_us: m.histogram("storage.put.us", &LATENCY_BUCKETS_US),
+            gets: m.counter("storage.get.count"),
+            get_us: m.histogram("storage.get.us", &LATENCY_BUCKETS_US),
+            scans: m.counter("storage.scan.count"),
+            scan_us: m.histogram("storage.scan.us", &LATENCY_BUCKETS_US),
+            seals: m.counter("storage.seal.count"),
+            bytes_compressed: m.counter("storage.seal.bytes_compressed"),
+        }
+    })
+}
 
 /// Tuning options for a storage engine. Every field has a sensible default
 /// — the appliance never requires these to be set.
@@ -84,12 +118,22 @@ impl StorageEngine {
 
     /// Store a document version.
     pub fn put(&self, doc: &Document) -> Result<(), StorageError> {
-        self.partitions[self.route(doc.id())].write().put(doc)
+        let obs = engine_obs();
+        let started = Instant::now();
+        let out = self.partitions[self.route(doc.id())].write().put(doc);
+        obs.puts.inc();
+        obs.put_us.observe(started.elapsed().as_micros() as u64);
+        out
     }
 
     /// Latest version of a document.
     pub fn get_latest(&self, id: DocId) -> Result<Option<Document>, StorageError> {
-        self.partitions[self.route(id)].read().get_latest(id)
+        let obs = engine_obs();
+        let started = Instant::now();
+        let out = self.partitions[self.route(id)].read().get_latest(id);
+        obs.gets.inc();
+        obs.get_us.observe(started.elapsed().as_micros() as u64);
+        out
     }
 
     /// A specific stored version.
@@ -118,6 +162,8 @@ impl StorageEngine {
 
     /// Execute a push-down scan over all partitions, merging results.
     pub fn scan(&self, req: &ScanRequest) -> Result<ScanResult, StorageError> {
+        let obs = engine_obs();
+        let started = Instant::now();
         let mut out = ScanResult::default();
         for p in &self.partitions {
             let partial = p.read().scan(req)?;
@@ -130,15 +176,23 @@ impl StorageEngine {
                 }
             }
         }
+        obs.scans.inc();
+        obs.scan_us.observe(started.elapsed().as_micros() as u64);
         Ok(out)
     }
 
     /// Force-seal every partition's memtable (used by benchmarks to get
     /// stable on-disk footprints).
     pub fn seal_all(&self) {
+        let before = self.stored_bytes();
         for p in &self.partitions {
             p.write().seal();
         }
+        let obs = engine_obs();
+        obs.seals.add(self.partitions.len() as u64);
+        // stored footprint shed by seal-time compression this round
+        obs.bytes_compressed
+            .add(before.saturating_sub(self.stored_bytes()) as u64);
     }
 
     /// Live (latest-version) document count.

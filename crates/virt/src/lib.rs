@@ -31,4 +31,4 @@ pub use execmgr::{ExecutionManager, TaskClass, TaskTicket};
 pub use resource::{Broker, GroupId, GroupRole, ResourceGroup, ResourcePool};
 pub use ring::HashRing;
 pub use storagemgr::{DataClass, ReplicationReport, StorageManager, StoragePolicy};
-pub use upgrade::{plan_rolling_upgrade, validate_plan, UpgradePlan, UpgradePolicy};
+pub use upgrade::{plan_rolling_upgrade, validate_plan, UpgradeError, UpgradePlan, UpgradePolicy};

@@ -15,7 +15,7 @@
 //! cargo run --example insurance_claims
 //! ```
 
-use impliance::core::{ApplianceConfig, Impliance};
+use impliance::core::{ApplianceConfig, Impliance, QueryRequest};
 use impliance::docmodel::Value;
 use impliance::facet::RollupLevel;
 use impliance_bench::Corpus;
@@ -38,7 +38,7 @@ fn main() {
 
     // 1. Reference data: average estimate per make (SQL aggregation).
     let out = imp
-        .sql("SELECT vehicle.make, AVG(amount) AS avg_amount, COUNT(*) AS n FROM claims GROUP BY vehicle.make")
+        .query(QueryRequest::builder("SELECT vehicle.make, AVG(amount) AS avg_amount, COUNT(*) AS n FROM claims GROUP BY vehicle.make").build())
         .unwrap();
     println!("reference statistics per make:");
     let mut averages = std::collections::BTreeMap::new();
@@ -52,7 +52,10 @@ fn main() {
     // 2. Flag excessive estimates: claims 5x over their make's average.
     println!("\nclaims flagged as excessive (>5x make average):");
     let all = imp
-        .sql("SELECT claimant, vehicle.make AS make, amount FROM claims")
+        .query(
+            QueryRequest::builder("SELECT claimant, vehicle.make AS make, amount FROM claims")
+                .build(),
+        )
         .unwrap();
     let mut flagged = 0;
     for row in all.rows() {
@@ -74,7 +77,7 @@ fn main() {
     // 3. Content search inside the claim text, joined back to structure:
     //    find bumper claims over $3000 (content + data in one query).
     let out = imp
-        .sql("SELECT claimant, amount FROM claims WHERE notes CONTAINS 'bumper' AND amount > 3000")
+        .query(QueryRequest::builder("SELECT claimant, amount FROM claims WHERE notes CONTAINS 'bumper' AND amount > 3000").build())
         .unwrap();
     println!(
         "\nbumper claims over $3000: {} (content+data join)",
@@ -106,7 +109,12 @@ fn main() {
         stats.relationships
     );
     let sample = imp
-        .sql("SELECT claimant FROM claims WHERE vehicle.make = 'Saab' LIMIT 3")
+        .query(
+            QueryRequest::builder(
+                "SELECT claimant FROM claims WHERE vehicle.make = 'Saab' LIMIT 3",
+            )
+            .build(),
+        )
         .unwrap();
     println!("sample Saab claimants:");
     for row in sample.rows() {

@@ -5,7 +5,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use impliance::core::{ApplianceConfig, Impliance};
+use impliance::core::{ApplianceConfig, Impliance, QueryRequest};
 use impliance::docmodel::{RelationalSchema, Value};
 
 fn main() {
@@ -40,7 +40,7 @@ fn main() {
     // 3. SQL works immediately — the relational row "can immediately be
     //    queried by SQL" (Figure 2).
     let out = imp
-        .sql("SELECT price FROM products WHERE sku = 'BX-1042'")
+        .query(QueryRequest::builder("SELECT price FROM products WHERE sku = 'BX-1042'").build())
         .unwrap();
     println!("SQL price lookup     → {}", out.rows()[0].render());
 

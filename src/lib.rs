@@ -16,6 +16,7 @@ pub use impliance_core as core;
 pub use impliance_docmodel as docmodel;
 pub use impliance_facet as facet;
 pub use impliance_index as index;
+pub use impliance_obs as obs;
 pub use impliance_query as query;
 pub use impliance_storage as storage;
 pub use impliance_virt as virt;
