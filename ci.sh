@@ -29,7 +29,13 @@ cargo clippy --workspace --all-targets -q -- \
   -D clippy::unimplemented \
   -D clippy::await_holding_lock
 
-echo "==> impliance-analysis check (L1-L5 invariants, ratcheted)"
+echo "==> impliance-analysis check (L1-L6 invariants, ratcheted)"
 cargo run -q -p impliance-analysis -- check
+
+# Smoke the executor bench: emits BENCH_exec.json and fails unless the
+# batched scan→filter→limit pipeline moves strictly fewer network bytes
+# than the pre-refactor monolithic distributed scan.
+echo "==> exec_bench smoke (BENCH_exec.json)"
+cargo run -q --release -p impliance-bench --bin exec_bench >/dev/null
 
 echo "CI gate passed"

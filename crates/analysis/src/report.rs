@@ -21,11 +21,22 @@ pub enum LintId {
     /// Library crates must not print to stdout/stderr — diagnostics flow
     /// through the observability layer (`impliance-obs`), not the console.
     L5,
+    /// The streaming executor core must not fall back to the materializing
+    /// helpers (`ops::*` / `joins::*` / `collect_*`) — operators stream
+    /// batches; only the compatibility wrappers may materialize.
+    L6,
 }
 
 impl LintId {
     /// All lints, in order.
-    pub const ALL: [LintId; 5] = [LintId::L1, LintId::L2, LintId::L3, LintId::L4, LintId::L5];
+    pub const ALL: [LintId; 6] = [
+        LintId::L1,
+        LintId::L2,
+        LintId::L3,
+        LintId::L4,
+        LintId::L5,
+        LintId::L6,
+    ];
 
     /// Stable string form (`"L1"`...).
     pub fn as_str(&self) -> &'static str {
@@ -35,6 +46,7 @@ impl LintId {
             LintId::L3 => "L3",
             LintId::L4 => "L4",
             LintId::L5 => "L5",
+            LintId::L6 => "L6",
         }
     }
 
@@ -46,6 +58,7 @@ impl LintId {
             "L3" => Some(LintId::L3),
             "L4" => Some(LintId::L4),
             "L5" => Some(LintId::L5),
+            "L6" => Some(LintId::L6),
             _ => None,
         }
     }
@@ -60,6 +73,10 @@ impl LintId {
             }
             LintId::L4 => "no Mutex/RwLock guard held across a channel send/recv",
             LintId::L5 => "no print!/println!/eprint!/eprintln! in library crates",
+            LintId::L6 => {
+                "no materializing helpers (ops::/joins::/collect_*) inside the streaming \
+                 executor core"
+            }
         }
     }
 }

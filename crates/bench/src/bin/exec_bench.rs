@@ -1,0 +1,259 @@
+//! Throughput and byte-movement accounting for the batched streaming
+//! executor. Emits `BENCH_exec.json` in the workspace root and exits
+//! non-zero if the batched scan→filter→limit pipeline fails to move
+//! strictly fewer bytes through the cluster `Network` than the
+//! pre-refactor monolithic distributed scan on the same corpus.
+//!
+//! Two measurements:
+//!
+//! 1. **Local pipeline** — scan→filter→project over a single-node corpus,
+//!    once unbounded and once with a request-level LIMIT. The limited run
+//!    must scan only a prefix of the corpus (early termination), which
+//!    shows up both in `docs_scanned` and in the
+//!    `query.pipeline.early_terminations` observability counter.
+//! 2. **Distributed bytes** — the same filtered scan over a simulated
+//!    cluster, comparing the pre-refactor shape (one task per node, the
+//!    node's whole partial shipped in a single transmit, LIMIT applied
+//!    only at the coordinator) against `dist_scan_batched` with the limit
+//!    pushed into the per-morsel page loop.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use impliance_cluster::{ClusterRuntime, Network, NodeId, NodeKind, NodeSpec};
+use impliance_docmodel::{DocId, DocumentBuilder, SourceFormat, Value};
+use impliance_index::{InvertedIndex, JoinIndex, PathValueIndex};
+use impliance_query::dist::{dist_put, dist_scan_batched, DataNodeState};
+use impliance_query::{execute_plan_opts, ExecContext, ExecOptions, LogicalPlan};
+use impliance_storage::{Predicate, ScanRequest, StorageEngine, StorageOptions};
+
+const LOCAL_DOCS: u64 = 20_000;
+const LOCAL_LIMIT: usize = 100;
+const BATCH_SIZE: usize = 256;
+const DIST_DOCS: u64 = 400;
+const DIST_LIMIT: usize = 5;
+const DIST_BATCH: usize = 16;
+
+struct RunStats {
+    rows: u64,
+    docs_scanned: u64,
+    micros: u128,
+}
+
+fn main() {
+    let local = bench_local_pipeline();
+    let dist = bench_distributed_bytes();
+
+    let rows_per_sec = if local.0.micros > 0 {
+        local.0.rows as f64 / (local.0.micros as f64 / 1_000_000.0)
+    } else {
+        f64::INFINITY
+    };
+    let ratio = dist.batched_bytes as f64 / dist.monolithic_bytes.max(1) as f64;
+
+    let json = format!(
+        "{{\n  \"bench\": \"exec\",\n  \"local\": {{\n    \"corpus_docs\": {LOCAL_DOCS},\n    \
+         \"batch_size\": {BATCH_SIZE},\n    \"full\": {{ \"rows\": {}, \"docs_scanned\": {}, \
+         \"micros\": {}, \"rows_per_sec\": {:.0} }},\n    \"limited\": {{ \"limit\": \
+         {LOCAL_LIMIT}, \"rows\": {}, \"docs_scanned\": {}, \"micros\": {}, \
+         \"early_terminations\": {} }}\n  }},\n  \"distributed\": {{\n    \"corpus_docs\": \
+         {DIST_DOCS},\n    \"data_nodes\": 2,\n    \"partitions_per_node\": 2,\n    \
+         \"limit\": {DIST_LIMIT},\n    \"monolithic_bytes\": {},\n    \"batched_limit_bytes\": \
+         {},\n    \"batched_morsels\": {},\n    \"batched_batches\": {},\n    \
+         \"bytes_ratio\": {:.4}\n  }}\n}}\n",
+        local.0.rows,
+        local.0.docs_scanned,
+        local.0.micros,
+        rows_per_sec,
+        local.1.rows,
+        local.1.docs_scanned,
+        local.1.micros,
+        local.2,
+        dist.monolithic_bytes,
+        dist.batched_bytes,
+        dist.morsels,
+        dist.batches,
+        ratio,
+    );
+    std::fs::write("BENCH_exec.json", &json).expect("write BENCH_exec.json");
+    print!("{json}");
+
+    let mut failed = false;
+    if local.1.docs_scanned >= LOCAL_DOCS {
+        eprintln!(
+            "FAIL: limited pipeline scanned the whole corpus ({} docs) — no early termination",
+            local.1.docs_scanned
+        );
+        failed = true;
+    }
+    if dist.batched_bytes >= dist.monolithic_bytes {
+        eprintln!(
+            "FAIL: batched limit scan moved {} bytes, monolithic scan {} — expected strictly \
+             fewer",
+            dist.batched_bytes, dist.monolithic_bytes
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "OK: limit scanned {}/{} docs locally; batched dist scan moved {}/{} bytes ({:.1}%)",
+        local.1.docs_scanned,
+        LOCAL_DOCS,
+        dist.batched_bytes,
+        dist.monolithic_bytes,
+        ratio * 100.0
+    );
+}
+
+/// Scan→filter→project over one node, unbounded then LIMIT-ed.
+fn bench_local_pipeline() -> (RunStats, RunStats, u64) {
+    let storage = StorageEngine::new(StorageOptions {
+        partitions: 4,
+        seal_threshold: 512,
+        compression: true,
+        encryption_key: None,
+    });
+    for i in 0..LOCAL_DOCS {
+        storage
+            .put(
+                &DocumentBuilder::new(DocId(i), SourceFormat::Json, "orders")
+                    .field("amount", (i % 1000) as i64)
+                    .field("cust", format!("C-{}", i % 17))
+                    .build(),
+            )
+            .expect("put");
+    }
+    let text = InvertedIndex::new(4);
+    let values = PathValueIndex::new();
+    let joins = JoinIndex::new();
+    let ctx = ExecContext {
+        storage: &storage,
+        text_index: &text,
+        value_index: &values,
+        join_index: &joins,
+        pushdown: true,
+    };
+    let plan = LogicalPlan::Project {
+        input: Box::new(LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Scan {
+                collection: Some("orders".into()),
+                predicate: None,
+                alias: "orders".into(),
+                use_value_index: false,
+            }),
+            alias: "orders".into(),
+            predicate: Predicate::Ge("amount".into(), Value::Int(100)),
+        }),
+        columns: vec![("orders".into(), "amount".into(), "amount".into())],
+    };
+
+    let run = |limit: Option<usize>| {
+        let opts = ExecOptions {
+            batch_size: BATCH_SIZE,
+            limit,
+        };
+        let t0 = Instant::now();
+        let (out, m) = execute_plan_opts(&ctx, &plan, &opts).expect("execute");
+        RunStats {
+            rows: out.len() as u64,
+            docs_scanned: m.scan.docs_scanned,
+            micros: t0.elapsed().as_micros(),
+        }
+    };
+
+    let early = impliance_obs::global()
+        .metrics()
+        .counter("query.pipeline.early_terminations");
+    let full = run(None);
+    let before = early.get();
+    let limited = run(Some(LOCAL_LIMIT));
+    (full, limited, early.get() - before)
+}
+
+struct DistStats {
+    monolithic_bytes: u64,
+    batched_bytes: u64,
+    morsels: usize,
+    batches: u64,
+}
+
+/// Same filtered scan over a 2-node × 2-partition cluster: pre-refactor
+/// monolithic shape vs batched morsels with the limit pushed down.
+fn bench_distributed_bytes() -> DistStats {
+    let specs = vec![
+        NodeSpec::new(0, NodeKind::Data),
+        NodeSpec::new(1, NodeKind::Data),
+        NodeSpec::new(100, NodeKind::Grid),
+    ];
+    let rt = ClusterRuntime::boot(&specs, Arc::new(Network::new()), |spec| match spec.kind {
+        NodeKind::Data => Arc::new(DataNodeState::new(Arc::new(StorageEngine::new(
+            StorageOptions {
+                partitions: 2,
+                seal_threshold: 64,
+                compression: true,
+                encryption_key: None,
+            },
+        )))),
+        _ => Arc::new(()),
+    });
+    for i in 0..DIST_DOCS {
+        dist_put(
+            &rt,
+            &DocumentBuilder::new(DocId(i), SourceFormat::Json, "orders")
+                .field("amount", (i % 100) as i64)
+                .field("cust", format!("C-{}", i % 10))
+                .build(),
+        )
+        .expect("dist_put");
+    }
+    let request = ScanRequest::filtered(Predicate::Ge("amount".into(), Value::Int(50)));
+
+    // Pre-refactor shape: one task per node, the node scans everything the
+    // predicate admits and ships its whole partial in a single transmit;
+    // LIMIT existed only at the coordinator, after the bytes had moved.
+    rt.network().reset_metrics();
+    let req_bytes = format!("{request:?}").len() as u64;
+    let mut handles = Vec::new();
+    for id in rt.nodes_of_kind(NodeKind::Data) {
+        let req = request.clone();
+        let handle = rt
+            .submit_to(id, req_bytes, move |ctx| {
+                let state = ctx
+                    .state
+                    .downcast_ref::<DataNodeState>()
+                    .expect("data node state");
+                let result = state.storage.scan(&req).expect("node scan");
+                ctx.network
+                    .transmit(ctx.id, NodeId(u32::MAX), result.metrics.bytes_returned);
+                result.documents.len()
+            })
+            .expect("submit monolithic scan");
+        handles.push(handle);
+    }
+    let mut monolithic_docs = 0usize;
+    for h in handles {
+        monolithic_docs += h.join().expect("join monolithic scan");
+    }
+    let monolithic_bytes = rt.network().metrics().bytes;
+
+    // Batched pipeline: the limit rides in the request, every morsel stops
+    // after its first page reaches it.
+    rt.network().reset_metrics();
+    let limited = ScanRequest {
+        limit: Some(DIST_LIMIT),
+        ..request.clone()
+    };
+    let (res, stats) = dist_scan_batched(&rt, &limited, DIST_BATCH).expect("batched scan");
+    let batched_bytes = rt.network().metrics().bytes;
+    assert_eq!(res.documents.len(), DIST_LIMIT, "limit honored");
+    assert!(monolithic_docs > DIST_LIMIT, "corpus larger than the limit");
+
+    DistStats {
+        monolithic_bytes,
+        batched_bytes,
+        morsels: stats.morsels,
+        batches: stats.batches,
+    }
+}

@@ -23,8 +23,8 @@ use impliance_facet::{FacetDimension, FacetEngine, GuidedSession, RollupLevel, R
 use impliance_index::{search, InvertedIndex, JoinIndex, PathValueIndex, SearchHit, SearchQuery};
 use impliance_obs::Counter;
 use impliance_query::{
-    execute_plan, parse_sql, ExecContext, ExecError, ExecMetrics, LogicalPlan, QueryOutput,
-    SimplePlanner,
+    execute_plan_opts, parse_sql, ExecContext, ExecError, ExecMetrics, ExecOptions, LogicalPlan,
+    QueryOutput, SimplePlanner,
 };
 use impliance_storage::{StorageEngine, StorageError, StorageOptions};
 use parking_lot::Mutex;
@@ -470,7 +470,11 @@ impl Impliance {
             join_index: &self.join_index,
             pushdown: req.pushdown().unwrap_or(self.config.pushdown),
         };
-        let (output, metrics) = execute_plan(&ctx, &plan)?;
+        let opts = ExecOptions {
+            batch_size: req.batch_size().unwrap_or(self.config.batch_size),
+            limit: req.limit(),
+        };
+        let (output, metrics) = execute_plan_opts(&ctx, &plan, &opts)?;
         Ok(QueryResponse {
             output,
             metrics,

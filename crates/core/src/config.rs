@@ -35,6 +35,9 @@ pub struct ApplianceConfig {
     pub resolution_threshold: f64,
     /// Replication factor for user data in the cluster deployment.
     pub replication: usize,
+    /// Tuples/rows per pipeline batch in the streaming executor
+    /// (overridable per request via `QueryRequest::batch_size`).
+    pub batch_size: usize,
 }
 
 impl Default for ApplianceConfig {
@@ -51,6 +54,7 @@ impl Default for ApplianceConfig {
             synchronous_indexing: false,
             resolution_threshold: 0.93,
             replication: 3,
+            batch_size: impliance_query::DEFAULT_BATCH_SIZE,
         }
     }
 }

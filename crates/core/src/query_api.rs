@@ -17,6 +17,8 @@ pub struct QueryRequest {
     statement: String,
     pushdown: Option<bool>,
     plan_cache: bool,
+    batch_size: Option<usize>,
+    limit: Option<usize>,
 }
 
 impl QueryRequest {
@@ -27,6 +29,8 @@ impl QueryRequest {
                 statement: statement.into(),
                 pushdown: None,
                 plan_cache: true,
+                batch_size: None,
+                limit: None,
             },
         }
     }
@@ -45,6 +49,18 @@ impl QueryRequest {
     /// Whether the plan cache may serve/store this statement's plan.
     pub fn plan_cache_enabled(&self) -> bool {
         self.plan_cache
+    }
+
+    /// The per-request pipeline batch size, if any (defaults to the
+    /// appliance configuration when `None`).
+    pub fn batch_size(&self) -> Option<usize> {
+        self.batch_size
+    }
+
+    /// The request-level output cap, if any. Enforced as a pipeline
+    /// `Limit`, so upstream operators terminate early.
+    pub fn limit(&self) -> Option<usize> {
+        self.limit
     }
 }
 
@@ -65,6 +81,19 @@ impl QueryRequestBuilder {
     /// disable when benchmarking the planner itself).
     pub fn plan_cache(mut self, enabled: bool) -> QueryRequestBuilder {
         self.request.plan_cache = enabled;
+        self
+    }
+
+    /// Override the pipeline batch size for this request only.
+    pub fn batch_size(mut self, size: usize) -> QueryRequestBuilder {
+        self.request.batch_size = Some(size.max(1));
+        self
+    }
+
+    /// Cap the number of output rows/documents. Applied as a pipeline
+    /// `Limit` at the root of the plan.
+    pub fn limit(mut self, n: usize) -> QueryRequestBuilder {
+        self.request.limit = Some(n);
         self
     }
 
@@ -129,5 +158,19 @@ mod tests {
             .build();
         assert_eq!(req.pushdown(), Some(false));
         assert!(!req.plan_cache_enabled());
+    }
+
+    #[test]
+    fn builder_batch_size_and_limit() {
+        let req = QueryRequest::builder("SELECT * FROM docs").build();
+        assert_eq!(req.batch_size(), None);
+        assert_eq!(req.limit(), None);
+
+        let req = QueryRequest::builder("SELECT * FROM docs")
+            .batch_size(0)
+            .limit(10)
+            .build();
+        assert_eq!(req.batch_size(), Some(1), "batch size clamps to >= 1");
+        assert_eq!(req.limit(), Some(10));
     }
 }

@@ -1,0 +1,1099 @@
+//! The batched, pull-based operator pipeline.
+//!
+//! Every physical operator implements [`Operator`]: a Volcano-style
+//! `next_batch` that pulls fixed-capacity [`Batch`]es from its input.
+//! Streaming operators (scan, filter, project, limit, hash-probe,
+//! indexed-NL probe) hold no more than one batch at a time; blocking
+//! operators (sort, group/aggregate, the build and merge sides of joins)
+//! materialize only where the algebra requires it, and sort takes a top-K
+//! fast path when a downstream `Limit` caps the output. `Limit` stops
+//! pulling once satisfied, which terminates the whole pipeline early —
+//! a `LIMIT 10` over a million documents now touches batches, not the
+//! corpus.
+//!
+//! The legacy materialized helpers in [`crate::ops`] and [`crate::joins`]
+//! are thin wrappers over these operators (slated for removal); the
+//! executor in [`crate::exec`] composes operators directly.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use impliance_docmodel::{DocId, Document, Value};
+use impliance_index::PathValueIndex;
+use impliance_obs::{Counter, Histogram, LATENCY_BUCKETS_US};
+use impliance_storage::{AggValue, BatchScan, Predicate};
+
+use crate::adaptive::AdaptiveFilterChain;
+use crate::exec::{ExecError, ExecMetrics};
+use crate::plan::{AggItem, SortKey};
+use crate::tuple::{Row, Tuple};
+
+/// Default number of tuples/rows per batch when neither the request nor
+/// the appliance config overrides it.
+pub const DEFAULT_BATCH_SIZE: usize = 256;
+
+/// Execution metrics shared by every operator of one pipeline.
+pub(crate) type SharedMetrics = Rc<RefCell<ExecMetrics>>;
+
+/// A fixed-capacity chunk of intermediate results: bound tuples below a
+/// projection/aggregation, output rows above one.
+#[derive(Debug, Clone)]
+pub enum Batch {
+    /// Alias-bound documents.
+    Tuples(Vec<Tuple>),
+    /// Final output rows.
+    Rows(Vec<Row>),
+}
+
+impl Batch {
+    /// Number of tuples/rows in the batch.
+    pub fn len(&self) -> usize {
+        match self {
+            Batch::Tuples(t) => t.len(),
+            Batch::Rows(r) => r.len(),
+        }
+    }
+
+    /// True when the batch holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Keep only the first `n` entries.
+    pub fn truncate(&mut self, n: usize) {
+        match self {
+            Batch::Tuples(t) => t.truncate(n),
+            Batch::Rows(r) => r.truncate(n),
+        }
+    }
+}
+
+/// A pull-based physical operator.
+pub trait Operator {
+    /// Static operator name (the obs key under `query.op.<name>.*`).
+    fn name(&self) -> &'static str;
+
+    /// Pull the next batch, or `None` once the operator is exhausted.
+    /// Operators never emit empty batches.
+    fn next_batch(&mut self) -> Result<Option<Batch>, ExecError>;
+}
+
+// ---------------------------------------------------------------------
+// Observability: per-operator rows/batches/time plus pipeline-wide
+// rows-per-batch distribution and early-termination count. Handles are
+// cached once; the per-batch cost is a few relaxed atomic RMWs.
+// ---------------------------------------------------------------------
+
+pub(crate) const OP_NAMES: [&str; 9] = [
+    "scan",
+    "keyword_search",
+    "filter",
+    "join",
+    "group_agg",
+    "project",
+    "sort",
+    "limit",
+    "graph_connect",
+];
+
+pub(crate) struct OpObs {
+    pub(crate) rows: Arc<Counter>,
+    pub(crate) us: Arc<Histogram>,
+    pub(crate) batches: Arc<Counter>,
+}
+
+pub(crate) fn op_obs(idx: usize) -> Option<&'static OpObs> {
+    static OBS: OnceLock<Vec<OpObs>> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let m = impliance_obs::global().metrics();
+        OP_NAMES
+            .iter()
+            .map(|name| OpObs {
+                rows: m.counter(&format!("query.op.{name}.rows")),
+                us: m.histogram(&format!("query.op.{name}.us"), &LATENCY_BUCKETS_US),
+                batches: m.counter(&format!("query.op.{name}.batches")),
+            })
+            .collect()
+    })
+    .get(idx)
+}
+
+/// Batch-size distribution buckets (powers of two up to 4096).
+const ROWS_PER_BATCH_BUCKETS: [u64; 12] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096];
+
+pub(crate) struct PipelineObs {
+    pub(crate) rows_per_batch: Arc<Histogram>,
+    pub(crate) early_terminations: Arc<Counter>,
+}
+
+pub(crate) fn pipeline_obs() -> &'static PipelineObs {
+    static OBS: OnceLock<PipelineObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let m = impliance_obs::global().metrics();
+        PipelineObs {
+            rows_per_batch: m.histogram("query.pipeline.rows_per_batch", &ROWS_PER_BATCH_BUCKETS),
+            early_terminations: m.counter("query.pipeline.early_terminations"),
+        }
+    })
+}
+
+/// Metering decorator: records rows, batches, per-pull latency, and the
+/// rows-per-batch distribution for the wrapped operator.
+pub(crate) struct Metered<'a> {
+    inner: Box<dyn Operator + 'a>,
+    idx: usize,
+}
+
+impl<'a> Metered<'a> {
+    pub(crate) fn wrap(idx: usize, inner: Box<dyn Operator + 'a>) -> Box<dyn Operator + 'a> {
+        Box::new(Metered { inner, idx })
+    }
+}
+
+impl Operator for Metered<'_> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Batch>, ExecError> {
+        let started = Instant::now();
+        let out = self.inner.next_batch();
+        if let (Ok(maybe), Some(obs)) = (&out, op_obs(self.idx)) {
+            obs.us.observe(started.elapsed().as_micros() as u64);
+            if let Some(b) = maybe {
+                obs.rows.add(b.len() as u64);
+                obs.batches.inc();
+                pipeline_obs().rows_per_batch.observe(b.len() as u64);
+            }
+        }
+        out
+    }
+}
+
+/// Split the first `n` elements off the front of a vector without cloning.
+fn take_front<T>(v: &mut Vec<T>, n: usize) -> Vec<T> {
+    if n >= v.len() {
+        return std::mem::take(v);
+    }
+    let rest = v.split_off(n);
+    std::mem::replace(v, rest)
+}
+
+// ---------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------
+
+/// Emits a pre-materialized vector in batches (index lookups, keyword
+/// search results, and the legacy-wrapper entry points).
+pub struct VecSource {
+    name: &'static str,
+    data: Batch,
+    batch_size: usize,
+}
+
+impl VecSource {
+    /// A tuple source named for obs purposes.
+    pub fn tuples(name: &'static str, tuples: Vec<Tuple>, batch_size: usize) -> VecSource {
+        VecSource {
+            name,
+            data: Batch::Tuples(tuples),
+            batch_size: batch_size.max(1),
+        }
+    }
+
+    /// A row source.
+    pub fn rows(name: &'static str, rows: Vec<Row>, batch_size: usize) -> VecSource {
+        VecSource {
+            name,
+            data: Batch::Rows(rows),
+            batch_size: batch_size.max(1),
+        }
+    }
+}
+
+impl Operator for VecSource {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Batch>, ExecError> {
+        let out = match &mut self.data {
+            Batch::Tuples(t) if !t.is_empty() => Batch::Tuples(take_front(t, self.batch_size)),
+            Batch::Rows(r) if !r.is_empty() => Batch::Rows(take_front(r, self.batch_size)),
+            _ => return Ok(None),
+        };
+        Ok(Some(out))
+    }
+}
+
+/// Streaming storage scan: one partition page per pull, predicate
+/// push-down (or a node-side residual filter when push-down is off), and
+/// scan metrics merged into the pipeline's shared [`ExecMetrics`].
+pub struct ScanOp<'a> {
+    stream: BatchScan<'a>,
+    alias: String,
+    /// Residual predicate evaluated here when push-down is disabled.
+    post_filter: Option<Predicate>,
+    metrics: SharedMetrics,
+}
+
+impl<'a> ScanOp<'a> {
+    pub(crate) fn new(
+        stream: BatchScan<'a>,
+        alias: String,
+        post_filter: Option<Predicate>,
+        metrics: SharedMetrics,
+    ) -> ScanOp<'a> {
+        ScanOp {
+            stream,
+            alias,
+            post_filter,
+            metrics,
+        }
+    }
+}
+
+impl Operator for ScanOp<'_> {
+    fn name(&self) -> &'static str {
+        "scan"
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Batch>, ExecError> {
+        loop {
+            let Some(result) = self.stream.next_batch()? else {
+                return Ok(None);
+            };
+            self.metrics.borrow_mut().scan.merge(&result.metrics);
+            let mut tuples: Vec<Tuple> = result
+                .documents
+                .into_iter()
+                .map(|d| Tuple::single(&self.alias, Arc::new(d)))
+                .collect();
+            if let Some(p) = &self.post_filter {
+                tuples.retain(|t| {
+                    t.bindings
+                        .get(&self.alias)
+                        .map(|d| p.matches(d))
+                        .unwrap_or(false)
+                });
+            }
+            if tuples.is_empty() {
+                continue; // all-stale or all-filtered page: pull again
+            }
+            return Ok(Some(Batch::Tuples(tuples)));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Streaming operators
+// ---------------------------------------------------------------------
+
+enum FilterMode {
+    Single(Predicate),
+    /// Multi-conjunct filters run through the self-adapting chain (§3.3
+    /// adaptive operators); the chain's learned order persists across
+    /// batches.
+    Adaptive(AdaptiveFilterChain),
+}
+
+/// Streaming filter over tuple batches.
+pub struct FilterOp<'a> {
+    input: Box<dyn Operator + 'a>,
+    alias: String,
+    mode: FilterMode,
+}
+
+impl<'a> FilterOp<'a> {
+    pub fn new(input: Box<dyn Operator + 'a>, alias: String, predicate: Predicate) -> FilterOp<'a> {
+        let mode = match predicate {
+            Predicate::And(conjuncts) if conjuncts.len() > 1 => {
+                FilterMode::Adaptive(AdaptiveFilterChain::new(conjuncts, 64))
+            }
+            p => FilterMode::Single(p),
+        };
+        FilterOp { input, alias, mode }
+    }
+}
+
+impl Operator for FilterOp<'_> {
+    fn name(&self) -> &'static str {
+        "filter"
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Batch>, ExecError> {
+        loop {
+            let Some(batch) = self.input.next_batch()? else {
+                return Ok(None);
+            };
+            let Batch::Tuples(tuples) = batch else {
+                return Err(ExecError::BadPlan("filter over non-tuple input".into()));
+            };
+            let kept = match &mut self.mode {
+                FilterMode::Single(p) => {
+                    let mut t = tuples;
+                    t.retain(|t| {
+                        t.bindings
+                            .get(&self.alias)
+                            .map(|d| p.matches(d))
+                            .unwrap_or(false)
+                    });
+                    t
+                }
+                FilterMode::Adaptive(chain) => chain.filter(tuples, &self.alias),
+            };
+            if kept.is_empty() {
+                continue;
+            }
+            return Ok(Some(Batch::Tuples(kept)));
+        }
+    }
+}
+
+/// Streaming projection: tuples become rows; row batches pass through
+/// (projection over rows is identity, matching the materialized executor).
+pub struct ProjectOp<'a> {
+    input: Box<dyn Operator + 'a>,
+    columns: Vec<(String, String, String)>,
+}
+
+impl<'a> ProjectOp<'a> {
+    pub fn new(input: Box<dyn Operator + 'a>, columns: Vec<(String, String, String)>) -> Self {
+        ProjectOp { input, columns }
+    }
+}
+
+impl Operator for ProjectOp<'_> {
+    fn name(&self) -> &'static str {
+        "project"
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Batch>, ExecError> {
+        let Some(batch) = self.input.next_batch()? else {
+            return Ok(None);
+        };
+        match batch {
+            Batch::Tuples(tuples) => {
+                let rows = tuples
+                    .iter()
+                    .map(|t| {
+                        Row::from_pairs(
+                            self.columns
+                                .iter()
+                                .map(|(alias, path, out)| (out.clone(), t.key(alias, path))),
+                        )
+                    })
+                    .collect();
+                Ok(Some(Batch::Rows(rows)))
+            }
+            rows @ Batch::Rows(_) => Ok(Some(rows)),
+        }
+    }
+}
+
+/// Streaming limit: truncates batches and, once satisfied, stops pulling
+/// its input entirely — the early-termination signal that propagates all
+/// the way down to the storage cursor.
+pub struct LimitOp<'a> {
+    input: Box<dyn Operator + 'a>,
+    remaining: usize,
+    input_exhausted: bool,
+    recorded_early_stop: bool,
+}
+
+impl<'a> LimitOp<'a> {
+    pub fn new(input: Box<dyn Operator + 'a>, n: usize) -> LimitOp<'a> {
+        LimitOp {
+            input,
+            remaining: n,
+            input_exhausted: false,
+            recorded_early_stop: false,
+        }
+    }
+}
+
+impl Operator for LimitOp<'_> {
+    fn name(&self) -> &'static str {
+        "limit"
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Batch>, ExecError> {
+        if self.remaining == 0 {
+            if !self.input_exhausted && !self.recorded_early_stop {
+                self.recorded_early_stop = true;
+                pipeline_obs().early_terminations.inc();
+            }
+            return Ok(None);
+        }
+        match self.input.next_batch()? {
+            None => {
+                self.input_exhausted = true;
+                Ok(None)
+            }
+            Some(mut batch) => {
+                batch.truncate(self.remaining);
+                self.remaining -= batch.len();
+                Ok(Some(batch))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Blocking operators
+// ---------------------------------------------------------------------
+
+pub(crate) fn sort_tuples(tuples: &mut [Tuple], keys: &[SortKey]) {
+    tuples.sort_by(|a, b| {
+        for k in keys {
+            let va = a.key(&k.alias, &k.path);
+            let vb = b.key(&k.alias, &k.path);
+            let ord = va.total_cmp(&vb);
+            let ord = if k.descending { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+}
+
+pub(crate) fn sort_rows(rows: &mut [Row], keys: &[SortKey]) {
+    rows.sort_by(|a, b| {
+        for k in keys {
+            let ord = a.get(&k.path).total_cmp(b.get(&k.path));
+            let ord = if k.descending { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+}
+
+enum SortBuffer {
+    Tuples(Vec<Tuple>),
+    Rows(Vec<Row>),
+    Empty,
+}
+
+/// Blocking sort. With `top_k` set (a downstream `Limit` caps the
+/// output), the buffer is pruned to `k` whenever it doubles, so memory
+/// stays O(k) instead of O(corpus) — the top-K fast path.
+pub struct SortOp<'a> {
+    input: Option<Box<dyn Operator + 'a>>,
+    keys: Vec<SortKey>,
+    top_k: Option<usize>,
+    batch_size: usize,
+    buffer: SortBuffer,
+}
+
+impl<'a> SortOp<'a> {
+    pub fn new(
+        input: Box<dyn Operator + 'a>,
+        keys: Vec<SortKey>,
+        top_k: Option<usize>,
+        batch_size: usize,
+    ) -> SortOp<'a> {
+        SortOp {
+            input: Some(input),
+            keys,
+            top_k,
+            batch_size: batch_size.max(1),
+            buffer: SortBuffer::Empty,
+        }
+    }
+
+    fn fill(&mut self) -> Result<(), ExecError> {
+        let Some(mut input) = self.input.take() else {
+            return Ok(());
+        };
+        let mut tuples: Vec<Tuple> = Vec::new();
+        let mut rows: Vec<Row> = Vec::new();
+        // Stable sort + truncate commutes with incremental pruning, so
+        // periodic prune-to-k is exact, not approximate.
+        let prune_at = self.top_k.map(|k| (2 * k).max(64));
+        while let Some(batch) = input.next_batch()? {
+            match batch {
+                Batch::Tuples(t) => tuples.extend(t),
+                Batch::Rows(r) => rows.extend(r),
+            }
+            if let (Some(cap), Some(k)) = (prune_at, self.top_k) {
+                if tuples.len() > cap {
+                    sort_tuples(&mut tuples, &self.keys);
+                    tuples.truncate(k);
+                }
+                if rows.len() > cap {
+                    sort_rows(&mut rows, &self.keys);
+                    rows.truncate(k);
+                }
+            }
+        }
+        self.buffer = if !tuples.is_empty() {
+            sort_tuples(&mut tuples, &self.keys);
+            if let Some(k) = self.top_k {
+                tuples.truncate(k);
+            }
+            SortBuffer::Tuples(tuples)
+        } else if !rows.is_empty() {
+            sort_rows(&mut rows, &self.keys);
+            if let Some(k) = self.top_k {
+                rows.truncate(k);
+            }
+            SortBuffer::Rows(rows)
+        } else {
+            SortBuffer::Empty
+        };
+        Ok(())
+    }
+}
+
+impl Operator for SortOp<'_> {
+    fn name(&self) -> &'static str {
+        "sort"
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Batch>, ExecError> {
+        self.fill()?;
+        let out = match &mut self.buffer {
+            SortBuffer::Tuples(t) if !t.is_empty() => Batch::Tuples(take_front(t, self.batch_size)),
+            SortBuffer::Rows(r) if !r.is_empty() => Batch::Rows(take_front(r, self.batch_size)),
+            _ => return Ok(None),
+        };
+        Ok(Some(out))
+    }
+}
+
+/// Fold one tuple into the running group states (shared by the streaming
+/// operator and the legacy wrapper, so both paths aggregate identically).
+pub(crate) fn fold_group(
+    groups: &mut BTreeMap<String, (Value, Vec<AggValue>)>,
+    t: &Tuple,
+    group_by: Option<&(String, String)>,
+    aggs: &[AggItem],
+) {
+    let (key_render, key_value) = match group_by {
+        None => (String::new(), Value::Null),
+        Some((alias, path)) => {
+            let v = t.key(alias, path);
+            if v.is_null() {
+                return; // no group key → excluded
+            }
+            (v.render(), v)
+        }
+    };
+    let entry = groups
+        .entry(key_render)
+        .or_insert_with(|| (key_value, vec![AggValue::default(); aggs.len()]));
+    for (i, agg) in aggs.iter().enumerate() {
+        match &agg.operand {
+            None => entry.1[i].count += 1,
+            Some(path) => {
+                // operand path may be alias-qualified through group_by
+                // alias; use the first alias that has the path
+                for alias in t.bindings.keys() {
+                    let v = t.key(alias, path);
+                    if !v.is_null() {
+                        entry.1[i].observe(&v);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Render finished group states as output rows.
+pub(crate) fn finish_groups(
+    groups: BTreeMap<String, (Value, Vec<AggValue>)>,
+    group_by: Option<&(String, String)>,
+    aggs: &[AggItem],
+) -> Vec<Row> {
+    groups
+        .into_values()
+        .map(|(key_value, states)| {
+            let mut pairs: Vec<(String, Value)> = Vec::with_capacity(aggs.len() + 1);
+            if group_by.is_some() {
+                pairs.push(("group".to_string(), key_value));
+            }
+            for (agg, state) in aggs.iter().zip(states) {
+                pairs.push((agg.output.clone(), state.finish(agg.func)));
+            }
+            Row::from_pairs(pairs)
+        })
+        .collect()
+}
+
+/// Blocking group/aggregate: folds input batches into per-group states
+/// incrementally (memory is O(groups), not O(input)), then emits the
+/// finished rows in batches.
+pub struct GroupAggOp<'a> {
+    input: Option<Box<dyn Operator + 'a>>,
+    group_by: Option<(String, String)>,
+    aggs: Vec<AggItem>,
+    batch_size: usize,
+    out: Vec<Row>,
+}
+
+impl<'a> GroupAggOp<'a> {
+    pub fn new(
+        input: Box<dyn Operator + 'a>,
+        group_by: Option<(String, String)>,
+        aggs: Vec<AggItem>,
+        batch_size: usize,
+    ) -> GroupAggOp<'a> {
+        GroupAggOp {
+            input: Some(input),
+            group_by,
+            aggs,
+            batch_size: batch_size.max(1),
+            out: Vec::new(),
+        }
+    }
+
+    fn fill(&mut self) -> Result<(), ExecError> {
+        let Some(mut input) = self.input.take() else {
+            return Ok(());
+        };
+        let mut groups: BTreeMap<String, (Value, Vec<AggValue>)> = BTreeMap::new();
+        while let Some(batch) = input.next_batch()? {
+            let Batch::Tuples(tuples) = batch else {
+                return Err(ExecError::BadPlan("aggregate over non-tuple input".into()));
+            };
+            for t in &tuples {
+                fold_group(&mut groups, t, self.group_by.as_ref(), &self.aggs);
+            }
+        }
+        self.out = finish_groups(groups, self.group_by.as_ref(), &self.aggs);
+        Ok(())
+    }
+}
+
+impl Operator for GroupAggOp<'_> {
+    fn name(&self) -> &'static str {
+        "group_agg"
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Batch>, ExecError> {
+        self.fill()?;
+        if self.out.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(Batch::Rows(take_front(
+            &mut self.out,
+            self.batch_size,
+        ))))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Join operators
+// ---------------------------------------------------------------------
+
+/// Hash join: blocking build over the right input, streaming probe with
+/// left batches.
+pub struct HashJoinOp<'a> {
+    left: Box<dyn Operator + 'a>,
+    right: Option<Box<dyn Operator + 'a>>,
+    left_key: (String, String),
+    right_key: (String, String),
+    table: HashMap<String, Vec<Tuple>>,
+}
+
+impl<'a> HashJoinOp<'a> {
+    pub fn new(
+        left: Box<dyn Operator + 'a>,
+        right: Box<dyn Operator + 'a>,
+        left_key: (String, String),
+        right_key: (String, String),
+    ) -> HashJoinOp<'a> {
+        HashJoinOp {
+            left,
+            right: Some(right),
+            left_key,
+            right_key,
+            table: HashMap::new(),
+        }
+    }
+
+    fn build(&mut self) -> Result<(), ExecError> {
+        let Some(mut right) = self.right.take() else {
+            return Ok(());
+        };
+        while let Some(batch) = right.next_batch()? {
+            let Batch::Tuples(tuples) = batch else {
+                return Err(ExecError::BadPlan("join right input must be tuples".into()));
+            };
+            for t in tuples {
+                let k = t.key(&self.right_key.0, &self.right_key.1);
+                if !k.is_null() {
+                    self.table.entry(k.render()).or_default().push(t);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Operator for HashJoinOp<'_> {
+    fn name(&self) -> &'static str {
+        "join"
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Batch>, ExecError> {
+        self.build()?;
+        loop {
+            let Some(batch) = self.left.next_batch()? else {
+                return Ok(None);
+            };
+            let Batch::Tuples(tuples) = batch else {
+                return Err(ExecError::BadPlan("join left input must be tuples".into()));
+            };
+            let mut out = Vec::new();
+            for t in &tuples {
+                let k = t.key(&self.left_key.0, &self.left_key.1);
+                if k.is_null() {
+                    continue;
+                }
+                if let Some(matches) = self.table.get(&k.render()) {
+                    for m in matches {
+                        out.push(t.join(m));
+                    }
+                }
+            }
+            if out.is_empty() {
+                continue;
+            }
+            return Ok(Some(Batch::Tuples(out)));
+        }
+    }
+}
+
+/// Sort-merge join: blocking on both sides (both must be sorted), merged
+/// once, emitted in batches.
+pub struct SortMergeJoinOp<'a> {
+    left: Option<Box<dyn Operator + 'a>>,
+    right: Option<Box<dyn Operator + 'a>>,
+    left_key: (String, String),
+    right_key: (String, String),
+    batch_size: usize,
+    out: Vec<Tuple>,
+}
+
+impl<'a> SortMergeJoinOp<'a> {
+    pub fn new(
+        left: Box<dyn Operator + 'a>,
+        right: Box<dyn Operator + 'a>,
+        left_key: (String, String),
+        right_key: (String, String),
+        batch_size: usize,
+    ) -> SortMergeJoinOp<'a> {
+        SortMergeJoinOp {
+            left: Some(left),
+            right: Some(right),
+            left_key,
+            right_key,
+            batch_size: batch_size.max(1),
+            out: Vec::new(),
+        }
+    }
+
+    fn drain_tuples(input: &mut dyn Operator, side: &'static str) -> Result<Vec<Tuple>, ExecError> {
+        let mut all = Vec::new();
+        while let Some(batch) = input.next_batch()? {
+            let Batch::Tuples(t) = batch else {
+                return Err(ExecError::BadPlan(format!(
+                    "join {side} input must be tuples"
+                )));
+            };
+            all.extend(t);
+        }
+        Ok(all)
+    }
+
+    fn fill(&mut self) -> Result<(), ExecError> {
+        let (Some(mut l), Some(mut r)) = (self.left.take(), self.right.take()) else {
+            return Ok(());
+        };
+        let mut left = Self::drain_tuples(l.as_mut(), "left")?;
+        let mut right = Self::drain_tuples(r.as_mut(), "right")?;
+        let key_of = |t: &Tuple, k: &(String, String)| t.key(&k.0, &k.1);
+        left.sort_by(|a, b| key_of(a, &self.left_key).total_cmp(&key_of(b, &self.left_key)));
+        right.sort_by(|a, b| key_of(a, &self.right_key).total_cmp(&key_of(b, &self.right_key)));
+        let mut out = Vec::new();
+        let mut i = 0;
+        let mut j = 0;
+        while i < left.len() && j < right.len() {
+            let kl = key_of(&left[i], &self.left_key);
+            let kr = key_of(&right[j], &self.right_key);
+            if kl.is_null() {
+                i += 1;
+                continue;
+            }
+            if kr.is_null() {
+                j += 1;
+                continue;
+            }
+            match kl.total_cmp(&kr) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    // find the equal runs on both sides
+                    let mut i_end = i + 1;
+                    while i_end < left.len() && key_of(&left[i_end], &self.left_key).query_eq(&kl) {
+                        i_end += 1;
+                    }
+                    let mut j_end = j + 1;
+                    while j_end < right.len()
+                        && key_of(&right[j_end], &self.right_key).query_eq(&kr)
+                    {
+                        j_end += 1;
+                    }
+                    for l in &left[i..i_end] {
+                        for r in &right[j..j_end] {
+                            out.push(l.join(r));
+                        }
+                    }
+                    i = i_end;
+                    j = j_end;
+                }
+            }
+        }
+        self.out = out;
+        Ok(())
+    }
+}
+
+impl Operator for SortMergeJoinOp<'_> {
+    fn name(&self) -> &'static str {
+        "join"
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Batch>, ExecError> {
+        self.fill()?;
+        if self.out.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(Batch::Tuples(take_front(
+            &mut self.out,
+            self.batch_size,
+        ))))
+    }
+}
+
+/// Indexed nested-loop join: streams left batches, probes the right
+/// collection's value index per tuple, fetching matches via `fetch`.
+/// Stops early once `limit` output tuples exist (the top-k case §3.3
+/// argues for).
+pub struct IndexedNlJoinOp<'a> {
+    left: Box<dyn Operator + 'a>,
+    index: &'a PathValueIndex,
+    right_alias: String,
+    right_path: String,
+    left_key: (String, String),
+    fetch: Box<dyn Fn(DocId) -> Option<Arc<Document>> + 'a>,
+    limit: Option<usize>,
+    emitted: usize,
+    done: bool,
+    metrics: SharedMetrics,
+}
+
+impl<'a> IndexedNlJoinOp<'a> {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        left: Box<dyn Operator + 'a>,
+        index: &'a PathValueIndex,
+        right_alias: String,
+        right_path: String,
+        left_key: (String, String),
+        fetch: Box<dyn Fn(DocId) -> Option<Arc<Document>> + 'a>,
+        limit: Option<usize>,
+        metrics: SharedMetrics,
+    ) -> IndexedNlJoinOp<'a> {
+        IndexedNlJoinOp {
+            left,
+            index,
+            right_alias,
+            right_path,
+            left_key,
+            fetch,
+            limit,
+            emitted: 0,
+            done: false,
+            metrics,
+        }
+    }
+}
+
+impl Operator for IndexedNlJoinOp<'_> {
+    fn name(&self) -> &'static str {
+        "join"
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Batch>, ExecError> {
+        while !self.done {
+            let Some(batch) = self.left.next_batch()? else {
+                self.done = true;
+                break;
+            };
+            let Batch::Tuples(tuples) = batch else {
+                return Err(ExecError::BadPlan("join left input must be tuples".into()));
+            };
+            let mut out = Vec::new();
+            'probe: for t in &tuples {
+                self.metrics.borrow_mut().index_lookups += 1;
+                let k: Value = t.key(&self.left_key.0, &self.left_key.1);
+                if k.is_null() {
+                    continue;
+                }
+                for id in self.index.lookup_eq(&self.right_path, &k) {
+                    if let Some(doc) = (self.fetch)(id) {
+                        out.push(t.join(&Tuple::single(&self.right_alias, doc)));
+                        self.emitted += 1;
+                        if let Some(l) = self.limit {
+                            if self.emitted >= l {
+                                self.done = true;
+                                break 'probe;
+                            }
+                        }
+                    }
+                }
+            }
+            if out.is_empty() {
+                continue;
+            }
+            return Ok(Some(Batch::Tuples(out)));
+        }
+        Ok(None)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Drain helpers (the sanctioned sinks used by the legacy wrappers; the
+// streaming internals in exec.rs never materialize through these)
+// ---------------------------------------------------------------------
+
+/// Drain an operator into a tuple vector (row batches are ignored).
+pub fn collect_tuples(op: &mut dyn Operator) -> Result<Vec<Tuple>, ExecError> {
+    let mut out = Vec::new();
+    while let Some(batch) = op.next_batch()? {
+        if let Batch::Tuples(t) = batch {
+            out.extend(t);
+        }
+    }
+    Ok(out)
+}
+
+/// Drain an operator into a row vector (tuple batches are ignored).
+pub fn collect_rows(op: &mut dyn Operator) -> Result<Vec<Row>, ExecError> {
+    let mut out = Vec::new();
+    while let Some(batch) = op.next_batch()? {
+        if let Batch::Rows(r) = batch {
+            out.extend(r);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impliance_docmodel::{DocumentBuilder, SourceFormat};
+
+    fn tuple(id: u64, amount: i64) -> Tuple {
+        Tuple::single(
+            "c",
+            Arc::new(
+                DocumentBuilder::new(DocId(id), SourceFormat::Json, "claims")
+                    .field("amount", amount)
+                    .build(),
+            ),
+        )
+    }
+
+    fn src(n: u64, batch: usize) -> Box<dyn Operator> {
+        Box::new(VecSource::tuples(
+            "scan",
+            (0..n).map(|i| tuple(i, i as i64)).collect(),
+            batch,
+        ))
+    }
+
+    #[test]
+    fn vec_source_batches_at_capacity() {
+        let mut s = src(10, 4);
+        let mut sizes = Vec::new();
+        while let Some(b) = s.next_batch().unwrap() {
+            sizes.push(b.len());
+        }
+        assert_eq!(sizes, vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn limit_terminates_pipeline_early() {
+        // a source that counts how many batches were pulled from it
+        struct Counting {
+            inner: Box<dyn Operator + 'static>,
+            pulls: Rc<RefCell<usize>>,
+        }
+        impl Operator for Counting {
+            fn name(&self) -> &'static str {
+                "scan"
+            }
+            fn next_batch(&mut self) -> Result<Option<Batch>, ExecError> {
+                *self.pulls.borrow_mut() += 1;
+                self.inner.next_batch()
+            }
+        }
+        let pulls = Rc::new(RefCell::new(0usize));
+        let counting = Counting {
+            inner: src(1000, 10),
+            pulls: Rc::clone(&pulls),
+        };
+        let mut limit = LimitOp::new(Box::new(counting), 25);
+        let mut got = 0;
+        while let Some(b) = limit.next_batch().unwrap() {
+            got += b.len();
+        }
+        assert_eq!(got, 25);
+        assert_eq!(*pulls.borrow(), 3, "100 batches exist, only 3 pulled");
+    }
+
+    #[test]
+    fn sort_top_k_matches_full_sort() {
+        let keys = vec![SortKey {
+            alias: "c".into(),
+            path: "amount".into(),
+            descending: true,
+        }];
+        let full = {
+            let mut op = SortOp::new(src(500, 16), keys.clone(), None, 16);
+            collect_tuples(&mut op).unwrap()
+        };
+        let topk = {
+            let mut op = SortOp::new(src(500, 16), keys.clone(), Some(7), 16);
+            collect_tuples(&mut op).unwrap()
+        };
+        assert_eq!(topk.len(), 7);
+        for (a, b) in topk.iter().zip(full.iter()) {
+            assert_eq!(a.key("c", "amount"), b.key("c", "amount"));
+        }
+    }
+
+    #[test]
+    fn filter_keeps_adaptive_state_across_batches() {
+        let pred = Predicate::And(vec![
+            Predicate::Ge("amount".into(), Value::Int(0)),
+            Predicate::Lt("amount".into(), Value::Int(5)),
+        ]);
+        let mut f = FilterOp::new(src(100, 8), "c".into(), pred);
+        let mut got = 0;
+        while let Some(b) = f.next_batch().unwrap() {
+            got += b.len();
+        }
+        assert_eq!(got, 5);
+    }
+}

@@ -17,8 +17,9 @@ use std::sync::Arc;
 use impliance_cluster::{ClusterError, ClusterRuntime, NodeKind};
 use impliance_docmodel::{DocId, Document};
 use impliance_index::{InvertedIndex, SearchHit, SearchQuery};
-use impliance_storage::{codec, AggValue, ScanRequest, ScanResult, StorageEngine};
+use impliance_storage::{codec, AggValue, ScanPos, ScanRequest, ScanResult, StorageEngine};
 
+use crate::batch::DEFAULT_BATCH_SIZE;
 use crate::joins;
 use crate::tuple::Tuple;
 
@@ -53,45 +54,112 @@ pub fn route_doc(id: DocId, n: usize) -> usize {
     (id.0.wrapping_mul(0x9E3779B97F4A7C15) >> 33) as usize % n.max(1)
 }
 
+/// Shape of one batched distributed scan: how many morsels ran, how many
+/// batches they shipped, and the longest single-morsel chain (the
+/// critical path under the simulated busy-time model — morsels on the
+/// same node run as independent tasks, so total batches well above the
+/// critical path means the scan exhibited intra-node parallelism).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DistScanStats {
+    /// Independent scan tasks: one per (data node × partition).
+    pub morsels: usize,
+    /// Batches shipped across all morsels.
+    pub batches: u64,
+    /// Result-payload bytes charged to the network (excludes envelopes).
+    pub bytes_shipped: u64,
+    /// Batches shipped by the busiest single morsel.
+    pub critical_path_batches: u64,
+}
+
 /// Fan a push-down scan out to every data node and merge the partials.
-/// Bytes returned by each node are charged to the network (reply
-/// envelopes are charged by the runtime; the payload is charged here).
-pub fn dist_scan(rt: &ClusterRuntime, request: &ScanRequest) -> Result<ScanResult, ClusterError> {
+/// Each (node, partition) pair runs as an independent morsel streaming
+/// `batch_size`-document pages; every page's payload is charged to the
+/// network as it ships (reply envelopes are charged by the runtime).
+/// When the request carries a limit, each morsel stops at the limit and
+/// the merged result is truncated to it.
+pub fn dist_scan_batched(
+    rt: &ClusterRuntime,
+    request: &ScanRequest,
+    batch_size: usize,
+) -> Result<(ScanResult, DistScanStats), ClusterError> {
     let data_nodes = rt.nodes_of_kind(NodeKind::Data);
     if data_nodes.is_empty() {
         return Err(ClusterError::NoNodeOfKind("data"));
     }
+    let batch_size = batch_size.max(1);
+    // Probe each node for its partition count (8-byte control message).
+    let mut layout = Vec::with_capacity(data_nodes.len());
+    for id in data_nodes {
+        let handle = rt.submit_to(id, 8, move |ctx| {
+            ctx.state
+                .downcast_ref::<DataNodeState>()
+                .map(|s| s.storage.partition_count())
+        })?;
+        layout.push((id, handle));
+    }
     // request size ≈ textual size of the request definition
     let req_bytes = format!("{request:?}").len() as u64;
-    let mut handles = Vec::with_capacity(data_nodes.len());
-    for id in data_nodes {
-        let req = request.clone();
-        let handle = rt.submit_to(id, req_bytes, move |ctx| {
-            let Some(state) = ctx.state.downcast_ref::<DataNodeState>() else {
-                // misconfigured node state: surface as a failed partial,
-                // which the coordinator maps to TaskLost
-                return Err("node state is not DataNodeState".to_string());
-            };
-            let result = state.storage.scan(&req).map_err(|e| e.to_string());
-            if let Ok(r) = &result {
-                // charge the partial-result payload from this node back to
-                // the coordinator (node u32::MAX in the runtime)
-                ctx.network.transmit(
-                    ctx.id,
-                    impliance_cluster::NodeId(u32::MAX),
-                    r.metrics.bytes_returned,
-                );
-            }
-            result
-        })?;
-        handles.push(handle);
+    let mut handles = Vec::new();
+    for (id, probe) in layout {
+        let partitions = probe.join()?.ok_or(ClusterError::TaskLost)?;
+        for p in 0..partitions {
+            let req = request.clone();
+            let handle = rt.submit_to(id, req_bytes, move |ctx| {
+                let Some(state) = ctx.state.downcast_ref::<DataNodeState>() else {
+                    // misconfigured node state: surface as a failed
+                    // partial, which the coordinator maps to TaskLost
+                    return Err("node state is not DataNodeState".to_string());
+                };
+                let mut merged = ScanResult::default();
+                let mut pos = ScanPos::default();
+                let mut batches = 0u64;
+                loop {
+                    let (page, next, done) = state
+                        .storage
+                        .scan_partition_page(p, &req, pos, batch_size)
+                        .map_err(|e| e.to_string())?;
+                    // charge this batch's payload from the node back to
+                    // the coordinator (node u32::MAX in the runtime)
+                    ctx.network.transmit(
+                        ctx.id,
+                        impliance_cluster::NodeId(u32::MAX),
+                        page.metrics.bytes_returned,
+                    );
+                    batches += 1;
+                    merged.merge(page);
+                    pos = next;
+                    if done {
+                        break;
+                    }
+                }
+                Ok((merged, batches))
+            })?;
+            handles.push(handle);
+        }
     }
     let mut merged = ScanResult::default();
+    let mut stats = DistScanStats::default();
     for h in handles {
-        let partial = h.join()?.map_err(|_| ClusterError::TaskLost)?;
+        let (partial, batches) = h.join()?.map_err(|_| ClusterError::TaskLost)?;
+        stats.morsels += 1;
+        stats.batches += batches;
+        stats.bytes_shipped += partial.metrics.bytes_returned;
+        stats.critical_path_batches = stats.critical_path_batches.max(batches);
         merged.merge(partial);
     }
-    Ok(merged)
+    if let Some(limit) = request.limit {
+        merged.documents.truncate(limit);
+        merged
+            .ids
+            .truncate(limit.saturating_sub(merged.documents.len()));
+    }
+    Ok((merged, stats))
+}
+
+/// Fan a push-down scan out to every data node and merge the partials
+/// (batch-granular under the hood; see [`dist_scan_batched`]).
+pub fn dist_scan(rt: &ClusterRuntime, request: &ScanRequest) -> Result<ScanResult, ClusterError> {
+    dist_scan_batched(rt, request, DEFAULT_BATCH_SIZE).map(|(r, _)| r)
 }
 
 /// Distributed grouped aggregation: partial aggregation happens inside
@@ -358,6 +426,47 @@ mod tests {
         for t in &tuples {
             assert_eq!(t.key("o", "cust"), t.key("c", "code"));
         }
+    }
+
+    #[test]
+    fn batched_scan_runs_partition_morsels_in_parallel() {
+        let rt = boot(2, 1);
+        load(&rt, 100);
+        let (res, stats) = dist_scan_batched(&rt, &ScanRequest::full(), 8).unwrap();
+        assert_eq!(res.documents.len(), 100);
+        // one morsel per (node × partition): 2 nodes × 2 partitions
+        assert_eq!(stats.morsels, 4);
+        assert!(stats.batches >= stats.morsels as u64);
+        assert!(
+            stats.critical_path_batches < stats.batches,
+            "critical path {} should be shorter than the total {} — morsels overlap",
+            stats.critical_path_batches,
+            stats.batches
+        );
+        assert!(stats.bytes_shipped > 0);
+    }
+
+    #[test]
+    fn batched_scan_limit_ships_fewer_bytes() {
+        let rt = boot(2, 1);
+        load(&rt, 200);
+        rt.network().reset_metrics();
+        let full = dist_scan_batched(&rt, &ScanRequest::full(), 16).unwrap();
+        let full_bytes = rt.network().metrics().bytes;
+        rt.network().reset_metrics();
+        let limited_req = ScanRequest {
+            limit: Some(5),
+            ..ScanRequest::full()
+        };
+        let (limited, lstats) = dist_scan_batched(&rt, &limited_req, 16).unwrap();
+        let limited_bytes = rt.network().metrics().bytes;
+        assert_eq!(limited.documents.len(), 5);
+        assert!(
+            limited_bytes < full_bytes,
+            "limit 5 moved {limited_bytes} bytes, full scan {full_bytes}"
+        );
+        // each morsel stopped after at most one page of 16
+        assert!(lstats.batches <= full.1.batches);
     }
 
     #[test]

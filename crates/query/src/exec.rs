@@ -1,22 +1,29 @@
-//! Single-node plan execution.
+//! Single-node plan execution over the batched operator pipeline.
 //!
 //! The [`ExecContext`] bundles the storage engine and the three index
-//! structures; [`execute`] walks a [`LogicalPlan`] bottom-up, running each
-//! operator materialized. The distributed executor ([`crate::dist`])
-//! reuses the same operators but places stages on simulated nodes.
+//! structures; [`execute_plan`] compiles a [`LogicalPlan`] into a tree of
+//! pull-based [`crate::batch::Operator`]s and drains the root. Streaming
+//! operators (scan/filter/project/limit) never materialize their input;
+//! `Limit` stops pulling once satisfied, so a `LIMIT k` plan touches only
+//! as many storage pages as needed. The distributed executor
+//! ([`crate::dist`]) reuses the same storage cursors but places morsels on
+//! simulated nodes.
 
-use std::sync::{Arc, OnceLock};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 use impliance_docmodel::{DocId, Document};
 use impliance_index::{search, InvertedIndex, JoinIndex, PathValueIndex, SearchQuery};
-use impliance_obs::{Counter, Histogram, LATENCY_BUCKETS_US};
 use impliance_storage::{
     Predicate, Projection, ScanMetrics, ScanRequest, StorageEngine, StorageError,
 };
 
-use crate::joins;
-use crate::ops;
+use crate::batch::{
+    op_obs, Batch, FilterOp, GroupAggOp, HashJoinOp, IndexedNlJoinOp, LimitOp, Metered, Operator,
+    ProjectOp, ScanOp, SharedMetrics, SortMergeJoinOp, SortOp, VecSource, DEFAULT_BATCH_SIZE,
+};
 #[cfg(test)]
 use crate::plan::AggItem;
 use crate::plan::{JoinAlgo, LogicalPlan};
@@ -75,6 +82,26 @@ pub struct ExecContext<'a> {
     pub pushdown: bool,
 }
 
+/// Per-execution knobs plumbed from `QueryRequest` through
+/// `Impliance::query()`.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Tuples/rows per pipeline batch.
+    pub batch_size: usize,
+    /// Cap on output rows; enforced by a pipeline `Limit` so upstream
+    /// operators terminate early.
+    pub limit: Option<usize>,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            batch_size: DEFAULT_BATCH_SIZE,
+            limit: None,
+        }
+    }
+}
+
 /// The result of executing a plan.
 #[derive(Debug)]
 pub enum QueryOutput {
@@ -118,132 +145,100 @@ impl QueryOutput {
     }
 }
 
-enum Stage {
-    Tuples(Vec<Tuple>),
-    Rows(Vec<Row>),
-    Path(Option<Vec<DocId>>),
-}
-
-impl Stage {
-    fn len(&self) -> usize {
-        match self {
-            Stage::Tuples(t) => t.len(),
-            Stage::Rows(r) => r.len(),
-            Stage::Path(p) => usize::from(p.is_some()),
-        }
-    }
-}
-
-// ---------------------------------------------------------------------
-// Per-operator observability: row counters and (inclusive) timing
-// histograms, keyed by operator kind. Handles are cached once; the
-// per-operator cost is two relaxed atomic RMWs.
-// ---------------------------------------------------------------------
-
-const OP_NAMES: [&str; 9] = [
-    "scan",
-    "keyword_search",
-    "filter",
-    "join",
-    "group_agg",
-    "project",
-    "sort",
-    "limit",
-    "graph_connect",
-];
-
-struct OpObs {
-    rows: Arc<Counter>,
-    us: Arc<Histogram>,
-}
-
-fn op_index(plan: &LogicalPlan) -> usize {
-    match plan {
-        LogicalPlan::Scan { .. } => 0,
-        LogicalPlan::KeywordSearch { .. } => 1,
-        LogicalPlan::Filter { .. } => 2,
-        LogicalPlan::Join { .. } => 3,
-        LogicalPlan::GroupAgg { .. } => 4,
-        LogicalPlan::Project { .. } => 5,
-        LogicalPlan::Sort { .. } => 6,
-        LogicalPlan::Limit { .. } => 7,
-        LogicalPlan::GraphConnect { .. } => 8,
-    }
-}
-
-fn op_obs(idx: usize) -> Option<&'static OpObs> {
-    static OBS: OnceLock<Vec<OpObs>> = OnceLock::new();
-    OBS.get_or_init(|| {
-        let m = impliance_obs::global().metrics();
-        OP_NAMES
-            .iter()
-            .map(|name| OpObs {
-                rows: m.counter(&format!("query.op.{name}.rows")),
-                us: m.histogram(&format!("query.op.{name}.us"), &LATENCY_BUCKETS_US),
-            })
-            .collect()
-    })
-    .get(idx)
-}
-
-/// Execute a plan, returning output and metrics.
+/// Execute a plan with default options, returning output and metrics.
 pub fn execute_plan(
     ctx: &ExecContext<'_>,
     plan: &LogicalPlan,
 ) -> Result<(QueryOutput, ExecMetrics), ExecError> {
-    let mut metrics = ExecMetrics::default();
-    let stage = run(ctx, plan, &mut metrics)?;
-    let output = match stage {
-        Stage::Rows(rows) => {
-            metrics.rows_out = rows.len() as u64;
+    execute_plan_opts(ctx, plan, &ExecOptions::default())
+}
+
+/// Execute a plan as a batched pipeline with explicit options.
+pub fn execute_plan_opts(
+    ctx: &ExecContext<'_>,
+    plan: &LogicalPlan,
+    opts: &ExecOptions,
+) -> Result<(QueryOutput, ExecMetrics), ExecError> {
+    let metrics: SharedMetrics = Rc::new(RefCell::new(ExecMetrics::default()));
+    // A request-level limit becomes a pipeline Limit at the root, so it
+    // benefits from early termination and the top-K sort fast path.
+    let wrapped;
+    let plan = match opts.limit {
+        Some(n) => {
+            wrapped = LogicalPlan::Limit {
+                input: Box::new(plan.clone()),
+                n,
+            };
+            &wrapped
+        }
+        None => plan,
+    };
+    let compiled = compile(ctx, plan, opts.batch_size.max(1), &metrics)?;
+    let output = match compiled {
+        Compiled::Path(p) => QueryOutput::Path(p),
+        Compiled::Op {
+            mut op,
+            kind: Kind::Tuples,
+        } => {
+            let mut tuples: Vec<Tuple> = Vec::new();
+            while let Some(batch) = op.next_batch()? {
+                if let Batch::Tuples(t) = batch {
+                    tuples.extend(t);
+                }
+            }
+            metrics.borrow_mut().rows_out = tuples.len() as u64;
+            QueryOutput::Docs(
+                tuples
+                    .into_iter()
+                    .flat_map(|t| t.bindings.into_values().collect::<Vec<_>>())
+                    .collect(),
+            )
+        }
+        Compiled::Op {
+            mut op,
+            kind: Kind::Rows,
+        } => {
+            let mut rows: Vec<Row> = Vec::new();
+            while let Some(batch) = op.next_batch()? {
+                if let Batch::Rows(r) = batch {
+                    rows.extend(r);
+                }
+            }
+            metrics.borrow_mut().rows_out = rows.len() as u64;
             QueryOutput::Rows(rows)
         }
-        Stage::Tuples(tuples) => {
-            metrics.rows_out = tuples.len() as u64;
-            let docs = tuples
-                .into_iter()
-                .flat_map(|t| t.bindings.into_values().collect::<Vec<_>>())
-                .collect();
-            QueryOutput::Docs(docs)
-        }
-        Stage::Path(p) => QueryOutput::Path(p),
     };
-    Ok((output, metrics))
+    let m = *metrics.borrow();
+    Ok((output, m))
 }
 
-/// Former free-function entry point, kept as a thin shim.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `execute_plan`, or the `QueryRequest` API on `impliance_core::Impliance`"
-)]
-pub fn execute(
-    ctx: &ExecContext<'_>,
-    plan: &LogicalPlan,
-) -> Result<(QueryOutput, ExecMetrics), ExecError> {
-    execute_plan(ctx, plan)
+/// Static batch type of a compiled operator.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Tuples,
+    Rows,
 }
 
-/// Run one operator (recursively), recording per-operator row counts and
-/// inclusive wall time into the global registry.
-fn run(
-    ctx: &ExecContext<'_>,
-    plan: &LogicalPlan,
-    metrics: &mut ExecMetrics,
-) -> Result<Stage, ExecError> {
-    let started = Instant::now();
-    let result = run_op(ctx, plan, metrics);
-    if let (Ok(stage), Some(obs)) = (&result, op_obs(op_index(plan))) {
-        obs.rows.add(stage.len() as u64);
-        obs.us.observe(started.elapsed().as_micros() as u64);
-    }
-    result
+/// A compiled plan: an operator tree, or an already-resolved graph path
+/// (`GraphConnect` runs at compile time — it is a point lookup, not a
+/// stream).
+enum Compiled<'a> {
+    Op {
+        op: Box<dyn Operator + 'a>,
+        kind: Kind,
+    },
+    Path(Option<Vec<DocId>>),
 }
 
-fn run_op(
-    ctx: &ExecContext<'_>,
+/// Compile a logical plan into a pull-based operator tree, type-checking
+/// operator inputs statically (the same shapes the materialized executor
+/// rejected dynamically).
+fn compile<'a>(
+    ctx: &ExecContext<'a>,
     plan: &LogicalPlan,
-    metrics: &mut ExecMetrics,
-) -> Result<Stage, ExecError> {
+    batch_size: usize,
+    metrics: &SharedMetrics,
+) -> Result<Compiled<'a>, ExecError> {
     match plan {
         LogicalPlan::Scan {
             collection,
@@ -251,15 +246,19 @@ fn run_op(
             alias,
             use_value_index,
         } => {
-            let tuples = scan(
+            let op = compile_scan(
                 ctx,
                 collection.as_deref(),
                 predicate.as_ref(),
                 alias,
                 *use_value_index,
+                batch_size,
                 metrics,
             )?;
-            Ok(Stage::Tuples(tuples))
+            Ok(Compiled::Op {
+                op: Metered::wrap(0, op),
+                kind: Kind::Tuples,
+            })
         }
         LogicalPlan::KeywordSearch {
             query,
@@ -272,35 +271,38 @@ fn run_op(
                 q = q.within(p.clone());
             }
             let hits = search::search(ctx.text_index, &q);
-            metrics.index_lookups += 1;
+            metrics.borrow_mut().index_lookups += 1;
             let mut tuples = Vec::with_capacity(hits.len());
             for hit in hits {
                 if let Some(doc) = ctx.storage.get_latest(hit.id)? {
                     tuples.push(Tuple::single(alias, Arc::new(doc)));
                 }
             }
-            Ok(Stage::Tuples(tuples))
+            Ok(Compiled::Op {
+                op: Metered::wrap(
+                    1,
+                    Box::new(VecSource::tuples("keyword_search", tuples, batch_size)),
+                ),
+                kind: Kind::Tuples,
+            })
         }
         LogicalPlan::Filter {
             input,
             alias,
             predicate,
-        } => {
-            match run(ctx, input, metrics)? {
-                // multi-conjunct filters run through the self-adapting
-                // chain (§3.3 adaptive operators): predicate order follows
-                // observed selectivity, no optimizer statistics involved
-                Stage::Tuples(t) => match predicate {
-                    Predicate::And(conjuncts) if conjuncts.len() > 1 => {
-                        let mut chain =
-                            crate::adaptive::AdaptiveFilterChain::new(conjuncts.clone(), 64);
-                        Ok(Stage::Tuples(chain.filter(t, alias)))
-                    }
-                    _ => Ok(Stage::Tuples(ops::filter(t, alias, predicate))),
-                },
-                _ => Err(ExecError::BadPlan("filter over non-tuple input".into())),
-            }
-        }
+        } => match compile(ctx, input, batch_size, metrics)? {
+            Compiled::Op {
+                op,
+                kind: Kind::Tuples,
+            } => Ok(Compiled::Op {
+                op: Metered::wrap(
+                    2,
+                    Box::new(FilterOp::new(op, alias.clone(), predicate.clone())),
+                ),
+                kind: Kind::Tuples,
+            }),
+            _ => Err(ExecError::BadPlan("filter over non-tuple input".into())),
+        },
         LogicalPlan::Join {
             left,
             right,
@@ -308,11 +310,14 @@ fn run_op(
             right_key,
             algo,
         } => {
-            let lt = match run(ctx, left, metrics)? {
-                Stage::Tuples(t) => t,
+            let lop = match compile(ctx, left, batch_size, metrics)? {
+                Compiled::Op {
+                    op,
+                    kind: Kind::Tuples,
+                } => op,
                 _ => return Err(ExecError::BadPlan("join left input must be tuples".into())),
             };
-            match algo {
+            let op: Box<dyn Operator + 'a> = match algo {
                 JoinAlgo::IndexedNestedLoop => {
                     // right side must be a bare scan we can index-probe
                     let (right_alias, right_collection) = match right.as_ref() {
@@ -342,105 +347,159 @@ fn run_op(
                             _ => None,
                         }
                     };
-                    metrics.index_lookups += lt.len() as u64;
-                    Ok(Stage::Tuples(joins::indexed_nl_join(
-                        lt,
+                    Box::new(IndexedNlJoinOp::new(
+                        lop,
                         ctx.value_index,
-                        &right_alias,
-                        &right_key.1,
-                        left_key,
-                        &fetch,
+                        right_alias,
+                        right_key.1.clone(),
+                        left_key.clone(),
+                        Box::new(fetch),
                         None,
-                    )))
+                        Rc::clone(metrics),
+                    ))
                 }
                 JoinAlgo::SortMerge => {
-                    let rt = match run(ctx, right, metrics)? {
-                        Stage::Tuples(t) => t,
-                        _ => {
-                            return Err(ExecError::BadPlan(
-                                "join right input must be tuples".into(),
-                            ))
-                        }
-                    };
-                    Ok(Stage::Tuples(joins::sort_merge_join(
-                        lt, rt, left_key, right_key,
-                    )))
+                    let rop = compile_join_side(ctx, right, batch_size, metrics)?;
+                    Box::new(SortMergeJoinOp::new(
+                        lop,
+                        rop,
+                        left_key.clone(),
+                        right_key.clone(),
+                        batch_size,
+                    ))
                 }
                 JoinAlgo::Hash | JoinAlgo::Unspecified => {
-                    let rt = match run(ctx, right, metrics)? {
-                        Stage::Tuples(t) => t,
-                        _ => {
-                            return Err(ExecError::BadPlan(
-                                "join right input must be tuples".into(),
-                            ))
-                        }
-                    };
-                    Ok(Stage::Tuples(joins::hash_join(lt, rt, left_key, right_key)))
+                    let rop = compile_join_side(ctx, right, batch_size, metrics)?;
+                    Box::new(HashJoinOp::new(
+                        lop,
+                        rop,
+                        left_key.clone(),
+                        right_key.clone(),
+                    ))
                 }
-            }
+            };
+            Ok(Compiled::Op {
+                op: Metered::wrap(3, op),
+                kind: Kind::Tuples,
+            })
         }
         LogicalPlan::GroupAgg {
             input,
             group_by,
             aggs,
-        } => match run(ctx, input, metrics)? {
-            Stage::Tuples(t) => Ok(Stage::Rows(ops::group_agg(&t, group_by.as_ref(), aggs))),
+        } => match compile(ctx, input, batch_size, metrics)? {
+            Compiled::Op {
+                op,
+                kind: Kind::Tuples,
+            } => Ok(Compiled::Op {
+                op: Metered::wrap(
+                    4,
+                    Box::new(GroupAggOp::new(
+                        op,
+                        group_by.clone(),
+                        aggs.clone(),
+                        batch_size,
+                    )),
+                ),
+                kind: Kind::Rows,
+            }),
             _ => Err(ExecError::BadPlan("aggregate over non-tuple input".into())),
         },
-        LogicalPlan::Project { input, columns } => match run(ctx, input, metrics)? {
-            Stage::Tuples(t) => Ok(Stage::Rows(ops::project(&t, columns))),
-            Stage::Rows(r) => Ok(Stage::Rows(r)), // projection over rows is identity
-            _ => Err(ExecError::BadPlan("project over path output".into())),
+        LogicalPlan::Project { input, columns } => {
+            match compile(ctx, input, batch_size, metrics)? {
+                // projection over rows is identity; over tuples it binds
+                // output columns
+                Compiled::Op { op, kind: _ } => Ok(Compiled::Op {
+                    op: Metered::wrap(5, Box::new(ProjectOp::new(op, columns.clone()))),
+                    kind: Kind::Rows,
+                }),
+                Compiled::Path(_) => Err(ExecError::BadPlan("project over path output".into())),
+            }
+        }
+        LogicalPlan::Sort { input, keys } => match compile(ctx, input, batch_size, metrics)? {
+            Compiled::Op { op, kind } => Ok(Compiled::Op {
+                op: Metered::wrap(6, Box::new(SortOp::new(op, keys.clone(), None, batch_size))),
+                kind,
+            }),
+            p => Ok(p), // sort over a path is a no-op
         },
-        LogicalPlan::Sort { input, keys } => match run(ctx, input, metrics)? {
-            Stage::Tuples(t) => Ok(Stage::Tuples(ops::sort(t, keys))),
-            Stage::Rows(mut rows) => {
-                // sort rows by the named output columns
-                rows.sort_by(|a, b| {
-                    for k in keys {
-                        let ord = a.get(&k.path).total_cmp(b.get(&k.path));
-                        let ord = if k.descending { ord.reverse() } else { ord };
-                        if ord != std::cmp::Ordering::Equal {
-                            return ord;
-                        }
+        LogicalPlan::Limit { input, n } => {
+            // Limit directly over Sort: hand the cap to the sort so it
+            // keeps a k-sized buffer instead of sorting the full input.
+            if let LogicalPlan::Sort {
+                input: sort_input,
+                keys,
+            } = input.as_ref()
+            {
+                match compile(ctx, sort_input, batch_size, metrics)? {
+                    Compiled::Op { op, kind } => {
+                        let sort = Metered::wrap(
+                            6,
+                            Box::new(SortOp::new(op, keys.clone(), Some(*n), batch_size)),
+                        );
+                        return Ok(Compiled::Op {
+                            op: Metered::wrap(7, Box::new(LimitOp::new(sort, *n))),
+                            kind,
+                        });
                     }
-                    std::cmp::Ordering::Equal
-                });
-                Ok(Stage::Rows(rows))
+                    p => return Ok(p),
+                }
             }
-            p => Ok(p),
-        },
-        LogicalPlan::Limit { input, n } => match run(ctx, input, metrics)? {
-            Stage::Tuples(t) => Ok(Stage::Tuples(ops::limit(t, *n))),
-            Stage::Rows(mut r) => {
-                r.truncate(*n);
-                Ok(Stage::Rows(r))
+            match compile(ctx, input, batch_size, metrics)? {
+                Compiled::Op { op, kind } => Ok(Compiled::Op {
+                    op: Metered::wrap(7, Box::new(LimitOp::new(op, *n))),
+                    kind,
+                }),
+                p => Ok(p), // limit over a path is a no-op
             }
-            p => Ok(p),
-        },
+        }
         LogicalPlan::GraphConnect { a, b, max_hops } => {
-            metrics.index_lookups += 1;
-            Ok(Stage::Path(ctx.join_index.connect(
-                DocId(*a),
-                DocId(*b),
-                *max_hops,
-            )))
+            // point lookup in the relationship graph: resolved eagerly
+            let started = Instant::now();
+            metrics.borrow_mut().index_lookups += 1;
+            let path = ctx.join_index.connect(DocId(*a), DocId(*b), *max_hops);
+            if let Some(obs) = op_obs(8) {
+                obs.rows.add(u64::from(path.is_some()));
+                obs.us.observe(started.elapsed().as_micros() as u64);
+            }
+            Ok(Compiled::Path(path))
         }
     }
 }
 
-fn scan(
-    ctx: &ExecContext<'_>,
+/// Compile a hash/sort-merge join input, which must produce tuples.
+fn compile_join_side<'a>(
+    ctx: &ExecContext<'a>,
+    plan: &LogicalPlan,
+    batch_size: usize,
+    metrics: &SharedMetrics,
+) -> Result<Box<dyn Operator + 'a>, ExecError> {
+    match compile(ctx, plan, batch_size, metrics)? {
+        Compiled::Op {
+            op,
+            kind: Kind::Tuples,
+        } => Ok(op),
+        _ => Err(ExecError::BadPlan("join right input must be tuples".into())),
+    }
+}
+
+/// Compile a storage scan: an index-backed point lookup when a value
+/// index applies, otherwise a streaming cursor over the partitioned
+/// store (with push-down, or a node-side residual filter when push-down
+/// is off).
+fn compile_scan<'a>(
+    ctx: &ExecContext<'a>,
     collection: Option<&str>,
     predicate: Option<&Predicate>,
     alias: &str,
     use_value_index: bool,
-    metrics: &mut ExecMetrics,
-) -> Result<Vec<Tuple>, ExecError> {
+    batch_size: usize,
+    metrics: &SharedMetrics,
+) -> Result<Box<dyn Operator + 'a>, ExecError> {
     // Index-backed point lookup: only for a top-level Eq predicate.
     if use_value_index {
         if let Some(Predicate::Eq(path, value)) = predicate {
-            metrics.index_lookups += 1;
+            metrics.borrow_mut().index_lookups += 1;
             let ids = ctx.value_index.lookup_eq(path, value);
             let mut tuples = Vec::with_capacity(ids.len());
             for id in ids {
@@ -450,7 +509,7 @@ fn scan(
                     }
                 }
             }
-            return Ok(tuples);
+            return Ok(Box::new(VecSource::tuples("scan", tuples, batch_size)));
         }
     }
     // Storage scan, with or without push-down.
@@ -458,46 +517,46 @@ fn scan(
     if let Some(c) = collection {
         combined.push(Predicate::CollectionIs(c.to_string()));
     }
-    let request = if ctx.pushdown {
+    let (request, post_filter) = if ctx.pushdown {
         if let Some(p) = predicate {
             combined.push(p.clone());
         }
-        ScanRequest {
-            predicate: match combined.len() {
-                0 => None,
-                1 => combined.pop(),
-                _ => Some(Predicate::And(combined)),
+        (
+            ScanRequest {
+                predicate: match combined.len() {
+                    0 => None,
+                    1 => combined.pop(),
+                    _ => Some(Predicate::And(combined)),
+                },
+                projection: Projection::All,
+                aggregate: None,
+                limit: None,
             },
-            projection: Projection::All,
-            aggregate: None,
-            limit: None,
-        }
+            None,
+        )
     } else {
         // No push-down: only collection routing happens at storage; the
         // predicate runs here, after full documents crossed the "network".
-        ScanRequest {
-            predicate: match combined.len() {
-                0 => None,
-                _ => Some(Predicate::And(combined)),
+        (
+            ScanRequest {
+                predicate: match combined.len() {
+                    0 => None,
+                    _ => Some(Predicate::And(combined)),
+                },
+                projection: Projection::All,
+                aggregate: None,
+                limit: None,
             },
-            projection: Projection::All,
-            aggregate: None,
-            limit: None,
-        }
+            predicate.cloned(),
+        )
     };
-    let result = ctx.storage.scan(&request)?;
-    metrics.scan.merge(&result.metrics);
-    let mut tuples: Vec<Tuple> = result
-        .documents
-        .into_iter()
-        .map(|d| Tuple::single(alias, Arc::new(d)))
-        .collect();
-    if !ctx.pushdown {
-        if let Some(p) = predicate {
-            tuples = ops::filter(tuples, alias, p);
-        }
-    }
-    Ok(tuples)
+    let stream = ctx.storage.scan_batches(&request, batch_size);
+    Ok(Box::new(ScanOp::new(
+        stream,
+        alias.to_string(),
+        post_filter,
+        Rc::clone(metrics),
+    )))
 }
 
 #[cfg(test)]
@@ -783,6 +842,89 @@ mod tests {
             execute_plan(&f.ctx(), &plan),
             Err(ExecError::BadPlan(_))
         ));
+    }
+
+    #[test]
+    fn request_limit_option_caps_output() {
+        let f = Fixture::new();
+        let opts = ExecOptions {
+            batch_size: 2,
+            limit: Some(2),
+        };
+        let (out, m) = execute_plan_opts(&f.ctx(), &scan_plan("orders"), &opts).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(m.rows_out, 2);
+    }
+
+    #[test]
+    fn limit_scans_only_a_prefix_of_the_corpus() {
+        let storage = StorageEngine::new(StorageOptions {
+            partitions: 4,
+            seal_threshold: 64,
+            compression: true,
+            encryption_key: None,
+        });
+        let text = InvertedIndex::new(4);
+        let values = PathValueIndex::new();
+        let joins = JoinIndex::new();
+        for i in 0..500u64 {
+            let d = DocumentBuilder::new(DocId(i), SourceFormat::Json, "c")
+                .field("x", i as i64)
+                .build();
+            storage.put(&d).unwrap();
+        }
+        let ctx = ExecContext {
+            storage: &storage,
+            text_index: &text,
+            value_index: &values,
+            join_index: &joins,
+            pushdown: true,
+        };
+        let plan = LogicalPlan::Limit {
+            input: Box::new(LogicalPlan::Scan {
+                collection: Some("c".into()),
+                predicate: None,
+                alias: "c".into(),
+                use_value_index: false,
+            }),
+            n: 10,
+        };
+        let opts = ExecOptions {
+            batch_size: 16,
+            limit: None,
+        };
+        let (out, m) = execute_plan_opts(&ctx, &plan, &opts).unwrap();
+        assert_eq!(out.len(), 10);
+        assert!(
+            m.scan.docs_scanned < 100,
+            "limit 10 should stop the cursor early, scanned {}",
+            m.scan.docs_scanned
+        );
+    }
+
+    #[test]
+    fn batch_size_does_not_change_answers() {
+        let f = Fixture::new();
+        let plan = LogicalPlan::Project {
+            input: Box::new(LogicalPlan::Sort {
+                input: Box::new(scan_plan("orders")),
+                keys: vec![crate::plan::SortKey {
+                    alias: "orders".into(),
+                    path: "amount".into(),
+                    descending: false,
+                }],
+            }),
+            columns: vec![("orders".into(), "amount".into(), "amount".into())],
+        };
+        let baseline = execute_plan(&f.ctx(), &plan).unwrap().0;
+        for bs in [1usize, 2, 3, 1024] {
+            let opts = ExecOptions {
+                batch_size: bs,
+                limit: None,
+            };
+            let (out, _) = execute_plan_opts(&f.ctx(), &plan, &opts).unwrap();
+            assert_eq!(out.rows(), baseline.rows(), "batch_size {bs}");
+        }
     }
 }
 

@@ -4,98 +4,60 @@
 //! results, indexed nested-loop joins may always be the preferred join
 //! method." Experiment C4 measures that crossover: indexed NL wins for
 //! small k, hash join wins for full joins.
+//!
+//! These materialized entry points are thin wrappers over the streaming
+//! join operators in [`crate::batch`], kept for callers (bench harness,
+//! distributed Grid stages) that still exchange whole tuple vectors.
 
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::rc::Rc;
 use std::sync::Arc;
 
-use impliance_docmodel::{DocId, Document, Value};
+use impliance_docmodel::{DocId, Document};
 use impliance_index::PathValueIndex;
 
+use crate::batch::{
+    collect_tuples, HashJoinOp, IndexedNlJoinOp, Operator, SortMergeJoinOp, VecSource,
+    DEFAULT_BATCH_SIZE,
+};
 use crate::tuple::Tuple;
 
-/// Hash join: build on the smaller side, probe with the larger.
-/// `left_key`/`right_key` are (alias, structural path).
+fn source(name: &'static str, tuples: Vec<Tuple>) -> Box<dyn Operator + 'static> {
+    Box::new(VecSource::tuples(name, tuples, DEFAULT_BATCH_SIZE))
+}
+
+/// Hash join: blocking build on the right input, streaming probe with the
+/// left. `left_key`/`right_key` are (alias, structural path).
 pub fn hash_join(
     left: Vec<Tuple>,
     right: Vec<Tuple>,
     left_key: &(String, String),
     right_key: &(String, String),
 ) -> Vec<Tuple> {
-    let (build, probe, build_key, probe_key, build_is_left) = if left.len() <= right.len() {
-        (&left, &right, left_key, right_key, true)
-    } else {
-        (&right, &left, right_key, left_key, false)
-    };
-    let mut table: HashMap<String, Vec<&Tuple>> = HashMap::new();
-    for t in build {
-        let k = t.key(&build_key.0, &build_key.1);
-        if !k.is_null() {
-            table.entry(k.render()).or_default().push(t);
-        }
-    }
-    let mut out = Vec::new();
-    for t in probe {
-        let k = t.key(&probe_key.0, &probe_key.1);
-        if k.is_null() {
-            continue;
-        }
-        if let Some(matches) = table.get(&k.render()) {
-            for m in matches {
-                out.push(if build_is_left { m.join(t) } else { t.join(m) });
-            }
-        }
-    }
-    out
+    let mut op = HashJoinOp::new(
+        source("scan", left),
+        source("scan", right),
+        left_key.clone(),
+        right_key.clone(),
+    );
+    collect_tuples(&mut op).unwrap_or_default()
 }
 
 /// Sort-merge join: sorts both inputs by key rendering and merges.
 pub fn sort_merge_join(
-    mut left: Vec<Tuple>,
-    mut right: Vec<Tuple>,
+    left: Vec<Tuple>,
+    right: Vec<Tuple>,
     left_key: &(String, String),
     right_key: &(String, String),
 ) -> Vec<Tuple> {
-    let key_of = |t: &Tuple, k: &(String, String)| t.key(&k.0, &k.1);
-    left.sort_by(|a, b| key_of(a, left_key).total_cmp(&key_of(b, left_key)));
-    right.sort_by(|a, b| key_of(a, right_key).total_cmp(&key_of(b, right_key)));
-    let mut out = Vec::new();
-    let mut i = 0;
-    let mut j = 0;
-    while i < left.len() && j < right.len() {
-        let kl = key_of(&left[i], left_key);
-        let kr = key_of(&right[j], right_key);
-        if kl.is_null() {
-            i += 1;
-            continue;
-        }
-        if kr.is_null() {
-            j += 1;
-            continue;
-        }
-        match kl.total_cmp(&kr) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                // find the equal runs on both sides
-                let mut i_end = i + 1;
-                while i_end < left.len() && key_of(&left[i_end], left_key).query_eq(&kl) {
-                    i_end += 1;
-                }
-                let mut j_end = j + 1;
-                while j_end < right.len() && key_of(&right[j_end], right_key).query_eq(&kr) {
-                    j_end += 1;
-                }
-                for l in &left[i..i_end] {
-                    for r in &right[j..j_end] {
-                        out.push(l.join(r));
-                    }
-                }
-                i = i_end;
-                j = j_end;
-            }
-        }
-    }
-    out
+    let mut op = SortMergeJoinOp::new(
+        source("scan", left),
+        source("scan", right),
+        left_key.clone(),
+        right_key.clone(),
+        DEFAULT_BATCH_SIZE,
+    );
+    collect_tuples(&mut op).unwrap_or_default()
 }
 
 /// Indexed nested-loop join: for each left tuple, probe the right
@@ -112,24 +74,18 @@ pub fn indexed_nl_join(
     fetch: &dyn Fn(DocId) -> Option<Arc<Document>>,
     limit: Option<usize>,
 ) -> Vec<Tuple> {
-    let mut out = Vec::new();
-    for t in left {
-        let k: Value = t.key(&left_key.0, &left_key.1);
-        if k.is_null() {
-            continue;
-        }
-        for id in index.lookup_eq(right_path, &k) {
-            if let Some(doc) = fetch(id) {
-                out.push(t.join(&Tuple::single(right_alias, doc)));
-                if let Some(l) = limit {
-                    if out.len() >= l {
-                        return out;
-                    }
-                }
-            }
-        }
-    }
-    out
+    let metrics = Rc::new(RefCell::new(crate::exec::ExecMetrics::default()));
+    let mut op = IndexedNlJoinOp::new(
+        source("scan", left),
+        index,
+        right_alias.to_string(),
+        right_path.to_string(),
+        left_key.clone(),
+        Box::new(fetch),
+        limit,
+        metrics,
+    );
+    collect_tuples(&mut op).unwrap_or_default()
 }
 
 #[cfg(test)]

@@ -12,8 +12,12 @@
 //!
 //! * [`plan`] — the logical algebra (scan, search, filter, project, join,
 //!   group/aggregate, sort, limit, graph-connect).
-//! * [`ops`] / [`joins`] — physical operators, including the three join
-//!   algorithms (indexed nested-loop, hash, sort-merge).
+//! * [`batch`] — the batched, pull-based operator pipeline ([`Batch`] /
+//!   [`Operator`]): streaming filter/project/limit, blocking sort and
+//!   group/aggregate, the three join algorithms (indexed nested-loop,
+//!   hash, sort-merge).
+//! * [`ops`] / [`joins`] — materialized wrappers over the pipeline, kept
+//!   for callers that still exchange whole tuple vectors.
 //! * [`simple`] — the **simple planner**: a handful of fixed rules, no
 //!   statistics, biased toward index use and top-k friendliness.
 //! * [`costopt`] — the **cost-based baseline**: selectivity estimation
@@ -30,6 +34,7 @@
 //!   example query flow).
 
 pub mod adaptive;
+pub mod batch;
 pub mod costopt;
 pub mod dist;
 pub mod exec;
@@ -40,7 +45,10 @@ pub mod simple;
 pub mod sql;
 pub mod tuple;
 
-pub use exec::{execute_plan, ExecContext, ExecError, ExecMetrics, QueryOutput};
+pub use batch::{Batch, Operator, DEFAULT_BATCH_SIZE};
+pub use exec::{
+    execute_plan, execute_plan_opts, ExecContext, ExecError, ExecMetrics, ExecOptions, QueryOutput,
+};
 pub use plan::{AggItem, JoinAlgo, LogicalPlan, SortKey};
 pub use simple::SimplePlanner;
 pub use sql::parse_sql;

@@ -1,66 +1,47 @@
 //! Scalar physical operators: filter, project, sort, limit, group/agg.
 //!
-//! All operators are materialized (Vec in → Vec out): at appliance scale
-//! the scheduler moves whole operator stages between node kinds (§3.3),
-//! and materialized stages are what travels.
+//! These materialized helpers (Vec in → Vec out) are thin wrappers over
+//! the batched pipeline operators in [`crate::batch`], kept so existing
+//! call sites (bench harness, distributed executor stages) compile
+//! unchanged. They are slated for removal once every caller speaks
+//! [`crate::batch::Operator`] directly.
 
-use std::collections::BTreeMap;
+use impliance_storage::Predicate;
 
-use impliance_docmodel::Value;
-use impliance_storage::{AggValue, Predicate};
-
+use crate::batch::{
+    collect_rows, collect_tuples, FilterOp, GroupAggOp, LimitOp, Operator, ProjectOp, SortOp,
+    VecSource, DEFAULT_BATCH_SIZE,
+};
 use crate::plan::{AggItem, SortKey};
 use crate::tuple::{Row, Tuple};
+
+fn source(tuples: Vec<Tuple>) -> Box<dyn Operator + 'static> {
+    Box::new(VecSource::tuples("scan", tuples, DEFAULT_BATCH_SIZE))
+}
 
 /// Filter tuples: keep those whose binding at `alias` satisfies the
 /// predicate.
 pub fn filter(tuples: Vec<Tuple>, alias: &str, predicate: &Predicate) -> Vec<Tuple> {
-    tuples
-        .into_iter()
-        .filter(|t| {
-            t.bindings
-                .get(alias)
-                .map(|d| predicate.matches(d))
-                .unwrap_or(false)
-        })
-        .collect()
+    let mut op = FilterOp::new(source(tuples), alias.to_string(), predicate.clone());
+    collect_tuples(&mut op).unwrap_or_default()
 }
 
 /// Project tuples into final rows.
 pub fn project(tuples: &[Tuple], columns: &[(String, String, String)]) -> Vec<Row> {
-    tuples
-        .iter()
-        .map(|t| {
-            Row::from_pairs(
-                columns
-                    .iter()
-                    .map(|(alias, path, out)| (out.clone(), t.key(alias, path))),
-            )
-        })
-        .collect()
+    let mut op = ProjectOp::new(source(tuples.to_vec()), columns.to_vec());
+    collect_rows(&mut op).unwrap_or_default()
 }
 
 /// Sort tuples by the given keys.
-pub fn sort(mut tuples: Vec<Tuple>, keys: &[SortKey]) -> Vec<Tuple> {
-    tuples.sort_by(|a, b| {
-        for k in keys {
-            let va = a.key(&k.alias, &k.path);
-            let vb = b.key(&k.alias, &k.path);
-            let ord = va.total_cmp(&vb);
-            let ord = if k.descending { ord.reverse() } else { ord };
-            if ord != std::cmp::Ordering::Equal {
-                return ord;
-            }
-        }
-        std::cmp::Ordering::Equal
-    });
-    tuples
+pub fn sort(tuples: Vec<Tuple>, keys: &[SortKey]) -> Vec<Tuple> {
+    let mut op = SortOp::new(source(tuples), keys.to_vec(), None, DEFAULT_BATCH_SIZE);
+    collect_tuples(&mut op).unwrap_or_default()
 }
 
 /// Keep the first `n` tuples.
-pub fn limit(mut tuples: Vec<Tuple>, n: usize) -> Vec<Tuple> {
-    tuples.truncate(n);
-    tuples
+pub fn limit(tuples: Vec<Tuple>, n: usize) -> Vec<Tuple> {
+    let mut op = LimitOp::new(source(tuples), n);
+    collect_tuples(&mut op).unwrap_or_default()
 }
 
 /// Group tuples by an optional `(alias, path)` key and compute the
@@ -71,63 +52,19 @@ pub fn group_agg(
     group_by: Option<&(String, String)>,
     aggs: &[AggItem],
 ) -> Vec<Row> {
-    // group key rendering → (raw group value, per-agg states)
-    let mut groups: BTreeMap<String, (Value, Vec<AggValue>)> = BTreeMap::new();
-    for t in tuples {
-        let (key_render, key_value) = match group_by {
-            None => (String::new(), Value::Null),
-            Some((alias, path)) => {
-                let v = t.key(alias, path);
-                if v.is_null() {
-                    continue; // no group key → excluded
-                }
-                (v.render(), v)
-            }
-        };
-        let entry = groups
-            .entry(key_render)
-            .or_insert_with(|| (key_value, vec![AggValue::default(); aggs.len()]));
-        for (i, agg) in aggs.iter().enumerate() {
-            match &agg.operand {
-                None => entry.1[i].count += 1,
-                Some(path) => {
-                    // operand path may be alias-qualified through group_by
-                    // alias; use the first alias that has the path
-                    let mut observed = false;
-                    for alias in t.bindings.keys() {
-                        let v = t.key(alias, path);
-                        if !v.is_null() {
-                            entry.1[i].observe(&v);
-                            observed = true;
-                            break;
-                        }
-                    }
-                    if !observed && matches!(agg.func, impliance_storage::AggFunc::Count) {
-                        // COUNT(path) counts only present values: skip
-                    }
-                }
-            }
-        }
-    }
-    groups
-        .into_values()
-        .map(|(key_value, states)| {
-            let mut pairs: Vec<(String, Value)> = Vec::with_capacity(aggs.len() + 1);
-            if group_by.is_some() {
-                pairs.push(("group".to_string(), key_value));
-            }
-            for (agg, state) in aggs.iter().zip(states) {
-                pairs.push((agg.output.clone(), state.finish(agg.func)));
-            }
-            Row::from_pairs(pairs)
-        })
-        .collect()
+    let mut op = GroupAggOp::new(
+        source(tuples.to_vec()),
+        group_by.cloned(),
+        aggs.to_vec(),
+        DEFAULT_BATCH_SIZE,
+    );
+    collect_rows(&mut op).unwrap_or_default()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use impliance_docmodel::{DocId, DocumentBuilder, SourceFormat};
+    use impliance_docmodel::{DocId, DocumentBuilder, SourceFormat, Value};
     use impliance_storage::AggFunc;
     use std::sync::Arc;
 

@@ -34,8 +34,9 @@ pub mod pushdown;
 pub mod segment;
 pub mod stats;
 
-pub use engine::{StorageEngine, StorageOptions};
+pub use engine::{BatchScan, StorageEngine, StorageOptions};
 pub use error::StorageError;
+pub use partition::ScanPos;
 pub use pushdown::{
     AggFunc, AggSpec, AggValue, Predicate, Projection, ScanMetrics, ScanRequest, ScanResult,
 };

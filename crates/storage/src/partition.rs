@@ -24,6 +24,26 @@ pub enum Location {
     Seg { seg: usize, idx: usize },
 }
 
+/// Cursor into a partition's latest-version scan order (sealed segments
+/// in seal order, then the memtable).
+///
+/// Positions survive concurrent seals: [`crate::memtable::Memtable::drain`]
+/// preserves entry order, so when the memtable a cursor was reading drains
+/// into a new segment, the cursor resumes inside that segment at its old
+/// memtable offset. Obtain a fresh cursor with `ScanPos::default()` and
+/// thread it through [`Partition::scan_page`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanPos {
+    /// Next segment index to read (== segments fully consumed so far).
+    seg: usize,
+    /// Next directory index within segment `seg`.
+    idx: usize,
+    /// Next memtable entry index (meaningful once segments are done).
+    mem: usize,
+    /// Matching documents already emitted toward the request's `limit`.
+    emitted: usize,
+}
+
 /// One storage partition.
 #[derive(Debug)]
 pub struct Partition {
@@ -206,52 +226,103 @@ impl Partition {
 
     /// Execute a scan request over the *latest versions* in this
     /// partition, applying predicate/projection/aggregation at the storage
-    /// node (push-down).
+    /// node (push-down). Materialized wrapper over [`Partition::scan_page`].
     pub fn scan(&self, req: &ScanRequest) -> Result<ScanResult, StorageError> {
         let mut result = ScanResult::default();
-        // Build the set of latest locations for a single pass.
-        let mut latest: HashMap<(usize, usize), ()> = HashMap::new();
-        let mut latest_mem: HashMap<usize, ()> = HashMap::new();
-        for chain in self.chains.values() {
-            if let Some((_, loc, _)) = chain.last() {
-                match loc {
-                    Location::Mem(i) => {
-                        latest_mem.insert(*i, ());
-                    }
-                    Location::Seg { seg, idx } => {
-                        latest.insert((*seg, *idx), ());
-                    }
-                }
+        let mut pos = ScanPos::default();
+        loop {
+            let (page, next, done) = self.scan_page(req, pos, usize::MAX)?;
+            result.merge(page);
+            pos = next;
+            if done {
+                return Ok(result);
             }
         }
-        // Scan segments in order, then the memtable.
-        for (seg_no, segment) in self.segments.iter().enumerate() {
-            let mut idx = 0usize;
-            segment.scan(|doc, len| {
-                if latest.contains_key(&(seg_no, idx)) {
-                    self.consider(doc, len, req, &mut result);
-                }
-                idx += 1;
-                Ok(())
-            })?;
-            if let Some(limit) = req.limit {
-                if result.documents.len() >= limit || result.ids.len() >= limit {
-                    return Ok(result);
-                }
-            }
+    }
+
+    /// True when `loc` holds the latest version of document `id`.
+    fn is_latest(&self, id: DocId, loc: Location) -> bool {
+        self.chains
+            .get(&id)
+            .and_then(|c| c.last())
+            .map(|(_, l, _)| *l == loc)
+            .unwrap_or(false)
+    }
+
+    /// Scan one page of the partition starting at `pos`: up to `max_docs`
+    /// *matching* documents are emitted (the page keeps scanning through
+    /// non-matching documents, so predicate push-down stays per-batch).
+    /// Returns the page, the advanced cursor, and `true` once the
+    /// partition is exhausted or the request's `limit` has been met.
+    pub fn scan_page(
+        &self,
+        req: &ScanRequest,
+        pos: ScanPos,
+        max_docs: usize,
+    ) -> Result<(ScanResult, ScanPos, bool), StorageError> {
+        let mut pos = pos;
+        // A concurrent seal may have drained the memtable this cursor was
+        // mid-way through into segment `pos.seg`; entry order is preserved
+        // by the drain, so resume inside that segment at the old offset.
+        if pos.seg < self.segments.len() && pos.mem > 0 {
+            pos.idx = pos.mem;
+            pos.mem = 0;
         }
-        for (i, _id, _v, len) in self.memtable.iter_meta() {
-            if latest_mem.contains_key(&i) {
-                let doc = self.memtable.get(i)?;
-                self.consider(doc, len, req, &mut result);
-                if let Some(limit) = req.limit {
-                    if result.documents.len() >= limit || result.ids.len() >= limit {
-                        break;
+        let mut out = ScanResult::default();
+        let budget = max_docs.max(1);
+        let limit = req.limit.unwrap_or(usize::MAX);
+        if pos.emitted >= limit {
+            return Ok((out, pos, true));
+        }
+        // Sealed segments, oldest first; one block load per page-visit.
+        while pos.seg < self.segments.len() {
+            let segment = &self.segments[pos.seg];
+            let dir = segment.directory();
+            if pos.idx < dir.len() {
+                let block = segment.load_block()?;
+                while pos.idx < dir.len() {
+                    let emitted = out.documents.len() + out.ids.len();
+                    if emitted >= budget || pos.emitted + emitted >= limit {
+                        let done = pos.emitted + emitted >= limit;
+                        pos.emitted += emitted;
+                        return Ok((out, pos, done));
                     }
+                    let entry = &dir[pos.idx];
+                    let here = Location::Seg {
+                        seg: pos.seg,
+                        idx: pos.idx,
+                    };
+                    pos.idx += 1;
+                    if !self.is_latest(entry.id, here) {
+                        continue;
+                    }
+                    let (doc, _) = crate::codec::decode_document(&block, entry.offset as usize)?;
+                    self.consider_from(doc, entry.len as usize, req, &mut out, pos.emitted);
                 }
             }
+            pos.seg += 1;
+            pos.idx = 0;
         }
-        Ok(result)
+        // The active memtable.
+        for (i, id, _v, len) in self.memtable.iter_meta() {
+            if i < pos.mem {
+                continue;
+            }
+            let emitted = out.documents.len() + out.ids.len();
+            if emitted >= budget || pos.emitted + emitted >= limit {
+                let done = pos.emitted + emitted >= limit;
+                pos.emitted += emitted;
+                return Ok((out, pos, done));
+            }
+            pos.mem = i + 1;
+            if !self.is_latest(id, Location::Mem(i)) {
+                continue;
+            }
+            let doc = self.memtable.get(i)?;
+            self.consider_from(doc, len, req, &mut out, pos.emitted);
+        }
+        pos.emitted += out.documents.len() + out.ids.len();
+        Ok((out, pos, true))
     }
 
     /// Execute a scan over the snapshot as of timestamp `ts`: for every
@@ -270,10 +341,24 @@ impl Partition {
     }
 
     fn consider(&self, doc: Document, encoded_len: usize, req: &ScanRequest, out: &mut ScanResult) {
+        self.consider_from(doc, encoded_len, req, out, 0)
+    }
+
+    /// Like `consider`, but the request's `limit` is checked against
+    /// `emitted_before` prior emissions plus what this page already holds
+    /// (pages of one cursor share the limit).
+    fn consider_from(
+        &self,
+        doc: Document,
+        encoded_len: usize,
+        req: &ScanRequest,
+        out: &mut ScanResult,
+        emitted_before: usize,
+    ) {
         out.metrics.docs_scanned += 1;
         out.metrics.bytes_scanned += encoded_len as u64;
         if let Some(limit) = req.limit {
-            if out.documents.len() >= limit || out.ids.len() >= limit {
+            if emitted_before + out.documents.len() + out.ids.len() >= limit {
                 return;
             }
         }
@@ -465,6 +550,86 @@ mod tests {
         };
         let res = p.scan(&req).unwrap();
         assert_eq!(res.documents.len(), 5);
+    }
+
+    #[test]
+    fn scan_page_matches_materialized_scan() {
+        let mut p = Partition::new(7, true);
+        for i in 0..40 {
+            p.put(&doc(i, i as i64)).unwrap();
+        }
+        let req = ScanRequest::filtered(Predicate::Ge("amount".into(), Value::Int(10)));
+        let full = p.scan(&req).unwrap();
+        let mut paged = ScanResult::default();
+        let mut pos = ScanPos::default();
+        let mut pages = 0;
+        loop {
+            let (page, next, done) = p.scan_page(&req, pos, 4).unwrap();
+            assert!(page.documents.len() <= 4, "page overflows max_docs");
+            paged.merge(page);
+            pos = next;
+            pages += 1;
+            if done {
+                break;
+            }
+        }
+        assert!(pages > 1, "40 docs at 4/page must take several pages");
+        assert_eq!(paged.documents.len(), full.documents.len());
+        assert_eq!(paged.metrics, full.metrics);
+    }
+
+    #[test]
+    fn scan_page_cursor_survives_seal() {
+        let mut p = Partition::new(1000, false);
+        for i in 0..12 {
+            p.put(&doc(i, 1)).unwrap();
+        }
+        let req = ScanRequest::full();
+        // First page lands mid-memtable …
+        let (page, pos, done) = p.scan_page(&req, ScanPos::default(), 5).unwrap();
+        assert_eq!(page.documents.len(), 5);
+        assert!(!done);
+        // … then a seal drains the memtable into a segment …
+        p.seal();
+        for i in 12..15 {
+            p.put(&doc(i, 1)).unwrap();
+        }
+        // … and the cursor continues without duplicates or misses.
+        let mut ids: Vec<u64> = page.documents.iter().map(|d| d.id().0).collect();
+        let mut pos = pos;
+        loop {
+            let (page, next, done) = p.scan_page(&req, pos, 5).unwrap();
+            ids.extend(page.documents.iter().map(|d| d.id().0));
+            pos = next;
+            if done {
+                break;
+            }
+        }
+        ids.sort_unstable();
+        assert_eq!(ids, (0..15).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn scan_page_limit_spans_pages() {
+        let mut p = Partition::new(1000, false);
+        for i in 0..30 {
+            p.put(&doc(i, 1)).unwrap();
+        }
+        let req = ScanRequest {
+            limit: Some(7),
+            ..ScanRequest::full()
+        };
+        let mut got = 0;
+        let mut pos = ScanPos::default();
+        loop {
+            let (page, next, done) = p.scan_page(&req, pos, 3).unwrap();
+            got += page.documents.len();
+            pos = next;
+            if done {
+                break;
+            }
+        }
+        assert_eq!(got, 7, "limit enforced across pages");
     }
 
     #[test]

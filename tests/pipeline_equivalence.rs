@@ -1,0 +1,294 @@
+//! Property tests for the batched streaming executor: for random corpora
+//! and plans, the pipeline returns exactly the same rows at every batch
+//! size, and those rows agree with a naive materialized evaluation done
+//! directly over the corpus.
+
+use proptest::prelude::*;
+
+use impliance::docmodel::{DocId, DocumentBuilder, SourceFormat, Value};
+use impliance::index::{InvertedIndex, JoinIndex, PathValueIndex};
+use impliance::query::{
+    execute_plan_opts, AggItem, ExecContext, ExecOptions, JoinAlgo, LogicalPlan, QueryOutput,
+    SortKey,
+};
+use impliance::storage::{AggFunc, Predicate, StorageEngine, StorageOptions};
+
+/// Debug builds run ~10x slower; scale case counts so `cargo test` stays
+/// fast while `--release` runs the full battery.
+const fn cases(release: u32) -> u32 {
+    if cfg!(debug_assertions) {
+        release / 8 + 4
+    } else {
+        release
+    }
+}
+
+const BATCH_SIZES: [usize; 4] = [1, 3, 64, 1024];
+
+struct Fixture {
+    storage: StorageEngine,
+    text: InvertedIndex,
+    values: PathValueIndex,
+    joins: JoinIndex,
+}
+
+impl Fixture {
+    fn new(partitions: usize, seal: usize) -> Fixture {
+        Fixture {
+            storage: StorageEngine::new(StorageOptions {
+                partitions,
+                seal_threshold: seal,
+                compression: true,
+                encryption_key: None,
+            }),
+            text: InvertedIndex::new(4),
+            values: PathValueIndex::new(),
+            joins: JoinIndex::new(),
+        }
+    }
+
+    fn put(&self, doc: &impliance::docmodel::Document) {
+        self.storage.put(doc).unwrap();
+        self.values.index_document(doc);
+    }
+
+    fn ctx(&self) -> ExecContext<'_> {
+        ExecContext {
+            storage: &self.storage,
+            text_index: &self.text,
+            value_index: &self.values,
+            join_index: &self.joins,
+            pushdown: true,
+        }
+    }
+}
+
+fn scan(collection: &str) -> LogicalPlan {
+    LogicalPlan::Scan {
+        collection: Some(collection.to_string()),
+        predicate: None,
+        alias: collection.to_string(),
+        use_value_index: false,
+    }
+}
+
+fn run(f: &Fixture, plan: &LogicalPlan, batch_size: usize) -> QueryOutput {
+    let opts = ExecOptions {
+        batch_size,
+        limit: None,
+    };
+    execute_plan_opts(&f.ctx(), plan, &opts).unwrap().0
+}
+
+/// Render an output in a batch-size-independent but order-sensitive way.
+fn render(out: &QueryOutput) -> Vec<String> {
+    match out {
+        QueryOutput::Rows(rows) => rows.iter().map(|r| r.render()).collect(),
+        QueryOutput::Docs(docs) => docs.iter().map(|d| format!("{}", d.id().0)).collect(),
+        QueryOutput::Path(p) => vec![format!("{p:?}")],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(32)))]
+
+    #[test]
+    fn filter_project_rows_invariant_under_batch_size(
+        amounts in proptest::collection::vec(0i64..100, 1..60),
+        threshold in 0i64..100,
+        partitions in 1usize..5,
+        seal in 4usize..32,
+    ) {
+        let f = Fixture::new(partitions, seal);
+        for (i, a) in amounts.iter().enumerate() {
+            f.put(
+                &DocumentBuilder::new(DocId(i as u64), SourceFormat::Json, "c")
+                    .field("amount", *a)
+                    .build(),
+            );
+        }
+        let plan = LogicalPlan::Project {
+            input: Box::new(LogicalPlan::Filter {
+                input: Box::new(scan("c")),
+                alias: "c".into(),
+                predicate: Predicate::Ge("amount".into(), Value::Int(threshold)),
+            }),
+            columns: vec![("c".into(), "amount".into(), "amount".into())],
+        };
+        let baseline = run(&f, &plan, BATCH_SIZES[0]);
+        for bs in &BATCH_SIZES[1..] {
+            prop_assert_eq!(render(&run(&f, &plan, *bs)), render(&baseline), "batch_size {}", bs);
+        }
+        // naive oracle: multiset of qualifying amounts
+        let mut expected: Vec<i64> = amounts.iter().copied().filter(|a| *a >= threshold).collect();
+        expected.sort_unstable();
+        let mut got: Vec<i64> = baseline
+            .rows()
+            .iter()
+            .map(|r| r.get("amount").as_i64().unwrap())
+            .collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn sort_limit_top_k_matches_full_sort_oracle(
+        amounts in proptest::collection::vec(0i64..1000, 1..60),
+        n in 1usize..20,
+        descending in any::<bool>(),
+    ) {
+        let f = Fixture::new(3, 8);
+        // unique sort keys so exact ordering is well defined
+        let keys: Vec<i64> = amounts.iter().enumerate().map(|(i, a)| a * 100 + i as i64).collect();
+        for (i, k) in keys.iter().enumerate() {
+            f.put(
+                &DocumentBuilder::new(DocId(i as u64), SourceFormat::Json, "c")
+                    .field("x", *k)
+                    .build(),
+            );
+        }
+        let plan = LogicalPlan::Project {
+            input: Box::new(LogicalPlan::Limit {
+                input: Box::new(LogicalPlan::Sort {
+                    input: Box::new(scan("c")),
+                    keys: vec![SortKey { alias: "c".into(), path: "x".into(), descending }],
+                }),
+                n,
+            }),
+            columns: vec![("c".into(), "x".into(), "x".into())],
+        };
+        let baseline = run(&f, &plan, BATCH_SIZES[0]);
+        for bs in &BATCH_SIZES[1..] {
+            prop_assert_eq!(render(&run(&f, &plan, *bs)), render(&baseline), "batch_size {}", bs);
+        }
+        // oracle: full sort then prefix (the top-K fast path must agree)
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        if descending {
+            expected.reverse();
+        }
+        expected.truncate(n);
+        let got: Vec<i64> = baseline
+            .rows()
+            .iter()
+            .map(|r| r.get("x").as_i64().unwrap())
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn group_agg_sums_match_oracle(
+        rows in proptest::collection::vec((0u8..4, 0i64..100), 1..60),
+    ) {
+        let f = Fixture::new(2, 8);
+        for (i, (tag, amount)) in rows.iter().enumerate() {
+            f.put(
+                &DocumentBuilder::new(DocId(i as u64), SourceFormat::Json, "c")
+                    .field("tag", format!("t{tag}"))
+                    .field("amount", *amount)
+                    .build(),
+            );
+        }
+        let plan = LogicalPlan::GroupAgg {
+            input: Box::new(scan("c")),
+            group_by: Some(("c".into(), "tag".into())),
+            aggs: vec![AggItem {
+                func: AggFunc::Sum,
+                operand: Some("amount".into()),
+                output: "total".into(),
+            }],
+        };
+        let baseline = run(&f, &plan, BATCH_SIZES[0]);
+        for bs in &BATCH_SIZES[1..] {
+            prop_assert_eq!(render(&run(&f, &plan, *bs)), render(&baseline), "batch_size {}", bs);
+        }
+        // oracle: per-tag sums computed directly
+        let mut expected: std::collections::BTreeMap<String, f64> = Default::default();
+        for (tag, amount) in &rows {
+            *expected.entry(format!("t{tag}")).or_default() += *amount as f64;
+        }
+        let got: std::collections::BTreeMap<String, f64> = baseline
+            .rows()
+            .iter()
+            .map(|r| {
+                let g = r.get("group").render();
+                let t = match r.get("total") {
+                    Value::Float(x) => *x,
+                    other => panic!("expected float total, got {other:?}"),
+                };
+                (g, t)
+            })
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn all_join_algorithms_agree_with_nested_loop_oracle(
+        left_keys in proptest::collection::vec(0i64..5, 1..25),
+        right_keys in proptest::collection::vec(0i64..5, 1..25),
+    ) {
+        let f = Fixture::new(2, 8);
+        for (i, k) in left_keys.iter().enumerate() {
+            f.put(
+                &DocumentBuilder::new(DocId(i as u64), SourceFormat::Json, "l")
+                    .field("k", *k)
+                    .build(),
+            );
+        }
+        for (i, k) in right_keys.iter().enumerate() {
+            f.put(
+                &DocumentBuilder::new(DocId(1000 + i as u64), SourceFormat::Json, "r")
+                    .field("k", *k)
+                    .build(),
+            );
+        }
+        // oracle: nested-loop match count
+        let expected: usize = left_keys
+            .iter()
+            .map(|lk| right_keys.iter().filter(|rk| *rk == lk).count())
+            .sum();
+        for algo in [JoinAlgo::Hash, JoinAlgo::SortMerge, JoinAlgo::IndexedNestedLoop] {
+            let plan = LogicalPlan::Join {
+                left: Box::new(scan("l")),
+                right: Box::new(scan("r")),
+                left_key: ("l".into(), "k".into()),
+                right_key: ("r".into(), "k".into()),
+                algo,
+            };
+            let baseline = run(&f, &plan, BATCH_SIZES[0]);
+            for bs in &BATCH_SIZES[1..] {
+                prop_assert_eq!(
+                    render(&run(&f, &plan, *bs)),
+                    render(&baseline),
+                    "algo {:?} batch_size {}", algo, bs
+                );
+            }
+            // joined tuples carry two bindings each → two docs per match
+            prop_assert_eq!(baseline.len(), expected * 2, "algo {:?}", algo);
+        }
+    }
+
+    #[test]
+    fn request_limit_is_a_prefix_of_the_unlimited_result(
+        amounts in proptest::collection::vec(0i64..100, 1..60),
+        n in 0usize..70,
+    ) {
+        let f = Fixture::new(3, 8);
+        for (i, a) in amounts.iter().enumerate() {
+            f.put(
+                &DocumentBuilder::new(DocId(i as u64), SourceFormat::Json, "c")
+                    .field("amount", *a)
+                    .build(),
+            );
+        }
+        let plan = scan("c");
+        let unlimited = render(&run(&f, &plan, 7));
+        for bs in BATCH_SIZES {
+            let opts = ExecOptions { batch_size: bs, limit: Some(n) };
+            let (out, m) = execute_plan_opts(&f.ctx(), &plan, &opts).unwrap();
+            prop_assert_eq!(out.len(), n.min(amounts.len()));
+            prop_assert_eq!(m.rows_out as usize, out.len());
+            prop_assert_eq!(render(&out), unlimited[..n.min(amounts.len())].to_vec());
+        }
+    }
+}
