@@ -29,13 +29,21 @@ cargo clippy --workspace --all-targets -q -- \
   -D clippy::unimplemented \
   -D clippy::await_holding_lock
 
-echo "==> impliance-analysis check (L1-L6 invariants, ratcheted)"
+echo "==> impliance-analysis check (L1-L7 invariants, ratcheted)"
 cargo run -q -p impliance-analysis -- check
 
-# Smoke the executor bench: emits BENCH_exec.json and fails unless the
-# batched scan→filter→limit pipeline moves strictly fewer network bytes
-# than the pre-refactor monolithic distributed scan.
-echo "==> exec_bench smoke (BENCH_exec.json)"
+# The chaos suite: seeded fault schedules (node kills, message drops,
+# deadlines) against the resilient distributed executor. Runs in release
+# so the proptest equivalence battery uses its full case count.
+echo "==> chaos suite (fault-injected distributed execution)"
+cargo test -q --release --test chaos_integration
+
+# Smoke the executor bench: emits BENCH_exec.json + BENCH_chaos.json and
+# fails unless (a) the batched scan→filter→limit pipeline moves strictly
+# fewer network bytes than the pre-refactor monolithic distributed scan,
+# and (b) every seeded chaos trial (1 node killed at 0/5/20% drop)
+# recovers the exact fault-free row set.
+echo "==> exec_bench smoke (BENCH_exec.json, BENCH_chaos.json)"
 cargo run -q --release -p impliance-bench --bin exec_bench >/dev/null
 
 echo "CI gate passed"

@@ -3,7 +3,7 @@
 //! Two halves:
 //!
 //! * **Static invariant linter** ([`lints`], [`baseline`], [`report`]) —
-//!   enforces the L1-L4 workspace invariants over a self-contained lexer
+//!   enforces the L1-L7 workspace invariants over a self-contained lexer
 //!   ([`lexer`]), with pre-existing debt ratcheted through
 //!   `lint_baseline.json`. Run it with
 //!   `cargo run -p impliance-analysis -- check`.

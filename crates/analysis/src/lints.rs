@@ -9,6 +9,7 @@
 //! | L4 | no `Mutex`/`RwLock` guard held across a channel `send`/`recv` in the same function body |
 //! | L5 | no `print!`/`println!`/`eprint!`/`eprintln!` in library crates |
 //! | L6 | no materializing helpers (`ops::*` / `joins::*` / `collect_*`) inside the streaming executor core |
+//! | L7 | no `unwrap()` / `expect()` on cluster `submit_to`/`transmit` chains in the resilient distributed executor — test code included |
 //!
 //! The analysis is lexical (the environment has no `syn`), which buys
 //! simplicity and zero dependencies at the cost of heuristics that are
@@ -45,6 +46,10 @@ pub struct LintConfig {
     /// internals here must stream batches, never call the materializing
     /// compatibility helpers.
     pub l6_streaming_files: Vec<String>,
+    /// Files forming the resilient distributed executor for L7: cluster
+    /// call results here must never be unwrapped, even in tests, because
+    /// chaos schedules make those calls fail on purpose.
+    pub l7_files: Vec<String>,
 }
 
 impl LintConfig {
@@ -71,6 +76,7 @@ impl LintConfig {
                 "crates/query/src/exec.rs".into(),
                 "crates/query/src/batch.rs".into(),
             ],
+            l7_files: vec!["crates/query/src/dist.rs".into()],
         }
     }
 
@@ -145,6 +151,9 @@ pub fn lint_source(config: &LintConfig, rel_path: &str, source: &str) -> Vec<Dia
     }
     if config.l6_streaming_files.iter().any(|f| f == rel_path) {
         lint_l6(&ctx, &mut diags);
+    }
+    if config.l7_files.iter().any(|f| f == rel_path) {
+        lint_l7(&ctx, &mut diags);
     }
 
     diags.retain(|d| !ctx.allowed(d.id, d.line));
@@ -613,6 +622,91 @@ fn lint_l6(ctx: &FileContext<'_>, diags: &mut Vec<Diagnostic>) {
 }
 
 // ---------------------------------------------------------------------
+// L7: cluster call results in the resilient executor must be handled
+// ---------------------------------------------------------------------
+
+/// The whole point of the fault-tolerant executor is that cluster calls
+/// fail: `submit_to` returns `Err` when a node is dead or the request
+/// envelope is dropped, and the chaos harness injects exactly those
+/// failures. An `.unwrap()` / `.expect(..)` anywhere in a method chain
+/// rooted at `submit_to` / `submit_to_kind` / `map_kind` / `transmit`
+/// turns an injected fault into a panic — in TEST code too, since chaos
+/// tests must assert on retried/degraded outcomes, not die. Scope is the
+/// resilient executor files (`l7_files`); handled results (let-else,
+/// match, the retry/failover helpers) pass. Heuristic: only the direct
+/// chain is tracked — a result bound first and unwrapped later is caught
+/// by review, not this lint.
+fn lint_l7(ctx: &FileContext<'_>, diags: &mut Vec<Diagnostic>) {
+    let toks = &ctx.lexed.tokens;
+    const ROOTS: &[&str] = &["submit_to", "submit_to_kind", "map_kind", "transmit"];
+    let skip_parens = |start: usize| -> usize {
+        // `start` indexes the opening "("; returns the index of its match
+        let mut depth = 0i32;
+        let mut m = start;
+        while m < toks.len() {
+            match toks[m].text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            m += 1;
+        }
+        m
+    };
+    let mut i = 0;
+    while i < toks.len() {
+        let is_root = toks[i].kind == TokenKind::Ident
+            && ROOTS.contains(&toks[i].text.as_str())
+            && toks.get(i + 1).map(|t| t.text.as_str()) == Some("(");
+        if !is_root {
+            i += 1;
+            continue;
+        }
+        let call_end = skip_parens(i + 1);
+        // walk the rest of the method chain: `?`, `.name`, `.name(..)`
+        let mut k = call_end + 1;
+        while k < toks.len() {
+            match toks.get(k).map(|t| t.text.as_str()) {
+                Some("?") => k += 1,
+                Some(".") => {
+                    let Some(name) = toks.get(k + 1) else { break };
+                    if name.kind != TokenKind::Ident {
+                        break;
+                    }
+                    let called = toks.get(k + 2).map(|t| t.text.as_str()) == Some("(");
+                    if called && matches!(name.text.as_str(), "unwrap" | "expect") {
+                        diags.push(ctx.diag(
+                            LintId::L7,
+                            name.line,
+                            format!(
+                                "`{}()` on a cluster `{}` chain panics on injected faults \
+                                 (node kills and message drops are expected here)",
+                                name.text, toks[i].text
+                            ),
+                            "handle the Err arm (let-else / match) or route the call through \
+                             the retry/failover helpers so chaos schedules degrade instead of \
+                             panicking",
+                        ));
+                    }
+                    if called {
+                        k = skip_parens(k + 2) + 1;
+                    } else {
+                        break; // field access / turbofish — chain type changed
+                    }
+                }
+                _ => break,
+            }
+        }
+        i = call_end + 1;
+    }
+}
+
+// ---------------------------------------------------------------------
 // L4: no lock guard held across a channel send/recv
 // ---------------------------------------------------------------------
 
@@ -995,6 +1089,61 @@ mod tests {
         "#;
         let diags = run("crates/query/src/ops.rs", src);
         assert!(diags.iter().all(|d| d.id != LintId::L6));
+    }
+
+    #[test]
+    fn l7_flags_unwrap_on_submit_chain_even_in_tests() {
+        let src = r#"
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() {
+                    let n = rt.submit_to(node, 8, |_| 1u64).unwrap().join().unwrap();
+                    let m = rt.map_kind(NodeKind::Data, 8, job).expect("map");
+                    let _ = (n, m);
+                }
+            }
+        "#;
+        let diags = run("crates/query/src/dist.rs", src);
+        assert_eq!(diags.iter().filter(|d| d.id == LintId::L7).count(), 3);
+    }
+
+    #[test]
+    fn l7_handled_results_and_other_files_pass() {
+        let src = r#"
+            pub fn dispatch(rt: &Runtime) -> Result<u64, ClusterError> {
+                let handle = rt.submit_to(node, 8, job)?;
+                let Ok(n) = handle.join() else {
+                    return Err(ClusterError::TaskLost);
+                };
+                Ok(n)
+            }
+        "#;
+        assert!(run("crates/query/src/dist.rs", src)
+            .iter()
+            .all(|d| d.id != LintId::L7));
+        // same unwrap chain outside the resilient executor: L7 silent
+        let chained = "fn f() { rt.submit_to(n, 8, job).unwrap(); }";
+        assert!(run("crates/query/src/exec.rs", chained)
+            .iter()
+            .all(|d| d.id != LintId::L7));
+    }
+
+    #[test]
+    fn l7_allow_comment_suppresses() {
+        let src = r#"
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() {
+                    // impliance-lint: allow(L7)
+                    rt.submit_to(node, 8, job).unwrap();
+                }
+            }
+        "#;
+        assert!(run("crates/query/src/dist.rs", src)
+            .iter()
+            .all(|d| d.id != LintId::L7));
     }
 
     #[test]

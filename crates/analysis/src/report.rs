@@ -25,17 +25,23 @@ pub enum LintId {
     /// helpers (`ops::*` / `joins::*` / `collect_*`) — operators stream
     /// batches; only the compatibility wrappers may materialize.
     L6,
+    /// No `unwrap()` / `expect()` on cluster `submit_to` / `transmit`
+    /// result chains in the resilient distributed executor — those calls
+    /// fail by design under chaos schedules, and must degrade, not panic.
+    /// Unlike L1 this applies to test code too.
+    L7,
 }
 
 impl LintId {
     /// All lints, in order.
-    pub const ALL: [LintId; 6] = [
+    pub const ALL: [LintId; 7] = [
         LintId::L1,
         LintId::L2,
         LintId::L3,
         LintId::L4,
         LintId::L5,
         LintId::L6,
+        LintId::L7,
     ];
 
     /// Stable string form (`"L1"`...).
@@ -47,6 +53,7 @@ impl LintId {
             LintId::L4 => "L4",
             LintId::L5 => "L5",
             LintId::L6 => "L6",
+            LintId::L7 => "L7",
         }
     }
 
@@ -59,6 +66,7 @@ impl LintId {
             "L4" => Some(LintId::L4),
             "L5" => Some(LintId::L5),
             "L6" => Some(LintId::L6),
+            "L7" => Some(LintId::L7),
             _ => None,
         }
     }
@@ -76,6 +84,10 @@ impl LintId {
             LintId::L6 => {
                 "no materializing helpers (ops::/joins::/collect_*) inside the streaming \
                  executor core"
+            }
+            LintId::L7 => {
+                "no unwrap()/expect() on cluster submit_to/transmit chains in the resilient \
+                 distributed executor (test code included)"
             }
         }
     }

@@ -21,6 +21,7 @@ fn fixture_trips_each_invariant_exactly_once() {
     assert_eq!(count(LintId::L2), 1, "diags: {diags:?}");
     assert_eq!(count(LintId::L3), 1, "diags: {diags:?}");
     assert_eq!(count(LintId::L4), 1, "diags: {diags:?}");
+    assert_eq!(count(LintId::L7), 1, "diags: {diags:?}");
 
     // negative cases: the allowed unwrap and the test-module unwrap are
     // not reported, so L1 has exactly the one flagged line
@@ -40,6 +41,19 @@ fn fixture_trips_each_invariant_exactly_once() {
         "L4 names the held guard: {}",
         l4.message
     );
+
+    // L7 fires inside the #[cfg(test)] module — test code is NOT exempt —
+    // while the handled `?` chain in the same file stays silent
+    let l7 = diags
+        .iter()
+        .find(|d| d.id == LintId::L7)
+        .expect("an L7 diag");
+    assert_eq!(l7.file, "crates/query/src/dist.rs");
+    assert!(
+        l7.message.contains("`submit_to`"),
+        "L7 names the chain root: {}",
+        l7.message
+    );
 }
 
 #[test]
@@ -56,7 +70,7 @@ fn checker_binary_fails_on_fixture_with_golden_report() {
         .output()
         .expect("run checker binary");
 
-    // non-zero exit: the fixture has no baseline, so all 4 findings are new
+    // non-zero exit: the fixture has no baseline, so all 5 findings are new
     assert_eq!(
         output.status.code(),
         Some(1),
@@ -64,7 +78,7 @@ fn checker_binary_fails_on_fixture_with_golden_report() {
         String::from_utf8_lossy(&output.stderr)
     );
     let stderr = String::from_utf8_lossy(&output.stderr);
-    for id in ["[L1]", "[L2]", "[L3]", "[L4]"] {
+    for id in ["[L1]", "[L2]", "[L3]", "[L4]", "[L7]"] {
         assert!(stderr.contains(id), "stderr names {id}: {stderr}");
     }
 
@@ -84,7 +98,7 @@ fn checker_binary_fails_on_fixture_with_golden_report() {
         .get("totals")
         .and_then(|t| t.get("new"))
         .and_then(|n| n.as_f64());
-    assert_eq!(new, Some(4.0));
+    assert_eq!(new, Some(5.0));
 }
 
 #[test]

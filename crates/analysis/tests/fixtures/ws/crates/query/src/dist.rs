@@ -1,0 +1,22 @@
+//! Fixture: one deliberate L7 violation — an `.unwrap()` on a cluster
+//! `submit_to` chain inside TEST code (L7 applies to tests too: chaos
+//! schedules make these calls fail on purpose), plus the handled form
+//! that must NOT be flagged. (Fixture sources are scanned, never
+//! compiled.)
+
+pub fn dispatch(rt: &Runtime, node: u32) -> Result<u64, ClusterError> {
+    // handled chain: `?` propagates, nothing to flag
+    let handle = rt.submit_to(node, 8, |_| 1u64)?;
+    handle.join()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scan_reaches_the_node() {
+        let rt = Runtime::single();
+        // L7: an injected fault turns this into a test panic
+        let n = rt.submit_to(0, 8, |_| 1u64).unwrap();
+        let _ = n;
+    }
+}

@@ -16,14 +16,22 @@
 //!    node's whole partial shipped in a single transmit, LIMIT applied
 //!    only at the coordinator) against `dist_scan_batched` with the limit
 //!    pushed into the per-morsel page loop.
+//!
+//! A third measurement, **chaos** (`BENCH_chaos.json`), replays seeded
+//! fault schedules — 1 of 4 data nodes killed mid-scan at 0%, 5%, and
+//! 20% message drop — against the resilient scan path and fails unless
+//! every trial recovers the exact fault-free row set.
 
 use std::sync::Arc;
 use std::time::Instant;
 
-use impliance_cluster::{ClusterRuntime, Network, NodeId, NodeKind, NodeSpec};
+use impliance_cluster::{ClusterRuntime, FaultSchedule, Network, NodeId, NodeKind, NodeSpec};
 use impliance_docmodel::{DocId, DocumentBuilder, SourceFormat, Value};
 use impliance_index::{InvertedIndex, JoinIndex, PathValueIndex};
-use impliance_query::dist::{dist_put, dist_scan_batched, DataNodeState};
+use impliance_query::dist::{
+    dist_put, dist_put_replicated, dist_scan_batched, dist_scan_resilient, DataNodeState,
+    DistExecOptions, FailoverPolicy, RetryPolicy,
+};
 use impliance_query::{execute_plan_opts, ExecContext, ExecOptions, LogicalPlan};
 use impliance_storage::{Predicate, ScanRequest, StorageEngine, StorageOptions};
 
@@ -33,6 +41,10 @@ const BATCH_SIZE: usize = 256;
 const DIST_DOCS: u64 = 400;
 const DIST_LIMIT: usize = 5;
 const DIST_BATCH: usize = 16;
+const CHAOS_DOCS: u64 = 200;
+const CHAOS_NODES: u32 = 4;
+const CHAOS_TRIALS: usize = 5;
+const CHAOS_DROP_PCTS: [u32; 3] = [0, 5, 20];
 
 struct RunStats {
     rows: u64,
@@ -94,16 +106,60 @@ fn main() {
         );
         failed = true;
     }
+    let chaos = bench_chaos();
+    let baseline_latency = chaos[0].median_micros;
+    let mut chaos_json = String::from("{\n  \"bench\": \"chaos\",\n  \"corpus_docs\": ");
+    chaos_json.push_str(&format!(
+        "{CHAOS_DOCS},\n  \"data_nodes\": {CHAOS_NODES},\n  \"trials_per_config\": \
+         {CHAOS_TRIALS},\n  \"killed_nodes\": 1,\n  \"configs\": [\n"
+    ));
+    for (i, c) in chaos.iter().enumerate() {
+        let added = c.p99_micros.saturating_sub(baseline_latency);
+        chaos_json.push_str(&format!(
+            "    {{ \"drop_pct\": {}, \"success_rate\": {:.2}, \"retries\": {}, \
+             \"failovers\": {}, \"median_micros\": {}, \"p99_micros\": {}, \
+             \"p99_added_micros\": {} }}{}\n",
+            c.drop_pct,
+            c.successes as f64 / CHAOS_TRIALS as f64,
+            c.retries,
+            c.failovers,
+            c.median_micros,
+            c.p99_micros,
+            added,
+            if i + 1 < chaos.len() { "," } else { "" },
+        ));
+    }
+    chaos_json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_chaos.json", &chaos_json).expect("write BENCH_chaos.json");
+    print!("{chaos_json}");
+
+    for c in &chaos {
+        if c.successes < CHAOS_TRIALS {
+            eprintln!(
+                "FAIL: chaos config drop_pct={} recovered the exact row set in only {}/{} trials",
+                c.drop_pct, c.successes, CHAOS_TRIALS
+            );
+            failed = true;
+        }
+    }
+    if chaos.iter().all(|c| c.failovers == 0) {
+        eprintln!("FAIL: no chaos trial exercised replica failover — the kill never landed");
+        failed = true;
+    }
+
     if failed {
         std::process::exit(1);
     }
     println!(
-        "OK: limit scanned {}/{} docs locally; batched dist scan moved {}/{} bytes ({:.1}%)",
+        "OK: limit scanned {}/{} docs locally; batched dist scan moved {}/{} bytes ({:.1}%); \
+         chaos recovered {} trials across {} configs",
         local.1.docs_scanned,
         LOCAL_DOCS,
         dist.batched_bytes,
         dist.monolithic_bytes,
-        ratio * 100.0
+        ratio * 100.0,
+        chaos.iter().map(|c| c.successes).sum::<usize>(),
+        chaos.len(),
     );
 }
 
@@ -153,6 +209,7 @@ fn bench_local_pipeline() -> (RunStats, RunStats, u64) {
         let opts = ExecOptions {
             batch_size: BATCH_SIZE,
             limit,
+            ..ExecOptions::default()
         };
         let t0 = Instant::now();
         let (out, m) = execute_plan_opts(&ctx, &plan, &opts).expect("execute");
@@ -256,4 +313,102 @@ fn bench_distributed_bytes() -> DistStats {
         morsels: stats.morsels,
         batches: stats.batches,
     }
+}
+
+struct ChaosConfigStats {
+    drop_pct: u32,
+    successes: usize,
+    retries: u64,
+    failovers: u64,
+    median_micros: u128,
+    p99_micros: u128,
+}
+
+/// Replay seeded fault schedules against the resilient scan: for each
+/// drop rate, every trial boots a fresh 4-data-node cluster (killed nodes
+/// stay dead), ingests a 2-way replicated corpus, kills one node mid-scan
+/// while dropping `drop_pct`% of the victim's coordinator traffic, and
+/// checks the recovered row set against the fault-free one exactly.
+fn bench_chaos() -> Vec<ChaosConfigStats> {
+    let expected: Vec<u64> = (0..CHAOS_DOCS).collect();
+    let mut out = Vec::new();
+    for drop_pct in CHAOS_DROP_PCTS {
+        let mut successes = 0usize;
+        let mut retries = 0u64;
+        let mut failovers = 0u64;
+        let mut micros: Vec<u128> = Vec::with_capacity(CHAOS_TRIALS);
+        for trial in 0..CHAOS_TRIALS {
+            let mut specs: Vec<NodeSpec> = (0..CHAOS_NODES)
+                .map(|i| NodeSpec::new(i, NodeKind::Data))
+                .collect();
+            specs.push(NodeSpec::new(100, NodeKind::Grid));
+            let rt =
+                ClusterRuntime::boot(&specs, Arc::new(Network::new()), |spec| match spec.kind {
+                    NodeKind::Data => Arc::new(DataNodeState::new(Arc::new(StorageEngine::new(
+                        StorageOptions {
+                            partitions: 3,
+                            seal_threshold: 64,
+                            compression: true,
+                            encryption_key: None,
+                        },
+                    )))),
+                    _ => Arc::new(()),
+                });
+            for i in 0..CHAOS_DOCS {
+                dist_put_replicated(
+                    &rt,
+                    &DocumentBuilder::new(DocId(i), SourceFormat::Json, "orders")
+                        .field("amount", (i % 100) as i64)
+                        .build(),
+                    2,
+                )
+                .expect("replicated ingest on a healthy cluster");
+            }
+
+            let victim = rt.nodes_of_kind(NodeKind::Data)[trial % CHAOS_NODES as usize];
+            let coord = NodeId(u32::MAX);
+            let sched = Arc::new(FaultSchedule::new(
+                0xC4A0_0000 ^ ((drop_pct as u64) << 8) ^ trial as u64,
+            ));
+            sched.drop_link(coord, victim, drop_pct as f64 / 100.0);
+            sched.drop_link(victim, coord, drop_pct as f64 / 100.0);
+            sched.kill_after(victim, 20);
+            rt.network().install_faults(sched);
+
+            let opts = DistExecOptions {
+                batch_size: 8,
+                retry: RetryPolicy {
+                    max_attempts: 10,
+                    ..RetryPolicy::default()
+                },
+                failover: Some(FailoverPolicy::ring(&rt.nodes_of_kind(NodeKind::Data))),
+                deadline: None,
+                degraded_ok: false,
+            };
+            let t0 = Instant::now();
+            let scan = dist_scan_resilient(&rt, &ScanRequest::full(), &opts);
+            micros.push(t0.elapsed().as_micros());
+            rt.network().clear_faults();
+            if let Ok(scan) = scan {
+                let mut ids: Vec<u64> = scan.result.documents.iter().map(|d| d.id().0).collect();
+                ids.sort_unstable();
+                if ids == expected && !scan.degraded {
+                    successes += 1;
+                }
+                retries += scan.retries;
+                failovers += scan.failovers;
+            }
+        }
+        micros.sort_unstable();
+        out.push(ChaosConfigStats {
+            drop_pct,
+            successes,
+            retries,
+            failovers,
+            // 5 trials: median is the middle one, "p99" is the worst
+            median_micros: micros[micros.len() / 2],
+            p99_micros: *micros.last().expect("at least one trial"),
+        });
+    }
+    out
 }

@@ -361,6 +361,131 @@ mod tests {
     }
 
     #[test]
+    fn reelection_under_concurrent_expiry_and_refusal() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        // Five members; only 3 and 4 keep heartbeating while the clock
+        // advances and a refusing member churns 2PC — all from separate
+        // threads. However the operations interleave, the group must end
+        // with {3, 4} alive, 3 as primary, and a log containing exactly
+        // the payloads whose commit reported Committed.
+        let g = Arc::new(ConsistencyGroup::new(3));
+        for i in 1..=5 {
+            g.join(NodeId(i));
+        }
+        g.set_refuse_prepare(NodeId(4), true);
+        let committed = Arc::new(AtomicU64::new(0));
+        let aborted = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for survivor in [3u32, 4] {
+            let g = Arc::clone(&g);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..200 {
+                    g.heartbeat(NodeId(survivor));
+                }
+            }));
+        }
+        {
+            let g = Arc::clone(&g);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    g.tick(0); // failure detection without time advance
+                }
+            }));
+        }
+        {
+            let g = Arc::clone(&g);
+            let committed = Arc::clone(&committed);
+            let aborted = Arc::clone(&aborted);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    match g.commit(&format!("entry-{i}")) {
+                        CommitOutcome::Committed { .. } => {
+                            committed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        CommitOutcome::Aborted { refused } => {
+                            assert_eq!(refused, vec![NodeId(4)]);
+                            aborted.fetch_add(1, Ordering::Relaxed);
+                        }
+                        CommitOutcome::NoMembers => panic!("members stay joined"),
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Now let 1, 2, 5 expire while 3 and 4 stay fresh: advance past
+        // half the window, refresh the survivors, then cross the timeout.
+        g.tick(2);
+        g.heartbeat(NodeId(3));
+        g.heartbeat(NodeId(4));
+        let events = g.tick(2);
+        for dead in [1u32, 2, 5] {
+            assert!(events.contains(&GroupEvent::MemberFailed(NodeId(dead))));
+        }
+        assert!(events.contains(&GroupEvent::PrimaryChanged(NodeId(3))));
+        assert_eq!(g.alive_members(), vec![NodeId(3), NodeId(4)]);
+        assert_eq!(g.primary(), Some(NodeId(3)));
+        // While 4 refused, every round aborted (refuser was alive the
+        // whole time) and nothing reached the log.
+        assert_eq!(committed.load(Ordering::Relaxed), 0);
+        assert_eq!(aborted.load(Ordering::Relaxed), 100);
+        assert!(g.log().is_empty());
+        // With the fault cleared, the surviving quorum commits again.
+        g.set_refuse_prepare(NodeId(4), false);
+        match g.commit("after-recovery") {
+            CommitOutcome::Committed { acks } => assert_eq!(acks, vec![NodeId(3), NodeId(4)]),
+            other => panic!("expected commit, got {other:?}"),
+        }
+        assert_eq!(g.log(), vec!["after-recovery"]);
+    }
+
+    #[test]
+    fn concurrent_revival_races_settle_on_lowest_alive_primary() {
+        use std::sync::Arc;
+        // Members 1..=4 all expire; then every member revives from its
+        // own thread while another thread keeps running detection. The
+        // election must settle on the lowest id no matter who revived
+        // first, and each member must be alive exactly once in the
+        // final membership.
+        let g = Arc::new(ConsistencyGroup::new(2));
+        for i in 1..=4 {
+            g.join(NodeId(i));
+        }
+        g.tick(10);
+        assert_eq!(g.primary(), None);
+        let mut handles = Vec::new();
+        for i in 1..=4u32 {
+            let g = Arc::clone(&g);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    g.heartbeat(NodeId(i));
+                }
+            }));
+        }
+        {
+            let g = Arc::clone(&g);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    g.tick(0);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(g.primary(), Some(NodeId(1)));
+        assert_eq!(
+            g.alive_members(),
+            vec![NodeId(1), NodeId(2), NodeId(3), NodeId(4)]
+        );
+        let membership = g.membership();
+        assert_eq!(membership.len(), 4);
+        assert!(membership.iter().all(|(_, alive)| *alive));
+    }
+
+    #[test]
     fn membership_snapshot() {
         let g = group_with(&[1, 2]);
         g.tick(2);

@@ -26,12 +26,16 @@
 //! * [`runtime`] — node threads, mailboxes, task submission, work crews.
 //! * [`group`] — consistency groups: heartbeats, membership, primary
 //!   election, and two-phase commit for consistent persistence.
+//! * [`fault`] — seeded, deterministic fault schedules (kills, link
+//!   drops, delays) for chaos experiments.
 
+pub mod fault;
 pub mod group;
 pub mod network;
 pub mod node;
 pub mod runtime;
 
+pub use fault::{FaultDecision, FaultSchedule};
 pub use group::{CommitOutcome, ConsistencyGroup, GroupEvent};
 pub use network::{Network, NetworkMetrics};
 pub use node::{NodeId, NodeKind, NodeSpec};

@@ -15,6 +15,7 @@ use std::time::Duration;
 use impliance_obs::Counter;
 use parking_lot::Mutex;
 
+use crate::fault::{FaultDecision, FaultSchedule};
 use crate::node::NodeId;
 
 /// Byte/message accounting re-exported through the workspace metrics
@@ -66,6 +67,8 @@ pub struct Network {
     rng: AtomicU64,
     /// Per-edge traffic (from, to) → bytes.
     edges: Mutex<HashMap<(NodeId, NodeId), u64>>,
+    /// Installed chaos schedule, consulted on every transmit.
+    faults: Mutex<Option<Arc<FaultSchedule>>>,
 }
 
 impl Default for Network {
@@ -86,7 +89,32 @@ impl Network {
             drop_rates: Mutex::new(HashMap::new()),
             rng: AtomicU64::new(0x9E3779B97F4A7C15),
             edges: Mutex::new(HashMap::new()),
+            faults: Mutex::new(None),
         }
+    }
+
+    /// Install a deterministic chaos schedule. All subsequent transmits
+    /// consult it (before any legacy per-destination drop rate).
+    pub fn install_faults(&self, schedule: Arc<FaultSchedule>) {
+        *self.faults.lock() = Some(schedule);
+    }
+
+    /// Remove the installed chaos schedule, if any.
+    pub fn clear_faults(&self) {
+        *self.faults.lock() = None;
+    }
+
+    /// The installed chaos schedule, if any.
+    pub fn fault_schedule(&self) -> Option<Arc<FaultSchedule>> {
+        self.faults.lock().clone()
+    }
+
+    /// Whether the installed schedule has marked `node` dead. Without a
+    /// schedule every node counts as alive.
+    pub fn node_is_dead(&self, node: NodeId) -> bool {
+        self.fault_schedule()
+            .map(|s| s.is_dead(node))
+            .unwrap_or(false)
     }
 
     /// Enable simulated latency: a fixed per-message cost plus a per-byte
@@ -129,6 +157,17 @@ impl Network {
     /// Charge one message of `payload` bytes from `from` to `to`.
     /// Returns `false` if failure injection dropped it.
     pub fn transmit(&self, from: NodeId, to: NodeId, payload: u64) -> bool {
+        let mut fault_delay = 0u64;
+        if let Some(sched) = self.fault_schedule() {
+            match sched.decide(from, to) {
+                FaultDecision::Deliver { extra_nanos } => fault_delay = extra_nanos,
+                FaultDecision::DropLink | FaultDecision::DropDeadNode => {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                    net_obs().dropped.inc();
+                    return false;
+                }
+            }
+        }
         if let Some(&rate) = self.drop_rates.lock().get(&to) {
             if rate > 0 {
                 let roll = (self.next_rand() % 1_000_000) as u32;
@@ -147,8 +186,8 @@ impl Network {
         *self.edges.lock().entry((from, to)).or_insert(0) += payload;
         let npb = self.nanos_per_byte.load(Ordering::Relaxed);
         let npm = self.nanos_per_message.load(Ordering::Relaxed);
-        if npb > 0 || npm > 0 {
-            let nanos = npm + npb.saturating_mul(payload);
+        let nanos = npm + npb.saturating_mul(payload) + fault_delay;
+        if nanos > 0 {
             std::thread::sleep(Duration::from_nanos(nanos));
         }
         true
@@ -228,6 +267,25 @@ mod tests {
         n.reset_metrics();
         assert_eq!(n.metrics(), NetworkMetrics::default());
         assert_eq!(n.edge_bytes(NodeId(1), NodeId(2)), 0);
+    }
+
+    #[test]
+    fn installed_schedule_drops_and_counts() {
+        let n = Network::new();
+        let s = Arc::new(FaultSchedule::new(11));
+        s.drop_link(NodeId(1), NodeId(2), 1.0);
+        s.kill_after(NodeId(7), 0);
+        n.install_faults(Arc::clone(&s));
+        assert!(!n.transmit(NodeId(1), NodeId(2), 10), "link drop");
+        assert!(!n.transmit(NodeId(3), NodeId(7), 10), "dead destination");
+        assert!(!n.transmit(NodeId(7), NodeId(3), 10), "dead source");
+        assert!(n.transmit(NodeId(3), NodeId(4), 10), "clean link delivers");
+        assert_eq!(n.metrics().dropped, 3);
+        assert_eq!(n.metrics().messages, 1);
+        assert!(n.node_is_dead(NodeId(7)));
+        assert!(!n.node_is_dead(NodeId(1)));
+        n.clear_faults();
+        assert!(n.transmit(NodeId(1), NodeId(2), 10), "cleared schedule");
     }
 
     #[test]

@@ -36,8 +36,13 @@ pub enum ClusterError {
     /// No node of the requested kind is alive.
     NoNodeOfKind(&'static str),
     /// The task's result channel closed without a value (node died
-    /// mid-task or message was dropped).
+    /// mid-task or its reply was dropped in flight).
     TaskLost,
+    /// Failure injection dropped the request in flight; the destination
+    /// itself is alive, so the send is worth retrying.
+    MessageDropped(NodeId),
+    /// The caller's wait budget expired before the result arrived.
+    Timeout,
 }
 
 impl std::fmt::Display for ClusterError {
@@ -46,6 +51,8 @@ impl std::fmt::Display for ClusterError {
             ClusterError::NodeDown(id) => write!(f, "{id} is down"),
             ClusterError::NoNodeOfKind(k) => write!(f, "no {k} node available"),
             ClusterError::TaskLost => write!(f, "task result lost"),
+            ClusterError::MessageDropped(id) => write!(f, "message to {id} dropped in flight"),
+            ClusterError::Timeout => write!(f, "timed out waiting for task result"),
         }
     }
 }
@@ -99,6 +106,21 @@ impl<T: 'static> TaskHandle<T> {
                 .map(|b| *b)
                 .map_err(|_| ClusterError::TaskLost),
             Err(_) => Err(ClusterError::TaskLost),
+        }
+    }
+
+    /// Block until the result arrives or `timeout` elapses. A `Timeout`
+    /// abandons the in-flight task: its reply (if any) is discarded with
+    /// the handle.
+    pub fn join_timeout(self, timeout: std::time::Duration) -> Result<T, ClusterError> {
+        use crossbeam::channel::RecvTimeoutError;
+        match self.receiver.recv_timeout(timeout) {
+            Ok(boxed) => boxed
+                .downcast::<T>()
+                .map(|b| *b)
+                .map_err(|_| ClusterError::TaskLost),
+            Err(RecvTimeoutError::Timeout) => Err(ClusterError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(ClusterError::TaskLost),
         }
     }
 }
@@ -166,9 +188,14 @@ impl ClusterRuntime {
                             let out = job(&ctx);
                             // Charge the reply transfer. Size estimation:
                             // tasks that care report exact sizes themselves;
-                            // the runtime charges a fixed envelope.
-                            network.transmit(node_id, reply_to, 64);
-                            let _ = reply.send(out);
+                            // the runtime charges a fixed envelope. A
+                            // dropped reply envelope suppresses the reply:
+                            // the coordinator's handle disconnects and
+                            // reports `TaskLost`, exactly as a real lost
+                            // response would.
+                            if network.transmit(node_id, reply_to, 64) {
+                                let _ = reply.send(out);
+                            }
                             inflight2.fetch_sub(1, Ordering::Relaxed);
                             completed2.fetch_add(1, Ordering::Relaxed);
                         }
@@ -228,6 +255,10 @@ impl ClusterRuntime {
         payload_bytes: u64,
         job: impl FnOnce(&NodeCtx) -> T + Send + 'static,
     ) -> Result<TaskHandle<T>, ClusterError> {
+        // Turn any scheduled deaths that have come due into real kills
+        // before routing, so a scheduled-dead node reports `NodeDown`
+        // rather than swallowing the task.
+        self.service_faults();
         // Copy the mailbox out under the lock, then release it before any
         // channel traffic (invariant L4: never hold a guard across a send).
         let (sender, inflight) = {
@@ -236,7 +267,14 @@ impl ClusterRuntime {
             (handle.sender.clone(), Arc::clone(&handle.inflight))
         };
         if !self.network.transmit(self.coordinator, node, payload_bytes) {
-            return Err(ClusterError::NodeDown(node)); // dropped by injection
+            // Distinguish transient loss from a dead destination: a drop
+            // against a live node is retryable, a scheduled-dead node is
+            // not (callers should fail over instead).
+            return Err(if self.network.node_is_dead(node) {
+                ClusterError::NodeDown(node)
+            } else {
+                ClusterError::MessageDropped(node)
+            });
         }
         let (reply_tx, reply_rx) = bounded::<Box<dyn Any + Send>>(1);
         let mail = Mail::Task {
@@ -317,6 +355,18 @@ impl ClusterRuntime {
             .get(&node)
             .map(|h| h.completed.load(Ordering::Relaxed))
             .unwrap_or(0)
+    }
+
+    /// Physically kill any node whose scheduled death (see
+    /// [`crate::fault::FaultSchedule::kill_after`]) has come due. Invoked
+    /// on every submission; callers may also invoke it directly after
+    /// advancing the message clock.
+    pub fn service_faults(&self) {
+        if let Some(sched) = self.network.fault_schedule() {
+            for node in sched.due_kills() {
+                self.kill(node);
+            }
+        }
     }
 
     /// Kill a node (failure injection). In-flight tasks are lost; later
@@ -468,6 +518,69 @@ mod tests {
             rt.submit_to(NodeId(1), 0, |_| ()).unwrap().join().unwrap();
         }
         assert_eq!(rt.completed(NodeId(1)), 5);
+    }
+
+    #[test]
+    fn injected_drop_is_distinct_from_dead_node() {
+        let rt = boot();
+        rt.network().set_drop_rate(NodeId(1), 1.0);
+        assert!(matches!(
+            rt.submit_to(NodeId(1), 0, |_| 0u32),
+            Err(ClusterError::MessageDropped(NodeId(1)))
+        ));
+        rt.network().heal(NodeId(1));
+        assert!(matches!(
+            rt.submit_to(NodeId(99), 0, |_| 0u32),
+            Err(ClusterError::NodeDown(NodeId(99)))
+        ));
+    }
+
+    #[test]
+    fn join_timeout_reports_slow_tasks() {
+        let rt = boot();
+        let h = rt
+            .submit_to(NodeId(3), 0, |_| {
+                std::thread::sleep(std::time::Duration::from_millis(200));
+                7u32
+            })
+            .unwrap();
+        assert!(matches!(
+            h.join_timeout(std::time::Duration::from_millis(10)),
+            Err(ClusterError::Timeout)
+        ));
+        let h = rt.submit_to(NodeId(4), 0, |_| 7u32).unwrap();
+        assert_eq!(h.join_timeout(std::time::Duration::from_secs(5)), Ok(7));
+    }
+
+    #[test]
+    fn scheduled_kill_becomes_node_down() {
+        use crate::fault::FaultSchedule;
+        let rt = boot();
+        let sched = Arc::new(FaultSchedule::new(3));
+        sched.kill_after(NodeId(2), 2);
+        rt.network().install_faults(sched);
+        // First submission passes (messages 1–2: request + reply).
+        let h = rt.submit_to(NodeId(2), 0, |ctx| ctx.id.0).unwrap();
+        assert_eq!(h.join().unwrap(), 2);
+        // Threshold passed: the next submission services the kill and the
+        // node is physically gone.
+        assert!(matches!(
+            rt.submit_to(NodeId(2), 0, |_| 0u32),
+            Err(ClusterError::NodeDown(NodeId(2)))
+        ));
+        assert_eq!(rt.nodes_of_kind(NodeKind::Data), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn dropped_reply_envelope_surfaces_as_task_lost() {
+        use crate::fault::FaultSchedule;
+        let rt = boot();
+        let sched = Arc::new(FaultSchedule::new(9));
+        // Drop every reply flowing back to the coordinator from node 1.
+        sched.drop_link(NodeId(1), NodeId(u32::MAX), 1.0);
+        rt.network().install_faults(sched);
+        let h = rt.submit_to(NodeId(1), 0, |_| 1u32).unwrap();
+        assert!(matches!(h.join(), Err(ClusterError::TaskLost)));
     }
 
     #[test]

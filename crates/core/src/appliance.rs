@@ -473,6 +473,7 @@ impl Impliance {
         let opts = ExecOptions {
             batch_size: req.batch_size().unwrap_or(self.config.batch_size),
             limit: req.limit(),
+            deadline: req.deadline_ms().map(std::time::Duration::from_millis),
         };
         let (output, metrics) = execute_plan_opts(&ctx, &plan, &opts)?;
         Ok(QueryResponse {
@@ -481,6 +482,7 @@ impl Impliance {
             plan,
             span_id: span.id(),
             plan_cache_hit,
+            degraded: metrics.deadline_exceeded,
         })
     }
 

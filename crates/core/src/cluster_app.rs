@@ -16,7 +16,10 @@ use impliance_cluster::{
     ClusterError, ClusterRuntime, ConsistencyGroup, Network, NodeId, NodeKind, NodeSpec,
 };
 use impliance_docmodel::{json, DocId, Document, SourceFormat};
-use impliance_query::dist::{self, DataNodeState};
+use impliance_index::InvertedIndex;
+use impliance_query::dist::{
+    self, DataNodeState, DistExecOptions, FailoverPolicy, ResilientScan, RetryPolicy,
+};
 use impliance_query::Tuple;
 use impliance_storage::{codec, AggValue, ScanRequest, ScanResult, StorageEngine, StorageOptions};
 use impliance_virt::{DataClass, ReplicationReport, StorageManager, StoragePolicy};
@@ -42,7 +45,7 @@ pub struct ClusterImpliance {
     /// App-side handles to every data node's engines (survivor reads
     /// during recovery).
     engines: Mutex<HashMap<NodeId, Arc<DataNodeState>>>,
-    storage_mgr: Mutex<StorageManager>,
+    storage_mgr: Arc<Mutex<StorageManager>>,
     group: ConsistencyGroup,
     /// Software version per node ("1.0" at boot; rolling_upgrade bumps).
     versions: Mutex<HashMap<NodeId, String>>,
@@ -70,17 +73,23 @@ impl ClusterImpliance {
         let seal = config.seal_threshold;
         let compression = config.compression;
         let encryption_key = config.encryption_key;
+        let text_shards = config.text_index_shards.max(1);
         let runtime = Arc::new(ClusterRuntime::boot(&specs, network, |spec| {
             match spec.kind {
                 NodeKind::Data => {
-                    let state = Arc::new(DataNodeState::new(Arc::new(StorageEngine::new(
-                        StorageOptions {
-                            partitions,
-                            seal_threshold: seal,
-                            compression,
-                            encryption_key,
-                        },
-                    ))));
+                    let opts = StorageOptions {
+                        partitions,
+                        seal_threshold: seal,
+                        compression,
+                        encryption_key,
+                    };
+                    // the replica store mirrors the primary's layout so a
+                    // promoted replica behaves identically
+                    let state = Arc::new(DataNodeState::from_parts(
+                        Arc::new(StorageEngine::new(opts.clone())),
+                        Arc::new(StorageEngine::new(opts)),
+                        Arc::new(InvertedIndex::new(text_shards)),
+                    ));
                     engines.lock().insert(spec.id, Arc::clone(&state));
                     state
                 }
@@ -103,7 +112,7 @@ impl ClusterImpliance {
         ClusterImpliance {
             runtime,
             engines,
-            storage_mgr: Mutex::new(storage_mgr),
+            storage_mgr: Arc::new(Mutex::new(storage_mgr)),
             group,
             versions: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
@@ -203,6 +212,55 @@ impl ClusterImpliance {
     /// Push-down scan over all primary stores.
     pub fn scan(&self, request: &ScanRequest) -> Result<ScanResult, Error> {
         Ok(dist::dist_scan(&self.runtime, request)?)
+    }
+
+    /// The failover policy matching this instance's replica placement:
+    /// ownership follows the storage manager's ring (the first placement
+    /// entry is the primary), and every other data node is a candidate
+    /// replica holder.
+    pub fn failover_policy(&self) -> FailoverPolicy {
+        let data_nodes = self.runtime.nodes_of_kind(NodeKind::Data);
+        let mut candidates = HashMap::new();
+        for &node in &data_nodes {
+            candidates.insert(
+                node,
+                data_nodes.iter().copied().filter(|&c| c != node).collect(),
+            );
+        }
+        let mgr = Arc::clone(&self.storage_mgr);
+        let owns =
+            Arc::new(move |id: DocId, node: NodeId| mgr.lock().replicas(id).first() == Some(&node));
+        FailoverPolicy::new(candidates, owns)
+    }
+
+    /// The retry policy derived from the boot configuration.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: self.config.retry_max_attempts.max(1),
+            base_backoff_us: self.config.retry_base_backoff_us.max(1),
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Fault-tolerant scan: retries transient losses per the configured
+    /// [`RetryPolicy`], recovers a dead node's documents from surviving
+    /// replica stores, and (optionally) degrades instead of failing when
+    /// a `deadline` expires. The returned [`ResilientScan`] carries a
+    /// coverage report saying exactly which partitions the answer covers.
+    pub fn scan_resilient(
+        &self,
+        request: &ScanRequest,
+        deadline: Option<std::time::Duration>,
+        degraded_ok: bool,
+    ) -> Result<ResilientScan, Error> {
+        let opts = DistExecOptions {
+            batch_size: self.config.batch_size,
+            retry: self.retry_policy(),
+            failover: Some(self.failover_policy()),
+            deadline,
+            degraded_ok,
+        };
+        Ok(dist::dist_scan_resilient(&self.runtime, request, &opts)?)
     }
 
     /// Scatter-gather keyword search over every data node's index shard.
@@ -505,6 +563,53 @@ mod tests {
         // every document still visible to scans
         let res = app.scan(&ScanRequest::full()).unwrap();
         assert_eq!(res.documents.len(), 200, "no documents lost after recovery");
+    }
+
+    #[test]
+    fn resilient_scan_survives_scheduled_node_kill() {
+        use impliance_cluster::FaultSchedule;
+        let app = ClusterImpliance::boot(config(4, 1));
+        load(&app, 150);
+        let baseline = {
+            let mut ids: Vec<u64> = app
+                .scan(&ScanRequest::full())
+                .unwrap()
+                .documents
+                .iter()
+                .map(|d| d.id().0)
+                .collect();
+            ids.sort_unstable();
+            ids
+        };
+        let victim = app.runtime().nodes_of_kind(NodeKind::Data)[2];
+        let sched = Arc::new(FaultSchedule::new(0xBEEF));
+        sched.kill_after(victim, 10);
+        app.runtime().network().install_faults(sched);
+        let scan = app
+            .scan_resilient(&ScanRequest::full(), None, false)
+            .unwrap();
+        app.runtime().network().clear_faults();
+        let mut ids: Vec<u64> = scan.result.documents.iter().map(|d| d.id().0).collect();
+        ids.extend(scan.result.ids.iter().map(|i| i.0));
+        ids.sort_unstable();
+        assert_eq!(ids, baseline, "replica failover preserves the row set");
+        assert!(!scan.degraded);
+        assert!(scan.failovers > 0, "the dead node's replicas were read");
+        assert!(scan.coverage.is_complete());
+    }
+
+    #[test]
+    fn resilient_scan_zero_deadline_degrades() {
+        let app = ClusterImpliance::boot(config(2, 1));
+        load(&app, 20);
+        let scan = app
+            .scan_resilient(&ScanRequest::full(), Some(std::time::Duration::ZERO), true)
+            .unwrap();
+        assert!(scan.degraded);
+        assert_eq!(
+            scan.coverage.partitions_total,
+            scan.coverage.partitions_skipped()
+        );
     }
 
     #[test]

@@ -38,6 +38,14 @@ pub struct ApplianceConfig {
     /// Tuples/rows per pipeline batch in the streaming executor
     /// (overridable per request via `QueryRequest::batch_size`).
     pub batch_size: usize,
+    /// Shards in each data node's full-text index.
+    pub text_index_shards: usize,
+    /// Attempts per distributed operation before a transient failure is
+    /// treated as terminal (≥ 1; 1 disables retry).
+    pub retry_max_attempts: u32,
+    /// Backoff cap for the first distributed retry, microseconds
+    /// (doubles per attempt with seeded jitter).
+    pub retry_base_backoff_us: u64,
 }
 
 impl Default for ApplianceConfig {
@@ -55,6 +63,9 @@ impl Default for ApplianceConfig {
             resolution_threshold: 0.93,
             replication: 3,
             batch_size: impliance_query::DEFAULT_BATCH_SIZE,
+            text_index_shards: 8,
+            retry_max_attempts: 3,
+            retry_base_backoff_us: 200,
         }
     }
 }

@@ -19,6 +19,7 @@ pub struct QueryRequest {
     plan_cache: bool,
     batch_size: Option<usize>,
     limit: Option<usize>,
+    deadline_ms: Option<u64>,
 }
 
 impl QueryRequest {
@@ -31,6 +32,7 @@ impl QueryRequest {
                 plan_cache: true,
                 batch_size: None,
                 limit: None,
+                deadline_ms: None,
             },
         }
     }
@@ -61,6 +63,15 @@ impl QueryRequest {
     /// `Limit`, so upstream operators terminate early.
     pub fn limit(&self) -> Option<usize> {
         self.limit
+    }
+
+    /// The wall-clock budget for this query in milliseconds, if any.
+    /// When it expires the pipeline stops between batches and the
+    /// response comes back with `degraded = true` and the rows produced
+    /// so far — a partial answer, never an error or a silent short
+    /// count.
+    pub fn deadline_ms(&self) -> Option<u64> {
+        self.deadline_ms
     }
 }
 
@@ -97,6 +108,14 @@ impl QueryRequestBuilder {
         self
     }
 
+    /// Give the query a wall-clock budget in milliseconds. An expired
+    /// budget returns the rows produced so far with
+    /// `QueryResponse::degraded` set instead of failing.
+    pub fn deadline_ms(mut self, ms: u64) -> QueryRequestBuilder {
+        self.request.deadline_ms = Some(ms);
+        self
+    }
+
     /// Finish the request.
     pub fn build(self) -> QueryRequest {
         self.request
@@ -117,6 +136,9 @@ pub struct QueryResponse {
     pub span_id: SpanId,
     /// Whether the plan was served from the appliance plan cache.
     pub plan_cache_hit: bool,
+    /// True when the query's deadline expired and `output` is a partial
+    /// prefix of the full answer (see `QueryRequest::deadline_ms`).
+    pub degraded: bool,
 }
 
 impl QueryResponse {
@@ -165,12 +187,15 @@ mod tests {
         let req = QueryRequest::builder("SELECT * FROM docs").build();
         assert_eq!(req.batch_size(), None);
         assert_eq!(req.limit(), None);
+        assert_eq!(req.deadline_ms(), None);
 
         let req = QueryRequest::builder("SELECT * FROM docs")
             .batch_size(0)
             .limit(10)
+            .deadline_ms(250)
             .build();
         assert_eq!(req.batch_size(), Some(1), "batch size clamps to >= 1");
         assert_eq!(req.limit(), Some(10));
+        assert_eq!(req.deadline_ms(), Some(250));
     }
 }

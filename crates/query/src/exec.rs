@@ -11,8 +11,8 @@
 
 use std::cell::RefCell;
 use std::rc::Rc;
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 use impliance_docmodel::{DocId, Document};
 use impliance_index::{search, InvertedIndex, JoinIndex, PathValueIndex, SearchQuery};
@@ -65,6 +65,18 @@ pub struct ExecMetrics {
     pub rows_out: u64,
     /// Index lookups performed.
     pub index_lookups: u64,
+    /// True when the per-query deadline expired before the pipeline
+    /// drained: the output is a partial prefix, not the full answer.
+    pub deadline_exceeded: bool,
+}
+
+fn deadline_obs() -> &'static Arc<impliance_obs::Counter> {
+    static OBS: OnceLock<Arc<impliance_obs::Counter>> = OnceLock::new();
+    OBS.get_or_init(|| {
+        impliance_obs::global()
+            .metrics()
+            .counter("query.pipeline.deadline_exceeded")
+    })
 }
 
 /// Everything a query needs to run on one node.
@@ -91,6 +103,12 @@ pub struct ExecOptions {
     /// Cap on output rows; enforced by a pipeline `Limit` so upstream
     /// operators terminate early.
     pub limit: Option<usize>,
+    /// Wall-clock budget for draining the pipeline. When it expires the
+    /// drain stops between batches, `ExecMetrics::deadline_exceeded` is
+    /// set, and the rows produced so far are returned as a partial
+    /// answer (never an error, never a silent short count — callers
+    /// must check the flag).
+    pub deadline: Option<Duration>,
 }
 
 impl Default for ExecOptions {
@@ -98,6 +116,7 @@ impl Default for ExecOptions {
         ExecOptions {
             batch_size: DEFAULT_BATCH_SIZE,
             limit: None,
+            deadline: None,
         }
     }
 }
@@ -174,6 +193,15 @@ pub fn execute_plan_opts(
         None => plan,
     };
     let compiled = compile(ctx, plan, opts.batch_size.max(1), &metrics)?;
+    let deadline_at = opts.deadline.map(|d| Instant::now() + d);
+    let expired = |metrics: &SharedMetrics| -> bool {
+        let hit = deadline_at.is_some_and(|d| Instant::now() >= d);
+        if hit && !metrics.borrow().deadline_exceeded {
+            metrics.borrow_mut().deadline_exceeded = true;
+            deadline_obs().inc();
+        }
+        hit
+    };
     let output = match compiled {
         Compiled::Path(p) => QueryOutput::Path(p),
         Compiled::Op {
@@ -181,7 +209,8 @@ pub fn execute_plan_opts(
             kind: Kind::Tuples,
         } => {
             let mut tuples: Vec<Tuple> = Vec::new();
-            while let Some(batch) = op.next_batch()? {
+            while !expired(&metrics) {
+                let Some(batch) = op.next_batch()? else { break };
                 if let Batch::Tuples(t) = batch {
                     tuples.extend(t);
                 }
@@ -199,7 +228,8 @@ pub fn execute_plan_opts(
             kind: Kind::Rows,
         } => {
             let mut rows: Vec<Row> = Vec::new();
-            while let Some(batch) = op.next_batch()? {
+            while !expired(&metrics) {
+                let Some(batch) = op.next_batch()? else { break };
                 if let Batch::Rows(r) = batch {
                     rows.extend(r);
                 }
@@ -850,6 +880,7 @@ mod tests {
         let opts = ExecOptions {
             batch_size: 2,
             limit: Some(2),
+            ..ExecOptions::default()
         };
         let (out, m) = execute_plan_opts(&f.ctx(), &scan_plan("orders"), &opts).unwrap();
         assert_eq!(out.len(), 2);
@@ -892,6 +923,7 @@ mod tests {
         let opts = ExecOptions {
             batch_size: 16,
             limit: None,
+            ..ExecOptions::default()
         };
         let (out, m) = execute_plan_opts(&ctx, &plan, &opts).unwrap();
         assert_eq!(out.len(), 10);
@@ -900,6 +932,26 @@ mod tests {
             "limit 10 should stop the cursor early, scanned {}",
             m.scan.docs_scanned
         );
+    }
+
+    #[test]
+    fn expired_deadline_returns_partial_rows_with_flag() {
+        let f = Fixture::new();
+        let opts = ExecOptions {
+            deadline: Some(std::time::Duration::ZERO),
+            ..ExecOptions::default()
+        };
+        let (out, m) = execute_plan_opts(&f.ctx(), &scan_plan("orders"), &opts).unwrap();
+        assert!(m.deadline_exceeded, "zero budget must trip the flag");
+        assert_eq!(out.len(), 0, "no batch fits a zero budget");
+        // a generous budget never trips it
+        let opts = ExecOptions {
+            deadline: Some(std::time::Duration::from_secs(60)),
+            ..ExecOptions::default()
+        };
+        let (out, m) = execute_plan_opts(&f.ctx(), &scan_plan("orders"), &opts).unwrap();
+        assert!(!m.deadline_exceeded);
+        assert_eq!(out.len(), 3);
     }
 
     #[test]
@@ -921,6 +973,7 @@ mod tests {
             let opts = ExecOptions {
                 batch_size: bs,
                 limit: None,
+                ..ExecOptions::default()
             };
             let (out, _) = execute_plan_opts(&f.ctx(), &plan, &opts).unwrap();
             assert_eq!(out.rows(), baseline.rows(), "batch_size {bs}");

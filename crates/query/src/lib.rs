@@ -46,6 +46,7 @@ pub mod sql;
 pub mod tuple;
 
 pub use batch::{Batch, Operator, DEFAULT_BATCH_SIZE};
+pub use dist::{CoverageReport, DistExecOptions, FailoverPolicy, ResilientScan, RetryPolicy};
 pub use exec::{
     execute_plan, execute_plan_opts, ExecContext, ExecError, ExecMetrics, ExecOptions, QueryOutput,
 };

@@ -1,0 +1,274 @@
+//! Chaos tests for the fault-tolerant distributed executor: seeded
+//! [`FaultSchedule`]s kill nodes and drop messages mid-scan, and the
+//! resilient scan path must return the exact fault-free row set (via
+//! retry + replica failover), or — when coverage is genuinely impossible
+//! — an honest degraded result. Never a panic, never a silent short
+//! count.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use impliance::cluster::{
+    ClusterRuntime, FaultDecision, FaultSchedule, Network, NodeId, NodeKind, NodeSpec,
+};
+use impliance::docmodel::{DocId, DocumentBuilder, SourceFormat};
+use impliance::query::dist::{
+    dist_put_replicated, dist_scan_batched, dist_scan_resilient, DataNodeState, DistExecOptions,
+    FailoverPolicy, RetryPolicy,
+};
+use impliance::storage::{ScanRequest, StorageEngine, StorageOptions};
+
+const DATA_NODES: u32 = 4;
+
+fn boot(partitions: usize) -> ClusterRuntime {
+    let mut specs: Vec<NodeSpec> = (0..DATA_NODES)
+        .map(|i| NodeSpec::new(i, NodeKind::Data))
+        .collect();
+    specs.push(NodeSpec::new(100, NodeKind::Grid));
+    ClusterRuntime::boot(&specs, Arc::new(Network::new()), move |spec| {
+        match spec.kind {
+            NodeKind::Data => Arc::new(DataNodeState::new(Arc::new(StorageEngine::new(
+                StorageOptions {
+                    partitions,
+                    seal_threshold: 32,
+                    compression: true,
+                    encryption_key: None,
+                },
+            )))),
+            _ => Arc::new(()),
+        }
+    })
+}
+
+fn ingest(rt: &ClusterRuntime, docs: u64) {
+    for i in 0..docs {
+        dist_put_replicated(
+            rt,
+            &DocumentBuilder::new(DocId(i), SourceFormat::Json, "c")
+                .field("amount", (i % 100) as i64)
+                .build(),
+            2,
+        )
+        .expect("replicated ingest on a healthy cluster");
+    }
+}
+
+fn sorted_ids(result: &impliance::storage::ScanResult) -> Vec<u64> {
+    let mut ids: Vec<u64> = result.documents.iter().map(|d| d.id().0).collect();
+    ids.sort_unstable();
+    ids
+}
+
+/// The acceptance scenario: a seeded schedule kills 1 of 4 data nodes
+/// mid-scan and drops 20% of the traffic on the victim's coordinator
+/// links. `dist_scan_batched` (default retry + ring failover) must return
+/// exactly the fault-free row set, with failovers actually exercised.
+#[test]
+fn killed_node_with_drops_returns_fault_free_row_set() {
+    let rt = boot(3);
+    ingest(&rt, 160);
+
+    let request = ScanRequest::full();
+    let (baseline, _) = dist_scan_batched(&rt, &request, 8).expect("fault-free scan");
+    let baseline_ids = sorted_ids(&baseline);
+    assert_eq!(baseline_ids.len(), 160, "every ingested doc scans");
+
+    let victim = rt.nodes_of_kind(NodeKind::Data)[2];
+    let coord = NodeId(u32::MAX);
+    let sched = Arc::new(FaultSchedule::new(0xC4A0_5EED));
+    sched.drop_link(coord, victim, 0.20);
+    sched.drop_link(victim, coord, 0.20);
+    sched.kill_after(victim, 12);
+    rt.network().install_faults(Arc::clone(&sched));
+
+    let failovers = impliance::obs::global().metrics().counter("dist.failovers");
+    let before = failovers.get();
+    let (chaotic, _) = dist_scan_batched(&rt, &request, 8).expect("chaotic scan recovers");
+    rt.network().clear_faults();
+
+    assert_eq!(
+        sorted_ids(&chaotic),
+        baseline_ids,
+        "row set under kill + 20% drop equals the fault-free row set"
+    );
+    assert!(
+        failovers.get() > before,
+        "the victim's partitions were recovered from replicas"
+    );
+}
+
+/// Without a deadline but with `degraded_ok`, a dead node whose replicas
+/// are reachable still yields a complete result; the coverage report must
+/// agree with itself either way (total = scanned + failed_over + skipped).
+#[test]
+fn coverage_report_accounting_is_exact_under_kill() {
+    let rt = boot(2);
+    ingest(&rt, 80);
+
+    let victim = rt.nodes_of_kind(NodeKind::Data)[0];
+    let sched = Arc::new(FaultSchedule::new(7));
+    sched.kill_after(victim, 10);
+    rt.network().install_faults(sched);
+
+    let opts = DistExecOptions {
+        batch_size: 4,
+        retry: RetryPolicy::default(),
+        failover: Some(FailoverPolicy::ring(&rt.nodes_of_kind(NodeKind::Data))),
+        deadline: None,
+        degraded_ok: true,
+    };
+    let scan = dist_scan_resilient(&rt, &ScanRequest::full(), &opts).expect("resilient scan");
+    rt.network().clear_faults();
+
+    let c = &scan.coverage;
+    assert_eq!(
+        c.partitions_total,
+        c.partitions_scanned + c.partitions_failed_over + c.partitions_skipped(),
+        "coverage accounting balances: {c:?}"
+    );
+    assert_eq!(
+        scan.degraded,
+        !c.is_complete(),
+        "degraded flag matches coverage"
+    );
+    if !scan.degraded {
+        assert_eq!(
+            sorted_ids(&scan.result).len(),
+            80,
+            "complete result has every doc"
+        );
+    }
+}
+
+/// A zero deadline exhausts immediately: with `degraded_ok` the scan
+/// returns partial rows plus a coverage report that owns up to every
+/// skipped partition; without it, a typed timeout error — never a panic.
+#[test]
+fn exhausted_deadline_degrades_honestly_or_errors() {
+    let rt = boot(2);
+    ingest(&rt, 40);
+
+    let degraded_opts = DistExecOptions {
+        deadline: Some(Duration::ZERO),
+        degraded_ok: true,
+        ..DistExecOptions::default()
+    };
+    let scan =
+        dist_scan_resilient(&rt, &ScanRequest::full(), &degraded_opts).expect("degraded result");
+    assert!(scan.degraded, "zero deadline cannot complete coverage");
+    let c = &scan.coverage;
+    assert_eq!(
+        c.partitions_total,
+        c.partitions_scanned + c.partitions_failed_over + c.partitions_skipped(),
+        "skipped partitions are reported, not silently dropped: {c:?}"
+    );
+    assert!(
+        scan.result.documents.len() < 40 || c.is_complete(),
+        "a partial row count comes with an incomplete coverage report"
+    );
+
+    let strict_opts = DistExecOptions {
+        deadline: Some(Duration::ZERO),
+        degraded_ok: false,
+        ..DistExecOptions::default()
+    };
+    let err = dist_scan_resilient(&rt, &ScanRequest::full(), &strict_opts)
+        .expect_err("strict mode surfaces the deadline");
+    assert!(
+        matches!(err, impliance::cluster::ClusterError::Timeout),
+        "typed timeout, got {err:?}"
+    );
+}
+
+/// The schedule's determinism contract: per-link drop decisions depend
+/// only on (seed, from, to, per-link sequence number), so two schedules
+/// built from the same script replay identically.
+#[test]
+fn fault_schedule_replays_deterministically() {
+    let build = || {
+        let s = FaultSchedule::new(0x0D15_EA5E);
+        s.drop_link(NodeId(0), NodeId(1), 0.35);
+        s.drop_to(NodeId(2), 0.10);
+        s.delay_dest(NodeId(3), 1_500);
+        s
+    };
+    let a = build();
+    let b = build();
+    let links = [
+        (NodeId(0), NodeId(1)),
+        (NodeId(1), NodeId(0)),
+        (NodeId(0), NodeId(2)),
+        (NodeId(1), NodeId(3)),
+    ];
+    let mut dropped = 0u32;
+    for step in 0..2_000u32 {
+        let (from, to) = links[(step % links.len() as u32) as usize];
+        let da = a.decide(from, to);
+        assert_eq!(da, b.decide(from, to), "replay diverged at step {step}");
+        if da == FaultDecision::DropLink {
+            dropped += 1;
+        }
+    }
+    // 500 messages at p=0.35 plus 500 at p=0.10: the deterministic stream
+    // must land in a loose band around the configured rates.
+    assert!(
+        (100..=350).contains(&dropped),
+        "drop stream wildly off-rate: {dropped}/2000"
+    );
+    assert_eq!(a.messages_seen(), b.messages_seen());
+}
+
+/// Debug builds run proptest cases slower; keep the chaotic battery small
+/// there and let `--release` run the full set.
+const fn cases(release: u32) -> u32 {
+    if cfg!(debug_assertions) {
+        release / 4 + 2
+    } else {
+        release
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(16)))]
+
+    // Fault/fault-free equivalence: for random corpora, victims, and
+    // kill points, a resilient scan with generous retry returns exactly
+    // the row set a healthy cluster returns.
+    #[test]
+    fn resilient_scan_equals_fault_free_under_random_kills(
+        docs in 20u64..120,
+        victim_idx in 0usize..(DATA_NODES as usize),
+        kill_after in 9u64..60,
+        seed in any::<u64>(),
+    ) {
+        let rt = boot(2);
+        ingest(&rt, docs);
+        let request = ScanRequest::full();
+        let opts = DistExecOptions {
+            batch_size: 4,
+            retry: RetryPolicy { max_attempts: 8, ..RetryPolicy::default() },
+            failover: Some(FailoverPolicy::ring(&rt.nodes_of_kind(NodeKind::Data))),
+            deadline: None,
+            degraded_ok: false,
+        };
+        let baseline = dist_scan_resilient(&rt, &request, &opts).expect("fault-free scan");
+        prop_assert!(baseline.coverage.is_complete());
+
+        let victim = rt.nodes_of_kind(NodeKind::Data)[victim_idx];
+        let sched = Arc::new(FaultSchedule::new(seed));
+        sched.kill_after(victim, kill_after);
+        rt.network().install_faults(sched);
+        let chaotic = dist_scan_resilient(&rt, &request, &opts).expect("scan survives the kill");
+        rt.network().clear_faults();
+
+        prop_assert_eq!(
+            sorted_ids(&chaotic.result),
+            sorted_ids(&baseline.result),
+            "row set drifted under a kill at message {}", kill_after
+        );
+        prop_assert!(!chaotic.degraded);
+        prop_assert!(chaotic.coverage.is_complete());
+    }
+}

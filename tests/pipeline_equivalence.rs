@@ -76,6 +76,7 @@ fn run(f: &Fixture, plan: &LogicalPlan, batch_size: usize) -> QueryOutput {
     let opts = ExecOptions {
         batch_size,
         limit: None,
+        ..ExecOptions::default()
     };
     execute_plan_opts(&f.ctx(), plan, &opts).unwrap().0
 }
@@ -284,7 +285,7 @@ proptest! {
         let plan = scan("c");
         let unlimited = render(&run(&f, &plan, 7));
         for bs in BATCH_SIZES {
-            let opts = ExecOptions { batch_size: bs, limit: Some(n) };
+            let opts = ExecOptions { batch_size: bs, limit: Some(n), ..ExecOptions::default() };
             let (out, m) = execute_plan_opts(&f.ctx(), &plan, &opts).unwrap();
             prop_assert_eq!(out.len(), n.min(amounts.len()));
             prop_assert_eq!(m.rows_out as usize, out.len());
