@@ -10,6 +10,7 @@
 //! | L5 | no `print!`/`println!`/`eprint!`/`eprintln!` in library crates |
 //! | L6 | no materializing helpers (`ops::*` / `joins::*` / `collect_*`) inside the streaming executor core |
 //! | L7 | no `unwrap()` / `expect()` on cluster `submit_to`/`transmit` chains in the resilient distributed executor — test code included |
+//! | L8 | no raw `std::thread::spawn` in the query crate outside the morsel worker pool (`parallel.rs`) |
 //!
 //! The analysis is lexical (the environment has no `syn`), which buys
 //! simplicity and zero dependencies at the cost of heuristics that are
@@ -50,6 +51,11 @@ pub struct LintConfig {
     /// call results here must never be unwrapped, even in tests, because
     /// chaos schedules make those calls fail on purpose.
     pub l7_files: Vec<String>,
+    /// Prefixes where L8 applies: query execution code must parallelize
+    /// through the morsel worker pool, never `std::thread::spawn`.
+    pub l8_prefixes: Vec<String>,
+    /// Files exempt from L8 (the worker pool implementation itself).
+    pub l8_exempt: Vec<String>,
 }
 
 impl LintConfig {
@@ -77,6 +83,8 @@ impl LintConfig {
                 "crates/query/src/batch.rs".into(),
             ],
             l7_files: vec!["crates/query/src/dist.rs".into()],
+            l8_prefixes: vec!["crates/query/src/".into()],
+            l8_exempt: vec!["crates/query/src/parallel.rs".into()],
         }
     }
 
@@ -154,6 +162,11 @@ pub fn lint_source(config: &LintConfig, rel_path: &str, source: &str) -> Vec<Dia
     }
     if config.l7_files.iter().any(|f| f == rel_path) {
         lint_l7(&ctx, &mut diags);
+    }
+    if LintConfig::in_any(&config.l8_prefixes, rel_path)
+        && !config.l8_exempt.iter().any(|f| f == rel_path)
+    {
+        lint_l8(&ctx, &mut diags);
     }
 
     diags.retain(|d| !ctx.allowed(d.id, d.line));
@@ -707,6 +720,45 @@ fn lint_l7(ctx: &FileContext<'_>, diags: &mut Vec<Diagnostic>) {
 }
 
 // ---------------------------------------------------------------------
+// L8: query execution threads come from the morsel pool
+// ---------------------------------------------------------------------
+
+/// The morsel pool (`parallel::scoped_map`) owns worker accounting: it
+/// reports `query.parallel.workers_used`, maintains the queue-depth
+/// gauge, and re-raises worker panics on the caller thread. A raw
+/// `thread::spawn` / `std::thread::spawn` elsewhere in the query crate
+/// produces threads invisible to all of that — and detached `spawn`
+/// handles can silently swallow panics. Scoped spawns (`s.spawn(..)`,
+/// preceded by `.`) are the pool's own mechanism and pass; test code
+/// is exempt like L1.
+fn lint_l8(ctx: &FileContext<'_>, diags: &mut Vec<Diagnostic>) {
+    let toks = &ctx.lexed.tokens;
+    for i in 0..toks.len() {
+        if ctx.is_test_token(i) || toks[i].kind != TokenKind::Ident {
+            continue;
+        }
+        if toks[i].text == "spawn"
+            && toks.get(i + 1).map(|t| t.text.as_str()) == Some("(")
+            && i >= 3
+            && toks[i - 1].text == ":"
+            && toks[i - 2].text == ":"
+            && toks[i - 3].text == "thread"
+        {
+            diags.push(
+                ctx.diag(
+                    LintId::L8,
+                    toks[i].line,
+                    "raw `thread::spawn` in query execution code bypasses the morsel worker pool"
+                        .to_string(),
+                    "run the work through parallel::scoped_map (or a thread::scope inside \
+                 parallel.rs) so workers are counted, observed, and panic-safe",
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // L4: no lock guard held across a channel send/recv
 // ---------------------------------------------------------------------
 
@@ -1144,6 +1196,57 @@ mod tests {
         assert!(run("crates/query/src/dist.rs", src)
             .iter()
             .all(|d| d.id != LintId::L7));
+    }
+
+    #[test]
+    fn l8_flags_raw_thread_spawn_in_query_crate() {
+        let src = r#"
+            pub fn run(jobs: Vec<Job>) {
+                let a = std::thread::spawn(move || jobs.len());
+                let b = thread::spawn(|| 1u64);
+                let _ = (a, b);
+            }
+        "#;
+        let diags = run("crates/query/src/exec.rs", src);
+        assert_eq!(diags.iter().filter(|d| d.id == LintId::L8).count(), 2);
+    }
+
+    #[test]
+    fn l8_allows_pool_file_scoped_spawns_and_other_crates() {
+        let c = LintConfig::impliance("/nonexistent");
+        let raw = "pub fn run() { let h = std::thread::spawn(|| 1u64); h.join().ok(); }";
+        // the pool implementation itself is exempt
+        assert!(lint_source(&c, "crates/query/src/parallel.rs", raw)
+            .iter()
+            .all(|d| d.id != LintId::L8));
+        // other crates are out of scope
+        assert!(lint_source(&c, "crates/storage/src/engine.rs", raw)
+            .iter()
+            .all(|d| d.id != LintId::L8));
+        // scoped spawns are the pool mechanism, not a raw thread
+        let scoped = r#"
+            pub fn pooled(workers: usize) {
+                std::thread::scope(|s| {
+                    for _ in 0..workers {
+                        s.spawn(|| {});
+                    }
+                });
+            }
+        "#;
+        assert!(lint_source(&c, "crates/query/src/exec.rs", scoped)
+            .iter()
+            .all(|d| d.id != LintId::L8));
+        // test code is exempt like L1
+        let test_src = r#"
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { std::thread::spawn(|| {}).join().ok(); }
+            }
+        "#;
+        assert!(lint_source(&c, "crates/query/src/exec.rs", test_src)
+            .iter()
+            .all(|d| d.id != LintId::L8));
     }
 
     #[test]

@@ -30,11 +30,15 @@ pub enum LintId {
     /// fail by design under chaos schedules, and must degrade, not panic.
     /// Unlike L1 this applies to test code too.
     L7,
+    /// No raw `std::thread::spawn` in the query crate outside the morsel
+    /// pool (`parallel.rs`) — ad-hoc threads escape the worker accounting,
+    /// panic propagation, and queue-depth observability of `scoped_map`.
+    L8,
 }
 
 impl LintId {
     /// All lints, in order.
-    pub const ALL: [LintId; 7] = [
+    pub const ALL: [LintId; 8] = [
         LintId::L1,
         LintId::L2,
         LintId::L3,
@@ -42,6 +46,7 @@ impl LintId {
         LintId::L5,
         LintId::L6,
         LintId::L7,
+        LintId::L8,
     ];
 
     /// Stable string form (`"L1"`...).
@@ -54,6 +59,7 @@ impl LintId {
             LintId::L5 => "L5",
             LintId::L6 => "L6",
             LintId::L7 => "L7",
+            LintId::L8 => "L8",
         }
     }
 
@@ -67,6 +73,7 @@ impl LintId {
             "L5" => Some(LintId::L5),
             "L6" => Some(LintId::L6),
             "L7" => Some(LintId::L7),
+            "L8" => Some(LintId::L8),
             _ => None,
         }
     }
@@ -88,6 +95,10 @@ impl LintId {
             LintId::L7 => {
                 "no unwrap()/expect() on cluster submit_to/transmit chains in the resilient \
                  distributed executor (test code included)"
+            }
+            LintId::L8 => {
+                "no raw std::thread::spawn in the query crate outside the morsel worker pool \
+                 (parallel.rs)"
             }
         }
     }

@@ -22,6 +22,7 @@ fn fixture_trips_each_invariant_exactly_once() {
     assert_eq!(count(LintId::L3), 1, "diags: {diags:?}");
     assert_eq!(count(LintId::L4), 1, "diags: {diags:?}");
     assert_eq!(count(LintId::L7), 1, "diags: {diags:?}");
+    assert_eq!(count(LintId::L8), 1, "diags: {diags:?}");
 
     // negative cases: the allowed unwrap and the test-module unwrap are
     // not reported, so L1 has exactly the one flagged line
@@ -54,6 +55,19 @@ fn fixture_trips_each_invariant_exactly_once() {
         "L7 names the chain root: {}",
         l7.message
     );
+
+    // L8 fires on the raw spawn only; the scoped `s.spawn` in the same
+    // file (the pool mechanism) stays silent
+    let l8 = diags
+        .iter()
+        .find(|d| d.id == LintId::L8)
+        .expect("an L8 diag");
+    assert_eq!(l8.file, "crates/query/src/spawn_helper.rs");
+    assert!(
+        l8.signature.contains("thread::spawn"),
+        "L8 anchors on the raw spawn: {}",
+        l8.signature
+    );
 }
 
 #[test]
@@ -70,7 +84,7 @@ fn checker_binary_fails_on_fixture_with_golden_report() {
         .output()
         .expect("run checker binary");
 
-    // non-zero exit: the fixture has no baseline, so all 5 findings are new
+    // non-zero exit: the fixture has no baseline, so all 6 findings are new
     assert_eq!(
         output.status.code(),
         Some(1),
@@ -78,7 +92,7 @@ fn checker_binary_fails_on_fixture_with_golden_report() {
         String::from_utf8_lossy(&output.stderr)
     );
     let stderr = String::from_utf8_lossy(&output.stderr);
-    for id in ["[L1]", "[L2]", "[L3]", "[L4]", "[L7]"] {
+    for id in ["[L1]", "[L2]", "[L3]", "[L4]", "[L7]", "[L8]"] {
         assert!(stderr.contains(id), "stderr names {id}: {stderr}");
     }
 
@@ -98,7 +112,7 @@ fn checker_binary_fails_on_fixture_with_golden_report() {
         .get("totals")
         .and_then(|t| t.get("new"))
         .and_then(|n| n.as_f64());
-    assert_eq!(new, Some(5.0));
+    assert_eq!(new, Some(6.0));
 }
 
 #[test]

@@ -1,0 +1,15 @@
+//! Fixture: exactly one L8 violation — a raw `std::thread::spawn` in
+//! query execution code outside the morsel worker pool. The scoped
+//! `s.spawn` below is the pool mechanism and must stay silent.
+
+pub fn prefetch(pages: Vec<u64>) -> std::thread::JoinHandle<usize> {
+    std::thread::spawn(move || pages.len())
+}
+
+pub fn pooled(workers: usize) {
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {});
+        }
+    });
+}

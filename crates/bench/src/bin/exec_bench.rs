@@ -21,6 +21,12 @@
 //! fault schedules — 1 of 4 data nodes killed mid-scan at 0%, 5%, and
 //! 20% message drop — against the resilient scan path and fails unless
 //! every trial recovers the exact fault-free row set.
+//!
+//! A fourth measurement, **parallel** (`BENCH_parallel.json`), runs the
+//! local scan and a group-aggregate at 1/2/4/8 morsel workers. On hosts
+//! with ≥ 4 cores the 4-worker scan must beat serial by ≥ 1.5×; smaller
+//! hosts gate on exact row equality plus bounded pool overhead instead
+//! (the JSON reports `host_cores` and which gate applied).
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -28,11 +34,12 @@ use std::time::Instant;
 use impliance_cluster::{ClusterRuntime, FaultSchedule, Network, NodeId, NodeKind, NodeSpec};
 use impliance_docmodel::{DocId, DocumentBuilder, SourceFormat, Value};
 use impliance_index::{InvertedIndex, JoinIndex, PathValueIndex};
+use impliance_query::clock::{self, BackoffClock};
 use impliance_query::dist::{
     dist_put, dist_put_replicated, dist_scan_batched, dist_scan_resilient, DataNodeState,
-    DistExecOptions, FailoverPolicy, RetryPolicy,
+    FailoverPolicy, RetryPolicy,
 };
-use impliance_query::{execute_plan_opts, ExecContext, ExecOptions, LogicalPlan};
+use impliance_query::{execute_plan_opts, ExecContext, ExecutionContext, LogicalPlan};
 use impliance_storage::{Predicate, ScanRequest, StorageEngine, StorageOptions};
 
 const LOCAL_DOCS: u64 = 20_000;
@@ -52,7 +59,16 @@ struct RunStats {
     micros: u128,
 }
 
+/// Retry backoff that burns no wall-clock time: the chaos battery
+/// retries hundreds of times and should measure work, not sleeping.
+struct NoSleep;
+
+impl BackoffClock for NoSleep {
+    fn sleep_us(&self, _us: u64) {}
+}
+
 fn main() {
+    clock::install(std::sync::Arc::new(NoSleep));
     let local = bench_local_pipeline();
     let dist = bench_distributed_bytes();
 
@@ -147,6 +163,53 @@ fn main() {
         failed = true;
     }
 
+    let par = bench_parallel();
+    let mut par_json = format!(
+        "{{\n  \"bench\": \"parallel\",\n  \"corpus_docs\": {LOCAL_DOCS},\n  \"partitions\": \
+         {PAR_PARTITIONS},\n  \"host_cores\": {},\n  \"gate\": \"{}\",\n  \"runs\": [\n",
+        par.host_cores, par.gate,
+    );
+    for (i, r) in par.runs.iter().enumerate() {
+        par_json.push_str(&format!(
+            "    {{ \"workers\": {}, \"scan_micros\": {}, \"group_agg_micros\": {} }}{}\n",
+            r.workers,
+            r.scan_micros,
+            r.agg_micros,
+            if i + 1 < par.runs.len() { "," } else { "" },
+        ));
+    }
+    par_json.push_str(&format!(
+        "  ],\n  \"scan_speedup_4x\": {:.3},\n  \"group_agg_speedup_4x\": {:.3},\n  \
+         \"rows_equal\": {}\n}}\n",
+        par.scan_speedup_4x, par.agg_speedup_4x, par.rows_equal,
+    ));
+    std::fs::write("BENCH_parallel.json", &par_json).expect("write BENCH_parallel.json");
+    print!("{par_json}");
+
+    if !par.rows_equal {
+        eprintln!("FAIL: parallel execution returned different rows than serial");
+        failed = true;
+    }
+    if par.host_cores >= 4 {
+        if par.scan_speedup_4x < 1.5 {
+            eprintln!(
+                "FAIL: 4-worker scan speedup {:.2}x on a {}-core host — expected >= 1.5x",
+                par.scan_speedup_4x, par.host_cores
+            );
+            failed = true;
+        }
+    } else if par.scan_speedup_4x < 0.2 {
+        // Small host: a real speedup is physically impossible, so gate on
+        // bounded overhead instead (and say so honestly in the JSON).
+        eprintln!(
+            "FAIL: 4-worker scan ran {:.1}x slower than serial on a {}-core host — pool \
+             overhead is out of bounds",
+            1.0 / par.scan_speedup_4x.max(1e-9),
+            par.host_cores
+        );
+        failed = true;
+    }
+
     if failed {
         std::process::exit(1);
     }
@@ -206,10 +269,10 @@ fn bench_local_pipeline() -> (RunStats, RunStats, u64) {
     };
 
     let run = |limit: Option<usize>| {
-        let opts = ExecOptions {
+        let opts = ExecutionContext {
             batch_size: BATCH_SIZE,
             limit,
-            ..ExecOptions::default()
+            ..ExecutionContext::default()
         };
         let t0 = Instant::now();
         let (out, m) = execute_plan_opts(&ctx, &plan, &opts).expect("execute");
@@ -315,6 +378,154 @@ fn bench_distributed_bytes() -> DistStats {
     }
 }
 
+const PAR_PARTITIONS: usize = 8;
+const PAR_WORKERS: [usize; 4] = [1, 2, 4, 8];
+const PAR_REPS: usize = 3;
+
+struct ParallelRun {
+    workers: usize,
+    scan_micros: u128,
+    agg_micros: u128,
+}
+
+struct ParallelStats {
+    host_cores: usize,
+    gate: &'static str,
+    runs: Vec<ParallelRun>,
+    scan_speedup_4x: f64,
+    agg_speedup_4x: f64,
+    rows_equal: bool,
+}
+
+/// Morsel-driven parallel execution vs the serial pipeline: the same
+/// scan→filter→project and group-aggregate workloads over the 20k-doc
+/// corpus at 1/2/4/8 workers. On hosts with ≥ 4 cores the 4-worker scan
+/// must beat serial by ≥ 1.5×; on smaller hosts (where a speedup is
+/// physically impossible) the gate degrades to exact row equality plus
+/// bounded pool overhead, with the host core count reported honestly.
+fn bench_parallel() -> ParallelStats {
+    let storage = StorageEngine::new(StorageOptions {
+        partitions: PAR_PARTITIONS,
+        seal_threshold: 512,
+        compression: true,
+        encryption_key: None,
+    });
+    for i in 0..LOCAL_DOCS {
+        storage
+            .put(
+                &DocumentBuilder::new(DocId(i), SourceFormat::Json, "orders")
+                    .field("amount", (i % 1000) as i64)
+                    .field("cust", format!("C-{}", i % 17))
+                    .build(),
+            )
+            .expect("put");
+    }
+    let text = InvertedIndex::new(4);
+    let values = PathValueIndex::new();
+    let joins = JoinIndex::new();
+    let ctx = ExecContext {
+        storage: &storage,
+        text_index: &text,
+        value_index: &values,
+        join_index: &joins,
+        pushdown: true,
+    };
+    let scan_plan = LogicalPlan::Project {
+        input: Box::new(LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Scan {
+                collection: Some("orders".into()),
+                predicate: None,
+                alias: "orders".into(),
+                use_value_index: false,
+            }),
+            alias: "orders".into(),
+            predicate: Predicate::Ge("amount".into(), Value::Int(100)),
+        }),
+        columns: vec![("orders".into(), "amount".into(), "amount".into())],
+    };
+    let agg_plan = LogicalPlan::GroupAgg {
+        input: Box::new(LogicalPlan::Scan {
+            collection: Some("orders".into()),
+            predicate: None,
+            alias: "orders".into(),
+            use_value_index: false,
+        }),
+        group_by: Some(("orders".into(), "cust".into())),
+        aggs: vec![impliance_query::AggItem {
+            func: impliance_storage::AggFunc::Sum,
+            operand: Some("amount".into()),
+            output: "total".into(),
+        }],
+    };
+
+    let render = |out: &impliance_query::QueryOutput| -> Vec<String> {
+        out.rows().iter().map(|r| r.render()).collect()
+    };
+    // Median-of-reps wall time plus the rendered rows of the last rep.
+    let measure = |plan: &LogicalPlan, workers: usize| -> (u128, Vec<String>) {
+        let opts = ExecutionContext {
+            batch_size: BATCH_SIZE,
+            ..ExecutionContext::default()
+        }
+        .parallelism(workers);
+        let mut times: Vec<u128> = Vec::with_capacity(PAR_REPS);
+        let mut rows = Vec::new();
+        for _ in 0..PAR_REPS {
+            let t0 = Instant::now();
+            let (out, _) = execute_plan_opts(&ctx, plan, &opts).expect("parallel execute");
+            times.push(t0.elapsed().as_micros());
+            rows = render(&out);
+        }
+        times.sort_unstable();
+        (times[times.len() / 2], rows)
+    };
+
+    let mut runs = Vec::with_capacity(PAR_WORKERS.len());
+    let mut rows_equal = true;
+    let mut serial_rows: (Vec<String>, Vec<String>) = (Vec::new(), Vec::new());
+    let mut scan_times: Vec<(usize, u128)> = Vec::new();
+    let mut agg_times: Vec<(usize, u128)> = Vec::new();
+    for workers in PAR_WORKERS {
+        let (scan_micros, scan_rows) = measure(&scan_plan, workers);
+        let (agg_micros, agg_rows) = measure(&agg_plan, workers);
+        if workers == 1 {
+            serial_rows = (scan_rows, agg_rows);
+        } else if scan_rows != serial_rows.0 || agg_rows != serial_rows.1 {
+            rows_equal = false;
+        }
+        scan_times.push((workers, scan_micros));
+        agg_times.push((workers, agg_micros));
+        runs.push(ParallelRun {
+            workers,
+            scan_micros,
+            agg_micros,
+        });
+    }
+    let speedup = |times: &[(usize, u128)], workers: usize| -> f64 {
+        let serial = times.iter().find(|(w, _)| *w == 1).map(|(_, t)| *t);
+        let at = times.iter().find(|(w, _)| *w == workers).map(|(_, t)| *t);
+        match (serial, at) {
+            (Some(s), Some(t)) if t > 0 => s as f64 / t as f64,
+            _ => 0.0,
+        }
+    };
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    ParallelStats {
+        host_cores,
+        gate: if host_cores >= 4 {
+            "speedup_1_5x_at_4_workers"
+        } else {
+            "row_equality_plus_bounded_overhead"
+        },
+        runs,
+        scan_speedup_4x: speedup(&scan_times, 4),
+        agg_speedup_4x: speedup(&agg_times, 4),
+        rows_equal,
+    }
+}
+
 struct ChaosConfigStats {
     drop_pct: u32,
     successes: usize,
@@ -375,15 +586,14 @@ fn bench_chaos() -> Vec<ChaosConfigStats> {
             sched.kill_after(victim, 20);
             rt.network().install_faults(sched);
 
-            let opts = DistExecOptions {
+            let opts = ExecutionContext {
                 batch_size: 8,
                 retry: RetryPolicy {
                     max_attempts: 10,
                     ..RetryPolicy::default()
                 },
                 failover: Some(FailoverPolicy::ring(&rt.nodes_of_kind(NodeKind::Data))),
-                deadline: None,
-                degraded_ok: false,
+                ..ExecutionContext::default()
             };
             let t0 = Instant::now();
             let scan = dist_scan_resilient(&rt, &ScanRequest::full(), &opts);

@@ -23,8 +23,8 @@ use impliance_facet::{FacetDimension, FacetEngine, GuidedSession, RollupLevel, R
 use impliance_index::{search, InvertedIndex, JoinIndex, PathValueIndex, SearchHit, SearchQuery};
 use impliance_obs::Counter;
 use impliance_query::{
-    execute_plan_opts, parse_sql, ExecContext, ExecError, ExecMetrics, ExecOptions, LogicalPlan,
-    QueryOutput, SimplePlanner,
+    execute_plan_opts, parse_sql, ExecContext, ExecError, ExecMetrics, ExecutionContext,
+    LogicalPlan, QueryOutput, SimplePlanner,
 };
 use impliance_storage::{StorageEngine, StorageError, StorageOptions};
 use parking_lot::Mutex;
@@ -470,10 +470,12 @@ impl Impliance {
             join_index: &self.join_index,
             pushdown: req.pushdown().unwrap_or(self.config.pushdown),
         };
-        let opts = ExecOptions {
+        let opts = ExecutionContext {
             batch_size: req.batch_size().unwrap_or(self.config.batch_size),
             limit: req.limit(),
             deadline: req.deadline_ms().map(std::time::Duration::from_millis),
+            worker_threads: req.parallelism().unwrap_or(self.config.worker_threads),
+            ..ExecutionContext::default()
         };
         let (output, metrics) = execute_plan_opts(&ctx, &plan, &opts)?;
         Ok(QueryResponse {
@@ -514,6 +516,7 @@ impl Impliance {
 
     /// SQL returning execution metrics too. Convenience wrapper over
     /// [`Impliance::query`].
+    #[deprecated(note = "use Impliance::query and QueryResponse::exec_stats for typed statistics")]
     pub fn sql_with_metrics(&self, statement: &str) -> Result<(QueryOutput, ExecMetrics), Error> {
         let resp = self.query(QueryRequest::builder(statement).build())?;
         Ok((resp.output, resp.metrics))

@@ -17,10 +17,8 @@ use impliance_cluster::{
 };
 use impliance_docmodel::{json, DocId, Document, SourceFormat};
 use impliance_index::InvertedIndex;
-use impliance_query::dist::{
-    self, DataNodeState, DistExecOptions, FailoverPolicy, ResilientScan, RetryPolicy,
-};
-use impliance_query::Tuple;
+use impliance_query::dist::{self, DataNodeState, FailoverPolicy, ResilientScan, RetryPolicy};
+use impliance_query::{ExecutionContext, Tuple};
 use impliance_storage::{codec, AggValue, ScanRequest, ScanResult, StorageEngine, StorageOptions};
 use impliance_virt::{DataClass, ReplicationReport, StorageManager, StoragePolicy};
 use parking_lot::Mutex;
@@ -253,12 +251,14 @@ impl ClusterImpliance {
         deadline: Option<std::time::Duration>,
         degraded_ok: bool,
     ) -> Result<ResilientScan, Error> {
-        let opts = DistExecOptions {
+        let opts = ExecutionContext {
             batch_size: self.config.batch_size,
             retry: self.retry_policy(),
             failover: Some(self.failover_policy()),
             deadline,
             degraded_ok,
+            worker_threads: self.config.worker_threads,
+            ..ExecutionContext::default()
         };
         Ok(dist::dist_scan_resilient(&self.runtime, request, &opts)?)
     }

@@ -40,6 +40,11 @@ pub struct ApplianceConfig {
     pub batch_size: usize,
     /// Shards in each data node's full-text index.
     pub text_index_shards: usize,
+    /// Worker threads for morsel-driven parallel query execution
+    /// (1 = serial). Defaults to the machine's available cores — the
+    /// appliance "detects" its hardware, per §3.1 — and is overridable
+    /// per request via `QueryRequest::parallelism`.
+    pub worker_threads: usize,
     /// Attempts per distributed operation before a transient failure is
     /// treated as terminal (≥ 1; 1 disables retry).
     pub retry_max_attempts: u32,
@@ -64,6 +69,9 @@ impl Default for ApplianceConfig {
             replication: 3,
             batch_size: impliance_query::DEFAULT_BATCH_SIZE,
             text_index_shards: 8,
+            worker_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
             retry_max_attempts: 3,
             retry_base_backoff_us: 200,
         }
@@ -84,5 +92,6 @@ mod tests {
         );
         assert!(c.compression);
         assert!(c.data_nodes >= 1 && c.grid_nodes >= 1 && c.cluster_nodes >= 1);
+        assert!(c.worker_threads >= 1, "hardware detection floors at one");
     }
 }

@@ -37,4 +37,4 @@ pub use audit::{AccessPolicy, AuditLog, GuardedAppliance, Principal};
 pub use cluster_app::ClusterImpliance;
 pub use config::ApplianceConfig;
 pub use error::{Error, ErrorKind};
-pub use query_api::{QueryRequest, QueryRequestBuilder, QueryResponse};
+pub use query_api::{ExecStats, QueryRequest, QueryRequestBuilder, QueryResponse};

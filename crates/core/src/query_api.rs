@@ -20,6 +20,7 @@ pub struct QueryRequest {
     batch_size: Option<usize>,
     limit: Option<usize>,
     deadline_ms: Option<u64>,
+    parallelism: Option<usize>,
 }
 
 impl QueryRequest {
@@ -33,6 +34,7 @@ impl QueryRequest {
                 batch_size: None,
                 limit: None,
                 deadline_ms: None,
+                parallelism: None,
             },
         }
     }
@@ -72,6 +74,13 @@ impl QueryRequest {
     /// count.
     pub fn deadline_ms(&self) -> Option<u64> {
         self.deadline_ms
+    }
+
+    /// The per-request worker-thread override, if any (defaults to
+    /// `ApplianceConfig::worker_threads` when `None`; `1` forces the
+    /// serial pipeline).
+    pub fn parallelism(&self) -> Option<usize> {
+        self.parallelism
     }
 }
 
@@ -116,6 +125,14 @@ impl QueryRequestBuilder {
         self
     }
 
+    /// Set the worker-thread count for morsel-driven parallel execution
+    /// (clamped to ≥ 1; `1` forces the serial pipeline). Plans without a
+    /// parallel form run serially regardless.
+    pub fn parallelism(mut self, workers: usize) -> QueryRequestBuilder {
+        self.request.parallelism = Some(workers.max(1));
+        self
+    }
+
     /// Finish the request.
     pub fn build(self) -> QueryRequest {
         self.request
@@ -141,10 +158,57 @@ pub struct QueryResponse {
     pub degraded: bool,
 }
 
+/// Typed execution statistics for one answered query — the structured
+/// replacement for picking through raw `ExecMetrics` (or the deprecated
+/// `sql_with_metrics` tuple).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecStats {
+    /// Rows/documents produced by the root operator.
+    pub rows: u64,
+    /// Batches drained from the root (pages processed across all workers
+    /// on the parallel path).
+    pub batches: u64,
+    /// Mean rows per drained batch (0.0 when nothing was drained).
+    pub rows_per_batch: f64,
+    /// Worker threads that executed the query (1 = serial pipeline).
+    pub workers_used: u64,
+    /// Times a `Limit` stopped pulling (or the parallel merge truncated)
+    /// before its input was exhausted.
+    pub early_terminations: u64,
+    /// Index lookups performed.
+    pub index_lookups: u64,
+    /// Encoded bytes read at the storage nodes.
+    pub bytes_scanned: u64,
+    /// Encoded bytes returned across the (simulated) network.
+    pub bytes_returned: u64,
+    /// True when the deadline expired and `rows` is a partial prefix.
+    pub degraded: bool,
+}
+
 impl QueryResponse {
     /// Row view of the output (empty for non-row outputs).
     pub fn rows(&self) -> &[impliance_query::Row] {
         self.output.rows()
+    }
+
+    /// Typed execution statistics for this response.
+    pub fn exec_stats(&self) -> ExecStats {
+        let m = &self.metrics;
+        ExecStats {
+            rows: m.rows_out,
+            batches: m.batches,
+            rows_per_batch: if m.batches == 0 {
+                0.0
+            } else {
+                m.rows_out as f64 / m.batches as f64
+            },
+            workers_used: m.workers_used,
+            early_terminations: m.early_terminations,
+            index_lookups: m.index_lookups,
+            bytes_scanned: m.scan.bytes_scanned,
+            bytes_returned: m.scan.bytes_returned,
+            degraded: self.degraded,
+        }
     }
 
     /// Document view of the output (empty for non-doc outputs).
@@ -197,5 +261,21 @@ mod tests {
         assert_eq!(req.batch_size(), Some(1), "batch size clamps to >= 1");
         assert_eq!(req.limit(), Some(10));
         assert_eq!(req.deadline_ms(), Some(250));
+    }
+
+    #[test]
+    fn builder_parallelism_clamps_to_one() {
+        let req = QueryRequest::builder("SELECT * FROM docs").build();
+        assert_eq!(req.parallelism(), None);
+
+        let req = QueryRequest::builder("SELECT * FROM docs")
+            .parallelism(0)
+            .build();
+        assert_eq!(req.parallelism(), Some(1), "parallelism clamps to >= 1");
+
+        let req = QueryRequest::builder("SELECT * FROM docs")
+            .parallelism(8)
+            .build();
+        assert_eq!(req.parallelism(), Some(8));
     }
 }

@@ -402,6 +402,9 @@ pub struct LimitOp<'a> {
     remaining: usize,
     input_exhausted: bool,
     recorded_early_stop: bool,
+    /// When present, early stops are also recorded per-query (the obs
+    /// counter above is process-global).
+    metrics: Option<SharedMetrics>,
 }
 
 impl<'a> LimitOp<'a> {
@@ -411,6 +414,20 @@ impl<'a> LimitOp<'a> {
             remaining: n,
             input_exhausted: false,
             recorded_early_stop: false,
+            metrics: None,
+        }
+    }
+
+    /// A limit that records early terminations into the pipeline's
+    /// shared [`ExecMetrics`] as well as the global obs counter.
+    pub(crate) fn with_metrics(
+        input: Box<dyn Operator + 'a>,
+        n: usize,
+        metrics: SharedMetrics,
+    ) -> LimitOp<'a> {
+        LimitOp {
+            metrics: Some(metrics),
+            ..LimitOp::new(input, n)
         }
     }
 }
@@ -425,6 +442,9 @@ impl Operator for LimitOp<'_> {
             if !self.input_exhausted && !self.recorded_early_stop {
                 self.recorded_early_stop = true;
                 pipeline_obs().early_terminations.inc();
+                if let Some(m) = &self.metrics {
+                    m.borrow_mut().early_terminations += 1;
+                }
             }
             return Ok(None);
         }

@@ -1,0 +1,92 @@
+//! Injectable backoff sleeper for the distributed executor.
+//!
+//! Retry backoff in [`crate::dist`] used to call `std::thread::sleep`
+//! directly, which made chaos tests and benches pay real wall-clock time
+//! for every injected fault. Both backoff sites now sleep through the
+//! process-wide [`BackoffClock`] installed here; tests and benches
+//! install a counting no-op so a thousand retries cost nothing, while
+//! production keeps the real sleep. The delays are *pacing*, never
+//! correctness: results are identical under any clock.
+
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Duration;
+
+/// A sleeper used for retry backoff pacing.
+pub trait BackoffClock: Send + Sync {
+    /// Pause the calling worker for `us` microseconds (or account the
+    /// request and return immediately, for simulated clocks).
+    fn sleep_us(&self, us: u64);
+}
+
+/// The default clock: real wall-clock sleeping.
+#[derive(Debug, Default)]
+pub struct RealClock;
+
+impl BackoffClock for RealClock {
+    fn sleep_us(&self, us: u64) {
+        std::thread::sleep(Duration::from_micros(us));
+    }
+}
+
+fn slot() -> &'static RwLock<Arc<dyn BackoffClock>> {
+    static SLOT: OnceLock<RwLock<Arc<dyn BackoffClock>>> = OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(Arc::new(RealClock)))
+}
+
+/// Install a process-wide backoff clock, replacing the previous one.
+/// Chaos tests and benches install a counting no-op so fault schedules
+/// don't pay real sleeps.
+pub fn install(clock: Arc<dyn BackoffClock>) {
+    let mut guard = match slot().write() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    *guard = clock;
+}
+
+/// Restore the default [`RealClock`].
+pub fn install_default() {
+    install(Arc::new(RealClock));
+}
+
+/// Sleep `us` microseconds through the installed clock.
+pub(crate) fn sleep_us(us: u64) {
+    let clock = {
+        let guard = match slot().read() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        Arc::clone(&guard)
+    };
+    clock.sleep_us(us);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct Counting {
+        total_us: AtomicU64,
+    }
+
+    impl BackoffClock for Counting {
+        fn sleep_us(&self, us: u64) {
+            self.total_us.fetch_add(us, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn installed_clock_receives_sleeps() {
+        let counting = Arc::new(Counting {
+            total_us: AtomicU64::new(0),
+        });
+        install(counting.clone());
+        sleep_us(150);
+        sleep_us(350);
+        // ">=" rather than "==": other tests in this binary may back off
+        // through the same installed clock while we hold it
+        assert!(counting.total_us.load(Ordering::Relaxed) >= 500);
+        install_default();
+    }
+}

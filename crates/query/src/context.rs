@@ -1,0 +1,121 @@
+//! The unified execution context.
+//!
+//! Before PR 5 the execution knobs were split across `ExecOptions`
+//! (single-node: batch size, limit, deadline) and `DistExecOptions`
+//! (distributed: retry, failover, degraded results) — two structs that
+//! drifted apart and forced every caller to know which executor it was
+//! talking to. [`ExecutionContext`] is the one bag of knobs both
+//! executors read; `QueryRequest` builds it, and the fields an executor
+//! does not use are simply ignored (the single-node path never retries,
+//! the distributed path routes `limit` through the scan request).
+//!
+//! The old names survive one release as deprecated type aliases.
+
+use std::time::Duration;
+
+use crate::batch::DEFAULT_BATCH_SIZE;
+use crate::dist::{FailoverPolicy, RetryPolicy};
+
+/// Every knob a query execution can carry, for both the single-node
+/// pipeline ([`crate::exec::execute_plan_opts`]) and the distributed
+/// scan ([`crate::dist::dist_scan_resilient`]).
+#[derive(Debug, Clone)]
+pub struct ExecutionContext {
+    /// Tuples/rows per pipeline batch (documents per streamed page on
+    /// the distributed path).
+    pub batch_size: usize,
+    /// Cap on output rows; enforced by a pipeline `Limit` so upstream
+    /// operators terminate early (ignored by the distributed scan, which
+    /// carries its limit in the `ScanRequest`).
+    pub limit: Option<usize>,
+    /// Wall-clock budget. When it expires the single-node drain stops
+    /// between batches (`ExecMetrics::deadline_exceeded`), and the
+    /// distributed scan abandons unresolved morsels; both return the
+    /// rows produced so far as an honest partial answer.
+    pub deadline: Option<Duration>,
+    /// Worker threads for morsel-driven parallel execution (`1` =
+    /// serial; see [`crate::parallel`]). The appliance defaults this to
+    /// the machine's available cores via `ApplianceConfig`.
+    pub worker_threads: usize,
+    /// Retry policy for transient message loss (distributed path).
+    pub retry: RetryPolicy,
+    /// Replica failover policy; `None` disables failover (a dead node
+    /// fails or degrades the query). Distributed path only.
+    pub failover: Option<FailoverPolicy>,
+    /// When coverage cannot be completed (dead node without usable
+    /// replicas, exhausted deadline): return a degraded partial result
+    /// with an honest `CoverageReport` instead of an error. Distributed
+    /// path only.
+    pub degraded_ok: bool,
+}
+
+impl Default for ExecutionContext {
+    fn default() -> ExecutionContext {
+        ExecutionContext {
+            batch_size: DEFAULT_BATCH_SIZE,
+            limit: None,
+            deadline: None,
+            // Library-conservative: callers opt into parallelism. The
+            // appliance plumbs `ApplianceConfig::worker_threads`
+            // (default = available cores) through here.
+            worker_threads: 1,
+            retry: RetryPolicy::default(),
+            failover: None,
+            degraded_ok: false,
+        }
+    }
+}
+
+impl ExecutionContext {
+    /// A context with everything default except the batch size.
+    pub fn with_batch_size(batch_size: usize) -> ExecutionContext {
+        ExecutionContext {
+            batch_size: batch_size.max(1),
+            ..ExecutionContext::default()
+        }
+    }
+
+    /// Set the worker-thread count (clamped to ≥ 1), builder-style.
+    pub fn parallelism(mut self, workers: usize) -> ExecutionContext {
+        self.worker_threads = workers.max(1);
+        self
+    }
+}
+
+/// Deprecated name for [`ExecutionContext`] (single-node executor knobs).
+#[deprecated(note = "use ExecutionContext; ExecOptions is a transitional alias")]
+pub type ExecOptions = ExecutionContext;
+
+/// Deprecated name for [`ExecutionContext`] (distributed executor knobs).
+#[deprecated(note = "use ExecutionContext; DistExecOptions is a transitional alias")]
+pub type DistExecOptions = ExecutionContext;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_serial_and_unbounded() {
+        let ctx = ExecutionContext::default();
+        assert_eq!(ctx.batch_size, DEFAULT_BATCH_SIZE);
+        assert_eq!(ctx.worker_threads, 1);
+        assert!(ctx.limit.is_none());
+        assert!(ctx.deadline.is_none());
+        assert!(ctx.failover.is_none());
+        assert!(!ctx.degraded_ok);
+    }
+
+    #[test]
+    fn parallelism_clamps_to_one() {
+        assert_eq!(ExecutionContext::default().parallelism(0).worker_threads, 1);
+        assert_eq!(ExecutionContext::default().parallelism(8).worker_threads, 8);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_aliases_still_name_the_context() {
+        let a: ExecOptions = ExecutionContext::default();
+        let b: DistExecOptions = ExecutionContext::default();
+        assert_eq!(a.batch_size, b.batch_size);
+    }
+}

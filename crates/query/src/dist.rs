@@ -26,7 +26,7 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::sync::{Arc, OnceLock};
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use impliance_cluster::fault::splitmix64;
 use impliance_cluster::runtime::NodeCtx;
@@ -37,7 +37,10 @@ use impliance_obs::{Counter, Histogram};
 use impliance_storage::{codec, AggValue, ScanPos, ScanRequest, ScanResult, StorageEngine};
 
 use crate::batch::DEFAULT_BATCH_SIZE;
+use crate::clock;
+use crate::context::ExecutionContext;
 use crate::joins;
+use crate::parallel::scoped_map;
 use crate::tuple::Tuple;
 
 /// Retransmission attempts for one result page before the morsel gives
@@ -274,36 +277,6 @@ impl CoverageReport {
     }
 }
 
-/// Knobs for a resilient distributed scan.
-#[derive(Debug, Clone)]
-pub struct DistExecOptions {
-    /// Documents per streamed page.
-    pub batch_size: usize,
-    /// Retry policy for transient message loss.
-    pub retry: RetryPolicy,
-    /// Replica failover policy; `None` disables failover (a dead node
-    /// fails or degrades the query).
-    pub failover: Option<FailoverPolicy>,
-    /// Wall-clock budget for the whole scan.
-    pub deadline: Option<Duration>,
-    /// When coverage cannot be completed (dead node without usable
-    /// replicas, exhausted deadline): return a degraded partial result
-    /// with an honest [`CoverageReport`] instead of an error.
-    pub degraded_ok: bool,
-}
-
-impl Default for DistExecOptions {
-    fn default() -> DistExecOptions {
-        DistExecOptions {
-            batch_size: DEFAULT_BATCH_SIZE,
-            retry: RetryPolicy::default(),
-            failover: None,
-            deadline: None,
-            degraded_ok: false,
-        }
-    }
-}
-
 /// The outcome of a resilient distributed scan.
 #[derive(Debug, Clone)]
 pub struct ResilientScan {
@@ -474,7 +447,7 @@ where
             dist_obs().backoff_us.observe(us);
             dist_obs().retries.inc();
             *retries += 1;
-            std::thread::sleep(Duration::from_micros(us));
+            clock::sleep_us(us);
         }
         if let Some(d) = deadline_at {
             if Instant::now() >= d {
@@ -574,7 +547,7 @@ fn resolve_morsel(
         dist_obs().backoff_us.observe(us);
         dist_obs().retries.inc();
         *retries += 1;
-        std::thread::sleep(Duration::from_micros(us));
+        clock::sleep_us(us);
         attempts += 1;
         attempt = submit_morsel(
             env.rt,
@@ -607,7 +580,7 @@ fn resolve_morsel(
 pub fn dist_scan_resilient(
     rt: &ClusterRuntime,
     request: &ScanRequest,
-    opts: &DistExecOptions,
+    opts: &ExecutionContext,
 ) -> Result<ResilientScan, ClusterError> {
     let deadline_at = opts.deadline.map(|d| Instant::now() + d);
     let data_nodes = rt.nodes_of_kind(NodeKind::Data);
@@ -689,8 +662,26 @@ pub fn dist_scan_resilient(
             deadline_skipped.push((*id, p));
         }
     }
-    for (node, partition, first) in dispatched {
-        match resolve_morsel(&env, node, partition, first, &mut retries) {
+    // Resolve morsels through the worker pool when the caller asked for
+    // parallelism: joins and retry backoffs for independent morsels then
+    // overlap instead of serializing. Outcomes are processed in dispatch
+    // order either way, so the merged result and error/coverage
+    // classification are identical to the serial path (each morsel's
+    // retry jitter is salted by its own (node, partition), independent
+    // of scheduling).
+    let env_ref = &env;
+    let outcomes: Vec<(NodeId, usize, MorselOutcome, u64)> = scoped_map(
+        opts.worker_threads.max(1),
+        dispatched,
+        |(node, partition, first)| {
+            let mut morsel_retries = 0u64;
+            let outcome = resolve_morsel(env_ref, node, partition, first, &mut morsel_retries);
+            (node, partition, outcome, morsel_retries)
+        },
+    );
+    for (node, partition, outcome, morsel_retries) in outcomes {
+        retries += morsel_retries;
+        match outcome {
             MorselOutcome::Done(partial, batches) => {
                 scanned += 1;
                 stats.morsels += 1;
@@ -879,10 +870,10 @@ pub fn dist_scan_batched(
     request: &ScanRequest,
     batch_size: usize,
 ) -> Result<(ScanResult, DistScanStats), ClusterError> {
-    let opts = DistExecOptions {
+    let opts = ExecutionContext {
         batch_size,
         failover: Some(FailoverPolicy::ring(&rt.nodes_of_kind(NodeKind::Data))),
-        ..DistExecOptions::default()
+        ..ExecutionContext::default()
     };
     let scan = dist_scan_resilient(rt, request, &opts)?;
     Ok((scan.result, scan.stats))
@@ -1074,6 +1065,8 @@ pub fn dist_get(rt: &ClusterRuntime, id: DocId) -> Result<Option<Document>, Clus
 
 #[cfg(test)]
 mod tests {
+    use std::time::Duration;
+
     use super::*;
     use impliance_cluster::{Network, NodeSpec};
     use impliance_docmodel::{DocumentBuilder, SourceFormat, Value};
@@ -1346,7 +1339,7 @@ mod tests {
         let rt = boot(2, 1);
         load(&rt, 60);
         let scan =
-            dist_scan_resilient(&rt, &ScanRequest::full(), &DistExecOptions::default()).unwrap();
+            dist_scan_resilient(&rt, &ScanRequest::full(), &ExecutionContext::default()).unwrap();
         assert!(!scan.degraded);
         assert!(scan.coverage.is_complete());
         assert_eq!(scan.coverage.partitions_total, 4);
@@ -1372,14 +1365,14 @@ mod tests {
             sched.drop_to(n, 0.25);
         }
         rt.network().install_faults(sched);
-        let opts = DistExecOptions {
+        let opts = ExecutionContext {
             retry: RetryPolicy {
                 max_attempts: 8,
                 base_backoff_us: 50,
                 max_backoff_us: 500,
                 seed: 1,
             },
-            ..DistExecOptions::default()
+            ..ExecutionContext::default()
         };
         let scan = dist_scan_resilient(&rt, &ScanRequest::full(), &opts).unwrap();
         rt.network().clear_faults();
@@ -1405,10 +1398,10 @@ mod tests {
         // victim cannot have shipped everything yet.
         sched.kill_after(victim, 10);
         rt.network().install_faults(sched);
-        let opts = DistExecOptions {
+        let opts = ExecutionContext {
             batch_size: 4,
             failover: Some(policy),
-            ..DistExecOptions::default()
+            ..ExecutionContext::default()
         };
         let scan = dist_scan_resilient(&rt, &ScanRequest::full(), &opts).unwrap();
         rt.network().clear_faults();
@@ -1428,9 +1421,9 @@ mod tests {
         let sched = Arc::new(FaultSchedule::new(3));
         sched.kill_after(victim, 5);
         rt.network().install_faults(sched);
-        let opts = DistExecOptions {
+        let opts = ExecutionContext {
             failover: None,
-            ..DistExecOptions::default()
+            ..ExecutionContext::default()
         };
         let err = dist_scan_resilient(&rt, &ScanRequest::full(), &opts).unwrap_err();
         rt.network().clear_faults();
@@ -1444,10 +1437,10 @@ mod tests {
     fn zero_deadline_degrades_with_honest_coverage() {
         let rt = boot(3, 1);
         load(&rt, 60);
-        let opts = DistExecOptions {
+        let opts = ExecutionContext {
             deadline: Some(Duration::ZERO),
             degraded_ok: true,
-            ..DistExecOptions::default()
+            ..ExecutionContext::default()
         };
         let scan = dist_scan_resilient(&rt, &ScanRequest::full(), &opts).unwrap();
         assert!(scan.degraded);
@@ -1463,10 +1456,10 @@ mod tests {
     fn zero_deadline_without_degraded_ok_errors() {
         let rt = boot(2, 1);
         load(&rt, 10);
-        let opts = DistExecOptions {
+        let opts = ExecutionContext {
             deadline: Some(Duration::ZERO),
             degraded_ok: false,
-            ..DistExecOptions::default()
+            ..ExecutionContext::default()
         };
         assert!(matches!(
             dist_scan_resilient(&rt, &ScanRequest::full(), &opts),
@@ -1491,10 +1484,10 @@ mod tests {
             }),
             ..ScanRequest::full()
         };
-        let opts = DistExecOptions {
+        let opts = ExecutionContext {
             failover: Some(FailoverPolicy::ring(&rt.nodes_of_kind(NodeKind::Data))),
             degraded_ok: true,
-            ..DistExecOptions::default()
+            ..ExecutionContext::default()
         };
         let scan = dist_scan_resilient(&rt, &req, &opts).unwrap();
         rt.network().clear_faults();

@@ -12,7 +12,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::{Arc, OnceLock};
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use impliance_docmodel::{DocId, Document};
 use impliance_index::{search, InvertedIndex, JoinIndex, PathValueIndex, SearchQuery};
@@ -22,8 +22,9 @@ use impliance_storage::{
 
 use crate::batch::{
     op_obs, Batch, FilterOp, GroupAggOp, HashJoinOp, IndexedNlJoinOp, LimitOp, Metered, Operator,
-    ProjectOp, ScanOp, SharedMetrics, SortMergeJoinOp, SortOp, VecSource, DEFAULT_BATCH_SIZE,
+    ProjectOp, ScanOp, SharedMetrics, SortMergeJoinOp, SortOp, VecSource,
 };
+use crate::context::ExecutionContext;
 #[cfg(test)]
 use crate::plan::AggItem;
 use crate::plan::{JoinAlgo, LogicalPlan};
@@ -65,12 +66,20 @@ pub struct ExecMetrics {
     pub rows_out: u64,
     /// Index lookups performed.
     pub index_lookups: u64,
+    /// Batches drained from the root operator (pages processed across
+    /// all workers on the parallel path).
+    pub batches: u64,
+    /// Worker threads that executed this query (1 on the serial path).
+    pub workers_used: u64,
+    /// Times a `Limit` stopped pulling (or the parallel merge truncated)
+    /// before its input was exhausted.
+    pub early_terminations: u64,
     /// True when the per-query deadline expired before the pipeline
     /// drained: the output is a partial prefix, not the full answer.
     pub deadline_exceeded: bool,
 }
 
-fn deadline_obs() -> &'static Arc<impliance_obs::Counter> {
+pub(crate) fn deadline_obs() -> &'static Arc<impliance_obs::Counter> {
     static OBS: OnceLock<Arc<impliance_obs::Counter>> = OnceLock::new();
     OBS.get_or_init(|| {
         impliance_obs::global()
@@ -92,33 +101,6 @@ pub struct ExecContext<'a> {
     /// Evaluate predicates at the storage node (push-down). On by
     /// default; experiment C2 turns it off to measure the difference.
     pub pushdown: bool,
-}
-
-/// Per-execution knobs plumbed from `QueryRequest` through
-/// `Impliance::query()`.
-#[derive(Debug, Clone, Copy)]
-pub struct ExecOptions {
-    /// Tuples/rows per pipeline batch.
-    pub batch_size: usize,
-    /// Cap on output rows; enforced by a pipeline `Limit` so upstream
-    /// operators terminate early.
-    pub limit: Option<usize>,
-    /// Wall-clock budget for draining the pipeline. When it expires the
-    /// drain stops between batches, `ExecMetrics::deadline_exceeded` is
-    /// set, and the rows produced so far are returned as a partial
-    /// answer (never an error, never a silent short count — callers
-    /// must check the flag).
-    pub deadline: Option<Duration>,
-}
-
-impl Default for ExecOptions {
-    fn default() -> Self {
-        ExecOptions {
-            batch_size: DEFAULT_BATCH_SIZE,
-            limit: None,
-            deadline: None,
-        }
-    }
 }
 
 /// The result of executing a plan.
@@ -169,16 +151,18 @@ pub fn execute_plan(
     ctx: &ExecContext<'_>,
     plan: &LogicalPlan,
 ) -> Result<(QueryOutput, ExecMetrics), ExecError> {
-    execute_plan_opts(ctx, plan, &ExecOptions::default())
+    execute_plan_opts(ctx, plan, &ExecutionContext::default())
 }
 
-/// Execute a plan as a batched pipeline with explicit options.
+/// Execute a plan as a batched pipeline with an explicit execution
+/// context. With `worker_threads > 1` the plan is first offered to the
+/// morsel-driven parallel executor ([`crate::parallel`]); shapes it
+/// cannot parallelize fall back to the serial operator tree below.
 pub fn execute_plan_opts(
     ctx: &ExecContext<'_>,
     plan: &LogicalPlan,
-    opts: &ExecOptions,
+    opts: &ExecutionContext,
 ) -> Result<(QueryOutput, ExecMetrics), ExecError> {
-    let metrics: SharedMetrics = Rc::new(RefCell::new(ExecMetrics::default()));
     // A request-level limit becomes a pipeline Limit at the root, so it
     // benefits from early termination and the top-K sort fast path.
     let wrapped;
@@ -192,6 +176,13 @@ pub fn execute_plan_opts(
         }
         None => plan,
     };
+    if opts.worker_threads > 1 {
+        if let Some(result) = crate::parallel::try_execute_parallel(ctx, plan, opts)? {
+            return Ok(result);
+        }
+    }
+    let metrics: SharedMetrics = Rc::new(RefCell::new(ExecMetrics::default()));
+    metrics.borrow_mut().workers_used = 1;
     let compiled = compile(ctx, plan, opts.batch_size.max(1), &metrics)?;
     let deadline_at = opts.deadline.map(|d| Instant::now() + d);
     let expired = |metrics: &SharedMetrics| -> bool {
@@ -211,6 +202,7 @@ pub fn execute_plan_opts(
             let mut tuples: Vec<Tuple> = Vec::new();
             while !expired(&metrics) {
                 let Some(batch) = op.next_batch()? else { break };
+                metrics.borrow_mut().batches += 1;
                 if let Batch::Tuples(t) = batch {
                     tuples.extend(t);
                 }
@@ -230,6 +222,7 @@ pub fn execute_plan_opts(
             let mut rows: Vec<Row> = Vec::new();
             while !expired(&metrics) {
                 let Some(batch) = op.next_batch()? else { break };
+                metrics.borrow_mut().batches += 1;
                 if let Batch::Rows(r) = batch {
                     rows.extend(r);
                 }
@@ -244,7 +237,7 @@ pub fn execute_plan_opts(
 
 /// Static batch type of a compiled operator.
 #[derive(Clone, Copy, PartialEq, Eq)]
-enum Kind {
+pub(crate) enum Kind {
     Tuples,
     Rows,
 }
@@ -252,7 +245,7 @@ enum Kind {
 /// A compiled plan: an operator tree, or an already-resolved graph path
 /// (`GraphConnect` runs at compile time — it is a point lookup, not a
 /// stream).
-enum Compiled<'a> {
+pub(crate) enum Compiled<'a> {
     Op {
         op: Box<dyn Operator + 'a>,
         kind: Kind,
@@ -263,7 +256,7 @@ enum Compiled<'a> {
 /// Compile a logical plan into a pull-based operator tree, type-checking
 /// operator inputs statically (the same shapes the materialized executor
 /// rejected dynamically).
-fn compile<'a>(
+pub(crate) fn compile<'a>(
     ctx: &ExecContext<'a>,
     plan: &LogicalPlan,
     batch_size: usize,
@@ -468,7 +461,10 @@ fn compile<'a>(
                             Box::new(SortOp::new(op, keys.clone(), Some(*n), batch_size)),
                         );
                         return Ok(Compiled::Op {
-                            op: Metered::wrap(7, Box::new(LimitOp::new(sort, *n))),
+                            op: Metered::wrap(
+                                7,
+                                Box::new(LimitOp::with_metrics(sort, *n, Rc::clone(metrics))),
+                            ),
                             kind,
                         });
                     }
@@ -477,7 +473,10 @@ fn compile<'a>(
             }
             match compile(ctx, input, batch_size, metrics)? {
                 Compiled::Op { op, kind } => Ok(Compiled::Op {
-                    op: Metered::wrap(7, Box::new(LimitOp::new(op, *n))),
+                    op: Metered::wrap(
+                        7,
+                        Box::new(LimitOp::with_metrics(op, *n, Rc::clone(metrics))),
+                    ),
                     kind,
                 }),
                 p => Ok(p), // limit over a path is a no-op
@@ -543,11 +542,29 @@ fn compile_scan<'a>(
         }
     }
     // Storage scan, with or without push-down.
+    let (request, post_filter) = scan_request_parts(ctx.pushdown, collection, predicate);
+    let stream = ctx.storage.scan_batches(&request, batch_size);
+    Ok(Box::new(ScanOp::new(
+        stream,
+        alias.to_string(),
+        post_filter,
+        Rc::clone(metrics),
+    )))
+}
+
+/// Build the storage [`ScanRequest`] and node-side residual predicate for
+/// a logical scan — shared by the serial [`compile_scan`] and the
+/// parallel morsel workers so both paths see identical pages.
+pub(crate) fn scan_request_parts(
+    pushdown: bool,
+    collection: Option<&str>,
+    predicate: Option<&Predicate>,
+) -> (ScanRequest, Option<Predicate>) {
     let mut combined = Vec::new();
     if let Some(c) = collection {
         combined.push(Predicate::CollectionIs(c.to_string()));
     }
-    let (request, post_filter) = if ctx.pushdown {
+    if pushdown {
         if let Some(p) = predicate {
             combined.push(p.clone());
         }
@@ -579,14 +596,7 @@ fn compile_scan<'a>(
             },
             predicate.cloned(),
         )
-    };
-    let stream = ctx.storage.scan_batches(&request, batch_size);
-    Ok(Box::new(ScanOp::new(
-        stream,
-        alias.to_string(),
-        post_filter,
-        Rc::clone(metrics),
-    )))
+    }
 }
 
 #[cfg(test)]
@@ -877,10 +887,10 @@ mod tests {
     #[test]
     fn request_limit_option_caps_output() {
         let f = Fixture::new();
-        let opts = ExecOptions {
+        let opts = ExecutionContext {
             batch_size: 2,
             limit: Some(2),
-            ..ExecOptions::default()
+            ..ExecutionContext::default()
         };
         let (out, m) = execute_plan_opts(&f.ctx(), &scan_plan("orders"), &opts).unwrap();
         assert_eq!(out.len(), 2);
@@ -920,10 +930,10 @@ mod tests {
             }),
             n: 10,
         };
-        let opts = ExecOptions {
+        let opts = ExecutionContext {
             batch_size: 16,
             limit: None,
-            ..ExecOptions::default()
+            ..ExecutionContext::default()
         };
         let (out, m) = execute_plan_opts(&ctx, &plan, &opts).unwrap();
         assert_eq!(out.len(), 10);
@@ -937,17 +947,17 @@ mod tests {
     #[test]
     fn expired_deadline_returns_partial_rows_with_flag() {
         let f = Fixture::new();
-        let opts = ExecOptions {
+        let opts = ExecutionContext {
             deadline: Some(std::time::Duration::ZERO),
-            ..ExecOptions::default()
+            ..ExecutionContext::default()
         };
         let (out, m) = execute_plan_opts(&f.ctx(), &scan_plan("orders"), &opts).unwrap();
         assert!(m.deadline_exceeded, "zero budget must trip the flag");
         assert_eq!(out.len(), 0, "no batch fits a zero budget");
         // a generous budget never trips it
-        let opts = ExecOptions {
+        let opts = ExecutionContext {
             deadline: Some(std::time::Duration::from_secs(60)),
-            ..ExecOptions::default()
+            ..ExecutionContext::default()
         };
         let (out, m) = execute_plan_opts(&f.ctx(), &scan_plan("orders"), &opts).unwrap();
         assert!(!m.deadline_exceeded);
@@ -970,10 +980,10 @@ mod tests {
         };
         let baseline = execute_plan(&f.ctx(), &plan).unwrap().0;
         for bs in [1usize, 2, 3, 1024] {
-            let opts = ExecOptions {
+            let opts = ExecutionContext {
                 batch_size: bs,
                 limit: None,
-                ..ExecOptions::default()
+                ..ExecutionContext::default()
             };
             let (out, _) = execute_plan_opts(&f.ctx(), &plan, &opts).unwrap();
             assert_eq!(out.rows(), baseline.rows(), "batch_size {bs}");

@@ -29,27 +29,41 @@
 //! * [`sql`] — a mini-SQL surface ("Traditional structured query languages
 //!   such as SQL … can be mapped to this new query interface").
 //! * [`exec`] — the single-node executor.
+//! * [`parallel`] — morsel-driven intra-query parallelism: a scoped
+//!   worker pool that claims storage partitions as morsels and merges
+//!   per-partition results in partition order (exact, not approximate).
 //! * [`dist`] — the distributed executor: scans on data nodes, join and
 //!   aggregation on grid nodes, updates via cluster nodes (Figure 3's
 //!   example query flow).
+//! * [`context`] — the unified [`ExecutionContext`] carrying every
+//!   execution knob (batch size, limit, deadline, worker threads, retry
+//!   and failover policies) across the local, parallel, and distributed
+//!   paths.
+//! * [`clock`] — the injectable backoff clock, so retry backoff in tests
+//!   and benchmarks never sleeps on the wall clock.
 
 pub mod adaptive;
 pub mod batch;
+pub mod clock;
+pub mod context;
 pub mod costopt;
 pub mod dist;
 pub mod exec;
 pub mod joins;
 pub mod ops;
+pub mod parallel;
 pub mod plan;
 pub mod simple;
 pub mod sql;
 pub mod tuple;
 
 pub use batch::{Batch, Operator, DEFAULT_BATCH_SIZE};
-pub use dist::{CoverageReport, DistExecOptions, FailoverPolicy, ResilientScan, RetryPolicy};
-pub use exec::{
-    execute_plan, execute_plan_opts, ExecContext, ExecError, ExecMetrics, ExecOptions, QueryOutput,
-};
+pub use clock::{BackoffClock, RealClock};
+pub use context::ExecutionContext;
+#[allow(deprecated)]
+pub use context::{DistExecOptions, ExecOptions};
+pub use dist::{CoverageReport, FailoverPolicy, ResilientScan, RetryPolicy};
+pub use exec::{execute_plan, execute_plan_opts, ExecContext, ExecError, ExecMetrics, QueryOutput};
 pub use plan::{AggItem, JoinAlgo, LogicalPlan, SortKey};
 pub use simple::SimplePlanner;
 pub use sql::parse_sql;

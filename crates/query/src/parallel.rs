@@ -1,0 +1,825 @@
+//! Morsel-driven intra-query parallelism.
+//!
+//! With `worker_threads > 1` in the [`ExecutionContext`], plans whose
+//! shape has a parallel form are executed by a scoped worker pool instead
+//! of the serial operator tree. The unit of work (a *morsel*) is one
+//! storage partition: workers claim whole partitions from a shared atomic
+//! counter (largest-first, so greedy claiming stays balanced) and stream
+//! each partition's pages through the same resumable cursor
+//! ([`StorageEngine::scan_partition_page`]) the distributed executor
+//! uses. Per-partition results are reassembled **in partition order** at
+//! the root, which reproduces the serial pipeline's tuple sequence
+//! exactly — partition-parallel scan is a pure speedup, not an
+//! approximation.
+//!
+//! Blocking operators get parallel forms:
+//!
+//! * **Sort / top-K** — each worker keeps a per-partition buffer (pruned
+//!   to `k` when a downstream limit caps the output; stable sort +
+//!   truncate commutes with pruning, so this is exact). The root
+//!   concatenates buffers in partition order and runs one final stable
+//!   sort, which reproduces the serial order including ties.
+//! * **Group/aggregate** — workers fold per-partition partial group
+//!   states with the same [`fold_group`] the serial operator uses; the
+//!   root merges partials in partition order via [`AggValue::merge`].
+//!   Exact for counts/min/max and integer-derived sums; true
+//!   floating-point sums may differ from serial by rounding (association
+//!   order changes).
+//! * **Hash join** — the build side is drained once through the serial
+//!   compiler, split into disjoint hash buckets (built in parallel), and
+//!   probed read-only by every worker. Per-key match order equals serial
+//!   insertion order because each key lands in exactly one bucket.
+//!
+//! Shapes with no parallel form — keyword search, value-index point
+//! lookups, sort-merge and indexed-NL joins, graph connects, sorts over
+//! row inputs — return `None` and fall back to the serial pipeline, as
+//! do single-partition stores and `worker_threads == 1`. Exchanges cost
+//! nothing here: workers share one address space, so nothing is charged
+//! to the simulated `Network` (see DESIGN.md).
+
+use std::collections::{hash_map::DefaultHasher, BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use impliance_docmodel::Value;
+use impliance_obs::{Counter, Gauge, Histogram, LATENCY_BUCKETS_US};
+use impliance_storage::{AggValue, Predicate, ScanMetrics, ScanMorsel, ScanPos, ScanRequest};
+
+use crate::adaptive::AdaptiveFilterChain;
+use crate::batch::{finish_groups, fold_group, sort_tuples, Batch, SharedMetrics};
+use crate::context::ExecutionContext;
+use crate::exec::{
+    deadline_obs, scan_request_parts, Compiled, ExecContext, ExecError, ExecMetrics, Kind,
+    QueryOutput,
+};
+use crate::plan::{AggItem, JoinAlgo, LogicalPlan, SortKey};
+use crate::tuple::{Row, Tuple};
+
+// ---------------------------------------------------------------------
+// Observability
+// ---------------------------------------------------------------------
+
+struct ParObs {
+    morsels: Arc<Counter>,
+    workers_used: Arc<Gauge>,
+    queue_depth: Arc<Gauge>,
+    merge_us: Arc<Histogram>,
+}
+
+fn par_obs() -> &'static ParObs {
+    static OBS: OnceLock<ParObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let m = impliance_obs::global().metrics();
+        ParObs {
+            morsels: m.counter("query.parallel.morsels"),
+            workers_used: m.gauge("query.parallel.workers_used"),
+            queue_depth: m.gauge("query.parallel.queue_depth"),
+            merge_us: m.histogram("query.parallel.merge_us", &LATENCY_BUCKETS_US),
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+// Scoped order-preserving map (the pool primitive)
+// ---------------------------------------------------------------------
+
+/// Run `f` over `items` on up to `workers` scoped threads, returning the
+/// results in input order. Workers claim items through a shared atomic
+/// counter, so an expensive item never blocks the rest of the list
+/// behind it. With one worker (or one item) everything runs inline on
+/// the caller's thread — no pool, fully deterministic. A panicking
+/// worker is re-raised on the caller via `std::panic::resume_unwind`.
+pub(crate) fn scoped_map<T, R, F>(workers: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if workers <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<parking_lot::Mutex<Option<T>>> = items
+        .into_iter()
+        .map(|t| parking_lot::Mutex::new(Some(t)))
+        .collect();
+    let claim = AtomicUsize::new(0);
+    let f = &f;
+    let slots = &slots;
+    let claim = &claim;
+    let mut indexed: Vec<(usize, R)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers.min(n))
+            .map(|_| {
+                s.spawn(move || {
+                    let mut out: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = claim.fetch_add(1, Ordering::Relaxed);
+                        let Some(slot) = slots.get(i) else { break };
+                        if let Some(item) = slot.lock().take() {
+                            out.push((i, f(item)));
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        let mut all = Vec::with_capacity(n);
+        for h in handles {
+            match h.join() {
+                Ok(part) => all.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        all
+    });
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+// ---------------------------------------------------------------------
+// Plan lowering
+// ---------------------------------------------------------------------
+
+/// A linear per-morsel step applied to tuple batches, innermost first.
+enum Step {
+    /// Filter on one alias (multi-conjunct filters run through a
+    /// per-worker adaptive chain, like the serial operator).
+    Filter { alias: String, predicate: Predicate },
+    /// Probe of a pre-built shared hash table; `table` indexes into the
+    /// query's build-side table list.
+    HashProbe {
+        left_key: (String, String),
+        table: usize,
+    },
+}
+
+/// How per-partition tuple streams combine at the root.
+enum Shape {
+    /// Concatenate in partition order (streaming plans).
+    Collect,
+    /// Per-partition buffers (pruned to `top_k`), one stable sort at the
+    /// root.
+    Sort {
+        keys: Vec<SortKey>,
+        top_k: Option<usize>,
+    },
+    /// Per-partition partial group states, merged in partition order.
+    GroupAgg {
+        group_by: Option<(String, String)>,
+        aggs: Vec<AggItem>,
+    },
+}
+
+/// A plan lowered to morsel form: one base scan, a linear chain of
+/// per-morsel steps, a root shape, and the residual projection/limit.
+struct Lowered {
+    collection: Option<String>,
+    predicate: Option<Predicate>,
+    alias: String,
+    steps: Vec<Step>,
+    /// Build-side plans for each `Step::HashProbe`, in table order.
+    builds: Vec<(LogicalPlan, (String, String))>,
+    shape: Shape,
+    project: Option<Vec<(String, String, String)>>,
+    limit: Option<usize>,
+}
+
+/// Lower a plan to morsel form, or `None` when no parallel form exists
+/// and the serial pipeline should run instead.
+fn lower(plan: &LogicalPlan) -> Option<Lowered> {
+    let mut limit: Option<usize> = None;
+    let mut take_limit = |n: usize| limit = Some(limit.map_or(n, |l| l.min(n)));
+    let mut cur = plan;
+    while let LogicalPlan::Limit { input, n } = cur {
+        take_limit(*n);
+        cur = input;
+    }
+    let mut project = None;
+    if let LogicalPlan::Project { input, columns } = cur {
+        project = Some(columns.clone());
+        cur = input;
+    }
+    while let LogicalPlan::Limit { input, n } = cur {
+        take_limit(*n);
+        cur = input;
+    }
+    let (shape, mut cur) = match cur {
+        LogicalPlan::Sort { input, keys } => (
+            Shape::Sort {
+                keys: keys.clone(),
+                // A limit anywhere above the sort caps its output (the
+                // serial pipeline truncates after sorting; pruning to k
+                // per partition plus a final stable sort is equivalent).
+                top_k: limit,
+            },
+            input.as_ref(),
+        ),
+        LogicalPlan::GroupAgg {
+            input,
+            group_by,
+            aggs,
+        } => (
+            Shape::GroupAgg {
+                group_by: group_by.clone(),
+                aggs: aggs.clone(),
+            },
+            input.as_ref(),
+        ),
+        other => (Shape::Collect, other),
+    };
+    // The segment below the shape: a left-deep chain of filters and hash
+    // joins over one base scan. Steps are collected outermost-first and
+    // reversed so workers apply them scan-outward.
+    let mut steps: Vec<Step> = Vec::new();
+    let mut builds: Vec<(LogicalPlan, (String, String))> = Vec::new();
+    loop {
+        match cur {
+            LogicalPlan::Filter {
+                input,
+                alias,
+                predicate,
+            } => {
+                steps.push(Step::Filter {
+                    alias: alias.clone(),
+                    predicate: predicate.clone(),
+                });
+                cur = input;
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+                algo: JoinAlgo::Hash | JoinAlgo::Unspecified,
+            } => {
+                builds.push((right.as_ref().clone(), right_key.clone()));
+                steps.push(Step::HashProbe {
+                    left_key: left_key.clone(),
+                    table: builds.len() - 1,
+                });
+                cur = left;
+            }
+            LogicalPlan::Scan {
+                collection,
+                predicate,
+                alias,
+                use_value_index,
+            } => {
+                if *use_value_index && matches!(predicate, Some(Predicate::Eq(_, _))) {
+                    return None; // index point lookup: serial path
+                }
+                steps.reverse();
+                // Table indices were assigned in outermost-first order;
+                // remap them to the reversed (scan-outward) step order.
+                return Some(Lowered {
+                    collection: collection.clone(),
+                    predicate: predicate.clone(),
+                    alias: alias.clone(),
+                    steps,
+                    builds,
+                    shape,
+                    project,
+                    limit,
+                });
+            }
+            _ => return None, // keyword search, graph, other joins, …
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared (read-only) join tables
+// ---------------------------------------------------------------------
+
+/// A hash-bucketed build side, probed read-only by every worker.
+struct JoinTable {
+    buckets: Vec<HashMap<String, Vec<Tuple>>>,
+}
+
+fn bucket_of(key: &str, n: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % n.max(1)
+}
+
+impl JoinTable {
+    fn get(&self, key: &str) -> Option<&Vec<Tuple>> {
+        self.buckets
+            .get(bucket_of(key, self.buckets.len()))?
+            .get(key)
+    }
+}
+
+/// Drain a build-side plan through the serial compiler, then split the
+/// keyed rows into `buckets` disjoint hash buckets in parallel. Within a
+/// key, insertion order equals the serial drain order (each key maps to
+/// exactly one bucket and builders walk the drain in order), so probe
+/// output order matches the serial hash join exactly.
+fn build_join_table(
+    ctx: &ExecContext<'_>,
+    build: &LogicalPlan,
+    right_key: &(String, String),
+    batch_size: usize,
+    buckets: usize,
+    workers: usize,
+    metrics: &mut ExecMetrics,
+) -> Result<JoinTable, ExecError> {
+    let shared: SharedMetrics = std::rc::Rc::new(std::cell::RefCell::new(ExecMetrics::default()));
+    let mut keyed: Vec<(String, Tuple)> = Vec::new();
+    let mut batches = 0u64;
+    {
+        let mut op = match crate::exec::compile(ctx, build, batch_size, &shared)? {
+            Compiled::Op {
+                op,
+                kind: Kind::Tuples,
+            } => op,
+            _ => return Err(ExecError::BadPlan("join right input must be tuples".into())),
+        };
+        while let Some(batch) = op.next_batch()? {
+            batches += 1;
+            let Batch::Tuples(tuples) = batch else {
+                return Err(ExecError::BadPlan("join right input must be tuples".into()));
+            };
+            for t in tuples {
+                let k = t.key(&right_key.0, &right_key.1);
+                if k.is_null() {
+                    continue;
+                }
+                keyed.push((k.render(), t));
+            }
+        }
+    }
+    let built = shared.borrow();
+    metrics.scan.merge(&built.scan);
+    metrics.index_lookups += built.index_lookups;
+    metrics.batches += batches;
+    let keyed = &keyed;
+    let maps = scoped_map(workers.min(buckets), (0..buckets).collect(), |b| {
+        let mut m: HashMap<String, Vec<Tuple>> = HashMap::new();
+        for (k, t) in keyed {
+            if bucket_of(k, buckets) == b {
+                m.entry(k.clone()).or_default().push(t.clone());
+            }
+        }
+        m
+    });
+    Ok(JoinTable { buckets: maps })
+}
+
+// ---------------------------------------------------------------------
+// Workers
+// ---------------------------------------------------------------------
+
+/// Everything a worker needs, shared read-only across the pool.
+struct WorkerEnv<'e> {
+    storage: &'e impliance_storage::StorageEngine,
+    low: &'e Lowered,
+    tables: &'e [JoinTable],
+    morsels: &'e [ScanMorsel],
+    request: &'e ScanRequest,
+    post_filter: Option<&'e Predicate>,
+    claim: &'e AtomicUsize,
+    stop: &'e AtomicBool,
+    deadline_hit: &'e AtomicBool,
+    deadline_at: Option<Instant>,
+    batch_size: usize,
+}
+
+/// One partition's accumulated result.
+enum PartAcc {
+    Tuples(Vec<Tuple>),
+    Groups(BTreeMap<String, (Value, Vec<AggValue>)>),
+}
+
+#[derive(Default)]
+struct WorkerOut {
+    /// `(partition, result)` pairs, reassembled in partition order at
+    /// the root.
+    parts: Vec<(usize, PartAcc)>,
+    scan: ScanMetrics,
+    pages: u64,
+    error: Option<ExecError>,
+}
+
+fn run_worker(env: &WorkerEnv<'_>) -> WorkerOut {
+    let mut out = WorkerOut::default();
+    // Per-worker adaptive chains (one per multi-conjunct filter step):
+    // the learned conjunct order persists across this worker's morsels,
+    // like the serial chain persists across batches. Conjunctions are
+    // order-independent in outcome, so reordering never changes rows.
+    let mut chains: Vec<Option<AdaptiveFilterChain>> = env
+        .low
+        .steps
+        .iter()
+        .map(|s| match s {
+            Step::Filter {
+                predicate: Predicate::And(cs),
+                ..
+            } if cs.len() > 1 => Some(AdaptiveFilterChain::new(cs.clone(), 64)),
+            _ => None,
+        })
+        .collect();
+    loop {
+        if env.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let i = env.claim.fetch_add(1, Ordering::Relaxed);
+        let Some(m) = env.morsels.get(i) else { break };
+        par_obs()
+            .queue_depth
+            .set(env.morsels.len().saturating_sub(i + 1) as i64);
+        match process_partition(env, m.partition, &mut chains, &mut out) {
+            Ok(acc) => out.parts.push((m.partition, acc)),
+            Err(e) => {
+                out.error = Some(e);
+                env.stop.store(true, Ordering::Relaxed);
+                break;
+            }
+        }
+    }
+    out
+}
+
+fn process_partition(
+    env: &WorkerEnv<'_>,
+    partition: usize,
+    chains: &mut [Option<AdaptiveFilterChain>],
+    out: &mut WorkerOut,
+) -> Result<PartAcc, ExecError> {
+    let (mut acc, top_k, keys) = match &env.low.shape {
+        Shape::GroupAgg { .. } => (PartAcc::Groups(BTreeMap::new()), None, None),
+        Shape::Sort { keys, top_k } => (PartAcc::Tuples(Vec::new()), *top_k, Some(keys)),
+        Shape::Collect => (PartAcc::Tuples(Vec::new()), None, None),
+    };
+    // Pruning threshold for the top-K sort buffer (mirrors SortOp).
+    let prune_at = top_k.map(|k| (2 * k).max(64));
+    // A streaming (Collect) partition never contributes more than the
+    // query limit: a tuple with `limit` same-partition predecessors can
+    // never reach the merged prefix, so the scan can stop early.
+    let collect_cap = match env.low.shape {
+        Shape::Collect => env.low.limit,
+        _ => None,
+    };
+    let mut pos = ScanPos::default();
+    loop {
+        if env.deadline_at.is_some_and(|d| Instant::now() >= d) {
+            env.deadline_hit.store(true, Ordering::Relaxed);
+            env.stop.store(true, Ordering::Relaxed);
+            break;
+        }
+        let (page, next, done) =
+            env.storage
+                .scan_partition_page(partition, env.request, pos, env.batch_size)?;
+        pos = next;
+        out.scan.merge(&page.metrics);
+        out.pages += 1;
+        let mut tuples: Vec<Tuple> = page
+            .documents
+            .into_iter()
+            .map(|d| Tuple::single(&env.low.alias, Arc::new(d)))
+            .collect();
+        if let Some(p) = env.post_filter {
+            tuples.retain(|t| {
+                t.bindings
+                    .get(&env.low.alias)
+                    .map(|d| p.matches(d))
+                    .unwrap_or(false)
+            });
+        }
+        for (si, step) in env.low.steps.iter().enumerate() {
+            if tuples.is_empty() {
+                break;
+            }
+            match step {
+                Step::Filter { alias, predicate } => match &mut chains[si] {
+                    Some(chain) => tuples = chain.filter(tuples, alias),
+                    None => tuples.retain(|t| {
+                        t.bindings
+                            .get(alias)
+                            .map(|d| predicate.matches(d))
+                            .unwrap_or(false)
+                    }),
+                },
+                Step::HashProbe { left_key, table } => {
+                    let Some(table) = env.tables.get(*table) else {
+                        return Err(ExecError::BadPlan("probe of unbuilt join table".into()));
+                    };
+                    let mut joined = Vec::new();
+                    for t in &tuples {
+                        let k = t.key(&left_key.0, &left_key.1);
+                        if k.is_null() {
+                            continue;
+                        }
+                        if let Some(matches) = table.get(&k.render()) {
+                            for m in matches {
+                                joined.push(t.join(m));
+                            }
+                        }
+                    }
+                    tuples = joined;
+                }
+            }
+        }
+        let mut partition_full = false;
+        match &mut acc {
+            PartAcc::Tuples(buf) => {
+                buf.extend(tuples);
+                if let (Some(cap), Some(k), Some(keys)) = (prune_at, top_k, keys) {
+                    if buf.len() > cap {
+                        sort_tuples(buf, keys);
+                        buf.truncate(k);
+                    }
+                }
+                if let Some(n) = collect_cap {
+                    if buf.len() >= n {
+                        buf.truncate(n);
+                        partition_full = true;
+                    }
+                }
+            }
+            PartAcc::Groups(groups) => {
+                if let Shape::GroupAgg { group_by, aggs } = &env.low.shape {
+                    for t in &tuples {
+                        fold_group(groups, t, group_by.as_ref(), aggs);
+                    }
+                }
+            }
+        }
+        if done || partition_full {
+            break;
+        }
+    }
+    Ok(acc)
+}
+
+// ---------------------------------------------------------------------
+// Entry point
+// ---------------------------------------------------------------------
+
+/// Try to execute `plan` with the morsel-driven pool. Returns
+/// `Ok(None)` when the plan has no parallel form (caller falls back to
+/// the serial pipeline). The returned rows are bit-identical to the
+/// serial pipeline's except for true floating-point aggregate sums (see
+/// module docs).
+pub(crate) fn try_execute_parallel(
+    ctx: &ExecContext<'_>,
+    plan: &LogicalPlan,
+    opts: &ExecutionContext,
+) -> Result<Option<(QueryOutput, ExecMetrics)>, ExecError> {
+    if opts.worker_threads <= 1 {
+        return Ok(None);
+    }
+    let Some(low) = lower(plan) else {
+        return Ok(None);
+    };
+    let morsels = ctx.storage.scan_morsels();
+    if morsels.len() < 2 {
+        return Ok(None); // one partition: nothing to fan out
+    }
+    let workers = opts.worker_threads.min(morsels.len());
+    let batch_size = opts.batch_size.max(1);
+    let deadline_at = opts.deadline.map(|d| Instant::now() + d);
+    let mut metrics = ExecMetrics::default();
+    metrics.workers_used = workers as u64;
+
+    // Build sides run serially through the normal compiler (they are the
+    // small inputs of a hash join); bucketing fans out across the pool.
+    let mut tables: Vec<JoinTable> = Vec::with_capacity(low.builds.len());
+    for (build, right_key) in &low.builds {
+        tables.push(build_join_table(
+            ctx,
+            build,
+            right_key,
+            batch_size,
+            workers,
+            workers,
+            &mut metrics,
+        )?);
+    }
+
+    let (request, post_filter) = scan_request_parts(
+        ctx.pushdown,
+        low.collection.as_deref(),
+        low.predicate.as_ref(),
+    );
+
+    let obs = par_obs();
+    obs.morsels.add(morsels.len() as u64);
+    obs.workers_used.set(workers as i64);
+
+    let claim = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let deadline_hit = AtomicBool::new(false);
+    let env = WorkerEnv {
+        storage: ctx.storage,
+        low: &low,
+        tables: &tables,
+        morsels: &morsels,
+        request: &request,
+        post_filter: post_filter.as_ref(),
+        claim: &claim,
+        stop: &stop,
+        deadline_hit: &deadline_hit,
+        deadline_at,
+        batch_size,
+    };
+    let env_ref = &env;
+    let outs: Vec<WorkerOut> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| s.spawn(move || run_worker(env_ref)))
+            .collect();
+        let mut all = Vec::with_capacity(workers);
+        for h in handles {
+            match h.join() {
+                Ok(o) => all.push(o),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        all
+    });
+    obs.queue_depth.set(0);
+
+    let mut first_error: Option<ExecError> = None;
+    let mut parts: Vec<(usize, PartAcc)> = Vec::new();
+    for o in outs {
+        metrics.scan.merge(&o.scan);
+        metrics.batches += o.pages;
+        if let Some(e) = o.error {
+            first_error.get_or_insert(e);
+        }
+        parts.extend(o.parts);
+    }
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+    if deadline_hit.load(Ordering::Relaxed) {
+        metrics.deadline_exceeded = true;
+        deadline_obs().inc();
+    }
+    // Partition-order reassembly: reproduces the serial scan sequence.
+    parts.sort_by_key(|(p, _)| *p);
+
+    let merge_started = Instant::now();
+    let mut truncated = false;
+    let output = match &low.shape {
+        Shape::Collect => {
+            let mut tuples: Vec<Tuple> = Vec::new();
+            for (_, acc) in parts {
+                if let PartAcc::Tuples(t) = acc {
+                    tuples.extend(t);
+                }
+            }
+            if let Some(n) = low.limit {
+                truncated = tuples.len() > n;
+                tuples.truncate(n);
+            }
+            finish_tuples(tuples, low.project.as_deref(), &mut metrics)
+        }
+        Shape::Sort { keys, top_k } => {
+            let mut tuples: Vec<Tuple> = Vec::new();
+            for (_, acc) in parts {
+                if let PartAcc::Tuples(t) = acc {
+                    tuples.extend(t);
+                }
+            }
+            sort_tuples(&mut tuples, keys);
+            if let Some(k) = top_k {
+                truncated = tuples.len() > *k;
+                tuples.truncate(*k);
+            }
+            finish_tuples(tuples, low.project.as_deref(), &mut metrics)
+        }
+        Shape::GroupAgg { group_by, aggs } => {
+            let mut groups: BTreeMap<String, (Value, Vec<AggValue>)> = BTreeMap::new();
+            // Merge in partition order so per-group accumulation order is
+            // deterministic regardless of worker scheduling.
+            for (_, acc) in parts {
+                let PartAcc::Groups(g) = acc else { continue };
+                for (k, (v, states)) in g {
+                    match groups.entry(k) {
+                        std::collections::btree_map::Entry::Vacant(e) => {
+                            e.insert((v, states));
+                        }
+                        std::collections::btree_map::Entry::Occupied(mut e) => {
+                            for (mine, theirs) in e.get_mut().1.iter_mut().zip(&states) {
+                                mine.merge(theirs);
+                            }
+                        }
+                    }
+                }
+            }
+            let mut rows = finish_groups(groups, group_by.as_ref(), aggs);
+            if let Some(n) = low.limit {
+                truncated = rows.len() > n;
+                rows.truncate(n);
+            }
+            metrics.rows_out = rows.len() as u64;
+            QueryOutput::Rows(rows)
+        }
+    };
+    obs.merge_us
+        .observe(merge_started.elapsed().as_micros() as u64);
+    if truncated {
+        metrics.early_terminations += 1;
+    }
+    Ok(Some((output, metrics)))
+}
+
+/// Root finisher for tuple-producing shapes: apply the residual
+/// projection (tuples → rows) or unbind documents, mirroring the serial
+/// drain loops.
+fn finish_tuples(
+    tuples: Vec<Tuple>,
+    project: Option<&[(String, String, String)]>,
+    metrics: &mut ExecMetrics,
+) -> QueryOutput {
+    metrics.rows_out = tuples.len() as u64;
+    match project {
+        Some(columns) => QueryOutput::Rows(
+            tuples
+                .iter()
+                .map(|t| {
+                    Row::from_pairs(
+                        columns
+                            .iter()
+                            .map(|(alias, path, out)| (out.clone(), t.key(alias, path))),
+                    )
+                })
+                .collect(),
+        ),
+        None => QueryOutput::Docs(
+            tuples
+                .into_iter()
+                .flat_map(|t| t.bindings.into_values().collect::<Vec<_>>())
+                .collect(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_map_preserves_input_order() {
+        let out = scoped_map(4, (0..100).collect::<Vec<usize>>(), |i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn scoped_map_single_worker_runs_inline() {
+        let out = scoped_map(1, vec![1, 2, 3], |i| i + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn bucket_of_is_stable_and_in_range() {
+        for n in 1..8 {
+            for key in ["a", "b", "c", "dd", ""] {
+                let b = bucket_of(key, n);
+                assert!(b < n);
+                assert_eq!(b, bucket_of(key, n));
+            }
+        }
+    }
+
+    #[test]
+    fn lower_rejects_unsupported_shapes() {
+        let keyword = LogicalPlan::KeywordSearch {
+            query: "x".into(),
+            path: None,
+            limit: 5,
+            alias: "d".into(),
+        };
+        assert!(lower(&keyword).is_none());
+        let graph = LogicalPlan::GraphConnect {
+            a: 1,
+            b: 2,
+            max_hops: 3,
+        };
+        assert!(lower(&graph).is_none());
+    }
+
+    #[test]
+    fn lower_collapses_limits_and_strips_project() {
+        let plan = LogicalPlan::Limit {
+            input: Box::new(LogicalPlan::Project {
+                input: Box::new(LogicalPlan::Limit {
+                    input: Box::new(LogicalPlan::Scan {
+                        collection: Some("c".into()),
+                        predicate: None,
+                        alias: "d".into(),
+                        use_value_index: false,
+                    }),
+                    n: 7,
+                }),
+                columns: vec![("d".into(), "x".into(), "x".into())],
+            }),
+            n: 10,
+        };
+        let low = lower(&plan).map(|l| (l.limit, l.project.is_some()));
+        assert_eq!(low, Some((Some(7), true)));
+    }
+}

@@ -259,6 +259,42 @@ impl StorageEngine {
     pub fn partition_count(&self) -> usize {
         self.partitions.len()
     }
+
+    /// Enumerate the engine's partitions as independent scan morsels,
+    /// largest first (longest-processing-time order, so a worker pool
+    /// claiming morsels greedily stays balanced). Each morsel is a whole
+    /// partition: pages within it must be streamed sequentially through
+    /// [`StorageEngine::scan_partition_page`], but distinct morsels are
+    /// independent.
+    pub fn scan_morsels(&self) -> Vec<ScanMorsel> {
+        let mut morsels: Vec<ScanMorsel> = self
+            .partitions
+            .iter()
+            .enumerate()
+            .map(|(partition, p)| ScanMorsel {
+                partition,
+                estimated_docs: p.read().live_docs(),
+            })
+            .collect();
+        // Descending size, partition index as the deterministic tie-break.
+        morsels.sort_by(|a, b| {
+            b.estimated_docs
+                .cmp(&a.estimated_docs)
+                .then(a.partition.cmp(&b.partition))
+        });
+        morsels
+    }
+}
+
+/// One unit of parallel scan work: a whole partition, claimed by a
+/// worker which then streams the partition's pages in order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanMorsel {
+    /// Partition index, valid for [`StorageEngine::scan_partition_page`].
+    pub partition: usize,
+    /// Live documents in the partition when enumerated (a load-balance
+    /// estimate, not a promise — ingest may land concurrently).
+    pub estimated_docs: usize,
 }
 
 /// A pull-based, batch-at-a-time scan over every partition of an engine.

@@ -34,7 +34,7 @@ pub mod pushdown;
 pub mod segment;
 pub mod stats;
 
-pub use engine::{BatchScan, StorageEngine, StorageOptions};
+pub use engine::{BatchScan, ScanMorsel, StorageEngine, StorageOptions};
 pub use error::StorageError;
 pub use partition::ScanPos;
 pub use pushdown::{

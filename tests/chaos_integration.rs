@@ -14,13 +14,27 @@ use impliance::cluster::{
     ClusterRuntime, FaultDecision, FaultSchedule, Network, NodeId, NodeKind, NodeSpec,
 };
 use impliance::docmodel::{DocId, DocumentBuilder, SourceFormat};
+use impliance::query::clock::{self, BackoffClock};
 use impliance::query::dist::{
-    dist_put_replicated, dist_scan_batched, dist_scan_resilient, DataNodeState, DistExecOptions,
-    FailoverPolicy, RetryPolicy,
+    dist_put_replicated, dist_scan_batched, dist_scan_resilient, DataNodeState, FailoverPolicy,
+    RetryPolicy,
 };
+use impliance::query::ExecutionContext;
 use impliance::storage::{ScanRequest, StorageEngine, StorageOptions};
 
 const DATA_NODES: u32 = 4;
+
+/// Retry backoff that burns no wall-clock time: chaos batteries retry
+/// hundreds of times, and the injectable clock keeps them instant.
+struct NoSleep;
+
+impl BackoffClock for NoSleep {
+    fn sleep_us(&self, _us: u64) {}
+}
+
+fn quiet_backoff() {
+    clock::install(Arc::new(NoSleep));
+}
 
 fn boot(partitions: usize) -> ClusterRuntime {
     let mut specs: Vec<NodeSpec> = (0..DATA_NODES)
@@ -67,6 +81,7 @@ fn sorted_ids(result: &impliance::storage::ScanResult) -> Vec<u64> {
 /// exactly the fault-free row set, with failovers actually exercised.
 #[test]
 fn killed_node_with_drops_returns_fault_free_row_set() {
+    quiet_backoff();
     let rt = boot(3);
     ingest(&rt, 160);
 
@@ -99,11 +114,57 @@ fn killed_node_with_drops_returns_fault_free_row_set() {
     );
 }
 
+/// Pooled morsel resolution: with `worker_threads = 4` the coordinator
+/// resolves node/partition morsels on a scoped pool, but per-morsel
+/// retry jitter is salted by (node, partition) — not by scheduling — so
+/// a chaotic pooled scan still returns the exact fault-free row set.
+#[test]
+fn pooled_resilient_scan_returns_fault_free_row_set_under_faults() {
+    quiet_backoff();
+    let rt = boot(3);
+    ingest(&rt, 120);
+
+    let request = ScanRequest::full();
+    let opts = ExecutionContext {
+        batch_size: 8,
+        retry: RetryPolicy {
+            max_attempts: 8,
+            ..RetryPolicy::default()
+        },
+        failover: Some(FailoverPolicy::ring(&rt.nodes_of_kind(NodeKind::Data))),
+        ..ExecutionContext::default()
+    }
+    .parallelism(4);
+    let baseline = dist_scan_resilient(&rt, &request, &opts).expect("pooled fault-free scan");
+    assert!(baseline.coverage.is_complete());
+    assert_eq!(sorted_ids(&baseline.result).len(), 120);
+
+    let victim = rt.nodes_of_kind(NodeKind::Data)[1];
+    let coord = NodeId(u32::MAX);
+    let sched = Arc::new(FaultSchedule::new(0x0001_ED55));
+    sched.drop_link(coord, victim, 0.15);
+    sched.drop_link(victim, coord, 0.15);
+    sched.kill_after(victim, 10);
+    rt.network().install_faults(sched);
+
+    let chaotic = dist_scan_resilient(&rt, &request, &opts).expect("pooled chaotic scan");
+    rt.network().clear_faults();
+
+    assert_eq!(
+        sorted_ids(&chaotic.result),
+        sorted_ids(&baseline.result),
+        "pooled scan under kill + 15% drop equals the fault-free row set"
+    );
+    assert!(!chaotic.degraded);
+    assert!(chaotic.coverage.is_complete());
+}
+
 /// Without a deadline but with `degraded_ok`, a dead node whose replicas
 /// are reachable still yields a complete result; the coverage report must
 /// agree with itself either way (total = scanned + failed_over + skipped).
 #[test]
 fn coverage_report_accounting_is_exact_under_kill() {
+    quiet_backoff();
     let rt = boot(2);
     ingest(&rt, 80);
 
@@ -112,12 +173,11 @@ fn coverage_report_accounting_is_exact_under_kill() {
     sched.kill_after(victim, 10);
     rt.network().install_faults(sched);
 
-    let opts = DistExecOptions {
+    let opts = ExecutionContext {
         batch_size: 4,
-        retry: RetryPolicy::default(),
         failover: Some(FailoverPolicy::ring(&rt.nodes_of_kind(NodeKind::Data))),
-        deadline: None,
         degraded_ok: true,
+        ..ExecutionContext::default()
     };
     let scan = dist_scan_resilient(&rt, &ScanRequest::full(), &opts).expect("resilient scan");
     rt.network().clear_faults();
@@ -147,13 +207,14 @@ fn coverage_report_accounting_is_exact_under_kill() {
 /// skipped partition; without it, a typed timeout error — never a panic.
 #[test]
 fn exhausted_deadline_degrades_honestly_or_errors() {
+    quiet_backoff();
     let rt = boot(2);
     ingest(&rt, 40);
 
-    let degraded_opts = DistExecOptions {
+    let degraded_opts = ExecutionContext {
         deadline: Some(Duration::ZERO),
         degraded_ok: true,
-        ..DistExecOptions::default()
+        ..ExecutionContext::default()
     };
     let scan =
         dist_scan_resilient(&rt, &ScanRequest::full(), &degraded_opts).expect("degraded result");
@@ -169,10 +230,10 @@ fn exhausted_deadline_degrades_honestly_or_errors() {
         "a partial row count comes with an incomplete coverage report"
     );
 
-    let strict_opts = DistExecOptions {
+    let strict_opts = ExecutionContext {
         deadline: Some(Duration::ZERO),
         degraded_ok: false,
-        ..DistExecOptions::default()
+        ..ExecutionContext::default()
     };
     let err = dist_scan_resilient(&rt, &ScanRequest::full(), &strict_opts)
         .expect_err("strict mode surfaces the deadline");
@@ -243,15 +304,15 @@ proptest! {
         kill_after in 9u64..60,
         seed in any::<u64>(),
     ) {
+        quiet_backoff();
         let rt = boot(2);
         ingest(&rt, docs);
         let request = ScanRequest::full();
-        let opts = DistExecOptions {
+        let opts = ExecutionContext {
             batch_size: 4,
             retry: RetryPolicy { max_attempts: 8, ..RetryPolicy::default() },
             failover: Some(FailoverPolicy::ring(&rt.nodes_of_kind(NodeKind::Data))),
-            deadline: None,
-            degraded_ok: false,
+            ..ExecutionContext::default()
         };
         let baseline = dist_scan_resilient(&rt, &request, &opts).expect("fault-free scan");
         prop_assert!(baseline.coverage.is_complete());

@@ -1,0 +1,341 @@
+//! Property tests for morsel-driven parallel execution: for random
+//! corpora and plans, `worker_threads ∈ {1, 2, 8}` all return exactly
+//! the same rows, in the same order, at every batch size. The parallel
+//! path is a pure speedup — partition-order reassembly at the root must
+//! reproduce the serial tuple sequence bit-for-bit (sums here are
+//! integer-derived, so even aggregate rows are exact).
+
+use proptest::prelude::*;
+
+use impliance::docmodel::{DocId, DocumentBuilder, SourceFormat, Value};
+use impliance::index::{InvertedIndex, JoinIndex, PathValueIndex};
+use impliance::query::{
+    execute_plan_opts, AggItem, ExecContext, ExecutionContext, JoinAlgo, LogicalPlan, QueryOutput,
+    SortKey,
+};
+use impliance::storage::{AggFunc, Predicate, StorageEngine, StorageOptions};
+
+/// Debug builds run ~10x slower; scale case counts so `cargo test` stays
+/// fast while `--release` runs the full battery.
+const fn cases(release: u32) -> u32 {
+    if cfg!(debug_assertions) {
+        release / 8 + 4
+    } else {
+        release
+    }
+}
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+const BATCH_SIZES: [usize; 2] = [1, 64];
+
+struct Fixture {
+    storage: StorageEngine,
+    text: InvertedIndex,
+    values: PathValueIndex,
+    joins: JoinIndex,
+}
+
+impl Fixture {
+    fn new(partitions: usize, seal: usize) -> Fixture {
+        Fixture {
+            storage: StorageEngine::new(StorageOptions {
+                partitions,
+                seal_threshold: seal,
+                compression: true,
+                encryption_key: None,
+            }),
+            text: InvertedIndex::new(4),
+            values: PathValueIndex::new(),
+            joins: JoinIndex::new(),
+        }
+    }
+
+    fn put(&self, doc: &impliance::docmodel::Document) {
+        self.storage.put(doc).unwrap();
+        self.values.index_document(doc);
+    }
+
+    fn ctx(&self) -> ExecContext<'_> {
+        ExecContext {
+            storage: &self.storage,
+            text_index: &self.text,
+            value_index: &self.values,
+            join_index: &self.joins,
+            pushdown: true,
+        }
+    }
+}
+
+fn scan(collection: &str) -> LogicalPlan {
+    LogicalPlan::Scan {
+        collection: Some(collection.to_string()),
+        predicate: None,
+        alias: collection.to_string(),
+        use_value_index: false,
+    }
+}
+
+/// Render an output in a batch-size-independent but order-sensitive way.
+fn render(out: &QueryOutput) -> Vec<String> {
+    match out {
+        QueryOutput::Rows(rows) => rows.iter().map(|r| r.render()).collect(),
+        QueryOutput::Docs(docs) => docs.iter().map(|d| format!("{}", d.id().0)).collect(),
+        QueryOutput::Path(p) => vec![format!("{p:?}")],
+    }
+}
+
+/// Assert that every (workers × batch_size) combination renders exactly
+/// the serial (workers = 1) result, and that the parallel path actually
+/// reports multiple workers when the store has multiple partitions.
+fn assert_equivalent(f: &Fixture, plan: &LogicalPlan, label: &str) {
+    let serial = {
+        let opts = ExecutionContext::with_batch_size(BATCH_SIZES[0]);
+        render(&execute_plan_opts(&f.ctx(), plan, &opts).unwrap().0)
+    };
+    for workers in WORKER_COUNTS {
+        for bs in BATCH_SIZES {
+            let opts = ExecutionContext::with_batch_size(bs).parallelism(workers);
+            let (out, metrics) = execute_plan_opts(&f.ctx(), plan, &opts).unwrap();
+            assert_eq!(
+                render(&out),
+                serial,
+                "{label}: workers {workers} batch_size {bs} diverged from serial"
+            );
+            assert!(
+                metrics.workers_used >= 1,
+                "{label}: workers_used not reported"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(24)))]
+
+    // Scan + filter + project: the bread-and-butter streaming shape.
+    #[test]
+    fn parallel_filter_project_equals_serial(
+        amounts in proptest::collection::vec(0i64..100, 1..80),
+        threshold in 0i64..100,
+        partitions in 2usize..6,
+        seal in 4usize..32,
+    ) {
+        let f = Fixture::new(partitions, seal);
+        for (i, a) in amounts.iter().enumerate() {
+            f.put(
+                &DocumentBuilder::new(DocId(i as u64), SourceFormat::Json, "c")
+                    .field("amount", *a)
+                    .build(),
+            );
+        }
+        let plan = LogicalPlan::Project {
+            input: Box::new(LogicalPlan::Filter {
+                input: Box::new(scan("c")),
+                alias: "c".into(),
+                predicate: Predicate::Ge("amount".into(), Value::Int(threshold)),
+            }),
+            columns: vec![("c".into(), "amount".into(), "amount".into())],
+        };
+        assert_equivalent(&f, &plan, "filter_project");
+    }
+
+    // Multi-conjunct filters go through the per-worker adaptive chains;
+    // conjunctions are order-independent, so rows must not change.
+    #[test]
+    fn parallel_adaptive_filter_chain_equals_serial(
+        pairs in proptest::collection::vec((0i64..50, 0i64..50), 1..80),
+        lo in 0i64..50,
+        hi in 0i64..50,
+    ) {
+        let f = Fixture::new(3, 8);
+        for (i, (a, b)) in pairs.iter().enumerate() {
+            f.put(
+                &DocumentBuilder::new(DocId(i as u64), SourceFormat::Json, "c")
+                    .field("a", *a)
+                    .field("b", *b)
+                    .build(),
+            );
+        }
+        let plan = LogicalPlan::Filter {
+            input: Box::new(scan("c")),
+            alias: "c".into(),
+            predicate: Predicate::And(vec![
+                Predicate::Ge("a".into(), Value::Int(lo)),
+                Predicate::Le("b".into(), Value::Int(hi)),
+            ]),
+        };
+        assert_equivalent(&f, &plan, "adaptive_filter");
+    }
+
+    // Partitioned group/aggregate with a merge phase: integer-derived
+    // sums and counts merge exactly.
+    #[test]
+    fn parallel_group_agg_equals_serial(
+        rows in proptest::collection::vec((0u8..5, 0i64..100), 0..80),
+        partitions in 2usize..6,
+    ) {
+        let f = Fixture::new(partitions, 8);
+        for (i, (tag, amount)) in rows.iter().enumerate() {
+            f.put(
+                &DocumentBuilder::new(DocId(i as u64), SourceFormat::Json, "c")
+                    .field("tag", format!("t{tag}"))
+                    .field("amount", *amount)
+                    .build(),
+            );
+        }
+        let plan = LogicalPlan::GroupAgg {
+            input: Box::new(scan("c")),
+            group_by: Some(("c".into(), "tag".into())),
+            aggs: vec![
+                AggItem { func: AggFunc::Sum, operand: Some("amount".into()), output: "total".into() },
+                AggItem { func: AggFunc::Count, operand: None, output: "n".into() },
+                AggItem { func: AggFunc::Min, operand: Some("amount".into()), output: "lo".into() },
+                AggItem { func: AggFunc::Max, operand: Some("amount".into()), output: "hi".into() },
+            ],
+        };
+        assert_equivalent(&f, &plan, "group_agg");
+    }
+
+    // All three join algorithms: hash joins take the partitioned
+    // build/probe path; sort-merge and indexed-NL must fall back to the
+    // serial pipeline and still answer identically.
+    #[test]
+    fn parallel_joins_equal_serial(
+        left_keys in proptest::collection::vec(0i64..5, 1..30),
+        right_keys in proptest::collection::vec(0i64..5, 1..30),
+    ) {
+        let f = Fixture::new(3, 8);
+        for (i, k) in left_keys.iter().enumerate() {
+            f.put(
+                &DocumentBuilder::new(DocId(i as u64), SourceFormat::Json, "l")
+                    .field("k", *k)
+                    .build(),
+            );
+        }
+        for (i, k) in right_keys.iter().enumerate() {
+            f.put(
+                &DocumentBuilder::new(DocId(1000 + i as u64), SourceFormat::Json, "r")
+                    .field("k", *k)
+                    .build(),
+            );
+        }
+        for algo in [JoinAlgo::Hash, JoinAlgo::SortMerge, JoinAlgo::IndexedNestedLoop] {
+            let plan = LogicalPlan::Join {
+                left: Box::new(scan("l")),
+                right: Box::new(scan("r")),
+                left_key: ("l".into(), "k".into()),
+                right_key: ("r".into(), "k".into()),
+                algo,
+            };
+            assert_equivalent(&f, &plan, &format!("join_{algo:?}"));
+        }
+    }
+
+    // Filter over a hash join (the probe side carries a residual filter
+    // step) — exercises the multi-step morsel chain.
+    #[test]
+    fn parallel_filter_over_join_equals_serial(
+        left in proptest::collection::vec((0i64..4, 0i64..50), 1..40),
+        right_keys in proptest::collection::vec(0i64..4, 1..20),
+        threshold in 0i64..50,
+    ) {
+        let f = Fixture::new(3, 8);
+        for (i, (k, v)) in left.iter().enumerate() {
+            f.put(
+                &DocumentBuilder::new(DocId(i as u64), SourceFormat::Json, "l")
+                    .field("k", *k)
+                    .field("v", *v)
+                    .build(),
+            );
+        }
+        for (i, k) in right_keys.iter().enumerate() {
+            f.put(
+                &DocumentBuilder::new(DocId(1000 + i as u64), SourceFormat::Json, "r")
+                    .field("k", *k)
+                    .build(),
+            );
+        }
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Join {
+                left: Box::new(scan("l")),
+                right: Box::new(scan("r")),
+                left_key: ("l".into(), "k".into()),
+                right_key: ("r".into(), "k".into()),
+                algo: JoinAlgo::Hash,
+            }),
+            alias: "l".into(),
+            predicate: Predicate::Ge("v".into(), Value::Int(threshold)),
+        };
+        assert_equivalent(&f, &plan, "filter_over_join");
+    }
+
+    // Sort + limit: per-worker top-K buffers merged by one stable root
+    // sort must reproduce the serial order, including ties.
+    #[test]
+    fn parallel_sort_limit_equals_serial(
+        amounts in proptest::collection::vec(0i64..50, 1..80),
+        n in 1usize..20,
+        descending in any::<bool>(),
+        partitions in 2usize..6,
+    ) {
+        let f = Fixture::new(partitions, 8);
+        for (i, a) in amounts.iter().enumerate() {
+            f.put(
+                &DocumentBuilder::new(DocId(i as u64), SourceFormat::Json, "c")
+                    .field("x", *a) // deliberately non-unique: ties matter
+                    .build(),
+            );
+        }
+        let plan = LogicalPlan::Project {
+            input: Box::new(LogicalPlan::Limit {
+                input: Box::new(LogicalPlan::Sort {
+                    input: Box::new(scan("c")),
+                    keys: vec![SortKey { alias: "c".into(), path: "x".into(), descending }],
+                }),
+                n,
+            }),
+            columns: vec![("c".into(), "x".into(), "x".into())],
+        };
+        assert_equivalent(&f, &plan, "sort_limit");
+    }
+
+    // Request-level limit on a bare scan: the merged prefix must equal
+    // the serial prefix exactly (partition-order concatenation).
+    #[test]
+    fn parallel_request_limit_prefix_equals_serial(
+        amounts in proptest::collection::vec(0i64..100, 1..80),
+        n in 0usize..90,
+        partitions in 2usize..6,
+    ) {
+        let f = Fixture::new(partitions, 8);
+        for (i, a) in amounts.iter().enumerate() {
+            f.put(
+                &DocumentBuilder::new(DocId(i as u64), SourceFormat::Json, "c")
+                    .field("amount", *a)
+                    .build(),
+            );
+        }
+        let plan = scan("c");
+        let serial = {
+            let opts = ExecutionContext { limit: Some(n), ..ExecutionContext::with_batch_size(1) };
+            render(&execute_plan_opts(&f.ctx(), &plan, &opts).unwrap().0)
+        };
+        for workers in WORKER_COUNTS {
+            for bs in BATCH_SIZES {
+                let opts = ExecutionContext {
+                    limit: Some(n),
+                    ..ExecutionContext::with_batch_size(bs)
+                }
+                .parallelism(workers);
+                let (out, m) = execute_plan_opts(&f.ctx(), &plan, &opts).unwrap();
+                prop_assert_eq!(out.len(), n.min(amounts.len()));
+                prop_assert_eq!(m.rows_out as usize, out.len());
+                prop_assert_eq!(
+                    render(&out),
+                    serial.clone(),
+                    "workers {} batch_size {}", workers, bs
+                );
+            }
+        }
+    }
+}

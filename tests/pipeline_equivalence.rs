@@ -8,7 +8,7 @@ use proptest::prelude::*;
 use impliance::docmodel::{DocId, DocumentBuilder, SourceFormat, Value};
 use impliance::index::{InvertedIndex, JoinIndex, PathValueIndex};
 use impliance::query::{
-    execute_plan_opts, AggItem, ExecContext, ExecOptions, JoinAlgo, LogicalPlan, QueryOutput,
+    execute_plan_opts, AggItem, ExecContext, ExecutionContext, JoinAlgo, LogicalPlan, QueryOutput,
     SortKey,
 };
 use impliance::storage::{AggFunc, Predicate, StorageEngine, StorageOptions};
@@ -73,10 +73,10 @@ fn scan(collection: &str) -> LogicalPlan {
 }
 
 fn run(f: &Fixture, plan: &LogicalPlan, batch_size: usize) -> QueryOutput {
-    let opts = ExecOptions {
+    let opts = ExecutionContext {
         batch_size,
         limit: None,
-        ..ExecOptions::default()
+        ..ExecutionContext::default()
     };
     execute_plan_opts(&f.ctx(), plan, &opts).unwrap().0
 }
@@ -285,7 +285,7 @@ proptest! {
         let plan = scan("c");
         let unlimited = render(&run(&f, &plan, 7));
         for bs in BATCH_SIZES {
-            let opts = ExecOptions { batch_size: bs, limit: Some(n), ..ExecOptions::default() };
+            let opts = ExecutionContext { batch_size: bs, limit: Some(n), ..ExecutionContext::default() };
             let (out, m) = execute_plan_opts(&f.ctx(), &plan, &opts).unwrap();
             prop_assert_eq!(out.len(), n.min(amounts.len()));
             prop_assert_eq!(m.rows_out as usize, out.len());
