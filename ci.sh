@@ -29,8 +29,21 @@ cargo clippy --workspace --all-targets -q -- \
   -D clippy::unimplemented \
   -D clippy::await_holding_lock
 
-echo "==> impliance-analysis check (L1-L8 invariants, ratcheted)"
-cargo run -q -p impliance-analysis -- check
+# --verify-baseline doubles as the drift gate: it fails if a fresh scan
+# disagrees with the committed lint_baseline.json in either direction
+# (i.e. if --update-baseline would change the file). The golden JSON
+# report is drift-gated byte-for-byte by the fixture_scan test above.
+# Interprocedural analysis (L9-L12) must also stay cheap: budget the
+# whole-workspace run at 10s wall clock so the gate never becomes the
+# slow part of CI.
+echo "==> impliance-analysis check (L1-L12 invariants, ratcheted + drift gate)"
+analysis_start=$(date +%s)
+cargo run -q -p impliance-analysis -- check --verify-baseline
+analysis_elapsed=$(( $(date +%s) - analysis_start ))
+if [ "$analysis_elapsed" -gt 10 ]; then
+  echo "FAIL: impliance-analysis took ${analysis_elapsed}s (budget: 10s)" >&2
+  exit 1
+fi
 
 # The chaos suite: seeded fault schedules (node kills, message drops,
 # deadlines) against the resilient distributed executor. Runs in release

@@ -130,6 +130,7 @@ mod tests {
             signature: sig.into(),
             message: "m".into(),
             suggestion: "s".into(),
+            witness: Vec::new(),
         }
     }
 

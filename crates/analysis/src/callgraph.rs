@@ -1,0 +1,277 @@
+//! The workspace call graph: nodes are parsed `fn` items (ids =
+//! [`crate::symbols::SymbolTable`] indexes), edges are resolved call
+//! sites. Provides the reachability queries behind L9 and L11 and the
+//! witness-path reconstruction serialized into `analysis_report.json`.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use crate::report::Json;
+use crate::symbols::SymbolTable;
+
+/// One resolved call edge.
+#[derive(Clone, Copy, Debug)]
+pub struct Edge {
+    /// Callee fn id.
+    pub to: usize,
+    /// 1-based line of the call site in the caller's file.
+    pub line: u32,
+}
+
+/// Adjacency-list call graph over a [`SymbolTable`].
+#[derive(Debug)]
+pub struct CallGraph {
+    /// `edges[caller]` -> resolved callees (deduped, first call line kept).
+    pub edges: Vec<Vec<Edge>>,
+}
+
+impl CallGraph {
+    /// Resolve every call site in the table into edges.
+    pub fn build(table: &SymbolTable) -> CallGraph {
+        let mut edges: Vec<Vec<Edge>> = vec![Vec::new(); table.fns.len()];
+        for (caller, def) in table.fns.iter().enumerate() {
+            let owner = def.item.owner.as_deref();
+            let mut seen: Vec<usize> = Vec::new();
+            for call in &def.item.calls {
+                for &to in table.resolve(
+                    &call.callee,
+                    call.qualifier.as_deref(),
+                    call.is_method,
+                    call.is_macro,
+                    owner,
+                ) {
+                    if to != caller && !seen.contains(&to) {
+                        seen.push(to);
+                        edges[caller].push(Edge {
+                            to,
+                            line: call.line,
+                        });
+                    }
+                }
+            }
+        }
+        CallGraph { edges }
+    }
+
+    /// BFS from `entries` over non-test nodes; returns a parent map
+    /// (`parent[n] = Some((pred, call line))`, entries map to `None` but
+    /// are marked visited). Test fns are never entered.
+    pub fn reach_from(
+        &self,
+        table: &SymbolTable,
+        entries: &[usize],
+    ) -> Vec<Option<Option<(usize, u32)>>> {
+        let mut state: Vec<Option<Option<(usize, u32)>>> = vec![None; self.edges.len()];
+        let mut queue = VecDeque::new();
+        for &e in entries {
+            if table.fns[e].item.is_test || state[e].is_some() {
+                continue;
+            }
+            state[e] = Some(None);
+            queue.push_back(e);
+        }
+        while let Some(n) = queue.pop_front() {
+            for edge in &self.edges[n] {
+                if state[edge.to].is_none() && !table.fns[edge.to].item.is_test {
+                    state[edge.to] = Some(Some((n, edge.line)));
+                    queue.push_back(edge.to);
+                }
+            }
+        }
+        state
+    }
+
+    /// For each node, the next hop on a shortest path to any node in
+    /// `targets` (following call edges forward). `targets` themselves get
+    /// `Some(None)`; unreachable nodes get `None`. Used by L11 to extend
+    /// a witness from a guarded call down to the blocking sink.
+    pub fn next_hop_to(&self, targets: &[bool]) -> Vec<Option<Option<(usize, u32)>>> {
+        // reverse adjacency
+        let mut rev: Vec<Vec<Edge>> = vec![Vec::new(); self.edges.len()];
+        for (from, outs) in self.edges.iter().enumerate() {
+            for e in outs {
+                rev[e.to].push(Edge {
+                    to: from,
+                    line: e.line,
+                });
+            }
+        }
+        let mut state: Vec<Option<Option<(usize, u32)>>> = vec![None; self.edges.len()];
+        let mut queue = VecDeque::new();
+        for (n, &is_target) in targets.iter().enumerate() {
+            if is_target {
+                state[n] = Some(None);
+                queue.push_back(n);
+            }
+        }
+        while let Some(n) = queue.pop_front() {
+            for edge in &rev[n] {
+                if state[edge.to].is_none() {
+                    // from edge.to, the next hop toward a target is n
+                    state[edge.to] = Some(Some((n, edge.line)));
+                    queue.push_back(edge.to);
+                }
+            }
+        }
+        state
+    }
+
+    /// Render the entry-point witness path for node `n` from a
+    /// [`CallGraph::reach_from`] parent map: entry first, `n` last, each
+    /// step as `file:line fn_name` (line = the fn item for the entry, the
+    /// call site for each hop).
+    pub fn witness(
+        &self,
+        table: &SymbolTable,
+        parents: &[Option<Option<(usize, u32)>>],
+        n: usize,
+    ) -> Vec<String> {
+        let mut chain: Vec<(usize, Option<u32>)> = Vec::new();
+        let mut cur = n;
+        let mut hop_line: Option<u32> = None;
+        loop {
+            chain.push((cur, hop_line));
+            match parents.get(cur).and_then(|s| s.as_ref()) {
+                Some(Some((pred, line))) => {
+                    hop_line = Some(*line);
+                    cur = *pred;
+                }
+                Some(None) => break,
+                None => break, // not reachable; render what we have
+            }
+        }
+        chain.reverse();
+        chain
+            .iter()
+            .map(|&(id, call_line)| {
+                let def = &table.fns[id];
+                // the entry step anchors at its fn item; later steps at the
+                // call site in the *caller*, which reads naturally as "this
+                // fn, entered from line N of the previous file"
+                let line = call_line.unwrap_or(def.item.line);
+                format!("{}:{} {}", def.file, line, def.item.qual_name())
+            })
+            .collect()
+    }
+
+    /// Serialize nodes + edges for `analysis_report.json`.
+    pub fn to_json(&self, table: &SymbolTable) -> Json {
+        let nodes: Vec<Json> = table
+            .fns
+            .iter()
+            .enumerate()
+            .map(|(id, def)| {
+                let mut obj = BTreeMap::new();
+                obj.insert("id".to_string(), Json::Num(id as f64));
+                obj.insert("fn".to_string(), Json::Str(def.item.qual_name()));
+                obj.insert("file".to_string(), Json::Str(def.file.clone()));
+                obj.insert("line".to_string(), Json::Num(def.item.line as f64));
+                if def.item.is_test {
+                    obj.insert("test".to_string(), Json::Bool(true));
+                }
+                if let Some(t) = &def.item.trait_name {
+                    obj.insert("trait".to_string(), Json::Str(t.clone()));
+                }
+                Json::Obj(obj)
+            })
+            .collect();
+        // edges as [from, to, line] triples — compact, deterministic
+        let mut edge_rows: Vec<Json> = Vec::new();
+        for (from, outs) in self.edges.iter().enumerate() {
+            for e in outs {
+                edge_rows.push(Json::Arr(vec![
+                    Json::Num(from as f64),
+                    Json::Num(e.to as f64),
+                    Json::Num(e.line as f64),
+                ]));
+            }
+        }
+        let mut obj = BTreeMap::new();
+        obj.insert("nodes".to_string(), Json::Arr(nodes));
+        obj.insert("edges".to_string(), Json::Arr(edge_rows));
+        Json::Obj(obj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+
+    fn graph(src: &str) -> (SymbolTable, CallGraph) {
+        let table = SymbolTable::build(vec![parse_file("a.rs", src)]);
+        let graph = CallGraph::build(&table);
+        (table, graph)
+    }
+
+    #[test]
+    fn reachability_and_witness_paths() {
+        let src = r#"
+            impl Impliance { pub fn query(&self) { step_one(); } }
+            fn step_one() { step_two(); }
+            fn step_two() { boom(); }
+            fn boom() {}
+            fn unrelated() {}
+        "#;
+        let (table, graph) = graph(src);
+        let entries = table.matching("query", Some("Impliance"), None);
+        let parents = graph.reach_from(&table, &entries);
+        let boom = table.matching("boom", None, None)[0];
+        let unrelated = table.matching("unrelated", None, None)[0];
+        assert!(parents[boom].is_some());
+        assert!(parents[unrelated].is_none());
+        let witness = graph.witness(&table, &parents, boom);
+        assert_eq!(witness.len(), 4);
+        assert!(witness[0].ends_with("Impliance::query"));
+        assert!(witness[3].ends_with("boom"));
+    }
+
+    #[test]
+    fn test_fns_block_reachability() {
+        let src = r#"
+            impl Impliance { pub fn query(&self) { helper(); } }
+            #[cfg(test)]
+            mod tests {
+                fn helper() { boom(); }
+            }
+            fn boom() {}
+        "#;
+        let (table, graph) = graph(src);
+        let entries = table.matching("query", Some("Impliance"), None);
+        let parents = graph.reach_from(&table, &entries);
+        let boom = table.matching("boom", None, None)[0];
+        assert!(
+            parents[boom].is_none(),
+            "path through a test fn must not count"
+        );
+    }
+
+    #[test]
+    fn next_hop_points_toward_sink() {
+        let src = r#"
+            fn a() { b(); }
+            fn b() { c(); }
+            fn c() {}
+            fn d() {}
+        "#;
+        let (table, graph) = graph(src);
+        let c = table.matching("c", None, None)[0];
+        let a = table.matching("a", None, None)[0];
+        let d = table.matching("d", None, None)[0];
+        let mut targets = vec![false; table.fns.len()];
+        targets[c] = true;
+        let hops = graph.next_hop_to(&targets);
+        assert!(hops[a].is_some());
+        assert!(hops[c].is_some());
+        assert!(hops[d].is_none());
+        // walking hops from a reaches c
+        let mut cur = a;
+        let mut steps = 0;
+        while let Some(Some((next, _))) = hops[cur] {
+            cur = next;
+            steps += 1;
+            assert!(steps < 10);
+        }
+        assert_eq!(cur, c);
+    }
+}

@@ -3,10 +3,14 @@
 //! Two halves:
 //!
 //! * **Static invariant linter** ([`lints`], [`baseline`], [`report`]) —
-//!   enforces the L1-L7 workspace invariants over a self-contained lexer
+//!   enforces the L1-L12 workspace invariants over a self-contained lexer
 //!   ([`lexer`]), with pre-existing debt ratcheted through
-//!   `lint_baseline.json`. Run it with
-//!   `cargo run -p impliance-analysis -- check`.
+//!   `lint_baseline.json`. L1-L8 are per-file token-stream lints; L9-L12
+//!   are interprocedural, built on a lightweight item parser
+//!   ([`parser`]), a workspace symbol table ([`symbols`]) and a call
+//!   graph ([`callgraph`]) with witness paths (see [`iplints`]). Run it
+//!   with `cargo run -p impliance-analysis -- check`, or
+//!   `-- explain L9` for any lint's rationale and heuristics.
 //! * **Runtime lock-order detector** ([`locks`]) — [`TrackedMutex`] /
 //!   [`TrackedRwLock`] wrappers that, in debug builds, maintain a global
 //!   acquired-before graph and panic with the offending cycle on
@@ -18,14 +22,23 @@
 //! reviewers; this crate is that machine.
 
 pub mod baseline;
+pub mod callgraph;
+pub mod iplints;
 pub mod lexer;
 pub mod lints;
 pub mod locks;
+pub mod parser;
 pub mod report;
+pub mod symbols;
 
 pub use baseline::{Baseline, BASELINE_FILE};
-pub use lints::{collect_sources, lint_source, lint_workspace, LintConfig};
+pub use callgraph::CallGraph;
+pub use iplints::{EntrySpec, Workspace};
+pub use lints::{
+    analyze_workspace, collect_sources, lint_source, lint_workspace, LintConfig, WorkspaceAnalysis,
+};
 #[cfg(debug_assertions)]
 pub use locks::reset_lock_order_graph_for_tests;
 pub use locks::{TrackedMutex, TrackedRwLock};
 pub use report::{Diagnostic, Json, LintId};
+pub use symbols::SymbolTable;

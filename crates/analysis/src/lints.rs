@@ -12,6 +12,11 @@
 //! | L7 | no `unwrap()` / `expect()` on cluster `submit_to`/`transmit` chains in the resilient distributed executor — test code included |
 //! | L8 | no raw `std::thread::spawn` in the query crate outside the morsel worker pool (`parallel.rs`) |
 //!
+//! The interprocedural invariants L9-L12 live in [`crate::iplints`] on
+//! top of the call graph ([`crate::parser`] -> [`crate::symbols`] ->
+//! [`crate::callgraph`]); [`analyze_workspace`] runs both halves and
+//! finalizes the combined diagnostics deterministically.
+//!
 //! The analysis is lexical (the environment has no `syn`), which buys
 //! simplicity and zero dependencies at the cost of heuristics that are
 //! documented on each lint below. Every finding can be suppressed with a
@@ -56,6 +61,15 @@ pub struct LintConfig {
     pub l8_prefixes: Vec<String>,
     /// Files exempt from L8 (the worker pool implementation itself).
     pub l8_exempt: Vec<String>,
+    /// L9 entry points: panic sites transitively reachable from these
+    /// fns (outside test code) are findings.
+    pub l9_entries: Vec<crate::iplints::EntrySpec>,
+    /// Files whose loops are hot paths for L10 in addition to every
+    /// `Operator::next_batch` impl (the morsel worker pool).
+    pub l10_worker_files: Vec<String>,
+    /// Workspace-relative design document holding the Observability
+    /// section that L12 checks metric names against.
+    pub l12_design_doc: String,
 }
 
 impl LintConfig {
@@ -85,6 +99,13 @@ impl LintConfig {
             l7_files: vec!["crates/query/src/dist.rs".into()],
             l8_prefixes: vec!["crates/query/src/".into()],
             l8_exempt: vec!["crates/query/src/parallel.rs".into()],
+            l9_entries: vec![
+                crate::iplints::EntrySpec::method("Impliance", "query"),
+                crate::iplints::EntrySpec::trait_impl("Operator", "next_batch"),
+                crate::iplints::EntrySpec::free("dist_scan_resilient"),
+            ],
+            l10_worker_files: vec!["crates/query/src/parallel.rs".into()],
+            l12_design_doc: "DESIGN.md".into(),
         }
     }
 
@@ -174,15 +195,85 @@ pub fn lint_source(config: &LintConfig, rel_path: &str, source: &str) -> Vec<Dia
     diags
 }
 
-/// Run the full scan over the workspace.
+/// Run the full scan over the workspace (diagnostics only; see
+/// [`analyze_workspace`] for the call graph as well).
 pub fn lint_workspace(config: &LintConfig) -> std::io::Result<Vec<Diagnostic>> {
+    Ok(analyze_workspace(config)?.diagnostics)
+}
+
+/// The full result of a workspace scan: finalized diagnostics plus the
+/// interprocedural index they were computed over.
+pub struct WorkspaceAnalysis {
+    /// All findings across L1-L12, sorted by `(file, line, lint id)`
+    /// and deduped (see [`finalize_diagnostics`]).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Parsed + indexed workspace, for call-graph serialization.
+    pub workspace: crate::iplints::Workspace,
+}
+
+/// Run the per-file lints (L1-L8) and the interprocedural passes
+/// (L9-L12) over the workspace.
+pub fn analyze_workspace(config: &LintConfig) -> std::io::Result<WorkspaceAnalysis> {
     let mut diags = Vec::new();
+    let mut inputs = Vec::new();
     for rel in collect_sources(config) {
         let path = config.root.join(&rel);
         let source = std::fs::read_to_string(&path)?;
         diags.extend(lint_source(config, &rel, &source));
+        inputs.push((rel, source));
     }
-    Ok(diags)
+    let workspace = crate::iplints::Workspace::build(inputs);
+    diags.extend(crate::iplints::lint_graph(config, &workspace));
+    diags.extend(crate::iplints::lint_l12(config, &workspace));
+    finalize_diagnostics(&mut diags);
+    Ok(WorkspaceAnalysis {
+        diagnostics: diags,
+        workspace,
+    })
+}
+
+/// Deterministic output contract: stable sort by `(file, line, lint
+/// id)`, drop exact duplicates, and apply the cross-lint precedence
+/// rules — when two lints describe the same underlying hazard at the
+/// same site, the more specific one wins:
+///
+/// * L1 (panic in hot-path crate) beats L9 (panic reachable from an
+///   entry point) at the same `(file, line)`;
+/// * L4 (guard across channel op, intra-procedural) beats L11 (guard
+///   across transitively-blocking call) at the same `(file, line)`.
+pub fn finalize_diagnostics(diags: &mut Vec<Diagnostic>) {
+    use std::collections::HashSet;
+    let occupied: HashSet<(LintId, String, u32)> = diags
+        .iter()
+        .map(|d| (d.id, d.file.clone(), d.line))
+        .collect();
+    diags.retain(|d| {
+        let shadowed_by = match d.id {
+            LintId::L9 => Some(LintId::L1),
+            LintId::L11 => Some(LintId::L4),
+            _ => None,
+        };
+        !shadowed_by.is_some_and(|winner| occupied.contains(&(winner, d.file.clone(), d.line)))
+    });
+    diags.sort_by(|a, b| {
+        (
+            a.file.as_str(),
+            a.line,
+            a.id,
+            a.signature.as_str(),
+            a.message.as_str(),
+        )
+            .cmp(&(
+                b.file.as_str(),
+                b.line,
+                b.id,
+                b.signature.as_str(),
+                b.message.as_str(),
+            ))
+    });
+    diags.dedup_by(|a, b| {
+        a.id == b.id && a.file == b.file && a.line == b.line && a.signature == b.signature
+    });
 }
 
 // ---------------------------------------------------------------------
@@ -256,6 +347,7 @@ impl<'a> FileContext<'a> {
             signature: self.signature(line),
             message,
             suggestion: suggestion.to_string(),
+            witness: Vec::new(),
         }
     }
 }

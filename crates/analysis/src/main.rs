@@ -3,22 +3,29 @@
 //! ```text
 //! cargo run -p impliance-analysis -- check                    # gate: fail on NEW violations
 //! cargo run -p impliance-analysis -- check --update-baseline  # re-ratchet after intentional changes
+//! cargo run -p impliance-analysis -- check --verify-baseline  # CI drift gate: fail if the ratchet is stale
 //! cargo run -p impliance-analysis -- check --json-out out.json --root /path/to/ws
+//! cargo run -p impliance-analysis -- explain L9               # rationale + heuristics for a lint
 //! ```
 //!
 //! Exit codes: 0 = clean (all findings covered by the baseline), 1 = new
-//! violations, 2 = usage or I/O error.
+//! violations (or baseline drift under `--verify-baseline`), 2 = usage or
+//! I/O error.
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use impliance_analysis::report::{count_by_key, Json};
-use impliance_analysis::{lint_workspace, Baseline, Diagnostic, LintConfig, LintId};
+use impliance_analysis::{analyze_workspace, Baseline, Diagnostic, LintConfig, LintId, Workspace};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: impliance-analysis check [--update-baseline] [--root DIR] [--json-out FILE]\n\
+        "usage: impliance-analysis check [--update-baseline] [--verify-baseline] [--root DIR] [--json-out FILE]\n\
+         \x20      impliance-analysis explain <L1..L12>\n\
+         \n\
+         check    scan the workspace, gate on NEW violations vs lint_baseline.json\n\
+         explain  print a lint's rationale, detection heuristics, and suppression syntax\n\
          \n\
          Enforced invariants:\n\
          {}",
@@ -30,18 +37,42 @@ fn usage() -> ExitCode {
     ExitCode::from(2)
 }
 
+fn explain(id: LintId) -> ExitCode {
+    println!("{id}: {}\n", id.description());
+    println!("Why it matters:\n{}\n", id.rationale());
+    println!("How it is detected:\n{}\n", id.heuristics());
+    println!("Suppression:\n{}", id.suppression());
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut update_baseline = false;
+    let mut verify_baseline = false;
     let mut root: Option<PathBuf> = None;
     let mut json_out: Option<PathBuf> = None;
     let mut command: Option<String> = None;
+    let mut explain_id: Option<LintId> = None;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "check" if command.is_none() => command = Some("check".into()),
+            "explain" if command.is_none() => {
+                command = Some("explain".into());
+                match iter.next().and_then(|s| LintId::parse(s)) {
+                    Some(id) => explain_id = Some(id),
+                    None => {
+                        eprintln!(
+                            "impliance-analysis: explain takes a lint id (L1..L{})",
+                            LintId::ALL.len()
+                        );
+                        return usage();
+                    }
+                }
+            }
             "--update-baseline" => update_baseline = true,
+            "--verify-baseline" => verify_baseline = true,
             "--root" => match iter.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => return usage(),
@@ -57,20 +88,27 @@ fn main() -> ExitCode {
             _ => return usage(),
         }
     }
-    if command.as_deref() != Some("check") {
+    match command.as_deref() {
+        Some("explain") => return explain(explain_id.expect("parsed above")),
+        Some("check") => {}
+        _ => return usage(),
+    }
+    if update_baseline && verify_baseline {
+        eprintln!("impliance-analysis: --update-baseline and --verify-baseline are exclusive");
         return usage();
     }
 
     let root = root.unwrap_or_else(find_workspace_root);
     let config = LintConfig::impliance(&root);
 
-    let diags = match lint_workspace(&config) {
-        Ok(d) => d,
+    let analysis = match analyze_workspace(&config) {
+        Ok(a) => a,
         Err(e) => {
             eprintln!("impliance-analysis: scan failed: {e}");
             return ExitCode::from(2);
         }
     };
+    let diags = &analysis.diagnostics;
 
     let baseline = match Baseline::load(&root) {
         Ok(b) => b,
@@ -81,7 +119,7 @@ fn main() -> ExitCode {
     };
 
     if update_baseline {
-        let fresh = Baseline::from_diagnostics(&diags);
+        let fresh = Baseline::from_diagnostics(diags);
         let (old_total, new_total) = (baseline.total(), fresh.total());
         if let Err(e) = fresh.save(&root) {
             eprintln!("impliance-analysis: writing baseline: {e}");
@@ -94,16 +132,59 @@ fn main() -> ExitCode {
             new_total,
             fresh.entries.len()
         );
-        write_report(&root, json_out, &diags, &[], &fresh);
+        write_report(&root, json_out, diags, &[], &fresh, &analysis.workspace);
         return ExitCode::SUCCESS;
     }
 
-    let (covered, fresh) = baseline.partition(&diags);
+    if verify_baseline {
+        // CI drift gate: the committed ratchet must be exactly what
+        // `--update-baseline` would write now. A stale baseline hides
+        // paid-down debt (the ratchet stops ratcheting).
+        let fresh = Baseline::from_diagnostics(diags);
+        if fresh.entries != baseline.entries {
+            let fresh_keys: std::collections::BTreeSet<_> = fresh.entries.keys().collect();
+            let old_keys: std::collections::BTreeSet<_> = baseline.entries.keys().collect();
+            eprintln!("FAIL: lint_baseline.json is stale (ratchet drift):");
+            for k in old_keys.difference(&fresh_keys) {
+                eprintln!("  no longer needed: {k}");
+            }
+            for k in fresh_keys.difference(&old_keys) {
+                eprintln!("  missing entry:    {k}");
+            }
+            for (k, v) in &fresh.entries {
+                if let Some(old) = baseline.entries.get(k) {
+                    if old != v {
+                        eprintln!("  count changed:    {k} ({old} -> {v})");
+                    }
+                }
+            }
+            eprintln!(
+                "run `cargo run -p impliance-analysis -- check --update-baseline` and \
+                 commit the diff"
+            );
+            return ExitCode::from(1);
+        }
+        println!(
+            "baseline verified: {} allowed findings ({} keys) match the committed ratchet",
+            baseline.total(),
+            baseline.entries.len()
+        );
+        // fall through to the normal gate as well
+    }
 
-    let report_path = write_report(&root, json_out, &diags, &fresh, &baseline);
+    let (covered, fresh) = baseline.partition(diags);
+
+    let report_path = write_report(
+        &root,
+        json_out,
+        diags,
+        &fresh,
+        &baseline,
+        &analysis.workspace,
+    );
 
     let mut per_lint: BTreeMap<LintId, usize> = BTreeMap::new();
-    for d in &diags {
+    for d in diags {
         *per_lint.entry(d.id).or_insert(0) += 1;
     }
     println!(
@@ -139,7 +220,8 @@ fn main() -> ExitCode {
             "\nFAIL: {} new violation(s). Fix them, annotate with \
              `// impliance-lint: allow(Lx)` and a justification, or (for intentional \
              additions) run `cargo run -p impliance-analysis -- check --update-baseline` \
-             and commit the diff.",
+             and commit the diff. `cargo run -p impliance-analysis -- explain <Lx>` \
+             prints each lint's rationale and heuristics.",
             fresh.len()
         );
         ExitCode::from(1)
@@ -165,13 +247,15 @@ fn find_workspace_root() -> PathBuf {
     }
 }
 
-/// Emit `analysis_report.json` (machine-readable mirror of the run).
+/// Emit `analysis_report.json` (machine-readable mirror of the run,
+/// including the serialized call graph and per-finding witness paths).
 fn write_report(
     root: &std::path::Path,
     json_out: Option<PathBuf>,
     diags: &[Diagnostic],
     fresh: &[&Diagnostic],
     baseline: &Baseline,
+    workspace: &Workspace,
 ) -> Option<PathBuf> {
     let path = json_out.unwrap_or_else(|| root.join("analysis_report.json"));
 
@@ -183,6 +267,12 @@ fn write_report(
         obj.insert("signature".to_string(), Json::Str(d.signature.clone()));
         obj.insert("message".to_string(), Json::Str(d.message.clone()));
         obj.insert("suggestion".to_string(), Json::Str(d.suggestion.clone()));
+        if !d.witness.is_empty() {
+            obj.insert(
+                "witness".to_string(),
+                Json::Arr(d.witness.iter().map(|s| Json::Str(s.clone())).collect()),
+            );
+        }
         Json::Obj(obj)
     };
 
@@ -206,7 +296,7 @@ fn write_report(
         "tool".to_string(),
         Json::Str("impliance-analysis".to_string()),
     );
-    doc.insert("version".to_string(), Json::Num(1.0));
+    doc.insert("version".to_string(), Json::Num(2.0));
     doc.insert("totals".to_string(), Json::Obj(totals));
     doc.insert(
         "new_violations".to_string(),
@@ -215,6 +305,10 @@ fn write_report(
     doc.insert(
         "diagnostics".to_string(),
         Json::Arr(diags.iter().map(diag_json).collect()),
+    );
+    doc.insert(
+        "callgraph".to_string(),
+        workspace.graph.to_json(&workspace.table),
     );
     doc.insert(
         "invariants".to_string(),

@@ -34,11 +34,30 @@ pub enum LintId {
     /// pool (`parallel.rs`) — ad-hoc threads escape the worker accounting,
     /// panic propagation, and queue-depth observability of `scoped_map`.
     L8,
+    /// Panic-reachability: no `unwrap()` / `expect()` / `panic!` /
+    /// `unreachable!` in non-test code transitively reachable from the
+    /// public entry points (`Impliance::query`, `Operator::next_batch`
+    /// impls, `dist_scan_resilient`) over the workspace call graph.
+    L9,
+    /// Hot-loop allocation: no allocating calls (`Vec::new`, `vec!`,
+    /// `format!`, `.clone()`, `.to_vec()`, `.to_string()`,
+    /// `String::from`) inside loops in operator `next_batch` bodies or
+    /// the morsel worker loops (`parallel.rs`).
+    L10,
+    /// Interprocedural guard-across-blocking: no `Mutex`/`RwLock` guard
+    /// live across a call whose callee transitively reaches
+    /// `Network::transmit`, a channel `recv`, or `BackoffClock::sleep`.
+    L11,
+    /// Metrics drift: every metric name literal recorded via the
+    /// `impliance-obs` registry must be documented in DESIGN.md's
+    /// Observability section, and every concrete documented name must be
+    /// recorded somewhere in the workspace.
+    L12,
 }
 
 impl LintId {
     /// All lints, in order.
-    pub const ALL: [LintId; 8] = [
+    pub const ALL: [LintId; 12] = [
         LintId::L1,
         LintId::L2,
         LintId::L3,
@@ -47,6 +66,10 @@ impl LintId {
         LintId::L6,
         LintId::L7,
         LintId::L8,
+        LintId::L9,
+        LintId::L10,
+        LintId::L11,
+        LintId::L12,
     ];
 
     /// Stable string form (`"L1"`...).
@@ -60,6 +83,10 @@ impl LintId {
             LintId::L6 => "L6",
             LintId::L7 => "L7",
             LintId::L8 => "L8",
+            LintId::L9 => "L9",
+            LintId::L10 => "L10",
+            LintId::L11 => "L11",
+            LintId::L12 => "L12",
         }
     }
 
@@ -74,6 +101,10 @@ impl LintId {
             "L6" => Some(LintId::L6),
             "L7" => Some(LintId::L7),
             "L8" => Some(LintId::L8),
+            "L9" => Some(LintId::L9),
+            "L10" => Some(LintId::L10),
+            "L11" => Some(LintId::L11),
+            "L12" => Some(LintId::L12),
             _ => None,
         }
     }
@@ -100,7 +131,186 @@ impl LintId {
                 "no raw std::thread::spawn in the query crate outside the morsel worker pool \
                  (parallel.rs)"
             }
+            LintId::L9 => {
+                "no unwrap()/expect()/panic!/unreachable! transitively reachable from the \
+                 public entry points (Impliance::query, Operator::next_batch, \
+                 dist_scan_resilient)"
+            }
+            LintId::L10 => {
+                "no allocating calls (Vec::new/vec!/format!/.clone()/.to_vec()/.to_string()/\
+                 String::from) inside loops in operator next_batch bodies or the morsel \
+                 worker loops"
+            }
+            LintId::L11 => {
+                "no Mutex/RwLock guard live across a call whose callee transitively reaches \
+                 Network::transmit, a channel recv, or BackoffClock::sleep"
+            }
+            LintId::L12 => {
+                "every metric name recorded via impliance-obs must be documented in \
+                 DESIGN.md's Observability section, and vice versa"
+            }
         }
+    }
+
+    /// Why the invariant exists — the paragraph `explain <Lx>` prints.
+    pub fn rationale(&self) -> &'static str {
+        match self {
+            LintId::L1 => {
+                "The storage/query/index/cluster/core crates are the appliance's hot path; a \
+                 panic there aborts a worker mid-query and (under the morsel pool) takes the \
+                 whole pipeline down. Errors must be values on the hot path."
+            }
+            LintId::L2 => {
+                "Every byte the simulated cluster moves must be charged to the Network \
+                 accounting layer, or the bench numbers lie. Raw channel sends and \
+                 thread::sleep bypass both the byte ledger and simulated time."
+            }
+            LintId::L3 => {
+                "Cluster simulations replay seeded fault schedules; reading the wall clock \
+                 makes replays diverge between hosts and turns deterministic chaos tests \
+                 into flakes."
+            }
+            LintId::L4 => {
+                "A lock guard held across a channel send/recv couples the lock's critical \
+                 section to the channel's latency and is the classic shape of the \
+                 guard-across-await deadlock family."
+            }
+            LintId::L5 => {
+                "Library output flows through impliance-obs so harnesses emit \
+                 machine-readable streams; a stray println! corrupts golden stdout and is \
+                 invisible to library consumers."
+            }
+            LintId::L6 => {
+                "The batched executor's whole point is streaming: a call back into the \
+                 materializing compatibility helpers silently re-buffers the input and \
+                 defeats LIMIT early termination."
+            }
+            LintId::L7 => {
+                "Chaos schedules make cluster calls fail on purpose; an unwrap on a \
+                 submit_to/transmit chain converts an injected, recoverable fault into a \
+                 panic — in tests too, which must assert on degraded outcomes."
+            }
+            LintId::L8 => {
+                "The morsel pool owns worker accounting, queue-depth gauges, and panic \
+                 re-raising; raw thread::spawn creates threads invisible to all of it and \
+                 can silently swallow panics via detached handles."
+            }
+            LintId::L9 => {
+                "The paper's self-managing appliance promise (§4) means no input may crash \
+                 the box: any panic site transitively reachable from Impliance::query, an \
+                 Operator::next_batch impl, or dist_scan_resilient is a denial-of-service \
+                 bug waiting for the right input. L1 checks single files in hot-path \
+                 crates; L9 follows the call graph into every crate."
+            }
+            LintId::L10 => {
+                "BENCH_parallel.json blames the per-tuple interpreted loop for parallel \
+                 scan running at 0.72x serial: each allocation in a next_batch or worker \
+                 loop is a malloc per tuple per batch. Hot loops must reuse buffers; \
+                 allocate once outside the loop."
+            }
+            LintId::L11 => {
+                "Holding a Mutex/RwLock guard across a call that (transitively) blocks on \
+                 Network::transmit, a channel recv, or a backoff sleep serializes every \
+                 other thread on that lock behind simulated network latency. L4 sees only \
+                 one function body; L11 follows callees across the call graph."
+            }
+            LintId::L12 => {
+                "With no DBA watching, the appliance explains itself through its metrics — \
+                 so DESIGN.md's Observability section is the contract. An undocumented \
+                 metric is invisible to operators; a documented-but-dead metric is a lie \
+                 dashboards will be built on."
+            }
+        }
+    }
+
+    /// How the lint decides — heuristics and known approximations.
+    pub fn heuristics(&self) -> &'static str {
+        match self {
+            LintId::L1 => {
+                "Lexical scan of non-test tokens in configured hot-path crates for \
+                 `.unwrap(` / `.expect(` / `panic!`. #[cfg(test)] modules and #[test] fns \
+                 are excluded."
+            }
+            LintId::L2 => {
+                "Per function body: a `.send(`/`.try_send(` is flagged unless a \
+                 `transmit(` call appears earlier in the same body; `::sleep(` always \
+                 flags. The Network impl itself is exempt via config."
+            }
+            LintId::L3 => {
+                "Flags `Instant::now` / `SystemTime::now` tokens in cluster-scoped files \
+                 outside the clock exemptions."
+            }
+            LintId::L4 => {
+                "Tracks `let g = x.lock()/read()/write();` bindings per body; the guard \
+                 dies at drop(g) or scope end. Chained temporaries (`x.lock().len()`) are \
+                 not guards. Guards smuggled through helper returns are missed (see L11 \
+                 for the interprocedural case)."
+            }
+            LintId::L5 => {
+                "Flags print-family macro tokens in library files; binaries (main.rs, \
+                 src/bin/), the bench/analysis crates, and test code are exempt."
+            }
+            LintId::L6 => {
+                "Flags `ops::*(`/`joins::*(` qualified calls and `collect_*(` helpers \
+                 inside the streaming executor core files; definitions (`fn collect_*`) \
+                 and test code pass."
+            }
+            LintId::L7 => {
+                "Follows the direct method chain rooted at submit_to/submit_to_kind/\
+                 map_kind/transmit; an unwrap/expect anywhere in the chain flags. A result \
+                 bound first and unwrapped later is out of scope (caught by L1/L9)."
+            }
+            LintId::L8 => {
+                "Flags `thread::spawn(` tokens in query-crate files outside parallel.rs; \
+                 scoped `s.spawn(` and test code pass."
+            }
+            LintId::L9 => {
+                "Builds a workspace call graph from a lightweight item parser (fn/impl/\
+                 trait items over the lexer). Calls resolve by qualified path \
+                 (`Type::name`) when present, else by bare name; receiver types are \
+                 unknown, so method calls resolve to every workspace method of that name \
+                 (over-approximate) except a fixed list of ubiquitous std-colliding names \
+                 like get/len/push/insert/iter/next/clone (under-approximate, documented \
+                 in symbols.rs). Panic sites in reachable non-test fns are flagged, each \
+                 with an entry-point witness path. Calls through function pointers, \
+                 trait objects with renamed methods, and macros-generated fns are missed."
+            }
+            LintId::L10 => {
+                "Scope: `next_batch` bodies in `impl Operator for ..` blocks plus every \
+                 fn in the configured worker-loop files (parallel.rs). Within loop bodies \
+                 (for/while/loop brace spans), flags Vec::new/String::from qualified \
+                 calls, vec!/format! macros, and .clone()/.to_vec()/.to_string() method \
+                 calls. Allocations hidden behind helper calls are not followed."
+            }
+            LintId::L11 => {
+                "Reuses the L4 guard-liveness heuristic to find calls made with a guard \
+                 live, then asks the call graph whether any resolved callee transitively \
+                 reaches a blocking sink (`transmit`, `.recv(`/`.recv_timeout(`, \
+                 `BackoffClock::sleep` / clock `.sleep(`). Each finding carries the \
+                 guard-site -> callee -> sink witness path. Same resolution \
+                 approximations as L9; a finding L4 already reports on the same line is \
+                 deduped in favour of L4."
+            }
+            LintId::L12 => {
+                "Collects string literals passed directly to `.counter(\"..\")` / \
+                 `.gauge(\"..\")` / `.histogram(\"..\")` in non-test code, and parses \
+                 DESIGN.md's Observability section for backticked metric names \
+                 (`a.{b,c}.d` brace sets expand; `<seg>` segments are wildcards that \
+                 match any recorded segment and are exempt from the dead-metric \
+                 direction). Dynamically formatted metric names are invisible to the \
+                 recorded side — document them with a wildcard."
+            }
+        }
+    }
+
+    /// Suppression syntax for `explain <Lx>`.
+    pub fn suppression(&self) -> String {
+        format!(
+            "// impliance-lint: allow({id})  — on (or the line before) the flagged line, \
+             with a justification; pre-existing debt ratchets via lint_baseline.json \
+             (`check --update-baseline`)",
+            id = self.as_str()
+        )
     }
 }
 
@@ -125,6 +335,10 @@ pub struct Diagnostic {
     pub message: String,
     /// Suggested fix.
     pub suggestion: String,
+    /// For interprocedural findings (L9/L11): the call chain from an
+    /// entry point (or guard site) to the offending call, rendered as
+    /// `file:line fn_name` steps. Empty for single-function lints.
+    pub witness: Vec<String>,
 }
 
 impl Diagnostic {
@@ -135,13 +349,37 @@ impl Diagnostic {
         format!("{}:{}:{}", self.id, self.file, self.signature)
     }
 
-    /// `file:line: [Lx] message (suggestion)` — the human rendering.
+    /// `file:line: [Lx] message (suggestion)` — the human rendering,
+    /// with the witness path (when present) as indented steps.
     pub fn render(&self) -> String {
-        format!(
+        let mut out = format!(
             "{}:{}: [{}] {}\n    suggestion: {}",
             self.file, self.line, self.id, self.message, self.suggestion
-        )
+        );
+        if !self.witness.is_empty() {
+            out.push_str("\n    witness:");
+            for step in &self.witness {
+                out.push_str("\n      -> ");
+                out.push_str(step);
+            }
+        }
+        out
     }
+}
+
+/// Parse `impliance-lint: allow(L1)` / `allow(L1, L4)` out of a comment.
+/// Shared by the lexical lint pass and the interprocedural parser.
+pub fn parse_allow(comment: &str) -> Option<Vec<LintId>> {
+    let marker = "impliance-lint:";
+    let rest = &comment[comment.find(marker)? + marker.len()..];
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix("allow(")?;
+    let inner = &rest[..rest.find(')')?];
+    let ids: Vec<LintId> = inner
+        .split(',')
+        .filter_map(|part| LintId::parse(part.trim()))
+        .collect();
+    (!ids.is_empty()).then_some(ids)
 }
 
 /// Aggregate findings keyed for the ratchet: key -> occurrence count.
@@ -469,6 +707,7 @@ mod tests {
             signature: "foo().unwrap()".into(),
             message: "m".into(),
             suggestion: "s".into(),
+            witness: Vec::new(),
         };
         let mut b = a.clone();
         b.line = 99;

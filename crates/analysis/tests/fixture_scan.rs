@@ -23,6 +23,19 @@ fn fixture_trips_each_invariant_exactly_once() {
     assert_eq!(count(LintId::L4), 1, "diags: {diags:?}");
     assert_eq!(count(LintId::L7), 1, "diags: {diags:?}");
     assert_eq!(count(LintId::L8), 1, "diags: {diags:?}");
+    assert_eq!(count(LintId::L9), 1, "diags: {diags:?}");
+    assert_eq!(count(LintId::L10), 1, "diags: {diags:?}");
+    assert_eq!(count(LintId::L11), 1, "diags: {diags:?}");
+    assert_eq!(count(LintId::L12), 2, "diags: {diags:?}");
+
+    // deterministic output contract: sorted by (file, line, lint id)
+    let keys: Vec<(&str, u32, LintId)> = diags
+        .iter()
+        .map(|d| (d.file.as_str(), d.line, d.id))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "diagnostics are sorted");
 
     // negative cases: the allowed unwrap and the test-module unwrap are
     // not reported, so L1 has exactly the one flagged line
@@ -68,6 +81,77 @@ fn fixture_trips_each_invariant_exactly_once() {
         "L8 anchors on the raw spawn: {}",
         l8.signature
     );
+
+    // L9: the unwrap in the docmodel crate (outside the L1 prefixes) is
+    // flagged at the panic site, with a witness path from the entry point
+    let l9 = diags
+        .iter()
+        .find(|d| d.id == LintId::L9)
+        .expect("an L9 diag");
+    assert_eq!(l9.file, "crates/docmodel/src/shred.rs");
+    assert!(
+        l9.message.contains("Impliance::query"),
+        "L9 names the entry point: {}",
+        l9.message
+    );
+    assert!(
+        l9.witness
+            .first()
+            .is_some_and(|s| s.contains("Impliance::query")),
+        "witness starts at the entry: {:?}",
+        l9.witness
+    );
+    assert!(
+        l9.witness.last().is_some_and(|s| s.contains("unwrap")),
+        "witness ends at the panic site: {:?}",
+        l9.witness
+    );
+
+    // L10: the clone inside the operator pull loop only — the identical
+    // clone in the non-operator helper stays silent
+    let l10 = diags
+        .iter()
+        .find(|d| d.id == LintId::L10)
+        .expect("an L10 diag");
+    assert_eq!(l10.file, "crates/query/src/fold.rs");
+    assert!(
+        l10.message.contains("FoldOp::next_batch"),
+        "L10 names the operator impl: {}",
+        l10.message
+    );
+
+    // L11: the guard held across the transitively-blocking call, with a
+    // witness walking down to the transmit sink
+    let l11 = diags
+        .iter()
+        .find(|d| d.id == LintId::L11)
+        .expect("an L11 diag");
+    assert_eq!(l11.file, "crates/cluster/src/gossip.rs");
+    assert!(
+        l11.message.contains("`guard`") && l11.message.contains("Network::transmit"),
+        "L11 names the guard and the sink: {}",
+        l11.message
+    );
+    assert!(
+        l11.witness.iter().any(|s| s.contains("flush_round")),
+        "witness includes the intermediate callee: {:?}",
+        l11.witness
+    );
+
+    // L12 fires in both directions: the undocumented recorded metric at
+    // its call site, the dead documented metric at its DESIGN.md line
+    let l12: Vec<_> = diags.iter().filter(|d| d.id == LintId::L12).collect();
+    assert!(
+        l12.iter()
+            .any(|d| d.file == "crates/annotate/src/obs_hooks.rs"
+                && d.message.contains("fixture.annotate.phantom_hits")),
+        "undocumented recorded metric: {l12:?}"
+    );
+    assert!(
+        l12.iter()
+            .any(|d| d.file == "DESIGN.md" && d.message.contains("fixture.dead.gauge")),
+        "documented-but-dead metric: {l12:?}"
+    );
 }
 
 #[test]
@@ -84,7 +168,7 @@ fn checker_binary_fails_on_fixture_with_golden_report() {
         .output()
         .expect("run checker binary");
 
-    // non-zero exit: the fixture has no baseline, so all 6 findings are new
+    // non-zero exit: the fixture has no baseline, so all 11 findings are new
     assert_eq!(
         output.status.code(),
         Some(1),
@@ -92,9 +176,15 @@ fn checker_binary_fails_on_fixture_with_golden_report() {
         String::from_utf8_lossy(&output.stderr)
     );
     let stderr = String::from_utf8_lossy(&output.stderr);
-    for id in ["[L1]", "[L2]", "[L3]", "[L4]", "[L7]", "[L8]"] {
+    for id in [
+        "[L1]", "[L2]", "[L3]", "[L4]", "[L7]", "[L8]", "[L9]", "[L10]", "[L11]", "[L12]",
+    ] {
         assert!(stderr.contains(id), "stderr names {id}: {stderr}");
     }
+    assert!(
+        stderr.contains("witness:"),
+        "interprocedural findings render their witness path: {stderr}"
+    );
 
     // the JSON report matches the committed golden byte-for-byte (both are
     // produced by the same deterministic pretty-printer)
@@ -106,13 +196,39 @@ fn checker_binary_fails_on_fixture_with_golden_report() {
     assert_eq!(got, golden, "report drifted from tests/golden_report.json");
     let _ = std::fs::remove_file(&out_path);
 
-    // and it parses back
+    // and it parses back, with the serialized call graph and the witness
+    // arrays for the interprocedural findings
     let doc = parse_json(&got).expect("valid json");
     let new = doc
         .get("totals")
         .and_then(|t| t.get("new"))
         .and_then(|n| n.as_f64());
-    assert_eq!(new, Some(6.0));
+    assert_eq!(new, Some(11.0));
+    let nodes = doc
+        .get("callgraph")
+        .and_then(|g| g.get("nodes"))
+        .and_then(|n| n.as_arr())
+        .expect("callgraph.nodes");
+    assert!(!nodes.is_empty(), "call graph has nodes");
+    let edges = doc
+        .get("callgraph")
+        .and_then(|g| g.get("edges"))
+        .and_then(|n| n.as_arr())
+        .expect("callgraph.edges");
+    assert!(!edges.is_empty(), "call graph has edges");
+    let diags = doc
+        .get("diagnostics")
+        .and_then(|d| d.as_arr())
+        .expect("diagnostics array");
+    for want in ["L9", "L11"] {
+        let with_witness = diags.iter().any(|d| {
+            d.get("id").and_then(|i| i.as_str()) == Some(want)
+                && d.get("witness")
+                    .and_then(|w| w.as_arr())
+                    .is_some_and(|w| !w.is_empty())
+        });
+        assert!(with_witness, "{want} finding carries a witness path");
+    }
 }
 
 #[test]

@@ -1,0 +1,20 @@
+//! Fixture: metrics drift in both directions (L12). One recorded metric
+//! is missing from DESIGN.md's Observability section; one documented
+//! metric is never recorded. The documented + recorded pair and the
+//! test-only recording must stay silent.
+
+pub fn record_scan(obs: &Obs, docs: u64) {
+    obs.counter("fixture.annotate.docs_scanned").add(docs);
+    obs.counter("fixture.annotate.phantom_hits").add(1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_metrics_are_exempt() {
+        let obs = Obs::default();
+        obs.counter("fixture.test_only.count").add(1);
+    }
+}

@@ -1,0 +1,28 @@
+//! Fixture: a lock guard live across a call whose callee transitively
+//! reaches `Network::transmit` (L11). The guard-free sibling and the
+//! drop-before-call path must stay silent.
+
+pub struct Gossiper {
+    state: Mutex<u64>,
+    net: Network,
+}
+
+impl Gossiper {
+    pub fn broadcast(&self) {
+        let guard = self.state.lock();
+        self.flush_round(*guard);
+        drop(guard);
+    }
+
+    pub fn broadcast_safely(&self) {
+        let round = {
+            let guard = self.state.lock();
+            *guard
+        };
+        self.flush_round(round);
+    }
+
+    fn flush_round(&self, round: u64) {
+        self.net.transmit(0, 1, round);
+    }
+}

@@ -1,0 +1,27 @@
+//! Fixture: a hot-loop allocation inside an `Operator::next_batch`
+//! impl (L10). The identical clone in the non-operator helper and the
+//! allocation outside the loop must stay silent.
+
+pub struct FoldOp {
+    buffered: Vec<String>,
+}
+
+impl Operator for FoldOp {
+    fn next_batch(&mut self) -> Option<Vec<String>> {
+        let mut out = Vec::new();
+        for row in self.buffered.iter() {
+            out.push(row.clone());
+        }
+        Some(out)
+    }
+}
+
+impl FoldOp {
+    pub fn snapshot(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for row in self.buffered.iter() {
+            out.push(row.clone());
+        }
+        out
+    }
+}

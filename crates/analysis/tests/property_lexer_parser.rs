@@ -1,0 +1,248 @@
+//! Property battery for the lexer and the item parser: the analysis
+//! front end must never panic on malformed input (it runs over whatever
+//! is on disk, mid-edit), and every span it reports must be usable as a
+//! diagnostic anchor (1-based, in-bounds, monotonically ordered).
+
+use proptest::prelude::*;
+
+use impliance_analysis::lexer::lex;
+use impliance_analysis::parser::parse_file;
+
+/// Upper bound on a 1-based line number in `source`.
+fn max_line(source: &str) -> u32 {
+    source.split('\n').count() as u32
+}
+
+/// Rust-ish fragment soup: tokens, openers without closers, unterminated
+/// strings and comments, raw strings, lifetimes — glued in random order
+/// so the lexer sees every unbalanced shape an editor buffer can hold.
+fn rustish_soup() -> impl Strategy<Value = String> {
+    let fragment = prop_oneof![
+        Just("fn ".to_string()),
+        Just("impl ".to_string()),
+        Just("trait ".to_string()),
+        Just("for ".to_string()),
+        Just("let ".to_string()),
+        Just("{".to_string()),
+        Just("}".to_string()),
+        Just("(".to_string()),
+        Just(")".to_string()),
+        Just("\"unterminated".to_string()),
+        Just("\"closed\"".to_string()),
+        Just("r#\"raw".to_string()),
+        Just("\"#".to_string()),
+        Just("r##\"nested\"#\"##".to_string()),
+        Just("// line comment\n".to_string()),
+        Just("/* block".to_string()),
+        Just("/* nested /* deeper */".to_string()),
+        Just("*/".to_string()),
+        Just("'a".to_string()),
+        Just("'x'".to_string()),
+        Just("'\\n'".to_string()),
+        Just("::".to_string()),
+        Just(".".to_string()),
+        Just("!".to_string()),
+        Just("#[cfg(test)]".to_string()),
+        Just("=>".to_string()),
+        Just("\n".to_string()),
+        Just(" ".to_string()),
+        Just("\t".to_string()),
+        "[a-zA-Z_][a-zA-Z0-9_]{0,8}",
+        "[0-9]{1,6}",
+    ];
+    proptest::collection::vec(fragment, 0..80).prop_map(|v| v.concat())
+}
+
+/// Arbitrary bytes forced into a string: exercises lossy-UTF-8
+/// replacement chars and multi-byte boundaries.
+fn byte_soup() -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<u8>(), 0..256)
+        .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+fn assert_lex_invariants(source: &str) {
+    let lexed = lex(source);
+    let bound = max_line(source);
+    let mut prev = 1u32;
+    for tok in &lexed.tokens {
+        prop_assert!(
+            !tok.text.is_empty(),
+            "empty token text at line {}",
+            tok.line
+        );
+        prop_assert!(
+            tok.line >= 1 && tok.line <= bound,
+            "token line {} out of 1..={bound} for {:?}",
+            tok.line,
+            tok.text
+        );
+        prop_assert!(
+            tok.line >= prev,
+            "token lines went backwards: {} after {prev}",
+            tok.line
+        );
+        prev = tok.line;
+    }
+    let mut prev = 1u32;
+    for c in &lexed.comments {
+        prop_assert!(
+            c.line >= 1 && c.end_line <= bound && c.line <= c.end_line,
+            "comment span {}..{} out of 1..={bound}",
+            c.line,
+            c.end_line
+        );
+        prop_assert!(c.line >= prev, "comment lines went backwards");
+        prev = c.line;
+    }
+}
+
+fn assert_parse_invariants(source: &str) {
+    let parsed = parse_file("soup.rs", source);
+    let bound = max_line(source);
+    for f in &parsed.fns {
+        prop_assert!(!f.name.is_empty(), "fn with empty name");
+        prop_assert!(
+            f.line >= 1 && f.line <= bound,
+            "fn {} line {} out of 1..={bound}",
+            f.name,
+            f.line
+        );
+        for call in &f.calls {
+            prop_assert!(
+                call.line >= 1 && call.line <= bound,
+                "call {} line {} out of 1..={bound}",
+                call.callee,
+                call.line
+            );
+            prop_assert!(call.loop_depth < 64, "absurd loop depth");
+            for g in &call.guards {
+                prop_assert!(
+                    g.line >= 1 && g.line <= bound && g.line <= call.line,
+                    "guard {} span {} vs call at {}",
+                    g.name,
+                    g.line,
+                    call.line
+                );
+            }
+        }
+    }
+    for site in &parsed.metric_sites {
+        prop_assert!(site.line >= 1 && site.line <= bound);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn lexer_never_panics_on_rustish_soup(src in rustish_soup()) {
+        assert_lex_invariants(&src);
+    }
+
+    #[test]
+    fn lexer_never_panics_on_byte_soup(src in byte_soup()) {
+        assert_lex_invariants(&src);
+    }
+
+    #[test]
+    fn parser_never_panics_on_rustish_soup(src in rustish_soup()) {
+        assert_parse_invariants(&src);
+    }
+
+    #[test]
+    fn parser_never_panics_on_byte_soup(src in byte_soup()) {
+        assert_parse_invariants(&src);
+    }
+
+    #[test]
+    fn generated_free_fns_roundtrip(names in proptest::collection::vec("[a-z][a-z0-9_]{0,8}", 1..12)) {
+        // distinct, keyword-proof names
+        let names: Vec<String> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| format!("f_{i}_{n}"))
+            .collect();
+        let source: String = names
+            .iter()
+            .map(|n| format!("pub fn {n}(x: u32) -> u32 {{ helper_{n}(x) }}\n"))
+            .collect();
+        let parsed = parse_file("gen.rs", &source);
+        prop_assert_eq!(parsed.fns.len(), names.len());
+        for (f, want) in parsed.fns.iter().zip(&names) {
+            prop_assert_eq!(&f.name, want);
+            prop_assert!(f.owner.is_none());
+            prop_assert_eq!(f.calls.len(), 1);
+            prop_assert_eq!(&f.calls[0].callee, &format!("helper_{want}"));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// parser fixtures: the shapes the heuristics must not trip over
+// ---------------------------------------------------------------------
+
+#[test]
+fn fixture_nested_impls_inside_modules() {
+    let src = r#"
+        mod outer {
+            pub struct A;
+            impl A {
+                pub fn top(&self) { helper(); }
+            }
+            mod inner {
+                pub struct B<T>(T);
+                impl<T: Clone> B<T> {
+                    pub fn bottom(&self) -> T { self.0.clone() }
+                }
+            }
+        }
+    "#;
+    let parsed = parse_file("nested.rs", src);
+    let quals: Vec<String> = parsed.fns.iter().map(|f| f.qual_name()).collect();
+    assert!(quals.contains(&"A::top".to_string()), "{quals:?}");
+    assert!(quals.contains(&"B::bottom".to_string()), "{quals:?}");
+}
+
+#[test]
+fn fixture_generic_impls_with_where_clauses() {
+    let src = r#"
+        impl<K: Ord, V> Store<K, V>
+        where
+            K: Clone + Send,
+            V: Default,
+        {
+            pub fn fetch(&self, k: &K) -> Option<&V> { self.slots.get(k) }
+        }
+        impl<T> Operator for Wrap<T> where T: Iterator<Item = Vec<u8>> {
+            fn next_batch(&mut self) -> Option<T::Item> { self.pull_inner() }
+        }
+    "#;
+    let parsed = parse_file("generic.rs", src);
+    let fetch = parsed
+        .fns
+        .iter()
+        .find(|f| f.name == "fetch")
+        .expect("fetch");
+    assert_eq!(fetch.owner.as_deref(), Some("Store"));
+    let nb = parsed
+        .fns
+        .iter()
+        .find(|f| f.name == "next_batch")
+        .expect("next_batch");
+    assert_eq!(nb.owner.as_deref(), Some("Wrap"));
+    assert_eq!(nb.trait_name.as_deref(), Some("Operator"));
+}
+
+#[test]
+fn fixture_raw_string_bodies_do_not_derail_spans() {
+    let src = "pub fn emit() -> String {\n    let tpl = r#\"fn fake() { bogus!(); }\"#;\n    render(tpl)\n}\npub fn after() { real(); }\n";
+    let parsed = parse_file("raw.rs", src);
+    assert_eq!(parsed.fns.len(), 2, "{:?}", parsed.fns);
+    let emit = &parsed.fns[0];
+    // the fn-shaped text inside the raw string is data, not code
+    assert!(emit.calls.iter().all(|c| c.callee != "bogus"));
+    assert!(emit.calls.iter().any(|c| c.callee == "render"));
+    let after = &parsed.fns[1];
+    assert_eq!(after.name, "after");
+    assert_eq!(after.line, 5);
+}

@@ -765,6 +765,10 @@ impl Operator for HashJoinOp<'_> {
 
     fn next_batch(&mut self) -> Result<Option<Batch>, ExecError> {
         self.build()?;
+        // `out` is hoisted: it is only moved out on a non-empty return, so
+        // match-less input batches recycle the same (empty) vector instead
+        // of constructing one per batch
+        let mut out = Vec::new();
         loop {
             let Some(batch) = self.left.next_batch()? else {
                 return Ok(None);
@@ -772,7 +776,6 @@ impl Operator for HashJoinOp<'_> {
             let Batch::Tuples(tuples) = batch else {
                 return Err(ExecError::BadPlan("join left input must be tuples".into()));
             };
-            let mut out = Vec::new();
             for t in &tuples {
                 let k = t.key(&self.left_key.0, &self.left_key.1);
                 if k.is_null() {
@@ -954,6 +957,9 @@ impl Operator for IndexedNlJoinOp<'_> {
     }
 
     fn next_batch(&mut self) -> Result<Option<Batch>, ExecError> {
+        // hoisted for the same reason as HashJoinOp: only moved out when
+        // non-empty, so probe-miss batches reuse the vector
+        let mut out = Vec::new();
         while !self.done {
             let Some(batch) = self.left.next_batch()? else {
                 self.done = true;
@@ -962,7 +968,6 @@ impl Operator for IndexedNlJoinOp<'_> {
             let Batch::Tuples(tuples) = batch else {
                 return Err(ExecError::BadPlan("join left input must be tuples".into()));
             };
-            let mut out = Vec::new();
             'probe: for t in &tuples {
                 self.metrics.borrow_mut().index_lookups += 1;
                 let k: Value = t.key(&self.left_key.0, &self.left_key.1);

@@ -713,12 +713,11 @@ pub fn dist_scan_resilient(
     let mut failed_over = 0usize;
     let mut skipped: Vec<(NodeId, usize)> = Vec::new();
     if !failed_parts.is_empty() {
-        let failover_allowed = opts.failover.is_some() && request.aggregate.is_none();
-        if failover_allowed {
-            let policy = match &opts.failover {
-                Some(p) => p,
-                None => unreachable!("guarded by failover_allowed"),
-            };
+        let failover_policy = match &opts.failover {
+            Some(p) if request.aggregate.is_none() => Some(p),
+            _ => None,
+        };
+        if let Some(policy) = failover_policy {
             let failed_set: BTreeSet<NodeId> = failed_parts.keys().copied().collect();
             let replica_req = ScanRequest {
                 aggregate: None,

@@ -355,13 +355,21 @@ fn build_join_table(
     metrics.scan.merge(&built.scan);
     metrics.index_lookups += built.index_lookups;
     metrics.batches += batches;
-    let keyed = &keyed;
-    let maps = scoped_map(workers.min(buckets), (0..buckets).collect(), |b| {
-        let mut m: HashMap<String, Vec<Tuple>> = HashMap::new();
+    // partition once by move (a single pass in drain order, so per-key
+    // order is preserved), then build each bucket's map in parallel —
+    // the old scan-and-clone walked every row once per bucket and cloned
+    // each key and tuple into its map
+    let mut parts: Vec<Vec<(String, Tuple)>> = (0..buckets).map(|_| Vec::new()).collect();
+    if buckets > 0 {
         for (k, t) in keyed {
-            if bucket_of(k, buckets) == b {
-                m.entry(k.clone()).or_default().push(t.clone());
-            }
+            let b = bucket_of(&k, buckets);
+            parts[b].push((k, t));
+        }
+    }
+    let maps = scoped_map(workers.min(buckets), parts, |part| {
+        let mut m: HashMap<String, Vec<Tuple>> = HashMap::new();
+        for (k, t) in part {
+            m.entry(k).or_default().push(t);
         }
         m
     });
@@ -463,6 +471,10 @@ fn process_partition(
         _ => None,
     };
     let mut pos = ScanPos::default();
+    // Probe output scratch, reused across pages and probe steps: the
+    // swap below keeps both buffers' capacity alive instead of growing
+    // a fresh vector per page.
+    let mut probe_scratch: Vec<Tuple> = Vec::new();
     loop {
         if env.deadline_at.is_some_and(|d| Instant::now() >= d) {
             env.deadline_hit.store(true, Ordering::Relaxed);
@@ -506,7 +518,7 @@ fn process_partition(
                     let Some(table) = env.tables.get(*table) else {
                         return Err(ExecError::BadPlan("probe of unbuilt join table".into()));
                     };
-                    let mut joined = Vec::new();
+                    probe_scratch.clear();
                     for t in &tuples {
                         let k = t.key(&left_key.0, &left_key.1);
                         if k.is_null() {
@@ -514,11 +526,11 @@ fn process_partition(
                         }
                         if let Some(matches) = table.get(&k.render()) {
                             for m in matches {
-                                joined.push(t.join(m));
+                                probe_scratch.push(t.join(m));
                             }
                         }
                     }
-                    tuples = joined;
+                    std::mem::swap(&mut tuples, &mut probe_scratch);
                 }
             }
         }
