@@ -52,14 +52,25 @@ echo "==> chaos suite (fault-injected distributed execution)"
 cargo test -q --release --test chaos_integration
 
 # Smoke the executor bench: emits BENCH_exec.json + BENCH_chaos.json +
-# BENCH_parallel.json and fails unless (a) the batched
-# scan→filter→limit pipeline moves strictly fewer network bytes than the
-# pre-refactor monolithic distributed scan, (b) every seeded chaos trial
-# (1 node killed at 0/5/20% drop) recovers the exact fault-free row set,
-# and (c) morsel-driven parallel execution returns rows identical to
-# serial — with a ≥1.5x speedup at 4 workers when the host actually has
-# ≥4 cores, or bounded overhead on smaller hosts.
-echo "==> exec_bench smoke (BENCH_exec.json, BENCH_chaos.json, BENCH_parallel.json)"
+# BENCH_parallel.json + BENCH_columnar.json and fails unless (a) the
+# batched scan→filter→limit pipeline moves strictly fewer network bytes
+# than the pre-refactor monolithic distributed scan, (b) every seeded
+# chaos trial (1 node killed at 0/5/20% drop) recovers the exact
+# fault-free row set, (c) morsel-driven parallel execution returns rows
+# identical to serial — with a ≥1.5x speedup at 4 workers when the host
+# actually has ≥4 cores, or bounded overhead on smaller hosts — and
+# (d) columnar execution returns rows identical to the row pipeline on
+# every host, with >2x single-thread scan throughput and a >0.5
+# segment-skip ratio on selective scans when the host has ≥4 cores
+# (host_cores is recorded in the JSON so the gate is honest about the
+# hardware it ran on).
+echo "==> exec_bench smoke (BENCH_exec.json, BENCH_chaos.json, BENCH_parallel.json, BENCH_columnar.json)"
 cargo run -q --release -p impliance-bench --bin exec_bench >/dev/null
+for f in BENCH_exec.json BENCH_chaos.json BENCH_parallel.json BENCH_columnar.json; do
+  if [ ! -s "$f" ]; then
+    echo "FAIL: exec_bench did not emit $f" >&2
+    exit 1
+  fi
+done
 
 echo "CI gate passed"

@@ -42,6 +42,7 @@ fn bench(c: &mut Criterion) {
         value_index: imp.value_index(),
         join_index: imp.join_index(),
         pushdown: true,
+        columnar: true,
     };
     let mut group = c.benchmark_group("c1_execution");
     group.sample_size(15);

@@ -27,6 +27,14 @@
 //! with ≥ 4 cores the 4-worker scan must beat serial by ≥ 1.5×; smaller
 //! hosts gate on exact row equality plus bounded pool overhead instead
 //! (the JSON reports `host_cores` and which gate applied).
+//!
+//! A fifth measurement, **columnar** (`BENCH_columnar.json`), compares
+//! the vectorized (column-at-a-time) pipeline against the row pipeline
+//! on the same corpus, single-threaded: a full-pass scan for decode
+//! throughput and a selective scan for zone-map segment skipping. Row
+//! equality between the two pipelines gates everywhere; on ≥ 4-core
+//! hosts the columnar scan must also beat the row scan by > 2× and the
+//! selective scan must skip > 50% of segments.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -210,6 +218,53 @@ fn main() {
         failed = true;
     }
 
+    let col = bench_columnar();
+    let col_json = format!(
+        "{{\n  \"bench\": \"columnar\",\n  \"corpus_docs\": {COL_DOCS},\n  \"partitions\": \
+         {COL_PARTITIONS},\n  \"host_cores\": {},\n  \"gate\": \"{}\",\n  \"throughput\": {{ \
+         \"row_micros\": {}, \"columnar_micros\": {}, \"row_rows_per_sec\": {:.0}, \
+         \"columnar_rows_per_sec\": {:.0}, \"speedup\": {:.3} }},\n  \"selective\": {{ \
+         \"threshold\": {}, \"rows\": {}, \"segments_skipped\": {}, \"segments_scanned\": {}, \
+         \"skip_ratio\": {:.3} }},\n  \"rows_equal\": {}\n}}\n",
+        col.host_cores,
+        col.gate,
+        col.row_micros,
+        col.columnar_micros,
+        col.row_rows_per_sec,
+        col.columnar_rows_per_sec,
+        col.speedup,
+        COL_THRESHOLD,
+        col.selective_rows,
+        col.segments_skipped,
+        col.segments_scanned,
+        col.skip_ratio,
+        col.rows_equal,
+    );
+    std::fs::write("BENCH_columnar.json", &col_json).expect("write BENCH_columnar.json");
+    print!("{col_json}");
+
+    if !col.rows_equal {
+        eprintln!("FAIL: columnar pipeline returned different rows than the row pipeline");
+        failed = true;
+    }
+    if col.host_cores >= 4 {
+        if col.speedup <= 2.0 {
+            eprintln!(
+                "FAIL: columnar scan speedup {:.2}x over the row pipeline on a {}-core host — \
+                 expected > 2x",
+                col.speedup, col.host_cores
+            );
+            failed = true;
+        }
+        if col.skip_ratio <= 0.5 {
+            eprintln!(
+                "FAIL: selective scan skipped {:.1}% of segments — expected > 50%",
+                col.skip_ratio * 100.0
+            );
+            failed = true;
+        }
+    }
+
     if failed {
         std::process::exit(1);
     }
@@ -253,6 +308,7 @@ fn bench_local_pipeline() -> (RunStats, RunStats, u64) {
         value_index: &values,
         join_index: &joins,
         pushdown: true,
+        columnar: true,
     };
     let plan = LogicalPlan::Project {
         input: Box::new(LogicalPlan::Filter {
@@ -429,6 +485,7 @@ fn bench_parallel() -> ParallelStats {
         value_index: &values,
         join_index: &joins,
         pushdown: true,
+        columnar: true,
     };
     let scan_plan = LogicalPlan::Project {
         input: Box::new(LogicalPlan::Filter {
@@ -522,6 +579,151 @@ fn bench_parallel() -> ParallelStats {
         runs,
         scan_speedup_4x: speedup(&scan_times, 4),
         agg_speedup_4x: speedup(&agg_times, 4),
+        rows_equal,
+    }
+}
+
+const COL_DOCS: u64 = 20_000;
+const COL_PARTITIONS: usize = 4;
+// Selective threshold: amounts are ingested in arrival order (0..COL_DOCS),
+// so each sealed segment holds a contiguous range and its zone map prunes
+// exactly; a 90th-percentile predicate should skip ~90% of segments.
+const COL_THRESHOLD: i64 = (COL_DOCS as i64 / 10) * 9;
+const COL_REPS: usize = 3;
+
+struct ColumnarStats {
+    host_cores: usize,
+    gate: &'static str,
+    row_micros: u128,
+    columnar_micros: u128,
+    row_rows_per_sec: f64,
+    columnar_rows_per_sec: f64,
+    speedup: f64,
+    selective_rows: u64,
+    segments_skipped: u64,
+    segments_scanned: u64,
+    skip_ratio: f64,
+    rows_equal: bool,
+}
+
+/// Columnar vs row pipeline, single-threaded, same corpus and plans:
+///
+/// * **Throughput** — a filter+project that admits every document, so
+///   zone maps skip nothing and the difference is pure decode cost
+///   (typed column vectors vs materialized documents). Speedup is the
+///   ratio of median wall times; rows/sec counts corpus documents.
+/// * **Selective** — a 90th-percentile predicate over arrival-ordered
+///   amounts; tight per-segment zone maps should skip most segments
+///   before decompression (`storage.segment.skipped` accounting).
+/// * **Equality** — both measurements compare rendered rows between the
+///   two pipelines exactly.
+fn bench_columnar() -> ColumnarStats {
+    let storage = StorageEngine::new(StorageOptions {
+        partitions: COL_PARTITIONS,
+        seal_threshold: 512,
+        compression: true,
+        encryption_key: None,
+    });
+    for i in 0..COL_DOCS {
+        storage
+            .put(
+                &DocumentBuilder::new(DocId(i), SourceFormat::Json, "orders")
+                    .field("amount", i as i64)
+                    .field("cust", format!("C-{}", i % 17))
+                    .build(),
+            )
+            .expect("put");
+    }
+    let text = InvertedIndex::new(4);
+    let values = PathValueIndex::new();
+    let joins = JoinIndex::new();
+    let ctx = |columnar: bool| ExecContext {
+        storage: &storage,
+        text_index: &text,
+        value_index: &values,
+        join_index: &joins,
+        pushdown: true,
+        columnar,
+    };
+    let plan = |threshold: i64| LogicalPlan::Project {
+        input: Box::new(LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Scan {
+                collection: Some("orders".into()),
+                predicate: None,
+                alias: "orders".into(),
+                use_value_index: false,
+            }),
+            alias: "orders".into(),
+            predicate: Predicate::Ge("amount".into(), Value::Int(threshold)),
+        }),
+        columns: vec![("orders".into(), "amount".into(), "amount".into())],
+    };
+    let opts = ExecutionContext {
+        batch_size: BATCH_SIZE,
+        ..ExecutionContext::default()
+    };
+    // Median wall time + last run's (rendered rows, metrics).
+    let measure = |plan: &LogicalPlan, columnar: bool| {
+        let mut times: Vec<u128> = Vec::with_capacity(COL_REPS);
+        let mut rows: Vec<String> = Vec::new();
+        let mut metrics = None;
+        for _ in 0..COL_REPS {
+            let t0 = Instant::now();
+            let (out, m) = execute_plan_opts(&ctx(columnar), plan, &opts).expect("execute");
+            times.push(t0.elapsed().as_micros());
+            rows = out.rows().iter().map(|r| r.render()).collect();
+            metrics = Some(m);
+        }
+        times.sort_unstable();
+        (times[times.len() / 2], rows, metrics.expect("ran"))
+    };
+
+    let full = plan(0);
+    let (row_micros, row_rows, _) = measure(&full, false);
+    let (columnar_micros, col_rows, col_full_m) = measure(&full, true);
+    let mut rows_equal = row_rows == col_rows;
+    assert!(
+        col_full_m.columnar_batches > 0,
+        "full scan did not take the columnar path"
+    );
+
+    let selective = plan(COL_THRESHOLD);
+    let (_, sel_row_rows, _) = measure(&selective, false);
+    let (_, sel_col_rows, sel_m) = measure(&selective, true);
+    rows_equal &= sel_row_rows == sel_col_rows;
+    let skipped = sel_m.scan.segments_skipped;
+    let scanned = sel_m.scan.segments_scanned;
+
+    let per_sec = |micros: u128| {
+        if micros > 0 {
+            COL_DOCS as f64 / (micros as f64 / 1_000_000.0)
+        } else {
+            f64::INFINITY
+        }
+    };
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    ColumnarStats {
+        host_cores,
+        gate: if host_cores >= 4 {
+            "speedup_2x_and_skip_ratio_0_5"
+        } else {
+            "row_equality_only"
+        },
+        row_micros,
+        columnar_micros,
+        row_rows_per_sec: per_sec(row_micros),
+        columnar_rows_per_sec: per_sec(columnar_micros),
+        speedup: if columnar_micros > 0 {
+            row_micros as f64 / columnar_micros as f64
+        } else {
+            f64::INFINITY
+        },
+        selective_rows: sel_col_rows.len() as u64,
+        segments_skipped: skipped,
+        segments_scanned: scanned,
+        skip_ratio: skipped as f64 / (skipped + scanned).max(1) as f64,
         rows_equal,
     }
 }

@@ -750,6 +750,7 @@ fn c1_planner() {
             value_index: imp.value_index(),
             join_index: imp.join_index(),
             pushdown: true,
+            columnar: true,
         };
         let t = Instant::now();
         let (out, _) = impliance_query::execute_plan(&ctx, plan).unwrap();

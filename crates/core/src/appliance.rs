@@ -23,8 +23,8 @@ use impliance_facet::{FacetDimension, FacetEngine, GuidedSession, RollupLevel, R
 use impliance_index::{search, InvertedIndex, JoinIndex, PathValueIndex, SearchHit, SearchQuery};
 use impliance_obs::Counter;
 use impliance_query::{
-    execute_plan_opts, parse_sql, ExecContext, ExecError, ExecMetrics, ExecutionContext,
-    LogicalPlan, QueryOutput, SimplePlanner,
+    execute_plan_opts, parse_sql, ExecContext, ExecError, ExecutionContext, LogicalPlan,
+    QueryOutput, SimplePlanner,
 };
 use impliance_storage::{StorageEngine, StorageError, StorageOptions};
 use parking_lot::Mutex;
@@ -469,6 +469,7 @@ impl Impliance {
             value_index: &self.value_index,
             join_index: &self.join_index,
             pushdown: req.pushdown().unwrap_or(self.config.pushdown),
+            columnar: req.columnar().unwrap_or(true),
         };
         let opts = ExecutionContext {
             batch_size: req.batch_size().unwrap_or(self.config.batch_size),
@@ -512,14 +513,6 @@ impl Impliance {
     /// Convenience wrapper over [`Impliance::query`].
     pub fn sql(&self, statement: &str) -> Result<QueryOutput, Error> {
         Ok(self.query(QueryRequest::builder(statement).build())?.output)
-    }
-
-    /// SQL returning execution metrics too. Convenience wrapper over
-    /// [`Impliance::query`].
-    #[deprecated(note = "use Impliance::query and QueryResponse::exec_stats for typed statistics")]
-    pub fn sql_with_metrics(&self, statement: &str) -> Result<(QueryOutput, ExecMetrics), Error> {
-        let resp = self.query(QueryRequest::builder(statement).build())?;
-        Ok((resp.output, resp.metrics))
     }
 
     /// The graph interface: how are two items connected (§3.2.1)?

@@ -16,6 +16,7 @@ use impliance_query::{ExecMetrics, LogicalPlan, QueryOutput};
 pub struct QueryRequest {
     statement: String,
     pushdown: Option<bool>,
+    columnar: Option<bool>,
     plan_cache: bool,
     batch_size: Option<usize>,
     limit: Option<usize>,
@@ -30,6 +31,7 @@ impl QueryRequest {
             request: QueryRequest {
                 statement: statement.into(),
                 pushdown: None,
+                columnar: None,
                 plan_cache: true,
                 batch_size: None,
                 limit: None,
@@ -48,6 +50,15 @@ impl QueryRequest {
     /// appliance configuration when `None`).
     pub fn pushdown(&self) -> Option<bool> {
         self.pushdown
+    }
+
+    /// The per-request columnar-execution override, if any (defaults to
+    /// on when `None`). When enabled, fusable `Filter*{Scan}` pipelines
+    /// run column-at-a-time over decoded column vectors with zone-map
+    /// segment skipping; other plan shapes fall back to the row pipeline
+    /// either way.
+    pub fn columnar(&self) -> Option<bool> {
+        self.columnar
     }
 
     /// Whether the plan cache may serve/store this statement's plan.
@@ -94,6 +105,14 @@ impl QueryRequestBuilder {
     /// Override predicate pushdown for this request only.
     pub fn pushdown(mut self, enabled: bool) -> QueryRequestBuilder {
         self.request.pushdown = Some(enabled);
+        self
+    }
+
+    /// Override columnar (vectorized) execution for this request only
+    /// (on by default). Disable to force the row-at-a-time pipeline —
+    /// useful when benchmarking the columnar path against its baseline.
+    pub fn columnar(mut self, enabled: bool) -> QueryRequestBuilder {
+        self.request.columnar = Some(enabled);
         self
     }
 
@@ -159,8 +178,7 @@ pub struct QueryResponse {
 }
 
 /// Typed execution statistics for one answered query — the structured
-/// replacement for picking through raw `ExecMetrics` (or the deprecated
-/// `sql_with_metrics` tuple).
+/// replacement for picking through raw `ExecMetrics`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExecStats {
     /// Rows/documents produced by the root operator.
@@ -181,6 +199,13 @@ pub struct ExecStats {
     pub bytes_scanned: u64,
     /// Encoded bytes returned across the (simulated) network.
     pub bytes_returned: u64,
+    /// Segments skipped entirely via zone maps before decompression.
+    pub segments_skipped: u64,
+    /// Segments actually decoded during the scan.
+    pub segments_scanned: u64,
+    /// True when any part of the query ran on the columnar (vectorized)
+    /// decode path rather than row-at-a-time document iteration.
+    pub columnar: bool,
     /// True when the deadline expired and `rows` is a partial prefix.
     pub degraded: bool,
 }
@@ -207,6 +232,9 @@ impl QueryResponse {
             index_lookups: m.index_lookups,
             bytes_scanned: m.scan.bytes_scanned,
             bytes_returned: m.scan.bytes_returned,
+            segments_skipped: m.scan.segments_skipped,
+            segments_scanned: m.scan.segments_scanned,
+            columnar: m.columnar_batches > 0,
             degraded: self.degraded,
         }
     }

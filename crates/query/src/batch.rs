@@ -24,7 +24,9 @@ use std::time::Instant;
 use impliance_docmodel::{DocId, Document, Value};
 use impliance_index::PathValueIndex;
 use impliance_obs::{Counter, Histogram, LATENCY_BUCKETS_US};
-use impliance_storage::{AggValue, BatchScan, Predicate};
+use impliance_storage::{
+    AggValue, BatchScan, Bitmask, ColumnPage, Predicate, ScanPos, ScanRequest, StorageEngine,
+};
 
 use crate::adaptive::AdaptiveFilterChain;
 use crate::exec::{ExecError, ExecMetrics};
@@ -39,13 +41,18 @@ pub const DEFAULT_BATCH_SIZE: usize = 256;
 pub(crate) type SharedMetrics = Rc<RefCell<ExecMetrics>>;
 
 /// A fixed-capacity chunk of intermediate results: bound tuples below a
-/// projection/aggregation, output rows above one.
+/// projection/aggregation, output rows above one, typed column vectors
+/// between vectorized operators.
 #[derive(Debug, Clone)]
 pub enum Batch {
     /// Alias-bound documents.
     Tuples(Vec<Tuple>),
     /// Final output rows.
     Rows(Vec<Row>),
+    /// Typed column vectors decoded straight from storage segments
+    /// ([`ColumnPage`]): one column per requested structural path plus
+    /// the matching documents as the row view.
+    Columns(ColumnPage),
 }
 
 impl Batch {
@@ -54,6 +61,7 @@ impl Batch {
         match self {
             Batch::Tuples(t) => t.len(),
             Batch::Rows(r) => r.len(),
+            Batch::Columns(p) => p.len,
         }
     }
 
@@ -67,6 +75,23 @@ impl Batch {
         match self {
             Batch::Tuples(t) => t.truncate(n),
             Batch::Rows(r) => r.truncate(n),
+            Batch::Columns(p) => p.truncate(n),
+        }
+    }
+
+    /// Row view of the batch for operators that are not yet vectorized:
+    /// a columnar batch rebinds each of its documents under `alias`
+    /// (exactly what the row-path scan would have produced); a tuple
+    /// batch passes through; a row batch has no tuple view.
+    pub fn into_tuples(self, alias: &str) -> Vec<Tuple> {
+        match self {
+            Batch::Tuples(t) => t,
+            Batch::Rows(_) => Vec::new(),
+            Batch::Columns(p) => p
+                .docs
+                .into_iter()
+                .map(|d| Tuple::single(alias, d))
+                .collect(),
         }
     }
 }
@@ -289,6 +314,351 @@ impl Operator for ScanOp<'_> {
 }
 
 // ---------------------------------------------------------------------
+// Columnar (vectorized) operators
+// ---------------------------------------------------------------------
+
+pub(crate) struct ColumnarObs {
+    pub(crate) batches: Arc<Counter>,
+    pub(crate) rows: Arc<Counter>,
+}
+
+pub(crate) fn columnar_obs() -> &'static ColumnarObs {
+    static OBS: OnceLock<ColumnarObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let m = impliance_obs::global().metrics();
+        ColumnarObs {
+            batches: m.counter("query.columnar.batches"),
+            rows: m.counter("query.columnar.rows"),
+        }
+    })
+}
+
+/// First-leaf value for row `i` of a page: through the typed column when
+/// one was decoded, else through the document view — both reproduce
+/// [`Tuple::key`] exactly.
+fn page_value(
+    page: &ColumnPage,
+    col: Option<&impliance_storage::Column>,
+    i: usize,
+    path: &str,
+) -> Value {
+    match col {
+        Some(c) => c.value_at(i),
+        None => page
+            .docs
+            .get(i)
+            .and_then(|d| {
+                d.leaves()
+                    .into_iter()
+                    .find(|(p, _)| p.structural_form() == path)
+                    .map(|(_, v)| v.clone())
+            })
+            .unwrap_or(Value::Null),
+    }
+}
+
+/// Project a column page into output rows, column-at-a-time: each output
+/// column resolves once to a typed column vector (or to the constant
+/// `Null` the row path produces for an alias the scan never bound).
+/// Shared by [`ColumnarProjectOp`] and the parallel morsel workers.
+pub(crate) fn project_page(
+    page: &ColumnPage,
+    columns: &[(String, String, String)],
+    scan_alias: &str,
+) -> Vec<Row> {
+    let cols: Vec<(bool, Option<&impliance_storage::Column>)> = columns
+        .iter()
+        .map(|(alias, path, _)| (alias.as_str() == scan_alias, page.column(path)))
+        .collect();
+    (0..page.len)
+        .map(|i| {
+            Row::from_pairs(
+                columns
+                    .iter()
+                    .zip(&cols)
+                    .map(|((_, path, out), (bound, col))| {
+                        let v = if *bound {
+                            page_value(page, *col, i, path)
+                        } else {
+                            Value::Null
+                        };
+                        (out.clone(), v)
+                    }),
+            )
+        })
+        .collect()
+}
+
+/// Fold a column page into running group states, replicating
+/// [`fold_group`] over the column vectors: `Null` group keys exclude the
+/// row, each operand observes its first leaf when non-null, operand-less
+/// aggregates count rows. Shared by [`ColumnarGroupAggOp`] and the
+/// parallel morsel workers.
+pub(crate) fn fold_page(
+    groups: &mut BTreeMap<String, (Value, Vec<AggValue>)>,
+    page: &ColumnPage,
+    group_by: Option<&(String, String)>,
+    aggs: &[AggItem],
+    scan_alias: &str,
+) {
+    let group_col = match group_by {
+        Some((alias, path)) if alias.as_str() == scan_alias => page.column(path),
+        _ => None,
+    };
+    let agg_cols: Vec<Option<&impliance_storage::Column>> = aggs
+        .iter()
+        .map(|a| a.operand.as_deref().and_then(|p| page.column(p)))
+        .collect();
+    for i in 0..page.len {
+        let (key_render, key_value) = match group_by {
+            None => (String::new(), Value::Null),
+            Some((alias, path)) => {
+                let v = if alias.as_str() == scan_alias {
+                    page_value(page, group_col, i, path)
+                } else {
+                    Value::Null
+                };
+                if v.is_null() {
+                    continue; // no group key → excluded, like fold_group
+                }
+                (v.render(), v)
+            }
+        };
+        let entry = groups
+            .entry(key_render)
+            .or_insert_with(|| (key_value, vec![AggValue::default(); aggs.len()]));
+        for (slot, (agg, col)) in entry.1.iter_mut().zip(aggs.iter().zip(&agg_cols)) {
+            match agg.operand.as_deref() {
+                None => slot.count += 1,
+                Some(path) => {
+                    let v = page_value(page, *col, i, path);
+                    if !v.is_null() {
+                        slot.observe(&v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Columnar fast-path scan: pulls [`ColumnPage`]s straight from storage
+/// ([`StorageEngine::scan_partition_page_columnar`]), applies the fused
+/// filter predicates as vectorized masks, and emits the survivors as
+/// [`Batch::Columns`]. Partitions are walked in index order through the
+/// same resumable cursor as the row path, so the emitted row sequence is
+/// identical to `ScanOp` + `FilterOp`.
+pub(crate) struct ColumnarScanOp<'a> {
+    storage: &'a StorageEngine,
+    request: ScanRequest,
+    /// Predicates applied here as vectorized masks: the node-side
+    /// residual when push-down is off, plus every fused `Filter`.
+    masks: Vec<Predicate>,
+    /// Extended zone-pruning predicate handed to storage (push-down
+    /// only): the scan predicate plus the fused filters, so whole
+    /// segments are skipped before decompression.
+    prune: Option<Predicate>,
+    /// Structural paths decoded into typed column vectors.
+    paths: Vec<String>,
+    partition: usize,
+    pos: ScanPos,
+    batch_size: usize,
+    metrics: SharedMetrics,
+}
+
+impl<'a> ColumnarScanOp<'a> {
+    pub(crate) fn new(
+        storage: &'a StorageEngine,
+        request: ScanRequest,
+        masks: Vec<Predicate>,
+        prune: Option<Predicate>,
+        paths: Vec<String>,
+        batch_size: usize,
+        metrics: SharedMetrics,
+    ) -> ColumnarScanOp<'a> {
+        ColumnarScanOp {
+            storage,
+            request,
+            masks,
+            prune,
+            paths,
+            partition: 0,
+            pos: ScanPos::default(),
+            batch_size: batch_size.max(1),
+            metrics,
+        }
+    }
+}
+
+/// Mask a page by the conjunction of `masks`, compacting only when rows
+/// actually drop out. Shared by the serial operator and the parallel
+/// morsel workers.
+pub(crate) fn mask_page(page: ColumnPage, masks: &[Predicate]) -> ColumnPage {
+    let mut keep = Bitmask::ones(page.len);
+    for m in masks {
+        keep.and_assign(&page.eval_mask(m));
+    }
+    if keep.count_ones() == page.len {
+        page
+    } else {
+        page.gather(&keep)
+    }
+}
+
+impl Operator for ColumnarScanOp<'_> {
+    fn name(&self) -> &'static str {
+        "scan"
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Batch>, ExecError> {
+        loop {
+            if self.partition >= self.storage.partition_count() {
+                return Ok(None);
+            }
+            let (page, next, done) = self.storage.scan_partition_page_columnar(
+                self.partition,
+                &self.request,
+                self.prune.as_ref(),
+                self.pos,
+                self.batch_size,
+                &self.paths,
+            )?;
+            self.pos = next;
+            if done {
+                self.partition += 1;
+                self.pos = ScanPos::default();
+            }
+            self.metrics.borrow_mut().scan.merge(&page.metrics);
+            if page.is_empty() {
+                continue;
+            }
+            let out = mask_page(page, &self.masks);
+            if out.is_empty() {
+                continue;
+            }
+            self.metrics.borrow_mut().columnar_batches += 1;
+            let obs = columnar_obs();
+            obs.batches.inc();
+            obs.rows.add(out.len as u64);
+            return Ok(Some(Batch::Columns(out)));
+        }
+    }
+}
+
+/// Vectorized projection: consumes columnar batches and builds output
+/// rows straight from the column vectors — no tuples are ever bound.
+pub(crate) struct ColumnarProjectOp<'a> {
+    input: Box<dyn Operator + 'a>,
+    columns: Vec<(String, String, String)>,
+    scan_alias: String,
+}
+
+impl<'a> ColumnarProjectOp<'a> {
+    pub(crate) fn new(
+        input: Box<dyn Operator + 'a>,
+        columns: Vec<(String, String, String)>,
+        scan_alias: String,
+    ) -> ColumnarProjectOp<'a> {
+        ColumnarProjectOp {
+            input,
+            columns,
+            scan_alias,
+        }
+    }
+}
+
+impl Operator for ColumnarProjectOp<'_> {
+    fn name(&self) -> &'static str {
+        "project"
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Batch>, ExecError> {
+        let Some(batch) = self.input.next_batch()? else {
+            return Ok(None);
+        };
+        let Batch::Columns(page) = batch else {
+            return Err(ExecError::BadPlan(
+                "columnar project over non-columnar input".into(),
+            ));
+        };
+        Ok(Some(Batch::Rows(project_page(
+            &page,
+            &self.columns,
+            &self.scan_alias,
+        ))))
+    }
+}
+
+/// Vectorized group/aggregate: the same incremental fold as
+/// [`GroupAggOp`] (memory stays O(groups)), driven by column vectors.
+pub(crate) struct ColumnarGroupAggOp<'a> {
+    input: Option<Box<dyn Operator + 'a>>,
+    group_by: Option<(String, String)>,
+    aggs: Vec<AggItem>,
+    scan_alias: String,
+    batch_size: usize,
+    out: Vec<Row>,
+}
+
+impl<'a> ColumnarGroupAggOp<'a> {
+    pub(crate) fn new(
+        input: Box<dyn Operator + 'a>,
+        group_by: Option<(String, String)>,
+        aggs: Vec<AggItem>,
+        scan_alias: String,
+        batch_size: usize,
+    ) -> ColumnarGroupAggOp<'a> {
+        ColumnarGroupAggOp {
+            input: Some(input),
+            group_by,
+            aggs,
+            scan_alias,
+            batch_size: batch_size.max(1),
+            out: Vec::new(),
+        }
+    }
+
+    fn fill(&mut self) -> Result<(), ExecError> {
+        let Some(mut input) = self.input.take() else {
+            return Ok(());
+        };
+        let mut groups: BTreeMap<String, (Value, Vec<AggValue>)> = BTreeMap::new();
+        while let Some(batch) = input.next_batch()? {
+            let Batch::Columns(page) = batch else {
+                return Err(ExecError::BadPlan(
+                    "columnar aggregate over non-columnar input".into(),
+                ));
+            };
+            fold_page(
+                &mut groups,
+                &page,
+                self.group_by.as_ref(),
+                &self.aggs,
+                &self.scan_alias,
+            );
+        }
+        self.out = finish_groups(groups, self.group_by.as_ref(), &self.aggs);
+        Ok(())
+    }
+}
+
+impl Operator for ColumnarGroupAggOp<'_> {
+    fn name(&self) -> &'static str {
+        "group_agg"
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Batch>, ExecError> {
+        self.fill()?;
+        if self.out.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(Batch::Rows(take_front(
+            &mut self.out,
+            self.batch_size,
+        ))))
+    }
+}
+
+// ---------------------------------------------------------------------
 // Streaming operators
 // ---------------------------------------------------------------------
 
@@ -390,6 +760,9 @@ impl Operator for ProjectOp<'_> {
                 Ok(Some(Batch::Rows(rows)))
             }
             rows @ Batch::Rows(_) => Ok(Some(rows)),
+            Batch::Columns(_) => Err(ExecError::BadPlan(
+                "project over columnar input (use the fused columnar pipeline)".into(),
+            )),
         }
     }
 }
@@ -540,6 +913,9 @@ impl<'a> SortOp<'a> {
             match batch {
                 Batch::Tuples(t) => tuples.extend(t),
                 Batch::Rows(r) => rows.extend(r),
+                Batch::Columns(_) => {
+                    return Err(ExecError::BadPlan("sort over columnar input".into()))
+                }
             }
             if let (Some(cap), Some(k)) = (prune_at, self.top_k) {
                 if tuples.len() > cap {

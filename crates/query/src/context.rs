@@ -8,8 +8,6 @@
 //! executors read; `QueryRequest` builds it, and the fields an executor
 //! does not use are simply ignored (the single-node path never retries,
 //! the distributed path routes `limit` through the scan request).
-//!
-//! The old names survive one release as deprecated type aliases.
 
 use std::time::Duration;
 
@@ -82,14 +80,6 @@ impl ExecutionContext {
     }
 }
 
-/// Deprecated name for [`ExecutionContext`] (single-node executor knobs).
-#[deprecated(note = "use ExecutionContext; ExecOptions is a transitional alias")]
-pub type ExecOptions = ExecutionContext;
-
-/// Deprecated name for [`ExecutionContext`] (distributed executor knobs).
-#[deprecated(note = "use ExecutionContext; DistExecOptions is a transitional alias")]
-pub type DistExecOptions = ExecutionContext;
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,13 +99,5 @@ mod tests {
     fn parallelism_clamps_to_one() {
         assert_eq!(ExecutionContext::default().parallelism(0).worker_threads, 1);
         assert_eq!(ExecutionContext::default().parallelism(8).worker_threads, 8);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_aliases_still_name_the_context() {
-        let a: ExecOptions = ExecutionContext::default();
-        let b: DistExecOptions = ExecutionContext::default();
-        assert_eq!(a.batch_size, b.batch_size);
     }
 }

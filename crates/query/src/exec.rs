@@ -21,8 +21,9 @@ use impliance_storage::{
 };
 
 use crate::batch::{
-    op_obs, Batch, FilterOp, GroupAggOp, HashJoinOp, IndexedNlJoinOp, LimitOp, Metered, Operator,
-    ProjectOp, ScanOp, SharedMetrics, SortMergeJoinOp, SortOp, VecSource,
+    op_obs, Batch, ColumnarGroupAggOp, ColumnarProjectOp, ColumnarScanOp, FilterOp, GroupAggOp,
+    HashJoinOp, IndexedNlJoinOp, LimitOp, Metered, Operator, ProjectOp, ScanOp, SharedMetrics,
+    SortMergeJoinOp, SortOp, VecSource,
 };
 use crate::context::ExecutionContext;
 #[cfg(test)]
@@ -77,6 +78,9 @@ pub struct ExecMetrics {
     /// True when the per-query deadline expired before the pipeline
     /// drained: the output is a partial prefix, not the full answer.
     pub deadline_exceeded: bool,
+    /// Columnar batches produced by the vectorized fast path (`0` means
+    /// the query ran entirely on the row-at-a-time decode path).
+    pub columnar_batches: u64,
 }
 
 pub(crate) fn deadline_obs() -> &'static Arc<impliance_obs::Counter> {
@@ -101,6 +105,12 @@ pub struct ExecContext<'a> {
     /// Evaluate predicates at the storage node (push-down). On by
     /// default; experiment C2 turns it off to measure the difference.
     pub pushdown: bool,
+    /// Use the columnar fast path where the plan shape allows it
+    /// (`Project`/`GroupAgg` over `Filter*{Scan}`): segments decode
+    /// straight into typed column vectors, predicates run as vectorized
+    /// masks, and zone maps skip whole segments. Off reproduces the
+    /// row-at-a-time pipeline everywhere.
+    pub columnar: bool,
 }
 
 /// The result of executing a plan.
@@ -410,25 +420,88 @@ pub(crate) fn compile<'a>(
             input,
             group_by,
             aggs,
-        } => match compile(ctx, input, batch_size, metrics)? {
-            Compiled::Op {
-                op,
-                kind: Kind::Tuples,
-            } => Ok(Compiled::Op {
-                op: Metered::wrap(
-                    4,
-                    Box::new(GroupAggOp::new(
-                        op,
-                        group_by.clone(),
-                        aggs.clone(),
-                        batch_size,
-                    )),
-                ),
-                kind: Kind::Rows,
-            }),
-            _ => Err(ExecError::BadPlan("aggregate over non-tuple input".into())),
-        },
+        } => {
+            // Columnar fast path: aggregate straight over column vectors
+            // when the input is a fusable Filter*{Scan} chain.
+            if ctx.columnar {
+                if let Some(fused) = fusable_chain(input) {
+                    let mut paths: Vec<String> = Vec::new();
+                    if let Some((alias, path)) = group_by {
+                        if alias.as_str() == fused.alias {
+                            paths.push(path.clone());
+                        }
+                    }
+                    for a in aggs {
+                        if let Some(p) = &a.operand {
+                            paths.push(p.clone());
+                        }
+                    }
+                    for p in &fused.filters {
+                        predicate_paths(p, &mut paths);
+                    }
+                    let scan = compile_columnar_scan(ctx, &fused, paths, batch_size, metrics);
+                    return Ok(Compiled::Op {
+                        op: Metered::wrap(
+                            4,
+                            Box::new(ColumnarGroupAggOp::new(
+                                scan,
+                                group_by.clone(),
+                                aggs.clone(),
+                                fused.alias.to_string(),
+                                batch_size,
+                            )),
+                        ),
+                        kind: Kind::Rows,
+                    });
+                }
+            }
+            match compile(ctx, input, batch_size, metrics)? {
+                Compiled::Op {
+                    op,
+                    kind: Kind::Tuples,
+                } => Ok(Compiled::Op {
+                    op: Metered::wrap(
+                        4,
+                        Box::new(GroupAggOp::new(
+                            op,
+                            group_by.clone(),
+                            aggs.clone(),
+                            batch_size,
+                        )),
+                    ),
+                    kind: Kind::Rows,
+                }),
+                _ => Err(ExecError::BadPlan("aggregate over non-tuple input".into())),
+            }
+        }
         LogicalPlan::Project { input, columns } => {
+            // Columnar fast path: project straight from column vectors
+            // when the input is a fusable Filter*{Scan} chain.
+            if ctx.columnar {
+                if let Some(fused) = fusable_chain(input) {
+                    let mut paths: Vec<String> = Vec::new();
+                    for (alias, path, _) in columns {
+                        if alias.as_str() == fused.alias {
+                            paths.push(path.clone());
+                        }
+                    }
+                    for p in &fused.filters {
+                        predicate_paths(p, &mut paths);
+                    }
+                    let scan = compile_columnar_scan(ctx, &fused, paths, batch_size, metrics);
+                    return Ok(Compiled::Op {
+                        op: Metered::wrap(
+                            5,
+                            Box::new(ColumnarProjectOp::new(
+                                scan,
+                                columns.clone(),
+                                fused.alias.to_string(),
+                            )),
+                        ),
+                        kind: Kind::Rows,
+                    });
+                }
+            }
             match compile(ctx, input, batch_size, metrics)? {
                 // projection over rows is identity; over tuples it binds
                 // output columns
@@ -599,6 +672,127 @@ pub(crate) fn scan_request_parts(
     }
 }
 
+/// A `Filter*{Scan}` chain that the columnar fast path can fuse into a
+/// single vectorized scan: the base scan's parameters plus every filter
+/// predicate stacked above it (innermost first).
+struct FusedScan<'p> {
+    collection: Option<&'p str>,
+    predicate: Option<&'p Predicate>,
+    alias: &'p str,
+    filters: Vec<&'p Predicate>,
+}
+
+/// Walk a plan subtree looking for a fusable `Filter*{Scan}` chain. The
+/// chain does not fuse when the scan wants the value index for a point
+/// lookup (the index path is already faster than any scan) or when a
+/// filter binds a different alias than the scan produced (the row-wise
+/// semantics of an unbound alias are Null-propagation, which the fused
+/// mask evaluates against the scanned document instead).
+fn fusable_chain(plan: &LogicalPlan) -> Option<FusedScan<'_>> {
+    let mut filters: Vec<(&str, &Predicate)> = Vec::new();
+    let mut cur = plan;
+    loop {
+        match cur {
+            LogicalPlan::Filter {
+                input,
+                alias,
+                predicate,
+            } => {
+                filters.push((alias, predicate));
+                cur = input;
+            }
+            LogicalPlan::Scan {
+                collection,
+                predicate,
+                alias,
+                use_value_index,
+            } => {
+                if *use_value_index && matches!(predicate, Some(Predicate::Eq(_, _))) {
+                    return None;
+                }
+                if filters.iter().any(|(a, _)| *a != alias.as_str()) {
+                    return None;
+                }
+                filters.reverse();
+                return Some(FusedScan {
+                    collection: collection.as_deref(),
+                    predicate: predicate.as_ref(),
+                    alias,
+                    filters: filters.into_iter().map(|(_, p)| p).collect(),
+                });
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Collect every path a predicate touches, so the columnar scan decodes
+/// exactly the columns the fused masks need.
+pub(crate) fn predicate_paths(p: &Predicate, out: &mut Vec<String>) {
+    match p {
+        Predicate::Eq(path, _)
+        | Predicate::Ne(path, _)
+        | Predicate::Lt(path, _)
+        | Predicate::Le(path, _)
+        | Predicate::Gt(path, _)
+        | Predicate::Ge(path, _)
+        | Predicate::Contains(path, _)
+        | Predicate::Exists(path) => out.push(path.clone()),
+        Predicate::And(ps) | Predicate::Or(ps) => {
+            for q in ps {
+                predicate_paths(q, out);
+            }
+        }
+        Predicate::Not(q) => predicate_paths(q, out),
+        Predicate::True | Predicate::CollectionIs(_) | Predicate::FormatIs(_) => {}
+    }
+}
+
+/// Build the vectorized scan for a fused chain: the storage request uses
+/// the same push-down split as the row path, fused filter predicates
+/// become vectorized masks, and — when push-down is on — the combined
+/// predicate is handed to storage as a zone-map pruning hint so whole
+/// segments are skipped before decompression.
+fn compile_columnar_scan<'a>(
+    ctx: &ExecContext<'a>,
+    fused: &FusedScan<'_>,
+    mut paths: Vec<String>,
+    batch_size: usize,
+    metrics: &SharedMetrics,
+) -> Box<dyn Operator + 'a> {
+    paths.sort();
+    paths.dedup();
+    let (request, post_filter) =
+        scan_request_parts(ctx.pushdown, fused.collection, fused.predicate);
+    let mut masks: Vec<Predicate> = Vec::new();
+    if let Some(p) = post_filter {
+        masks.push(p);
+    }
+    masks.extend(fused.filters.iter().map(|p| (*p).clone()));
+    let prune = if ctx.pushdown && !fused.filters.is_empty() {
+        let mut all: Vec<Predicate> = Vec::new();
+        if let Some(p) = &request.predicate {
+            all.push(p.clone());
+        }
+        all.extend(fused.filters.iter().map(|p| (*p).clone()));
+        Some(Predicate::And(all))
+    } else {
+        None
+    };
+    Metered::wrap(
+        0,
+        Box::new(ColumnarScanOp::new(
+            ctx.storage,
+            request,
+            masks,
+            prune,
+            paths,
+            batch_size,
+            Rc::clone(metrics),
+        )),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -665,6 +859,7 @@ mod tests {
                 value_index: &self.values,
                 join_index: &self.joins,
                 pushdown: true,
+                columnar: true,
             }
         }
     }
@@ -920,6 +1115,7 @@ mod tests {
             value_index: &values,
             join_index: &joins,
             pushdown: true,
+            columnar: true,
         };
         let plan = LogicalPlan::Limit {
             input: Box::new(LogicalPlan::Scan {
@@ -1016,6 +1212,7 @@ mod adaptive_exec_tests {
             value_index: &values,
             join_index: &joins_idx,
             pushdown: true,
+            columnar: true,
         };
         // Filter node (post-scan) with a 2-conjunct And → adaptive path
         let plan = LogicalPlan::Filter {

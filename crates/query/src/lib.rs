@@ -60,8 +60,6 @@ pub mod tuple;
 pub use batch::{Batch, Operator, DEFAULT_BATCH_SIZE};
 pub use clock::{BackoffClock, RealClock};
 pub use context::ExecutionContext;
-#[allow(deprecated)]
-pub use context::{DistExecOptions, ExecOptions};
 pub use dist::{CoverageReport, FailoverPolicy, ResilientScan, RetryPolicy};
 pub use exec::{execute_plan, execute_plan_opts, ExecContext, ExecError, ExecMetrics, QueryOutput};
 pub use plan::{AggItem, JoinAlgo, LogicalPlan, SortKey};

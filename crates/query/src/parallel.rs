@@ -48,11 +48,14 @@ use impliance_obs::{Counter, Gauge, Histogram, LATENCY_BUCKETS_US};
 use impliance_storage::{AggValue, Predicate, ScanMetrics, ScanMorsel, ScanPos, ScanRequest};
 
 use crate::adaptive::AdaptiveFilterChain;
-use crate::batch::{finish_groups, fold_group, sort_tuples, Batch, SharedMetrics};
+use crate::batch::{
+    columnar_obs, finish_groups, fold_group, fold_page, mask_page, project_page, sort_tuples,
+    Batch, SharedMetrics,
+};
 use crate::context::ExecutionContext;
 use crate::exec::{
-    deadline_obs, scan_request_parts, Compiled, ExecContext, ExecError, ExecMetrics, Kind,
-    QueryOutput,
+    deadline_obs, predicate_paths, scan_request_parts, Compiled, ExecContext, ExecError,
+    ExecMetrics, Kind, QueryOutput,
 };
 use crate::plan::{AggItem, JoinAlgo, LogicalPlan, SortKey};
 use crate::tuple::{Row, Tuple};
@@ -143,52 +146,57 @@ where
 // ---------------------------------------------------------------------
 
 /// A linear per-morsel step applied to tuple batches, innermost first.
-enum Step {
+/// Borrows straight from the plan — lowering allocates nothing per node.
+enum Step<'p> {
     /// Filter on one alias (multi-conjunct filters run through a
     /// per-worker adaptive chain, like the serial operator).
-    Filter { alias: String, predicate: Predicate },
+    Filter {
+        alias: &'p str,
+        predicate: &'p Predicate,
+    },
     /// Probe of a pre-built shared hash table; `table` indexes into the
     /// query's build-side table list.
     HashProbe {
-        left_key: (String, String),
+        left_key: &'p (String, String),
         table: usize,
     },
 }
 
 /// How per-partition tuple streams combine at the root.
-enum Shape {
+enum Shape<'p> {
     /// Concatenate in partition order (streaming plans).
     Collect,
     /// Per-partition buffers (pruned to `top_k`), one stable sort at the
     /// root.
     Sort {
-        keys: Vec<SortKey>,
+        keys: &'p [SortKey],
         top_k: Option<usize>,
     },
     /// Per-partition partial group states, merged in partition order.
     GroupAgg {
-        group_by: Option<(String, String)>,
-        aggs: Vec<AggItem>,
+        group_by: Option<&'p (String, String)>,
+        aggs: &'p [AggItem],
     },
 }
 
 /// A plan lowered to morsel form: one base scan, a linear chain of
 /// per-morsel steps, a root shape, and the residual projection/limit.
-struct Lowered {
-    collection: Option<String>,
-    predicate: Option<Predicate>,
-    alias: String,
-    steps: Vec<Step>,
+/// Everything borrows from the plan, which outlives the worker pool.
+struct Lowered<'p> {
+    collection: Option<&'p str>,
+    predicate: Option<&'p Predicate>,
+    alias: &'p str,
+    steps: Vec<Step<'p>>,
     /// Build-side plans for each `Step::HashProbe`, in table order.
-    builds: Vec<(LogicalPlan, (String, String))>,
-    shape: Shape,
-    project: Option<Vec<(String, String, String)>>,
+    builds: Vec<(&'p LogicalPlan, &'p (String, String))>,
+    shape: Shape<'p>,
+    project: Option<&'p [(String, String, String)]>,
     limit: Option<usize>,
 }
 
 /// Lower a plan to morsel form, or `None` when no parallel form exists
 /// and the serial pipeline should run instead.
-fn lower(plan: &LogicalPlan) -> Option<Lowered> {
+fn lower(plan: &LogicalPlan) -> Option<Lowered<'_>> {
     let mut limit: Option<usize> = None;
     let mut take_limit = |n: usize| limit = Some(limit.map_or(n, |l| l.min(n)));
     let mut cur = plan;
@@ -198,7 +206,7 @@ fn lower(plan: &LogicalPlan) -> Option<Lowered> {
     }
     let mut project = None;
     if let LogicalPlan::Project { input, columns } = cur {
-        project = Some(columns.clone());
+        project = Some(columns.as_slice());
         cur = input;
     }
     while let LogicalPlan::Limit { input, n } = cur {
@@ -208,7 +216,7 @@ fn lower(plan: &LogicalPlan) -> Option<Lowered> {
     let (shape, mut cur) = match cur {
         LogicalPlan::Sort { input, keys } => (
             Shape::Sort {
-                keys: keys.clone(),
+                keys,
                 // A limit anywhere above the sort caps its output (the
                 // serial pipeline truncates after sorting; pruning to k
                 // per partition plus a final stable sort is equivalent).
@@ -222,8 +230,8 @@ fn lower(plan: &LogicalPlan) -> Option<Lowered> {
             aggs,
         } => (
             Shape::GroupAgg {
-                group_by: group_by.clone(),
-                aggs: aggs.clone(),
+                group_by: group_by.as_ref(),
+                aggs,
             },
             input.as_ref(),
         ),
@@ -232,8 +240,8 @@ fn lower(plan: &LogicalPlan) -> Option<Lowered> {
     // The segment below the shape: a left-deep chain of filters and hash
     // joins over one base scan. Steps are collected outermost-first and
     // reversed so workers apply them scan-outward.
-    let mut steps: Vec<Step> = Vec::new();
-    let mut builds: Vec<(LogicalPlan, (String, String))> = Vec::new();
+    let mut steps: Vec<Step<'_>> = Vec::new();
+    let mut builds: Vec<(&LogicalPlan, &(String, String))> = Vec::new();
     loop {
         match cur {
             LogicalPlan::Filter {
@@ -241,10 +249,7 @@ fn lower(plan: &LogicalPlan) -> Option<Lowered> {
                 alias,
                 predicate,
             } => {
-                steps.push(Step::Filter {
-                    alias: alias.clone(),
-                    predicate: predicate.clone(),
-                });
+                steps.push(Step::Filter { alias, predicate });
                 cur = input;
             }
             LogicalPlan::Join {
@@ -254,9 +259,9 @@ fn lower(plan: &LogicalPlan) -> Option<Lowered> {
                 right_key,
                 algo: JoinAlgo::Hash | JoinAlgo::Unspecified,
             } => {
-                builds.push((right.as_ref().clone(), right_key.clone()));
+                builds.push((right.as_ref(), right_key));
                 steps.push(Step::HashProbe {
-                    left_key: left_key.clone(),
+                    left_key,
                     table: builds.len() - 1,
                 });
                 cur = left;
@@ -274,9 +279,9 @@ fn lower(plan: &LogicalPlan) -> Option<Lowered> {
                 // Table indices were assigned in outermost-first order;
                 // remap them to the reversed (scan-outward) step order.
                 return Some(Lowered {
-                    collection: collection.clone(),
-                    predicate: predicate.clone(),
-                    alias: alias.clone(),
+                    collection: collection.as_deref(),
+                    predicate: predicate.as_ref(),
+                    alias,
                     steps,
                     builds,
                     shape,
@@ -287,6 +292,85 @@ fn lower(plan: &LogicalPlan) -> Option<Lowered> {
             _ => return None, // keyword search, graph, other joins, …
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Columnar worker path
+// ---------------------------------------------------------------------
+
+/// The vectorized per-morsel plan: which columns to decode, the exact
+/// predicate masks to apply page-at-a-time, and the zone-map pruning
+/// hint. Built once per query when the lowered shape qualifies.
+struct ColumnarPlan {
+    masks: Vec<Predicate>,
+    prune: Option<Predicate>,
+    paths: Vec<String>,
+}
+
+/// Decide whether the lowered plan can run its morsels column-at-a-time:
+/// every step must be a filter on the scan's own alias (joins probe
+/// tuples, so they stay row-wise), and the root shape must be an
+/// aggregate or a projected collect (docs output needs materialized
+/// documents anyway). Mirrors the serial pipeline's fusable chain.
+fn columnar_plan(
+    ctx: &ExecContext<'_>,
+    low: &Lowered<'_>,
+    request: &ScanRequest,
+    post_filter: Option<&Predicate>,
+) -> Option<ColumnarPlan> {
+    if !ctx.columnar {
+        return None;
+    }
+    let filters: Vec<&Predicate> = low
+        .steps
+        .iter()
+        .map(|s| match s {
+            Step::Filter { alias, predicate } if *alias == low.alias => Some(*predicate),
+            _ => None,
+        })
+        .collect::<Option<Vec<_>>>()?;
+    let mut paths: Vec<String> = match &low.shape {
+        Shape::GroupAgg { group_by, aggs } => group_by
+            .iter()
+            .filter(|g| g.0.as_str() == low.alias)
+            .map(|g| g.1.clone())
+            .chain(aggs.iter().filter_map(|a| a.operand.clone()))
+            .collect(),
+        Shape::Collect => low
+            .project?
+            .iter()
+            .filter(|(alias, _, _)| alias.as_str() == low.alias)
+            .map(|(_, path, _)| path.clone())
+            .collect(),
+        Shape::Sort { .. } => return None,
+    };
+    for p in &filters {
+        predicate_paths(p, &mut paths);
+    }
+    paths.sort();
+    paths.dedup();
+    let masks: Vec<Predicate> = post_filter
+        .into_iter()
+        .chain(filters.iter().copied())
+        .cloned()
+        .collect();
+    let prune = if ctx.pushdown && !filters.is_empty() {
+        Some(Predicate::And(
+            request
+                .predicate
+                .iter()
+                .chain(filters.iter().copied())
+                .cloned()
+                .collect(),
+        ))
+    } else {
+        None
+    };
+    Some(ColumnarPlan {
+        masks,
+        prune,
+        paths,
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -383,7 +467,10 @@ fn build_join_table(
 /// Everything a worker needs, shared read-only across the pool.
 struct WorkerEnv<'e> {
     storage: &'e impliance_storage::StorageEngine,
-    low: &'e Lowered,
+    low: &'e Lowered<'e>,
+    /// When set, morsels run column-at-a-time (decode → mask → fold or
+    /// project straight from column vectors) instead of row-wise.
+    col: Option<&'e ColumnarPlan>,
     tables: &'e [JoinTable],
     morsels: &'e [ScanMorsel],
     request: &'e ScanRequest,
@@ -398,6 +485,8 @@ struct WorkerEnv<'e> {
 /// One partition's accumulated result.
 enum PartAcc {
     Tuples(Vec<Tuple>),
+    /// Already-projected rows from the columnar path (collect shape).
+    Rows(Vec<Row>),
     Groups(BTreeMap<String, (Value, Vec<AggValue>)>),
 }
 
@@ -408,6 +497,8 @@ struct WorkerOut {
     parts: Vec<(usize, PartAcc)>,
     scan: ScanMetrics,
     pages: u64,
+    /// Pages that went through the vectorized decode path.
+    columnar_pages: u64,
     error: Option<ExecError>,
 }
 
@@ -438,7 +529,11 @@ fn run_worker(env: &WorkerEnv<'_>) -> WorkerOut {
         par_obs()
             .queue_depth
             .set(env.morsels.len().saturating_sub(i + 1) as i64);
-        match process_partition(env, m.partition, &mut chains, &mut out) {
+        let result = match env.col {
+            Some(cp) => process_partition_columnar(env, cp, m.partition, &mut out),
+            None => process_partition(env, m.partition, &mut chains, &mut out),
+        };
+        match result {
             Ok(acc) => out.parts.push((m.partition, acc)),
             Err(e) => {
                 out.error = Some(e);
@@ -490,12 +585,12 @@ fn process_partition(
         let mut tuples: Vec<Tuple> = page
             .documents
             .into_iter()
-            .map(|d| Tuple::single(&env.low.alias, Arc::new(d)))
+            .map(|d| Tuple::single(env.low.alias, Arc::new(d)))
             .collect();
         if let Some(p) = env.post_filter {
             tuples.retain(|t| {
                 t.bindings
-                    .get(&env.low.alias)
+                    .get(env.low.alias)
                     .map(|d| p.matches(d))
                     .unwrap_or(false)
             });
@@ -509,7 +604,7 @@ fn process_partition(
                     Some(chain) => tuples = chain.filter(tuples, alias),
                     None => tuples.retain(|t| {
                         t.bindings
-                            .get(alias)
+                            .get(*alias)
                             .map(|d| predicate.matches(d))
                             .unwrap_or(false)
                     }),
@@ -554,9 +649,82 @@ fn process_partition(
             PartAcc::Groups(groups) => {
                 if let Shape::GroupAgg { group_by, aggs } = &env.low.shape {
                     for t in &tuples {
-                        fold_group(groups, t, group_by.as_ref(), aggs);
+                        fold_group(groups, t, *group_by, aggs);
                     }
                 }
+            }
+            PartAcc::Rows(_) => {}
+        }
+        if done || partition_full {
+            break;
+        }
+    }
+    Ok(acc)
+}
+
+/// The vectorized morsel loop: decode each page straight into column
+/// vectors (zone maps skip whole segments first), apply the exact
+/// predicate masks, then fold aggregates or project rows directly from
+/// the columns — documents are never materialized into tuples.
+fn process_partition_columnar(
+    env: &WorkerEnv<'_>,
+    cp: &ColumnarPlan,
+    partition: usize,
+    out: &mut WorkerOut,
+) -> Result<PartAcc, ExecError> {
+    let mut acc = match &env.low.shape {
+        Shape::GroupAgg { .. } => PartAcc::Groups(BTreeMap::new()),
+        _ => PartAcc::Rows(Vec::new()),
+    };
+    // A collect partition never contributes more than the query limit
+    // (same early-stop as the row-wise loop).
+    let collect_cap = match env.low.shape {
+        Shape::Collect => env.low.limit,
+        _ => None,
+    };
+    let mut pos = ScanPos::default();
+    loop {
+        if env.deadline_at.is_some_and(|d| Instant::now() >= d) {
+            env.deadline_hit.store(true, Ordering::Relaxed);
+            env.stop.store(true, Ordering::Relaxed);
+            break;
+        }
+        let (page, next, done) = env.storage.scan_partition_page_columnar(
+            partition,
+            env.request,
+            cp.prune.as_ref(),
+            pos,
+            env.batch_size,
+            &cp.paths,
+        )?;
+        pos = next;
+        out.scan.merge(&page.metrics);
+        out.pages += 1;
+        let page = mask_page(page, &cp.masks);
+        let mut partition_full = false;
+        if page.len > 0 {
+            out.columnar_pages += 1;
+            let obs = columnar_obs();
+            obs.batches.inc();
+            obs.rows.add(page.len as u64);
+            match &mut acc {
+                PartAcc::Groups(groups) => {
+                    if let Shape::GroupAgg { group_by, aggs } = &env.low.shape {
+                        fold_page(groups, &page, *group_by, aggs, env.low.alias);
+                    }
+                }
+                PartAcc::Rows(rows) => {
+                    if let Some(columns) = env.low.project {
+                        rows.extend(project_page(&page, columns, env.low.alias));
+                    }
+                    if let Some(n) = collect_cap {
+                        if rows.len() >= n {
+                            rows.truncate(n);
+                            partition_full = true;
+                        }
+                    }
+                }
+                PartAcc::Tuples(_) => {}
             }
         }
         if done || partition_full {
@@ -611,11 +779,8 @@ pub(crate) fn try_execute_parallel(
         )?);
     }
 
-    let (request, post_filter) = scan_request_parts(
-        ctx.pushdown,
-        low.collection.as_deref(),
-        low.predicate.as_ref(),
-    );
+    let (request, post_filter) = scan_request_parts(ctx.pushdown, low.collection, low.predicate);
+    let col = columnar_plan(ctx, &low, &request, post_filter.as_ref());
 
     let obs = par_obs();
     obs.morsels.add(morsels.len() as u64);
@@ -627,6 +792,7 @@ pub(crate) fn try_execute_parallel(
     let env = WorkerEnv {
         storage: ctx.storage,
         low: &low,
+        col: col.as_ref(),
         tables: &tables,
         morsels: &morsels,
         request: &request,
@@ -658,6 +824,7 @@ pub(crate) fn try_execute_parallel(
     for o in outs {
         metrics.scan.merge(&o.scan);
         metrics.batches += o.pages;
+        metrics.columnar_batches += o.columnar_pages;
         if let Some(e) = o.error {
             first_error.get_or_insert(e);
         }
@@ -676,6 +843,21 @@ pub(crate) fn try_execute_parallel(
     let merge_started = Instant::now();
     let mut truncated = false;
     let output = match &low.shape {
+        Shape::Collect if col.is_some() => {
+            // Columnar collect: workers already projected rows.
+            let mut rows: Vec<Row> = Vec::new();
+            for (_, acc) in parts {
+                if let PartAcc::Rows(r) = acc {
+                    rows.extend(r);
+                }
+            }
+            if let Some(n) = low.limit {
+                truncated = rows.len() > n;
+                rows.truncate(n);
+            }
+            metrics.rows_out = rows.len() as u64;
+            QueryOutput::Rows(rows)
+        }
         Shape::Collect => {
             let mut tuples: Vec<Tuple> = Vec::new();
             for (_, acc) in parts {
@@ -687,7 +869,7 @@ pub(crate) fn try_execute_parallel(
                 truncated = tuples.len() > n;
                 tuples.truncate(n);
             }
-            finish_tuples(tuples, low.project.as_deref(), &mut metrics)
+            finish_tuples(tuples, low.project, &mut metrics)
         }
         Shape::Sort { keys, top_k } => {
             let mut tuples: Vec<Tuple> = Vec::new();
@@ -701,7 +883,7 @@ pub(crate) fn try_execute_parallel(
                 truncated = tuples.len() > *k;
                 tuples.truncate(*k);
             }
-            finish_tuples(tuples, low.project.as_deref(), &mut metrics)
+            finish_tuples(tuples, low.project, &mut metrics)
         }
         Shape::GroupAgg { group_by, aggs } => {
             let mut groups: BTreeMap<String, (Value, Vec<AggValue>)> = BTreeMap::new();
@@ -722,7 +904,7 @@ pub(crate) fn try_execute_parallel(
                     }
                 }
             }
-            let mut rows = finish_groups(groups, group_by.as_ref(), aggs);
+            let mut rows = finish_groups(groups, *group_by, aggs);
             if let Some(n) = low.limit {
                 truncated = rows.len() > n;
                 rows.truncate(n);

@@ -14,9 +14,10 @@ use impliance_analysis::TrackedRwLock;
 use impliance_docmodel::{DocId, Document, Version};
 use impliance_obs::{Counter, Histogram, LATENCY_BUCKETS_US};
 
+use crate::columnar::ColumnPage;
 use crate::error::StorageError;
 use crate::partition::{Partition, ScanPos};
-use crate::pushdown::{ScanRequest, ScanResult};
+use crate::pushdown::{Predicate, ScanRequest, ScanResult};
 use crate::stats::PartitionStats;
 
 /// Cached handles into the global metrics registry; obtained once so the
@@ -30,6 +31,8 @@ struct EngineObs {
     scan_us: Arc<Histogram>,
     seals: Arc<Counter>,
     bytes_compressed: Arc<Counter>,
+    seg_skipped: Arc<Counter>,
+    seg_scanned: Arc<Counter>,
 }
 
 fn engine_obs() -> &'static EngineObs {
@@ -45,8 +48,21 @@ fn engine_obs() -> &'static EngineObs {
             scan_us: m.histogram("storage.scan.us", &LATENCY_BUCKETS_US),
             seals: m.counter("storage.seal.count"),
             bytes_compressed: m.counter("storage.seal.bytes_compressed"),
+            seg_skipped: m.counter("storage.segment.skipped"),
+            seg_scanned: m.counter("storage.segment.scanned"),
         }
     })
+}
+
+/// Record a page's segment skip/scan accounting in the global registry.
+fn observe_segments(skipped: u64, scanned: u64) {
+    let obs = engine_obs();
+    if skipped > 0 {
+        obs.seg_skipped.add(skipped);
+    }
+    if scanned > 0 {
+        obs.seg_scanned.add(scanned);
+    }
 }
 
 /// Tuning options for a storage engine. Every field has a sensible default
@@ -206,8 +222,38 @@ impl StorageEngine {
         max_docs: usize,
     ) -> Result<(ScanResult, ScanPos, bool), StorageError> {
         match self.partitions.get(partition) {
-            Some(p) => p.read().scan_page(req, pos, max_docs),
+            Some(p) => {
+                let (page, next, done) = p.read().scan_page(req, pos, max_docs)?;
+                observe_segments(page.metrics.segments_skipped, page.metrics.segments_scanned);
+                Ok((page, next, done))
+            }
             None => Ok((ScanResult::default(), pos, true)),
+        }
+    }
+
+    /// Columnar fast path of [`StorageEngine::scan_partition_page`]: one
+    /// page of a single partition decoded straight into typed column
+    /// vectors for `paths`. `prune` extends zone-map skipping with
+    /// predicates the query layer will apply as vectorized masks (the
+    /// page itself is filtered only by `req.predicate`).
+    pub fn scan_partition_page_columnar(
+        &self,
+        partition: usize,
+        req: &ScanRequest,
+        prune: Option<&Predicate>,
+        pos: ScanPos,
+        max_docs: usize,
+        paths: &[String],
+    ) -> Result<(ColumnPage, ScanPos, bool), StorageError> {
+        match self.partitions.get(partition) {
+            Some(p) => {
+                let (page, next, done) = p
+                    .read()
+                    .scan_page_columnar(req, prune, pos, max_docs, paths)?;
+                observe_segments(page.metrics.segments_skipped, page.metrics.segments_scanned);
+                Ok((page, next, done))
+            }
+            None => Ok((ColumnPage::default(), pos, true)),
         }
     }
 
@@ -337,6 +383,7 @@ impl BatchScan<'_> {
             self.pos,
             self.batch_size,
         )?;
+        observe_segments(page.metrics.segments_skipped, page.metrics.segments_scanned);
         self.pos = next;
         self.emitted += page.documents.len() + page.ids.len();
         if part_done {
@@ -533,6 +580,52 @@ mod tests {
             20,
             "no document duplicated or lost across the seal"
         );
+    }
+
+    #[test]
+    fn columnar_partition_pages_match_row_pages() {
+        let e = StorageEngine::new(StorageOptions {
+            partitions: 4,
+            seal_threshold: 10,
+            compression: true,
+            encryption_key: None,
+        });
+        for i in 0..100 {
+            e.put(&doc(i)).unwrap();
+        }
+        let req = ScanRequest::filtered(Predicate::Eq("tag".into(), Value::Str("fizz".into())));
+        let paths = vec!["x".to_string(), "tag".to_string()];
+        for part in 0..e.partition_count() {
+            let mut row_ids = Vec::new();
+            let mut pos = ScanPos::default();
+            loop {
+                let (page, next, done) = e.scan_partition_page(part, &req, pos, 7).unwrap();
+                row_ids.extend(page.documents.iter().map(|d| d.id().0));
+                pos = next;
+                if done {
+                    break;
+                }
+            }
+            let mut col_ids = Vec::new();
+            let mut pos = ScanPos::default();
+            loop {
+                let (page, next, done) = e
+                    .scan_partition_page_columnar(part, &req, None, pos, 7, &paths)
+                    .unwrap();
+                assert_eq!(page.docs.len(), page.len);
+                col_ids.extend(page.docs.iter().map(|d| d.id().0));
+                pos = next;
+                if done {
+                    break;
+                }
+            }
+            assert_eq!(row_ids, col_ids, "partition {part} order must agree");
+        }
+        // Out-of-range partitions yield an empty, exhausted page.
+        let (page, _, done) = e
+            .scan_partition_page_columnar(99, &req, None, ScanPos::default(), 7, &paths)
+            .unwrap();
+        assert!(page.is_empty() && done);
     }
 
     #[test]

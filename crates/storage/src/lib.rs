@@ -6,6 +6,9 @@
 //!
 //! * [`codec`] — deterministic binary encoding of documents (the on-disk
 //!   format).
+//! * [`columnar`] — typed column vectors ([`ColumnPage`]) decoded straight
+//!   from segments, with validity bitmasks, page-level string dictionaries,
+//!   and exact vectorized predicate masks.
 //! * [`compress`] — block compression (LZ-style plus RLE), applied inside
 //!   the storage node per §3.1's "pushing down logic … compression".
 //! * [`crypt`] — segment encryption (XTEA-CTR, simulation-grade) applied
@@ -24,6 +27,7 @@
 //!   storage with version-chain reads.
 
 pub mod codec;
+pub mod columnar;
 pub mod compress;
 pub mod crypt;
 pub mod engine;
@@ -34,10 +38,12 @@ pub mod pushdown;
 pub mod segment;
 pub mod stats;
 
+pub use columnar::{Bitmask, Column, ColumnPage, ColumnPageBuilder, ColumnVec};
 pub use engine::{BatchScan, ScanMorsel, StorageEngine, StorageOptions};
 pub use error::StorageError;
 pub use partition::ScanPos;
 pub use pushdown::{
     AggFunc, AggSpec, AggValue, Predicate, Projection, ScanMetrics, ScanRequest, ScanResult,
 };
+pub use segment::{PathZone, ZoneMap};
 pub use stats::{PartitionStats, PathStats};

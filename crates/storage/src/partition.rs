@@ -9,9 +9,12 @@ use std::collections::HashMap;
 
 use impliance_docmodel::{DocId, Document, Version};
 
+use crate::columnar::{ColumnPage, ColumnPageBuilder};
 use crate::error::StorageError;
 use crate::memtable::Memtable;
-use crate::pushdown::{aggregate_document, project, Projection, ScanRequest, ScanResult};
+use crate::pushdown::{
+    aggregate_document, project, Predicate, Projection, ScanMetrics, ScanRequest, ScanResult,
+};
 use crate::segment::Segment;
 use crate::stats::PartitionStats;
 
@@ -276,9 +279,31 @@ impl Partition {
         }
         // Sealed segments, oldest first; one block load per page-visit.
         while pos.seg < self.segments.len() {
+            // Budget/limit check up front so a segment entered at idx 0
+            // always processes at least one entry — segment accounting
+            // below then counts each segment exactly once per cursor.
+            let emitted = out.documents.len() + out.ids.len();
+            if emitted >= budget || pos.emitted + emitted >= limit {
+                let done = pos.emitted + emitted >= limit;
+                pos.emitted += emitted;
+                return Ok((out, pos, done));
+            }
             let segment = &self.segments[pos.seg];
             let dir = segment.directory();
             if pos.idx < dir.len() {
+                if pos.idx == 0 {
+                    // Zone-map pruning: skip the whole segment before
+                    // decryption/decompression when the predicate provably
+                    // matches nothing in it.
+                    if let (Some(pred), Some(zone)) = (req.predicate.as_ref(), segment.zone_map()) {
+                        if pred.prunes_zone(zone) {
+                            out.metrics.segments_skipped += 1;
+                            pos.seg += 1;
+                            continue;
+                        }
+                    }
+                    out.metrics.segments_scanned += 1;
+                }
                 let block = segment.load_block()?;
                 while pos.idx < dir.len() {
                     let emitted = out.documents.len() + out.ids.len();
@@ -323,6 +348,138 @@ impl Partition {
         }
         pos.emitted += out.documents.len() + out.ids.len();
         Ok((out, pos, true))
+    }
+
+    /// Columnar fast path: scan one page like [`Partition::scan_page`]
+    /// but decode matching documents straight into typed column vectors
+    /// for `paths`. `prune` is an *additional* predicate (typically the
+    /// request predicate AND-ed with filters the query layer will apply
+    /// as vectorized masks) used **only** for zone-map skipping — it must
+    /// be a superset condition of what the caller keeps, never looser.
+    /// Projection/aggregation are not supported here; rows carry full
+    /// documents, and byte metrics mirror the row path exactly.
+    pub fn scan_page_columnar(
+        &self,
+        req: &ScanRequest,
+        prune: Option<&Predicate>,
+        pos: ScanPos,
+        max_docs: usize,
+        paths: &[String],
+    ) -> Result<(ColumnPage, ScanPos, bool), StorageError> {
+        let mut pos = pos;
+        if pos.seg < self.segments.len() && pos.mem > 0 {
+            pos.idx = pos.mem;
+            pos.mem = 0;
+        }
+        let mut builder = ColumnPageBuilder::new(paths);
+        let mut metrics = ScanMetrics::default();
+        let budget = max_docs.max(1);
+        let limit = req.limit.unwrap_or(usize::MAX);
+        let zone_pred = prune.or(req.predicate.as_ref());
+        if pos.emitted >= limit {
+            let mut page = builder.finish();
+            page.metrics = metrics;
+            return Ok((page, pos, true));
+        }
+        while pos.seg < self.segments.len() {
+            if builder.len() >= budget || pos.emitted + builder.len() >= limit {
+                let done = pos.emitted + builder.len() >= limit;
+                pos.emitted += builder.len();
+                let mut page = builder.finish();
+                page.metrics = metrics;
+                return Ok((page, pos, done));
+            }
+            let segment = &self.segments[pos.seg];
+            let dir = segment.directory();
+            if pos.idx < dir.len() {
+                if pos.idx == 0 {
+                    if let (Some(pred), Some(zone)) = (zone_pred, segment.zone_map()) {
+                        if pred.prunes_zone(zone) {
+                            metrics.segments_skipped += 1;
+                            pos.seg += 1;
+                            continue;
+                        }
+                    }
+                    metrics.segments_scanned += 1;
+                }
+                let block = segment.load_block()?;
+                while pos.idx < dir.len() {
+                    if builder.len() >= budget || pos.emitted + builder.len() >= limit {
+                        let done = pos.emitted + builder.len() >= limit;
+                        pos.emitted += builder.len();
+                        let mut page = builder.finish();
+                        page.metrics = metrics;
+                        return Ok((page, pos, done));
+                    }
+                    let entry = &dir[pos.idx];
+                    let here = Location::Seg {
+                        seg: pos.seg,
+                        idx: pos.idx,
+                    };
+                    pos.idx += 1;
+                    if !self.is_latest(entry.id, here) {
+                        continue;
+                    }
+                    let (doc, _) = crate::codec::decode_document(&block, entry.offset as usize)?;
+                    Self::consider_columnar(
+                        doc,
+                        entry.len as usize,
+                        req,
+                        &mut builder,
+                        &mut metrics,
+                    );
+                }
+            }
+            pos.seg += 1;
+            pos.idx = 0;
+        }
+        for (i, id, _v, len) in self.memtable.iter_meta() {
+            if i < pos.mem {
+                continue;
+            }
+            if builder.len() >= budget || pos.emitted + builder.len() >= limit {
+                let done = pos.emitted + builder.len() >= limit;
+                pos.emitted += builder.len();
+                let mut page = builder.finish();
+                page.metrics = metrics;
+                return Ok((page, pos, done));
+            }
+            pos.mem = i + 1;
+            if !self.is_latest(id, Location::Mem(i)) {
+                continue;
+            }
+            let doc = self.memtable.get(i)?;
+            Self::consider_columnar(doc, len, req, &mut builder, &mut metrics);
+        }
+        pos.emitted += builder.len();
+        let mut page = builder.finish();
+        page.metrics = metrics;
+        Ok((page, pos, true))
+    }
+
+    /// Columnar twin of `consider_from`: same predicate and byte
+    /// accounting (a full-document emit re-encodes to exactly the stored
+    /// entry bytes, so `bytes_returned` matches the row path bit for bit).
+    fn consider_columnar(
+        doc: Document,
+        encoded_len: usize,
+        req: &ScanRequest,
+        builder: &mut ColumnPageBuilder,
+        metrics: &mut ScanMetrics,
+    ) {
+        metrics.docs_scanned += 1;
+        metrics.bytes_scanned += encoded_len as u64;
+        let matched = req
+            .predicate
+            .as_ref()
+            .map(|p| p.matches(&doc))
+            .unwrap_or(true);
+        if !matched {
+            return;
+        }
+        metrics.docs_matched += 1;
+        metrics.bytes_returned += encoded_len as u64;
+        builder.push(std::sync::Arc::new(doc));
     }
 
     /// Execute a scan over the snapshot as of timestamp `ts`: for every
@@ -496,9 +653,69 @@ mod tests {
         let req = ScanRequest::filtered(Predicate::Ge("amount".into(), Value::Int(15)));
         let res = p.scan(&req).unwrap();
         assert_eq!(res.documents.len(), 5);
-        assert_eq!(res.metrics.docs_scanned, 20);
+        // Segment 0 (amounts 0..8) is zone-pruned whole; segment 1
+        // (amounts 8..16) and the memtable (16..20) are scanned.
+        assert_eq!(res.metrics.docs_scanned, 12);
         assert_eq!(res.metrics.docs_matched, 5);
+        assert_eq!(res.metrics.segments_skipped, 1);
+        assert_eq!(res.metrics.segments_scanned, 1);
         assert!(res.metrics.bytes_scanned > res.metrics.bytes_returned);
+    }
+
+    #[test]
+    fn columnar_page_scan_matches_row_scan() {
+        let mut p = Partition::new(8, true);
+        for i in 0..20 {
+            p.put(&doc(i, i as i64)).unwrap();
+        }
+        let req = ScanRequest::filtered(Predicate::Ge("amount".into(), Value::Int(15)));
+        let row = p.scan(&req).unwrap();
+        let paths = vec!["amount".to_string(), "make".to_string()];
+        let mut pos = ScanPos::default();
+        let mut docs = Vec::new();
+        let mut metrics = ScanMetrics::default();
+        loop {
+            let (page, next, done) = p.scan_page_columnar(&req, None, pos, 4, &paths).unwrap();
+            metrics.merge(&page.metrics);
+            let amount = page.column("amount").expect("amount column").clone();
+            for i in 0..page.len {
+                assert!(amount.validity.get(i));
+                assert_eq!(amount.value_at(i), Value::Int(page.docs[i].id().0 as i64));
+            }
+            docs.extend(page.docs);
+            pos = next;
+            if done {
+                break;
+            }
+        }
+        let row_ids: Vec<u64> = row.documents.iter().map(|d| d.id().0).collect();
+        let col_ids: Vec<u64> = docs.iter().map(|d| d.id().0).collect();
+        assert_eq!(row_ids, col_ids);
+        assert_eq!(metrics, row.metrics, "columnar metrics must mirror rows");
+    }
+
+    #[test]
+    fn columnar_prune_predicate_skips_more() {
+        let mut p = Partition::new(8, true);
+        for i in 0..20 {
+            p.put(&doc(i, i as i64)).unwrap();
+        }
+        // Unfiltered request, but a fused query filter prunes via zones.
+        let req = ScanRequest::full();
+        let fused = Predicate::Ge("amount".into(), Value::Int(16));
+        let paths = vec!["amount".to_string()];
+        let (page, _, done) = p
+            .scan_page_columnar(&req, Some(&fused), ScanPos::default(), usize::MAX, &paths)
+            .unwrap();
+        assert!(done);
+        assert_eq!(page.metrics.segments_skipped, 2);
+        assert_eq!(page.metrics.segments_scanned, 0);
+        // Both segments skipped; only the memtable's docs were decoded.
+        assert_eq!(page.metrics.docs_scanned, 4);
+        // The fused filter is NOT applied here — the query layer masks it.
+        assert_eq!(page.len, 4);
+        let mask = page.eval_mask(&fused);
+        assert_eq!(mask.count_ones(), 4);
     }
 
     #[test]

@@ -12,6 +12,23 @@ use std::collections::BTreeMap;
 
 use impliance_docmodel::{Document, Node, Value};
 
+use crate::columnar::CmpOp;
+use crate::segment::{PathZone, ZoneMap};
+
+/// The total-order rank of a value, mirroring `Value::total_cmp`: values
+/// of different ranks compare by rank alone (Null < Bool < numeric <
+/// Str < Bytes), which is what lets zone maps and columnar kernels turn
+/// cross-rank comparisons into constants.
+pub fn value_rank(v: &Value) -> u8 {
+    match v {
+        Value::Null => 0,
+        Value::Bool(_) => 1,
+        Value::Int(_) | Value::Float(_) | Value::Timestamp(_) => 2,
+        Value::Str(_) => 3,
+        Value::Bytes(_) => 4,
+    }
+}
+
 /// A document-level predicate over structural paths.
 ///
 /// Path operands are *structural* forms (`orders[].sku`): a comparison is
@@ -88,6 +105,38 @@ impl Predicate {
         out
     }
 
+    /// Conservative zone-map test: `true` means **no** document in the
+    /// summarized segment can satisfy the predicate, so the segment may
+    /// be skipped before decryption/decompression. `false` means
+    /// "unknown — scan it". Soundness contract: this must never return
+    /// `true` for a segment containing a matching document; it freely
+    /// returns `false` for segments containing none.
+    pub fn prunes_zone(&self, zone: &ZoneMap) -> bool {
+        match self {
+            // `Not`, collection and format tests are document-level —
+            // zone maps summarize leaf values only, so never prune.
+            Predicate::True
+            | Predicate::CollectionIs(_)
+            | Predicate::FormatIs(_)
+            | Predicate::Not(_) => false,
+            Predicate::Exists(p) => !zone.paths.contains_key(p),
+            Predicate::Eq(p, v) => cmp_prunes(zone, p, CmpOp::Eq, v),
+            Predicate::Ne(p, v) => cmp_prunes(zone, p, CmpOp::Ne, v),
+            Predicate::Lt(p, v) => cmp_prunes(zone, p, CmpOp::Lt, v),
+            Predicate::Le(p, v) => cmp_prunes(zone, p, CmpOp::Le, v),
+            Predicate::Gt(p, v) => cmp_prunes(zone, p, CmpOp::Gt, v),
+            Predicate::Ge(p, v) => cmp_prunes(zone, p, CmpOp::Ge, v),
+            Predicate::Contains(p, needle) => match zone.paths.get(p) {
+                None => true,
+                Some(z) => contains_prunes(z, needle),
+            },
+            Predicate::And(ps) => ps.iter().any(|p| p.prunes_zone(zone)),
+            // An empty Or matches nothing, and `all` on empty is true —
+            // which is exactly the right answer.
+            Predicate::Or(ps) => ps.iter().all(|p| p.prunes_zone(zone)),
+        }
+    }
+
     fn collect_paths<'a>(&'a self, out: &mut Vec<&'a str>) {
         match self {
             Predicate::Eq(p, _)
@@ -113,6 +162,89 @@ fn any_leaf(doc: &Document, structural: &str, f: impl Fn(&Value) -> bool) -> boo
     doc.leaves()
         .iter()
         .any(|(p, v)| p.structural_form() == structural && f(v))
+}
+
+/// A comparison predicate prunes a segment iff no populated value class
+/// at the path could contain a satisfying leaf.
+fn cmp_prunes(zone: &ZoneMap, path: &str, op: CmpOp, lit: &Value) -> bool {
+    let z = match zone.paths.get(path) {
+        // No leaf at the path anywhere in the segment: the existential
+        // comparison is false for every document.
+        None => return true,
+        Some(z) => z,
+    };
+    let classes = [
+        (0u8, z.nulls),
+        (1, z.bools),
+        (2, z.numerics),
+        (3, z.strings),
+        (4, z.bytes),
+    ];
+    !classes
+        .iter()
+        .any(|&(rank, count)| count > 0 && class_may_match(z, rank, op, lit))
+}
+
+/// Could *some* value of the given rank class stored at this path satisfy
+/// `op` against `lit`? Errs toward `true` wherever the zone does not
+/// track enough to decide.
+fn class_may_match(z: &PathZone, class_rank: u8, op: CmpOp, lit: &Value) -> bool {
+    let lit_rank = value_rank(lit);
+    if class_rank != lit_rank {
+        // Cross-rank comparisons are a constant of the ranks.
+        return op.admits(class_rank.cmp(&lit_rank));
+    }
+    match class_rank {
+        // Null vs Null is exactly Equal.
+        0 => op.admits(std::cmp::Ordering::Equal),
+        // Bool and Bytes values are not summarized — assume possible.
+        1 | 4 => true,
+        2 => {
+            let f = lit.as_f64().unwrap_or(f64::NAN);
+            let (min, max) = match (z.min, z.max) {
+                (Some(min), Some(max)) => (min, max),
+                _ => return true,
+            };
+            match op {
+                CmpOp::Eq => min.total_cmp(&f).is_le() && max.total_cmp(&f).is_ge(),
+                // Every numeric equals `lit` only when the range collapses
+                // onto it; otherwise some value differs.
+                CmpOp::Ne => !(min.total_cmp(&f).is_eq() && max.total_cmp(&f).is_eq()),
+                CmpOp::Lt => min.total_cmp(&f).is_lt(),
+                CmpOp::Le => min.total_cmp(&f).is_le(),
+                CmpOp::Gt => max.total_cmp(&f).is_gt(),
+                CmpOp::Ge => max.total_cmp(&f).is_ge(),
+            }
+        }
+        3 => {
+            let s = match lit.as_str() {
+                Some(s) => s,
+                None => return true,
+            };
+            match &z.dict {
+                // Too many distinct strings to have kept them all.
+                None => true,
+                Some(dict) => dict.iter().any(|d| op.admits(d.as_str().cmp(s))),
+            }
+        }
+        _ => true,
+    }
+}
+
+fn contains_prunes(z: &PathZone, needle: &str) -> bool {
+    if z.strings == 0 {
+        // `Contains` only ever matches `as_str` values.
+        return true;
+    }
+    match &z.dict {
+        None => false,
+        Some(dict) => {
+            let needle = needle.to_ascii_lowercase();
+            !dict
+                .iter()
+                .any(|d| d.to_ascii_lowercase().contains(&needle))
+        }
+    }
 }
 
 /// Which parts of matching documents to return.
@@ -280,6 +412,11 @@ pub struct ScanMetrics {
     pub bytes_scanned: u64,
     /// Encoded bytes of the result (what would cross the network).
     pub bytes_returned: u64,
+    /// Segments skipped whole via zone maps (never decrypted or
+    /// decompressed).
+    pub segments_skipped: u64,
+    /// Segments whose block was actually loaded and scanned.
+    pub segments_scanned: u64,
 }
 
 impl ScanMetrics {
@@ -289,6 +426,8 @@ impl ScanMetrics {
         self.docs_matched += other.docs_matched;
         self.bytes_scanned += other.bytes_scanned;
         self.bytes_returned += other.bytes_returned;
+        self.segments_skipped += other.segments_skipped;
+        self.segments_scanned += other.segments_scanned;
     }
 }
 
@@ -544,6 +683,77 @@ mod tests {
             aggregate_document(d, &spec, &mut groups);
         }
         assert_eq!(groups[""].finish(AggFunc::Count), Value::Int(2));
+    }
+
+    #[test]
+    fn zone_pruning_is_sound_and_useful() {
+        use crate::memtable::Memtable;
+        use crate::segment::Segment;
+
+        let mut m = Memtable::new();
+        let docs: Vec<Document> = (0..10)
+            .map(|i| doc(100 + i * 40, if i % 2 == 0 { "Volvo" } else { "Saab" }))
+            .collect();
+        for d in &docs {
+            m.put(d);
+        }
+        let seg = Segment::seal(m.drain(), false);
+        let zone = seg.zone_map().expect("zone map").clone();
+
+        let amount = "claim.amount".to_string();
+        let make = "claim.vehicle.make".to_string();
+        let cases = [
+            // (predicate, expected prune)
+            (Predicate::Ge(amount.clone(), Value::Int(1000)), true),
+            (Predicate::Ge(amount.clone(), Value::Int(300)), false),
+            (Predicate::Lt(amount.clone(), Value::Int(100)), true),
+            (Predicate::Le(amount.clone(), Value::Int(100)), false),
+            (Predicate::Eq(make.clone(), Value::Str("BMW".into())), true),
+            (
+                Predicate::Eq(make.clone(), Value::Str("Saab".into())),
+                false,
+            ),
+            (Predicate::Contains(make.clone(), "bmw".into()), true),
+            (Predicate::Contains(make.clone(), "VOL".into()), false),
+            (Predicate::Exists("claim.missing".into()), true),
+            (Predicate::Exists(amount.clone()), false),
+            (Predicate::Ne("claim.missing".into(), Value::Int(1)), true),
+            (Predicate::Ne(amount.clone(), Value::Int(100)), false),
+            // Nothing orders below Null; nothing orders above Bytes here.
+            (Predicate::Lt(amount.clone(), Value::Null), true),
+            (Predicate::Gt(amount.clone(), Value::Bytes(vec![0])), true),
+            // Document-level predicates never prune.
+            (Predicate::CollectionIs("nope".into()), false),
+            (
+                Predicate::Not(Box::new(Predicate::Exists(amount.clone()))),
+                false,
+            ),
+            (
+                Predicate::And(vec![
+                    Predicate::Eq(make.clone(), Value::Str("Saab".into())),
+                    Predicate::Ge(amount.clone(), Value::Int(1000)),
+                ]),
+                true,
+            ),
+            (
+                Predicate::Or(vec![
+                    Predicate::Eq(make.clone(), Value::Str("Saab".into())),
+                    Predicate::Ge(amount.clone(), Value::Int(1000)),
+                ]),
+                false,
+            ),
+            (Predicate::Or(vec![]), true),
+        ];
+        for (pred, want) in &cases {
+            assert_eq!(pred.prunes_zone(&zone), *want, "prune of {pred:?}");
+            if pred.prunes_zone(&zone) {
+                // Soundness: a pruned segment contains no matching doc.
+                assert!(
+                    docs.iter().all(|d| !pred.matches(d)),
+                    "{pred:?} pruned a segment with matches"
+                );
+            }
+        }
     }
 
     #[test]

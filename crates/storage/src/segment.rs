@@ -6,14 +6,118 @@
 //! versioning obviates the need to update all replicas of a document
 //! consistently and synchronously."
 
+use std::collections::{BTreeSet, HashMap};
+
 use bytes::Bytes;
-use impliance_docmodel::{DocId, Document, Version};
+use impliance_docmodel::{DocId, Document, Value, Version};
 
 use crate::codec;
 use crate::compress;
 use crate::crypt;
 use crate::error::StorageError;
 use crate::memtable::MemEntry;
+
+/// Distinct-string cap for a complete per-path dictionary in a zone map.
+pub const ZONE_DICT_MAX: usize = 16;
+
+/// Summary of the leaf values observed at one structural path across a
+/// whole segment, used to skip the segment before decryption/decompression
+/// when a pushed-down predicate provably matches nothing in it.
+///
+/// Counters are split by the `Value` total-order rank (null / bool /
+/// numeric / string / bytes) because every comparison between different
+/// ranks has a constant outcome — that constant is what makes conservative
+/// pruning possible without inspecting values.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PathZone {
+    /// Leaves holding `Value::Null`.
+    pub nulls: u64,
+    /// Leaves holding `Value::Bool`.
+    pub bools: u64,
+    /// Leaves holding numeric-rank values (`Int`/`Float`/`Timestamp`).
+    pub numerics: u64,
+    /// Leaves holding `Value::Str`.
+    pub strings: u64,
+    /// Leaves holding `Value::Bytes`.
+    pub bytes: u64,
+    /// Minimum numeric value (under `f64::total_cmp`), when any exist.
+    pub min: Option<f64>,
+    /// Maximum numeric value (under `f64::total_cmp`), when any exist.
+    pub max: Option<f64>,
+    /// The complete sorted set of distinct strings at this path, present
+    /// only when there are at most [`ZONE_DICT_MAX`] of them. `None`
+    /// means "too many to enumerate" — string pruning is then disabled.
+    pub dict: Option<Vec<String>>,
+}
+
+impl PathZone {
+    fn observe(&mut self, v: &Value, dict: &mut Option<BTreeSet<String>>) {
+        match v {
+            Value::Null => self.nulls += 1,
+            Value::Bool(_) => self.bools += 1,
+            Value::Int(_) | Value::Float(_) | Value::Timestamp(_) => {
+                self.numerics += 1;
+                let f = v.as_f64().unwrap_or(f64::NAN);
+                self.min = Some(match self.min {
+                    Some(m) if m.total_cmp(&f).is_le() => m,
+                    _ => f,
+                });
+                self.max = Some(match self.max {
+                    Some(m) if m.total_cmp(&f).is_ge() => m,
+                    _ => f,
+                });
+            }
+            Value::Str(s) => {
+                self.strings += 1;
+                if let Some(set) = dict {
+                    if set.len() < ZONE_DICT_MAX || set.contains(s) {
+                        set.insert(s.clone());
+                    } else {
+                        *dict = None;
+                    }
+                }
+            }
+            Value::Bytes(_) => self.bytes += 1,
+        }
+    }
+}
+
+/// Per-segment zone map: one [`PathZone`] per structural path observed in
+/// any stored document version. Built at seal time (the only moment the
+/// plaintext is already in hand), so maintenance costs one extra decode
+/// pass per seal and nothing per query.
+#[derive(Debug, Clone, Default)]
+pub struct ZoneMap {
+    /// Structural path → value summary.
+    pub paths: HashMap<String, PathZone>,
+    /// Document versions summarized.
+    pub docs: u64,
+}
+
+impl ZoneMap {
+    fn build(entries: &[MemEntry]) -> Option<ZoneMap> {
+        let mut zone = ZoneMap::default();
+        let mut dicts: HashMap<String, Option<BTreeSet<String>>> = HashMap::new();
+        for e in entries {
+            // A decode failure disables pruning for the whole segment
+            // rather than risking a wrong skip.
+            let (doc, _) = codec::decode_document(&e.encoded, 0).ok()?;
+            zone.docs += 1;
+            for (path, value) in doc.leaves() {
+                let key = path.structural_form();
+                let pz = zone.paths.entry(key.clone()).or_default();
+                let dict = dicts.entry(key).or_insert_with(|| Some(BTreeSet::new()));
+                pz.observe(value, dict);
+            }
+        }
+        for (key, dict) in dicts {
+            if let Some(pz) = zone.paths.get_mut(&key) {
+                pz.dict = dict.map(|set| set.into_iter().collect());
+            }
+        }
+        Some(zone)
+    }
+}
 
 /// Directory entry for one document version inside a segment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +143,9 @@ pub struct Segment {
     /// Encryption key + per-segment nonce, when the block is encrypted.
     encryption: Option<(crypt::Key, u64)>,
     raw_len: usize,
+    /// Value summaries for zone-based skipping; `None` when any entry
+    /// failed to decode at seal time (pruning disabled, scans stay exact).
+    zone_map: Option<ZoneMap>,
 }
 
 impl Segment {
@@ -57,6 +164,7 @@ impl Segment {
         key: Option<crypt::Key>,
         nonce: u64,
     ) -> Segment {
+        let zone_map = ZoneMap::build(&entries);
         let mut directory = Vec::with_capacity(entries.len());
         let mut data = Vec::new();
         for e in entries {
@@ -84,7 +192,13 @@ impl Segment {
             compressed: compress_block,
             encryption,
             raw_len,
+            zone_map,
         }
+    }
+
+    /// The segment's zone map, when one could be built at seal time.
+    pub fn zone_map(&self) -> Option<&ZoneMap> {
+        self.zone_map.as_ref()
     }
 
     /// Number of document versions in the segment.
@@ -216,6 +330,37 @@ mod tests {
         })
         .unwrap();
         assert_eq!(seen, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zone_map_summarizes_paths() {
+        let s = Segment::seal(entries(10), true);
+        let z = s.zone_map().expect("zone map");
+        assert_eq!(z.docs, 10);
+        let x = &z.paths["x"];
+        assert_eq!(x.numerics, 10);
+        assert_eq!(x.min, Some(0.0));
+        assert_eq!(x.max, Some(9.0));
+        assert_eq!(x.strings, 0);
+        let pad = &z.paths["pad"];
+        assert_eq!(pad.strings, 10);
+        let dict = pad.dict.as_ref().expect("small dict stays complete");
+        assert_eq!(dict.len(), 1);
+    }
+
+    #[test]
+    fn zone_dict_gives_up_past_cap() {
+        let mut m = Memtable::new();
+        for i in 0..(ZONE_DICT_MAX as u64 + 5) {
+            let d = DocumentBuilder::new(DocId(i), SourceFormat::Json, "c")
+                .field("tag", format!("tag-{i}"))
+                .build();
+            m.put(&d);
+        }
+        let s = Segment::seal(m.drain(), false);
+        let z = s.zone_map().expect("zone map");
+        assert!(z.paths["tag"].dict.is_none());
+        assert_eq!(z.paths["tag"].strings, ZONE_DICT_MAX as u64 + 5);
     }
 
     #[test]

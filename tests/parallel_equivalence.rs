@@ -55,13 +55,14 @@ impl Fixture {
         self.values.index_document(doc);
     }
 
-    fn ctx(&self) -> ExecContext<'_> {
+    fn ctx(&self, columnar: bool) -> ExecContext<'_> {
         ExecContext {
             storage: &self.storage,
             text_index: &self.text,
             value_index: &self.values,
             join_index: &self.joins,
             pushdown: true,
+            columnar,
         }
     }
 }
@@ -90,21 +91,24 @@ fn render(out: &QueryOutput) -> Vec<String> {
 fn assert_equivalent(f: &Fixture, plan: &LogicalPlan, label: &str) {
     let serial = {
         let opts = ExecutionContext::with_batch_size(BATCH_SIZES[0]);
-        render(&execute_plan_opts(&f.ctx(), plan, &opts).unwrap().0)
+        render(&execute_plan_opts(&f.ctx(false), plan, &opts).unwrap().0)
     };
-    for workers in WORKER_COUNTS {
-        for bs in BATCH_SIZES {
-            let opts = ExecutionContext::with_batch_size(bs).parallelism(workers);
-            let (out, metrics) = execute_plan_opts(&f.ctx(), plan, &opts).unwrap();
-            assert_eq!(
-                render(&out),
-                serial,
-                "{label}: workers {workers} batch_size {bs} diverged from serial"
-            );
-            assert!(
-                metrics.workers_used >= 1,
-                "{label}: workers_used not reported"
-            );
+    for columnar in [false, true] {
+        for workers in WORKER_COUNTS {
+            for bs in BATCH_SIZES {
+                let opts = ExecutionContext::with_batch_size(bs).parallelism(workers);
+                let (out, metrics) = execute_plan_opts(&f.ctx(columnar), plan, &opts).unwrap();
+                assert_eq!(
+                    render(&out),
+                    serial,
+                    "{label}: columnar {columnar} workers {workers} batch_size {bs} \
+                     diverged from serial"
+                );
+                assert!(
+                    metrics.workers_used >= 1,
+                    "{label}: workers_used not reported"
+                );
+            }
         }
     }
 }
@@ -299,6 +303,46 @@ proptest! {
         assert_equivalent(&f, &plan, "sort_limit");
     }
 
+    // Null-heavy and dictionary-encoded columns through the parallel
+    // columnar workers: validity masks and page dictionaries must not
+    // change any row at any (columnar × workers × batch_size) point.
+    #[test]
+    fn parallel_columnar_nulls_and_dictionaries_equal_serial(
+        rows in proptest::collection::vec((any::<bool>(), 0u8..4, 0i64..50), 1..80),
+        pick in 0u8..4,
+        partitions in 2usize..6,
+        seal in 4usize..32,
+    ) {
+        let f = Fixture::new(partitions, seal);
+        for (i, (present, tag, a)) in rows.iter().enumerate() {
+            let b = DocumentBuilder::new(DocId(i as u64), SourceFormat::Json, "c")
+                .field("tag", format!("t{tag}")); // low cardinality → dict
+            let b = if *present { b.field("amount", *a) } else { b };
+            f.put(&b.build());
+        }
+        let project = LogicalPlan::Project {
+            input: Box::new(LogicalPlan::Filter {
+                input: Box::new(scan("c")),
+                alias: "c".into(),
+                predicate: Predicate::Eq("tag".into(), Value::Str(format!("t{pick}"))),
+            }),
+            columns: vec![
+                ("c".into(), "tag".into(), "tag".into()),
+                ("c".into(), "amount".into(), "amount".into()),
+            ],
+        };
+        assert_equivalent(&f, &project, "columnar_dict_project");
+        let agg = LogicalPlan::GroupAgg {
+            input: Box::new(scan("c")),
+            group_by: Some(("c".into(), "tag".into())),
+            aggs: vec![
+                AggItem { func: AggFunc::Sum, operand: Some("amount".into()), output: "total".into() },
+                AggItem { func: AggFunc::Count, operand: None, output: "n".into() },
+            ],
+        };
+        assert_equivalent(&f, &agg, "columnar_null_agg");
+    }
+
     // Request-level limit on a bare scan: the merged prefix must equal
     // the serial prefix exactly (partition-order concatenation).
     #[test]
@@ -318,7 +362,7 @@ proptest! {
         let plan = scan("c");
         let serial = {
             let opts = ExecutionContext { limit: Some(n), ..ExecutionContext::with_batch_size(1) };
-            render(&execute_plan_opts(&f.ctx(), &plan, &opts).unwrap().0)
+            render(&execute_plan_opts(&f.ctx(true), &plan, &opts).unwrap().0)
         };
         for workers in WORKER_COUNTS {
             for bs in BATCH_SIZES {
@@ -327,7 +371,7 @@ proptest! {
                     ..ExecutionContext::with_batch_size(bs)
                 }
                 .parallelism(workers);
-                let (out, m) = execute_plan_opts(&f.ctx(), &plan, &opts).unwrap();
+                let (out, m) = execute_plan_opts(&f.ctx(true), &plan, &opts).unwrap();
                 prop_assert_eq!(out.len(), n.min(amounts.len()));
                 prop_assert_eq!(m.rows_out as usize, out.len());
                 prop_assert_eq!(

@@ -52,13 +52,14 @@ impl Fixture {
         self.values.index_document(doc);
     }
 
-    fn ctx(&self) -> ExecContext<'_> {
+    fn ctx(&self, columnar: bool) -> ExecContext<'_> {
         ExecContext {
             storage: &self.storage,
             text_index: &self.text,
             value_index: &self.values,
             join_index: &self.joins,
             pushdown: true,
+            columnar,
         }
     }
 }
@@ -72,13 +73,37 @@ fn scan(collection: &str) -> LogicalPlan {
     }
 }
 
-fn run(f: &Fixture, plan: &LogicalPlan, batch_size: usize) -> QueryOutput {
+fn run_mode(f: &Fixture, plan: &LogicalPlan, batch_size: usize, columnar: bool) -> QueryOutput {
     let opts = ExecutionContext {
         batch_size,
         limit: None,
         ..ExecutionContext::default()
     };
-    execute_plan_opts(&f.ctx(), plan, &opts).unwrap().0
+    execute_plan_opts(&f.ctx(columnar), plan, &opts).unwrap().0
+}
+
+fn run(f: &Fixture, plan: &LogicalPlan, batch_size: usize) -> QueryOutput {
+    run_mode(f, plan, batch_size, true)
+}
+
+/// Assert the columnar (vectorized) pipeline and the row pipeline return
+/// identical row sequences at every batch size, and return the row-path
+/// serial baseline for oracle checks.
+fn assert_columnar_matches_rows(f: &Fixture, plan: &LogicalPlan) -> QueryOutput {
+    let baseline = run_mode(f, plan, BATCH_SIZES[0], false);
+    for bs in BATCH_SIZES {
+        assert_eq!(
+            render(&run_mode(f, plan, bs, true)),
+            render(&baseline),
+            "columnar batch_size {bs}"
+        );
+        assert_eq!(
+            render(&run_mode(f, plan, bs, false)),
+            render(&baseline),
+            "row batch_size {bs}"
+        );
+    }
+    baseline
 }
 
 /// Render an output in a batch-size-independent but order-sensitive way.
@@ -116,10 +141,7 @@ proptest! {
             }),
             columns: vec![("c".into(), "amount".into(), "amount".into())],
         };
-        let baseline = run(&f, &plan, BATCH_SIZES[0]);
-        for bs in &BATCH_SIZES[1..] {
-            prop_assert_eq!(render(&run(&f, &plan, *bs)), render(&baseline), "batch_size {}", bs);
-        }
+        let baseline = assert_columnar_matches_rows(&f, &plan);
         // naive oracle: multiset of qualifying amounts
         let mut expected: Vec<i64> = amounts.iter().copied().filter(|a| *a >= threshold).collect();
         expected.sort_unstable();
@@ -199,10 +221,7 @@ proptest! {
                 output: "total".into(),
             }],
         };
-        let baseline = run(&f, &plan, BATCH_SIZES[0]);
-        for bs in &BATCH_SIZES[1..] {
-            prop_assert_eq!(render(&run(&f, &plan, *bs)), render(&baseline), "batch_size {}", bs);
-        }
+        let baseline = assert_columnar_matches_rows(&f, &plan);
         // oracle: per-tag sums computed directly
         let mut expected: std::collections::BTreeMap<String, f64> = Default::default();
         for (tag, amount) in &rows {
@@ -270,6 +289,97 @@ proptest! {
     }
 
     #[test]
+    fn columnar_matches_rows_on_null_heavy_columns(
+        rows in proptest::collection::vec((any::<bool>(), 0i64..50), 1..60),
+        threshold in 0i64..50,
+        partitions in 1usize..5,
+        seal in 4usize..32,
+    ) {
+        let f = Fixture::new(partitions, seal);
+        // `amount` is present on roughly half the documents; the rest
+        // decode as Null in the column's validity mask.
+        for (i, (present, a)) in rows.iter().enumerate() {
+            let b = DocumentBuilder::new(DocId(i as u64), SourceFormat::Json, "c")
+                .field("tag", format!("t{}", i % 3));
+            let b = if *present { b.field("amount", *a) } else { b };
+            f.put(&b.build());
+        }
+        let project = LogicalPlan::Project {
+            input: Box::new(LogicalPlan::Filter {
+                input: Box::new(scan("c")),
+                alias: "c".into(),
+                predicate: Predicate::Lt("amount".into(), Value::Int(threshold)),
+            }),
+            columns: vec![
+                ("c".into(), "amount".into(), "amount".into()),
+                ("c".into(), "missing".into(), "missing".into()),
+            ],
+        };
+        let baseline = assert_columnar_matches_rows(&f, &project);
+        // oracle: Null amounts never satisfy a comparison
+        let expected = rows.iter().filter(|(p, a)| *p && *a < threshold).count();
+        prop_assert_eq!(baseline.len(), expected);
+
+        let agg = LogicalPlan::GroupAgg {
+            input: Box::new(scan("c")),
+            group_by: Some(("c".into(), "tag".into())),
+            aggs: vec![AggItem {
+                func: AggFunc::Sum,
+                operand: Some("amount".into()),
+                output: "total".into(),
+            }],
+        };
+        assert_columnar_matches_rows(&f, &agg);
+    }
+
+    #[test]
+    fn columnar_matches_rows_on_dictionary_encoded_strings(
+        tags in proptest::collection::vec(0u8..4, 1..80),
+        pick in 0u8..4,
+        partitions in 1usize..5,
+        seal in 4usize..32,
+    ) {
+        let f = Fixture::new(partitions, seal);
+        // Low-cardinality string column → page-level dictionary encoding.
+        for (i, t) in tags.iter().enumerate() {
+            f.put(
+                &DocumentBuilder::new(DocId(i as u64), SourceFormat::Json, "c")
+                    .field("tag", format!("t{t}"))
+                    .field("amount", i as i64)
+                    .build(),
+            );
+        }
+        let plan = LogicalPlan::Project {
+            input: Box::new(LogicalPlan::Filter {
+                input: Box::new(scan("c")),
+                alias: "c".into(),
+                predicate: Predicate::Eq("tag".into(), Value::Str(format!("t{pick}"))),
+            }),
+            columns: vec![
+                ("c".into(), "tag".into(), "tag".into()),
+                ("c".into(), "amount".into(), "amount".into()),
+            ],
+        };
+        let baseline = assert_columnar_matches_rows(&f, &plan);
+        let expected = tags.iter().filter(|t| **t == pick).count();
+        prop_assert_eq!(baseline.len(), expected);
+
+        let agg = LogicalPlan::GroupAgg {
+            input: Box::new(LogicalPlan::Filter {
+                input: Box::new(scan("c")),
+                alias: "c".into(),
+                predicate: Predicate::Ne("tag".into(), Value::Str(format!("t{pick}"))),
+            }),
+            group_by: Some(("c".into(), "tag".into())),
+            aggs: vec![
+                AggItem { func: AggFunc::Count, operand: None, output: "n".into() },
+                AggItem { func: AggFunc::Max, operand: Some("amount".into()), output: "hi".into() },
+            ],
+        };
+        assert_columnar_matches_rows(&f, &agg);
+    }
+
+    #[test]
     fn request_limit_is_a_prefix_of_the_unlimited_result(
         amounts in proptest::collection::vec(0i64..100, 1..60),
         n in 0usize..70,
@@ -286,7 +396,7 @@ proptest! {
         let unlimited = render(&run(&f, &plan, 7));
         for bs in BATCH_SIZES {
             let opts = ExecutionContext { batch_size: bs, limit: Some(n), ..ExecutionContext::default() };
-            let (out, m) = execute_plan_opts(&f.ctx(), &plan, &opts).unwrap();
+            let (out, m) = execute_plan_opts(&f.ctx(true), &plan, &opts).unwrap();
             prop_assert_eq!(out.len(), n.min(amounts.len()));
             prop_assert_eq!(m.rows_out as usize, out.len());
             prop_assert_eq!(render(&out), unlimited[..n.min(amounts.len())].to_vec());
