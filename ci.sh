@@ -73,4 +73,32 @@ for f in BENCH_exec.json BENCH_chaos.json BENCH_parallel.json BENCH_columnar.jso
   fi
 done
 
+# Smoke the concurrent-ingest bench: emits BENCH_ingest.json and fails
+# unless (a) readers at pinned snapshots never observe a torn annotation
+# set while the background annotator is killed and restarted mid-drain,
+# and the quiesced annotation sets equal the fault-free reference at
+# every fault setting, (b) lazy version GC reclaims sustained overwrite
+# exactly down to the live set — while a pinned snapshot provably holds
+# the low-watermark back — and (c) concurrent readers stay both
+# consistent and un-starved (the rate gate applies only on >=4-core
+# hosts; host_cores is recorded in the JSON).
+echo "==> ingest_bench smoke (BENCH_ingest.json)"
+cargo run -q --release -p impliance-bench --bin ingest_bench >/dev/null
+if [ ! -s BENCH_ingest.json ]; then
+  echo "FAIL: ingest_bench did not emit BENCH_ingest.json" >&2
+  exit 1
+fi
+
+# Every PR must append its one-line summary to CHANGES.md: the file must
+# have gained a line relative to the previous commit, or carry uncommitted
+# additions for the PR in progress. (Skipped on a root commit.)
+echo "==> CHANGES.md gained a line"
+if git rev-parse --verify -q HEAD~1 >/dev/null; then
+  if ! git diff --name-only HEAD~1..HEAD -- CHANGES.md | grep -q CHANGES.md \
+    && ! git status --porcelain -- CHANGES.md | grep -q CHANGES.md; then
+    echo "FAIL: CHANGES.md did not gain a line for this change" >&2
+    exit 1
+  fi
+fi
+
 echo "CI gate passed"

@@ -303,6 +303,9 @@ fn sink_call(call: &CallSite) -> Option<&'static str> {
             Some("Network::transmit")
         }
         "recv" | "recv_timeout" if call.is_method => Some("channel recv"),
+        // The change-feed poll: holding an unrelated guard across it
+        // serializes ingest commits against the annotation worker.
+        "recv_changes" if call.is_method => Some("change-feed recv"),
         "sleep" if call.is_method || call.qualifier.as_deref() == Some("BackoffClock") => {
             Some("BackoffClock::sleep")
         }

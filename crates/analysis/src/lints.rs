@@ -103,6 +103,10 @@ impl LintConfig {
                 crate::iplints::EntrySpec::method("Impliance", "query"),
                 crate::iplints::EntrySpec::trait_impl("Operator", "next_batch"),
                 crate::iplints::EntrySpec::free("dist_scan_resilient"),
+                // The background annotation worker: a panic here kills
+                // incremental discovery, so its reachable-panic surface
+                // is audited like the query entry points.
+                crate::iplints::EntrySpec::method("DiscoveryPipeline", "run_incremental"),
             ],
             l10_worker_files: vec!["crates/query/src/parallel.rs".into()],
             l12_design_doc: "DESIGN.md".into(),

@@ -19,9 +19,11 @@
 //! * [`resolve`] — entity resolution across documents (blocking +
 //!   Jaro-Winkler similarity), emitting relationships for join indexes.
 //! * [`annotator`] — the annotator abstraction and the built-in set.
-//! * [`pipeline`] — the asynchronous discovery pipeline: annotators run in
-//!   the background, *after* ingestion, never blocking it (experiment C3
-//!   quantifies why).
+//! * [`pipeline`] — the incremental background discovery worker:
+//!   annotators consume the storage change feed *after* ingestion, never
+//!   blocking it (experiment C3 quantifies why), committing each
+//!   document's annotation set atomically and surfacing a freshness
+//!   watermark.
 
 pub mod annotator;
 pub mod pipeline;
@@ -31,7 +33,10 @@ pub mod schema_map;
 pub mod sentiment;
 
 pub use annotator::{Annotation, Annotator, EntityAnnotator, SentimentAnnotator};
-pub use pipeline::{DiscoveryPipeline, DiscoverySink, DiscoveryStats, DocSource};
+pub use pipeline::{
+    ChangeItem, ChangeSource, DiscoveryPipeline, DiscoverySink, DiscoveryStats, DocSource,
+    KillPoint, MemFeed, NoFaults, WorkerFaults,
+};
 pub use resolve::{jaro_winkler, EntityResolver};
 pub use scan::{scan_entities, EntityKind, EntityMention};
 pub use schema_map::{SchemaMapper, UnifiedAttribute, UnifiedSchema};

@@ -1,4 +1,4 @@
-//! The asynchronous discovery pipeline.
+//! The incremental background discovery worker.
 //!
 //! §3.2: "this indexing need not take place as part of the same
 //! transaction that infused that document initially … All data entering
@@ -8,18 +8,29 @@
 //! inter-document analyses (entity resolution) on grid nodes, and
 //! consistent persistence on cluster nodes.
 //!
-//! The pipeline mirrors that staging: documents are enqueued at ingestion;
-//! `drain()` (called from a background worker or a bench harness) runs the
-//! annotators, feeds mentions to the cross-document resolver, and hands
-//! annotation documents plus discovered relationships to a
-//! [`DiscoverySink`].
+//! The worker consumes a **change feed** ([`ChangeSource`]): an
+//! epoch-ordered log of committed `DocId`s behind a resumable cursor.
+//! For each change it fetches the document *at the change's commit epoch*
+//! ([`DocSource::fetch_at`]), runs the annotators, and hands the
+//! document's complete annotation set to
+//! [`DiscoverySink::commit_annotations`] — one atomic commit, one epoch
+//! bump — so no reader at any snapshot ever observes a half-annotated
+//! document. The cursor is acked only after the commit lands; a worker
+//! killed mid-step ([`WorkerFaults`]) replays from its last ack, and an
+//! idempotence set keyed on `(DocId, Version)` suppresses duplicate
+//! annotation sets on replay.
+//!
+//! The worker's **freshness watermark** ([`DiscoveryPipeline::annotation_epoch`])
+//! is the newest epoch whose commits have all been consumed; query
+//! surfaces report it against the latest storage epoch so callers can see
+//! how far background discovery lags ingest.
 
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use impliance_docmodel::{DocId, Document};
-use impliance_obs::Counter;
+use impliance_docmodel::{DocId, Document, Version};
+use impliance_obs::{Counter, Gauge};
 use parking_lot::Mutex;
 
 use crate::annotator::Annotator;
@@ -29,6 +40,9 @@ use crate::resolve::EntityResolver;
 struct PipelineObs {
     docs_scanned: Arc<Counter>,
     annotations_emitted: Arc<Counter>,
+    feed_consumed: Arc<Counter>,
+    feed_commits: Arc<Counter>,
+    feed_lag: Arc<Gauge>,
 }
 
 fn pipeline_obs() -> &'static PipelineObs {
@@ -38,15 +52,44 @@ fn pipeline_obs() -> &'static PipelineObs {
         PipelineObs {
             docs_scanned: m.counter("annotate.docs_scanned"),
             annotations_emitted: m.counter("annotate.annotations_emitted"),
+            feed_consumed: m.counter("annotate.feed.consumed"),
+            feed_commits: m.counter("annotate.feed.commits"),
+            feed_lag: m.gauge("annotate.feed.lag"),
         }
     })
+}
+
+/// One committed document change handed to the worker, in commit order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChangeItem {
+    /// Epoch of the commit that wrote this version.
+    pub epoch: u64,
+    /// The document written.
+    pub id: DocId,
+}
+
+/// The change feed the worker consumes (implemented by the appliance over
+/// `StorageEngine`'s epoch feed).
+pub trait ChangeSource: Send + Sync {
+    /// Replayable read of up to `max` changes at/after the absolute
+    /// `cursor`; returns the records and the next cursor. Empty result
+    /// means the feed is drained at this cursor.
+    fn recv_changes(&self, cursor: u64, max: usize) -> (Vec<ChangeItem>, u64);
+    /// Durably acknowledge every record below `cursor` — the worker will
+    /// never replay them.
+    fn ack_changes(&self, cursor: u64);
+    /// The newest committed epoch (for the freshness lag gauge).
+    fn latest_epoch(&self) -> u64;
 }
 
 /// Where the pipeline reads documents from (implemented by the appliance
 /// over its storage engine).
 pub trait DocSource: Send + Sync {
-    /// Fetch the latest version of a document.
-    fn fetch(&self, id: DocId) -> Option<Document>;
+    /// Fetch the newest version of `id` visible at `epoch` — the worker
+    /// passes the change's commit epoch so its read set is consistent
+    /// with the commit it is annotating, regardless of concurrent
+    /// overwrites. `u64::MAX` reads the unpinned latest.
+    fn fetch_at(&self, id: DocId, epoch: u64) -> Option<Document>;
 }
 
 /// Where the pipeline writes its discoveries (implemented by the appliance:
@@ -57,6 +100,47 @@ pub trait DiscoverySink: Send + Sync {
     fn store_annotation(&self, annotation: Document);
     /// Record a discovered relationship.
     fn add_relationship(&self, from: DocId, to: DocId, label: &str);
+    /// Atomically persist one source document's *complete* annotation
+    /// set. Epoch-aware sinks override this to commit all documents in a
+    /// single epoch bump (no snapshot can tear the set); the default
+    /// stores them one at a time for simple in-memory sinks.
+    fn commit_annotations(&self, annotations: Vec<Document>) {
+        for a in annotations {
+            self.store_annotation(a);
+        }
+    }
+}
+
+/// Where the worker may be killed by a fault schedule (cooperative crash
+/// points, in per-document order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillPoint {
+    /// After fetching the document, before running annotators.
+    AfterFetch,
+    /// After building the annotation set, before the atomic commit.
+    BeforeCommit,
+    /// After the commit landed, before the cursor is acked.
+    AfterCommit,
+}
+
+/// Fault injection for the background worker: the chaos harness returns
+/// `true` to kill the worker at a crash point. Killing means
+/// [`DiscoveryPipeline::run_incremental`] returns immediately *without
+/// acking* the in-flight change, exactly like a crash between the
+/// worker's durable checkpoints.
+pub trait WorkerFaults {
+    /// `step` counts crash-point visits since the pipeline was created
+    /// (deterministic under a fixed ingest schedule).
+    fn kill_at(&self, point: KillPoint, step: u64) -> bool;
+}
+
+/// The default schedule: never kill.
+pub struct NoFaults;
+
+impl WorkerFaults for NoFaults {
+    fn kill_at(&self, _point: KillPoint, _step: u64) -> bool {
+        false
+    }
 }
 
 /// Counters describing pipeline progress.
@@ -72,13 +156,35 @@ pub struct DiscoveryStats {
     pub relationships: u64,
 }
 
+/// Volatile vs. durable worker state: `cursor` models the durable
+/// checkpoint (advanced only by ack); everything processed since the last
+/// ack is replayed after a kill. The `annotated` set makes replays
+/// idempotent — a real deployment would rebuild it from the annotation
+/// collections at recovery (each annotation names its subject + the
+/// subject's version).
+#[derive(Debug, Default)]
+struct WorkerState {
+    /// Last acked absolute feed cursor (resume point after a kill).
+    cursor: u64,
+    /// Epoch of the newest consumed change record.
+    last_epoch: u64,
+    /// Freshness watermark: every commit at or below this epoch has been
+    /// consumed (annotated or skipped).
+    annotation_epoch: u64,
+    /// `(subject, version)` pairs whose annotation sets already
+    /// committed; suppresses duplicates when a kill forces a replay.
+    annotated: HashSet<(DocId, Version)>,
+    /// Crash-point visits so far (drives deterministic fault schedules).
+    steps: u64,
+}
+
 /// The discovery pipeline.
 pub struct DiscoveryPipeline {
     annotators: Vec<Box<dyn Annotator>>,
-    queue: Mutex<VecDeque<DocId>>,
     resolver: Mutex<EntityResolver>,
     next_annotation_id: Arc<AtomicU64>,
     stats: Mutex<DiscoveryStats>,
+    worker: Mutex<WorkerState>,
 }
 
 impl DiscoveryPipeline {
@@ -93,22 +199,23 @@ impl DiscoveryPipeline {
     ) -> DiscoveryPipeline {
         DiscoveryPipeline {
             annotators,
-            queue: Mutex::new(VecDeque::new()),
             resolver: Mutex::new(EntityResolver::new(resolution_threshold)),
             next_annotation_id: id_allocator,
             stats: Mutex::new(DiscoveryStats::default()),
+            worker: Mutex::new(WorkerState::default()),
         }
     }
 
-    /// Enqueue a document for background analysis. O(1); called from the
-    /// ingestion path.
-    pub fn enqueue(&self, id: DocId) {
-        self.queue.lock().push_back(id);
+    /// The worker's resume cursor (last acked feed position).
+    pub fn cursor(&self) -> u64 {
+        self.worker.lock().cursor
     }
 
-    /// Pending queue length.
-    pub fn pending(&self) -> usize {
-        self.queue.lock().len()
+    /// The freshness watermark: every ingest commit at or below this
+    /// epoch has had its annotation set committed (or was skipped — e.g.
+    /// annotation documents themselves).
+    pub fn annotation_epoch(&self) -> u64 {
+        self.worker.lock().annotation_epoch
     }
 
     /// Progress counters.
@@ -116,38 +223,145 @@ impl DiscoveryPipeline {
         *self.stats.lock()
     }
 
-    /// Process up to `budget` queued documents (all if `None`). Returns
-    /// how many were processed. This is the unit of work a background
-    /// worker schedules between interactive queries (§3.4 execution
-    /// management); benches call it directly for determinism.
-    pub fn drain(
+    /// Consume up to `budget` change records (all available if `None`)
+    /// from `changes`, annotating each committed document version once.
+    /// Returns how many records were consumed. This is the unit of work a
+    /// background worker schedules between interactive queries (§3.4
+    /// execution management); benches call it directly for determinism.
+    ///
+    /// The loop per record: fetch the document at the record's commit
+    /// epoch → run annotators → commit the full annotation set atomically
+    /// → record relationships → ack the cursor. `faults` may kill the
+    /// worker between any of those steps; an unacked record replays on
+    /// the next call.
+    pub fn run_incremental(
         &self,
+        changes: &dyn ChangeSource,
         source: &dyn DocSource,
         sink: &dyn DiscoverySink,
         budget: Option<usize>,
+        faults: &dyn WorkerFaults,
     ) -> usize {
-        let mut processed = 0usize;
+        let obs = pipeline_obs();
+        let mut consumed = 0usize;
         loop {
             if let Some(b) = budget {
-                if processed >= b {
+                if consumed >= b {
                     break;
                 }
             }
-            let next = self.queue.lock().pop_front();
-            let Some(id) = next else { break };
-            if let Some(doc) = source.fetch(id) {
-                self.process_document(&doc, sink);
+            let cursor = self.worker.lock().cursor;
+            // One record at a time: the ack after each record is the
+            // worker's durable checkpoint, so a kill loses (and replays)
+            // at most one document's work.
+            let (batch, next) = changes.recv_changes(cursor, 1);
+            let Some(item) = batch.into_iter().next() else {
+                // Drained: everything at or below the newest consumed
+                // epoch is now annotated. (Deliberately `last_epoch`, not
+                // `latest_epoch()` — a commit can land between the empty
+                // recv and this line.)
+                let mut w = self.worker.lock();
+                w.annotation_epoch = w.annotation_epoch.max(w.last_epoch);
+                break;
+            };
+            if !self.consume_change(item, source, sink, faults) {
+                break; // killed — no ack, the record replays next run
             }
-            processed += 1;
+            {
+                let mut w = self.worker.lock();
+                w.cursor = next;
+                // The feed is epoch-ordered, so reaching epoch `e` means
+                // every epoch below `e` is fully consumed.
+                w.annotation_epoch = w.annotation_epoch.max(item.epoch.saturating_sub(1));
+                w.last_epoch = w.last_epoch.max(item.epoch);
+            }
+            changes.ack_changes(next);
+            obs.feed_consumed.inc();
+            consumed += 1;
         }
-        processed
+        let lag = changes
+            .latest_epoch()
+            .saturating_sub(self.annotation_epoch());
+        obs.feed_lag.set(lag as i64);
+        consumed
     }
 
-    /// Run annotators and resolution for one document (public so node
-    /// tasks can run stages directly on data/grid nodes).
-    pub fn process_document(&self, doc: &Document, sink: &dyn DiscoverySink) {
+    /// Process one change record end to end. Returns `false` if a fault
+    /// killed the worker (the caller must not ack).
+    fn consume_change(
+        &self,
+        item: ChangeItem,
+        source: &dyn DocSource,
+        sink: &dyn DiscoverySink,
+        faults: &dyn WorkerFaults,
+    ) -> bool {
+        // Fetch at the record's commit epoch: if a later overwrite (with
+        // its own feed record) superseded this version and GC reclaimed
+        // it, the fetch misses and we skip — the successor record covers
+        // the document.
+        let doc = source.fetch_at(item.id, item.epoch);
+        if self.killed(KillPoint::AfterFetch, faults) {
+            return false;
+        }
+        let Some(doc) = doc else { return true };
+        // Annotation documents are indexed like any other document but
+        // not re-annotated (no annotation-of-annotation loop).
+        if doc.subject().is_some() {
+            return true;
+        }
+        let key = (doc.id(), doc.version());
+        if self.worker.lock().annotated.contains(&key) {
+            return true; // replay after a post-commit kill: already done
+        }
+        let (annotations, edges, mention_count) = self.annotate_document(&doc);
+        let produced = annotations.len() as u64;
+        if self.killed(KillPoint::BeforeCommit, faults) {
+            return false; // nothing persisted; replay recomputes
+        }
+        // The whole annotation set lands in ONE commit (one epoch bump):
+        // a reader at any snapshot sees none of it or all of it.
+        sink.commit_annotations(annotations);
+        self.worker.lock().annotated.insert(key);
+        for (from, to, label) in &edges {
+            sink.add_relationship(*from, *to, label);
+        }
+        let obs = pipeline_obs();
+        obs.docs_scanned.inc();
+        obs.annotations_emitted.add(produced);
+        obs.feed_commits.inc();
+        let mut stats = self.stats.lock();
+        stats.docs_processed += 1;
+        stats.annotations += produced;
+        stats.mentions += mention_count as u64;
+        stats.relationships += edges.len() as u64;
+        drop(stats);
+        // Killed here: the commit landed but the cursor was not acked.
+        // The replay finds `key` in the idempotence set and just acks.
+        !self.killed(KillPoint::AfterCommit, faults)
+    }
+
+    /// Visit one crash point: bump the step counter and consult the
+    /// fault schedule.
+    fn killed(&self, point: KillPoint, faults: &dyn WorkerFaults) -> bool {
+        let step = {
+            let mut w = self.worker.lock();
+            w.steps += 1;
+            w.steps
+        };
+        faults.kill_at(point, step)
+    }
+
+    /// Run annotators and entity resolution for one document, returning
+    /// the annotation documents, the relationship edges to record after
+    /// they commit, and the mention count. Pure with respect to the sink:
+    /// nothing is persisted here, so a pre-commit kill loses no state.
+    fn annotate_document(
+        &self,
+        doc: &Document,
+    ) -> (Vec<Document>, Vec<(DocId, DocId, String)>, usize) {
         let mut all_mentions = Vec::new();
-        let mut produced = 0u64;
+        let mut annotations = Vec::new();
+        let mut edges = Vec::new();
         for annotator in &self.annotators {
             if !annotator.interested(doc) {
                 continue;
@@ -155,23 +369,36 @@ impl DiscoveryPipeline {
             for annotation in annotator.annotate(doc) {
                 let ann_id = DocId(self.next_annotation_id.fetch_add(1, Ordering::Relaxed));
                 let collection = format!("annotations.{}", annotation.kind);
-                let ann_doc = Document::annotation(
+                annotations.push(Document::annotation(
                     ann_id,
                     doc.id(),
                     collection,
                     doc.ingested_at(),
                     annotation.body,
-                );
-                sink.store_annotation(ann_doc);
-                sink.add_relationship(ann_id, doc.id(), "annotates");
-                produced += 1;
+                ));
+                edges.push((ann_id, doc.id(), "annotates".to_string()));
                 all_mentions.extend(annotation.mentions);
             }
         }
         // Inter-document stage: resolve entities against everything seen.
         let links = self.resolver.lock().observe(doc.id(), &all_mentions);
         for link in &links {
-            sink.add_relationship(link.a, link.b, &format!("same-{}", link.kind.name()));
+            edges.push((link.a, link.b, format!("same-{}", link.kind.name())));
+        }
+        let mentions = all_mentions.len();
+        (annotations, edges, mentions)
+    }
+
+    /// Run annotators and resolution for one document against `sink`
+    /// directly, bypassing the change feed (node tasks on data/grid nodes
+    /// run stages this way; the feed-driven path is
+    /// [`DiscoveryPipeline::run_incremental`]).
+    pub fn process_document(&self, doc: &Document, sink: &dyn DiscoverySink) {
+        let (annotations, edges, mention_count) = self.annotate_document(doc);
+        let produced = annotations.len() as u64;
+        sink.commit_annotations(annotations);
+        for (from, to, label) in &edges {
+            sink.add_relationship(*from, *to, label);
         }
         let obs = pipeline_obs();
         obs.docs_scanned.inc();
@@ -179,8 +406,70 @@ impl DiscoveryPipeline {
         let mut stats = self.stats.lock();
         stats.docs_processed += 1;
         stats.annotations += produced;
-        stats.mentions += all_mentions.len() as u64;
-        stats.relationships += links.len() as u64 + produced; // annotates edges too
+        stats.mentions += mention_count as u64;
+        stats.relationships += edges.len() as u64;
+    }
+}
+
+/// An in-memory [`ChangeSource`] for tests and single-process harnesses:
+/// a `VecDeque` feed with the same absolute-cursor/ack contract as the
+/// storage engine's epoch feed.
+#[derive(Debug, Default)]
+pub struct MemFeed {
+    inner: Mutex<MemFeedInner>,
+}
+
+#[derive(Debug, Default)]
+struct MemFeedInner {
+    base: u64,
+    entries: VecDeque<ChangeItem>,
+    latest_epoch: u64,
+}
+
+impl MemFeed {
+    /// Append one commit's records.
+    pub fn append(&self, epoch: u64, ids: impl IntoIterator<Item = DocId>) {
+        let mut inner = self.inner.lock();
+        for id in ids {
+            inner.entries.push_back(ChangeItem { epoch, id });
+        }
+        inner.latest_epoch = inner.latest_epoch.max(epoch);
+    }
+
+    /// Unacked backlog length.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// True when no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl ChangeSource for MemFeed {
+    fn recv_changes(&self, cursor: u64, max: usize) -> (Vec<ChangeItem>, u64) {
+        let inner = self.inner.lock();
+        let start = cursor.max(inner.base);
+        let skip = (start - inner.base) as usize;
+        let out: Vec<ChangeItem> = inner.entries.iter().skip(skip).take(max).copied().collect();
+        let next = start + out.len() as u64;
+        (out, next)
+    }
+
+    fn ack_changes(&self, cursor: u64) {
+        let mut inner = self.inner.lock();
+        while inner.base < cursor {
+            if inner.entries.pop_front().is_none() {
+                inner.base = cursor;
+                return;
+            }
+            inner.base += 1;
+        }
+    }
+
+    fn latest_epoch(&self) -> u64 {
+        self.inner.lock().latest_epoch
     }
 }
 
@@ -197,10 +486,11 @@ mod tests {
         docs: RwLock<HashMap<DocId, Document>>,
         annotations: RwLock<Vec<Document>>,
         edges: RwLock<Vec<(DocId, DocId, String)>>,
+        commits: RwLock<Vec<usize>>,
     }
 
     impl DocSource for MemStore {
-        fn fetch(&self, id: DocId) -> Option<Document> {
+        fn fetch_at(&self, id: DocId, _epoch: u64) -> Option<Document> {
             self.docs.read().get(&id).cloned()
         }
     }
@@ -211,6 +501,12 @@ mod tests {
         }
         fn add_relationship(&self, from: DocId, to: DocId, label: &str) {
             self.edges.write().push((from, to, label.to_string()));
+        }
+        fn commit_annotations(&self, annotations: Vec<Document>) {
+            self.commits.write().push(annotations.len());
+            for a in annotations {
+                self.store_annotation(a);
+            }
         }
     }
 
@@ -228,20 +524,27 @@ mod tests {
             .build()
     }
 
-    #[test]
-    fn drain_processes_queue_and_stores_annotations() {
+    fn store_with(docs: &[Document]) -> (MemStore, MemFeed) {
         let store = MemStore::default();
-        let d = doc(
+        let feed = MemFeed::default();
+        for (i, d) in docs.iter().enumerate() {
+            feed.append(i as u64 + 1, [d.id()]);
+            store.docs.write().insert(d.id(), d.clone());
+        }
+        (store, feed)
+    }
+
+    #[test]
+    fn drain_consumes_feed_and_stores_annotations() {
+        let (store, feed) = store_with(&[doc(
             1,
             "Grace Hopper is very happy with product BX-1042, thanks!",
-        );
-        store.docs.write().insert(DocId(1), d);
+        )]);
         let p = pipeline();
-        p.enqueue(DocId(1));
-        assert_eq!(p.pending(), 1);
-        let n = p.drain(&store, &store, None);
+        let n = p.run_incremental(&feed, &store, &store, None, &NoFaults);
         assert_eq!(n, 1);
-        assert_eq!(p.pending(), 0);
+        assert!(feed.is_empty(), "consumed records are acked away");
+        assert_eq!(p.annotation_epoch(), 1, "watermark reaches the commit");
         let anns = store.annotations.read();
         // entity + sentiment annotations
         assert_eq!(anns.len(), 2);
@@ -252,6 +555,8 @@ mod tests {
         assert!(anns
             .iter()
             .any(|a| a.collection() == "annotations.sentiment"));
+        // one atomic commit holding the whole annotation set
+        assert_eq!(*store.commits.read(), vec![2]);
         // every annotation has an "annotates" edge
         let edges = store.edges.read();
         assert_eq!(edges.iter().filter(|(_, _, l)| l == "annotates").count(), 2);
@@ -259,19 +564,12 @@ mod tests {
 
     #[test]
     fn cross_document_resolution_links_shared_entities() {
-        let store = MemStore::default();
-        store
-            .docs
-            .write()
-            .insert(DocId(1), doc(1, "Call from Grace Hopper about a refund"));
-        store
-            .docs
-            .write()
-            .insert(DocId(2), doc(2, "Grace Hopper bought product AX-99 again"));
+        let (store, feed) = store_with(&[
+            doc(1, "Call from Grace Hopper about a refund"),
+            doc(2, "Grace Hopper bought product AX-99 again"),
+        ]);
         let p = pipeline();
-        p.enqueue(DocId(1));
-        p.enqueue(DocId(2));
-        p.drain(&store, &store, None);
+        p.run_incremental(&feed, &store, &store, None, &NoFaults);
         let edges = store.edges.read();
         assert!(
             edges
@@ -283,41 +581,41 @@ mod tests {
 
     #[test]
     fn budget_limits_work_per_drain() {
-        let store = MemStore::default();
-        for i in 0..10 {
-            store
-                .docs
-                .write()
-                .insert(DocId(i), doc(i, "Ada is happy in Boston today"));
-        }
+        let docs: Vec<Document> = (0..10)
+            .map(|i| doc(i, "Ada is happy in Boston today"))
+            .collect();
+        let (store, feed) = store_with(&docs);
         let p = pipeline();
-        for i in 0..10 {
-            p.enqueue(DocId(i));
-        }
-        assert_eq!(p.drain(&store, &store, Some(3)), 3);
-        assert_eq!(p.pending(), 7);
+        assert_eq!(
+            p.run_incremental(&feed, &store, &store, Some(3), &NoFaults),
+            3
+        );
+        assert_eq!(feed.len(), 7);
         assert_eq!(p.stats().docs_processed, 3);
+        // the partial drain leaves the watermark behind the feed head
+        assert!(p.annotation_epoch() < 10);
     }
 
     #[test]
     fn missing_documents_are_skipped_gracefully() {
         let store = MemStore::default();
+        let feed = MemFeed::default();
+        feed.append(1, [DocId(404)]);
         let p = pipeline();
-        p.enqueue(DocId(404));
-        assert_eq!(p.drain(&store, &store, None), 1);
+        assert_eq!(p.run_incremental(&feed, &store, &store, None, &NoFaults), 1);
         assert!(store.annotations.read().is_empty());
+        assert_eq!(
+            p.annotation_epoch(),
+            1,
+            "missing docs still advance the watermark"
+        );
     }
 
     #[test]
     fn stats_accumulate() {
-        let store = MemStore::default();
-        store
-            .docs
-            .write()
-            .insert(DocId(1), doc(1, "Mr. Jones was extremely disappointed"));
+        let (store, feed) = store_with(&[doc(1, "Mr. Jones was extremely disappointed")]);
         let p = pipeline();
-        p.enqueue(DocId(1));
-        p.drain(&store, &store, None);
+        p.run_incremental(&feed, &store, &store, None, &NoFaults);
         let s = p.stats();
         assert_eq!(s.docs_processed, 1);
         assert!(s.annotations >= 2, "{s:?}");
@@ -326,15 +624,112 @@ mod tests {
 
     #[test]
     fn annotation_ids_come_from_allocator() {
-        let store = MemStore::default();
-        store
-            .docs
-            .write()
-            .insert(DocId(1), doc(1, "Ada is happy with service, thanks a lot"));
+        let (store, feed) = store_with(&[doc(1, "Ada is happy with service, thanks a lot")]);
         let alloc = Arc::new(AtomicU64::new(500));
         let p = DiscoveryPipeline::new(vec![Box::new(EntityAnnotator)], alloc, 0.9);
-        p.enqueue(DocId(1));
-        p.drain(&store, &store, None);
+        p.run_incremental(&feed, &store, &store, None, &NoFaults);
         assert_eq!(store.annotations.read()[0].id(), DocId(500));
+    }
+
+    /// Kill at a specific step, once.
+    struct KillOnceAt {
+        point: KillPoint,
+        step: u64,
+        fired: std::sync::atomic::AtomicBool,
+    }
+
+    impl KillOnceAt {
+        fn new(point: KillPoint, step: u64) -> KillOnceAt {
+            KillOnceAt {
+                point,
+                step,
+                fired: std::sync::atomic::AtomicBool::new(false),
+            }
+        }
+    }
+
+    impl WorkerFaults for KillOnceAt {
+        fn kill_at(&self, point: KillPoint, step: u64) -> bool {
+            if point == self.point && step >= self.step && !self.fired.swap(true, Ordering::Relaxed)
+            {
+                return true;
+            }
+            false
+        }
+    }
+
+    #[test]
+    fn kill_before_commit_replays_without_duplicates() {
+        let (store, feed) = store_with(&[
+            doc(1, "Grace Hopper is happy"),
+            doc(2, "Ada Lovelace is unhappy"),
+        ]);
+        let p = pipeline();
+        // Steps per doc: AfterFetch, BeforeCommit, AfterCommit. Kill the
+        // second document's BeforeCommit (step 5).
+        let faults = KillOnceAt::new(KillPoint::BeforeCommit, 5);
+        let n = p.run_incremental(&feed, &store, &store, None, &faults);
+        assert_eq!(n, 1, "killed before the second record was acked");
+        assert_eq!(feed.len(), 1, "unacked record is replayable");
+        // Nothing from doc 2 was persisted (no partial annotation set).
+        assert!(store
+            .annotations
+            .read()
+            .iter()
+            .all(|a| a.subject() == Some(DocId(1))));
+        // Recovery: the replay finishes doc 2 exactly once.
+        let n = p.run_incremental(&feed, &store, &store, None, &NoFaults);
+        assert_eq!(n, 1);
+        assert!(feed.is_empty());
+        let per_doc2 = store
+            .annotations
+            .read()
+            .iter()
+            .filter(|a| a.subject() == Some(DocId(2)))
+            .count();
+        assert_eq!(per_doc2, 2, "entity + sentiment, no duplicates");
+        assert_eq!(p.annotation_epoch(), 2);
+    }
+
+    #[test]
+    fn kill_after_commit_is_idempotent_on_replay() {
+        let (store, feed) = store_with(&[doc(1, "Grace Hopper is happy")]);
+        let p = pipeline();
+        let faults = KillOnceAt::new(KillPoint::AfterCommit, 3);
+        let n = p.run_incremental(&feed, &store, &store, None, &faults);
+        assert_eq!(n, 0, "killed before ack");
+        assert_eq!(feed.len(), 1, "record still replayable");
+        assert_eq!(
+            store.annotations.read().len(),
+            2,
+            "commit landed before the kill"
+        );
+        // Replay must not commit the annotation set a second time.
+        let n = p.run_incremental(&feed, &store, &store, None, &NoFaults);
+        assert_eq!(n, 1);
+        assert_eq!(store.annotations.read().len(), 2, "no duplicates");
+        assert_eq!(*store.commits.read(), vec![2], "exactly one commit");
+        assert_eq!(p.annotation_epoch(), 1);
+    }
+
+    #[test]
+    fn annotation_feedback_records_are_skipped() {
+        // An annotation document arriving on the feed (the sink's own
+        // commit) is consumed but not re-annotated.
+        let store = MemStore::default();
+        let feed = MemFeed::default();
+        let ann = Document::annotation(
+            DocId(9),
+            DocId(1),
+            "annotations.entities",
+            7,
+            impliance_docmodel::Node::scalar("x"),
+        );
+        store.docs.write().insert(DocId(9), ann);
+        feed.append(1, [DocId(9)]);
+        let p = pipeline();
+        assert_eq!(p.run_incremental(&feed, &store, &store, None, &NoFaults), 1);
+        assert!(store.annotations.read().is_empty());
+        assert_eq!(p.stats().docs_processed, 0);
     }
 }

@@ -225,7 +225,7 @@ fn scan_money(text: &str, out: &mut Vec<EntityMention>) {
                 j += 1;
             }
             let digits = digits.trim_end_matches('.');
-            if !digits.is_empty() && digits.chars().next().unwrap().is_ascii_digit() {
+            if digits.chars().next().is_some_and(|c| c.is_ascii_digit()) {
                 let amount: f64 = digits.parse().unwrap_or(0.0);
                 out.push(EntityMention {
                     kind: EntityKind::Money,

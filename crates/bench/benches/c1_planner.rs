@@ -43,6 +43,7 @@ fn bench(c: &mut Criterion) {
         join_index: imp.join_index(),
         pushdown: true,
         columnar: true,
+        snapshot: None,
     };
     let mut group = c.benchmark_group("c1_execution");
     group.sample_size(15);

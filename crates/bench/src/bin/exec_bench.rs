@@ -309,6 +309,7 @@ fn bench_local_pipeline() -> (RunStats, RunStats, u64) {
         join_index: &joins,
         pushdown: true,
         columnar: true,
+        snapshot: None,
     };
     let plan = LogicalPlan::Project {
         input: Box::new(LogicalPlan::Filter {
@@ -486,6 +487,7 @@ fn bench_parallel() -> ParallelStats {
         join_index: &joins,
         pushdown: true,
         columnar: true,
+        snapshot: None,
     };
     let scan_plan = LogicalPlan::Project {
         input: Box::new(LogicalPlan::Filter {
@@ -644,6 +646,7 @@ fn bench_columnar() -> ColumnarStats {
         join_index: &joins,
         pushdown: true,
         columnar,
+        snapshot: None,
     };
     let plan = |threshold: i64| LogicalPlan::Project {
         input: Box::new(LogicalPlan::Filter {

@@ -572,6 +572,7 @@ fn f3_scaleout() {
             operand: Some("amount".into()),
         }),
         limit: None,
+        snapshot: None,
     };
     let t0 = Instant::now();
     let groups = app.pipeline_query(&req).unwrap();
@@ -751,6 +752,7 @@ fn c1_planner() {
             join_index: imp.join_index(),
             pushdown: true,
             columnar: true,
+            snapshot: None,
         };
         let t = Instant::now();
         let (out, _) = impliance_query::execute_plan(&ctx, plan).unwrap();
@@ -875,6 +877,7 @@ fn c2_pushdown() {
             operand: Some("amount".into()),
         }),
         limit: None,
+        snapshot: None,
     };
     app.runtime().network().reset_metrics();
     let t0 = Instant::now();

@@ -1,0 +1,471 @@
+//! Concurrent-ingest benchmark for epoch-snapshot isolation. Emits
+//! `BENCH_ingest.json` in the workspace root and exits non-zero when any
+//! gate fails.
+//!
+//! Three measurements:
+//!
+//! 1. **Consistency** — documents are ingested while the background
+//!    annotator drains the change feed in small budgeted slices, under
+//!    three fault settings (no kills, killed before its atomic commit,
+//!    killed after the commit but before the cursor ack). After every
+//!    slice a reader pins a snapshot and checks the isolation contract:
+//!    every subject's visible annotation set is empty or complete, never
+//!    a torn prefix. After a final quiesce the annotation sets must be
+//!    equal to those of a fault-free quiesced appliance, at every
+//!    setting. Ids are allocator-order dependent across fault schedules,
+//!    so equality is on content (subject body → annotation collections).
+//!
+//! 2. **GC** — sustained overwrite of a fixed id set with lazy version
+//!    GC enabled. Superseded versions must be reclaimed down to exactly
+//!    the live set once no snapshot is pinned, the reclamation must be
+//!    observable in `versions_reclaimed`, and a pinned snapshot must
+//!    hold the low-watermark back: versions visible at the pinned epoch
+//!    survive a GC sweep and remain readable.
+//!
+//! 3. **Throughput** — scoped reader threads scan pinned snapshots while
+//!    a writer commits continuously. Every scan must see exactly the
+//!    rows of its pinned epoch (`batch_size × epoch` — a torn scan
+//!    cannot produce that count). On hosts with ≥ 4 cores the readers
+//!    must also sustain at least a quarter of the post-quiesce scan
+//!    rate, i.e. concurrent ingest may not starve them; smaller hosts
+//!    gate on consistency only (the JSON reports `host_cores` and which
+//!    gate applied).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+use impliance_annotate::{KillPoint, NoFaults, WorkerFaults};
+use impliance_core::{ApplianceConfig, Impliance};
+use impliance_docmodel::{DocId, Document, DocumentBuilder, SourceFormat};
+use impliance_storage::{ScanRequest, StorageEngine, StorageOptions};
+
+const CONSISTENCY_DOCS: usize = 24;
+const DISCOVERY_SLICE: usize = 2;
+const GC_IDS: u64 = 64;
+const GC_ROUNDS: u64 = 40;
+const GC_BATCH: usize = 16;
+const WRITER_COMMITS: u64 = 240;
+const WRITER_BATCH: usize = 20;
+const READER_THREADS: usize = 3;
+const QUIESCED_SCANS: u32 = 40;
+
+/// Base texts that trip both the entity and the sentiment annotator, so
+/// every subject's annotation set spans multiple annotation documents.
+const TEXTS: [&str; 4] = [
+    "Grace Hopper loved the excellent compilers in Seattle",
+    "Alan Turing found the broken tape reader in Manchester awful",
+    "Barbara Liskov praised the wonderful abstractions in Boston",
+    "Edsger Dijkstra was happy with the reliable queues in Austin",
+];
+
+/// Kill the worker at every visit of `point` whose step number is
+/// congruent to `phase` (mod `modulus`). With a modulus larger than the
+/// three crash points per document the worker always makes progress
+/// between kills.
+struct KillEvery {
+    point: KillPoint,
+    modulus: u64,
+    phase: u64,
+}
+
+impl WorkerFaults for KillEvery {
+    fn kill_at(&self, point: KillPoint, step: u64) -> bool {
+        point == self.point && step % self.modulus == self.phase
+    }
+}
+
+fn corpus_text(i: usize) -> String {
+    format!("{} case {i}", TEXTS[i % TEXTS.len()])
+}
+
+fn doc_body(doc: &Document) -> Option<String> {
+    Some(doc.get_str_path("body")?.as_value()?.render())
+}
+
+/// The annotation sets visible at one epoch, keyed by subject body.
+fn annotation_sets_at(imp: &Impliance, epoch: u64) -> BTreeMap<String, Vec<String>> {
+    let mut req = ScanRequest::full();
+    req.snapshot = Some(epoch);
+    let scan = imp.storage().scan(&req).expect("snapshot scan");
+    let mut bodies: BTreeMap<u64, String> = BTreeMap::new();
+    for doc in &scan.documents {
+        if doc.subject().is_none() {
+            if let Some(body) = doc_body(doc) {
+                bodies.insert(doc.id().0, body);
+            }
+        }
+    }
+    let mut sets: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for doc in &scan.documents {
+        let Some(subject) = doc.subject() else {
+            continue;
+        };
+        let Some(body) = bodies.get(&subject.0) else {
+            // A subject always commits in an earlier epoch than its
+            // annotations, so it is visible whenever they are.
+            continue;
+        };
+        sets.entry(body.clone())
+            .or_default()
+            .push(doc.collection().to_string());
+    }
+    for set in sets.values_mut() {
+        set.sort();
+    }
+    sets
+}
+
+struct ConsistencyRun {
+    setting: &'static str,
+    reader_checks: u64,
+    torn: u64,
+    rows_equal: bool,
+}
+
+fn reference_sets() -> BTreeMap<String, Vec<String>> {
+    let imp = Impliance::boot(ApplianceConfig::default());
+    for i in 0..CONSISTENCY_DOCS {
+        imp.ingest_text("ingest", &corpus_text(i)).expect("ingest");
+    }
+    imp.quiesce();
+    annotation_sets_at(&imp, imp.storage().current_epoch())
+}
+
+fn bench_consistency(
+    setting: &'static str,
+    faults: &dyn WorkerFaults,
+    reference: &BTreeMap<String, Vec<String>>,
+) -> ConsistencyRun {
+    let imp = Impliance::boot(ApplianceConfig::default());
+    let mut reader_checks = 0u64;
+    let mut torn = 0u64;
+    for i in 0..CONSISTENCY_DOCS {
+        imp.ingest_text("ingest", &corpus_text(i)).expect("ingest");
+        imp.run_discovery_with_faults(Some(DISCOVERY_SLICE), faults);
+        // Reader: pin a snapshot mid-churn and check zero-or-all.
+        let pin = imp.storage().pin();
+        for (body, set) in annotation_sets_at(&imp, pin.epoch()) {
+            reader_checks += 1;
+            if reference.get(&body) != Some(&set) {
+                torn += 1;
+                eprintln!(
+                    "FAIL[{setting}]: torn set for {body:?} at epoch {}",
+                    pin.epoch()
+                );
+            }
+        }
+    }
+    imp.quiesce();
+    let rows_equal = &annotation_sets_at(&imp, imp.storage().current_epoch()) == reference;
+    if !rows_equal {
+        eprintln!("FAIL[{setting}]: quiesced annotation sets differ from the fault-free reference");
+    }
+    ConsistencyRun {
+        setting,
+        reader_checks,
+        torn,
+        rows_equal,
+    }
+}
+
+struct GcRun {
+    versions_written: u64,
+    live_docs: u64,
+    total_versions_end: u64,
+    reclaimed: u64,
+    pinned_survivors_ok: bool,
+    low_watermark_end: u64,
+}
+
+fn bench_gc() -> GcRun {
+    let engine = StorageEngine::new(StorageOptions {
+        partitions: 2,
+        seal_threshold: 64,
+        compression: true,
+        encryption_key: None,
+    });
+    engine.set_version_gc(true);
+    let mut latest: BTreeMap<u64, Document> = BTreeMap::new();
+    let mut versions_written = 0u64;
+    let mut pinned = None;
+    let mut pinned_survivors_ok = true;
+    for round in 0..GC_ROUNDS {
+        for chunk in (0..GC_IDS).collect::<Vec<_>>().chunks(GC_BATCH) {
+            let docs: Vec<Document> = chunk
+                .iter()
+                .map(|&id| match latest.get(&id) {
+                    Some(prev) => prev.new_version(prev.root().clone(), round as i64),
+                    None => DocumentBuilder::new(DocId(id), SourceFormat::Json, "gc")
+                        .field("round", round as i64)
+                        .build(),
+                })
+                .collect();
+            engine.commit(&docs).expect("gc commit");
+            versions_written += docs.len() as u64;
+            for d in docs {
+                latest.insert(d.id().0, d);
+            }
+        }
+        if round == GC_ROUNDS / 2 {
+            // Pin mid-history: the low-watermark may not pass this epoch
+            // while the pin lives, so this round's versions must survive
+            // every sweep until the drop below.
+            pinned = Some(engine.pin());
+        }
+        if let Some(pin) = &pinned {
+            engine.run_gc();
+            let visible = engine
+                .get_latest_at(DocId(0), pin.epoch())
+                .expect("pinned read");
+            if visible.is_none() {
+                pinned_survivors_ok = false;
+                eprintln!(
+                    "FAIL: version visible at pinned epoch {} was reclaimed",
+                    pin.epoch()
+                );
+            }
+        }
+    }
+    drop(pinned);
+    engine.run_gc();
+    GcRun {
+        versions_written,
+        live_docs: engine.live_docs() as u64,
+        total_versions_end: engine.total_versions() as u64,
+        reclaimed: engine.stats().versions_reclaimed,
+        pinned_survivors_ok,
+        low_watermark_end: engine.low_watermark(),
+    }
+}
+
+struct ThroughputRun {
+    host_cores: usize,
+    gate: &'static str,
+    concurrent_scans: u64,
+    concurrent_micros: u128,
+    concurrent_scans_per_sec: f64,
+    quiesced_scans_per_sec: f64,
+    rate_ratio: f64,
+    inconsistent_scans: u64,
+    docs_committed: u64,
+}
+
+fn bench_throughput() -> ThroughputRun {
+    let engine = StorageEngine::new(StorageOptions {
+        partitions: 4,
+        seal_threshold: 512,
+        compression: true,
+        encryption_key: None,
+    });
+    let writer_done = AtomicBool::new(false);
+    let scans = AtomicU64::new(0);
+    let inconsistent = AtomicU64::new(0);
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let mut next_id = 0u64;
+            for commit in 0..WRITER_COMMITS {
+                let docs: Vec<Document> = (0..WRITER_BATCH)
+                    .map(|_| {
+                        let doc = DocumentBuilder::new(DocId(next_id), SourceFormat::Json, "tp")
+                            .field("n", next_id as i64)
+                            .build();
+                        next_id += 1;
+                        doc
+                    })
+                    .collect();
+                engine.commit(&docs).expect("writer commit");
+                if commit % 64 == 0 {
+                    engine.seal_all();
+                }
+            }
+            writer_done.store(true, Ordering::Release);
+        });
+        for _ in 0..READER_THREADS {
+            s.spawn(|| {
+                while !writer_done.load(Ordering::Acquire) {
+                    let pin = engine.pin();
+                    let mut req = ScanRequest::full();
+                    req.snapshot = Some(pin.epoch());
+                    let result = engine.scan(&req).expect("pinned scan");
+                    // Each commit lands WRITER_BATCH fresh ids in one
+                    // epoch: any other count is a torn snapshot.
+                    if result.documents.len() as u64 != pin.epoch() * WRITER_BATCH as u64 {
+                        inconsistent.fetch_add(1, Ordering::Relaxed);
+                        eprintln!(
+                            "FAIL: pinned scan at epoch {} saw {} rows, expected {}",
+                            pin.epoch(),
+                            result.documents.len(),
+                            pin.epoch() * WRITER_BATCH as u64,
+                        );
+                    }
+                    scans.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    let concurrent_micros = started.elapsed().as_micros();
+    let concurrent_scans = scans.load(Ordering::Relaxed);
+    let concurrent_scans_per_sec = if concurrent_micros > 0 {
+        concurrent_scans as f64 / (concurrent_micros as f64 / 1_000_000.0)
+    } else {
+        f64::INFINITY
+    };
+
+    // Post-quiesce baseline: one reader, no writer, same (final) corpus.
+    let quiesced_started = Instant::now();
+    for _ in 0..QUIESCED_SCANS {
+        let pin = engine.pin();
+        let mut req = ScanRequest::full();
+        req.snapshot = Some(pin.epoch());
+        engine.scan(&req).expect("quiesced scan");
+    }
+    let quiesced_micros = quiesced_started.elapsed().as_micros().max(1);
+    let quiesced_scans_per_sec = QUIESCED_SCANS as f64 / (quiesced_micros as f64 / 1_000_000.0);
+    // READER_THREADS readers share the engine, so compare their combined
+    // rate against the single quiesced reader's rate.
+    let rate_ratio = concurrent_scans_per_sec / quiesced_scans_per_sec.max(1e-9);
+
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    ThroughputRun {
+        host_cores,
+        gate: if host_cores >= 4 {
+            "consistency_and_rate_ratio_0_25"
+        } else {
+            "consistency_only"
+        },
+        concurrent_scans,
+        concurrent_micros,
+        concurrent_scans_per_sec,
+        quiesced_scans_per_sec,
+        rate_ratio,
+        inconsistent_scans: inconsistent.load(Ordering::Relaxed),
+        docs_committed: WRITER_COMMITS * WRITER_BATCH as u64,
+    }
+}
+
+fn main() {
+    let reference = reference_sets();
+    let runs = [
+        bench_consistency("no_faults", &NoFaults, &reference),
+        bench_consistency(
+            "kill_before_commit",
+            &KillEvery {
+                point: KillPoint::BeforeCommit,
+                modulus: 7,
+                phase: 3,
+            },
+            &reference,
+        ),
+        bench_consistency(
+            "kill_after_commit",
+            &KillEvery {
+                point: KillPoint::AfterCommit,
+                modulus: 7,
+                phase: 5,
+            },
+            &reference,
+        ),
+    ];
+    let gc = bench_gc();
+    let tp = bench_throughput();
+
+    let mut json = format!(
+        "{{\n  \"bench\": \"ingest\",\n  \"host_cores\": {},\n  \"gate\": \"{}\",\n  \
+         \"consistency\": {{\n    \"corpus_docs\": {CONSISTENCY_DOCS},\n    \"settings\": [\n",
+        tp.host_cores, tp.gate,
+    );
+    for (i, r) in runs.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{ \"setting\": \"{}\", \"reader_checks\": {}, \"torn\": {}, \
+             \"rows_equal\": {} }}{}\n",
+            r.setting,
+            r.reader_checks,
+            r.torn,
+            r.rows_equal,
+            if i + 1 < runs.len() { "," } else { "" },
+        ));
+    }
+    json.push_str(&format!(
+        "    ]\n  }},\n  \"gc\": {{\n    \"versions_written\": {},\n    \"live_docs\": {},\n    \
+         \"total_versions_end\": {},\n    \"versions_reclaimed\": {},\n    \
+         \"pinned_survivors_ok\": {},\n    \"low_watermark_end\": {}\n  }},\n  \
+         \"throughput\": {{\n    \"reader_threads\": {READER_THREADS},\n    \
+         \"docs_committed\": {},\n    \"concurrent_scans\": {},\n    \"concurrent_micros\": \
+         {},\n    \"concurrent_scans_per_sec\": {:.1},\n    \"quiesced_scans_per_sec\": \
+         {:.1},\n    \"rate_ratio\": {:.3},\n    \"inconsistent_scans\": {}\n  }}\n}}\n",
+        gc.versions_written,
+        gc.live_docs,
+        gc.total_versions_end,
+        gc.reclaimed,
+        gc.pinned_survivors_ok,
+        gc.low_watermark_end,
+        tp.docs_committed,
+        tp.concurrent_scans,
+        tp.concurrent_micros,
+        tp.concurrent_scans_per_sec,
+        tp.quiesced_scans_per_sec,
+        tp.rate_ratio,
+        tp.inconsistent_scans,
+    ));
+    std::fs::write("BENCH_ingest.json", &json).expect("write BENCH_ingest.json");
+    print!("{json}");
+
+    let mut failed = false;
+    for r in &runs {
+        if r.torn > 0 || !r.rows_equal {
+            failed = true; // detail already printed where it was detected
+        }
+        if r.reader_checks == 0 {
+            eprintln!("FAIL[{}]: readers never observed an annotation", r.setting);
+            failed = true;
+        }
+    }
+    if gc.reclaimed == 0 {
+        eprintln!("FAIL: sustained overwrite reclaimed nothing");
+        failed = true;
+    }
+    if gc.total_versions_end != gc.live_docs {
+        eprintln!(
+            "FAIL: {} versions retained for {} live docs after an unpinned sweep",
+            gc.total_versions_end, gc.live_docs,
+        );
+        failed = true;
+    }
+    if gc.reclaimed != gc.versions_written - gc.live_docs {
+        eprintln!(
+            "FAIL: reclamation not exact: wrote {}, reclaimed {}, live {}",
+            gc.versions_written, gc.reclaimed, gc.live_docs,
+        );
+        failed = true;
+    }
+    if !gc.pinned_survivors_ok {
+        failed = true;
+    }
+    if tp.inconsistent_scans > 0 {
+        eprintln!(
+            "FAIL: {} pinned scans saw a row count inconsistent with their epoch",
+            tp.inconsistent_scans,
+        );
+        failed = true;
+    }
+    if tp.concurrent_scans == 0 {
+        eprintln!("FAIL: readers completed no scans while the writer ran");
+        failed = true;
+    }
+    if tp.host_cores >= 4 && tp.rate_ratio < 0.25 {
+        eprintln!(
+            "FAIL: concurrent readers ran at {:.3}x the quiesced rate on a {}-core host — \
+             the writer starved them",
+            tp.rate_ratio, tp.host_cores,
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("ingest bench gates passed");
+}

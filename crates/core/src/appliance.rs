@@ -11,13 +11,13 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use impliance_annotate::{
-    Annotator, DiscoveryPipeline, DiscoverySink, DiscoveryStats, DocSource, EntityAnnotator,
-    SentimentAnnotator,
+    Annotator, ChangeItem, ChangeSource, DiscoveryPipeline, DiscoverySink, DiscoveryStats,
+    DocSource, EntityAnnotator, NoFaults, SentimentAnnotator, WorkerFaults,
 };
 use impliance_baselines::{AdminLedger, Capability, InfoSystem};
 use impliance_docmodel::{
-    email_to_document, json, kv_to_document, relational_row_to_document, text_to_document,
-    CsvReader, DocError, DocId, Document, Node, RelationalSchema, SourceFormat, Value, Version,
+    kv_to_document, relational_row_to_document, CsvReader, DocError, DocId, Document, Node,
+    RelationalSchema, Value, Version,
 };
 use impliance_facet::{FacetDimension, FacetEngine, GuidedSession, RollupLevel, RollupRow};
 use impliance_index::{search, InvertedIndex, JoinIndex, PathValueIndex, SearchHit, SearchQuery};
@@ -46,6 +46,33 @@ fn plan_cache_obs() -> &'static PlanCacheObs {
         PlanCacheObs {
             hits: m.counter("query.plan_cache.hits"),
             misses: m.counter("query.plan_cache.misses"),
+        }
+    })
+}
+
+/// Snapshot-pinning counters in the workspace metrics registry.
+struct SnapshotObs {
+    pinned: Arc<Counter>,
+    explicit: Arc<Counter>,
+}
+
+impl SnapshotObs {
+    fn record(&self, pinned: bool) {
+        if pinned {
+            self.pinned.inc();
+        } else {
+            self.explicit.inc();
+        }
+    }
+}
+
+fn snapshot_obs() -> &'static SnapshotObs {
+    static OBS: std::sync::OnceLock<SnapshotObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| {
+        let m = impliance_obs::global().metrics();
+        SnapshotObs {
+            pinned: m.counter("query.snapshot.pinned"),
+            explicit: m.counter("query.snapshot.explicit"),
         }
     })
 }
@@ -120,8 +147,38 @@ pub struct Impliance {
 struct SourceAdapter<'a>(&'a Impliance);
 
 impl DocSource for SourceAdapter<'_> {
-    fn fetch(&self, id: DocId) -> Option<Document> {
-        self.0.storage.get_latest(id).ok().flatten()
+    fn fetch_at(&self, id: DocId, epoch: u64) -> Option<Document> {
+        // Read at the requested epoch so the worker's read set is
+        // consistent with the commit it is annotating, even while ingest
+        // keeps appending newer versions concurrently.
+        self.0.storage.get_latest_at(id, epoch).ok().flatten()
+    }
+}
+
+/// The storage engine's epoch feed exposed to the discovery worker.
+struct FeedAdapter<'a>(&'a Impliance);
+
+impl ChangeSource for FeedAdapter<'_> {
+    fn recv_changes(&self, cursor: u64, max: usize) -> (Vec<ChangeItem>, u64) {
+        let (records, next) = self.0.storage.recv_changes(cursor, max);
+        (
+            records
+                .into_iter()
+                .map(|r| ChangeItem {
+                    epoch: r.epoch,
+                    id: r.id,
+                })
+                .collect(),
+            next,
+        )
+    }
+
+    fn ack_changes(&self, cursor: u64) {
+        self.0.storage.ack_changes(cursor);
+    }
+
+    fn latest_epoch(&self) -> u64 {
+        self.0.storage.current_epoch()
     }
 }
 
@@ -140,6 +197,23 @@ impl DiscoverySink for SinkAdapter<'_> {
 
     fn add_relationship(&self, from: DocId, to: DocId, label: &str) {
         self.0.join_index.add_edge(from, to, label);
+    }
+
+    fn commit_annotations(&self, annotations: Vec<Document>) {
+        if annotations.is_empty() {
+            return;
+        }
+        // One commit = one epoch bump: a reader at any snapshot sees the
+        // whole annotation set or none of it.
+        if self.0.storage.commit(&annotations).is_ok() {
+            for a in &annotations {
+                self.0.value_index.index_document(a);
+            }
+            self.0
+                .index_queue
+                .lock()
+                .extend(annotations.iter().map(|a| a.id()));
+        }
     }
 }
 
@@ -240,45 +314,32 @@ impl Impliance {
         } else {
             self.index_queue.lock().push(id);
         }
-        self.pipeline.enqueue(id);
+        // No explicit discovery enqueue: the commit above entered the
+        // storage change feed, which the background worker consumes.
         Ok(id)
     }
 
     /// Ingest a JSON document.
     pub fn ingest_json(&self, collection: &str, text: &str) -> Result<DocId, Error> {
-        let root = json::parse(text)?;
-        let doc = Document::new(
-            self.alloc_id(),
-            SourceFormat::Json,
-            collection,
-            self.now(),
-            root,
-        );
+        let doc = crate::ingest::json_document(self.alloc_id(), collection, text, self.now())?;
         self.ingest_document(doc)
     }
 
     /// Ingest plain text.
     pub fn ingest_text(&self, collection: &str, text: &str) -> Result<DocId, Error> {
-        let doc = text_to_document(self.alloc_id(), collection, text, self.now());
+        let doc = crate::ingest::text_document(self.alloc_id(), collection, text, self.now());
         self.ingest_document(doc)
     }
 
     /// Ingest an e-mail message.
     pub fn ingest_email(&self, collection: &str, raw: &str) -> Result<DocId, Error> {
-        let doc = email_to_document(self.alloc_id(), collection, raw, self.now());
+        let doc = crate::ingest::email_document(self.alloc_id(), collection, raw, self.now());
         self.ingest_document(doc)
     }
 
     /// Ingest an XML document.
     pub fn ingest_xml(&self, collection: &str, text: &str) -> Result<DocId, Error> {
-        let root = impliance_docmodel::xml::parse(text)?;
-        let doc = Document::new(
-            self.alloc_id(),
-            SourceFormat::Xml,
-            collection,
-            self.now(),
-            root,
-        );
+        let doc = crate::ingest::xml_document(self.alloc_id(), collection, text, self.now())?;
         self.ingest_document(doc)
     }
 
@@ -291,23 +352,12 @@ impl Impliance {
         bytes: &[u8],
         metadata: &[(&str, &str)],
     ) -> Result<DocId, Error> {
-        let mut root = Node::empty_map();
-        root.set(
-            &impliance_docmodel::Path::parse("content"),
-            Node::Value(Value::Bytes(bytes.to_vec())),
-        );
-        for (k, v) in metadata {
-            root.set(
-                &impliance_docmodel::Path::parse(k),
-                Node::Value(impliance_docmodel::convert::sniff_scalar(v)),
-            );
-        }
-        let doc = Document::new(
+        let doc = crate::ingest::binary_document(
             self.alloc_id(),
-            SourceFormat::Binary,
             collection,
+            bytes,
+            metadata,
             self.now(),
-            root,
         );
         self.ingest_document(doc)
     }
@@ -405,17 +455,38 @@ impl Impliance {
         self.index_queue.lock().len()
     }
 
-    /// Run up to `budget` queued discovery steps (annotators + entity
-    /// resolution). Returns documents processed.
+    /// Run up to `budget` incremental discovery steps: consume change-feed
+    /// records, annotate each committed document version (annotators +
+    /// entity resolution), and commit each document's annotation set
+    /// atomically. Returns change records consumed.
     pub fn run_discovery(&self, budget: Option<usize>) -> usize {
-        let source = SourceAdapter(self);
-        let sink = SinkAdapter(self);
-        self.pipeline.drain(&source, &sink, budget)
+        self.run_discovery_with_faults(budget, &NoFaults)
     }
 
-    /// Documents still waiting for discovery.
+    /// [`Impliance::run_discovery`] under a fault schedule: the chaos
+    /// harness kills the worker at chosen crash points and verifies that
+    /// replays never tear or duplicate an annotation set.
+    pub fn run_discovery_with_faults(
+        &self,
+        budget: Option<usize>,
+        faults: &dyn WorkerFaults,
+    ) -> usize {
+        let feed = FeedAdapter(self);
+        let source = SourceAdapter(self);
+        let sink = SinkAdapter(self);
+        self.pipeline
+            .run_incremental(&feed, &source, &sink, budget, faults)
+    }
+
+    /// Change-feed records not yet consumed by discovery.
     pub fn discovery_backlog(&self) -> usize {
-        self.pipeline.pending()
+        (self.storage.feed_head() - self.pipeline.cursor()) as usize
+    }
+
+    /// The background annotation watermark: every ingest commit at or
+    /// below this epoch has had its annotation set committed.
+    pub fn annotation_epoch(&self) -> u64 {
+        self.pipeline.annotation_epoch()
     }
 
     /// Discovery progress counters.
@@ -463,6 +534,19 @@ impl Impliance {
         let obs = impliance_obs::global();
         let span = impliance_obs::span!(obs, "query", "appliance.query");
         let (plan, plan_cache_hit) = self.plan_for(&req)?;
+        // Pin one epoch for the whole execution: every operator (point
+        // read, row scan, columnar scan, parallel morsel) sees exactly
+        // the commits at or below it — never a torn mix of versions. An
+        // explicit `at_epoch` request reads that epoch instead (callers
+        // doing time travel across queries hold their own pin).
+        let pin = match req.snapshot() {
+            Some(_) => None,
+            None => Some(self.storage.pin()),
+        };
+        let snapshot_epoch = req
+            .snapshot()
+            .unwrap_or_else(|| pin.as_ref().map(|p| p.epoch()).unwrap_or(0));
+        snapshot_obs().record(pin.is_some());
         let ctx = ExecContext {
             storage: &self.storage,
             text_index: &self.text_index,
@@ -470,6 +554,7 @@ impl Impliance {
             join_index: &self.join_index,
             pushdown: req.pushdown().unwrap_or(self.config.pushdown),
             columnar: req.columnar().unwrap_or(true),
+            snapshot: Some(snapshot_epoch),
         };
         let opts = ExecutionContext {
             batch_size: req.batch_size().unwrap_or(self.config.batch_size),
@@ -479,6 +564,7 @@ impl Impliance {
             ..ExecutionContext::default()
         };
         let (output, metrics) = execute_plan_opts(&ctx, &plan, &opts)?;
+        drop(pin); // release the GC watermark only after execution
         Ok(QueryResponse {
             output,
             metrics,
@@ -486,6 +572,8 @@ impl Impliance {
             span_id: span.id(),
             plan_cache_hit,
             degraded: metrics.deadline_exceeded,
+            snapshot_epoch,
+            annotation_epoch: self.pipeline.annotation_epoch(),
         })
     }
 

@@ -15,7 +15,7 @@ use std::sync::Arc;
 use impliance_cluster::{
     ClusterError, ClusterRuntime, ConsistencyGroup, Network, NodeId, NodeKind, NodeSpec,
 };
-use impliance_docmodel::{json, DocId, Document, SourceFormat};
+use impliance_docmodel::{DocId, Document};
 use impliance_index::InvertedIndex;
 use impliance_query::dist::{self, DataNodeState, FailoverPolicy, ResilientScan, RetryPolicy};
 use impliance_query::{ExecutionContext, Tuple};
@@ -138,26 +138,27 @@ impl ClusterImpliance {
         self.clock_ms.fetch_add(1, Ordering::Relaxed)
     }
 
+    fn alloc_id(&self) -> DocId {
+        DocId(self.next_id.fetch_add(1, Ordering::Relaxed))
+    }
+
     /// Ingest a JSON document: the primary copy goes to the ring-assigned
     /// owner, replicas to the next nodes on the ring.
     pub fn ingest_json(&self, collection: &str, text: &str) -> Result<DocId, Error> {
-        let root = json::parse(text).map_err(|_| ClusterError::TaskLost)?;
-        let id = DocId(self.next_id.fetch_add(1, Ordering::Relaxed));
-        let doc = Document::new(id, SourceFormat::Json, collection, self.now(), root);
+        let doc = crate::ingest::json_document(self.alloc_id(), collection, text, self.now())
+            .map_err(|_| ClusterError::TaskLost)?;
         self.ingest_document(doc)
     }
 
     /// Ingest plain text with replication.
     pub fn ingest_text(&self, collection: &str, text: &str) -> Result<DocId, Error> {
-        let id = DocId(self.next_id.fetch_add(1, Ordering::Relaxed));
-        let doc = impliance_docmodel::text_to_document(id, collection, text, self.now());
+        let doc = crate::ingest::text_document(self.alloc_id(), collection, text, self.now());
         self.ingest_document(doc)
     }
 
     /// Ingest an e-mail message with replication.
     pub fn ingest_email(&self, collection: &str, raw: &str) -> Result<DocId, Error> {
-        let id = DocId(self.next_id.fetch_add(1, Ordering::Relaxed));
-        let doc = impliance_docmodel::email_to_document(id, collection, raw, self.now());
+        let doc = crate::ingest::email_document(self.alloc_id(), collection, raw, self.now());
         self.ingest_document(doc)
     }
 
@@ -513,6 +514,7 @@ mod tests {
                 operand: None,
             }),
             limit: None,
+            snapshot: None,
         };
         let groups = app.aggregate(&req).unwrap();
         assert_eq!(groups.len(), 10);
@@ -653,6 +655,7 @@ mod tests {
                 operand: Some("amount".into()),
             }),
             limit: None,
+            snapshot: None,
         };
         let groups = app.aggregate(&req).unwrap();
         assert_eq!(groups[""].finish(AggFunc::Sum), Value::Float(4950.0));

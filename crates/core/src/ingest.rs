@@ -1,0 +1,67 @@
+//! Shared format-specific document builders.
+//!
+//! The single-box appliance ([`crate::Impliance`]) and the scaled-out
+//! cluster instance ([`crate::ClusterImpliance`]) accept the same wire
+//! formats; the only thing that differs between them is *where* the
+//! resulting document is stored. These helpers hold the one copy of the
+//! format → document mapping so the two front doors cannot drift.
+
+use impliance_docmodel::{
+    email_to_document, json, text_to_document, DocError, DocId, Document, Node, SourceFormat, Value,
+};
+
+/// Build a document from JSON text.
+pub(crate) fn json_document(
+    id: DocId,
+    collection: &str,
+    text: &str,
+    at: i64,
+) -> Result<Document, DocError> {
+    let root = json::parse(text)?;
+    Ok(Document::new(id, SourceFormat::Json, collection, at, root))
+}
+
+/// Build a document from plain text.
+pub(crate) fn text_document(id: DocId, collection: &str, text: &str, at: i64) -> Document {
+    text_to_document(id, collection, text, at)
+}
+
+/// Build a document from a raw e-mail message.
+pub(crate) fn email_document(id: DocId, collection: &str, raw: &str, at: i64) -> Document {
+    email_to_document(id, collection, raw, at)
+}
+
+/// Build a document from XML text.
+pub(crate) fn xml_document(
+    id: DocId,
+    collection: &str,
+    text: &str,
+    at: i64,
+) -> Result<Document, DocError> {
+    let root = impliance_docmodel::xml::parse(text)?;
+    Ok(Document::new(id, SourceFormat::Xml, collection, at, root))
+}
+
+/// Build a document around opaque binary content plus caller-supplied
+/// descriptive fields — the "repository of last resort" never rejects
+/// anything.
+pub(crate) fn binary_document(
+    id: DocId,
+    collection: &str,
+    bytes: &[u8],
+    metadata: &[(&str, &str)],
+    at: i64,
+) -> Document {
+    let mut root = Node::empty_map();
+    root.set(
+        &impliance_docmodel::Path::parse("content"),
+        Node::Value(Value::Bytes(bytes.to_vec())),
+    );
+    for (k, v) in metadata {
+        root.set(
+            &impliance_docmodel::Path::parse(k),
+            Node::Value(impliance_docmodel::convert::sniff_scalar(v)),
+        );
+    }
+    Document::new(id, SourceFormat::Binary, collection, at, root)
+}

@@ -29,6 +29,7 @@ pub mod audit;
 pub mod cluster_app;
 pub mod config;
 pub mod error;
+mod ingest;
 pub mod query_api;
 pub mod views;
 
@@ -38,3 +39,4 @@ pub use cluster_app::ClusterImpliance;
 pub use config::ApplianceConfig;
 pub use error::{Error, ErrorKind};
 pub use query_api::{ExecStats, QueryRequest, QueryRequestBuilder, QueryResponse};
+pub use views::ViewFreshness;

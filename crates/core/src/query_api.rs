@@ -22,6 +22,7 @@ pub struct QueryRequest {
     limit: Option<usize>,
     deadline_ms: Option<u64>,
     parallelism: Option<usize>,
+    snapshot: Option<u64>,
 }
 
 impl QueryRequest {
@@ -37,6 +38,7 @@ impl QueryRequest {
                 limit: None,
                 deadline_ms: None,
                 parallelism: None,
+                snapshot: None,
             },
         }
     }
@@ -92,6 +94,13 @@ impl QueryRequest {
     /// serial pipeline).
     pub fn parallelism(&self) -> Option<usize> {
         self.parallelism
+    }
+
+    /// The explicit snapshot epoch to execute at, if any. `None` pins the
+    /// storage engine's current epoch at query start (the default: a
+    /// fresh, internally consistent snapshot).
+    pub fn snapshot(&self) -> Option<u64> {
+        self.snapshot
     }
 }
 
@@ -152,6 +161,15 @@ impl QueryRequestBuilder {
         self
     }
 
+    /// Execute at an explicit snapshot epoch (e.g. one obtained from
+    /// `StorageEngine::pin` or a previous response's `snapshot_epoch`)
+    /// instead of pinning the current epoch. Commits after that epoch are
+    /// invisible to the query.
+    pub fn at_epoch(mut self, epoch: u64) -> QueryRequestBuilder {
+        self.request.snapshot = Some(epoch);
+        self
+    }
+
     /// Finish the request.
     pub fn build(self) -> QueryRequest {
         self.request
@@ -175,6 +193,14 @@ pub struct QueryResponse {
     /// True when the query's deadline expired and `output` is a partial
     /// prefix of the full answer (see `QueryRequest::deadline_ms`).
     pub degraded: bool,
+    /// The pinned epoch this query executed at: every commit at or below
+    /// it was visible, everything after it was not.
+    pub snapshot_epoch: u64,
+    /// The background annotation watermark at query time: every ingest
+    /// commit at or below it had its annotation set committed. When this
+    /// is below `snapshot_epoch`, recently ingested documents may not
+    /// have annotations yet (they are never *partially* annotated).
+    pub annotation_epoch: u64,
 }
 
 /// Typed execution statistics for one answered query — the structured
@@ -208,6 +234,15 @@ pub struct ExecStats {
     pub columnar: bool,
     /// True when the deadline expired and `rows` is a partial prefix.
     pub degraded: bool,
+    /// The pinned epoch the query executed at.
+    pub snapshot_epoch: u64,
+    /// The annotation watermark at query time (see
+    /// `QueryResponse::annotation_epoch`).
+    pub annotation_epoch: u64,
+    /// Annotation freshness in `[0, 1]`: the fraction of the snapshot's
+    /// epochs whose annotation sets were committed (`1.0` = discovery
+    /// fully caught up with ingest at this snapshot).
+    pub freshness: f64,
 }
 
 impl QueryResponse {
@@ -236,6 +271,19 @@ impl QueryResponse {
             segments_scanned: m.scan.segments_scanned,
             columnar: m.columnar_batches > 0,
             degraded: self.degraded,
+            snapshot_epoch: self.snapshot_epoch,
+            annotation_epoch: self.annotation_epoch,
+            freshness: self.freshness(),
+        }
+    }
+
+    /// Annotation freshness in `[0, 1]`: 1.0 when background discovery
+    /// had annotated every commit visible to this query's snapshot.
+    pub fn freshness(&self) -> f64 {
+        if self.snapshot_epoch == 0 {
+            1.0
+        } else {
+            (self.annotation_epoch.min(self.snapshot_epoch)) as f64 / self.snapshot_epoch as f64
         }
     }
 

@@ -17,14 +17,58 @@ use impliance_storage::{Predicate, ScanRequest};
 use crate::appliance::Impliance;
 use crate::error::Error;
 
+/// How fresh a view's annotations were at the snapshot it was computed
+/// from: which commits the view saw, and how far background discovery
+/// had caught up at that point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ViewFreshness {
+    /// The pinned epoch the view's scan executed at.
+    pub snapshot_epoch: u64,
+    /// The annotation watermark at view time: ingest commits above this
+    /// epoch may not be represented in the view yet (they are never
+    /// *partially* represented).
+    pub annotation_epoch: u64,
+}
+
+impl ViewFreshness {
+    /// Freshness in `[0, 1]`: `1.0` means discovery had annotated every
+    /// commit visible to the view's snapshot.
+    pub fn ratio(&self) -> f64 {
+        if self.snapshot_epoch == 0 {
+            1.0
+        } else {
+            self.annotation_epoch.min(self.snapshot_epoch) as f64 / self.snapshot_epoch as f64
+        }
+    }
+}
+
+/// Scan one annotation collection at a freshly pinned snapshot, reporting
+/// the view's freshness alongside the matching documents.
+fn scan_annotations(
+    imp: &Impliance,
+    collection: &str,
+) -> Result<(impliance_storage::ScanResult, ViewFreshness), Error> {
+    let pin = imp.storage().pin();
+    let mut req = ScanRequest::filtered(Predicate::CollectionIs(collection.to_string()));
+    req.snapshot = Some(pin.epoch());
+    let result = imp.storage().scan(&req)?;
+    let freshness = ViewFreshness {
+        snapshot_epoch: pin.epoch(),
+        annotation_epoch: imp.annotation_epoch(),
+    };
+    Ok((result, freshness))
+}
+
 /// One row of the entity view: an extracted mention tied to its subject
 /// document.
 pub fn entity_view(imp: &Impliance) -> Result<Vec<Row>, Error> {
-    let result = imp
-        .storage()
-        .scan(&ScanRequest::filtered(Predicate::CollectionIs(
-            "annotations.entities".to_string(),
-        )))?;
+    Ok(entity_view_with_freshness(imp)?.0)
+}
+
+/// [`entity_view`] plus the snapshot/annotation watermark it was computed
+/// at.
+pub fn entity_view_with_freshness(imp: &Impliance) -> Result<(Vec<Row>, ViewFreshness), Error> {
+    let (result, freshness) = scan_annotations(imp, "annotations.entities")?;
     let mut rows = Vec::new();
     for ann in &result.documents {
         let subject = ann.subject().map(|s| s.0 as i64).unwrap_or(-1);
@@ -51,16 +95,18 @@ pub fn entity_view(imp: &Impliance) -> Result<Vec<Row>, Error> {
         (a.get("subject").as_i64(), a.get("normalized").render())
             .cmp(&(b.get("subject").as_i64(), b.get("normalized").render()))
     });
-    Ok(rows)
+    Ok((rows, freshness))
 }
 
 /// One row of the sentiment view: subject id, label, score.
 pub fn sentiment_view(imp: &Impliance) -> Result<Vec<Row>, Error> {
-    let result = imp
-        .storage()
-        .scan(&ScanRequest::filtered(Predicate::CollectionIs(
-            "annotations.sentiment".to_string(),
-        )))?;
+    Ok(sentiment_view_with_freshness(imp)?.0)
+}
+
+/// [`sentiment_view`] plus the snapshot/annotation watermark it was
+/// computed at.
+pub fn sentiment_view_with_freshness(imp: &Impliance) -> Result<(Vec<Row>, ViewFreshness), Error> {
+    let (result, freshness) = scan_annotations(imp, "annotations.sentiment")?;
     let mut rows = Vec::new();
     for ann in &result.documents {
         let subject = ann.subject().map(|s| s.0 as i64).unwrap_or(-1);
@@ -77,7 +123,7 @@ pub fn sentiment_view(imp: &Impliance) -> Result<Vec<Row>, Error> {
         ]));
     }
     rows.sort_by_key(|r| r.get("subject").as_i64());
-    Ok(rows)
+    Ok((rows, freshness))
 }
 
 /// Join the entity view against a base collection: rows of
@@ -184,5 +230,22 @@ mod tests {
         // no quiesce: annotations don't exist yet
         assert!(entity_view(&imp).unwrap().is_empty());
         assert!(sentiment_view(&imp).unwrap().is_empty());
+    }
+
+    #[test]
+    fn view_freshness_tracks_discovery_lag() {
+        let imp = Impliance::boot(ApplianceConfig::default());
+        imp.ingest_text("t", "Grace Hopper in Seattle").unwrap();
+        // Before discovery runs the view is stale: the snapshot sees the
+        // ingest commit but the annotation watermark is behind it.
+        let (rows, f) = entity_view_with_freshness(&imp).unwrap();
+        assert!(rows.is_empty());
+        assert!(f.snapshot_epoch >= 1);
+        assert_eq!(f.annotation_epoch, 0);
+        assert!(f.ratio() < 1.0, "{f:?}");
+        imp.quiesce();
+        let (rows, f) = entity_view_with_freshness(&imp).unwrap();
+        assert!(!rows.is_empty());
+        assert_eq!(f.ratio(), 1.0, "quiesced: discovery caught up, {f:?}");
     }
 }

@@ -336,8 +336,15 @@ fn submit_morsel(
     node: NodeId,
     partition: usize,
     batch_size: usize,
+    snapshot: Option<u64>,
 ) -> Result<TaskHandle<MorselOut>, ClusterError> {
-    let req = request.clone();
+    let mut req = request.clone();
+    // Pin the morsel to the epoch probed from this node, so every
+    // partition of the node (and every retry of this morsel) reads the
+    // same snapshot even while ingest keeps committing.
+    if snapshot.is_some() {
+        req.snapshot = snapshot;
+    }
     rt.submit_to(node, req_bytes, move |ctx| {
         morsel_body(ctx, &req, partition, batch_size)
     })
@@ -492,6 +499,15 @@ struct MorselEnv<'a> {
     deadline_at: Option<Instant>,
 }
 
+/// Work unit of phase 2: one `(node, partition)` morsel plus the epoch
+/// probed from its node (every retry re-reads the same snapshot).
+struct DispatchedMorsel {
+    node: NodeId,
+    partition: usize,
+    snapshot: Option<u64>,
+    first: Result<TaskHandle<MorselOut>, ClusterError>,
+}
+
 /// Drive one morsel to completion: join its in-flight attempt, retrying
 /// transient losses with backoff until the policy, the node, or the
 /// deadline gives out.
@@ -499,6 +515,7 @@ fn resolve_morsel(
     env: &MorselEnv<'_>,
     node: NodeId,
     partition: usize,
+    snapshot: Option<u64>,
     first: Result<TaskHandle<MorselOut>, ClusterError>,
     retries: &mut u64,
 ) -> MorselOutcome {
@@ -556,6 +573,7 @@ fn resolve_morsel(
             node,
             partition,
             env.batch_size,
+            snapshot,
         );
     }
 }
@@ -592,22 +610,25 @@ pub fn dist_scan_resilient(
     let mut first_error: Option<ClusterError> = None;
     let mut deadline_hit = false;
 
-    // Phase 1: probe each node for its partition count (8-byte control
-    // message), with retry. Nodes that cannot answer are failover
-    // candidates' work; nodes that time out are the deadline's.
-    let mut live: Vec<(NodeId, usize)> = Vec::new();
+    // Phase 1: probe each node for its partition count and current epoch
+    // (16-byte control message), with retry. The epoch pins every morsel
+    // of that node to one snapshot — a node's partitions never return a
+    // torn mix of versions, no matter how ingest races the scan. Nodes
+    // that cannot answer are failover candidates' work; nodes that time
+    // out are the deadline's.
+    let mut live: Vec<(NodeId, usize, u64)> = Vec::new();
     let mut probe_failed: Vec<NodeId> = Vec::new();
     let mut probe_timed_out: Vec<NodeId> = Vec::new();
     for id in data_nodes {
-        let probe = call_with_retry(rt, id, 8, &opts.retry, deadline_at, &mut retries, || {
+        let probe = call_with_retry(rt, id, 16, &opts.retry, deadline_at, &mut retries, || {
             move |ctx: &NodeCtx| {
                 ctx.state
                     .downcast_ref::<DataNodeState>()
-                    .map(|s| s.storage.partition_count())
+                    .map(|s| (s.storage.partition_count(), s.storage.current_epoch()))
             }
         });
         match probe {
-            Ok(Some(partitions)) => live.push((id, partitions)),
+            Ok(Some((partitions, epoch))) => live.push((id, partitions, epoch)),
             Ok(None) => {
                 first_error.get_or_insert(ClusterError::TaskLost);
                 probe_failed.push(id);
@@ -624,20 +645,23 @@ pub fn dist_scan_resilient(
     }
     // Partition count assumed for nodes that never answered their probe
     // (the cluster boots homogeneous layouts).
-    let fallback_partitions = live.first().map(|&(_, p)| p).unwrap_or(1).max(1);
+    let fallback_partitions = live.first().map(|&(_, p, _)| p).unwrap_or(1).max(1);
 
     // Phase 2: one morsel per (live node × partition), dispatched before
-    // any join so they stream concurrently.
+    // any join so they stream concurrently. An explicit snapshot on the
+    // caller's request wins over probed epochs (time travel); otherwise
+    // each node's morsels pin that node's probed epoch.
     let req_bytes = format!("{request:?}").len() as u64;
-    let mut dispatched: Vec<(NodeId, usize, Result<TaskHandle<MorselOut>, ClusterError>)> =
-        Vec::new();
-    for &(id, partitions) in &live {
+    let mut dispatched: Vec<DispatchedMorsel> = Vec::new();
+    for &(id, partitions, epoch) in &live {
+        let snapshot = Some(request.snapshot.unwrap_or(epoch));
         for p in 0..partitions {
-            dispatched.push((
-                id,
-                p,
-                submit_morsel(rt, request, req_bytes, id, p, batch_size),
-            ));
+            dispatched.push(DispatchedMorsel {
+                node: id,
+                partition: p,
+                snapshot,
+                first: submit_morsel(rt, request, req_bytes, id, p, batch_size, snapshot),
+            });
         }
     }
     let env = MorselEnv {
@@ -670,15 +694,19 @@ pub fn dist_scan_resilient(
     // retry jitter is salted by its own (node, partition), independent
     // of scheduling).
     let env_ref = &env;
-    let outcomes: Vec<(NodeId, usize, MorselOutcome, u64)> = scoped_map(
-        opts.worker_threads.max(1),
-        dispatched,
-        |(node, partition, first)| {
+    let outcomes: Vec<(NodeId, usize, MorselOutcome, u64)> =
+        scoped_map(opts.worker_threads.max(1), dispatched, |m| {
             let mut morsel_retries = 0u64;
-            let outcome = resolve_morsel(env_ref, node, partition, first, &mut morsel_retries);
-            (node, partition, outcome, morsel_retries)
-        },
-    );
+            let outcome = resolve_morsel(
+                env_ref,
+                m.node,
+                m.partition,
+                m.snapshot,
+                m.first,
+                &mut morsel_retries,
+            );
+            (m.node, m.partition, outcome, morsel_retries)
+        });
     for (node, partition, outcome, morsel_retries) in outcomes {
         retries += morsel_retries;
         match outcome {
@@ -700,7 +728,7 @@ pub fn dist_scan_resilient(
             }
         }
     }
-    let partitions_total = live.iter().map(|&(_, p)| p).sum::<usize>()
+    let partitions_total = live.iter().map(|&(_, p, _)| p).sum::<usize>()
         + fallback_partitions * (probe_failed.len() + probe_timed_out.len());
 
     // Phase 3: replica failover for nodes with terminal failures. Every
@@ -719,9 +747,16 @@ pub fn dist_scan_resilient(
         };
         if let Some(policy) = failover_policy {
             let failed_set: BTreeSet<NodeId> = failed_parts.keys().copied().collect();
+            // Replica stores are separate engines with independent epoch
+            // counters, so a primary's probed epoch (or the caller's
+            // explicit snapshot) is meaningless there: failover reads the
+            // replica's unpinned latest. Cluster engines never enable
+            // version GC, so the documents a dead primary committed are
+            // all present in its replicas.
             let replica_req = ScanRequest {
                 aggregate: None,
                 limit: None,
+                snapshot: None,
                 ..request.clone()
             };
             let replica_req_bytes = format!("{replica_req:?}").len() as u64;
@@ -1178,6 +1213,7 @@ mod tests {
                 operand: Some("amount".into()),
             }),
             limit: None,
+            snapshot: None,
         };
         let groups = dist_aggregate(&rt, &req).unwrap();
         assert_eq!(groups.len(), 10);

@@ -111,6 +111,11 @@ pub struct ExecContext<'a> {
     /// masks, and zone maps skip whole segments. Off reproduces the
     /// row-at-a-time pipeline everywhere.
     pub columnar: bool,
+    /// Pinned snapshot epoch: every storage read (scans, index point
+    /// fetches, join probes) sees exactly the commits at or before this
+    /// epoch, so one query never observes a torn mix of versions. `None`
+    /// reads the unpinned latest (single-threaded/test contexts).
+    pub snapshot: Option<u64>,
 }
 
 /// The result of executing a plan.
@@ -307,7 +312,7 @@ pub(crate) fn compile<'a>(
             metrics.borrow_mut().index_lookups += 1;
             let mut tuples = Vec::with_capacity(hits.len());
             for hit in hits {
-                if let Some(doc) = ctx.storage.get_latest(hit.id)? {
+                if let Some(doc) = ctx.storage.get_latest_at(hit.id, snap_epoch(ctx))? {
                     tuples.push(Tuple::single(alias, Arc::new(doc)));
                 }
             }
@@ -367,8 +372,9 @@ pub(crate) fn compile<'a>(
                         }
                     };
                     let storage = ctx.storage;
+                    let snap = snap_epoch(ctx);
                     let fetch = move |id: DocId| -> Option<Arc<Document>> {
-                        match storage.get_latest(id) {
+                        match storage.get_latest_at(id, snap) {
                             Ok(Some(d)) => {
                                 if let Some(c) = &right_collection {
                                     if d.collection() != c {
@@ -605,7 +611,7 @@ fn compile_scan<'a>(
             let ids = ctx.value_index.lookup_eq(path, value);
             let mut tuples = Vec::with_capacity(ids.len());
             for id in ids {
-                if let Some(doc) = ctx.storage.get_latest(id)? {
+                if let Some(doc) = ctx.storage.get_latest_at(id, snap_epoch(ctx))? {
                     if collection.map(|c| doc.collection() == c).unwrap_or(true) {
                         tuples.push(Tuple::single(alias, Arc::new(doc)));
                     }
@@ -615,7 +621,8 @@ fn compile_scan<'a>(
         }
     }
     // Storage scan, with or without push-down.
-    let (request, post_filter) = scan_request_parts(ctx.pushdown, collection, predicate);
+    let (request, post_filter) =
+        scan_request_parts(ctx.pushdown, collection, predicate, ctx.snapshot);
     let stream = ctx.storage.scan_batches(&request, batch_size);
     Ok(Box::new(ScanOp::new(
         stream,
@@ -628,10 +635,17 @@ fn compile_scan<'a>(
 /// Build the storage [`ScanRequest`] and node-side residual predicate for
 /// a logical scan — shared by the serial [`compile_scan`] and the
 /// parallel morsel workers so both paths see identical pages.
+/// The visibility epoch for point reads: the pinned snapshot, or
+/// `u64::MAX` (everything visible) when the context is unpinned.
+pub(crate) fn snap_epoch(ctx: &ExecContext<'_>) -> u64 {
+    ctx.snapshot.unwrap_or(u64::MAX)
+}
+
 pub(crate) fn scan_request_parts(
     pushdown: bool,
     collection: Option<&str>,
     predicate: Option<&Predicate>,
+    snapshot: Option<u64>,
 ) -> (ScanRequest, Option<Predicate>) {
     let mut combined = Vec::new();
     if let Some(c) = collection {
@@ -651,6 +665,7 @@ pub(crate) fn scan_request_parts(
                 projection: Projection::All,
                 aggregate: None,
                 limit: None,
+                snapshot,
             },
             None,
         )
@@ -666,6 +681,7 @@ pub(crate) fn scan_request_parts(
                 projection: Projection::All,
                 aggregate: None,
                 limit: None,
+                snapshot,
             },
             predicate.cloned(),
         )
@@ -762,8 +778,12 @@ fn compile_columnar_scan<'a>(
 ) -> Box<dyn Operator + 'a> {
     paths.sort();
     paths.dedup();
-    let (request, post_filter) =
-        scan_request_parts(ctx.pushdown, fused.collection, fused.predicate);
+    let (request, post_filter) = scan_request_parts(
+        ctx.pushdown,
+        fused.collection,
+        fused.predicate,
+        ctx.snapshot,
+    );
     let mut masks: Vec<Predicate> = Vec::new();
     if let Some(p) = post_filter {
         masks.push(p);
@@ -860,6 +880,7 @@ mod tests {
                 join_index: &self.joins,
                 pushdown: true,
                 columnar: true,
+                snapshot: None,
             }
         }
     }
@@ -1116,6 +1137,7 @@ mod tests {
             join_index: &joins,
             pushdown: true,
             columnar: true,
+            snapshot: None,
         };
         let plan = LogicalPlan::Limit {
             input: Box::new(LogicalPlan::Scan {
@@ -1213,6 +1235,7 @@ mod adaptive_exec_tests {
             join_index: &joins_idx,
             pushdown: true,
             columnar: true,
+            snapshot: None,
         };
         // Filter node (post-scan) with a 2-conjunct And → adaptive path
         let plan = LogicalPlan::Filter {

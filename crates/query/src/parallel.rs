@@ -779,7 +779,8 @@ pub(crate) fn try_execute_parallel(
         )?);
     }
 
-    let (request, post_filter) = scan_request_parts(ctx.pushdown, low.collection, low.predicate);
+    let (request, post_filter) =
+        scan_request_parts(ctx.pushdown, low.collection, low.predicate, ctx.snapshot);
     let col = columnar_plan(ctx, &low, &request, post_filter.as_ref());
 
     let obs = par_obs();

@@ -7,18 +7,26 @@
 //! partitions are individually locked so concurrent ingest and scans
 //! interleave.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
-use impliance_analysis::TrackedRwLock;
+use impliance_analysis::{TrackedMutex, TrackedRwLock};
 use impliance_docmodel::{DocId, Document, Version};
 use impliance_obs::{Counter, Histogram, LATENCY_BUCKETS_US};
 
 use crate::columnar::ColumnPage;
+use crate::epoch::{ChangeFeed, ChangeRecord, EpochRegistry, Snapshot};
 use crate::error::StorageError;
 use crate::partition::{Partition, ScanPos};
 use crate::pushdown::{Predicate, ScanRequest, ScanResult};
 use crate::stats::PartitionStats;
+
+/// Commits between lazy version-GC sweeps (a sweep walks every chain, so
+/// running it on every commit would be quadratic under sustained
+/// overwrite).
+const GC_INTERVAL: u64 = 64;
 
 /// Cached handles into the global metrics registry; obtained once so the
 /// put/get/scan hot paths stay lock-free (one atomic RMW each).
@@ -96,8 +104,19 @@ impl Default for StorageOptions {
 pub struct StorageEngine {
     // All partitions share one lock-order node ("storage.partition"): the
     // engine never nests partition locks, and the shared name catches any
-    // future code path that tries to.
+    // future code path that tries to. Lock order: commit_lock >
+    // storage.partition > storage.epoch.feed; storage.epoch.pins is a
+    // leaf.
     partitions: Vec<TrackedRwLock<Partition>>,
+    epoch: Arc<EpochRegistry>,
+    feed: ChangeFeed,
+    commit_lock: TrackedMutex<()>,
+    /// Lazy version GC switch. Off by default: with it off every version
+    /// remains addressable (the §4 time-travel story); on, superseded
+    /// versions below the pin low-watermark are reclaimed, trading
+    /// history for bounded space under sustained overwrite.
+    gc_enabled: AtomicBool,
+    commits_since_gc: AtomicU64,
 }
 
 impl StorageEngine {
@@ -119,6 +138,11 @@ impl StorageEngine {
                     )
                 })
                 .collect(),
+            epoch: Arc::new(EpochRegistry::default()),
+            feed: ChangeFeed::default(),
+            commit_lock: TrackedMutex::new("storage.commit", ()),
+            gc_enabled: AtomicBool::new(false),
+            commits_since_gc: AtomicU64::new(0),
         }
     }
 
@@ -132,21 +156,140 @@ impl StorageEngine {
         (id.0.wrapping_mul(0x9E3779B97F4A7C15) >> 32) as usize % self.partitions.len()
     }
 
-    /// Store a document version.
+    /// Store a document version: a single-document [`StorageEngine::commit`].
     pub fn put(&self, doc: &Document) -> Result<(), StorageError> {
+        self.commit(std::slice::from_ref(doc)).map(|_| ())
+    }
+
+    /// Atomically commit a set of document versions in one epoch bump:
+    /// every snapshot sees either all of them or none of them. Returns the
+    /// commit epoch. Two-phase under the commit lock — validate everything
+    /// first (stored chains *and* intra-batch version monotonicity), then
+    /// apply, so phase 2 cannot fail halfway and tear the batch.
+    pub fn commit(&self, docs: &[Document]) -> Result<u64, StorageError> {
         let obs = engine_obs();
         let started = Instant::now();
-        let out = self.partitions[self.route(doc.id())].write().put(doc);
-        obs.puts.inc();
+        let _commit = self.commit_lock.lock();
+        if docs.is_empty() {
+            return Ok(self.epoch.current());
+        }
+        let epoch = self.epoch.current() + 1;
+        let mut batch_latest: HashMap<DocId, Version> = HashMap::new();
+        for doc in docs {
+            match batch_latest.get(&doc.id()) {
+                Some(prev) if doc.version() <= *prev => {
+                    return Err(StorageError::StaleVersion {
+                        latest: prev.0,
+                        attempted: doc.version().0,
+                    });
+                }
+                Some(_) => {}
+                None => self.partitions[self.route(doc.id())]
+                    .read()
+                    .validate_put(doc)?,
+            }
+            batch_latest.insert(doc.id(), doc.version());
+        }
+        for doc in docs {
+            self.partitions[self.route(doc.id())]
+                .write()
+                .put_at(doc, epoch)?;
+        }
+        self.feed.append(epoch, docs.iter().map(|d| d.id()));
+        self.epoch.publish(epoch);
+        obs.puts.add(docs.len() as u64);
         obs.put_us.observe(started.elapsed().as_micros() as u64);
-        out
+        self.maybe_gc();
+        Ok(epoch)
+    }
+
+    /// Pin the current epoch for reading. Every scan and point read
+    /// executed with the returned snapshot's epoch sees exactly the
+    /// commits at or before it; dropping the snapshot unpins, letting the
+    /// GC low-watermark advance.
+    pub fn pin(&self) -> Snapshot {
+        Snapshot::pin(Arc::clone(&self.epoch))
+    }
+
+    /// The latest published commit epoch.
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch.current()
+    }
+
+    /// The GC low-watermark: the minimum pinned epoch, or the current
+    /// epoch when no snapshot is pinned.
+    pub fn low_watermark(&self) -> u64 {
+        self.epoch.low_watermark()
+    }
+
+    /// Enable or disable lazy version GC (off by default; see the field
+    /// doc on `gc_enabled`). A sweep runs every [`GC_INTERVAL`] commits
+    /// while enabled, or on demand via [`StorageEngine::run_gc`].
+    pub fn set_version_gc(&self, enabled: bool) {
+        self.gc_enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    fn maybe_gc(&self) {
+        if !self.gc_enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let n = self.commits_since_gc.fetch_add(1, Ordering::Relaxed) + 1;
+        if n.is_multiple_of(GC_INTERVAL) {
+            self.run_gc();
+        }
+    }
+
+    /// Reclaim superseded versions no longer observable from any live or
+    /// future snapshot (successor epoch ≤ low-watermark). Returns the
+    /// number of versions reclaimed. Memtable-resident reclaims free
+    /// their bytes immediately; segment-resident ones only drop their
+    /// chain entry (the sealed block is immutable).
+    pub fn run_gc(&self) -> u64 {
+        let watermark = self.epoch.low_watermark();
+        let mut reclaimed = 0u64;
+        for p in &self.partitions {
+            reclaimed += p.write().reclaim(watermark);
+        }
+        crate::epoch::observe_reclaimed(reclaimed);
+        reclaimed
+    }
+
+    /// Read up to `max` change-feed records from absolute cursor
+    /// `cursor`, plus the next cursor. Records are `(epoch, DocId)` in
+    /// commit order; re-reading an unacked cursor replays the same
+    /// records, so a consumer that crashes before acking loses no work.
+    pub fn recv_changes(&self, cursor: u64, max: usize) -> (Vec<ChangeRecord>, u64) {
+        self.feed.recv_changes(cursor, max)
+    }
+
+    /// Truncate change-feed records below `cursor` (consumer checkpoint).
+    pub fn ack_changes(&self, cursor: u64) {
+        self.feed.ack(cursor)
+    }
+
+    /// Retained (unacked) change-feed records.
+    pub fn feed_len(&self) -> usize {
+        self.feed.len()
+    }
+
+    /// The change-feed cursor one past the newest record.
+    pub fn feed_head(&self) -> u64 {
+        self.feed.head()
     }
 
     /// Latest version of a document.
     pub fn get_latest(&self, id: DocId) -> Result<Option<Document>, StorageError> {
+        self.get_latest_at(id, u64::MAX)
+    }
+
+    /// Latest version visible at snapshot epoch `snap` (`u64::MAX` for
+    /// the unpinned latest).
+    pub fn get_latest_at(&self, id: DocId, snap: u64) -> Result<Option<Document>, StorageError> {
         let obs = engine_obs();
         let started = Instant::now();
-        let out = self.partitions[self.route(id)].read().get_latest(id);
+        let out = self.partitions[self.route(id)]
+            .read()
+            .get_latest_at(id, snap);
         obs.gets.inc();
         obs.get_us.observe(started.elapsed().as_micros() as u64);
         out
@@ -626,6 +769,121 @@ mod tests {
             .scan_partition_page_columnar(99, &req, None, ScanPos::default(), 7, &paths)
             .unwrap();
         assert!(page.is_empty() && done);
+    }
+
+    #[test]
+    fn commit_is_atomic_at_every_snapshot() {
+        let e = StorageEngine::new(StorageOptions {
+            partitions: 4,
+            seal_threshold: 8,
+            compression: true,
+            encryption_key: None,
+        });
+        let before = e.commit(&(0..10).map(doc).collect::<Vec<_>>()).unwrap();
+        let snap_before = e.pin();
+        assert_eq!(snap_before.epoch(), before);
+        // A multi-document commit spanning several partitions…
+        let batch: Vec<Document> = (10..30).map(doc).collect();
+        let after = e.commit(&batch).unwrap();
+        assert_eq!(after, before + 1);
+        // …is invisible in its entirety at the earlier snapshot…
+        let at = |snap: u64| {
+            let req = ScanRequest {
+                snapshot: Some(snap),
+                ..ScanRequest::full()
+            };
+            e.scan(&req).unwrap().documents.len()
+        };
+        assert_eq!(at(snap_before.epoch()), 10);
+        // …and visible in its entirety at the commit epoch.
+        assert_eq!(at(after), 30);
+        for id in 10..30 {
+            assert!(e
+                .get_latest_at(DocId(id), snap_before.epoch())
+                .unwrap()
+                .is_none());
+            assert!(e.get_latest_at(DocId(id), after).unwrap().is_some());
+        }
+    }
+
+    #[test]
+    fn failed_commit_publishes_nothing() {
+        let e = StorageEngine::with_defaults();
+        let d = doc(1);
+        e.put(&d).unwrap();
+        let epoch = e.current_epoch();
+        let head = e.feed_head();
+        // Batch with an intra-batch version conflict: same id, same
+        // version twice. Phase-1 validation rejects it before any write.
+        let res = e.commit(&[doc(50), doc(50)]);
+        assert!(matches!(res, Err(StorageError::StaleVersion { .. })));
+        assert_eq!(e.current_epoch(), epoch, "epoch not bumped");
+        assert_eq!(e.feed_head(), head, "no feed records");
+        assert!(
+            e.get_latest(DocId(50)).unwrap().is_none(),
+            "no partial write"
+        );
+    }
+
+    #[test]
+    fn change_feed_records_commits_in_epoch_order() {
+        let e = StorageEngine::with_defaults();
+        e.put(&doc(1)).unwrap();
+        e.commit(&[doc(2), doc(3)]).unwrap();
+        let (records, next) = e.recv_changes(0, 100);
+        let ids: Vec<u64> = records.iter().map(|r| r.id.0).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+        assert!(records.windows(2).all(|w| w[0].epoch <= w[1].epoch));
+        assert_eq!(records[1].epoch, records[2].epoch, "one epoch per commit");
+        e.ack_changes(next);
+        assert_eq!(e.feed_len(), 0);
+        let (empty, same) = e.recv_changes(next, 100);
+        assert!(empty.is_empty());
+        assert_eq!(same, next);
+    }
+
+    #[test]
+    fn version_gc_bounds_versions_under_sustained_overwrite() {
+        let e = StorageEngine::new(StorageOptions {
+            partitions: 2,
+            seal_threshold: 10_000, // keep everything memtable-resident
+            compression: false,
+            encryption_key: None,
+        });
+        e.set_version_gc(true);
+        let mut d = doc(1);
+        e.put(&d).unwrap();
+        for _ in 0..(3 * GC_INTERVAL) {
+            d = d.new_version(Node::map([("x".into(), Node::scalar(7i64))]), 1);
+            e.put(&d).unwrap();
+        }
+        // Unpinned: the watermark is the current epoch, so each sweep
+        // reclaims everything but the latest version.
+        assert!(
+            e.total_versions() as u64 <= GC_INTERVAL + 1,
+            "total_versions {} not bounded by the GC interval",
+            e.total_versions()
+        );
+        assert!(e.stats().versions_reclaimed > 0, "reclamation observable");
+        let latest = e.get_latest(DocId(1)).unwrap().unwrap();
+        assert_eq!(latest.version(), d.version());
+
+        // A pinned snapshot blocks reclamation of what it can still see.
+        let pinned = e.pin();
+        let held = e.get_latest(DocId(1)).unwrap().unwrap();
+        for _ in 0..GC_INTERVAL {
+            d = d.new_version(Node::map([("x".into(), Node::scalar(8i64))]), 1);
+            e.put(&d).unwrap();
+        }
+        e.run_gc();
+        let visible = e
+            .get_latest_at(DocId(1), pinned.epoch())
+            .unwrap()
+            .expect("pinned snapshot's version survives GC");
+        assert_eq!(visible, held, "pinned snapshot still reads its version");
+        drop(pinned);
+        e.run_gc();
+        assert_eq!(e.versions(DocId(1)).len(), 1, "unpinned: only latest kept");
     }
 
     #[test]

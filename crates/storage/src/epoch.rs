@@ -1,0 +1,325 @@
+//! Epoch snapshots and the change feed.
+//!
+//! Every committed write (single-document `put` or multi-document
+//! `commit`) advances a monotonic **epoch counter**; each stored version
+//! is stamped with the epoch of the commit that produced it. Readers
+//! [`pin`](EpochRegistry::pin) the current epoch before scanning and every
+//! read path filters version chains to "the latest version whose epoch is
+//! ≤ my snapshot", so a query never observes a torn mix of versions:
+//! either a commit's documents are all visible (snapshot ≥ commit epoch)
+//! or none are.
+//!
+//! Pins are ref-counted per epoch. The minimum pinned epoch is the
+//! **low watermark**: a superseded version whose *successor* committed at
+//! or below the watermark can no longer be observed by any live or future
+//! snapshot, which is exactly the condition lazy version GC uses to
+//! reclaim it (see `Partition::reclaim`).
+//!
+//! The [`ChangeFeed`] records one `(epoch, DocId)` entry per committed
+//! document, in commit order, behind a resumable absolute cursor. The
+//! background annotation worker consumes it incrementally and acks its
+//! cursor so consumed entries can be truncated; an unacked cursor keeps
+//! entries replayable after a worker crash.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use impliance_analysis::TrackedMutex;
+use impliance_docmodel::DocId;
+use impliance_obs::{Counter, Gauge};
+
+struct EpochObs {
+    current: Arc<Gauge>,
+    pins: Arc<Gauge>,
+    low_watermark: Arc<Gauge>,
+    reclaimed: Arc<Counter>,
+}
+
+fn epoch_obs() -> &'static EpochObs {
+    static OBS: OnceLock<EpochObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let m = impliance_obs::global().metrics();
+        EpochObs {
+            current: m.gauge("storage.epoch.current"),
+            pins: m.gauge("storage.epoch.pins"),
+            low_watermark: m.gauge("storage.epoch.low_watermark"),
+            reclaimed: m.counter("storage.epoch.reclaimed"),
+        }
+    })
+}
+
+/// Record versions reclaimed by lazy GC in the global registry.
+pub(crate) fn observe_reclaimed(n: u64) {
+    if n > 0 {
+        epoch_obs().reclaimed.add(n);
+    }
+}
+
+/// Shared epoch state of one storage engine: the monotonic counter, the
+/// ref-counted pin table, and the commit lock that serializes epoch
+/// publication (so epoch `e` never becomes visible before `e - 1`).
+#[derive(Debug)]
+pub struct EpochRegistry {
+    current: AtomicU64,
+    /// epoch → number of outstanding pins at that epoch.
+    pins: TrackedMutex<BTreeMap<u64, u64>>,
+}
+
+impl Default for EpochRegistry {
+    fn default() -> EpochRegistry {
+        EpochRegistry {
+            current: AtomicU64::new(0),
+            pins: TrackedMutex::new("storage.epoch.pins", BTreeMap::new()),
+        }
+    }
+}
+
+impl EpochRegistry {
+    /// The latest published epoch.
+    pub fn current(&self) -> u64 {
+        self.current.load(Ordering::Acquire)
+    }
+
+    /// Publish `epoch` as the latest. Callers must hold the engine's
+    /// commit lock so publications stay in order.
+    pub(crate) fn publish(&self, epoch: u64) {
+        self.current.store(epoch, Ordering::Release);
+        epoch_obs().current.set(epoch as i64);
+    }
+
+    /// Pin the current epoch, incrementing its ref count, and return it.
+    /// Prefer [`Snapshot`] (RAII) over calling this directly.
+    pub fn pin_epoch(&self) -> u64 {
+        let mut pins = self.pins.lock();
+        let e = self.current();
+        *pins.entry(e).or_insert(0) += 1;
+        epoch_obs().pins.set(pins.values().sum::<u64>() as i64);
+        e
+    }
+
+    /// Release one pin taken at `epoch`. Unbalanced unpins are ignored.
+    pub fn unpin_epoch(&self, epoch: u64) {
+        let mut pins = self.pins.lock();
+        if let Some(n) = pins.get_mut(&epoch) {
+            *n -= 1;
+            if *n == 0 {
+                pins.remove(&epoch);
+            }
+        }
+        epoch_obs().pins.set(pins.values().sum::<u64>() as i64);
+    }
+
+    /// The minimum pinned epoch, or the current epoch when nothing is
+    /// pinned. No live or future snapshot can observe state older than
+    /// this, so it bounds what lazy GC may reclaim.
+    pub fn low_watermark(&self) -> u64 {
+        let pins = self.pins.lock();
+        let w = pins
+            .keys()
+            .next()
+            .copied()
+            .unwrap_or_else(|| self.current());
+        epoch_obs().low_watermark.set(w as i64);
+        w
+    }
+
+    /// Number of outstanding pins (all epochs).
+    pub fn pinned(&self) -> u64 {
+        self.pins.lock().values().sum()
+    }
+}
+
+/// An RAII epoch pin: reads executed at `epoch()` see every commit up to
+/// that epoch and nothing after. Dropping the snapshot releases the pin
+/// (advancing the GC low watermark).
+#[derive(Debug)]
+pub struct Snapshot {
+    epoch: u64,
+    registry: Arc<EpochRegistry>,
+}
+
+impl Snapshot {
+    pub(crate) fn pin(registry: Arc<EpochRegistry>) -> Snapshot {
+        let epoch = registry.pin_epoch();
+        Snapshot { epoch, registry }
+    }
+
+    /// The pinned epoch; pass it as `ScanRequest::snapshot` or to the
+    /// `*_at` point reads.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+impl Clone for Snapshot {
+    fn clone(&self) -> Snapshot {
+        // Re-pin the same epoch (not the current one): clones of a
+        // snapshot always agree on what they can see.
+        let mut pins = self.registry.pins.lock();
+        *pins.entry(self.epoch).or_insert(0) += 1;
+        drop(pins);
+        Snapshot {
+            epoch: self.epoch,
+            registry: Arc::clone(&self.registry),
+        }
+    }
+}
+
+impl Drop for Snapshot {
+    fn drop(&mut self) {
+        self.registry.unpin_epoch(self.epoch);
+    }
+}
+
+/// One committed document change, in commit order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChangeRecord {
+    /// Epoch of the commit that wrote this version.
+    pub epoch: u64,
+    /// The document written.
+    pub id: DocId,
+}
+
+#[derive(Debug, Default)]
+struct FeedInner {
+    /// Absolute index of `entries[0]` (entries below it were truncated).
+    base: u64,
+    entries: VecDeque<ChangeRecord>,
+}
+
+/// Epoch-ordered log of committed DocIds with a resumable absolute
+/// cursor. Appends happen inside the engine's commit lock, so feed order
+/// equals epoch order. Consumers poll with [`ChangeFeed::recv_changes`]
+/// and truncate consumed history with [`ChangeFeed::ack`].
+#[derive(Debug)]
+pub struct ChangeFeed {
+    inner: TrackedMutex<FeedInner>,
+}
+
+impl Default for ChangeFeed {
+    fn default() -> ChangeFeed {
+        ChangeFeed {
+            inner: TrackedMutex::new("storage.epoch.feed", FeedInner::default()),
+        }
+    }
+}
+
+impl ChangeFeed {
+    /// Append one commit's records (engine-internal, under the commit
+    /// lock).
+    pub(crate) fn append(&self, epoch: u64, ids: impl IntoIterator<Item = DocId>) {
+        let mut inner = self.inner.lock();
+        for id in ids {
+            inner.entries.push_back(ChangeRecord { epoch, id });
+        }
+    }
+
+    /// Read up to `max` records starting at absolute cursor `cursor`,
+    /// returning them plus the next cursor. A cursor below the truncation
+    /// base resumes at the base (the skipped records were acked). An
+    /// empty result means the feed is drained at this cursor.
+    pub fn recv_changes(&self, cursor: u64, max: usize) -> (Vec<ChangeRecord>, u64) {
+        let inner = self.inner.lock();
+        let start = cursor.max(inner.base);
+        let skip = (start - inner.base) as usize;
+        let out: Vec<ChangeRecord> = inner.entries.iter().skip(skip).take(max).copied().collect();
+        let next = start + out.len() as u64;
+        (out, next)
+    }
+
+    /// Truncate records below `cursor` — the consumer promises it will
+    /// never ask for them again.
+    pub fn ack(&self, cursor: u64) {
+        let mut inner = self.inner.lock();
+        while inner.base < cursor {
+            if inner.entries.pop_front().is_none() {
+                inner.base = cursor;
+                return;
+            }
+            inner.base += 1;
+        }
+    }
+
+    /// Records currently retained (unacked backlog).
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// True when no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The absolute cursor one past the newest record.
+    pub fn head(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.base + inner.entries.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pins_track_refcounts_and_watermark() {
+        let r = Arc::new(EpochRegistry::default());
+        assert_eq!(r.low_watermark(), 0);
+        r.publish(3);
+        let a = Snapshot::pin(Arc::clone(&r));
+        r.publish(7);
+        let b = Snapshot::pin(Arc::clone(&r));
+        assert_eq!(a.epoch(), 3);
+        assert_eq!(b.epoch(), 7);
+        assert_eq!(r.low_watermark(), 3);
+        assert_eq!(r.pinned(), 2);
+        let a2 = a.clone();
+        drop(a);
+        assert_eq!(r.low_watermark(), 3, "clone still pins epoch 3");
+        drop(a2);
+        assert_eq!(r.low_watermark(), 7);
+        drop(b);
+        assert_eq!(r.low_watermark(), 7, "nothing pinned: watermark = current");
+    }
+
+    #[test]
+    fn feed_cursor_resumes_and_acks() {
+        let f = ChangeFeed::default();
+        f.append(1, [DocId(10), DocId(11)]);
+        f.append(2, [DocId(12)]);
+        let (batch, next) = f.recv_changes(0, 2);
+        assert_eq!(
+            batch,
+            vec![
+                ChangeRecord {
+                    epoch: 1,
+                    id: DocId(10)
+                },
+                ChangeRecord {
+                    epoch: 1,
+                    id: DocId(11)
+                }
+            ]
+        );
+        assert_eq!(next, 2);
+        // Replaying the same cursor returns the same records (crash
+        // before ack loses no work).
+        let (replay, _) = f.recv_changes(0, 2);
+        assert_eq!(replay, batch);
+        let (rest, next) = f.recv_changes(next, 10);
+        assert_eq!(rest.len(), 1);
+        assert_eq!(next, 3);
+        let (empty, same) = f.recv_changes(next, 10);
+        assert!(empty.is_empty());
+        assert_eq!(same, 3);
+        f.ack(2);
+        assert_eq!(f.len(), 1);
+        // A cursor below the base resumes at the base.
+        let (after_ack, n) = f.recv_changes(0, 10);
+        assert_eq!(after_ack.len(), 1);
+        assert_eq!(n, 3);
+        assert_eq!(f.head(), 3);
+    }
+}

@@ -23,6 +23,9 @@
 //! * [`stats`] — per-partition statistics (path cardinalities, min/max,
 //!   histograms, distinct estimates) maintained as a side effect of
 //!   sealing segments; used by the cost-based baseline optimizer.
+//! * [`epoch`] — monotonic commit epochs, ref-counted snapshot pins, and
+//!   the change feed driving incremental background annotation; readers
+//!   pin an epoch so concurrent ingest never tears a query's view.
 //! * [`engine`] — the [`StorageEngine`] facade combining hash-partitioned
 //!   storage with version-chain reads.
 
@@ -31,6 +34,7 @@ pub mod columnar;
 pub mod compress;
 pub mod crypt;
 pub mod engine;
+pub mod epoch;
 pub mod error;
 pub mod memtable;
 pub mod partition;
@@ -40,6 +44,7 @@ pub mod stats;
 
 pub use columnar::{Bitmask, Column, ColumnPage, ColumnPageBuilder, ColumnVec};
 pub use engine::{BatchScan, ScanMorsel, StorageEngine, StorageOptions};
+pub use epoch::{ChangeFeed, ChangeRecord, EpochRegistry, Snapshot};
 pub use error::StorageError;
 pub use partition::ScanPos;
 pub use pushdown::{

@@ -87,6 +87,16 @@ impl Memtable {
         self.bytes = 0;
         std::mem::take(&mut self.entries)
     }
+
+    /// Tombstone the entry at `idx`: drop its encoded bytes but KEEP the
+    /// slot, so indices held by version chains and in-flight `ScanPos`
+    /// cursors stay valid. Used by lazy version GC for superseded
+    /// versions no live snapshot can observe.
+    pub fn tombstone(&mut self, idx: usize) {
+        let entry = &mut self.entries[idx];
+        self.bytes -= entry.encoded.len();
+        entry.encoded = Vec::new();
+    }
 }
 
 #[cfg(test)]

@@ -27,6 +27,18 @@ pub enum Location {
     Seg { seg: usize, idx: usize },
 }
 
+/// One link of a document's version chain: which version, where it
+/// lives, when it was ingested, and the epoch of the commit that wrote
+/// it (0 for writes outside an epoch commit — visible at every
+/// snapshot). Epochs are non-decreasing along a chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ChainEntry {
+    version: Version,
+    loc: Location,
+    ingested_at: i64,
+    epoch: u64,
+}
+
 /// Cursor into a partition's latest-version scan order (sealed segments
 /// in seal order, then the memtable).
 ///
@@ -52,9 +64,10 @@ pub struct ScanPos {
 pub struct Partition {
     memtable: Memtable,
     segments: Vec<Segment>,
-    /// id → ordered version chain (version, location, ingested_at).
-    /// Push-only.
-    chains: HashMap<DocId, Vec<(Version, Location, i64)>>,
+    /// id → ordered version chain. Appended by `put_at`; entries are
+    /// removed only by [`Partition::reclaim`] (lazy version GC), and only
+    /// when no live or future snapshot can observe them.
+    chains: HashMap<DocId, Vec<ChainEntry>>,
     stats: PartitionStats,
     seal_threshold: usize,
     compress: bool,
@@ -87,27 +100,41 @@ impl Partition {
         }
     }
 
-    /// Append a document version. Rejects non-monotonic versions for an
-    /// existing chain.
+    /// Append a document version outside any epoch commit (stamped with
+    /// epoch 0, visible at every snapshot). Rejects non-monotonic
+    /// versions for an existing chain.
     pub fn put(&mut self, doc: &Document) -> Result<(), StorageError> {
-        if let Some(chain) = self.chains.get(&doc.id()) {
-            if let Some((latest, _, _)) = chain.last() {
-                if doc.version() <= *latest {
-                    return Err(StorageError::StaleVersion {
-                        latest: latest.0,
-                        attempted: doc.version().0,
-                    });
-                }
+        self.put_at(doc, 0)
+    }
+
+    /// Check that `doc` would be accepted by [`Partition::put_at`]
+    /// without mutating anything — the validate phase of the engine's
+    /// two-phase multi-document commit.
+    pub fn validate_put(&self, doc: &Document) -> Result<(), StorageError> {
+        if let Some(latest) = self.chains.get(&doc.id()).and_then(|c| c.last()) {
+            if doc.version() <= latest.version {
+                return Err(StorageError::StaleVersion {
+                    latest: latest.version.0,
+                    attempted: doc.version().0,
+                });
             }
         }
+        Ok(())
+    }
+
+    /// Append a document version stamped with the given commit epoch.
+    /// Rejects non-monotonic versions for an existing chain.
+    pub fn put_at(&mut self, doc: &Document, epoch: u64) -> Result<(), StorageError> {
+        self.validate_put(doc)?;
         let idx = self.memtable.put(doc);
         let encoded_len = self.memtable.encoded_len(idx);
         let is_new_chain = !self.chains.contains_key(&doc.id());
-        self.chains.entry(doc.id()).or_default().push((
-            doc.version(),
-            Location::Mem(idx),
-            doc.ingested_at(),
-        ));
+        self.chains.entry(doc.id()).or_default().push(ChainEntry {
+            version: doc.version(),
+            loc: Location::Mem(idx),
+            ingested_at: doc.ingested_at(),
+            epoch,
+        });
         self.stats.observe_document(doc, encoded_len);
         if is_new_chain {
             self.stats.live_docs += 1;
@@ -116,6 +143,40 @@ impl Partition {
             self.seal();
         }
         Ok(())
+    }
+
+    /// Lazy version GC: drop every chain entry that is superseded by a
+    /// successor committed at or below `watermark` (the minimum pinned
+    /// epoch). Such entries can no longer be chosen by any live or future
+    /// snapshot. Memtable-resident reclaimed versions have their bytes
+    /// tombstoned in place (entry *slots* are preserved so concurrent
+    /// scan cursors stay valid); segment-resident bytes stay until their
+    /// segment is rewritten, but the version disappears from
+    /// `total_versions()` and all reads. Returns reclaimed entries.
+    ///
+    /// Note this intentionally trades §4 time travel for bounded space:
+    /// reclaimed versions are gone from `versions`/`get_as_of` too, which
+    /// is why the engine keeps GC opt-in.
+    pub fn reclaim(&mut self, watermark: u64) -> u64 {
+        let mut reclaimed = 0u64;
+        for chain in self.chains.values_mut() {
+            // Last entry visible at the watermark; everything before it
+            // is unreachable from any snapshot ≥ watermark.
+            let Some(keep_from) = chain.iter().rposition(|e| e.epoch <= watermark) else {
+                continue;
+            };
+            if keep_from == 0 {
+                continue;
+            }
+            for e in chain.drain(..keep_from) {
+                if let Location::Mem(i) = e.loc {
+                    self.memtable.tombstone(i);
+                }
+                reclaimed += 1;
+            }
+        }
+        self.stats.versions_reclaimed += reclaimed;
+        reclaimed
     }
 
     /// Freeze the memtable into a new segment and rewrite memtable
@@ -143,10 +204,10 @@ impl Partition {
     /// Rewrite any remaining `Mem` locations using the remap table.
     fn fix_locations(&mut self, seg_no: usize, remap: &HashMap<(DocId, Version), usize>) {
         for (id, chain) in self.chains.iter_mut() {
-            for (version, loc, _) in chain.iter_mut() {
-                if matches!(loc, Location::Mem(_)) {
-                    if let Some(&idx) = remap.get(&(*id, *version)) {
-                        *loc = Location::Seg { seg: seg_no, idx };
+            for entry in chain.iter_mut() {
+                if matches!(entry.loc, Location::Mem(_)) {
+                    if let Some(&idx) = remap.get(&(*id, entry.version)) {
+                        entry.loc = Location::Seg { seg: seg_no, idx };
                     }
                 }
             }
@@ -163,8 +224,14 @@ impl Partition {
 
     /// Latest version of a document.
     pub fn get_latest(&self, id: DocId) -> Result<Option<Document>, StorageError> {
-        match self.chains.get(&id).and_then(|c| c.last()) {
-            Some((_, loc, _)) => Ok(Some(self.fetch(*loc)?)),
+        self.get_latest_at(id, u64::MAX)
+    }
+
+    /// Latest version of a document visible at snapshot epoch `snap`
+    /// (the last chain entry whose commit epoch is ≤ `snap`).
+    pub fn get_latest_at(&self, id: DocId, snap: u64) -> Result<Option<Document>, StorageError> {
+        match self.chains.get(&id).and_then(|c| Self::visible_at(c, snap)) {
+            Some(entry) => Ok(Some(self.fetch(entry.loc)?)),
             None => Ok(None),
         }
     }
@@ -174,9 +241,9 @@ impl Partition {
         match self
             .chains
             .get(&id)
-            .and_then(|c| c.iter().find(|(cv, _, _)| *cv == v))
+            .and_then(|c| c.iter().find(|e| e.version == v))
         {
-            Some((_, loc, _)) => Ok(Some(self.fetch(*loc)?)),
+            Some(entry) => Ok(Some(self.fetch(entry.loc)?)),
             None => Ok(None),
         }
     }
@@ -188,9 +255,9 @@ impl Partition {
         match self
             .chains
             .get(&id)
-            .and_then(|c| c.iter().rev().find(|(_, _, at)| *at <= ts))
+            .and_then(|c| c.iter().rev().find(|e| e.ingested_at <= ts))
         {
-            Some((_, loc, _)) => Ok(Some(self.fetch(*loc)?)),
+            Some(entry) => Ok(Some(self.fetch(entry.loc)?)),
             None => Ok(None),
         }
     }
@@ -199,7 +266,7 @@ impl Partition {
     pub fn versions(&self, id: DocId) -> Vec<Version> {
         self.chains
             .get(&id)
-            .map(|c| c.iter().map(|(v, _, _)| *v).collect())
+            .map(|c| c.iter().map(|e| e.version).collect())
             .unwrap_or_default()
     }
 
@@ -243,12 +310,21 @@ impl Partition {
         }
     }
 
-    /// True when `loc` holds the latest version of document `id`.
-    fn is_latest(&self, id: DocId, loc: Location) -> bool {
+    /// The chain entry a snapshot at epoch `snap` selects: the last one
+    /// whose commit epoch is ≤ `snap`. Epochs are non-decreasing along a
+    /// chain, so this is the newest visible version. `u64::MAX` selects
+    /// the unconditional latest.
+    fn visible_at(chain: &[ChainEntry], snap: u64) -> Option<&ChainEntry> {
+        chain.iter().rev().find(|e| e.epoch <= snap)
+    }
+
+    /// True when `loc` holds the version of document `id` that a
+    /// snapshot at epoch `snap` observes.
+    fn is_visible_latest(&self, id: DocId, loc: Location, snap: u64) -> bool {
         self.chains
             .get(&id)
-            .and_then(|c| c.last())
-            .map(|(_, l, _)| *l == loc)
+            .and_then(|c| Self::visible_at(c, snap))
+            .map(|e| e.loc == loc)
             .unwrap_or(false)
     }
 
@@ -274,6 +350,7 @@ impl Partition {
         let mut out = ScanResult::default();
         let budget = max_docs.max(1);
         let limit = req.limit.unwrap_or(usize::MAX);
+        let snap = req.snapshot.unwrap_or(u64::MAX);
         if pos.emitted >= limit {
             return Ok((out, pos, true));
         }
@@ -318,7 +395,7 @@ impl Partition {
                         idx: pos.idx,
                     };
                     pos.idx += 1;
-                    if !self.is_latest(entry.id, here) {
+                    if !self.is_visible_latest(entry.id, here, snap) {
                         continue;
                     }
                     let (doc, _) = crate::codec::decode_document(&block, entry.offset as usize)?;
@@ -340,7 +417,7 @@ impl Partition {
                 return Ok((out, pos, done));
             }
             pos.mem = i + 1;
-            if !self.is_latest(id, Location::Mem(i)) {
+            if !self.is_visible_latest(id, Location::Mem(i), snap) {
                 continue;
             }
             let doc = self.memtable.get(i)?;
@@ -375,6 +452,7 @@ impl Partition {
         let mut metrics = ScanMetrics::default();
         let budget = max_docs.max(1);
         let limit = req.limit.unwrap_or(usize::MAX);
+        let snap = req.snapshot.unwrap_or(u64::MAX);
         let zone_pred = prune.or(req.predicate.as_ref());
         if pos.emitted >= limit {
             let mut page = builder.finish();
@@ -417,7 +495,7 @@ impl Partition {
                         idx: pos.idx,
                     };
                     pos.idx += 1;
-                    if !self.is_latest(entry.id, here) {
+                    if !self.is_visible_latest(entry.id, here, snap) {
                         continue;
                     }
                     let (doc, _) = crate::codec::decode_document(&block, entry.offset as usize)?;
@@ -445,7 +523,7 @@ impl Partition {
                 return Ok((page, pos, done));
             }
             pos.mem = i + 1;
-            if !self.is_latest(id, Location::Mem(i)) {
+            if !self.is_visible_latest(id, Location::Mem(i), snap) {
                 continue;
             }
             let doc = self.memtable.get(i)?;
@@ -488,8 +566,8 @@ impl Partition {
     pub fn scan_as_of(&self, req: &ScanRequest, ts: i64) -> Result<ScanResult, StorageError> {
         let mut result = ScanResult::default();
         for chain in self.chains.values() {
-            if let Some((_, loc, _)) = chain.iter().rev().find(|(_, _, at)| *at <= ts) {
-                let doc = self.fetch(*loc)?;
+            if let Some(entry) = chain.iter().rev().find(|e| e.ingested_at <= ts) {
+                let doc = self.fetch(entry.loc)?;
                 let encoded_len = crate::codec::encode_document_vec(&doc).len();
                 self.consider(doc, encoded_len, req, &mut result);
             }
@@ -733,6 +811,7 @@ mod tests {
                 operand: Some("amount".into()),
             }),
             limit: None,
+            snapshot: None,
         };
         let res = p.scan(&req).unwrap();
         assert!(res.documents.is_empty());
@@ -847,6 +926,122 @@ mod tests {
             }
         }
         assert_eq!(got, 7, "limit enforced across pages");
+    }
+
+    #[test]
+    fn snapshot_scans_select_epoch_consistent_versions() {
+        let mut p = Partition::new(3, true);
+        let d1 = doc(1, 100);
+        p.put_at(&d1, 1).unwrap();
+        p.put_at(&doc(2, 50), 2).unwrap();
+        let d1b = d1.new_version(Node::map([("amount".into(), Node::scalar(999i64))]), 1);
+        p.put_at(&d1b, 3).unwrap(); // forces a seal at threshold 3
+        p.put_at(&doc(3, 60), 4).unwrap();
+
+        let at = |snap: u64| {
+            let req = ScanRequest {
+                snapshot: Some(snap),
+                ..ScanRequest::full()
+            };
+            let res = p.scan(&req).unwrap();
+            let mut pairs: Vec<(u64, i64)> = res
+                .documents
+                .iter()
+                .map(|d| {
+                    (
+                        d.id().0,
+                        d.get_str_path("amount")
+                            .unwrap()
+                            .as_value()
+                            .unwrap()
+                            .as_i64()
+                            .unwrap(),
+                    )
+                })
+                .collect();
+            pairs.sort_unstable();
+            pairs
+        };
+        assert_eq!(at(0), vec![]);
+        assert_eq!(at(1), vec![(1, 100)]);
+        assert_eq!(at(2), vec![(1, 100), (2, 50)]);
+        assert_eq!(at(3), vec![(1, 999), (2, 50)]);
+        assert_eq!(at(4), vec![(1, 999), (2, 50), (3, 60)]);
+        // Point reads agree with scans at every snapshot.
+        assert!(p.get_latest_at(DocId(1), 0).unwrap().is_none());
+        let v_at_2 = p.get_latest_at(DocId(1), 2).unwrap().unwrap();
+        assert_eq!(v_at_2.version(), Version(1));
+        let v_at_3 = p.get_latest_at(DocId(1), 3).unwrap().unwrap();
+        assert_eq!(v_at_3.version(), Version(2));
+    }
+
+    #[test]
+    fn reclaim_drops_only_superseded_below_watermark() {
+        let mut p = Partition::new(1000, false);
+        let d1 = doc(1, 100);
+        p.put_at(&d1, 1).unwrap();
+        let d2 = d1.new_version(Node::map([("amount".into(), Node::scalar(200i64))]), 1);
+        p.put_at(&d2, 2).unwrap();
+        let d3 = d2.new_version(Node::map([("amount".into(), Node::scalar(300i64))]), 2);
+        p.put_at(&d3, 3).unwrap();
+        assert_eq!(p.total_versions(), 3);
+
+        // Watermark 1: a snapshot at epoch 1 may still read v1.
+        assert_eq!(p.reclaim(1), 0);
+        // Watermark 2: v1 is superseded by v2 (epoch 2 ≤ watermark).
+        assert_eq!(p.reclaim(2), 1);
+        assert_eq!(p.total_versions(), 2);
+        assert_eq!(p.versions(DocId(1)), vec![Version(2), Version(3)]);
+        // Watermark 3: v2 superseded by v3.
+        assert_eq!(p.reclaim(3), 1);
+        assert_eq!(p.total_versions(), 1);
+        // The survivor is intact, readable, and still the latest.
+        let latest = p.get_latest(DocId(1)).unwrap().unwrap();
+        assert_eq!(latest.version(), Version(3));
+        let res = p.scan(&ScanRequest::full()).unwrap();
+        assert_eq!(res.documents.len(), 1);
+        assert_eq!(p.stats().versions_reclaimed, 2);
+    }
+
+    #[test]
+    fn reclaimed_memtable_entries_survive_seal_and_cursors() {
+        let mut p = Partition::new(1000, true);
+        for i in 0..6 {
+            p.put_at(&doc(i, i as i64), i + 1).unwrap();
+        }
+        // Overwrite docs 0..3 at later epochs, then reclaim.
+        for i in 0..3u64 {
+            let d = p.get_latest(DocId(i)).unwrap().unwrap();
+            p.put_at(
+                &d.new_version(Node::map([("amount".into(), Node::scalar(777i64))]), 1),
+                10 + i,
+            )
+            .unwrap();
+        }
+        assert_eq!(p.reclaim(13), 3);
+        // A scan cursor started now survives a seal landing mid-scan.
+        let req = ScanRequest::full();
+        let (page, pos, done) = p.scan_page(&req, ScanPos::default(), 2).unwrap();
+        assert!(!done);
+        p.seal();
+        let mut ids: Vec<u64> = page.documents.iter().map(|d| d.id().0).collect();
+        let mut pos = pos;
+        loop {
+            let (page, next, done) = p.scan_page(&req, pos, 2).unwrap();
+            ids.extend(page.documents.iter().map(|d| d.id().0));
+            pos = next;
+            if done {
+                break;
+            }
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids, (0..6).collect::<Vec<u64>>());
+        // Sealing tombstoned entries must not disable zone pruning.
+        assert!(
+            p.segments.last().unwrap().zone_map().is_some(),
+            "zone map built despite tombstoned entries in the sealed run"
+        );
     }
 
     #[test]

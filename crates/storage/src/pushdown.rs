@@ -384,6 +384,9 @@ pub struct ScanRequest {
     pub aggregate: Option<AggSpec>,
     /// Optional cap on returned documents (top-of-scan limit).
     pub limit: Option<usize>,
+    /// Visibility epoch: only versions committed at or before this epoch
+    /// are seen (see `crate::epoch`). `None` reads the unpinned latest.
+    pub snapshot: Option<u64>,
 }
 
 impl ScanRequest {

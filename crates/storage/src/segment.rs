@@ -99,6 +99,11 @@ impl ZoneMap {
         let mut zone = ZoneMap::default();
         let mut dicts: HashMap<String, Option<BTreeSet<String>>> = HashMap::new();
         for e in entries {
+            // GC-tombstoned entries have no bytes and no readers (their
+            // chain entries are gone); they contribute nothing to prune on.
+            if e.encoded.is_empty() {
+                continue;
+            }
             // A decode failure disables pruning for the whole segment
             // rather than risking a wrong skip.
             let (doc, _) = codec::decode_document(&e.encoded, 0).ok()?;
@@ -270,6 +275,10 @@ impl Segment {
     ) -> Result<(), StorageError> {
         let block = self.load_block()?;
         for entry in &self.directory {
+            // Skip GC-tombstoned (zero-length) entries.
+            if entry.len == 0 {
+                continue;
+            }
             let start = entry.offset as usize;
             let end = start + entry.len as usize;
             let (doc, _) = codec::decode_document(&block[start..end], 0)?;

@@ -230,6 +230,8 @@ pub struct PartitionStats {
     pub live_docs: u64,
     /// Total encoded bytes.
     pub bytes: u64,
+    /// Superseded versions reclaimed by epoch-watermark GC.
+    pub versions_reclaimed: u64,
     /// Per-structural-path statistics.
     pub paths: HashMap<String, PathStats>,
 }
@@ -252,6 +254,7 @@ impl PartitionStats {
         self.doc_versions += other.doc_versions;
         self.live_docs += other.live_docs;
         self.bytes += other.bytes;
+        self.versions_reclaimed += other.versions_reclaimed;
         for (k, v) in &other.paths {
             let e = self.paths.entry(k.clone()).or_default();
             e.count += v.count;

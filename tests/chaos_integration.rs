@@ -10,9 +10,13 @@ use std::time::Duration;
 
 use proptest::prelude::*;
 
+use std::collections::BTreeMap;
+
+use impliance::annotate::{KillPoint, WorkerFaults};
 use impliance::cluster::{
     ClusterRuntime, FaultDecision, FaultSchedule, Network, NodeId, NodeKind, NodeSpec,
 };
+use impliance::core::{ApplianceConfig, Impliance};
 use impliance::docmodel::{DocId, DocumentBuilder, SourceFormat};
 use impliance::query::clock::{self, BackoffClock};
 use impliance::query::dist::{
@@ -331,5 +335,269 @@ proptest! {
         );
         prop_assert!(!chaotic.degraded);
         prop_assert!(chaotic.coverage.is_complete());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Annotator chaos: kill the background discovery worker at cooperative
+// crash points mid-drain. The epoch-snapshot contract under test: a
+// document's annotation set commits in ONE epoch bump, so a reader at
+// ANY pinned epoch sees either none of a subject's annotations or the
+// complete quiesced set — never a torn prefix — and a resumed worker
+// converges to exactly the fault-free result (no lost or duplicated
+// annotations).
+// ---------------------------------------------------------------------
+
+/// Each text trips both the entity and the sentiment annotator, so every
+/// base document's annotation set spans multiple annotation documents —
+/// a torn commit would be observable as a strict subset.
+const ANNOTATOR_CORPUS: &[&str] = &[
+    "Grace Hopper loved the excellent compilers in Seattle",
+    "Alan Turing found the broken tape reader in Manchester awful",
+    "Barbara Liskov praised the wonderful abstractions in Boston",
+    "Edsger Dijkstra was happy with the reliable queues in Austin",
+];
+
+/// Kill the worker the first time crash point `point` is visited with
+/// the exact step number `step`. Step numbers are monotone per pipeline,
+/// so the schedule fires at most once and a resumed worker runs clean.
+struct KillAt {
+    point: KillPoint,
+    step: u64,
+}
+
+impl WorkerFaults for KillAt {
+    fn kill_at(&self, point: KillPoint, step: u64) -> bool {
+        point == self.point && step == self.step
+    }
+}
+
+/// A multi-kill schedule for the proptest battery: the worker dies at
+/// every listed (point, step) visit and is restarted in between.
+struct KillSchedule {
+    kills: Vec<(KillPoint, u64)>,
+}
+
+impl WorkerFaults for KillSchedule {
+    fn kill_at(&self, point: KillPoint, step: u64) -> bool {
+        self.kills.iter().any(|&(p, s)| p == point && s == step)
+    }
+}
+
+fn boot_corpus(docs: usize) -> Impliance {
+    let imp = Impliance::boot(ApplianceConfig::default());
+    for text in &ANNOTATOR_CORPUS[..docs] {
+        imp.ingest_text("chaos", text).expect("ingest");
+    }
+    imp
+}
+
+fn doc_body(doc: &impliance::docmodel::Document) -> Option<String> {
+    let node = doc.get_str_path("body")?;
+    let value = node.as_value()?;
+    Some(value.render())
+}
+
+/// The annotation sets visible at one pinned epoch, keyed by the subject
+/// document's body text (annotation/ingest ids share an allocator, so
+/// raw ids are not stable across fault schedules; bodies are).
+fn annotation_sets_at(imp: &Impliance, epoch: u64) -> BTreeMap<String, Vec<String>> {
+    let mut req = ScanRequest::full();
+    req.snapshot = Some(epoch);
+    let scan = imp.storage().scan(&req).expect("snapshot scan");
+    let mut bodies: BTreeMap<u64, String> = BTreeMap::new();
+    for doc in &scan.documents {
+        if doc.subject().is_none() {
+            if let Some(body) = doc_body(doc) {
+                bodies.insert(doc.id().0, body);
+            }
+        }
+    }
+    let mut sets: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for doc in &scan.documents {
+        let Some(subject) = doc.subject() else {
+            continue;
+        };
+        let body = bodies
+            .get(&subject.0)
+            .unwrap_or_else(|| panic!("annotation {:?} visible before its subject", doc.id()));
+        sets.entry(body.clone())
+            .or_default()
+            .push(doc.collection().to_string());
+    }
+    for set in sets.values_mut() {
+        set.sort();
+    }
+    sets
+}
+
+/// The fault-free answer: what a fully quiesced appliance annotates each
+/// corpus document with.
+fn reference_sets(docs: usize) -> BTreeMap<String, Vec<String>> {
+    let imp = boot_corpus(docs);
+    imp.quiesce();
+    annotation_sets_at(&imp, imp.storage().current_epoch())
+}
+
+/// The tentpole invariant: at EVERY epoch from boot to now, every
+/// subject's visible annotation set is empty-or-complete.
+fn assert_zero_or_all(imp: &Impliance, reference: &BTreeMap<String, Vec<String>>, context: &str) {
+    for epoch in 0..=imp.storage().current_epoch() {
+        for (body, set) in annotation_sets_at(imp, epoch) {
+            let full = reference
+                .get(&body)
+                .unwrap_or_else(|| panic!("{context}: unknown subject {body:?} at epoch {epoch}"));
+            assert_eq!(
+                &set, full,
+                "{context}: torn annotation set for {body:?} at epoch {epoch}"
+            );
+        }
+    }
+}
+
+/// Exhaustive single-kill sweep: for every crash point and every step at
+/// which it can fire, kill the annotator mid-drain, check the
+/// zero-or-all invariant at every pinned epoch, then resume and verify
+/// exact convergence with the fault-free annotation sets.
+#[test]
+fn annotator_killed_mid_drain_never_tears_an_annotation_set() {
+    const DOCS: usize = 4;
+    let reference = reference_sets(DOCS);
+    assert_eq!(reference.len(), DOCS, "every corpus doc gets annotations");
+    for (body, set) in &reference {
+        assert!(
+            set.len() >= 2,
+            "corpus doc {body:?} must span multiple annotation docs, got {set:?}"
+        );
+    }
+
+    for point in [
+        KillPoint::AfterFetch,
+        KillPoint::BeforeCommit,
+        KillPoint::AfterCommit,
+    ] {
+        for step in 0..64u64 {
+            let imp = boot_corpus(DOCS);
+            imp.run_discovery_with_faults(None, &KillAt { point, step });
+            if imp.discovery_backlog() == 0 {
+                // The drain finished before step `step`: the kill can
+                // never fire later, so this crash point is exhausted.
+                break;
+            }
+            let ctx = format!("killed at {point:?} step {step}");
+            assert_zero_or_all(&imp, &reference, &ctx);
+
+            // A restarted worker replays the unacked change and converges
+            // on the fault-free answer: nothing lost, nothing duplicated.
+            imp.quiesce();
+            assert_eq!(imp.discovery_backlog(), 0, "{ctx}: drain converges");
+            assert_eq!(
+                imp.annotation_epoch(),
+                imp.storage().current_epoch(),
+                "{ctx}: watermark catches up to the last commit"
+            );
+            assert_eq!(
+                annotation_sets_at(&imp, imp.storage().current_epoch()),
+                reference,
+                "{ctx}: resumed worker must converge on the fault-free sets"
+            );
+        }
+    }
+}
+
+/// Replay determinism: the same corpus under the same kill schedule
+/// leaves two independent appliances in identical observable states —
+/// same progress counters, same watermark, same visible annotation sets
+/// at every epoch.
+#[test]
+fn annotator_chaos_replays_deterministically() {
+    let run = || {
+        let imp = boot_corpus(3);
+        let sched = KillSchedule {
+            kills: vec![(KillPoint::BeforeCommit, 4), (KillPoint::AfterCommit, 8)],
+        };
+        imp.run_discovery_with_faults(None, &sched);
+        imp.run_discovery_with_faults(None, &sched);
+        imp
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.discovery_stats(), b.discovery_stats());
+    assert_eq!(a.discovery_backlog(), b.discovery_backlog());
+    assert_eq!(a.annotation_epoch(), b.annotation_epoch());
+    assert_eq!(
+        a.storage().current_epoch(),
+        b.storage().current_epoch(),
+        "same commits landed on both replicas of the schedule"
+    );
+    for epoch in 0..=a.storage().current_epoch() {
+        assert_eq!(
+            annotation_sets_at(&a, epoch),
+            annotation_sets_at(&b, epoch),
+            "replay diverged at epoch {epoch}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(24)))]
+
+    // Random kill schedules, with fresh ingest arriving mid-chaos: after
+    // every crash/restart cycle the zero-or-all invariant holds at every
+    // pinned epoch, and a final quiesce converges on exactly the
+    // fault-free annotation sets.
+    #[test]
+    fn annotator_survives_random_kill_schedules(
+        docs in 1usize..5,
+        kills in proptest::collection::vec((0usize..3, 0u64..24), 1..4),
+        ingest_mid_drain in any::<bool>(),
+    ) {
+        let points = [KillPoint::AfterFetch, KillPoint::BeforeCommit, KillPoint::AfterCommit];
+        let sched = KillSchedule {
+            kills: kills.iter().map(|&(p, s)| (points[p], s)).collect(),
+        };
+        let extra = "Ada Lovelace enjoyed the delightful engines in London";
+        let mut reference = reference_sets(docs);
+        if ingest_mid_drain {
+            // The reference for the late arrival comes from its own
+            // quiesced appliance; annotation sets are per-subject, so
+            // they compose.
+            let solo = Impliance::boot(ApplianceConfig::default());
+            solo.ingest_text("chaos", extra).expect("ingest");
+            solo.quiesce();
+            for (body, set) in annotation_sets_at(&solo, solo.storage().current_epoch()) {
+                reference.insert(body, set);
+            }
+        }
+
+        let imp = boot_corpus(docs);
+        let mut ingested_extra = false;
+        // Each faulted run either dies at the next scheduled kill or
+        // drains the feed; kills.len() + 1 runs exhaust the schedule.
+        for round in 0..=kills.len() {
+            imp.run_discovery_with_faults(None, &sched);
+            if ingest_mid_drain && !ingested_extra {
+                imp.ingest_text("chaos", extra).expect("mid-drain ingest");
+                ingested_extra = true;
+            }
+            assert_zero_or_all(&imp, &reference, &format!("round {round}"));
+            prop_assert!(
+                imp.annotation_epoch() <= imp.storage().current_epoch(),
+                "watermark never runs ahead of the epoch counter"
+            );
+        }
+
+        imp.quiesce();
+        prop_assert_eq!(imp.discovery_backlog(), 0);
+        prop_assert_eq!(
+            annotation_sets_at(&imp, imp.storage().current_epoch()),
+            reference,
+            "chaotic appliance converges on the fault-free annotation sets"
+        );
+        prop_assert_eq!(
+            imp.annotation_epoch(),
+            imp.storage().current_epoch(),
+            "quiesced watermark is exact"
+        );
     }
 }

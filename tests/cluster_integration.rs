@@ -41,6 +41,7 @@ fn distributed_answers_match_across_cluster_sizes() {
                 operand: Some("amount".into()),
             }),
             limit: None,
+            snapshot: None,
         };
         let groups = app.aggregate(&req).unwrap();
         let result: Vec<(String, f64)> = groups.iter().map(|(k, v)| (k.clone(), v.sum)).collect();
@@ -108,6 +109,7 @@ fn pipeline_query_spans_all_three_node_kinds() {
             operand: Some("amount".into()),
         }),
         limit: None,
+        snapshot: None,
     };
     let committed = app.pipeline_query(&req).unwrap();
     assert_eq!(committed, 20);

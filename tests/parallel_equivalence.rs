@@ -63,6 +63,7 @@ impl Fixture {
             join_index: &self.joins,
             pushdown: true,
             columnar,
+            snapshot: None,
         }
     }
 }

@@ -60,6 +60,7 @@ impl Fixture {
             join_index: &self.joins,
             pushdown: true,
             columnar,
+            snapshot: None,
         }
     }
 }
