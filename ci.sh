@@ -89,6 +89,25 @@ if [ ! -s BENCH_ingest.json ]; then
   exit 1
 fi
 
+# Smoke the multi-tenant workload bench: emits BENCH_workload.json and
+# fails unless (a) at 1x offered load 100% of high-priority queries
+# complete within their deadline, (b) at 2x offered load high-priority
+# p99 latency stays within 2x of its 1x value while low-priority work is
+# visibly shed/degraded (counted — offered equals completed + degraded +
+# shed in every class, no silent drops), (c) no completion in any class
+# runs past its deadline (the deadline path truncates to an honest
+# partial instead), and (d) a real appliance under a starved tenant
+# quota returns typed Overloaded rejections with retry-after hints while
+# admitted queries stay exact. The traffic sections run in seeded
+# virtual time, so the numbers are host-independent; host_cores is
+# recorded in the JSON for honesty.
+echo "==> workload_bench smoke (BENCH_workload.json)"
+cargo run -q --release -p impliance-bench --bin workload_bench >/dev/null
+if [ ! -s BENCH_workload.json ]; then
+  echo "FAIL: workload_bench did not emit BENCH_workload.json" >&2
+  exit 1
+fi
+
 # Every PR must append its one-line summary to CHANGES.md: the file must
 # have gained a line relative to the previous commit, or carry uncommitted
 # additions for the PR in progress. (Skipped on a root commit.)

@@ -107,6 +107,13 @@ impl LintConfig {
                 // incremental discovery, so its reachable-panic surface
                 // is audited like the query entry points.
                 crate::iplints::EntrySpec::method("DiscoveryPipeline", "run_incremental"),
+                // The admission gate runs before every query, including
+                // under overload — a reachable panic here turns graceful
+                // shedding into an outage, so both admission surfaces are
+                // audited roots.
+                crate::iplints::EntrySpec::method("WorkloadManager", "admit"),
+                crate::iplints::EntrySpec::method("WorkloadManager", "submit"),
+                crate::iplints::EntrySpec::method("WorkloadManager", "next_ready"),
             ],
             l10_worker_files: vec!["crates/query/src/parallel.rs".into()],
             l12_design_doc: "DESIGN.md".into(),

@@ -92,7 +92,9 @@ fn c9_interleaving() {
     //   fifo        — arrival order (queries wait behind the backlog)
     //   interleaved — the execution manager: interactive preempts,
     //                 background keeps a guaranteed share
+    use impliance_query::clock::ManualTime;
     use impliance_virt::{ExecutionManager, TaskClass};
+    use std::sync::Arc;
 
     const QUERIES: usize = 50;
     const BATCHES: usize = 100; // × 20 docs = the whole backlog
@@ -121,10 +123,11 @@ fn c9_interleaving() {
                 .unwrap();
         }
 
-        let mgr = ExecutionManager::new(8, 1);
+        let mgr_time = Arc::new(ManualTime::new());
+        let mgr = ExecutionManager::with_time_source(8, 1, mgr_time.clone());
         // background batches all queued at t=0
         for b in 0..BATCHES {
-            mgr.submit(10_000 + b as u64, TaskClass::Background, 0);
+            mgr.submit(10_000 + b as u64, TaskClass::Background);
         }
         let mut clock_us: u64 = 0;
         let mut next_arrival = 0usize;
@@ -135,8 +138,9 @@ fn c9_interleaving() {
 
         while latencies.len() < QUERIES || batches_run < BATCHES {
             // admit arrivals up to the current clock
+            mgr_time.set_us(clock_us);
             while next_arrival < QUERIES && (next_arrival as u64 * ARRIVAL_GAP_US) <= clock_us {
-                mgr.submit(next_arrival as u64, TaskClass::Interactive, clock_us);
+                mgr.submit(next_arrival as u64, TaskClass::Interactive);
                 next_arrival += 1;
             }
             // choose the next task per policy
@@ -145,7 +149,7 @@ fn c9_interleaving() {
                 "fifo" => fifo_phase_bg < BATCHES,
                 _ => {
                     // the execution manager decides
-                    match mgr.next(clock_us) {
+                    match mgr.next() {
                         Some(t) => t.class == TaskClass::Background,
                         None => {
                             // idle: jump to the next arrival

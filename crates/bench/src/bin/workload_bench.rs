@@ -1,0 +1,241 @@
+//! Multi-tenant overload behavior under 1x and 2x offered load. Emits
+//! `BENCH_workload.json` in the workspace root and exits non-zero unless
+//! the workload-management gates hold.
+//!
+//! Two kinds of measurement:
+//!
+//! 1. **Simulated traffic** — the seeded open-loop generator
+//!    (`impliance_virt::traffic`) drives thousands of zipfian-skewed
+//!    clients against a `WorkloadManager` in virtual time, once at the
+//!    nominal offered rate (1x) and once at double (2x). The simulation
+//!    burns no wall-clock and is independent of host core count — the
+//!    reported `host_cores` field is informational honesty, not an input
+//!    to any number below.
+//! 2. **Engine smoke** — a real `Impliance` with a one-query-per-second
+//!    tenant quota is hammered; the overflow must come back as typed
+//!    `Overloaded` errors with actionable retry-after hints while
+//!    admitted queries keep returning correct rows.
+//!
+//! Gates:
+//!
+//! * At 1x, every offered high-priority query completes and meets its
+//!   deadline (100%: zero shed, zero deadline misses).
+//! * At 2x, high-priority p99 latency stays within 2x of its 1x value —
+//!   overload degrades the low classes, not the latency-sensitive one.
+//! * At 2x, low-priority work is visibly shed/degraded (counted and
+//!   reported, never silently dropped: offered = completed + degraded +
+//!   shed in every class at every load).
+//! * No completion in any class at any load exceeds its class deadline
+//!   (the deadline path truncates to an honest partial instead).
+//! * The engine smoke observes at least one typed `Overloaded` rejection
+//!   with a retry hint, and at least one correct admitted answer.
+
+use impliance_core::{ApplianceConfig, ErrorKind, Impliance, QueryRequest, TenantQuota};
+use impliance_docmodel::{RelationalSchema, Value};
+use impliance_virt::traffic::{self, TrafficReport, TrafficSpec};
+
+const CLASS_NAMES: [&str; 3] = ["high", "normal", "low"];
+
+fn class_json(report: &TrafficReport, spec: &TrafficSpec) -> String {
+    let mut parts = Vec::new();
+    for (ci, c) in report.classes.iter().enumerate() {
+        parts.push(format!(
+            "      \"{}\": {{ \"offered\": {}, \"completed\": {}, \"degraded\": {}, \
+             \"shed\": {}, \"met_deadline\": {}, \"deadline_us\": {}, \"p50_us\": {}, \
+             \"p99_us\": {}, \"max_us\": {} }}",
+            CLASS_NAMES[ci],
+            c.offered,
+            c.completed,
+            c.degraded,
+            c.shed,
+            c.met_deadline,
+            spec.deadline_us[ci],
+            c.p50_us,
+            c.p99_us,
+            c.max_us,
+        ));
+    }
+    parts.join(",\n")
+}
+
+fn run_load(multiplier: u64) -> (TrafficSpec, TrafficReport) {
+    let spec = TrafficSpec {
+        offered_qps: 2_000 * multiplier,
+        ..TrafficSpec::default()
+    };
+    let report = traffic::run(&spec);
+    (spec, report)
+}
+
+struct EngineSmoke {
+    admitted: u64,
+    overloaded: u64,
+    retry_hint_ms: u64,
+    correct_rows: bool,
+}
+
+/// Hammer a real appliance with a starved tenant quota: overflow must be
+/// typed `Overloaded` (with a retry hint), admitted queries must stay
+/// correct, and nothing may hang or panic.
+fn engine_smoke() -> EngineSmoke {
+    let imp = Impliance::boot(ApplianceConfig::default());
+    let schema = RelationalSchema::new("orders", &["id", "total"]);
+    for i in 0..50 {
+        imp.ingest_row(&schema, vec![Value::Int(i), Value::Float(i as f64)])
+            .expect("seed ingest");
+    }
+    imp.set_tenant_quota(
+        1,
+        TenantQuota {
+            tokens_per_sec: 1,
+            burst: 2,
+            queue_capacity: 4,
+        },
+    );
+    let mut smoke = EngineSmoke {
+        admitted: 0,
+        overloaded: 0,
+        retry_hint_ms: 0,
+        correct_rows: true,
+    };
+    for _ in 0..20 {
+        match imp.query(
+            QueryRequest::builder("SELECT id FROM orders")
+                .tenant(1)
+                .build(),
+        ) {
+            Ok(resp) => {
+                smoke.admitted += 1;
+                if resp.rows().len() != 50 {
+                    smoke.correct_rows = false;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Overloaded => {
+                smoke.overloaded += 1;
+                smoke.retry_hint_ms = smoke.retry_hint_ms.max(e.retry_after_ms().unwrap_or(0));
+            }
+            Err(e) => {
+                eprintln!("FAIL: unexpected error kind from overload path: {e}");
+                smoke.correct_rows = false;
+            }
+        }
+    }
+    smoke
+}
+
+fn main() {
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let (spec1, r1) = run_load(1);
+    let (spec2, r2) = run_load(2);
+    let smoke = engine_smoke();
+
+    let json = format!(
+        "{{\n  \"bench\": \"workload\",\n  \"host_cores\": {host_cores},\n  \
+         \"note\": \"simulated sections run in virtual time and do not depend on host_cores\",\n  \
+         \"simulation\": {{\n    \"tenants\": {}, \"clients\": {}, \"servers\": {}, \
+         \"duration_us\": {}, \"seed\": {},\n    \"load_1x\": {{\n      \"offered_qps\": {},\n\
+         {}\n    }},\n    \"load_2x\": {{\n      \"offered_qps\": {},\n{}\n    }}\n  }},\n  \
+         \"engine_smoke\": {{ \"admitted\": {}, \"overloaded\": {}, \"retry_hint_ms\": {}, \
+         \"correct_rows\": {} }}\n}}\n",
+        spec1.tenants,
+        spec1.clients,
+        spec1.servers,
+        spec1.duration_us,
+        spec1.seed,
+        spec1.offered_qps,
+        class_json(&r1, &spec1),
+        spec2.offered_qps,
+        class_json(&r2, &spec2),
+        smoke.admitted,
+        smoke.overloaded,
+        smoke.retry_hint_ms,
+        smoke.correct_rows,
+    );
+    std::fs::write("BENCH_workload.json", &json).expect("write BENCH_workload.json");
+    print!("{json}");
+
+    let mut failed = false;
+
+    // Gate: full accounting at both loads — nothing silently dropped.
+    for (label, r) in [("1x", &r1), ("2x", &r2)] {
+        if !traffic::accounted(r) {
+            eprintln!("FAIL: {label} has unaccounted queries: {:?}", r.classes);
+            failed = true;
+        }
+    }
+
+    // Gate: at 1x every high-priority query completes and meets its
+    // deadline.
+    let high1 = &r1.classes[0];
+    if high1.shed != 0 || high1.met_deadline != high1.completed + high1.degraded {
+        eprintln!(
+            "FAIL: high-priority at 1x must be 100% on-deadline: {:?}",
+            high1
+        );
+        failed = true;
+    }
+
+    // Gate: high-priority p99 at 2x within 2x of its 1x value.
+    let high2 = &r2.classes[0];
+    if high2.p99_us > high1.p99_us.max(1) * 2 {
+        eprintln!(
+            "FAIL: high-priority p99 degraded more than 2x under overload: \
+             1x={}us 2x={}us",
+            high1.p99_us, high2.p99_us
+        );
+        failed = true;
+    }
+
+    // Gate: 2x overload visibly sheds/degrades low-priority work.
+    let low2 = &r2.classes[2];
+    if low2.shed + low2.degraded == 0 {
+        eprintln!(
+            "FAIL: 2x overload shed/degraded nothing in the low class: {:?}",
+            low2
+        );
+        failed = true;
+    }
+
+    // Gate: no completion past its class deadline at either load.
+    for (label, spec, r) in [("1x", &spec1, &r1), ("2x", &spec2, &r2)] {
+        for (ci, c) in r.classes.iter().enumerate() {
+            if c.max_us > spec.deadline_us[ci] {
+                eprintln!(
+                    "FAIL: {label} class {} completed {}us past its {}us deadline",
+                    CLASS_NAMES[ci], c.max_us, spec.deadline_us[ci]
+                );
+                failed = true;
+            }
+        }
+    }
+
+    // Gate: the real engine sheds typed and keeps admitted answers exact.
+    if smoke.overloaded == 0 || smoke.admitted == 0 {
+        eprintln!(
+            "FAIL: engine smoke must see both admissions and typed Overloaded \
+             rejections (admitted={}, overloaded={})",
+            smoke.admitted, smoke.overloaded
+        );
+        failed = true;
+    }
+    if smoke.retry_hint_ms == 0 {
+        eprintln!("FAIL: Overloaded rejections must carry a retry-after hint");
+        failed = true;
+    }
+    if !smoke.correct_rows {
+        eprintln!("FAIL: admitted queries under overload returned wrong rows");
+        failed = true;
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+    eprintln!(
+        "workload bench OK: high p99 {}us -> {}us at 2x; low shed {}/{} at 2x; \
+         {} typed rejections in engine smoke",
+        high1.p99_us, high2.p99_us, low2.shed, low2.offered, smoke.overloaded
+    );
+}

@@ -8,7 +8,7 @@
 //! are charged to the [`Network`].
 
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -128,6 +128,13 @@ impl<T: 'static> TaskHandle<T> {
 /// The cluster runtime: spawns and addresses node threads.
 pub struct ClusterRuntime {
     nodes: TrackedRwLock<HashMap<NodeId, NodeHandle>>,
+    /// Cluster membership: every node ever spawned and not yet
+    /// decommissioned, alive or dead. An unplanned death ([`Self::kill`])
+    /// keeps its entry — the node is still *expected* to hold data, and
+    /// coordinators that pretend otherwise return silent partial answers.
+    /// Only [`Self::decommission`] (a planned removal, after the node's
+    /// data has been rehomed) shrinks this set.
+    members: TrackedRwLock<BTreeMap<NodeId, NodeKind>>,
     network: Arc<Network>,
     /// Round-robin cursors per kind.
     cursors: TrackedMutex<HashMap<&'static str, usize>>,
@@ -146,6 +153,7 @@ impl ClusterRuntime {
     ) -> ClusterRuntime {
         let rt = ClusterRuntime {
             nodes: TrackedRwLock::new("cluster.nodes", HashMap::new()),
+            members: TrackedRwLock::new("cluster.members", BTreeMap::new()),
             network,
             cursors: TrackedMutex::new("cluster.cursors", HashMap::new()),
             coordinator: NodeId(u32::MAX),
@@ -209,6 +217,7 @@ impl ClusterRuntime {
             // so submissions report NodeDown rather than hanging.
             Err(_) => return false,
         };
+        self.members.write().insert(spec.id, spec.kind);
         self.nodes.write().insert(
             spec.id,
             NodeHandle {
@@ -238,6 +247,21 @@ impl ClusterRuntime {
             .collect();
         out.sort_unstable();
         out
+    }
+
+    /// Ids of *member* nodes of a kind, ascending — alive or dead. This
+    /// is the coordinator's coverage denominator: a node killed by a
+    /// fault is still a member (its data is unaccounted for until it is
+    /// recovered or the node is [`Self::decommission`]ed), so resilient
+    /// readers can tell "everything answered" from "a holder of data
+    /// never showed up".
+    pub fn members_of_kind(&self, kind: NodeKind) -> Vec<NodeId> {
+        self.members
+            .read()
+            .iter()
+            .filter(|(_, k)| **k == kind)
+            .map(|(id, _)| *id)
+            .collect()
     }
 
     /// All alive node ids.
@@ -369,8 +393,21 @@ impl ClusterRuntime {
         }
     }
 
+    /// Planned removal: kill the node *and* drop it from membership.
+    /// Callers must have rehomed the node's data first (re-replication,
+    /// primary promotion) — after decommissioning, coordinators no longer
+    /// count the node toward scan coverage.
+    pub fn decommission(&self, node: NodeId) -> bool {
+        let killed = self.kill(node);
+        self.members.write().remove(&node);
+        killed
+    }
+
     /// Kill a node (failure injection). In-flight tasks are lost; later
-    /// submissions return `NodeDown`.
+    /// submissions return `NodeDown`. The node stays a cluster *member*
+    /// (see [`Self::members_of_kind`]): its data is still out there, and
+    /// honest coverage accounting must keep counting it until recovery
+    /// rehomes the data and [`Self::decommission`] retires the identity.
     pub fn kill(&self, node: NodeId) -> bool {
         let handle = self.nodes.write().remove(&node);
         match handle {

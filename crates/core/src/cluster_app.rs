@@ -330,7 +330,10 @@ impl ClusterImpliance {
             });
             res.map(|r| r.ids).unwrap_or_default()
         };
-        self.runtime.kill(node);
+        // Planned removal: recovery below rehomes the node's data, so the
+        // identity is decommissioned (dropped from scan-coverage
+        // membership), not just killed.
+        self.runtime.decommission(node);
         self.engines.lock().remove(&node);
 
         let report: ReplicationReport = self.storage_mgr.lock().node_failed(node);

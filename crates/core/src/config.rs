@@ -51,6 +51,15 @@ pub struct ApplianceConfig {
     /// Backoff cap for the first distributed retry, microseconds
     /// (doubles per attempt with seeded jitter).
     pub retry_base_backoff_us: u64,
+    /// Multi-tenant workload policy: per-tenant admission quotas, the
+    /// concurrency limit, and overload/degradation behavior. The default
+    /// is fully permissive (nothing is ever shed), preserving
+    /// single-tenant behavior for callers that never set quotas.
+    pub workload: impliance_virt::WorkloadConfig,
+    /// Cached logical plans kept per tenant (each tenant gets its own
+    /// bounded plan-cache partition, so one tenant's churn cannot evict
+    /// another's hot plans).
+    pub plan_cache_per_tenant: usize,
 }
 
 impl Default for ApplianceConfig {
@@ -74,6 +83,8 @@ impl Default for ApplianceConfig {
                 .unwrap_or(1),
             retry_max_attempts: 3,
             retry_base_backoff_us: 200,
+            workload: impliance_virt::WorkloadConfig::default(),
+            plan_cache_per_tenant: 128,
         }
     }
 }

@@ -41,6 +41,10 @@ pub enum ErrorKind {
     /// A cluster resource is down, missing, or cannot satisfy an
     /// availability constraint.
     Unavailable,
+    /// The appliance shed this request under load (quota exhausted,
+    /// queue full, or deadline unmeetable). Transient by design: check
+    /// [`Error::retry_after_ms`] for when a retry is worthwhile.
+    Overloaded,
     /// Anything that does not fit a more specific kind.
     Internal,
 }
@@ -55,6 +59,7 @@ impl ErrorKind {
             ErrorKind::Conflict => "conflict",
             ErrorKind::InvalidInput => "invalid_input",
             ErrorKind::Unavailable => "unavailable",
+            ErrorKind::Overloaded => "overloaded",
             ErrorKind::Internal => "internal",
         }
     }
@@ -71,6 +76,7 @@ impl fmt::Display for ErrorKind {
 pub struct Error {
     kind: ErrorKind,
     message: String,
+    retry_after_ms: Option<u64>,
 }
 
 impl Error {
@@ -79,6 +85,17 @@ impl Error {
         Error {
             kind,
             message: message.into(),
+            retry_after_ms: None,
+        }
+    }
+
+    /// Build an [`ErrorKind::Overloaded`] rejection carrying the
+    /// workload manager's retry-after hint, milliseconds.
+    pub fn overloaded(message: impl Into<String>, retry_after_ms: u64) -> Error {
+        Error {
+            kind: ErrorKind::Overloaded,
+            message: message.into(),
+            retry_after_ms: Some(retry_after_ms),
         }
     }
 
@@ -90,6 +107,13 @@ impl Error {
     /// The human-readable message from the originating subsystem.
     pub fn message(&self) -> &str {
         &self.message
+    }
+
+    /// For [`ErrorKind::Overloaded`] rejections: milliseconds after
+    /// which a retry has a realistic chance of being admitted. `None`
+    /// for every other kind.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        self.retry_after_ms
     }
 }
 
@@ -251,5 +275,15 @@ mod tests {
     fn kind_names_are_stable() {
         assert_eq!(ErrorKind::NotFound.as_str(), "not_found");
         assert_eq!(ErrorKind::InvalidInput.to_string(), "invalid_input");
+        assert_eq!(ErrorKind::Overloaded.as_str(), "overloaded");
+    }
+
+    #[test]
+    fn overloaded_carries_a_retry_hint_and_other_kinds_do_not() {
+        let e = Error::overloaded("tenant quota exhausted", 120);
+        assert_eq!(e.kind(), ErrorKind::Overloaded);
+        assert_eq!(e.retry_after_ms(), Some(120));
+        let plain = Error::new(ErrorKind::Unavailable, "node down");
+        assert_eq!(plain.retry_after_ms(), None);
     }
 }

@@ -38,5 +38,12 @@ pub use audit::{AccessPolicy, AuditLog, GuardedAppliance, Principal};
 pub use cluster_app::ClusterImpliance;
 pub use config::ApplianceConfig;
 pub use error::{Error, ErrorKind};
-pub use query_api::{ExecStats, QueryRequest, QueryRequestBuilder, QueryResponse};
+pub use query_api::{
+    AdmissionOutcome, ExecStats, QueryRequest, QueryRequestBuilder, QueryResponse,
+};
 pub use views::ViewFreshness;
+
+// Re-exported so appliance callers can express workload policy (quotas,
+// priorities) without depending on the virt/query crates directly.
+pub use impliance_query::Priority;
+pub use impliance_virt::{TenantId, TenantQuota, WorkloadConfig, WorkloadStats};

@@ -9,7 +9,8 @@
 //! to correlate any answer with the metrics snapshot.
 
 use impliance_obs::SpanId;
-use impliance_query::{ExecMetrics, LogicalPlan, QueryOutput};
+use impliance_query::{ExecMetrics, LogicalPlan, Priority, QueryOutput};
+use impliance_virt::TenantId;
 
 /// A query against the appliance. Build with [`QueryRequest::builder`].
 #[derive(Debug, Clone)]
@@ -23,6 +24,8 @@ pub struct QueryRequest {
     deadline_ms: Option<u64>,
     parallelism: Option<usize>,
     snapshot: Option<u64>,
+    tenant: TenantId,
+    priority: Priority,
 }
 
 impl QueryRequest {
@@ -39,6 +42,8 @@ impl QueryRequest {
                 deadline_ms: None,
                 parallelism: None,
                 snapshot: None,
+                tenant: TenantId::default(),
+                priority: Priority::default(),
             },
         }
     }
@@ -101,6 +106,18 @@ impl QueryRequest {
     /// fresh, internally consistent snapshot).
     pub fn snapshot(&self) -> Option<u64> {
         self.snapshot
+    }
+
+    /// The tenant this query is billed against (tenant `0`, the default,
+    /// is the shared tenant for callers that never declared one).
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
+    /// The scheduling class for this query (see
+    /// [`QueryRequestBuilder::priority`]).
+    pub fn priority(&self) -> Priority {
+        self.priority
     }
 }
 
@@ -170,10 +187,44 @@ impl QueryRequestBuilder {
         self
     }
 
+    /// Bill this query to a tenant. The tenant's admission quota, queue
+    /// bound, and plan-cache partition apply; unset requests run as the
+    /// shared tenant `0`.
+    pub fn tenant(mut self, id: u64) -> QueryRequestBuilder {
+        self.request.tenant = TenantId(id);
+        self
+    }
+
+    /// Set the scheduling class. `High` is admitted even under overload
+    /// and preempts lower-priority morsel workers; `Low` is the first
+    /// class shed when the appliance saturates. Results are identical at
+    /// every priority — this only changes *when* (and whether) the query
+    /// runs under load.
+    pub fn priority(mut self, priority: Priority) -> QueryRequestBuilder {
+        self.request.priority = priority;
+        self
+    }
+
     /// Finish the request.
     pub fn build(self) -> QueryRequest {
         self.request
     }
+}
+
+/// How the workload manager handled an answered query. A shed query
+/// never produces a response at all — it comes back as a typed
+/// `ErrorKind::Overloaded` error with a retry-after hint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionOutcome {
+    /// No workload policy was in the path (the default permissive
+    /// configuration): the query ran unmanaged.
+    #[default]
+    Unmanaged,
+    /// Admitted at full fidelity.
+    Admitted,
+    /// Admitted under overload with a tightened execution budget; the
+    /// response may be an honest partial answer (`degraded`).
+    Degraded,
 }
 
 /// Everything the appliance knows about one answered query.
@@ -201,6 +252,11 @@ pub struct QueryResponse {
     /// is below `snapshot_epoch`, recently ingested documents may not
     /// have annotations yet (they are never *partially* annotated).
     pub annotation_epoch: u64,
+    /// Microseconds this query waited for admission before execution
+    /// started (0 when no workload policy was in the path).
+    pub queue_wait_us: u64,
+    /// How the workload manager handled this query.
+    pub admission: AdmissionOutcome,
 }
 
 /// Typed execution statistics for one answered query — the structured
@@ -243,6 +299,12 @@ pub struct ExecStats {
     /// epochs whose annotation sets were committed (`1.0` = discovery
     /// fully caught up with ingest at this snapshot).
     pub freshness: f64,
+    /// Microseconds spent waiting for admission before execution
+    /// started (0 when no workload policy was in the path).
+    pub queue_wait_us: u64,
+    /// How the workload manager handled this query (shed queries never
+    /// reach a response — they fail typed as `Overloaded`).
+    pub admission: AdmissionOutcome,
 }
 
 impl QueryResponse {
@@ -274,6 +336,8 @@ impl QueryResponse {
             snapshot_epoch: self.snapshot_epoch,
             annotation_epoch: self.annotation_epoch,
             freshness: self.freshness(),
+            queue_wait_us: self.queue_wait_us,
+            admission: self.admission,
         }
     }
 
@@ -353,5 +417,19 @@ mod tests {
             .parallelism(8)
             .build();
         assert_eq!(req.parallelism(), Some(8));
+    }
+
+    #[test]
+    fn builder_tenant_and_priority() {
+        let req = QueryRequest::builder("SELECT * FROM docs").build();
+        assert_eq!(req.tenant(), TenantId(0), "default is the shared tenant");
+        assert_eq!(req.priority(), Priority::Normal);
+
+        let req = QueryRequest::builder("SELECT * FROM docs")
+            .tenant(42)
+            .priority(Priority::High)
+            .build();
+        assert_eq!(req.tenant(), TenantId(42));
+        assert_eq!(req.priority(), Priority::High);
     }
 }

@@ -1,4 +1,5 @@
-//! Injectable backoff sleeper for the distributed executor.
+//! Injectable clocks: the backoff sleeper for the distributed executor
+//! and the logical time source for workload management.
 //!
 //! Retry backoff in [`crate::dist`] used to call `std::thread::sleep`
 //! directly, which made chaos tests and benches pay real wall-clock time
@@ -7,7 +8,16 @@
 //! install a counting no-op so a thousand retries cost nothing, while
 //! production keeps the real sleep. The delays are *pacing*, never
 //! correctness: results are identical under any clock.
+//!
+//! [`TimeSource`] is the read side of the same idea: anything that needs
+//! "what time is it" — token-bucket refill, queue-wait accounting, the
+//! execution manager's dispatch bookkeeping — asks a `TimeSource` instead
+//! of `Instant::now`, so the workload simulator and the proptest
+//! batteries can drive thousands of virtual seconds without burning any
+//! wall-clock. Production uses [`RealTime`] (monotonic microseconds since
+//! process start); tests hold a [`ManualTime`] and advance it explicitly.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 use std::time::Duration;
 
@@ -49,6 +59,69 @@ pub fn install_default() {
     install(Arc::new(RealClock));
 }
 
+/// A monotonic microsecond clock readable by workload accounting.
+pub trait TimeSource: Send + Sync + std::fmt::Debug {
+    /// Microseconds elapsed on this source's timeline. Monotonic
+    /// non-decreasing; the zero point is the source's own (process start
+    /// for [`RealTime`], construction for [`ManualTime`]).
+    fn now_us(&self) -> u64;
+}
+
+/// The default time source: monotonic wall-clock microseconds since the
+/// first read.
+#[derive(Debug, Default)]
+pub struct RealTime;
+
+fn process_epoch() -> std::time::Instant {
+    static EPOCH: OnceLock<std::time::Instant> = OnceLock::new();
+    *EPOCH.get_or_init(std::time::Instant::now)
+}
+
+impl TimeSource for RealTime {
+    fn now_us(&self) -> u64 {
+        process_epoch().elapsed().as_micros() as u64
+    }
+}
+
+/// A hand-advanced time source for tests, benches, and the workload
+/// simulator: time moves only when the driver says so, so a simulated
+/// hour costs nothing.
+#[derive(Debug, Default)]
+pub struct ManualTime {
+    us: AtomicU64,
+}
+
+impl ManualTime {
+    /// A manual clock starting at 0 µs.
+    pub fn new() -> ManualTime {
+        ManualTime::default()
+    }
+
+    /// Advance the clock by `us` microseconds.
+    pub fn advance_us(&self, us: u64) {
+        self.us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Jump the clock to an absolute microsecond reading (never
+    /// backwards: a stale set is ignored, keeping the source monotonic).
+    pub fn set_us(&self, us: u64) {
+        self.us.fetch_max(us, Ordering::Relaxed);
+    }
+}
+
+impl TimeSource for ManualTime {
+    fn now_us(&self) -> u64 {
+        self.us.load(Ordering::Relaxed)
+    }
+}
+
+/// The process-wide default time source (used when a component is not
+/// handed an explicit one).
+pub fn default_time_source() -> Arc<dyn TimeSource> {
+    static SLOT: OnceLock<Arc<dyn TimeSource>> = OnceLock::new();
+    Arc::clone(SLOT.get_or_init(|| Arc::new(RealTime)))
+}
+
 /// Sleep `us` microseconds through the installed clock.
 pub(crate) fn sleep_us(us: u64) {
     let clock = {
@@ -88,5 +161,25 @@ mod tests {
         // through the same installed clock while we hold it
         assert!(counting.total_us.load(Ordering::Relaxed) >= 500);
         install_default();
+    }
+
+    #[test]
+    fn manual_time_advances_and_never_rewinds() {
+        let t = ManualTime::new();
+        assert_eq!(t.now_us(), 0);
+        t.advance_us(250);
+        assert_eq!(t.now_us(), 250);
+        t.set_us(1_000);
+        assert_eq!(t.now_us(), 1_000);
+        t.set_us(400); // stale set: ignored
+        assert_eq!(t.now_us(), 1_000);
+    }
+
+    #[test]
+    fn real_time_is_monotonic() {
+        let t = RealTime;
+        let a = t.now_us();
+        let b = t.now_us();
+        assert!(b >= a);
     }
 }

@@ -13,6 +13,7 @@ use std::time::Duration;
 
 use crate::batch::DEFAULT_BATCH_SIZE;
 use crate::dist::{FailoverPolicy, RetryPolicy};
+use crate::preempt::Priority;
 
 /// Every knob a query execution can carry, for both the single-node
 /// pipeline ([`crate::exec::execute_plan_opts`]) and the distributed
@@ -45,6 +46,12 @@ pub struct ExecutionContext {
     /// with an honest `CoverageReport` instead of an error. Distributed
     /// path only.
     pub degraded_ok: bool,
+    /// Scheduling class for this execution. `High` registers in the
+    /// process-wide preemption gate ([`crate::preempt`]) so lower-class
+    /// morsel workers yield their next claim; `Low` yields to any
+    /// in-flight high-priority query. Purely a scheduling hint — results
+    /// are identical at every priority.
+    pub priority: Priority,
 }
 
 impl Default for ExecutionContext {
@@ -60,6 +67,7 @@ impl Default for ExecutionContext {
             retry: RetryPolicy::default(),
             failover: None,
             degraded_ok: false,
+            priority: Priority::default(),
         }
     }
 }
@@ -78,6 +86,12 @@ impl ExecutionContext {
         self.worker_threads = workers.max(1);
         self
     }
+
+    /// Set the scheduling class, builder-style.
+    pub fn with_priority(mut self, priority: Priority) -> ExecutionContext {
+        self.priority = priority;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -93,6 +107,13 @@ mod tests {
         assert!(ctx.deadline.is_none());
         assert!(ctx.failover.is_none());
         assert!(!ctx.degraded_ok);
+        assert_eq!(ctx.priority, Priority::Normal);
+    }
+
+    #[test]
+    fn priority_builder_sets_class() {
+        let ctx = ExecutionContext::default().with_priority(Priority::High);
+        assert_eq!(ctx.priority, Priority::High);
     }
 
     #[test]

@@ -601,7 +601,12 @@ pub fn dist_scan_resilient(
     opts: &ExecutionContext,
 ) -> Result<ResilientScan, ClusterError> {
     let deadline_at = opts.deadline.map(|d| Instant::now() + d);
-    let data_nodes = rt.nodes_of_kind(NodeKind::Data);
+    // Enumerate *members*, not live nodes: a node that died before this
+    // scan started still holds data. Its probe fails below and the
+    // partitions land in the failover/skip accounting — recovered from
+    // replicas when possible, honestly reported as uncovered otherwise —
+    // instead of silently vanishing from a "complete" result.
+    let data_nodes = rt.members_of_kind(NodeKind::Data);
     if data_nodes.is_empty() {
         return Err(ClusterError::NoNodeOfKind("data"));
     }

@@ -81,6 +81,10 @@ pub struct ExecMetrics {
     /// Columnar batches produced by the vectorized fast path (`0` means
     /// the query ran entirely on the row-at-a-time decode path).
     pub columnar_batches: u64,
+    /// Microseconds the query spent waiting for admission before
+    /// execution started (0 when admission control was not in the path).
+    /// Filled in by the workload manager, not the executor.
+    pub queue_wait_us: u64,
 }
 
 pub(crate) fn deadline_obs() -> &'static Arc<impliance_obs::Counter> {
@@ -191,6 +195,10 @@ pub fn execute_plan_opts(
         }
         None => plan,
     };
+    // Register in the preemption gate for the whole execution: while a
+    // High query holds the gate, lower-priority morsel workers and the
+    // background annotation worker yield between work units.
+    let _preempt = crate::preempt::PreemptGuard::enter(opts.priority);
     if opts.worker_threads > 1 {
         if let Some(result) = crate::parallel::try_execute_parallel(ctx, plan, opts)? {
             return Ok(result);

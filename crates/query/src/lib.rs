@@ -39,8 +39,11 @@
 //!   execution knob (batch size, limit, deadline, worker threads, retry
 //!   and failover policies) across the local, parallel, and distributed
 //!   paths.
-//! * [`clock`] — the injectable backoff clock, so retry backoff in tests
-//!   and benchmarks never sleeps on the wall clock.
+//! * [`clock`] — the injectable clocks: the backoff sleeper (retry
+//!   pacing) and the [`clock::TimeSource`] logical clock that workload
+//!   management reads, so tests and benchmarks never burn wall time.
+//! * [`preempt`] — query [`Priority`] classes and the process-wide
+//!   preemption gate low-priority morsel workers consult between claims.
 
 pub mod adaptive;
 pub mod batch;
@@ -53,16 +56,18 @@ pub mod joins;
 pub mod ops;
 pub mod parallel;
 pub mod plan;
+pub mod preempt;
 pub mod simple;
 pub mod sql;
 pub mod tuple;
 
 pub use batch::{Batch, Operator, DEFAULT_BATCH_SIZE};
-pub use clock::{BackoffClock, RealClock};
+pub use clock::{BackoffClock, ManualTime, RealClock, RealTime, TimeSource};
 pub use context::ExecutionContext;
 pub use dist::{CoverageReport, FailoverPolicy, ResilientScan, RetryPolicy};
 pub use exec::{execute_plan, execute_plan_opts, ExecContext, ExecError, ExecMetrics, QueryOutput};
 pub use plan::{AggItem, JoinAlgo, LogicalPlan, SortKey};
+pub use preempt::{PreemptGuard, Priority};
 pub use simple::SimplePlanner;
 pub use sql::parse_sql;
 pub use tuple::{Row, Tuple};

@@ -480,6 +480,7 @@ struct WorkerEnv<'e> {
     deadline_hit: &'e AtomicBool,
     deadline_at: Option<Instant>,
     batch_size: usize,
+    priority: crate::preempt::Priority,
 }
 
 /// One partition's accumulated result.
@@ -524,6 +525,11 @@ fn run_worker(env: &WorkerEnv<'_>) -> WorkerOut {
         if env.stop.load(Ordering::Relaxed) {
             break;
         }
+        // Morsel-granularity preemption: while a high-priority query is
+        // in flight, lower-priority workers surrender the core (bounded)
+        // before racing for the next claim, so the high-priority pool
+        // wins the contended morsels.
+        crate::preempt::yield_to_high(env.priority);
         let i = env.claim.fetch_add(1, Ordering::Relaxed);
         let Some(m) = env.morsels.get(i) else { break };
         par_obs()
@@ -803,6 +809,7 @@ pub(crate) fn try_execute_parallel(
         deadline_hit: &deadline_hit,
         deadline_at,
         batch_size,
+        priority: opts.priority,
     };
     let env_ref = &env;
     let outs: Vec<WorkerOut> = std::thread::scope(|s| {

@@ -10,10 +10,17 @@
 //! configurable background share guarantees discovery never starves: out
 //! of every `window` dispatches, at least `background_share` go to
 //! background tasks when any are waiting.
+//!
+//! Time is read from an injectable
+//! [`impliance_query::clock::TimeSource`] — production managers use the
+//! process default (monotonic microseconds), tests and simulations inject
+//! a `ManualTime` and drive hours of virtual scheduling instantly.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use impliance_analysis::TrackedMutex;
+use impliance_query::clock::{default_time_source, TimeSource};
 
 /// Task priority classes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,7 +38,7 @@ pub struct TaskTicket {
     pub id: u64,
     /// Priority class.
     pub class: TaskClass,
-    /// Logical enqueue time (caller-supplied ticks).
+    /// Enqueue time in microseconds, read from the manager's time source.
     pub enqueued_at: u64,
 }
 
@@ -54,21 +61,35 @@ pub struct ExecutionManager {
     window: u32,
     /// Guaranteed background dispatches per window (when backlogged).
     background_share: u32,
+    /// Where enqueue/dispatch timestamps come from.
+    time: Arc<dyn TimeSource>,
 }
 
 impl ExecutionManager {
     /// Create a manager guaranteeing `background_share` of every `window`
-    /// dispatches to background work.
+    /// dispatches to background work, on the process-default time source.
     pub fn new(window: u32, background_share: u32) -> ExecutionManager {
+        ExecutionManager::with_time_source(window, background_share, default_time_source())
+    }
+
+    /// Same, but reading time from an explicit source (tests inject a
+    /// `ManualTime`).
+    pub fn with_time_source(
+        window: u32,
+        background_share: u32,
+        time: Arc<dyn TimeSource>,
+    ) -> ExecutionManager {
         ExecutionManager {
             queues: TrackedMutex::new("virt.exec_queues", Queues::default()),
             window: window.max(1),
             background_share: background_share.min(window),
+            time,
         }
     }
 
-    /// Enqueue a task.
-    pub fn submit(&self, id: u64, class: TaskClass, now: u64) {
+    /// Enqueue a task, stamped with the time source's current reading.
+    pub fn submit(&self, id: u64, class: TaskClass) {
+        let now = self.time.now_us();
         let mut q = self.queues.lock();
         let ticket = TaskTicket {
             id,
@@ -87,9 +108,10 @@ impl ExecutionManager {
         (q.interactive.len(), q.background.len())
     }
 
-    /// Dispatch the next task according to the interleaving policy.
-    /// `now` is the caller's logical clock, used for wait accounting.
-    pub fn next(&self, now: u64) -> Option<TaskTicket> {
+    /// Dispatch the next task according to the interleaving policy. Wait
+    /// accounting uses the manager's time source.
+    pub fn next(&self) -> Option<TaskTicket> {
+        let now = self.time.now_us();
         let mut q = self.queues.lock();
         if q.dispatched_in_window >= self.window {
             q.dispatched_in_window = 0;
@@ -136,28 +158,38 @@ impl ExecutionManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use impliance_query::clock::ManualTime;
+
+    fn manager(window: u32, share: u32) -> (ExecutionManager, Arc<ManualTime>) {
+        let time = Arc::new(ManualTime::new());
+        (
+            ExecutionManager::with_time_source(window, share, time.clone()),
+            time,
+        )
+    }
 
     #[test]
     fn interactive_preempts_background() {
-        let m = ExecutionManager::new(10, 2);
-        m.submit(1, TaskClass::Background, 0);
-        m.submit(2, TaskClass::Interactive, 0);
-        m.submit(3, TaskClass::Interactive, 0);
-        assert_eq!(m.next(1).unwrap().id, 2);
-        assert_eq!(m.next(2).unwrap().id, 3);
-        assert_eq!(m.next(3).unwrap().id, 1);
-        assert!(m.next(4).is_none());
+        let (m, _) = manager(10, 2);
+        m.submit(1, TaskClass::Background);
+        m.submit(2, TaskClass::Interactive);
+        m.submit(3, TaskClass::Interactive);
+        assert_eq!(m.next().unwrap().id, 2);
+        assert_eq!(m.next().unwrap().id, 3);
+        assert_eq!(m.next().unwrap().id, 1);
+        assert!(m.next().is_none());
     }
 
     #[test]
     fn background_never_starves() {
-        let m = ExecutionManager::new(4, 1);
-        m.submit(100, TaskClass::Background, 0);
+        let (m, time) = manager(4, 1);
+        m.submit(100, TaskClass::Background);
         // continuous interactive arrivals
         let mut background_ran_at = None;
         for i in 0..16u64 {
-            m.submit(i, TaskClass::Interactive, i);
-            let t = m.next(i).unwrap();
+            m.submit(i, TaskClass::Interactive);
+            time.advance_us(1);
+            let t = m.next().unwrap();
             if t.class == TaskClass::Background {
                 background_ran_at = Some(i);
                 break;
@@ -172,15 +204,15 @@ mod tests {
 
     #[test]
     fn background_share_bounded() {
-        let m = ExecutionManager::new(4, 1);
+        let (m, _) = manager(4, 1);
         for i in 0..8 {
-            m.submit(i, TaskClass::Background, 0);
-            m.submit(100 + i, TaskClass::Interactive, 0);
+            m.submit(i, TaskClass::Background);
+            m.submit(100 + i, TaskClass::Interactive);
         }
         let mut bg = 0;
         let mut ia = 0;
-        for step in 0..8 {
-            match m.next(step).unwrap().class {
+        for _ in 0..8 {
+            match m.next().unwrap().class {
                 TaskClass::Background => bg += 1,
                 TaskClass::Interactive => ia += 1,
             }
@@ -190,12 +222,14 @@ mod tests {
     }
 
     #[test]
-    fn wait_accounting() {
-        let m = ExecutionManager::new(10, 2);
-        m.submit(1, TaskClass::Interactive, 0);
-        m.submit(2, TaskClass::Background, 0);
-        m.next(5); // interactive waited 5
-        m.next(9); // background waited 9
+    fn wait_accounting_uses_time_source() {
+        let (m, time) = manager(10, 2);
+        m.submit(1, TaskClass::Interactive);
+        m.submit(2, TaskClass::Background);
+        time.advance_us(5);
+        m.next(); // interactive waited 5
+        time.advance_us(4);
+        m.next(); // background waited 9
         let (iw, bw) = m.mean_waits();
         assert_eq!(iw, 5.0);
         assert_eq!(bw, 9.0);
@@ -203,8 +237,8 @@ mod tests {
 
     #[test]
     fn empty_manager_returns_none() {
-        let m = ExecutionManager::new(4, 1);
-        assert!(m.next(0).is_none());
+        let (m, _) = manager(4, 1);
+        assert!(m.next().is_none());
         assert_eq!(m.pending(), (0, 0));
         assert_eq!(m.mean_waits(), (0.0, 0.0));
     }

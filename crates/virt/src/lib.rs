@@ -20,15 +20,29 @@
 //! * [`storagemgr`] — storage management: per-class replication policy
 //!   (user data vs. derived data vs. regulatory data), placement, and
 //!   autonomous re-replication after node loss (experiment C5).
+//! * [`workload`] — multi-tenant workload management: per-tenant token
+//!   buckets, bounded queues, priority dispatch, and deadline-aware load
+//!   shedding, so 2x offered load degrades a predictable subset instead
+//!   of everything at once.
+//! * [`traffic`] — seeded open-loop workload generator and virtual-time
+//!   simulator (thousands of clients, zipfian tenant skew) for overload
+//!   experiments that burn no wall-clock.
 
 pub mod execmgr;
 pub mod resource;
 pub mod ring;
 pub mod storagemgr;
+pub mod traffic;
 pub mod upgrade;
+pub mod workload;
 
 pub use execmgr::{ExecutionManager, TaskClass, TaskTicket};
 pub use resource::{Broker, GroupId, GroupRole, ResourceGroup, ResourcePool};
 pub use ring::HashRing;
 pub use storagemgr::{DataClass, ReplicationReport, StorageManager, StoragePolicy};
+pub use traffic::{class_index, class_of, ClassReport, TrafficReport, TrafficSpec};
 pub use upgrade::{plan_rolling_upgrade, validate_plan, UpgradeError, UpgradePlan, UpgradePolicy};
+pub use workload::{
+    Admission, Permit, Shed, ShedReason, TenantId, TenantQuota, WorkloadConfig, WorkloadManager,
+    WorkloadStats,
+};

@@ -18,13 +18,14 @@ use impliance::cluster::{
 };
 use impliance::core::{ApplianceConfig, Impliance};
 use impliance::docmodel::{DocId, DocumentBuilder, SourceFormat};
-use impliance::query::clock::{self, BackoffClock};
+use impliance::query::clock::{self, BackoffClock, ManualTime};
 use impliance::query::dist::{
     dist_put_replicated, dist_scan_batched, dist_scan_resilient, DataNodeState, FailoverPolicy,
     RetryPolicy,
 };
-use impliance::query::ExecutionContext;
+use impliance::query::{ExecutionContext, Priority};
 use impliance::storage::{ScanRequest, StorageEngine, StorageOptions};
+use impliance::virt::{Admission, TenantId, TenantQuota, WorkloadConfig, WorkloadManager};
 
 const DATA_NODES: u32 = 4;
 
@@ -245,6 +246,166 @@ fn exhausted_deadline_degrades_honestly_or_errors() {
         matches!(err, impliance::cluster::ClusterError::Timeout),
         "typed timeout, got {err:?}"
     );
+}
+
+/// The full composition: 2x standing overload (the admission gate's
+/// concurrency limit is saturated by held permits) on a cluster with one
+/// data node killed mid-run and 20% message drop on its coordinator
+/// links. Every request must land in exactly one of three honest
+/// outcomes — the exact fault-free row set, a degraded partial whose
+/// coverage report owns up to every skipped partition, or a typed shed
+/// with a retry-after hint — never a hang, never a silent short count.
+#[test]
+fn overloaded_cluster_with_kill_and_drops_answers_typed_or_degraded() {
+    quiet_backoff();
+    let rt = boot(3);
+    ingest(&rt, 120);
+
+    let request = ScanRequest::full();
+    let data_nodes = rt.nodes_of_kind(NodeKind::Data);
+    let base_opts = ExecutionContext {
+        batch_size: 8,
+        retry: RetryPolicy {
+            max_attempts: 8,
+            ..RetryPolicy::default()
+        },
+        failover: Some(FailoverPolicy::ring(&data_nodes)),
+        degraded_ok: true,
+        ..ExecutionContext::default()
+    };
+    let baseline = dist_scan_resilient(&rt, &request, &base_opts).expect("fault-free scan");
+    let baseline_ids = sorted_ids(&baseline.result);
+    assert_eq!(baseline_ids.len(), 120, "every ingested doc scans");
+
+    // Admission front door, sized for 4 in-flight queries; 4 permits are
+    // already held by long-running load, so every arrival below hits the
+    // overload policy — a standing 2x.
+    let time = Arc::new(ManualTime::new());
+    let wm = WorkloadManager::with_time_source(
+        WorkloadConfig {
+            max_concurrent: 4,
+            expected_service_us: 5_000,
+            min_degraded_budget_us: 1,
+            ..WorkloadConfig::default()
+        },
+        time.clone(),
+    );
+    wm.set_quota(
+        TenantId(9),
+        TenantQuota {
+            tokens_per_sec: 1,
+            burst: 1,
+            queue_capacity: 2,
+        },
+    );
+    let standing: Vec<_> = (0..4)
+        .filter_map(
+            |i| match wm.admit(TenantId(100 + i), Priority::Normal, None) {
+                Admission::Admitted(p) => Some(p),
+                _ => None,
+            },
+        )
+        .collect();
+    assert_eq!(
+        standing.len(),
+        4,
+        "standing load fills the concurrency limit"
+    );
+
+    // Fault the cluster under the admitted queries: kill one data node
+    // after 12 messages and drop 20% both ways on its coordinator links.
+    let victim = data_nodes[1];
+    let coord = NodeId(u32::MAX);
+    let sched = Arc::new(FaultSchedule::new(0x2C0A_0AD5));
+    sched.drop_link(coord, victim, 0.20);
+    sched.drop_link(victim, coord, 0.20);
+    sched.kill_after(victim, 12);
+    rt.network().install_faults(sched);
+
+    let (mut exact, mut degraded, mut rejected) = (0u32, 0u32, 0u32);
+    const REQUESTS: u64 = 24;
+    for i in 0..REQUESTS {
+        time.advance_us(1_000);
+        // Four interleaved request shapes: a quota-starved low tenant, a
+        // normal tenant with slack, a latency-critical high tenant, and a
+        // normal tenant whose deadline barely clears the expected wait
+        // (so its degraded budget is ~zero and the scan must give up
+        // honestly rather than run long).
+        let admission = match i % 4 {
+            0 => wm.admit(TenantId(9), Priority::Low, None),
+            1 => wm.admit(TenantId(1), Priority::Normal, Some(250_000)),
+            2 => wm.admit(TenantId(2), Priority::High, None),
+            _ => wm.admit(
+                TenantId(3),
+                Priority::Normal,
+                Some(wm.mean_service_us() + 1),
+            ),
+        };
+        match admission {
+            Admission::Shed(shed) => {
+                assert!(
+                    shed.retry_after_us > 0,
+                    "typed rejection must carry a retry-after hint: {shed:?}"
+                );
+                rejected += 1;
+            }
+            Admission::Admitted(permit) | Admission::Degraded(permit) => {
+                let opts = ExecutionContext {
+                    deadline: permit.budget_us().map(Duration::from_micros),
+                    ..base_opts.clone()
+                };
+                let scan = dist_scan_resilient(&rt, &request, &opts)
+                    .expect("admitted query never hangs or errors with degraded_ok");
+                let c = &scan.coverage;
+                assert_eq!(
+                    c.partitions_total,
+                    c.partitions_scanned + c.partitions_failed_over + c.partitions_skipped(),
+                    "coverage accounting balances: {c:?}"
+                );
+                assert_eq!(
+                    scan.degraded,
+                    !c.is_complete(),
+                    "degraded flag matches coverage"
+                );
+                let ids = sorted_ids(&scan.result);
+                if scan.degraded {
+                    assert!(
+                        ids.iter().all(|id| baseline_ids.binary_search(id).is_ok()),
+                        "degraded rows are a subset of the truth, never invented"
+                    );
+                    degraded += 1;
+                } else {
+                    assert_eq!(
+                        ids.len(),
+                        baseline_ids.len(),
+                        "complete answers are exact (i={i}, coverage={c:?}, budget={:?})",
+                        permit.budget_us()
+                    );
+                    assert_eq!(ids, baseline_ids.clone(), "complete answers are exact");
+                    exact += 1;
+                }
+            }
+        }
+    }
+    rt.network().clear_faults();
+
+    assert_eq!(
+        u64::from(exact + degraded + rejected),
+        REQUESTS,
+        "every request accounted: exact={exact} degraded={degraded} rejected={rejected}"
+    );
+    assert!(rejected > 0, "the starved/low tenants saw typed rejections");
+    assert!(
+        exact > 0,
+        "admitted queries recovered exact rows despite the kill + drops"
+    );
+    assert!(
+        degraded > 0,
+        "near-zero budgets produced honest degraded partials"
+    );
+
+    drop(standing);
+    assert_eq!(wm.stats().active, 0, "all permits released");
 }
 
 /// The schedule's determinism contract: per-link drop decisions depend
