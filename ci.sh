@@ -36,7 +36,7 @@ cargo clippy --workspace --all-targets -q -- \
 # Interprocedural analysis (L9-L12) must also stay cheap: budget the
 # whole-workspace run at 10s wall clock so the gate never becomes the
 # slow part of CI.
-echo "==> impliance-analysis check (L1-L12 invariants, ratcheted + drift gate)"
+echo "==> impliance-analysis check (L1-L13 invariants, ratcheted + drift gate)"
 analysis_start=$(date +%s)
 cargo run -q -p impliance-analysis -- check --verify-baseline
 analysis_elapsed=$(( $(date +%s) - analysis_start ))
@@ -105,6 +105,22 @@ echo "==> workload_bench smoke (BENCH_workload.json)"
 cargo run -q --release -p impliance-bench --bin workload_bench >/dev/null
 if [ ! -s BENCH_workload.json ]; then
   echo "FAIL: workload_bench did not emit BENCH_workload.json" >&2
+  exit 1
+fi
+
+# Smoke the hybrid-retrieval bench: emits BENCH_search.json and fails
+# unless (a) every scored top-k result through the redesigned query API
+# equals the brute-force full-scoring reference (ids and scores, tie
+# order included), (b) at least half the measured queries terminate
+# early (the bounded-heap / upper-bound machinery demonstrably does less
+# work than scoring every match), (c) the index_epoch freshness
+# watermark visibly lags the storage epoch after ingest and catches up
+# (zero lag, zero backlog) after the incremental maintainer drains the
+# change feed, and (d) rows arrive ordered (score desc, ties id asc).
+echo "==> search_bench smoke (BENCH_search.json)"
+cargo run -q --release -p impliance-bench --bin search_bench >/dev/null
+if [ ! -s BENCH_search.json ]; then
+  echo "FAIL: search_bench did not emit BENCH_search.json" >&2
   exit 1
 fi
 

@@ -11,6 +11,7 @@
 //! | L6 | no materializing helpers (`ops::*` / `joins::*` / `collect_*`) inside the streaming executor core |
 //! | L7 | no `unwrap()` / `expect()` on cluster `submit_to`/`transmit` chains in the resilient distributed executor — test code included |
 //! | L8 | no raw `std::thread::spawn` in the query crate outside the morsel worker pool (`parallel.rs`) |
+//! | L13 | no direct `index::search` entry-point calls (`search::search` / `search_topk` / `search_phrase`) outside `crates/query` / `crates/index` |
 //!
 //! The interprocedural invariants L9-L12 live in [`crate::iplints`] on
 //! top of the call graph ([`crate::parser`] -> [`crate::symbols`] ->
@@ -70,6 +71,10 @@ pub struct LintConfig {
     /// Workspace-relative design document holding the Observability
     /// section that L12 checks metric names against.
     pub l12_design_doc: String,
+    /// Prefixes allowed to call the direct index search entry points for
+    /// L13: the query pipeline (which owns scoring, top-k, fusion, and
+    /// the freshness watermark) and the index crate itself.
+    pub l13_allowed_prefixes: Vec<String>,
 }
 
 impl LintConfig {
@@ -117,6 +122,7 @@ impl LintConfig {
             ],
             l10_worker_files: vec!["crates/query/src/parallel.rs".into()],
             l12_design_doc: "DESIGN.md".into(),
+            l13_allowed_prefixes: vec!["crates/query/".into(), "crates/index/".into()],
         }
     }
 
@@ -199,6 +205,9 @@ pub fn lint_source(config: &LintConfig, rel_path: &str, source: &str) -> Vec<Dia
         && !config.l8_exempt.iter().any(|f| f == rel_path)
     {
         lint_l8(&ctx, &mut diags);
+    }
+    if !LintConfig::in_any(&config.l13_allowed_prefixes, rel_path) {
+        lint_l13(&ctx, &mut diags);
     }
 
     diags.retain(|d| !ctx.allowed(d.id, d.line));
@@ -862,6 +871,76 @@ fn lint_l8(ctx: &FileContext<'_>, diags: &mut Vec<Diagnostic>) {
 }
 
 // ---------------------------------------------------------------------
+// L13: retrieval goes through the query pipeline
+// ---------------------------------------------------------------------
+
+/// The direct index entry points (`search::search`, `search_topk`,
+/// `search_phrase`) return unscored, unmetered results with no freshness
+/// watermark and no admission control — everything the IndexScan operator
+/// adds. Outside `crates/query` / `crates/index`, callers must go through
+/// `Impliance::query` match clauses or `impliance_query::keyword_candidates`.
+/// Definitions (`fn search_topk(...)`) and test code are exempt — tests
+/// use the index directly as a brute-force oracle.
+fn lint_l13(ctx: &FileContext<'_>, diags: &mut Vec<Diagnostic>) {
+    const ENTRIES: &[&str] = &["search", "search_topk", "search_phrase"];
+    let toks = &ctx.lexed.tokens;
+    for i in 0..toks.len() {
+        if ctx.is_test_token(i) || toks[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let next_is = |off: usize, s: &str| toks.get(i + off).map(|t| t.text.as_str()) == Some(s);
+        let qualified = toks[i].text == "search"
+            && next_is(1, ":")
+            && next_is(2, ":")
+            && toks
+                .get(i + 3)
+                .map(|t| t.kind == TokenKind::Ident && ENTRIES.contains(&t.text.as_str()))
+                == Some(true)
+            && next_is(4, "(");
+        if qualified {
+            diags.push(ctx.diag(
+                LintId::L13,
+                toks[i].line,
+                format!(
+                    "direct call to `search::{}(..)` bypasses the hybrid retrieval pipeline",
+                    toks[i + 3].text
+                ),
+                "route the lookup through `Impliance::query` with a match clause (or \
+                 `impliance_query::keyword_candidates` for raw candidate sets) so results \
+                 are scored, metered, and carry the index_epoch watermark",
+            ));
+            continue;
+        }
+        let bare = matches!(toks[i].text.as_str(), "search_topk" | "search_phrase")
+            && next_is(1, "(")
+            && !(i > 0 && toks[i - 1].text == "fn")
+            // method calls (`imp.search_phrase(..)`) are the sanctioned
+            // appliance wrappers, not the index free functions
+            && !(i > 0 && toks[i - 1].text == ".")
+            // `search::search_topk(` is already reported as the qualified
+            // form above; other qualifiers (`impliance_index::search_topk`)
+            // still land here
+            && !(i >= 3
+                && toks[i - 1].text == ":"
+                && toks[i - 2].text == ":"
+                && toks[i - 3].text == "search");
+        if bare {
+            diags.push(ctx.diag(
+                LintId::L13,
+                toks[i].line,
+                format!(
+                    "direct call to `{}(..)` bypasses the hybrid retrieval pipeline",
+                    toks[i].text
+                ),
+                "route the lookup through `Impliance::query` with a match clause (or \
+                 `impliance_query::keyword_candidates` for raw candidate sets) so results \
+                 are scored, metered, and carry the index_epoch watermark",
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // L4: no lock guard held across a channel send/recv
 // ---------------------------------------------------------------------
 
@@ -1350,6 +1429,49 @@ mod tests {
         assert!(lint_source(&c, "crates/query/src/exec.rs", test_src)
             .iter()
             .all(|d| d.id != LintId::L8));
+    }
+
+    #[test]
+    fn l13_flags_direct_search_calls_outside_query() {
+        let src = r#"
+            pub fn lookup(idx: &InvertedIndex, q: &str) -> Vec<DocId> {
+                let hits = search::search(idx, &SearchQuery::terms(q));
+                let (scored, _, _) = search_topk(idx, q, 10);
+                let ph = impliance_index::search_phrase(idx, q, None);
+                hits
+            }
+        "#;
+        let diags = run("crates/facet/src/session.rs", src);
+        assert_eq!(diags.iter().filter(|d| d.id == LintId::L13).count(), 3);
+    }
+
+    #[test]
+    fn l13_exempts_query_index_definitions_and_tests() {
+        let c = LintConfig::impliance("/nonexistent");
+        let raw = "pub fn go(i: &InvertedIndex) { let _ = search::search_topk(i, \"q\", 5); }";
+        // the pipeline itself may call the entry points
+        assert!(lint_source(&c, "crates/query/src/batch.rs", raw)
+            .iter()
+            .all(|d| d.id != LintId::L13));
+        assert!(lint_source(&c, "crates/index/src/search.rs", raw)
+            .iter()
+            .all(|d| d.id != LintId::L13));
+        // defining the entry point is not calling it
+        let def = "pub fn search_topk(i: &InvertedIndex, q: &str, k: usize) -> Vec<Hit> { vec![] }";
+        assert!(lint_source(&c, "crates/facet/src/session.rs", def)
+            .iter()
+            .all(|d| d.id != LintId::L13));
+        // tests use the index as a brute-force oracle
+        let test_src = r#"
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn oracle() { let _ = search::search_topk(&idx, "q", 5); }
+            }
+        "#;
+        assert!(lint_source(&c, "crates/facet/src/session.rs", test_src)
+            .iter()
+            .all(|d| d.id != LintId::L13));
     }
 
     #[test]

@@ -53,11 +53,17 @@ pub enum LintId {
     /// Observability section, and every concrete documented name must be
     /// recorded somewhere in the workspace.
     L12,
+    /// Retrieval goes through the query pipeline: no direct
+    /// `index::search` calls (`search::search`, `search_topk`,
+    /// `search_phrase`) outside `crates/query` / `crates/index` — every
+    /// other crate reaches text search via `Impliance::query` match
+    /// clauses or `impliance_query::keyword_candidates`.
+    L13,
 }
 
 impl LintId {
     /// All lints, in order.
-    pub const ALL: [LintId; 12] = [
+    pub const ALL: [LintId; 13] = [
         LintId::L1,
         LintId::L2,
         LintId::L3,
@@ -70,6 +76,7 @@ impl LintId {
         LintId::L10,
         LintId::L11,
         LintId::L12,
+        LintId::L13,
     ];
 
     /// Stable string form (`"L1"`...).
@@ -87,6 +94,7 @@ impl LintId {
             LintId::L10 => "L10",
             LintId::L11 => "L11",
             LintId::L12 => "L12",
+            LintId::L13 => "L13",
         }
     }
 
@@ -105,6 +113,7 @@ impl LintId {
             "L10" => Some(LintId::L10),
             "L11" => Some(LintId::L11),
             "L12" => Some(LintId::L12),
+            "L13" => Some(LintId::L13),
             _ => None,
         }
     }
@@ -148,6 +157,11 @@ impl LintId {
             LintId::L12 => {
                 "every metric name recorded via impliance-obs must be documented in \
                  DESIGN.md's Observability section, and vice versa"
+            }
+            LintId::L13 => {
+                "direct index search entry points (search::search, search_topk, \
+                 search_phrase) may only be called from crates/query and \
+                 crates/index; everyone else goes through the query API"
             }
         }
     }
@@ -219,6 +233,14 @@ impl LintId {
                  so DESIGN.md's Observability section is the contract. An undocumented \
                  metric is invisible to operators; a documented-but-dead metric is a lie \
                  dashboards will be built on."
+            }
+            LintId::L13 => {
+                "Hybrid retrieval is one pipeline: BM25 scoring, top-k early \
+                 termination, fusion, admission control, and the index_epoch freshness \
+                 watermark all live on the IndexScan path behind Impliance::query. A \
+                 crate that calls index::search directly gets unscored, unmetered, \
+                 unwatermarked results and silently bypasses workload management — the \
+                 exact split-brain the query API redesign removed."
             }
         }
     }
@@ -299,6 +321,16 @@ impl LintId {
                  match any recorded segment and are exempt from the dead-metric \
                  direction). Dynamically formatted metric names are invisible to the \
                  recorded side — document them with a wildcard."
+            }
+            LintId::L13 => {
+                "Lexical scan outside the allowed prefixes (crates/query/, \
+                 crates/index/): flags qualified calls `search::search(...)`, \
+                 `search::search_topk(...)`, `search::search_phrase(...)` (including \
+                 longer paths ending in `search::<entry>`), and bare calls \
+                 `search_topk(` / `search_phrase(` that are neither definitions (not \
+                 preceded by `fn`) nor method calls (not preceded by `.` — the \
+                 appliance wrapper methods are the sanctioned route). Test code is \
+                 exempt — tests may use the index directly as a brute-force oracle."
             }
         }
     }

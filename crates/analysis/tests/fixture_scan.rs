@@ -27,6 +27,7 @@ fn fixture_trips_each_invariant_exactly_once() {
     assert_eq!(count(LintId::L10), 1, "diags: {diags:?}");
     assert_eq!(count(LintId::L11), 1, "diags: {diags:?}");
     assert_eq!(count(LintId::L12), 2, "diags: {diags:?}");
+    assert_eq!(count(LintId::L13), 1, "diags: {diags:?}");
 
     // deterministic output contract: sorted by (file, line, lint id)
     let keys: Vec<(&str, u32, LintId)> = diags
@@ -152,6 +153,19 @@ fn fixture_trips_each_invariant_exactly_once() {
             .any(|d| d.file == "DESIGN.md" && d.message.contains("fixture.dead.gauge")),
         "documented-but-dead metric: {l12:?}"
     );
+
+    // L13: the direct search_topk call only — the local definition and
+    // the test-module oracle call in the same file stay silent
+    let l13 = diags
+        .iter()
+        .find(|d| d.id == LintId::L13)
+        .expect("an L13 diag");
+    assert_eq!(l13.file, "crates/facet/src/lookup.rs");
+    assert!(
+        l13.message.contains("search_topk"),
+        "L13 names the entry point: {}",
+        l13.message
+    );
 }
 
 #[test]
@@ -168,7 +182,7 @@ fn checker_binary_fails_on_fixture_with_golden_report() {
         .output()
         .expect("run checker binary");
 
-    // non-zero exit: the fixture has no baseline, so all 11 findings are new
+    // non-zero exit: the fixture has no baseline, so all 12 findings are new
     assert_eq!(
         output.status.code(),
         Some(1),
@@ -177,7 +191,7 @@ fn checker_binary_fails_on_fixture_with_golden_report() {
     );
     let stderr = String::from_utf8_lossy(&output.stderr);
     for id in [
-        "[L1]", "[L2]", "[L3]", "[L4]", "[L7]", "[L8]", "[L9]", "[L10]", "[L11]", "[L12]",
+        "[L1]", "[L2]", "[L3]", "[L4]", "[L7]", "[L8]", "[L9]", "[L10]", "[L11]", "[L12]", "[L13]",
     ] {
         assert!(stderr.contains(id), "stderr names {id}: {stderr}");
     }
@@ -203,7 +217,7 @@ fn checker_binary_fails_on_fixture_with_golden_report() {
         .get("totals")
         .and_then(|t| t.get("new"))
         .and_then(|n| n.as_f64());
-    assert_eq!(new, Some(11.0));
+    assert_eq!(new, Some(12.0));
     let nodes = doc
         .get("callgraph")
         .and_then(|g| g.get("nodes"))

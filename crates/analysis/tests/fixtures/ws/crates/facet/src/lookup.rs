@@ -1,0 +1,25 @@
+//! Fixture: one direct index-search call outside the query pipeline
+//! (L13). The test-module oracle call and the local definition stay
+//! silent.
+
+pub fn candidates(idx: &InvertedIndex, q: &str) -> Vec<u64> {
+    // flagged: bypasses scoring, metering, and the freshness watermark
+    let (hits, _stats, _matched) = search::search_topk(idx, q, 10);
+    hits
+}
+
+/// Defining an entry point locally is not a call.
+pub fn search_phrase(_idx: &InvertedIndex, _q: &str) -> Vec<u64> {
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_is_exempt() {
+        let idx = InvertedIndex::default();
+        let (_hits, _stats, _matched) = search::search_topk(&idx, "q", 5);
+    }
+}

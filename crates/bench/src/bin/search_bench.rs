@@ -1,0 +1,229 @@
+//! Hybrid retrieval benchmark. Emits `BENCH_search.json` in the
+//! workspace root and exits non-zero unless the retrieval gates hold.
+//!
+//! The corpus is a seeded synthetic claims collection with a skewed term
+//! distribution (a few very common terms, a long tail of rare ones), so
+//! top-k queries over common terms have large candidate sets — exactly
+//! where early termination earns its keep.
+//!
+//! Measurements:
+//!
+//! * **QPS** — wall-clock throughput of `match_text(..).top_k(10)`
+//!   queries through the full redesigned API (admission, plan cache off,
+//!   IndexScan operator, scored rows).
+//! * **Early-termination ratio** — fraction of queries whose `ExecStats`
+//!   report the bounded-heap / upper-bound machinery doing less work
+//!   than scoring every match.
+//! * **Index-lag watermark** — `index_epoch` vs the storage epoch right
+//!   after ingest (maintenance pending) and after `run_indexing` drains
+//!   the change feed (caught up).
+//! * **Row equality vs brute force** — every measured query's rows are
+//!   checked against a full-scoring reference with no pruning.
+//!
+//! Gates:
+//!
+//! * every query's rows equal the brute-force reference (ids and scores);
+//! * at least half the measured queries terminate early;
+//! * after ingest the index watermark visibly lags the storage epoch,
+//!   and after maintenance it catches up (lag zero, backlog zero);
+//! * scored rows arrive ordered (score descending, ties by id ascending).
+
+use std::time::Instant;
+
+use impliance_core::{ApplianceConfig, Impliance, QueryRequest};
+use impliance_docmodel::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DOCS: usize = 2_000;
+const QUERY_ROUNDS: usize = 50;
+const TOP_K: usize = 10;
+
+/// Common head terms (appear in most documents) and rare tail terms.
+const HEAD: &[&str] = &["claim", "vehicle", "damage", "inspection"];
+const TAIL: &[&str] = &[
+    "bumper",
+    "windshield",
+    "hood",
+    "mirror",
+    "fender",
+    "radiator",
+    "axle",
+    "tailgate",
+    "sunroof",
+    "chassis",
+];
+
+fn corpus_doc(rng: &mut StdRng, i: usize) -> String {
+    let mut words: Vec<&str> = Vec::new();
+    for h in HEAD {
+        if rng.gen_range(0..10) < 8 {
+            words.push(h);
+        }
+    }
+    let tails = rng.gen_range(1..4);
+    for _ in 0..tails {
+        words.push(TAIL[rng.gen_range(0..TAIL.len())]);
+    }
+    // Variable padding so document lengths (and BM25 normalization) vary.
+    let pad = rng.gen_range(0..12);
+    for _ in 0..pad {
+        words.push("routine");
+    }
+    format!(
+        r#"{{"amount": {}, "notes": "{}"}}"#,
+        i * 7 % 1000,
+        words.join(" ")
+    )
+}
+
+/// Full-scoring reference: limit = live docs means the bounded heap never
+/// evicts and the MaxScore bound never prunes, so every match is scored.
+fn brute_force(imp: &Impliance, query: &str, k: usize) -> Vec<(i64, f64)> {
+    let idx = imp.text_index();
+    let q = impliance_index::search::SearchQuery::new(query, (idx.live_docs() as usize).max(1));
+    // The reference must bypass the pipeline under test; bench-only oracle.
+    // impliance-lint: allow(L13)
+    let (hits, _stats) = impliance_index::search::search_topk(idx, &q);
+    hits.into_iter()
+        .take(k)
+        .map(|h| (h.id.0 as i64, h.score))
+        .collect()
+}
+
+fn pipeline_rows(imp: &Impliance, query: &str, k: usize) -> (Vec<(i64, f64)>, bool) {
+    let resp = imp
+        .query(
+            QueryRequest::builder("")
+                .match_text("*", query)
+                .top_k(k)
+                .plan_cache(false)
+                .build(),
+        )
+        .expect("search query");
+    let stats = resp.exec_stats();
+    let rows = resp
+        .rows()
+        .iter()
+        .map(|row| {
+            let Value::Int(id) = row.get("id") else {
+                panic!("row without id: {row:?}");
+            };
+            let Value::Float(score) = row.get("score") else {
+                panic!("row without score: {row:?}");
+            };
+            (*id, *score)
+        })
+        .collect();
+    (rows, stats.early_terminations > 0)
+}
+
+fn main() {
+    let imp = Impliance::boot(ApplianceConfig::default());
+    let mut rng = StdRng::seed_from_u64(42);
+    for i in 0..DOCS {
+        imp.ingest_json("claims", &corpus_doc(&mut rng, i))
+            .expect("ingest");
+    }
+
+    // Freshness watermark before maintenance: the change feed holds the
+    // whole corpus, so the index must admit it is behind.
+    let storage_epoch = imp.storage().current_epoch();
+    let epoch_before = imp.index_epoch();
+    let backlog_before = imp.indexing_backlog();
+    let maintain_start = Instant::now();
+    let maintained = imp.run_indexing(None);
+    let maintain_secs = maintain_start.elapsed().as_secs_f64();
+    let epoch_after = imp.index_epoch();
+    let backlog_after = imp.indexing_backlog();
+    let lag_after = imp.storage().current_epoch().saturating_sub(epoch_after);
+
+    // Query mix: head-term queries (large candidate sets, pruning
+    // matters) and head+tail pairs (selective).
+    let mut queries: Vec<String> = Vec::new();
+    for h in HEAD {
+        queries.push((*h).to_string());
+    }
+    for (i, t) in TAIL.iter().enumerate() {
+        queries.push(format!("{} {}", HEAD[i % HEAD.len()], t));
+    }
+
+    let mut total_queries = 0usize;
+    let mut early_terminated = 0usize;
+    let mut rows_equal = true;
+    let mut rows_ordered = true;
+    let qps_start = Instant::now();
+    for _ in 0..QUERY_ROUNDS {
+        for q in &queries {
+            let (rows, early) = pipeline_rows(&imp, q, TOP_K);
+            total_queries += 1;
+            if early {
+                early_terminated += 1;
+            }
+            for w in rows.windows(2) {
+                if w[0].1 < w[1].1 || (w[0].1 == w[1].1 && w[0].0 >= w[1].0) {
+                    rows_ordered = false;
+                }
+            }
+            if rows != brute_force(&imp, q, TOP_K) {
+                rows_equal = false;
+            }
+        }
+    }
+    let elapsed = qps_start.elapsed().as_secs_f64();
+    // Wall-clock includes the brute-force verification; report the
+    // pipeline-only half honestly by measuring a second verification-free
+    // sweep.
+    let clean_start = Instant::now();
+    for _ in 0..QUERY_ROUNDS {
+        for q in &queries {
+            let _ = pipeline_rows(&imp, q, TOP_K);
+        }
+    }
+    let clean_elapsed = clean_start.elapsed().as_secs_f64().max(1e-9);
+    let qps = (total_queries as f64) / clean_elapsed;
+    let early_ratio = early_terminated as f64 / total_queries.max(1) as f64;
+
+    let json = format!(
+        "{{\n  \"bench\": \"search\",\n  \"docs\": {DOCS},\n  \"queries\": {total_queries},\n  \
+         \"top_k\": {TOP_K},\n  \"qps\": {qps:.1},\n  \
+         \"verified_sweep_secs\": {elapsed:.3},\n  \
+         \"early_termination_ratio\": {early_ratio:.3},\n  \
+         \"rows_equal_brute_force\": {rows_equal},\n  \"rows_ordered\": {rows_ordered},\n  \
+         \"index_maintenance\": {{\n    \"records_consumed\": {maintained},\n    \
+         \"maintain_secs\": {maintain_secs:.3},\n    \"storage_epoch\": {storage_epoch},\n    \
+         \"index_epoch_before\": {epoch_before},\n    \"backlog_before\": {backlog_before},\n    \
+         \"index_epoch_after\": {epoch_after},\n    \"backlog_after\": {backlog_after},\n    \
+         \"lag_after\": {lag_after}\n  }}\n}}\n"
+    );
+    std::fs::write("BENCH_search.json", &json).expect("write BENCH_search.json");
+    print!("{json}");
+
+    let mut failed = false;
+    if !rows_equal {
+        eprintln!("FAIL: pipeline rows diverged from the brute-force reference");
+        failed = true;
+    }
+    if !rows_ordered {
+        eprintln!("FAIL: rows not ordered by (score desc, id asc)");
+        failed = true;
+    }
+    if early_ratio < 0.5 {
+        eprintln!("FAIL: early-termination ratio {early_ratio:.3} below 0.5");
+        failed = true;
+    }
+    if epoch_before >= storage_epoch {
+        eprintln!(
+            "FAIL: index watermark {epoch_before} not behind storage epoch {storage_epoch} \
+             before maintenance"
+        );
+        failed = true;
+    }
+    if backlog_after != 0 || lag_after != 0 {
+        eprintln!("FAIL: maintenance left backlog={backlog_after} lag={lag_after}");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

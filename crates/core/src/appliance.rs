@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use impliance_annotate::{
     Annotator, ChangeItem, ChangeSource, DiscoveryPipeline, DiscoverySink, DiscoveryStats,
-    DocSource, EntityAnnotator, NoFaults, SentimentAnnotator, WorkerFaults,
+    DocSource, EntityAnnotator, KillPoint, NoFaults, SentimentAnnotator, WorkerFaults,
 };
 use impliance_baselines::{AdminLedger, Capability, InfoSystem};
 use impliance_docmodel::{
@@ -20,8 +20,8 @@ use impliance_docmodel::{
     RelationalSchema, Value, Version,
 };
 use impliance_facet::{FacetDimension, FacetEngine, GuidedSession, RollupLevel, RollupRow};
-use impliance_index::{search, InvertedIndex, JoinIndex, PathValueIndex, SearchHit, SearchQuery};
-use impliance_obs::Counter;
+use impliance_index::{InvertedIndex, JoinIndex, PathValueIndex, SearchHit};
+use impliance_obs::{Counter, Gauge};
 use impliance_query::{
     execute_plan_opts, parse_sql, ExecContext, ExecError, ExecutionContext, LogicalPlan, Priority,
     QueryOutput, SimplePlanner,
@@ -32,7 +32,7 @@ use parking_lot::Mutex;
 
 use crate::config::ApplianceConfig;
 use crate::error::Error;
-use crate::query_api::{AdmissionOutcome, QueryRequest, QueryResponse};
+use crate::query_api::{AdmissionOutcome, FusionSpec, MatchClause, QueryRequest, QueryResponse};
 
 /// Plan-cache hit/miss counters in the workspace metrics registry.
 struct PlanCacheObs {
@@ -76,6 +76,57 @@ fn snapshot_obs() -> &'static SnapshotObs {
             explicit: m.counter("query.snapshot.explicit"),
         }
     })
+}
+
+/// Text-index maintenance counters in the workspace metrics registry.
+struct IndexObs {
+    records: Arc<Counter>,
+    lag: Arc<Gauge>,
+}
+
+fn index_obs() -> &'static IndexObs {
+    static OBS: std::sync::OnceLock<IndexObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| {
+        let m = impliance_obs::global().metrics();
+        IndexObs {
+            records: m.counter("index.maintain.records"),
+            lag: m.gauge("index.maintain.lag"),
+        }
+    })
+}
+
+/// Volatile vs. durable state of the incremental index maintainer —
+/// the full-text twin of the discovery worker's checkpoint. `cursor` is
+/// the durable resume point (advanced only after a record's postings
+/// land); everything past it replays after a kill, which is safe because
+/// re-indexing a document version simply replaces the same postings.
+struct IndexMaintainer {
+    /// Last acked absolute change-feed position.
+    cursor: u64,
+    /// Highest commit epoch observed in consumed records.
+    last_epoch: u64,
+    /// The maintenance watermark: every commit at or below this epoch is
+    /// reflected in the full-text index.
+    index_epoch: u64,
+    /// Crash-point visits, for deterministic fault schedules.
+    steps: u64,
+}
+
+impl IndexMaintainer {
+    fn new() -> IndexMaintainer {
+        IndexMaintainer {
+            cursor: 0,
+            last_epoch: 0,
+            index_epoch: 0,
+            steps: 0,
+        }
+    }
+
+    fn killed(&mut self, point: KillPoint, faults: &dyn WorkerFaults) -> bool {
+        let step = self.steps;
+        self.steps += 1;
+        faults.kill_at(point, step)
+    }
 }
 
 /// Appliance-level errors.
@@ -131,8 +182,9 @@ pub struct Impliance {
     value_index: Arc<PathValueIndex>,
     join_index: Arc<JoinIndex>,
     pipeline: DiscoveryPipeline,
-    /// Documents awaiting asynchronous indexing.
-    index_queue: Mutex<Vec<DocId>>,
+    /// The incremental full-text index maintainer: a second consumer of
+    /// the storage change feed, checkpointed independently of discovery.
+    index_maintainer: Mutex<IndexMaintainer>,
     /// Structural paths observed per collection (for schema
     /// consolidation, §3.2).
     collection_paths: Mutex<std::collections::HashMap<String, std::collections::BTreeSet<String>>>,
@@ -189,7 +241,12 @@ impl ChangeSource for FeedAdapter<'_> {
     }
 
     fn ack_changes(&self, cursor: u64) {
-        self.0.storage.ack_changes(cursor);
+        // The feed has two independent consumers (discovery and the
+        // index maintainer); truncation may only advance to the slower
+        // of the two checkpoints or the other consumer would lose
+        // records it has not seen yet.
+        let index_cursor = self.0.index_maintainer.lock().cursor;
+        self.0.storage.ack_changes(cursor.min(index_cursor));
     }
 
     fn latest_epoch(&self) -> u64 {
@@ -201,12 +258,12 @@ struct SinkAdapter<'a>(&'a Impliance);
 
 impl DiscoverySink for SinkAdapter<'_> {
     fn store_annotation(&self, annotation: Document) {
-        let id = annotation.id();
         if self.0.storage.put(&annotation).is_ok() {
-            // annotations are indexed like any other document, but are
-            // not re-fed to discovery (no annotation-of-annotation loop)
+            // annotations are indexed like any other document: the
+            // commit above entered the change feed, where the index
+            // maintainer picks them up; discovery skips them (no
+            // annotation-of-annotation loop)
             self.0.value_index.index_document(&annotation);
-            self.0.index_queue.lock().push(id);
         }
     }
 
@@ -224,10 +281,6 @@ impl DiscoverySink for SinkAdapter<'_> {
             for a in &annotations {
                 self.0.value_index.index_document(a);
             }
-            self.0
-                .index_queue
-                .lock()
-                .extend(annotations.iter().map(|a| a.id()));
         }
     }
 }
@@ -261,7 +314,7 @@ impl Impliance {
             value_index: Arc::new(PathValueIndex::new()),
             join_index: Arc::new(JoinIndex::new()),
             pipeline,
-            index_queue: Mutex::new(Vec::new()),
+            index_maintainer: Mutex::new(IndexMaintainer::new()),
             collection_paths: Mutex::new(std::collections::HashMap::new()),
             next_id,
             clock_ms: AtomicI64::new(1_168_000_000_000), // Jan 2007, the paper's era
@@ -330,13 +383,13 @@ impl Impliance {
                 entry.insert(path);
             }
         }
+        // No explicit enqueue for either background phase: the commit
+        // above entered the storage change feed, which both the index
+        // maintainer and the discovery worker consume at their own
+        // checkpoints. Synchronous indexing just drains the feed inline.
         if self.config.synchronous_indexing {
-            self.text_index.index_document(&doc);
-        } else {
-            self.index_queue.lock().push(id);
+            self.run_indexing(None);
         }
-        // No explicit discovery enqueue: the commit above entered the
-        // storage change feed, which the background worker consumes.
         Ok(id)
     }
 
@@ -451,29 +504,102 @@ impl Impliance {
     // Background work (asynchronous phases, §3.2)
     // ------------------------------------------------------------------
 
-    /// Index up to `budget` pending documents (all when `None`). Returns
-    /// how many were indexed. A background worker calls this between
-    /// interactive queries; benches call it directly.
+    /// Consume up to `budget` change-feed records into the full-text
+    /// index (all pending when `None`). Returns how many records were
+    /// consumed. A background worker calls this between interactive
+    /// queries; benches call it directly.
     pub fn run_indexing(&self, budget: Option<usize>) -> usize {
-        let batch: Vec<DocId> = {
-            let mut q = self.index_queue.lock();
-            let take = budget.unwrap_or(q.len()).min(q.len());
-            q.drain(..take).collect()
-        };
-        let mut done = 0;
-        for id in batch {
-            if let Ok(Some(doc)) = self.storage.get_latest(id) {
-                self.text_index.index_document(&doc);
-                done += 1;
-            }
-        }
-        self.text_index.commit();
-        done
+        self.run_indexing_with_faults(budget, &NoFaults)
     }
 
-    /// Documents still waiting for indexing.
+    /// [`Impliance::run_indexing`] under a fault schedule: the chaos
+    /// harness kills the maintainer at chosen crash points and verifies
+    /// that the `index_epoch` watermark stays consistent (stale is fine,
+    /// torn is not) and that replays converge.
+    pub fn run_indexing_with_faults(
+        &self,
+        budget: Option<usize>,
+        faults: &dyn WorkerFaults,
+    ) -> usize {
+        let obs = index_obs();
+        let mut consumed = 0usize;
+        let final_epoch: u64;
+        loop {
+            if let Some(b) = budget {
+                if consumed >= b {
+                    final_epoch = self.index_maintainer.lock().index_epoch;
+                    break;
+                }
+            }
+            // One record at a time: the cursor advance after each record
+            // is the maintainer's durable checkpoint, so a kill loses
+            // (and replays) at most one document's postings — and
+            // re-indexing a version is a same-postings replace, never a
+            // torn merge. The feed read happens without the maintainer
+            // lock; the cursor is re-validated under the lock below, so
+            // concurrent drains stay serialized (a lost race retries
+            // instead of writing stale postings).
+            let cursor = self.index_maintainer.lock().cursor;
+            let (records, next) = self.storage.recv_changes(cursor, 1);
+            let mut m = self.index_maintainer.lock();
+            if m.cursor != cursor {
+                // Another drain advanced past us while we read the feed;
+                // our record (if any) is theirs now. Retry fresh.
+                drop(m);
+                continue;
+            }
+            let Some(rec) = records.first() else {
+                // Drained: everything at or below the newest consumed
+                // epoch is now searchable.
+                m.index_epoch = m.index_epoch.max(m.last_epoch);
+                final_epoch = m.index_epoch;
+                break;
+            };
+            let doc = self.storage.get_latest_at(rec.id, rec.epoch).ok().flatten();
+            if m.killed(KillPoint::AfterFetch, faults) {
+                final_epoch = m.index_epoch;
+                break; // no cursor advance — the record replays next run
+            }
+            if let Some(doc) = &doc {
+                if m.killed(KillPoint::BeforeCommit, faults) {
+                    final_epoch = m.index_epoch;
+                    break; // nothing indexed yet; replay recomputes
+                }
+                self.text_index.index_document(doc);
+            }
+            if m.killed(KillPoint::AfterCommit, faults) {
+                // postings landed but the cursor did not: the replay
+                // re-indexes the same version (idempotent) and acks
+                final_epoch = m.index_epoch;
+                break;
+            }
+            m.cursor = next;
+            // The feed is epoch-ordered: reaching epoch `e` means every
+            // epoch below `e` is fully indexed.
+            m.index_epoch = m.index_epoch.max(rec.epoch.saturating_sub(1));
+            m.last_epoch = m.last_epoch.max(rec.epoch);
+            // Truncate only up to the slower of the two feed consumers.
+            self.storage
+                .ack_changes(m.cursor.min(self.pipeline.cursor()));
+            obs.records.inc();
+            consumed += 1;
+        }
+        self.text_index.commit();
+        obs.lag
+            .set(self.storage.current_epoch().saturating_sub(final_epoch) as i64);
+        consumed
+    }
+
+    /// Change-feed records not yet consumed by the index maintainer.
     pub fn indexing_backlog(&self) -> usize {
-        self.index_queue.lock().len()
+        (self.storage.feed_head() - self.index_maintainer.lock().cursor) as usize
+    }
+
+    /// The full-text index maintenance watermark: every commit at or
+    /// below this epoch is searchable. Compare with a response's
+    /// `snapshot_epoch` to tell how far text search lags ingest.
+    pub fn index_epoch(&self) -> u64 {
+        self.index_maintainer.lock().index_epoch
     }
 
     /// Run up to `budget` incremental discovery steps: consume change-feed
@@ -531,20 +657,67 @@ impl Impliance {
     // The two query interfaces (§3.2.1)
     // ------------------------------------------------------------------
 
-    /// Keyword search, "usable out of the box".
+    /// Keyword search, "usable out of the box". A convenience wrapper
+    /// over [`Impliance::query`] with a pure match clause: the same
+    /// scored `IndexScan` pipeline answers it, so ad-hoc search and SQL
+    /// hybrids share one code path (and one set of metrics).
     pub fn search(&self, query: &str, k: usize) -> Vec<SearchHit> {
-        search::search(&self.text_index, &SearchQuery::new(query, k))
+        self.match_hits(
+            QueryRequest::builder("")
+                .match_text("*", query)
+                .top_k(k.max(1))
+                .plan_cache(false)
+                .build(),
+        )
     }
 
     /// Keyword search restricted to one structural path.
     pub fn search_within(&self, query: &str, path: &str, k: usize) -> Vec<SearchHit> {
-        search::search(&self.text_index, &SearchQuery::new(query, k).within(path))
+        self.match_hits(
+            QueryRequest::builder("")
+                .match_text(path, query)
+                .top_k(k.max(1))
+                .plan_cache(false)
+                .build(),
+        )
     }
 
     /// Exact-phrase search (positional adjacency), optionally within one
     /// structural path.
     pub fn search_phrase(&self, phrase: &str, path: Option<&str>, k: usize) -> Vec<SearchHit> {
-        impliance_index::search_phrase(&self.text_index, phrase, path, k)
+        self.match_hits(
+            QueryRequest::builder("")
+                .match_text(path.unwrap_or("*"), phrase)
+                .phrase()
+                .top_k(k.max(1))
+                .plan_cache(false)
+                .build(),
+        )
+    }
+
+    /// Run a match-clause request and project its scored rows back into
+    /// `SearchHit`s. Admission failures surface as an empty result, the
+    /// same shape an overloaded search endpoint would return.
+    fn match_hits(&self, req: QueryRequest) -> Vec<SearchHit> {
+        let Ok(resp) = self.query(req) else {
+            return Vec::new();
+        };
+        resp.rows()
+            .iter()
+            .filter_map(|row| {
+                let Value::Int(id) = row.get("id") else {
+                    return None;
+                };
+                let score = match row.get("score") {
+                    Value::Float(s) => *s,
+                    _ => 0.0,
+                };
+                Some(SearchHit {
+                    id: DocId(*id as u64),
+                    score,
+                })
+            })
+            .collect()
     }
 
     /// The unified query entry point: plan (or reuse a cached plan),
@@ -614,7 +787,10 @@ impl Impliance {
         };
         let opts = ExecutionContext {
             batch_size: req.batch_size().unwrap_or(self.config.batch_size),
-            limit: req.limit(),
+            // A top-k request caps output like an explicit limit (the
+            // index scan and fusion operators additionally terminate
+            // early on it).
+            limit: req.limit().or(req.top_k()),
             deadline: effective_deadline_us.map(std::time::Duration::from_micros),
             worker_threads: req.parallelism().unwrap_or(self.config.worker_threads),
             priority: req.priority(),
@@ -633,6 +809,7 @@ impl Impliance {
             degraded: metrics.deadline_exceeded,
             snapshot_epoch,
             annotation_epoch: self.pipeline.annotation_epoch(),
+            index_epoch: self.index_epoch(),
             queue_wait_us: metrics.queue_wait_us,
             admission: outcome,
         })
@@ -661,12 +838,15 @@ impl Impliance {
     /// other tenant's plans.
     fn plan_for(&self, req: &QueryRequest) -> Result<(LogicalPlan, bool), Error> {
         let tenant = req.tenant().0;
+        // The cache key embeds the match clause, top-k, and fusion spec:
+        // they change the physical plan, not just its parameters.
+        let key = req.cache_key();
         if req.plan_cache_enabled() {
             if let Some(plan) = self
                 .plan_cache
                 .lock()
                 .get(&tenant)
-                .and_then(|p| p.get(req.statement()))
+                .and_then(|p| p.get(&key))
                 .cloned()
             {
                 plan_cache_obs().hits.inc();
@@ -674,8 +854,8 @@ impl Impliance {
             }
             plan_cache_obs().misses.inc();
         }
-        let parsed = parse_sql(req.statement()).map_err(|e| ApplianceError::Sql(e.to_string()))?;
-        let plan = self.planner.plan(parsed);
+        let logical = self.build_plan(req)?;
+        let plan = self.planner.plan(logical);
         if req.plan_cache_enabled() {
             let cap = self.config.plan_cache_per_tenant.max(1);
             let mut cache = self.plan_cache.lock();
@@ -686,9 +866,208 @@ impl Impliance {
                 };
                 partition.remove(&evict);
             }
-            partition.insert(req.statement().to_string(), plan.clone());
+            partition.insert(key, plan.clone());
         }
         Ok((plan, false))
+    }
+
+    /// Build the unoptimized logical plan for a request: parse the SQL,
+    /// then graft the match clause and fusion spec onto it.
+    ///
+    /// * No match clause: the statement parses as-is.
+    /// * Match clause + empty statement: a pure keyword search — a
+    ///   bounded scored `IndexScan` projected to `(id, score)` rows.
+    /// * Match clause + statement: the statement's base scan is replaced
+    ///   by an unbounded scored `IndexScan` over the same collection
+    ///   (its predicate re-applied as a filter above), so structured
+    ///   conditions intersect text relevance and rows carry `_score`.
+    /// * A fusion spec re-ranks by RRF of the text ranking with the
+    ///   statement's `ORDER BY` (or recency when it has none).
+    fn build_plan(&self, req: &QueryRequest) -> Result<LogicalPlan, Error> {
+        let Some(m) = req.match_clause() else {
+            let parsed =
+                parse_sql(req.statement()).map_err(|e| ApplianceError::Sql(e.to_string()))?;
+            return Ok(parsed);
+        };
+        let k = req.top_k().or(req.limit());
+        if req.statement().trim().is_empty() {
+            let scan = LogicalPlan::IndexScan {
+                query: m.query.clone(),
+                path: m.path.clone(),
+                k: Some(k.unwrap_or(10)),
+                alias: "d".into(),
+                any_term: m.any_term,
+                phrase: m.phrase,
+                collection: None,
+            };
+            return Ok(LogicalPlan::Project {
+                input: Box::new(scan),
+                columns: vec![
+                    ("d".into(), "_id".into(), "id".into()),
+                    ("d".into(), "_score".into(), "score".into()),
+                ],
+            });
+        }
+        let parsed = parse_sql(req.statement()).map_err(|e| ApplianceError::Sql(e.to_string()))?;
+        let (mut plan, replaced) = Self::inject_index_scan(parsed, m);
+        if !replaced {
+            return Err(ApplianceError::Sql(
+                "match clause needs a base table scan to attach to".into(),
+            )
+            .into());
+        }
+        if let Some(f) = req.fusion_spec() {
+            plan = Self::inject_fusion(plan, k.unwrap_or(10), f);
+        }
+        Ok(plan)
+    }
+
+    /// Replace the leftmost base `Scan` with a scored `IndexScan` over
+    /// the same collection and alias; the scan's predicate (if any)
+    /// becomes a filter above it. Returns whether a scan was found.
+    fn inject_index_scan(plan: LogicalPlan, m: &MatchClause) -> (LogicalPlan, bool) {
+        match plan {
+            LogicalPlan::Scan {
+                collection,
+                predicate,
+                alias,
+                ..
+            } => {
+                let scan = LogicalPlan::IndexScan {
+                    query: m.query.clone(),
+                    path: m.path.clone(),
+                    k: None, // unbounded: structured predicates still apply
+                    alias: alias.clone(),
+                    any_term: m.any_term,
+                    phrase: m.phrase,
+                    collection,
+                };
+                let plan = match predicate {
+                    Some(predicate) => LogicalPlan::Filter {
+                        input: Box::new(scan),
+                        alias,
+                        predicate,
+                    },
+                    None => scan,
+                };
+                (plan, true)
+            }
+            LogicalPlan::Filter {
+                input,
+                alias,
+                predicate,
+            } => {
+                let (input, replaced) = Self::inject_index_scan(*input, m);
+                (
+                    LogicalPlan::Filter {
+                        input: Box::new(input),
+                        alias,
+                        predicate,
+                    },
+                    replaced,
+                )
+            }
+            LogicalPlan::Project { input, columns } => {
+                let (input, replaced) = Self::inject_index_scan(*input, m);
+                (
+                    LogicalPlan::Project {
+                        input: Box::new(input),
+                        columns,
+                    },
+                    replaced,
+                )
+            }
+            LogicalPlan::Sort { input, keys } => {
+                let (input, replaced) = Self::inject_index_scan(*input, m);
+                (
+                    LogicalPlan::Sort {
+                        input: Box::new(input),
+                        keys,
+                    },
+                    replaced,
+                )
+            }
+            LogicalPlan::Limit { input, n } => {
+                let (input, replaced) = Self::inject_index_scan(*input, m);
+                (
+                    LogicalPlan::Limit {
+                        input: Box::new(input),
+                        n,
+                    },
+                    replaced,
+                )
+            }
+            LogicalPlan::GroupAgg {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let (input, replaced) = Self::inject_index_scan(*input, m);
+                (
+                    LogicalPlan::GroupAgg {
+                        input: Box::new(input),
+                        group_by,
+                        aggs,
+                    },
+                    replaced,
+                )
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+                algo,
+            } => {
+                // the leftmost scan drives the text ranking; the right
+                // side stays a plain (index-probed) scan
+                let (left, replaced) = Self::inject_index_scan(*left, m);
+                (
+                    LogicalPlan::Join {
+                        left: Box::new(left),
+                        right,
+                        left_key,
+                        right_key,
+                        algo,
+                    },
+                    replaced,
+                )
+            }
+            other => (other, false),
+        }
+    }
+
+    /// Insert a `Fusion` node at the tuple layer: below projections and
+    /// limits, swallowing an `ORDER BY` as the structured ranking (rows
+    /// keep flowing in fused order), or over the bare tuple stream with
+    /// recency as the structured signal when the query has no sort.
+    fn inject_fusion(plan: LogicalPlan, k: usize, f: FusionSpec) -> LogicalPlan {
+        match plan {
+            LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+                input: Box::new(Self::inject_fusion(*input, k, f)),
+                n,
+            },
+            LogicalPlan::Project { input, columns } => LogicalPlan::Project {
+                input: Box::new(Self::inject_fusion(*input, k, f)),
+                columns,
+            },
+            LogicalPlan::Sort { input, keys } => LogicalPlan::Fusion {
+                input,
+                k,
+                text_weight: f.text_weight,
+                struct_weight: f.struct_weight,
+                rrf_k: f.rrf_k,
+                keys,
+            },
+            other => LogicalPlan::Fusion {
+                input: Box::new(other),
+                k,
+                text_weight: f.text_weight,
+                struct_weight: f.struct_weight,
+                rrf_k: f.rrf_k,
+                keys: Vec::new(),
+            },
+        }
     }
 
     /// SQL over anything ingested (including annotation collections).
@@ -1002,6 +1381,163 @@ mod tests {
         let imp = boot();
         assert_eq!(imp.power_score(), 1.0);
         assert_eq!(imp.system_name(), "impliance");
+    }
+}
+
+#[cfg(test)]
+mod hybrid_search_tests {
+    use super::*;
+
+    fn seeded() -> Impliance {
+        let imp = Impliance::boot(ApplianceConfig::default());
+        for i in 0..30 {
+            imp.ingest_json(
+                "claims",
+                &format!(
+                    r#"{{"amount": {}, "notes": "bumper damage case {}"}}"#,
+                    i * 10,
+                    i
+                ),
+            )
+            .unwrap();
+        }
+        imp.ingest_json("claims", r#"{"amount": 990, "notes": "windshield crack"}"#)
+            .unwrap();
+        imp.run_indexing(None);
+        imp
+    }
+
+    #[test]
+    fn match_topk_returns_scored_rows_with_watermarks() {
+        let imp = seeded();
+        let resp = imp
+            .query(
+                QueryRequest::builder("")
+                    .match_text("*", "bumper damage")
+                    .top_k(10)
+                    .build(),
+            )
+            .unwrap();
+        assert_eq!(resp.rows().len(), 10);
+        for row in resp.rows() {
+            assert!(matches!(row.get("id"), Value::Int(_)));
+            let Value::Float(s) = row.get("score") else {
+                panic!("rows must carry a BM25 score: {row:?}");
+            };
+            assert!(*s > 0.0);
+        }
+        let stats = resp.exec_stats();
+        assert!(
+            stats.early_terminations > 0,
+            "top-10 over 30 matches must terminate early: {stats:?}"
+        );
+        assert!(stats.candidates_scored > 0);
+        assert!(stats.index_epoch > 0);
+        assert!(
+            stats.index_epoch <= stats.snapshot_epoch,
+            "the index never claims to be ahead of the snapshot"
+        );
+    }
+
+    #[test]
+    fn hybrid_match_intersects_sql_predicate() {
+        let imp = seeded();
+        let resp = imp
+            .query(
+                QueryRequest::builder("SELECT amount FROM claims WHERE amount >= 200")
+                    .match_text("*", "bumper damage")
+                    .build(),
+            )
+            .unwrap();
+        // amounts 0..290 step 10 among the bumper docs: >= 200 keeps 10;
+        // the windshield doc (990) fails the text match despite passing
+        // the predicate
+        assert_eq!(resp.rows().len(), 10);
+        assert!(resp
+            .rows()
+            .iter()
+            .all(|r| matches!(r.get("amount"), Value::Int(a) if *a >= 200 && *a != 990)));
+    }
+
+    #[test]
+    fn fusion_reranks_text_hits_by_order_by() {
+        let imp = seeded();
+        let resp = imp
+            .query(
+                QueryRequest::builder("SELECT amount FROM claims ORDER BY amount DESC")
+                    .match_text("*", "bumper damage")
+                    .fusion(FusionSpec {
+                        text_weight: 0.0,
+                        struct_weight: 1.0,
+                        rrf_k: 60.0,
+                    })
+                    .top_k(3)
+                    .build(),
+            )
+            .unwrap();
+        // pure structural weighting: fused order == ORDER BY amount DESC,
+        // confined to the text matches and cut to k
+        assert_eq!(resp.rows().len(), 3);
+        assert_eq!(resp.rows()[0].get("amount"), &Value::Int(290));
+        assert_eq!(resp.rows()[1].get("amount"), &Value::Int(280));
+        assert_eq!(resp.rows()[2].get("amount"), &Value::Int(270));
+    }
+
+    #[test]
+    fn index_epoch_is_stale_until_maintenance_runs() {
+        let imp = Impliance::boot(ApplianceConfig::default());
+        imp.ingest_text("notes", "unique marker zanzibar").unwrap();
+        let req = || {
+            QueryRequest::builder("")
+                .match_text("*", "zanzibar")
+                .top_k(5)
+                .plan_cache(false)
+                .build()
+        };
+        let resp = imp.query(req()).unwrap();
+        assert!(resp.rows().is_empty(), "not yet indexed");
+        assert!(
+            resp.index_epoch < resp.snapshot_epoch,
+            "the response admits the index is stale: {} vs {}",
+            resp.index_epoch,
+            resp.snapshot_epoch
+        );
+        imp.run_indexing(None);
+        let resp = imp.query(req()).unwrap();
+        assert_eq!(resp.rows().len(), 1);
+        assert!(resp.index_epoch >= 1);
+    }
+
+    #[test]
+    fn match_without_base_scan_is_a_typed_error() {
+        let imp = seeded();
+        let err = imp
+            .query(
+                QueryRequest::builder("nonsense that will not parse")
+                    .match_text("*", "bumper")
+                    .build(),
+            )
+            .expect_err("bad SQL under a match clause still errors");
+        assert!(!err.message().is_empty());
+    }
+
+    #[test]
+    fn plan_cache_distinguishes_match_variants() {
+        let imp = seeded();
+        let base = || QueryRequest::builder("SELECT amount FROM claims");
+        assert!(!imp.query(base().build()).unwrap().plan_cache_hit);
+        assert!(imp.query(base().build()).unwrap().plan_cache_hit);
+        // same statement + a match clause must miss (different plan)
+        let matched = imp
+            .query(base().match_text("*", "bumper damage").build())
+            .unwrap();
+        assert!(!matched.plan_cache_hit);
+        // …and hit on repeat
+        assert!(
+            imp.query(base().match_text("*", "bumper damage").build())
+                .unwrap()
+                .plan_cache_hit
+        );
     }
 }
 

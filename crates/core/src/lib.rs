@@ -39,7 +39,8 @@ pub use cluster_app::ClusterImpliance;
 pub use config::ApplianceConfig;
 pub use error::{Error, ErrorKind};
 pub use query_api::{
-    AdmissionOutcome, ExecStats, QueryRequest, QueryRequestBuilder, QueryResponse,
+    AdmissionOutcome, ExecStats, FusionSpec, MatchClause, QueryRequest, QueryRequestBuilder,
+    QueryResponse,
 };
 pub use views::ViewFreshness;
 

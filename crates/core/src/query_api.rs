@@ -12,10 +12,54 @@ use impliance_obs::SpanId;
 use impliance_query::{ExecMetrics, LogicalPlan, Priority, QueryOutput};
 use impliance_virt::TenantId;
 
+/// A text-match clause attached to a request: the keyword half of a
+/// hybrid query. Compiled into an `IndexScan` operator that produces
+/// BM25-scored tuples (exposed to projections as the `_score`
+/// pseudo-path).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchClause {
+    /// Structural path the match is confined to (`None` = whole document).
+    pub path: Option<String>,
+    /// The query text.
+    pub query: String,
+    /// Match any term (disjunctive) instead of every term (conjunctive).
+    pub any_term: bool,
+    /// Positional exact-phrase match instead of bag-of-terms.
+    pub phrase: bool,
+}
+
+/// Reciprocal-rank-fusion weights for hybrid ranking: each row's fused
+/// score is `text_weight / (rrf_k + text_rank) + struct_weight /
+/// (rrf_k + struct_rank)`, where the text rank orders by BM25 score and
+/// the structured rank orders by the query's sort keys (or recency when
+/// it has none).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FusionSpec {
+    /// Weight of the text (BM25) ranking.
+    pub text_weight: f64,
+    /// Weight of the structured ranking.
+    pub struct_weight: f64,
+    /// The RRF dampening constant (60.0 is the literature default).
+    pub rrf_k: f64,
+}
+
+impl Default for FusionSpec {
+    fn default() -> FusionSpec {
+        FusionSpec {
+            text_weight: 1.0,
+            struct_weight: 1.0,
+            rrf_k: 60.0,
+        }
+    }
+}
+
 /// A query against the appliance. Build with [`QueryRequest::builder`].
 #[derive(Debug, Clone)]
 pub struct QueryRequest {
     statement: String,
+    match_clause: Option<MatchClause>,
+    top_k: Option<usize>,
+    fusion: Option<FusionSpec>,
     pushdown: Option<bool>,
     columnar: Option<bool>,
     plan_cache: bool,
@@ -34,6 +78,9 @@ impl QueryRequest {
         QueryRequestBuilder {
             request: QueryRequest {
                 statement: statement.into(),
+                match_clause: None,
+                top_k: None,
+                fusion: None,
                 pushdown: None,
                 columnar: None,
                 plan_cache: true,
@@ -48,9 +95,39 @@ impl QueryRequest {
         }
     }
 
-    /// The SQL text.
+    /// The SQL text (may be empty for pure text-match requests).
     pub fn statement(&self) -> &str {
         &self.statement
+    }
+
+    /// The text-match clause, if any (see
+    /// [`QueryRequestBuilder::match_text`]).
+    pub fn match_clause(&self) -> Option<&MatchClause> {
+        self.match_clause.as_ref()
+    }
+
+    /// The scored-result cap, if any (see [`QueryRequestBuilder::top_k`]).
+    pub fn top_k(&self) -> Option<usize> {
+        self.top_k
+    }
+
+    /// The rank-fusion spec, if any (see [`QueryRequestBuilder::fusion`]).
+    pub fn fusion_spec(&self) -> Option<FusionSpec> {
+        self.fusion
+    }
+
+    /// The plan-cache key for this request. The cached plan embeds the
+    /// match clause, top-k bound, and fusion spec, so requests that
+    /// differ in any of them must key separately even when the SQL text
+    /// is identical.
+    pub fn cache_key(&self) -> String {
+        match (&self.match_clause, self.top_k, self.fusion) {
+            (None, None, None) => self.statement.clone(),
+            (m, k, f) => format!(
+                "{}\u{1}match={:?};k={:?};limit={:?};fusion={:?}",
+                self.statement, m, k, self.limit, f
+            ),
+        }
     }
 
     /// The per-request pushdown override, if any (defaults to the
@@ -128,6 +205,58 @@ pub struct QueryRequestBuilder {
 }
 
 impl QueryRequestBuilder {
+    /// Attach a text-match clause: score documents by BM25 relevance to
+    /// `query`, confined to structural path `field` (`""` or `"*"` =
+    /// whole document). With an empty statement this is a pure keyword
+    /// search; combined with SQL it turns the statement's base scan into
+    /// a scored index scan whose rows expose `_score`.
+    pub fn match_text(mut self, field: &str, query: impl Into<String>) -> QueryRequestBuilder {
+        let path = match field {
+            "" | "*" => None,
+            f => Some(f.to_string()),
+        };
+        self.request.match_clause = Some(MatchClause {
+            path,
+            query: query.into(),
+            any_term: false,
+            phrase: false,
+        });
+        self
+    }
+
+    /// Relax the match clause to disjunctive (any-term) semantics.
+    /// No-op unless [`QueryRequestBuilder::match_text`] was called.
+    pub fn any_term(mut self) -> QueryRequestBuilder {
+        if let Some(m) = self.request.match_clause.as_mut() {
+            m.any_term = true;
+        }
+        self
+    }
+
+    /// Tighten the match clause to positional exact-phrase semantics.
+    /// No-op unless [`QueryRequestBuilder::match_text`] was called.
+    pub fn phrase(mut self) -> QueryRequestBuilder {
+        if let Some(m) = self.request.match_clause.as_mut() {
+            m.phrase = true;
+        }
+        self
+    }
+
+    /// Keep only the `k` best-scored rows. Drives top-k early
+    /// termination inside the index scan (clamped to ≥ 1).
+    pub fn top_k(mut self, k: usize) -> QueryRequestBuilder {
+        self.request.top_k = Some(k.max(1));
+        self
+    }
+
+    /// Re-rank results by reciprocal-rank fusion of the text (BM25)
+    /// ranking with the structured ranking (the query's sort keys, or
+    /// recency when it has none). See [`FusionSpec`].
+    pub fn fusion(mut self, spec: FusionSpec) -> QueryRequestBuilder {
+        self.request.fusion = Some(spec);
+        self
+    }
+
     /// Override predicate pushdown for this request only.
     pub fn pushdown(mut self, enabled: bool) -> QueryRequestBuilder {
         self.request.pushdown = Some(enabled);
@@ -252,6 +381,12 @@ pub struct QueryResponse {
     /// is below `snapshot_epoch`, recently ingested documents may not
     /// have annotations yet (they are never *partially* annotated).
     pub annotation_epoch: u64,
+    /// The text-index maintenance watermark at query time: every commit
+    /// at or below it is reflected in the full-text index. When this is
+    /// below `snapshot_epoch`, a match clause may miss recently ingested
+    /// documents (stale but never torn: a document's terms are indexed
+    /// all-or-nothing).
+    pub index_epoch: u64,
     /// Microseconds this query waited for admission before execution
     /// started (0 when no workload policy was in the path).
     pub queue_wait_us: u64,
@@ -277,6 +412,12 @@ pub struct ExecStats {
     pub early_terminations: u64,
     /// Index lookups performed.
     pub index_lookups: u64,
+    /// Text-search candidates actually scored by BM25 across the
+    /// query's index scans.
+    pub candidates_scored: u64,
+    /// Text-search candidates skipped by MaxScore upper-bound pruning
+    /// before scoring.
+    pub candidates_pruned: u64,
     /// Encoded bytes read at the storage nodes.
     pub bytes_scanned: u64,
     /// Encoded bytes returned across the (simulated) network.
@@ -295,6 +436,9 @@ pub struct ExecStats {
     /// The annotation watermark at query time (see
     /// `QueryResponse::annotation_epoch`).
     pub annotation_epoch: u64,
+    /// The text-index maintenance watermark at query time (see
+    /// `QueryResponse::index_epoch`).
+    pub index_epoch: u64,
     /// Annotation freshness in `[0, 1]`: the fraction of the snapshot's
     /// epochs whose annotation sets were committed (`1.0` = discovery
     /// fully caught up with ingest at this snapshot).
@@ -327,6 +471,8 @@ impl QueryResponse {
             workers_used: m.workers_used,
             early_terminations: m.early_terminations,
             index_lookups: m.index_lookups,
+            candidates_scored: m.search_candidates_scored,
+            candidates_pruned: m.search_candidates_pruned,
             bytes_scanned: m.scan.bytes_scanned,
             bytes_returned: m.scan.bytes_returned,
             segments_skipped: m.scan.segments_skipped,
@@ -335,6 +481,7 @@ impl QueryResponse {
             degraded: self.degraded,
             snapshot_epoch: self.snapshot_epoch,
             annotation_epoch: self.annotation_epoch,
+            index_epoch: self.index_epoch,
             freshness: self.freshness(),
             queue_wait_us: self.queue_wait_us,
             admission: self.admission,
@@ -417,6 +564,46 @@ mod tests {
             .parallelism(8)
             .build();
         assert_eq!(req.parallelism(), Some(8));
+    }
+
+    #[test]
+    fn builder_match_topk_and_fusion() {
+        let req = QueryRequest::builder("SELECT * FROM docs").build();
+        assert!(req.match_clause().is_none());
+        assert_eq!(req.top_k(), None);
+        assert!(req.fusion_spec().is_none());
+        assert_eq!(req.cache_key(), "SELECT * FROM docs");
+
+        let req = QueryRequest::builder("")
+            .match_text("*", "bumper damage")
+            .any_term()
+            .top_k(0)
+            .build();
+        let m = req.match_clause().expect("match clause set");
+        assert_eq!(m.path, None, "'*' means the whole document");
+        assert_eq!(m.query, "bumper damage");
+        assert!(m.any_term);
+        assert!(!m.phrase);
+        assert_eq!(req.top_k(), Some(1), "top_k clamps to >= 1");
+
+        let req = QueryRequest::builder("SELECT * FROM docs")
+            .match_text("notes", "bumper")
+            .phrase()
+            .fusion(FusionSpec::default())
+            .build();
+        let m = req.match_clause().unwrap();
+        assert_eq!(m.path.as_deref(), Some("notes"));
+        assert!(m.phrase);
+        let f = req.fusion_spec().unwrap();
+        assert_eq!(f.rrf_k, 60.0);
+        assert_ne!(
+            req.cache_key(),
+            QueryRequest::builder("SELECT * FROM docs")
+                .match_text("notes", "bumper")
+                .build()
+                .cache_key(),
+            "phrase/fusion variants must key separately"
+        );
     }
 
     #[test]

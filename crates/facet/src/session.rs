@@ -8,7 +8,8 @@
 use std::collections::HashSet;
 
 use impliance_docmodel::{DocId, Value};
-use impliance_index::{search, InvertedIndex, PathValueIndex, SearchQuery};
+use impliance_index::{InvertedIndex, PathValueIndex};
+use impliance_query::keyword_candidates;
 
 use crate::facets::{FacetDimension, FacetEngine};
 
@@ -90,10 +91,7 @@ impl<'a> GuidedSession<'a> {
     pub fn results(&self) -> Vec<DocId> {
         let mut current: Option<HashSet<DocId>> = None;
         if let Some(q) = &self.keyword {
-            let hits = search::search(
-                self.text_index,
-                &SearchQuery::new(q.clone(), self.search_limit),
-            );
+            let hits = keyword_candidates(self.text_index, q, self.search_limit);
             current = Some(hits.into_iter().map(|h| h.id).collect());
         }
         for c in &self.constraints {

@@ -36,5 +36,5 @@ pub mod tokenize;
 pub use inverted::{DocOrdinal, InvertedIndex};
 pub use joinindex::JoinIndex;
 pub use pathindex::PathValueIndex;
-pub use search::{search_phrase, SearchHit, SearchMode, SearchQuery};
+pub use search::{search_phrase, search_topk, SearchHit, SearchMode, SearchQuery, TopKStats};
 pub use tokenize::{tokenize, Token};

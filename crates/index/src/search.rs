@@ -7,7 +7,7 @@
 //! planner exploits (§3.3).
 
 use std::collections::BinaryHeap;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use impliance_docmodel::DocId;
 
@@ -73,34 +73,141 @@ pub struct SearchHit {
 const BM25_K1: f64 = 1.2;
 const BM25_B: f64 = 0.75;
 
+/// Evaluation statistics from [`search_topk`]: how much of the candidate
+/// space the bounded-heap / upper-bound evaluation actually touched. The
+/// query pipeline folds these into `ExecStats` so top-k early termination
+/// is observable, not assumed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TopKStats {
+    /// Candidates whose BM25 score was fully accumulated.
+    pub candidates_scored: usize,
+    /// Matching candidates never scored because their best-possible score
+    /// (sum of remaining per-term upper bounds, MaxScore-style) could not
+    /// reach the current k-th best accumulated score. Disjunctive mode
+    /// only — conjunctive candidates are confined to the rarest term's
+    /// postings and all survive to scoring.
+    pub candidates_pruned: usize,
+    /// Documents satisfying the query semantics (scored + pruned).
+    pub total_matched: usize,
+}
+
+impl TopKStats {
+    /// True when the evaluation did less work than scoring every match:
+    /// either upper-bound pruning fired, or more documents matched than
+    /// the bounded heap retained.
+    pub fn early_terminated(&self, k: usize) -> bool {
+        self.candidates_pruned > 0 || self.total_matched > k
+    }
+}
+
 /// Execute a query against an index, returning hits ordered by descending
 /// score (ties broken by ascending id for determinism).
 pub fn search(index: &InvertedIndex, query: &SearchQuery) -> Vec<SearchHit> {
+    search_topk(index, query).0
+}
+
+/// Top-k BM25 evaluation with upper-bound pruning and honest stats.
+///
+/// Terms are processed in descending order of their score upper bound
+/// `idf * (k1 + 1)`. Once at least `limit` candidates have accumulated
+/// partial scores and the sum of the remaining terms' upper bounds falls
+/// below the k-th best partial score, a document first appearing in a
+/// later postings list provably cannot reach the top-k and is skipped
+/// (counted in [`TopKStats::candidates_pruned`]); already-seen candidates
+/// keep accumulating, so the result is exact — identical hits, scores,
+/// and tie order to scoring every match.
+pub fn search_topk(index: &InvertedIndex, query: &SearchQuery) -> (Vec<SearchHit>, TopKStats) {
+    let mut stats = TopKStats::default();
     let terms = tokenize_query(&query.text);
     if terms.is_empty() || query.limit == 0 {
-        return Vec::new();
+        return (Vec::new(), stats);
     }
     let n = f64::from(index.live_docs()).max(1.0);
     let avgdl = index.avg_doc_len().max(1.0);
 
-    // Gather per-ordinal scores and per-ordinal matched-term counts.
-    let mut scores: HashMap<DocOrdinal, (f64, usize)> = HashMap::new();
+    // Per-term postings with idf and the per-term score upper bound
+    // idf * (k1 + 1) — the supremum of the tf-normalization factor.
+    struct TermList {
+        idf: f64,
+        ub: f64,
+        postings: Vec<crate::postings::Posting>,
+    }
+    let mut lists: Vec<TermList> = Vec::with_capacity(terms.len());
     for term in &terms {
         let postings = index.postings(term, query.path.as_deref());
         let df = postings.len() as f64;
         if df == 0.0 {
             if query.mode == SearchMode::And {
-                return Vec::new(); // a conjunctive term with no postings
+                return (Vec::new(), stats); // a conjunctive term with no postings
             }
             continue;
         }
         let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
-        for p in postings {
+        lists.push(TermList {
+            idf,
+            ub: idf * (BM25_K1 + 1.0),
+            postings,
+        });
+    }
+    if lists.is_empty() {
+        return (Vec::new(), stats);
+    }
+    let needed = lists.len();
+    match query.mode {
+        // Conjunctive: candidates are confined to the rarest term's
+        // postings; process that list first so later terms only update
+        // the (small) existing candidate set.
+        SearchMode::And => lists.sort_by(|a, b| a.postings.len().cmp(&b.postings.len())),
+        // Disjunctive: highest upper bound first, so the k-th best
+        // partial score grows fast and tail terms prune hard.
+        SearchMode::Or => lists.sort_by(|a, b| b.ub.total_cmp(&a.ub)),
+    }
+    // tail_ub[i] = sum of upper bounds of lists i.. (what a candidate
+    // first appearing at list i could still score, at most).
+    let mut tail_ub = vec![0.0f64; needed + 1];
+    for i in (0..needed).rev() {
+        tail_ub[i] = tail_ub[i + 1] + lists[i].ub;
+    }
+
+    let mut scores: HashMap<DocOrdinal, (f64, usize)> = HashMap::new();
+    let mut pruned: HashSet<DocOrdinal> = HashSet::new();
+    for (i, list) in lists.iter().enumerate() {
+        // Threshold for admitting NEW candidates at this list: the k-th
+        // best partial score so far (a lower bound on the k-th best final
+        // score). Valid only once `limit` candidates exist.
+        let theta = if query.mode == SearchMode::Or && i > 0 && scores.len() >= query.limit {
+            let mut partials: Vec<f64> = scores.values().map(|(s, _)| *s).collect();
+            partials.sort_unstable_by(|a, b| b.total_cmp(a));
+            Some(partials[query.limit - 1])
+        } else {
+            None
+        };
+        for p in &list.postings {
+            let is_new = !scores.contains_key(&p.ordinal);
+            if is_new {
+                match query.mode {
+                    // AND: docs outside the rarest term's postings are
+                    // non-matches, not candidates.
+                    SearchMode::And if i > 0 => continue,
+                    // OR: a new candidate here tops out at tail_ub[i];
+                    // below theta it provably misses the top-k.
+                    SearchMode::Or => {
+                        if let Some(t) = theta {
+                            if tail_ub[i] < t && pruned.insert(p.ordinal) {
+                                continue;
+                            } else if pruned.contains(&p.ordinal) {
+                                continue;
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
             let tf = f64::from(p.tf());
             let dl = f64::from(index.doc_len(p.ordinal));
             let norm = tf * (BM25_K1 + 1.0) / (tf + BM25_K1 * (1.0 - BM25_B + BM25_B * dl / avgdl));
             let entry = scores.entry(p.ordinal).or_insert((0.0, 0));
-            entry.0 += idf * norm;
+            entry.0 += list.idf * norm;
             entry.1 += 1;
         }
     }
@@ -122,17 +229,20 @@ pub fn search(index: &InvertedIndex, query: &SearchQuery) -> Vec<SearchHit> {
         }
     }
 
-    let needed = terms.len();
     let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(query.limit + 1);
-    for (ord, (score, matched)) in scores {
+    for (&ord, &(score, matched)) in &scores {
         if query.mode == SearchMode::And && matched < needed {
             continue;
         }
+        stats.total_matched += 1;
+        stats.candidates_scored += 1;
         heap.push(HeapEntry(score, ord));
         if heap.len() > query.limit {
             heap.pop();
         }
     }
+    stats.candidates_pruned = pruned.len();
+    stats.total_matched += pruned.len();
 
     let mut hits: Vec<SearchHit> = heap
         .into_iter()
@@ -141,7 +251,7 @@ pub fn search(index: &InvertedIndex, query: &SearchQuery) -> Vec<SearchHit> {
         })
         .collect();
     hits.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.id.cmp(&b.id)));
-    hits
+    (hits, stats)
 }
 
 #[cfg(test)]
@@ -229,6 +339,44 @@ mod tests {
         let hits = search(&idx, &SearchQuery::new("same", 3));
         let ids: Vec<u64> = hits.iter().map(|h| h.id.0).collect();
         assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn topk_equals_full_scoring_and_prunes() {
+        // 100 docs all contain the ubiquitous "alpha"; every 7th also has
+        // the rare "beta". With k=5 the rare term's list fills the heap
+        // first and the tail upper bound prunes the alpha-only docs.
+        let texts: Vec<String> = (0..100)
+            .map(|i| {
+                if i % 7 == 0 {
+                    format!("alpha beta doc{i}")
+                } else {
+                    format!("alpha doc{i}")
+                }
+            })
+            .collect();
+        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        let idx = index_with(&refs);
+        let full = search(&idx, &SearchQuery::new("alpha beta", 100).any_term());
+        let (topk, stats) = search_topk(&idx, &SearchQuery::new("alpha beta", 5).any_term());
+        assert_eq!(topk.len(), 5);
+        for (a, b) in topk.iter().zip(full.iter()) {
+            assert_eq!(a.id, b.id);
+            assert!((a.score - b.score).abs() < 1e-12);
+        }
+        assert!(stats.candidates_pruned > 0, "tail term must prune");
+        assert_eq!(stats.total_matched, 100);
+        assert!(stats.early_terminated(5));
+    }
+
+    #[test]
+    fn topk_stats_conjunctive_counts_matches() {
+        let idx = index_with(&["volvo bumper", "volvo hood", "volvo bumper rear"]);
+        let (hits, stats) = search_topk(&idx, &SearchQuery::new("volvo bumper", 1));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(stats.total_matched, 2);
+        assert_eq!(stats.candidates_pruned, 0);
+        assert!(stats.early_terminated(1), "2 matched, heap kept 1");
     }
 
     #[test]

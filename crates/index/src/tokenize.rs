@@ -56,7 +56,17 @@ fn analyze(text: &str, drop_stopwords: bool) -> Vec<Token> {
     for c in text.chars() {
         if c.is_alphanumeric() {
             for lc in c.to_lowercase() {
-                current.push(lc);
+                // Two Unicode folds keep the analyzer deterministic and
+                // case-insensitive where char-wise lowercasing is not:
+                // Greek final sigma 'ς' is already lowercase (so 'ΟΔΟΣ'
+                // and 'οδός' would otherwise disagree on the last
+                // letter), and some expansions emit combining marks
+                // ('İ' -> "i\u{307}") that would embed invisible bytes
+                // in the token. Fold sigma, drop non-alphanumerics.
+                let lc = if lc == 'ς' { 'σ' } else { lc };
+                if lc.is_alphanumeric() {
+                    current.push(lc);
+                }
             }
         } else if c == '\'' && !current.is_empty() {
             // keep apostrophes inside words ("don't") but normalize later
@@ -142,5 +152,61 @@ mod tests {
     #[test]
     fn query_tokenization_matches_document_pipeline() {
         assert_eq!(tokenize_query("Quick FOX"), vec!["quick", "fox"]);
+    }
+
+    #[test]
+    fn final_sigma_folds_case_insensitively() {
+        // 'ΟΔΟΣ' char-lowercases to medial sigma, 'οδο\u{3c2}' is typed
+        // with a final sigma; both must produce the same token.
+        assert_eq!(tokenize_query("ΟΔΟΣ"), tokenize_query("οδο\u{3c2}"));
+        assert_eq!(tokenize_query("ΟΔΟΣ"), vec!["οδοσ"]);
+    }
+
+    #[test]
+    fn combining_marks_from_lowercasing_are_dropped() {
+        // Dotted capital I lowercases to "i" + combining dot above; the
+        // mark must not survive into the token or "İstanbul" could never
+        // match a plain "istanbul" query.
+        assert_eq!(tokenize_query("İstanbul"), vec!["istanbul"]);
+    }
+
+    /// Golden fixture: the exact (text, position) output of the analyzer
+    /// over a corpus covering ASCII, case folding, stopword slots,
+    /// apostrophes, digits, diacritics, Greek sigma, expansion ('ß'),
+    /// and CJK — pinned so the index and query sides can never drift
+    /// apart (both run this exact pipeline).
+    #[test]
+    fn golden_fixture_pins_the_analyzer() {
+        let golden: &[(&str, &[(&str, u32)])] = &[
+            (
+                "The Quick, Brown FOX!",
+                &[("quick", 1), ("brown", 2), ("fox", 3)],
+            ),
+            ("don't panic", &[("dont", 0), ("panic", 1)]),
+            ("Café 42 naïve", &[("café", 0), ("42", 1), ("naïve", 2)]),
+            (
+                "jack of all trades",
+                &[("jack", 0), ("all", 2), ("trades", 3)],
+            ),
+            ("STRASSE straße", &[("strasse", 0), ("straße", 1)]),
+            ("ΟΔΟΣ οδός", &[("οδοσ", 0), ("οδόσ", 1)]),
+            ("İstanbul ISTANBUL", &[("istanbul", 0), ("istanbul", 1)]),
+            ("東京 2026", &[("東京", 0), ("2026", 1)]),
+            ("a--b__c", &[("b", 1), ("c", 2)]),
+            ("", &[]),
+        ];
+        for (input, expected) in golden {
+            let got: Vec<(String, u32)> = tokenize(input)
+                .into_iter()
+                .map(|t| (t.text, t.position))
+                .collect();
+            let want: Vec<(String, u32)> =
+                expected.iter().map(|(s, p)| (s.to_string(), *p)).collect();
+            assert_eq!(got, want, "analyzer drifted on {input:?}");
+            // the query side is the same pipeline, by construction
+            let q: Vec<String> = tokenize_query(input);
+            let doc: Vec<String> = want.iter().map(|(s, _)| s.clone()).collect();
+            assert_eq!(q, doc, "query analyzer disagrees on {input:?}");
+        }
     }
 }

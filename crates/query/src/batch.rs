@@ -22,7 +22,10 @@ use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use impliance_docmodel::{DocId, Document, Value};
-use impliance_index::PathValueIndex;
+use impliance_index::{
+    search_phrase, search_topk, InvertedIndex, PathValueIndex, SearchHit, SearchMode, SearchQuery,
+    TopKStats,
+};
 use impliance_obs::{Counter, Histogram, LATENCY_BUCKETS_US};
 use impliance_storage::{
     AggValue, BatchScan, Bitmask, ColumnPage, Predicate, ScanPos, ScanRequest, StorageEngine,
@@ -112,9 +115,9 @@ pub trait Operator {
 // cached once; the per-batch cost is a few relaxed atomic RMWs.
 // ---------------------------------------------------------------------
 
-pub(crate) const OP_NAMES: [&str; 9] = [
+pub(crate) const OP_NAMES: [&str; 10] = [
     "scan",
-    "keyword_search",
+    "index_scan",
     "filter",
     "join",
     "group_agg",
@@ -122,6 +125,7 @@ pub(crate) const OP_NAMES: [&str; 9] = [
     "sort",
     "limit",
     "graph_connect",
+    "fusion",
 ];
 
 pub(crate) struct OpObs {
@@ -310,6 +314,183 @@ impl Operator for ScanOp<'_> {
             }
             return Ok(Some(Batch::Tuples(tuples)));
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Index scan (scored text retrieval)
+// ---------------------------------------------------------------------
+
+pub(crate) struct SearchObs {
+    pub(crate) queries: Arc<Counter>,
+    pub(crate) candidates_scored: Arc<Counter>,
+    pub(crate) candidates_pruned: Arc<Counter>,
+    pub(crate) early_terminations: Arc<Counter>,
+}
+
+pub(crate) fn search_obs() -> &'static SearchObs {
+    static OBS: OnceLock<SearchObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let m = impliance_obs::global().metrics();
+        SearchObs {
+            queries: m.counter("query.search.queries"),
+            candidates_scored: m.counter("query.search.candidates_scored"),
+            candidates_pruned: m.counter("query.search.candidates_pruned"),
+            early_terminations: m.counter("query.search.early_terminations"),
+        }
+    })
+}
+
+/// Evaluate an index-scan's search and return the ordered hits plus the
+/// evaluation stats, recording the global `query.search.*` counters.
+/// Shared by the serial operator and the parallel morsel driver so both
+/// paths score and account identically.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_index_search(
+    index: &InvertedIndex,
+    query: &str,
+    path: Option<&str>,
+    any_term: bool,
+    phrase: bool,
+    k: Option<usize>,
+) -> (Vec<SearchHit>, TopKStats, usize) {
+    // An unbounded scan (search feeding structured filters) still needs a
+    // heap bound; the live-document count is the exact "all matches" cap.
+    let effective_k = k.unwrap_or_else(|| (index.live_docs() as usize).max(1));
+    let hits;
+    let stats;
+    if phrase {
+        hits = search_phrase(index, query, path, effective_k);
+        stats = TopKStats {
+            candidates_scored: hits.len(),
+            candidates_pruned: 0,
+            total_matched: hits.len(),
+        };
+    } else {
+        let mut q = SearchQuery::new(query, effective_k);
+        if any_term {
+            q.mode = SearchMode::Or;
+        }
+        q.path = path.map(str::to_string);
+        let (h, s) = search_topk(index, &q);
+        hits = h;
+        stats = s;
+    }
+    let obs = search_obs();
+    obs.queries.inc();
+    obs.candidates_scored.add(stats.candidates_scored as u64);
+    obs.candidates_pruned.add(stats.candidates_pruned as u64);
+    if stats.early_terminated(effective_k) {
+        obs.early_terminations.inc();
+    }
+    (hits, stats, effective_k)
+}
+
+/// Scored text retrieval source: evaluates a BM25 (or phrase) search on
+/// first pull, resolves each hit to its snapshot-visible document via
+/// `fetch`, and emits score-descending tuple batches whose tuples carry
+/// the relevance score (visible to projections as the `_score`
+/// pseudo-path). Top-k early termination inside the evaluation is folded
+/// into the pipeline's `ExecMetrics` so `ExecStats.early_terminations`
+/// reports it honestly.
+pub struct IndexScanOp<'a> {
+    index: &'a InvertedIndex,
+    query: String,
+    path: Option<String>,
+    k: Option<usize>,
+    alias: String,
+    any_term: bool,
+    phrase: bool,
+    /// Drop hits whose fetched document lives outside this collection.
+    collection: Option<String>,
+    fetch: Box<dyn Fn(DocId) -> Option<Arc<Document>> + 'a>,
+    batch_size: usize,
+    metrics: SharedMetrics,
+    pending: Option<Vec<Tuple>>,
+}
+
+impl<'a> IndexScanOp<'a> {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        index: &'a InvertedIndex,
+        query: String,
+        path: Option<String>,
+        k: Option<usize>,
+        alias: String,
+        any_term: bool,
+        phrase: bool,
+        collection: Option<String>,
+        fetch: Box<dyn Fn(DocId) -> Option<Arc<Document>> + 'a>,
+        batch_size: usize,
+        metrics: SharedMetrics,
+    ) -> IndexScanOp<'a> {
+        IndexScanOp {
+            index,
+            query,
+            path,
+            k,
+            alias,
+            any_term,
+            phrase,
+            collection,
+            fetch,
+            batch_size: batch_size.max(1),
+            metrics,
+            pending: None,
+        }
+    }
+
+    fn fill(&mut self) {
+        if self.pending.is_some() {
+            return;
+        }
+        let (hits, stats, effective_k) = run_index_search(
+            self.index,
+            &self.query,
+            self.path.as_deref(),
+            self.any_term,
+            self.phrase,
+            self.k,
+        );
+        {
+            let mut m = self.metrics.borrow_mut();
+            m.index_lookups += 1;
+            m.search_candidates_scored += stats.candidates_scored as u64;
+            m.search_candidates_pruned += stats.candidates_pruned as u64;
+            if stats.early_terminated(effective_k) {
+                m.early_terminations += 1;
+            }
+        }
+        let tuples: Vec<Tuple> = hits
+            .into_iter()
+            .filter_map(|hit| {
+                let doc = (self.fetch)(hit.id)?;
+                if let Some(c) = &self.collection {
+                    if doc.collection() != c {
+                        return None;
+                    }
+                }
+                Some(Tuple::single(&self.alias, doc).with_score(hit.score))
+            })
+            .collect();
+        self.pending = Some(tuples);
+    }
+}
+
+impl Operator for IndexScanOp<'_> {
+    fn name(&self) -> &'static str {
+        "index_scan"
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Batch>, ExecError> {
+        self.fill();
+        let Some(buf) = self.pending.as_mut() else {
+            return Ok(None);
+        };
+        if buf.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(Batch::Tuples(take_front(buf, self.batch_size))))
     }
 }
 
@@ -960,6 +1141,156 @@ impl Operator for SortOp<'_> {
             _ => return Ok(None),
         };
         Ok(Some(out))
+    }
+}
+
+/// First bound document's id (aliases iterate in BTreeMap order, so this
+/// is deterministic for joined tuples too). Fusion's tie-breaker.
+fn tuple_doc_id(t: &Tuple) -> u64 {
+    t.bindings.values().next().map(|d| d.id().0).unwrap_or(0)
+}
+
+/// Reciprocal-rank fusion over a drained input: re-scores each tuple as
+///
+/// ```text
+/// fused = text_weight / (rrf_k + text_rank)
+///       + struct_weight / (rrf_k + struct_rank)
+/// ```
+///
+/// where `text_rank` orders by the carried retrieval score (descending,
+/// unscored tuples last) and `struct_rank` orders by the structured sort
+/// keys — or by document id descending (recency proxy) when no keys were
+/// given. Emits the fused top `k`, score-descending, ties broken by
+/// ascending document id. Shared by the operator and the parallel merge.
+pub(crate) fn fuse_tuples(
+    tuples: Vec<Tuple>,
+    k: usize,
+    text_weight: f64,
+    struct_weight: f64,
+    rrf_k: f64,
+    keys: &[SortKey],
+) -> Vec<Tuple> {
+    let n = tuples.len();
+    let mut text_order: Vec<usize> = (0..n).collect();
+    text_order.sort_by(|&a, &b| {
+        let sa = tuples[a].score.unwrap_or(f64::NEG_INFINITY);
+        let sb = tuples[b].score.unwrap_or(f64::NEG_INFINITY);
+        sb.total_cmp(&sa)
+            .then(tuple_doc_id(&tuples[a]).cmp(&tuple_doc_id(&tuples[b])))
+    });
+    let mut struct_order: Vec<usize> = (0..n).collect();
+    if keys.is_empty() {
+        struct_order.sort_by(|&a, &b| tuple_doc_id(&tuples[b]).cmp(&tuple_doc_id(&tuples[a])));
+    } else {
+        struct_order.sort_by(|&a, &b| {
+            for key in keys {
+                let va = tuples[a].key(&key.alias, &key.path);
+                let vb = tuples[b].key(&key.alias, &key.path);
+                let ord = va.total_cmp(&vb);
+                let ord = if key.descending { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            tuple_doc_id(&tuples[a]).cmp(&tuple_doc_id(&tuples[b]))
+        });
+    }
+    let mut fused = vec![0.0f64; n];
+    for (rank, &idx) in text_order.iter().enumerate() {
+        fused[idx] += text_weight / (rrf_k + (rank + 1) as f64);
+    }
+    for (rank, &idx) in struct_order.iter().enumerate() {
+        fused[idx] += struct_weight / (rrf_k + (rank + 1) as f64);
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        fused[b]
+            .total_cmp(&fused[a])
+            .then(tuple_doc_id(&tuples[a]).cmp(&tuple_doc_id(&tuples[b])))
+    });
+    order.truncate(k);
+    let mut scored: Vec<Option<Tuple>> = tuples.into_iter().map(Some).collect();
+    order
+        .into_iter()
+        .filter_map(|idx| scored[idx].take().map(|t| t.with_score(fused[idx])))
+        .collect()
+}
+
+/// Blocking reciprocal-rank fusion operator: drains its input (tuples
+/// carrying text scores from an upstream `IndexScan`), fuses the text
+/// ranking with the structured ranking via [`fuse_tuples`], and emits the
+/// fused top-k in batches.
+pub struct FusionOp<'a> {
+    input: Option<Box<dyn Operator + 'a>>,
+    k: usize,
+    text_weight: f64,
+    struct_weight: f64,
+    rrf_k: f64,
+    keys: Vec<SortKey>,
+    batch_size: usize,
+    out: Vec<Tuple>,
+}
+
+impl<'a> FusionOp<'a> {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        input: Box<dyn Operator + 'a>,
+        k: usize,
+        text_weight: f64,
+        struct_weight: f64,
+        rrf_k: f64,
+        keys: Vec<SortKey>,
+        batch_size: usize,
+    ) -> FusionOp<'a> {
+        FusionOp {
+            input: Some(input),
+            k,
+            text_weight,
+            struct_weight,
+            rrf_k,
+            keys,
+            batch_size: batch_size.max(1),
+            out: Vec::new(),
+        }
+    }
+
+    fn fill(&mut self) -> Result<(), ExecError> {
+        let Some(mut input) = self.input.take() else {
+            return Ok(());
+        };
+        let mut tuples: Vec<Tuple> = Vec::new();
+        while let Some(batch) = input.next_batch()? {
+            let Batch::Tuples(t) = batch else {
+                return Err(ExecError::BadPlan("fusion over non-tuple input".into()));
+            };
+            tuples.extend(t);
+        }
+        self.out = fuse_tuples(
+            tuples,
+            self.k,
+            self.text_weight,
+            self.struct_weight,
+            self.rrf_k,
+            &self.keys,
+        );
+        Ok(())
+    }
+}
+
+impl Operator for FusionOp<'_> {
+    fn name(&self) -> &'static str {
+        "fusion"
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Batch>, ExecError> {
+        self.fill()?;
+        if self.out.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(Batch::Tuples(take_front(
+            &mut self.out,
+            self.batch_size,
+        ))))
     }
 }
 

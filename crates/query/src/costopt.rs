@@ -282,7 +282,30 @@ impl CostOptimizer {
                     },
                 }
             }
-            other @ (LogicalPlan::KeywordSearch { .. } | LogicalPlan::GraphConnect { .. }) => {
+            LogicalPlan::Fusion {
+                input,
+                k,
+                text_weight,
+                struct_weight,
+                rrf_k,
+                keys,
+            } => {
+                let i = self.opt(*input);
+                let n = i.estimated_rows.max(2.0);
+                CostedPlan {
+                    estimated_cost: i.estimated_cost + COST_SORT_FACTOR * n * n.log2(),
+                    estimated_rows: i.estimated_rows.min(k as f64),
+                    plan: LogicalPlan::Fusion {
+                        input: Box::new(i.plan),
+                        k,
+                        text_weight,
+                        struct_weight,
+                        rrf_k,
+                        keys,
+                    },
+                }
+            }
+            other @ (LogicalPlan::IndexScan { .. } | LogicalPlan::GraphConnect { .. }) => {
                 CostedPlan {
                     plan: other,
                     estimated_cost: 10.0,

@@ -15,15 +15,15 @@ use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use impliance_docmodel::{DocId, Document};
-use impliance_index::{search, InvertedIndex, JoinIndex, PathValueIndex, SearchQuery};
+use impliance_index::{InvertedIndex, JoinIndex, PathValueIndex};
 use impliance_storage::{
     Predicate, Projection, ScanMetrics, ScanRequest, StorageEngine, StorageError,
 };
 
 use crate::batch::{
-    op_obs, Batch, ColumnarGroupAggOp, ColumnarProjectOp, ColumnarScanOp, FilterOp, GroupAggOp,
-    HashJoinOp, IndexedNlJoinOp, LimitOp, Metered, Operator, ProjectOp, ScanOp, SharedMetrics,
-    SortMergeJoinOp, SortOp, VecSource,
+    op_obs, Batch, ColumnarGroupAggOp, ColumnarProjectOp, ColumnarScanOp, FilterOp, FusionOp,
+    GroupAggOp, HashJoinOp, IndexScanOp, IndexedNlJoinOp, LimitOp, Metered, Operator, ProjectOp,
+    ScanOp, SharedMetrics, SortMergeJoinOp, SortOp, VecSource,
 };
 use crate::context::ExecutionContext;
 #[cfg(test)]
@@ -73,8 +73,13 @@ pub struct ExecMetrics {
     /// Worker threads that executed this query (1 on the serial path).
     pub workers_used: u64,
     /// Times a `Limit` stopped pulling (or the parallel merge truncated)
-    /// before its input was exhausted.
+    /// before its input was exhausted — or a top-k `IndexScan` evaluation
+    /// skipped part of its candidate space.
     pub early_terminations: u64,
+    /// `IndexScan` candidates whose text score was fully accumulated.
+    pub search_candidates_scored: u64,
+    /// `IndexScan` candidates skipped by upper-bound (MaxScore) pruning.
+    pub search_candidates_pruned: u64,
     /// True when the per-query deadline expired before the pipeline
     /// drained: the output is a partial prefix, not the full answer.
     pub deadline_exceeded: bool,
@@ -306,32 +311,68 @@ pub(crate) fn compile<'a>(
                 kind: Kind::Tuples,
             })
         }
-        LogicalPlan::KeywordSearch {
+        LogicalPlan::IndexScan {
             query,
             path,
-            limit,
+            k,
             alias,
+            any_term,
+            phrase,
+            collection,
         } => {
-            let mut q = SearchQuery::new(query.clone(), *limit);
-            if let Some(p) = path {
-                q = q.within(p.clone());
-            }
-            let hits = search::search(ctx.text_index, &q);
-            metrics.borrow_mut().index_lookups += 1;
-            let mut tuples = Vec::with_capacity(hits.len());
-            for hit in hits {
-                if let Some(doc) = ctx.storage.get_latest_at(hit.id, snap_epoch(ctx))? {
-                    tuples.push(Tuple::single(alias, Arc::new(doc)));
-                }
-            }
+            let storage = ctx.storage;
+            let snap = snap_epoch(ctx);
+            let fetch = move |id: DocId| -> Option<Arc<Document>> {
+                storage.get_latest_at(id, snap).ok().flatten().map(Arc::new)
+            };
             Ok(Compiled::Op {
                 op: Metered::wrap(
                     1,
-                    Box::new(VecSource::tuples("keyword_search", tuples, batch_size)),
+                    Box::new(IndexScanOp::new(
+                        ctx.text_index,
+                        query.clone(),
+                        path.clone(),
+                        *k,
+                        alias.clone(),
+                        *any_term,
+                        *phrase,
+                        collection.clone(),
+                        Box::new(fetch),
+                        batch_size,
+                        Rc::clone(metrics),
+                    )),
                 ),
                 kind: Kind::Tuples,
             })
         }
+        LogicalPlan::Fusion {
+            input,
+            k,
+            text_weight,
+            struct_weight,
+            rrf_k,
+            keys,
+        } => match compile(ctx, input, batch_size, metrics)? {
+            Compiled::Op {
+                op,
+                kind: Kind::Tuples,
+            } => Ok(Compiled::Op {
+                op: Metered::wrap(
+                    9,
+                    Box::new(FusionOp::new(
+                        op,
+                        *k,
+                        *text_weight,
+                        *struct_weight,
+                        *rrf_k,
+                        keys.clone(),
+                        batch_size,
+                    )),
+                ),
+                kind: Kind::Tuples,
+            }),
+            _ => Err(ExecError::BadPlan("fusion over non-tuple input".into())),
+        },
         LogicalPlan::Filter {
             input,
             alias,
@@ -962,17 +1003,81 @@ mod tests {
     }
 
     #[test]
-    fn keyword_search_plan() {
+    fn index_scan_plan() {
         let f = Fixture::new();
-        let plan = LogicalPlan::KeywordSearch {
+        let plan = LogicalPlan::IndexScan {
             query: "bumper".into(),
             path: None,
-            limit: 10,
+            k: Some(10),
             alias: "d".into(),
+            any_term: false,
+            phrase: false,
+            collection: None,
+        };
+        let (out, m) = execute_plan(&f.ctx(), &plan).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.docs()[0].id(), DocId(10));
+        assert_eq!(m.index_lookups, 1);
+        assert_eq!(m.search_candidates_scored, 1);
+    }
+
+    #[test]
+    fn index_scan_projects_scored_rows() {
+        let f = Fixture::new();
+        // project the pseudo-paths so the scored hit surfaces as a row
+        let plan = LogicalPlan::Project {
+            input: Box::new(LogicalPlan::IndexScan {
+                query: "urgent bumper".into(),
+                path: None,
+                k: Some(5),
+                alias: "d".into(),
+                any_term: false,
+                phrase: false,
+                collection: Some("orders".into()),
+            }),
+            columns: vec![
+                ("d".into(), "_id".into(), "id".into()),
+                ("d".into(), "_score".into(), "score".into()),
+            ],
+        };
+        let (out, _) = execute_plan(&f.ctx(), &plan).unwrap();
+        let rows = out.rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("id"), &Value::Int(10));
+        match rows[0].get("score") {
+            Value::Float(s) => assert!(*s > 0.0, "BM25 score must be positive"),
+            other => panic!("expected float score, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fusion_reranks_text_hits_by_structure() {
+        let f = Fixture::new();
+        // "repair OR repaint OR fix" matches orders 11 and 12; fuse with
+        // amount-descending structure ranking and keep the top 1.
+        let plan = LogicalPlan::Fusion {
+            input: Box::new(LogicalPlan::IndexScan {
+                query: "repaint fix".into(),
+                path: None,
+                k: None,
+                alias: "d".into(),
+                any_term: true,
+                phrase: false,
+                collection: Some("orders".into()),
+            }),
+            k: 1,
+            text_weight: 0.0,
+            struct_weight: 1.0,
+            rrf_k: 60.0,
+            keys: vec![crate::plan::SortKey {
+                alias: "d".into(),
+                path: "amount".into(),
+                descending: true,
+            }],
         };
         let (out, _) = execute_plan(&f.ctx(), &plan).unwrap();
         assert_eq!(out.len(), 1);
-        assert_eq!(out.docs()[0].id(), DocId(10));
+        assert_eq!(out.docs()[0].id(), DocId(11), "amount 250 wins the fusion");
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub mod ops;
 pub mod parallel;
 pub mod plan;
 pub mod preempt;
+pub mod searchapi;
 pub mod simple;
 pub mod sql;
 pub mod tuple;
@@ -68,6 +69,7 @@ pub use dist::{CoverageReport, FailoverPolicy, ResilientScan, RetryPolicy};
 pub use exec::{execute_plan, execute_plan_opts, ExecContext, ExecError, ExecMetrics, QueryOutput};
 pub use plan::{AggItem, JoinAlgo, LogicalPlan, SortKey};
 pub use preempt::{PreemptGuard, Priority};
+pub use searchapi::{keyword_candidates, keyword_candidates_any};
 pub use simple::SimplePlanner;
 pub use sql::parse_sql;
 pub use tuple::{Row, Tuple};

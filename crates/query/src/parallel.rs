@@ -30,10 +30,19 @@
 //!   probed read-only by every worker. Per-key match order equals serial
 //!   insertion order because each key lands in exactly one bucket.
 //!
-//! Shapes with no parallel form — keyword search, value-index point
-//! lookups, sort-merge and indexed-NL joins, graph connects, sorts over
-//! row inputs — return `None` and fall back to the serial pipeline, as
-//! do single-partition stores and `worker_threads == 1`. Exchanges cost
+//! Two base sources exist. A **storage scan** claims partitions as
+//! morsels. An **index scan** (scored text retrieval) evaluates its
+//! search once on the caller's thread — BM25 statistics are index-global,
+//! so the evaluation itself does not shard — then chunks the ordered hit
+//! list into morsels: workers fetch each hit's snapshot-visible document,
+//! bind scored tuples, and run the same per-morsel step chain; chunk
+//! order reassembly reproduces the serial score-descending sequence
+//! exactly.
+//!
+//! Shapes with no parallel form — value-index point lookups, sort-merge
+//! and indexed-NL joins, graph connects, fusion, sorts over row inputs —
+//! return `None` and fall back to the serial pipeline, as do
+//! single-partition stores and `worker_threads == 1`. Exchanges cost
 //! nothing here: workers share one address space, so nothing is charged
 //! to the simulated `Network` (see DESIGN.md).
 
@@ -179,12 +188,30 @@ enum Shape<'p> {
     },
 }
 
-/// A plan lowered to morsel form: one base scan, a linear chain of
+/// The base source a lowered plan streams from.
+enum Base<'p> {
+    /// Partitioned storage scan — morsels are partitions.
+    Scan {
+        collection: Option<&'p str>,
+        predicate: Option<&'p Predicate>,
+    },
+    /// Scored text retrieval — the search runs once (BM25 statistics are
+    /// index-global); morsels are chunks of the ordered hit list.
+    IndexScan {
+        query: &'p str,
+        path: Option<&'p str>,
+        k: Option<usize>,
+        any_term: bool,
+        phrase: bool,
+        collection: Option<&'p str>,
+    },
+}
+
+/// A plan lowered to morsel form: one base source, a linear chain of
 /// per-morsel steps, a root shape, and the residual projection/limit.
 /// Everything borrows from the plan, which outlives the worker pool.
 struct Lowered<'p> {
-    collection: Option<&'p str>,
-    predicate: Option<&'p Predicate>,
+    base: Base<'p>,
     alias: &'p str,
     steps: Vec<Step<'p>>,
     /// Build-side plans for each `Step::HashProbe`, in table order.
@@ -279,8 +306,10 @@ fn lower(plan: &LogicalPlan) -> Option<Lowered<'_>> {
                 // Table indices were assigned in outermost-first order;
                 // remap them to the reversed (scan-outward) step order.
                 return Some(Lowered {
-                    collection: collection.as_deref(),
-                    predicate: predicate.as_ref(),
+                    base: Base::Scan {
+                        collection: collection.as_deref(),
+                        predicate: predicate.as_ref(),
+                    },
                     alias,
                     steps,
                     builds,
@@ -289,7 +318,34 @@ fn lower(plan: &LogicalPlan) -> Option<Lowered<'_>> {
                     limit,
                 });
             }
-            _ => return None, // keyword search, graph, other joins, …
+            LogicalPlan::IndexScan {
+                query,
+                path,
+                k,
+                alias,
+                any_term,
+                phrase,
+                collection,
+            } => {
+                steps.reverse();
+                return Some(Lowered {
+                    base: Base::IndexScan {
+                        query,
+                        path: path.as_deref(),
+                        k: *k,
+                        any_term: *any_term,
+                        phrase: *phrase,
+                        collection: collection.as_deref(),
+                    },
+                    alias,
+                    steps,
+                    builds,
+                    shape,
+                    project,
+                    limit,
+                });
+            }
+            _ => return None, // fusion, graph, other joins, …
         }
     }
 }
@@ -760,6 +816,13 @@ pub(crate) fn try_execute_parallel(
     let Some(low) = lower(plan) else {
         return Ok(None);
     };
+    let (collection, predicate) = match low.base {
+        Base::Scan {
+            collection,
+            predicate,
+        } => (collection, predicate),
+        Base::IndexScan { .. } => return execute_parallel_index_scan(ctx, &low, opts),
+    };
     let morsels = ctx.storage.scan_morsels();
     if morsels.len() < 2 {
         return Ok(None); // one partition: nothing to fan out
@@ -786,7 +849,7 @@ pub(crate) fn try_execute_parallel(
     }
 
     let (request, post_filter) =
-        scan_request_parts(ctx.pushdown, low.collection, low.predicate, ctx.snapshot);
+        scan_request_parts(ctx.pushdown, collection, predicate, ctx.snapshot);
     let col = columnar_plan(ctx, &low, &request, post_filter.as_ref());
 
     let obs = par_obs();
@@ -845,13 +908,26 @@ pub(crate) fn try_execute_parallel(
         metrics.deadline_exceeded = true;
         deadline_obs().inc();
     }
-    // Partition-order reassembly: reproduces the serial scan sequence.
+    let output = merge_parts(&low, parts, col.is_some(), &mut metrics);
+    Ok(Some((output, metrics)))
+}
+
+/// Reassemble per-morsel results in morsel order and finish the root
+/// shape — shared by the partition-morsel and hit-chunk-morsel paths, so
+/// both reproduce the serial pipeline's output exactly.
+fn merge_parts(
+    low: &Lowered<'_>,
+    mut parts: Vec<(usize, PartAcc)>,
+    columnar: bool,
+    metrics: &mut ExecMetrics,
+) -> QueryOutput {
+    // Morsel-order reassembly: reproduces the serial sequence.
     parts.sort_by_key(|(p, _)| *p);
 
     let merge_started = Instant::now();
     let mut truncated = false;
     let output = match &low.shape {
-        Shape::Collect if col.is_some() => {
+        Shape::Collect if columnar => {
             // Columnar collect: workers already projected rows.
             let mut rows: Vec<Row> = Vec::new();
             for (_, acc) in parts {
@@ -877,7 +953,7 @@ pub(crate) fn try_execute_parallel(
                 truncated = tuples.len() > n;
                 tuples.truncate(n);
             }
-            finish_tuples(tuples, low.project, &mut metrics)
+            finish_tuples(tuples, low.project, metrics)
         }
         Shape::Sort { keys, top_k } => {
             let mut tuples: Vec<Tuple> = Vec::new();
@@ -891,7 +967,7 @@ pub(crate) fn try_execute_parallel(
                 truncated = tuples.len() > *k;
                 tuples.truncate(*k);
             }
-            finish_tuples(tuples, low.project, &mut metrics)
+            finish_tuples(tuples, low.project, metrics)
         }
         Shape::GroupAgg { group_by, aggs } => {
             let mut groups: BTreeMap<String, (Value, Vec<AggValue>)> = BTreeMap::new();
@@ -921,11 +997,177 @@ pub(crate) fn try_execute_parallel(
             QueryOutput::Rows(rows)
         }
     };
-    obs.merge_us
+    par_obs()
+        .merge_us
         .observe(merge_started.elapsed().as_micros() as u64);
     if truncated {
         metrics.early_terminations += 1;
     }
+    output
+}
+
+/// Morsel-parallel execution of an `IndexScan`-based plan. The search
+/// itself runs once on the caller's thread (its BM25 statistics and
+/// upper-bound pruning are global to the index); the ordered hit list is
+/// then chunked into morsels and workers resolve documents, bind scored
+/// tuples, and run the per-morsel step chain. Chunk-order reassembly
+/// makes the output identical to the serial `IndexScanOp` pipeline.
+fn execute_parallel_index_scan(
+    ctx: &ExecContext<'_>,
+    low: &Lowered<'_>,
+    opts: &ExecutionContext,
+) -> Result<Option<(QueryOutput, ExecMetrics)>, ExecError> {
+    let Base::IndexScan {
+        query,
+        path,
+        k,
+        any_term,
+        phrase,
+        collection,
+    } = low.base
+    else {
+        return Ok(None);
+    };
+    let batch_size = opts.batch_size.max(1);
+    let workers = opts.worker_threads;
+    let deadline_at = opts.deadline.map(|d| Instant::now() + d);
+    let mut metrics = ExecMetrics::default();
+
+    // Build sides of hash probes, exactly like the partition path.
+    let mut tables: Vec<JoinTable> = Vec::with_capacity(low.builds.len());
+    for (build, right_key) in &low.builds {
+        tables.push(build_join_table(
+            ctx,
+            build,
+            right_key,
+            batch_size,
+            workers,
+            workers,
+            &mut metrics,
+        )?);
+    }
+
+    let (hits, stats, effective_k) =
+        crate::batch::run_index_search(ctx.text_index, query, path, any_term, phrase, k);
+    metrics.index_lookups += 1;
+    metrics.search_candidates_scored += stats.candidates_scored as u64;
+    metrics.search_candidates_pruned += stats.candidates_pruned as u64;
+    if stats.early_terminated(effective_k) {
+        metrics.early_terminations += 1;
+    }
+
+    let chunks: Vec<Vec<impliance_index::SearchHit>> =
+        hits.chunks(batch_size).map(|c| c.to_vec()).collect();
+    let obs = par_obs();
+    obs.morsels.add(chunks.len() as u64);
+    obs.workers_used
+        .set(workers.min(chunks.len().max(1)) as i64);
+    metrics.workers_used = workers.min(chunks.len().max(1)).max(1) as u64;
+    metrics.batches += chunks.len() as u64;
+
+    let snap = ctx.snapshot.unwrap_or(u64::MAX);
+    let deadline_hit = AtomicBool::new(false);
+    let stop = AtomicBool::new(false);
+    let tables = &tables;
+    let results: Vec<Result<PartAcc, ExecError>> =
+        scoped_map(workers, chunks, |chunk: Vec<impliance_index::SearchHit>| {
+            if stop.load(Ordering::Relaxed) {
+                return Ok(match &low.shape {
+                    Shape::GroupAgg { .. } => PartAcc::Groups(BTreeMap::new()),
+                    _ => PartAcc::Tuples(Vec::new()),
+                });
+            }
+            if deadline_at.is_some_and(|d| Instant::now() >= d) {
+                deadline_hit.store(true, Ordering::Relaxed);
+                stop.store(true, Ordering::Relaxed);
+                return Ok(match &low.shape {
+                    Shape::GroupAgg { .. } => PartAcc::Groups(BTreeMap::new()),
+                    _ => PartAcc::Tuples(Vec::new()),
+                });
+            }
+            crate::preempt::yield_to_high(opts.priority);
+            let mut tuples: Vec<Tuple> = Vec::new();
+            for hit in chunk {
+                let Ok(Some(doc)) = ctx.storage.get_latest_at(hit.id, snap) else {
+                    continue;
+                };
+                if let Some(c) = collection {
+                    if doc.collection() != c {
+                        continue;
+                    }
+                }
+                tuples.push(Tuple::single(low.alias, Arc::new(doc)).with_score(hit.score));
+            }
+            // Probe output scratch, reused across probe steps (same
+            // hoisted-buffer idiom as the partition path).
+            let mut probe_scratch: Vec<Tuple> = Vec::new();
+            for step in &low.steps {
+                if tuples.is_empty() {
+                    break;
+                }
+                match step {
+                    Step::Filter { alias, predicate } => tuples.retain(|t| {
+                        t.bindings
+                            .get(*alias)
+                            .map(|d| predicate.matches(d))
+                            .unwrap_or(false)
+                    }),
+                    Step::HashProbe { left_key, table } => {
+                        let Some(table) = tables.get(*table) else {
+                            return Err(ExecError::BadPlan("probe of unbuilt join table".into()));
+                        };
+                        probe_scratch.clear();
+                        for t in &tuples {
+                            let key = t.key(&left_key.0, &left_key.1);
+                            if key.is_null() {
+                                continue;
+                            }
+                            if let Some(matches) = table.get(&key.render()) {
+                                for m in matches {
+                                    probe_scratch.push(t.join(m));
+                                }
+                            }
+                        }
+                        std::mem::swap(&mut tuples, &mut probe_scratch);
+                    }
+                }
+            }
+            Ok(match &low.shape {
+                Shape::GroupAgg { group_by, aggs } => {
+                    let mut groups: BTreeMap<String, (Value, Vec<AggValue>)> = BTreeMap::new();
+                    for t in &tuples {
+                        fold_group(&mut groups, t, *group_by, aggs);
+                    }
+                    PartAcc::Groups(groups)
+                }
+                Shape::Sort { keys, top_k } => {
+                    if let Some(cap) = top_k {
+                        if tuples.len() > *cap {
+                            sort_tuples(&mut tuples, keys);
+                            tuples.truncate(*cap);
+                        }
+                    }
+                    PartAcc::Tuples(tuples)
+                }
+                Shape::Collect => {
+                    // A chunk never contributes more than the query limit
+                    // (same early-stop as the partition path).
+                    if let Some(n) = low.limit {
+                        tuples.truncate(n);
+                    }
+                    PartAcc::Tuples(tuples)
+                }
+            })
+        });
+    let mut parts: Vec<(usize, PartAcc)> = Vec::new();
+    for (i, r) in results.into_iter().enumerate() {
+        parts.push((i, r?));
+    }
+    if deadline_hit.load(Ordering::Relaxed) {
+        metrics.deadline_exceeded = true;
+        deadline_obs().inc();
+    }
+    let output = merge_parts(low, parts, false, &mut metrics);
     Ok(Some((output, metrics)))
 }
 
@@ -989,19 +1231,54 @@ mod tests {
 
     #[test]
     fn lower_rejects_unsupported_shapes() {
-        let keyword = LogicalPlan::KeywordSearch {
-            query: "x".into(),
-            path: None,
-            limit: 5,
-            alias: "d".into(),
-        };
-        assert!(lower(&keyword).is_none());
         let graph = LogicalPlan::GraphConnect {
             a: 1,
             b: 2,
             max_hops: 3,
         };
         assert!(lower(&graph).is_none());
+        // fusion is a blocking re-ranker with no morsel form (yet)
+        let fused = LogicalPlan::Fusion {
+            input: Box::new(LogicalPlan::IndexScan {
+                query: "x".into(),
+                path: None,
+                k: None,
+                alias: "d".into(),
+                any_term: false,
+                phrase: false,
+                collection: None,
+            }),
+            k: 5,
+            text_weight: 1.0,
+            struct_weight: 1.0,
+            rrf_k: 60.0,
+            keys: vec![],
+        };
+        assert!(lower(&fused).is_none());
+    }
+
+    #[test]
+    fn lower_accepts_index_scan_base() {
+        let plan = LogicalPlan::Limit {
+            input: Box::new(LogicalPlan::Filter {
+                input: Box::new(LogicalPlan::IndexScan {
+                    query: "x".into(),
+                    path: None,
+                    k: None,
+                    alias: "d".into(),
+                    any_term: true,
+                    phrase: false,
+                    collection: Some("c".into()),
+                }),
+                alias: "d".into(),
+                predicate: Predicate::True,
+            }),
+            n: 5,
+        };
+        let low = lower(&plan).expect("index scan base must lower");
+        assert!(matches!(low.base, Base::IndexScan { any_term: true, .. }));
+        assert_eq!(low.steps.len(), 1);
+        assert_eq!(low.limit, Some(5));
     }
 
     #[test]

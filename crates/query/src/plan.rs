@@ -59,16 +59,45 @@ pub enum LogicalPlan {
         /// operation encoded in the predicate) rather than a full scan.
         use_value_index: bool,
     },
-    /// Top-k keyword search via the inverted index.
-    KeywordSearch {
-        /// Query text.
+    /// Scored top-k text retrieval via the inverted index: emits tuples
+    /// carrying a BM25 score, ordered score-descending, that flow through
+    /// the rest of the pipeline like any other source.
+    IndexScan {
+        /// Query text (analyzed with the document pipeline).
         query: String,
-        /// Restrict to a structural path.
+        /// Restrict matching to a structural path.
         path: Option<String>,
-        /// Max hits.
-        limit: usize,
-        /// Alias the hits bind to.
+        /// Top-k bound when the scan feeds a pure search (enables
+        /// early-terminating evaluation); `None` retrieves all matches,
+        /// e.g. when a structured filter sits above the scan.
+        k: Option<usize>,
+        /// Alias the hit documents bind to.
         alias: String,
+        /// OR semantics (any term matches) instead of the default AND.
+        any_term: bool,
+        /// Positional phrase match instead of bag-of-words scoring.
+        phrase: bool,
+        /// Drop hits outside this collection (hybrid queries scoped to
+        /// one collection).
+        collection: Option<String>,
+    },
+    /// Reciprocal-rank fusion of the text score carried by input tuples
+    /// with a structured ranking (sort keys, or document recency when
+    /// empty). Emits the top `k` tuples re-scored by the fused value.
+    Fusion {
+        /// Input plan (tuples should carry text scores).
+        input: Box<LogicalPlan>,
+        /// Fused top-k bound.
+        k: usize,
+        /// Weight of the text ranking.
+        text_weight: f64,
+        /// Weight of the structured ranking.
+        struct_weight: f64,
+        /// RRF smoothing constant (typically 60).
+        rrf_k: f64,
+        /// Structured ranking keys; empty ranks by document id
+        /// descending (recency proxy).
+        keys: Vec<SortKey>,
     },
     /// Filter tuples by a predicate over one alias.
     Filter {
@@ -142,6 +171,7 @@ impl LogicalPlan {
             | LogicalPlan::GroupAgg { input, .. }
             | LogicalPlan::Project { input, .. }
             | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Fusion { input, .. }
             | LogicalPlan::Limit { input, .. } => input.node_count(),
             LogicalPlan::Join { left, right, .. } => left.node_count() + right.node_count(),
             _ => 0,
@@ -153,7 +183,8 @@ impl LogicalPlan {
     pub fn has_limit(&self) -> bool {
         match self {
             LogicalPlan::Limit { .. } => true,
-            LogicalPlan::KeywordSearch { .. } => true, // inherently top-k
+            LogicalPlan::Fusion { .. } => true, // fused top-k
+            LogicalPlan::IndexScan { k, .. } => k.is_some(), // bounded search
             LogicalPlan::Filter { input, .. }
             | LogicalPlan::GroupAgg { input, .. }
             | LogicalPlan::Project { input, .. }
@@ -176,8 +207,17 @@ impl LogicalPlan {
                 let p = if predicate.is_some() { "+pred" } else { "" };
                 format!("{how}({c}{p})")
             }
-            LogicalPlan::KeywordSearch { query, limit, .. } => {
-                format!("search('{query}',k={limit})")
+            LogicalPlan::IndexScan {
+                query, k, phrase, ..
+            } => {
+                let how = if *phrase { "phrase" } else { "search" };
+                match k {
+                    Some(k) => format!("{how}('{query}',k={k})"),
+                    None => format!("{how}('{query}')"),
+                }
+            }
+            LogicalPlan::Fusion { input, k, .. } => {
+                format!("fuse{k}({})", input.describe())
             }
             LogicalPlan::Filter { input, .. } => format!("filter({})", input.describe()),
             LogicalPlan::Join {
@@ -232,15 +272,35 @@ mod tests {
     }
 
     #[test]
-    fn has_limit_spots_keyword_search() {
-        let plan = LogicalPlan::KeywordSearch {
+    fn has_limit_spots_bounded_index_scans() {
+        let mut plan = LogicalPlan::IndexScan {
             query: "q".into(),
             path: None,
-            limit: 5,
+            k: Some(5),
             alias: "d".into(),
+            any_term: false,
+            phrase: false,
+            collection: None,
         };
         assert!(plan.has_limit());
+        assert_eq!(plan.describe(), "search('q',k=5)");
+        if let LogicalPlan::IndexScan { k, .. } = &mut plan {
+            *k = None;
+        }
+        assert!(!plan.has_limit()); // unbounded scan retrieves everything
+        assert_eq!(plan.describe(), "search('q')");
         assert!(!scan("a").has_limit());
+        let fused = LogicalPlan::Fusion {
+            input: Box::new(plan),
+            k: 3,
+            text_weight: 1.0,
+            struct_weight: 1.0,
+            rrf_k: 60.0,
+            keys: vec![],
+        };
+        assert!(fused.has_limit());
+        assert_eq!(fused.describe(), "fuse3(search('q'))");
+        assert_eq!(fused.node_count(), 2);
     }
 
     #[test]

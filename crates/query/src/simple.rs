@@ -117,7 +117,22 @@ impl SimplePlanner {
                 input: Box::new(self.rewrite(*input, topk)),
                 n,
             },
-            other @ (LogicalPlan::KeywordSearch { .. } | LogicalPlan::GraphConnect { .. }) => other,
+            LogicalPlan::Fusion {
+                input,
+                k,
+                text_weight,
+                struct_weight,
+                rrf_k,
+                keys,
+            } => LogicalPlan::Fusion {
+                input: Box::new(self.rewrite(*input, topk)),
+                k,
+                text_weight,
+                struct_weight,
+                rrf_k,
+                keys,
+            },
+            other @ (LogicalPlan::IndexScan { .. } | LogicalPlan::GraphConnect { .. }) => other,
         }
     }
 }

@@ -9,11 +9,19 @@ use std::sync::Arc;
 
 use impliance_docmodel::{Document, Value};
 
+/// Pseudo-path resolving to the bound document's id (see [`Tuple::key`]).
+pub const PSEUDO_ID: &str = "_id";
+/// Pseudo-path resolving to the tuple's retrieval score.
+pub const PSEUDO_SCORE: &str = "_score";
+
 /// An intermediate tuple: one document bound per query alias.
 #[derive(Debug, Clone)]
 pub struct Tuple {
     /// alias → bound document. `Arc` so joins don't deep-copy bodies.
     pub bindings: BTreeMap<String, Arc<Document>>,
+    /// Retrieval score attached by `IndexScan` / `Fusion`; `None` for
+    /// tuples that never passed through a scoring operator.
+    pub score: Option<f64>,
 }
 
 impl Tuple {
@@ -21,22 +29,45 @@ impl Tuple {
     pub fn single(alias: &str, doc: Arc<Document>) -> Tuple {
         Tuple {
             bindings: BTreeMap::from([(alias.to_string(), doc)]),
+            score: None,
         }
     }
 
-    /// Combine two tuples (disjoint alias sets).
+    /// Attach a retrieval score (builder style).
+    pub fn with_score(mut self, score: f64) -> Tuple {
+        self.score = Some(score);
+        self
+    }
+
+    /// Combine two tuples (disjoint alias sets). The score, if any side
+    /// carries one, survives the join (left side wins when both do).
     pub fn join(&self, other: &Tuple) -> Tuple {
         let mut bindings = self.bindings.clone();
         for (k, v) in &other.bindings {
             bindings.insert(k.clone(), Arc::clone(v));
         }
-        Tuple { bindings }
+        Tuple {
+            bindings,
+            score: self.score.or(other.score),
+        }
     }
 
     /// The first leaf value at `path` within the document bound to
     /// `alias`, used as join/sort/group key. Returns `Null` when absent so
-    /// sorting stays total.
+    /// sorting stays total. Two pseudo-paths expose retrieval metadata to
+    /// projections and sorts: `"_id"` is the bound document's id and
+    /// `"_score"` is the tuple's retrieval score.
     pub fn key(&self, alias: &str, structural_path: &str) -> Value {
+        if structural_path == PSEUDO_SCORE {
+            return self.score.map(Value::Float).unwrap_or(Value::Null);
+        }
+        if structural_path == PSEUDO_ID {
+            return self
+                .bindings
+                .get(alias)
+                .map(|doc| Value::Int(doc.id().0 as i64))
+                .unwrap_or(Value::Null);
+        }
         self.bindings
             .get(alias)
             .and_then(|doc| {
@@ -121,6 +152,19 @@ mod tests {
         assert!(t1.sole().is_some());
         let j = t1.join(&Tuple::single("b", doc(2)));
         assert!(j.sole().is_none());
+    }
+
+    #[test]
+    fn score_survives_joins_and_pseudo_paths_resolve() {
+        let t = Tuple::single("a", doc(7)).with_score(1.5);
+        assert_eq!(t.key("a", "_score"), Value::Float(1.5));
+        assert_eq!(t.key("a", "_id"), Value::Int(7));
+        let j = t.join(&Tuple::single("b", doc(2)));
+        assert_eq!(j.score, Some(1.5));
+        assert_eq!(j.key("b", "_id"), Value::Int(2));
+        // unscored tuples expose Null, keeping sorts total
+        assert_eq!(Tuple::single("a", doc(1)).key("a", "_score"), Value::Null);
+        assert_eq!(Tuple::single("a", doc(1)).key("x", "_id"), Value::Null);
     }
 
     #[test]

@@ -762,3 +762,162 @@ proptest! {
         );
     }
 }
+
+// ---------------------------------------------------------------------
+// Index-maintainer chaos: kills mid-drain leave the full-text index
+// stale-but-consistent, never torn
+// ---------------------------------------------------------------------
+
+/// A corpus where every document carries one shared term plus two
+/// document-unique terms. Torn postings are then observable: if a kill
+/// could split one document's postings across runs, a search for one
+/// unique term would find the document while its twin misses it.
+fn boot_search_corpus(docs: usize) -> (Impliance, Vec<(DocId, u64)>) {
+    let imp = Impliance::boot(ApplianceConfig::default());
+    let mut epochs = Vec::new();
+    for i in 0..docs {
+        let id = imp
+            .ingest_json(
+                "chaos",
+                &format!(r#"{{"notes": "shared uniqa{i}x uniqb{i}x filler words here"}}"#),
+            )
+            .expect("ingest");
+        epochs.push((id, imp.storage().current_epoch()));
+    }
+    (imp, epochs)
+}
+
+fn hit_ids(imp: &Impliance, query: &str) -> Vec<u64> {
+    let mut ids: Vec<u64> = imp
+        .search(query, 1_000)
+        .into_iter()
+        .map(|h| h.id.0)
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+/// The stale-but-consistent contract after a kill:
+///
+/// * the `index_epoch` watermark never claims more than storage has;
+/// * every document committed at or below the watermark IS searchable
+///   (the watermark is a floor, not a guess);
+/// * every document is all-or-nothing: both unique terms find it, or
+///   neither does (no torn postings).
+fn assert_stale_but_consistent(imp: &Impliance, epochs: &[(DocId, u64)], context: &str) {
+    let watermark = imp.index_epoch();
+    assert!(
+        watermark <= imp.storage().current_epoch(),
+        "{context}: watermark {watermark} ahead of storage epoch {}",
+        imp.storage().current_epoch()
+    );
+    for (i, (id, epoch)) in epochs.iter().enumerate() {
+        let a = hit_ids(imp, &format!("uniqa{i}x"));
+        let b = hit_ids(imp, &format!("uniqb{i}x"));
+        assert_eq!(
+            a, b,
+            "{context}: torn postings for doc {id:?} — one unique term indexed without its twin"
+        );
+        if *epoch <= watermark {
+            assert_eq!(
+                a,
+                vec![id.0],
+                "{context}: doc {id:?} committed at epoch {epoch} <= watermark {watermark} \
+                 must be searchable"
+            );
+        }
+    }
+}
+
+/// Exhaustive single-kill sweep over the index maintainer: for every
+/// crash point and every step at which it can fire, kill the maintainer
+/// mid-drain, check stale-but-consistent, then resume and verify exact
+/// convergence with the fault-free search results.
+#[test]
+fn index_maintainer_killed_mid_drain_stays_stale_but_consistent() {
+    const DOCS: usize = 6;
+    // Fault-free reference: search hits per unique term after a full drain.
+    let (reference_imp, _) = boot_search_corpus(DOCS);
+    reference_imp.run_indexing(None);
+    let reference: Vec<Vec<u64>> = (0..DOCS)
+        .map(|i| hit_ids(&reference_imp, &format!("uniqa{i}x")))
+        .collect();
+    for (i, hits) in reference.iter().enumerate() {
+        assert_eq!(hits.len(), 1, "unique term {i} finds exactly its doc");
+    }
+
+    for point in [
+        KillPoint::AfterFetch,
+        KillPoint::BeforeCommit,
+        KillPoint::AfterCommit,
+    ] {
+        for step in 0..64u64 {
+            let (imp, epochs) = boot_search_corpus(DOCS);
+            imp.run_indexing_with_faults(None, &KillAt { point, step });
+            if imp.indexing_backlog() == 0 {
+                // The drain finished before step `step`: the kill can
+                // never fire later, so this crash point is exhausted.
+                break;
+            }
+            let ctx = format!("index maintainer killed at {point:?} step {step}");
+            assert_stale_but_consistent(&imp, &epochs, &ctx);
+
+            // A restarted maintainer replays the unacked record
+            // (re-indexing is an idempotent same-postings replace) and
+            // converges on the fault-free index.
+            imp.run_indexing(None);
+            assert_eq!(imp.indexing_backlog(), 0, "{ctx}: drain converges");
+            assert_eq!(
+                imp.index_epoch(),
+                imp.storage().current_epoch(),
+                "{ctx}: watermark catches up to the last commit"
+            );
+            for (i, want) in reference.iter().enumerate() {
+                assert_eq!(
+                    &hit_ids(&imp, &format!("uniqa{i}x")),
+                    want,
+                    "{ctx}: resumed maintainer converges on fault-free hits"
+                );
+            }
+        }
+    }
+}
+
+/// Ingest keeps flowing while the maintainer crash-loops: the watermark
+/// stays honest throughout, and a final drain catches up to everything —
+/// including documents that arrived mid-chaos.
+#[test]
+fn index_maintainer_crash_loop_with_mid_chaos_ingest_converges() {
+    let (imp, mut epochs) = boot_search_corpus(4);
+    let sched = KillSchedule {
+        kills: vec![
+            (KillPoint::AfterFetch, 1),
+            (KillPoint::AfterCommit, 3),
+            (KillPoint::BeforeCommit, 5),
+        ],
+    };
+    for round in 0..4 {
+        imp.run_indexing_with_faults(None, &sched);
+        if round == 1 {
+            let i = epochs.len();
+            let id = imp
+                .ingest_json(
+                    "chaos",
+                    &format!(r#"{{"notes": "shared uniqa{i}x uniqb{i}x late arrival"}}"#),
+                )
+                .expect("mid-chaos ingest");
+            epochs.push((id, imp.storage().current_epoch()));
+        }
+        assert_stale_but_consistent(&imp, &epochs, &format!("crash-loop round {round}"));
+    }
+    imp.run_indexing(None);
+    assert_eq!(imp.indexing_backlog(), 0);
+    assert_eq!(imp.index_epoch(), imp.storage().current_epoch());
+    for (i, (id, _)) in epochs.iter().enumerate() {
+        assert_eq!(
+            hit_ids(&imp, &format!("uniqa{i}x")),
+            vec![id.0],
+            "post-chaos drain indexes everything, late arrivals included"
+        );
+    }
+}
